@@ -1,0 +1,91 @@
+// Package agentgrid is the public API of the agent-grid network
+// management system — a reproduction of "Grids of Agents for Computer
+// and Telecommunication Network Management" (Assunção, Westphall, Koch;
+// Middleware 2003).
+//
+// The facade re-exports the pieces a downstream user composes:
+//
+//   - Grid (NewGrid/Start/AddGoal/CollectNow): a complete management
+//     grid — collector, classifier, processor and interface grids wired
+//     over an agent platform.
+//   - Goal: a recurring collection intention against a managed device.
+//   - FleetSpec / NewFleet: a simulated managed network whose devices
+//     answer the grid's SNMP-like protocol.
+//   - Rule DSL (see internal/rules): management rules loaded into the
+//     processor grid and learnable at runtime.
+//   - The sim package's architectures for the paper's evaluation are
+//     reachable through the benchmarks and cmd/benchrunner.
+//
+// A minimal deployment:
+//
+//	grid, err := agentgrid.NewGrid(agentgrid.Config{
+//	    Site:  "site1",
+//	    Rules: `rule "hot" { when latest(cpu.util) > 90 then alert "hot {device}" }`,
+//	})
+//	if err != nil { ... }
+//	ctx, cancel := context.WithCancel(context.Background())
+//	defer cancel()
+//	grid.Start(ctx)
+//	defer grid.Stop()
+//
+//	fleet, _ := agentgrid.NewFleet(agentgrid.FleetSpec{Site: "site1", Hosts: 10, Seed: 1})
+//	defer fleet.Close()
+//	grid.AddGoals(agentgrid.GoalsFor(agentgrid.FleetSpec{Site: "site1", Hosts: 10, Seed: 1}, fleet, 30*time.Second))
+package agentgrid
+
+import (
+	"time"
+
+	"agentgrid/internal/collect"
+	"agentgrid/internal/core"
+	"agentgrid/internal/device"
+	"agentgrid/internal/rules"
+	"agentgrid/internal/workload"
+)
+
+// Config configures a management grid. See internal/core for field
+// documentation.
+type Config = core.Config
+
+// Grid is a running management grid.
+type Grid = core.Grid
+
+// Goal is one recurring collection intention.
+type Goal = collect.Goal
+
+// Alert is one rule firing delivered to the interface grid.
+type Alert = rules.Alert
+
+// FleetSpec describes a simulated managed network.
+type FleetSpec = workload.FleetSpec
+
+// Fleet is a running simulated managed network.
+type Fleet = device.Fleet
+
+// NewGrid assembles a management grid from the configuration.
+func NewGrid(cfg Config) (*Grid, error) { return core.NewGrid(cfg) }
+
+// NewFleet starts the spec's devices behind SNMP endpoints with the
+// given community ("public" by default in Config).
+func NewFleet(spec FleetSpec, community string) (*Fleet, error) {
+	return device.NewFleet(spec.BuildDevices(), community)
+}
+
+// GoalsFor builds one collection goal per fleet device, collected every
+// interval.
+func GoalsFor(spec FleetSpec, fleet *Fleet, interval time.Duration) []Goal {
+	split := workload.Goals(spec, fleet, 1, interval)
+	return split[0]
+}
+
+// ParseRules compiles rule-DSL source, reporting syntax errors without
+// loading anything — handy for validating user-supplied rules.
+func ParseRules(src string) error {
+	_, err := rules.Parse(src)
+	return err
+}
+
+// ParseGoalSpec parses the textual goal format used by the interface
+// grid and gridctl: "goal <name> <site> <device> <class> <addr>
+// <interval> [metrics...]".
+func ParseGoalSpec(spec string) (*Goal, error) { return core.ParseGoalSpec(spec) }

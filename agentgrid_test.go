@@ -1,0 +1,76 @@
+package agentgrid_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"agentgrid"
+)
+
+// TestFacadeQuickstart mirrors the package documentation: a downstream
+// user can stand up a grid, monitor a fleet and read alerts using only
+// the facade.
+func TestFacadeQuickstart(t *testing.T) {
+	grid, err := agentgrid.NewGrid(agentgrid.Config{
+		Site: "site1",
+		Rules: `rule "hot" severity critical {
+            when latest(cpu.util) > 101 then alert "impossible"
+        }`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := grid.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer grid.Stop()
+
+	spec := agentgrid.FleetSpec{Site: "site1", Hosts: 2, Seed: 11}
+	fleet, err := agentgrid.NewFleet(spec, "public")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+
+	goals := agentgrid.GoalsFor(spec, fleet, time.Hour)
+	if len(goals) != 2 {
+		t.Fatalf("goals = %d", len(goals))
+	}
+	if err := grid.AddGoals(goals); err != nil {
+		t.Fatal(err)
+	}
+	if err := grid.CollectNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(15 * time.Second)
+	for {
+		if n, _ := grid.Store().Stats(); n == 8 { // 2 hosts x 4 metrics
+			break
+		}
+		select {
+		case <-deadline:
+			n, _ := grid.Store().Stats()
+			t.Fatalf("series = %d", n)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+func TestFacadeParseRules(t *testing.T) {
+	if err := agentgrid.ParseRules(`rule "ok" { when latest(x) > 1 then alert "m" }`); err != nil {
+		t.Fatal(err)
+	}
+	if err := agentgrid.ParseRules("rule {"); err == nil {
+		t.Fatal("bad rules accepted")
+	}
+}
+
+func TestFacadeParseGoalSpec(t *testing.T) {
+	goal, err := agentgrid.ParseGoalSpec("goal g site1 dev host - 5s")
+	if err != nil || goal.Name != "g" {
+		t.Fatalf("goal = %+v, %v", goal, err)
+	}
+}

@@ -1,0 +1,299 @@
+// Benchmarks regenerating the paper's evaluation. One benchmark per
+// table/figure plus the extension studies; each reports the headline
+// quantity as a custom metric so `go test -bench` output doubles as the
+// experiment record (EXPERIMENTS.md is generated from these shapes).
+package agentgrid_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"agentgrid/internal/core"
+	"agentgrid/internal/device"
+	"agentgrid/internal/loadbalance"
+	"agentgrid/internal/metrics"
+	"agentgrid/internal/obs"
+	"agentgrid/internal/rules"
+	"agentgrid/internal/sim"
+	"agentgrid/internal/snmp"
+	"agentgrid/internal/store"
+	"agentgrid/internal/workload"
+)
+
+// ---- Table 1 ----
+
+// BenchmarkTable1Costs measures cost-model lookup — the primitive every
+// simulated charge uses — and asserts the table totals stay the
+// published values.
+func BenchmarkTable1Costs(b *testing.B) {
+	model := metrics.NewCostModel()
+	var sum float64
+	for i := 0; i < b.N; i++ {
+		for _, k := range metrics.Kinds() {
+			sum += model.Request(k).Total() + model.Parse(k).Total() +
+				model.Inference(k).Total()
+		}
+		sum += model.Storing().Total() + model.CrossInference().Total()
+	}
+	// Per round: requests 60 + parses 45 + inferences 75 + storing 15 + cross 48.
+	perRound := sum / float64(b.N)
+	b.ReportMetric(perRound, "units/round")
+	if perRound != 243 {
+		b.Fatalf("Table 1 totals changed: %v", perRound)
+	}
+}
+
+// ---- Figure 6 ----
+
+func benchFigure6(b *testing.B, arch sim.Architecture) {
+	mix := workload.PaperMix()
+	var last *sim.Outcome
+	for i := 0; i < b.N; i++ {
+		last = arch.Run(mix)
+	}
+	b.ReportMetric(last.Makespan, "bottleneck-units")
+	b.ReportMetric(last.MaxPerResource().Get(metrics.Network), "peak-net-units")
+	b.ReportMetric(float64(last.HostCount()), "hosts")
+}
+
+func BenchmarkFigure6Centralized(b *testing.B) {
+	benchFigure6(b, sim.Centralized{Params: sim.DefaultParams()})
+}
+
+func BenchmarkFigure6MultiAgent(b *testing.B) {
+	benchFigure6(b, sim.MultiAgent{Params: sim.DefaultParams(), Collectors: 2})
+}
+
+func BenchmarkFigure6AgentGrid(b *testing.B) {
+	benchFigure6(b, sim.AgentGrid{Params: sim.DefaultParams(), Collectors: 3, Analyzers: 2})
+}
+
+// ---- X1 crossover ----
+
+func BenchmarkCrossoverSweep(b *testing.B) {
+	volumes := []int{1, 2, 4, 8, 16, 32, 64}
+	var res *sim.CrossoverResult
+	for i := 0; i < b.N; i++ {
+		res = sim.Crossover(sim.DefaultParams(), volumes)
+	}
+	b.ReportMetric(float64(res.Advantage), "advantage-volume")
+	b.ReportMetric(float64(res.CentralizedLimit), "centralized-limit")
+	b.ReportMetric(float64(res.GridLimit), "grid-limit")
+}
+
+// ---- X2 scaling ----
+
+func BenchmarkScaling(b *testing.B) {
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("analyzers-%d", n), func(b *testing.B) {
+			mix := workload.Mix{A: 80, B: 80, C: 80}
+			var pts []sim.ScalingPoint
+			for i := 0; i < b.N; i++ {
+				pts = sim.Scaling(sim.DefaultParams(), mix, []int{1, n})
+			}
+			b.ReportMetric(pts[len(pts)-1].Speedup, "speedup")
+		})
+	}
+}
+
+// ---- X3 balancer ablation ----
+
+func BenchmarkBalancer(b *testing.B) {
+	for _, name := range loadbalance.Strategies() {
+		b.Run(name, func(b *testing.B) {
+			mix := workload.Mix{A: 40, B: 40, C: 40}
+			var pts []sim.BalancerPoint
+			for i := 0; i < b.N; i++ {
+				pts = sim.BalancerAblation(sim.DefaultParams(), mix, 4, 42)
+			}
+			for _, pt := range pts {
+				if pt.Strategy == name {
+					b.ReportMetric(pt.Imbalance, "imbalance")
+					b.ReportMetric(pt.Makespan, "makespan-units")
+				}
+			}
+		})
+	}
+}
+
+// ---- X4 mobility ----
+
+func BenchmarkMobilityBreakEven(b *testing.B) {
+	rounds := []int{1, 2, 4, 8, 16, 32}
+	var be int
+	for i := 0; i < b.N; i++ {
+		be = sim.MobilityBreakEven(sim.MobilityStudy(sim.DefaultParams(), 30, rounds))
+	}
+	b.ReportMetric(float64(be), "break-even-rounds")
+}
+
+// ---- X5 replication ----
+
+func BenchmarkReplicatedAppend(b *testing.B) {
+	for _, replicas := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("replicas-%d", replicas), func(b *testing.B) {
+			rs, err := store.NewReplicaSet(replicas, 4096)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rec := obs.Record{Site: "s", Device: "d", Metric: "m", Value: 1, Step: 1}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rec.Step = i
+				if err := rs.Append(rec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- X6 clustering ----
+
+func BenchmarkClusteringRecall(b *testing.B) {
+	var pts []sim.ClusteringPoint
+	for i := 0; i < b.N; i++ {
+		pts = sim.ClusteringStudy(200, 4, 16, 1)
+	}
+	for _, pt := range pts {
+		if pt.Strategy == "random-shard" {
+			b.ReportMetric(pt.Recall, "shard-recall")
+		}
+	}
+}
+
+// ---- Substrate micro-benchmarks ----
+
+func BenchmarkRuleEvaluationL2(b *testing.B) {
+	st := store.New(128)
+	for i := 1; i <= 100; i++ {
+		st.Append(obs.Record{Site: "s", Device: "d", Metric: "cpu.util",
+			Value: float64(i % 100), Step: i})
+	}
+	rb := rules.NewRuleBase()
+	if _, err := rb.AddSource(`
+rule "a" level 2 { when avg(cpu.util, 20) > 40 then alert "a" }
+rule "b" level 2 { when trend(cpu.util, 20) > 0 and max(cpu.util, 20) > 90 then alert "b" }
+rule "c" level 2 { when stddev(cpu.util, 20) > 10 then derive noisy }
+rule "d" level 2 { when fact(noisy) and latest(cpu.util) > 50 then alert "d" }`); err != nil {
+		b.Fatal(err)
+	}
+	env := &rules.DeviceEnv{Store: st, Site: "s", Device: "d"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rules.Evaluate(rb, 2, env, rules.Scope{Site: "s", Device: "d"})
+	}
+}
+
+func BenchmarkRuleParsing(b *testing.B) {
+	src := `rule "r" priority 3 level 2 category cpu severity critical {
+        when (avg(cpu.util, 10) > 90 or fact(hot)) and not latest(mem.free) < 100
+        then alert "m {device}"
+    }`
+	for i := 0; i < b.N; i++ {
+		if _, err := rules.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSNMPGetRoundtrip(b *testing.B) {
+	d := device.NewHost("h", 1)
+	st, err := device.StartStation(d, "127.0.0.1:0", "public")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer st.Close()
+	cli := snmp.NewClient("public", snmp.WithTimeout(2*time.Second))
+	oid := device.MetricOID(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cli.Get(context.Background(), st.Addr(), oid); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStoreAppend(b *testing.B) {
+	st := store.New(4096)
+	rec := obs.Record{Site: "s", Device: "d", Metric: "m", Value: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec.Step = i
+		st.Append(rec)
+	}
+}
+
+func BenchmarkStoreWindowQuery(b *testing.B) {
+	st := store.New(4096)
+	for i := 0; i < 4096; i++ {
+		st.Append(obs.Record{Site: "s", Device: "d", Metric: "m", Value: 1, Step: i})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Window("s/d/m", 64)
+	}
+}
+
+// BenchmarkLivePipelineCycle measures one full collect→classify→analyze
+// cycle of the real system over 10 devices.
+func BenchmarkLivePipelineCycle(b *testing.B) {
+	grid, err := core.NewGrid(core.Config{
+		Site: "s",
+		Rules: `rule "hot" level 1 { when latest(cpu.util) > 95 then alert "hot" }
+rule "avg" level 2 { when avg(cpu.util, 5) > 85 then alert "avg" }`,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := grid.Start(ctx); err != nil {
+		b.Fatal(err)
+	}
+	defer grid.Stop()
+	spec := workload.FleetSpec{Site: "s", Hosts: 10, Seed: 1}
+	fleet, err := device.NewFleet(spec.BuildDevices(), "public")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fleet.Close()
+	if err := grid.AddGoals(workload.Goals(spec, fleet, 1, time.Hour)[0]); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fleet.Advance(1)
+		if err := grid.CollectNow(ctx); err != nil {
+			b.Fatal(err)
+		}
+		if !grid.WaitIdle(30 * time.Second) {
+			b.Fatal("grid did not drain")
+		}
+	}
+}
+
+// BenchmarkGridOverheadAblation isolates the coordination overhead the
+// grid pays (dispatch + heartbeats) at the Figure 6 workload.
+func BenchmarkGridOverheadAblation(b *testing.B) {
+	for _, disabled := range []bool{false, true} {
+		name := "with-overhead"
+		if disabled {
+			name = "without-overhead"
+		}
+		b.Run(name, func(b *testing.B) {
+			arch := sim.AgentGrid{
+				Params: sim.DefaultParams(), Collectors: 3, Analyzers: 2,
+				DisableOverhead: disabled,
+			}
+			var last *sim.Outcome
+			for i := 0; i < b.N; i++ {
+				last = arch.Run(workload.PaperMix())
+			}
+			b.ReportMetric(last.Makespan, "bottleneck-units")
+			b.ReportMetric(last.Overhead.Total(), "overhead-units")
+		})
+	}
+}

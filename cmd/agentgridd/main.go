@@ -1,0 +1,243 @@
+// Command agentgridd runs agent-grid nodes.
+//
+// Grid mode (default) stands up the complete management grid of the
+// paper's Figure 2 — collector, classifier, processor and interface
+// grids — with an HTTP frontend for reports, alerts, rule learning and
+// goal submission:
+//
+//	agentgridd -site site1 -rules rules.dsl -goals goals.txt -http 127.0.0.1:8080
+//
+// With -tcp the grid's containers bind TCP endpoints, and additional
+// analysis capacity can join from other processes:
+//
+//	agentgridd -mode worker -name remote-1 -root tcp://HOST:PORT \
+//	    -classifier tcp://HOST:PORT -rules rules.dsl
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"agentgrid/internal/core"
+	"agentgrid/internal/store"
+)
+
+func main() {
+	var (
+		mode       = flag.String("mode", "grid", "grid | worker")
+		site       = flag.String("site", "site1", "site name")
+		collectors = flag.Int("collectors", 3, "collector containers (grid mode)")
+		analyzers  = flag.Int("analyzers", 2, "analysis containers (grid mode)")
+		community  = flag.String("community", "public", "SNMP community for collection")
+		rulesFile  = flag.String("rules", "", "rule DSL file loaded into analysis workers")
+		localFile  = flag.String("local-rules", "", "rule DSL file for collector pre-analysis")
+		goalsFile  = flag.String("goals", "", "goal-spec file (one 'goal ...' line per device)")
+		httpAddr   = flag.String("http", "127.0.0.1:8080", "interface-grid HTTP address (grid mode)")
+		storeFile  = flag.String("store-file", "", "load the management store from this snapshot at start and save it on shutdown (grid mode)")
+		scheduler  = flag.String("scheduler", "capability", "task placement: round-robin|random|least-loaded|capability")
+		negotiated = flag.Bool("negotiated", false, "place analysis tasks via contract-net bidding")
+		tcp        = flag.Bool("tcp", false, "bind containers on TCP so worker nodes can join (grid mode)")
+		name       = flag.String("name", "worker-1", "container name (worker mode)")
+		rootAddr   = flag.String("root", "", "grid root address tcp://host:port (worker mode)")
+		clgAddr    = flag.String("classifier", "", "classifier address tcp://host:port (worker mode)")
+	)
+	flag.Parse()
+
+	if err := run(*mode, options{
+		site: *site, collectors: *collectors, analyzers: *analyzers,
+		community: *community, rulesFile: *rulesFile, localFile: *localFile,
+		goalsFile: *goalsFile, httpAddr: *httpAddr, scheduler: *scheduler,
+		storeFile:  *storeFile,
+		negotiated: *negotiated, tcp: *tcp,
+		name: *name, rootAddr: *rootAddr, clgAddr: *clgAddr,
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "agentgridd:", err)
+		os.Exit(1)
+	}
+}
+
+type options struct {
+	site, community, rulesFile, localFile, goalsFile, httpAddr, scheduler string
+	storeFile                                                             string
+	collectors, analyzers                                                 int
+	negotiated, tcp                                                       bool
+	name, rootAddr, clgAddr                                               string
+}
+
+func run(mode string, o options) error {
+	switch mode {
+	case "grid":
+		return runGrid(o)
+	case "worker":
+		return runWorker(o)
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+}
+
+func readOptionalFile(path string) (string, error) {
+	if path == "" {
+		return "", nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	return string(data), nil
+}
+
+func waitForSignal() {
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	<-sigc
+}
+
+func runGrid(o options) error {
+	rulesSrc, err := readOptionalFile(o.rulesFile)
+	if err != nil {
+		return fmt.Errorf("rules: %w", err)
+	}
+	localSrc, err := readOptionalFile(o.localFile)
+	if err != nil {
+		return fmt.Errorf("local rules: %w", err)
+	}
+	cfg := core.Config{
+		Site:       o.site,
+		Collectors: o.collectors,
+		Analyzers:  o.analyzers,
+		Community:  o.community,
+		Rules:      rulesSrc,
+		LocalRules: localSrc,
+		Scheduler:  o.scheduler,
+		Negotiated: o.negotiated,
+		ErrorLog:   func(err error) { fmt.Fprintln(os.Stderr, "grid:", err) },
+	}
+	if o.tcp {
+		cfg.TCPHost = "127.0.0.1"
+	}
+	grid, err := core.NewGrid(cfg)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := grid.Start(ctx); err != nil {
+		return err
+	}
+	defer grid.Stop()
+
+	// Optional persistence: recover the management store from the last
+	// shutdown's snapshot, and write one back on exit.
+	if o.storeFile != "" {
+		if data, err := os.ReadFile(o.storeFile); err == nil {
+			snap, err := store.UnmarshalSnapshot(data)
+			if err != nil {
+				return fmt.Errorf("store snapshot: %w", err)
+			}
+			if err := grid.Store().Restore(snap); err != nil {
+				return fmt.Errorf("store restore: %w", err)
+			}
+			series, _ := grid.Store().Stats()
+			fmt.Printf("agentgridd: restored %d series from %s\n", series, o.storeFile)
+		}
+		defer func() {
+			data, err := store.MarshalSnapshot(grid.Store().Snapshot())
+			if err == nil {
+				err = os.WriteFile(o.storeFile, data, 0o644)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "agentgridd: save store:", err)
+				return
+			}
+			fmt.Printf("agentgridd: store saved to %s\n", o.storeFile)
+		}()
+	}
+
+	if o.goalsFile != "" {
+		goalsSrc, err := os.ReadFile(o.goalsFile)
+		if err != nil {
+			return fmt.Errorf("goals: %w", err)
+		}
+		count := 0
+		for _, line := range splitLines(string(goalsSrc)) {
+			if line == "" {
+				continue
+			}
+			goal, err := core.ParseGoalSpec(line)
+			if err != nil {
+				return fmt.Errorf("goal %q: %w", line, err)
+			}
+			if err := grid.AddGoal(*goal); err != nil {
+				return err
+			}
+			count++
+		}
+		fmt.Printf("agentgridd: %d collection goals installed\n", count)
+	}
+
+	addr, err := grid.StartHTTP(o.httpAddr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("agentgridd: grid up for site %s\n", o.site)
+	fmt.Printf("  reports   http://%s/site/%s\n", addr, o.site)
+	fmt.Printf("  alerts    http://%s/alerts\n", addr)
+	fmt.Printf("  learn     POST http://%s/rules\n", addr)
+	fmt.Printf("  goals     POST http://%s/goals\n", addr)
+	if o.tcp {
+		fmt.Printf("  root      %s (worker nodes: -mode worker -root ...)\n", grid.RootAddr())
+		fmt.Printf("  classifier %s\n", grid.ClassifierAddr())
+	}
+	waitForSignal()
+	fmt.Println("agentgridd: shutting down")
+	return nil
+}
+
+func runWorker(o options) error {
+	if o.rootAddr == "" {
+		return fmt.Errorf("worker mode needs -root tcp://host:port")
+	}
+	rulesSrc, err := readOptionalFile(o.rulesFile)
+	if err != nil {
+		return fmt.Errorf("rules: %w", err)
+	}
+	node, err := core.NewWorkerNode(core.WorkerNodeConfig{
+		Name:           o.name,
+		RootAddr:       o.rootAddr,
+		ClassifierAddr: o.clgAddr,
+		Rules:          rulesSrc,
+		ErrorLog:       func(err error) { fmt.Fprintln(os.Stderr, "worker:", err) },
+	})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := node.Start(ctx); err != nil {
+		return err
+	}
+	defer node.Stop()
+	fmt.Printf("agentgridd: worker %s joined grid at %s (listening %s)\n",
+		o.name, o.rootAddr, node.Addr())
+	waitForSignal()
+	fmt.Println("agentgridd: worker leaving grid")
+	return nil
+}
+
+func splitLines(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == '\n' || r == '\r' {
+			out = append(out, cur)
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	return append(out, cur)
+}

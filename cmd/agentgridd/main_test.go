@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunUnknownMode(t *testing.T) {
+	if err := run("interpretive-dance", options{}); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+func TestWorkerModeNeedsRoot(t *testing.T) {
+	if err := run("worker", options{name: "w"}); err == nil {
+		t.Fatal("worker without root accepted")
+	}
+}
+
+func TestGridModeBadRulesFile(t *testing.T) {
+	if err := run("grid", options{rulesFile: "/no/such/file"}); err == nil {
+		t.Fatal("missing rules file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.dsl")
+	os.WriteFile(bad, []byte("rule {"), 0o644)
+	if err := run("grid", options{rulesFile: bad, httpAddr: "127.0.0.1:0"}); err == nil {
+		t.Fatal("bad rules accepted")
+	}
+}
+
+func TestReadOptionalFile(t *testing.T) {
+	if s, err := readOptionalFile(""); err != nil || s != "" {
+		t.Fatalf("empty path = %q, %v", s, err)
+	}
+	dir := t.TempDir()
+	f := filepath.Join(dir, "x")
+	os.WriteFile(f, []byte("content"), 0o644)
+	if s, err := readOptionalFile(f); err != nil || s != "content" {
+		t.Fatalf("file = %q, %v", s, err)
+	}
+	if _, err := readOptionalFile(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestSplitLines(t *testing.T) {
+	got := splitLines("a\nb\r\nc")
+	want := []string{"a", "b", "", "c"}
+	if len(got) != len(want) {
+		t.Fatalf("splitLines = %q", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("splitLines = %q", got)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+// Command benchrunner regenerates every table and figure of the paper's
+// evaluation plus the extension studies indexed in DESIGN.md:
+//
+//	benchrunner -exp table1       # Table 1: relative task costs
+//	benchrunner -exp fig6         # Figure 6 (a)(b)(c): three architectures
+//	benchrunner -exp crossover    # X1: volume where the grid wins
+//	benchrunner -exp scaling      # X2: capacity vs analysis hosts
+//	benchrunner -exp balancers    # X3: placement strategy ablation
+//	benchrunner -exp mobility     # X4: mobile agents vs shipping data
+//	benchrunner -exp replication  # X5: replica failure and repair
+//	benchrunner -exp clustering   # X6: division vs loss of meaning
+//	benchrunner -exp pipeline     # live grid: end-to-end measurement
+//	benchrunner -exp all
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"agentgrid/internal/core"
+	"agentgrid/internal/device"
+	"agentgrid/internal/metrics"
+	"agentgrid/internal/obs"
+	"agentgrid/internal/sim"
+	"agentgrid/internal/store"
+	"agentgrid/internal/workload"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (table1|fig6|crossover|scaling|balancers|mobility|replication|clustering|pipeline|all)")
+	flag.Parse()
+	if err := run(*exp); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+}
+
+func run(exp string) error {
+	experiments := map[string]func() error{
+		"table1":      table1,
+		"fig6":        fig6,
+		"crossover":   crossover,
+		"scaling":     scaling,
+		"balancers":   balancers,
+		"mobility":    mobility,
+		"replication": replication,
+		"clustering":  clustering,
+		"pipeline":    pipeline,
+	}
+	if exp == "all" {
+		for _, name := range []string{"table1", "fig6", "crossover", "scaling",
+			"balancers", "mobility", "replication", "clustering", "pipeline"} {
+			if err := experiments[name](); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		}
+		return nil
+	}
+	f, ok := experiments[exp]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return f()
+}
+
+func header(title string) {
+	fmt.Printf("\n================ %s ================\n\n", title)
+}
+
+func table1() error {
+	header("Table 1: relative times of management tasks")
+	fmt.Print(metrics.NewCostModel().RenderTable())
+	return nil
+}
+
+func fig6() error {
+	header("Figure 6: compared performances of three architectures (10 requests of each type)")
+	a, b, c := sim.Figure6(sim.DefaultParams())
+	fmt.Println("(a) centralized management")
+	fmt.Println(sim.FormatOutcome(a))
+	fmt.Println("(b) multi-agent with 2 collectors")
+	fmt.Println(sim.FormatOutcome(b))
+	fmt.Println("(c) grid of agents (3 collectors, 1 storage, 2 inference hosts)")
+	fmt.Println(sim.FormatOutcome(c))
+	return nil
+}
+
+func crossover() error {
+	header("X1: crossover — management epoch vs request volume")
+	res := sim.Crossover(sim.DefaultParams(), []int{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64})
+	fmt.Print(res.Format())
+	return nil
+}
+
+func scaling() error {
+	header("X2: processing capacity vs analysis hosts (volume 80 of each kind)")
+	pts := sim.Scaling(sim.DefaultParams(), workload.Mix{A: 80, B: 80, C: 80}, []int{1, 2, 4, 8, 16})
+	fmt.Print(sim.FormatScaling(pts))
+	return nil
+}
+
+func balancers() error {
+	header("X3: load-balancing strategy ablation (4 analyzers, volume 40)")
+	pts := sim.BalancerAblation(sim.DefaultParams(), workload.Mix{A: 40, B: 40, C: 40}, 4, 42)
+	fmt.Print(sim.FormatBalancers(pts))
+	return nil
+}
+
+func mobility() error {
+	header("X4: mobile analysis agents vs shipping data to analyzers")
+	pts := sim.MobilityStudy(sim.DefaultParams(), 30, []int{1, 2, 4, 6, 8, 12, 16, 24, 32})
+	fmt.Print(sim.FormatMobility(pts))
+	return nil
+}
+
+func replication() error {
+	header("X5: store replication — failure and repair")
+	rs, err := store.NewReplicaSet(3, 1024)
+	if err != nil {
+		return err
+	}
+	const writes = 500
+	for i := 0; i < writes; i++ {
+		rs.Append(obs.Record{
+			Site: "site1", Device: "h1", Metric: "cpu.util",
+			Value: float64(i), Step: i + 1, Time: time.Unix(int64(i), 0),
+		})
+	}
+	fmt.Printf("wrote %d observations to 3 replicas (live: %d)\n", writes, rs.LiveCount())
+
+	rs.Fail(0)
+	p, _, err := rs.Latest("site1/h1/cpu.util")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("replica 0 failed; reads fail over transparently (latest = %.0f, live: %d)\n",
+		p.Value, rs.LiveCount())
+
+	const missed = 100
+	for i := 0; i < missed; i++ {
+		rs.Append(obs.Record{
+			Site: "site1", Device: "h1", Metric: "cpu.util",
+			Value: float64(writes + i), Step: writes + i + 1, Time: time.Unix(int64(writes+i), 0),
+		})
+	}
+	if err := rs.Repair(0); err != nil {
+		return err
+	}
+	rep, _ := rs.Replica(0)
+	latest, _ := rep.Latest("site1/h1/cpu.util")
+	fmt.Printf("replica 0 repaired from a healthy peer after missing %d writes (caught up to %.0f, live: %d)\n",
+		missed, latest.Value, rs.LiveCount())
+	return nil
+}
+
+func clustering() error {
+	header("X6: data division vs loss of meaning (200 devices x 4 metrics)")
+	pts := sim.ClusteringStudy(200, 4, 16, 1)
+	fmt.Print(sim.FormatClustering(pts))
+	fmt.Println("\nrandom-shard recall vs shard count (device-affinity is always 1.0):")
+	fmt.Printf("%-8s %10s\n", "shards", "recall")
+	for _, shards := range []int{1, 2, 4, 8, 16, 32} {
+		for _, pt := range sim.ClusteringStudy(200, 4, shards, 1) {
+			if pt.Strategy == "random-shard" {
+				fmt.Printf("%-8d %10.3f\n", shards, pt.Recall)
+			}
+		}
+	}
+	fmt.Println("\nrecall = fraction of devices whose cross-metric correlations survive the division")
+	return nil
+}
+
+// pipeline runs the real system — devices, SNMP, agents, rules — and
+// measures end-to-end behaviour, complementing the cost simulation with
+// live numbers.
+func pipeline() error {
+	header("Live pipeline: 30 hosts through the full grid")
+	grid, err := core.NewGrid(core.Config{
+		Site:       "site1",
+		Collectors: 3,
+		Analyzers:  2,
+		Rules: `
+rule "hot" level 1 category cpu severity critical {
+    when latest(cpu.util) > 95 then alert "hot {device}"
+}
+rule "sustained" level 2 category cpu {
+    when avg(cpu.util, 5) > 85 then alert "sustained {device}"
+}
+rule "site" level 3 category cpu severity critical {
+    when count_above(cpu.util, 95) >= 3 then alert "site hot"
+}`,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := grid.Start(ctx); err != nil {
+		return err
+	}
+	defer grid.Stop()
+
+	spec := workload.FleetSpec{Site: "site1", Hosts: 30, Seed: 99}
+	fleet, err := device.NewFleet(spec.BuildDevices(), "public")
+	if err != nil {
+		return err
+	}
+	defer fleet.Close()
+	if err := grid.AddGoals(workload.Goals(spec, fleet, 1, time.Hour)[0]); err != nil {
+		return err
+	}
+	for i := 0; i < 4; i++ {
+		fleet.Stations()[i].Device.InjectFault(device.FaultCPUPegged)
+	}
+
+	start := time.Now()
+	const cycles = 5
+	for i := 0; i < cycles; i++ {
+		fleet.Advance(1)
+		if err := grid.CollectNow(ctx); err != nil {
+			return err
+		}
+	}
+	if !grid.WaitIdle(30 * time.Second) {
+		return fmt.Errorf("grid did not drain")
+	}
+	elapsed := time.Since(start)
+
+	series, appends := grid.Store().Stats()
+	stats := grid.Root().Stats()
+	fmt.Printf("cycles: %d over %d hosts in %v\n", cycles, spec.Hosts, elapsed.Round(time.Millisecond))
+	fmt.Printf("store: %d series, %d observations\n", series, appends)
+	fmt.Printf("processor grid: %d notices, %d tasks, %d completed\n",
+		stats.Notices, stats.Dispatched, stats.Completed)
+	fmt.Printf("alerts: %d\n", len(grid.Alerts()))
+	fmt.Println("\nper-analyzer distribution:")
+	for i, w := range grid.Workers() {
+		ws := w.Stats()
+		fmt.Printf("  analyzer %d: %d tasks, %d alerts\n", i+1, ws.Tasks, ws.Alerts)
+	}
+	return nil
+}

@@ -1,0 +1,122 @@
+// Command gridctl is the operator's client for a running grid's HTTP
+// frontend:
+//
+//	gridctl -grid 127.0.0.1:8080 site site1            # text report
+//	gridctl -grid 127.0.0.1:8080 site site1 html       # HTML report
+//	gridctl -grid 127.0.0.1:8080 device site1 host-01  # one device, JSON
+//	gridctl -grid 127.0.0.1:8080 alerts [min-severity] # alert history
+//	gridctl -grid 127.0.0.1:8080 learn rules.dsl       # teach rules
+//	gridctl -grid 127.0.0.1:8080 goals goals.txt       # add goals
+//	gridctl -grid 127.0.0.1:8080 stats
+//	gridctl -grid 127.0.0.1:8080 health
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	grid := flag.String("grid", "127.0.0.1:8080", "grid HTTP address")
+	timeout := flag.Duration("timeout", 10*time.Second, "request timeout")
+	flag.Parse()
+	if err := run(*grid, *timeout, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "gridctl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(grid string, timeout time.Duration, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: gridctl [flags] site|device|alerts|learn|goals|stats|health ...")
+	}
+	cli := &http.Client{Timeout: timeout}
+	base := "http://" + grid
+	switch args[0] {
+	case "site":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: gridctl site <site> [text|html|xml|json]")
+		}
+		format := "text"
+		if len(args) >= 3 {
+			format = args[2]
+		}
+		return get(cli, fmt.Sprintf("%s/site/%s?format=%s",
+			base, url.PathEscape(args[1]), url.QueryEscape(format)))
+	case "device":
+		if len(args) < 3 {
+			return fmt.Errorf("usage: gridctl device <site> <device>")
+		}
+		return get(cli, fmt.Sprintf("%s/device/%s/%s",
+			base, url.PathEscape(args[1]), url.PathEscape(args[2])))
+	case "alerts":
+		u := base + "/alerts"
+		if len(args) >= 2 {
+			u += "?min=" + url.QueryEscape(args[1])
+		}
+		return get(cli, u)
+	case "learn":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: gridctl learn <rules.dsl>")
+		}
+		return postFile(cli, base+"/rules", args[1])
+	case "goals":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: gridctl goals <goals.txt>")
+		}
+		return postFile(cli, base+"/goals", args[1])
+	case "stats":
+		return get(cli, base+"/stats")
+	case "health":
+		return get(cli, base+"/healthz")
+	default:
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+func get(cli *http.Client, u string) error {
+	resp, err := cli.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	fmt.Print(string(body))
+	if !strings.HasSuffix(string(body), "\n") {
+		fmt.Println()
+	}
+	return nil
+}
+
+func postFile(cli *http.Client, u, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	resp, err := cli.Post(u, "text/plain", strings.NewReader(string(data)))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	fmt.Print(string(body))
+	return nil
+}

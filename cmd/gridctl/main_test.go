@@ -1,0 +1,88 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"agentgrid/internal/acl"
+	"agentgrid/internal/agent"
+	"agentgrid/internal/obs"
+	"agentgrid/internal/report"
+	"agentgrid/internal/rules"
+	"agentgrid/internal/store"
+)
+
+// startBackend serves a minimal interface grid for the CLI to talk to.
+func startBackend(t *testing.T) string {
+	t.Helper()
+	st := store.New(16)
+	st.Append(obs.Record{Site: "site1", Device: "h1", Metric: "cpu.util",
+		Value: 42, Step: 1, Time: time.Unix(1, 0)})
+	a := agent.New(acl.NewAID("ig", "site1"),
+		func(context.Context, *acl.Message) error { return nil })
+	ig, err := report.New(a, report.Config{
+		Store: st,
+		Rules: ruleSink{},
+		Goals: func(context.Context, string) error { return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ig.AddAlerts([]rules.Alert{{Rule: "r", Site: "site1", Message: "m"}})
+	srv, err := report.NewServer(ig, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv.Addr()
+}
+
+type ruleSink struct{}
+
+func (ruleSink) AddSource(string) ([]string, error) { return []string{"r1"}, nil }
+
+func TestGridctlCommands(t *testing.T) {
+	addr := startBackend(t)
+	dir := t.TempDir()
+	rulesFile := filepath.Join(dir, "r.dsl")
+	os.WriteFile(rulesFile, []byte(`rule "x" { when latest(m) > 1 then alert "m" }`), 0o644)
+	goalsFile := filepath.Join(dir, "g.txt")
+	os.WriteFile(goalsFile, []byte("goal g site1 h1 host - 5s\n"), 0o644)
+
+	ok := [][]string{
+		{"health"},
+		{"stats"},
+		{"site", "site1"},
+		{"site", "site1", "json"},
+		{"device", "site1", "h1"},
+		{"alerts"},
+		{"alerts", "critical"},
+		{"learn", rulesFile},
+		{"goals", goalsFile},
+	}
+	for _, args := range ok {
+		if err := run(addr, 5*time.Second, args); err != nil {
+			t.Errorf("gridctl %v: %v", args, err)
+		}
+	}
+
+	bad := [][]string{
+		nil,                          // usage
+		{"site"},                     // missing site
+		{"device", "site1"},          // missing device
+		{"learn"},                    // missing file
+		{"goals"},                    // missing file
+		{"learn", "/no/such/file"},   // unreadable
+		{"juggle"},                   // unknown command
+		{"site", "nowhere"},          // 404
+		{"device", "site1", "ghost"}, // 404
+	}
+	for _, args := range bad {
+		if err := run(addr, 5*time.Second, args); err == nil {
+			t.Errorf("gridctl %v should fail", args)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+// Command crossover reproduces the paper's break-even analysis (§4 and
+// future work): it sweeps the management workload volume through the
+// three architectures of Figure 6 and reports where the centralized and
+// multi-agent models stop fitting a management epoch while the agent
+// grid still does — "the point at which the utilization of an agent
+// grid becomes more advantageous".
+package main
+
+import (
+	"fmt"
+
+	"agentgrid/internal/sim"
+	"agentgrid/internal/workload"
+)
+
+func main() {
+	params := sim.DefaultParams()
+
+	fmt.Println("=== Figure 6: the paper's three architectures at 10+10+10 requests ===")
+	a, b, c := sim.Figure6(params)
+	for _, o := range []*sim.Outcome{a, b, c} {
+		fmt.Println(sim.FormatOutcome(o))
+	}
+
+	fmt.Println("=== Crossover: makespan vs volume (requests of each kind) ===")
+	volumes := []int{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64}
+	res := sim.Crossover(params, volumes)
+	fmt.Println(res.Format())
+
+	fmt.Println("=== Scaling: adding analysis hosts (volume 80 of each kind) ===")
+	pts := sim.Scaling(params, workload.Mix{A: 80, B: 80, C: 80}, []int{1, 2, 4, 8, 16})
+	fmt.Println(sim.FormatScaling(pts))
+
+	fmt.Println("=== Where dividing further stops paying: clustering ablation ===")
+	cl := sim.ClusteringStudy(200, 4, 16, 1)
+	fmt.Println(sim.FormatClustering(cl))
+	fmt.Println("random sharding loses most cross-metric correlations — the")
+	fmt.Println("\"loss of meaning\" that bounds how far analysis can be divided.")
+}

@@ -1,0 +1,148 @@
+// Command datacenter monitors a 60-host server farm — the paper's
+// motivating scenario of a management station drowning in data. It runs
+// a grid with three collectors and four analysis hosts, injects faults
+// into a few servers, lets several collection cycles run on a schedule,
+// and serves live reports over HTTP while printing a summary.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"agentgrid"
+	"agentgrid/internal/device"
+)
+
+const datacenterRules = `
+# Level 1: immediate threshold scans on fresh data.
+rule "cpu-critical" level 1 category cpu severity critical {
+    when latest(cpu.util) > 95
+    then alert "CPU critical on {device}"
+}
+rule "mem-low" level 1 category memory {
+    when latest(mem.free) < 64
+    then alert "memory nearly exhausted on {device}"
+}
+rule "proc-storm" level 1 category process {
+    when latest(proc.count) > 2000
+    then alert "process storm on {device}"
+}
+
+# Level 2: consolidation against stored history.
+rule "cpu-sustained" level 2 category cpu severity critical {
+    when avg(cpu.util, 10) > 85 and min(cpu.util, 10) > 70
+    then alert "sustained CPU pressure on {device}"
+}
+rule "disk-filling" level 2 category disk {
+    when trend(disk.free, 20) < -2 and latest(disk.free) < 45000
+    then alert "disk trending toward full on {device}"
+}
+
+# Level 3: cross-device correlation over the whole site.
+rule "farm-overload" level 3 category cpu severity critical {
+    when count_above(cpu.util, 95) >= 3 and fleet_avg(cpu.util) > 40
+    then alert "overload across the farm at {site}"
+}
+`
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	grid, err := agentgrid.NewGrid(agentgrid.Config{
+		Site:       "farm",
+		Collectors: 3,
+		Analyzers:  4,
+		Rules:      datacenterRules,
+		Scheduler:  "capability",
+	})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := grid.Start(ctx); err != nil {
+		return err
+	}
+	defer grid.Stop()
+
+	spec := agentgrid.FleetSpec{Site: "farm", Hosts: 60, Seed: 2026}
+	fleet, err := agentgrid.NewFleet(spec, "public")
+	if err != nil {
+		return err
+	}
+	defer fleet.Close()
+	if err := grid.AddGoals(agentgrid.GoalsFor(spec, fleet, 150*time.Millisecond)); err != nil {
+		return err
+	}
+
+	// Break a few servers.
+	fleet.Stations()[3].Device.InjectFault(device.FaultCPUPegged)
+	fleet.Stations()[17].Device.InjectFault(device.FaultCPUPegged)
+	fleet.Stations()[41].Device.InjectFault(device.FaultCPUPegged)
+	fleet.Stations()[8].Device.InjectFault(device.FaultMemLeak)
+	fleet.Stations()[25].Device.InjectFault(device.FaultProcStorm)
+
+	addr, err := grid.StartHTTP("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("datacenter grid up: 60 hosts, 3 collectors, 4 analyzers\n")
+	fmt.Printf("live reports at http://%s/site/farm (add ?format=html)\n\n", addr)
+
+	// Let the scheduled goals run a few cycles while the fleet evolves.
+	for cycle := 0; cycle < 5; cycle++ {
+		fleet.Advance(2)
+		time.Sleep(200 * time.Millisecond)
+	}
+	grid.WaitIdle(15 * time.Second)
+	waitForAlerts(grid, 10*time.Second)
+
+	// Summarize what the grid concluded.
+	alerts := grid.Alerts()
+	bySeverity := map[string]int{}
+	byRule := map[string]int{}
+	for _, a := range alerts {
+		bySeverity[string(a.Severity)]++
+		byRule[a.Rule]++
+	}
+	fmt.Printf("alerts after 5 cycles: %d total\n", len(alerts))
+	var ruleNames []string
+	for r := range byRule {
+		ruleNames = append(ruleNames, r)
+	}
+	sort.Strings(ruleNames)
+	for _, r := range ruleNames {
+		fmt.Printf("  %-16s %4d\n", r, byRule[r])
+	}
+
+	stats := grid.Root().Stats()
+	fmt.Printf("\nprocessor grid: %d notices, %d tasks dispatched, %d completed, %d reassigned\n",
+		stats.Notices, stats.Dispatched, stats.Completed, stats.Reassigned)
+	series, appends := grid.Store().Stats()
+	fmt.Printf("store: %d series, %d observations\n", series, appends)
+
+	// Per-worker distribution shows the load balancing at work.
+	fmt.Println("\nanalysis distribution:")
+	for i, w := range grid.Workers() {
+		ws := w.Stats()
+		fmt.Printf("  analyzer %d: %d tasks, %d alerts\n", i+1, ws.Tasks, ws.Alerts)
+	}
+	return nil
+}
+
+func waitForAlerts(grid *agentgrid.Grid, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if len(grid.Alerts()) > 0 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -1,0 +1,154 @@
+// Command migration demonstrates the paper's mobile-agent future work
+// (§5): an analysis agent born on a compute container migrates — rules,
+// beliefs and all — to the storage container, after which its analyses
+// read the management store locally instead of pulling data across the
+// network. The program prints the network units each strategy would
+// cost (from the cost model) and then performs a real migration.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"agentgrid/internal/acl"
+	"agentgrid/internal/agent"
+	"agentgrid/internal/analyze"
+	"agentgrid/internal/directory"
+	"agentgrid/internal/mobility"
+	"agentgrid/internal/obs"
+	"agentgrid/internal/platform"
+	"agentgrid/internal/rules"
+	"agentgrid/internal/sim"
+	"agentgrid/internal/store"
+	"agentgrid/internal/transport"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// The economics first: shipping data every round vs migrating once.
+	fmt.Println("=== cost model: ship data vs migrate the analyst ===")
+	pts := sim.MobilityStudy(sim.DefaultParams(), 30, []int{1, 2, 4, 6, 8, 16})
+	fmt.Println(sim.FormatMobility(pts))
+
+	// Now the real mechanism, end to end.
+	fmt.Println("=== live migration ===")
+	net := transport.NewInProcNetwork()
+	profile := directory.ResourceProfile{CPUCapacity: 100, NetCapacity: 100, DiscCapacity: 100}
+	newC := func(name string) (*platform.Container, error) {
+		c, err := platform.New(platform.Config{Name: name, Platform: name, Profile: profile})
+		if err != nil {
+			return nil, err
+		}
+		if err := c.AttachInProc(net, "inproc://"+name); err != nil {
+			return nil, err
+		}
+		return c, nil
+	}
+	compute, err := newC("compute")
+	if err != nil {
+		return err
+	}
+	defer compute.Stop()
+	storage, err := newC("storage")
+	if err != nil {
+		return err
+	}
+	defer storage.Stop()
+
+	// The management data lives with the storage container.
+	st := store.New(128)
+	for i := 1; i <= 20; i++ {
+		st.Append(obs.Record{Site: "site1", Device: "db-1", Metric: "cpu.util",
+			Value: 90 + float64(i%8), Step: i, Time: time.Unix(int64(i), 0)})
+	}
+
+	mCompute, err := mobility.NewManager(compute)
+	if err != nil {
+		return err
+	}
+	mStorage, err := mobility.NewManager(storage)
+	if err != nil {
+		return err
+	}
+	if err := analyze.RegisterMobileAnalyst(mCompute, st); err != nil {
+		return err
+	}
+	if err := analyze.RegisterMobileAnalyst(mStorage, st); err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	compute.Start(ctx)
+	storage.Start(ctx)
+
+	// Born on compute with its knowledge.
+	rb := rules.NewRuleBase()
+	if _, err := rb.AddSource(`rule "sustained" level 2 category cpu severity critical {
+        when avg(cpu.util, 10) > 90 then alert "sustained load on {device}"
+    }`); err != nil {
+		return err
+	}
+	if _, err := mCompute.Spawn(analyze.AnalystState("analyst", rb)); err != nil {
+		return err
+	}
+	fmt.Println("analyst born on 'compute' with 1 rule")
+
+	state, err := mCompute.CaptureState(analyze.MobileAnalystKind, "analyst", []byte(rb.Source()))
+	if err != nil {
+		return err
+	}
+	if err := mCompute.Migrate(ctx, state, mStorage.AID(storage.Addr()), 5*time.Second); err != nil {
+		return err
+	}
+	arrived, _ := mStorage.Stats()
+	_, departed := mCompute.Stats()
+	fmt.Printf("migrated to 'storage' (arrived=%d departed=%d); knowledge travelled with it\n",
+		arrived, departed)
+
+	// Prove it still works where the data is: drive a task at it.
+	probe, err := storage.SpawnAgent("probe")
+	if err != nil {
+		return err
+	}
+	done := make(chan *analyze.Result, 1)
+	probe.HandleFunc(agent.Selector{Performative: acl.Inform},
+		func(_ context.Context, _ *agent.Agent, m *acl.Message) {
+			if res, err := analyze.DecodeResult(m.Content); err == nil {
+				done <- res
+			}
+		})
+	task := &analyze.Task{ID: "t1", Level: 2, Site: "site1", Device: "db-1",
+		Categories: []string{"cpu"}, Step: 20}
+	content, _ := analyze.EncodeTask(task)
+	err = probe.Send(ctx, &acl.Message{
+		Performative:   acl.Request,
+		Receivers:      []acl.AID{acl.NewAID("analyst", "storage")},
+		Content:        content,
+		Language:       "json",
+		Ontology:       acl.OntologyGridManagement,
+		Protocol:       acl.ProtocolRequest,
+		ConversationID: "t1",
+		ReplyWith:      "task:t1",
+	})
+	if err != nil {
+		return err
+	}
+	select {
+	case res := <-done:
+		fmt.Printf("post-migration analysis on local data: %d alert(s)\n", len(res.Alerts))
+		for _, a := range res.Alerts {
+			fmt.Printf("  %s\n", a)
+		}
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("migrated analyst never answered")
+	}
+	return nil
+}

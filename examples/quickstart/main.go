@@ -1,0 +1,97 @@
+// Command quickstart is the smallest end-to-end use of the agent grid:
+// one simulated host, one rule, one collection cycle, and the resulting
+// report and alerts printed to stdout.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"agentgrid"
+	"agentgrid/internal/device"
+	"agentgrid/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A grid with one rule: alert when a host's CPU pegs.
+	grid, err := agentgrid.NewGrid(agentgrid.Config{
+		Site: "site1",
+		Rules: `
+rule "hot-cpu" level 1 category cpu severity critical {
+    when latest(cpu.util) > 90
+    then alert "CPU above 90% on {device}"
+}
+rule "disk-low" level 2 category disk {
+    when latest(disk.free) < 1000
+    then alert "under 1GB free on {device}"
+}`,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := grid.Start(ctx); err != nil {
+		return err
+	}
+	defer grid.Stop()
+
+	// One simulated host behind an SNMP endpoint.
+	spec := agentgrid.FleetSpec{Site: "site1", Hosts: 1, Seed: 42}
+	fleet, err := agentgrid.NewFleet(spec, "public")
+	if err != nil {
+		return err
+	}
+	defer fleet.Close()
+
+	// Monitor it.
+	if err := grid.AddGoals(agentgrid.GoalsFor(spec, fleet, time.Second)); err != nil {
+		return err
+	}
+
+	// Drive the device hot, advance its simulation and collect.
+	fleet.Stations()[0].Device.InjectFault(device.FaultCPUPegged)
+	fleet.Advance(5)
+	if err := grid.CollectNow(ctx); err != nil {
+		return err
+	}
+	grid.WaitIdle(10 * time.Second)
+	waitForAlert(grid, "hot-cpu", 10*time.Second)
+
+	// Print the management report and the alerts.
+	rep, err := grid.Interface().BuildSiteReport("site1", time.Now().UTC())
+	if err != nil {
+		return err
+	}
+	text, err := report.Render(rep, report.FormatText)
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(text))
+
+	fmt.Println("Alerts:")
+	for _, a := range grid.Alerts() {
+		fmt.Printf("  %s\n", a)
+	}
+	return nil
+}
+
+func waitForAlert(grid *agentgrid.Grid, rule string, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		for _, a := range grid.Alerts() {
+			if a.Rule == rule {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

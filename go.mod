@@ -1,0 +1,3 @@
+module agentgrid
+
+go 1.22

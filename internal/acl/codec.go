@@ -1,0 +1,123 @@
+package acl
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Wire format: a fixed 8-byte header (4-byte magic + 4-byte big-endian
+// payload length) followed by the JSON encoding of the Message. The magic
+// guards against cross-protocol connections; the length bound guards
+// against hostile or corrupt frames.
+
+var wireMagic = [4]byte{'A', 'C', 'L', '1'}
+
+// MaxFrameSize bounds a single encoded message. Batches of collected data
+// are chunked below this by the collector grid.
+const MaxFrameSize = 16 << 20
+
+// Codec errors.
+var (
+	ErrBadMagic   = errors.New("acl: bad frame magic")
+	ErrFrameSize  = errors.New("acl: frame exceeds maximum size")
+	ErrShortFrame = errors.New("acl: short frame")
+)
+
+// Marshal encodes a message into a self-delimiting frame.
+func Marshal(m *Message) ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("acl: encode: %w", err)
+	}
+	if len(payload) > MaxFrameSize {
+		return nil, ErrFrameSize
+	}
+	buf := make([]byte, 8+len(payload))
+	copy(buf, wireMagic[:])
+	putUint32(buf[4:8], uint32(len(payload)))
+	copy(buf[8:], payload)
+	return buf, nil
+}
+
+// Unmarshal decodes a frame produced by Marshal.
+func Unmarshal(data []byte) (*Message, error) {
+	if len(data) < 8 {
+		return nil, ErrShortFrame
+	}
+	if !bytes.Equal(data[:4], wireMagic[:]) {
+		return nil, ErrBadMagic
+	}
+	n := getUint32(data[4:8])
+	if n > MaxFrameSize {
+		return nil, ErrFrameSize
+	}
+	if len(data) != int(8+n) {
+		return nil, fmt.Errorf("%w: header says %d payload bytes, have %d", ErrShortFrame, n, len(data)-8)
+	}
+	var m Message
+	if err := json.Unmarshal(data[8:], &m); err != nil {
+		return nil, fmt.Errorf("acl: decode: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// WriteFrame writes one framed message to w.
+func WriteFrame(w io.Writer, m *Message) error {
+	buf, err := Marshal(m)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// ReadFrame reads one framed message from r. It returns io.EOF when the
+// stream ends cleanly at a frame boundary.
+func ReadFrame(r io.Reader) (*Message, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("acl: read header: %w", err)
+	}
+	if !bytes.Equal(hdr[:4], wireMagic[:]) {
+		return nil, ErrBadMagic
+	}
+	n := getUint32(hdr[4:8])
+	if n > MaxFrameSize {
+		return nil, ErrFrameSize
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("acl: read payload: %w", err)
+	}
+	var m Message
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return nil, fmt.Errorf("acl: decode: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+func putUint32(b []byte, v uint32) {
+	b[0] = byte(v >> 24)
+	b[1] = byte(v >> 16)
+	b[2] = byte(v >> 8)
+	b[3] = byte(v)
+}
+
+func getUint32(b []byte) uint32 {
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}

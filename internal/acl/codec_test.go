@@ -1,0 +1,172 @@
+package acl
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestMarshalRoundtrip(t *testing.T) {
+	m := testMsg()
+	buf, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("roundtrip mismatch:\n got %+v\nwant %+v", got, m)
+	}
+}
+
+func TestMarshalRejectsInvalid(t *testing.T) {
+	m := testMsg()
+	m.Sender = AID{}
+	if _, err := Marshal(m); !errors.Is(err, ErrNoSender) {
+		t.Fatalf("Marshal = %v, want ErrNoSender", err)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	good, err := Marshal(testMsg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"short", []byte{1, 2, 3}, ErrShortFrame},
+		{"bad magic", append([]byte("XXXX"), good[4:]...), ErrBadMagic},
+		{"truncated payload", good[:len(good)-3], ErrShortFrame},
+		{"oversize header", func() []byte {
+			b := append([]byte(nil), good...)
+			putUint32(b[4:8], MaxFrameSize+1)
+			return b
+		}(), ErrFrameSize},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Unmarshal(tc.data); !errors.Is(err, tc.want) {
+				t.Fatalf("Unmarshal = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestUnmarshalCorruptJSON(t *testing.T) {
+	payload := []byte("{not json")
+	buf := make([]byte, 8+len(payload))
+	copy(buf, wireMagic[:])
+	putUint32(buf[4:8], uint32(len(payload)))
+	copy(buf[8:], payload)
+	if _, err := Unmarshal(buf); err == nil {
+		t.Fatal("Unmarshal accepted corrupt JSON")
+	}
+}
+
+func TestFrameReadWrite(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []*Message{testMsg(), testMsg(), testMsg()}
+	msgs[1].Performative = Request
+	msgs[2].Content = nil
+	for _, m := range msgs {
+		if err := WriteFrame(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range msgs {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.Performative != want.Performative {
+			t.Fatalf("frame %d: performative %s, want %s", i, got.Performative, want.Performative)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("expected io.EOF at end of stream, got %v", err)
+	}
+}
+
+func TestReadFramePartialHeader(t *testing.T) {
+	r := bytes.NewReader(wireMagic[:2])
+	if _, err := ReadFrame(r); err == nil || err == io.EOF {
+		t.Fatalf("partial header should be a real error, got %v", err)
+	}
+}
+
+// genMessage builds a random-but-valid message for property testing.
+func genMessage(r *rand.Rand) *Message {
+	perf := []Performative{Inform, Request, Agree, Refuse, Failure, CFP,
+		Propose, AcceptProposal, RejectProposal, Subscribe, Confirm}
+	rndStr := func(n int) string {
+		const alpha = "abcdefghijklmnopqrstuvwxyz0123456789-"
+		b := make([]byte, 1+r.Intn(n))
+		for i := range b {
+			b[i] = alpha[r.Intn(len(alpha))]
+		}
+		return string(b)
+	}
+	m := &Message{
+		Performative:   perf[r.Intn(len(perf))],
+		Sender:         NewAID(rndStr(8), rndStr(6)),
+		ConversationID: rndStr(10),
+		Language:       rndStr(4),
+		Ontology:       rndStr(12),
+	}
+	for i := 0; i <= r.Intn(3); i++ {
+		m.Receivers = append(m.Receivers, NewAID(rndStr(8), rndStr(6)))
+	}
+	if r.Intn(2) == 0 {
+		content := make([]byte, r.Intn(256))
+		r.Read(content)
+		m.Content = content
+	}
+	return m
+}
+
+func TestCodecRoundtripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		m := genMessage(rand.New(rand.NewSource(seed)))
+		buf, err := Marshal(m)
+		if err != nil {
+			t.Logf("marshal: %v", err)
+			return false
+		}
+		got, err := Unmarshal(buf)
+		if err != nil {
+			t.Logf("unmarshal: %v", err)
+			return false
+		}
+		// Normalize empty-vs-nil content for comparison.
+		if len(m.Content) == 0 {
+			m.Content = nil
+		}
+		if len(got.Content) == 0 {
+			got.Content = nil
+		}
+		return reflect.DeepEqual(m, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint32Roundtrip(t *testing.T) {
+	f := func(v uint32) bool {
+		var b [4]byte
+		putUint32(b[:], v)
+		return getUint32(b[:]) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,221 @@
+package acl
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// IDSource mints unique conversation and reply-with identifiers. It is a
+// process-local counter scoped by an owner name, which keeps identifiers
+// unique across agents without global mutable state.
+type IDSource struct {
+	owner string
+	n     atomic.Uint64
+}
+
+// NewIDSource returns an identifier source for the named owner.
+func NewIDSource(owner string) *IDSource { return &IDSource{owner: owner} }
+
+// Next returns a fresh identifier such as "collector-1#17".
+func (s *IDSource) Next() string {
+	return fmt.Sprintf("%s#%d", s.owner, s.n.Add(1))
+}
+
+// Role distinguishes the two sides of a conversation protocol.
+type Role int
+
+// Conversation roles.
+const (
+	Initiator Role = iota
+	Responder
+)
+
+// State is a node in a protocol state machine.
+type State string
+
+// Conversation states shared by the supported protocols.
+const (
+	StateStart     State = "start"
+	StateRequested State = "requested"
+	StateAgreed    State = "agreed"
+	StateCFPSent   State = "cfp-sent"
+	StateProposed  State = "proposed"
+	StateAwarded   State = "awarded"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+)
+
+// Terminal reports whether the state ends the conversation.
+func (s State) Terminal() bool { return s == StateDone || s == StateFailed }
+
+// transition describes one legal (state, performative) -> state edge.
+type transition struct {
+	from State
+	p    Performative
+	to   State
+}
+
+// requestProto is the fipa-request protocol:
+//
+//	request -> agree -> inform(done) | failure
+//	request -> refuse
+//	request -> inform (short form: responder answers immediately)
+var requestProto = []transition{
+	{StateStart, Request, StateRequested},
+	{StateRequested, Agree, StateAgreed},
+	{StateRequested, Refuse, StateFailed},
+	{StateRequested, NotUnderstood, StateFailed},
+	{StateRequested, Inform, StateDone},
+	{StateRequested, Failure, StateFailed},
+	{StateAgreed, Inform, StateDone},
+	{StateAgreed, Failure, StateFailed},
+	{StateAgreed, Cancel, StateFailed},
+}
+
+// contractNetProto is the fipa-contract-net protocol:
+//
+//	cfp -> propose|refuse ; propose -> accept-proposal|reject-proposal ;
+//	accept-proposal -> inform(result)|failure
+var contractNetProto = []transition{
+	{StateStart, CFP, StateCFPSent},
+	{StateCFPSent, Propose, StateProposed},
+	{StateCFPSent, Refuse, StateFailed},
+	{StateCFPSent, NotUnderstood, StateFailed},
+	{StateProposed, AcceptProposal, StateAwarded},
+	{StateProposed, RejectProposal, StateFailed},
+	{StateAwarded, Inform, StateDone},
+	{StateAwarded, Failure, StateFailed},
+}
+
+// subscribeProto is a pragmatic fipa-subscribe: subscribe -> agree|refuse,
+// then any number of informs; cancel ends it.
+var subscribeProto = []transition{
+	{StateStart, Subscribe, StateRequested},
+	{StateRequested, Agree, StateAgreed},
+	{StateRequested, Refuse, StateFailed},
+	{StateAgreed, Inform, StateAgreed},
+	{StateAgreed, Cancel, StateDone},
+	{StateAgreed, Failure, StateFailed},
+}
+
+func protocolTable(name string) ([]transition, bool) {
+	switch name {
+	case ProtocolRequest:
+		return requestProto, true
+	case ProtocolContractNet:
+		return contractNetProto, true
+	case ProtocolSubscribe:
+		return subscribeProto, true
+	}
+	return nil, false
+}
+
+// Conversation tracks one protocol instance. It is safe for concurrent
+// use: a container may deliver messages from several goroutines.
+type Conversation struct {
+	ID       string
+	Protocol string
+
+	mu    sync.Mutex
+	state State
+	table []transition
+}
+
+// NewConversation starts tracking a conversation under the named FIPA
+// protocol. Unknown protocols are rejected.
+func NewConversation(id, protocol string) (*Conversation, error) {
+	table, ok := protocolTable(protocol)
+	if !ok {
+		return nil, fmt.Errorf("acl: unknown protocol %q", protocol)
+	}
+	return &Conversation{ID: id, Protocol: protocol, state: StateStart, table: table}, nil
+}
+
+// State returns the current protocol state.
+func (c *Conversation) State() State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state
+}
+
+// Advance applies the performative of a sent or received message to the
+// state machine. It returns the new state, or an error (leaving the state
+// unchanged) when the act is illegal in the current state.
+func (c *Conversation) Advance(p Performative) (State, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.state.Terminal() {
+		return c.state, fmt.Errorf("acl: conversation %s already %s", c.ID, c.state)
+	}
+	for _, t := range c.table {
+		if t.from == c.state && t.p == p {
+			c.state = t.to
+			return c.state, nil
+		}
+	}
+	return c.state, fmt.Errorf("acl: %s not allowed in state %s of %s", p, c.state, c.Protocol)
+}
+
+// Tracker indexes live conversations by ID for one agent or container.
+// The zero value is ready to use.
+type Tracker struct {
+	mu    sync.Mutex
+	convs map[string]*Conversation
+}
+
+// Open creates and registers a conversation. Opening an existing ID
+// returns the already-registered conversation.
+func (t *Tracker) Open(id, protocol string) (*Conversation, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c, ok := t.convs[id]; ok {
+		return c, nil
+	}
+	c, err := NewConversation(id, protocol)
+	if err != nil {
+		return nil, err
+	}
+	if t.convs == nil {
+		t.convs = make(map[string]*Conversation)
+	}
+	t.convs[id] = c
+	return c, nil
+}
+
+// Get returns the conversation with the given ID, if tracked.
+func (t *Tracker) Get(id string) (*Conversation, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c, ok := t.convs[id]
+	return c, ok
+}
+
+// Close removes a conversation from the tracker.
+func (t *Tracker) Close(id string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.convs, id)
+}
+
+// Len returns the number of tracked conversations.
+func (t *Tracker) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.convs)
+}
+
+// Sweep removes all conversations in terminal states and returns how many
+// were removed.
+func (t *Tracker) Sweep() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for id, c := range t.convs {
+		if c.State().Terminal() {
+			delete(t.convs, id)
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,182 @@
+package acl
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestIDSourceUnique(t *testing.T) {
+	s := NewIDSource("pg-root")
+	seen := make(map[string]bool)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				id := s.Next()
+				mu.Lock()
+				if seen[id] {
+					t.Errorf("duplicate id %s", id)
+				}
+				seen[id] = true
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != 1000 {
+		t.Fatalf("got %d ids, want 1000", len(seen))
+	}
+	if !strings.HasPrefix(s.Next(), "pg-root#") {
+		t.Error("id missing owner prefix")
+	}
+}
+
+func TestRequestProtocolHappyPath(t *testing.T) {
+	c, err := NewConversation("c1", ProtocolRequest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps := []struct {
+		p    Performative
+		want State
+	}{
+		{Request, StateRequested},
+		{Agree, StateAgreed},
+		{Inform, StateDone},
+	}
+	for _, s := range steps {
+		got, err := c.Advance(s.p)
+		if err != nil {
+			t.Fatalf("%s: %v", s.p, err)
+		}
+		if got != s.want {
+			t.Fatalf("%s -> %s, want %s", s.p, got, s.want)
+		}
+	}
+	if !c.State().Terminal() {
+		t.Error("done should be terminal")
+	}
+	if _, err := c.Advance(Inform); err == nil {
+		t.Error("advance past terminal state should fail")
+	}
+}
+
+func TestRequestProtocolRefuse(t *testing.T) {
+	c, _ := NewConversation("c1", ProtocolRequest)
+	c.Advance(Request)
+	if st, err := c.Advance(Refuse); err != nil || st != StateFailed {
+		t.Fatalf("refuse -> %s, %v", st, err)
+	}
+}
+
+func TestRequestProtocolShortForm(t *testing.T) {
+	// Responder may answer inform directly without agree.
+	c, _ := NewConversation("c1", ProtocolRequest)
+	c.Advance(Request)
+	if st, err := c.Advance(Inform); err != nil || st != StateDone {
+		t.Fatalf("short inform -> %s, %v", st, err)
+	}
+}
+
+func TestContractNetHappyPath(t *testing.T) {
+	c, _ := NewConversation("cn1", ProtocolContractNet)
+	for _, p := range []Performative{CFP, Propose, AcceptProposal, Inform} {
+		if _, err := c.Advance(p); err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+	}
+	if c.State() != StateDone {
+		t.Fatalf("state = %s", c.State())
+	}
+}
+
+func TestContractNetRejectAndFailure(t *testing.T) {
+	c, _ := NewConversation("cn2", ProtocolContractNet)
+	c.Advance(CFP)
+	c.Advance(Propose)
+	if st, _ := c.Advance(RejectProposal); st != StateFailed {
+		t.Fatalf("reject -> %s", st)
+	}
+
+	c2, _ := NewConversation("cn3", ProtocolContractNet)
+	c2.Advance(CFP)
+	c2.Advance(Propose)
+	c2.Advance(AcceptProposal)
+	if st, _ := c2.Advance(Failure); st != StateFailed {
+		t.Fatalf("failure -> %s", st)
+	}
+}
+
+func TestIllegalTransitionKeepsState(t *testing.T) {
+	c, _ := NewConversation("c1", ProtocolRequest)
+	c.Advance(Request)
+	if _, err := c.Advance(Propose); err == nil {
+		t.Fatal("propose should be illegal in fipa-request")
+	}
+	if c.State() != StateRequested {
+		t.Fatalf("state changed on illegal transition: %s", c.State())
+	}
+}
+
+func TestSubscribeProtocolStream(t *testing.T) {
+	c, _ := NewConversation("s1", ProtocolSubscribe)
+	c.Advance(Subscribe)
+	c.Advance(Agree)
+	for i := 0; i < 5; i++ {
+		if st, err := c.Advance(Inform); err != nil || st != StateAgreed {
+			t.Fatalf("inform %d -> %s, %v", i, st, err)
+		}
+	}
+	if st, _ := c.Advance(Cancel); st != StateDone {
+		t.Fatalf("cancel -> %s", st)
+	}
+}
+
+func TestUnknownProtocol(t *testing.T) {
+	if _, err := NewConversation("x", "fipa-interpretive-dance"); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+}
+
+func TestTracker(t *testing.T) {
+	var tr Tracker
+	c1, err := tr.Open("a", ProtocolRequest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := tr.Open("a", ProtocolRequest) // idempotent open
+	if err != nil || c1 != c2 {
+		t.Fatal("Open not idempotent")
+	}
+	if _, err := tr.Open("bad", "nope"); err == nil {
+		t.Fatal("Open accepted unknown protocol")
+	}
+	if got, ok := tr.Get("a"); !ok || got != c1 {
+		t.Fatal("Get failed")
+	}
+	if _, ok := tr.Get("zzz"); ok {
+		t.Fatal("Get found phantom conversation")
+	}
+	tr.Open("b", ProtocolContractNet)
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+
+	// Finish conversation a, then sweep.
+	c1.Advance(Request)
+	c1.Advance(Inform)
+	if n := tr.Sweep(); n != 1 {
+		t.Fatalf("Sweep removed %d, want 1", n)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len after sweep = %d", tr.Len())
+	}
+	tr.Close("b")
+	if tr.Len() != 0 {
+		t.Fatalf("Len after close = %d", tr.Len())
+	}
+}

@@ -1,0 +1,204 @@
+// Package acl implements the subset of the FIPA Agent Communication
+// Language the paper's grids use to talk to each other: typed
+// performatives, agent identifiers, message envelopes, a wire codec and
+// conversation-protocol state machines (fipa-request and
+// fipa-contract-net).
+package acl
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Performative is a FIPA ACL communicative act.
+type Performative string
+
+// The performatives used by the grid. The set follows FIPA ACL; acts the
+// system never emits are omitted.
+const (
+	Inform         Performative = "inform"
+	Request        Performative = "request"
+	Agree          Performative = "agree"
+	Refuse         Performative = "refuse"
+	Failure        Performative = "failure"
+	NotUnderstood  Performative = "not-understood"
+	CFP            Performative = "cfp"
+	Propose        Performative = "propose"
+	AcceptProposal Performative = "accept-proposal"
+	RejectProposal Performative = "reject-proposal"
+	Subscribe      Performative = "subscribe"
+	Confirm        Performative = "confirm"
+	Cancel         Performative = "cancel"
+	QueryRef       Performative = "query-ref"
+)
+
+// Valid reports whether p is one of the supported performatives.
+func (p Performative) Valid() bool {
+	switch p {
+	case Inform, Request, Agree, Refuse, Failure, NotUnderstood, CFP,
+		Propose, AcceptProposal, RejectProposal, Subscribe, Confirm,
+		Cancel, QueryRef:
+		return true
+	}
+	return false
+}
+
+// AID is a FIPA agent identifier: a globally unique name plus the
+// transport addresses at which the agent's container can be reached.
+type AID struct {
+	// Name is "localname@platform", e.g. "collector-3@site1".
+	Name string `json:"name"`
+	// Addresses are transport endpoints in "scheme://host:port" form.
+	// Empty for agents reachable only through the local platform.
+	Addresses []string `json:"addresses,omitempty"`
+}
+
+// NewAID builds an AID from a local name and platform name.
+func NewAID(local, platform string, addrs ...string) AID {
+	return AID{Name: local + "@" + platform, Addresses: addrs}
+}
+
+// Local returns the part of the name before '@'.
+func (a AID) Local() string {
+	if i := strings.IndexByte(a.Name, '@'); i >= 0 {
+		return a.Name[:i]
+	}
+	return a.Name
+}
+
+// Platform returns the part of the name after '@', or "" if absent.
+func (a AID) Platform() string {
+	if i := strings.IndexByte(a.Name, '@'); i >= 0 {
+		return a.Name[i+1:]
+	}
+	return ""
+}
+
+// IsZero reports whether the AID carries no name.
+func (a AID) IsZero() bool { return a.Name == "" }
+
+// Equal reports whether two AIDs denote the same agent (by name).
+func (a AID) Equal(b AID) bool { return a.Name == b.Name }
+
+// String implements fmt.Stringer.
+func (a AID) String() string { return a.Name }
+
+// Message is a FIPA ACL message. Content is an opaque byte payload whose
+// interpretation is fixed by Language and Ontology, mirroring FIPA's
+// content-language / ontology split.
+type Message struct {
+	Performative Performative `json:"performative"`
+	Sender       AID          `json:"sender"`
+	Receivers    []AID        `json:"receivers"`
+	ReplyTo      []AID        `json:"reply_to,omitempty"`
+
+	Content  []byte `json:"content,omitempty"`
+	Language string `json:"language,omitempty"` // e.g. "xml", "json", "text"
+	Encoding string `json:"encoding,omitempty"`
+	Ontology string `json:"ontology,omitempty"` // e.g. "network-management"
+
+	Protocol       string    `json:"protocol,omitempty"` // e.g. "fipa-request"
+	ConversationID string    `json:"conversation_id,omitempty"`
+	ReplyWith      string    `json:"reply_with,omitempty"`
+	InReplyTo      string    `json:"in_reply_to,omitempty"`
+	ReplyBy        time.Time `json:"reply_by,omitempty"`
+}
+
+// Well-known ontology and protocol names used by the grid.
+const (
+	OntologyNetworkManagement = "network-management"
+	OntologyGridManagement    = "grid-management"
+
+	ProtocolRequest     = "fipa-request"
+	ProtocolContractNet = "fipa-contract-net"
+	ProtocolSubscribe   = "fipa-subscribe"
+)
+
+// Validation errors.
+var (
+	ErrNoPerformative  = errors.New("acl: message has no performative")
+	ErrBadPerformative = errors.New("acl: unknown performative")
+	ErrNoSender        = errors.New("acl: message has no sender")
+	ErrNoReceiver      = errors.New("acl: message has no receivers")
+)
+
+// Validate checks the structural invariants every grid message must hold.
+func (m *Message) Validate() error {
+	switch {
+	case m.Performative == "":
+		return ErrNoPerformative
+	case !m.Performative.Valid():
+		return fmt.Errorf("%w: %q", ErrBadPerformative, m.Performative)
+	case m.Sender.IsZero():
+		return ErrNoSender
+	case len(m.Receivers) == 0:
+		return ErrNoReceiver
+	}
+	for i, r := range m.Receivers {
+		if r.IsZero() {
+			return fmt.Errorf("acl: receiver %d has no name", i)
+		}
+	}
+	return nil
+}
+
+// Reply builds a reply skeleton addressed back to the sender (or the
+// reply-to agents, when present), preserving conversation metadata and
+// swapping ReplyWith into InReplyTo per FIPA semantics.
+func (m *Message) Reply(from AID, p Performative) *Message {
+	to := m.ReplyTo
+	if len(to) == 0 {
+		to = []AID{m.Sender}
+	}
+	rcv := make([]AID, len(to))
+	copy(rcv, to)
+	return &Message{
+		Performative:   p,
+		Sender:         from,
+		Receivers:      rcv,
+		Language:       m.Language,
+		Ontology:       m.Ontology,
+		Protocol:       m.Protocol,
+		ConversationID: m.ConversationID,
+		InReplyTo:      m.ReplyWith,
+	}
+}
+
+// Clone returns a deep copy of the message.
+func (m *Message) Clone() *Message {
+	out := *m
+	out.Receivers = append([]AID(nil), m.Receivers...)
+	out.ReplyTo = append([]AID(nil), m.ReplyTo...)
+	out.Content = append([]byte(nil), m.Content...)
+	return &out
+}
+
+// String renders the message in a FIPA-SL-flavoured single line for logs.
+func (m *Message) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "(%s :sender %s :receiver", m.Performative, m.Sender)
+	for _, r := range m.Receivers {
+		fmt.Fprintf(&b, " %s", r)
+	}
+	if m.Protocol != "" {
+		fmt.Fprintf(&b, " :protocol %s", m.Protocol)
+	}
+	if m.ConversationID != "" {
+		fmt.Fprintf(&b, " :conversation-id %s", m.ConversationID)
+	}
+	if m.Ontology != "" {
+		fmt.Fprintf(&b, " :ontology %s", m.Ontology)
+	}
+	if len(m.Content) > 0 {
+		const max = 48
+		c := string(m.Content)
+		if len(c) > max {
+			c = c[:max] + "..."
+		}
+		fmt.Fprintf(&b, " :content %q", c)
+	}
+	b.WriteByte(')')
+	return b.String()
+}

@@ -1,0 +1,157 @@
+package acl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func testMsg() *Message {
+	return &Message{
+		Performative:   Inform,
+		Sender:         NewAID("collector-1", "site1"),
+		Receivers:      []AID{NewAID("classifier-1", "site1")},
+		Content:        []byte(`<records/>`),
+		Language:       "xml",
+		Ontology:       OntologyNetworkManagement,
+		Protocol:       ProtocolRequest,
+		ConversationID: "c-1",
+		ReplyWith:      "rw-1",
+	}
+}
+
+func TestAIDParts(t *testing.T) {
+	a := NewAID("pg-root", "site2", "tcp://10.0.0.1:7000")
+	if a.Name != "pg-root@site2" {
+		t.Errorf("Name = %q", a.Name)
+	}
+	if a.Local() != "pg-root" || a.Platform() != "site2" {
+		t.Errorf("Local/Platform = %q/%q", a.Local(), a.Platform())
+	}
+	if len(a.Addresses) != 1 {
+		t.Errorf("Addresses = %v", a.Addresses)
+	}
+	bare := AID{Name: "solo"}
+	if bare.Local() != "solo" || bare.Platform() != "" {
+		t.Errorf("bare Local/Platform = %q/%q", bare.Local(), bare.Platform())
+	}
+	if (AID{}).IsZero() != true || a.IsZero() {
+		t.Error("IsZero wrong")
+	}
+	if !a.Equal(AID{Name: "pg-root@site2"}) || a.Equal(bare) {
+		t.Error("Equal wrong")
+	}
+	if a.String() != "pg-root@site2" {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mod  func(*Message)
+		want error
+	}{
+		{"valid", func(m *Message) {}, nil},
+		{"no performative", func(m *Message) { m.Performative = "" }, ErrNoPerformative},
+		{"bad performative", func(m *Message) { m.Performative = "shout" }, ErrBadPerformative},
+		{"no sender", func(m *Message) { m.Sender = AID{} }, ErrNoSender},
+		{"no receivers", func(m *Message) { m.Receivers = nil }, ErrNoReceiver},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := testMsg()
+			tc.mod(m)
+			err := m.Validate()
+			if tc.want == nil {
+				if err != nil {
+					t.Fatalf("Validate = %v, want nil", err)
+				}
+				return
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("Validate = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestValidateEmptyReceiverName(t *testing.T) {
+	m := testMsg()
+	m.Receivers = append(m.Receivers, AID{})
+	if err := m.Validate(); err == nil {
+		t.Fatal("Validate accepted empty receiver name")
+	}
+}
+
+func TestPerformativeValid(t *testing.T) {
+	for _, p := range []Performative{Inform, Request, Agree, Refuse, Failure,
+		NotUnderstood, CFP, Propose, AcceptProposal, RejectProposal,
+		Subscribe, Confirm, Cancel, QueryRef} {
+		if !p.Valid() {
+			t.Errorf("%s should be valid", p)
+		}
+	}
+	if Performative("yodel").Valid() {
+		t.Error("yodel should not be valid")
+	}
+}
+
+func TestReply(t *testing.T) {
+	m := testMsg()
+	me := NewAID("classifier-1", "site1")
+	r := m.Reply(me, Agree)
+	if r.Performative != Agree {
+		t.Errorf("performative = %s", r.Performative)
+	}
+	if len(r.Receivers) != 1 || !r.Receivers[0].Equal(m.Sender) {
+		t.Errorf("receivers = %v", r.Receivers)
+	}
+	if r.ConversationID != m.ConversationID || r.Protocol != m.Protocol || r.Ontology != m.Ontology {
+		t.Error("conversation metadata not preserved")
+	}
+	if r.InReplyTo != m.ReplyWith {
+		t.Errorf("InReplyTo = %q, want %q", r.InReplyTo, m.ReplyWith)
+	}
+}
+
+func TestReplyHonorsReplyTo(t *testing.T) {
+	m := testMsg()
+	alt := NewAID("pg-root", "site1")
+	m.ReplyTo = []AID{alt}
+	r := m.Reply(NewAID("x", "site1"), Inform)
+	if len(r.Receivers) != 1 || !r.Receivers[0].Equal(alt) {
+		t.Fatalf("reply receivers = %v, want [%s]", r.Receivers, alt)
+	}
+	// Mutating the reply's receivers must not alias the original.
+	r.Receivers[0] = AID{Name: "mutated"}
+	if m.ReplyTo[0].Name != "pg-root@site1" {
+		t.Fatal("Reply aliased ReplyTo slice")
+	}
+}
+
+func TestClone(t *testing.T) {
+	m := testMsg()
+	c := m.Clone()
+	c.Receivers[0] = AID{Name: "other"}
+	c.Content[0] = 'X'
+	if m.Receivers[0].Name == "other" || m.Content[0] == 'X' {
+		t.Fatal("Clone shares backing arrays")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	m := testMsg()
+	s := m.String()
+	for _, want := range []string{"(inform", ":sender collector-1@site1",
+		":receiver classifier-1@site1", ":protocol fipa-request",
+		":conversation-id c-1", ":ontology network-management"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String missing %q in %q", want, s)
+		}
+	}
+	m.Content = []byte(strings.Repeat("z", 100))
+	if s := m.String(); !strings.Contains(s, "...") {
+		t.Error("long content not truncated")
+	}
+}

@@ -1,0 +1,361 @@
+package agent
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"agentgrid/internal/acl"
+)
+
+// SendFunc transmits an outbound message on behalf of the agent. The
+// container supplies it; agents never touch transports directly.
+type SendFunc func(ctx context.Context, m *acl.Message) error
+
+// Handler processes one inbound message. Handlers run on the agent's
+// single scheduling goroutine, so they may use agent state freely but
+// must not block for long.
+type Handler func(ctx context.Context, a *Agent, m *acl.Message)
+
+// Selector matches inbound messages to handlers. Empty fields match
+// anything; all non-empty fields must match.
+type Selector struct {
+	Performative acl.Performative
+	Protocol     string
+	Ontology     string
+}
+
+// Matches reports whether m satisfies the selector.
+func (s Selector) Matches(m *acl.Message) bool {
+	if s.Performative != "" && m.Performative != s.Performative {
+		return false
+	}
+	if s.Protocol != "" && m.Protocol != s.Protocol {
+		return false
+	}
+	if s.Ontology != "" && m.Ontology != s.Ontology {
+		return false
+	}
+	return true
+}
+
+// Goal is a periodic intention: run Action every Interval. This models
+// the paper's collector goals ("extract managed object values ... between
+// time intervals") and is also used for heartbeats and sweeps.
+type Goal struct {
+	// Name identifies the goal within the agent; unique.
+	Name string
+	// Interval between runs. Must be positive.
+	Interval time.Duration
+	// Action runs on each tick, on a goal-owned goroutine.
+	Action func(ctx context.Context, a *Agent) error
+}
+
+// GoalInfo is the introspectable state of a goal.
+type GoalInfo struct {
+	Name     string
+	Interval time.Duration
+	Runs     uint64
+	LastErr  string
+}
+
+// Agent errors.
+var (
+	ErrMailboxFull = errors.New("agent: mailbox full")
+	ErrStopped     = errors.New("agent: stopped")
+	ErrDupGoal     = errors.New("agent: duplicate goal name")
+	ErrNoGoal      = errors.New("agent: no such goal")
+	ErrBadGoal     = errors.New("agent: goal needs name, positive interval and action")
+)
+
+type goalState struct {
+	goal    Goal
+	cancel  context.CancelFunc
+	mu      sync.Mutex
+	runs    uint64
+	lastErr string
+}
+
+// Option configures an Agent.
+type Option func(*Agent)
+
+// WithMailboxSize sets the inbox capacity (default 256).
+func WithMailboxSize(n int) Option {
+	return func(a *Agent) { a.mailboxSize = n }
+}
+
+// WithErrorLog installs a sink for handler/goal errors. By default errors
+// are recorded in GoalInfo and otherwise dropped.
+func WithErrorLog(f func(agent acl.AID, err error)) Option {
+	return func(a *Agent) { a.errLog = f }
+}
+
+// Agent is a single autonomous agent.
+type Agent struct {
+	id      acl.AID
+	send    SendFunc
+	ids     *acl.IDSource
+	beliefs Beliefs
+	convs   acl.Tracker
+
+	mailboxSize int
+	errLog      func(acl.AID, error)
+
+	mu       sync.Mutex
+	inbox    chan *acl.Message
+	handlers []handlerEntry
+	goals    map[string]*goalState
+	running  bool
+	stopped  bool
+	runCtx   context.Context
+	wg       sync.WaitGroup
+}
+
+type handlerEntry struct {
+	sel Selector
+	h   Handler
+}
+
+// New creates an agent with the given identity. send carries its outbound
+// messages.
+func New(id acl.AID, send SendFunc, opts ...Option) *Agent {
+	a := &Agent{
+		id:          id,
+		send:        send,
+		ids:         acl.NewIDSource(id.Name),
+		mailboxSize: 256,
+		goals:       make(map[string]*goalState),
+	}
+	for _, opt := range opts {
+		opt(a)
+	}
+	a.inbox = make(chan *acl.Message, a.mailboxSize)
+	return a
+}
+
+// ID returns the agent's identifier.
+func (a *Agent) ID() acl.AID { return a.id }
+
+// Beliefs returns the agent's belief base.
+func (a *Agent) Beliefs() *Beliefs { return &a.beliefs }
+
+// Conversations returns the agent's conversation tracker.
+func (a *Agent) Conversations() *acl.Tracker { return &a.convs }
+
+// NewConversationID mints a conversation identifier unique to this agent.
+func (a *Agent) NewConversationID() string { return a.ids.Next() }
+
+// HandleFunc registers a handler for messages matching sel. Handlers are
+// consulted in registration order; every matching handler runs.
+func (a *Agent) HandleFunc(sel Selector, h Handler) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.handlers = append(a.handlers, handlerEntry{sel, h})
+}
+
+// Deliver enqueues an inbound message. It is called by the container and
+// never blocks: when the mailbox is full it returns ErrMailboxFull so the
+// container can count the drop.
+func (a *Agent) Deliver(m *acl.Message) error {
+	a.mu.Lock()
+	stopped := a.stopped
+	a.mu.Unlock()
+	if stopped {
+		return ErrStopped
+	}
+	select {
+	case a.inbox <- m:
+		return nil
+	default:
+		return ErrMailboxFull
+	}
+}
+
+// Send transmits a message from this agent, filling in the sender.
+func (a *Agent) Send(ctx context.Context, m *acl.Message) error {
+	if m.Sender.IsZero() {
+		m.Sender = a.id
+	}
+	return a.send(ctx, m)
+}
+
+// Run processes inbound messages and runs goals until ctx is cancelled.
+// It returns ctx.Err. Run may be called once.
+func (a *Agent) Run(ctx context.Context) error {
+	a.mu.Lock()
+	if a.running || a.stopped {
+		a.mu.Unlock()
+		return ErrStopped
+	}
+	a.running = true
+	a.runCtx = ctx
+	// Start goroutines for goals added before Run.
+	for _, gs := range a.goals {
+		a.startGoal(ctx, gs)
+	}
+	a.mu.Unlock()
+
+	for {
+		select {
+		case <-ctx.Done():
+			a.mu.Lock()
+			a.running = false
+			a.stopped = true
+			a.mu.Unlock()
+			a.wg.Wait()
+			return ctx.Err()
+		case m := <-a.inbox:
+			a.dispatch(ctx, m)
+		}
+	}
+}
+
+// dispatch runs every matching handler for m.
+func (a *Agent) dispatch(ctx context.Context, m *acl.Message) {
+	a.mu.Lock()
+	handlers := make([]handlerEntry, len(a.handlers))
+	copy(handlers, a.handlers)
+	a.mu.Unlock()
+	matched := false
+	for _, e := range handlers {
+		if e.sel.Matches(m) {
+			matched = true
+			e.h(ctx, a, m)
+		}
+	}
+	if !matched {
+		// FIPA: reply not-understood when nothing handles the act.
+		if m.Performative != acl.NotUnderstood && !m.Sender.Equal(a.id) {
+			reply := m.Reply(a.id, acl.NotUnderstood)
+			if err := a.send(ctx, reply); err != nil && a.errLog != nil {
+				a.errLog(a.id, fmt.Errorf("not-understood reply: %w", err))
+			}
+		}
+	}
+}
+
+// AddGoal installs a periodic goal. If the agent is running the goal
+// starts immediately.
+func (a *Agent) AddGoal(g Goal) error {
+	if g.Name == "" || g.Interval <= 0 || g.Action == nil {
+		return ErrBadGoal
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.stopped {
+		return ErrStopped
+	}
+	if _, dup := a.goals[g.Name]; dup {
+		return fmt.Errorf("%w: %q", ErrDupGoal, g.Name)
+	}
+	gs := &goalState{goal: g}
+	a.goals[g.Name] = gs
+	if a.running {
+		a.startGoal(a.runCtx, gs)
+	}
+	return nil
+}
+
+// startGoal launches the goal loop. Caller holds a.mu.
+func (a *Agent) startGoal(ctx context.Context, gs *goalState) {
+	gctx, cancel := context.WithCancel(ctx)
+	gs.cancel = cancel
+	a.wg.Add(1)
+	go func() {
+		defer a.wg.Done()
+		ticker := time.NewTicker(gs.goal.Interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-gctx.Done():
+				return
+			case <-ticker.C:
+				a.runGoalOnce(gctx, gs)
+			}
+		}
+	}()
+}
+
+func (a *Agent) runGoalOnce(ctx context.Context, gs *goalState) {
+	err := gs.goal.Action(ctx, a)
+	gs.mu.Lock()
+	gs.runs++
+	if err != nil {
+		gs.lastErr = err.Error()
+	} else {
+		gs.lastErr = ""
+	}
+	gs.mu.Unlock()
+	if err != nil && a.errLog != nil {
+		a.errLog(a.id, fmt.Errorf("goal %s: %w", gs.goal.Name, err))
+	}
+}
+
+// RunGoalNow executes a goal immediately on the caller's goroutine,
+// outside its schedule. Tests and the interface grid ("run this report
+// now") use it for determinism.
+func (a *Agent) RunGoalNow(ctx context.Context, name string) error {
+	a.mu.Lock()
+	gs, ok := a.goals[name]
+	a.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoGoal, name)
+	}
+	a.runGoalOnce(ctx, gs)
+	gs.mu.Lock()
+	defer gs.mu.Unlock()
+	if gs.lastErr != "" {
+		return errors.New(gs.lastErr)
+	}
+	return nil
+}
+
+// RemoveGoal stops and removes a goal.
+func (a *Agent) RemoveGoal(name string) error {
+	a.mu.Lock()
+	gs, ok := a.goals[name]
+	if ok {
+		delete(a.goals, name)
+	}
+	a.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoGoal, name)
+	}
+	if gs.cancel != nil {
+		gs.cancel()
+	}
+	return nil
+}
+
+// Goals returns introspection info for all goals, sorted by name.
+func (a *Agent) Goals() []GoalInfo {
+	a.mu.Lock()
+	states := make([]*goalState, 0, len(a.goals))
+	for _, gs := range a.goals {
+		states = append(states, gs)
+	}
+	a.mu.Unlock()
+	out := make([]GoalInfo, 0, len(states))
+	for _, gs := range states {
+		gs.mu.Lock()
+		out = append(out, GoalInfo{
+			Name:     gs.goal.Name,
+			Interval: gs.goal.Interval,
+			Runs:     gs.runs,
+			LastErr:  gs.lastErr,
+		})
+		gs.mu.Unlock()
+	}
+	sortGoalInfo(out)
+	return out
+}
+
+func sortGoalInfo(s []GoalInfo) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1].Name > s[j].Name; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}

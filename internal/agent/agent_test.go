@@ -1,0 +1,349 @@
+package agent
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"agentgrid/internal/acl"
+)
+
+// sink records messages "sent" by an agent under test.
+type sink struct {
+	mu   sync.Mutex
+	msgs []*acl.Message
+	ch   chan *acl.Message
+}
+
+func newSink() *sink { return &sink{ch: make(chan *acl.Message, 64)} }
+
+func (s *sink) send(_ context.Context, m *acl.Message) error {
+	s.mu.Lock()
+	s.msgs = append(s.msgs, m)
+	s.mu.Unlock()
+	s.ch <- m
+	return nil
+}
+
+func (s *sink) count() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.msgs)
+}
+
+func startAgent(t *testing.T, a *Agent) context.CancelFunc {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		a.Run(ctx)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Error("agent did not stop")
+		}
+	})
+	return cancel
+}
+
+func inboundMsg(p acl.Performative, proto string) *acl.Message {
+	return &acl.Message{
+		Performative: p,
+		Sender:       acl.NewAID("peer", "test"),
+		Receivers:    []acl.AID{acl.NewAID("me", "test")},
+		Protocol:     proto,
+	}
+}
+
+func TestSelectorMatches(t *testing.T) {
+	m := inboundMsg(acl.Inform, acl.ProtocolRequest)
+	m.Ontology = acl.OntologyNetworkManagement
+	cases := []struct {
+		sel  Selector
+		want bool
+	}{
+		{Selector{}, true},
+		{Selector{Performative: acl.Inform}, true},
+		{Selector{Performative: acl.Request}, false},
+		{Selector{Protocol: acl.ProtocolRequest}, true},
+		{Selector{Protocol: acl.ProtocolContractNet}, false},
+		{Selector{Ontology: acl.OntologyNetworkManagement}, true},
+		{Selector{Ontology: "other"}, false},
+		{Selector{Performative: acl.Inform, Protocol: acl.ProtocolRequest, Ontology: acl.OntologyNetworkManagement}, true},
+		{Selector{Performative: acl.Inform, Protocol: "wrong"}, false},
+	}
+	for i, tc := range cases {
+		if got := tc.sel.Matches(m); got != tc.want {
+			t.Errorf("case %d: Matches = %v, want %v", i, got, tc.want)
+		}
+	}
+}
+
+func TestAgentDispatch(t *testing.T) {
+	out := newSink()
+	a := New(acl.NewAID("me", "test"), out.send)
+	got := make(chan *acl.Message, 1)
+	a.HandleFunc(Selector{Performative: acl.Inform}, func(_ context.Context, _ *Agent, m *acl.Message) {
+		got <- m
+	})
+	startAgent(t, a)
+
+	if err := a.Deliver(inboundMsg(acl.Inform, "")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if m.Performative != acl.Inform {
+			t.Fatalf("performative = %s", m.Performative)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler never ran")
+	}
+}
+
+func TestAgentNotUnderstood(t *testing.T) {
+	out := newSink()
+	a := New(acl.NewAID("me", "test"), out.send)
+	a.HandleFunc(Selector{Performative: acl.Inform}, func(context.Context, *Agent, *acl.Message) {})
+	startAgent(t, a)
+
+	// No handler for request -> agent must reply not-understood.
+	if err := a.Deliver(inboundMsg(acl.Request, "")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-out.ch:
+		if m.Performative != acl.NotUnderstood {
+			t.Fatalf("reply = %s, want not-understood", m.Performative)
+		}
+		if m.Receivers[0].Local() != "peer" {
+			t.Fatalf("reply addressed to %s", m.Receivers[0])
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no not-understood reply")
+	}
+}
+
+func TestAgentSendFillsSender(t *testing.T) {
+	out := newSink()
+	a := New(acl.NewAID("me", "test"), out.send)
+	m := &acl.Message{
+		Performative: acl.Inform,
+		Receivers:    []acl.AID{acl.NewAID("peer", "test")},
+	}
+	if err := a.Send(context.Background(), m); err != nil {
+		t.Fatal(err)
+	}
+	if (<-out.ch).Sender.Local() != "me" {
+		t.Fatal("sender not filled")
+	}
+}
+
+func TestMailboxBackpressure(t *testing.T) {
+	a := New(acl.NewAID("me", "test"), newSink().send, WithMailboxSize(2))
+	// Not running: deliveries queue until full.
+	if err := a.Deliver(inboundMsg(acl.Inform, "")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Deliver(inboundMsg(acl.Inform, "")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Deliver(inboundMsg(acl.Inform, "")); !errors.Is(err, ErrMailboxFull) {
+		t.Fatalf("third delivery = %v, want ErrMailboxFull", err)
+	}
+}
+
+func TestGoalRunsPeriodically(t *testing.T) {
+	a := New(acl.NewAID("me", "test"), newSink().send)
+	ran := make(chan struct{}, 16)
+	err := a.AddGoal(Goal{
+		Name:     "tick",
+		Interval: 10 * time.Millisecond,
+		Action: func(context.Context, *Agent) error {
+			ran <- struct{}{}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	startAgent(t, a)
+	for i := 0; i < 3; i++ {
+		select {
+		case <-ran:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("goal ran %d times, want >=3", i)
+		}
+	}
+	infos := a.Goals()
+	if len(infos) != 1 || infos[0].Name != "tick" || infos[0].Runs < 3 {
+		t.Fatalf("Goals = %+v", infos)
+	}
+}
+
+func TestGoalAddedWhileRunning(t *testing.T) {
+	a := New(acl.NewAID("me", "test"), newSink().send)
+	startAgent(t, a)
+	ran := make(chan struct{}, 4)
+	err := a.AddGoal(Goal{
+		Name:     "late",
+		Interval: 10 * time.Millisecond,
+		Action: func(context.Context, *Agent) error {
+			select {
+			case ran <- struct{}{}:
+			default:
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ran:
+	case <-time.After(5 * time.Second):
+		t.Fatal("late goal never ran")
+	}
+}
+
+func TestGoalValidation(t *testing.T) {
+	a := New(acl.NewAID("me", "test"), newSink().send)
+	action := func(context.Context, *Agent) error { return nil }
+	if err := a.AddGoal(Goal{Name: "", Interval: time.Second, Action: action}); !errors.Is(err, ErrBadGoal) {
+		t.Error("empty name accepted")
+	}
+	if err := a.AddGoal(Goal{Name: "g", Interval: 0, Action: action}); !errors.Is(err, ErrBadGoal) {
+		t.Error("zero interval accepted")
+	}
+	if err := a.AddGoal(Goal{Name: "g", Interval: time.Second}); !errors.Is(err, ErrBadGoal) {
+		t.Error("nil action accepted")
+	}
+	if err := a.AddGoal(Goal{Name: "g", Interval: time.Second, Action: action}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddGoal(Goal{Name: "g", Interval: time.Second, Action: action}); !errors.Is(err, ErrDupGoal) {
+		t.Error("duplicate goal accepted")
+	}
+}
+
+func TestRunGoalNow(t *testing.T) {
+	a := New(acl.NewAID("me", "test"), newSink().send)
+	calls := 0
+	a.AddGoal(Goal{Name: "g", Interval: time.Hour, Action: func(context.Context, *Agent) error {
+		calls++
+		if calls == 2 {
+			return errors.New("boom")
+		}
+		return nil
+	}})
+	if err := a.RunGoalNow(context.Background(), "g"); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if err := a.RunGoalNow(context.Background(), "g"); err == nil || err.Error() != "boom" {
+		t.Fatalf("second run = %v, want boom", err)
+	}
+	if err := a.RunGoalNow(context.Background(), "nope"); !errors.Is(err, ErrNoGoal) {
+		t.Fatalf("missing goal = %v", err)
+	}
+	infos := a.Goals()
+	if infos[0].Runs != 2 || infos[0].LastErr != "boom" {
+		t.Fatalf("GoalInfo = %+v", infos[0])
+	}
+}
+
+func TestRemoveGoal(t *testing.T) {
+	a := New(acl.NewAID("me", "test"), newSink().send)
+	var mu sync.Mutex
+	count := 0
+	a.AddGoal(Goal{Name: "g", Interval: 10 * time.Millisecond, Action: func(context.Context, *Agent) error {
+		mu.Lock()
+		count++
+		mu.Unlock()
+		return nil
+	}})
+	startAgent(t, a)
+	time.Sleep(50 * time.Millisecond)
+	if err := a.RemoveGoal("g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.RemoveGoal("g"); !errors.Is(err, ErrNoGoal) {
+		t.Fatalf("second remove = %v", err)
+	}
+	mu.Lock()
+	after := count
+	mu.Unlock()
+	time.Sleep(50 * time.Millisecond)
+	mu.Lock()
+	final := count
+	mu.Unlock()
+	// Allow one in-flight tick at removal time.
+	if final > after+1 {
+		t.Fatalf("goal kept running after removal: %d -> %d", after, final)
+	}
+	if len(a.Goals()) != 0 {
+		t.Fatal("goal still listed")
+	}
+}
+
+func TestAgentStopRejectsWork(t *testing.T) {
+	a := New(acl.NewAID("me", "test"), newSink().send)
+	cancel := startAgent(t, a)
+	cancel()
+	// Wait until Run observes cancellation.
+	deadline := time.After(5 * time.Second)
+	for {
+		if err := a.Deliver(inboundMsg(acl.Inform, "")); errors.Is(err, ErrStopped) {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("agent never reported stopped")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if err := a.Run(context.Background()); !errors.Is(err, ErrStopped) {
+		t.Fatalf("second Run = %v", err)
+	}
+	if err := a.AddGoal(Goal{Name: "x", Interval: time.Second, Action: func(context.Context, *Agent) error { return nil }}); !errors.Is(err, ErrStopped) {
+		t.Fatalf("AddGoal after stop = %v", err)
+	}
+}
+
+func TestGoalErrorLogged(t *testing.T) {
+	var mu sync.Mutex
+	var logged []error
+	a := New(acl.NewAID("me", "test"), newSink().send,
+		WithErrorLog(func(_ acl.AID, err error) {
+			mu.Lock()
+			logged = append(logged, err)
+			mu.Unlock()
+		}))
+	a.AddGoal(Goal{Name: "bad", Interval: time.Hour, Action: func(context.Context, *Agent) error {
+		return errors.New("kaput")
+	}})
+	a.RunGoalNow(context.Background(), "bad")
+	mu.Lock()
+	defer mu.Unlock()
+	if len(logged) != 1 {
+		t.Fatalf("logged %d errors", len(logged))
+	}
+}
+
+func TestNewConversationIDUnique(t *testing.T) {
+	a := New(acl.NewAID("me", "test"), newSink().send)
+	if a.NewConversationID() == a.NewConversationID() {
+		t.Fatal("conversation ids repeat")
+	}
+	if a.ID().Local() != "me" {
+		t.Fatal("ID wrong")
+	}
+	if a.Beliefs() == nil || a.Conversations() == nil {
+		t.Fatal("accessors returned nil")
+	}
+}

@@ -1,0 +1,121 @@
+// Package agent implements the lightweight autonomous agents the grids
+// are built from — the role AgentLight [10] plays in the paper. An agent
+// has an identity (a FIPA AID), a belief base, message handlers and
+// periodic goals; a container (internal/platform) schedules it and
+// carries its messages.
+package agent
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Beliefs is the agent's knowledge base: a concurrent map of named facts.
+// The zero value is ready to use.
+type Beliefs struct {
+	mu    sync.RWMutex
+	facts map[string]any
+	rev   uint64
+}
+
+// Set records a fact, replacing any previous value.
+func (b *Beliefs) Set(key string, value any) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.facts == nil {
+		b.facts = make(map[string]any)
+	}
+	b.facts[key] = value
+	b.rev++
+}
+
+// Get returns the fact stored under key.
+func (b *Beliefs) Get(key string) (any, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	v, ok := b.facts[key]
+	return v, ok
+}
+
+// GetString returns a string-typed fact; ok is false when the key is
+// missing or holds a different type.
+func (b *Beliefs) GetString(key string) (string, bool) {
+	v, ok := b.Get(key)
+	if !ok {
+		return "", false
+	}
+	s, ok := v.(string)
+	return s, ok
+}
+
+// GetFloat returns a float64-typed fact.
+func (b *Beliefs) GetFloat(key string) (float64, bool) {
+	v, ok := b.Get(key)
+	if !ok {
+		return 0, false
+	}
+	f, ok := v.(float64)
+	return f, ok
+}
+
+// GetInt returns an int-typed fact.
+func (b *Beliefs) GetInt(key string) (int, bool) {
+	v, ok := b.Get(key)
+	if !ok {
+		return 0, false
+	}
+	i, ok := v.(int)
+	return i, ok
+}
+
+// Delete removes a fact.
+func (b *Beliefs) Delete(key string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.facts, key)
+	b.rev++
+}
+
+// Keys returns all fact names, sorted.
+func (b *Beliefs) Keys() []string {
+	b.mu.RLock()
+	out := make([]string, 0, len(b.facts))
+	for k := range b.facts {
+		out = append(out, k)
+	}
+	b.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of facts.
+func (b *Beliefs) Len() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.facts)
+}
+
+// Revision returns a counter that increases on every mutation; agents use
+// it to detect belief changes cheaply.
+func (b *Beliefs) Revision() uint64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.rev
+}
+
+// Snapshot returns a shallow copy of all facts.
+func (b *Beliefs) Snapshot() map[string]any {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make(map[string]any, len(b.facts))
+	for k, v := range b.facts {
+		out[k] = v
+	}
+	return out
+}
+
+// String summarizes the belief base for logs.
+func (b *Beliefs) String() string {
+	return fmt.Sprintf("Beliefs(%d facts, rev %d)", b.Len(), b.Revision())
+}

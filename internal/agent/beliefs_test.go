@@ -1,0 +1,110 @@
+package agent
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestBeliefsSetGet(t *testing.T) {
+	var b Beliefs
+	b.Set("device", "router-1")
+	b.Set("cpu", 42.5)
+	b.Set("count", 7)
+
+	if s, ok := b.GetString("device"); !ok || s != "router-1" {
+		t.Errorf("GetString = %q, %v", s, ok)
+	}
+	if f, ok := b.GetFloat("cpu"); !ok || f != 42.5 {
+		t.Errorf("GetFloat = %v, %v", f, ok)
+	}
+	if i, ok := b.GetInt("count"); !ok || i != 7 {
+		t.Errorf("GetInt = %v, %v", i, ok)
+	}
+	if _, ok := b.Get("missing"); ok {
+		t.Error("phantom fact")
+	}
+}
+
+func TestBeliefsTypedGetMismatch(t *testing.T) {
+	var b Beliefs
+	b.Set("x", 3) // int, not string or float
+	if _, ok := b.GetString("x"); ok {
+		t.Error("GetString accepted int")
+	}
+	if _, ok := b.GetFloat("x"); ok {
+		t.Error("GetFloat accepted int")
+	}
+	if _, ok := b.GetInt("nothere"); ok {
+		t.Error("GetInt on missing key")
+	}
+}
+
+func TestBeliefsDeleteAndKeys(t *testing.T) {
+	var b Beliefs
+	b.Set("b", 1)
+	b.Set("a", 2)
+	b.Set("c", 3)
+	b.Delete("b")
+	keys := b.Keys()
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "c" {
+		t.Fatalf("Keys = %v", keys)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+}
+
+func TestBeliefsRevision(t *testing.T) {
+	var b Beliefs
+	r0 := b.Revision()
+	b.Set("x", 1)
+	r1 := b.Revision()
+	if r1 <= r0 {
+		t.Fatal("Set did not bump revision")
+	}
+	b.Delete("x")
+	if b.Revision() <= r1 {
+		t.Fatal("Delete did not bump revision")
+	}
+}
+
+func TestBeliefsSnapshotIsolated(t *testing.T) {
+	var b Beliefs
+	b.Set("x", 1)
+	snap := b.Snapshot()
+	snap["x"] = 99
+	if v, _ := b.GetInt("x"); v != 1 {
+		t.Fatal("snapshot aliased belief base")
+	}
+}
+
+func TestBeliefsConcurrent(t *testing.T) {
+	var b Beliefs
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := string(rune('a' + i))
+			for j := 0; j < 200; j++ {
+				b.Set(key, j)
+				b.Get(key)
+				b.Keys()
+				b.Snapshot()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if b.Len() != 8 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+}
+
+func TestBeliefsString(t *testing.T) {
+	var b Beliefs
+	b.Set("x", 1)
+	if s := b.String(); !strings.Contains(s, "1 facts") {
+		t.Errorf("String = %q", s)
+	}
+}

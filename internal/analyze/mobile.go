@@ -1,0 +1,43 @@
+package analyze
+
+import (
+	"fmt"
+
+	"agentgrid/internal/agent"
+	"agentgrid/internal/mobility"
+	"agentgrid/internal/rules"
+)
+
+// MobileAnalystKind is the mobility kind of a migratable analysis
+// agent. Its serialized payload is its rule base in DSL source form, so
+// the knowledge travels with the agent ("migration of analysis
+// activities", paper §5).
+const MobileAnalystKind = "analysis-agent"
+
+// RegisterMobileAnalyst registers the analysis-agent kind with a
+// container's mobility manager. Each container supplies its own store
+// access — which is the point of migrating: an analyst reconstructed on
+// the storage container reads locally instead of pulling data over the
+// network.
+func RegisterMobileAnalyst(m *mobility.Manager, st StoreReader) error {
+	return m.Register(MobileAnalystKind, func(a *agent.Agent, state *mobility.State) error {
+		rb := rules.NewRuleBase()
+		if len(state.Payload) > 0 {
+			if _, err := rb.AddSource(string(state.Payload)); err != nil {
+				return fmt.Errorf("analyze: mobile analyst rules: %w", err)
+			}
+		}
+		_, err := NewWorker(a, WorkerConfig{Store: st, Rules: rb})
+		return err
+	})
+}
+
+// AnalystState builds the migratable state of an analysis agent with
+// the given local name and rule base.
+func AnalystState(localName string, rb *rules.RuleBase) *mobility.State {
+	return &mobility.State{
+		Kind:    MobileAnalystKind,
+		Name:    localName,
+		Payload: []byte(rb.Source()),
+	}
+}

@@ -1,0 +1,202 @@
+package analyze
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"agentgrid/internal/acl"
+	"agentgrid/internal/agent"
+	"agentgrid/internal/directory"
+	"agentgrid/internal/mobility"
+	"agentgrid/internal/obs"
+	"agentgrid/internal/platform"
+	"agentgrid/internal/rules"
+	"agentgrid/internal/store"
+	"agentgrid/internal/transport"
+)
+
+// countingStore wraps a store and counts reads, modelling the network
+// cost of remote store access.
+type countingStore struct {
+	inner *store.Store
+	reads atomic.Uint64
+}
+
+func (c *countingStore) Latest(key string) (store.Point, bool) {
+	c.reads.Add(1)
+	return c.inner.Latest(key)
+}
+
+func (c *countingStore) Window(key string, n int) []store.Point {
+	c.reads.Add(1)
+	return c.inner.Window(key, n)
+}
+
+func (c *countingStore) SeriesForMetric(metric string) []string {
+	c.reads.Add(1)
+	return c.inner.SeriesForMetric(metric)
+}
+
+func (c *countingStore) SeriesForDevice(site, device string) []string {
+	c.reads.Add(1)
+	return c.inner.SeriesForDevice(site, device)
+}
+
+// TestMobileAnalystMigration moves an analysis agent from a compute
+// container to the storage container; afterwards it answers tasks there
+// with its rules intact, reading the store locally.
+func TestMobileAnalystMigration(t *testing.T) {
+	n := transport.NewInProcNetwork()
+	profile := directory.ResourceProfile{CPUCapacity: 10, NetCapacity: 10, DiscCapacity: 10}
+	mk := func(name string) *platform.Container {
+		c, err := platform.New(platform.Config{Name: name, Platform: name, Profile: profile})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AttachInProc(n, "inproc://"+name); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Stop() })
+		return c
+	}
+	compute := mk("compute")
+	storage := mk("storage")
+
+	// The shared data lives on the storage container; the compute
+	// container would have to read it "remotely" (counted).
+	st := store.New(64)
+	for i := 1; i <= 10; i++ {
+		st.Append(obs.Record{Site: "site1", Device: "h1", Metric: "cpu.util",
+			Value: 95, Step: i, Time: time.Unix(int64(i), 0)})
+	}
+	remoteView := &countingStore{inner: st}
+
+	mCompute, err := mobility.NewManager(compute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mStorage, err := mobility.NewManager(storage)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterMobileAnalyst(mCompute, remoteView); err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterMobileAnalyst(mStorage, st); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	compute.Start(ctx)
+	storage.Start(ctx)
+
+	// Born on the compute container with a rule base.
+	rb := rules.NewRuleBase()
+	if _, err := rb.AddSource(`rule "hot" level 2 category cpu { when avg(cpu.util, 5) > 90 then alert "hot {device}" }`); err != nil {
+		t.Fatal(err)
+	}
+	state := AnalystState("roaming-analyst", rb)
+	if _, err := mCompute.Spawn(state); err != nil {
+		t.Fatal(err)
+	}
+
+	// Migrate it to the storage container.
+	captured, err := mCompute.CaptureState(MobileAnalystKind, "roaming-analyst", []byte(rb.Source()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mCompute.Migrate(ctx, captured, mStorage.AID(storage.Addr()), 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := compute.Agent("roaming-analyst"); ok {
+		t.Fatal("analyst still on compute container")
+	}
+	remoteReadsBefore := remoteView.reads.Load()
+
+	// Drive a task at the migrated analyst over ACL and await the result.
+	probe, err := storage.SpawnAgent("probe")
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make(chan *Result, 1)
+	probe.HandleFunc(agent.Selector{Performative: acl.Inform}, func(_ context.Context, _ *agent.Agent, m *acl.Message) {
+		if res, err := DecodeResult(m.Content); err == nil {
+			results <- res
+		}
+	})
+	task := &Task{ID: "t1", Level: 2, Site: "site1", Device: "h1", Categories: []string{"cpu"}, Step: 10}
+	content, _ := EncodeTask(task)
+	err = probe.Send(ctx, &acl.Message{
+		Performative:   acl.Request,
+		Receivers:      []acl.AID{acl.NewAID("roaming-analyst", "storage")},
+		Content:        content,
+		Language:       "json",
+		Ontology:       acl.OntologyGridManagement,
+		Protocol:       acl.ProtocolRequest,
+		ConversationID: "t1",
+		ReplyWith:      "task:t1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case res := <-results:
+		if len(res.Alerts) != 1 || res.Alerts[0].Rule != "hot" {
+			t.Fatalf("migrated analyst result = %+v", res)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("migrated analyst never answered")
+	}
+
+	// The analysis ran against the storage container's local store: the
+	// compute-side (remote) view saw no new reads.
+	if got := remoteView.reads.Load(); got != remoteReadsBefore {
+		t.Fatalf("analysis still read remotely: %d -> %d", remoteReadsBefore, got)
+	}
+}
+
+func TestAnalystStateCarriesRules(t *testing.T) {
+	rb := rules.NewRuleBase()
+	rb.AddSource(`rule "a" { when latest(x) > 1 then alert "a" }`)
+	st := AnalystState("name", rb)
+	if st.Kind != MobileAnalystKind || st.Name != "name" {
+		t.Fatalf("state = %+v", st)
+	}
+	rb2 := rules.NewRuleBase()
+	if _, err := rb2.AddSource(string(st.Payload)); err != nil {
+		t.Fatalf("payload not parseable: %v", err)
+	}
+	if rb2.Len() != 1 {
+		t.Fatal("rules lost")
+	}
+}
+
+func TestMobileAnalystRejectsBadRules(t *testing.T) {
+	n := transport.NewInProcNetwork()
+	c, err := platform.New(platform.Config{Name: "c", Platform: "c",
+		Profile: directory.ResourceProfile{CPUCapacity: 1, NetCapacity: 1, DiscCapacity: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AttachInProc(n, "inproc://c"); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	m, err := mobility.NewManager(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterMobileAnalyst(m, store.New(4)); err != nil {
+		t.Fatal(err)
+	}
+	_, err = m.Spawn(&mobility.State{Kind: MobileAnalystKind, Name: "x", Payload: []byte("rule {")})
+	if err == nil {
+		t.Fatal("bad payload accepted")
+	}
+	if _, ok := c.Agent("x"); ok {
+		t.Fatal("half-built analyst left behind")
+	}
+}

@@ -1,0 +1,516 @@
+package analyze
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"agentgrid/internal/acl"
+	"agentgrid/internal/agent"
+	"agentgrid/internal/classify"
+	"agentgrid/internal/directory"
+	"agentgrid/internal/loadbalance"
+	"agentgrid/internal/negotiate"
+	"agentgrid/internal/rules"
+)
+
+// WorkerAgentName is the local name every analysis worker agent uses;
+// combined with its container name (used as the platform) it yields the
+// worker's AID.
+const WorkerAgentName = "analyzer"
+
+// AIDForWorker builds the AID of the analyzer agent on a registered
+// container.
+func AIDForWorker(reg directory.Registration) acl.AID {
+	return acl.NewAID(WorkerAgentName, reg.Container, reg.Addr)
+}
+
+// taskReplyPrefix tags reply-with values so the root can tell task
+// results from other informs.
+const taskReplyPrefix = "task:"
+
+// RootConfig configures the processor-grid root.
+type RootConfig struct {
+	// Directory lists the analysis containers (Figure 4's D1).
+	Directory *directory.Directory
+	// Scheduler places tasks (direct dispatch). Required unless
+	// Negotiated.
+	Scheduler loadbalance.Scheduler
+	// Negotiated switches placement to contract-net bidding.
+	Negotiated bool
+	// BidWindow bounds proposal collection when Negotiated (default 1s).
+	BidWindow time.Duration
+	// Interface, when set, receives alert bundles.
+	Interface acl.AID
+	// TaskTimeout is how long a dispatched task may stay unanswered
+	// before reassignment (default 10s).
+	TaskTimeout time.Duration
+	// MaxAttempts bounds dispatch attempts per task (default 3).
+	MaxAttempts int
+	// OnResult observes every completed task. Optional.
+	OnResult func(*Result)
+	// ErrorLog receives dispatch errors. Optional.
+	ErrorLog func(error)
+}
+
+// RootStats counts root activity.
+type RootStats struct {
+	Notices       uint64
+	Dispatched    uint64
+	Completed     uint64
+	Reassigned    uint64
+	Abandoned     uint64
+	AlertsForward uint64
+}
+
+type pendingTask struct {
+	task     *Task
+	worker   string // container name
+	deadline time.Time
+	attempts int
+	excluded map[string]bool
+}
+
+// Root is the processor-grid broker.
+type Root struct {
+	a   *agent.Agent
+	cfg RootConfig
+	ini *negotiate.Initiator
+
+	mu      sync.Mutex
+	pending map[string]*pendingTask
+	l3busy  map[string]bool
+	stats   RootStats
+}
+
+// NewRoot wires broker behaviour onto an agent.
+func NewRoot(a *agent.Agent, cfg RootConfig) (*Root, error) {
+	if cfg.Directory == nil {
+		return nil, errors.New("analyze: root needs a directory")
+	}
+	if cfg.Scheduler == nil && !cfg.Negotiated {
+		return nil, errors.New("analyze: root needs a scheduler or negotiation")
+	}
+	if cfg.TaskTimeout <= 0 {
+		cfg.TaskTimeout = 10 * time.Second
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 3
+	}
+	if cfg.BidWindow <= 0 {
+		cfg.BidWindow = time.Second
+	}
+	r := &Root{
+		a:       a,
+		cfg:     cfg,
+		pending: make(map[string]*pendingTask),
+		l3busy:  make(map[string]bool),
+	}
+	if cfg.Negotiated {
+		r.ini = negotiate.NewInitiator(a)
+	}
+
+	a.HandleFunc(agent.Selector{
+		Performative: acl.Inform,
+		Ontology:     acl.OntologyGridManagement,
+		Protocol:     acl.ProtocolRequest,
+	}, r.handleInform)
+	a.HandleFunc(agent.Selector{
+		Performative: acl.Failure,
+		Protocol:     acl.ProtocolRequest,
+	}, r.handleFailure)
+
+	// Reassignment sweep: half the timeout keeps worst-case detection
+	// under 1.5 timeouts.
+	sweep := cfg.TaskTimeout / 2
+	if sweep < 10*time.Millisecond {
+		sweep = 10 * time.Millisecond
+	}
+	err := a.AddGoal(agent.Goal{
+		Name:     "task-sweep",
+		Interval: sweep,
+		Action: func(ctx context.Context, _ *agent.Agent) error {
+			r.SweepOverdue(ctx)
+			return nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Agent returns the underlying agent.
+func (r *Root) Agent() *agent.Agent { return r.a }
+
+// Stats returns activity counters.
+func (r *Root) Stats() RootStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// PendingTasks returns the IDs of in-flight tasks, sorted.
+func (r *Root) PendingTasks() []string {
+	r.mu.Lock()
+	out := make([]string, 0, len(r.pending))
+	for id := range r.pending {
+		out = append(out, id)
+	}
+	r.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// handleInform dispatches on the inform's role: a task result (tagged
+// in-reply-to) or a classifier notice.
+func (r *Root) handleInform(ctx context.Context, a *agent.Agent, m *acl.Message) {
+	if strings.HasPrefix(m.InReplyTo, taskReplyPrefix) {
+		r.handleResult(ctx, m)
+		return
+	}
+	notice, err := classify.DecodeNotice(m.Content)
+	if err != nil {
+		r.logErr(fmt.Errorf("analyze: notice from %s: %w", m.Sender, err))
+		a.Send(ctx, m.Reply(a.ID(), acl.NotUnderstood))
+		return
+	}
+	r.HandleNotice(ctx, notice)
+}
+
+// HandleNotice divides a classifier notice into tasks and dispatches
+// them — Figure 3's division of analysis activities. Exposed for
+// in-process pipelines.
+func (r *Root) HandleNotice(ctx context.Context, notice *classify.Notice) {
+	r.mu.Lock()
+	r.stats.Notices++
+	r.mu.Unlock()
+	sites := make(map[string]int) // site -> max step
+	for _, cluster := range notice.Clusters {
+		site := cluster.Site
+		if site == "" && cluster.Device == "" {
+			// Shard cluster (ablation strategy): site may still be set.
+			site = "unknown"
+		}
+		if cluster.MaxStep > sites[site] {
+			sites[site] = cluster.MaxStep
+		}
+		// Level 1: fresh scan; Level 2: consolidation with history.
+		for _, level := range []int{1, 2} {
+			task := &Task{
+				ID:         r.a.NewConversationID(),
+				Level:      level,
+				Site:       cluster.Site,
+				Device:     cluster.Device,
+				Categories: cluster.Categories,
+				Step:       cluster.MaxStep,
+			}
+			r.dispatch(ctx, task, nil)
+		}
+	}
+	// Level 3: one cross-device correlation task per site, not
+	// duplicated while one is already in flight.
+	for site, step := range sites {
+		r.mu.Lock()
+		busy := r.l3busy[site]
+		if !busy {
+			r.l3busy[site] = true
+		}
+		r.mu.Unlock()
+		if busy {
+			continue
+		}
+		task := &Task{
+			ID:    r.a.NewConversationID(),
+			Level: 3,
+			Site:  site,
+			Step:  step,
+		}
+		r.dispatch(ctx, task, nil)
+	}
+}
+
+// dispatch places one task on a worker.
+func (r *Root) dispatch(ctx context.Context, task *Task, excluded map[string]bool) {
+	if excluded == nil {
+		excluded = make(map[string]bool)
+	}
+	candidates := r.cfg.Directory.Search(directory.Query{ServiceType: directory.ServiceAnalysis})
+	// Directory load is heartbeat-delayed; overlay the root's own view
+	// of in-flight tasks so a burst spreads instead of piling onto the
+	// first name until the next renewal.
+	inflight := make(map[string]int)
+	r.mu.Lock()
+	for _, pt := range r.pending {
+		if pt.worker != "" {
+			inflight[pt.worker]++
+		}
+	}
+	r.mu.Unlock()
+	eligible := candidates[:0]
+	for _, c := range candidates {
+		if excluded[c.Container] {
+			continue
+		}
+		if n := inflight[c.Container]; n > 0 {
+			// Saturating overlay: 1 task -> +0.5, 2 -> +0.67, ...
+			c.Load += (1 - c.Load) * float64(n) / float64(n+1)
+		}
+		eligible = append(eligible, c)
+	}
+	if len(eligible) == 0 {
+		r.abandon(task, fmt.Errorf("analyze: no eligible workers for task %s", task.ID))
+		return
+	}
+
+	if r.cfg.Negotiated {
+		go r.dispatchNegotiated(ctx, task, eligible, excluded)
+		return
+	}
+
+	reg, err := r.cfg.Scheduler.Pick(loadbalance.Task{
+		ID:       task.ID,
+		Category: task.PrimaryCategory(),
+	}, eligible)
+	if err != nil {
+		r.abandon(task, err)
+		return
+	}
+	r.sendTask(ctx, task, reg, excluded)
+}
+
+// sendTask transmits the task request and registers the pending entry.
+func (r *Root) sendTask(ctx context.Context, task *Task, reg directory.Registration, excluded map[string]bool) {
+	content, err := EncodeTask(task)
+	if err != nil {
+		r.abandon(task, err)
+		return
+	}
+	r.mu.Lock()
+	pt := r.pending[task.ID]
+	if pt == nil {
+		pt = &pendingTask{task: task, excluded: excluded}
+		r.pending[task.ID] = pt
+	}
+	pt.worker = reg.Container
+	pt.deadline = time.Now().Add(r.cfg.TaskTimeout)
+	pt.attempts++
+	r.stats.Dispatched++
+	r.mu.Unlock()
+
+	msg := &acl.Message{
+		Performative:   acl.Request,
+		Receivers:      []acl.AID{AIDForWorker(reg)},
+		Content:        content,
+		Language:       "json",
+		Ontology:       acl.OntologyGridManagement,
+		Protocol:       acl.ProtocolRequest,
+		ConversationID: task.ID,
+		ReplyWith:      taskReplyPrefix + task.ID,
+	}
+	if err := r.a.Send(ctx, msg); err != nil {
+		r.logErr(fmt.Errorf("analyze: send task %s to %s: %w", task.ID, reg.Container, err))
+		r.reassign(ctx, task.ID, reg.Container)
+	}
+}
+
+// dispatchNegotiated places the task via contract-net. Runs on its own
+// goroutine because Negotiate blocks on replies.
+func (r *Root) dispatchNegotiated(ctx context.Context, task *Task, eligible []directory.Registration, excluded map[string]bool) {
+	content, err := EncodeTask(task)
+	if err != nil {
+		r.abandon(task, err)
+		return
+	}
+	participants := make([]acl.AID, len(eligible))
+	for i, reg := range eligible {
+		participants[i] = AIDForWorker(reg)
+	}
+	r.mu.Lock()
+	pt := r.pending[task.ID]
+	if pt == nil {
+		pt = &pendingTask{task: task, excluded: excluded}
+		r.pending[task.ID] = pt
+	}
+	pt.attempts++
+	pt.deadline = time.Now().Add(r.cfg.TaskTimeout)
+	r.stats.Dispatched++
+	r.mu.Unlock()
+
+	outcome, err := r.ini.Negotiate(ctx, participants, negotiate.Task{
+		ID:      task.ID,
+		Kind:    fmt.Sprintf("analysis-l%d", task.Level),
+		Payload: content,
+	}, r.cfg.BidWindow)
+	if err != nil {
+		r.logErr(fmt.Errorf("analyze: negotiate task %s: %w", task.ID, err))
+		r.mu.Lock()
+		delete(r.pending, task.ID)
+		if task.Level == 3 {
+			delete(r.l3busy, task.Site)
+		}
+		r.stats.Abandoned++
+		r.mu.Unlock()
+		return
+	}
+	res, err := DecodeResult(outcome.Output)
+	if err != nil {
+		r.logErr(err)
+		return
+	}
+	r.complete(ctx, res)
+}
+
+// handleResult consumes a worker's inform reply.
+func (r *Root) handleResult(ctx context.Context, m *acl.Message) {
+	res, err := DecodeResult(m.Content)
+	if err != nil {
+		r.logErr(fmt.Errorf("analyze: result from %s: %w", m.Sender, err))
+		return
+	}
+	r.complete(ctx, res)
+}
+
+// complete retires a pending task and forwards its alerts.
+func (r *Root) complete(ctx context.Context, res *Result) {
+	r.mu.Lock()
+	pt, ok := r.pending[res.TaskID]
+	if ok {
+		delete(r.pending, res.TaskID)
+		if pt.task.Level == 3 {
+			delete(r.l3busy, pt.task.Site)
+		}
+		r.stats.Completed++
+	}
+	r.mu.Unlock()
+	if !ok {
+		return // duplicate or late result
+	}
+	if r.cfg.OnResult != nil {
+		r.cfg.OnResult(res)
+	}
+	if len(res.Alerts) > 0 && !r.cfg.Interface.IsZero() {
+		r.forwardAlerts(ctx, res.Alerts)
+	}
+}
+
+// forwardAlerts ships an alert bundle to the interface grid.
+func (r *Root) forwardAlerts(ctx context.Context, alerts []rules.Alert) {
+	content, err := EncodeAlerts(alerts)
+	if err != nil {
+		r.logErr(err)
+		return
+	}
+	msg := &acl.Message{
+		Performative:   acl.Inform,
+		Receivers:      []acl.AID{r.cfg.Interface},
+		Content:        content,
+		Language:       "json",
+		Ontology:       acl.OntologyNetworkManagement,
+		ConversationID: r.a.NewConversationID(),
+	}
+	if err := r.a.Send(ctx, msg); err != nil {
+		r.logErr(fmt.Errorf("analyze: forward alerts: %w", err))
+		return
+	}
+	r.mu.Lock()
+	r.stats.AlertsForward += uint64(len(alerts))
+	r.mu.Unlock()
+}
+
+// handleFailure reassigns a task its worker could not finish.
+func (r *Root) handleFailure(ctx context.Context, _ *agent.Agent, m *acl.Message) {
+	id := strings.TrimPrefix(m.InReplyTo, taskReplyPrefix)
+	if id == m.InReplyTo {
+		return // unrelated failure
+	}
+	r.mu.Lock()
+	pt, ok := r.pending[id]
+	var worker string
+	if ok {
+		worker = pt.worker
+	}
+	r.mu.Unlock()
+	if !ok {
+		return
+	}
+	r.reassign(ctx, id, worker)
+}
+
+// SweepOverdue reassigns tasks whose deadline passed (dead or wedged
+// worker). It also expires dead directory entries first so the
+// rescheduling sees fresh membership. Normally driven by the root's
+// task-sweep goal; exposed for deterministic tests.
+func (r *Root) SweepOverdue(ctx context.Context) {
+	r.cfg.Directory.Sweep()
+	now := time.Now()
+	type overdue struct {
+		id     string
+		worker string
+	}
+	r.mu.Lock()
+	var due []overdue
+	for id, pt := range r.pending {
+		if now.After(pt.deadline) {
+			due = append(due, overdue{id: id, worker: pt.worker})
+		}
+	}
+	r.mu.Unlock()
+	for _, o := range due {
+		r.reassign(ctx, o.id, o.worker)
+	}
+}
+
+// reassign excludes the failed worker and re-dispatches, up to
+// MaxAttempts.
+func (r *Root) reassign(ctx context.Context, taskID, failedWorker string) {
+	r.mu.Lock()
+	pt, ok := r.pending[taskID]
+	if !ok {
+		r.mu.Unlock()
+		return
+	}
+	if failedWorker != "" {
+		pt.excluded[failedWorker] = true
+	}
+	if pt.attempts >= r.cfg.MaxAttempts {
+		delete(r.pending, taskID)
+		if pt.task.Level == 3 {
+			delete(r.l3busy, pt.task.Site)
+		}
+		r.stats.Abandoned++
+		r.mu.Unlock()
+		r.logErr(fmt.Errorf("analyze: task %s abandoned after %d attempts", taskID, pt.attempts))
+		return
+	}
+	r.stats.Reassigned++
+	task := pt.task
+	excluded := pt.excluded
+	// Push the deadline so the sweep does not double-fire while the new
+	// dispatch is in flight.
+	pt.deadline = time.Now().Add(r.cfg.TaskTimeout)
+	r.mu.Unlock()
+	r.dispatch(ctx, task, excluded)
+}
+
+// abandon drops a task that cannot be placed.
+func (r *Root) abandon(task *Task, err error) {
+	r.mu.Lock()
+	delete(r.pending, task.ID)
+	if task.Level == 3 {
+		delete(r.l3busy, task.Site)
+	}
+	r.stats.Abandoned++
+	r.mu.Unlock()
+	r.logErr(err)
+}
+
+func (r *Root) logErr(err error) {
+	if r.cfg.ErrorLog != nil {
+		r.cfg.ErrorLog(err)
+	}
+}

@@ -1,0 +1,205 @@
+package analyze
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"agentgrid/internal/acl"
+	"agentgrid/internal/classify"
+	"agentgrid/internal/obs"
+	"agentgrid/internal/store"
+)
+
+// TestNoticeOverACL drives the root through its message handler rather
+// than HandleNotice, as the real classifier does.
+func TestNoticeOverACL(t *testing.T) {
+	g := buildGrid(t, 2, nil)
+	g.seedStore("h1", 95, 96, 97, 98, 99)
+
+	notice := g.notice("h1")
+	content, err := classify.EncodeNotice(notice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := &acl.Message{
+		Performative:   acl.Inform,
+		Sender:         acl.NewAID("classifier", "clg"),
+		Receivers:      []acl.AID{g.root.Agent().ID()},
+		Content:        content,
+		Language:       "json",
+		Ontology:       acl.OntologyGridManagement,
+		Protocol:       acl.ProtocolRequest,
+		ConversationID: "n1",
+	}
+	if err := g.root.Agent().Deliver(msg); err != nil {
+		t.Fatal(err)
+	}
+	g.collectResults(3, 10*time.Second) // L1 + L2 + L3
+	if g.root.Stats().Notices != 1 {
+		t.Fatalf("stats = %+v", g.root.Stats())
+	}
+}
+
+func TestMalformedNoticeOverACL(t *testing.T) {
+	var errs atomic.Int64
+	g := buildGrid(t, 1, func(cfg *RootConfig) {
+		cfg.ErrorLog = func(error) { errs.Add(1) }
+	})
+	msg := &acl.Message{
+		Performative: acl.Inform,
+		Sender:       acl.NewAID("classifier", "clg"),
+		Receivers:    []acl.AID{g.root.Agent().ID()},
+		Content:      []byte("<<<garbage"),
+		Ontology:     acl.OntologyGridManagement,
+		Protocol:     acl.ProtocolRequest,
+	}
+	if err := g.root.Agent().Deliver(msg); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(10 * time.Second)
+	for g.root.Stats().Notices != 0 || errs.Load() == 0 {
+		select {
+		case <-deadline:
+			t.Fatalf("garbage notice not rejected (errs=%d)", errs.Load())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// TestWorkerFailureReplyTriggersReassign covers the explicit failure
+// path: the root treats a failure reply as "reassign now".
+func TestWorkerFailureReplyTriggersReassign(t *testing.T) {
+	g := buildGrid(t, 2, func(cfg *RootConfig) {
+		cfg.TaskTimeout = 10 * time.Second // only the failure reply may trigger
+	})
+	g.seedStore("h1", 95)
+	g.root.HandleNotice(context.Background(), g.notice("h1"))
+
+	// Snatch one pending task and fake its worker's failure reply.
+	deadline := time.After(5 * time.Second)
+	var taskID string
+	for taskID == "" {
+		if ids := g.root.PendingTasks(); len(ids) > 0 {
+			taskID = ids[0]
+		}
+		select {
+		case <-deadline:
+			t.Fatal("no pending tasks")
+		default:
+		}
+	}
+	fail := &acl.Message{
+		Performative: acl.Failure,
+		Sender:       acl.NewAID(WorkerAgentName, "pg-0"),
+		Receivers:    []acl.AID{g.root.Agent().ID()},
+		Protocol:     acl.ProtocolRequest,
+		InReplyTo:    taskReplyPrefix + taskID,
+	}
+	if err := g.root.Agent().Deliver(fail); err != nil {
+		t.Fatal(err)
+	}
+	// All tasks still complete (reassigned to a live worker).
+	g.collectResults(3, 15*time.Second)
+	if g.root.Stats().Reassigned == 0 {
+		t.Fatalf("stats = %+v", g.root.Stats())
+	}
+	// An unrelated failure (no task tag) is ignored harmlessly.
+	unrelated := &acl.Message{
+		Performative: acl.Failure,
+		Sender:       acl.NewAID("x", "pg-0"),
+		Receivers:    []acl.AID{g.root.Agent().ID()},
+		Protocol:     acl.ProtocolRequest,
+		InReplyTo:    "something-else",
+	}
+	if err := g.root.Agent().Deliver(unrelated); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkerRejectsGarbageTask(t *testing.T) {
+	g := buildGrid(t, 1, nil)
+	w := g.workers["pg-0"]
+	// Garbage task through the worker's ACL handler.
+	msg := &acl.Message{
+		Performative: acl.Request,
+		Sender:       acl.NewAID("pg-root", "root"),
+		Receivers:    []acl.AID{w.Agent().ID()},
+		Content:      []byte("junk"),
+		Ontology:     acl.OntologyGridManagement,
+		Protocol:     acl.ProtocolRequest,
+	}
+	if err := w.Agent().Deliver(msg); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(10 * time.Second)
+	for w.Stats().RejectedUnknown == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("garbage task not rejected")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+// TestNegotiatedBidPrefersKnowledge: with equal load, the worker whose
+// rule base knows the task's category underbids the ignorant one.
+func TestNegotiatedBidPrefersKnowledge(t *testing.T) {
+	g := buildGrid(t, 2, func(cfg *RootConfig) {
+		cfg.Scheduler = nil
+		cfg.Negotiated = true
+		cfg.BidWindow = 300 * time.Millisecond
+		cfg.TaskTimeout = 10 * time.Second
+	})
+	// pg-0 keeps the cpu rules; pg-1 forgets everything (no knowledge).
+	ignorant := g.workers["pg-1"]
+	for _, name := range ignorant.Rules().Names() {
+		ignorant.Rules().Remove(name)
+	}
+	ignorant.Rules().AddSource(`rule "other" level 1 category traffic { when latest(if.in.1) > 1e18 then alert "x" }`)
+
+	g.seedStore("h1", 95, 96, 97, 98, 99)
+	g.root.HandleNotice(context.Background(), g.notice("h1")) // categories: cpu
+	results := g.collectResults(3, 15*time.Second)
+	for _, res := range results {
+		if res.Worker != "analyzer@pg-0" {
+			t.Fatalf("cpu task went to the ignorant worker: %+v", res)
+		}
+	}
+}
+
+// Unit coverage for the reader-env adapters.
+func TestReaderEnvAdapters(t *testing.T) {
+	st := store.New(16)
+	st.Append(obs.Record{Site: "s", Device: "d", Metric: "m", Value: 5, Step: 1, Time: time.Unix(1, 0)})
+	st.Append(obs.Record{Site: "s", Device: "e", Metric: "m", Value: 7, Step: 1, Time: time.Unix(1, 0)})
+	st.Append(obs.Record{Site: "other", Device: "z", Metric: "m", Value: 100, Step: 1, Time: time.Unix(1, 0)})
+
+	dev := &deviceReaderEnv{reader: st, site: "s", device: "d"}
+	if f := dev.FleetLatest("m"); len(f) != 1 || f[0] != 5 {
+		t.Fatalf("device FleetLatest = %v", f)
+	}
+	if dev.FleetLatest("ghost") != nil {
+		t.Fatal("device phantom fleet")
+	}
+	if dev.Fact("x") {
+		t.Fatal("device env has facts")
+	}
+	site := &siteReaderEnv{reader: st, site: "s"}
+	if avg, ok := site.Latest("m"); !ok || avg != 6 {
+		t.Fatalf("site Latest = %v, %v", avg, ok)
+	}
+	if _, ok := site.Latest("ghost"); ok {
+		t.Fatal("site phantom latest")
+	}
+	if site.Window("m", 3) != nil {
+		t.Fatal("site window should be nil")
+	}
+	if site.Fact("x") {
+		t.Fatal("site env has facts")
+	}
+	if f := site.FleetLatest("m"); len(f) != 2 {
+		t.Fatalf("site FleetLatest = %v", f)
+	}
+}

@@ -1,0 +1,96 @@
+// Package analyze implements the processor agent grid (PG, §3.3) — "the
+// most important part of the architecture". A root agent acts as the
+// broker of Figure 3: it receives the classifier's data notices, divides
+// the analysis into tasks (per-device level 1/2 scans and per-site level
+// 3 correlation), places each task on a worker container using a
+// load-balancing strategy or contract-net negotiation, reassigns tasks
+// when workers die, and forwards the resulting alerts to the interface
+// grid. Worker agents hold the rule base and evaluate it against the
+// management store.
+package analyze
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"agentgrid/internal/rules"
+)
+
+// Task is one unit of analysis work the root hands a worker.
+type Task struct {
+	// ID is unique per root.
+	ID string `json:"id"`
+	// Level is the analysis level (1, 2 or 3).
+	Level int `json:"level"`
+	// Site scopes the task.
+	Site string `json:"site"`
+	// Device scopes level 1/2 tasks; empty for level 3.
+	Device string `json:"device,omitempty"`
+	// Categories are the metric categories present in the cluster — the
+	// knowledge the task needs.
+	Categories []string `json:"categories,omitempty"`
+	// Step is the newest logical step of the data under analysis.
+	Step int `json:"step"`
+}
+
+// PrimaryCategory returns the first category (scheduler knowledge hint).
+func (t *Task) PrimaryCategory() string {
+	if len(t.Categories) == 0 {
+		return ""
+	}
+	return t.Categories[0]
+}
+
+// EncodeTask serializes a task for ACL content.
+func EncodeTask(t *Task) ([]byte, error) { return json.Marshal(t) }
+
+// DecodeTask parses a task from ACL content.
+func DecodeTask(data []byte) (*Task, error) {
+	var t Task
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("analyze: decode task: %w", err)
+	}
+	if t.ID == "" || t.Level < 1 || t.Level > 3 || t.Site == "" {
+		return nil, fmt.Errorf("analyze: malformed task %+v", t)
+	}
+	return &t, nil
+}
+
+// Result is a worker's answer for one task.
+type Result struct {
+	// TaskID echoes the task.
+	TaskID string `json:"task_id"`
+	// Worker names the container/agent that produced the result.
+	Worker string `json:"worker"`
+	// Alerts raised by the rules.
+	Alerts []rules.Alert `json:"alerts,omitempty"`
+	// Facts derived during forward chaining.
+	Facts []string `json:"facts,omitempty"`
+	// RulesRun counts rules evaluated (for the capacity experiments).
+	RulesRun int `json:"rules_run"`
+}
+
+// EncodeResult serializes a result for ACL content.
+func EncodeResult(r *Result) ([]byte, error) { return json.Marshal(r) }
+
+// DecodeResult parses a result from ACL content.
+func DecodeResult(data []byte) (*Result, error) {
+	var r Result
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("analyze: decode result: %w", err)
+	}
+	return &r, nil
+}
+
+// EncodeAlerts serializes an alert bundle the root forwards to the
+// interface grid.
+func EncodeAlerts(alerts []rules.Alert) ([]byte, error) { return json.Marshal(alerts) }
+
+// DecodeAlerts parses an alert bundle.
+func DecodeAlerts(data []byte) ([]rules.Alert, error) {
+	var out []rules.Alert
+	if err := json.Unmarshal(data, &out); err != nil {
+		return nil, fmt.Errorf("analyze: decode alerts: %w", err)
+	}
+	return out, nil
+}

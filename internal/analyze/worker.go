@@ -1,0 +1,280 @@
+package analyze
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"agentgrid/internal/acl"
+	"agentgrid/internal/agent"
+	"agentgrid/internal/negotiate"
+	"agentgrid/internal/rules"
+	"agentgrid/internal/store"
+)
+
+// StoreReader is the store access a worker needs. *store.Store
+// satisfies it; a remote-store proxy could too.
+type StoreReader interface {
+	Latest(key string) (store.Point, bool)
+	Window(key string, n int) []store.Point
+	SeriesForMetric(metric string) []string
+	SeriesForDevice(site, device string) []string
+}
+
+// Interface compliance: the in-memory store is a valid reader.
+var _ StoreReader = (*store.Store)(nil)
+
+// WorkerConfig configures an analysis worker.
+type WorkerConfig struct {
+	// Store is where classified data lives.
+	Store StoreReader
+	// Rules is the worker's knowledge base.
+	Rules *rules.RuleBase
+	// Capacity is how many concurrent tasks the worker is sized for
+	// (load = busy/capacity). Default 4.
+	Capacity int
+	// ErrorLog receives evaluation errors. Optional.
+	ErrorLog func(error)
+}
+
+// WorkerStats counts worker activity.
+type WorkerStats struct {
+	Tasks           uint64
+	Alerts          uint64
+	RejectedUnknown uint64
+}
+
+// Worker is a processor-grid analysis agent.
+type Worker struct {
+	a   *agent.Agent
+	cfg WorkerConfig
+
+	mu    sync.Mutex
+	busy  int
+	stats WorkerStats
+}
+
+// NewWorker wires analysis behaviour onto an agent: it accepts task
+// requests (fipa-request) and contract-net awards, runs the rule base at
+// the requested level, and replies with results.
+func NewWorker(a *agent.Agent, cfg WorkerConfig) (*Worker, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("analyze: worker needs a store")
+	}
+	if cfg.Rules == nil {
+		return nil, errors.New("analyze: worker needs a rule base")
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 4
+	}
+	w := &Worker{a: a, cfg: cfg}
+
+	// Direct dispatch path: request carrying a task.
+	a.HandleFunc(agent.Selector{
+		Performative: acl.Request,
+		Protocol:     acl.ProtocolRequest,
+		Ontology:     acl.OntologyGridManagement,
+	}, w.handleTaskRequest)
+
+	// Negotiated path: contract-net participant. The bid is the current
+	// load plus a knowledge penalty when the task's category is outside
+	// the worker's rule base — §3.5's first principle (route to
+	// containers "with knowledge to process it") expressed as price.
+	negotiate.RegisterParticipant(a, negotiate.ParticipantFuncs{
+		BidFunc: func(nt negotiate.Task) (float64, bool) {
+			bid := w.Load()
+			if task, err := DecodeTask(nt.Payload); err == nil {
+				if cat := task.PrimaryCategory(); cat != "" && !w.knowsCategory(cat) {
+					bid += knowledgePenalty
+				}
+			}
+			return bid, true
+		},
+		ExecuteFunc: func(ctx context.Context, nt negotiate.Task) (negotiate.Result, error) {
+			task, err := DecodeTask(nt.Payload)
+			if err != nil {
+				return negotiate.Result{}, err
+			}
+			res := w.Run(task)
+			out, err := EncodeResult(res)
+			if err != nil {
+				return negotiate.Result{}, err
+			}
+			return negotiate.Result{Output: out}, nil
+		},
+	})
+	return w, nil
+}
+
+// Agent returns the underlying agent.
+func (w *Worker) Agent() *agent.Agent { return w.a }
+
+// Rules returns the worker's rule base (the interface grid adds learned
+// rules through it).
+func (w *Worker) Rules() *rules.RuleBase { return w.cfg.Rules }
+
+// Load returns the worker's busy fraction in [0,1].
+func (w *Worker) Load() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	l := float64(w.busy) / float64(w.cfg.Capacity)
+	if l > 1 {
+		l = 1
+	}
+	return l
+}
+
+// Stats returns activity counters.
+func (w *Worker) Stats() WorkerStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
+}
+
+// Capabilities returns the metric categories the worker's rule base
+// covers — what it advertises to the directory.
+func (w *Worker) Capabilities() []string { return w.cfg.Rules.Categories() }
+
+// knowledgePenalty is added to a contract-net bid when the worker's rule
+// base lacks the task's category; a knowledgeable idle worker always
+// underbids an ignorant one, but ignorant workers still keep the grid
+// live when nobody knows the category.
+const knowledgePenalty = 10
+
+// knowsCategory reports whether the rule base covers a metric category.
+func (w *Worker) knowsCategory(cat string) bool {
+	for _, c := range w.cfg.Rules.Categories() {
+		if c == cat {
+			return true
+		}
+	}
+	return false
+}
+
+// handleTaskRequest answers the root's direct dispatch.
+func (w *Worker) handleTaskRequest(ctx context.Context, a *agent.Agent, m *acl.Message) {
+	task, err := DecodeTask(m.Content)
+	if err != nil {
+		w.mu.Lock()
+		w.stats.RejectedUnknown++
+		w.mu.Unlock()
+		a.Send(ctx, m.Reply(a.ID(), acl.NotUnderstood))
+		return
+	}
+	res := w.Run(task)
+	reply := m.Reply(a.ID(), acl.Inform)
+	reply.Language = "json"
+	reply.Content, err = EncodeResult(res)
+	if err != nil {
+		fail := m.Reply(a.ID(), acl.Failure)
+		fail.Content = []byte(err.Error())
+		a.Send(ctx, fail)
+		return
+	}
+	a.Send(ctx, reply)
+}
+
+// Run executes one task synchronously — the multiple-level analyses of
+// §3.3. Exposed for in-process pipelines, negotiation and benchmarks.
+func (w *Worker) Run(task *Task) *Result {
+	w.mu.Lock()
+	w.busy++
+	w.mu.Unlock()
+	defer func() {
+		w.mu.Lock()
+		w.busy--
+		w.stats.Tasks++
+		w.mu.Unlock()
+	}()
+
+	var env rules.Env
+	scope := rules.Scope{Site: task.Site, Device: task.Device, Step: task.Step}
+	switch task.Level {
+	case 3:
+		env = &siteReaderEnv{reader: w.cfg.Store, site: task.Site}
+	default:
+		env = &deviceReaderEnv{reader: w.cfg.Store, site: task.Site, device: task.Device}
+	}
+	alerts, facts := rules.Evaluate(w.cfg.Rules, task.Level, env, scope)
+
+	w.mu.Lock()
+	w.stats.Alerts += uint64(len(alerts))
+	w.mu.Unlock()
+	return &Result{
+		TaskID:   task.ID,
+		Worker:   w.a.ID().Name,
+		Alerts:   alerts,
+		Facts:    facts,
+		RulesRun: len(w.cfg.Rules.ForLevel(task.Level)),
+	}
+}
+
+// deviceReaderEnv adapts a StoreReader to the rules.Env contract for
+// one device (levels 1 and 2).
+type deviceReaderEnv struct {
+	reader StoreReader
+	site   string
+	device string
+}
+
+func (e *deviceReaderEnv) key(metric string) string {
+	return e.site + "/" + e.device + "/" + metric
+}
+
+func (e *deviceReaderEnv) Latest(metric string) (float64, bool) {
+	p, ok := e.reader.Latest(e.key(metric))
+	if !ok {
+		return 0, false
+	}
+	return p.Value, true
+}
+
+func (e *deviceReaderEnv) Window(metric string, n int) []store.Point {
+	return e.reader.Window(e.key(metric), n)
+}
+
+func (e *deviceReaderEnv) FleetLatest(metric string) []float64 {
+	if v, ok := e.Latest(metric); ok {
+		return []float64{v}
+	}
+	return nil
+}
+
+func (e *deviceReaderEnv) Fact(string) bool { return false }
+
+// siteReaderEnv adapts a StoreReader to site scope (level 3).
+type siteReaderEnv struct {
+	reader StoreReader
+	site   string
+}
+
+func (e *siteReaderEnv) FleetLatest(metric string) []float64 {
+	keys := e.reader.SeriesForMetric(metric)
+	prefix := e.site + "/"
+	var out []float64
+	for _, k := range keys {
+		if len(k) < len(prefix) || k[:len(prefix)] != prefix {
+			continue
+		}
+		if p, ok := e.reader.Latest(k); ok {
+			out = append(out, p.Value)
+		}
+	}
+	return out
+}
+
+func (e *siteReaderEnv) Latest(metric string) (float64, bool) {
+	vals := e.FleetLatest(metric)
+	if len(vals) == 0 {
+		return 0, false
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals)), true
+}
+
+func (e *siteReaderEnv) Window(string, int) []store.Point { return nil }
+
+func (e *siteReaderEnv) Fact(string) bool { return false }

@@ -1,0 +1,315 @@
+// Package classify implements the classifier agent grid (CLG, §3.2): it
+// receives heterogeneous batches from collectors, parses the common
+// representation, classifies and indexes records, stores them, clusters
+// the data so analysis can be distributed without losing meaning, and
+// notifies the processor grid with a FIPA ACL message that data is
+// present.
+package classify
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"agentgrid/internal/acl"
+	"agentgrid/internal/agent"
+	"agentgrid/internal/obs"
+)
+
+// Sink persists classified records. *store.Store and *store.ReplicaSet
+// both satisfy it.
+type Sink interface {
+	Append(r obs.Record) error
+}
+
+// Cluster is one meaning-preserving unit of analysis work: by default
+// all records of one device in one batch, so cross-metric rules for a
+// device never straddle a split (§3.2: data must be divided "in such a
+// way that there are no losses of meaning in the information").
+type Cluster struct {
+	// Key identifies the cluster ("site/device" for device affinity,
+	// "shard-N" for the ablation strategy).
+	Key string `json:"key"`
+	// Site and Device are set for device-affine clusters.
+	Site   string `json:"site,omitempty"`
+	Device string `json:"device,omitempty"`
+	// Class is the device class when uniform within the cluster.
+	Class string `json:"class,omitempty"`
+	// Categories are the metric categories present, sorted.
+	Categories []string `json:"categories"`
+	// Records counts observations in the cluster.
+	Records int `json:"records"`
+	// MaxStep is the newest logical step in the cluster.
+	MaxStep int `json:"max_step"`
+}
+
+// Notice is the content of the classifier's "data present" message to
+// the processor grid root.
+type Notice struct {
+	// Collector is the batch's source agent.
+	Collector string `json:"collector"`
+	// Clusters summarize the stored data awaiting analysis.
+	Clusters []Cluster `json:"clusters"`
+}
+
+// EncodeNotice serializes a notice for ACL content.
+func EncodeNotice(n *Notice) ([]byte, error) { return json.Marshal(n) }
+
+// DecodeNotice parses a notice from ACL content.
+func DecodeNotice(data []byte) (*Notice, error) {
+	var n Notice
+	if err := json.Unmarshal(data, &n); err != nil {
+		return nil, fmt.Errorf("classify: decode notice: %w", err)
+	}
+	return &n, nil
+}
+
+// Strategy decides how a batch's records group into clusters. The
+// default, DeviceAffinity, is the paper's design; RandomShard exists for
+// the clustering ablation (experiment X6).
+type Strategy interface {
+	// Name identifies the strategy.
+	Name() string
+	// Cluster partitions records into clusters. Every record must land
+	// in exactly one cluster.
+	Cluster(records []obs.Record, ont *obs.Ontology) []Cluster
+}
+
+// DeviceAffinity groups records by site/device.
+type DeviceAffinity struct{}
+
+// Name implements Strategy.
+func (DeviceAffinity) Name() string { return "device-affinity" }
+
+// Cluster implements Strategy.
+func (DeviceAffinity) Cluster(records []obs.Record, ont *obs.Ontology) []Cluster {
+	byDev := make(map[string][]obs.Record)
+	for _, r := range records {
+		key := r.Site + "/" + r.Device
+		byDev[key] = append(byDev[key], r)
+	}
+	keys := make([]string, 0, len(byDev))
+	for k := range byDev {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Cluster, 0, len(keys))
+	for _, key := range keys {
+		recs := byDev[key]
+		c := Cluster{
+			Key:        key,
+			Site:       recs[0].Site,
+			Device:     recs[0].Device,
+			Class:      recs[0].Class,
+			Records:    len(recs),
+			Categories: categoriesOf(recs, ont),
+		}
+		for _, r := range recs {
+			if r.Step > c.MaxStep {
+				c.MaxStep = r.Step
+			}
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// RandomShard splits records round-robin into N shards regardless of
+// device — the strawman that loses cross-metric meaning.
+type RandomShard struct {
+	// N is the shard count (minimum 1).
+	N int
+}
+
+// Name implements Strategy.
+func (s RandomShard) Name() string { return "random-shard" }
+
+// Cluster implements Strategy.
+func (s RandomShard) Cluster(records []obs.Record, ont *obs.Ontology) []Cluster {
+	n := s.N
+	if n < 1 {
+		n = 1
+	}
+	shards := make([][]obs.Record, n)
+	for i, r := range records {
+		shards[i%n] = append(shards[i%n], r)
+	}
+	var out []Cluster
+	for i, recs := range shards {
+		if len(recs) == 0 {
+			continue
+		}
+		c := Cluster{
+			Key:        fmt.Sprintf("shard-%d", i),
+			Site:       recs[0].Site,
+			Records:    len(recs),
+			Categories: categoriesOf(recs, ont),
+		}
+		for _, r := range recs {
+			if r.Step > c.MaxStep {
+				c.MaxStep = r.Step
+			}
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+func categoriesOf(records []obs.Record, ont *obs.Ontology) []string {
+	seen := make(map[string]bool)
+	for _, r := range records {
+		if ont != nil {
+			seen[string(ont.Category(r.Metric))] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Config configures a Classifier.
+type Config struct {
+	// Store persists classified records.
+	Store Sink
+	// Processor is the PG root notified when data is present.
+	Processor acl.AID
+	// Ontology classifies metrics into categories.
+	Ontology *obs.Ontology
+	// Strategy clusters batches (default DeviceAffinity).
+	Strategy Strategy
+	// ErrorLog receives parse/store errors. Optional.
+	ErrorLog func(error)
+}
+
+// Stats counts classifier activity.
+type Stats struct {
+	Batches     uint64
+	Records     uint64
+	ParseErrors uint64
+	StoreErrors uint64
+	Notices     uint64
+}
+
+// Classifier is a classifier-grid agent.
+type Classifier struct {
+	a   *agent.Agent
+	cfg Config
+
+	mu    sync.Mutex
+	stats Stats
+}
+
+// New wires classifier behaviour onto an agent: it consumes XML batch
+// informs and emits cluster notices to the processor root.
+func New(a *agent.Agent, cfg Config) (*Classifier, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("classify: config needs a store")
+	}
+	if cfg.Processor.IsZero() {
+		return nil, errors.New("classify: config needs a processor AID")
+	}
+	if cfg.Strategy == nil {
+		cfg.Strategy = DeviceAffinity{}
+	}
+	c := &Classifier{a: a, cfg: cfg}
+	a.HandleFunc(agent.Selector{
+		Performative: acl.Inform,
+		Ontology:     acl.OntologyNetworkManagement,
+	}, c.handleBatch)
+	return c, nil
+}
+
+// Agent returns the underlying agent.
+func (c *Classifier) Agent() *agent.Agent { return c.a }
+
+// Stats returns activity counters.
+func (c *Classifier) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// handleBatch is the inform handler: parse, classify, store, cluster,
+// notify — the full §3.2 pipeline.
+func (c *Classifier) handleBatch(ctx context.Context, a *agent.Agent, m *acl.Message) {
+	batch, err := obs.UnmarshalBatch(m.Content)
+	if err != nil {
+		c.mu.Lock()
+		c.stats.ParseErrors++
+		c.mu.Unlock()
+		c.logErr(fmt.Errorf("classify: batch from %s: %w", m.Sender, err))
+		a.Send(ctx, m.Reply(a.ID(), acl.NotUnderstood))
+		return
+	}
+	if err := c.Ingest(ctx, batch); err != nil {
+		c.logErr(err)
+	}
+}
+
+// Ingest runs the classification pipeline on one parsed batch. Exposed
+// for in-process pipelines and tests.
+func (c *Classifier) Ingest(ctx context.Context, batch *obs.Batch) error {
+	stored := 0
+	for i := range batch.Records {
+		r := batch.Records[i]
+		if c.cfg.Ontology != nil {
+			c.cfg.Ontology.Annotate(&r)
+		}
+		if err := c.cfg.Store.Append(r); err != nil {
+			c.mu.Lock()
+			c.stats.StoreErrors++
+			c.mu.Unlock()
+			return fmt.Errorf("classify: store %s: %w", r.Key(), err)
+		}
+		stored++
+	}
+	c.mu.Lock()
+	c.stats.Batches++
+	c.stats.Records += uint64(stored)
+	c.mu.Unlock()
+	if stored == 0 {
+		return nil
+	}
+	return c.notify(ctx, batch)
+}
+
+// notify tells the processor grid root that classified data is waiting
+// (the FIPA ACL message of Figure 2).
+func (c *Classifier) notify(ctx context.Context, batch *obs.Batch) error {
+	notice := &Notice{
+		Collector: batch.Collector,
+		Clusters:  c.cfg.Strategy.Cluster(batch.Records, c.cfg.Ontology),
+	}
+	content, err := EncodeNotice(notice)
+	if err != nil {
+		return fmt.Errorf("classify: encode notice: %w", err)
+	}
+	msg := &acl.Message{
+		Performative:   acl.Inform,
+		Receivers:      []acl.AID{c.cfg.Processor},
+		Content:        content,
+		Language:       "json",
+		Ontology:       acl.OntologyGridManagement,
+		Protocol:       acl.ProtocolRequest,
+		ConversationID: c.a.NewConversationID(),
+	}
+	if err := c.a.Send(ctx, msg); err != nil {
+		return fmt.Errorf("classify: notify processor: %w", err)
+	}
+	c.mu.Lock()
+	c.stats.Notices++
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *Classifier) logErr(err error) {
+	if c.cfg.ErrorLog != nil {
+		c.cfg.ErrorLog(err)
+	}
+}

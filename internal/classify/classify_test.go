@@ -1,0 +1,334 @@
+package classify
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"agentgrid/internal/acl"
+	"agentgrid/internal/agent"
+	"agentgrid/internal/obs"
+	"agentgrid/internal/store"
+)
+
+type outbox struct {
+	mu   sync.Mutex
+	msgs []*acl.Message
+}
+
+func (o *outbox) send(_ context.Context, m *acl.Message) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.msgs = append(o.msgs, m.Clone())
+	return nil
+}
+
+func (o *outbox) notices(t *testing.T) []*Notice {
+	t.Helper()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	var out []*Notice
+	for _, m := range o.msgs {
+		if m.Ontology != acl.OntologyGridManagement || m.Performative != acl.Inform {
+			continue
+		}
+		n, err := DecodeNotice(m.Content)
+		if err != nil {
+			t.Fatalf("bad notice: %v", err)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func procAID() acl.AID { return acl.NewAID("pg-root", "site1") }
+
+func newClassifier(t *testing.T, mod func(*Config)) (*Classifier, *store.Store, *outbox) {
+	t.Helper()
+	st := store.New(64)
+	out := &outbox{}
+	a := agent.New(acl.NewAID("classifier-1", "site1"), out.send)
+	cfg := Config{Store: st, Processor: procAID(), Ontology: obs.NewOntology()}
+	if mod != nil {
+		mod(&cfg)
+	}
+	c, err := New(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, st, out
+}
+
+func testBatch() *obs.Batch {
+	mk := func(dev, metric string, step int, v float64) obs.Record {
+		return obs.Record{Site: "site1", Device: dev, Class: "host", Metric: metric,
+			Value: v, Step: step, Time: time.Unix(int64(step), 0).UTC()}
+	}
+	return &obs.Batch{
+		Collector: "collector-1@site1",
+		Records: []obs.Record{
+			mk("h1", "cpu.util", 3, 90),
+			mk("h1", "mem.free", 3, 512),
+			mk("h2", "cpu.util", 4, 20),
+			mk("h2", "disk.free", 4, 9000),
+			mk("h2", "if.in.1", 4, 1234),
+		},
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	a := agent.New(acl.NewAID("c", "s"), (&outbox{}).send)
+	if _, err := New(a, Config{Processor: procAID()}); err == nil {
+		t.Error("missing store accepted")
+	}
+	if _, err := New(a, Config{Store: store.New(4)}); err == nil {
+		t.Error("missing processor accepted")
+	}
+}
+
+func TestIngestStoresAndIndexes(t *testing.T) {
+	c, st, _ := newClassifier(t, nil)
+	if err := c.Ingest(context.Background(), testBatch()); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := st.Stats(); n != 5 {
+		t.Fatalf("series = %d", n)
+	}
+	p, ok := st.Latest("site1/h1/cpu.util")
+	if !ok || p.Value != 90 {
+		t.Fatalf("stored point = %+v", p)
+	}
+	stats := c.Stats()
+	if stats.Batches != 1 || stats.Records != 5 || stats.Notices != 1 {
+		t.Fatalf("Stats = %+v", stats)
+	}
+}
+
+func TestIngestNotifiesWithDeviceClusters(t *testing.T) {
+	c, _, out := newClassifier(t, nil)
+	c.Ingest(context.Background(), testBatch())
+	notices := out.notices(t)
+	if len(notices) != 1 {
+		t.Fatalf("notices = %d", len(notices))
+	}
+	n := notices[0]
+	if n.Collector != "collector-1@site1" || len(n.Clusters) != 2 {
+		t.Fatalf("notice = %+v", n)
+	}
+	h1, h2 := n.Clusters[0], n.Clusters[1]
+	if h1.Key != "site1/h1" || h1.Records != 2 || h1.MaxStep != 3 {
+		t.Fatalf("h1 cluster = %+v", h1)
+	}
+	if h2.Key != "site1/h2" || h2.Records != 3 || h2.MaxStep != 4 {
+		t.Fatalf("h2 cluster = %+v", h2)
+	}
+	// Categories come from the ontology.
+	if len(h2.Categories) != 3 { // cpu, disk, traffic
+		t.Fatalf("h2 categories = %v", h2.Categories)
+	}
+}
+
+func TestHandleBatchOverACL(t *testing.T) {
+	c, st, out := newClassifier(t, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go c.Agent().Run(ctx)
+
+	content, err := obs.MarshalBatch(testBatch())
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := &acl.Message{
+		Performative: acl.Inform,
+		Sender:       acl.NewAID("collector-1", "site1"),
+		Receivers:    []acl.AID{c.Agent().ID()},
+		Content:      content,
+		Language:     "xml",
+		Ontology:     acl.OntologyNetworkManagement,
+	}
+	if err := c.Agent().Deliver(msg); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		if n, _ := st.Stats(); n == 5 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("batch never stored")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	for len(out.notices(t)) == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("notice never sent")
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+func TestHandleGarbageBatch(t *testing.T) {
+	c, _, out := newClassifier(t, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go c.Agent().Run(ctx)
+
+	msg := &acl.Message{
+		Performative: acl.Inform,
+		Sender:       acl.NewAID("collector-1", "site1"),
+		Receivers:    []acl.AID{c.Agent().ID()},
+		Content:      []byte("<<<not xml"),
+		Ontology:     acl.OntologyNetworkManagement,
+	}
+	c.Agent().Deliver(msg)
+
+	deadline := time.After(5 * time.Second)
+	for c.Stats().ParseErrors == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("parse error never counted")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	// Collector gets not-understood.
+	for {
+		out.mu.Lock()
+		var nu bool
+		for _, m := range out.msgs {
+			if m.Performative == acl.NotUnderstood {
+				nu = true
+			}
+		}
+		out.mu.Unlock()
+		if nu {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("no not-understood reply")
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+func TestIngestEmptyBatchNoNotice(t *testing.T) {
+	c, _, out := newClassifier(t, nil)
+	if err := c.Ingest(context.Background(), &obs.Batch{Collector: "c"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.notices(t)) != 0 {
+		t.Fatal("empty batch produced a notice")
+	}
+}
+
+type failingSink struct{ err error }
+
+func (f failingSink) Append(obs.Record) error { return f.err }
+
+func TestIngestStoreError(t *testing.T) {
+	var logged []error
+	c, _, _ := newClassifier(t, func(cfg *Config) {
+		cfg.Store = failingSink{err: errors.New("disk full")}
+		cfg.ErrorLog = func(err error) { logged = append(logged, err) }
+	})
+	if err := c.Ingest(context.Background(), testBatch()); err == nil {
+		t.Fatal("store error swallowed")
+	}
+	if c.Stats().StoreErrors != 1 {
+		t.Fatalf("Stats = %+v", c.Stats())
+	}
+}
+
+func TestDeviceAffinityPartitionProperty(t *testing.T) {
+	// Every record lands in exactly one cluster and per-cluster counts
+	// sum to the batch size.
+	b := testBatch()
+	clusters := DeviceAffinity{}.Cluster(b.Records, obs.NewOntology())
+	total := 0
+	seen := map[string]bool{}
+	for _, c := range clusters {
+		total += c.Records
+		if seen[c.Key] {
+			t.Fatalf("duplicate cluster %s", c.Key)
+		}
+		seen[c.Key] = true
+	}
+	if total != len(b.Records) {
+		t.Fatalf("cluster totals %d != %d records", total, len(b.Records))
+	}
+}
+
+func TestRandomShardStrategy(t *testing.T) {
+	b := testBatch()
+	clusters := RandomShard{N: 2}.Cluster(b.Records, obs.NewOntology())
+	if len(clusters) != 2 {
+		t.Fatalf("shards = %d", len(clusters))
+	}
+	total := 0
+	for _, c := range clusters {
+		total += c.Records
+	}
+	if total != len(b.Records) {
+		t.Fatalf("shard totals = %d", total)
+	}
+	// Degenerate N.
+	one := RandomShard{N: 0}.Cluster(b.Records, nil)
+	if len(one) != 1 || one[0].Records != len(b.Records) {
+		t.Fatalf("N=0 shards = %+v", one)
+	}
+	if (RandomShard{}).Name() != "random-shard" || (DeviceAffinity{}).Name() != "device-affinity" {
+		t.Fatal("strategy names wrong")
+	}
+}
+
+func TestNoticeCodecErrors(t *testing.T) {
+	if _, err := DecodeNotice([]byte("{bad")); err == nil {
+		t.Fatal("corrupt notice accepted")
+	}
+}
+
+func TestPartitionPropertyBothStrategies(t *testing.T) {
+	// Every record lands in exactly one cluster under either strategy,
+	// for arbitrary batches.
+	f := func(seed int64, nDevices, nMetrics, shards uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := int(nDevices%12) + 1
+		m := int(nMetrics%6) + 1
+		var records []obs.Record
+		for i := 0; i < d; i++ {
+			for j := 0; j < m; j++ {
+				records = append(records, obs.Record{
+					Site:   "s",
+					Device: fmt.Sprintf("dev-%d", i),
+					Metric: fmt.Sprintf("metric.%d", j),
+					Value:  rng.Float64(),
+					Step:   rng.Intn(100),
+				})
+			}
+		}
+		for _, s := range []Strategy{DeviceAffinity{}, RandomShard{N: int(shards%8) + 1}} {
+			clusters := s.Cluster(records, obs.NewOntology())
+			total := 0
+			for _, c := range clusters {
+				total += c.Records
+				if c.Records == 0 {
+					return false // empty clusters are not emitted
+				}
+			}
+			if total != len(records) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

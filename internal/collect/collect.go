@@ -1,0 +1,457 @@
+// Package collect implements the collector agent grid (CG, §3.1): agents
+// whose goals extract managed-object values from network equipment at
+// intervals, through a protocol "interface" (SNMP or a command-line
+// utility), normalize them into the common representation and ship them
+// to the classifier grid. Collectors can also run local pre-analysis
+// rules so obvious problems raise alerts without waiting for the
+// processor grid.
+package collect
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"agentgrid/internal/acl"
+	"agentgrid/internal/agent"
+	"agentgrid/internal/device"
+	"agentgrid/internal/obs"
+	"agentgrid/internal/rules"
+	"agentgrid/internal/snmp"
+)
+
+// Goal describes one recurring collection intention (§3.1: "goals that
+// consist of extracting managed object values from one or more pieces of
+// equipment in the network between time intervals").
+type Goal struct {
+	// Name identifies the goal on its collector.
+	Name string
+	// Site and Device identify the equipment.
+	Site   string
+	Device string
+	// Class is the device class, carried into records.
+	Class string
+	// Addr is the device's management endpoint (interface-specific).
+	Addr string
+	// Metrics restricts collection to these metric names; empty collects
+	// everything the device exposes.
+	Metrics []string
+	// Interval between collections.
+	Interval time.Duration
+}
+
+// Validate checks the goal's required fields.
+func (g *Goal) Validate() error {
+	switch {
+	case g.Name == "":
+		return errors.New("collect: goal needs a name")
+	case g.Site == "":
+		return errors.New("collect: goal needs a site")
+	case g.Device == "":
+		return errors.New("collect: goal needs a device")
+	case g.Interval <= 0:
+		return errors.New("collect: goal needs a positive interval")
+	}
+	return nil
+}
+
+// Interface is one collection mechanism — the paper's term for an
+// agent's ability to collect through a given protocol.
+type Interface interface {
+	// Name identifies the mechanism ("snmp", "exec").
+	Name() string
+	// Collect pulls the goal's metrics from the device.
+	Collect(ctx context.Context, goal Goal) ([]obs.Record, error)
+}
+
+// ---- SNMP interface ----
+
+// SNMPInterface collects through the management protocol in
+// internal/snmp: it walks the device's metric-name and metric tables and
+// pairs them up.
+type SNMPInterface struct {
+	Client *snmp.Client
+}
+
+// Name implements Interface.
+func (s *SNMPInterface) Name() string { return "snmp" }
+
+// Collect implements Interface.
+func (s *SNMPInterface) Collect(ctx context.Context, goal Goal) ([]obs.Record, error) {
+	if goal.Addr == "" {
+		return nil, errors.New("collect: snmp goal needs an address")
+	}
+	names, err := s.Client.Walk(ctx, goal.Addr, device.OIDMetricNameBase)
+	if err != nil {
+		return nil, fmt.Errorf("collect: walk names on %s: %w", goal.Device, err)
+	}
+	values, err := s.Client.Walk(ctx, goal.Addr, device.OIDMetricBase)
+	if err != nil {
+		return nil, fmt.Errorf("collect: walk values on %s: %w", goal.Device, err)
+	}
+	stepVB, err := s.Client.Get(ctx, goal.Addr, device.OIDStep)
+	if err != nil {
+		return nil, fmt.Errorf("collect: read step on %s: %w", goal.Device, err)
+	}
+	step := int(stepVB[0].Value.Int)
+
+	// Index metric names by table index (last OID component).
+	nameByIdx := make(map[uint32]string, len(names))
+	for _, vb := range names {
+		nameByIdx[vb.OID[len(vb.OID)-1]] = vb.Value.Str
+	}
+	want := metricFilter(goal.Metrics)
+	now := time.Now().UTC()
+	var out []obs.Record
+	for _, vb := range values {
+		name, ok := nameByIdx[vb.OID[len(vb.OID)-1]]
+		if !ok {
+			continue // value without a name row; skip
+		}
+		if want != nil && !want[name] {
+			continue
+		}
+		v, ok := vb.Value.AsFloat()
+		if !ok {
+			continue
+		}
+		out = append(out, obs.Record{
+			Site:   goal.Site,
+			Device: goal.Device,
+			Class:  goal.Class,
+			Metric: name,
+			Value:  v,
+			Step:   step,
+			Time:   now,
+		})
+	}
+	return out, nil
+}
+
+// ---- Exec interface ----
+
+// ExecInterface simulates collection via a command-line utility (the
+// paper's alternative to SNMP): it reads the device object directly, the
+// way parsing `ps`/`df` output would on a real host.
+type ExecInterface struct {
+	// Lookup resolves a device name to its simulated device.
+	Lookup func(name string) (*device.Device, bool)
+}
+
+// Name implements Interface.
+func (e *ExecInterface) Name() string { return "exec" }
+
+// Collect implements Interface.
+func (e *ExecInterface) Collect(_ context.Context, goal Goal) ([]obs.Record, error) {
+	d, ok := e.Lookup(goal.Device)
+	if !ok {
+		return nil, fmt.Errorf("collect: exec cannot reach device %q", goal.Device)
+	}
+	want := metricFilter(goal.Metrics)
+	now := time.Now().UTC()
+	step := d.Step()
+	var out []obs.Record
+	for _, name := range d.MetricNames() {
+		if want != nil && !want[name] {
+			continue
+		}
+		v, ok := d.Value(name)
+		if !ok {
+			continue
+		}
+		out = append(out, obs.Record{
+			Site:   goal.Site,
+			Device: goal.Device,
+			Class:  string(d.Class()),
+			Metric: name,
+			Value:  v,
+			Step:   step,
+			Time:   now,
+		})
+	}
+	return out, nil
+}
+
+func metricFilter(metrics []string) map[string]bool {
+	if len(metrics) == 0 {
+		return nil
+	}
+	m := make(map[string]bool, len(metrics))
+	for _, name := range metrics {
+		m[name] = true
+	}
+	return m
+}
+
+// ---- Collector ----
+
+// Config configures a Collector.
+type Config struct {
+	// Site is the collector's administrative domain.
+	Site string
+	// Classifier is where batches go.
+	Classifier acl.AID
+	// Iface is the collection mechanism.
+	Iface Interface
+	// Ontology annotates records with units. Optional.
+	Ontology *obs.Ontology
+	// LocalRules, when set, run level-1 pre-analysis on each batch
+	// before it ships (§3.1: "agents that execute some local
+	// information analyses").
+	LocalRules *rules.RuleBase
+	// AlertSink receives local pre-analysis alerts. Optional.
+	AlertSink func(rules.Alert)
+	// ErrorLog receives collection/ship errors. Optional.
+	ErrorLog func(error)
+}
+
+// Stats counts collector activity.
+type Stats struct {
+	Collections uint64
+	Records     uint64
+	ShipErrors  uint64
+	LocalAlerts uint64
+}
+
+// Collector is a collector-grid agent. Build it over a spawned
+// agent.Agent with New.
+type Collector struct {
+	a   *agent.Agent
+	cfg Config
+
+	mu    sync.Mutex
+	goals map[string]Goal
+	stats Stats
+}
+
+// New wires collector behaviour onto an agent.
+func New(a *agent.Agent, cfg Config) (*Collector, error) {
+	if cfg.Iface == nil {
+		return nil, errors.New("collect: config needs an interface")
+	}
+	if cfg.Classifier.IsZero() {
+		return nil, errors.New("collect: config needs a classifier AID")
+	}
+	if cfg.Site == "" {
+		return nil, errors.New("collect: config needs a site")
+	}
+	c := &Collector{a: a, cfg: cfg, goals: make(map[string]Goal)}
+	// The interface grid can push new goals at runtime via request
+	// messages carrying a goal description.
+	a.HandleFunc(agent.Selector{Performative: acl.Request, Ontology: acl.OntologyGridManagement},
+		c.handleGoalRequest)
+	return c, nil
+}
+
+// Agent returns the underlying agent.
+func (c *Collector) Agent() *agent.Agent { return c.a }
+
+// Stats returns activity counters.
+func (c *Collector) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// AddGoal installs a collection goal and schedules it.
+func (c *Collector) AddGoal(g Goal) error {
+	if err := g.Validate(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	if _, dup := c.goals[g.Name]; dup {
+		c.mu.Unlock()
+		return fmt.Errorf("collect: duplicate goal %q", g.Name)
+	}
+	c.goals[g.Name] = g
+	c.mu.Unlock()
+
+	err := c.a.AddGoal(agent.Goal{
+		Name:     "collect/" + g.Name,
+		Interval: g.Interval,
+		Action: func(ctx context.Context, _ *agent.Agent) error {
+			return c.collectAndShip(ctx, g.Name)
+		},
+	})
+	if err != nil {
+		c.mu.Lock()
+		delete(c.goals, g.Name)
+		c.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// RemoveGoal cancels a goal.
+func (c *Collector) RemoveGoal(name string) error {
+	c.mu.Lock()
+	_, ok := c.goals[name]
+	delete(c.goals, name)
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("collect: no goal %q", name)
+	}
+	return c.a.RemoveGoal("collect/" + name)
+}
+
+// UpdateGoalInterval reschedules an existing goal — the paper's §3.4
+// "modify existing goals" feedback. Collection continuity is preserved:
+// the goal keeps its identity and device, only the cadence changes.
+func (c *Collector) UpdateGoalInterval(name string, interval time.Duration) error {
+	if interval <= 0 {
+		return errors.New("collect: interval must be positive")
+	}
+	c.mu.Lock()
+	g, ok := c.goals[name]
+	if !ok {
+		c.mu.Unlock()
+		return fmt.Errorf("collect: no goal %q", name)
+	}
+	g.Interval = interval
+	c.goals[name] = g
+	c.mu.Unlock()
+
+	// Replace the agent-side schedule.
+	if err := c.a.RemoveGoal("collect/" + name); err != nil {
+		return err
+	}
+	return c.a.AddGoal(agent.Goal{
+		Name:     "collect/" + name,
+		Interval: interval,
+		Action: func(ctx context.Context, _ *agent.Agent) error {
+			return c.collectAndShip(ctx, name)
+		},
+	})
+}
+
+// Goals lists goal names, sorted.
+func (c *Collector) Goals() []string {
+	c.mu.Lock()
+	out := make([]string, 0, len(c.goals))
+	for name := range c.goals {
+		out = append(out, name)
+	}
+	c.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// CollectNow runs one goal immediately (deterministic trigger for tests
+// and the interface grid's "refresh now").
+func (c *Collector) CollectNow(ctx context.Context, goalName string) error {
+	return c.collectAndShip(ctx, goalName)
+}
+
+// collectAndShip performs one collection cycle for the named goal.
+func (c *Collector) collectAndShip(ctx context.Context, goalName string) error {
+	c.mu.Lock()
+	g, ok := c.goals[goalName]
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("collect: no goal %q", goalName)
+	}
+	records, err := c.cfg.Iface.Collect(ctx, g)
+	if err != nil {
+		c.logErr(err)
+		return err
+	}
+	c.mu.Lock()
+	c.stats.Collections++
+	c.stats.Records += uint64(len(records))
+	c.mu.Unlock()
+	if len(records) == 0 {
+		return nil
+	}
+	if c.cfg.Ontology != nil {
+		for i := range records {
+			c.cfg.Ontology.Annotate(&records[i])
+		}
+	}
+	c.preAnalyze(records)
+	return c.ship(ctx, records)
+}
+
+// preAnalyze runs the local level-1 rules over the fresh records.
+func (c *Collector) preAnalyze(records []obs.Record) {
+	if c.cfg.LocalRules == nil || c.cfg.AlertSink == nil {
+		return
+	}
+	values := make(map[string]float64, len(records))
+	var step int
+	for _, r := range records {
+		values[r.Metric] = r.Value
+		step = r.Step
+	}
+	env := &rules.MapEnv{Values: values}
+	scope := rules.Scope{Site: c.cfg.Site, Device: records[0].Device, Step: step}
+	alerts, _ := rules.Evaluate(c.cfg.LocalRules, 1, env, scope)
+	for _, a := range alerts {
+		c.cfg.AlertSink(a)
+	}
+	c.mu.Lock()
+	c.stats.LocalAlerts += uint64(len(alerts))
+	c.mu.Unlock()
+}
+
+// ship sends the batch to the classifier grid in the common XML
+// representation.
+func (c *Collector) ship(ctx context.Context, records []obs.Record) error {
+	batch := &obs.Batch{Collector: c.a.ID().Name, Records: records}
+	content, err := obs.MarshalBatch(batch)
+	if err != nil {
+		return err
+	}
+	msg := &acl.Message{
+		Performative:   acl.Inform,
+		Receivers:      []acl.AID{c.cfg.Classifier},
+		Content:        content,
+		Language:       "xml",
+		Ontology:       acl.OntologyNetworkManagement,
+		ConversationID: c.a.NewConversationID(),
+	}
+	if err := c.a.Send(ctx, msg); err != nil {
+		c.mu.Lock()
+		c.stats.ShipErrors++
+		c.mu.Unlock()
+		c.logErr(fmt.Errorf("collect: ship batch: %w", err))
+		return err
+	}
+	return nil
+}
+
+// handleGoalRequest lets the interface grid add goals remotely. The
+// request content is "goal <name> <site> <device> <class> <addr> <interval> [metrics...]".
+func (c *Collector) handleGoalRequest(ctx context.Context, a *agent.Agent, m *acl.Message) {
+	fields := strings.Fields(string(m.Content))
+	if len(fields) < 7 || fields[0] != "goal" {
+		a.Send(ctx, m.Reply(a.ID(), acl.NotUnderstood))
+		return
+	}
+	interval, err := time.ParseDuration(fields[6])
+	if err != nil {
+		a.Send(ctx, m.Reply(a.ID(), acl.Refuse))
+		return
+	}
+	g := Goal{
+		Name: fields[1], Site: fields[2], Device: fields[3],
+		Class: fields[4], Addr: fields[5], Interval: interval,
+		Metrics: fields[7:],
+	}
+	if err := c.AddGoal(g); err != nil {
+		reply := m.Reply(a.ID(), acl.Refuse)
+		reply.Content = []byte(err.Error())
+		a.Send(ctx, reply)
+		return
+	}
+	a.Send(ctx, m.Reply(a.ID(), acl.Agree))
+}
+
+func (c *Collector) logErr(err error) {
+	if c.cfg.ErrorLog != nil {
+		c.cfg.ErrorLog(err)
+	}
+}

@@ -1,0 +1,445 @@
+package collect
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"agentgrid/internal/acl"
+	"agentgrid/internal/agent"
+	"agentgrid/internal/device"
+	"agentgrid/internal/obs"
+	"agentgrid/internal/rules"
+	"agentgrid/internal/snmp"
+)
+
+// outbox captures messages a collector agent sends.
+type outbox struct {
+	mu   sync.Mutex
+	msgs []*acl.Message
+}
+
+func (o *outbox) send(_ context.Context, m *acl.Message) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.msgs = append(o.msgs, m.Clone())
+	return nil
+}
+
+func (o *outbox) batches(t *testing.T) []*obs.Batch {
+	t.Helper()
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	var out []*obs.Batch
+	for _, m := range o.msgs {
+		if m.Performative != acl.Inform || m.Language != "xml" {
+			continue
+		}
+		b, err := obs.UnmarshalBatch(m.Content)
+		if err != nil {
+			t.Fatalf("bad batch content: %v", err)
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+func classifierAID() acl.AID { return acl.NewAID("classifier", "site1") }
+
+func newExecCollector(t *testing.T, d *device.Device, cfgMod func(*Config)) (*Collector, *outbox) {
+	t.Helper()
+	out := &outbox{}
+	a := agent.New(acl.NewAID("collector-1", "site1"), out.send)
+	cfg := Config{
+		Site:       "site1",
+		Classifier: classifierAID(),
+		Iface: &ExecInterface{Lookup: func(name string) (*device.Device, bool) {
+			if name == d.Name() {
+				return d, true
+			}
+			return nil, false
+		}},
+		Ontology: obs.NewOntology(),
+	}
+	if cfgMod != nil {
+		cfgMod(&cfg)
+	}
+	c, err := New(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, out
+}
+
+func hostGoal(name, dev string) Goal {
+	return Goal{
+		Name: name, Site: "site1", Device: dev, Class: "host",
+		Interval: time.Hour, // tests trigger manually
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	a := agent.New(acl.NewAID("c", "s"), (&outbox{}).send)
+	iface := &ExecInterface{Lookup: func(string) (*device.Device, bool) { return nil, false }}
+	if _, err := New(a, Config{Site: "s", Classifier: classifierAID()}); err == nil {
+		t.Error("missing interface accepted")
+	}
+	if _, err := New(a, Config{Site: "s", Iface: iface}); err == nil {
+		t.Error("missing classifier accepted")
+	}
+	if _, err := New(a, Config{Classifier: classifierAID(), Iface: iface}); err == nil {
+		t.Error("missing site accepted")
+	}
+}
+
+func TestGoalValidation(t *testing.T) {
+	d := device.NewHost("h1", 1)
+	c, _ := newExecCollector(t, d, nil)
+	cases := []Goal{
+		{Site: "s", Device: "d", Interval: time.Second}, // no name
+		{Name: "g", Device: "d", Interval: time.Second}, // no site
+		{Name: "g", Site: "s", Interval: time.Second},   // no device
+		{Name: "g", Site: "s", Device: "d"},             // no interval
+	}
+	for i, g := range cases {
+		if err := c.AddGoal(g); err == nil {
+			t.Errorf("case %d accepted: %+v", i, g)
+		}
+	}
+	if err := c.AddGoal(hostGoal("g", "h1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddGoal(hostGoal("g", "h1")); err == nil {
+		t.Error("duplicate goal accepted")
+	}
+	if goals := c.Goals(); len(goals) != 1 || goals[0] != "g" {
+		t.Errorf("Goals = %v", goals)
+	}
+}
+
+func TestExecCollectAndShip(t *testing.T) {
+	d := device.NewHost("h1", 42)
+	d.Advance(3)
+	c, out := newExecCollector(t, d, nil)
+	if err := c.AddGoal(hostGoal("g", "h1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CollectNow(context.Background(), "g"); err != nil {
+		t.Fatal(err)
+	}
+	batches := out.batches(t)
+	if len(batches) != 1 {
+		t.Fatalf("batches = %d", len(batches))
+	}
+	b := batches[0]
+	if b.Collector != "collector-1@site1" {
+		t.Fatalf("collector = %q", b.Collector)
+	}
+	if len(b.Records) != 4 {
+		t.Fatalf("records = %d", len(b.Records))
+	}
+	for _, r := range b.Records {
+		if r.Site != "site1" || r.Device != "h1" || r.Class != "host" || r.Step != 3 {
+			t.Fatalf("record = %+v", r)
+		}
+		if r.Unit == "" {
+			t.Fatalf("ontology did not annotate %s", r.Metric)
+		}
+		want, _ := d.Value(r.Metric)
+		if r.Value != want {
+			t.Fatalf("%s = %v, device has %v", r.Metric, r.Value, want)
+		}
+	}
+	stats := c.Stats()
+	if stats.Collections != 1 || stats.Records != 4 {
+		t.Fatalf("Stats = %+v", stats)
+	}
+}
+
+func TestMetricFilter(t *testing.T) {
+	d := device.NewHost("h1", 1)
+	c, out := newExecCollector(t, d, nil)
+	g := hostGoal("g", "h1")
+	g.Metrics = []string{device.MetricCPUUtil, device.MetricMemFree}
+	c.AddGoal(g)
+	c.CollectNow(context.Background(), "g")
+	b := out.batches(t)[0]
+	if len(b.Records) != 2 {
+		t.Fatalf("filtered records = %d", len(b.Records))
+	}
+}
+
+func TestCollectUnknownDevice(t *testing.T) {
+	d := device.NewHost("h1", 1)
+	var logged []error
+	c, _ := newExecCollector(t, d, func(cfg *Config) {
+		cfg.ErrorLog = func(err error) { logged = append(logged, err) }
+	})
+	c.AddGoal(hostGoal("g", "ghost"))
+	if err := c.CollectNow(context.Background(), "g"); err == nil {
+		t.Fatal("ghost device succeeded")
+	}
+	if len(logged) == 0 {
+		t.Fatal("error not logged")
+	}
+	if err := c.CollectNow(context.Background(), "nope"); err == nil {
+		t.Fatal("unknown goal succeeded")
+	}
+}
+
+func TestLocalPreAnalysis(t *testing.T) {
+	d := device.NewHost("h1", 1)
+	d.InjectFault(device.FaultCPUPegged)
+	rb := rules.NewRuleBase()
+	rb.AddSource(`rule "hot" severity critical { when latest(cpu.util) >= 100 then alert "pegged on {device}" }`)
+	var alerts []rules.Alert
+	c, out := newExecCollector(t, d, func(cfg *Config) {
+		cfg.LocalRules = rb
+		cfg.AlertSink = func(a rules.Alert) { alerts = append(alerts, a) }
+	})
+	c.AddGoal(hostGoal("g", "h1"))
+	c.CollectNow(context.Background(), "g")
+
+	if len(alerts) != 1 || alerts[0].Device != "h1" || alerts[0].Message != "pegged on h1" {
+		t.Fatalf("alerts = %+v", alerts)
+	}
+	if c.Stats().LocalAlerts != 1 {
+		t.Fatalf("Stats = %+v", c.Stats())
+	}
+	// The batch still ships.
+	if len(out.batches(t)) != 1 {
+		t.Fatal("batch not shipped")
+	}
+}
+
+func TestRemoveGoal(t *testing.T) {
+	d := device.NewHost("h1", 1)
+	c, _ := newExecCollector(t, d, nil)
+	c.AddGoal(hostGoal("g", "h1"))
+	if err := c.RemoveGoal("g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveGoal("g"); err == nil {
+		t.Fatal("double remove succeeded")
+	}
+	if len(c.Goals()) != 0 {
+		t.Fatal("goal still listed")
+	}
+	if err := c.CollectNow(context.Background(), "g"); err == nil {
+		t.Fatal("removed goal still collectable")
+	}
+}
+
+func TestSNMPInterfaceEndToEnd(t *testing.T) {
+	d := device.NewHost("web-1", 9)
+	d.Advance(5)
+	st, err := device.StartStation(d, "127.0.0.1:0", "public")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	out := &outbox{}
+	a := agent.New(acl.NewAID("collector-1", "site1"), out.send)
+	c, err := New(a, Config{
+		Site:       "site1",
+		Classifier: classifierAID(),
+		Iface:      &SNMPInterface{Client: snmp.NewClient("public", snmp.WithTimeout(2*time.Second))},
+		Ontology:   obs.NewOntology(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Goal{
+		Name: "g", Site: "site1", Device: "web-1", Class: "host",
+		Addr: st.Addr(), Interval: time.Hour,
+		Metrics: []string{device.MetricCPUUtil, device.MetricDiskFree},
+	}
+	if err := c.AddGoal(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CollectNow(context.Background(), "g"); err != nil {
+		t.Fatal(err)
+	}
+	b := out.batches(t)[0]
+	if len(b.Records) != 2 {
+		t.Fatalf("snmp records = %+v", b.Records)
+	}
+	for _, r := range b.Records {
+		if r.Step != 5 {
+			t.Fatalf("step = %d", r.Step)
+		}
+		want, _ := d.Value(r.Metric)
+		if r.Value != want {
+			t.Fatalf("%s over snmp = %v, device %v", r.Metric, r.Value, want)
+		}
+	}
+}
+
+func TestSNMPInterfaceNeedsAddr(t *testing.T) {
+	iface := &SNMPInterface{Client: snmp.NewClient("public")}
+	_, err := iface.Collect(context.Background(), Goal{Name: "g", Site: "s", Device: "d", Interval: time.Second})
+	if err == nil {
+		t.Fatal("missing addr accepted")
+	}
+}
+
+func TestGoalRequestOverACL(t *testing.T) {
+	d := device.NewHost("h1", 1)
+	c, out := newExecCollector(t, d, nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() { defer close(done); c.Agent().Run(ctx) }()
+
+	req := &acl.Message{
+		Performative: acl.Request,
+		Sender:       acl.NewAID("ig", "site1"),
+		Receivers:    []acl.AID{c.Agent().ID()},
+		Ontology:     acl.OntologyGridManagement,
+		Content:      []byte("goal remote site1 h1 host - 1h cpu.util"),
+	}
+	if err := c.Agent().Deliver(req); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for len(c.Goals()) == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("goal never added")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if goals := c.Goals(); goals[0] != "remote" {
+		t.Fatalf("Goals = %v", goals)
+	}
+	// Agent replied agree.
+	out.mu.Lock()
+	var sawAgree bool
+	for _, m := range out.msgs {
+		if m.Performative == acl.Agree {
+			sawAgree = true
+		}
+	}
+	out.mu.Unlock()
+	if !sawAgree {
+		t.Fatal("no agree reply")
+	}
+	cancel()
+	<-done
+}
+
+func TestGoalRequestMalformed(t *testing.T) {
+	d := device.NewHost("h1", 1)
+	c, out := newExecCollector(t, d, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go c.Agent().Run(ctx)
+
+	for _, content := range []string{"nonsense", "goal x s d", "goal n s d c addr notaduration"} {
+		req := &acl.Message{
+			Performative: acl.Request,
+			Sender:       acl.NewAID("ig", "site1"),
+			Receivers:    []acl.AID{c.Agent().ID()},
+			Ontology:     acl.OntologyGridManagement,
+			Content:      []byte(content),
+		}
+		c.Agent().Deliver(req)
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		out.mu.Lock()
+		rejections := 0
+		for _, m := range out.msgs {
+			if m.Performative == acl.NotUnderstood || m.Performative == acl.Refuse {
+				rejections++
+			}
+		}
+		out.mu.Unlock()
+		if rejections == 3 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("rejections = %d, want 3", rejections)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if len(c.Goals()) != 0 {
+		t.Fatal("malformed request added a goal")
+	}
+}
+
+func TestInterfaceNames(t *testing.T) {
+	if (&SNMPInterface{}).Name() != "snmp" || (&ExecInterface{}).Name() != "exec" {
+		t.Fatal("interface names wrong")
+	}
+}
+
+func TestScheduledCollection(t *testing.T) {
+	d := device.NewHost("h1", 1)
+	c, out := newExecCollector(t, d, nil)
+	g := hostGoal("fast", "h1")
+	g.Interval = 10 * time.Millisecond
+	c.AddGoal(g)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go c.Agent().Run(ctx)
+
+	deadline := time.After(5 * time.Second)
+	for {
+		if len(out.batches(t)) >= 2 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("scheduled collection never ran twice")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if got := strings.Join(c.Goals(), ","); got != "fast" {
+		t.Fatalf("Goals = %v", got)
+	}
+}
+
+func TestUpdateGoalInterval(t *testing.T) {
+	d := device.NewHost("h1", 1)
+	c, out := newExecCollector(t, d, nil)
+	g := hostGoal("g", "h1")
+	g.Interval = time.Hour
+	if err := c.AddGoal(g); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go c.Agent().Run(ctx)
+
+	// Speed the goal up to 10ms; collections must start flowing.
+	if err := c.UpdateGoalInterval("g", 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for len(out.batches(t)) < 2 {
+		select {
+		case <-deadline:
+			t.Fatal("rescheduled goal never ran")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	// Validation and error paths.
+	if err := c.UpdateGoalInterval("g", 0); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+	if err := c.UpdateGoalInterval("ghost", time.Second); err == nil {
+		t.Fatal("unknown goal accepted")
+	}
+	// Goal identity preserved.
+	if goals := c.Goals(); len(goals) != 1 || goals[0] != "g" {
+		t.Fatalf("Goals = %v", goals)
+	}
+}

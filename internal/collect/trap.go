@@ -1,0 +1,104 @@
+package collect
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"agentgrid/internal/device"
+	"agentgrid/internal/snmp"
+)
+
+// TrapWatcher reacts to device traps by collecting the affected
+// device's goals immediately, outside their schedule — the paper's
+// "collecting data through a management protocol *or in some other
+// way*" (§3.1): polling finds problems at the next interval; traps find
+// them now.
+type TrapWatcher struct {
+	listener  *snmp.TrapListener
+	collector *Collector
+
+	traps       atomic.Uint64
+	collections atomic.Uint64
+	unknown     atomic.Uint64
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+// NewTrapWatcher starts a trap listener on addr ("host:port", port 0
+// for ephemeral) feeding the collector. Point device trap destinations
+// at Addr().
+func NewTrapWatcher(addr string, c *Collector) (*TrapWatcher, error) {
+	listener, err := snmp.NewTrapListener(addr, 64)
+	if err != nil {
+		return nil, err
+	}
+	w := &TrapWatcher{listener: listener, collector: c, done: make(chan struct{})}
+	go w.loop()
+	return w, nil
+}
+
+// Addr returns the trap listener's UDP address.
+func (w *TrapWatcher) Addr() string { return w.listener.Addr() }
+
+// Stats returns (traps received, collections triggered, traps for
+// unknown devices).
+func (w *TrapWatcher) Stats() (traps, collections, unknown uint64) {
+	return w.traps.Load(), w.collections.Load(), w.unknown.Load()
+}
+
+// Close stops the watcher.
+func (w *TrapWatcher) Close() error {
+	var err error
+	w.closeOnce.Do(func() {
+		err = w.listener.Close()
+		<-w.done
+	})
+	return err
+}
+
+func (w *TrapWatcher) loop() {
+	defer close(w.done)
+	for pdu := range w.listener.Traps() {
+		w.traps.Add(1)
+		deviceName := trapDevice(pdu)
+		if deviceName == "" {
+			w.unknown.Add(1)
+			continue
+		}
+		if n := w.collectFor(deviceName); n == 0 {
+			w.unknown.Add(1)
+		} else {
+			w.collections.Add(uint64(n))
+		}
+	}
+}
+
+// trapDevice extracts the device name from the trap's sysName varbind.
+func trapDevice(pdu *snmp.PDU) string {
+	for _, vb := range pdu.VarBinds {
+		if vb.OID.Equal(device.OIDSysName) && vb.Value.Type == snmp.TypeOctetString {
+			return vb.Value.Str
+		}
+	}
+	return ""
+}
+
+// collectFor triggers every goal of the collector that targets the
+// device, returning how many ran.
+func (w *TrapWatcher) collectFor(deviceName string) int {
+	n := 0
+	for _, name := range w.collector.Goals() {
+		w.collector.mu.Lock()
+		g, ok := w.collector.goals[name]
+		w.collector.mu.Unlock()
+		if !ok || g.Device != deviceName {
+			continue
+		}
+		if err := w.collector.CollectNow(context.Background(), name); err == nil {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,155 @@
+package collect
+
+import (
+	"testing"
+	"time"
+
+	"agentgrid/internal/device"
+	"agentgrid/internal/snmp"
+)
+
+func TestTrapTriggersImmediateCollection(t *testing.T) {
+	d := device.NewHost("h1", 4)
+	c, out := newExecCollector(t, d, nil)
+	g := hostGoal("g", "h1")
+	g.Interval = time.Hour // schedule would never fire during the test
+	if err := c.AddGoal(g); err != nil {
+		t.Fatal(err)
+	}
+
+	w, err := NewTrapWatcher("127.0.0.1:0", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	// Station whose traps target the watcher.
+	st, err := device.StartStation(d, "127.0.0.1:0", "public",
+		snmp.WithTrapDestination(w.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	d.InjectFault(device.FaultCPUPegged)
+	if err := st.SendFaultTrap(device.FaultCPUPegged); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.After(10 * time.Second)
+	for len(out.batches(t)) == 0 {
+		select {
+		case <-deadline:
+			traps, colls, unknown := w.Stats()
+			t.Fatalf("no collection after trap (traps=%d colls=%d unknown=%d)", traps, colls, unknown)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	traps, colls, _ := w.Stats()
+	if traps != 1 || colls != 1 {
+		t.Fatalf("stats: traps=%d colls=%d", traps, colls)
+	}
+	// The batch carries the faulty value.
+	b := out.batches(t)[0]
+	var sawPegged bool
+	for _, r := range b.Records {
+		if r.Metric == device.MetricCPUUtil && r.Value == 100 {
+			sawPegged = true
+		}
+	}
+	if !sawPegged {
+		t.Fatalf("trap-triggered batch missing fault value: %+v", b.Records)
+	}
+}
+
+func TestTrapForUnknownDeviceCounted(t *testing.T) {
+	d := device.NewHost("known", 1)
+	c, _ := newExecCollector(t, d, nil)
+	c.AddGoal(hostGoal("g", "known"))
+
+	w, err := NewTrapWatcher("127.0.0.1:0", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	stranger := device.NewHost("stranger", 2)
+	st, err := device.StartStation(stranger, "127.0.0.1:0", "public",
+		snmp.WithTrapDestination(w.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := st.SendFaultTrap(device.FaultDiskFull); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.After(10 * time.Second)
+	for {
+		traps, colls, unknown := w.Stats()
+		if traps == 1 {
+			if colls != 0 || unknown != 1 {
+				t.Fatalf("stats: traps=%d colls=%d unknown=%d", traps, colls, unknown)
+			}
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("trap never seen")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+func TestTrapWithoutSysNameIgnored(t *testing.T) {
+	d := device.NewHost("h1", 1)
+	c, _ := newExecCollector(t, d, nil)
+	c.AddGoal(hostGoal("g", "h1"))
+	w, err := NewTrapWatcher("127.0.0.1:0", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	// A raw server emitting a trap with no identity varbind.
+	mib := snmp.NewMIB()
+	mib.RegisterScalar(snmp.MustParseOID("1.1"), snmp.IntegerValue(1))
+	srv, err := snmp.NewServer("127.0.0.1:0", "public", mib, snmp.WithTrapDestination(w.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := srv.SendTrap([]snmp.VarBind{{OID: snmp.MustParseOID("9.9"), Value: snmp.IntegerValue(1)}}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(10 * time.Second)
+	for {
+		traps, colls, unknown := w.Stats()
+		if traps == 1 {
+			if colls != 0 || unknown != 1 {
+				t.Fatalf("stats: colls=%d unknown=%d", colls, unknown)
+			}
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatal("trap never seen")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+func TestTrapWatcherDoubleClose(t *testing.T) {
+	d := device.NewHost("h1", 1)
+	c, _ := newExecCollector(t, d, nil)
+	w, err := NewTrapWatcher("127.0.0.1:0", c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal("double close errored")
+	}
+}

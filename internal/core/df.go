@@ -1,0 +1,134 @@
+// Package core assembles the paper's complete management grid (Figure
+// 2): collector, classifier, processor and interface grids wired over an
+// agent platform, with the grid root's directory service, heartbeat
+// leases, load balancing and alert flow. It is the library's primary
+// entry point: examples and the command-line tools build on it.
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"time"
+
+	"agentgrid/internal/acl"
+	"agentgrid/internal/agent"
+	"agentgrid/internal/directory"
+)
+
+// DFAgentName is the local name of the directory-facilitator agent the
+// grid root hosts (the "D1" of the paper's Figure 4).
+const DFAgentName = "df"
+
+// dfOntology tags directory protocol messages.
+const dfOntology = "directory-facilitator"
+
+// dfRequest is the content of a register/renew request.
+type dfRequest struct {
+	Op           string                 `json:"op"` // "register" | "renew" | "deregister"
+	Registration directory.Registration `json:"registration,omitempty"`
+	Container    string                 `json:"container,omitempty"`
+	Load         float64                `json:"load,omitempty"`
+}
+
+// DFServer exposes a directory over ACL so containers on other
+// processes can register and renew leases remotely (Figure 4's
+// interaction, made concrete).
+type DFServer struct {
+	dir *directory.Directory
+}
+
+// NewDFServer wires directory-facilitator behaviour onto an agent.
+func NewDFServer(a *agent.Agent, dir *directory.Directory) (*DFServer, error) {
+	if dir == nil {
+		return nil, errors.New("core: DF server needs a directory")
+	}
+	s := &DFServer{dir: dir}
+	a.HandleFunc(agent.Selector{
+		Performative: acl.Request,
+		Ontology:     dfOntology,
+	}, s.handle)
+	return s, nil
+}
+
+func (s *DFServer) handle(ctx context.Context, a *agent.Agent, m *acl.Message) {
+	var req dfRequest
+	if err := json.Unmarshal(m.Content, &req); err != nil {
+		a.Send(ctx, m.Reply(a.ID(), acl.NotUnderstood))
+		return
+	}
+	var err error
+	switch req.Op {
+	case "register":
+		err = s.dir.Register(req.Registration)
+	case "renew":
+		err = s.dir.Renew(req.Container, req.Load)
+	case "deregister":
+		s.dir.Deregister(req.Container)
+	default:
+		a.Send(ctx, m.Reply(a.ID(), acl.NotUnderstood))
+		return
+	}
+	if err != nil {
+		reply := m.Reply(a.ID(), acl.Refuse)
+		reply.Content = []byte(err.Error())
+		a.Send(ctx, reply)
+		return
+	}
+	a.Send(ctx, m.Reply(a.ID(), acl.Agree))
+}
+
+// DFClient registers a remote container with the grid root's DF and
+// keeps its lease alive.
+type DFClient struct {
+	a    *agent.Agent
+	df   acl.AID
+	self func() directory.Registration
+}
+
+// NewDFClient returns a client that sends directory traffic from agent
+// a to the DF at df. self produces the container's current registration
+// (including its load).
+func NewDFClient(a *agent.Agent, df acl.AID, self func() directory.Registration) *DFClient {
+	return &DFClient{a: a, df: df, self: self}
+}
+
+// send fires one DF request; answers are fire-and-forget (a lost renew
+// is repaired by the next heartbeat).
+func (c *DFClient) send(ctx context.Context, req dfRequest) error {
+	content, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	return c.a.Send(ctx, &acl.Message{
+		Performative:   acl.Request,
+		Receivers:      []acl.AID{c.df},
+		Content:        content,
+		Language:       "json",
+		Ontology:       dfOntology,
+		ConversationID: c.a.NewConversationID(),
+	})
+}
+
+// Register announces the container to the DF.
+func (c *DFClient) Register(ctx context.Context) error {
+	return c.send(ctx, dfRequest{Op: "register", Registration: c.self()})
+}
+
+// StartHeartbeat installs a goal renewing the lease every interval.
+func (c *DFClient) StartHeartbeat(interval time.Duration) error {
+	return c.a.AddGoal(agent.Goal{
+		Name:     "df-heartbeat",
+		Interval: interval,
+		Action: func(ctx context.Context, _ *agent.Agent) error {
+			reg := c.self()
+			return c.send(ctx, dfRequest{Op: "renew", Container: reg.Container, Load: reg.Load})
+		},
+	})
+}
+
+// Deregister removes the container from the DF.
+func (c *DFClient) Deregister(ctx context.Context) error {
+	reg := c.self()
+	return c.send(ctx, dfRequest{Op: "deregister", Container: reg.Container})
+}

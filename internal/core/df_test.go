@@ -1,0 +1,156 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"agentgrid/internal/acl"
+	"agentgrid/internal/agent"
+	"agentgrid/internal/directory"
+	"agentgrid/internal/store"
+)
+
+// dfRig wires a DF server and a capture of its replies without any
+// container; the agents exchange messages directly.
+type dfRig struct {
+	dir     *directory.Directory
+	server  *agent.Agent
+	replies chan *acl.Message
+}
+
+func buildDFRig(t *testing.T) *dfRig {
+	t.Helper()
+	rig := &dfRig{
+		dir:     directory.New(time.Minute),
+		replies: make(chan *acl.Message, 8),
+	}
+	rig.server = agent.New(acl.NewAID(DFAgentName, "root"), func(_ context.Context, m *acl.Message) error {
+		rig.replies <- m.Clone()
+		return nil
+	})
+	if _, err := NewDFServer(rig.server, rig.dir); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	go rig.server.Run(ctx)
+	return rig
+}
+
+func (r *dfRig) deliver(t *testing.T, content string) acl.Performative {
+	t.Helper()
+	msg := &acl.Message{
+		Performative: acl.Request,
+		Sender:       acl.NewAID("client", "elsewhere"),
+		Receivers:    []acl.AID{r.server.ID()},
+		Content:      []byte(content),
+		Ontology:     dfOntology,
+	}
+	if err := r.server.Deliver(msg); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case reply := <-r.replies:
+		return reply.Performative
+	case <-time.After(5 * time.Second):
+		t.Fatal("no DF reply")
+		return ""
+	}
+}
+
+func TestDFServerOps(t *testing.T) {
+	rig := buildDFRig(t)
+
+	reg := `{"op":"register","registration":{"container":"c1","addr":"tcp://1:1",
+        "profile":{"cpu_capacity":1,"net_capacity":1,"disc_capacity":1},
+        "services":[{"type":"analysis"}]}}`
+	if p := rig.deliver(t, reg); p != acl.Agree {
+		t.Fatalf("register reply = %s", p)
+	}
+	if rig.dir.Len() != 1 {
+		t.Fatal("registration not applied")
+	}
+	if p := rig.deliver(t, `{"op":"renew","container":"c1","load":0.5}`); p != acl.Agree {
+		t.Fatalf("renew reply = %s", p)
+	}
+	got, _ := rig.dir.Get("c1")
+	if got.Load != 0.5 {
+		t.Fatalf("load = %v", got.Load)
+	}
+	// Renewing an unknown container is refused.
+	if p := rig.deliver(t, `{"op":"renew","container":"ghost","load":0.1}`); p != acl.Refuse {
+		t.Fatalf("ghost renew reply = %s", p)
+	}
+	// Invalid registration is refused.
+	if p := rig.deliver(t, `{"op":"register","registration":{"container":""}}`); p != acl.Refuse {
+		t.Fatalf("bad register reply = %s", p)
+	}
+	// Unknown op and garbage are not-understood.
+	if p := rig.deliver(t, `{"op":"dance"}`); p != acl.NotUnderstood {
+		t.Fatalf("unknown op reply = %s", p)
+	}
+	if p := rig.deliver(t, `{{{`); p != acl.NotUnderstood {
+		t.Fatalf("garbage reply = %s", p)
+	}
+	// Deregister removes the entry.
+	if p := rig.deliver(t, `{"op":"deregister","container":"c1"}`); p != acl.Agree {
+		t.Fatalf("deregister reply = %s", p)
+	}
+	if rig.dir.Len() != 0 {
+		t.Fatal("deregister not applied")
+	}
+}
+
+func TestDFServerNeedsDirectory(t *testing.T) {
+	a := agent.New(acl.NewAID("df", "x"), func(context.Context, *acl.Message) error { return nil })
+	if _, err := NewDFServer(a, nil); err == nil {
+		t.Fatal("nil directory accepted")
+	}
+}
+
+func TestStoreQueryServerNeedsStore(t *testing.T) {
+	a := agent.New(acl.NewAID("sq", "x"), func(context.Context, *acl.Message) error { return nil })
+	if _, err := NewStoreQueryServer(a, nil); err == nil {
+		t.Fatal("nil store accepted")
+	}
+}
+
+// TestStoreQueryUnknownOp covers the server's error answers.
+func TestStoreQueryUnknownOp(t *testing.T) {
+	replies := make(chan *acl.Message, 1)
+	server := agent.New(acl.NewAID(StoreQueryAgentName, "clg"), func(_ context.Context, m *acl.Message) error {
+		replies <- m.Clone()
+		return nil
+	})
+	if _, err := NewStoreQueryServer(server, newEmptyStore()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go server.Run(ctx)
+
+	for _, content := range []string{`{"op":"explode"}`, `not json`} {
+		msg := &acl.Message{
+			Performative: acl.QueryRef,
+			Sender:       acl.NewAID("w", "pg-9"),
+			Receivers:    []acl.AID{server.ID()},
+			Content:      []byte(content),
+			Ontology:     storeQueryOntology,
+		}
+		if err := server.Deliver(msg); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case reply := <-replies:
+			if reply.Performative != acl.Inform {
+				t.Fatalf("reply = %s", reply.Performative)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("no reply")
+		}
+	}
+}
+
+// newEmptyStore returns a fresh store for server tests.
+func newEmptyStore() *store.Store { return store.New(4) }

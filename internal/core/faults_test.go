@@ -1,0 +1,62 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"agentgrid/internal/transport"
+	"agentgrid/internal/workload"
+)
+
+// TestGridSurvivesNetworkPartition drops all traffic to the classifier,
+// verifies collectors count ship errors, then heals the partition and
+// verifies the pipeline resumes — the transport fault-injection hook
+// exercised through the whole stack.
+func TestGridSurvivesNetworkPartition(t *testing.T) {
+	spec := workload.FleetSpec{Site: "site1", Hosts: 2, Seed: 21}
+	g, _ := testGrid(t, Config{Site: "site1"}, spec)
+
+	// Partition: nothing reaches the classifier container.
+	g.net.SetFault(transport.DropTo("inproc://clg"))
+	_ = g.CollectNow(context.Background()) // collection succeeds, shipping fails
+
+	deadline := time.After(10 * time.Second)
+	for {
+		var shipErrors uint64
+		for _, c := range g.Collectors() {
+			shipErrors += c.Stats().ShipErrors
+		}
+		if shipErrors > 0 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("ship errors never counted during partition")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if n, _ := g.Store().Stats(); n != 0 {
+		t.Fatalf("data leaked through the partition: %d series", n)
+	}
+
+	// Heal and retry: the pipeline must recover without restarts.
+	g.net.SetFault(nil)
+	if err := g.CollectNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if n, _ := g.Store().Stats(); n == 8 {
+			break
+		}
+		select {
+		case <-deadline:
+			n, _ := g.Store().Stats()
+			t.Fatalf("pipeline did not recover: %d series", n)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if !g.WaitIdle(15 * time.Second) {
+		t.Fatal("grid did not drain after recovery")
+	}
+}

@@ -1,0 +1,583 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"agentgrid/internal/acl"
+	"agentgrid/internal/agent"
+	"agentgrid/internal/analyze"
+	"agentgrid/internal/classify"
+	"agentgrid/internal/collect"
+	"agentgrid/internal/directory"
+	"agentgrid/internal/loadbalance"
+	"agentgrid/internal/obs"
+	"agentgrid/internal/platform"
+	"agentgrid/internal/report"
+	"agentgrid/internal/rules"
+	"agentgrid/internal/snmp"
+	"agentgrid/internal/store"
+	"agentgrid/internal/transport"
+)
+
+// Config describes a management grid to assemble.
+type Config struct {
+	// Site is the administrative domain name.
+	Site string
+	// Collectors is the collector-container count (default 3, the
+	// paper's Figure 6(c) layout).
+	Collectors int
+	// Analyzers is the analysis-container count (default 2).
+	Analyzers int
+	// Community is the SNMP community used for collection.
+	Community string
+	// Rules is DSL source loaded into every analysis worker.
+	Rules string
+	// LocalRules is DSL source for collector-side pre-analysis
+	// (level 1); alerts it raises go straight to the interface grid.
+	LocalRules string
+	// Scheduler is a loadbalance strategy name (default "capability");
+	// ignored when Negotiated is set.
+	Scheduler string
+	// Negotiated places analysis tasks via contract-net bidding.
+	Negotiated bool
+	// StorePoints bounds per-series history (default store default).
+	StorePoints int
+	// TaskTimeout bounds analysis dispatch (default 10s).
+	TaskTimeout time.Duration
+	// HeartbeatEvery is the directory lease renewal period (default
+	// 1s); the lease TTL is 3x this.
+	HeartbeatEvery time.Duration
+	// TCPHost, when set (e.g. "127.0.0.1"), binds every container to a
+	// TCP endpoint on that host instead of the in-process network, so
+	// external worker nodes (cmd/agentgridd -mode worker) can join the
+	// grid.
+	TCPHost string
+	// ErrorLog receives grid-internal errors. Optional.
+	ErrorLog func(error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Site == "" {
+		c.Site = "site1"
+	}
+	if c.Collectors <= 0 {
+		c.Collectors = 3
+	}
+	if c.Analyzers <= 0 {
+		c.Analyzers = 2
+	}
+	if c.Community == "" {
+		c.Community = "public"
+	}
+	if c.Scheduler == "" {
+		c.Scheduler = "capability"
+	}
+	if c.TaskTimeout <= 0 {
+		c.TaskTimeout = 10 * time.Second
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = time.Second
+	}
+	return c
+}
+
+// Grid is a complete, running management grid in one process: the
+// paper's Figure 2 with an in-process message network. Containers,
+// agents, directory and store are all live and inspectable.
+type Grid struct {
+	cfg Config
+
+	net        *transport.InProcNetwork
+	dir        *directory.Directory
+	store      *store.Store
+	containers []*platform.Container
+	collectors []*collect.Collector
+	classifier *classify.Classifier
+	root       *analyze.Root
+	workers    []*analyze.Worker
+	ig         *report.Interface
+	http       *report.Server
+
+	cancel  context.CancelFunc
+	started bool
+}
+
+// NewGrid assembles (but does not start) a management grid.
+func NewGrid(cfg Config) (*Grid, error) {
+	cfg = cfg.withDefaults()
+	g := &Grid{
+		cfg:   cfg,
+		net:   transport.NewInProcNetwork(),
+		dir:   directory.New(3 * cfg.HeartbeatEvery),
+		store: store.New(cfg.StorePoints),
+	}
+
+	profile := directory.ResourceProfile{CPUCapacity: 100, NetCapacity: 100, DiscCapacity: 100}
+	resolver := func(aid acl.AID) (string, error) {
+		if reg, ok := g.dir.Get(aid.Platform()); ok {
+			return reg.Addr, nil
+		}
+		return "", fmt.Errorf("core: unresolvable agent %s", aid.Name)
+	}
+	newContainer := func(name string) (*platform.Container, error) {
+		c, err := platform.New(platform.Config{
+			Name: name, Platform: name, Profile: profile,
+			Resolver: resolver, ErrorLog: cfg.ErrorLog,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if cfg.TCPHost != "" {
+			err = c.AttachTCP(cfg.TCPHost + ":0")
+		} else {
+			err = c.AttachInProc(g.net, "inproc://"+name)
+		}
+		if err != nil {
+			return nil, err
+		}
+		g.containers = append(g.containers, c)
+		return c, nil
+	}
+
+	// ---- Interface grid (IG) ----
+	igC, err := newContainer("ig")
+	if err != nil {
+		return nil, err
+	}
+	igAgent, err := igC.SpawnAgent("interface")
+	if err != nil {
+		return nil, err
+	}
+	igAID := igAgent.ID()
+
+	// ---- Processor grid (PG): root + workers ----
+	rootC, err := newContainer("pg-root")
+	if err != nil {
+		return nil, err
+	}
+	rootAgent, err := rootC.SpawnAgent("pg-root")
+	if err != nil {
+		return nil, err
+	}
+	var sched loadbalance.Scheduler
+	if !cfg.Negotiated {
+		sched, err = loadbalance.New(cfg.Scheduler, 1)
+		if err != nil {
+			return nil, err
+		}
+	}
+	g.root, err = analyze.NewRoot(rootAgent, analyze.RootConfig{
+		Directory:   g.dir,
+		Scheduler:   sched,
+		Negotiated:  cfg.Negotiated,
+		Interface:   igAID,
+		TaskTimeout: cfg.TaskTimeout,
+		ErrorLog:    cfg.ErrorLog,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The root hosts the DF agent of Figure 4.
+	dfAgent, err := rootC.SpawnAgent(DFAgentName)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := NewDFServer(dfAgent, g.dir); err != nil {
+		return nil, err
+	}
+	if err := g.register(rootC, directory.ServiceBroker, nil); err != nil {
+		return nil, err
+	}
+
+	for i := 0; i < cfg.Analyzers; i++ {
+		wc, err := newContainer(fmt.Sprintf("pg-%d", i+1))
+		if err != nil {
+			return nil, err
+		}
+		wa, err := wc.SpawnAgent(analyze.WorkerAgentName)
+		if err != nil {
+			return nil, err
+		}
+		rb := rules.NewRuleBase()
+		if cfg.Rules != "" {
+			if _, err := rb.AddSource(cfg.Rules); err != nil {
+				return nil, fmt.Errorf("core: worker rules: %w", err)
+			}
+		}
+		w, err := analyze.NewWorker(wa, analyze.WorkerConfig{
+			Store: g.store, Rules: rb, ErrorLog: cfg.ErrorLog,
+		})
+		if err != nil {
+			return nil, err
+		}
+		wc.SetLoadFunc(w.Load)
+		g.workers = append(g.workers, w)
+		if err := g.register(wc, directory.ServiceAnalysis, w.Capabilities()); err != nil {
+			return nil, err
+		}
+		if err := g.heartbeat(wc, wa); err != nil {
+			return nil, err
+		}
+	}
+
+	// ---- Classifier grid (CLG) ----
+	clgC, err := newContainer("clg")
+	if err != nil {
+		return nil, err
+	}
+	clgAgent, err := clgC.SpawnAgent("classifier")
+	if err != nil {
+		return nil, err
+	}
+	rootAID := rootAgent.ID()
+	g.classifier, err = classify.New(clgAgent, classify.Config{
+		Store:     g.store,
+		Processor: rootAID,
+		Ontology:  obs.NewOntology(),
+		ErrorLog:  cfg.ErrorLog,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := g.register(clgC, directory.ServiceClassification, nil); err != nil {
+		return nil, err
+	}
+	// The classifier container also answers remote store queries for
+	// worker nodes on other machines.
+	sqAgent, err := clgC.SpawnAgent(StoreQueryAgentName)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := NewStoreQueryServer(sqAgent, g.store); err != nil {
+		return nil, err
+	}
+
+	// ---- Collector grid (CG) ----
+	var localRules *rules.RuleBase
+	if cfg.LocalRules != "" {
+		localRules = rules.NewRuleBase()
+		if _, err := localRules.AddSource(cfg.LocalRules); err != nil {
+			return nil, fmt.Errorf("core: local rules: %w", err)
+		}
+	}
+	classifierAID := clgAgent.ID()
+	for i := 0; i < cfg.Collectors; i++ {
+		cgC, err := newContainer(fmt.Sprintf("cg-%d", i+1))
+		if err != nil {
+			return nil, err
+		}
+		ca, err := cgC.SpawnAgent("collector")
+		if err != nil {
+			return nil, err
+		}
+		col, err := collect.New(ca, collect.Config{
+			Site:       cfg.Site,
+			Classifier: classifierAID,
+			Iface: &collect.SNMPInterface{
+				Client: snmp.NewClient(cfg.Community, snmp.WithTimeout(2*time.Second)),
+			},
+			Ontology:   obs.NewOntology(),
+			LocalRules: localRules,
+			AlertSink: func(a rules.Alert) {
+				// Collector pre-analysis alerts go straight to the IG.
+				g.ig.AddAlerts([]rules.Alert{a})
+			},
+			ErrorLog: cfg.ErrorLog,
+		})
+		if err != nil {
+			return nil, err
+		}
+		g.collectors = append(g.collectors, col)
+		if err := g.register(cgC, directory.ServiceCollection, nil); err != nil {
+			return nil, err
+		}
+	}
+
+	// The IG wires last: it needs the workers for rule learning.
+	g.ig, err = report.New(igAgent, report.Config{
+		Store:     g.store,
+		Rules:     fanoutRuleSink(g.workers),
+		Goals:     g.goalFromSpec,
+		StatsFunc: func() any { return g.Status() },
+		ErrorLog:  cfg.ErrorLog,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := g.register(igC, directory.ServiceInterface, nil); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// register puts a container into the grid directory.
+func (g *Grid) register(c *platform.Container, service string, caps []string) error {
+	return g.dir.Register(c.Registration([]directory.ServiceDesc{{
+		Type: service, Capabilities: caps,
+	}}))
+}
+
+// heartbeat keeps an analysis container's lease fresh so the root's
+// failover sweep can distinguish live workers from dead ones.
+func (g *Grid) heartbeat(c *platform.Container, a *agent.Agent) error {
+	return a.AddGoal(agent.Goal{
+		Name:     "df-heartbeat",
+		Interval: g.cfg.HeartbeatEvery,
+		Action: func(context.Context, *agent.Agent) error {
+			return g.dir.Renew(c.Name(), c.Load())
+		},
+	})
+}
+
+// fanoutRuleSink teaches learned rules to every analysis worker.
+type fanoutRuleSink []*analyze.Worker
+
+func (f fanoutRuleSink) AddSource(src string) ([]string, error) {
+	var added []string
+	for i, w := range f {
+		names, err := w.Rules().AddSource(src)
+		if err != nil {
+			return added, fmt.Errorf("core: worker %d: %w", i, err)
+		}
+		if i == 0 {
+			added = names
+		}
+	}
+	return added, nil
+}
+
+// goalFromSpec parses an IG "goal ..." feedback line and installs it on
+// the least-loaded collector.
+func (g *Grid) goalFromSpec(ctx context.Context, spec string) error {
+	goal, err := ParseGoalSpec(spec)
+	if err != nil {
+		return err
+	}
+	return g.AddGoal(*goal)
+}
+
+// ParseGoalSpec parses "goal <name> <site> <device> <class> <addr>
+// <interval> [metrics...]" — the wire format collectors and the IG use.
+func ParseGoalSpec(spec string) (*collect.Goal, error) {
+	fields := splitFields(spec)
+	if len(fields) < 7 || fields[0] != "goal" {
+		return nil, errors.New("core: goal spec needs: goal <name> <site> <device> <class> <addr> <interval> [metrics...]")
+	}
+	interval, err := time.ParseDuration(fields[6])
+	if err != nil {
+		return nil, fmt.Errorf("core: goal interval: %w", err)
+	}
+	goal := &collect.Goal{
+		Name: fields[1], Site: fields[2], Device: fields[3],
+		Class: fields[4], Addr: fields[5], Interval: interval,
+		Metrics: fields[7:],
+	}
+	if goal.Addr == "-" {
+		goal.Addr = ""
+	}
+	return goal, goal.Validate()
+}
+
+func splitFields(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == ' ' || r == '\t' || r == '\n' {
+			if cur != "" {
+				out = append(out, cur)
+				cur = ""
+			}
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// Start launches every container. Stop (or cancelling the context)
+// shuts the grid down.
+func (g *Grid) Start(ctx context.Context) error {
+	if g.started {
+		return errors.New("core: grid already started")
+	}
+	runCtx, cancel := context.WithCancel(ctx)
+	g.cancel = cancel
+	for _, c := range g.containers {
+		if err := c.Start(runCtx); err != nil {
+			cancel()
+			return err
+		}
+	}
+	g.started = true
+	return nil
+}
+
+// Stop shuts the grid down, including any HTTP frontend.
+func (g *Grid) Stop() error {
+	var firstErr error
+	if g.http != nil {
+		firstErr = g.http.Close()
+		g.http = nil
+	}
+	if g.cancel != nil {
+		g.cancel()
+	}
+	for _, c := range g.containers {
+		if err := c.Stop(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	g.started = false
+	return firstErr
+}
+
+// StartHTTP exposes the interface grid over HTTP on addr and returns
+// the bound address.
+func (g *Grid) StartHTTP(addr string) (string, error) {
+	if g.http != nil {
+		return g.http.Addr(), nil
+	}
+	srv, err := report.NewServer(g.ig, addr)
+	if err != nil {
+		return "", err
+	}
+	g.http = srv
+	return srv.Addr(), nil
+}
+
+// AddGoal installs a collection goal on the collector with the fewest
+// goals (simple static balance across the CG).
+func (g *Grid) AddGoal(goal collect.Goal) error {
+	if len(g.collectors) == 0 {
+		return errors.New("core: no collectors")
+	}
+	best := g.collectors[0]
+	for _, c := range g.collectors[1:] {
+		if len(c.Goals()) < len(best.Goals()) {
+			best = c
+		}
+	}
+	return best.AddGoal(goal)
+}
+
+// AddGoals installs a batch of goals.
+func (g *Grid) AddGoals(goals []collect.Goal) error {
+	for _, goal := range goals {
+		if err := g.AddGoal(goal); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CollectNow triggers every goal on every collector once, synchronously
+// with respect to collection (analysis completes asynchronously).
+func (g *Grid) CollectNow(ctx context.Context) error {
+	var firstErr error
+	for _, c := range g.collectors {
+		for _, name := range c.Goals() {
+			if err := c.CollectNow(ctx, name); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// WaitIdle blocks until the processor grid has no in-flight tasks, or
+// the timeout elapses. It reports whether the grid went idle.
+func (g *Grid) WaitIdle(timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if len(g.root.PendingTasks()) == 0 {
+			return true
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return len(g.root.PendingTasks()) == 0
+}
+
+// Accessors for inspection, tooling and tests.
+
+// Store returns the grid's management data store.
+func (g *Grid) Store() *store.Store { return g.store }
+
+// RootAddr returns the pg-root container's transport address — the
+// endpoint external worker nodes dial to join the grid.
+func (g *Grid) RootAddr() string { return g.containerAddr("pg-root") }
+
+// ClassifierAddr returns the classifier container's transport address,
+// which hosts the store-query service remote workers read from.
+func (g *Grid) ClassifierAddr() string { return g.containerAddr("clg") }
+
+func (g *Grid) containerAddr(name string) string {
+	for _, c := range g.containers {
+		if c.Name() == name {
+			return c.Addr()
+		}
+	}
+	return ""
+}
+
+// Directory returns the grid root's directory.
+func (g *Grid) Directory() *directory.Directory { return g.dir }
+
+// Interface returns the interface grid.
+func (g *Grid) Interface() *report.Interface { return g.ig }
+
+// Root returns the processor-grid root.
+func (g *Grid) Root() *analyze.Root { return g.root }
+
+// Workers returns the analysis workers.
+func (g *Grid) Workers() []*analyze.Worker { return append([]*analyze.Worker(nil), g.workers...) }
+
+// Collectors returns the collector agents.
+func (g *Grid) Collectors() []*collect.Collector {
+	return append([]*collect.Collector(nil), g.collectors...)
+}
+
+// Classifier returns the classifier grid agent.
+func (g *Grid) Classifier() *classify.Classifier { return g.classifier }
+
+// Alerts returns the interface grid's alert history.
+func (g *Grid) Alerts() []rules.Alert { return g.ig.Alerts("") }
+
+// GridStatus is a grid-wide status snapshot (served at GET /stats).
+type GridStatus struct {
+	Site             string                `json:"site"`
+	Containers       int                   `json:"containers"`
+	DirectoryEntries int                   `json:"directory_entries"`
+	StoreSeries      int                   `json:"store_series"`
+	StoreAppends     uint64                `json:"store_appends"`
+	Root             analyze.RootStats     `json:"root"`
+	Workers          []analyze.WorkerStats `json:"workers"`
+	Collectors       []collect.Stats       `json:"collectors"`
+	Classifier       classify.Stats        `json:"classifier"`
+}
+
+// Status assembles the current grid-wide snapshot.
+func (g *Grid) Status() GridStatus {
+	series, appends := g.store.Stats()
+	st := GridStatus{
+		Site:             g.cfg.Site,
+		Containers:       len(g.containers),
+		DirectoryEntries: g.dir.Len(),
+		StoreSeries:      series,
+		StoreAppends:     appends,
+		Root:             g.root.Stats(),
+		Classifier:       g.classifier.Stats(),
+	}
+	for _, w := range g.workers {
+		st.Workers = append(st.Workers, w.Stats())
+	}
+	for _, c := range g.collectors {
+		st.Collectors = append(st.Collectors, c.Stats())
+	}
+	return st
+}

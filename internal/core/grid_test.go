@@ -1,0 +1,460 @@
+package core
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"agentgrid/internal/collect"
+	"agentgrid/internal/device"
+	"agentgrid/internal/directory"
+	"agentgrid/internal/workload"
+)
+
+const gridRules = `
+rule "hot-cpu" level 1 category cpu severity critical {
+    when latest(cpu.util) > 95
+    then alert "CPU pegged on {device}"
+}
+rule "low-disk" level 2 category disk {
+    when latest(disk.free) < 10
+    then alert "disk nearly full on {device}"
+}
+rule "site-hot" level 3 category cpu severity critical {
+    when count_above(cpu.util, 95) >= 2
+    then alert "multiple hot hosts at {site}"
+}
+`
+
+// testGrid builds a grid plus a simulated fleet and returns both with a
+// cleanup.
+func testGrid(t *testing.T, cfg Config, spec workload.FleetSpec) (*Grid, *device.Fleet) {
+	t.Helper()
+	if cfg.Rules == "" {
+		cfg.Rules = gridRules
+	}
+	if cfg.HeartbeatEvery == 0 {
+		cfg.HeartbeatEvery = 100 * time.Millisecond
+	}
+	g, err := NewGrid(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	if err := g.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { g.Stop() })
+
+	fleet, err := device.NewFleet(spec.BuildDevices(), "public")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fleet.Close() })
+
+	split := workload.Goals(spec, fleet, 1, time.Hour)
+	if err := g.AddGoals(split[0]); err != nil {
+		t.Fatal(err)
+	}
+	return g, fleet
+}
+
+func TestGridAssembly(t *testing.T) {
+	g, err := NewGrid(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Stop()
+	// Defaults: 3 collectors + clg + root + 2 analyzers + ig = 8
+	// containers, all registered.
+	if n := g.Directory().Len(); n != 8 {
+		t.Fatalf("directory entries = %d", n)
+	}
+	if len(g.Workers()) != 2 || len(g.Collectors()) != 3 {
+		t.Fatalf("workers=%d collectors=%d", len(g.Workers()), len(g.Collectors()))
+	}
+	if g.Store() == nil || g.Interface() == nil || g.Root() == nil || g.Classifier() == nil {
+		t.Fatal("accessor returned nil")
+	}
+}
+
+func TestGridRejectsBadConfig(t *testing.T) {
+	if _, err := NewGrid(Config{Rules: "rule {"}); err == nil {
+		t.Fatal("bad rules accepted")
+	}
+	if _, err := NewGrid(Config{LocalRules: "zzz"}); err == nil {
+		t.Fatal("bad local rules accepted")
+	}
+	if _, err := NewGrid(Config{Scheduler: "astrology"}); err == nil {
+		t.Fatal("bad scheduler accepted")
+	}
+}
+
+// TestPipelineEndToEnd exercises the full Figure 1 / Figure 2 workflow:
+// devices -> SNMP collection -> classification/storage -> multi-level
+// analysis -> alerts at the interface grid.
+func TestPipelineEndToEnd(t *testing.T) {
+	spec := workload.FleetSpec{Site: "site1", Hosts: 4, Seed: 5}
+	g, fleet := testGrid(t, Config{Site: "site1"}, spec)
+
+	// Drive two hosts into a CPU fault so L1 and L3 rules fire.
+	fleet.Stations()[0].Device.InjectFault(device.FaultCPUPegged)
+	fleet.Stations()[1].Device.InjectFault(device.FaultCPUPegged)
+	fleet.Advance(3)
+
+	if err := g.CollectNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Classification is asynchronous: wait for every device's metrics
+	// to land in the store, then for analysis to drain.
+	storeDeadline := time.After(15 * time.Second)
+	for {
+		if n, _ := g.Store().Stats(); n == 4*4 {
+			break
+		}
+		select {
+		case <-storeDeadline:
+			n, _ := g.Store().Stats()
+			t.Fatalf("series = %d, want 16", n)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if !g.WaitIdle(15 * time.Second) {
+		t.Fatalf("grid never went idle; pending %v", g.Root().PendingTasks())
+	}
+	// Alerts reached the interface grid: per-device criticals plus the
+	// site-level correlation.
+	deadline := time.After(10 * time.Second)
+	for {
+		alerts := g.Alerts()
+		var deviceHot, siteHot bool
+		for _, a := range alerts {
+			switch a.Rule {
+			case "hot-cpu":
+				deviceHot = true
+			case "site-hot":
+				siteHot = true
+			}
+		}
+		if deviceHot && siteHot {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("alerts incomplete: %+v", g.Alerts())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+
+	// Reports build from live data.
+	rep, err := g.Interface().BuildSiteReport("site1", time.Now().UTC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Devices) != 4 {
+		t.Fatalf("report devices = %d", len(rep.Devices))
+	}
+}
+
+func TestGridRuleLearningPropagates(t *testing.T) {
+	spec := workload.FleetSpec{Site: "site1", Hosts: 1, Seed: 9}
+	g, _ := testGrid(t, Config{Site: "site1"}, spec)
+
+	src := `rule "learned" level 2 category memory { when latest(mem.free) > 0 then alert "mem seen on {device}" }`
+	// Learn through the IG's rule sink (as the HTTP POST /rules path does).
+	names, err := fanoutRuleSink(g.Workers()).AddSource(src)
+	if err != nil || len(names) != 1 {
+		t.Fatalf("learn = %v, %v", names, err)
+	}
+	for i, w := range g.Workers() {
+		if _, ok := w.Rules().Get("learned"); !ok {
+			t.Fatalf("worker %d missing learned rule", i)
+		}
+	}
+
+	// The learned rule fires on the next cycle.
+	if err := g.CollectNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	g.WaitIdle(15 * time.Second)
+	deadline := time.After(10 * time.Second)
+	for {
+		var seen bool
+		for _, a := range g.Alerts() {
+			if a.Rule == "learned" {
+				seen = true
+			}
+		}
+		if seen {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("learned rule never fired; alerts %+v", g.Alerts())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+func TestGridLocalPreAnalysis(t *testing.T) {
+	spec := workload.FleetSpec{Site: "site1", Hosts: 1, Seed: 2}
+	cfg := Config{
+		Site: "site1",
+		LocalRules: `rule "local-hot" severity critical {
+            when latest(cpu.util) >= 100 then alert "local alarm {device}"
+        }`,
+	}
+	g, fleet := testGrid(t, cfg, spec)
+	fleet.Stations()[0].Device.InjectFault(device.FaultCPUPegged)
+	if err := g.CollectNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// The local alert arrives without waiting for the processor grid.
+	deadline := time.After(10 * time.Second)
+	for {
+		var local bool
+		for _, a := range g.Alerts() {
+			if a.Rule == "local-hot" {
+				local = true
+			}
+		}
+		if local {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("no local alert; alerts %+v", g.Alerts())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+func TestGridHTTPFrontend(t *testing.T) {
+	spec := workload.FleetSpec{Site: "site1", Hosts: 2, Seed: 3}
+	g, _ := testGrid(t, Config{Site: "site1"}, spec)
+	if err := g.CollectNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	g.WaitIdle(15 * time.Second)
+
+	addr, err := g.StartHTTP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Idempotent.
+	again, err := g.StartHTTP("127.0.0.1:0")
+	if err != nil || again != addr {
+		t.Fatalf("second StartHTTP = %q, %v", again, err)
+	}
+	resp, err := http.Get("http://" + addr + "/site/site1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "host-01") {
+		t.Fatalf("HTTP report = %d %q", resp.StatusCode, body)
+	}
+}
+
+func TestGridNegotiatedMode(t *testing.T) {
+	spec := workload.FleetSpec{Site: "site1", Hosts: 2, Seed: 7}
+	g, fleet := testGrid(t, Config{Site: "site1", Negotiated: true, TaskTimeout: 5 * time.Second}, spec)
+	fleet.Stations()[0].Device.InjectFault(device.FaultCPUPegged)
+	if err := g.CollectNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(20 * time.Second)
+	for {
+		var hot bool
+		for _, a := range g.Alerts() {
+			if a.Rule == "hot-cpu" {
+				hot = true
+			}
+		}
+		if hot {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("negotiated grid produced no alert; stats %+v", g.Root().Stats())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+func TestGridFailoverAfterWorkerDeath(t *testing.T) {
+	spec := workload.FleetSpec{Site: "site1", Hosts: 2, Seed: 8}
+	cfg := Config{
+		Site:           "site1",
+		Analyzers:      2,
+		TaskTimeout:    300 * time.Millisecond,
+		HeartbeatEvery: 50 * time.Millisecond,
+	}
+	g, fleet := testGrid(t, cfg, spec)
+	fleet.Stations()[0].Device.InjectFault(device.FaultCPUPegged)
+
+	// Stop one worker container entirely: its heartbeats stop, its
+	// lease expires, and the root reassigns its tasks.
+	for _, c := range g.containers {
+		if c.Name() == "pg-1" {
+			c.Stop()
+		}
+	}
+	if err := g.CollectNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(20 * time.Second)
+	for {
+		var hot bool
+		for _, a := range g.Alerts() {
+			if a.Rule == "hot-cpu" {
+				hot = true
+			}
+		}
+		if hot {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("no alert after worker death; stats %+v pending %v",
+				g.Root().Stats(), g.Root().PendingTasks())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+func TestParseGoalSpec(t *testing.T) {
+	goal, err := ParseGoalSpec("goal g1 site1 host-01 host 127.0.0.1:99 30s cpu.util mem.free")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if goal.Name != "g1" || goal.Device != "host-01" || goal.Interval != 30*time.Second || len(goal.Metrics) != 2 {
+		t.Fatalf("goal = %+v", goal)
+	}
+	if _, err := ParseGoalSpec("goal too short"); err == nil {
+		t.Fatal("short spec accepted")
+	}
+	if _, err := ParseGoalSpec("goal g1 site1 dev host addr nottime"); err == nil {
+		t.Fatal("bad interval accepted")
+	}
+	if _, err := ParseGoalSpec("notgoal a b c d e f"); err == nil {
+		t.Fatal("wrong keyword accepted")
+	}
+	dash, err := ParseGoalSpec("goal g site dev host - 1s")
+	if err != nil || dash.Addr != "" {
+		t.Fatalf("dash addr = %+v, %v", dash, err)
+	}
+}
+
+func TestGoalBalancedAcrossCollectors(t *testing.T) {
+	g, err := NewGrid(Config{Collectors: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Stop()
+	for i := 0; i < 4; i++ {
+		goal := collect.Goal{
+			Name: string(rune('a' + i)), Site: "s", Device: "d",
+			Class: "host", Interval: time.Hour,
+		}
+		if err := g.AddGoal(goal); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cols := g.Collectors()
+	if len(cols[0].Goals()) != 2 || len(cols[1].Goals()) != 2 {
+		t.Fatalf("goal split = %d / %d", len(cols[0].Goals()), len(cols[1].Goals()))
+	}
+}
+
+func TestDFClientServer(t *testing.T) {
+	spec := workload.FleetSpec{Site: "site1", Hosts: 1, Seed: 1}
+	g, _ := testGrid(t, Config{Site: "site1"}, spec)
+
+	reg, ok := g.Directory().Get("pg-1")
+	if !ok {
+		t.Fatal("pg-1 not registered")
+	}
+	dfAID := g.Root().Agent().ID()
+	dfAID.Name = DFAgentName + "@pg-root"
+
+	client := NewDFClient(g.Interface().Agent(), dfAID, func() directory.Registration {
+		reg.Load = 0.75
+		return reg
+	})
+	if err := client.Register(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(10 * time.Second)
+	for {
+		got, ok := g.Directory().Get("pg-1")
+		if ok && got.Load == 0.75 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("remote register never applied: %+v", got)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if err := client.Deregister(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, ok := g.Directory().Get("pg-1"); !ok {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("remote deregister never applied")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}
+
+func TestGridStatusSnapshot(t *testing.T) {
+	spec := workload.FleetSpec{Site: "site1", Hosts: 2, Seed: 30}
+	g, _ := testGrid(t, Config{Site: "site1"}, spec)
+	if err := g.CollectNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	g.WaitIdle(15 * time.Second)
+
+	st := g.Status()
+	if st.Site != "site1" || st.Containers != 8 || st.DirectoryEntries != 8 {
+		t.Fatalf("status identity = %+v", st)
+	}
+	if st.StoreSeries == 0 || st.StoreAppends == 0 {
+		t.Fatalf("status store = %+v", st)
+	}
+	if len(st.Workers) != 2 || len(st.Collectors) != 3 {
+		t.Fatalf("status fleets = %+v", st)
+	}
+	if st.Root.Notices == 0 || st.Root.Completed == 0 {
+		t.Fatalf("status root = %+v", st.Root)
+	}
+	if st.Classifier.Batches == 0 {
+		t.Fatalf("status classifier = %+v", st.Classifier)
+	}
+
+	// And over HTTP.
+	addr, err := g.StartHTTP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + addr + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), `"directory_entries": 8`) {
+		t.Fatalf("HTTP stats = %d %q", resp.StatusCode, body)
+	}
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"agentgrid/internal/device"
+	"agentgrid/internal/workload"
+)
+
+// TestMultiSiteScoping reproduces the two-site layout of the paper's
+// Figure 2: one management grid monitors Site I and Site II. Level-3
+// correlation must stay site-scoped — a pile of hot hosts at site-i
+// must not raise a site-ii conclusion — while the shared knowledge base
+// (the same rules) serves both sites.
+func TestMultiSiteScoping(t *testing.T) {
+	g, err := NewGrid(Config{
+		Site:  "site-i", // default site; goals below carry their own sites
+		Rules: gridRules,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := g.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer g.Stop()
+
+	// Two fleets, one per site.
+	mkFleet := func(site string, seed int64) (*device.Fleet, workload.FleetSpec) {
+		spec := workload.FleetSpec{Site: site, Hosts: 3, Seed: seed}
+		fleet, err := device.NewFleet(spec.BuildDevices(), "public")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { fleet.Close() })
+		return fleet, spec
+	}
+	fleetI, specI := mkFleet("site-i", 1)
+	fleetII, specII := mkFleet("site-ii", 2)
+	if err := g.AddGoals(workload.Goals(specI, fleetI, 1, time.Hour)[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddGoals(workload.Goals(specII, fleetII, 1, time.Hour)[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	// Only Site I melts down.
+	fleetI.Stations()[0].Device.InjectFault(device.FaultCPUPegged)
+	fleetI.Stations()[1].Device.InjectFault(device.FaultCPUPegged)
+	fleetI.Advance(2)
+	fleetII.Advance(2)
+
+	if err := g.CollectNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for both sites' data: 6 devices x 4 metrics.
+	deadline := time.After(15 * time.Second)
+	for {
+		if n, _ := g.Store().Stats(); n == 24 {
+			break
+		}
+		select {
+		case <-deadline:
+			n, _ := g.Store().Stats()
+			t.Fatalf("series = %d, want 24", n)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if !g.WaitIdle(15 * time.Second) {
+		t.Fatal("grid never drained")
+	}
+	for {
+		var siteHotI bool
+		for _, a := range g.Alerts() {
+			if a.Rule == "site-hot" {
+				if a.Site != "site-i" {
+					t.Fatalf("site-level alert leaked across sites: %+v", a)
+				}
+				siteHotI = true
+			}
+			if a.Rule == "hot-cpu" && a.Site == "site-ii" {
+				t.Fatalf("device alert on healthy site: %+v", a)
+			}
+		}
+		if siteHotI {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("no site-i correlation; alerts %+v", g.Alerts())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+
+	// Reports are per site and disjoint.
+	repI, err := g.Interface().BuildSiteReport("site-i", time.Now().UTC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	repII, err := g.Interface().BuildSiteReport("site-ii", time.Now().UTC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repI.Devices) != 3 || len(repII.Devices) != 3 {
+		t.Fatalf("report devices = %d / %d", len(repI.Devices), len(repII.Devices))
+	}
+	if len(repII.Alerts) != 0 {
+		t.Fatalf("site-ii report carries alerts: %+v", repII.Alerts)
+	}
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"sync"
+	"time"
+
+	"agentgrid/internal/acl"
+	"agentgrid/internal/agent"
+	"agentgrid/internal/analyze"
+	"agentgrid/internal/store"
+)
+
+// StoreQueryAgentName is the local name of the store-query agent hosted
+// on the container that owns the management store.
+const StoreQueryAgentName = "storeq"
+
+// storeQueryOntology tags store query traffic.
+const storeQueryOntology = "store-query"
+
+// storeQuery is one remote read.
+type storeQuery struct {
+	Op     string `json:"op"` // latest | window | series-for-metric | series-for-device
+	Key    string `json:"key,omitempty"`
+	N      int    `json:"n,omitempty"`
+	Metric string `json:"metric,omitempty"`
+	Site   string `json:"site,omitempty"`
+	Device string `json:"device,omitempty"`
+}
+
+// storeReply is the answer.
+type storeReply struct {
+	Point  *store.Point  `json:"point,omitempty"`
+	Points []store.Point `json:"points,omitempty"`
+	Keys   []string      `json:"keys,omitempty"`
+	Found  bool          `json:"found"`
+	Err    string        `json:"err,omitempty"`
+}
+
+// StoreQueryServer answers remote store reads — how analysis workers on
+// other machines consolidate against the management repository.
+type StoreQueryServer struct {
+	st analyze.StoreReader
+}
+
+// NewStoreQueryServer wires store-query behaviour onto an agent.
+func NewStoreQueryServer(a *agent.Agent, st analyze.StoreReader) (*StoreQueryServer, error) {
+	if st == nil {
+		return nil, errors.New("core: store query server needs a store")
+	}
+	s := &StoreQueryServer{st: st}
+	a.HandleFunc(agent.Selector{
+		Performative: acl.QueryRef,
+		Ontology:     storeQueryOntology,
+	}, s.handle)
+	return s, nil
+}
+
+func (s *StoreQueryServer) handle(ctx context.Context, a *agent.Agent, m *acl.Message) {
+	var q storeQuery
+	reply := m.Reply(a.ID(), acl.Inform)
+	var out storeReply
+	if err := json.Unmarshal(m.Content, &q); err != nil {
+		out.Err = "malformed query"
+	} else {
+		switch q.Op {
+		case "latest":
+			p, ok := s.st.Latest(q.Key)
+			out.Found = ok
+			if ok {
+				out.Point = &p
+			}
+		case "window":
+			out.Points = s.st.Window(q.Key, q.N)
+			out.Found = true
+		case "series-for-metric":
+			out.Keys = s.st.SeriesForMetric(q.Metric)
+			out.Found = true
+		case "series-for-device":
+			out.Keys = s.st.SeriesForDevice(q.Site, q.Device)
+			out.Found = true
+		default:
+			out.Err = "unknown op " + q.Op
+		}
+	}
+	reply.Content, _ = json.Marshal(out)
+	reply.Language = "json"
+	a.Send(ctx, reply)
+}
+
+// StoreQueryClient is an analyze.StoreReader backed by ACL queries to a
+// remote StoreQueryServer. Reads block up to Timeout; on failure they
+// report "no data", which rule evaluation treats as a false condition —
+// the same degradation a real manager shows when its repository is
+// unreachable.
+type StoreQueryClient struct {
+	a       *agent.Agent
+	server  acl.AID
+	timeout time.Duration
+
+	mu    sync.Mutex
+	waits map[string]chan *acl.Message
+}
+
+// Interface compliance.
+var _ analyze.StoreReader = (*StoreQueryClient)(nil)
+
+// NewStoreQueryClient returns a remote store reader sending queries from
+// agent a to the query server at server.
+func NewStoreQueryClient(a *agent.Agent, server acl.AID, timeout time.Duration) *StoreQueryClient {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	c := &StoreQueryClient{
+		a: a, server: server, timeout: timeout,
+		waits: make(map[string]chan *acl.Message),
+	}
+	a.HandleFunc(agent.Selector{
+		Performative: acl.Inform,
+		Ontology:     storeQueryOntology,
+	}, func(_ context.Context, _ *agent.Agent, m *acl.Message) {
+		c.mu.Lock()
+		ch, ok := c.waits[m.InReplyTo]
+		c.mu.Unlock()
+		if ok {
+			select {
+			case ch <- m:
+			default:
+			}
+		}
+	})
+	return c
+}
+
+// roundTrip must not run on the agent's handler goroutine — analysis
+// workers run tasks there. analyze.Worker.Run executes on the handler
+// goroutine for direct dispatch, so the client spawns queries from that
+// context too; deadlock is avoided because the *reply* arrives at this
+// agent's mailbox and is processed... on the same goroutine. To keep the
+// worker synchronous, remote-store workers must run queries from a
+// different agent than the one executing the task. The worker node
+// therefore hosts a dedicated "storeio" agent for this client.
+func (c *StoreQueryClient) roundTrip(q storeQuery) (*storeReply, bool) {
+	content, err := json.Marshal(q)
+	if err != nil {
+		return nil, false
+	}
+	replyWith := c.a.NewConversationID()
+	ch := make(chan *acl.Message, 1)
+	c.mu.Lock()
+	c.waits[replyWith] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.waits, replyWith)
+		c.mu.Unlock()
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), c.timeout)
+	defer cancel()
+	msg := &acl.Message{
+		Performative:   acl.QueryRef,
+		Receivers:      []acl.AID{c.server},
+		Content:        content,
+		Language:       "json",
+		Ontology:       storeQueryOntology,
+		ConversationID: replyWith,
+		ReplyWith:      replyWith,
+	}
+	if err := c.a.Send(ctx, msg); err != nil {
+		return nil, false
+	}
+	select {
+	case <-ctx.Done():
+		return nil, false
+	case m := <-ch:
+		var out storeReply
+		if err := json.Unmarshal(m.Content, &out); err != nil || out.Err != "" {
+			return nil, false
+		}
+		return &out, true
+	}
+}
+
+// Latest implements analyze.StoreReader.
+func (c *StoreQueryClient) Latest(key string) (store.Point, bool) {
+	out, ok := c.roundTrip(storeQuery{Op: "latest", Key: key})
+	if !ok || !out.Found || out.Point == nil {
+		return store.Point{}, false
+	}
+	return *out.Point, true
+}
+
+// Window implements analyze.StoreReader.
+func (c *StoreQueryClient) Window(key string, n int) []store.Point {
+	out, ok := c.roundTrip(storeQuery{Op: "window", Key: key, N: n})
+	if !ok {
+		return nil
+	}
+	return out.Points
+}
+
+// SeriesForMetric implements analyze.StoreReader.
+func (c *StoreQueryClient) SeriesForMetric(metric string) []string {
+	out, ok := c.roundTrip(storeQuery{Op: "series-for-metric", Metric: metric})
+	if !ok {
+		return nil
+	}
+	return out.Keys
+}
+
+// SeriesForDevice implements analyze.StoreReader.
+func (c *StoreQueryClient) SeriesForDevice(site, device string) []string {
+	out, ok := c.roundTrip(storeQuery{Op: "series-for-device", Site: site, Device: device})
+	if !ok {
+		return nil
+	}
+	return out.Keys
+}

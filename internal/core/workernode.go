@@ -1,0 +1,176 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"agentgrid/internal/acl"
+	"agentgrid/internal/analyze"
+	"agentgrid/internal/directory"
+	"agentgrid/internal/platform"
+	"agentgrid/internal/rules"
+	"agentgrid/internal/transport"
+)
+
+// WorkerNodeConfig configures a standalone analysis node that joins a
+// TCP-mode grid — the paper's "if the system requires a greater
+// processing capacity, we need only to add it to the grid" (§3.3),
+// exercised across process boundaries.
+type WorkerNodeConfig struct {
+	// Name is the node's container name, unique in the grid.
+	Name string
+	// RootAddr is the grid root container's TCP address
+	// ("tcp://host:port"), as printed by the grid daemon.
+	RootAddr string
+	// ClassifierAddr is the classifier container's TCP address (hosts
+	// the store-query agent). Defaults to RootAddr's host with store
+	// queries answered by the root when empty — must normally be set.
+	ClassifierAddr string
+	// ListenHost binds the node's own endpoint (default "127.0.0.1").
+	ListenHost string
+	// Rules is the node's analysis rule base source.
+	Rules string
+	// HeartbeatEvery is the lease renewal period (default 1s).
+	HeartbeatEvery time.Duration
+	// ErrorLog receives node errors. Optional.
+	ErrorLog func(error)
+}
+
+// WorkerNode is a running remote analysis node.
+type WorkerNode struct {
+	cfg       WorkerNodeConfig
+	container *platform.Container
+	worker    *analyze.Worker
+	df        *DFClient
+	cancel    context.CancelFunc
+}
+
+// NewWorkerNode builds and wires the node; Start launches it.
+func NewWorkerNode(cfg WorkerNodeConfig) (*WorkerNode, error) {
+	if cfg.Name == "" {
+		return nil, errors.New("core: worker node needs a name")
+	}
+	if cfg.RootAddr == "" {
+		return nil, errors.New("core: worker node needs the root address")
+	}
+	if cfg.ListenHost == "" {
+		cfg.ListenHost = "127.0.0.1"
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = time.Second
+	}
+	if cfg.ClassifierAddr == "" {
+		cfg.ClassifierAddr = cfg.RootAddr
+	}
+
+	profile := directory.ResourceProfile{CPUCapacity: 100, NetCapacity: 100, DiscCapacity: 100}
+	// Static resolver: the only platforms this node addresses without
+	// explicit addresses are the grid root and the classifier.
+	resolver := func(aid acl.AID) (string, error) {
+		switch aid.Platform() {
+		case "pg-root":
+			return cfg.RootAddr, nil
+		case "clg":
+			return cfg.ClassifierAddr, nil
+		}
+		return "", fmt.Errorf("core: worker node cannot resolve %s", aid.Name)
+	}
+	c, err := platform.New(platform.Config{
+		Name: cfg.Name, Platform: cfg.Name, Profile: profile,
+		Resolver: resolver, ErrorLog: cfg.ErrorLog,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := c.AttachTCP(cfg.ListenHost + ":0"); err != nil {
+		return nil, err
+	}
+
+	// Store access goes through a dedicated I/O agent so the analyzer's
+	// goroutine can block on remote reads without deadlocking.
+	ioAgent, err := c.SpawnAgent("storeio")
+	if err != nil {
+		c.Stop()
+		return nil, err
+	}
+	storeClient := NewStoreQueryClient(ioAgent,
+		acl.NewAID(StoreQueryAgentName, "clg", transportAddr(cfg.ClassifierAddr)), 2*time.Second)
+
+	wa, err := c.SpawnAgent(analyze.WorkerAgentName)
+	if err != nil {
+		c.Stop()
+		return nil, err
+	}
+	rb := rules.NewRuleBase()
+	if cfg.Rules != "" {
+		if _, err := rb.AddSource(cfg.Rules); err != nil {
+			c.Stop()
+			return nil, fmt.Errorf("core: worker node rules: %w", err)
+		}
+	}
+	w, err := analyze.NewWorker(wa, analyze.WorkerConfig{
+		Store: storeClient, Rules: rb, ErrorLog: cfg.ErrorLog,
+	})
+	if err != nil {
+		c.Stop()
+		return nil, err
+	}
+	c.SetLoadFunc(w.Load)
+
+	node := &WorkerNode{cfg: cfg, container: c, worker: w}
+	node.df = NewDFClient(wa,
+		acl.NewAID(DFAgentName, "pg-root", cfg.RootAddr),
+		func() directory.Registration {
+			return c.Registration([]directory.ServiceDesc{{
+				Type:         directory.ServiceAnalysis,
+				Capabilities: w.Capabilities(),
+			}})
+		})
+	return node, nil
+}
+
+// transportAddr normalizes an address for AID embedding.
+func transportAddr(addr string) string {
+	if addr == "" {
+		return addr
+	}
+	if transport.StripScheme(addr) == addr {
+		return "tcp://" + addr
+	}
+	return addr
+}
+
+// Start launches the node, registers it with the grid root's DF and
+// begins heartbeating. The node serves tasks until Stop.
+func (n *WorkerNode) Start(ctx context.Context) error {
+	runCtx, cancel := context.WithCancel(ctx)
+	n.cancel = cancel
+	if err := n.container.Start(runCtx); err != nil {
+		cancel()
+		return err
+	}
+	if err := n.df.Register(runCtx); err != nil {
+		cancel()
+		return err
+	}
+	return n.df.StartHeartbeat(n.cfg.HeartbeatEvery)
+}
+
+// Stop deregisters and shuts the node down.
+func (n *WorkerNode) Stop() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	n.df.Deregister(ctx)
+	if n.cancel != nil {
+		n.cancel()
+	}
+	return n.container.Stop()
+}
+
+// Addr returns the node's transport address.
+func (n *WorkerNode) Addr() string { return n.container.Addr() }
+
+// Worker returns the node's analysis worker for inspection.
+func (n *WorkerNode) Worker() *analyze.Worker { return n.worker }

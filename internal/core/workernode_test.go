@@ -1,0 +1,187 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"agentgrid/internal/device"
+	"agentgrid/internal/workload"
+)
+
+// TestRemoteWorkerJoinsTCPGrid runs the grid in TCP mode, joins an
+// external worker node over loopback TCP, removes the in-grid analyzers
+// and verifies the remote node carries the analysis — the "just add it
+// to the grid" scalability claim across process-style boundaries.
+func TestRemoteWorkerJoinsTCPGrid(t *testing.T) {
+	cfg := Config{
+		Site:           "site1",
+		Analyzers:      1,
+		Rules:          gridRules,
+		TCPHost:        "127.0.0.1",
+		TaskTimeout:    time.Second,
+		HeartbeatEvery: 100 * time.Millisecond,
+	}
+	g, err := NewGrid(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := g.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer g.Stop()
+
+	if g.RootAddr() == "" || g.ClassifierAddr() == "" {
+		t.Fatalf("TCP addresses missing: root %q clg %q", g.RootAddr(), g.ClassifierAddr())
+	}
+
+	node, err := NewWorkerNode(WorkerNodeConfig{
+		Name:           "remote-1",
+		RootAddr:       g.RootAddr(),
+		ClassifierAddr: g.ClassifierAddr(),
+		Rules:          gridRules,
+		HeartbeatEvery: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer node.Stop()
+
+	// The node appears in the grid directory.
+	deadline := time.After(10 * time.Second)
+	for {
+		if _, ok := g.Directory().Get("remote-1"); ok {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("remote node never registered")
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+
+	// Kill the in-grid analyzer so only the remote node can work.
+	for _, c := range g.containers {
+		if c.Name() == "pg-1" {
+			c.Stop()
+		}
+	}
+	g.Directory().Deregister("pg-1")
+
+	// Monitor a faulty host.
+	spec := workload.FleetSpec{Site: "site1", Hosts: 1, Seed: 13}
+	fleet, err := device.NewFleet(spec.BuildDevices(), "public")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	fleet.Stations()[0].Device.InjectFault(device.FaultCPUPegged)
+	if err := g.AddGoals(workload.Goals(spec, fleet, 1, time.Hour)[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.CollectNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The remote worker must produce the alert (its L1 rule reads the
+	// store through the query protocol).
+	for {
+		var hot bool
+		for _, a := range g.Alerts() {
+			if a.Rule == "hot-cpu" {
+				hot = true
+			}
+		}
+		if hot {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("remote node produced no alert; node stats %+v, root stats %+v",
+				node.Worker().Stats(), g.Root().Stats())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	if node.Worker().Stats().Tasks == 0 {
+		t.Fatal("remote worker ran no tasks")
+	}
+}
+
+func TestWorkerNodeValidation(t *testing.T) {
+	if _, err := NewWorkerNode(WorkerNodeConfig{RootAddr: "x"}); err == nil {
+		t.Error("missing name accepted")
+	}
+	if _, err := NewWorkerNode(WorkerNodeConfig{Name: "n"}); err == nil {
+		t.Error("missing root addr accepted")
+	}
+	if _, err := NewWorkerNode(WorkerNodeConfig{
+		Name: "n", RootAddr: "tcp://127.0.0.1:1", Rules: "rule {",
+	}); err == nil {
+		t.Error("bad rules accepted")
+	}
+}
+
+func TestTransportAddrNormalization(t *testing.T) {
+	if got := transportAddr("127.0.0.1:9"); got != "tcp://127.0.0.1:9" {
+		t.Fatalf("bare addr = %q", got)
+	}
+	if got := transportAddr("tcp://127.0.0.1:9"); got != "tcp://127.0.0.1:9" {
+		t.Fatalf("scheme addr = %q", got)
+	}
+	if got := transportAddr(""); got != "" {
+		t.Fatalf("empty addr = %q", got)
+	}
+}
+
+// TestStoreProxyRoundtrip exercises the query protocol directly within
+// one in-proc grid.
+func TestStoreProxyRoundtrip(t *testing.T) {
+	spec := workload.FleetSpec{Site: "site1", Hosts: 1, Seed: 3}
+	g, _ := testGrid(t, Config{Site: "site1"}, spec)
+	if err := g.CollectNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(10 * time.Second)
+	for {
+		if n, _ := g.Store().Stats(); n == 4 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("store never filled")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+
+	// A client on the IG agent queries the clg store agent.
+	clgAID := g.Classifier().Agent().ID()
+	clgAID.Name = StoreQueryAgentName + "@clg"
+	client := NewStoreQueryClient(g.Interface().Agent(), clgAID, 2*time.Second)
+
+	key := "site1/host-01/cpu.util"
+	p, ok := client.Latest(key)
+	if !ok {
+		t.Fatal("remote Latest found nothing")
+	}
+	direct, _ := g.Store().Latest(key)
+	if p.Value != direct.Value {
+		t.Fatalf("remote %v != direct %v", p.Value, direct.Value)
+	}
+	if w := client.Window(key, 5); len(w) == 0 {
+		t.Fatal("remote Window empty")
+	}
+	if keys := client.SeriesForMetric("cpu.util"); len(keys) != 1 || keys[0] != key {
+		t.Fatalf("remote SeriesForMetric = %v", keys)
+	}
+	if keys := client.SeriesForDevice("site1", "host-01"); len(keys) != 4 {
+		t.Fatalf("remote SeriesForDevice = %v", keys)
+	}
+	if _, ok := client.Latest("no/such/series"); ok {
+		t.Fatal("phantom remote series")
+	}
+}

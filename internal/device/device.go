@@ -1,0 +1,235 @@
+package device
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Class categorizes simulated equipment.
+type Class string
+
+// Device classes.
+const (
+	ClassHost   Class = "host"
+	ClassRouter Class = "router"
+	ClassSwitch Class = "switch"
+)
+
+// Fault identifies an injectable failure mode.
+type Fault string
+
+// Faults. Each pins one or more metrics at pathological values until
+// cleared, the way a real incident would.
+const (
+	FaultCPUPegged Fault = "cpu-pegged" // cpu.util -> 100
+	FaultDiskFull  Fault = "disk-full"  // disk.free -> ~0
+	FaultMemLeak   Fault = "mem-leak"   // mem.free -> ~0
+	FaultLinkDown  Fault = "link-down"  // if.up -> 0, traffic stalls
+	FaultProcStorm Fault = "proc-storm" // proc.count -> very high
+)
+
+// Standard metric names. Collector goals and analysis rules reference
+// these; the ontology in internal/obs categorizes them.
+const (
+	MetricCPUUtil     = "cpu.util"   // percent busy
+	MetricMemFree     = "mem.free"   // megabytes free
+	MetricDiskFree    = "disk.free"  // megabytes free
+	MetricProcCount   = "proc.count" // processes running
+	MetricIfUp        = "if.up"      // 1 up, 0 down
+	MetricIfInOctets  = "if.in"      // cumulative octets in
+	MetricIfOutOctets = "if.out"     // cumulative octets out
+)
+
+type metricState struct {
+	model Model
+	value float64
+}
+
+// Device is one simulated piece of managed equipment. Metrics evolve
+// when Advance is called; faults override the affected metrics. Safe for
+// concurrent use (the SNMP server reads while the simulation advances).
+type Device struct {
+	name  string
+	class Class
+
+	mu      sync.RWMutex
+	rng     *rand.Rand
+	step    int
+	metrics map[string]*metricState
+	order   []string
+	faults  map[Fault]bool
+}
+
+// New creates a device with no metrics; add them with AddMetric or use
+// NewHost / NewRouter for the standard shapes.
+func New(name string, class Class, seed int64) *Device {
+	return &Device{
+		name:    name,
+		class:   class,
+		rng:     rand.New(rand.NewSource(seed)),
+		metrics: make(map[string]*metricState),
+		faults:  make(map[Fault]bool),
+	}
+}
+
+// NewHost builds a standard server-class device with the paper's example
+// metric set: processor usage, memory availability, disk space and the
+// process count (§4.1).
+func NewHost(name string, seed int64) *Device {
+	d := New(name, ClassHost, seed)
+	d.AddMetric(MetricCPUUtil, &RandomWalk{Start: 30, Min: 2, Max: 98, MaxStep: 8})
+	d.AddMetric(MetricMemFree, &RandomWalk{Start: 4096, Min: 128, Max: 8192, MaxStep: 256})
+	d.AddMetric(MetricDiskFree, &Drain{Start: 50000, Rate: 4, Min: 100})
+	d.AddMetric(MetricProcCount, &Spiky{Base: 120, Noise: 15, P: 0.02, SpikeValue: 900})
+	return d
+}
+
+// NewRouter builds a router with CPU plus per-interface state for
+// ifCount interfaces: up/down, in-octets and out-octets.
+func NewRouter(name string, ifCount int, seed int64) *Device {
+	d := New(name, ClassRouter, seed)
+	d.AddMetric(MetricCPUUtil, &RandomWalk{Start: 15, Min: 1, Max: 95, MaxStep: 5})
+	for i := 1; i <= ifCount; i++ {
+		d.AddMetric(ifMetric(MetricIfUp, i), Constant(1))
+		d.AddMetric(ifMetric(MetricIfInOctets, i), &Counter{MinInc: 1000, MaxInc: 100000})
+		d.AddMetric(ifMetric(MetricIfOutOctets, i), &Counter{MinInc: 1000, MaxInc: 100000})
+	}
+	return d
+}
+
+// NewSwitch builds a switch: like a router but with more, slower ports.
+func NewSwitch(name string, portCount int, seed int64) *Device {
+	d := New(name, ClassSwitch, seed)
+	d.AddMetric(MetricCPUUtil, &RandomWalk{Start: 8, Min: 1, Max: 60, MaxStep: 3})
+	for i := 1; i <= portCount; i++ {
+		d.AddMetric(ifMetric(MetricIfUp, i), Constant(1))
+		d.AddMetric(ifMetric(MetricIfInOctets, i), &Counter{MinInc: 100, MaxInc: 20000})
+	}
+	return d
+}
+
+// ifMetric names a per-interface metric, e.g. "if.in.3".
+func ifMetric(base string, idx int) string { return fmt.Sprintf("%s.%d", base, idx) }
+
+// IfMetric exposes the per-interface naming scheme to collectors.
+func IfMetric(base string, idx int) string { return ifMetric(base, idx) }
+
+// Name returns the device name.
+func (d *Device) Name() string { return d.name }
+
+// Class returns the device class.
+func (d *Device) Class() Class { return d.class }
+
+// AddMetric registers a metric driven by the model. The initial value is
+// the model's step-0 output.
+func (d *Device) AddMetric(name string, m Model) error {
+	if m == nil {
+		return errors.New("device: nil model")
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.metrics[name]; dup {
+		return fmt.Errorf("device: duplicate metric %q", name)
+	}
+	d.metrics[name] = &metricState{model: m, value: m.Next(d.rng, 0)}
+	d.order = append(d.order, name)
+	sort.Strings(d.order)
+	return nil
+}
+
+// MetricNames lists the device's metrics, sorted.
+func (d *Device) MetricNames() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return append([]string(nil), d.order...)
+}
+
+// Value returns the current value of a metric, with any active fault
+// override applied.
+func (d *Device) Value(metric string) (float64, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	ms, ok := d.metrics[metric]
+	if !ok {
+		return 0, false
+	}
+	return d.overrideLocked(metric, ms.value), true
+}
+
+// Step returns the current simulation step.
+func (d *Device) Step() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.step
+}
+
+// Advance moves the simulation forward n steps, recomputing every metric.
+func (d *Device) Advance(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := 0; i < n; i++ {
+		d.step++
+		for _, name := range d.order {
+			ms := d.metrics[name]
+			ms.value = ms.model.Next(d.rng, d.step)
+		}
+	}
+}
+
+// InjectFault activates a failure mode.
+func (d *Device) InjectFault(f Fault) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.faults[f] = true
+}
+
+// ClearFault deactivates a failure mode.
+func (d *Device) ClearFault(f Fault) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.faults, f)
+}
+
+// ActiveFaults lists active failure modes, sorted.
+func (d *Device) ActiveFaults() []Fault {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	out := make([]Fault, 0, len(d.faults))
+	for f := range d.faults {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// overrideLocked applies fault overrides to a metric value. Caller holds
+// at least a read lock.
+func (d *Device) overrideLocked(metric string, v float64) float64 {
+	if len(d.faults) == 0 {
+		return v
+	}
+	switch {
+	case metric == MetricCPUUtil && d.faults[FaultCPUPegged]:
+		return 100
+	case metric == MetricDiskFree && d.faults[FaultDiskFull]:
+		return 1
+	case metric == MetricMemFree && d.faults[FaultMemLeak]:
+		return 4
+	case metric == MetricProcCount && d.faults[FaultProcStorm]:
+		return 2500
+	case d.faults[FaultLinkDown] && hasBase(metric, MetricIfUp):
+		return 0
+	}
+	return v
+}
+
+// hasBase reports whether metric is base or "base.N".
+func hasBase(metric, base string) bool {
+	if metric == base {
+		return true
+	}
+	return len(metric) > len(base) && metric[:len(base)] == base && metric[len(base)] == '.'
+}

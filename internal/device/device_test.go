@@ -1,0 +1,242 @@
+package device
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterministicEvolution(t *testing.T) {
+	a := NewHost("h1", 42)
+	b := NewHost("h1", 42)
+	a.Advance(100)
+	b.Advance(100)
+	for _, m := range a.MetricNames() {
+		va, _ := a.Value(m)
+		vb, _ := b.Value(m)
+		if va != vb {
+			t.Errorf("metric %s diverged: %v vs %v", m, va, vb)
+		}
+	}
+	c := NewHost("h1", 43) // different seed must differ somewhere
+	c.Advance(100)
+	same := true
+	for _, m := range a.MetricNames() {
+		va, _ := a.Value(m)
+		vc, _ := c.Value(m)
+		if va != vc {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical trajectories")
+	}
+}
+
+func TestHostMetricSet(t *testing.T) {
+	d := NewHost("h", 1)
+	want := []string{MetricCPUUtil, MetricDiskFree, MetricMemFree, MetricProcCount}
+	got := d.MetricNames()
+	if len(got) != len(want) {
+		t.Fatalf("MetricNames = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MetricNames = %v, want %v", got, want)
+		}
+	}
+	if d.Class() != ClassHost || d.Name() != "h" {
+		t.Error("identity wrong")
+	}
+}
+
+func TestRouterAndSwitchMetricSets(t *testing.T) {
+	r := NewRouter("r", 3, 1)
+	if _, ok := r.Value(IfMetric(MetricIfUp, 3)); !ok {
+		t.Error("router missing if.up.3")
+	}
+	if _, ok := r.Value(IfMetric(MetricIfInOctets, 1)); !ok {
+		t.Error("router missing if.in.1")
+	}
+	if _, ok := r.Value(IfMetric(MetricIfUp, 4)); ok {
+		t.Error("router has phantom interface 4")
+	}
+	s := NewSwitch("s", 8, 1)
+	if _, ok := s.Value(IfMetric(MetricIfInOctets, 8)); !ok {
+		t.Error("switch missing port 8")
+	}
+	if s.Class() != ClassSwitch {
+		t.Error("class wrong")
+	}
+}
+
+func TestMetricBounds(t *testing.T) {
+	d := NewHost("h", 7)
+	for i := 0; i < 500; i++ {
+		d.Advance(1)
+		cpu, _ := d.Value(MetricCPUUtil)
+		if cpu < 2 || cpu > 98 {
+			t.Fatalf("cpu.util out of bounds at step %d: %v", i, cpu)
+		}
+		disk, _ := d.Value(MetricDiskFree)
+		if disk < 100 {
+			t.Fatalf("disk.free below floor: %v", disk)
+		}
+	}
+}
+
+func TestCounterMonotonic(t *testing.T) {
+	d := NewRouter("r", 1, 3)
+	prev, _ := d.Value(IfMetric(MetricIfInOctets, 1))
+	for i := 0; i < 200; i++ {
+		d.Advance(1)
+		cur, _ := d.Value(IfMetric(MetricIfInOctets, 1))
+		if cur <= prev {
+			t.Fatalf("counter not monotonic at step %d: %v <= %v", i, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestFaultInjection(t *testing.T) {
+	d := NewHost("h", 5)
+	d.Advance(10)
+
+	d.InjectFault(FaultCPUPegged)
+	if v, _ := d.Value(MetricCPUUtil); v != 100 {
+		t.Fatalf("cpu with fault = %v", v)
+	}
+	d.InjectFault(FaultDiskFull)
+	if v, _ := d.Value(MetricDiskFree); v != 1 {
+		t.Fatalf("disk with fault = %v", v)
+	}
+	d.InjectFault(FaultMemLeak)
+	if v, _ := d.Value(MetricMemFree); v != 4 {
+		t.Fatalf("mem with fault = %v", v)
+	}
+	d.InjectFault(FaultProcStorm)
+	if v, _ := d.Value(MetricProcCount); v != 2500 {
+		t.Fatalf("procs with fault = %v", v)
+	}
+	if n := len(d.ActiveFaults()); n != 4 {
+		t.Fatalf("ActiveFaults = %d", n)
+	}
+
+	d.ClearFault(FaultCPUPegged)
+	d.Advance(1)
+	if v, _ := d.Value(MetricCPUUtil); v == 100 {
+		t.Fatal("cpu fault not cleared (or walk landed exactly on 100)")
+	}
+}
+
+func TestLinkDownFault(t *testing.T) {
+	r := NewRouter("r", 2, 9)
+	r.InjectFault(FaultLinkDown)
+	for i := 1; i <= 2; i++ {
+		if v, _ := r.Value(IfMetric(MetricIfUp, i)); v != 0 {
+			t.Fatalf("if.up.%d with link-down = %v", i, v)
+		}
+	}
+	// Unrelated metrics unaffected.
+	if v, _ := r.Value(MetricCPUUtil); v == 0 {
+		t.Fatal("cpu zeroed by link fault")
+	}
+	r.ClearFault(FaultLinkDown)
+	if v, _ := r.Value(IfMetric(MetricIfUp, 1)); v != 1 {
+		t.Fatal("link did not come back")
+	}
+}
+
+func TestAddMetricErrors(t *testing.T) {
+	d := New("d", ClassHost, 1)
+	if err := d.AddMetric("m", nil); err == nil {
+		t.Error("nil model accepted")
+	}
+	if err := d.AddMetric("m", Constant(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddMetric("m", Constant(2)); err == nil {
+		t.Error("duplicate metric accepted")
+	}
+	if _, ok := d.Value("nope"); ok {
+		t.Error("phantom metric")
+	}
+}
+
+func TestStepCounter(t *testing.T) {
+	d := NewHost("h", 1)
+	if d.Step() != 0 {
+		t.Fatal("initial step not 0")
+	}
+	d.Advance(7)
+	if d.Step() != 7 {
+		t.Fatalf("Step = %d", d.Step())
+	}
+}
+
+func TestModelsDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if v := Constant(5).Next(rng, 0); v != 5 {
+		t.Errorf("Constant = %v", v)
+	}
+	s := &Sinusoid{Base: 100, Amp: 10, Period: 20}
+	peak := s.Next(rng, 5) // sin(pi/2) = 1
+	if peak < 109 || peak > 111 {
+		t.Errorf("sinusoid peak = %v", peak)
+	}
+	zero := &Sinusoid{Base: 100, Amp: 10} // Period <= 0 guards against div-by-zero
+	if v := zero.Next(rng, 3); v < 99.999 || v > 100.001 {
+		t.Errorf("degenerate sinusoid = %v", v)
+	}
+	dr := &Drain{Start: 100, Rate: 10, Min: 5}
+	if v := dr.Next(rng, 3); v != 70 {
+		t.Errorf("drain = %v", v)
+	}
+	if v := dr.Next(rng, 50); v != 5 {
+		t.Errorf("drain floor = %v", v)
+	}
+	sp := &Spiky{Base: 10, P: 1, SpikeValue: 99}
+	if v := sp.Next(rng, 0); v != 99 {
+		t.Errorf("certain spike = %v", v)
+	}
+	spNever := &Spiky{Base: 10, P: 0}
+	if v := spNever.Next(rng, 0); v != 10 {
+		t.Errorf("no-noise spiky = %v", v)
+	}
+}
+
+func TestRandomWalkBoundsProperty(t *testing.T) {
+	f := func(seed int64, steps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := &RandomWalk{Start: 50, Min: 0, Max: 100, MaxStep: 10}
+		for i := 0; i < int(steps); i++ {
+			v := w.Next(rng, i)
+			if v < 0 || v > 100 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterMonotonicProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := &Counter{MinInc: 1, MaxInc: 10}
+		prev := 0.0
+		for i := 0; i < 50; i++ {
+			v := c.Next(rng, i)
+			if v <= prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,176 @@
+package device
+
+import (
+	"fmt"
+	"sort"
+
+	"agentgrid/internal/snmp"
+)
+
+// OID layout for simulated devices. System identity lives under the
+// standard MIB-2 system subtree; float-valued metrics live under a
+// private enterprise subtree, indexed in sorted metric-name order so the
+// mapping is stable and walkable.
+var (
+	// OIDSysName is the device name (.1.3.6.1.2.1.1.5.0, as in MIB-2).
+	OIDSysName = snmp.MustParseOID("1.3.6.1.2.1.1.5.0")
+	// OIDSysClass is the device class (private extension).
+	OIDSysClass = snmp.MustParseOID("1.3.6.1.4.1.5000.1.1.0")
+	// OIDMetricBase roots the metric table; entry i is OIDMetricBase.i.
+	OIDMetricBase = snmp.MustParseOID("1.3.6.1.4.1.5000.2")
+	// OIDMetricNameBase roots the parallel metric-name table.
+	OIDMetricNameBase = snmp.MustParseOID("1.3.6.1.4.1.5000.3")
+	// OIDStep exposes the device's simulation step counter.
+	OIDStep = snmp.MustParseOID("1.3.6.1.4.1.5000.4.0")
+)
+
+// MetricOID returns the OID serving the metric with the given index in
+// the device's sorted metric-name list (1-based, as SNMP tables are).
+func MetricOID(index int) snmp.OID {
+	return OIDMetricBase.Append(uint32(index))
+}
+
+// MetricNameOID returns the OID serving the metric's name.
+func MetricNameOID(index int) snmp.OID {
+	return OIDMetricNameBase.Append(uint32(index))
+}
+
+// BuildMIB constructs the MIB view of a device: identity scalars, the
+// metric-name table and live float gauges for every metric. The MIB
+// reads through to the device, so values track the simulation.
+func BuildMIB(d *Device) (*snmp.MIB, error) {
+	mib := snmp.NewMIB()
+	if err := mib.RegisterScalar(OIDSysName, snmp.StringValue(d.Name())); err != nil {
+		return nil, err
+	}
+	if err := mib.RegisterScalar(OIDSysClass, snmp.StringValue(string(d.Class()))); err != nil {
+		return nil, err
+	}
+	if err := mib.Register(OIDStep, func() snmp.Value {
+		return snmp.IntegerValue(int64(d.Step()))
+	}, nil); err != nil {
+		return nil, err
+	}
+	names := d.MetricNames()
+	sort.Strings(names)
+	for i, name := range names {
+		idx := i + 1
+		metric := name
+		if err := mib.RegisterScalar(MetricNameOID(idx), snmp.StringValue(metric)); err != nil {
+			return nil, err
+		}
+		if err := mib.Register(MetricOID(idx), func() snmp.Value {
+			v, ok := d.Value(metric)
+			if !ok {
+				return snmp.NullValue()
+			}
+			return snmp.FloatValue(v)
+		}, nil); err != nil {
+			return nil, err
+		}
+	}
+	return mib, nil
+}
+
+// MetricIndex returns the 1-based table index of a metric on the device,
+// or 0 when absent. Collectors use it to translate goal metric names
+// into OIDs.
+func MetricIndex(d *Device, metric string) int {
+	names := d.MetricNames()
+	sort.Strings(names)
+	for i, name := range names {
+		if name == metric {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// Station couples a device with the SNMP server exposing it.
+type Station struct {
+	Device *Device
+	Server *snmp.Server
+}
+
+// StartStation builds the device's MIB and serves it over UDP on addr
+// with the given community.
+func StartStation(d *Device, addr, community string, opts ...snmp.ServerOption) (*Station, error) {
+	mib, err := BuildMIB(d)
+	if err != nil {
+		return nil, fmt.Errorf("device %s: %w", d.Name(), err)
+	}
+	srv, err := snmp.NewServer(addr, community, mib, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("device %s: %w", d.Name(), err)
+	}
+	return &Station{Device: d, Server: srv}, nil
+}
+
+// Addr returns the station's SNMP endpoint.
+func (s *Station) Addr() string { return s.Server.Addr() }
+
+// OIDTrapFault is the varbind OID carrying the fault name in a trap.
+var OIDTrapFault = snmp.MustParseOID("1.3.6.1.4.1.5000.5.1")
+
+// SendFaultTrap emits a trap announcing an active fault. The varbinds
+// identify the device (sysName) and the fault, so trap consumers can
+// react without polling.
+func (s *Station) SendFaultTrap(f Fault) error {
+	return s.Server.SendTrap([]snmp.VarBind{
+		{OID: OIDSysName, Value: snmp.StringValue(s.Device.Name())},
+		{OID: OIDTrapFault, Value: snmp.StringValue(string(f))},
+	})
+}
+
+// Close stops the station's server.
+func (s *Station) Close() error { return s.Server.Close() }
+
+// Fleet is a set of stations advancing in lockstep — the managed network
+// of one site.
+type Fleet struct {
+	stations []*Station
+	byName   map[string]*Station
+}
+
+// NewFleet starts one station per device, all on ephemeral loopback
+// ports with the same community.
+func NewFleet(devices []*Device, community string) (*Fleet, error) {
+	f := &Fleet{byName: make(map[string]*Station, len(devices))}
+	for _, d := range devices {
+		st, err := StartStation(d, "127.0.0.1:0", community)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		f.stations = append(f.stations, st)
+		f.byName[d.Name()] = st
+	}
+	return f, nil
+}
+
+// Stations returns all stations in creation order.
+func (f *Fleet) Stations() []*Station { return f.stations }
+
+// Station returns the station for a device name.
+func (f *Fleet) Station(name string) (*Station, bool) {
+	st, ok := f.byName[name]
+	return st, ok
+}
+
+// Advance moves every device forward n steps.
+func (f *Fleet) Advance(n int) {
+	for _, st := range f.stations {
+		st.Device.Advance(n)
+	}
+}
+
+// Close stops every station.
+func (f *Fleet) Close() error {
+	var firstErr error
+	for _, st := range f.stations {
+		if err := st.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,144 @@
+package device
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"agentgrid/internal/snmp"
+)
+
+func TestBuildMIBIdentity(t *testing.T) {
+	d := NewHost("web-1", 1)
+	mib, err := BuildMIB(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := mib.Get(OIDSysName)
+	if err != nil || v.Str != "web-1" {
+		t.Fatalf("sysName = %v, %v", v, err)
+	}
+	v, err = mib.Get(OIDSysClass)
+	if err != nil || v.Str != "host" {
+		t.Fatalf("sysClass = %v, %v", v, err)
+	}
+	v, err = mib.Get(OIDStep)
+	if err != nil || v.Int != 0 {
+		t.Fatalf("step = %v, %v", v, err)
+	}
+	d.Advance(3)
+	v, _ = mib.Get(OIDStep)
+	if v.Int != 3 {
+		t.Fatalf("step after advance = %v", v)
+	}
+}
+
+func TestMIBMetricsTrackDevice(t *testing.T) {
+	d := NewHost("h", 2)
+	mib, err := BuildMIB(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := MetricIndex(d, MetricCPUUtil)
+	if idx == 0 {
+		t.Fatal("cpu.util has no index")
+	}
+	// Name table matches metric table.
+	nameVal, err := mib.Get(MetricNameOID(idx))
+	if err != nil || nameVal.Str != MetricCPUUtil {
+		t.Fatalf("name table = %v, %v", nameVal, err)
+	}
+	before, _ := mib.Get(MetricOID(idx))
+	want, _ := d.Value(MetricCPUUtil)
+	if before.Float != want {
+		t.Fatalf("MIB %v != device %v", before.Float, want)
+	}
+	d.Advance(5)
+	after, _ := mib.Get(MetricOID(idx))
+	nowWant, _ := d.Value(MetricCPUUtil)
+	if after.Float != nowWant {
+		t.Fatalf("MIB not live: %v != %v", after.Float, nowWant)
+	}
+}
+
+func TestMetricIndexMissing(t *testing.T) {
+	d := NewHost("h", 1)
+	if MetricIndex(d, "no.such.metric") != 0 {
+		t.Fatal("phantom metric index")
+	}
+}
+
+func TestStationEndToEnd(t *testing.T) {
+	d := NewHost("db-1", 11)
+	st, err := StartStation(d, "127.0.0.1:0", "public")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	cli := snmp.NewClient("public", snmp.WithTimeout(2*time.Second))
+	vbs, err := cli.Get(context.Background(), st.Addr(), OIDSysName)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vbs[0].Value.Str != "db-1" {
+		t.Fatalf("sysName over UDP = %v", vbs[0].Value)
+	}
+
+	// Walk the metric table: one entry per metric.
+	metrics, err := cli.Walk(context.Background(), st.Addr(), OIDMetricBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metrics) != len(d.MetricNames()) {
+		t.Fatalf("walked %d metrics, want %d", len(metrics), len(d.MetricNames()))
+	}
+	for _, vb := range metrics {
+		if _, ok := vb.Value.AsFloat(); !ok {
+			t.Fatalf("metric %s not numeric: %v", vb.OID, vb.Value)
+		}
+	}
+}
+
+func TestFleet(t *testing.T) {
+	devices := []*Device{
+		NewHost("h1", 1),
+		NewHost("h2", 2),
+		NewRouter("r1", 2, 3),
+	}
+	fleet, err := NewFleet(devices, "public")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+
+	if len(fleet.Stations()) != 3 {
+		t.Fatalf("stations = %d", len(fleet.Stations()))
+	}
+	st, ok := fleet.Station("r1")
+	if !ok || st.Device.Name() != "r1" {
+		t.Fatal("Station lookup failed")
+	}
+	if _, ok := fleet.Station("ghost"); ok {
+		t.Fatal("phantom station")
+	}
+
+	fleet.Advance(4)
+	for _, st := range fleet.Stations() {
+		if st.Device.Step() != 4 {
+			t.Fatalf("%s step = %d", st.Device.Name(), st.Device.Step())
+		}
+	}
+
+	// Each station is queryable.
+	cli := snmp.NewClient("public", snmp.WithTimeout(2*time.Second))
+	for _, st := range fleet.Stations() {
+		vbs, err := cli.Get(context.Background(), st.Addr(), OIDSysName)
+		if err != nil {
+			t.Fatalf("%s: %v", st.Device.Name(), err)
+		}
+		if vbs[0].Value.Str != st.Device.Name() {
+			t.Fatalf("station identity mismatch: %v", vbs[0].Value)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+// Package device simulates the managed network equipment the paper's
+// collector grid monitors: hosts, routers and switches whose metrics
+// (processor usage, memory availability, disk space, process counts,
+// interface traffic — the example workload of §4.1) evolve over discrete
+// time steps under seeded randomness, with injectable faults. Each device
+// exposes its metrics through a MIB so the real SNMP code path is
+// exercised end to end.
+package device
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Model produces the next value of one metric. Implementations are
+// deterministic given the same RNG stream and step sequence.
+type Model interface {
+	// Next returns the metric value at the given step. rng is the
+	// device-owned seeded source.
+	Next(rng *rand.Rand, step int) float64
+}
+
+// Constant is a fixed-value metric.
+type Constant float64
+
+// Next implements Model.
+func (c Constant) Next(*rand.Rand, int) float64 { return float64(c) }
+
+// RandomWalk wanders between Min and Max, moving at most MaxStep per
+// step. Typical for CPU utilization.
+type RandomWalk struct {
+	Start   float64
+	Min     float64
+	Max     float64
+	MaxStep float64
+
+	cur     float64
+	started bool
+}
+
+// Next implements Model.
+func (w *RandomWalk) Next(rng *rand.Rand, _ int) float64 {
+	if !w.started {
+		w.cur = w.Start
+		w.started = true
+	}
+	w.cur += (rng.Float64()*2 - 1) * w.MaxStep
+	if w.cur < w.Min {
+		w.cur = w.Min
+	}
+	if w.cur > w.Max {
+		w.cur = w.Max
+	}
+	return w.cur
+}
+
+// Sinusoid models a daily-load curve: Base + Amp*sin(2π·step/Period),
+// plus uniform Noise. Typical for interface traffic.
+type Sinusoid struct {
+	Base   float64
+	Amp    float64
+	Period int
+	Noise  float64
+}
+
+// Next implements Model.
+func (s *Sinusoid) Next(rng *rand.Rand, step int) float64 {
+	period := s.Period
+	if period <= 0 {
+		period = 1
+	}
+	v := s.Base + s.Amp*math.Sin(2*math.Pi*float64(step)/float64(period))
+	if s.Noise > 0 {
+		v += (rng.Float64()*2 - 1) * s.Noise
+	}
+	return v
+}
+
+// Drain decreases linearly from Start by Rate per step, floored at Min.
+// Typical for free disk space on a filling filesystem.
+type Drain struct {
+	Start float64
+	Rate  float64
+	Min   float64
+}
+
+// Next implements Model.
+func (d *Drain) Next(_ *rand.Rand, step int) float64 {
+	v := d.Start - d.Rate*float64(step)
+	if v < d.Min {
+		return d.Min
+	}
+	return v
+}
+
+// Counter grows monotonically by a random increment in [MinInc, MaxInc]
+// per step. Typical for interface octet counters.
+type Counter struct {
+	MinInc float64
+	MaxInc float64
+
+	total float64
+}
+
+// Next implements Model.
+func (c *Counter) Next(rng *rand.Rand, _ int) float64 {
+	inc := c.MinInc
+	if c.MaxInc > c.MinInc {
+		inc += rng.Float64() * (c.MaxInc - c.MinInc)
+	}
+	c.total += inc
+	return c.total
+}
+
+// Spiky is a base value with occasional spikes: every step it spikes
+// with probability P to SpikeValue, otherwise returns Base plus noise.
+// Typical for process counts and queue depths.
+type Spiky struct {
+	Base       float64
+	Noise      float64
+	P          float64
+	SpikeValue float64
+}
+
+// Next implements Model.
+func (s *Spiky) Next(rng *rand.Rand, _ int) float64 {
+	if rng.Float64() < s.P {
+		return s.SpikeValue
+	}
+	if s.Noise > 0 {
+		return s.Base + (rng.Float64()*2-1)*s.Noise
+	}
+	return s.Base
+}

@@ -1,0 +1,292 @@
+// Package directory implements the grid root's directory service
+// (the FIPA Directory Facilitator role described in §3.5 and Figure 4 of
+// the paper). Containers register a profile of the resource they run on
+// and the services they provide; schedulers query the directory to find
+// containers with the knowledge, the capacity and the idleness to take
+// work. Registrations are leases: a container that stops renewing
+// disappears, which is how the grid detects dead nodes.
+package directory
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ResourceProfile describes the capacity of the machine a container runs
+// on, in the paper's relative units per unit of time.
+type ResourceProfile struct {
+	CPUCapacity  float64 `json:"cpu_capacity"`
+	NetCapacity  float64 `json:"net_capacity"`
+	DiscCapacity float64 `json:"disc_capacity"`
+}
+
+// Valid reports whether every capacity is positive.
+func (p ResourceProfile) Valid() bool {
+	return p.CPUCapacity > 0 && p.NetCapacity > 0 && p.DiscCapacity > 0
+}
+
+// Service types provided by grid containers.
+const (
+	ServiceCollection     = "collection"
+	ServiceClassification = "classification"
+	ServiceAnalysis       = "analysis"
+	ServiceStorage        = "storage"
+	ServiceInterface      = "interface"
+	ServiceBroker         = "broker"
+)
+
+// ServiceDesc describes one service a container offers. Capabilities name
+// what the container "knows" — for analysis containers, the metric
+// categories its rule base covers (e.g. "cpu", "disk", "traffic").
+type ServiceDesc struct {
+	Type         string   `json:"type"`
+	Capabilities []string `json:"capabilities,omitempty"`
+}
+
+// Registration is one container's directory entry.
+type Registration struct {
+	// Container is the unique container name.
+	Container string `json:"container"`
+	// Addr is the container's transport address.
+	Addr string `json:"addr"`
+	// Profile is the static capacity of the hosting resource.
+	Profile ResourceProfile `json:"profile"`
+	// Services the container provides.
+	Services []ServiceDesc `json:"services"`
+	// Load is the most recently reported load fraction in [0,1].
+	Load float64 `json:"load"`
+	// Expiry is when the lease lapses unless renewed.
+	Expiry time.Time `json:"expiry"`
+}
+
+// HasService reports whether the registration offers the service type.
+func (r *Registration) HasService(typ string) bool {
+	for _, s := range r.Services {
+		if s.Type == typ {
+			return true
+		}
+	}
+	return false
+}
+
+// HasCapability reports whether any service of the given type lists the
+// capability. An empty capability matches any service of that type.
+func (r *Registration) HasCapability(typ, capability string) bool {
+	for _, s := range r.Services {
+		if s.Type != typ {
+			continue
+		}
+		if capability == "" {
+			return true
+		}
+		for _, c := range s.Capabilities {
+			if c == capability {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// clone returns a deep copy so callers cannot mutate directory state.
+func (r *Registration) clone() Registration {
+	out := *r
+	out.Services = make([]ServiceDesc, len(r.Services))
+	for i, s := range r.Services {
+		out.Services[i] = ServiceDesc{Type: s.Type, Capabilities: append([]string(nil), s.Capabilities...)}
+	}
+	return out
+}
+
+// Directory errors.
+var (
+	ErrBadProfile     = errors.New("directory: invalid resource profile")
+	ErrNotFound       = errors.New("directory: container not registered")
+	ErrNoContainer    = errors.New("directory: empty container name")
+	ErrNoAddr         = errors.New("directory: empty address")
+	ErrBadLoad        = errors.New("directory: load outside [0,1]")
+	ErrNoServices     = errors.New("directory: registration lists no services")
+	ErrUnknownService = errors.New("directory: unknown service type")
+)
+
+func validServiceType(t string) bool {
+	switch t {
+	case ServiceCollection, ServiceClassification, ServiceAnalysis, ServiceStorage, ServiceInterface, ServiceBroker:
+		return true
+	}
+	return false
+}
+
+// Option configures a Directory.
+type Option func(*Directory)
+
+// WithClock injects a time source (tests use a fake clock).
+func WithClock(now func() time.Time) Option {
+	return func(d *Directory) { d.now = now }
+}
+
+// WithOnExpire installs a callback invoked (outside the lock) with the
+// name of each container whose lease lapses during Sweep.
+func WithOnExpire(f func(container string)) Option {
+	return func(d *Directory) { d.onExpire = f }
+}
+
+// Directory is the lease-based registry. Safe for concurrent use.
+type Directory struct {
+	ttl      time.Duration
+	now      func() time.Time
+	onExpire func(string)
+
+	mu      sync.RWMutex
+	entries map[string]*Registration
+}
+
+// New returns a directory whose leases last ttl.
+func New(ttl time.Duration, opts ...Option) *Directory {
+	d := &Directory{
+		ttl:     ttl,
+		now:     time.Now,
+		entries: make(map[string]*Registration),
+	}
+	for _, opt := range opts {
+		opt(d)
+	}
+	return d
+}
+
+// Register adds or replaces a container's entry and starts its lease.
+// This is the interaction of the paper's Figure 4: a container joining
+// the grid informs the root of its resource profile and services.
+func (d *Directory) Register(reg Registration) error {
+	switch {
+	case reg.Container == "":
+		return ErrNoContainer
+	case reg.Addr == "":
+		return ErrNoAddr
+	case !reg.Profile.Valid():
+		return ErrBadProfile
+	case len(reg.Services) == 0:
+		return ErrNoServices
+	case reg.Load < 0 || reg.Load > 1:
+		return ErrBadLoad
+	}
+	for _, s := range reg.Services {
+		if !validServiceType(s.Type) {
+			return fmt.Errorf("%w: %q", ErrUnknownService, s.Type)
+		}
+	}
+	entry := reg.clone()
+	entry.Expiry = d.now().Add(d.ttl)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.entries[reg.Container] = &entry
+	return nil
+}
+
+// Renew refreshes a container's lease and updates its reported load.
+// It is the heartbeat message of a live container.
+func (d *Directory) Renew(container string, load float64) error {
+	if load < 0 || load > 1 {
+		return ErrBadLoad
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, ok := d.entries[container]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, container)
+	}
+	e.Load = load
+	e.Expiry = d.now().Add(d.ttl)
+	return nil
+}
+
+// Deregister removes a container's entry, if present.
+func (d *Directory) Deregister(container string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.entries, container)
+}
+
+// Get returns the entry for a container.
+func (d *Directory) Get(container string) (Registration, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	e, ok := d.entries[container]
+	if !ok {
+		return Registration{}, false
+	}
+	return e.clone(), true
+}
+
+// Len returns the number of live registrations.
+func (d *Directory) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.entries)
+}
+
+// List returns all registrations sorted by container name.
+func (d *Directory) List() []Registration {
+	d.mu.RLock()
+	out := make([]Registration, 0, len(d.entries))
+	for _, e := range d.entries {
+		out = append(out, e.clone())
+	}
+	d.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Container < out[j].Container })
+	return out
+}
+
+// Query selects registrations by service type and (optionally) a
+// capability the service must list and a maximum load.
+type Query struct {
+	// ServiceType is required, e.g. directory.ServiceAnalysis.
+	ServiceType string
+	// Capability, when non-empty, requires the capability on the service.
+	Capability string
+	// MaxLoad, when set (>0), excludes containers with higher load.
+	// MaxLoad 0 means "no load filter".
+	MaxLoad float64
+}
+
+// Search returns the registrations matching q, sorted by container name.
+func (d *Directory) Search(q Query) []Registration {
+	all := d.List()
+	out := all[:0]
+	for _, r := range all {
+		if !r.HasCapability(q.ServiceType, q.Capability) {
+			continue
+		}
+		if q.MaxLoad > 0 && r.Load > q.MaxLoad {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Sweep removes entries whose lease has lapsed, returning their names in
+// sorted order. The grid root runs this periodically; the analyze package
+// reassigns tasks owned by the removed containers.
+func (d *Directory) Sweep() []string {
+	now := d.now()
+	d.mu.Lock()
+	var expired []string
+	for name, e := range d.entries {
+		if e.Expiry.Before(now) {
+			expired = append(expired, name)
+			delete(d.entries, name)
+		}
+	}
+	d.mu.Unlock()
+	sort.Strings(expired)
+	if d.onExpire != nil {
+		for _, name := range expired {
+			d.onExpire(name)
+		}
+	}
+	return expired
+}

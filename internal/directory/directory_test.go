@@ -1,0 +1,252 @@
+package directory
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+var profile = ResourceProfile{CPUCapacity: 100, NetCapacity: 100, DiscCapacity: 100}
+
+func analysisReg(name string, caps ...string) Registration {
+	return Registration{
+		Container: name,
+		Addr:      "inproc://" + name,
+		Profile:   profile,
+		Services:  []ServiceDesc{{Type: ServiceAnalysis, Capabilities: caps}},
+	}
+}
+
+// fakeClock is a controllable time source.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+func TestRegisterAndGet(t *testing.T) {
+	d := New(time.Minute)
+	if err := d.Register(analysisReg("c1", "cpu", "disk")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := d.Get("c1")
+	if !ok {
+		t.Fatal("Get failed")
+	}
+	if got.Addr != "inproc://c1" || !got.HasService(ServiceAnalysis) {
+		t.Fatalf("bad entry: %+v", got)
+	}
+	if _, ok := d.Get("ghost"); ok {
+		t.Fatal("phantom entry")
+	}
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	d := New(time.Minute)
+	cases := []struct {
+		name string
+		mod  func(*Registration)
+		want error
+	}{
+		{"no container", func(r *Registration) { r.Container = "" }, ErrNoContainer},
+		{"no addr", func(r *Registration) { r.Addr = "" }, ErrNoAddr},
+		{"bad profile", func(r *Registration) { r.Profile.CPUCapacity = 0 }, ErrBadProfile},
+		{"no services", func(r *Registration) { r.Services = nil }, ErrNoServices},
+		{"bad load", func(r *Registration) { r.Load = 1.5 }, ErrBadLoad},
+		{"unknown service", func(r *Registration) { r.Services[0].Type = "juggling" }, ErrUnknownService},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r := analysisReg("c1", "cpu")
+			tc.mod(&r)
+			if err := d.Register(r); !errors.Is(err, tc.want) {
+				t.Fatalf("Register = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	d := New(time.Minute)
+	d.Register(analysisReg("c1", "cpu"))
+	got, _ := d.Get("c1")
+	got.Services[0].Capabilities[0] = "tampered"
+	again, _ := d.Get("c1")
+	if again.Services[0].Capabilities[0] != "cpu" {
+		t.Fatal("Get leaked internal state")
+	}
+}
+
+func TestRenewUpdatesLoadAndLease(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	d := New(time.Minute, WithClock(clk.now))
+	d.Register(analysisReg("c1", "cpu"))
+
+	if err := d.Renew("c1", 0.7); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := d.Get("c1")
+	if got.Load != 0.7 {
+		t.Fatalf("Load = %v", got.Load)
+	}
+	if err := d.Renew("ghost", 0.5); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Renew ghost = %v", err)
+	}
+	if err := d.Renew("c1", -0.1); !errors.Is(err, ErrBadLoad) {
+		t.Fatalf("Renew bad load = %v", err)
+	}
+
+	// Renewing must push out expiry.
+	clk.advance(50 * time.Second)
+	d.Renew("c1", 0.2)
+	clk.advance(50 * time.Second) // 100s after registration, 50s after renewal
+	if removed := d.Sweep(); len(removed) != 0 {
+		t.Fatalf("renewed entry swept: %v", removed)
+	}
+}
+
+func TestSweepExpiresAndNotifies(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	var expired []string
+	var mu sync.Mutex
+	d := New(time.Minute, WithClock(clk.now), WithOnExpire(func(name string) {
+		mu.Lock()
+		expired = append(expired, name)
+		mu.Unlock()
+	}))
+	d.Register(analysisReg("c1", "cpu"))
+	d.Register(analysisReg("c2", "disk"))
+	clk.advance(30 * time.Second)
+	d.Register(analysisReg("c3", "traffic"))
+
+	clk.advance(45 * time.Second) // c1,c2 at 75s (expired); c3 at 45s (live)
+	removed := d.Sweep()
+	if len(removed) != 2 || removed[0] != "c1" || removed[1] != "c2" {
+		t.Fatalf("Sweep = %v", removed)
+	}
+	mu.Lock()
+	if len(expired) != 2 {
+		t.Fatalf("onExpire calls = %v", expired)
+	}
+	mu.Unlock()
+	if d.Len() != 1 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+}
+
+func TestDeregister(t *testing.T) {
+	d := New(time.Minute)
+	d.Register(analysisReg("c1", "cpu"))
+	d.Deregister("c1")
+	d.Deregister("c1") // idempotent
+	if d.Len() != 0 {
+		t.Fatal("entry survived Deregister")
+	}
+}
+
+func TestListSorted(t *testing.T) {
+	d := New(time.Minute)
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		d.Register(analysisReg(name, "cpu"))
+	}
+	list := d.List()
+	if len(list) != 3 || list[0].Container != "alpha" || list[2].Container != "zeta" {
+		t.Fatalf("List = %+v", list)
+	}
+}
+
+func TestSearch(t *testing.T) {
+	d := New(time.Minute)
+	d.Register(analysisReg("a1", "cpu", "memory"))
+	d.Register(analysisReg("a2", "disk"))
+	stor := Registration{
+		Container: "s1", Addr: "inproc://s1", Profile: profile,
+		Services: []ServiceDesc{{Type: ServiceStorage}},
+	}
+	d.Register(stor)
+	d.Renew("a1", 0.9)
+
+	if got := d.Search(Query{ServiceType: ServiceAnalysis}); len(got) != 2 {
+		t.Fatalf("analysis search = %d entries", len(got))
+	}
+	if got := d.Search(Query{ServiceType: ServiceAnalysis, Capability: "disk"}); len(got) != 1 || got[0].Container != "a2" {
+		t.Fatalf("capability search = %+v", got)
+	}
+	if got := d.Search(Query{ServiceType: ServiceAnalysis, MaxLoad: 0.5}); len(got) != 1 || got[0].Container != "a2" {
+		t.Fatalf("load search = %+v", got)
+	}
+	if got := d.Search(Query{ServiceType: ServiceStorage}); len(got) != 1 || got[0].Container != "s1" {
+		t.Fatalf("storage search = %+v", got)
+	}
+	if got := d.Search(Query{ServiceType: ServiceInterface}); len(got) != 0 {
+		t.Fatalf("interface search = %+v", got)
+	}
+}
+
+func TestHasCapabilityEmptyMatchesType(t *testing.T) {
+	r := analysisReg("c", "cpu")
+	if !r.HasCapability(ServiceAnalysis, "") {
+		t.Error("empty capability should match")
+	}
+	if r.HasCapability(ServiceStorage, "") {
+		t.Error("wrong type matched")
+	}
+	if r.HasCapability(ServiceAnalysis, "disk") {
+		t.Error("missing capability matched")
+	}
+}
+
+func TestRegisterReplaces(t *testing.T) {
+	d := New(time.Minute)
+	d.Register(analysisReg("c1", "cpu"))
+	r2 := analysisReg("c1", "disk")
+	r2.Addr = "tcp://1.2.3.4:9"
+	if err := d.Register(r2); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := d.Get("c1")
+	if got.Addr != "tcp://1.2.3.4:9" || !got.HasCapability(ServiceAnalysis, "disk") {
+		t.Fatalf("replacement not applied: %+v", got)
+	}
+	if d.Len() != 1 {
+		t.Fatal("replacement duplicated entry")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	d := New(time.Minute)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := string(rune('a' + i))
+			for j := 0; j < 50; j++ {
+				d.Register(analysisReg(name, "cpu"))
+				d.Renew(name, 0.5)
+				d.Search(Query{ServiceType: ServiceAnalysis})
+				d.List()
+				d.Sweep()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if d.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", d.Len())
+	}
+}

@@ -1,0 +1,235 @@
+// Package loadbalance implements the processor grid's task-placement
+// strategies. The paper (§3.5) distributes analysis work on three
+// principles — containers with the knowledge to process it, with the
+// computational capacity to process it, and that are idle — implemented
+// here as the Capability scheduler. Round-robin, random and least-loaded
+// baselines exist for the ablation study (experiment X3), and a
+// Negotiated scheduler delegates the choice to contract-net bidding.
+package loadbalance
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"agentgrid/internal/directory"
+)
+
+// Task describes one unit of analysis work to place.
+type Task struct {
+	// ID names the task.
+	ID string
+	// Category is the knowledge the task requires (a metric category
+	// such as "cpu" or "disk"; empty means any analysis container).
+	Category string
+	// Cost is the task's estimated cost in relative units.
+	Cost float64
+}
+
+// Scheduler picks a container for a task from directory candidates.
+type Scheduler interface {
+	// Name identifies the strategy in benchmarks and reports.
+	Name() string
+	// Pick selects one of the candidates. The candidate list is never
+	// reordered by the caller between calls.
+	Pick(task Task, candidates []directory.Registration) (directory.Registration, error)
+}
+
+// ErrNoCandidates means the candidate list was empty (or no candidate
+// passed the scheduler's filters and fallbacks).
+var ErrNoCandidates = errors.New("loadbalance: no candidates")
+
+// ---- Round robin ----
+
+// RoundRobin cycles through candidates in name order. Safe for
+// concurrent use.
+type RoundRobin struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+// NewRoundRobin returns a round-robin scheduler.
+func NewRoundRobin() *RoundRobin { return &RoundRobin{} }
+
+// Name implements Scheduler.
+func (r *RoundRobin) Name() string { return "round-robin" }
+
+// Pick implements Scheduler.
+func (r *RoundRobin) Pick(_ Task, candidates []directory.Registration) (directory.Registration, error) {
+	if len(candidates) == 0 {
+		return directory.Registration{}, ErrNoCandidates
+	}
+	sorted := sortByName(candidates)
+	r.mu.Lock()
+	i := r.n % uint64(len(sorted))
+	r.n++
+	r.mu.Unlock()
+	return sorted[i], nil
+}
+
+// ---- Random ----
+
+// Random picks uniformly with a seeded source (deterministic for a given
+// seed and call sequence). Safe for concurrent use.
+type Random struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewRandom returns a seeded random scheduler.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Scheduler.
+func (r *Random) Name() string { return "random" }
+
+// Pick implements Scheduler.
+func (r *Random) Pick(_ Task, candidates []directory.Registration) (directory.Registration, error) {
+	if len(candidates) == 0 {
+		return directory.Registration{}, ErrNoCandidates
+	}
+	sorted := sortByName(candidates)
+	r.mu.Lock()
+	i := r.rng.Intn(len(sorted))
+	r.mu.Unlock()
+	return sorted[i], nil
+}
+
+// ---- Least loaded ----
+
+// LeastLoaded picks the candidate with the lowest reported load,
+// breaking ties by name.
+type LeastLoaded struct{}
+
+// NewLeastLoaded returns a least-loaded scheduler.
+func NewLeastLoaded() *LeastLoaded { return &LeastLoaded{} }
+
+// Name implements Scheduler.
+func (*LeastLoaded) Name() string { return "least-loaded" }
+
+// Pick implements Scheduler.
+func (*LeastLoaded) Pick(_ Task, candidates []directory.Registration) (directory.Registration, error) {
+	if len(candidates) == 0 {
+		return directory.Registration{}, ErrNoCandidates
+	}
+	best := candidates[0]
+	for _, c := range candidates[1:] {
+		if c.Load < best.Load || (c.Load == best.Load && c.Container < best.Container) {
+			best = c
+		}
+	}
+	return best, nil
+}
+
+// ---- Capability (the paper's three principles) ----
+
+// Capability implements §3.5 exactly: (1) keep only containers with the
+// knowledge (the task's category among their analysis capabilities);
+// (2) among those, prefer idle containers (load under IdleThreshold);
+// (3) pick the one with the most spare computational capacity,
+// CPUCapacity × (1 − Load). When no container has the knowledge, any
+// analysis container may take the task (rules travel with it).
+type Capability struct {
+	// IdleThreshold is the load under which a container counts as idle
+	// (default 0.5 when zero).
+	IdleThreshold float64
+}
+
+// NewCapability returns a capability scheduler with the default idle
+// threshold.
+func NewCapability() *Capability { return &Capability{IdleThreshold: 0.5} }
+
+// Name implements Scheduler.
+func (*Capability) Name() string { return "capability" }
+
+// Pick implements Scheduler.
+func (c *Capability) Pick(task Task, candidates []directory.Registration) (directory.Registration, error) {
+	if len(candidates) == 0 {
+		return directory.Registration{}, ErrNoCandidates
+	}
+	threshold := c.IdleThreshold
+	if threshold == 0 {
+		threshold = 0.5
+	}
+	// Principle 1: knowledge.
+	pool := filterCapable(candidates, task.Category)
+	if len(pool) == 0 {
+		pool = candidates
+	}
+	// Principle 3 (idleness) narrows the pool when possible.
+	if idle := filterIdle(pool, threshold); len(idle) > 0 {
+		pool = idle
+	}
+	// Principle 2: most spare capacity wins; ties break by name.
+	best := pool[0]
+	bestSpare := spareCapacity(best)
+	for _, cand := range pool[1:] {
+		s := spareCapacity(cand)
+		if s > bestSpare || (s == bestSpare && cand.Container < best.Container) {
+			best = cand
+			bestSpare = s
+		}
+	}
+	return best, nil
+}
+
+func filterCapable(candidates []directory.Registration, category string) []directory.Registration {
+	if category == "" {
+		return candidates
+	}
+	var out []directory.Registration
+	for _, c := range candidates {
+		if c.HasCapability(directory.ServiceAnalysis, category) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func filterIdle(candidates []directory.Registration, threshold float64) []directory.Registration {
+	var out []directory.Registration
+	for _, c := range candidates {
+		if c.Load < threshold {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func spareCapacity(r directory.Registration) float64 {
+	return r.Profile.CPUCapacity * (1 - r.Load)
+}
+
+func sortByName(candidates []directory.Registration) []directory.Registration {
+	out := append([]directory.Registration(nil), candidates...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Container < out[j].Container })
+	return out
+}
+
+// ---- Registry ----
+
+// New constructs a scheduler by strategy name; seed feeds the random
+// strategy. Recognized names: "round-robin", "random", "least-loaded",
+// "capability".
+func New(name string, seed int64) (Scheduler, error) {
+	switch name {
+	case "round-robin":
+		return NewRoundRobin(), nil
+	case "random":
+		return NewRandom(seed), nil
+	case "least-loaded":
+		return NewLeastLoaded(), nil
+	case "capability":
+		return NewCapability(), nil
+	default:
+		return nil, fmt.Errorf("loadbalance: unknown strategy %q", name)
+	}
+}
+
+// Strategies lists the built-in strategy names (ablation sweep order).
+func Strategies() []string {
+	return []string{"round-robin", "random", "least-loaded", "capability"}
+}

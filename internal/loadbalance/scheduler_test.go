@@ -1,0 +1,253 @@
+package loadbalance
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"agentgrid/internal/directory"
+)
+
+func cand(name string, cpu, load float64, caps ...string) directory.Registration {
+	return directory.Registration{
+		Container: name,
+		Addr:      "inproc://" + name,
+		Profile:   directory.ResourceProfile{CPUCapacity: cpu, NetCapacity: 100, DiscCapacity: 100},
+		Services:  []directory.ServiceDesc{{Type: directory.ServiceAnalysis, Capabilities: caps}},
+		Load:      load,
+	}
+}
+
+func TestAllSchedulersRejectEmpty(t *testing.T) {
+	for _, name := range Strategies() {
+		s, err := New(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Pick(Task{ID: "t"}, nil); !errors.Is(err, ErrNoCandidates) {
+			t.Errorf("%s: empty candidates = %v", name, err)
+		}
+	}
+}
+
+func TestNewUnknownStrategy(t *testing.T) {
+	if _, err := New("astrology", 1); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	s := NewRoundRobin()
+	cands := []directory.Registration{cand("b", 1, 0), cand("a", 1, 0), cand("c", 1, 0)}
+	var picks []string
+	for i := 0; i < 6; i++ {
+		got, err := s.Pick(Task{}, cands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		picks = append(picks, got.Container)
+	}
+	want := []string{"a", "b", "c", "a", "b", "c"}
+	for i := range want {
+		if picks[i] != want[i] {
+			t.Fatalf("picks = %v", picks)
+		}
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	cands := []directory.Registration{cand("a", 1, 0), cand("b", 1, 0), cand("c", 1, 0)}
+	run := func(seed int64) []string {
+		s := NewRandom(seed)
+		var out []string
+		for i := 0; i < 10; i++ {
+			got, _ := s.Pick(Task{}, cands)
+			out = append(out, got.Container)
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+	// All candidates eventually chosen.
+	seen := map[string]bool{}
+	s := NewRandom(3)
+	for i := 0; i < 100; i++ {
+		got, _ := s.Pick(Task{}, cands)
+		seen[got.Container] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("random never chose some candidate: %v", seen)
+	}
+}
+
+func TestLeastLoaded(t *testing.T) {
+	s := NewLeastLoaded()
+	cands := []directory.Registration{
+		cand("busy", 100, 0.9),
+		cand("medium", 100, 0.5),
+		cand("idle", 100, 0.1),
+	}
+	got, err := s.Pick(Task{}, cands)
+	if err != nil || got.Container != "idle" {
+		t.Fatalf("Pick = %v, %v", got.Container, err)
+	}
+	// Tie breaks by name.
+	tie := []directory.Registration{cand("zeta", 1, 0.3), cand("alpha", 1, 0.3)}
+	got, _ = s.Pick(Task{}, tie)
+	if got.Container != "alpha" {
+		t.Fatalf("tie pick = %v", got.Container)
+	}
+}
+
+func TestCapabilityPrefersKnowledge(t *testing.T) {
+	s := NewCapability()
+	cands := []directory.Registration{
+		cand("disk-expert", 50, 0.1, "disk"),
+		cand("cpu-expert", 500, 0.1, "cpu"),
+	}
+	got, err := s.Pick(Task{ID: "t", Category: "disk"}, cands)
+	if err != nil || got.Container != "disk-expert" {
+		t.Fatalf("Pick = %v, %v (capability ignored)", got.Container, err)
+	}
+}
+
+func TestCapabilityFallsBackWhenNoExpert(t *testing.T) {
+	s := NewCapability()
+	cands := []directory.Registration{
+		cand("a", 100, 0.2, "cpu"),
+		cand("b", 200, 0.2, "memory"),
+	}
+	got, err := s.Pick(Task{Category: "traffic"}, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nobody knows traffic: most spare capacity wins.
+	if got.Container != "b" {
+		t.Fatalf("fallback pick = %v", got.Container)
+	}
+}
+
+func TestCapabilityPrefersIdle(t *testing.T) {
+	s := NewCapability()
+	cands := []directory.Registration{
+		// Huge but busy machine vs small idle one: idleness filter keeps
+		// only the idle machine.
+		cand("huge-busy", 1000, 0.9, "cpu"),
+		cand("small-idle", 10, 0.1, "cpu"),
+	}
+	got, _ := s.Pick(Task{Category: "cpu"}, cands)
+	if got.Container != "small-idle" {
+		t.Fatalf("idle preference broken: %v", got.Container)
+	}
+}
+
+func TestCapabilitySpareCapacityAmongIdle(t *testing.T) {
+	s := NewCapability()
+	cands := []directory.Registration{
+		cand("small", 10, 0.1, "cpu"),
+		cand("big", 100, 0.2, "cpu"), // spare 80 vs 9
+	}
+	got, _ := s.Pick(Task{Category: "cpu"}, cands)
+	if got.Container != "big" {
+		t.Fatalf("spare-capacity pick = %v", got.Container)
+	}
+}
+
+func TestCapabilityAllBusy(t *testing.T) {
+	s := NewCapability()
+	cands := []directory.Registration{
+		cand("a", 100, 0.95, "cpu"), // spare 5
+		cand("b", 100, 0.8, "cpu"),  // spare 20
+	}
+	got, _ := s.Pick(Task{Category: "cpu"}, cands)
+	if got.Container != "b" {
+		t.Fatalf("all-busy pick = %v", got.Container)
+	}
+}
+
+func TestCapabilityEmptyCategoryUsesAll(t *testing.T) {
+	s := NewCapability()
+	cands := []directory.Registration{
+		cand("a", 10, 0.1, "cpu"),
+		cand("b", 100, 0.1, "disk"),
+	}
+	got, _ := s.Pick(Task{}, cands)
+	if got.Container != "b" {
+		t.Fatalf("uncategorized pick = %v", got.Container)
+	}
+}
+
+func TestCapabilityZeroThresholdDefaults(t *testing.T) {
+	s := &Capability{} // zero value must behave like NewCapability
+	cands := []directory.Registration{
+		cand("busy", 1000, 0.9, "cpu"),
+		cand("idle", 10, 0.1, "cpu"),
+	}
+	got, _ := s.Pick(Task{Category: "cpu"}, cands)
+	if got.Container != "idle" {
+		t.Fatalf("zero-value threshold pick = %v", got.Container)
+	}
+}
+
+// Property: every scheduler always returns one of its candidates.
+func TestSchedulersPickFromCandidatesProperty(t *testing.T) {
+	f := func(seed int64, nCand uint8) bool {
+		n := int(nCand%8) + 1
+		cands := make([]directory.Registration, n)
+		for i := range cands {
+			cands[i] = cand(string(rune('a'+i)), float64(10+i*7), float64(i%4)*0.25, "cpu")
+		}
+		valid := map[string]bool{}
+		for _, c := range cands {
+			valid[c.Container] = true
+		}
+		for _, name := range Strategies() {
+			s, _ := New(name, seed)
+			for j := 0; j < 5; j++ {
+				got, err := s.Pick(Task{ID: "t", Category: "cpu"}, cands)
+				if err != nil || !valid[got.Container] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: round-robin distributes evenly — after k full cycles every
+// candidate was picked exactly k times.
+func TestRoundRobinFairnessProperty(t *testing.T) {
+	f := func(nCand uint8, cycles uint8) bool {
+		n := int(nCand%6) + 1
+		k := int(cycles%5) + 1
+		cands := make([]directory.Registration, n)
+		for i := range cands {
+			cands[i] = cand(string(rune('a'+i)), 1, 0)
+		}
+		s := NewRoundRobin()
+		counts := map[string]int{}
+		for i := 0; i < n*k; i++ {
+			got, err := s.Pick(Task{}, cands)
+			if err != nil {
+				return false
+			}
+			counts[got.Container]++
+		}
+		for _, c := range counts {
+			if c != k {
+				return false
+			}
+		}
+		return len(counts) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,237 @@
+// Package metrics implements the relative cost model of management tasks
+// used throughout the paper's evaluation (Table 1) and the per-host
+// resource meters that accumulate those costs during simulation.
+//
+// The paper measures three resources — CPU, communication network and disc —
+// in dimensionless relative units. Every management activity (request,
+// parse, storing, inference) charges a fixed number of units to the host
+// that performs it; network units are charged to both endpoints of a
+// transfer.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Resource identifies one of the three measured resources.
+type Resource int
+
+// The three resources the paper's evaluation tracks.
+const (
+	CPU Resource = iota
+	Network
+	Disc
+	numResources
+)
+
+// String returns the paper's label for the resource.
+func (r Resource) String() string {
+	switch r {
+	case CPU:
+		return "CPU"
+	case Network:
+		return "Network"
+	case Disc:
+		return "Disc"
+	default:
+		return fmt.Sprintf("Resource(%d)", int(r))
+	}
+}
+
+// Resources lists all resources in presentation order.
+func Resources() []Resource { return []Resource{CPU, Network, Disc} }
+
+// RequestKind distinguishes the three request types of the evaluation
+// scenario (paper §4.1). Each kind stands for a class of managed object:
+// the paper's example collects processor usage, memory availability, disk
+// space and process lists; the relative table abstracts those into types
+// A, B and C with different costs.
+type RequestKind int
+
+// Request kinds from Table 1.
+const (
+	KindA RequestKind = iota
+	KindB
+	KindC
+	numKinds
+)
+
+// String returns the table label of the kind ("A", "B" or "C").
+func (k RequestKind) String() string {
+	switch k {
+	case KindA:
+		return "A"
+	case KindB:
+		return "B"
+	case KindC:
+		return "C"
+	default:
+		return fmt.Sprintf("RequestKind(%d)", int(k))
+	}
+}
+
+// Kinds lists the request kinds in table order.
+func Kinds() []RequestKind { return []RequestKind{KindA, KindB, KindC} }
+
+// Task identifies one row of Table 1.
+type Task struct {
+	// Name is the row label exactly as printed in the paper,
+	// e.g. "Request A" or "Inference AxBxC".
+	Name string
+	// Kind is the request kind the task applies to. Tasks that span all
+	// kinds (Storing, Inference AxBxC) use KindA by convention and set
+	// Cross to true.
+	Kind RequestKind
+	// Cross marks tasks that combine data across kinds (Inference AxBxC).
+	Cross bool
+}
+
+// Cost is a vector of relative units per resource.
+type Cost [numResources]float64
+
+// Get returns the units charged against resource r.
+func (c Cost) Get(r Resource) float64 { return c[r] }
+
+// Add returns the element-wise sum of two cost vectors.
+func (c Cost) Add(o Cost) Cost {
+	var out Cost
+	for i := range c {
+		out[i] = c[i] + o[i]
+	}
+	return out
+}
+
+// Scale returns the cost vector multiplied by f.
+func (c Cost) Scale(f float64) Cost {
+	var out Cost
+	for i := range c {
+		out[i] = c[i] * f
+	}
+	return out
+}
+
+// Total returns the sum of all resource units (used for bid estimation).
+func (c Cost) Total() float64 {
+	var t float64
+	for _, v := range c {
+		t += v
+	}
+	return t
+}
+
+// TaskCost names a Table 1 row together with its cost vector.
+type TaskCost struct {
+	Task Task
+	Cost Cost
+}
+
+// Table1 returns the paper's Table 1 ("Relative times of management tasks")
+// verbatim. The rows, in order: Request A/B/C, Parse A/B/C, Storing,
+// Inference A/B/C and Inference AxBxC. Blank table cells are zero units.
+func Table1() []TaskCost {
+	return []TaskCost{
+		{Task{Name: "Request A", Kind: KindA}, Cost{CPU: 10, Network: 5, Disc: 0}},
+		{Task{Name: "Request B", Kind: KindB}, Cost{CPU: 10, Network: 10, Disc: 0}},
+		{Task{Name: "Request C", Kind: KindC}, Cost{CPU: 10, Network: 15, Disc: 0}},
+		{Task{Name: "Parse A", Kind: KindA}, Cost{CPU: 15, Network: 0, Disc: 0}},
+		{Task{Name: "Parse B", Kind: KindB}, Cost{CPU: 15, Network: 0, Disc: 0}},
+		{Task{Name: "Parse C", Kind: KindC}, Cost{CPU: 15, Network: 0, Disc: 0}},
+		{Task{Name: "Storing", Kind: KindA, Cross: true}, Cost{CPU: 5, Network: 0, Disc: 10}},
+		{Task{Name: "Inference A", Kind: KindA}, Cost{CPU: 20, Network: 0, Disc: 5}},
+		{Task{Name: "Inference B", Kind: KindB}, Cost{CPU: 20, Network: 0, Disc: 5}},
+		{Task{Name: "Inference C", Kind: KindC}, Cost{CPU: 20, Network: 0, Disc: 5}},
+		{Task{Name: "Inference AxBxC", Kind: KindA, Cross: true}, Cost{CPU: 40, Network: 0, Disc: 8}},
+	}
+}
+
+// CostModel resolves task names to cost vectors. The zero value is not
+// usable; construct with NewCostModel (Table 1) or NewCustomCostModel.
+type CostModel struct {
+	byName map[string]Cost
+	order  []string
+}
+
+// NewCostModel returns the cost model of Table 1.
+func NewCostModel() *CostModel {
+	return NewCustomCostModel(Table1())
+}
+
+// NewCustomCostModel builds a model from an arbitrary set of rows.
+// Later duplicates of a name override earlier ones.
+func NewCustomCostModel(rows []TaskCost) *CostModel {
+	m := &CostModel{byName: make(map[string]Cost, len(rows))}
+	for _, row := range rows {
+		if _, dup := m.byName[row.Task.Name]; !dup {
+			m.order = append(m.order, row.Task.Name)
+		}
+		m.byName[row.Task.Name] = row.Cost
+	}
+	return m
+}
+
+// Lookup returns the cost of the named task.
+func (m *CostModel) Lookup(name string) (Cost, bool) {
+	c, ok := m.byName[name]
+	return c, ok
+}
+
+// MustLookup is Lookup that panics on unknown names. Experiment code uses
+// it where a miss is a programming error, never on external input.
+func (m *CostModel) MustLookup(name string) Cost {
+	c, ok := m.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("metrics: unknown task %q", name))
+	}
+	return c
+}
+
+// Request returns the cost of issuing a request of kind k.
+func (m *CostModel) Request(k RequestKind) Cost { return m.MustLookup("Request " + k.String()) }
+
+// Parse returns the cost of parsing a reply of kind k.
+func (m *CostModel) Parse(k RequestKind) Cost { return m.MustLookup("Parse " + k.String()) }
+
+// Storing returns the cost of storing one parsed record.
+func (m *CostModel) Storing() Cost { return m.MustLookup("Storing") }
+
+// Inference returns the cost of running inference rules over data of kind k.
+func (m *CostModel) Inference(k RequestKind) Cost { return m.MustLookup("Inference " + k.String()) }
+
+// CrossInference returns the cost of the combined AxBxC inference.
+func (m *CostModel) CrossInference() Cost { return m.MustLookup("Inference AxBxC") }
+
+// TaskNames returns the task names in table order.
+func (m *CostModel) TaskNames() []string {
+	out := make([]string, len(m.order))
+	copy(out, m.order)
+	return out
+}
+
+// RenderTable formats the model in the layout of the paper's Table 1.
+func (m *CostModel) RenderTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %8s %8s %8s\n", "Tasks", "CPU", "Network", "Disc")
+	for _, name := range m.order {
+		c := m.byName[name]
+		fmt.Fprintf(&b, "%-18s", name)
+		for _, r := range Resources() {
+			if v := c.Get(r); v != 0 {
+				fmt.Fprintf(&b, " %8.0f", v)
+			} else {
+				fmt.Fprintf(&b, " %8s", "")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SortedNames returns the task names sorted lexicographically (stable
+// helper for tests and deterministic iteration).
+func (m *CostModel) SortedNames() []string {
+	out := m.TaskNames()
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,166 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTable1MatchesPaper(t *testing.T) {
+	// Every row of Table 1, exactly as published.
+	want := map[string]Cost{
+		"Request A":       {10, 5, 0},
+		"Request B":       {10, 10, 0},
+		"Request C":       {10, 15, 0},
+		"Parse A":         {15, 0, 0},
+		"Parse B":         {15, 0, 0},
+		"Parse C":         {15, 0, 0},
+		"Storing":         {5, 0, 10},
+		"Inference A":     {20, 0, 5},
+		"Inference B":     {20, 0, 5},
+		"Inference C":     {20, 0, 5},
+		"Inference AxBxC": {40, 0, 8},
+	}
+	rows := Table1()
+	if len(rows) != len(want) {
+		t.Fatalf("Table1 has %d rows, want %d", len(rows), len(want))
+	}
+	for _, row := range rows {
+		w, ok := want[row.Task.Name]
+		if !ok {
+			t.Errorf("unexpected row %q", row.Task.Name)
+			continue
+		}
+		if row.Cost != w {
+			t.Errorf("%s = %v, want %v", row.Task.Name, row.Cost, w)
+		}
+	}
+}
+
+func TestCostModelAccessors(t *testing.T) {
+	m := NewCostModel()
+	cases := []struct {
+		name string
+		got  Cost
+		want Cost
+	}{
+		{"Request(A)", m.Request(KindA), Cost{10, 5, 0}},
+		{"Request(B)", m.Request(KindB), Cost{10, 10, 0}},
+		{"Request(C)", m.Request(KindC), Cost{10, 15, 0}},
+		{"Parse(A)", m.Parse(KindA), Cost{15, 0, 0}},
+		{"Storing", m.Storing(), Cost{5, 0, 10}},
+		{"Inference(B)", m.Inference(KindB), Cost{20, 0, 5}},
+		{"CrossInference", m.CrossInference(), Cost{40, 0, 8}},
+	}
+	for _, tc := range cases {
+		if tc.got != tc.want {
+			t.Errorf("%s = %v, want %v", tc.name, tc.got, tc.want)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	m := NewCostModel()
+	if _, ok := m.Lookup("Reticulate Splines"); ok {
+		t.Fatal("Lookup of unknown task reported ok")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustLookup of unknown task did not panic")
+		}
+	}()
+	m.MustLookup("Reticulate Splines")
+}
+
+func TestCustomModelOverride(t *testing.T) {
+	rows := []TaskCost{
+		{Task{Name: "X"}, Cost{1, 2, 3}},
+		{Task{Name: "X"}, Cost{4, 5, 6}}, // later duplicate wins
+	}
+	m := NewCustomCostModel(rows)
+	if got := m.MustLookup("X"); got != (Cost{4, 5, 6}) {
+		t.Fatalf("override not applied: %v", got)
+	}
+	if names := m.TaskNames(); len(names) != 1 || names[0] != "X" {
+		t.Fatalf("TaskNames = %v, want [X]", names)
+	}
+}
+
+func TestCostArithmetic(t *testing.T) {
+	a := Cost{1, 2, 3}
+	b := Cost{10, 20, 30}
+	if got := a.Add(b); got != (Cost{11, 22, 33}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Scale(3); got != (Cost{3, 6, 9}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Total(); got != 6 {
+		t.Errorf("Total = %v", got)
+	}
+}
+
+func TestCostAddCommutativeAssociative(t *testing.T) {
+	// Costs in practice are small non-negative unit counts; generate
+	// integral vectors so float addition is exact and associativity holds.
+	cost := func(a, b, c uint16) Cost { return Cost{float64(a), float64(b), float64(c)} }
+	comm := func(a, b [3]uint16) bool {
+		x, y := cost(a[0], a[1], a[2]), cost(b[0], b[1], b[2])
+		return x.Add(y) == y.Add(x)
+	}
+	if err := quick.Check(comm, nil); err != nil {
+		t.Errorf("Add not commutative: %v", err)
+	}
+	assoc := func(a, b, c [3]uint16) bool {
+		x, y, z := cost(a[0], a[1], a[2]), cost(b[0], b[1], b[2]), cost(c[0], c[1], c[2])
+		return x.Add(y).Add(z) == x.Add(y.Add(z))
+	}
+	if err := quick.Check(assoc, nil); err != nil {
+		t.Errorf("Add not associative: %v", err)
+	}
+}
+
+func TestResourceAndKindStrings(t *testing.T) {
+	if CPU.String() != "CPU" || Network.String() != "Network" || Disc.String() != "Disc" {
+		t.Error("resource labels wrong")
+	}
+	if KindA.String() != "A" || KindB.String() != "B" || KindC.String() != "C" {
+		t.Error("kind labels wrong")
+	}
+	if got := Resource(9).String(); !strings.Contains(got, "9") {
+		t.Errorf("out-of-range resource string = %q", got)
+	}
+	if got := RequestKind(7).String(); !strings.Contains(got, "7") {
+		t.Errorf("out-of-range kind string = %q", got)
+	}
+	if len(Resources()) != 3 || len(Kinds()) != 3 {
+		t.Error("enumeration helpers wrong length")
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	out := NewCostModel().RenderTable()
+	for _, want := range []string{"Tasks", "CPU", "Network", "Disc", "Request A", "Inference AxBxC"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+	// Blank cells must stay blank, as in the paper: "Parse A" row has no
+	// network or disc entry.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "Parse A") {
+			if strings.Count(line, "15") != 1 {
+				t.Errorf("Parse A row should contain exactly one value: %q", line)
+			}
+		}
+	}
+}
+
+func TestSortedNames(t *testing.T) {
+	names := NewCostModel().SortedNames()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] > names[i] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+}

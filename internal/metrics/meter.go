@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Meter accumulates relative resource units charged to a single host.
+// It is safe for concurrent use; the zero value is ready to use.
+type Meter struct {
+	mu    sync.Mutex
+	units Cost
+	tasks map[string]int
+}
+
+// Charge adds one execution of a task with cost c, recorded under name.
+func (m *Meter) Charge(name string, c Cost) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.units = m.units.Add(c)
+	if m.tasks == nil {
+		m.tasks = make(map[string]int)
+	}
+	m.tasks[name]++
+}
+
+// Totals returns the accumulated cost vector.
+func (m *Meter) Totals() Cost {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.units
+}
+
+// TaskCount returns how many times the named task was charged.
+func (m *Meter) TaskCount(name string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.tasks[name]
+}
+
+// Reset zeroes the meter.
+func (m *Meter) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.units = Cost{}
+	m.tasks = nil
+}
+
+// Ledger tracks meters for a set of hosts. The zero value is ready to use.
+type Ledger struct {
+	mu     sync.Mutex
+	meters map[string]*Meter
+}
+
+// Host returns (creating if needed) the meter for the named host.
+func (l *Ledger) Host(name string) *Meter {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.meters == nil {
+		l.meters = make(map[string]*Meter)
+	}
+	m, ok := l.meters[name]
+	if !ok {
+		m = &Meter{}
+		l.meters[name] = m
+	}
+	return m
+}
+
+// Hosts returns the host names with meters, sorted.
+func (l *Ledger) Hosts() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, 0, len(l.meters))
+	for name := range l.meters {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot returns the current cost totals per host, sorted by host name.
+func (l *Ledger) Snapshot() []HostUsage {
+	hosts := l.Hosts()
+	out := make([]HostUsage, 0, len(hosts))
+	for _, h := range hosts {
+		out = append(out, HostUsage{Host: h, Units: l.Host(h).Totals()})
+	}
+	return out
+}
+
+// GridTotal returns the sum across all hosts.
+func (l *Ledger) GridTotal() Cost {
+	var t Cost
+	for _, hu := range l.Snapshot() {
+		t = t.Add(hu.Units)
+	}
+	return t
+}
+
+// MaxPerResource returns, for each resource, the largest per-host total —
+// the "bottleneck" reading the paper's Figure 6 bars make visible.
+func (l *Ledger) MaxPerResource() Cost {
+	var mx Cost
+	for _, hu := range l.Snapshot() {
+		for i, v := range hu.Units {
+			if v > mx[i] {
+				mx[i] = v
+			}
+		}
+	}
+	return mx
+}
+
+// HostUsage is one host's accumulated usage.
+type HostUsage struct {
+	Host  string
+	Units Cost
+}
+
+// RenderUsage formats per-host usage in the style of the paper's Figure 6
+// bar charts: one row per host with CPU, Network and Disc units.
+func RenderUsage(rows []HostUsage) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %8s %8s %8s\n", "Host", "CPU", "Network", "Disc")
+	for _, hu := range rows {
+		fmt.Fprintf(&b, "%-14s %8.0f %8.0f %8.0f\n",
+			hu.Host, hu.Units.Get(CPU), hu.Units.Get(Network), hu.Units.Get(Disc))
+	}
+	return b.String()
+}

@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestMeterChargeAndTotals(t *testing.T) {
+	var m Meter
+	m.Charge("Request A", Cost{10, 5, 0})
+	m.Charge("Request A", Cost{10, 5, 0})
+	m.Charge("Storing", Cost{5, 0, 10})
+	if got := m.Totals(); got != (Cost{25, 10, 10}) {
+		t.Fatalf("Totals = %v", got)
+	}
+	if n := m.TaskCount("Request A"); n != 2 {
+		t.Fatalf("TaskCount = %d, want 2", n)
+	}
+	if n := m.TaskCount("never"); n != 0 {
+		t.Fatalf("TaskCount(missing) = %d, want 0", n)
+	}
+	m.Reset()
+	if got := m.Totals(); got != (Cost{}) {
+		t.Fatalf("after Reset Totals = %v", got)
+	}
+}
+
+func TestMeterConcurrent(t *testing.T) {
+	var m Meter
+	var wg sync.WaitGroup
+	const workers, per = 8, 100
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m.Charge("t", Cost{1, 0, 0})
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Totals().Get(CPU); got != workers*per {
+		t.Fatalf("concurrent total = %v, want %d", got, workers*per)
+	}
+	if n := m.TaskCount("t"); n != workers*per {
+		t.Fatalf("concurrent count = %d, want %d", n, workers*per)
+	}
+}
+
+func TestLedger(t *testing.T) {
+	var l Ledger
+	l.Host("manager").Charge("Request A", Cost{10, 5, 0})
+	l.Host("collector-1").Charge("Parse A", Cost{15, 0, 0})
+	l.Host("manager").Charge("Inference A", Cost{20, 0, 5})
+
+	if hosts := l.Hosts(); len(hosts) != 2 || hosts[0] != "collector-1" || hosts[1] != "manager" {
+		t.Fatalf("Hosts = %v", hosts)
+	}
+	snap := l.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("Snapshot len = %d", len(snap))
+	}
+	if snap[1].Host != "manager" || snap[1].Units != (Cost{30, 5, 5}) {
+		t.Fatalf("manager usage = %+v", snap[1])
+	}
+	if got := l.GridTotal(); got != (Cost{45, 5, 5}) {
+		t.Fatalf("GridTotal = %v", got)
+	}
+	if got := l.MaxPerResource(); got != (Cost{30, 5, 5}) {
+		t.Fatalf("MaxPerResource = %v", got)
+	}
+}
+
+func TestLedgerSameMeterReturned(t *testing.T) {
+	var l Ledger
+	a := l.Host("h")
+	b := l.Host("h")
+	if a != b {
+		t.Fatal("Host returned different meters for the same name")
+	}
+}
+
+func TestRenderUsage(t *testing.T) {
+	out := RenderUsage([]HostUsage{
+		{Host: "manager", Units: Cost{300, 300, 100}},
+		{Host: "collector-1", Units: Cost{250, 50, 0}},
+	})
+	for _, want := range []string{"Host", "manager", "collector-1", "300", "250"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RenderUsage missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,254 @@
+// Package mobility implements mobile agents — the paper's future-work
+// item on "the utilization of mobile agents in data analysis and in load
+// balancing: agent mobility allows for a migration of analysis
+// activities, improving the utilization of resources" (§5).
+//
+// Go code cannot ship closures across containers, so mobility follows
+// the classic weak-migration model: agent *kinds* register a factory on
+// every container, and migration moves an agent's serialized state
+// (beliefs, goals metadata and a kind-specific payload such as rule DSL
+// source). The destination reconstructs the agent from its kind factory
+// plus state; the source then retires its copy.
+package mobility
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"agentgrid/internal/acl"
+	"agentgrid/internal/agent"
+	"agentgrid/internal/platform"
+)
+
+// ManagerAgentName is the local name of the mobility manager agent every
+// participating container hosts.
+const ManagerAgentName = "mobility"
+
+// migrationOntology tags mobility protocol messages.
+const migrationOntology = "agent-mobility"
+
+// State is the serialized form of a migrating agent.
+type State struct {
+	// Kind selects the factory that reconstructs behaviour.
+	Kind string `json:"kind"`
+	// Name is the agent's local name, preserved across the move.
+	Name string `json:"name"`
+	// Beliefs is the belief-base snapshot. Values must be JSON-encodable
+	// primitives.
+	Beliefs map[string]any `json:"beliefs,omitempty"`
+	// Payload carries kind-specific state (e.g. rule DSL source for a
+	// migrating analysis agent).
+	Payload []byte `json:"payload,omitempty"`
+}
+
+// Factory reconstructs a kind's behaviour on a freshly spawned agent.
+type Factory func(a *agent.Agent, st *State) error
+
+// Mobility errors.
+var (
+	ErrUnknownKind = errors.New("mobility: unknown agent kind")
+	ErrRefused     = errors.New("mobility: destination refused migration")
+	ErrTimeout     = errors.New("mobility: migration timed out")
+)
+
+// Manager hosts the mobility protocol on one container.
+type Manager struct {
+	c *platform.Container
+	a *agent.Agent
+
+	mu        sync.Mutex
+	factories map[string]Factory
+	waits     map[string]chan *acl.Message
+	arrived   uint64
+	departed  uint64
+}
+
+// NewManager spawns the mobility manager agent on a container.
+func NewManager(c *platform.Container) (*Manager, error) {
+	a, err := c.SpawnAgent(ManagerAgentName)
+	if err != nil {
+		return nil, err
+	}
+	m := &Manager{
+		c:         c,
+		a:         a,
+		factories: make(map[string]Factory),
+		waits:     make(map[string]chan *acl.Message),
+	}
+	a.HandleFunc(agent.Selector{
+		Performative: acl.Request,
+		Ontology:     migrationOntology,
+	}, m.handleArrival)
+	a.HandleFunc(agent.Selector{Ontology: migrationOntology}, m.handleReply)
+	return m, nil
+}
+
+// AID returns the manager agent's identifier; give it the container's
+// transport address when crossing containers.
+func (m *Manager) AID(addr string) acl.AID {
+	id := m.a.ID()
+	if addr != "" {
+		id.Addresses = []string{addr}
+	}
+	return id
+}
+
+// Register installs the factory for an agent kind. Every container that
+// may receive such agents must register the same kind.
+func (m *Manager) Register(kind string, f Factory) error {
+	if kind == "" || f == nil {
+		return errors.New("mobility: kind and factory required")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.factories[kind]; dup {
+		return fmt.Errorf("mobility: kind %q already registered", kind)
+	}
+	m.factories[kind] = f
+	return nil
+}
+
+// Stats returns (agents arrived, agents departed).
+func (m *Manager) Stats() (arrived, departed uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.arrived, m.departed
+}
+
+// Spawn creates a local agent of a registered kind directly (how mobile
+// agents are born before their first hop).
+func (m *Manager) Spawn(st *State) (*agent.Agent, error) {
+	m.mu.Lock()
+	factory, ok := m.factories[st.Kind]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownKind, st.Kind)
+	}
+	a, err := m.c.SpawnAgent(st.Name)
+	if err != nil {
+		return nil, err
+	}
+	for k, v := range st.Beliefs {
+		a.Beliefs().Set(k, v)
+	}
+	if err := factory(a, st); err != nil {
+		m.c.KillAgent(st.Name)
+		return nil, err
+	}
+	return a, nil
+}
+
+// CaptureState snapshots a local agent into a migratable state. The
+// payload argument carries kind-specific state the caller extracts.
+func (m *Manager) CaptureState(kind, localName string, payload []byte) (*State, error) {
+	a, ok := m.c.Agent(localName)
+	if !ok {
+		return nil, fmt.Errorf("mobility: no local agent %q", localName)
+	}
+	return &State{
+		Kind:    kind,
+		Name:    localName,
+		Beliefs: a.Beliefs().Snapshot(),
+		Payload: payload,
+	}, nil
+}
+
+// Migrate moves a local agent to the container whose mobility manager is
+// dest: it ships the state, waits for acceptance, then kills the local
+// copy. On refusal or timeout the local agent keeps running.
+func (m *Manager) Migrate(ctx context.Context, st *State, dest acl.AID, timeout time.Duration) error {
+	content, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("mobility: encode state: %w", err)
+	}
+	replyWith := m.a.NewConversationID()
+	replies := make(chan *acl.Message, 1)
+	m.mu.Lock()
+	m.waits[replyWith] = replies
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		delete(m.waits, replyWith)
+		m.mu.Unlock()
+	}()
+
+	msg := &acl.Message{
+		Performative: acl.Request,
+		// The sender carries this container's address so the
+		// destination can route its agree/refuse back.
+		Sender:         m.AID(m.c.Addr()),
+		Receivers:      []acl.AID{dest},
+		Content:        content,
+		Language:       "json",
+		Ontology:       migrationOntology,
+		ConversationID: replyWith,
+		ReplyWith:      replyWith,
+	}
+	if err := m.a.Send(ctx, msg); err != nil {
+		return fmt.Errorf("mobility: send state: %w", err)
+	}
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return ErrTimeout
+	case reply := <-replies:
+		switch reply.Performative {
+		case acl.Agree:
+			// Destination accepted: retire the local copy.
+			if err := m.c.KillAgent(st.Name); err != nil {
+				return fmt.Errorf("mobility: retire local agent: %w", err)
+			}
+			m.mu.Lock()
+			m.departed++
+			m.mu.Unlock()
+			return nil
+		default:
+			return fmt.Errorf("%w: %s (%s)", ErrRefused, reply.Performative, reply.Content)
+		}
+	}
+}
+
+// handleArrival reconstructs an inbound agent.
+func (m *Manager) handleArrival(ctx context.Context, a *agent.Agent, msg *acl.Message) {
+	var st State
+	if err := json.Unmarshal(msg.Content, &st); err != nil {
+		reply := msg.Reply(a.ID(), acl.Refuse)
+		reply.Content = []byte("malformed state")
+		a.Send(ctx, reply)
+		return
+	}
+	if _, err := m.Spawn(&st); err != nil {
+		reply := msg.Reply(a.ID(), acl.Refuse)
+		reply.Content = []byte(err.Error())
+		a.Send(ctx, reply)
+		return
+	}
+	m.mu.Lock()
+	m.arrived++
+	m.mu.Unlock()
+	a.Send(ctx, msg.Reply(a.ID(), acl.Agree))
+}
+
+// handleReply routes agree/refuse answers back to waiting migrations.
+func (m *Manager) handleReply(_ context.Context, _ *agent.Agent, msg *acl.Message) {
+	if msg.Performative != acl.Agree && msg.Performative != acl.Refuse {
+		return
+	}
+	m.mu.Lock()
+	ch, ok := m.waits[msg.InReplyTo]
+	m.mu.Unlock()
+	if ok {
+		select {
+		case ch <- msg:
+		default:
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package mobility
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"agentgrid/internal/acl"
+	"agentgrid/internal/agent"
+	"agentgrid/internal/directory"
+	"agentgrid/internal/platform"
+	"agentgrid/internal/transport"
+)
+
+var profile = directory.ResourceProfile{CPUCapacity: 10, NetCapacity: 10, DiscCapacity: 10}
+
+func buildSites(t *testing.T) (*Manager, *Manager, *platform.Container, *platform.Container) {
+	t.Helper()
+	n := transport.NewInProcNetwork()
+	mk := func(name string) *platform.Container {
+		c, err := platform.New(platform.Config{Name: name, Platform: name, Profile: profile})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AttachInProc(n, "inproc://"+name); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Stop() })
+		return c
+	}
+	c1, c2 := mk("site1"), mk("site2")
+	m1, err := NewManager(c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := NewManager(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	if err := c1.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	return m1, m2, c1, c2
+}
+
+// counterFactory wires a trivial mobile agent kind: it counts pings in a
+// belief.
+func counterFactory(a *agent.Agent, _ *State) error {
+	a.HandleFunc(agent.Selector{Performative: acl.Inform}, func(_ context.Context, a *agent.Agent, _ *acl.Message) {
+		n, _ := a.Beliefs().GetFloat("count")
+		a.Beliefs().Set("count", n+1)
+	})
+	return nil
+}
+
+func TestSpawnKind(t *testing.T) {
+	m1, _, c1, _ := buildSites(t)
+	if err := m1.Register("counter", counterFactory); err != nil {
+		t.Fatal(err)
+	}
+	st := &State{Kind: "counter", Name: "roamer", Beliefs: map[string]any{"count": 3.0}}
+	a, err := m1.Spawn(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := a.Beliefs().GetFloat("count"); v != 3 {
+		t.Fatalf("belief = %v", v)
+	}
+	if _, ok := c1.Agent("roamer"); !ok {
+		t.Fatal("agent not hosted")
+	}
+	if _, err := m1.Spawn(&State{Kind: "ghost", Name: "x"}); !errors.Is(err, ErrUnknownKind) {
+		t.Fatalf("unknown kind = %v", err)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	m1, _, _, _ := buildSites(t)
+	if err := m1.Register("", counterFactory); err == nil {
+		t.Error("empty kind accepted")
+	}
+	if err := m1.Register("k", nil); err == nil {
+		t.Error("nil factory accepted")
+	}
+	if err := m1.Register("k", counterFactory); err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Register("k", counterFactory); err == nil {
+		t.Error("duplicate kind accepted")
+	}
+}
+
+func TestMigrateEndToEnd(t *testing.T) {
+	m1, m2, c1, c2 := buildSites(t)
+	m1.Register("counter", counterFactory)
+	m2.Register("counter", counterFactory)
+
+	// Born on site1 with some accumulated state.
+	_, err := m1.Spawn(&State{Kind: "counter", Name: "roamer", Beliefs: map[string]any{"count": 7.0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := m1.CaptureState("counter", "roamer", []byte("extra"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dest := m2.AID(c2.Addr())
+	if err := m1.Migrate(context.Background(), st, dest, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Gone from site1, alive on site2 with state intact.
+	if _, ok := c1.Agent("roamer"); ok {
+		t.Fatal("agent still on source")
+	}
+	moved, ok := c2.Agent("roamer")
+	if !ok {
+		t.Fatal("agent not on destination")
+	}
+	if v, _ := moved.Beliefs().GetFloat("count"); v != 7 {
+		t.Fatalf("belief after move = %v", v)
+	}
+	arrived, _ := m2.Stats()
+	_, departed := m1.Stats()
+	if arrived != 1 || departed != 1 {
+		t.Fatalf("stats: arrived=%d departed=%d", arrived, departed)
+	}
+
+	// The moved agent still behaves (handlers rewired by the factory).
+	err = moved.Deliver(&acl.Message{
+		Performative: acl.Inform,
+		Sender:       acl.NewAID("x", "site2"),
+		Receivers:    []acl.AID{moved.ID()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		if v, _ := moved.Beliefs().GetFloat("count"); v == 8 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("moved agent not processing messages")
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+func TestMigrateRefusedUnknownKind(t *testing.T) {
+	m1, m2, c1, c2 := buildSites(t)
+	m1.Register("counter", counterFactory)
+	// site2 does NOT know "counter".
+	_ = m2
+
+	m1.Spawn(&State{Kind: "counter", Name: "roamer"})
+	st, _ := m1.CaptureState("counter", "roamer", nil)
+	err := m1.Migrate(context.Background(), st, m2.AID(c2.Addr()), 5*time.Second)
+	if !errors.Is(err, ErrRefused) {
+		t.Fatalf("err = %v", err)
+	}
+	// Source copy survives a refused migration.
+	if _, ok := c1.Agent("roamer"); !ok {
+		t.Fatal("agent lost on refusal")
+	}
+}
+
+func TestMigrateNameCollision(t *testing.T) {
+	m1, m2, _, c2 := buildSites(t)
+	m1.Register("counter", counterFactory)
+	m2.Register("counter", counterFactory)
+	// Destination already hosts an agent with the same name.
+	m2.Spawn(&State{Kind: "counter", Name: "roamer"})
+
+	m1.Spawn(&State{Kind: "counter", Name: "roamer"})
+	st, _ := m1.CaptureState("counter", "roamer", nil)
+	err := m1.Migrate(context.Background(), st, m2.AID(c2.Addr()), 5*time.Second)
+	if !errors.Is(err, ErrRefused) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMigrateTimeout(t *testing.T) {
+	m1, _, _, _ := buildSites(t)
+	m1.Register("counter", counterFactory)
+	m1.Spawn(&State{Kind: "counter", Name: "roamer"})
+	st, _ := m1.CaptureState("counter", "roamer", nil)
+	// Destination that will never answer: a valid AID on an
+	// unregistered address. Send fails -> error surfaces immediately.
+	ghost := acl.NewAID(ManagerAgentName, "nowhere", "inproc://nowhere")
+	err := m1.Migrate(context.Background(), st, ghost, 200*time.Millisecond)
+	if err == nil {
+		t.Fatal("migration to ghost succeeded")
+	}
+}
+
+func TestCaptureStateMissingAgent(t *testing.T) {
+	m1, _, _, _ := buildSites(t)
+	if _, err := m1.CaptureState("counter", "nobody", nil); err == nil {
+		t.Fatal("captured missing agent")
+	}
+}
+
+func TestFactoryErrorCleansUp(t *testing.T) {
+	m1, _, c1, _ := buildSites(t)
+	m1.Register("broken", func(*agent.Agent, *State) error {
+		return fmt.Errorf("wiring failed")
+	})
+	if _, err := m1.Spawn(&State{Kind: "broken", Name: "x"}); err == nil {
+		t.Fatal("broken factory succeeded")
+	}
+	if _, ok := c1.Agent("x"); ok {
+		t.Fatal("half-built agent left behind")
+	}
+}

@@ -1,0 +1,319 @@
+// Package negotiate implements the FIPA contract-net protocol the paper
+// cites for load distribution (§3.5: the root "could ... negotiate with
+// containers concerning the possibility of sending information to be
+// processed by them ... using negotiation protocols established by
+// FIPA"). An initiator announces a task, participants bid their estimated
+// cost, the initiator awards the cheapest bid and collects the result.
+package negotiate
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"agentgrid/internal/acl"
+	"agentgrid/internal/agent"
+)
+
+// Task is the content of a call for proposals.
+type Task struct {
+	// ID names the task (unique per initiator).
+	ID string `json:"id"`
+	// Kind describes the work, e.g. "analysis-l2".
+	Kind string `json:"kind"`
+	// Payload is the task input, opaque to the protocol.
+	Payload []byte `json:"payload,omitempty"`
+}
+
+// Proposal is a participant's bid.
+type Proposal struct {
+	// Bid is the estimated cost; lower wins.
+	Bid float64 `json:"bid"`
+}
+
+// Result is the winner's final answer.
+type Result struct {
+	// Output is the task's product, opaque to the protocol.
+	Output []byte `json:"output,omitempty"`
+	// Err is a failure description ("" on success).
+	Err string `json:"err,omitempty"`
+}
+
+// Negotiation errors.
+var (
+	ErrNoParticipants = errors.New("negotiate: no participants")
+	ErrNoProposals    = errors.New("negotiate: every participant refused")
+	ErrAwardFailed    = errors.New("negotiate: winner reported failure")
+	ErrTimeout        = errors.New("negotiate: negotiation timed out")
+)
+
+// Participant decides bids and executes awarded tasks.
+type Participant interface {
+	// Bid estimates the cost of a task. Returning ok=false refuses it.
+	Bid(task Task) (bid float64, ok bool)
+	// Execute performs an awarded task.
+	Execute(ctx context.Context, task Task) (Result, error)
+}
+
+// ParticipantFuncs adapts two functions to the Participant interface.
+type ParticipantFuncs struct {
+	BidFunc     func(task Task) (float64, bool)
+	ExecuteFunc func(ctx context.Context, task Task) (Result, error)
+}
+
+// Bid implements Participant.
+func (p ParticipantFuncs) Bid(task Task) (float64, bool) { return p.BidFunc(task) }
+
+// Execute implements Participant.
+func (p ParticipantFuncs) Execute(ctx context.Context, task Task) (Result, error) {
+	return p.ExecuteFunc(ctx, task)
+}
+
+// RegisterParticipant wires contract-net participant behaviour into an
+// agent: it answers cfp with propose/refuse and accept-proposal with
+// inform/failure.
+func RegisterParticipant(a *agent.Agent, p Participant) {
+	// Remember tasks between cfp and award.
+	var mu sync.Mutex
+	pending := make(map[string]Task) // conversation id -> task
+
+	a.HandleFunc(agent.Selector{Performative: acl.CFP, Protocol: acl.ProtocolContractNet},
+		func(ctx context.Context, a *agent.Agent, m *acl.Message) {
+			var task Task
+			if err := json.Unmarshal(m.Content, &task); err != nil {
+				reply := m.Reply(a.ID(), acl.NotUnderstood)
+				a.Send(ctx, reply)
+				return
+			}
+			bid, ok := p.Bid(task)
+			if !ok {
+				a.Send(ctx, m.Reply(a.ID(), acl.Refuse))
+				return
+			}
+			mu.Lock()
+			pending[m.ConversationID] = task
+			mu.Unlock()
+			reply := m.Reply(a.ID(), acl.Propose)
+			reply.Content, _ = json.Marshal(Proposal{Bid: bid})
+			a.Send(ctx, reply)
+		})
+
+	a.HandleFunc(agent.Selector{Performative: acl.AcceptProposal, Protocol: acl.ProtocolContractNet},
+		func(ctx context.Context, a *agent.Agent, m *acl.Message) {
+			mu.Lock()
+			task, ok := pending[m.ConversationID]
+			delete(pending, m.ConversationID)
+			mu.Unlock()
+			if !ok {
+				a.Send(ctx, m.Reply(a.ID(), acl.NotUnderstood))
+				return
+			}
+			res, err := p.Execute(ctx, task)
+			if err != nil {
+				reply := m.Reply(a.ID(), acl.Failure)
+				reply.Content, _ = json.Marshal(Result{Err: err.Error()})
+				a.Send(ctx, reply)
+				return
+			}
+			reply := m.Reply(a.ID(), acl.Inform)
+			reply.Content, _ = json.Marshal(res)
+			a.Send(ctx, reply)
+		})
+
+	a.HandleFunc(agent.Selector{Performative: acl.RejectProposal, Protocol: acl.ProtocolContractNet},
+		func(_ context.Context, _ *agent.Agent, m *acl.Message) {
+			mu.Lock()
+			delete(pending, m.ConversationID)
+			mu.Unlock()
+		})
+}
+
+// Initiator runs contract-net negotiations from one agent. Register it
+// once per agent; it installs the reply handlers it needs.
+type Initiator struct {
+	a *agent.Agent
+
+	mu    sync.Mutex
+	waits map[string]chan *acl.Message // conversation id -> reply stream
+}
+
+// NewInitiator wires contract-net initiator behaviour into an agent.
+func NewInitiator(a *agent.Agent) *Initiator {
+	ini := &Initiator{a: a, waits: make(map[string]chan *acl.Message)}
+	sel := agent.Selector{Protocol: acl.ProtocolContractNet}
+	a.HandleFunc(sel, func(_ context.Context, _ *agent.Agent, m *acl.Message) {
+		switch m.Performative {
+		case acl.Propose, acl.Refuse, acl.Inform, acl.Failure, acl.NotUnderstood:
+			ini.mu.Lock()
+			ch, ok := ini.waits[m.ConversationID]
+			ini.mu.Unlock()
+			if ok {
+				select {
+				case ch <- m:
+				default: // negotiation gave up; drop
+				}
+			}
+		}
+	})
+	return ini
+}
+
+// Outcome describes a completed negotiation.
+type Outcome struct {
+	// Winner is the participant that was awarded the task.
+	Winner acl.AID
+	// Bid is the winning bid.
+	Bid float64
+	// Output is the winner's result payload.
+	Output []byte
+	// Refused counts participants that declined to bid.
+	Refused int
+	// Proposals counts the bids received.
+	Proposals int
+}
+
+// Negotiate announces the task to the participants, waits up to
+// bidWindow for proposals, awards the lowest bid and waits for the
+// result. It must be called from outside the agent's handler goroutine.
+func (ini *Initiator) Negotiate(ctx context.Context, participants []acl.AID, task Task, bidWindow time.Duration) (*Outcome, error) {
+	if len(participants) == 0 {
+		return nil, ErrNoParticipants
+	}
+	convID := ini.a.NewConversationID()
+	replies := make(chan *acl.Message, len(participants)*2)
+	ini.mu.Lock()
+	ini.waits[convID] = replies
+	ini.mu.Unlock()
+	defer func() {
+		ini.mu.Lock()
+		delete(ini.waits, convID)
+		ini.mu.Unlock()
+	}()
+
+	payload, err := json.Marshal(task)
+	if err != nil {
+		return nil, fmt.Errorf("negotiate: encode task: %w", err)
+	}
+	// The cfp goes to each participant individually so an unreachable
+	// container counts as a refusal instead of aborting the negotiation.
+	reachable := 0
+	refused := 0
+	for _, p := range participants {
+		cfp := &acl.Message{
+			Performative:   acl.CFP,
+			Sender:         ini.a.ID(),
+			Receivers:      []acl.AID{p},
+			Content:        payload,
+			Language:       "json",
+			Ontology:       acl.OntologyGridManagement,
+			Protocol:       acl.ProtocolContractNet,
+			ConversationID: convID,
+		}
+		if err := ini.a.Send(ctx, cfp); err != nil {
+			refused++
+			continue
+		}
+		reachable++
+	}
+	if reachable == 0 {
+		return nil, fmt.Errorf("%w (task %s, no participant reachable)", ErrNoProposals, task.ID)
+	}
+
+	// Collect proposals until every reachable participant answered or
+	// the window closes.
+	type bid struct {
+		from acl.AID
+		bid  float64
+	}
+	var bids []bid
+	timer := time.NewTimer(bidWindow)
+	defer timer.Stop()
+collect:
+	for answered := 0; answered < reachable; {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-timer.C:
+			break collect
+		case m := <-replies:
+			switch m.Performative {
+			case acl.Propose:
+				var p Proposal
+				if err := json.Unmarshal(m.Content, &p); err == nil {
+					bids = append(bids, bid{from: m.Sender, bid: p.Bid})
+				}
+				answered++
+			case acl.Refuse, acl.NotUnderstood:
+				refused++
+				answered++
+			}
+		}
+	}
+	if len(bids) == 0 {
+		return nil, fmt.Errorf("%w (task %s, %d refusals)", ErrNoProposals, task.ID, refused)
+	}
+
+	// Lowest bid wins; ties break on AID name for determinism.
+	best := bids[0]
+	for _, b := range bids[1:] {
+		if b.bid < best.bid || (b.bid == best.bid && b.from.Name < best.from.Name) {
+			best = b
+		}
+	}
+
+	// Reject the losers.
+	for _, b := range bids {
+		if b.from.Equal(best.from) {
+			continue
+		}
+		reject := &acl.Message{
+			Performative:   acl.RejectProposal,
+			Sender:         ini.a.ID(),
+			Receivers:      []acl.AID{b.from},
+			Protocol:       acl.ProtocolContractNet,
+			ConversationID: convID,
+		}
+		ini.a.Send(ctx, reject)
+	}
+
+	// Award the winner and wait for its result.
+	accept := &acl.Message{
+		Performative:   acl.AcceptProposal,
+		Sender:         ini.a.ID(),
+		Receivers:      []acl.AID{best.from},
+		Protocol:       acl.ProtocolContractNet,
+		ConversationID: convID,
+	}
+	if err := ini.a.Send(ctx, accept); err != nil {
+		return nil, fmt.Errorf("negotiate: award: %w", err)
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case m := <-replies:
+			switch m.Performative {
+			case acl.Inform:
+				var res Result
+				if err := json.Unmarshal(m.Content, &res); err != nil {
+					return nil, fmt.Errorf("negotiate: decode result: %w", err)
+				}
+				return &Outcome{
+					Winner:    best.from,
+					Bid:       best.bid,
+					Output:    res.Output,
+					Refused:   refused,
+					Proposals: len(bids),
+				}, nil
+			case acl.Failure:
+				var res Result
+				json.Unmarshal(m.Content, &res)
+				return nil, fmt.Errorf("%w: %s", ErrAwardFailed, res.Err)
+			}
+			// Late proposals from slow losers are ignored.
+		}
+	}
+}

@@ -1,0 +1,266 @@
+package negotiate
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"agentgrid/internal/acl"
+	"agentgrid/internal/directory"
+	"agentgrid/internal/platform"
+	"agentgrid/internal/transport"
+)
+
+// rig is one container with an initiator agent and n participant agents.
+type rig struct {
+	container *platform.Container
+	initiator *Initiator
+	agents    []acl.AID
+}
+
+func buildRig(t *testing.T, participants []Participant) *rig {
+	t.Helper()
+	n := transport.NewInProcNetwork()
+	c, err := platform.New(platform.Config{
+		Name: "c1", Platform: "test",
+		Profile: directory.ResourceProfile{CPUCapacity: 1, NetCapacity: 1, DiscCapacity: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AttachInProc(n, "inproc://c1"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Stop() })
+
+	initAgent, err := c.SpawnAgent("root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &rig{container: c, initiator: NewInitiator(initAgent)}
+	for i, p := range participants {
+		a, err := c.SpawnAgent(fmt.Sprintf("worker-%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		RegisterParticipant(a, p)
+		r.agents = append(r.agents, a.ID())
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	if err := c.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func bidder(bid float64) Participant {
+	return ParticipantFuncs{
+		BidFunc: func(Task) (float64, bool) { return bid, true },
+		ExecuteFunc: func(_ context.Context, task Task) (Result, error) {
+			return Result{Output: []byte(fmt.Sprintf("done-by-%.0f", bid))}, nil
+		},
+	}
+}
+
+func refuser() Participant {
+	return ParticipantFuncs{
+		BidFunc:     func(Task) (float64, bool) { return 0, false },
+		ExecuteFunc: func(context.Context, Task) (Result, error) { return Result{}, nil },
+	}
+}
+
+func TestNegotiateLowestBidWins(t *testing.T) {
+	r := buildRig(t, []Participant{bidder(30), bidder(10), bidder(20)})
+	out, err := r.initiator.Negotiate(context.Background(), r.agents,
+		Task{ID: "t1", Kind: "analysis"}, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Winner.Local() != "worker-1" || out.Bid != 10 {
+		t.Fatalf("Outcome = %+v", out)
+	}
+	if string(out.Output) != "done-by-10" {
+		t.Fatalf("Output = %q", out.Output)
+	}
+	if out.Proposals != 3 || out.Refused != 0 {
+		t.Fatalf("counts = %+v", out)
+	}
+}
+
+func TestNegotiateWithRefusals(t *testing.T) {
+	r := buildRig(t, []Participant{refuser(), bidder(5), refuser()})
+	out, err := r.initiator.Negotiate(context.Background(), r.agents,
+		Task{ID: "t2"}, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Winner.Local() != "worker-1" || out.Refused != 2 || out.Proposals != 1 {
+		t.Fatalf("Outcome = %+v", out)
+	}
+}
+
+func TestNegotiateAllRefuse(t *testing.T) {
+	r := buildRig(t, []Participant{refuser(), refuser()})
+	_, err := r.initiator.Negotiate(context.Background(), r.agents,
+		Task{ID: "t3"}, 2*time.Second)
+	if !errors.Is(err, ErrNoProposals) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNegotiateNoParticipants(t *testing.T) {
+	r := buildRig(t, nil)
+	_, err := r.initiator.Negotiate(context.Background(), nil, Task{ID: "t"}, time.Second)
+	if !errors.Is(err, ErrNoParticipants) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNegotiateWinnerFails(t *testing.T) {
+	failing := ParticipantFuncs{
+		BidFunc: func(Task) (float64, bool) { return 1, true },
+		ExecuteFunc: func(context.Context, Task) (Result, error) {
+			return Result{}, errors.New("disk caught fire")
+		},
+	}
+	r := buildRig(t, []Participant{failing})
+	_, err := r.initiator.Negotiate(context.Background(), r.agents, Task{ID: "t"}, 2*time.Second)
+	if !errors.Is(err, ErrAwardFailed) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestNegotiateTieBreaksDeterministically(t *testing.T) {
+	r := buildRig(t, []Participant{bidder(7), bidder(7), bidder(7)})
+	for i := 0; i < 3; i++ {
+		out, err := r.initiator.Negotiate(context.Background(), r.agents, Task{ID: "t"}, 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Winner.Local() != "worker-0" {
+			t.Fatalf("tie broke to %s", out.Winner)
+		}
+	}
+}
+
+func TestNegotiateTaskPayloadDelivered(t *testing.T) {
+	got := make(chan []byte, 1)
+	p := ParticipantFuncs{
+		BidFunc: func(Task) (float64, bool) { return 1, true },
+		ExecuteFunc: func(_ context.Context, task Task) (Result, error) {
+			got <- task.Payload
+			return Result{Output: []byte("ok")}, nil
+		},
+	}
+	r := buildRig(t, []Participant{p})
+	_, err := r.initiator.Negotiate(context.Background(), r.agents,
+		Task{ID: "t", Payload: []byte("the data")}, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(<-got) != "the data" {
+		t.Fatal("payload lost")
+	}
+}
+
+func TestNegotiateContextCancelled(t *testing.T) {
+	// Participant that never answers the award: execution blocks.
+	stuck := ParticipantFuncs{
+		BidFunc: func(Task) (float64, bool) { return 1, true },
+		ExecuteFunc: func(ctx context.Context, _ Task) (Result, error) {
+			<-ctx.Done()
+			return Result{}, ctx.Err()
+		},
+	}
+	r := buildRig(t, []Participant{stuck})
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	_, err := r.initiator.Negotiate(ctx, r.agents, Task{ID: "t"}, 100*time.Millisecond)
+	if err == nil {
+		t.Fatal("cancelled negotiation succeeded")
+	}
+}
+
+func TestNegotiateBidWindowExpiresWithPartialBids(t *testing.T) {
+	// One fast bidder plus one that never answers at all: the window
+	// must close and the fast bid win.
+	r := buildRig(t, []Participant{bidder(3)})
+	ghost := acl.NewAID("ghost", "nowhere", "inproc://nowhere")
+	participants := append([]acl.AID{ghost}, r.agents...)
+	start := time.Now()
+	out, err := r.initiator.Negotiate(context.Background(), participants, Task{ID: "t"}, 500*time.Millisecond)
+	// The cfp to the ghost fails at send time (unroutable), which is
+	// fine — the negotiation proceeds on the answers it can get.
+	if err != nil {
+		t.Fatalf("err = %v", err)
+	}
+	if out.Winner.Local() != "worker-0" {
+		t.Fatalf("winner = %s", out.Winner)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("negotiation hung")
+	}
+}
+
+func TestParticipantIgnoresGarbageCFP(t *testing.T) {
+	r := buildRig(t, []Participant{bidder(1)})
+	// Hand-roll a cfp with non-JSON content; participant must reply
+	// not-understood, which counts as refusal.
+	initAgent, _ := r.container.Agent("root")
+	convID := initAgent.NewConversationID()
+	replies := make(chan *acl.Message, 2)
+	r.initiator.mu.Lock()
+	r.initiator.waits[convID] = replies
+	r.initiator.mu.Unlock()
+
+	err := initAgent.Send(context.Background(), &acl.Message{
+		Performative:   acl.CFP,
+		Receivers:      r.agents,
+		Content:        []byte("{{{{not json"),
+		Protocol:       acl.ProtocolContractNet,
+		ConversationID: convID,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-replies:
+		if m.Performative != acl.NotUnderstood {
+			t.Fatalf("reply = %s", m.Performative)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no reply to garbage cfp")
+	}
+}
+
+func TestConcurrentNegotiationsIsolated(t *testing.T) {
+	// Three negotiations run from one initiator at once; each must see
+	// only its own conversation's proposals and results.
+	r := buildRig(t, []Participant{bidder(1), bidder(2), bidder(3)})
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out, err := r.initiator.Negotiate(context.Background(), r.agents,
+				Task{ID: fmt.Sprintf("parallel-%d", i)}, 2*time.Second)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if out.Winner.Local() != "worker-0" || out.Proposals != 3 {
+				errs <- fmt.Errorf("negotiation %d outcome %+v", i, out)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func sampleRecord() Record {
+	return Record{
+		Site:   "site1",
+		Device: "web-1",
+		Class:  "host",
+		Metric: "cpu.util",
+		Value:  73.5,
+		Unit:   "percent",
+		Step:   12,
+		Time:   time.Date(2026, 7, 5, 10, 0, 0, 0, time.UTC),
+	}
+}
+
+func TestRecordValidate(t *testing.T) {
+	r := sampleRecord()
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		mod  func(*Record)
+		want error
+	}{
+		{func(r *Record) { r.Site = "" }, ErrNoSite},
+		{func(r *Record) { r.Device = "" }, ErrNoDevice},
+		{func(r *Record) { r.Metric = "" }, ErrNoMetric},
+	}
+	for _, tc := range cases {
+		r := sampleRecord()
+		tc.mod(&r)
+		if err := r.Validate(); !errors.Is(err, tc.want) {
+			t.Errorf("Validate = %v, want %v", err, tc.want)
+		}
+	}
+}
+
+func TestRecordKeyAndString(t *testing.T) {
+	r := sampleRecord()
+	if r.Key() != "site1/web-1/cpu.util" {
+		t.Fatalf("Key = %q", r.Key())
+	}
+	if s := r.String(); !strings.Contains(s, "site1/web-1/cpu.util") || !strings.Contains(s, "73.5") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+func TestBatchXMLRoundtrip(t *testing.T) {
+	b := &Batch{
+		Collector: "collector-1",
+		Records:   []Record{sampleRecord(), sampleRecord()},
+	}
+	b.Records[1].Metric = "mem.free"
+	b.Records[1].Value = 2048
+
+	data, err := MarshalBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `collector="collector-1"`) {
+		t.Fatalf("XML missing collector attr: %s", data)
+	}
+	got, err := UnmarshalBatch(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Collector != "collector-1" || len(got.Records) != 2 {
+		t.Fatalf("roundtrip = %+v", got)
+	}
+	// XMLName differs after unmarshal; compare fields.
+	for i := range b.Records {
+		if !b.Records[i].Time.Equal(got.Records[i].Time) {
+			t.Fatalf("time mismatch: %v vs %v", b.Records[i].Time, got.Records[i].Time)
+		}
+		a, g := b.Records[i], got.Records[i]
+		a.Time, g.Time = time.Time{}, time.Time{}
+		if !reflect.DeepEqual(a, g) {
+			t.Fatalf("record %d mismatch:\n got %+v\nwant %+v", i, g, a)
+		}
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	b := &Batch{Records: []Record{sampleRecord()}}
+	if _, err := MarshalBatch(b); err == nil {
+		t.Fatal("batch without collector accepted")
+	}
+	b.Collector = "c"
+	b.Records[0].Device = ""
+	if _, err := MarshalBatch(b); !errors.Is(err, ErrNoDevice) {
+		t.Fatalf("invalid record = %v", err)
+	}
+	if _, err := UnmarshalBatch([]byte("<not-xml")); err == nil {
+		t.Fatal("malformed XML accepted")
+	}
+	if _, err := UnmarshalBatch([]byte("<batch collector=\"c\"><record/></batch>")); err == nil {
+		t.Fatal("invalid record in XML accepted")
+	}
+}
+
+func TestBatchXMLRoundtripProperty(t *testing.T) {
+	metrics := []string{"cpu.util", "mem.free", "disk.free", "if.in.1", "proc.count"}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b := &Batch{Collector: "c"}
+		n := r.Intn(20)
+		for i := 0; i < n; i++ {
+			b.Records = append(b.Records, Record{
+				Site:   "site1",
+				Device: "dev-" + string(rune('a'+r.Intn(26))),
+				Class:  "host",
+				Metric: metrics[r.Intn(len(metrics))],
+				Value:  r.NormFloat64() * 100,
+				Step:   r.Intn(1000),
+				Time:   time.Unix(r.Int63n(1<<31), 0).UTC(),
+			})
+		}
+		data, err := MarshalBatch(b)
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalBatch(data)
+		if err != nil {
+			return false
+		}
+		if len(got.Records) != len(b.Records) {
+			return false
+		}
+		for i := range b.Records {
+			if got.Records[i].Key() != b.Records[i].Key() ||
+				got.Records[i].Value != b.Records[i].Value ||
+				got.Records[i].Step != b.Records[i].Step ||
+				!got.Records[i].Time.Equal(b.Records[i].Time) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOntologyCategories(t *testing.T) {
+	o := NewOntology()
+	cases := map[string]Category{
+		"cpu.util":   CategoryCPU,
+		"mem.free":   CategoryMemory,
+		"disk.free":  CategoryDisk,
+		"proc.count": CategoryProcess,
+		"if.in.3":    CategoryTraffic,
+		"if.out.1":   CategoryTraffic,
+		"if.up.2":    CategoryAvailability,
+		"fan.speed":  CategoryUnknown,
+	}
+	for metric, want := range cases {
+		if got := o.Category(metric); got != want {
+			t.Errorf("Category(%s) = %s, want %s", metric, got, want)
+		}
+	}
+	if o.Known("fan.speed") {
+		t.Error("unknown metric marked known")
+	}
+	if !o.Known("cpu.util") {
+		t.Error("known metric marked unknown")
+	}
+}
+
+func TestOntologyUnits(t *testing.T) {
+	o := NewOntology()
+	if u := o.Unit("cpu.util"); u != "percent" {
+		t.Errorf("Unit(cpu.util) = %q", u)
+	}
+	if u := o.Unit("mystery"); u != "" {
+		t.Errorf("Unit(mystery) = %q", u)
+	}
+}
+
+func TestOntologyLongestPrefixWins(t *testing.T) {
+	o := NewOntology()
+	o.Register("if.in.9", CategoryUnknown, "special")
+	if got := o.Category("if.in.9"); got != CategoryUnknown {
+		t.Fatalf("specific prefix lost: %s", got)
+	}
+	if got := o.Category("if.in.1"); got != CategoryTraffic {
+		t.Fatalf("general prefix broken: %s", got)
+	}
+}
+
+func TestOntologyCategoriesList(t *testing.T) {
+	got := NewOntology().Categories()
+	if len(got) != 6 {
+		t.Fatalf("Categories = %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("not sorted/deduped: %v", got)
+		}
+	}
+}
+
+func TestOntologyAnnotate(t *testing.T) {
+	o := NewOntology()
+	r := Record{Site: "s", Device: "d", Metric: "disk.free"}
+	o.Annotate(&r)
+	if r.Unit != "MB" {
+		t.Fatalf("Unit = %q", r.Unit)
+	}
+	r.Unit = "KB" // existing unit untouched
+	o.Annotate(&r)
+	if r.Unit != "KB" {
+		t.Fatal("Annotate overwrote unit")
+	}
+}
+
+func TestOntologyZeroValueRegister(t *testing.T) {
+	var o Ontology
+	o.Register("x.", CategoryCPU, "u")
+	if o.Category("x.y") != CategoryCPU {
+		t.Fatal("zero-value ontology unusable")
+	}
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Category is the management-domain concept a metric belongs to. The
+// ontology groups heterogeneous metric names into categories so that
+// analysis capabilities ("this container knows how to analyze disk
+// problems") are expressed independently of device vocabularies.
+type Category string
+
+// Built-in categories.
+const (
+	CategoryCPU          Category = "cpu"
+	CategoryMemory       Category = "memory"
+	CategoryDisk         Category = "disk"
+	CategoryProcess      Category = "process"
+	CategoryTraffic      Category = "traffic"
+	CategoryAvailability Category = "availability"
+	CategoryUnknown      Category = "unknown"
+)
+
+// Ontology maps metric-name prefixes to categories and units. The zero
+// value is empty; NewOntology returns one preloaded with the standard
+// vocabulary of internal/device. Safe for concurrent use.
+type Ontology struct {
+	mu      sync.RWMutex
+	entries map[string]ontEntry // prefix -> entry
+}
+
+type ontEntry struct {
+	category Category
+	unit     string
+}
+
+// NewOntology returns the standard network-management ontology.
+func NewOntology() *Ontology {
+	o := &Ontology{entries: make(map[string]ontEntry)}
+	o.Register("cpu.", CategoryCPU, "percent")
+	o.Register("mem.", CategoryMemory, "MB")
+	o.Register("disk.", CategoryDisk, "MB")
+	o.Register("proc.", CategoryProcess, "count")
+	o.Register("if.in", CategoryTraffic, "octets")
+	o.Register("if.out", CategoryTraffic, "octets")
+	o.Register("if.up", CategoryAvailability, "bool")
+	return o
+}
+
+// Register adds a prefix mapping. Longer prefixes win over shorter ones
+// at lookup time, so specific entries can refine general ones.
+func (o *Ontology) Register(prefix string, c Category, unit string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.entries == nil {
+		o.entries = make(map[string]ontEntry)
+	}
+	o.entries[prefix] = ontEntry{category: c, unit: unit}
+}
+
+// lookup finds the longest matching prefix.
+func (o *Ontology) lookup(metric string) (ontEntry, bool) {
+	o.mu.RLock()
+	defer o.mu.RUnlock()
+	best := ""
+	var found ontEntry
+	for prefix, e := range o.entries {
+		if strings.HasPrefix(metric, prefix) && len(prefix) > len(best) {
+			best = prefix
+			found = e
+		}
+	}
+	return found, best != ""
+}
+
+// Category classifies a metric name; unknown names map to
+// CategoryUnknown.
+func (o *Ontology) Category(metric string) Category {
+	if e, ok := o.lookup(metric); ok {
+		return e.category
+	}
+	return CategoryUnknown
+}
+
+// Unit returns the unit for a metric name ("" when unknown).
+func (o *Ontology) Unit(metric string) string {
+	if e, ok := o.lookup(metric); ok {
+		return e.unit
+	}
+	return ""
+}
+
+// Known reports whether the ontology covers the metric.
+func (o *Ontology) Known(metric string) bool {
+	_, ok := o.lookup(metric)
+	return ok
+}
+
+// Categories lists every category the ontology currently maps to,
+// sorted and deduplicated.
+func (o *Ontology) Categories() []Category {
+	o.mu.RLock()
+	seen := make(map[Category]bool)
+	for _, e := range o.entries {
+		seen[e.category] = true
+	}
+	o.mu.RUnlock()
+	out := make([]Category, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Annotate fills a record's Unit from the ontology when empty.
+func (o *Ontology) Annotate(r *Record) {
+	if r.Unit == "" {
+		r.Unit = o.Unit(r.Metric)
+	}
+}

@@ -1,0 +1,112 @@
+// Package obs defines the common representation that collected data is
+// normalized into before it crosses grid boundaries — the XML-and-
+// ontology layer of the paper's §3.1 ("it is necessary to create a
+// common representation for these data ... using XML and ontologies").
+// A Record is one observation of one managed object; a Batch is the unit
+// collectors ship to the classifier grid.
+package obs
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Record is one normalized observation.
+type Record struct {
+	// Site is the administrative domain the device belongs to.
+	Site string `xml:"site,attr" json:"site"`
+	// Device is the managed equipment name.
+	Device string `xml:"device,attr" json:"device"`
+	// Class is the device class ("host", "router", "switch").
+	Class string `xml:"class,attr" json:"class"`
+	// Metric is the managed-object name, e.g. "cpu.util" or "if.in.3".
+	Metric string `xml:"metric,attr" json:"metric"`
+	// Value is the observed numeric value.
+	Value float64 `xml:"value,attr" json:"value"`
+	// Unit is the measurement unit ("percent", "MB", "octets", "count").
+	Unit string `xml:"unit,attr,omitempty" json:"unit,omitempty"`
+	// Step is the device's collection sequence number; analysis uses it
+	// as the logical clock.
+	Step int `xml:"step,attr" json:"step"`
+	// Time is the wall-clock collection instant.
+	Time time.Time `xml:"time,attr" json:"time"`
+}
+
+// Validation errors.
+var (
+	ErrNoDevice = errors.New("obs: record has no device")
+	ErrNoMetric = errors.New("obs: record has no metric")
+	ErrNoSite   = errors.New("obs: record has no site")
+)
+
+// Validate checks the invariants a record must hold before entering the
+// classifier grid.
+func (r *Record) Validate() error {
+	switch {
+	case r.Site == "":
+		return ErrNoSite
+	case r.Device == "":
+		return ErrNoDevice
+	case r.Metric == "":
+		return ErrNoMetric
+	}
+	return nil
+}
+
+// Key returns the series identity "site/device/metric" used by the store
+// and the classifier's clustering.
+func (r *Record) Key() string {
+	return r.Site + "/" + r.Device + "/" + r.Metric
+}
+
+// String renders the record for logs.
+func (r *Record) String() string {
+	return fmt.Sprintf("%s=%g@%d", r.Key(), r.Value, r.Step)
+}
+
+// Batch is a set of records shipped together by one collector, possibly
+// spanning heterogeneous devices (§3.2: "a file containing collected
+// data sent by one grid could contain collected values from many managed
+// objects in heterogeneous equipment").
+type Batch struct {
+	XMLName   xml.Name `xml:"batch" json:"-"`
+	Collector string   `xml:"collector,attr" json:"collector"`
+	Records   []Record `xml:"record" json:"records"`
+}
+
+// Validate checks every record in the batch.
+func (b *Batch) Validate() error {
+	if b.Collector == "" {
+		return errors.New("obs: batch has no collector")
+	}
+	for i := range b.Records {
+		if err := b.Records[i].Validate(); err != nil {
+			return fmt.Errorf("record %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// MarshalXML returns the batch in the common XML representation the
+// grids exchange.
+func MarshalBatch(b *Batch) ([]byte, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return xml.Marshal(b)
+}
+
+// UnmarshalBatch parses a batch from the XML representation and
+// validates it.
+func UnmarshalBatch(data []byte) (*Batch, error) {
+	var b Batch
+	if err := xml.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("obs: parse batch: %w", err)
+	}
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	return &b, nil
+}

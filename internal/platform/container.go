@@ -1,0 +1,417 @@
+// Package platform implements agent containers: the unit of deployment
+// the paper distributes across machines ("this grid is composed of
+// containers of agents, which are distributed among many computers",
+// §3.3). A container hosts agents, binds a transport endpoint, routes
+// messages between local agents and remote containers, and reports the
+// resource profile it registers with the grid root's directory.
+package platform
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"agentgrid/internal/acl"
+	"agentgrid/internal/agent"
+	"agentgrid/internal/directory"
+	"agentgrid/internal/transport"
+)
+
+// Resolver maps an AID without transport addresses to a container
+// address. The grid root's directory backs the production resolver.
+type Resolver func(aid acl.AID) (addr string, err error)
+
+// Container errors.
+var (
+	ErrNotAttached  = errors.New("platform: container has no transport")
+	ErrDupAgent     = errors.New("platform: agent name already in use")
+	ErrNoAgent      = errors.New("platform: no such agent")
+	ErrNoRoute      = errors.New("platform: cannot route message")
+	ErrAlreadyBound = errors.New("platform: transport already attached")
+)
+
+// Config configures a container.
+type Config struct {
+	// Name uniquely identifies the container within the grid.
+	Name string
+	// Platform is the site/platform name agents are addressed under.
+	Platform string
+	// Profile describes the hosting machine's capacity.
+	Profile directory.ResourceProfile
+	// Resolver resolves AIDs with no explicit addresses. Optional.
+	Resolver Resolver
+	// ErrorLog receives routing and agent errors. Optional.
+	ErrorLog func(error)
+}
+
+// Stats counts container message traffic.
+type Stats struct {
+	DeliveredLocal uint64 // messages handed to local agents
+	Forwarded      uint64 // messages sent to remote containers
+	Dropped        uint64 // undeliverable messages (full mailbox, no route)
+}
+
+// Container hosts a set of agents behind one transport endpoint.
+type Container struct {
+	cfg Config
+
+	mu      sync.Mutex
+	tr      transport.Transport
+	agents  map[string]*agent.Agent
+	cancels map[string]context.CancelFunc
+	running bool
+	runCtx  context.Context
+	wg      sync.WaitGroup
+
+	loadFn atomic.Pointer[func() float64]
+
+	deliveredLocal atomic.Uint64
+	forwarded      atomic.Uint64
+	dropped        atomic.Uint64
+}
+
+// New creates a container. Attach a transport before starting it.
+func New(cfg Config) (*Container, error) {
+	if cfg.Name == "" {
+		return nil, errors.New("platform: container needs a name")
+	}
+	if cfg.Platform == "" {
+		return nil, errors.New("platform: container needs a platform name")
+	}
+	return &Container{
+		cfg:     cfg,
+		agents:  make(map[string]*agent.Agent),
+		cancels: make(map[string]context.CancelFunc),
+	}, nil
+}
+
+// Name returns the container name.
+func (c *Container) Name() string { return c.cfg.Name }
+
+// Platform returns the platform/site name.
+func (c *Container) Platform() string { return c.cfg.Platform }
+
+// Profile returns the configured resource profile.
+func (c *Container) Profile() directory.ResourceProfile { return c.cfg.Profile }
+
+// AttachInProc binds the container to an in-process network under addr.
+func (c *Container) AttachInProc(n *transport.InProcNetwork, addr string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.tr != nil {
+		return ErrAlreadyBound
+	}
+	tr, err := n.Endpoint(addr, c.handleInbound)
+	if err != nil {
+		return err
+	}
+	c.tr = tr
+	return nil
+}
+
+// AttachTCP binds the container to a TCP endpoint on addr
+// ("host:port", port 0 for ephemeral).
+func (c *Container) AttachTCP(addr string, opts ...transport.TCPOption) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.tr != nil {
+		return ErrAlreadyBound
+	}
+	tr, err := transport.ListenTCP(addr, c.handleInbound, opts...)
+	if err != nil {
+		return err
+	}
+	c.tr = tr
+	return nil
+}
+
+// Addr returns the container's transport address ("" before attach).
+func (c *Container) Addr() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.tr == nil {
+		return ""
+	}
+	return c.tr.Addr()
+}
+
+// SetLoadFunc installs the function Load consults; grids set it to expose
+// queue depth or task backlog as the load fraction reported to the
+// directory. Passing nil restores the default (always 0).
+func (c *Container) SetLoadFunc(f func() float64) {
+	if f == nil {
+		c.loadFn.Store(nil)
+		return
+	}
+	c.loadFn.Store(&f)
+}
+
+// Load returns the container's current load fraction in [0,1].
+func (c *Container) Load() float64 {
+	if p := c.loadFn.Load(); p != nil {
+		l := (*p)()
+		if l < 0 {
+			return 0
+		}
+		if l > 1 {
+			return 1
+		}
+		return l
+	}
+	return 0
+}
+
+// Registration builds the directory entry this container registers with
+// the grid root (paper Figure 4), listing the given services.
+func (c *Container) Registration(services []directory.ServiceDesc) directory.Registration {
+	return directory.Registration{
+		Container: c.cfg.Name,
+		Addr:      c.Addr(),
+		Profile:   c.cfg.Profile,
+		Services:  services,
+		Load:      c.Load(),
+	}
+}
+
+// SpawnAgent creates and registers an agent under the container's
+// platform name. If the container is running, the agent starts at once.
+func (c *Container) SpawnAgent(local string, opts ...agent.Option) (*agent.Agent, error) {
+	id := acl.NewAID(local, c.cfg.Platform)
+	a := agent.New(id, c.routeFrom(id), opts...)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.agents[local]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrDupAgent, local)
+	}
+	c.agents[local] = a
+	if c.running {
+		c.startAgentLocked(a, local)
+	}
+	return a, nil
+}
+
+// AdoptAgent registers an externally constructed agent (used by the
+// mobility package when an agent migrates in). The agent must have been
+// built with the container's Route as its SendFunc.
+func (c *Container) AdoptAgent(local string, a *agent.Agent) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.agents[local]; dup {
+		return fmt.Errorf("%w: %q", ErrDupAgent, local)
+	}
+	c.agents[local] = a
+	if c.running {
+		c.startAgentLocked(a, local)
+	}
+	return nil
+}
+
+// startAgentLocked launches an agent's Run loop. Caller holds c.mu.
+func (c *Container) startAgentLocked(a *agent.Agent, local string) {
+	ctx, cancel := context.WithCancel(c.runCtx)
+	c.cancels[local] = cancel
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		if err := a.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+			c.logErr(fmt.Errorf("agent %s: %w", local, err))
+		}
+	}()
+}
+
+// Agent returns a hosted agent by local name.
+func (c *Container) Agent(local string) (*agent.Agent, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a, ok := c.agents[local]
+	return a, ok
+}
+
+// KillAgent stops and removes an agent.
+func (c *Container) KillAgent(local string) error {
+	c.mu.Lock()
+	_, ok := c.agents[local]
+	cancel := c.cancels[local]
+	delete(c.agents, local)
+	delete(c.cancels, local)
+	c.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNoAgent, local)
+	}
+	if cancel != nil {
+		cancel()
+	}
+	return nil
+}
+
+// AgentNames lists hosted agents, sorted.
+func (c *Container) AgentNames() []string {
+	c.mu.Lock()
+	out := make([]string, 0, len(c.agents))
+	for name := range c.agents {
+		out = append(out, name)
+	}
+	c.mu.Unlock()
+	sort.Strings(out)
+	return out
+}
+
+// Start launches every hosted agent and blocks new inbound routing on
+// ctx. It returns immediately; Stop (or cancelling ctx) shuts down.
+func (c *Container) Start(ctx context.Context) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.tr == nil {
+		return ErrNotAttached
+	}
+	if c.running {
+		return nil
+	}
+	c.running = true
+	c.runCtx = ctx
+	for local, a := range c.agents {
+		c.startAgentLocked(a, local)
+	}
+	return nil
+}
+
+// Stop terminates all agents and closes the transport.
+func (c *Container) Stop() error {
+	c.mu.Lock()
+	cancels := make([]context.CancelFunc, 0, len(c.cancels))
+	for _, cancel := range c.cancels {
+		cancels = append(cancels, cancel)
+	}
+	c.cancels = make(map[string]context.CancelFunc)
+	tr := c.tr
+	c.running = false
+	c.mu.Unlock()
+
+	for _, cancel := range cancels {
+		cancel()
+	}
+	var err error
+	if tr != nil {
+		err = tr.Close()
+	}
+	c.wg.Wait()
+	return err
+}
+
+// Stats returns message traffic counters.
+func (c *Container) Stats() Stats {
+	return Stats{
+		DeliveredLocal: c.deliveredLocal.Load(),
+		Forwarded:      c.forwarded.Load(),
+		Dropped:        c.dropped.Load(),
+	}
+}
+
+// routeFrom builds the SendFunc for an agent hosted here.
+func (c *Container) routeFrom(id acl.AID) agent.SendFunc {
+	return func(ctx context.Context, m *acl.Message) error {
+		if m.Sender.IsZero() {
+			m.Sender = id
+		}
+		return c.Route(ctx, m)
+	}
+}
+
+// Route delivers m to each receiver: local agents directly, remote ones
+// through the transport. It aggregates per-receiver failures.
+func (c *Container) Route(ctx context.Context, m *acl.Message) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	var errs []error
+	for _, rcv := range m.Receivers {
+		if err := c.routeOne(ctx, m, rcv); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", rcv.Name, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+func (c *Container) routeOne(ctx context.Context, m *acl.Message, rcv acl.AID) error {
+	// Local delivery when the receiver lives in this container.
+	if rcv.Platform() == c.cfg.Platform {
+		c.mu.Lock()
+		a, ok := c.agents[rcv.Local()]
+		c.mu.Unlock()
+		if ok {
+			if err := a.Deliver(m.Clone()); err != nil {
+				c.dropped.Add(1)
+				return err
+			}
+			c.deliveredLocal.Add(1)
+			return nil
+		}
+		// Same platform but a different container: fall through to
+		// remote routing via resolver.
+	}
+	addr, err := c.resolve(rcv)
+	if err != nil {
+		c.dropped.Add(1)
+		return err
+	}
+	c.mu.Lock()
+	tr := c.tr
+	c.mu.Unlock()
+	if tr == nil {
+		c.dropped.Add(1)
+		return ErrNotAttached
+	}
+	// Narrow the receiver list to this hop so the remote container does
+	// not re-forward to everyone.
+	out := m.Clone()
+	out.Receivers = []acl.AID{rcv}
+	if err := tr.Send(ctx, addr, out); err != nil {
+		c.dropped.Add(1)
+		return err
+	}
+	c.forwarded.Add(1)
+	return nil
+}
+
+func (c *Container) resolve(rcv acl.AID) (string, error) {
+	if len(rcv.Addresses) > 0 {
+		return rcv.Addresses[0], nil
+	}
+	if c.cfg.Resolver != nil {
+		return c.cfg.Resolver(rcv)
+	}
+	return "", fmt.Errorf("%w: %s has no address and no resolver is set", ErrNoRoute, rcv.Name)
+}
+
+// handleInbound dispatches a message arriving on the transport to the
+// addressed local agents.
+func (c *Container) handleInbound(m *acl.Message) {
+	for _, rcv := range m.Receivers {
+		if rcv.Platform() != c.cfg.Platform {
+			continue
+		}
+		c.mu.Lock()
+		a, ok := c.agents[rcv.Local()]
+		c.mu.Unlock()
+		if !ok {
+			c.dropped.Add(1)
+			c.logErr(fmt.Errorf("%w: inbound for unknown agent %s", ErrNoAgent, rcv.Name))
+			continue
+		}
+		if err := a.Deliver(m.Clone()); err != nil {
+			c.dropped.Add(1)
+			c.logErr(fmt.Errorf("deliver to %s: %w", rcv.Name, err))
+			continue
+		}
+		c.deliveredLocal.Add(1)
+	}
+}
+
+func (c *Container) logErr(err error) {
+	if c.cfg.ErrorLog != nil {
+		c.cfg.ErrorLog(err)
+	}
+}

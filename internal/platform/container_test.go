@@ -1,0 +1,408 @@
+package platform
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"agentgrid/internal/acl"
+	"agentgrid/internal/agent"
+	"agentgrid/internal/directory"
+	"agentgrid/internal/transport"
+)
+
+var testProfile = directory.ResourceProfile{CPUCapacity: 10, NetCapacity: 10, DiscCapacity: 10}
+
+func newTestContainer(t *testing.T, n *transport.InProcNetwork, name, platform string) *Container {
+	t.Helper()
+	c, err := New(Config{Name: name, Platform: platform, Profile: testProfile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AttachInProc(n, "inproc://"+name); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Stop() })
+	return c
+}
+
+func startContainer(t *testing.T, c *Container) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	if err := c.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Platform: "p"}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := New(Config{Name: "c"}); err == nil {
+		t.Error("empty platform accepted")
+	}
+}
+
+func TestLocalDelivery(t *testing.T) {
+	n := transport.NewInProcNetwork()
+	c := newTestContainer(t, n, "c1", "site1")
+
+	got := make(chan *acl.Message, 1)
+	sender, err := c.SpawnAgent("sender")
+	if err != nil {
+		t.Fatal(err)
+	}
+	receiver, err := c.SpawnAgent("receiver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	receiver.HandleFunc(agent.Selector{}, func(_ context.Context, _ *agent.Agent, m *acl.Message) {
+		got <- m
+	})
+	startContainer(t, c)
+
+	err = sender.Send(context.Background(), &acl.Message{
+		Performative: acl.Inform,
+		Receivers:    []acl.AID{receiver.ID()},
+		Content:      []byte("local"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if string(m.Content) != "local" {
+			t.Fatalf("content = %q", m.Content)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("local message never delivered")
+	}
+	if s := c.Stats(); s.DeliveredLocal != 1 {
+		t.Fatalf("Stats = %+v", s)
+	}
+}
+
+func TestRemoteDeliveryViaAddresses(t *testing.T) {
+	n := transport.NewInProcNetwork()
+	c1 := newTestContainer(t, n, "c1", "site1")
+	c2 := newTestContainer(t, n, "c2", "site2")
+
+	sender, _ := c1.SpawnAgent("sender")
+	receiver, _ := c2.SpawnAgent("receiver")
+	got := make(chan *acl.Message, 1)
+	receiver.HandleFunc(agent.Selector{}, func(_ context.Context, _ *agent.Agent, m *acl.Message) {
+		got <- m
+	})
+	startContainer(t, c1)
+	startContainer(t, c2)
+
+	rcv := receiver.ID()
+	rcv.Addresses = []string{c2.Addr()}
+	err := sender.Send(context.Background(), &acl.Message{
+		Performative: acl.Inform,
+		Receivers:    []acl.AID{rcv},
+		Content:      []byte("remote"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if string(m.Content) != "remote" {
+			t.Fatalf("content = %q", m.Content)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("remote message never delivered")
+	}
+	if s := c1.Stats(); s.Forwarded != 1 {
+		t.Fatalf("c1 Stats = %+v", s)
+	}
+}
+
+func TestRemoteDeliveryViaResolver(t *testing.T) {
+	n := transport.NewInProcNetwork()
+	c2 := newTestContainer(t, n, "c2", "site2")
+	receiver, _ := c2.SpawnAgent("receiver")
+	got := make(chan struct{}, 1)
+	receiver.HandleFunc(agent.Selector{}, func(context.Context, *agent.Agent, *acl.Message) {
+		got <- struct{}{}
+	})
+	startContainer(t, c2)
+
+	c1, err := New(Config{
+		Name: "c1", Platform: "site1", Profile: testProfile,
+		Resolver: func(aid acl.AID) (string, error) {
+			if aid.Platform() == "site2" {
+				return c2.Addr(), nil
+			}
+			return "", fmt.Errorf("unknown platform %q", aid.Platform())
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.AttachInProc(n, "inproc://c1"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c1.Stop() })
+	sender, _ := c1.SpawnAgent("sender")
+	startContainer(t, c1)
+
+	err = sender.Send(context.Background(), &acl.Message{
+		Performative: acl.Inform,
+		Receivers:    []acl.AID{receiver.ID()}, // no explicit address
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("resolver-routed message never delivered")
+	}
+}
+
+func TestRouteNoRoute(t *testing.T) {
+	n := transport.NewInProcNetwork()
+	c := newTestContainer(t, n, "c1", "site1")
+	sender, _ := c.SpawnAgent("sender")
+	startContainer(t, c)
+	err := sender.Send(context.Background(), &acl.Message{
+		Performative: acl.Inform,
+		Receivers:    []acl.AID{acl.NewAID("ghost", "elsewhere")},
+	})
+	if !errors.Is(err, ErrNoRoute) {
+		t.Fatalf("Send = %v, want ErrNoRoute", err)
+	}
+	if s := c.Stats(); s.Dropped != 1 {
+		t.Fatalf("Stats = %+v", s)
+	}
+}
+
+func TestMulticastSplitsReceivers(t *testing.T) {
+	n := transport.NewInProcNetwork()
+	c1 := newTestContainer(t, n, "c1", "site1")
+	c2 := newTestContainer(t, n, "c2", "site2")
+	c3 := newTestContainer(t, n, "c3", "site3")
+
+	sender, _ := c1.SpawnAgent("sender")
+	got2 := make(chan *acl.Message, 1)
+	got3 := make(chan *acl.Message, 1)
+	r2, _ := c2.SpawnAgent("r2")
+	r2.HandleFunc(agent.Selector{}, func(_ context.Context, _ *agent.Agent, m *acl.Message) { got2 <- m })
+	r3, _ := c3.SpawnAgent("r3")
+	r3.HandleFunc(agent.Selector{}, func(_ context.Context, _ *agent.Agent, m *acl.Message) { got3 <- m })
+	for _, c := range []*Container{c1, c2, c3} {
+		startContainer(t, c)
+	}
+
+	a2 := r2.ID()
+	a2.Addresses = []string{c2.Addr()}
+	a3 := r3.ID()
+	a3.Addresses = []string{c3.Addr()}
+	err := sender.Send(context.Background(), &acl.Message{
+		Performative: acl.Inform,
+		Receivers:    []acl.AID{a2, a3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := <-got2
+	m3 := <-got3
+	// Each hop must see only itself as receiver (no re-forward storms).
+	if len(m2.Receivers) != 1 || m2.Receivers[0].Local() != "r2" {
+		t.Fatalf("r2 got receivers %v", m2.Receivers)
+	}
+	if len(m3.Receivers) != 1 || m3.Receivers[0].Local() != "r3" {
+		t.Fatalf("r3 got receivers %v", m3.Receivers)
+	}
+}
+
+func TestSpawnDuplicateAndKill(t *testing.T) {
+	n := transport.NewInProcNetwork()
+	c := newTestContainer(t, n, "c1", "site1")
+	if _, err := c.SpawnAgent("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.SpawnAgent("a"); !errors.Is(err, ErrDupAgent) {
+		t.Fatalf("dup spawn = %v", err)
+	}
+	if names := c.AgentNames(); len(names) != 1 || names[0] != "a" {
+		t.Fatalf("AgentNames = %v", names)
+	}
+	if _, ok := c.Agent("a"); !ok {
+		t.Fatal("Agent lookup failed")
+	}
+	if err := c.KillAgent("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.KillAgent("a"); !errors.Is(err, ErrNoAgent) {
+		t.Fatalf("double kill = %v", err)
+	}
+	if _, ok := c.Agent("a"); ok {
+		t.Fatal("killed agent still present")
+	}
+}
+
+func TestSpawnWhileRunning(t *testing.T) {
+	n := transport.NewInProcNetwork()
+	c := newTestContainer(t, n, "c1", "site1")
+	startContainer(t, c)
+	late, err := c.SpawnAgent("late")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan struct{}, 1)
+	late.HandleFunc(agent.Selector{}, func(context.Context, *agent.Agent, *acl.Message) {
+		got <- struct{}{}
+	})
+	err = c.Route(context.Background(), &acl.Message{
+		Performative: acl.Inform,
+		Sender:       acl.NewAID("x", "site1"),
+		Receivers:    []acl.AID{late.ID()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("late-spawned agent never ran")
+	}
+}
+
+func TestStartWithoutTransport(t *testing.T) {
+	c, _ := New(Config{Name: "c", Platform: "p", Profile: testProfile})
+	if err := c.Start(context.Background()); !errors.Is(err, ErrNotAttached) {
+		t.Fatalf("Start = %v", err)
+	}
+	if c.Addr() != "" {
+		t.Fatal("Addr before attach should be empty")
+	}
+}
+
+func TestDoubleAttach(t *testing.T) {
+	n := transport.NewInProcNetwork()
+	c := newTestContainer(t, n, "c1", "site1")
+	if err := c.AttachInProc(n, "inproc://other"); !errors.Is(err, ErrAlreadyBound) {
+		t.Fatalf("second attach = %v", err)
+	}
+}
+
+func TestLoadFuncClamped(t *testing.T) {
+	c, _ := New(Config{Name: "c", Platform: "p", Profile: testProfile})
+	if c.Load() != 0 {
+		t.Fatal("default load not 0")
+	}
+	c.SetLoadFunc(func() float64 { return 0.4 })
+	if c.Load() != 0.4 {
+		t.Fatal("load func ignored")
+	}
+	c.SetLoadFunc(func() float64 { return 7 })
+	if c.Load() != 1 {
+		t.Fatal("load not clamped high")
+	}
+	c.SetLoadFunc(func() float64 { return -3 })
+	if c.Load() != 0 {
+		t.Fatal("load not clamped low")
+	}
+	c.SetLoadFunc(nil)
+	if c.Load() != 0 {
+		t.Fatal("nil load func not restored to default")
+	}
+}
+
+func TestRegistration(t *testing.T) {
+	n := transport.NewInProcNetwork()
+	c := newTestContainer(t, n, "c1", "site1")
+	c.SetLoadFunc(func() float64 { return 0.25 })
+	reg := c.Registration([]directory.ServiceDesc{{Type: directory.ServiceAnalysis, Capabilities: []string{"cpu"}}})
+	if reg.Container != "c1" || reg.Addr != "inproc://c1" || reg.Load != 0.25 {
+		t.Fatalf("Registration = %+v", reg)
+	}
+	if !reg.HasCapability(directory.ServiceAnalysis, "cpu") {
+		t.Fatal("services not carried")
+	}
+}
+
+func TestTCPContainers(t *testing.T) {
+	c1, err := New(Config{Name: "c1", Platform: "site1", Profile: testProfile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.AttachTCP("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Stop()
+	c2, err := New(Config{Name: "c2", Platform: "site2", Profile: testProfile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.AttachTCP("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Stop()
+
+	sender, _ := c1.SpawnAgent("sender")
+	receiver, _ := c2.SpawnAgent("receiver")
+	got := make(chan *acl.Message, 1)
+	receiver.HandleFunc(agent.Selector{}, func(_ context.Context, _ *agent.Agent, m *acl.Message) { got <- m })
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c1.Start(ctx)
+	c2.Start(ctx)
+
+	rcv := receiver.ID()
+	rcv.Addresses = []string{c2.Addr()}
+	if err := sender.Send(ctx, &acl.Message{
+		Performative: acl.Inform,
+		Receivers:    []acl.AID{rcv},
+		Content:      []byte("over tcp"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-got:
+		if string(m.Content) != "over tcp" {
+			t.Fatalf("content = %q", m.Content)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("tcp message never delivered")
+	}
+}
+
+func TestInboundUnknownAgentDropped(t *testing.T) {
+	n := transport.NewInProcNetwork()
+	var errCount int
+	c, _ := New(Config{
+		Name: "c1", Platform: "site1", Profile: testProfile,
+		ErrorLog: func(error) { errCount++ },
+	})
+	c.AttachInProc(n, "inproc://c1")
+	t.Cleanup(func() { c.Stop() })
+	startContainer(t, c)
+
+	other := newTestContainer(t, n, "c2", "site2")
+	s, _ := other.SpawnAgent("s")
+	startContainer(t, other)
+
+	rcv := acl.NewAID("nobody", "site1", "inproc://c1")
+	if err := s.Send(context.Background(), &acl.Message{
+		Performative: acl.Inform,
+		Receivers:    []acl.AID{rcv},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for c.Stats().Dropped == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("drop never counted")
+		case <-time.After(time.Millisecond):
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package report
+
+import (
+	"testing"
+
+	"agentgrid/internal/rules"
+)
+
+func TestDuplicateAlertsSuppressed(t *testing.T) {
+	ig := newIG(t, nil)
+	a := rules.Alert{Rule: "site-hot", Site: "s1", Step: 7, Message: "m", Severity: rules.SeverityCritical}
+	// The same site-level conclusion arrives once per collector batch.
+	ig.AddAlerts([]rules.Alert{a})
+	ig.AddAlerts([]rules.Alert{a})
+	ig.AddAlerts([]rules.Alert{a, a})
+
+	if got := ig.Alerts(""); len(got) != 1 {
+		t.Fatalf("retained %d, want 1", len(got))
+	}
+	stats := ig.Stats()
+	if stats.Alerts != 1 || stats.Duplicates != 3 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// Subscribers saw it once.
+	sub := ig.Subscribe(8)
+	ig.AddAlerts([]rules.Alert{a})
+	select {
+	case leaked := <-sub:
+		t.Fatalf("duplicate reached subscriber: %+v", leaked)
+	default:
+	}
+}
+
+func TestDistinctStepsNotSuppressed(t *testing.T) {
+	ig := newIG(t, nil)
+	a := rules.Alert{Rule: "site-hot", Site: "s1", Step: 7, Message: "m"}
+	b := a
+	b.Step = 8 // fresh data, fresh incident
+	ig.AddAlerts([]rules.Alert{a})
+	ig.AddAlerts([]rules.Alert{b})
+	if got := ig.Alerts(""); len(got) != 2 {
+		t.Fatalf("retained %d, want 2", len(got))
+	}
+}
+
+func TestDedupMemoryBounded(t *testing.T) {
+	ig := newIG(t, func(c *Config) { c.MaxAlerts = 4 })
+	for i := 0; i < 100; i++ {
+		ig.AddAlerts([]rules.Alert{{Rule: "r", Site: "s", Step: i, Message: "m"}})
+	}
+	ig.mu.Lock()
+	seen := len(ig.seen)
+	ig.mu.Unlock()
+	if seen > 4*4+1 {
+		t.Fatalf("dedup memory unbounded: %d entries", seen)
+	}
+	if got := ig.Alerts(""); len(got) != 4 {
+		t.Fatalf("history = %d", len(got))
+	}
+}

@@ -1,0 +1,75 @@
+package report
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestHTTPGoals(t *testing.T) {
+	var added []string
+	srv, ig := startHTTP(t, func(c *Config) {
+		c.Goals = func(_ context.Context, spec string) error {
+			if strings.Contains(spec, "reject-me") {
+				return fmt.Errorf("bad goal")
+			}
+			added = append(added, spec)
+			return nil
+		}
+	})
+	base := "http://" + srv.Addr()
+
+	resp, err := http.Post(base+"/goals", "text/plain", strings.NewReader(
+		"goal g1 site1 h1 host addr1 5s\n\ngoal g2 site1 h2 host addr2 5s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "added 2 goals") {
+		t.Fatalf("goals post = %d %q", resp.StatusCode, body)
+	}
+	if len(added) != 2 || ig.Stats().GoalsAdded != 2 {
+		t.Fatalf("added = %v, stats = %+v", added, ig.Stats())
+	}
+
+	// A failing goal turns into 400.
+	resp, err = http.Post(base+"/goals", "text/plain", strings.NewReader("goal reject-me"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad goal = %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPGoalsNotWired(t *testing.T) {
+	srv, _ := startHTTP(t, nil)
+	resp, err := http.Post("http://"+srv.Addr()+"/goals", "text/plain", strings.NewReader("goal x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("unwired goals = %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPGoalsTooLarge(t *testing.T) {
+	srv, _ := startHTTP(t, func(c *Config) {
+		c.Goals = func(context.Context, string) error { return nil }
+	})
+	huge := strings.Repeat("goal g s d c a 5s\n", 70000) // > 1 MiB
+	resp, err := http.Post("http://"+srv.Addr()+"/goals", "text/plain", strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("huge goals = %d", resp.StatusCode)
+	}
+}

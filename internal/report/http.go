@@ -1,0 +1,221 @@
+package report
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"agentgrid/internal/rules"
+)
+
+// Server exposes the interface grid over HTTP — one of the paper's
+// multi-protocol user channels (HTML pages, XML/HTTP). Endpoints:
+//
+//	GET /site/{site}?format=text|html|xml|json   site report
+//	GET /device/{site}/{device}                  device report (JSON)
+//	GET /alerts?min=warning                      alert history (JSON)
+//	POST /rules                                  learn rules (DSL body)
+//	GET /healthz                                 liveness
+type Server struct {
+	ig   *Interface
+	http *http.Server
+	ln   net.Listener
+	now  func() time.Time
+}
+
+// NewServer starts serving the interface grid on addr ("host:port",
+// port 0 for ephemeral).
+func NewServer(ig *Interface, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("report: listen: %w", err)
+	}
+	s := &Server{ig: ig, ln: ln, now: time.Now}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /site/{site}", s.handleSite)
+	mux.HandleFunc("GET /device/{site}/{device}", s.handleDevice)
+	mux.HandleFunc("GET /alerts", s.handleAlerts)
+	mux.HandleFunc("POST /rules", s.handleRules)
+	mux.HandleFunc("POST /goals", s.handleGoals)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("ok"))
+	})
+	mux.HandleFunc("GET /stats", s.handleStats)
+	s.http = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go s.http.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	return s.http.Shutdown(ctx)
+}
+
+func (s *Server) handleSite(w http.ResponseWriter, r *http.Request) {
+	site := r.PathValue("site")
+	format := Format(r.URL.Query().Get("format"))
+	if format == "" {
+		format = FormatText
+	}
+	rep, err := s.ig.BuildSiteReport(site, s.now().UTC())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	body, err := Render(rep, format)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	switch format {
+	case FormatHTML:
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	case FormatXML:
+		w.Header().Set("Content-Type", "application/xml")
+	case FormatJSON:
+		w.Header().Set("Content-Type", "application/json")
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	}
+	w.Write(body)
+}
+
+func (s *Server) handleDevice(w http.ResponseWriter, r *http.Request) {
+	rep, err := s.ig.BuildDeviceReport(r.PathValue("site"), r.PathValue("device"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	body, _ := Render(&SiteReport{Site: rep.Site, Devices: []DeviceReport{*rep}}, FormatJSON)
+	w.Write(body)
+}
+
+// handleStats serves the interface grid's own counters plus, when
+// wired, the grid-wide snapshot from Config.StatsFunc.
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.ig.mu.Lock()
+	igStats := s.ig.stats
+	s.ig.mu.Unlock()
+	out := struct {
+		Interface Stats `json:"interface"`
+		Grid      any   `json:"grid,omitempty"`
+	}{Interface: igStats}
+	if s.ig.cfg.StatsFunc != nil {
+		out.Grid = s.ig.cfg.StatsFunc()
+	}
+	body, err := jsonMarshalIndent(out)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	min := rules.Severity(r.URL.Query().Get("min"))
+	alerts := s.ig.Alerts(min)
+	w.Header().Set("Content-Type", "application/json")
+	body, err := renderAlertsJSON(alerts)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Write(body)
+}
+
+func renderAlertsJSON(alerts []rules.Alert) ([]byte, error) {
+	rep := struct {
+		Count  int           `json:"count"`
+		Alerts []rules.Alert `json:"alerts"`
+	}{Count: len(alerts), Alerts: alerts}
+	return jsonMarshalIndent(rep)
+}
+
+// handleGoals accepts one goal spec per line in the "goal ..." wire
+// format and forwards each to the grid's goal sink.
+func (s *Server) handleGoals(w http.ResponseWriter, r *http.Request) {
+	if s.ig.cfg.Goals == nil {
+		http.Error(w, "goal feedback not wired", http.StatusNotImplemented)
+		return
+	}
+	body, err := readBounded(r, 1<<20)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+		return
+	}
+	added := 0
+	for _, line := range splitLines(string(body)) {
+		if line == "" {
+			continue
+		}
+		if err := s.ig.cfg.Goals(r.Context(), line); err != nil {
+			http.Error(w, fmt.Sprintf("line %q: %v", line, err), http.StatusBadRequest)
+			return
+		}
+		added++
+	}
+	s.ig.mu.Lock()
+	s.ig.stats.GoalsAdded += uint64(added)
+	s.ig.mu.Unlock()
+	fmt.Fprintf(w, "added %d goals\n", added)
+}
+
+func splitLines(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == '\n' || r == '\r' {
+			out = append(out, cur)
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	return append(out, cur)
+}
+
+func readBounded(r *http.Request, limit int) ([]byte, error) {
+	body := make([]byte, 0, 4096)
+	buf := make([]byte, 4096)
+	for {
+		n, err := r.Body.Read(buf)
+		body = append(body, buf[:n]...)
+		if err != nil {
+			return body, nil
+		}
+		if len(body) > limit {
+			return nil, fmt.Errorf("request body exceeds %d bytes", limit)
+		}
+	}
+}
+
+func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
+	if s.ig.cfg.Rules == nil {
+		http.Error(w, "rule learning not wired", http.StatusNotImplemented)
+		return
+	}
+	body, err := readBounded(r, 1<<20)
+	if err != nil {
+		http.Error(w, "rule source too large", http.StatusRequestEntityTooLarge)
+		return
+	}
+	added, err := s.ig.cfg.Rules.AddSource(string(body))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.ig.mu.Lock()
+	s.ig.stats.RulesLearned += uint64(len(added))
+	s.ig.mu.Unlock()
+	fmt.Fprintf(w, "learned %d rules\n", len(added))
+}

@@ -1,0 +1,183 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func startHTTP(t *testing.T, mod func(*Config)) (*Server, *Interface) {
+	t.Helper()
+	ig := newIG(t, mod)
+	srv, err := NewServer(ig, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, ig
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestHTTPHealthz(t *testing.T) {
+	srv, _ := startHTTP(t, nil)
+	code, body := get(t, "http://"+srv.Addr()+"/healthz")
+	if code != 200 || body != "ok" {
+		t.Fatalf("healthz = %d %q", code, body)
+	}
+}
+
+func TestHTTPSiteReportFormats(t *testing.T) {
+	srv, ig := startHTTP(t, nil)
+	ig.AddAlerts(sampleAlerts())
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/site/site1")
+	if code != 200 || !strings.Contains(body, "Site report: site1") {
+		t.Fatalf("text = %d %q", code, body)
+	}
+	code, body = get(t, base+"/site/site1?format=html")
+	if code != 200 || !strings.Contains(body, "<html>") {
+		t.Fatalf("html = %d", code)
+	}
+	code, body = get(t, base+"/site/site1?format=xml")
+	if code != 200 || !strings.Contains(body, "<site-report") {
+		t.Fatalf("xml = %d", code)
+	}
+	code, body = get(t, base+"/site/site1?format=json")
+	if code != 200 || !strings.Contains(body, `"site": "site1"`) {
+		t.Fatalf("json = %d", code)
+	}
+	code, _ = get(t, base+"/site/site1?format=pdf")
+	if code != 400 {
+		t.Fatalf("bad format = %d", code)
+	}
+	code, _ = get(t, base+"/site/nowhere")
+	if code != 404 {
+		t.Fatalf("missing site = %d", code)
+	}
+}
+
+func TestHTTPDeviceReport(t *testing.T) {
+	srv, _ := startHTTP(t, nil)
+	base := "http://" + srv.Addr()
+	code, body := get(t, base+"/device/site1/h1")
+	if code != 200 || !strings.Contains(body, `"device": "h1"`) {
+		t.Fatalf("device = %d %q", code, body)
+	}
+	code, _ = get(t, base+"/device/site1/ghost")
+	if code != 404 {
+		t.Fatalf("ghost device = %d", code)
+	}
+}
+
+func TestHTTPAlerts(t *testing.T) {
+	srv, ig := startHTTP(t, nil)
+	ig.AddAlerts(sampleAlerts())
+	base := "http://" + srv.Addr()
+	code, body := get(t, base+"/alerts")
+	if code != 200 || !strings.Contains(body, `"count": 3`) {
+		t.Fatalf("alerts = %d %q", code, body)
+	}
+	code, body = get(t, base+"/alerts?min=critical")
+	if code != 200 || !strings.Contains(body, `"count": 1`) {
+		t.Fatalf("filtered alerts = %d %q", code, body)
+	}
+}
+
+func TestHTTPLearnRules(t *testing.T) {
+	sink := &fakeRuleSink{}
+	srv, ig := startHTTP(t, func(c *Config) { c.Rules = sink })
+	base := "http://" + srv.Addr()
+
+	resp, err := http.Post(base+"/rules", "text/plain",
+		strings.NewReader(`rule "via-http" { when latest(m) > 1 then alert "m" }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "learned 1 rules") {
+		t.Fatalf("post rules = %d %q", resp.StatusCode, body)
+	}
+	if ig.Stats().RulesLearned != 1 {
+		t.Fatalf("stats = %+v", ig.Stats())
+	}
+
+	// Parse errors surface as 400.
+	sink.err = fmt.Errorf("bad rule")
+	resp, err = http.Post(base+"/rules", "text/plain", strings.NewReader("rule"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad rules = %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPLearnRulesNotWired(t *testing.T) {
+	srv, _ := startHTTP(t, nil)
+	resp, err := http.Post("http://"+srv.Addr()+"/rules", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("unwired rules = %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPServerClose(t *testing.T) {
+	ig := newIG(t, nil)
+	srv, err := NewServer(ig, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cli := http.Client{Timeout: time.Second}
+	if _, err := cli.Get("http://" + srv.Addr() + "/healthz"); err == nil {
+		t.Fatal("server still serving after Close")
+	}
+}
+
+func TestHTTPStats(t *testing.T) {
+	srv, ig := startHTTP(t, func(c *Config) {
+		c.StatsFunc = func() any {
+			return map[string]int{"containers": 7}
+		}
+	})
+	ig.AddAlerts(sampleAlerts())
+	code, body := get(t, "http://"+srv.Addr()+"/stats")
+	if code != 200 {
+		t.Fatalf("stats = %d", code)
+	}
+	for _, want := range []string{`"interface"`, `"Alerts": 3`, `"containers": 7`} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("stats missing %q:\n%s", want, body)
+		}
+	}
+	// Without a StatsFunc the grid section is omitted.
+	srv2, _ := startHTTP(t, nil)
+	code, body = get(t, "http://"+srv2.Addr()+"/stats")
+	if code != 200 || strings.Contains(body, `"grid"`) {
+		t.Fatalf("bare stats = %d %q", code, body)
+	}
+}

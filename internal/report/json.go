@@ -1,0 +1,9 @@
+package report
+
+import "encoding/json"
+
+// jsonMarshalIndent is a tiny indirection so HTTP handlers share one
+// encoding style.
+func jsonMarshalIndent(v any) ([]byte, error) {
+	return json.MarshalIndent(v, "", "  ")
+}

@@ -1,0 +1,459 @@
+// Package report implements the interface agent grid (IG, §3.4): the
+// communication channel between the management grid and the human
+// manager. It receives alert bundles from the processor grid, assembles
+// management reports in several formats (text, HTML, XML — the paper's
+// "flexible and multi-protocol" interface), fans alerts out to
+// subscribers, serves everything over HTTP, and carries user feedback
+// (new rules, new goals) back into the grid.
+package report
+
+import (
+	"context"
+	"encoding/json"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"html"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"agentgrid/internal/acl"
+	"agentgrid/internal/agent"
+	"agentgrid/internal/analyze"
+	"agentgrid/internal/rules"
+	"agentgrid/internal/store"
+)
+
+// Format selects a report rendering.
+type Format string
+
+// Supported report formats.
+const (
+	FormatText Format = "text"
+	FormatHTML Format = "html"
+	FormatXML  Format = "xml"
+	FormatJSON Format = "json"
+)
+
+// RuleSink accepts learned rules (worker rule bases implement this via
+// a small adapter in core).
+type RuleSink interface {
+	AddSource(src string) ([]string, error)
+}
+
+// GoalSink accepts new collection goals, as "goal ..." request strings
+// understood by collectors.
+type GoalSink func(ctx context.Context, goalSpec string) error
+
+// Config configures the interface grid agent.
+type Config struct {
+	// Store backs report queries.
+	Store analyze.StoreReader
+	// Rules, when set, receives rules learned from user feedback.
+	Rules RuleSink
+	// Goals, when set, receives new collection goals from feedback.
+	Goals GoalSink
+	// MaxAlerts bounds the retained alert history (default 1024).
+	MaxAlerts int
+	// StatsFunc, when set, supplies a grid-wide status snapshot served
+	// at GET /stats (any JSON-encodable value). Optional.
+	StatsFunc func() any
+	// ErrorLog receives processing errors. Optional.
+	ErrorLog func(error)
+}
+
+// Stats counts interface-grid activity.
+type Stats struct {
+	AlertBundles uint64
+	Alerts       uint64
+	Reports      uint64
+	RulesLearned uint64
+	GoalsAdded   uint64
+	Duplicates   uint64
+}
+
+// Interface is the IG agent.
+type Interface struct {
+	a   *agent.Agent
+	cfg Config
+
+	mu     sync.Mutex
+	alerts []rules.Alert
+	seen   map[string]bool // dedup keys of retained alerts
+	subs   []chan rules.Alert
+	prefs  map[string]int // report name -> request count (preference learning)
+	stats  Stats
+}
+
+// New wires interface-grid behaviour onto an agent.
+func New(a *agent.Agent, cfg Config) (*Interface, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("report: config needs a store")
+	}
+	if cfg.MaxAlerts <= 0 {
+		cfg.MaxAlerts = 1024
+	}
+	ig := &Interface{a: a, cfg: cfg, prefs: make(map[string]int)}
+	a.HandleFunc(agent.Selector{
+		Performative: acl.Inform,
+		Ontology:     acl.OntologyNetworkManagement,
+	}, ig.handleAlerts)
+	a.HandleFunc(agent.Selector{
+		Performative: acl.Request,
+		Ontology:     acl.OntologyGridManagement,
+	}, ig.handleFeedback)
+	return ig, nil
+}
+
+// Agent returns the underlying agent.
+func (ig *Interface) Agent() *agent.Agent { return ig.a }
+
+// Stats returns activity counters.
+func (ig *Interface) Stats() Stats {
+	ig.mu.Lock()
+	defer ig.mu.Unlock()
+	return ig.stats
+}
+
+// handleAlerts ingests an alert bundle from the processor grid.
+func (ig *Interface) handleAlerts(_ context.Context, a *agent.Agent, m *acl.Message) {
+	alerts, err := analyze.DecodeAlerts(m.Content)
+	if err != nil {
+		ig.logErr(fmt.Errorf("report: alerts from %s: %w", m.Sender, err))
+		return
+	}
+	ig.AddAlerts(alerts)
+}
+
+// AddAlerts records alerts and notifies subscribers. Exposed for
+// in-process pipelines (collector local alerts use it too).
+//
+// Alerts identical in (rule, site, device, step) are suppressed: the
+// same data point analysed twice — e.g. a site-level conclusion reached
+// once per collector batch — is one incident, not several.
+func (ig *Interface) AddAlerts(alerts []rules.Alert) {
+	if len(alerts) == 0 {
+		return
+	}
+	ig.mu.Lock()
+	fresh := alerts[:0]
+	for _, a := range alerts {
+		key := alertKey(a)
+		if ig.seen == nil {
+			ig.seen = make(map[string]bool)
+		}
+		if ig.seen[key] {
+			ig.stats.Duplicates++
+			continue
+		}
+		ig.seen[key] = true
+		fresh = append(fresh, a)
+	}
+	if len(fresh) == 0 {
+		ig.mu.Unlock()
+		return
+	}
+	ig.alerts = append(ig.alerts, fresh...)
+	if over := len(ig.alerts) - ig.cfg.MaxAlerts; over > 0 {
+		ig.alerts = append([]rules.Alert(nil), ig.alerts[over:]...)
+	}
+	// Bound the dedup memory alongside the history.
+	if len(ig.seen) > 4*ig.cfg.MaxAlerts {
+		ig.seen = make(map[string]bool, len(ig.alerts))
+		for _, a := range ig.alerts {
+			ig.seen[alertKey(a)] = true
+		}
+	}
+	subs := append([]chan rules.Alert(nil), ig.subs...)
+	ig.stats.AlertBundles++
+	ig.stats.Alerts += uint64(len(fresh))
+	ig.mu.Unlock()
+	for _, sub := range subs {
+		for _, alert := range fresh {
+			select {
+			case sub <- alert:
+			default: // slow subscriber loses alerts rather than blocking the grid
+			}
+		}
+	}
+}
+
+func alertKey(a rules.Alert) string {
+	return fmt.Sprintf("%s|%s|%s|%d|%s", a.Rule, a.Site, a.Device, a.Step, a.Message)
+}
+
+// Alerts returns the retained alert history, oldest first, optionally
+// filtered by minimum severity.
+func (ig *Interface) Alerts(minSeverity rules.Severity) []rules.Alert {
+	rank := severityRank(minSeverity)
+	ig.mu.Lock()
+	defer ig.mu.Unlock()
+	out := make([]rules.Alert, 0, len(ig.alerts))
+	for _, a := range ig.alerts {
+		if severityRank(a.Severity) >= rank {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func severityRank(s rules.Severity) int {
+	switch s {
+	case rules.SeverityCritical:
+		return 2
+	case rules.SeverityWarning:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Subscribe returns a channel receiving future alerts (the "alerts to
+// the user" stream). Close it through Unsubscribe.
+func (ig *Interface) Subscribe(buffer int) chan rules.Alert {
+	ch := make(chan rules.Alert, buffer)
+	ig.mu.Lock()
+	ig.subs = append(ig.subs, ch)
+	ig.mu.Unlock()
+	return ch
+}
+
+// Unsubscribe removes and closes a subscription channel.
+func (ig *Interface) Unsubscribe(ch chan rules.Alert) {
+	ig.mu.Lock()
+	for i, sub := range ig.subs {
+		if sub == ch {
+			ig.subs = append(ig.subs[:i], ig.subs[i+1:]...)
+			close(ch)
+			break
+		}
+	}
+	ig.mu.Unlock()
+}
+
+// handleFeedback processes user feedback requests: learning rules and
+// adding goals through the grid (§3.4: "defining new rules and goals").
+func (ig *Interface) handleFeedback(ctx context.Context, a *agent.Agent, m *acl.Message) {
+	content := string(m.Content)
+	switch {
+	case strings.HasPrefix(content, "learn-rules\n"):
+		src := strings.TrimPrefix(content, "learn-rules\n")
+		if ig.cfg.Rules == nil {
+			a.Send(ctx, m.Reply(a.ID(), acl.Refuse))
+			return
+		}
+		added, err := ig.cfg.Rules.AddSource(src)
+		if err != nil {
+			reply := m.Reply(a.ID(), acl.Refuse)
+			reply.Content = []byte(err.Error())
+			a.Send(ctx, reply)
+			return
+		}
+		ig.mu.Lock()
+		ig.stats.RulesLearned += uint64(len(added))
+		ig.mu.Unlock()
+		reply := m.Reply(a.ID(), acl.Agree)
+		reply.Content = []byte(strings.Join(added, ","))
+		a.Send(ctx, reply)
+	case strings.HasPrefix(content, "goal "):
+		if ig.cfg.Goals == nil {
+			a.Send(ctx, m.Reply(a.ID(), acl.Refuse))
+			return
+		}
+		if err := ig.cfg.Goals(ctx, content); err != nil {
+			reply := m.Reply(a.ID(), acl.Refuse)
+			reply.Content = []byte(err.Error())
+			a.Send(ctx, reply)
+			return
+		}
+		ig.mu.Lock()
+		ig.stats.GoalsAdded++
+		ig.mu.Unlock()
+		a.Send(ctx, m.Reply(a.ID(), acl.Agree))
+	default:
+		a.Send(ctx, m.Reply(a.ID(), acl.NotUnderstood))
+	}
+}
+
+// Preferences returns how often each report was requested, the signal
+// the paper's IG uses to customize itself to the user.
+func (ig *Interface) Preferences() map[string]int {
+	ig.mu.Lock()
+	defer ig.mu.Unlock()
+	out := make(map[string]int, len(ig.prefs))
+	for k, v := range ig.prefs {
+		out[k] = v
+	}
+	return out
+}
+
+// ---- Reports ----
+
+// DeviceReport summarizes one device's current state.
+type DeviceReport struct {
+	Site    string         `json:"site" xml:"site,attr"`
+	Device  string         `json:"device" xml:"device,attr"`
+	Metrics []MetricStatus `json:"metrics" xml:"metric"`
+}
+
+// MetricStatus is one metric's latest reading and short-window summary.
+type MetricStatus struct {
+	Metric string  `json:"metric" xml:"name,attr"`
+	Latest float64 `json:"latest" xml:"latest,attr"`
+	Avg    float64 `json:"avg" xml:"avg,attr"`
+	Min    float64 `json:"min" xml:"min,attr"`
+	Max    float64 `json:"max" xml:"max,attr"`
+	Step   int     `json:"step" xml:"step,attr"`
+}
+
+// SiteReport aggregates devices and recent alerts for one site.
+type SiteReport struct {
+	XMLName xml.Name       `json:"-" xml:"site-report"`
+	Site    string         `json:"site" xml:"site,attr"`
+	Time    time.Time      `json:"time" xml:"time,attr"`
+	Devices []DeviceReport `json:"devices" xml:"device"`
+	Alerts  []rules.Alert  `json:"alerts" xml:"-"`
+}
+
+// BuildDeviceReport assembles a device report from the store.
+func (ig *Interface) BuildDeviceReport(site, device string) (*DeviceReport, error) {
+	ig.notePreference("device/" + site + "/" + device)
+	keys := ig.cfg.Store.SeriesForDevice(site, device)
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("report: no data for %s/%s", site, device)
+	}
+	rep := &DeviceReport{Site: site, Device: device}
+	for _, key := range keys {
+		_, _, metric, err := store.ParseKey(key)
+		if err != nil {
+			continue
+		}
+		pts := ig.cfg.Store.Window(key, 10)
+		if len(pts) == 0 {
+			continue
+		}
+		ms := MetricStatus{Metric: metric}
+		ms.Latest = pts[len(pts)-1].Value
+		ms.Step = pts[len(pts)-1].Step
+		ms.Avg, _ = store.Avg(pts)
+		ms.Min, _ = store.Min(pts)
+		ms.Max, _ = store.Max(pts)
+		rep.Metrics = append(rep.Metrics, ms)
+	}
+	sort.Slice(rep.Metrics, func(i, j int) bool { return rep.Metrics[i].Metric < rep.Metrics[j].Metric })
+	ig.mu.Lock()
+	ig.stats.Reports++
+	ig.mu.Unlock()
+	return rep, nil
+}
+
+// BuildSiteReport assembles a site report with every known device.
+func (ig *Interface) BuildSiteReport(site string, now time.Time) (*SiteReport, error) {
+	ig.notePreference("site/" + site)
+	rep := &SiteReport{Site: site, Time: now}
+	// Devices are discoverable via the store's device index; the reader
+	// interface exposes SeriesForDevice only, so walk via alerts +
+	// series-for-metric is insufficient — require the full store for
+	// site reports.
+	full, ok := ig.cfg.Store.(*store.Store)
+	if !ok {
+		return nil, errors.New("report: site reports need the full store")
+	}
+	prefix := site + "/"
+	for _, dev := range full.Devices() {
+		if !strings.HasPrefix(dev, prefix) {
+			continue
+		}
+		device := strings.TrimPrefix(dev, prefix)
+		dr, err := ig.BuildDeviceReport(site, device)
+		if err != nil {
+			continue
+		}
+		rep.Devices = append(rep.Devices, *dr)
+	}
+	if len(rep.Devices) == 0 {
+		return nil, fmt.Errorf("report: no devices for site %q", site)
+	}
+	for _, a := range ig.Alerts("") {
+		if a.Site == site {
+			rep.Alerts = append(rep.Alerts, a)
+		}
+	}
+	ig.mu.Lock()
+	ig.stats.Reports++
+	ig.mu.Unlock()
+	return rep, nil
+}
+
+func (ig *Interface) notePreference(name string) {
+	ig.mu.Lock()
+	ig.prefs[name]++
+	ig.mu.Unlock()
+}
+
+// Render serializes a site report in the requested format.
+func Render(rep *SiteReport, f Format) ([]byte, error) {
+	switch f {
+	case FormatJSON:
+		return json.MarshalIndent(rep, "", "  ")
+	case FormatXML:
+		return xml.MarshalIndent(rep, "", "  ")
+	case FormatText:
+		return []byte(renderText(rep)), nil
+	case FormatHTML:
+		return []byte(renderHTML(rep)), nil
+	default:
+		return nil, fmt.Errorf("report: unknown format %q", f)
+	}
+}
+
+func renderText(rep *SiteReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Site report: %s (%s)\n", rep.Site, rep.Time.Format(time.RFC3339))
+	for _, d := range rep.Devices {
+		fmt.Fprintf(&b, "\n  Device %s\n", d.Device)
+		for _, m := range d.Metrics {
+			fmt.Fprintf(&b, "    %-14s latest %10.2f  avg %10.2f  min %10.2f  max %10.2f\n",
+				m.Metric, m.Latest, m.Avg, m.Min, m.Max)
+		}
+	}
+	if len(rep.Alerts) > 0 {
+		fmt.Fprintf(&b, "\n  Alerts (%d):\n", len(rep.Alerts))
+		for _, a := range rep.Alerts {
+			fmt.Fprintf(&b, "    %s\n", a)
+		}
+	}
+	return b.String()
+}
+
+func renderHTML(rep *SiteReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "<html><head><title>Site %s</title></head><body>", html.EscapeString(rep.Site))
+	fmt.Fprintf(&b, "<h1>Site report: %s</h1>", html.EscapeString(rep.Site))
+	for _, d := range rep.Devices {
+		fmt.Fprintf(&b, "<h2>%s</h2><table border=\"1\"><tr><th>Metric</th><th>Latest</th><th>Avg</th><th>Min</th><th>Max</th></tr>",
+			html.EscapeString(d.Device))
+		for _, m := range d.Metrics {
+			fmt.Fprintf(&b, "<tr><td>%s</td><td>%.2f</td><td>%.2f</td><td>%.2f</td><td>%.2f</td></tr>",
+				html.EscapeString(m.Metric), m.Latest, m.Avg, m.Min, m.Max)
+		}
+		b.WriteString("</table>")
+	}
+	if len(rep.Alerts) > 0 {
+		b.WriteString("<h2>Alerts</h2><ul>")
+		for _, a := range rep.Alerts {
+			fmt.Fprintf(&b, "<li>%s</li>", html.EscapeString(a.String()))
+		}
+		b.WriteString("</ul>")
+	}
+	b.WriteString("</body></html>")
+	return b.String()
+}
+
+func (ig *Interface) logErr(err error) {
+	if ig.cfg.ErrorLog != nil {
+		ig.cfg.ErrorLog(err)
+	}
+}

@@ -1,0 +1,303 @@
+package report
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"agentgrid/internal/acl"
+	"agentgrid/internal/agent"
+	"agentgrid/internal/analyze"
+	"agentgrid/internal/obs"
+	"agentgrid/internal/rules"
+	"agentgrid/internal/store"
+)
+
+func seededStore(t *testing.T) *store.Store {
+	t.Helper()
+	st := store.New(64)
+	for step := 1; step <= 10; step++ {
+		for dev, base := range map[string]float64{"h1": 50, "h2": 20} {
+			for metric, off := range map[string]float64{"cpu.util": 0, "mem.free": 1000} {
+				err := st.Append(obs.Record{
+					Site: "site1", Device: dev, Metric: metric,
+					Value: base + off + float64(step),
+					Step:  step, Time: time.Unix(int64(step), 0).UTC(),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return st
+}
+
+func newIG(t *testing.T, mod func(*Config)) *Interface {
+	t.Helper()
+	cfg := Config{Store: seededStore(t)}
+	if mod != nil {
+		mod(&cfg)
+	}
+	a := agent.New(acl.NewAID("ig", "site1"), func(context.Context, *acl.Message) error { return nil })
+	ig, err := New(a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ig
+}
+
+func sampleAlerts() []rules.Alert {
+	return []rules.Alert{
+		{Rule: "r1", Severity: rules.SeverityInfo, Site: "site1", Device: "h1", Message: "fyi"},
+		{Rule: "r2", Severity: rules.SeverityWarning, Site: "site1", Device: "h2", Message: "warn"},
+		{Rule: "r3", Severity: rules.SeverityCritical, Site: "site2", Message: "bad"},
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	a := agent.New(acl.NewAID("ig", "s"), func(context.Context, *acl.Message) error { return nil })
+	if _, err := New(a, Config{}); err == nil {
+		t.Fatal("missing store accepted")
+	}
+}
+
+func TestAlertsHistoryAndFilter(t *testing.T) {
+	ig := newIG(t, nil)
+	ig.AddAlerts(sampleAlerts())
+	if got := ig.Alerts(""); len(got) != 3 {
+		t.Fatalf("all alerts = %d", len(got))
+	}
+	if got := ig.Alerts(rules.SeverityWarning); len(got) != 2 {
+		t.Fatalf("warning+ = %d", len(got))
+	}
+	if got := ig.Alerts(rules.SeverityCritical); len(got) != 1 || got[0].Rule != "r3" {
+		t.Fatalf("critical = %+v", got)
+	}
+	stats := ig.Stats()
+	if stats.AlertBundles != 1 || stats.Alerts != 3 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestAlertHistoryBounded(t *testing.T) {
+	ig := newIG(t, func(c *Config) { c.MaxAlerts = 5 })
+	for i := 0; i < 20; i++ {
+		ig.AddAlerts([]rules.Alert{{Rule: "r", Message: string(rune('a' + i))}})
+	}
+	got := ig.Alerts("")
+	if len(got) != 5 {
+		t.Fatalf("retained %d", len(got))
+	}
+	if got[4].Message != "t" { // last of 20: 'a'+19
+		t.Fatalf("kept wrong tail: %q", got[4].Message)
+	}
+}
+
+func TestSubscribeUnsubscribe(t *testing.T) {
+	ig := newIG(t, nil)
+	sub := ig.Subscribe(8)
+	ig.AddAlerts(sampleAlerts()[:2])
+	if a := <-sub; a.Rule != "r1" {
+		t.Fatalf("first = %+v", a)
+	}
+	if a := <-sub; a.Rule != "r2" {
+		t.Fatalf("second = %+v", a)
+	}
+	ig.Unsubscribe(sub)
+	if _, open := <-sub; open {
+		t.Fatal("channel not closed")
+	}
+	// Unsubscribing twice is harmless.
+	ig.Unsubscribe(sub)
+	ig.AddAlerts(sampleAlerts())
+}
+
+func TestSlowSubscriberDoesNotBlock(t *testing.T) {
+	ig := newIG(t, nil)
+	ig.Subscribe(1) // never drained
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ig.AddAlerts(sampleAlerts())
+		ig.AddAlerts(sampleAlerts())
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("AddAlerts blocked on slow subscriber")
+	}
+}
+
+func TestBuildDeviceReport(t *testing.T) {
+	ig := newIG(t, nil)
+	rep, err := ig.BuildDeviceReport("site1", "h1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Device != "h1" || len(rep.Metrics) != 2 {
+		t.Fatalf("report = %+v", rep)
+	}
+	cpu := rep.Metrics[0]
+	if cpu.Metric != "cpu.util" || cpu.Latest != 60 || cpu.Step != 10 {
+		t.Fatalf("cpu status = %+v", cpu)
+	}
+	if cpu.Min != 51 || cpu.Max != 60 || cpu.Avg != 55.5 {
+		t.Fatalf("cpu aggregates = %+v", cpu)
+	}
+	if _, err := ig.BuildDeviceReport("site1", "ghost"); err == nil {
+		t.Fatal("ghost device reported")
+	}
+}
+
+func TestBuildSiteReport(t *testing.T) {
+	ig := newIG(t, nil)
+	ig.AddAlerts(sampleAlerts())
+	rep, err := ig.BuildSiteReport("site1", time.Unix(1000, 0).UTC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Devices) != 2 {
+		t.Fatalf("devices = %d", len(rep.Devices))
+	}
+	if len(rep.Alerts) != 2 { // only site1 alerts
+		t.Fatalf("alerts = %+v", rep.Alerts)
+	}
+	if _, err := ig.BuildSiteReport("nowhere", time.Now()); err == nil {
+		t.Fatal("phantom site reported")
+	}
+	prefs := ig.Preferences()
+	if prefs["site/site1"] != 1 {
+		t.Fatalf("prefs = %+v", prefs)
+	}
+}
+
+func TestRenderFormats(t *testing.T) {
+	ig := newIG(t, nil)
+	ig.AddAlerts(sampleAlerts())
+	rep, err := ig.BuildSiteReport("site1", time.Unix(1000, 0).UTC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := Render(rep, FormatText)
+	if err != nil || !strings.Contains(string(text), "Device h1") || !strings.Contains(string(text), "cpu.util") {
+		t.Fatalf("text render: %v\n%s", err, text)
+	}
+	htmlOut, err := Render(rep, FormatHTML)
+	if err != nil || !strings.Contains(string(htmlOut), "<table") || !strings.Contains(string(htmlOut), "<h2>h1</h2>") {
+		t.Fatalf("html render: %v", err)
+	}
+	xmlOut, err := Render(rep, FormatXML)
+	if err != nil || !strings.Contains(string(xmlOut), "<site-report") {
+		t.Fatalf("xml render: %v\n%s", err, xmlOut)
+	}
+	jsonOut, err := Render(rep, FormatJSON)
+	if err != nil || !strings.Contains(string(jsonOut), `"site": "site1"`) {
+		t.Fatalf("json render: %v", err)
+	}
+	if _, err := Render(rep, Format("pdf")); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestHandleAlertsOverACL(t *testing.T) {
+	st := seededStore(t)
+	a := agent.New(acl.NewAID("ig", "site1"), func(context.Context, *acl.Message) error { return nil })
+	ig, err := New(a, Config{Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go a.Run(ctx)
+
+	content, _ := analyze.EncodeAlerts(sampleAlerts())
+	msg := &acl.Message{
+		Performative: acl.Inform,
+		Sender:       acl.NewAID("pg-root", "root"),
+		Receivers:    []acl.AID{a.ID()},
+		Content:      content,
+		Ontology:     acl.OntologyNetworkManagement,
+	}
+	if err := a.Deliver(msg); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for len(ig.Alerts("")) != 3 {
+		select {
+		case <-deadline:
+			t.Fatal("alerts never ingested")
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+type fakeRuleSink struct {
+	added []string
+	err   error
+}
+
+func (f *fakeRuleSink) AddSource(src string) ([]string, error) {
+	if f.err != nil {
+		return nil, f.err
+	}
+	f.added = append(f.added, src)
+	return []string{"r1"}, nil
+}
+
+func TestFeedbackLearnRules(t *testing.T) {
+	sink := &fakeRuleSink{}
+	goalCalls := 0
+	ig := newIG(t, func(c *Config) {
+		c.Rules = sink
+		c.Goals = func(_ context.Context, spec string) error {
+			goalCalls++
+			return nil
+		}
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go ig.Agent().Run(ctx)
+
+	send := func(content string) {
+		ig.Agent().Deliver(&acl.Message{
+			Performative: acl.Request,
+			Sender:       acl.NewAID("user", "site1"),
+			Receivers:    []acl.AID{ig.Agent().ID()},
+			Ontology:     acl.OntologyGridManagement,
+			Content:      []byte(content),
+		})
+	}
+	send("learn-rules\nrule \"x\" { when latest(m) > 1 then alert \"m\" }")
+	send("goal g site1 h1 host - 1s")
+	send("do-something-else")
+
+	deadline := time.After(5 * time.Second)
+	for {
+		s := ig.Stats()
+		if s.RulesLearned == 1 && s.GoalsAdded == 1 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("stats = %+v", ig.Stats())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if len(sink.added) != 1 || goalCalls != 1 {
+		t.Fatalf("sink = %v, goals = %d", sink.added, goalCalls)
+	}
+}
+
+func TestSeverityRank(t *testing.T) {
+	if severityRank(rules.SeverityCritical) <= severityRank(rules.SeverityWarning) {
+		t.Fatal("ranks out of order")
+	}
+	if severityRank(rules.SeverityWarning) <= severityRank(rules.SeverityInfo) {
+		t.Fatal("ranks out of order")
+	}
+	if severityRank("") != 0 {
+		t.Fatal("empty severity rank")
+	}
+}

@@ -1,0 +1,249 @@
+package rules
+
+import (
+	"fmt"
+	"strings"
+
+	"agentgrid/internal/store"
+)
+
+// Env supplies data to rule conditions. Each analysis level provides a
+// different implementation: L1 sees only the fresh batch, L2 sees one
+// device's stored history, L3 sees every device on a site.
+type Env interface {
+	// Latest returns the newest value of a metric in the current scope.
+	Latest(metric string) (float64, bool)
+	// Window returns the last n stored points of a metric (may be empty
+	// at level 1, where no history exists).
+	Window(metric string, n int) []store.Point
+	// FleetLatest returns the newest value of the metric on every device
+	// in scope (only meaningful at level 3; others return one element).
+	FleetLatest(metric string) []float64
+	// Fact reports whether a derived fact has been asserted.
+	Fact(name string) bool
+}
+
+// Expr is a boolean rule condition.
+type Expr interface {
+	// Eval computes the condition. A missing metric makes the condition
+	// false rather than an error, matching how management rules treat
+	// absent data.
+	Eval(env Env) bool
+	// String renders the expression in parseable DSL syntax.
+	String() string
+}
+
+// Term is a numeric sub-expression.
+type Term interface {
+	// Value computes the term; ok is false when underlying data is
+	// missing.
+	Value(env Env) (float64, bool)
+	String() string
+}
+
+// ---- Terms ----
+
+// Number is a literal.
+type Number float64
+
+// Value implements Term.
+func (n Number) Value(Env) (float64, bool) { return float64(n), true }
+
+// String implements Term.
+func (n Number) String() string { return trimFloat(float64(n)) }
+
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%g", f)
+	return s
+}
+
+// FuncKind enumerates the data functions available to conditions.
+type FuncKind string
+
+// Data functions.
+const (
+	FuncLatest     FuncKind = "latest"      // latest(metric)
+	FuncAvg        FuncKind = "avg"         // avg(metric, n)
+	FuncMin        FuncKind = "min"         // min(metric, n)
+	FuncMax        FuncKind = "max"         // max(metric, n)
+	FuncRate       FuncKind = "rate"        // rate(metric, n)
+	FuncTrend      FuncKind = "trend"       // trend(metric, n)
+	FuncStddev     FuncKind = "stddev"      // stddev(metric, n)
+	FuncCountAbove FuncKind = "count_above" // count_above(metric, threshold)
+	FuncCountBelow FuncKind = "count_below" // count_below(metric, threshold)
+	FuncFleetAvg   FuncKind = "fleet_avg"   // fleet_avg(metric)
+)
+
+// defaultWindow is the history length used when a windowed function
+// omits its second argument.
+const defaultWindow = 10
+
+// Call is a data-function term such as avg(cpu.util, 10).
+type Call struct {
+	Fn     FuncKind
+	Metric string
+	// Arg is the window size (windowed funcs) or threshold
+	// (count_above / count_below).
+	Arg float64
+	// argSet records whether Arg was explicit (affects String()).
+	argSet bool
+}
+
+// Value implements Term.
+func (c *Call) Value(env Env) (float64, bool) {
+	switch c.Fn {
+	case FuncLatest:
+		return env.Latest(c.Metric)
+	case FuncAvg, FuncMin, FuncMax, FuncRate, FuncTrend, FuncStddev:
+		n := int(c.Arg)
+		if n <= 0 {
+			n = defaultWindow
+		}
+		pts := env.Window(c.Metric, n)
+		var v float64
+		var err error
+		switch c.Fn {
+		case FuncAvg:
+			v, err = store.Avg(pts)
+		case FuncMin:
+			v, err = store.Min(pts)
+		case FuncMax:
+			v, err = store.Max(pts)
+		case FuncRate:
+			v, err = store.Rate(pts)
+		case FuncTrend:
+			v, err = store.Trend(pts)
+		case FuncStddev:
+			v, err = store.Stddev(pts)
+		}
+		return v, err == nil
+	case FuncCountAbove, FuncCountBelow:
+		vals := env.FleetLatest(c.Metric)
+		count := 0.0
+		for _, v := range vals {
+			if (c.Fn == FuncCountAbove && v > c.Arg) || (c.Fn == FuncCountBelow && v < c.Arg) {
+				count++
+			}
+		}
+		return count, true
+	case FuncFleetAvg:
+		vals := env.FleetLatest(c.Metric)
+		if len(vals) == 0 {
+			return 0, false
+		}
+		var sum float64
+		for _, v := range vals {
+			sum += v
+		}
+		return sum / float64(len(vals)), true
+	}
+	return 0, false
+}
+
+// String implements Term.
+func (c *Call) String() string {
+	if c.argSet {
+		return fmt.Sprintf("%s(%s, %s)", c.Fn, c.Metric, trimFloat(c.Arg))
+	}
+	return fmt.Sprintf("%s(%s)", c.Fn, c.Metric)
+}
+
+// ---- Expressions ----
+
+// Compare is a relational test between two terms.
+type Compare struct {
+	Left  Term
+	Op    string // > >= < <= == !=
+	Right Term
+}
+
+// Eval implements Expr.
+func (c *Compare) Eval(env Env) bool {
+	l, ok := c.Left.Value(env)
+	if !ok {
+		return false
+	}
+	r, ok := c.Right.Value(env)
+	if !ok {
+		return false
+	}
+	switch c.Op {
+	case ">":
+		return l > r
+	case ">=":
+		return l >= r
+	case "<":
+		return l < r
+	case "<=":
+		return l <= r
+	case "==":
+		return l == r
+	case "!=":
+		return l != r
+	}
+	return false
+}
+
+// String implements Expr.
+func (c *Compare) String() string {
+	return fmt.Sprintf("%s %s %s", c.Left, c.Op, c.Right)
+}
+
+// And is a conjunction.
+type And struct{ Exprs []Expr }
+
+// Eval implements Expr.
+func (a *And) Eval(env Env) bool {
+	for _, e := range a.Exprs {
+		if !e.Eval(env) {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements Expr.
+func (a *And) String() string { return joinExprs(a.Exprs, " and ") }
+
+// Or is a disjunction.
+type Or struct{ Exprs []Expr }
+
+// Eval implements Expr.
+func (o *Or) Eval(env Env) bool {
+	for _, e := range o.Exprs {
+		if e.Eval(env) {
+			return true
+		}
+	}
+	return false
+}
+
+// String implements Expr.
+func (o *Or) String() string { return joinExprs(o.Exprs, " or ") }
+
+func joinExprs(exprs []Expr, sep string) string {
+	parts := make([]string, len(exprs))
+	for i, e := range exprs {
+		parts[i] = "(" + e.String() + ")"
+	}
+	return strings.Join(parts, sep)
+}
+
+// Not negates a condition.
+type Not struct{ Expr Expr }
+
+// Eval implements Expr.
+func (n *Not) Eval(env Env) bool { return !n.Expr.Eval(env) }
+
+// String implements Expr.
+func (n *Not) String() string { return "not (" + n.Expr.String() + ")" }
+
+// FactRef tests a derived fact asserted by an earlier rule firing —
+// the forward-chaining hook.
+type FactRef struct{ Name string }
+
+// Eval implements Expr.
+func (f *FactRef) Eval(env Env) bool { return env.Fact(f.Name) }
+
+// String implements Expr.
+func (f *FactRef) String() string { return fmt.Sprintf("fact(%s)", f.Name) }

@@ -1,0 +1,372 @@
+package rules
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"agentgrid/internal/store"
+)
+
+// Alert is one rule firing.
+type Alert struct {
+	Rule     string   `json:"rule"`
+	Severity Severity `json:"severity"`
+	Level    int      `json:"level"`
+	Message  string   `json:"message"`
+	Site     string   `json:"site"`
+	Device   string   `json:"device,omitempty"` // empty for site-level (L3) alerts
+	Step     int      `json:"step"`
+}
+
+// String renders the alert for reports.
+func (a Alert) String() string {
+	scope := a.Site
+	if a.Device != "" {
+		scope += "/" + a.Device
+	}
+	return fmt.Sprintf("[%s] L%d %s %s: %s", a.Severity, a.Level, scope, a.Rule, a.Message)
+}
+
+// RuleBase is a mutable, named collection of rules — the knowledge base
+// (KdB) of the paper's Figure 2, which agents extend at runtime ("the
+// agents of the grid can learn new rules"). Safe for concurrent use.
+type RuleBase struct {
+	mu    sync.RWMutex
+	rules map[string]*Rule
+}
+
+// RuleBase errors.
+var (
+	ErrDupRule = errors.New("rules: duplicate rule name")
+	ErrNoRule  = errors.New("rules: no such rule")
+)
+
+// NewRuleBase returns an empty rule base.
+func NewRuleBase() *RuleBase {
+	return &RuleBase{rules: make(map[string]*Rule)}
+}
+
+// Add installs a compiled rule.
+func (rb *RuleBase) Add(r *Rule) error {
+	if r == nil || r.Name == "" || r.When == nil {
+		return errors.New("rules: incomplete rule")
+	}
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	if _, dup := rb.rules[r.Name]; dup {
+		return fmt.Errorf("%w: %q", ErrDupRule, r.Name)
+	}
+	rb.rules[r.Name] = r
+	return nil
+}
+
+// AddSource parses rule-language source and installs every rule in it —
+// the "learn new rules" path exercised by the interface grid.
+func (rb *RuleBase) AddSource(src string) ([]string, error) {
+	parsed, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	var added []string
+	for _, r := range parsed {
+		if err := rb.Add(r); err != nil {
+			// Roll back the rules added from this source.
+			for _, name := range added {
+				rb.Remove(name)
+			}
+			return nil, err
+		}
+		added = append(added, r.Name)
+	}
+	return added, nil
+}
+
+// Remove deletes a rule by name.
+func (rb *RuleBase) Remove(name string) error {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	if _, ok := rb.rules[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrNoRule, name)
+	}
+	delete(rb.rules, name)
+	return nil
+}
+
+// Get returns a rule by name.
+func (rb *RuleBase) Get(name string) (*Rule, bool) {
+	rb.mu.RLock()
+	defer rb.mu.RUnlock()
+	r, ok := rb.rules[name]
+	return r, ok
+}
+
+// Len returns the number of rules.
+func (rb *RuleBase) Len() int {
+	rb.mu.RLock()
+	defer rb.mu.RUnlock()
+	return len(rb.rules)
+}
+
+// Names returns all rule names, sorted.
+func (rb *RuleBase) Names() []string {
+	rb.mu.RLock()
+	out := make([]string, 0, len(rb.rules))
+	for name := range rb.rules {
+		out = append(out, name)
+	}
+	rb.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// ForLevel returns the rules of one analysis level, highest priority
+// first (ties broken by name for determinism).
+func (rb *RuleBase) ForLevel(level int) []*Rule {
+	rb.mu.RLock()
+	out := make([]*Rule, 0, len(rb.rules))
+	for _, r := range rb.rules {
+		if r.Level == level {
+			out = append(out, r)
+		}
+	}
+	rb.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Priority != out[j].Priority {
+			return out[i].Priority > out[j].Priority
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Categories returns the distinct rule categories present, sorted; the
+// processor grid advertises them as container capabilities.
+func (rb *RuleBase) Categories() []string {
+	rb.mu.RLock()
+	seen := make(map[string]bool)
+	for _, r := range rb.rules {
+		if r.Category != "" {
+			seen[r.Category] = true
+		}
+	}
+	rb.mu.RUnlock()
+	out := make([]string, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Source renders the whole rule base back to parseable DSL text.
+func (rb *RuleBase) Source() string {
+	names := rb.Names()
+	var b strings.Builder
+	for i, name := range names {
+		if i > 0 {
+			b.WriteString("\n\n")
+		}
+		r, _ := rb.Get(name)
+		b.WriteString(r.String())
+	}
+	return b.String()
+}
+
+// Scope names where an evaluation ran, for alert attribution.
+type Scope struct {
+	Site   string
+	Device string // empty at L3
+	Step   int    // logical step of the newest data
+}
+
+// factEnv decorates an Env with a mutable fact set for forward chaining.
+type factEnv struct {
+	Env
+	facts map[string]bool
+}
+
+func (f *factEnv) Fact(name string) bool {
+	if f.facts[name] {
+		return true
+	}
+	return f.Env.Fact(name)
+}
+
+// maxChainRounds bounds forward chaining so rule sets that keep deriving
+// facts cannot loop forever.
+const maxChainRounds = 8
+
+// Evaluate runs every rule of the given level against env with forward
+// chaining: derive actions assert facts, and evaluation repeats until no
+// new facts appear (or the round bound hits). It returns alerts in
+// firing order and the facts derived.
+func Evaluate(rb *RuleBase, level int, env Env, scope Scope) ([]Alert, []string) {
+	fenv := &factEnv{Env: env, facts: make(map[string]bool)}
+	levelRules := rb.ForLevel(level)
+	var alerts []Alert
+	fired := make(map[string]bool)
+
+	for round := 0; round < maxChainRounds; round++ {
+		newFact := false
+		for _, r := range levelRules {
+			if fired[r.Name] {
+				continue
+			}
+			if !r.When.Eval(fenv) {
+				continue
+			}
+			fired[r.Name] = true
+			switch r.Then.Kind {
+			case ActionAlert:
+				alerts = append(alerts, Alert{
+					Rule:     r.Name,
+					Severity: r.Severity,
+					Level:    r.Level,
+					Message:  expandMessage(r.Then.Message, r.Name, scope),
+					Site:     scope.Site,
+					Device:   scope.Device,
+					Step:     scope.Step,
+				})
+			case ActionDerive:
+				if !fenv.facts[r.Then.Fact] {
+					fenv.facts[r.Then.Fact] = true
+					newFact = true
+				}
+			}
+		}
+		if !newFact {
+			break
+		}
+	}
+
+	facts := make([]string, 0, len(fenv.facts))
+	for f := range fenv.facts {
+		facts = append(facts, f)
+	}
+	sort.Strings(facts)
+	return alerts, facts
+}
+
+// expandMessage substitutes {site}, {device} and {rule} placeholders.
+func expandMessage(tmpl, rule string, scope Scope) string {
+	r := strings.NewReplacer(
+		"{site}", scope.Site,
+		"{device}", scope.Device,
+		"{rule}", rule,
+	)
+	return r.Replace(tmpl)
+}
+
+// ---- Environments ----
+
+// MapEnv is the level-1 environment: only the freshest values from one
+// device's batch, no history, no fleet view.
+type MapEnv struct {
+	// Values maps metric name to its newest value.
+	Values map[string]float64
+	// Facts seeds pre-asserted facts (usually empty).
+	Facts map[string]bool
+}
+
+// Latest implements Env.
+func (m *MapEnv) Latest(metric string) (float64, bool) {
+	v, ok := m.Values[metric]
+	return v, ok
+}
+
+// Window implements Env: level 1 has no history.
+func (m *MapEnv) Window(string, int) []store.Point { return nil }
+
+// FleetLatest implements Env: the device itself is the whole fleet.
+func (m *MapEnv) FleetLatest(metric string) []float64 {
+	if v, ok := m.Values[metric]; ok {
+		return []float64{v}
+	}
+	return nil
+}
+
+// Fact implements Env.
+func (m *MapEnv) Fact(name string) bool { return m.Facts[name] }
+
+// DeviceEnv is the level-2 environment: one device backed by the store.
+type DeviceEnv struct {
+	Store  *store.Store
+	Site   string
+	Device string
+}
+
+func (d *DeviceEnv) key(metric string) string {
+	return d.Site + "/" + d.Device + "/" + metric
+}
+
+// Latest implements Env.
+func (d *DeviceEnv) Latest(metric string) (float64, bool) {
+	p, ok := d.Store.Latest(d.key(metric))
+	if !ok {
+		return 0, false
+	}
+	return p.Value, true
+}
+
+// Window implements Env.
+func (d *DeviceEnv) Window(metric string, n int) []store.Point {
+	return d.Store.Window(d.key(metric), n)
+}
+
+// FleetLatest implements Env: single device.
+func (d *DeviceEnv) FleetLatest(metric string) []float64 {
+	if v, ok := d.Latest(metric); ok {
+		return []float64{v}
+	}
+	return nil
+}
+
+// Fact implements Env.
+func (d *DeviceEnv) Fact(string) bool { return false }
+
+// SiteEnv is the level-3 environment: every device of a site, backed by
+// the store. Latest/Window aggregate across devices via fleet semantics;
+// FleetLatest exposes the per-device values cross-correlation needs.
+type SiteEnv struct {
+	Store *store.Store
+	Site  string
+}
+
+// FleetLatest implements Env.
+func (s *SiteEnv) FleetLatest(metric string) []float64 {
+	keys := s.Store.SeriesForMetric(metric)
+	var out []float64
+	prefix := s.Site + "/"
+	for _, k := range keys {
+		if !strings.HasPrefix(k, prefix) {
+			continue
+		}
+		if p, ok := s.Store.Latest(k); ok {
+			out = append(out, p.Value)
+		}
+	}
+	return out
+}
+
+// Latest implements Env: the fleet average, so scalar functions remain
+// meaningful at site scope.
+func (s *SiteEnv) Latest(metric string) (float64, bool) {
+	vals := s.FleetLatest(metric)
+	if len(vals) == 0 {
+		return 0, false
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals)), true
+}
+
+// Window implements Env: site scope has no single history; returns nil.
+func (s *SiteEnv) Window(string, int) []store.Point { return nil }
+
+// Fact implements Env.
+func (s *SiteEnv) Fact(string) bool { return false }

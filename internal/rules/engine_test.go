@@ -1,0 +1,318 @@
+package rules
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"agentgrid/internal/obs"
+	"agentgrid/internal/store"
+)
+
+func mustAdd(t *testing.T, rb *RuleBase, src string) {
+	t.Helper()
+	if _, err := rb.AddSource(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fill(t *testing.T, st *store.Store, device, metric string, vals ...float64) {
+	t.Helper()
+	for i, v := range vals {
+		err := st.Append(obs.Record{
+			Site: "site1", Device: device, Metric: metric,
+			Value: v, Step: i + 1, Time: time.Unix(int64(i), 0),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRuleBaseCRUD(t *testing.T) {
+	rb := NewRuleBase()
+	mustAdd(t, rb, `rule "a" category cpu { when latest(x) > 1 then alert "a" }`)
+	mustAdd(t, rb, `rule "b" level 2 category disk { when latest(y) > 1 then alert "b" }`)
+
+	if rb.Len() != 2 {
+		t.Fatalf("Len = %d", rb.Len())
+	}
+	if _, err := rb.AddSource(`rule "a" { when latest(x) > 1 then alert "dup" }`); !errors.Is(err, ErrDupRule) {
+		t.Fatalf("dup add = %v", err)
+	}
+	if names := rb.Names(); len(names) != 2 || names[0] != "a" {
+		t.Fatalf("Names = %v", names)
+	}
+	if cats := rb.Categories(); len(cats) != 2 || cats[0] != "cpu" || cats[1] != "disk" {
+		t.Fatalf("Categories = %v", cats)
+	}
+	if r, ok := rb.Get("a"); !ok || r.Name != "a" {
+		t.Fatal("Get failed")
+	}
+	if err := rb.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rb.Remove("a"); !errors.Is(err, ErrNoRule) {
+		t.Fatalf("double remove = %v", err)
+	}
+	if err := rb.Add(nil); err == nil {
+		t.Fatal("nil rule accepted")
+	}
+}
+
+func TestAddSourceRollbackOnDup(t *testing.T) {
+	rb := NewRuleBase()
+	mustAdd(t, rb, `rule "x" { when latest(a) > 1 then alert "x" }`)
+	_, err := rb.AddSource(`
+rule "fresh" { when latest(a) > 1 then alert "f" }
+rule "x" { when latest(a) > 1 then alert "dup" }`)
+	if err == nil {
+		t.Fatal("dup source accepted")
+	}
+	if rb.Len() != 1 {
+		t.Fatalf("rollback failed, Len = %d, names %v", rb.Len(), rb.Names())
+	}
+}
+
+func TestForLevelOrdering(t *testing.T) {
+	rb := NewRuleBase()
+	mustAdd(t, rb, `
+rule "low" priority 1 { when latest(x) > 1 then alert "l" }
+rule "high" priority 9 { when latest(x) > 1 then alert "h" }
+rule "mid-b" priority 5 { when latest(x) > 1 then alert "m" }
+rule "mid-a" priority 5 { when latest(x) > 1 then alert "m" }
+rule "other-level" level 2 priority 99 { when latest(x) > 1 then alert "o" }`)
+	got := rb.ForLevel(1)
+	if len(got) != 4 {
+		t.Fatalf("ForLevel(1) = %d rules", len(got))
+	}
+	wantOrder := []string{"high", "mid-a", "mid-b", "low"}
+	for i, r := range got {
+		if r.Name != wantOrder[i] {
+			t.Fatalf("order[%d] = %s, want %s", i, r.Name, wantOrder[i])
+		}
+	}
+	if len(rb.ForLevel(3)) != 0 {
+		t.Fatal("phantom level-3 rules")
+	}
+}
+
+func TestEvaluateLevel1(t *testing.T) {
+	rb := NewRuleBase()
+	mustAdd(t, rb, `
+rule "hot" severity critical { when latest(cpu.util) > 90 then alert "cpu={device}" }
+rule "cold" { when latest(cpu.util) < 5 then alert "idle" }`)
+
+	env := &MapEnv{Values: map[string]float64{"cpu.util": 97}}
+	alerts, _ := Evaluate(rb, 1, env, Scope{Site: "site1", Device: "web-1", Step: 7})
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %+v", alerts)
+	}
+	a := alerts[0]
+	if a.Rule != "hot" || a.Severity != SeverityCritical || a.Message != "cpu=web-1" ||
+		a.Site != "site1" || a.Device != "web-1" || a.Step != 7 || a.Level != 1 {
+		t.Fatalf("alert = %+v", a)
+	}
+	if s := a.String(); !strings.Contains(s, "site1/web-1") || !strings.Contains(s, "critical") {
+		t.Fatalf("alert String = %q", s)
+	}
+}
+
+func TestEvaluateMissingMetricIsFalse(t *testing.T) {
+	rb := NewRuleBase()
+	mustAdd(t, rb, `rule "r" { when latest(nope) > 0 or latest(nope) <= 0 then alert "m" }`)
+	alerts, _ := Evaluate(rb, 1, &MapEnv{Values: map[string]float64{}}, Scope{})
+	if len(alerts) != 0 {
+		t.Fatal("missing metric fired a rule")
+	}
+}
+
+func TestForwardChaining(t *testing.T) {
+	rb := NewRuleBase()
+	mustAdd(t, rb, `
+rule "derive-hot" priority 10 { when latest(cpu.util) > 90 then derive hot }
+rule "derive-strained" priority 5 { when fact(hot) and latest(mem.free) < 200 then derive strained }
+rule "alarm" priority 1 { when fact(strained) then alert "cascading overload" }`)
+
+	env := &MapEnv{Values: map[string]float64{"cpu.util": 95, "mem.free": 128}}
+	alerts, facts := Evaluate(rb, 1, env, Scope{Site: "s", Device: "d"})
+	if len(alerts) != 1 || alerts[0].Rule != "alarm" {
+		t.Fatalf("alerts = %+v", alerts)
+	}
+	if len(facts) != 2 || facts[0] != "hot" || facts[1] != "strained" {
+		t.Fatalf("facts = %v", facts)
+	}
+}
+
+func TestForwardChainingNeedsMultipleRounds(t *testing.T) {
+	// The chain is ordered against priority so each round derives only
+	// one new fact; evaluation must iterate.
+	rb := NewRuleBase()
+	mustAdd(t, rb, `
+rule "z3" priority 9 { when fact(f2) then alert "deep" }
+rule "z2" priority 8 { when fact(f1) then derive f2 }
+rule "z1" priority 7 { when latest(x) > 0 then derive f1 }`)
+	env := &MapEnv{Values: map[string]float64{"x": 1}}
+	alerts, facts := Evaluate(rb, 1, env, Scope{})
+	if len(alerts) != 1 {
+		t.Fatalf("alerts = %+v (facts %v)", alerts, facts)
+	}
+}
+
+func TestRuleFiresOnce(t *testing.T) {
+	rb := NewRuleBase()
+	mustAdd(t, rb, `
+rule "ping" { when latest(x) > 0 then alert "ping" }
+rule "chain" { when latest(x) > 0 then derive f }`)
+	env := &MapEnv{Values: map[string]float64{"x": 1}}
+	alerts, _ := Evaluate(rb, 1, env, Scope{})
+	if len(alerts) != 1 {
+		t.Fatalf("rule fired %d times", len(alerts))
+	}
+}
+
+func TestEvaluateLevel2WithHistory(t *testing.T) {
+	st := store.New(64)
+	fill(t, st, "db-1", "cpu.util", 91, 95, 93, 97, 92, 96, 94, 98, 95, 99)
+	fill(t, st, "db-1", "disk.free", 100, 96, 92, 88, 84, 80, 76, 72, 68, 64)
+
+	rb := NewRuleBase()
+	mustAdd(t, rb, `
+rule "sustained-cpu" level 2 severity critical {
+    when avg(cpu.util, 10) > 90 and min(cpu.util, 10) > 85
+    then alert "sustained load on {device}"
+}
+rule "disk-filling" level 2 {
+    when trend(disk.free, 10) < -3 and latest(disk.free) < 70
+    then alert "disk exhaustion predicted on {device}"
+}`)
+
+	env := &DeviceEnv{Store: st, Site: "site1", Device: "db-1"}
+	alerts, _ := Evaluate(rb, 2, env, Scope{Site: "site1", Device: "db-1", Step: 10})
+	if len(alerts) != 2 {
+		t.Fatalf("alerts = %+v", alerts)
+	}
+}
+
+func TestEvaluateLevel3CrossDevice(t *testing.T) {
+	st := store.New(64)
+	for i, cpu := range []float64{95, 93, 97, 20, 15} {
+		dev := string(rune('a' + i))
+		fill(t, st, dev, "cpu.util", cpu)
+	}
+	rb := NewRuleBase()
+	mustAdd(t, rb, `
+rule "site-hot" level 3 severity critical {
+    when count_above(cpu.util, 90) >= 3 and fleet_avg(cpu.util) > 50
+    then alert "site {site} overloaded"
+}
+rule "site-dead" level 3 {
+    when count_below(cpu.util, 1) >= 2
+    then alert "mass outage"
+}`)
+	env := &SiteEnv{Store: st, Site: "site1"}
+	alerts, _ := Evaluate(rb, 3, env, Scope{Site: "site1", Step: 1})
+	if len(alerts) != 1 || alerts[0].Rule != "site-hot" {
+		t.Fatalf("alerts = %+v", alerts)
+	}
+	if alerts[0].Message != "site site1 overloaded" || alerts[0].Device != "" {
+		t.Fatalf("alert = %+v", alerts[0])
+	}
+}
+
+func TestSiteEnvSemantics(t *testing.T) {
+	st := store.New(16)
+	fill(t, st, "a", "cpu.util", 10)
+	fill(t, st, "b", "cpu.util", 30)
+	// A different site's device must not leak into site1 scope.
+	st.Append(obs.Record{Site: "site2", Device: "z", Metric: "cpu.util", Value: 1000, Step: 1})
+
+	env := &SiteEnv{Store: st, Site: "site1"}
+	vals := env.FleetLatest("cpu.util")
+	if len(vals) != 2 {
+		t.Fatalf("FleetLatest = %v", vals)
+	}
+	avg, ok := env.Latest("cpu.util")
+	if !ok || avg != 20 {
+		t.Fatalf("Latest = %v, %v", avg, ok)
+	}
+	if _, ok := env.Latest("ghost"); ok {
+		t.Fatal("phantom fleet metric")
+	}
+	if env.Window("cpu.util", 5) != nil {
+		t.Fatal("site window should be nil")
+	}
+	if env.Fact("x") {
+		t.Fatal("site env has facts")
+	}
+}
+
+func TestDeviceEnvSemantics(t *testing.T) {
+	st := store.New(16)
+	fill(t, st, "a", "cpu.util", 10, 20, 30)
+	env := &DeviceEnv{Store: st, Site: "site1", Device: "a"}
+	if v, ok := env.Latest("cpu.util"); !ok || v != 30 {
+		t.Fatalf("Latest = %v", v)
+	}
+	if w := env.Window("cpu.util", 2); len(w) != 2 || w[1].Value != 30 {
+		t.Fatalf("Window = %+v", w)
+	}
+	fleet := env.FleetLatest("cpu.util")
+	if len(fleet) != 1 || fleet[0] != 30 {
+		t.Fatalf("FleetLatest = %v", fleet)
+	}
+	if env.FleetLatest("ghost") != nil {
+		t.Fatal("phantom fleet values")
+	}
+}
+
+func TestMapEnvFleet(t *testing.T) {
+	m := &MapEnv{Values: map[string]float64{"x": 5}}
+	if f := m.FleetLatest("x"); len(f) != 1 || f[0] != 5 {
+		t.Fatalf("FleetLatest = %v", f)
+	}
+	if m.FleetLatest("y") != nil {
+		t.Fatal("phantom fleet")
+	}
+}
+
+func TestWindowedFunctionDefaults(t *testing.T) {
+	st := store.New(64)
+	vals := make([]float64, 20)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	fill(t, st, "d", "m", vals...)
+	env := &DeviceEnv{Store: st, Site: "site1", Device: "d"}
+	// avg(m) with no explicit window uses defaultWindow (10): mean of
+	// 10..19 = 14.5.
+	call := &Call{Fn: FuncAvg, Metric: "m"}
+	v, ok := call.Value(env)
+	if !ok || v != 14.5 {
+		t.Fatalf("default window avg = %v, %v", v, ok)
+	}
+}
+
+func TestRuleBaseSourceRoundtrip(t *testing.T) {
+	rb := NewRuleBase()
+	mustAdd(t, rb, `
+rule "one" level 2 category cpu { when avg(cpu.util, 5) > 90 then alert "hot {device}" }
+rule "two" level 3 { when count_above(cpu.util, 90) >= 2 then derive site_hot }`)
+	src := rb.Source()
+	rb2 := NewRuleBase()
+	if _, err := rb2.AddSource(src); err != nil {
+		t.Fatalf("reparse rendered source: %v\n%s", err, src)
+	}
+	if rb2.Len() != 2 {
+		t.Fatalf("roundtrip lost rules: %v", rb2.Names())
+	}
+}
+
+func TestEvaluateEmptyRuleBase(t *testing.T) {
+	rb := NewRuleBase()
+	alerts, facts := Evaluate(rb, 1, &MapEnv{}, Scope{})
+	if len(alerts) != 0 || len(facts) != 0 {
+		t.Fatal("empty rule base produced output")
+	}
+}

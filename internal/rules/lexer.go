@@ -1,0 +1,268 @@
+// Package rules implements the rule-based inference layer of the
+// processor grid (§2.1, §3.3): a small declarative language for
+// management rules, compiled into an AST and evaluated against collected
+// data on three levels — fresh-batch scans (L1), per-device consolidation
+// with stored history (L2) and cross-device correlation (L3) — with
+// forward chaining over derived facts and runtime rule learning.
+//
+// The language looks like:
+//
+//	rule "high-cpu" priority 10 level 2 category cpu severity critical {
+//	    when avg(cpu.util, 10) > 90 and latest(mem.free) < 256
+//	    then alert "sustained CPU pressure on {device}"
+//	}
+//
+//	rule "derive-overload" level 2 {
+//	    when latest(cpu.util) > 95
+//	    then derive overloaded
+//	}
+//
+//	rule "site-hotspot" level 3 {
+//	    when count_above(cpu.util, 90) >= 3 and fleet_avg(cpu.util) > 70
+//	    then alert "site-wide CPU overload at {site}"
+//	}
+package rules
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token types.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokLBrace
+	tokRBrace
+	tokLParen
+	tokRParen
+	tokComma
+	tokOp // > >= < <= == !=
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokNumber:
+		return "number"
+	case tokString:
+		return "string"
+	case tokLBrace:
+		return "'{'"
+	case tokRBrace:
+		return "'}'"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokOp:
+		return "operator"
+	default:
+		return "unknown token"
+	}
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+// lexer scans rule-language source into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+// lexError is a scanning error with a line number.
+type lexError struct {
+	line int
+	msg  string
+}
+
+func (e *lexError) Error() string { return fmt.Sprintf("rules: line %d: %s", e.line, e.msg) }
+
+func (l *lexer) errf(format string, args ...any) error {
+	return &lexError{line: l.line, msg: fmt.Sprintf(format, args...)}
+}
+
+// next scans one token.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: l.line}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case c == '{':
+		l.pos++
+		return token{kind: tokLBrace, text: "{", line: l.line}, nil
+	case c == '}':
+		l.pos++
+		return token{kind: tokRBrace, text: "}", line: l.line}, nil
+	case c == '(':
+		l.pos++
+		return token{kind: tokLParen, text: "(", line: l.line}, nil
+	case c == ')':
+		l.pos++
+		return token{kind: tokRParen, text: ")", line: l.line}, nil
+	case c == ',':
+		l.pos++
+		return token{kind: tokComma, text: ",", line: l.line}, nil
+	case c == '"':
+		return l.scanString()
+	case c == '>' || c == '<' || c == '=' || c == '!':
+		return l.scanOp()
+	case c == '-' || c == '.' || unicode.IsDigit(rune(c)):
+		return l.scanNumber()
+	case isIdentStart(c):
+		return l.scanIdent()
+	default:
+		return token{}, l.errf("unexpected character %q", c)
+	}
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) scanString() (token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case '"':
+			l.pos++
+			return token{kind: tokString, text: b.String(), line: l.line}, nil
+		case '\n':
+			return token{}, l.errf("unterminated string starting at offset %d", start)
+		case '\\':
+			if l.pos+1 >= len(l.src) {
+				return token{}, l.errf("dangling escape")
+			}
+			l.pos++
+			switch l.src[l.pos] {
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return token{}, l.errf("unknown escape \\%c", l.src[l.pos])
+			}
+			l.pos++
+		default:
+			b.WriteByte(c)
+			l.pos++
+		}
+	}
+	return token{}, l.errf("unterminated string")
+}
+
+func (l *lexer) scanOp() (token, error) {
+	c := l.src[l.pos]
+	two := ""
+	if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case ">=", "<=", "==", "!=":
+		l.pos += 2
+		return token{kind: tokOp, text: two, line: l.line}, nil
+	}
+	switch c {
+	case '>', '<':
+		l.pos++
+		return token{kind: tokOp, text: string(c), line: l.line}, nil
+	}
+	return token{}, l.errf("unexpected character %q", c)
+}
+
+func (l *lexer) scanNumber() (token, error) {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	digits := 0
+	for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+		l.pos++
+		digits++
+	}
+	if l.pos < len(l.src) && l.src[l.pos] == '.' {
+		l.pos++
+		for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+			l.pos++
+			digits++
+		}
+	}
+	if digits == 0 {
+		return token{}, l.errf("malformed number %q", l.src[start:l.pos])
+	}
+	// Scientific notation: 1e6, 2.5e-3. Only consumed when a complete
+	// exponent follows, so identifiers like "e1" remain untouched.
+	if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+		mark := l.pos
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+			l.pos++
+		}
+		expDigits := 0
+		for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+			l.pos++
+			expDigits++
+		}
+		if expDigits == 0 {
+			l.pos = mark // not an exponent after all
+		}
+	}
+	return token{kind: tokNumber, text: l.src[start:l.pos], line: l.line}, nil
+}
+
+func (l *lexer) scanIdent() (token, error) {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+		l.pos++
+	}
+	return token{kind: tokIdent, text: l.src[start:l.pos], line: l.line}, nil
+}
+
+// Identifiers cover rule keywords, function names and dotted metric
+// names such as "if.in.3".
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || c == '.' || c == '-' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}

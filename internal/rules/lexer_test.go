@@ -1,0 +1,62 @@
+package rules
+
+import "testing"
+
+func TestScientificNotationNumbers(t *testing.T) {
+	r, err := ParseOne(`rule "big" { when latest(if.in.1) > 1e6 then alert "busy" }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := r.When.(*Compare).Right.(Number); n != 1e6 {
+		t.Fatalf("number = %v", n)
+	}
+	r2, err := ParseOne(`rule "small" { when latest(x) < 2.5e-3 then alert "m" }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := r2.When.(*Compare).Right.(Number); n != 2.5e-3 {
+		t.Fatalf("number = %v", n)
+	}
+	r3, err := ParseOne(`rule "caps" { when latest(x) > 3E2 then alert "m" }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := r3.When.(*Compare).Right.(Number); n != 300 {
+		t.Fatalf("number = %v", n)
+	}
+}
+
+func TestNumberFollowedByIdentNotExponent(t *testing.T) {
+	// "avg(x, 5) and ..." — the 5 is followed by ')' so trivially fine;
+	// the subtle case is a bare "e" identifier after a number, which
+	// must not be swallowed as a malformed exponent.
+	r, err := ParseOne(`rule "r" { when avg(x, 10) > 1 and latest(e1) > 2 then alert "m" }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	and := r.When.(*And)
+	call := and.Exprs[1].(*Compare).Left.(*Call)
+	if call.Metric != "e1" {
+		t.Fatalf("metric = %q", call.Metric)
+	}
+}
+
+func TestLexerErrorsCarryLineNumbers(t *testing.T) {
+	_, err := Parse("rule \"r\" {\n    when latest(x) > @ \n then alert \"m\" }")
+	if err == nil {
+		t.Fatal("bad char accepted")
+	}
+	if got := err.Error(); got == "" || !containsLine(got, "2") {
+		t.Fatalf("error lacks line number: %q", got)
+	}
+}
+
+func containsLine(s, line string) bool {
+	want := "line " + line
+	for i := 0; i+len(want) <= len(s); i++ {
+		if s[i:i+len(want)] == want {
+			return true
+		}
+	}
+	return false
+}

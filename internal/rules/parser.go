@@ -1,0 +1,446 @@
+package rules
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Severity of an alert raised by a rule.
+type Severity string
+
+// Severities.
+const (
+	SeverityInfo     Severity = "info"
+	SeverityWarning  Severity = "warning"
+	SeverityCritical Severity = "critical"
+)
+
+func validSeverity(s Severity) bool {
+	switch s {
+	case SeverityInfo, SeverityWarning, SeverityCritical:
+		return true
+	}
+	return false
+}
+
+// ActionKind distinguishes rule consequents.
+type ActionKind int
+
+// Action kinds.
+const (
+	// ActionAlert raises an alert with a message template. {site},
+	// {device} and {rule} placeholders are substituted at fire time.
+	ActionAlert ActionKind = iota
+	// ActionDerive asserts a named fact for forward chaining.
+	ActionDerive
+)
+
+// Action is a rule consequent.
+type Action struct {
+	Kind ActionKind
+	// Message is the alert template (ActionAlert).
+	Message string
+	// Fact is the fact name (ActionDerive).
+	Fact string
+}
+
+// Rule is one compiled management rule.
+type Rule struct {
+	// Name uniquely identifies the rule in its rule base.
+	Name string
+	// Priority orders evaluation; higher runs first (default 0).
+	Priority int
+	// Level is the analysis level: 1 fresh-batch, 2 consolidation,
+	// 3 cross-device correlation (default 1).
+	Level int
+	// Category is the metric category this rule covers ("cpu", "disk",
+	// ...); containers advertise categories as capabilities.
+	Category string
+	// Severity of alerts the rule raises (default warning).
+	Severity Severity
+	// When is the condition.
+	When Expr
+	// Then is the consequent.
+	Then Action
+}
+
+// String renders the rule in parseable DSL syntax.
+func (r *Rule) String() string {
+	head := fmt.Sprintf("rule %q priority %d level %d", r.Name, r.Priority, r.Level)
+	if r.Category != "" {
+		head += " category " + r.Category
+	}
+	head += " severity " + string(r.Severity)
+	var then string
+	switch r.Then.Kind {
+	case ActionAlert:
+		then = fmt.Sprintf("alert %q", r.Then.Message)
+	case ActionDerive:
+		then = "derive " + r.Then.Fact
+	}
+	return fmt.Sprintf("%s {\n    when %s\n    then %s\n}", head, r.When, then)
+}
+
+// parser builds rules from tokens.
+type parser struct {
+	lex *lexer
+	cur token
+}
+
+// Parse compiles rule-language source into rules. Multiple rule blocks
+// may appear in one source string.
+func Parse(src string) ([]*Rule, error) {
+	p := &parser{lex: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	var out []*Rule
+	for p.cur.kind != tokEOF {
+		r, err := p.parseRule()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ParseOne compiles exactly one rule.
+func ParseOne(src string) (*Rule, error) {
+	rules, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(rules) != 1 {
+		return nil, fmt.Errorf("rules: expected exactly one rule, got %d", len(rules))
+	}
+	return rules[0], nil
+}
+
+func (p *parser) advance() error {
+	tok, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.cur = tok
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("rules: line %d: %s", p.cur.line, fmt.Sprintf(format, args...))
+}
+
+// expect consumes the current token if it matches, else errors.
+func (p *parser) expect(kind tokenKind) (token, error) {
+	if p.cur.kind != kind {
+		return token{}, p.errf("expected %s, found %s %q", kind, p.cur.kind, p.cur.text)
+	}
+	tok := p.cur
+	if err := p.advance(); err != nil {
+		return token{}, err
+	}
+	return tok, nil
+}
+
+// expectKeyword consumes an identifier with the given text.
+func (p *parser) expectKeyword(kw string) error {
+	if p.cur.kind != tokIdent || p.cur.text != kw {
+		return p.errf("expected %q, found %q", kw, p.cur.text)
+	}
+	return p.advance()
+}
+
+func (p *parser) parseRule() (*Rule, error) {
+	if err := p.expectKeyword("rule"); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokString)
+	if err != nil {
+		return nil, err
+	}
+	if name.text == "" {
+		return nil, p.errf("rule name must not be empty")
+	}
+	r := &Rule{Name: name.text, Level: 1, Severity: SeverityWarning}
+
+	// Optional attributes until '{'.
+	for p.cur.kind == tokIdent {
+		attr := p.cur.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		switch attr {
+		case "priority":
+			n, err := p.parseInt()
+			if err != nil {
+				return nil, err
+			}
+			r.Priority = n
+		case "level":
+			n, err := p.parseInt()
+			if err != nil {
+				return nil, err
+			}
+			if n < 1 || n > 3 {
+				return nil, p.errf("level must be 1, 2 or 3, got %d", n)
+			}
+			r.Level = n
+		case "category":
+			tok, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			r.Category = tok.text
+		case "severity":
+			tok, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			r.Severity = Severity(tok.text)
+			if !validSeverity(r.Severity) {
+				return nil, p.errf("unknown severity %q", tok.text)
+			}
+		default:
+			return nil, p.errf("unknown rule attribute %q", attr)
+		}
+	}
+
+	if _, err := p.expect(tokLBrace); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("when"); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	r.When = cond
+	if err := p.expectKeyword("then"); err != nil {
+		return nil, err
+	}
+	action, err := p.parseAction()
+	if err != nil {
+		return nil, err
+	}
+	r.Then = action
+	if _, err := p.expect(tokRBrace); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+func (p *parser) parseInt() (int, error) {
+	tok, err := p.expect(tokNumber)
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.Atoi(tok.text)
+	if err != nil {
+		return 0, p.errf("expected integer, found %q", tok.text)
+	}
+	return n, nil
+}
+
+func (p *parser) parseAction() (Action, error) {
+	tok, err := p.expect(tokIdent)
+	if err != nil {
+		return Action{}, err
+	}
+	switch tok.text {
+	case "alert":
+		msg, err := p.expect(tokString)
+		if err != nil {
+			return Action{}, err
+		}
+		return Action{Kind: ActionAlert, Message: msg.text}, nil
+	case "derive":
+		fact, err := p.expect(tokIdent)
+		if err != nil {
+			return Action{}, err
+		}
+		return Action{Kind: ActionDerive, Fact: fact.text}, nil
+	default:
+		return Action{}, p.errf("unknown action %q (want alert or derive)", tok.text)
+	}
+}
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	exprs := []Expr{left}
+	for p.cur.kind == tokIdent && p.cur.text == "or" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		exprs = append(exprs, right)
+	}
+	if len(exprs) == 1 {
+		return left, nil
+	}
+	return &Or{Exprs: exprs}, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	exprs := []Expr{left}
+	for p.cur.kind == tokIdent && p.cur.text == "and" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		exprs = append(exprs, right)
+	}
+	if len(exprs) == 1 {
+		return left, nil
+	}
+	return &And{Exprs: exprs}, nil
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.cur.kind == tokIdent && p.cur.text == "not" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Not{Expr: inner}, nil
+	}
+	if p.cur.kind == tokLParen {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	}
+	// fact(name) is a boolean primary.
+	if p.cur.kind == tokIdent && p.cur.text == "fact" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return &FactRef{Name: name.text}, nil
+	}
+	return p.parseCompare()
+}
+
+func (p *parser) parseCompare() (Expr, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	op, err := p.expect(tokOp)
+	if err != nil {
+		return nil, err
+	}
+	right, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	return &Compare{Left: left, Op: op.text, Right: right}, nil
+}
+
+func (p *parser) parseTerm() (Term, error) {
+	switch p.cur.kind {
+	case tokNumber:
+		f, err := strconv.ParseFloat(p.cur.text, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", p.cur.text)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return Number(f), nil
+	case tokIdent:
+		return p.parseCall()
+	default:
+		return nil, p.errf("expected number or function, found %s %q", p.cur.kind, p.cur.text)
+	}
+}
+
+// functions that take an optional second numeric argument.
+var windowFuncs = map[FuncKind]bool{
+	FuncAvg: true, FuncMin: true, FuncMax: true,
+	FuncRate: true, FuncTrend: true, FuncStddev: true,
+}
+
+// functions that require a threshold second argument.
+var thresholdFuncs = map[FuncKind]bool{
+	FuncCountAbove: true, FuncCountBelow: true,
+}
+
+func (p *parser) parseCall() (Term, error) {
+	fn := FuncKind(p.cur.text)
+	line := p.cur.line
+	switch fn {
+	case FuncLatest, FuncFleetAvg:
+	default:
+		if !windowFuncs[fn] && !thresholdFuncs[fn] {
+			return nil, p.errf("unknown function %q", fn)
+		}
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	metric, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	call := &Call{Fn: fn, Metric: metric.text}
+	if p.cur.kind == tokComma {
+		if fn == FuncLatest || fn == FuncFleetAvg {
+			return nil, p.errf("%s takes exactly one argument", fn)
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		arg, err := p.expect(tokNumber)
+		if err != nil {
+			return nil, err
+		}
+		f, err := strconv.ParseFloat(arg.text, 64)
+		if err != nil {
+			return nil, p.errf("bad argument %q", arg.text)
+		}
+		call.Arg = f
+		call.argSet = true
+	} else if thresholdFuncs[fn] {
+		return nil, fmt.Errorf("rules: line %d: %s requires a threshold argument", line, fn)
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	return call, nil
+}

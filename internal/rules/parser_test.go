@@ -1,0 +1,218 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseMinimalRule(t *testing.T) {
+	r, err := ParseOne(`rule "high-cpu" { when latest(cpu.util) > 90 then alert "cpu hot" }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name != "high-cpu" || r.Level != 1 || r.Priority != 0 || r.Severity != SeverityWarning {
+		t.Fatalf("defaults wrong: %+v", r)
+	}
+	if r.Then.Kind != ActionAlert || r.Then.Message != "cpu hot" {
+		t.Fatalf("action = %+v", r.Then)
+	}
+	cmp, ok := r.When.(*Compare)
+	if !ok {
+		t.Fatalf("condition type %T", r.When)
+	}
+	call, ok := cmp.Left.(*Call)
+	if !ok || call.Fn != FuncLatest || call.Metric != "cpu.util" {
+		t.Fatalf("left term = %+v", cmp.Left)
+	}
+	if n, ok := cmp.Right.(Number); !ok || n != 90 {
+		t.Fatalf("right term = %+v", cmp.Right)
+	}
+}
+
+func TestParseFullAttributes(t *testing.T) {
+	r, err := ParseOne(`
+# a commented rule
+rule "disk-trend" priority 5 level 2 category disk severity critical {
+    when trend(disk.free, 30) < -3.5 and latest(disk.free) < 5000
+    then alert "disk filling on {device}"
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Priority != 5 || r.Level != 2 || r.Category != "disk" || r.Severity != SeverityCritical {
+		t.Fatalf("attributes: %+v", r)
+	}
+	and, ok := r.When.(*And)
+	if !ok || len(and.Exprs) != 2 {
+		t.Fatalf("condition: %v", r.When)
+	}
+}
+
+func TestParseMultipleRules(t *testing.T) {
+	rules, err := Parse(`
+rule "a" { when latest(x) > 1 then alert "a" }
+rule "b" { when latest(y) < 2 then derive yish }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 || rules[1].Then.Kind != ActionDerive || rules[1].Then.Fact != "yish" {
+		t.Fatalf("rules = %+v", rules)
+	}
+}
+
+func TestParseBooleanStructure(t *testing.T) {
+	r, err := ParseOne(`rule "r" {
+        when (latest(a) > 1 or latest(b) > 2) and not latest(c) == 3
+        then alert "m"
+    }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	and, ok := r.When.(*And)
+	if !ok || len(and.Exprs) != 2 {
+		t.Fatalf("top = %T", r.When)
+	}
+	if _, ok := and.Exprs[0].(*Or); !ok {
+		t.Fatalf("first = %T", and.Exprs[0])
+	}
+	if _, ok := and.Exprs[1].(*Not); !ok {
+		t.Fatalf("second = %T", and.Exprs[1])
+	}
+}
+
+func TestParseFactRef(t *testing.T) {
+	r, err := ParseOne(`rule "r" { when fact(overloaded) and latest(mem.free) < 100 then alert "m" }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	and := r.When.(*And)
+	if f, ok := and.Exprs[0].(*FactRef); !ok || f.Name != "overloaded" {
+		t.Fatalf("fact ref = %+v", and.Exprs[0])
+	}
+}
+
+func TestParseFleetFunctions(t *testing.T) {
+	r, err := ParseOne(`rule "r" level 3 {
+        when count_above(cpu.util, 90) >= 3 and fleet_avg(cpu.util) > 70
+        then alert "site hot"
+    }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	and := r.When.(*And)
+	ca := and.Exprs[0].(*Compare).Left.(*Call)
+	if ca.Fn != FuncCountAbove || ca.Arg != 90 {
+		t.Fatalf("count_above = %+v", ca)
+	}
+	fa := and.Exprs[1].(*Compare).Left.(*Call)
+	if fa.Fn != FuncFleetAvg {
+		t.Fatalf("fleet_avg = %+v", fa)
+	}
+}
+
+func TestParseNumberForms(t *testing.T) {
+	r, err := ParseOne(`rule "r" { when latest(m) > -12.5 then alert "x" }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := r.When.(*Compare).Right.(Number); n != -12.5 {
+		t.Fatalf("number = %v", n)
+	}
+	// Numbers on the left work too.
+	r2, err := ParseOne(`rule "r" { when 3 <= latest(m) then alert "x" }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := r2.When.(*Compare).Left.(Number); n != 3 {
+		t.Fatalf("left number = %v", n)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"missing name":        `rule { when latest(x) > 1 then alert "m" }`,
+		"empty name":          `rule "" { when latest(x) > 1 then alert "m" }`,
+		"bad level":           `rule "r" level 9 { when latest(x) > 1 then alert "m" }`,
+		"bad severity":        `rule "r" severity loud { when latest(x) > 1 then alert "m" }`,
+		"unknown attribute":   `rule "r" volume 11 { when latest(x) > 1 then alert "m" }`,
+		"unknown function":    `rule "r" { when median(x) > 1 then alert "m" }`,
+		"unknown action":      `rule "r" { when latest(x) > 1 then email "m" }`,
+		"missing then":        `rule "r" { when latest(x) > 1 }`,
+		"missing when":        `rule "r" { then alert "m" }`,
+		"unterminated string": `rule "r" { when latest(x) > 1 then alert "m }`,
+		"missing operand":     `rule "r" { when latest(x) > then alert "m" }`,
+		"missing paren":       `rule "r" { when latest(x > 1 then alert "m" }`,
+		"threshold required":  `rule "r" { when count_above(x) > 1 then alert "m" }`,
+		"latest extra arg":    `rule "r" { when latest(x, 5) > 1 then alert "m" }`,
+		"trailing garbage":    `rule "r" { when latest(x) > 1 then alert "m" } banana`,
+		"bad escape":          `rule "r" { when latest(x) > 1 then alert "a\q" }`,
+		"stray char":          `rule "r" { when latest(x) > 1 then alert "m" } @`,
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Parse(src); err == nil {
+				t.Fatalf("accepted: %s", src)
+			}
+		})
+	}
+}
+
+func TestParseOneRejectsMany(t *testing.T) {
+	src := `rule "a" { when latest(x) > 1 then alert "a" }
+            rule "b" { when latest(y) > 1 then alert "b" }`
+	if _, err := ParseOne(src); err == nil {
+		t.Fatal("ParseOne accepted two rules")
+	}
+}
+
+func TestRuleStringRoundtrip(t *testing.T) {
+	srcs := []string{
+		`rule "a" priority 3 level 2 category cpu severity critical {
+            when avg(cpu.util, 10) > 90 or fact(hot)
+            then alert "msg {device}"
+        }`,
+		`rule "b" level 3 {
+            when not (count_below(mem.free, 100) == 0)
+            then derive mem_crisis
+        }`,
+		`rule "c" {
+            when stddev(if.in.1, 20) > 5 and rate(if.in.1, 5) != 0
+            then alert "jitter"
+        }`,
+	}
+	for _, src := range srcs {
+		r1, err := ParseOne(src)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		rendered := r1.String()
+		r2, err := ParseOne(rendered)
+		if err != nil {
+			t.Fatalf("reparse of %q: %v", rendered, err)
+		}
+		if r2.String() != rendered {
+			t.Fatalf("String not a fixed point:\n%s\nvs\n%s", rendered, r2.String())
+		}
+		if r1.Name != r2.Name || r1.Level != r2.Level || r1.Priority != r2.Priority {
+			t.Fatal("metadata lost in roundtrip")
+		}
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	r, err := ParseOne(`rule "r" { when latest(x) > 1 then alert "say \"hi\"\nnewline \\ backslash" }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Then.Message, `say "hi"`) || !strings.Contains(r.Then.Message, "\n") {
+		t.Fatalf("escapes wrong: %q", r.Then.Message)
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	src := "# leading comment\n\nrule \"r\" # trailing\n{ when latest(x) > 1 # mid\n then alert \"m\" }\n# done"
+	if _, err := ParseOne(src); err != nil {
+		t.Fatal(err)
+	}
+}

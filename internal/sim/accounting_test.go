@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"testing"
+
+	"agentgrid/internal/loadbalance"
+	"agentgrid/internal/metrics"
+	"agentgrid/internal/workload"
+)
+
+// TestAgentGridAccountingHandVerified pins the grid architecture's
+// charges to hand-computed values with a deterministic round-robin
+// placement and overhead disabled.
+//
+// PaperMix interleaves A,B,C so collector i%3 sees exactly one kind:
+// Collector 1 all A, Collector 2 all B, Collector 3 all C (10 each).
+func TestAgentGridAccountingHandVerified(t *testing.T) {
+	o := AgentGrid{
+		Collectors:      3,
+		Analyzers:       2,
+		Scheduler:       loadbalance.NewRoundRobin(),
+		DisableOverhead: true,
+	}.Run(workload.PaperMix())
+
+	get := func(name string) metrics.Cost {
+		hu, ok := host(o, name)
+		if !ok {
+			t.Fatalf("missing host %s in %+v", name, o.Hosts)
+		}
+		return hu.Units
+	}
+
+	// Collector k: 10 × (Request CPU 10 + Parse CPU 15) = 250 CPU.
+	// Net = 10 × (raw request net + 0.4 × parsed send).
+	if got := get("Collector 1"); got != (metrics.Cost{250, 10 * (5 + 2), 0}) {
+		t.Fatalf("Collector 1 = %v", got)
+	}
+	if got := get("Collector 2"); got != (metrics.Cost{250, 10 * (10 + 4), 0}) {
+		t.Fatalf("Collector 2 = %v", got)
+	}
+	if got := get("Collector 3"); got != (metrics.Cost{250, 10 * (15 + 6), 0}) {
+		t.Fatalf("Collector 3 = %v", got)
+	}
+
+	// Storage: 30 stores (CPU 5, Disc 10); Net = parsed in (0.4×300)
+	// + per-request queries out (0.2×300) + cross queries (10×0.2×30).
+	if got := get("Storing"); got != (metrics.Cost{150, 120 + 60 + 60, 300}) {
+		t.Fatalf("Storing = %v", got)
+	}
+
+	// Analyzers: 40 tasks round-robin -> 20 each: 15 single-kind
+	// inferences (CPU 20, Disc 5) + 5 cross (CPU 40, Disc 8).
+	wantAnalyzerCPU := 15*20.0 + 5*40.0
+	wantAnalyzerDisc := 15*5.0 + 5*8.0
+	for _, name := range []string{"Manager 1", "Manager 2"} {
+		got := get(name)
+		if got.Get(metrics.CPU) != wantAnalyzerCPU || got.Get(metrics.Disc) != wantAnalyzerDisc {
+			t.Fatalf("%s = %v, want CPU %v Disc %v", name, got, wantAnalyzerCPU, wantAnalyzerDisc)
+		}
+	}
+
+	// Conservation: total CPU equals the centralized model's 1900 (work
+	// neither appears nor disappears when distributed); total disc 530.
+	if o.Total.Get(metrics.CPU) != 1900 {
+		t.Fatalf("total CPU = %v", o.Total.Get(metrics.CPU))
+	}
+	if o.Total.Get(metrics.Disc) != 530 {
+		t.Fatalf("total Disc = %v", o.Total.Get(metrics.Disc))
+	}
+	// Network: raw 300 + parsed transfers 2×120 + queries 2×120.
+	if o.Total.Get(metrics.Network) != 300+240+240 {
+		t.Fatalf("total Net = %v", o.Total.Get(metrics.Network))
+	}
+	// Makespan: the analyzers' CPU (500) is the bottleneck.
+	if o.Makespan != wantAnalyzerCPU {
+		t.Fatalf("makespan = %v", o.Makespan)
+	}
+}
+
+// TestMultiAgentConservation checks CPU/Disc conservation for (b) too.
+func TestMultiAgentConservation(t *testing.T) {
+	a := Centralized{}.Run(workload.PaperMix())
+	b := MultiAgent{Collectors: 2}.Run(workload.PaperMix())
+	for _, res := range []metrics.Resource{metrics.CPU, metrics.Disc} {
+		if a.Total.Get(res) != b.Total.Get(res) {
+			t.Fatalf("%s not conserved: %v vs %v", res, a.Total.Get(res), b.Total.Get(res))
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package sim
+
+import (
+	"fmt"
+
+	"agentgrid/internal/directory"
+	"agentgrid/internal/loadbalance"
+	"agentgrid/internal/metrics"
+	"agentgrid/internal/workload"
+)
+
+// ---- (a) Centralized management ----
+
+// Centralized is Figure 6(a): one management station issues the raw
+// requests, parses, stores and runs every inference itself.
+type Centralized struct {
+	Params Params
+}
+
+// Name implements Architecture.
+func (Centralized) Name() string { return "centralized" }
+
+// Run implements Architecture.
+func (c Centralized) Run(mix workload.Mix) *Outcome {
+	p := c.Params.withDefaults()
+	r := &run{params: p}
+	const manager = "Manager"
+	for _, req := range mix.Requests() {
+		k := req.Kind
+		// Raw data crosses the wire to the manager, which does all the
+		// work itself.
+		r.charge(manager, "Request "+k.String(), p.Model.Request(k))
+		r.charge(manager, "Parse "+k.String(), p.Model.Parse(k))
+		r.charge(manager, "Storing", p.Model.Storing())
+		r.charge(manager, "Inference "+k.String(), p.Model.Inference(k))
+	}
+	for i := 0; i < mix.Rounds(); i++ {
+		r.charge(manager, "Inference AxBxC", p.Model.CrossInference())
+	}
+	return r.outcome(c.Name(), mix)
+}
+
+// ---- (b) Multi-agent system ----
+
+// MultiAgent is Figure 6(b): collector hosts gather and parse locally
+// (shrinking the transfer to the manager), but analysis stays
+// centralized on the manager.
+type MultiAgent struct {
+	Params Params
+	// Collectors is the collector host count (paper uses 2).
+	Collectors int
+}
+
+// Name implements Architecture.
+func (MultiAgent) Name() string { return "multi-agent" }
+
+// Run implements Architecture.
+func (m MultiAgent) Run(mix workload.Mix) *Outcome {
+	p := m.Params.withDefaults()
+	n := m.Collectors
+	if n < 1 {
+		n = 2
+	}
+	r := &run{params: p}
+	const manager = "Manager"
+	for i, req := range mix.Requests() {
+		k := req.Kind
+		collector := fmt.Sprintf("Collector %d", i%n+1)
+		// Collector pulls raw data from the device and parses it there.
+		r.charge(collector, "Request "+k.String(), p.Model.Request(k))
+		r.charge(collector, "Parse "+k.String(), p.Model.Parse(k))
+		// Only the parsed extract travels to the manager.
+		r.transfer(collector, manager, "Transfer parsed "+k.String(),
+			p.ParsedFraction*reqNet(p, k))
+		r.charge(manager, "Storing", p.Model.Storing())
+		r.charge(manager, "Inference "+k.String(), p.Model.Inference(k))
+	}
+	for i := 0; i < mix.Rounds(); i++ {
+		r.charge(manager, "Inference AxBxC", p.Model.CrossInference())
+	}
+	return r.outcome(m.Name(), mix)
+}
+
+// ---- (c) Agent grid ----
+
+// AgentGrid is Figure 6(c): collectors gather and parse, a storage host
+// stores, and analysis hosts run the inference tasks, placed by a
+// load-balancing strategy. Coordination (dispatch messages, membership
+// heartbeats) is charged as overhead.
+type AgentGrid struct {
+	Params Params
+	// Collectors is the collection host count (paper uses 3).
+	Collectors int
+	// Analyzers is the inference host count (paper uses 2).
+	Analyzers int
+	// Scheduler places inference tasks (default: the paper's
+	// capability/least-loaded placement; ablated in experiment X3).
+	Scheduler loadbalance.Scheduler
+	// DisableOverhead turns off dispatch/heartbeat charging (used to
+	// isolate the overhead contribution in ablations).
+	DisableOverhead bool
+}
+
+// Name implements Architecture.
+func (AgentGrid) Name() string { return "agent-grid" }
+
+// Run implements Architecture.
+func (g AgentGrid) Run(mix workload.Mix) *Outcome {
+	p := g.Params.withDefaults()
+	nc := g.Collectors
+	if nc < 1 {
+		nc = 3
+	}
+	na := g.Analyzers
+	if na < 1 {
+		na = 2
+	}
+	sched := g.Scheduler
+	if sched == nil {
+		sched = loadbalance.NewLeastLoaded()
+	}
+	r := &run{params: p}
+	const storage = "Storing"
+
+	analyzerName := func(i int) string { return fmt.Sprintf("Manager %d", i+1) }
+
+	// Synthetic directory registrations reflecting live analyzer load,
+	// so the real scheduler implementations drive placement.
+	candidates := func() []directory.Registration {
+		out := make([]directory.Registration, na)
+		for i := 0; i < na; i++ {
+			name := analyzerName(i)
+			units := r.ledger.Host(name).Totals()
+			peak := 0.0
+			for _, res := range metrics.Resources() {
+				if v := units.Get(res); v > peak {
+					peak = v
+				}
+			}
+			// The synthetic load is deliberately unclamped: saturated
+			// analyzers must stay comparable to each other, or every
+			// overloaded candidate ties at 1.0 and placement collapses
+			// onto the name tie-break.
+			load := peak / p.EpochCapacity
+			out[i] = directory.Registration{
+				Container: name,
+				Addr:      "sim://" + name,
+				Profile: directory.ResourceProfile{
+					CPUCapacity: p.EpochCapacity, NetCapacity: p.EpochCapacity, DiscCapacity: p.EpochCapacity,
+				},
+				Services: []directory.ServiceDesc{{
+					Type:         directory.ServiceAnalysis,
+					Capabilities: []string{"cpu", "memory", "disk", "process", "traffic"},
+				}},
+				Load: load,
+			}
+		}
+		return out
+	}
+
+	place := func(taskID, category string) string {
+		reg, err := sched.Pick(loadbalance.Task{ID: taskID, Category: category}, candidates())
+		if err != nil {
+			return analyzerName(0)
+		}
+		return reg.Container
+	}
+
+	for i, req := range mix.Requests() {
+		k := req.Kind
+		collector := fmt.Sprintf("Collector %d", i%nc+1)
+		r.charge(collector, "Request "+k.String(), p.Model.Request(k))
+		r.charge(collector, "Parse "+k.String(), p.Model.Parse(k))
+		r.transfer(collector, storage, "Transfer parsed "+k.String(),
+			p.ParsedFraction*reqNet(p, k))
+		r.charge(storage, "Storing", p.Model.Storing())
+
+		analyzer := place(fmt.Sprintf("task-%d", i), categoryOf(k))
+		if !g.DisableOverhead {
+			r.chargeOverhead(analyzer, "Dispatch", p.Dispatch)
+		}
+		// Analyzer pulls the consolidated extract from storage.
+		r.transfer(storage, analyzer, "Query "+k.String(), p.QueryFraction*reqNet(p, k))
+		r.charge(analyzer, "Inference "+k.String(), p.Model.Inference(k))
+	}
+
+	// Cross-kind inference needs the data of all three kinds.
+	for i := 0; i < mix.Rounds(); i++ {
+		analyzer := place(fmt.Sprintf("cross-%d", i), "")
+		if !g.DisableOverhead {
+			r.chargeOverhead(analyzer, "Dispatch", p.Dispatch)
+		}
+		var crossQuery float64
+		for _, k := range roundKinds() {
+			crossQuery += p.QueryFraction * reqNet(p, k)
+		}
+		r.transfer(storage, analyzer, "Query AxBxC", crossQuery)
+		r.charge(analyzer, "Inference AxBxC", p.Model.CrossInference())
+	}
+
+	// Membership heartbeats: every grid host renews its directory lease
+	// once per epoch.
+	if !g.DisableOverhead {
+		for i := 0; i < nc; i++ {
+			r.chargeOverhead(fmt.Sprintf("Collector %d", i+1), "Heartbeat", p.Heartbeat)
+		}
+		r.chargeOverhead(storage, "Heartbeat", p.Heartbeat)
+		for i := 0; i < na; i++ {
+			r.chargeOverhead(analyzerName(i), "Heartbeat", p.Heartbeat)
+		}
+	}
+	return r.outcome(g.Name(), mix)
+}
+
+// categoryOf maps a request kind to the metric category its inference
+// needs (A: processor usage, B: memory, C: disk — the example metrics of
+// §4.1).
+func categoryOf(k metrics.RequestKind) string {
+	switch k {
+	case metrics.KindA:
+		return "cpu"
+	case metrics.KindB:
+		return "memory"
+	default:
+		return "disk"
+	}
+}
+
+// Figure6 runs the paper's exact comparison: the 10+10+10 mix through
+// (a) centralized, (b) multi-agent with 2 collectors and (c) an agent
+// grid with 3 collectors, 1 storage host and 2 inference hosts.
+func Figure6(p Params) (a, b, c *Outcome) {
+	mix := workload.PaperMix()
+	a = Centralized{Params: p}.Run(mix)
+	b = MultiAgent{Params: p, Collectors: 2}.Run(mix)
+	c = AgentGrid{Params: p, Collectors: 3, Analyzers: 2}.Run(mix)
+	return a, b, c
+}

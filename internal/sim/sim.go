@@ -1,0 +1,176 @@
+// Package sim implements the deterministic cost simulator behind the
+// paper's evaluation (§4.1, Table 1 and Figure 6) and the extension
+// studies DESIGN.md lists. Costs are the paper's dimensionless relative
+// units; a simulation charges each task's units to the host that performs
+// it and reports per-host utilization, the workload makespan (the
+// largest single-resource load on any host, i.e. the bottleneck) and
+// coordination overhead.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"agentgrid/internal/metrics"
+	"agentgrid/internal/workload"
+)
+
+// Params tunes the cost model around Table 1.
+type Params struct {
+	// Model is the task cost table (Table 1 by default).
+	Model *metrics.CostModel
+	// ParsedFraction is the size of parsed data relative to raw
+	// (§4.1: collectors remove unnecessary information before
+	// transmitting). Default 0.4.
+	ParsedFraction float64
+	// QueryFraction is analysis-query traffic relative to raw data
+	// (analyzers pull consolidated data from storage). Default 0.2.
+	QueryFraction float64
+	// Dispatch is the per-task coordination cost the grid pays for
+	// brokering (the root's scheduling messages). Default {1,1,0}.
+	Dispatch metrics.Cost
+	// Heartbeat is the per-grid-host per-epoch membership overhead
+	// (directory registration renewal). Default {1,2,0}.
+	Heartbeat metrics.Cost
+	// EpochCapacity is the relative units one commodity host can absorb
+	// per management epoch; feeds scheduler load fractions and the
+	// feasibility deadline in the crossover study. Default 500.
+	EpochCapacity float64
+}
+
+// DefaultParams returns the calibrated defaults documented above.
+func DefaultParams() Params {
+	return Params{
+		Model:          metrics.NewCostModel(),
+		ParsedFraction: 0.4,
+		QueryFraction:  0.2,
+		Dispatch:       metrics.Cost{1, 1, 0},
+		Heartbeat:      metrics.Cost{1, 2, 0},
+		EpochCapacity:  500,
+	}
+}
+
+func (p Params) withDefaults() Params {
+	if p.Model == nil {
+		p.Model = metrics.NewCostModel()
+	}
+	if p.ParsedFraction == 0 {
+		p.ParsedFraction = 0.4
+	}
+	if p.QueryFraction == 0 {
+		p.QueryFraction = 0.2
+	}
+	if p.EpochCapacity == 0 {
+		p.EpochCapacity = 500
+	}
+	if p.Dispatch == (metrics.Cost{}) {
+		p.Dispatch = metrics.Cost{1, 1, 0}
+	}
+	if p.Heartbeat == (metrics.Cost{}) {
+		p.Heartbeat = metrics.Cost{1, 2, 0}
+	}
+	return p
+}
+
+// Outcome is one architecture's simulation result.
+type Outcome struct {
+	// Arch names the architecture.
+	Arch string
+	// Mix is the workload that ran.
+	Mix workload.Mix
+	// Hosts is per-host resource utilization (the bars of Figure 6).
+	Hosts []metrics.HostUsage
+	// Makespan is the bottleneck: the largest single-resource unit
+	// count on any host. With unit capacity per relative time this is
+	// the epoch length the architecture needs.
+	Makespan float64
+	// Total is the sum of all units consumed across hosts.
+	Total metrics.Cost
+	// Overhead is the coordination-only share of Total (dispatch +
+	// heartbeats), zero for non-grid architectures.
+	Overhead metrics.Cost
+}
+
+// HostCount returns the number of hosts the architecture used.
+func (o *Outcome) HostCount() int { return len(o.Hosts) }
+
+// MaxPerResource returns the largest per-host total for each resource.
+func (o *Outcome) MaxPerResource() metrics.Cost {
+	var mx metrics.Cost
+	for _, hu := range o.Hosts {
+		for i, v := range hu.Units {
+			if v > mx[i] {
+				mx[i] = v
+			}
+		}
+	}
+	return mx
+}
+
+// run-time accounting shared by the architectures.
+type run struct {
+	params   Params
+	ledger   metrics.Ledger
+	overhead metrics.Cost
+}
+
+func (r *run) charge(host, task string, c metrics.Cost) {
+	r.ledger.Host(host).Charge(task, c)
+}
+
+func (r *run) chargeOverhead(host, task string, c metrics.Cost) {
+	r.charge(host, task, c)
+	r.overhead = r.overhead.Add(c)
+}
+
+func (r *run) outcome(arch string, mix workload.Mix) *Outcome {
+	hosts := r.ledger.Snapshot()
+	out := &Outcome{Arch: arch, Mix: mix, Hosts: hosts, Overhead: r.overhead}
+	for _, hu := range hosts {
+		out.Total = out.Total.Add(hu.Units)
+		for _, res := range metrics.Resources() {
+			if v := hu.Units.Get(res); v > out.Makespan {
+				out.Makespan = v
+			}
+		}
+	}
+	return out
+}
+
+// transfer charges a network-only move of `units` to both endpoints, as
+// each host's NIC carries the traffic.
+func (r *run) transfer(from, to, task string, units float64) {
+	c := metrics.Cost{metrics.Network: units}
+	r.charge(from, task, c)
+	r.charge(to, task, c)
+}
+
+// Architecture is one of the three management models compared in §4.
+type Architecture interface {
+	// Name labels the architecture in reports.
+	Name() string
+	// Run simulates the mix and returns the outcome.
+	Run(mix workload.Mix) *Outcome
+}
+
+// Sanity guard for cost lookups shared by architectures.
+func reqNet(p Params, k metrics.RequestKind) float64 {
+	return p.Model.Request(k).Get(metrics.Network)
+}
+
+// roundKinds enumerates the request kinds of one complete round.
+func roundKinds() []metrics.RequestKind { return metrics.Kinds() }
+
+// FormatOutcome renders an outcome in the layout of a Figure 6 panel.
+func FormatOutcome(o *Outcome) string {
+	s := fmt.Sprintf("%s (%s)\n", o.Arch, o.Mix)
+	s += metrics.RenderUsage(o.Hosts)
+	s += fmt.Sprintf("makespan (bottleneck units): %.0f\n", o.Makespan)
+	s += fmt.Sprintf("total units: CPU %.0f, Network %.0f, Disc %.0f (overhead %.0f)\n",
+		o.Total.Get(metrics.CPU), o.Total.Get(metrics.Network), o.Total.Get(metrics.Disc),
+		o.Overhead.Total())
+	return s
+}
+
+// almostEqual guards float comparisons in invariants and tests.
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-6 }

@@ -1,0 +1,308 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"agentgrid/internal/loadbalance"
+	"agentgrid/internal/metrics"
+	"agentgrid/internal/workload"
+)
+
+func host(o *Outcome, name string) (metrics.HostUsage, bool) {
+	for _, hu := range o.Hosts {
+		if hu.Host == name {
+			return hu, true
+		}
+	}
+	return metrics.HostUsage{}, false
+}
+
+func TestCentralizedAccounting(t *testing.T) {
+	// Hand-checked totals for one round (1 request of each type):
+	// CPU: requests 3*10 + parse 3*15 + storing 3*5 + inf 3*20 + cross 40 = 190
+	// Net: 5+10+15 = 30
+	// Disc: storing 3*10 + inf 3*5 + cross 8 = 53
+	o := Centralized{}.Run(workload.Mix{A: 1, B: 1, C: 1})
+	m, ok := host(o, "Manager")
+	if !ok {
+		t.Fatal("no Manager host")
+	}
+	want := metrics.Cost{190, 30, 53}
+	if m.Units != want {
+		t.Fatalf("manager units = %v, want %v", m.Units, want)
+	}
+	if o.HostCount() != 1 {
+		t.Fatalf("hosts = %d", o.HostCount())
+	}
+	if o.Makespan != 190 {
+		t.Fatalf("makespan = %v", o.Makespan)
+	}
+	if o.Overhead.Total() != 0 {
+		t.Fatalf("centralized overhead = %v", o.Overhead)
+	}
+}
+
+func TestCentralizedScalesLinearly(t *testing.T) {
+	o1 := Centralized{}.Run(workload.Mix{A: 1, B: 1, C: 1})
+	o10 := Centralized{}.Run(workload.PaperMix())
+	if o10.Makespan != 10*o1.Makespan {
+		t.Fatalf("makespan 1->10: %v -> %v", o1.Makespan, o10.Makespan)
+	}
+}
+
+func TestMultiAgentAccounting(t *testing.T) {
+	o := MultiAgent{Collectors: 2}.Run(workload.PaperMix())
+	if o.HostCount() != 3 {
+		t.Fatalf("hosts = %v", o.Hosts)
+	}
+	m, _ := host(o, "Manager")
+	c1, _ := host(o, "Collector 1")
+	c2, _ := host(o, "Collector 2")
+	// Collectors absorb request+parse CPU; manager keeps storing+inference.
+	// Manager CPU per round: 3*5 + 3*20 + 40 = 115; over 10 rounds: 1150.
+	if got := m.Units.Get(metrics.CPU); got != 1150 {
+		t.Fatalf("manager CPU = %v", got)
+	}
+	// Collector CPU: 15 requests each: 15*(10+15) = 375.
+	if c1.Units.Get(metrics.CPU) != 375 || c2.Units.Get(metrics.CPU) != 375 {
+		t.Fatalf("collector CPU = %v / %v", c1.Units.Get(metrics.CPU), c2.Units.Get(metrics.CPU))
+	}
+	// Manager network: only parsed transfers: 0.4 * (10*(5+10+15)) = 120.
+	if got := m.Units.Get(metrics.Network); got != 120 {
+		t.Fatalf("manager network = %v", got)
+	}
+}
+
+func TestFigure6QualitativeShape(t *testing.T) {
+	a, b, c := Figure6(DefaultParams())
+
+	// (a): the single manager dominates; its network load is the
+	// highest network reading of all three models (raw data on the wire).
+	aMgr, _ := host(a, "Manager")
+	bMgr, _ := host(b, "Manager")
+	if aMgr.Units.Get(metrics.Network) <= bMgr.Units.Get(metrics.Network) {
+		t.Fatal("centralized manager network should exceed multi-agent manager network")
+	}
+	maxNet := func(o *Outcome) float64 { return o.MaxPerResource().Get(metrics.Network) }
+	if maxNet(a) <= maxNet(b) || maxNet(a) <= maxNet(c) {
+		t.Fatalf("centralized should have the highest per-host network: %v %v %v",
+			maxNet(a), maxNet(b), maxNet(c))
+	}
+
+	// (b): manager CPU is still the bottleneck, but lower than (a).
+	if bMgr.Units.Get(metrics.CPU) >= aMgr.Units.Get(metrics.CPU) {
+		t.Fatal("multi-agent manager CPU should drop vs centralized")
+	}
+	if b.Makespan >= a.Makespan {
+		t.Fatal("multi-agent should beat centralized on makespan")
+	}
+	// The multi-agent bottleneck is the manager's CPU.
+	if b.Makespan != bMgr.Units.Get(metrics.CPU) {
+		t.Fatalf("multi-agent bottleneck should be manager CPU: %v vs %v",
+			b.Makespan, bMgr.Units.Get(metrics.CPU))
+	}
+
+	// (c): six hosts, far lower per-host peak: "extensive work load
+	// balancing thus improving resource utilization and allowing higher
+	// scalability".
+	if c.HostCount() != 6 {
+		t.Fatalf("grid hosts = %v", c.Hosts)
+	}
+	if c.Makespan >= b.Makespan || c.Makespan >= a.Makespan {
+		t.Fatalf("grid makespan %v should be lowest (%v, %v)", c.Makespan, a.Makespan, b.Makespan)
+	}
+	// Both analyzers got work (the balancer spread inference).
+	m1, ok1 := host(c, "Manager 1")
+	m2, ok2 := host(c, "Manager 2")
+	if !ok1 || !ok2 {
+		t.Fatalf("analyzers missing: %v", c.Hosts)
+	}
+	if m1.Units.Get(metrics.CPU) == 0 || m2.Units.Get(metrics.CPU) == 0 {
+		t.Fatal("an analyzer did no work")
+	}
+	// Grid pays coordination overhead the others do not.
+	if c.Overhead.Total() == 0 {
+		t.Fatal("grid overhead missing")
+	}
+	// Total useful work is conserved across architectures up to
+	// transfer/overhead deltas: CPU totals must be identical for (a)
+	// and (b) collectors+manager, and grid CPU = that + dispatch CPU.
+	if a.Total.Get(metrics.CPU) != b.Total.Get(metrics.CPU) {
+		t.Fatalf("CPU total changed between (a) %v and (b) %v",
+			a.Total.Get(metrics.CPU), b.Total.Get(metrics.CPU))
+	}
+}
+
+func TestFigure6Deterministic(t *testing.T) {
+	a1, b1, c1 := Figure6(DefaultParams())
+	a2, b2, c2 := Figure6(DefaultParams())
+	if FormatOutcome(a1) != FormatOutcome(a2) ||
+		FormatOutcome(b1) != FormatOutcome(b2) ||
+		FormatOutcome(c1) != FormatOutcome(c2) {
+		t.Fatal("simulation not deterministic")
+	}
+}
+
+func TestAgentGridOverheadToggle(t *testing.T) {
+	mix := workload.PaperMix()
+	with := AgentGrid{Collectors: 3, Analyzers: 2}.Run(mix)
+	without := AgentGrid{Collectors: 3, Analyzers: 2, DisableOverhead: true}.Run(mix)
+	if without.Overhead.Total() != 0 {
+		t.Fatalf("overhead not disabled: %v", without.Overhead)
+	}
+	if with.Total.Total() <= without.Total.Total() {
+		t.Fatal("overhead did not increase totals")
+	}
+}
+
+func TestFormatOutcome(t *testing.T) {
+	o := Centralized{}.Run(workload.Mix{A: 1, B: 1, C: 1})
+	s := FormatOutcome(o)
+	for _, want := range []string{"centralized", "Manager", "makespan", "total units"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("FormatOutcome missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCrossoverShape(t *testing.T) {
+	volumes := []int{1, 2, 3, 4, 6, 8, 12, 16, 24, 32}
+	res := Crossover(DefaultParams(), volumes)
+	if len(res.Points) != len(volumes) {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// Makespans are monotone in volume, and the grid's is always the
+	// smallest.
+	for i, pt := range res.Points {
+		if pt.AgentGrid >= pt.Centralized || pt.AgentGrid >= pt.MultiAgent {
+			t.Fatalf("grid not fastest at volume %d: %+v", pt.Volume, pt)
+		}
+		if i > 0 && pt.Centralized <= res.Points[i-1].Centralized {
+			t.Fatal("centralized makespan not increasing")
+		}
+	}
+	// The paper's claim: the centralized model stops fitting the epoch
+	// first; the grid survives to larger volumes.
+	if res.CentralizedLimit == 0 || res.GridLimit <= res.CentralizedLimit {
+		t.Fatalf("limits: centralized %d, multi-agent %d, grid %d",
+			res.CentralizedLimit, res.MultiAgentLimit, res.GridLimit)
+	}
+	if res.MultiAgentLimit < res.CentralizedLimit {
+		t.Fatal("multi-agent should outlast centralized")
+	}
+	if res.Advantage < 0 {
+		t.Fatalf("no advantage point found: %s", res.Format())
+	}
+	out := res.Format()
+	if !strings.Contains(out, "epoch deadline") {
+		t.Fatalf("Format missing deadline:\n%s", out)
+	}
+}
+
+func TestScalingShape(t *testing.T) {
+	counts := []int{1, 2, 4, 8, 16}
+	pts := Scaling(DefaultParams(), workload.PaperMix().Scaled(8), counts)
+	if len(pts) != len(counts) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	// Analyzer peak falls (weakly) as hosts are added; speedup grows.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].AnalyzerPeak > pts[i-1].AnalyzerPeak {
+			t.Fatalf("analyzer peak rose: %+v -> %+v", pts[i-1], pts[i])
+		}
+	}
+	if pts[len(pts)-1].Speedup < 4 {
+		t.Fatalf("16 analyzers speedup = %v, want >= 4", pts[len(pts)-1].Speedup)
+	}
+	if pts[0].Speedup != 1 {
+		t.Fatalf("base speedup = %v", pts[0].Speedup)
+	}
+	if !strings.Contains(FormatScaling(pts), "analyzers") {
+		t.Fatal("FormatScaling broken")
+	}
+}
+
+func TestBalancerAblation(t *testing.T) {
+	pts := BalancerAblation(DefaultParams(), workload.PaperMix().Scaled(4), 4, 42)
+	if len(pts) != len(loadbalance.Strategies()) {
+		t.Fatalf("points = %d", len(pts))
+	}
+	byName := map[string]BalancerPoint{}
+	for _, pt := range pts {
+		byName[pt.Strategy] = pt
+		if pt.Imbalance < 1 {
+			t.Fatalf("%s imbalance %v < 1", pt.Strategy, pt.Imbalance)
+		}
+	}
+	// Load-aware strategies must not be worse than random placement.
+	if byName["least-loaded"].Imbalance > byName["random"].Imbalance {
+		t.Fatalf("least-loaded (%v) worse than random (%v)",
+			byName["least-loaded"].Imbalance, byName["random"].Imbalance)
+	}
+	if byName["capability"].Imbalance > byName["random"].Imbalance+0.2 {
+		t.Fatalf("capability far worse than random: %+v", pts)
+	}
+	if !strings.Contains(FormatBalancers(pts), "strategy") {
+		t.Fatal("FormatBalancers broken")
+	}
+}
+
+func TestMobilityStudy(t *testing.T) {
+	pts := MobilityStudy(DefaultParams(), 30, []int{1, 2, 4, 8, 16})
+	// Ship-data cost grows with rounds; migration is flat.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].ShipData <= pts[i-1].ShipData {
+			t.Fatal("ship-data cost not growing")
+		}
+		if pts[i].MigrateAgent != pts[0].MigrateAgent {
+			t.Fatal("migration cost should be one-time")
+		}
+	}
+	be := MobilityBreakEven(pts)
+	if be <= 1 {
+		t.Fatalf("break-even = %d, want > 1 (migration has upfront cost)", be)
+	}
+	if !strings.Contains(FormatMobility(pts), "migration pays") {
+		t.Fatal("FormatMobility missing break-even line")
+	}
+	// A huge agent never pays off within the horizon.
+	never := MobilityStudy(DefaultParams(), 1e9, []int{1, 2, 4})
+	if MobilityBreakEven(never) != -1 {
+		t.Fatal("impossible break-even reported")
+	}
+}
+
+func TestClusteringStudy(t *testing.T) {
+	pts := ClusteringStudy(100, 4, 8, 7)
+	byName := map[string]ClusteringPoint{}
+	for _, pt := range pts {
+		byName[pt.Strategy] = pt
+	}
+	da := byName["device-affinity"]
+	rs := byName["random-shard"]
+	if da.Recall != 1.0 {
+		t.Fatalf("device-affinity recall = %v", da.Recall)
+	}
+	if rs.Recall >= 0.5 {
+		t.Fatalf("random-shard recall = %v, should lose most correlations", rs.Recall)
+	}
+	if da.Clusters != 100 {
+		t.Fatalf("device-affinity clusters = %d", da.Clusters)
+	}
+	if !strings.Contains(FormatClustering(pts), "recall") {
+		t.Fatal("FormatClustering broken")
+	}
+}
+
+func TestCustomSchedulerInjection(t *testing.T) {
+	// Round-robin placement is deterministic and alternates analyzers.
+	o := AgentGrid{Collectors: 3, Analyzers: 2, Scheduler: loadbalance.NewRoundRobin()}.Run(workload.PaperMix())
+	m1, _ := host(o, "Manager 1")
+	m2, _ := host(o, "Manager 2")
+	d1 := m1.Units.Get(metrics.CPU)
+	d2 := m2.Units.Get(metrics.CPU)
+	if d1 == 0 || d2 == 0 {
+		t.Fatalf("round-robin starved an analyzer: %v / %v", d1, d2)
+	}
+}

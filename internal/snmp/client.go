@@ -1,0 +1,271 @@
+package snmp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// Client is the manager-side endpoint the collector grid uses to query
+// device agents. One client can talk to many devices; each call names the
+// target address. Safe for concurrent use (each request uses its own
+// ephemeral UDP socket, as managers traditionally do).
+type Client struct {
+	community string
+	timeout   time.Duration
+	retries   int
+	reqID     atomic.Uint32
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithTimeout sets the per-attempt response timeout (default 2s).
+func WithTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.timeout = d }
+}
+
+// WithRetries sets how many times a timed-out request is retried
+// (default 2, meaning up to 3 attempts).
+func WithRetries(n int) ClientOption {
+	return func(c *Client) { c.retries = n }
+}
+
+// NewClient returns a manager-side client using the given community.
+func NewClient(community string, opts ...ClientOption) *Client {
+	c := &Client{community: community, timeout: 2 * time.Second, retries: 2}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// Client errors.
+var (
+	ErrTimeout       = errors.New("snmp: request timed out")
+	ErrServerError   = errors.New("snmp: server returned error status")
+	ErrResponseShape = errors.New("snmp: malformed response")
+)
+
+// ServerStatusError carries the protocol error status of a response.
+type ServerStatusError struct {
+	Status ErrorStatus
+	Index  uint32
+}
+
+// Error implements the error interface.
+func (e *ServerStatusError) Error() string {
+	return fmt.Sprintf("snmp: %s at varbind %d", e.Status, e.Index)
+}
+
+// Is makes errors.Is(err, ErrServerError) match any status error.
+func (e *ServerStatusError) Is(target error) bool { return target == ErrServerError }
+
+// Get fetches the exact OIDs from the device at addr.
+func (c *Client) Get(ctx context.Context, addr string, oids ...OID) ([]VarBind, error) {
+	vbs := make([]VarBind, len(oids))
+	for i, o := range oids {
+		vbs[i] = VarBind{OID: o, Value: NullValue()}
+	}
+	resp, err := c.roundTrip(ctx, addr, &PDU{
+		Community: c.community,
+		Type:      GetRequest,
+		VarBinds:  vbs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.VarBinds) != len(oids) {
+		return nil, fmt.Errorf("%w: %d varbinds for %d oids", ErrResponseShape, len(resp.VarBinds), len(oids))
+	}
+	return resp.VarBinds, nil
+}
+
+// GetNext fetches the lexicographic successors of the given OIDs.
+func (c *Client) GetNext(ctx context.Context, addr string, oids ...OID) ([]VarBind, error) {
+	vbs := make([]VarBind, len(oids))
+	for i, o := range oids {
+		vbs[i] = VarBind{OID: o, Value: NullValue()}
+	}
+	resp, err := c.roundTrip(ctx, addr, &PDU{
+		Community: c.community,
+		Type:      GetNextRequest,
+		VarBinds:  vbs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp.VarBinds, nil
+}
+
+// Set writes the given varbinds on the device.
+func (c *Client) Set(ctx context.Context, addr string, vbs ...VarBind) error {
+	_, err := c.roundTrip(ctx, addr, &PDU{
+		Community: c.community,
+		Type:      SetRequest,
+		VarBinds:  vbs,
+	})
+	return err
+}
+
+// Walk retrieves every object in the subtree rooted at prefix via
+// repeated GETNEXT, in tree order.
+func (c *Client) Walk(ctx context.Context, addr string, prefix OID) ([]VarBind, error) {
+	var out []VarBind
+	cur := prefix
+	for {
+		vbs, err := c.GetNext(ctx, addr, cur)
+		if err != nil {
+			var se *ServerStatusError
+			if errors.As(err, &se) && se.Status == NoSuchName {
+				return out, nil // walked off the end of the MIB
+			}
+			return out, err
+		}
+		if len(vbs) != 1 {
+			return out, ErrResponseShape
+		}
+		vb := vbs[0]
+		if !vb.OID.HasPrefix(prefix) {
+			return out, nil // left the subtree
+		}
+		if vb.OID.Compare(cur) <= 0 {
+			return out, fmt.Errorf("%w: GETNEXT did not advance (%s)", ErrResponseShape, vb.OID)
+		}
+		out = append(out, vb)
+		cur = vb.OID
+	}
+}
+
+// roundTrip sends the PDU and waits for the matching response, retrying
+// timeouts.
+func (c *Client) roundTrip(ctx context.Context, addr string, req *PDU) (*PDU, error) {
+	req.RequestID = c.reqID.Add(1)
+	raw, err := MarshalPDU(req)
+	if err != nil {
+		return nil, err
+	}
+	dst, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("snmp: resolve %s: %w", addr, err)
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		resp, err := c.attempt(ctx, dst, raw, req.RequestID)
+		if err == nil {
+			if resp.ErrorStatus != NoError {
+				return nil, &ServerStatusError{Status: resp.ErrorStatus, Index: resp.ErrorIndex}
+			}
+			return resp, nil
+		}
+		lastErr = err
+		if !errors.Is(err, ErrTimeout) {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("%w after %d attempts: %v", ErrTimeout, c.retries+1, lastErr)
+}
+
+func (c *Client) attempt(ctx context.Context, dst *net.UDPAddr, raw []byte, reqID uint32) (*PDU, error) {
+	conn, err := net.DialUDP("udp", nil, dst)
+	if err != nil {
+		return nil, fmt.Errorf("snmp: dial: %w", err)
+	}
+	defer conn.Close()
+
+	deadline := time.Now().Add(c.timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	if err := conn.SetDeadline(deadline); err != nil {
+		return nil, err
+	}
+	if _, err := conn.Write(raw); err != nil {
+		return nil, fmt.Errorf("snmp: send: %w", err)
+	}
+	buf := make([]byte, 64<<10)
+	for {
+		n, err := conn.Read(buf)
+		if err != nil {
+			if isTimeout(err) {
+				return nil, ErrTimeout
+			}
+			return nil, fmt.Errorf("snmp: recv: %w", err)
+		}
+		resp, err := UnmarshalPDU(buf[:n])
+		if err != nil {
+			continue // garbage datagram; keep waiting
+		}
+		if resp.RequestID != reqID || resp.Type != GetResponse {
+			continue // stale or unrelated response
+		}
+		return resp, nil
+	}
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// TrapListener receives trap PDUs from device agents.
+type TrapListener struct {
+	conn   *net.UDPConn
+	traps  chan *PDU
+	closed atomic.Bool
+}
+
+// NewTrapListener starts listening for traps on addr ("host:port").
+func NewTrapListener(addr string, buffer int) (*TrapListener, error) {
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, err
+	}
+	l := &TrapListener{conn: conn, traps: make(chan *PDU, buffer)}
+	go l.loop()
+	return l, nil
+}
+
+// Addr returns the listener's UDP address.
+func (l *TrapListener) Addr() string { return l.conn.LocalAddr().String() }
+
+// Traps returns the channel of received traps. It is closed when the
+// listener closes.
+func (l *TrapListener) Traps() <-chan *PDU { return l.traps }
+
+// Close stops the listener.
+func (l *TrapListener) Close() error {
+	if l.closed.Swap(true) {
+		return nil
+	}
+	return l.conn.Close()
+}
+
+func (l *TrapListener) loop() {
+	defer close(l.traps)
+	buf := make([]byte, 64<<10)
+	for {
+		n, _, err := l.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		pdu, err := UnmarshalPDU(buf[:n])
+		if err != nil || pdu.Type != Trap {
+			continue
+		}
+		select {
+		case l.traps <- pdu:
+		default: // drop when consumer is slow, as UDP would
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package snmp
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func startServer(t *testing.T, community string, opts ...ServerOption) (*Server, *MIB) {
+	t.Helper()
+	mib := buildMIB(t)
+	srv, err := NewServer("127.0.0.1:0", community, mib, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, mib
+}
+
+func TestClientGet(t *testing.T) {
+	srv, _ := startServer(t, "public")
+	cli := NewClient("public", WithTimeout(time.Second))
+	vbs, err := cli.Get(context.Background(), srv.Addr(),
+		MustParseOID("1.3.6.1.2.1.1.1.0"),
+		MustParseOID("1.3.6.1.2.1.25.1.2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vbs) != 2 || vbs[0].Value.Str != "test-device" || vbs[1].Value.Int != 20 {
+		t.Fatalf("Get = %+v", vbs)
+	}
+}
+
+func TestClientGetNoSuchName(t *testing.T) {
+	srv, _ := startServer(t, "public")
+	cli := NewClient("public", WithTimeout(time.Second))
+	_, err := cli.Get(context.Background(), srv.Addr(), MustParseOID("9.9.9"))
+	var se *ServerStatusError
+	if !errors.As(err, &se) || se.Status != NoSuchName || se.Index != 1 {
+		t.Fatalf("Get missing = %v", err)
+	}
+	if !errors.Is(err, ErrServerError) {
+		t.Fatal("status error should match ErrServerError")
+	}
+}
+
+func TestClientWrongCommunityTimesOut(t *testing.T) {
+	srv, _ := startServer(t, "secret")
+	cli := NewClient("wrong", WithTimeout(100*time.Millisecond), WithRetries(0))
+	_, err := cli.Get(context.Background(), srv.Addr(), MustParseOID("1.3.6.1.2.1.1.1.0"))
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("wrong community = %v, want timeout (silent drop)", err)
+	}
+	_, denied := srv.Stats()
+	if denied == 0 {
+		t.Fatal("denied counter not bumped")
+	}
+}
+
+func TestClientWalk(t *testing.T) {
+	srv, _ := startServer(t, "public")
+	cli := NewClient("public", WithTimeout(time.Second))
+	vbs, err := cli.Walk(context.Background(), srv.Addr(), MustParseOID("1.3.6.1.2.1.25"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vbs) != 3 {
+		t.Fatalf("Walk = %d objects, want 3", len(vbs))
+	}
+	for i, vb := range vbs {
+		if want := int64((i + 1) * 10); vb.Value.Int != want {
+			t.Fatalf("walk[%d] = %v, want %d", i, vb.Value, want)
+		}
+	}
+	// Walking the entire tree terminates at end-of-MIB.
+	all, err := cli.Walk(context.Background(), srv.Addr(), MustParseOID("1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 5 {
+		t.Fatalf("full walk = %d objects, want 5", len(all))
+	}
+}
+
+func TestClientSet(t *testing.T) {
+	mib := NewMIB()
+	var mu sync.Mutex
+	cur := IntegerValue(1)
+	mib.RegisterWritable(MustParseOID("1.1"),
+		func() Value { mu.Lock(); defer mu.Unlock(); return cur },
+		func(v Value) error { mu.Lock(); cur = v; mu.Unlock(); return nil })
+	mib.RegisterScalar(MustParseOID("1.2"), IntegerValue(7))
+	srv, err := NewServer("127.0.0.1:0", "public", mib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	cli := NewClient("public", WithTimeout(time.Second))
+	if err := cli.Set(context.Background(), srv.Addr(), VarBind{OID: MustParseOID("1.1"), Value: IntegerValue(42)}); err != nil {
+		t.Fatal(err)
+	}
+	vbs, err := cli.Get(context.Background(), srv.Addr(), MustParseOID("1.1"))
+	if err != nil || vbs[0].Value.Int != 42 {
+		t.Fatalf("after set: %+v, %v", vbs, err)
+	}
+
+	err = cli.Set(context.Background(), srv.Addr(), VarBind{OID: MustParseOID("1.2"), Value: IntegerValue(1)})
+	var se *ServerStatusError
+	if !errors.As(err, &se) || se.Status != ReadOnly {
+		t.Fatalf("read-only set = %v", err)
+	}
+	err = cli.Set(context.Background(), srv.Addr(), VarBind{OID: MustParseOID("8.8"), Value: IntegerValue(1)})
+	if !errors.As(err, &se) || se.Status != NoSuchName {
+		t.Fatalf("missing set = %v", err)
+	}
+}
+
+func TestClientTimeoutOnDeadAddress(t *testing.T) {
+	cli := NewClient("public", WithTimeout(50*time.Millisecond), WithRetries(1))
+	start := time.Now()
+	_, err := cli.Get(context.Background(), "127.0.0.1:1", MustParseOID("1.1"))
+	if err == nil {
+		t.Fatal("dead address succeeded")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("timeout took too long")
+	}
+}
+
+func TestClientContextCancel(t *testing.T) {
+	srv, _ := startServer(t, "nope") // community mismatch => server stays silent
+	cli := NewClient("public", WithTimeout(10*time.Second), WithRetries(0))
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := cli.Get(ctx, srv.Addr(), MustParseOID("1.1"))
+	if err == nil {
+		t.Fatal("cancelled request succeeded")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("context deadline not honored")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv, _ := startServer(t, "public")
+	cli := NewClient("public", WithTimeout(2*time.Second))
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 4; j++ {
+				if _, err := cli.Get(context.Background(), srv.Addr(), MustParseOID("1.3.6.1.2.1.1.1.0")); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	served, _ := srv.Stats()
+	if served < 32 {
+		t.Fatalf("served = %d", served)
+	}
+}
+
+func TestTrapDelivery(t *testing.T) {
+	listener, err := NewTrapListener("127.0.0.1:0", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer listener.Close()
+
+	mib := buildMIB(t)
+	srv, err := NewServer("127.0.0.1:0", "public", mib, WithTrapDestination(listener.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	want := []VarBind{{OID: MustParseOID("1.3.6.1.6.3.1.1.5.3"), Value: StringValue("linkDown")}}
+	if err := srv.SendTrap(want); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case trap := <-listener.Traps():
+		if trap.Type != Trap || len(trap.VarBinds) != 1 || trap.VarBinds[0].Value.Str != "linkDown" {
+			t.Fatalf("trap = %+v", trap)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("trap never arrived")
+	}
+}
+
+func TestTrapWithoutDestination(t *testing.T) {
+	mib := buildMIB(t)
+	srv, err := NewServer("127.0.0.1:0", "public", mib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := srv.SendTrap(nil); err == nil {
+		t.Fatal("trap without destination succeeded")
+	}
+}
+
+func TestServerRejectsNilMIB(t *testing.T) {
+	if _, err := NewServer("127.0.0.1:0", "public", nil); err == nil {
+		t.Fatal("nil MIB accepted")
+	}
+}
+
+func TestServerDoubleClose(t *testing.T) {
+	srv, _ := startServer(t, "public")
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal("double close errored")
+	}
+}

@@ -1,0 +1,167 @@
+package snmp
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// GetFunc produces the current value of a managed object at read time,
+// letting devices expose live metrics.
+type GetFunc func() Value
+
+// SetFunc applies a write to a managed object. Returning an error maps to
+// a badValue response.
+type SetFunc func(Value) error
+
+// mibEntry is one managed object.
+type mibEntry struct {
+	oid OID
+	get GetFunc
+	set SetFunc // nil = read-only
+}
+
+// MIB is a device's tree of managed objects. It supports exact lookup
+// (GET), lexicographic successor lookup (GETNEXT / walks) and guarded
+// writes (SET). Safe for concurrent use.
+type MIB struct {
+	mu      sync.RWMutex
+	entries []mibEntry // sorted by OID
+}
+
+// MIB errors.
+var (
+	ErrNoSuchObject = errors.New("snmp: no such object")
+	ErrEndOfMIB     = errors.New("snmp: end of MIB")
+	ErrReadOnly     = errors.New("snmp: read-only object")
+	ErrDupObject    = errors.New("snmp: object already registered")
+)
+
+// NewMIB returns an empty MIB.
+func NewMIB() *MIB { return &MIB{} }
+
+// Register adds a dynamic managed object. get must be non-nil; set may be
+// nil for read-only objects.
+func (m *MIB) Register(oid OID, get GetFunc, set SetFunc) error {
+	if get == nil {
+		return fmt.Errorf("snmp: nil GetFunc for %s", oid)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	i := m.search(oid)
+	if i < len(m.entries) && m.entries[i].oid.Equal(oid) {
+		return fmt.Errorf("%w: %s", ErrDupObject, oid)
+	}
+	m.entries = append(m.entries, mibEntry{})
+	copy(m.entries[i+1:], m.entries[i:])
+	m.entries[i] = mibEntry{oid: oid.Clone(), get: get, set: set}
+	return nil
+}
+
+// RegisterScalar adds a read-only object with a constant value.
+func (m *MIB) RegisterScalar(oid OID, v Value) error {
+	return m.Register(oid, func() Value { return v }, nil)
+}
+
+// RegisterWritable adds an object backed by get/set callbacks.
+func (m *MIB) RegisterWritable(oid OID, get GetFunc, set SetFunc) error {
+	if set == nil {
+		return fmt.Errorf("snmp: nil SetFunc for writable %s", oid)
+	}
+	return m.Register(oid, get, set)
+}
+
+// search returns the insertion index for oid. Caller holds a lock.
+func (m *MIB) search(oid OID) int {
+	return sort.Search(len(m.entries), func(i int) bool {
+		return m.entries[i].oid.Compare(oid) >= 0
+	})
+}
+
+// Get returns the current value of the exact OID.
+func (m *MIB) Get(oid OID) (Value, error) {
+	m.mu.RLock()
+	i := m.search(oid)
+	var get GetFunc
+	if i < len(m.entries) && m.entries[i].oid.Equal(oid) {
+		get = m.entries[i].get
+	}
+	m.mu.RUnlock()
+	if get == nil {
+		return Value{}, fmt.Errorf("%w: %s", ErrNoSuchObject, oid)
+	}
+	return get(), nil
+}
+
+// Next returns the first registered OID strictly after oid together with
+// its value — the GETNEXT operation that makes tree walks possible.
+func (m *MIB) Next(oid OID) (OID, Value, error) {
+	m.mu.RLock()
+	i := m.search(oid)
+	// Skip the exact match: GETNEXT is strictly greater.
+	if i < len(m.entries) && m.entries[i].oid.Equal(oid) {
+		i++
+	}
+	if i >= len(m.entries) {
+		m.mu.RUnlock()
+		return nil, Value{}, ErrEndOfMIB
+	}
+	next := m.entries[i].oid.Clone()
+	get := m.entries[i].get
+	m.mu.RUnlock()
+	return next, get(), nil
+}
+
+// Set writes a value to the OID.
+func (m *MIB) Set(oid OID, v Value) error {
+	m.mu.RLock()
+	i := m.search(oid)
+	var entry *mibEntry
+	if i < len(m.entries) && m.entries[i].oid.Equal(oid) {
+		entry = &m.entries[i]
+	}
+	var set SetFunc
+	if entry != nil {
+		set = entry.set
+	}
+	m.mu.RUnlock()
+	if entry == nil {
+		return fmt.Errorf("%w: %s", ErrNoSuchObject, oid)
+	}
+	if set == nil {
+		return fmt.Errorf("%w: %s", ErrReadOnly, oid)
+	}
+	return set(v)
+}
+
+// Len returns the number of registered objects.
+func (m *MIB) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.entries)
+}
+
+// WalkSubtree calls f with every object under prefix, in tree order.
+// f returning false stops the walk.
+func (m *MIB) WalkSubtree(prefix OID, f func(oid OID, v Value) bool) {
+	m.mu.RLock()
+	start := m.search(prefix)
+	type pair struct {
+		oid OID
+		get GetFunc
+	}
+	var pairs []pair
+	for i := start; i < len(m.entries); i++ {
+		if !m.entries[i].oid.HasPrefix(prefix) {
+			break
+		}
+		pairs = append(pairs, pair{m.entries[i].oid.Clone(), m.entries[i].get})
+	}
+	m.mu.RUnlock()
+	for _, p := range pairs {
+		if !f(p.oid, p.get()) {
+			return
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package snmp
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func buildMIB(t *testing.T) *MIB {
+	t.Helper()
+	m := NewMIB()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(m.RegisterScalar(MustParseOID("1.3.6.1.2.1.1.1.0"), StringValue("test-device")))
+	must(m.RegisterScalar(MustParseOID("1.3.6.1.2.1.1.5.0"), StringValue("host-1")))
+	must(m.RegisterScalar(MustParseOID("1.3.6.1.2.1.25.1.1"), GaugeValue(10)))
+	must(m.RegisterScalar(MustParseOID("1.3.6.1.2.1.25.1.2"), GaugeValue(20)))
+	must(m.RegisterScalar(MustParseOID("1.3.6.1.2.1.25.1.3"), GaugeValue(30)))
+	return m
+}
+
+func TestMIBGet(t *testing.T) {
+	m := buildMIB(t)
+	v, err := m.Get(MustParseOID("1.3.6.1.2.1.1.5.0"))
+	if err != nil || v.Str != "host-1" {
+		t.Fatalf("Get = %v, %v", v, err)
+	}
+	if _, err := m.Get(MustParseOID("9.9.9")); !errors.Is(err, ErrNoSuchObject) {
+		t.Fatalf("Get missing = %v", err)
+	}
+	if m.Len() != 5 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestMIBDynamicValue(t *testing.T) {
+	m := NewMIB()
+	calls := 0
+	m.Register(MustParseOID("1.1"), func() Value {
+		calls++
+		return IntegerValue(int64(calls))
+	}, nil)
+	v1, _ := m.Get(MustParseOID("1.1"))
+	v2, _ := m.Get(MustParseOID("1.1"))
+	if v1.Int != 1 || v2.Int != 2 {
+		t.Fatalf("dynamic values = %d, %d", v1.Int, v2.Int)
+	}
+}
+
+func TestMIBNextWalkOrder(t *testing.T) {
+	m := buildMIB(t)
+	// Walk the whole tree from the root.
+	var seen []string
+	cur := OID{1}
+	for {
+		next, _, err := m.Next(cur)
+		if errors.Is(err, ErrEndOfMIB) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen = append(seen, next.String())
+		cur = next
+	}
+	want := []string{
+		".1.3.6.1.2.1.1.1.0",
+		".1.3.6.1.2.1.1.5.0",
+		".1.3.6.1.2.1.25.1.1",
+		".1.3.6.1.2.1.25.1.2",
+		".1.3.6.1.2.1.25.1.3",
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("walked %v", seen)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("walk[%d] = %s, want %s", i, seen[i], want[i])
+		}
+	}
+}
+
+func TestMIBNextStrictlyAfter(t *testing.T) {
+	m := buildMIB(t)
+	next, _, err := m.Next(MustParseOID("1.3.6.1.2.1.1.1.0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next.String() != ".1.3.6.1.2.1.1.5.0" {
+		t.Fatalf("Next = %s", next)
+	}
+	// Next from past the last object is end-of-mib.
+	if _, _, err := m.Next(MustParseOID("2")); !errors.Is(err, ErrEndOfMIB) {
+		t.Fatalf("Next past end = %v", err)
+	}
+}
+
+func TestMIBSet(t *testing.T) {
+	m := NewMIB()
+	stored := IntegerValue(1)
+	var mu sync.Mutex
+	m.RegisterWritable(MustParseOID("1.1"),
+		func() Value { mu.Lock(); defer mu.Unlock(); return stored },
+		func(v Value) error {
+			if v.Type != TypeInteger {
+				return fmt.Errorf("want integer")
+			}
+			mu.Lock()
+			stored = v
+			mu.Unlock()
+			return nil
+		})
+	m.RegisterScalar(MustParseOID("1.2"), IntegerValue(9))
+
+	if err := m.Set(MustParseOID("1.1"), IntegerValue(77)); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := m.Get(MustParseOID("1.1"))
+	if v.Int != 77 {
+		t.Fatalf("after set = %v", v)
+	}
+	if err := m.Set(MustParseOID("1.1"), StringValue("no")); err == nil {
+		t.Fatal("bad value accepted")
+	}
+	if err := m.Set(MustParseOID("1.2"), IntegerValue(1)); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("read-only set = %v", err)
+	}
+	if err := m.Set(MustParseOID("9"), IntegerValue(1)); !errors.Is(err, ErrNoSuchObject) {
+		t.Fatalf("missing set = %v", err)
+	}
+}
+
+func TestMIBRegisterErrors(t *testing.T) {
+	m := NewMIB()
+	oid := MustParseOID("1.1")
+	if err := m.Register(oid, nil, nil); err == nil {
+		t.Error("nil get accepted")
+	}
+	if err := m.RegisterWritable(oid, func() Value { return NullValue() }, nil); err == nil {
+		t.Error("nil set accepted for writable")
+	}
+	m.RegisterScalar(oid, IntegerValue(1))
+	if err := m.RegisterScalar(oid, IntegerValue(2)); !errors.Is(err, ErrDupObject) {
+		t.Errorf("duplicate register = %v", err)
+	}
+}
+
+func TestMIBWalkSubtree(t *testing.T) {
+	m := buildMIB(t)
+	var got []string
+	m.WalkSubtree(MustParseOID("1.3.6.1.2.1.25"), func(oid OID, v Value) bool {
+		got = append(got, oid.String())
+		return true
+	})
+	if len(got) != 3 {
+		t.Fatalf("subtree walk = %v", got)
+	}
+	// Early stop.
+	count := 0
+	m.WalkSubtree(MustParseOID("1"), func(OID, Value) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("early stop walked %d", count)
+	}
+	// Empty subtree.
+	m.WalkSubtree(MustParseOID("7"), func(OID, Value) bool {
+		t.Fatal("walked nonexistent subtree")
+		return false
+	})
+}
+
+func TestMIBConcurrent(t *testing.T) {
+	m := NewMIB()
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				oid := OID{uint32(i), uint32(j)}
+				m.RegisterScalar(oid, IntegerValue(int64(j)))
+				m.Get(oid)
+				m.Next(OID{uint32(i)})
+				m.WalkSubtree(OID{uint32(i)}, func(OID, Value) bool { return true })
+			}
+		}(i)
+	}
+	wg.Wait()
+	if m.Len() != 200 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}

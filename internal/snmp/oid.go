@@ -1,0 +1,112 @@
+// Package snmp implements the compact management protocol the collector
+// grid uses to pull data from managed devices — the role SNMP plays in
+// the paper ("a collecting agent can have an SNMP interface", §3.1).
+//
+// The protocol is a faithful functional subset of SNMP: object
+// identifiers arranged in a MIB tree, GET / GETNEXT / SET / TRAP PDUs
+// with community-based access control, and an agent/manager split over
+// UDP. The wire encoding is a compact binary format rather than BER; the
+// PDU structure and semantics match SNMPv2c.
+package snmp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// OID is an object identifier: a path in the MIB tree.
+type OID []uint32
+
+// ParseOID parses dotted notation such as ".1.3.6.1.2.1.25.3.3.1.2" or
+// "1.3.6.1". An empty or malformed string is an error.
+func ParseOID(s string) (OID, error) {
+	s = strings.TrimPrefix(s, ".")
+	if s == "" {
+		return nil, fmt.Errorf("snmp: empty OID")
+	}
+	parts := strings.Split(s, ".")
+	oid := make(OID, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseUint(p, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("snmp: bad OID component %q: %w", p, err)
+		}
+		oid[i] = uint32(v)
+	}
+	return oid, nil
+}
+
+// MustParseOID is ParseOID that panics; for static tables in code.
+func MustParseOID(s string) OID {
+	oid, err := ParseOID(s)
+	if err != nil {
+		panic(err)
+	}
+	return oid
+}
+
+// String renders the OID in dotted notation with a leading dot.
+func (o OID) String() string {
+	if len(o) == 0 {
+		return "."
+	}
+	var b strings.Builder
+	for _, c := range o {
+		b.WriteByte('.')
+		b.WriteString(strconv.FormatUint(uint64(c), 10))
+	}
+	return b.String()
+}
+
+// Clone returns a copy of the OID.
+func (o OID) Clone() OID {
+	return append(OID(nil), o...)
+}
+
+// Append returns a new OID with extra components appended.
+func (o OID) Append(components ...uint32) OID {
+	out := make(OID, 0, len(o)+len(components))
+	out = append(out, o...)
+	return append(out, components...)
+}
+
+// Compare orders OIDs lexicographically (the MIB tree walk order):
+// -1 if o < other, 0 if equal, +1 if o > other.
+func (o OID) Compare(other OID) int {
+	n := len(o)
+	if len(other) < n {
+		n = len(other)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case o[i] < other[i]:
+			return -1
+		case o[i] > other[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(o) < len(other):
+		return -1
+	case len(o) > len(other):
+		return 1
+	}
+	return 0
+}
+
+// Equal reports whether two OIDs are identical.
+func (o OID) Equal(other OID) bool { return o.Compare(other) == 0 }
+
+// HasPrefix reports whether o starts with prefix (subtree membership).
+func (o OID) HasPrefix(prefix OID) bool {
+	if len(prefix) > len(o) {
+		return false
+	}
+	for i, c := range prefix {
+		if o[i] != c {
+			return false
+		}
+	}
+	return true
+}

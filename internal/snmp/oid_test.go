@@ -1,0 +1,161 @@
+package snmp
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseOID(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    string
+		wantErr bool
+	}{
+		{".1.3.6.1", ".1.3.6.1", false},
+		{"1.3.6.1", ".1.3.6.1", false},
+		{"1", ".1", false},
+		{"", "", true},
+		{".", "", true},
+		{"1..3", "", true},
+		{"1.x.3", "", true},
+		{"1.-2", "", true},
+		{"1.4294967295", ".1.4294967295", false},
+		{"1.4294967296", "", true}, // overflows uint32
+	}
+	for _, tc := range cases {
+		got, err := ParseOID(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseOID(%q) accepted, got %v", tc.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseOID(%q) = %v", tc.in, err)
+			continue
+		}
+		if got.String() != tc.want {
+			t.Errorf("ParseOID(%q).String() = %q, want %q", tc.in, got.String(), tc.want)
+		}
+	}
+}
+
+func TestMustParseOIDPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParseOID did not panic")
+		}
+	}()
+	MustParseOID("not an oid")
+}
+
+func TestOIDStringEmpty(t *testing.T) {
+	if got := (OID{}).String(); got != "." {
+		t.Fatalf("empty OID String = %q", got)
+	}
+}
+
+func TestOIDCompare(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"1.2.3", "1.2.3", 0},
+		{"1.2", "1.2.3", -1},
+		{"1.2.3", "1.2", 1},
+		{"1.2.3", "1.2.4", -1},
+		{"1.3", "1.2.9.9", 1},
+	}
+	for _, tc := range cases {
+		a, b := MustParseOID(tc.a), MustParseOID(tc.b)
+		if got := a.Compare(b); got != tc.want {
+			t.Errorf("Compare(%s,%s) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+	if !MustParseOID("1.2").Equal(MustParseOID("1.2")) {
+		t.Error("Equal wrong")
+	}
+}
+
+func TestOIDHasPrefix(t *testing.T) {
+	o := MustParseOID("1.3.6.1.2.1")
+	if !o.HasPrefix(MustParseOID("1.3.6")) {
+		t.Error("prefix not detected")
+	}
+	if !o.HasPrefix(o) {
+		t.Error("self prefix not detected")
+	}
+	if o.HasPrefix(MustParseOID("1.3.7")) {
+		t.Error("false prefix")
+	}
+	if o.HasPrefix(MustParseOID("1.3.6.1.2.1.5")) {
+		t.Error("longer prefix accepted")
+	}
+}
+
+func TestOIDAppendClone(t *testing.T) {
+	base := MustParseOID("1.3.6")
+	child := base.Append(1, 2)
+	if child.String() != ".1.3.6.1.2" {
+		t.Fatalf("Append = %s", child)
+	}
+	if base.String() != ".1.3.6" {
+		t.Fatal("Append mutated base")
+	}
+	c := base.Clone()
+	c[0] = 9
+	if base[0] == 9 {
+		t.Fatal("Clone aliased")
+	}
+	// Append must not share backing arrays with the base.
+	d1 := base.Append(7)
+	d2 := base.Append(8)
+	if d1[len(d1)-1] != 7 || d2[len(d2)-1] != 8 {
+		t.Fatal("Append results interfered")
+	}
+}
+
+func randOID(r *rand.Rand) OID {
+	o := make(OID, 1+r.Intn(10))
+	for i := range o {
+		o[i] = uint32(r.Intn(50))
+	}
+	return o
+}
+
+func TestOIDParseStringRoundtrip(t *testing.T) {
+	f := func(seed int64) bool {
+		o := randOID(rand.New(rand.NewSource(seed)))
+		parsed, err := ParseOID(o.String())
+		return err == nil && parsed.Equal(o)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOIDCompareIsTotalOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		oids := make([]OID, 20)
+		for i := range oids {
+			oids[i] = randOID(r)
+		}
+		sort.Slice(oids, func(i, j int) bool { return oids[i].Compare(oids[j]) < 0 })
+		for i := 1; i < len(oids); i++ {
+			if oids[i-1].Compare(oids[i]) > 0 {
+				return false
+			}
+			// Antisymmetry.
+			if oids[i-1].Compare(oids[i]) != -oids[i].Compare(oids[i-1]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

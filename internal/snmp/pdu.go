@@ -1,0 +1,459 @@
+package snmp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// PDUType distinguishes protocol operations, mirroring SNMPv2c.
+type PDUType byte
+
+// PDU types.
+const (
+	GetRequest PDUType = iota + 1
+	GetNextRequest
+	SetRequest
+	GetResponse
+	Trap
+)
+
+// String returns the protocol name of the PDU type.
+func (t PDUType) String() string {
+	switch t {
+	case GetRequest:
+		return "get-request"
+	case GetNextRequest:
+		return "get-next-request"
+	case SetRequest:
+		return "set-request"
+	case GetResponse:
+		return "get-response"
+	case Trap:
+		return "trap"
+	default:
+		return fmt.Sprintf("pdu-type-%d", byte(t))
+	}
+}
+
+// ErrorStatus is the per-PDU error field, as in SNMP.
+type ErrorStatus byte
+
+// Error statuses.
+const (
+	NoError ErrorStatus = iota
+	TooBig
+	NoSuchName
+	BadValue
+	ReadOnly
+	GenErr
+)
+
+// String returns the protocol name of the status.
+func (e ErrorStatus) String() string {
+	switch e {
+	case NoError:
+		return "noError"
+	case TooBig:
+		return "tooBig"
+	case NoSuchName:
+		return "noSuchName"
+	case BadValue:
+		return "badValue"
+	case ReadOnly:
+		return "readOnly"
+	case GenErr:
+		return "genErr"
+	default:
+		return fmt.Sprintf("errorStatus-%d", byte(e))
+	}
+}
+
+// ValueType tags a VarBind value.
+type ValueType byte
+
+// Value types. OpaqueFloat carries float64 metrics the way classic SNMP
+// implementations smuggle floats inside Opaque.
+const (
+	TypeNull ValueType = iota
+	TypeInteger
+	TypeOctetString
+	TypeCounter
+	TypeGauge
+	TypeTimeTicks
+	TypeOpaqueFloat
+	TypeOID
+)
+
+// Value is a typed SNMP value.
+type Value struct {
+	Type ValueType
+	// Int holds TypeInteger, TypeCounter, TypeGauge and TypeTimeTicks.
+	Int int64
+	// Str holds TypeOctetString.
+	Str string
+	// Float holds TypeOpaqueFloat.
+	Float float64
+	// OID holds TypeOID.
+	OID OID
+}
+
+// IntegerValue builds a TypeInteger value.
+func IntegerValue(v int64) Value { return Value{Type: TypeInteger, Int: v} }
+
+// CounterValue builds a TypeCounter value.
+func CounterValue(v int64) Value { return Value{Type: TypeCounter, Int: v} }
+
+// GaugeValue builds a TypeGauge value.
+func GaugeValue(v int64) Value { return Value{Type: TypeGauge, Int: v} }
+
+// TimeTicksValue builds a TypeTimeTicks value.
+func TimeTicksValue(v int64) Value { return Value{Type: TypeTimeTicks, Int: v} }
+
+// StringValue builds a TypeOctetString value.
+func StringValue(s string) Value { return Value{Type: TypeOctetString, Str: s} }
+
+// FloatValue builds a TypeOpaqueFloat value.
+func FloatValue(f float64) Value { return Value{Type: TypeOpaqueFloat, Float: f} }
+
+// OIDValue builds a TypeOID value.
+func OIDValue(o OID) Value { return Value{Type: TypeOID, OID: o} }
+
+// NullValue builds a TypeNull value (the placeholder in requests).
+func NullValue() Value { return Value{Type: TypeNull} }
+
+// AsFloat converts any numeric value to float64 for analysis.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.Type {
+	case TypeInteger, TypeCounter, TypeGauge, TypeTimeTicks:
+		return float64(v.Int), true
+	case TypeOpaqueFloat:
+		return v.Float, true
+	}
+	return 0, false
+}
+
+// String renders the value for logs and reports.
+func (v Value) String() string {
+	switch v.Type {
+	case TypeNull:
+		return "null"
+	case TypeInteger:
+		return fmt.Sprintf("%d", v.Int)
+	case TypeOctetString:
+		return fmt.Sprintf("%q", v.Str)
+	case TypeCounter:
+		return fmt.Sprintf("Counter:%d", v.Int)
+	case TypeGauge:
+		return fmt.Sprintf("Gauge:%d", v.Int)
+	case TypeTimeTicks:
+		return fmt.Sprintf("TimeTicks:%d", v.Int)
+	case TypeOpaqueFloat:
+		return fmt.Sprintf("Float:%g", v.Float)
+	case TypeOID:
+		return "OID:" + v.OID.String()
+	default:
+		return fmt.Sprintf("unknown-type-%d", byte(v.Type))
+	}
+}
+
+// Equal compares two values.
+func (v Value) Equal(o Value) bool {
+	if v.Type != o.Type {
+		return false
+	}
+	switch v.Type {
+	case TypeNull:
+		return true
+	case TypeOctetString:
+		return v.Str == o.Str
+	case TypeOpaqueFloat:
+		return v.Float == o.Float
+	case TypeOID:
+		return v.OID.Equal(o.OID)
+	default:
+		return v.Int == o.Int
+	}
+}
+
+// VarBind pairs an OID with a value.
+type VarBind struct {
+	OID   OID
+	Value Value
+}
+
+// PDU is one protocol message.
+type PDU struct {
+	Community   string
+	Type        PDUType
+	RequestID   uint32
+	ErrorStatus ErrorStatus
+	ErrorIndex  uint32 // 1-based index of the offending varbind
+	VarBinds    []VarBind
+}
+
+// Wire format constants.
+const (
+	wireVersion     = 1
+	maxCommunityLen = 255
+	maxVarBinds     = 1024
+	maxOIDLen       = 128
+	maxOctetString  = 64 << 10
+)
+
+var pduMagic = [2]byte{'S', 'M'}
+
+// Codec errors.
+var (
+	ErrPDUTruncated = errors.New("snmp: truncated PDU")
+	ErrPDUMagic     = errors.New("snmp: bad PDU magic")
+	ErrPDUVersion   = errors.New("snmp: unsupported version")
+	ErrPDUTooLarge  = errors.New("snmp: PDU field exceeds limit")
+)
+
+// MarshalPDU encodes the PDU into the compact binary wire format.
+func MarshalPDU(p *PDU) ([]byte, error) {
+	if len(p.Community) > maxCommunityLen {
+		return nil, fmt.Errorf("%w: community %d bytes", ErrPDUTooLarge, len(p.Community))
+	}
+	if len(p.VarBinds) > maxVarBinds {
+		return nil, fmt.Errorf("%w: %d varbinds", ErrPDUTooLarge, len(p.VarBinds))
+	}
+	buf := make([]byte, 0, 64+len(p.VarBinds)*16)
+	buf = append(buf, pduMagic[0], pduMagic[1], wireVersion)
+	buf = append(buf, byte(len(p.Community)))
+	buf = append(buf, p.Community...)
+	buf = append(buf, byte(p.Type))
+	buf = binary.BigEndian.AppendUint32(buf, p.RequestID)
+	buf = append(buf, byte(p.ErrorStatus))
+	buf = binary.BigEndian.AppendUint32(buf, p.ErrorIndex)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(p.VarBinds)))
+	for i := range p.VarBinds {
+		vb := &p.VarBinds[i]
+		var err error
+		buf, err = appendVarBind(buf, vb)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
+}
+
+func appendOID(buf []byte, o OID) ([]byte, error) {
+	if len(o) > maxOIDLen {
+		return nil, fmt.Errorf("%w: OID with %d components", ErrPDUTooLarge, len(o))
+	}
+	buf = append(buf, byte(len(o)))
+	for _, c := range o {
+		buf = binary.BigEndian.AppendUint32(buf, c)
+	}
+	return buf, nil
+}
+
+func appendVarBind(buf []byte, vb *VarBind) ([]byte, error) {
+	buf, err := appendOID(buf, vb.OID)
+	if err != nil {
+		return nil, err
+	}
+	v := vb.Value
+	buf = append(buf, byte(v.Type))
+	switch v.Type {
+	case TypeNull:
+	case TypeInteger, TypeCounter, TypeGauge, TypeTimeTicks:
+		buf = binary.BigEndian.AppendUint64(buf, uint64(v.Int))
+	case TypeOctetString:
+		if len(v.Str) > maxOctetString {
+			return nil, fmt.Errorf("%w: octet string %d bytes", ErrPDUTooLarge, len(v.Str))
+		}
+		buf = binary.BigEndian.AppendUint32(buf, uint32(len(v.Str)))
+		buf = append(buf, v.Str...)
+	case TypeOpaqueFloat:
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(v.Float))
+	case TypeOID:
+		buf, err = appendOID(buf, v.OID)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("snmp: cannot encode value type %d", byte(v.Type))
+	}
+	return buf, nil
+}
+
+// reader is a bounds-checked cursor over the wire bytes.
+type reader struct {
+	data []byte
+	off  int
+}
+
+func (r *reader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.off+n > len(r.data) {
+		return nil, ErrPDUTruncated
+	}
+	out := r.data[r.off : r.off+n]
+	r.off += n
+	return out, nil
+}
+
+func (r *reader) byte1() (byte, error) {
+	b, err := r.bytes(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *reader) uint16() (uint16, error) {
+	b, err := r.bytes(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint16(b), nil
+}
+
+func (r *reader) uint32() (uint32, error) {
+	b, err := r.bytes(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint32(b), nil
+}
+
+func (r *reader) uint64() (uint64, error) {
+	b, err := r.bytes(8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.BigEndian.Uint64(b), nil
+}
+
+func (r *reader) oid() (OID, error) {
+	n, err := r.byte1()
+	if err != nil {
+		return nil, err
+	}
+	oid := make(OID, n)
+	for i := range oid {
+		c, err := r.uint32()
+		if err != nil {
+			return nil, err
+		}
+		oid[i] = c
+	}
+	return oid, nil
+}
+
+// UnmarshalPDU decodes a PDU from the wire format.
+func UnmarshalPDU(data []byte) (*PDU, error) {
+	r := &reader{data: data}
+	magic, err := r.bytes(2)
+	if err != nil {
+		return nil, err
+	}
+	if magic[0] != pduMagic[0] || magic[1] != pduMagic[1] {
+		return nil, ErrPDUMagic
+	}
+	ver, err := r.byte1()
+	if err != nil {
+		return nil, err
+	}
+	if ver != wireVersion {
+		return nil, fmt.Errorf("%w: %d", ErrPDUVersion, ver)
+	}
+	commLen, err := r.byte1()
+	if err != nil {
+		return nil, err
+	}
+	comm, err := r.bytes(int(commLen))
+	if err != nil {
+		return nil, err
+	}
+	p := &PDU{Community: string(comm)}
+	typ, err := r.byte1()
+	if err != nil {
+		return nil, err
+	}
+	p.Type = PDUType(typ)
+	if p.RequestID, err = r.uint32(); err != nil {
+		return nil, err
+	}
+	status, err := r.byte1()
+	if err != nil {
+		return nil, err
+	}
+	p.ErrorStatus = ErrorStatus(status)
+	if p.ErrorIndex, err = r.uint32(); err != nil {
+		return nil, err
+	}
+	count, err := r.uint16()
+	if err != nil {
+		return nil, err
+	}
+	if int(count) > maxVarBinds {
+		return nil, fmt.Errorf("%w: %d varbinds", ErrPDUTooLarge, count)
+	}
+	p.VarBinds = make([]VarBind, 0, count)
+	for i := 0; i < int(count); i++ {
+		vb, err := readVarBind(r)
+		if err != nil {
+			return nil, err
+		}
+		p.VarBinds = append(p.VarBinds, vb)
+	}
+	if r.off != len(data) {
+		return nil, fmt.Errorf("snmp: %d trailing bytes", len(data)-r.off)
+	}
+	return p, nil
+}
+
+func readVarBind(r *reader) (VarBind, error) {
+	var vb VarBind
+	oid, err := r.oid()
+	if err != nil {
+		return vb, err
+	}
+	vb.OID = oid
+	t, err := r.byte1()
+	if err != nil {
+		return vb, err
+	}
+	vb.Value.Type = ValueType(t)
+	switch vb.Value.Type {
+	case TypeNull:
+	case TypeInteger, TypeCounter, TypeGauge, TypeTimeTicks:
+		u, err := r.uint64()
+		if err != nil {
+			return vb, err
+		}
+		vb.Value.Int = int64(u)
+	case TypeOctetString:
+		n, err := r.uint32()
+		if err != nil {
+			return vb, err
+		}
+		if n > maxOctetString {
+			return vb, fmt.Errorf("%w: octet string %d bytes", ErrPDUTooLarge, n)
+		}
+		b, err := r.bytes(int(n))
+		if err != nil {
+			return vb, err
+		}
+		vb.Value.Str = string(b)
+	case TypeOpaqueFloat:
+		u, err := r.uint64()
+		if err != nil {
+			return vb, err
+		}
+		vb.Value.Float = math.Float64frombits(u)
+	case TypeOID:
+		o, err := r.oid()
+		if err != nil {
+			return vb, err
+		}
+		vb.Value.OID = o
+	default:
+		return vb, fmt.Errorf("snmp: cannot decode value type %d", t)
+	}
+	return vb, nil
+}

@@ -1,0 +1,235 @@
+package snmp
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func samplePDU() *PDU {
+	return &PDU{
+		Community: "public",
+		Type:      GetRequest,
+		RequestID: 42,
+		VarBinds: []VarBind{
+			{OID: MustParseOID("1.3.6.1.2.1.1.1.0"), Value: StringValue("router-1")},
+			{OID: MustParseOID("1.3.6.1.2.1.25.3.3.1.2"), Value: FloatValue(73.25)},
+			{OID: MustParseOID("1.3.6.1.2.1.2.2.1.10.1"), Value: CounterValue(998877)},
+			{OID: MustParseOID("1.3.6.1.4.1.9"), Value: NullValue()},
+			{OID: MustParseOID("1.3"), Value: IntegerValue(-5)},
+			{OID: MustParseOID("1.4"), Value: GaugeValue(100)},
+			{OID: MustParseOID("1.5"), Value: TimeTicksValue(12345)},
+			{OID: MustParseOID("1.6"), Value: OIDValue(MustParseOID("1.3.6.1"))},
+		},
+	}
+}
+
+func TestPDURoundtrip(t *testing.T) {
+	p := samplePDU()
+	raw, err := MarshalPDU(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalPDU(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, got) {
+		t.Fatalf("roundtrip mismatch:\n got %+v\nwant %+v", got, p)
+	}
+}
+
+func TestPDURoundtripEmptyVarbinds(t *testing.T) {
+	p := &PDU{Community: "c", Type: GetResponse, RequestID: 1}
+	raw, err := MarshalPDU(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalPDU(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != GetResponse || len(got.VarBinds) != 0 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestPDULimits(t *testing.T) {
+	if _, err := MarshalPDU(&PDU{Community: strings.Repeat("x", 300)}); !errors.Is(err, ErrPDUTooLarge) {
+		t.Error("oversized community accepted")
+	}
+	big := &PDU{Community: "c", VarBinds: make([]VarBind, maxVarBinds+1)}
+	if _, err := MarshalPDU(big); !errors.Is(err, ErrPDUTooLarge) {
+		t.Error("too many varbinds accepted")
+	}
+	longOID := make(OID, maxOIDLen+1)
+	if _, err := MarshalPDU(&PDU{VarBinds: []VarBind{{OID: longOID}}}); !errors.Is(err, ErrPDUTooLarge) {
+		t.Error("oversized OID accepted")
+	}
+	bigStr := &PDU{VarBinds: []VarBind{{OID: OID{1}, Value: StringValue(strings.Repeat("y", maxOctetString+1))}}}
+	if _, err := MarshalPDU(bigStr); !errors.Is(err, ErrPDUTooLarge) {
+		t.Error("oversized octet string accepted")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	good, _ := MarshalPDU(samplePDU())
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad magic", append([]byte{'X', 'Y'}, good[2:]...)},
+		{"bad version", append([]byte{'S', 'M', 99}, good[3:]...)},
+		{"truncated mid-varbind", good[:len(good)-4]},
+		{"trailing garbage", append(append([]byte{}, good...), 1, 2, 3)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := UnmarshalPDU(tc.data); err == nil {
+				t.Fatal("corrupt PDU accepted")
+			}
+		})
+	}
+}
+
+func TestUnmarshalEveryTruncation(t *testing.T) {
+	good, _ := MarshalPDU(samplePDU())
+	for i := 0; i < len(good); i++ {
+		if _, err := UnmarshalPDU(good[:i]); err == nil {
+			t.Fatalf("truncation at %d accepted", i)
+		}
+	}
+}
+
+func TestValueAsFloat(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want float64
+		ok   bool
+	}{
+		{IntegerValue(7), 7, true},
+		{CounterValue(9), 9, true},
+		{GaugeValue(3), 3, true},
+		{TimeTicksValue(100), 100, true},
+		{FloatValue(2.5), 2.5, true},
+		{StringValue("x"), 0, false},
+		{NullValue(), 0, false},
+		{OIDValue(OID{1}), 0, false},
+	}
+	for _, tc := range cases {
+		got, ok := tc.v.AsFloat()
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("AsFloat(%v) = %v,%v", tc.v, got, ok)
+		}
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := map[string]Value{
+		"null":        NullValue(),
+		"-3":          IntegerValue(-3),
+		`"hi"`:        StringValue("hi"),
+		"Counter:4":   CounterValue(4),
+		"Gauge:5":     GaugeValue(5),
+		"TimeTicks:6": TimeTicksValue(6),
+		"Float:1.5":   FloatValue(1.5),
+		"OID:.1.3":    OIDValue(MustParseOID("1.3")),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("String(%v) = %q, want %q", v.Type, got, want)
+		}
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	if !FloatValue(1.5).Equal(FloatValue(1.5)) || FloatValue(1.5).Equal(FloatValue(2)) {
+		t.Error("float equality wrong")
+	}
+	if IntegerValue(1).Equal(GaugeValue(1)) {
+		t.Error("cross-type equality")
+	}
+	if !NullValue().Equal(NullValue()) {
+		t.Error("null equality")
+	}
+	if !OIDValue(OID{1, 2}).Equal(OIDValue(OID{1, 2})) || OIDValue(OID{1}).Equal(OIDValue(OID{2})) {
+		t.Error("oid equality wrong")
+	}
+	if !StringValue("a").Equal(StringValue("a")) || StringValue("a").Equal(StringValue("b")) {
+		t.Error("string equality wrong")
+	}
+}
+
+func TestPDUTypeAndStatusStrings(t *testing.T) {
+	if GetRequest.String() != "get-request" || Trap.String() != "trap" {
+		t.Error("PDU type names wrong")
+	}
+	if !strings.Contains(PDUType(99).String(), "99") {
+		t.Error("unknown PDU type string")
+	}
+	if NoError.String() != "noError" || ReadOnly.String() != "readOnly" {
+		t.Error("status names wrong")
+	}
+	if !strings.Contains(ErrorStatus(42).String(), "42") {
+		t.Error("unknown status string")
+	}
+}
+
+func randValue(r *rand.Rand) Value {
+	switch r.Intn(7) {
+	case 0:
+		return NullValue()
+	case 1:
+		return IntegerValue(r.Int63() - r.Int63())
+	case 2:
+		b := make([]byte, r.Intn(64))
+		for i := range b {
+			b[i] = byte(r.Intn(256))
+		}
+		return StringValue(string(b))
+	case 3:
+		return CounterValue(r.Int63())
+	case 4:
+		return GaugeValue(r.Int63())
+	case 5:
+		return FloatValue(r.NormFloat64() * 1000)
+	default:
+		return OIDValue(randOID(r))
+	}
+}
+
+func TestPDURoundtripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := &PDU{
+			Community:   "community",
+			Type:        PDUType(1 + r.Intn(5)),
+			RequestID:   r.Uint32(),
+			ErrorStatus: ErrorStatus(r.Intn(6)),
+			ErrorIndex:  uint32(r.Intn(10)),
+		}
+		for i := 0; i < r.Intn(8); i++ {
+			p.VarBinds = append(p.VarBinds, VarBind{OID: randOID(r), Value: randValue(r)})
+		}
+		raw, err := MarshalPDU(p)
+		if err != nil {
+			return false
+		}
+		got, err := UnmarshalPDU(raw)
+		if err != nil {
+			return false
+		}
+		if len(p.VarBinds) == 0 {
+			p.VarBinds = nil
+			got.VarBinds = nil
+		}
+		return reflect.DeepEqual(p, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,192 @@
+package snmp
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Server is the device-side protocol agent: it answers GET / GETNEXT /
+// SET requests against a MIB over UDP and can emit traps to a configured
+// sink. One server instance fronts one managed device.
+type Server struct {
+	mib       *MIB
+	community string
+
+	mu       sync.Mutex
+	conn     *net.UDPConn
+	trapDst  *net.UDPAddr
+	closed   bool
+	wg       sync.WaitGroup
+	requests uint64
+	denied   uint64
+}
+
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithTrapDestination points traps at a manager address ("host:port").
+func WithTrapDestination(addr string) ServerOption {
+	return func(s *Server) {
+		if dst, err := net.ResolveUDPAddr("udp", addr); err == nil {
+			s.trapDst = dst
+		}
+	}
+}
+
+// NewServer starts a protocol agent on addr ("host:port", port 0 for
+// ephemeral) serving the MIB. Requests must carry the given community.
+func NewServer(addr, community string, mib *MIB, opts ...ServerOption) (*Server, error) {
+	if mib == nil {
+		return nil, errors.New("snmp: nil MIB")
+	}
+	udpAddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("snmp: resolve %s: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", udpAddr)
+	if err != nil {
+		return nil, fmt.Errorf("snmp: listen %s: %w", addr, err)
+	}
+	s := &Server{mib: mib, community: community, conn: conn}
+	for _, opt := range opts {
+		opt(s)
+	}
+	s.wg.Add(1)
+	go s.serve()
+	return s, nil
+}
+
+// Addr returns the server's UDP address.
+func (s *Server) Addr() string { return s.conn.LocalAddr().String() }
+
+// Stats returns (requests served, requests denied by community check).
+func (s *Server) Stats() (served, denied uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.requests, s.denied
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.conn.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) serve() {
+	defer s.wg.Done()
+	buf := make([]byte, 64<<10)
+	for {
+		n, peer, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		req, err := UnmarshalPDU(buf[:n])
+		if err != nil {
+			continue // malformed datagram; ignore like real agents do
+		}
+		resp := s.handle(req)
+		if resp == nil {
+			continue
+		}
+		out, err := MarshalPDU(resp)
+		if err != nil {
+			continue
+		}
+		s.conn.WriteToUDP(out, peer)
+	}
+}
+
+// handle computes the response for one request PDU. Exposed indirectly
+// through the UDP loop; unit tests call it via the client.
+func (s *Server) handle(req *PDU) *PDU {
+	s.mu.Lock()
+	s.requests++
+	s.mu.Unlock()
+	resp := &PDU{
+		Community: req.Community,
+		Type:      GetResponse,
+		RequestID: req.RequestID,
+	}
+	if req.Community != s.community {
+		s.mu.Lock()
+		s.denied++
+		s.mu.Unlock()
+		// Real v2c agents silently drop bad-community requests.
+		return nil
+	}
+	switch req.Type {
+	case GetRequest:
+		for i, vb := range req.VarBinds {
+			v, err := s.mib.Get(vb.OID)
+			if err != nil {
+				return errorResponse(resp, req, NoSuchName, i)
+			}
+			resp.VarBinds = append(resp.VarBinds, VarBind{OID: vb.OID.Clone(), Value: v})
+		}
+	case GetNextRequest:
+		for i, vb := range req.VarBinds {
+			next, v, err := s.mib.Next(vb.OID)
+			if err != nil {
+				return errorResponse(resp, req, NoSuchName, i)
+			}
+			resp.VarBinds = append(resp.VarBinds, VarBind{OID: next, Value: v})
+		}
+	case SetRequest:
+		// Validate all writes before applying any (SNMP "as if
+		// simultaneous" semantics, approximated two-phase).
+		for i, vb := range req.VarBinds {
+			if err := s.mib.Set(vb.OID, vb.Value); err != nil {
+				status := BadValue
+				if errors.Is(err, ErrNoSuchObject) {
+					status = NoSuchName
+				} else if errors.Is(err, ErrReadOnly) {
+					status = ReadOnly
+				}
+				return errorResponse(resp, req, status, i)
+			}
+		}
+		resp.VarBinds = append(resp.VarBinds, req.VarBinds...)
+	default:
+		return errorResponse(resp, req, GenErr, 0)
+	}
+	return resp
+}
+
+func errorResponse(resp, req *PDU, status ErrorStatus, idx int) *PDU {
+	resp.ErrorStatus = status
+	resp.ErrorIndex = uint32(idx + 1)
+	resp.VarBinds = append([]VarBind(nil), req.VarBinds...)
+	return resp
+}
+
+// SendTrap emits an unsolicited trap PDU to the configured destination.
+// Devices use it to signal faults (link down, threshold crossed).
+func (s *Server) SendTrap(varbinds []VarBind) error {
+	s.mu.Lock()
+	dst := s.trapDst
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return errors.New("snmp: server closed")
+	}
+	if dst == nil {
+		return errors.New("snmp: no trap destination configured")
+	}
+	pdu := &PDU{Community: s.community, Type: Trap, VarBinds: varbinds}
+	out, err := MarshalPDU(pdu)
+	if err != nil {
+		return err
+	}
+	_, err = s.conn.WriteToUDP(out, dst)
+	return err
+}

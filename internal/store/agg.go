@@ -1,0 +1,102 @@
+package store
+
+import (
+	"errors"
+	"math"
+)
+
+// Aggregations over point windows, used by the processor grid's level-2
+// consolidation analyses.
+
+// ErrEmptyWindow is returned when an aggregation has no points.
+var ErrEmptyWindow = errors.New("store: empty window")
+
+// Avg returns the arithmetic mean of the window.
+func Avg(pts []Point) (float64, error) {
+	if len(pts) == 0 {
+		return 0, ErrEmptyWindow
+	}
+	var sum float64
+	for _, p := range pts {
+		sum += p.Value
+	}
+	return sum / float64(len(pts)), nil
+}
+
+// Min returns the smallest value in the window.
+func Min(pts []Point) (float64, error) {
+	if len(pts) == 0 {
+		return 0, ErrEmptyWindow
+	}
+	m := math.Inf(1)
+	for _, p := range pts {
+		if p.Value < m {
+			m = p.Value
+		}
+	}
+	return m, nil
+}
+
+// Max returns the largest value in the window.
+func Max(pts []Point) (float64, error) {
+	if len(pts) == 0 {
+		return 0, ErrEmptyWindow
+	}
+	m := math.Inf(-1)
+	for _, p := range pts {
+		if p.Value > m {
+			m = p.Value
+		}
+	}
+	return m, nil
+}
+
+// Rate returns the per-step rate of change between the first and last
+// points — how counters become throughput.
+func Rate(pts []Point) (float64, error) {
+	if len(pts) < 2 {
+		return 0, ErrEmptyWindow
+	}
+	first, last := pts[0], pts[len(pts)-1]
+	steps := last.Step - first.Step
+	if steps <= 0 {
+		return 0, ErrEmptyWindow
+	}
+	return (last.Value - first.Value) / float64(steps), nil
+}
+
+// Stddev returns the population standard deviation of the window.
+func Stddev(pts []Point) (float64, error) {
+	mean, err := Avg(pts)
+	if err != nil {
+		return 0, err
+	}
+	var ss float64
+	for _, p := range pts {
+		d := p.Value - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(pts))), nil
+}
+
+// Trend returns the least-squares slope of value against step — the
+// "is this filling up" signal used for disk-exhaustion prediction.
+func Trend(pts []Point) (float64, error) {
+	if len(pts) < 2 {
+		return 0, ErrEmptyWindow
+	}
+	var sx, sy, sxx, sxy float64
+	for _, p := range pts {
+		x := float64(p.Step)
+		sx += x
+		sy += p.Value
+		sxx += x * x
+		sxy += x * p.Value
+	}
+	n := float64(len(pts))
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, ErrEmptyWindow // all points at the same step
+	}
+	return (n*sxy - sx*sy) / den, nil
+}

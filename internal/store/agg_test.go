@@ -1,0 +1,85 @@
+package store
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func pts(vals ...float64) []Point {
+	out := make([]Point, len(vals))
+	for i, v := range vals {
+		out[i] = Point{Step: i + 1, Value: v}
+	}
+	return out
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestAvgMinMax(t *testing.T) {
+	w := pts(10, 20, 30, 40)
+	if v, err := Avg(w); err != nil || !almost(v, 25) {
+		t.Errorf("Avg = %v, %v", v, err)
+	}
+	if v, err := Min(w); err != nil || v != 10 {
+		t.Errorf("Min = %v, %v", v, err)
+	}
+	if v, err := Max(w); err != nil || v != 40 {
+		t.Errorf("Max = %v, %v", v, err)
+	}
+}
+
+func TestAggEmptyWindow(t *testing.T) {
+	for name, f := range map[string]func([]Point) (float64, error){
+		"Avg": Avg, "Min": Min, "Max": Max, "Stddev": Stddev,
+	} {
+		if _, err := f(nil); !errors.Is(err, ErrEmptyWindow) {
+			t.Errorf("%s(nil) = %v", name, err)
+		}
+	}
+	if _, err := Rate(pts(1)); !errors.Is(err, ErrEmptyWindow) {
+		t.Error("Rate with one point accepted")
+	}
+	if _, err := Trend(pts(1)); !errors.Is(err, ErrEmptyWindow) {
+		t.Error("Trend with one point accepted")
+	}
+}
+
+func TestRate(t *testing.T) {
+	// Counter rising 100 per step over steps 1..5.
+	w := pts(100, 200, 300, 400, 500)
+	if v, err := Rate(w); err != nil || !almost(v, 100) {
+		t.Errorf("Rate = %v, %v", v, err)
+	}
+	// Same step twice: undefined rate.
+	same := []Point{{Step: 3, Value: 1}, {Step: 3, Value: 2}}
+	if _, err := Rate(same); !errors.Is(err, ErrEmptyWindow) {
+		t.Errorf("Rate same-step = %v", err)
+	}
+}
+
+func TestStddev(t *testing.T) {
+	if v, err := Stddev(pts(2, 4, 4, 4, 5, 5, 7, 9)); err != nil || !almost(v, 2) {
+		t.Errorf("Stddev = %v, %v", v, err) // classic example: σ = 2
+	}
+	if v, _ := Stddev(pts(5, 5, 5)); !almost(v, 0) {
+		t.Errorf("Stddev constant = %v", v)
+	}
+}
+
+func TestTrend(t *testing.T) {
+	// disk.free falling 4 MB per step.
+	w := pts(100, 96, 92, 88)
+	if v, err := Trend(w); err != nil || !almost(v, -4) {
+		t.Errorf("Trend = %v, %v", v, err)
+	}
+	flat := pts(7, 7, 7, 7)
+	if v, _ := Trend(flat); !almost(v, 0) {
+		t.Errorf("Trend flat = %v", v)
+	}
+	// All points at the same step: degenerate.
+	same := []Point{{Step: 1, Value: 1}, {Step: 1, Value: 5}}
+	if _, err := Trend(same); !errors.Is(err, ErrEmptyWindow) {
+		t.Errorf("Trend degenerate = %v", err)
+	}
+}

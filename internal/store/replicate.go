@@ -1,0 +1,210 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+
+	"agentgrid/internal/obs"
+)
+
+// Snapshot is a serializable dump of a store, used for replica repair
+// and cold starts.
+type Snapshot struct {
+	MaxPoints int                `json:"max_points"`
+	Series    map[string][]Point `json:"series"`
+}
+
+// Snapshot captures the store's full contents.
+func (s *Store) Snapshot() *Snapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	snap := &Snapshot{MaxPoints: s.maxPoints, Series: make(map[string][]Point, len(s.series))}
+	for key, ser := range s.series {
+		snap.Series[key] = ser.points()
+	}
+	return snap
+}
+
+// Restore replaces the store's contents with the snapshot.
+func (s *Store) Restore(snap *Snapshot) error {
+	if snap == nil {
+		return errors.New("store: nil snapshot")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.series = make(map[string]*series, len(snap.Series))
+	s.byDevice = make(map[string][]string)
+	s.byMetric = make(map[string][]string)
+	for key, pts := range snap.Series {
+		site, dev, metric, err := ParseKey(key)
+		if err != nil {
+			return err
+		}
+		ser := &series{site: site, device: dev, metric: metric, buf: make([]Point, s.maxPoints)}
+		for _, p := range pts {
+			ser.append(p)
+		}
+		s.series[key] = ser
+		devKey := site + "/" + dev
+		s.byDevice[devKey] = insertSorted(s.byDevice[devKey], key)
+		s.byMetric[metric] = insertSorted(s.byMetric[metric], key)
+	}
+	return nil
+}
+
+// MarshalSnapshot encodes a snapshot for shipping between replicas.
+func MarshalSnapshot(snap *Snapshot) ([]byte, error) {
+	return json.Marshal(snap)
+}
+
+// UnmarshalSnapshot decodes a snapshot.
+func UnmarshalSnapshot(data []byte) (*Snapshot, error) {
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return nil, fmt.Errorf("store: decode snapshot: %w", err)
+	}
+	return &snap, nil
+}
+
+// ReplicaSet fans writes out to every live replica and serves reads from
+// the first live one — the storage-improvement extension the paper's
+// future work calls for. Replicas can be marked failed and later
+// repaired from a healthy peer.
+type ReplicaSet struct {
+	mu       sync.RWMutex
+	replicas []*Store
+	alive    []bool
+}
+
+// NewReplicaSet builds a replica set over n fresh stores.
+func NewReplicaSet(n, maxPoints int) (*ReplicaSet, error) {
+	if n < 1 {
+		return nil, errors.New("store: replica set needs at least one replica")
+	}
+	rs := &ReplicaSet{
+		replicas: make([]*Store, n),
+		alive:    make([]bool, n),
+	}
+	for i := range rs.replicas {
+		rs.replicas[i] = New(maxPoints)
+		rs.alive[i] = true
+	}
+	return rs, nil
+}
+
+// ErrNoReplica means every replica is down.
+var ErrNoReplica = errors.New("store: no live replica")
+
+// Append writes to every live replica.
+func (rs *ReplicaSet) Append(r obs.Record) error {
+	rs.mu.RLock()
+	defer rs.mu.RUnlock()
+	wrote := false
+	for i, st := range rs.replicas {
+		if !rs.alive[i] {
+			continue
+		}
+		if err := st.Append(r); err != nil {
+			return err
+		}
+		wrote = true
+	}
+	if !wrote {
+		return ErrNoReplica
+	}
+	return nil
+}
+
+// primary returns the first live replica.
+func (rs *ReplicaSet) primary() (*Store, error) {
+	for i, st := range rs.replicas {
+		if rs.alive[i] {
+			return st, nil
+		}
+	}
+	return nil, ErrNoReplica
+}
+
+// Latest reads from the first live replica.
+func (rs *ReplicaSet) Latest(key string) (Point, bool, error) {
+	rs.mu.RLock()
+	defer rs.mu.RUnlock()
+	st, err := rs.primary()
+	if err != nil {
+		return Point{}, false, err
+	}
+	p, ok := st.Latest(key)
+	return p, ok, nil
+}
+
+// Window reads from the first live replica.
+func (rs *ReplicaSet) Window(key string, n int) ([]Point, error) {
+	rs.mu.RLock()
+	defer rs.mu.RUnlock()
+	st, err := rs.primary()
+	if err != nil {
+		return nil, err
+	}
+	return st.Window(key, n), nil
+}
+
+// Fail marks a replica dead (fault injection / detected crash).
+func (rs *ReplicaSet) Fail(i int) error {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if i < 0 || i >= len(rs.replicas) {
+		return fmt.Errorf("store: no replica %d", i)
+	}
+	rs.alive[i] = false
+	return nil
+}
+
+// Repair brings a dead replica back by copying a snapshot from the first
+// live peer, then marks it live again.
+func (rs *ReplicaSet) Repair(i int) error {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if i < 0 || i >= len(rs.replicas) {
+		return fmt.Errorf("store: no replica %d", i)
+	}
+	src, err := rs.primary()
+	if err != nil || src == rs.replicas[i] {
+		// No healthy peer to copy from (or the replica is itself the
+		// first candidate): revive it with the data it already has.
+		rs.alive[i] = true
+		return nil
+	}
+	// Fresh store avoids carrying stale points written before failure.
+	st := New(rs.replicas[i].maxPoints)
+	if err := st.Restore(src.Snapshot()); err != nil {
+		return err
+	}
+	rs.replicas[i] = st
+	rs.alive[i] = true
+	return nil
+}
+
+// LiveCount returns how many replicas are live.
+func (rs *ReplicaSet) LiveCount() int {
+	rs.mu.RLock()
+	defer rs.mu.RUnlock()
+	n := 0
+	for _, a := range rs.alive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// Replica exposes replica i for verification in tests and tooling.
+func (rs *ReplicaSet) Replica(i int) (*Store, bool) {
+	rs.mu.RLock()
+	defer rs.mu.RUnlock()
+	if i < 0 || i >= len(rs.replicas) {
+		return nil, false
+	}
+	return rs.replicas[i], true
+}

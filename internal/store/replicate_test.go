@@ -1,0 +1,167 @@
+package store
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSnapshotRestore(t *testing.T) {
+	s := New(8)
+	for i := 1; i <= 5; i++ {
+		s.Append(rec("h1", "cpu.util", i, float64(i)))
+		s.Append(rec("h2", "mem.free", i, float64(i*2)))
+	}
+	snap := s.Snapshot()
+	raw, err := MarshalSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := UnmarshalSnapshot(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := New(8)
+	if err := fresh.Restore(decoded); err != nil {
+		t.Fatal(err)
+	}
+	if got := fresh.Keys(); len(got) != 2 {
+		t.Fatalf("restored keys = %v", got)
+	}
+	p, ok := fresh.Latest("site1/h2/mem.free")
+	if !ok || p.Value != 10 {
+		t.Fatalf("restored latest = %+v, %v", p, ok)
+	}
+	// Indexes rebuilt too.
+	if len(fresh.SeriesForDevice("site1", "h1")) != 1 {
+		t.Fatal("device index not rebuilt")
+	}
+	if len(fresh.SeriesForMetric("mem.free")) != 1 {
+		t.Fatal("metric index not rebuilt")
+	}
+}
+
+func TestRestoreErrors(t *testing.T) {
+	s := New(4)
+	if err := s.Restore(nil); err == nil {
+		t.Fatal("nil snapshot accepted")
+	}
+	bad := &Snapshot{Series: map[string][]Point{"malformed": {}}}
+	if err := s.Restore(bad); err == nil {
+		t.Fatal("malformed key accepted")
+	}
+	if _, err := UnmarshalSnapshot([]byte("{nope")); err == nil {
+		t.Fatal("corrupt snapshot accepted")
+	}
+}
+
+func TestReplicaSetWritesAll(t *testing.T) {
+	rs, err := NewReplicaSet(3, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		if err := rs.Append(rec("h1", "cpu.util", i, float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		st, ok := rs.Replica(i)
+		if !ok {
+			t.Fatalf("replica %d missing", i)
+		}
+		p, ok := st.Latest("site1/h1/cpu.util")
+		if !ok || p.Value != 4 {
+			t.Fatalf("replica %d latest = %+v", i, p)
+		}
+	}
+	if rs.LiveCount() != 3 {
+		t.Fatalf("LiveCount = %d", rs.LiveCount())
+	}
+}
+
+func TestReplicaSetFailover(t *testing.T) {
+	rs, _ := NewReplicaSet(2, 16)
+	rs.Append(rec("h1", "m", 1, 42))
+
+	if err := rs.Fail(0); err != nil {
+		t.Fatal(err)
+	}
+	p, ok, err := rs.Latest("site1/h1/m")
+	if err != nil || !ok || p.Value != 42 {
+		t.Fatalf("failover read = %+v, %v, %v", p, ok, err)
+	}
+	// Writes continue to the survivor only.
+	rs.Append(rec("h1", "m", 2, 43))
+	w, err := rs.Window("site1/h1/m", 10)
+	if err != nil || len(w) != 2 {
+		t.Fatalf("Window after failover = %v, %v", w, err)
+	}
+}
+
+func TestReplicaSetRepair(t *testing.T) {
+	rs, _ := NewReplicaSet(2, 16)
+	rs.Append(rec("h1", "m", 1, 1))
+	rs.Fail(1)
+	rs.Append(rec("h1", "m", 2, 2)) // missed by replica 1
+
+	if err := rs.Repair(1); err != nil {
+		t.Fatal(err)
+	}
+	if rs.LiveCount() != 2 {
+		t.Fatalf("LiveCount = %d", rs.LiveCount())
+	}
+	st, _ := rs.Replica(1)
+	w := st.Window("site1/h1/m", 10)
+	if len(w) != 2 || w[1].Value != 2 {
+		t.Fatalf("repaired replica window = %+v", w)
+	}
+	// New writes reach the repaired replica.
+	rs.Append(rec("h1", "m", 3, 3))
+	st, _ = rs.Replica(1)
+	if p, ok := st.Latest("site1/h1/m"); !ok || p.Value != 3 {
+		t.Fatalf("repaired replica not receiving writes: %+v", p)
+	}
+}
+
+func TestReplicaSetAllDown(t *testing.T) {
+	rs, _ := NewReplicaSet(2, 16)
+	rs.Fail(0)
+	rs.Fail(1)
+	if err := rs.Append(rec("h1", "m", 1, 1)); !errors.Is(err, ErrNoReplica) {
+		t.Fatalf("Append all-down = %v", err)
+	}
+	if _, _, err := rs.Latest("k"); !errors.Is(err, ErrNoReplica) {
+		t.Fatalf("Latest all-down = %v", err)
+	}
+	if _, err := rs.Window("k", 1); !errors.Is(err, ErrNoReplica) {
+		t.Fatalf("Window all-down = %v", err)
+	}
+	// Repairing replica 0 when nothing is live re-enables it as-is.
+	if err := rs.Repair(0); err != nil {
+		t.Fatalf("Repair with no live peer = %v", err)
+	}
+	if rs.LiveCount() != 1 {
+		t.Fatal("repair did not revive")
+	}
+}
+
+func TestReplicaSetValidation(t *testing.T) {
+	if _, err := NewReplicaSet(0, 4); err == nil {
+		t.Fatal("zero replicas accepted")
+	}
+	rs, _ := NewReplicaSet(1, 4)
+	if err := rs.Fail(5); err == nil {
+		t.Fatal("out-of-range Fail accepted")
+	}
+	if err := rs.Repair(-1); err == nil {
+		t.Fatal("out-of-range Repair accepted")
+	}
+	if _, ok := rs.Replica(9); ok {
+		t.Fatal("out-of-range Replica returned ok")
+	}
+	bad := rec("", "m", 1, 1)
+	if err := rs.Append(bad); err == nil {
+		t.Fatal("invalid record accepted by replica set")
+	}
+}

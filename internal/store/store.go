@@ -1,0 +1,242 @@
+// Package store implements the management data repository the classifier
+// grid writes into and the processor grid consolidates from (§3.2–3.3).
+// Observations are kept as bounded time series keyed by
+// site/device/metric, with secondary indexes by device and by metric,
+// window queries and aggregations for the multi-level analyses, and
+// synchronous replication across peers for the paper's future-work item
+// on storage and replication.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"agentgrid/internal/obs"
+)
+
+// Point is one stored observation.
+type Point struct {
+	Step  int       `json:"step"`
+	Time  time.Time `json:"time"`
+	Value float64   `json:"value"`
+}
+
+// series is a ring buffer of points in append order.
+type series struct {
+	site   string
+	device string
+	metric string
+	buf    []Point
+	start  int // index of oldest point
+	count  int
+}
+
+func (s *series) append(p Point) {
+	if s.count < len(s.buf) {
+		s.buf[(s.start+s.count)%len(s.buf)] = p
+		s.count++
+		return
+	}
+	// Full: overwrite oldest.
+	s.buf[s.start] = p
+	s.start = (s.start + 1) % len(s.buf)
+}
+
+// points returns the series oldest-first.
+func (s *series) points() []Point {
+	out := make([]Point, s.count)
+	for i := 0; i < s.count; i++ {
+		out[i] = s.buf[(s.start+i)%len(s.buf)]
+	}
+	return out
+}
+
+func (s *series) latest() (Point, bool) {
+	if s.count == 0 {
+		return Point{}, false
+	}
+	return s.buf[(s.start+s.count-1)%len(s.buf)], true
+}
+
+// Store is one storage node. Safe for concurrent use.
+type Store struct {
+	maxPoints int
+
+	mu       sync.RWMutex
+	series   map[string]*series
+	byDevice map[string][]string // "site/device" -> sorted keys
+	byMetric map[string][]string // metric -> sorted keys
+	appends  uint64
+}
+
+// Store errors.
+var (
+	ErrNoSeries = errors.New("store: no such series")
+)
+
+// DefaultMaxPoints bounds each series when no explicit cap is given.
+const DefaultMaxPoints = 4096
+
+// New returns a store keeping at most maxPoints observations per series
+// (0 means DefaultMaxPoints).
+func New(maxPoints int) *Store {
+	if maxPoints <= 0 {
+		maxPoints = DefaultMaxPoints
+	}
+	return &Store{
+		maxPoints: maxPoints,
+		series:    make(map[string]*series),
+		byDevice:  make(map[string][]string),
+		byMetric:  make(map[string][]string),
+	}
+}
+
+// Append stores one record.
+func (s *Store) Append(r obs.Record) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	key := r.Key()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ser, ok := s.series[key]
+	if !ok {
+		ser = &series{
+			site:   r.Site,
+			device: r.Device,
+			metric: r.Metric,
+			buf:    make([]Point, s.maxPoints),
+		}
+		s.series[key] = ser
+		devKey := r.Site + "/" + r.Device
+		s.byDevice[devKey] = insertSorted(s.byDevice[devKey], key)
+		s.byMetric[r.Metric] = insertSorted(s.byMetric[r.Metric], key)
+	}
+	ser.append(Point{Step: r.Step, Time: r.Time, Value: r.Value})
+	s.appends++
+	return nil
+}
+
+// AppendBatch stores every record of a batch, stopping at the first
+// invalid record.
+func (s *Store) AppendBatch(b *obs.Batch) error {
+	for i := range b.Records {
+		if err := s.Append(b.Records[i]); err != nil {
+			return fmt.Errorf("record %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func insertSorted(list []string, key string) []string {
+	i := sort.SearchStrings(list, key)
+	if i < len(list) && list[i] == key {
+		return list
+	}
+	list = append(list, "")
+	copy(list[i+1:], list[i:])
+	list[i] = key
+	return list
+}
+
+// Latest returns the most recent point of a series.
+func (s *Store) Latest(key string) (Point, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ser, ok := s.series[key]
+	if !ok {
+		return Point{}, false
+	}
+	return ser.latest()
+}
+
+// Window returns the most recent n points of a series, oldest first.
+func (s *Store) Window(key string, n int) []Point {
+	s.mu.RLock()
+	ser, ok := s.series[key]
+	var pts []Point
+	if ok {
+		pts = ser.points()
+	}
+	s.mu.RUnlock()
+	if len(pts) > n {
+		pts = pts[len(pts)-n:]
+	}
+	return pts
+}
+
+// Range returns the points with fromStep <= Step <= toStep, oldest first.
+func (s *Store) Range(key string, fromStep, toStep int) []Point {
+	s.mu.RLock()
+	ser, ok := s.series[key]
+	var pts []Point
+	if ok {
+		pts = ser.points()
+	}
+	s.mu.RUnlock()
+	out := pts[:0]
+	for _, p := range pts {
+		if p.Step >= fromStep && p.Step <= toStep {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Keys lists all series keys, sorted.
+func (s *Store) Keys() []string {
+	s.mu.RLock()
+	out := make([]string, 0, len(s.series))
+	for k := range s.series {
+		out = append(out, k)
+	}
+	s.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// SeriesForDevice returns the series keys of one device, sorted.
+func (s *Store) SeriesForDevice(site, device string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.byDevice[site+"/"+device]...)
+}
+
+// SeriesForMetric returns the series keys carrying a metric, sorted.
+func (s *Store) SeriesForMetric(metric string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return append([]string(nil), s.byMetric[metric]...)
+}
+
+// Devices lists "site/device" identifiers present in the store, sorted.
+func (s *Store) Devices() []string {
+	s.mu.RLock()
+	out := make([]string, 0, len(s.byDevice))
+	for k := range s.byDevice {
+		out = append(out, k)
+	}
+	s.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Stats returns (series count, total appends).
+func (s *Store) Stats() (seriesCount int, appends uint64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.series), s.appends
+}
+
+// ParseKey splits a series key into site, device and metric.
+func ParseKey(key string) (site, device, metric string, err error) {
+	parts := strings.SplitN(key, "/", 3)
+	if len(parts) != 3 || parts[0] == "" || parts[1] == "" || parts[2] == "" {
+		return "", "", "", fmt.Errorf("store: malformed series key %q", key)
+	}
+	return parts[0], parts[1], parts[2], nil
+}

@@ -1,0 +1,212 @@
+package store
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"agentgrid/internal/obs"
+)
+
+func rec(device, metric string, step int, value float64) obs.Record {
+	return obs.Record{
+		Site:   "site1",
+		Device: device,
+		Metric: metric,
+		Value:  value,
+		Step:   step,
+		Time:   time.Unix(int64(1000+step), 0).UTC(),
+	}
+}
+
+func TestAppendAndLatest(t *testing.T) {
+	s := New(16)
+	for i := 1; i <= 5; i++ {
+		if err := s.Append(rec("h1", "cpu.util", i, float64(i*10))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, ok := s.Latest("site1/h1/cpu.util")
+	if !ok || p.Value != 50 || p.Step != 5 {
+		t.Fatalf("Latest = %+v, %v", p, ok)
+	}
+	if _, ok := s.Latest("site1/h1/nope"); ok {
+		t.Fatal("phantom series")
+	}
+	n, appends := s.Stats()
+	if n != 1 || appends != 5 {
+		t.Fatalf("Stats = %d, %d", n, appends)
+	}
+}
+
+func TestAppendRejectsInvalid(t *testing.T) {
+	s := New(4)
+	bad := rec("", "cpu.util", 1, 1)
+	if err := s.Append(bad); !errors.Is(err, obs.ErrNoDevice) {
+		t.Fatalf("Append invalid = %v", err)
+	}
+}
+
+func TestRingBufferEviction(t *testing.T) {
+	s := New(4)
+	for i := 1; i <= 10; i++ {
+		s.Append(rec("h1", "m", i, float64(i)))
+	}
+	pts := s.Window("site1/h1/m", 100)
+	if len(pts) != 4 {
+		t.Fatalf("kept %d points, want 4", len(pts))
+	}
+	for i, p := range pts {
+		if want := float64(7 + i); p.Value != want {
+			t.Fatalf("pts[%d] = %v, want %v", i, p.Value, want)
+		}
+	}
+}
+
+func TestWindowAndRange(t *testing.T) {
+	s := New(64)
+	for i := 1; i <= 20; i++ {
+		s.Append(rec("h1", "m", i, float64(i)))
+	}
+	w := s.Window("site1/h1/m", 5)
+	if len(w) != 5 || w[0].Value != 16 || w[4].Value != 20 {
+		t.Fatalf("Window = %+v", w)
+	}
+	r := s.Range("site1/h1/m", 5, 8)
+	if len(r) != 4 || r[0].Step != 5 || r[3].Step != 8 {
+		t.Fatalf("Range = %+v", r)
+	}
+	if len(s.Range("site1/h1/m", 100, 200)) != 0 {
+		t.Fatal("empty range not empty")
+	}
+	if len(s.Window("ghost", 5)) != 0 {
+		t.Fatal("window of ghost series not empty")
+	}
+}
+
+func TestIndexes(t *testing.T) {
+	s := New(16)
+	s.Append(rec("h1", "cpu.util", 1, 1))
+	s.Append(rec("h1", "mem.free", 1, 1))
+	s.Append(rec("h2", "cpu.util", 1, 1))
+
+	keys := s.Keys()
+	if len(keys) != 3 {
+		t.Fatalf("Keys = %v", keys)
+	}
+	dev := s.SeriesForDevice("site1", "h1")
+	if len(dev) != 2 || dev[0] != "site1/h1/cpu.util" || dev[1] != "site1/h1/mem.free" {
+		t.Fatalf("SeriesForDevice = %v", dev)
+	}
+	met := s.SeriesForMetric("cpu.util")
+	if len(met) != 2 {
+		t.Fatalf("SeriesForMetric = %v", met)
+	}
+	devs := s.Devices()
+	if len(devs) != 2 || devs[0] != "site1/h1" || devs[1] != "site1/h2" {
+		t.Fatalf("Devices = %v", devs)
+	}
+	// Re-appending to an existing series must not duplicate index entries.
+	s.Append(rec("h1", "cpu.util", 2, 2))
+	if len(s.SeriesForDevice("site1", "h1")) != 2 {
+		t.Fatal("index duplicated")
+	}
+}
+
+func TestAppendBatch(t *testing.T) {
+	s := New(16)
+	b := &obs.Batch{Collector: "c", Records: []obs.Record{
+		rec("h1", "cpu.util", 1, 10),
+		rec("h2", "cpu.util", 1, 20),
+	}}
+	if err := s.AppendBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := s.Stats(); n != 2 {
+		t.Fatalf("series = %d", n)
+	}
+	b.Records = append(b.Records, obs.Record{Metric: "x"})
+	if err := s.AppendBatch(b); err == nil {
+		t.Fatal("invalid batch accepted")
+	}
+}
+
+func TestParseKey(t *testing.T) {
+	site, dev, metric, err := ParseKey("s1/h1/cpu.util")
+	if err != nil || site != "s1" || dev != "h1" || metric != "cpu.util" {
+		t.Fatalf("ParseKey = %q %q %q %v", site, dev, metric, err)
+	}
+	// Metric itself may contain slashes? No: metric has dots; but a
+	// malformed key must error.
+	for _, bad := range []string{"", "a", "a/b", "a//b", "/a/b", "a/b/"} {
+		if _, _, _, err := ParseKey(bad); err == nil {
+			t.Errorf("ParseKey(%q) accepted", bad)
+		}
+	}
+}
+
+func TestDefaultMaxPoints(t *testing.T) {
+	s := New(0)
+	if s.maxPoints != DefaultMaxPoints {
+		t.Fatalf("maxPoints = %d", s.maxPoints)
+	}
+}
+
+func TestConcurrentAppendsAndReads(t *testing.T) {
+	s := New(128)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			dev := string(rune('a' + w))
+			for i := 0; i < 100; i++ {
+				s.Append(rec(dev, "cpu.util", i, float64(i)))
+				s.Latest("site1/" + dev + "/cpu.util")
+				s.Window("site1/"+dev+"/cpu.util", 10)
+				s.Keys()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n, appends := s.Stats(); n != 8 || appends != 800 {
+		t.Fatalf("Stats = %d, %d", n, appends)
+	}
+}
+
+// Property: a series window always returns points in non-decreasing step
+// order and never exceeds the ring capacity.
+func TestWindowInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		cap := 1 + r.Intn(32)
+		s := New(cap)
+		n := r.Intn(200)
+		for i := 0; i < n; i++ {
+			s.Append(rec("h", "m", i, r.Float64()))
+		}
+		pts := s.Window("site1/h/m", 1000)
+		if len(pts) > cap {
+			return false
+		}
+		want := n
+		if want > cap {
+			want = cap
+		}
+		if len(pts) != want {
+			return false
+		}
+		for i := 1; i < len(pts); i++ {
+			if pts[i-1].Step >= pts[i].Step {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,279 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"agentgrid/internal/acl"
+)
+
+// TCPOption configures a TCP transport.
+type TCPOption func(*tcpTransport)
+
+// WithDialTimeout sets the per-connection dial timeout (default 5s).
+func WithDialTimeout(d time.Duration) TCPOption {
+	return func(t *tcpTransport) { t.dialTimeout = d }
+}
+
+// WithWriteTimeout sets the per-frame write deadline (default 10s).
+func WithWriteTimeout(d time.Duration) TCPOption {
+	return func(t *tcpTransport) { t.writeTimeout = d }
+}
+
+// WithTCPFault installs a fault-injection hook on outbound sends.
+func WithTCPFault(f FaultFunc) TCPOption {
+	return func(t *tcpTransport) { t.fault = f }
+}
+
+// ListenTCP starts a TCP endpoint on addr ("host:port"; use port 0 for an
+// ephemeral port) and dispatches every inbound frame to h on a dedicated
+// goroutine per connection.
+func ListenTCP(addr string, h Handler, opts ...TCPOption) (Transport, error) {
+	if h == nil {
+		return nil, errors.New("transport: nil handler")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	t := &tcpTransport{
+		ln:           ln,
+		handler:      h,
+		conns:        make(map[string]*sendConn),
+		inbound:      make(map[net.Conn]struct{}),
+		dialTimeout:  5 * time.Second,
+		writeTimeout: 10 * time.Second,
+		done:         make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(t)
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+type tcpTransport struct {
+	ln           net.Listener
+	handler      Handler
+	fault        FaultFunc
+	dialTimeout  time.Duration
+	writeTimeout time.Duration
+
+	mu      sync.Mutex
+	conns   map[string]*sendConn
+	inbound map[net.Conn]struct{}
+	closed  bool
+
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+// sendConn is a pooled outbound connection with a write lock so frames
+// from concurrent senders do not interleave.
+type sendConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func (t *tcpTransport) Addr() string { return "tcp://" + t.ln.Addr().String() }
+
+// StripScheme converts "tcp://host:port" to "host:port"; other strings
+// pass through unchanged.
+func StripScheme(addr string) string {
+	if i := strings.Index(addr, "://"); i >= 0 {
+		return addr[i+3:]
+	}
+	return addr
+}
+
+func (t *tcpTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			select {
+			case <-t.done:
+				return
+			default:
+			}
+			// Transient accept error; keep serving.
+			continue
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.inbound[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.serveConn(conn)
+	}
+}
+
+func (t *tcpTransport) serveConn(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		t.mu.Lock()
+		delete(t.inbound, conn)
+		t.mu.Unlock()
+		conn.Close()
+	}()
+	for {
+		m, err := acl.ReadFrame(conn)
+		if err != nil {
+			// EOF, deadline or codec error all end the connection; the
+			// peer re-dials as needed.
+			return
+		}
+		select {
+		case <-t.done:
+			return
+		default:
+		}
+		t.handler(m)
+	}
+}
+
+func (t *tcpTransport) Send(ctx context.Context, addr string, m *acl.Message) error {
+	t.mu.Lock()
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	if t.fault != nil {
+		if err := t.fault(addr, m); err != nil {
+			return err
+		}
+	}
+	frame, err := acl.Marshal(m)
+	if err != nil {
+		return err
+	}
+	// One reconnect attempt: a pooled connection may have gone stale.
+	for attempt := 0; attempt < 2; attempt++ {
+		sc, err := t.getConn(ctx, addr)
+		if err != nil {
+			return err
+		}
+		if err := t.writeFrame(sc, frame); err != nil {
+			t.dropConn(addr, sc)
+			if attempt == 0 {
+				continue
+			}
+			return fmt.Errorf("transport: send to %s: %w", addr, err)
+		}
+		return nil
+	}
+	return fmt.Errorf("transport: send to %s failed", addr)
+}
+
+func (t *tcpTransport) writeFrame(sc *sendConn, frame []byte) error {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if t.writeTimeout > 0 {
+		if err := sc.conn.SetWriteDeadline(time.Now().Add(t.writeTimeout)); err != nil {
+			return err
+		}
+	}
+	_, err := sc.conn.Write(frame)
+	return err
+}
+
+func (t *tcpTransport) getConn(ctx context.Context, addr string) (*sendConn, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if sc, ok := t.conns[addr]; ok {
+		t.mu.Unlock()
+		return sc, nil
+	}
+	t.mu.Unlock()
+
+	d := net.Dialer{Timeout: t.dialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", StripScheme(addr))
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	sc := &sendConn{conn: conn}
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		conn.Close()
+		return nil, ErrClosed
+	}
+	if existing, ok := t.conns[addr]; ok {
+		// Lost a dial race; use the winner.
+		conn.Close()
+		return existing, nil
+	}
+	t.conns[addr] = sc
+	return sc, nil
+}
+
+func (t *tcpTransport) dropConn(addr string, sc *sendConn) {
+	t.mu.Lock()
+	if cur, ok := t.conns[addr]; ok && cur == sc {
+		delete(t.conns, addr)
+	}
+	t.mu.Unlock()
+	sc.conn.Close()
+}
+
+func (t *tcpTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := t.conns
+	t.conns = map[string]*sendConn{}
+	inbound := make([]net.Conn, 0, len(t.inbound))
+	for c := range t.inbound {
+		inbound = append(inbound, c)
+	}
+	t.mu.Unlock()
+
+	close(t.done)
+	err := t.ln.Close()
+	for _, sc := range conns {
+		sc.conn.Close()
+	}
+	for _, c := range inbound {
+		c.Close()
+	}
+	t.wg.Wait()
+	return err
+}
+
+// ReadAllFrames drains every frame from r until EOF; it exists for tests
+// and offline tooling that replay captured message logs.
+func ReadAllFrames(r io.Reader) ([]*acl.Message, error) {
+	var out []*acl.Message
+	for {
+		m, err := acl.ReadFrame(r)
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, m)
+	}
+}

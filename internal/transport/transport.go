@@ -1,0 +1,174 @@
+// Package transport moves ACL messages between containers. Two
+// implementations share one interface: an in-process transport for
+// single-process grids and tests, and a TCP transport with length-prefixed
+// frames for grids spanning machines. A fault-injection hook supports the
+// failure experiments.
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"agentgrid/internal/acl"
+)
+
+// Handler consumes an inbound message. Implementations must not retain m
+// past the call unless they clone it.
+type Handler func(m *acl.Message)
+
+// Transport sends ACL messages to container endpoints and receives those
+// addressed to its own endpoint.
+type Transport interface {
+	// Addr returns the endpoint other containers use to reach this one,
+	// e.g. "inproc://site1/c1" or "tcp://127.0.0.1:7001".
+	Addr() string
+	// Send delivers m to the container listening at addr.
+	Send(ctx context.Context, addr string, m *acl.Message) error
+	// Close releases the endpoint. Further Sends fail.
+	Close() error
+}
+
+// Common transport errors.
+var (
+	ErrClosed        = errors.New("transport: closed")
+	ErrUnknownAddr   = errors.New("transport: unknown address")
+	ErrFaultInjected = errors.New("transport: injected fault")
+)
+
+// FaultFunc inspects an outbound message and may veto it. Returning a
+// non-nil error makes Send fail with that error; the message is dropped.
+type FaultFunc func(addr string, m *acl.Message) error
+
+// DropAll is a FaultFunc that drops every message (a dead network).
+func DropAll(string, *acl.Message) error { return ErrFaultInjected }
+
+// DropTo returns a FaultFunc that drops only messages for the given addr.
+func DropTo(target string) FaultFunc {
+	return func(addr string, _ *acl.Message) error {
+		if addr == target {
+			return ErrFaultInjected
+		}
+		return nil
+	}
+}
+
+// InProcNetwork is a registry of in-process endpoints. It simulates a
+// network inside one process: Send looks the destination up and invokes
+// its handler synchronously. Safe for concurrent use.
+type InProcNetwork struct {
+	mu        sync.RWMutex
+	endpoints map[string]*inprocEndpoint
+	fault     FaultFunc
+}
+
+// NewInProcNetwork returns an empty in-process network.
+func NewInProcNetwork() *InProcNetwork {
+	return &InProcNetwork{endpoints: make(map[string]*inprocEndpoint)}
+}
+
+// SetFault installs (or clears, with nil) a fault-injection hook applied
+// to every Send on this network.
+func (n *InProcNetwork) SetFault(f FaultFunc) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.fault = f
+}
+
+// Endpoint registers a new endpoint under the given address. The address
+// must be unique on the network.
+func (n *InProcNetwork) Endpoint(addr string, h Handler) (Transport, error) {
+	if h == nil {
+		return nil, errors.New("transport: nil handler")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.endpoints[addr]; dup {
+		return nil, fmt.Errorf("transport: address %q already registered", addr)
+	}
+	ep := &inprocEndpoint{net: n, addr: addr, handler: h}
+	n.endpoints[addr] = ep
+	return ep, nil
+}
+
+// Lookup reports whether an endpoint is registered at addr.
+func (n *InProcNetwork) Lookup(addr string) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	_, ok := n.endpoints[addr]
+	return ok
+}
+
+func (n *InProcNetwork) send(ctx context.Context, from, to string, m *acl.Message) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	n.mu.RLock()
+	fault := n.fault
+	ep, ok := n.endpoints[to]
+	n.mu.RUnlock()
+	if fault != nil {
+		if err := fault(to, m); err != nil {
+			return err
+		}
+	}
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownAddr, to)
+	}
+	// Deliver a clone so sender-side mutation cannot race the receiver.
+	ep.deliver(m.Clone())
+	return nil
+}
+
+func (n *InProcNetwork) remove(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.endpoints, addr)
+}
+
+type inprocEndpoint struct {
+	net     *InProcNetwork
+	addr    string
+	handler Handler
+
+	mu     sync.Mutex
+	closed bool
+}
+
+func (e *inprocEndpoint) Addr() string { return e.addr }
+
+func (e *inprocEndpoint) Send(ctx context.Context, addr string, m *acl.Message) error {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	return e.net.send(ctx, e.addr, addr, m)
+}
+
+func (e *inprocEndpoint) deliver(m *acl.Message) {
+	e.mu.Lock()
+	closed := e.closed
+	e.mu.Unlock()
+	if closed {
+		return
+	}
+	e.handler(m)
+}
+
+func (e *inprocEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	e.net.remove(e.addr)
+	return nil
+}

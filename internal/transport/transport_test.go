@@ -1,0 +1,149 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"agentgrid/internal/acl"
+)
+
+func msgTo(addr string) *acl.Message {
+	return &acl.Message{
+		Performative: acl.Inform,
+		Sender:       acl.NewAID("a", "p"),
+		Receivers:    []acl.AID{acl.NewAID("b", "p", addr)},
+		Content:      []byte("hello"),
+	}
+}
+
+type collector struct {
+	mu   sync.Mutex
+	msgs []*acl.Message
+	ch   chan *acl.Message
+}
+
+func newCollector() *collector {
+	return &collector{ch: make(chan *acl.Message, 64)}
+}
+
+func (c *collector) handle(m *acl.Message) {
+	c.mu.Lock()
+	c.msgs = append(c.msgs, m)
+	c.mu.Unlock()
+	c.ch <- m
+}
+
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.msgs)
+}
+
+func TestInProcDelivery(t *testing.T) {
+	n := NewInProcNetwork()
+	rx := newCollector()
+	a, err := n.Endpoint("inproc://a", func(*acl.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Endpoint("inproc://b", rx.handle); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(context.Background(), "inproc://b", msgTo("inproc://b")); err != nil {
+		t.Fatal(err)
+	}
+	got := <-rx.ch
+	if string(got.Content) != "hello" {
+		t.Fatalf("content = %q", got.Content)
+	}
+	if !n.Lookup("inproc://a") || n.Lookup("inproc://zzz") {
+		t.Error("Lookup wrong")
+	}
+}
+
+func TestInProcDeliversClone(t *testing.T) {
+	n := NewInProcNetwork()
+	rx := newCollector()
+	a, _ := n.Endpoint("inproc://a", func(*acl.Message) {})
+	n.Endpoint("inproc://b", rx.handle)
+	m := msgTo("inproc://b")
+	if err := a.Send(context.Background(), "inproc://b", m); err != nil {
+		t.Fatal(err)
+	}
+	m.Content[0] = 'X' // mutate after send
+	got := <-rx.ch
+	if string(got.Content) != "hello" {
+		t.Fatal("receiver saw sender-side mutation; message not cloned")
+	}
+}
+
+func TestInProcErrors(t *testing.T) {
+	n := NewInProcNetwork()
+	a, _ := n.Endpoint("inproc://a", func(*acl.Message) {})
+
+	if _, err := n.Endpoint("inproc://a", func(*acl.Message) {}); err == nil {
+		t.Error("duplicate address accepted")
+	}
+	if _, err := n.Endpoint("inproc://nil", nil); err == nil {
+		t.Error("nil handler accepted")
+	}
+	err := a.Send(context.Background(), "inproc://ghost", msgTo("x"))
+	if !errors.Is(err, ErrUnknownAddr) {
+		t.Errorf("Send to ghost = %v", err)
+	}
+	bad := msgTo("inproc://a")
+	bad.Sender = acl.AID{}
+	if err := a.Send(context.Background(), "inproc://a", bad); !errors.Is(err, acl.ErrNoSender) {
+		t.Errorf("invalid message = %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := a.Send(ctx, "inproc://a", msgTo("inproc://a")); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled ctx = %v", err)
+	}
+
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal("double close should be nil")
+	}
+	if err := a.Send(context.Background(), "inproc://a", msgTo("x")); !errors.Is(err, ErrClosed) {
+		t.Errorf("Send after close = %v", err)
+	}
+	if n.Lookup("inproc://a") {
+		t.Error("closed endpoint still registered")
+	}
+}
+
+func TestInProcFaultInjection(t *testing.T) {
+	n := NewInProcNetwork()
+	rx := newCollector()
+	a, _ := n.Endpoint("inproc://a", func(*acl.Message) {})
+	n.Endpoint("inproc://b", rx.handle)
+	n.Endpoint("inproc://c", rx.handle)
+
+	n.SetFault(DropTo("inproc://b"))
+	if err := a.Send(context.Background(), "inproc://b", msgTo("b")); !errors.Is(err, ErrFaultInjected) {
+		t.Errorf("fault not injected: %v", err)
+	}
+	if err := a.Send(context.Background(), "inproc://c", msgTo("c")); err != nil {
+		t.Errorf("unrelated send failed: %v", err)
+	}
+
+	n.SetFault(DropAll)
+	if err := a.Send(context.Background(), "inproc://c", msgTo("c")); !errors.Is(err, ErrFaultInjected) {
+		t.Errorf("DropAll not applied: %v", err)
+	}
+
+	n.SetFault(nil)
+	if err := a.Send(context.Background(), "inproc://c", msgTo("c")); err != nil {
+		t.Errorf("send after clearing fault: %v", err)
+	}
+	if rx.count() != 2 {
+		t.Errorf("delivered %d, want 2", rx.count())
+	}
+}

@@ -1,0 +1,149 @@
+// Package workload generates the request mixes the evaluation runs. The
+// paper's scenario (§4.1) issues requests of three types (A, B, C) that
+// stand for different classes of managed objects; Figure 6 uses ten
+// requests of each type. The generator also produces collection-goal
+// sets for driving the live pipeline across simulated device fleets.
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"agentgrid/internal/collect"
+	"agentgrid/internal/device"
+	"agentgrid/internal/metrics"
+)
+
+// Request is one management request of a given kind.
+type Request struct {
+	// Kind is the request type (A, B or C).
+	Kind metrics.RequestKind
+	// Round groups one request of each kind; cross-kind inference runs
+	// once per round.
+	Round int
+}
+
+// Mix specifies how many requests of each kind to issue.
+type Mix struct {
+	A int
+	B int
+	C int
+}
+
+// PaperMix is the evaluation scenario of Figure 6: "10 requests of each
+// type".
+func PaperMix() Mix { return Mix{A: 10, B: 10, C: 10} }
+
+// Scaled multiplies the mix by n (the volume axis of the crossover
+// study).
+func (m Mix) Scaled(n int) Mix {
+	return Mix{A: m.A * n, B: m.B * n, C: m.C * n}
+}
+
+// Total returns the request count.
+func (m Mix) Total() int { return m.A + m.B + m.C }
+
+// Rounds returns the number of complete A+B+C rounds in the mix — the
+// number of cross-kind inferences the evaluation performs.
+func (m Mix) Rounds() int {
+	r := m.A
+	if m.B < r {
+		r = m.B
+	}
+	if m.C < r {
+		r = m.C
+	}
+	return r
+}
+
+// Requests expands the mix into a deterministic interleaved sequence:
+// A, B, C, A, B, C, ... with leftovers of the larger kinds at the end.
+func (m Mix) Requests() []Request {
+	out := make([]Request, 0, m.Total())
+	remaining := [3]int{m.A, m.B, m.C}
+	kinds := metrics.Kinds()
+	for round := 0; ; round++ {
+		issued := false
+		for i, kind := range kinds {
+			if remaining[i] > 0 {
+				out = append(out, Request{Kind: kind, Round: round})
+				remaining[i]--
+				issued = true
+			}
+		}
+		if !issued {
+			return out
+		}
+	}
+}
+
+// String renders the mix for reports.
+func (m Mix) String() string {
+	return fmt.Sprintf("A=%d B=%d C=%d", m.A, m.B, m.C)
+}
+
+// ---- Live-pipeline workloads ----
+
+// FleetSpec describes a simulated managed network to generate.
+type FleetSpec struct {
+	// Site names the administrative domain.
+	Site string
+	// Hosts, Routers, Switches count device types.
+	Hosts    int
+	Routers  int
+	Switches int
+	// RouterIfs is interfaces per router (default 4).
+	RouterIfs int
+	// SwitchPorts is ports per switch (default 8).
+	SwitchPorts int
+	// Seed derives per-device seeds.
+	Seed int64
+}
+
+// BuildDevices constructs the spec's device fleet deterministically.
+func (s FleetSpec) BuildDevices() []*device.Device {
+	ifs := s.RouterIfs
+	if ifs <= 0 {
+		ifs = 4
+	}
+	ports := s.SwitchPorts
+	if ports <= 0 {
+		ports = 8
+	}
+	var out []*device.Device
+	for i := 0; i < s.Hosts; i++ {
+		out = append(out, device.NewHost(fmt.Sprintf("host-%02d", i+1), s.Seed+int64(i)))
+	}
+	for i := 0; i < s.Routers; i++ {
+		out = append(out, device.NewRouter(fmt.Sprintf("router-%02d", i+1), ifs, s.Seed+1000+int64(i)))
+	}
+	for i := 0; i < s.Switches; i++ {
+		out = append(out, device.NewSwitch(fmt.Sprintf("switch-%02d", i+1), ports, s.Seed+2000+int64(i)))
+	}
+	return out
+}
+
+// Goals builds one collection goal per device against a running fleet,
+// splitting devices across nCollectors collectors round-robin. The
+// result is indexed by collector ordinal.
+func Goals(spec FleetSpec, fleet *device.Fleet, nCollectors int, interval time.Duration) [][]collect.Goal {
+	if nCollectors < 1 {
+		nCollectors = 1
+	}
+	out := make([][]collect.Goal, nCollectors)
+	for i, st := range fleet.Stations() {
+		d := st.Device
+		g := collect.Goal{
+			// Site-qualified so goals from different sites can coexist
+			// on one collector.
+			Name:     "monitor-" + spec.Site + "-" + d.Name(),
+			Site:     spec.Site,
+			Device:   d.Name(),
+			Class:    string(d.Class()),
+			Addr:     st.Addr(),
+			Interval: interval,
+		}
+		out[i%nCollectors] = append(out[i%nCollectors], g)
+	}
+	return out
+}

@@ -1,0 +1,141 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"agentgrid/internal/device"
+	"agentgrid/internal/metrics"
+)
+
+func TestPaperMix(t *testing.T) {
+	m := PaperMix()
+	if m.A != 10 || m.B != 10 || m.C != 10 || m.Total() != 30 || m.Rounds() != 10 {
+		t.Fatalf("PaperMix = %+v", m)
+	}
+	if m.String() != "A=10 B=10 C=10" {
+		t.Fatalf("String = %q", m.String())
+	}
+}
+
+func TestScaled(t *testing.T) {
+	m := PaperMix().Scaled(3)
+	if m.A != 30 || m.Total() != 90 {
+		t.Fatalf("Scaled = %+v", m)
+	}
+}
+
+func TestRequestsInterleaved(t *testing.T) {
+	reqs := Mix{A: 2, B: 2, C: 2}.Requests()
+	wantKinds := []metrics.RequestKind{
+		metrics.KindA, metrics.KindB, metrics.KindC,
+		metrics.KindA, metrics.KindB, metrics.KindC,
+	}
+	if len(reqs) != 6 {
+		t.Fatalf("requests = %d", len(reqs))
+	}
+	for i, r := range reqs {
+		if r.Kind != wantKinds[i] {
+			t.Fatalf("req[%d] = %v", i, r.Kind)
+		}
+		if r.Round != i/3 {
+			t.Fatalf("req[%d] round = %d", i, r.Round)
+		}
+	}
+}
+
+func TestRequestsUnevenMix(t *testing.T) {
+	m := Mix{A: 3, B: 1, C: 0}
+	reqs := m.Requests()
+	if len(reqs) != 4 {
+		t.Fatalf("requests = %d", len(reqs))
+	}
+	if m.Rounds() != 0 {
+		t.Fatalf("Rounds = %d (no complete round without C)", m.Rounds())
+	}
+	counts := map[metrics.RequestKind]int{}
+	for _, r := range reqs {
+		counts[r.Kind]++
+	}
+	if counts[metrics.KindA] != 3 || counts[metrics.KindB] != 1 || counts[metrics.KindC] != 0 {
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+func TestRequestsCountProperty(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		m := Mix{A: int(a % 50), B: int(b % 50), C: int(c % 50)}
+		reqs := m.Requests()
+		if len(reqs) != m.Total() {
+			return false
+		}
+		counts := map[metrics.RequestKind]int{}
+		for _, r := range reqs {
+			counts[r.Kind]++
+		}
+		return counts[metrics.KindA] == m.A && counts[metrics.KindB] == m.B && counts[metrics.KindC] == m.C
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFleetSpecBuildDevices(t *testing.T) {
+	spec := FleetSpec{Site: "site1", Hosts: 3, Routers: 2, Switches: 1, Seed: 99}
+	devs := spec.BuildDevices()
+	if len(devs) != 6 {
+		t.Fatalf("devices = %d", len(devs))
+	}
+	classes := map[device.Class]int{}
+	for _, d := range devs {
+		classes[d.Class()]++
+	}
+	if classes[device.ClassHost] != 3 || classes[device.ClassRouter] != 2 || classes[device.ClassSwitch] != 1 {
+		t.Fatalf("classes = %v", classes)
+	}
+	// Deterministic for a fixed seed.
+	again := spec.BuildDevices()
+	devs[0].Advance(10)
+	again[0].Advance(10)
+	v1, _ := devs[0].Value(device.MetricCPUUtil)
+	v2, _ := again[0].Value(device.MetricCPUUtil)
+	if v1 != v2 {
+		t.Fatal("fleet not deterministic")
+	}
+}
+
+func TestGoalsSplitAcrossCollectors(t *testing.T) {
+	spec := FleetSpec{Site: "site1", Hosts: 5, Seed: 1}
+	fleet, err := device.NewFleet(spec.BuildDevices(), "public")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+
+	split := Goals(spec, fleet, 2, time.Second)
+	if len(split) != 2 {
+		t.Fatalf("collectors = %d", len(split))
+	}
+	if len(split[0])+len(split[1]) != 5 {
+		t.Fatalf("goal counts = %d + %d", len(split[0]), len(split[1]))
+	}
+	if len(split[0])-len(split[1]) > 1 {
+		t.Fatalf("unbalanced split: %d vs %d", len(split[0]), len(split[1]))
+	}
+	for _, goals := range split {
+		for _, g := range goals {
+			if err := g.Validate(); err != nil {
+				t.Fatalf("generated goal invalid: %v", err)
+			}
+			if g.Addr == "" {
+				t.Fatal("goal missing station address")
+			}
+		}
+	}
+	// Degenerate collector count clamps to 1.
+	one := Goals(spec, fleet, 0, time.Second)
+	if len(one) != 1 || len(one[0]) != 5 {
+		t.Fatalf("clamped split = %d collectors", len(one))
+	}
+}
