@@ -1,0 +1,31 @@
+# Makefile — convenience wrappers around the Go toolchain and the
+# repo's verification gate (see verify.sh).
+
+GO ?= go
+
+.PHONY: all build test race lint verify fmt
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Project-specific static analysis (cmd/gridlint). `make lint` fails
+# when any analyzer reports an issue; see DESIGN.md for the analyzer
+# list and the suppression syntax.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/gridlint ./...
+
+# The full gate: vet + gridlint + build + tests + race detector.
+verify:
+	./verify.sh
+
+fmt:
+	gofmt -w .

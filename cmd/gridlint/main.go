@@ -1,0 +1,108 @@
+// Command gridlint is the agent grid's project-specific static
+// analyzer. It enforces the concurrency and FIPA-protocol invariants
+// the grid depends on — constants for ACL performatives, locking
+// discipline on guarded fields, cancellation paths in goroutine loops,
+// bounded channel sends and channel-based (never sleep-based)
+// synchronization.
+//
+// Usage:
+//
+//	gridlint [flags] [pattern ...]
+//
+// Patterns are directories; a trailing /... recurses. The default
+// pattern is ./... (the whole module). Exit status is 1 when any
+// diagnostic is reported, 2 on usage or load errors.
+//
+// Flags:
+//
+//	-list             list analyzers and exit
+//	-enable  a,b,...  run only the named analyzers
+//	-disable a,b,...  skip the named analyzers
+//
+// Suppress a single finding with a trailing or preceding comment:
+//
+//	//gridlint:ignore <analyzer> <why this is safe>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"agentgrid/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gridlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list analyzers and exit")
+	enable := fs.String("enable", "", "comma-separated analyzers to run (default all)")
+	disable := fs.String("disable", "", "comma-separated analyzers to skip")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers, err := lint.Select(*enable, *disable)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var pkgs []*lint.Package
+	for _, pat := range patterns {
+		loaded, err := loadPattern(pat)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		pkgs = append(pkgs, loaded...)
+	}
+
+	diags := lint.Run(pkgs, analyzers)
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "gridlint: %d issue(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// loadPattern resolves one command-line pattern: "dir/..." walks
+// recursively, a bare directory loads just that package.
+func loadPattern(pat string) ([]*lint.Package, error) {
+	if dir, ok := strings.CutSuffix(pat, "/..."); ok {
+		if dir == "" || dir == "." {
+			dir = "."
+		}
+		return lint.Load(dir)
+	}
+	if pat == "..." {
+		return lint.Load(".")
+	}
+	pkg, err := lint.LoadDir(pat)
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		return nil, nil
+	}
+	return []*lint.Package{pkg}, nil
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, dir, name, src string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+const dirtySrc = `package p
+
+import "time"
+
+func wait() {
+	time.Sleep(time.Second)
+}
+`
+
+const cleanSrc = `package p
+
+func ok() int { return 1 }
+`
+
+func TestRunFindsIssues(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "p.go", dirtySrc)
+	var out, errOut strings.Builder
+	code := run([]string{dir}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "[sleepsync]") {
+		t.Errorf("missing diagnostic, got: %s", out.String())
+	}
+}
+
+func TestRunCleanTree(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "p.go", cleanSrc)
+	var out, errOut strings.Builder
+	if code := run([]string{dir + "/..."}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, want 0; out: %s", code, out.String())
+	}
+	if out.String() != "" {
+		t.Errorf("unexpected output: %s", out.String())
+	}
+}
+
+func TestRunDisable(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "p.go", dirtySrc)
+	var out, errOut strings.Builder
+	if code := run([]string{"-disable", "sleepsync", dir}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, want 0; out: %s", code, out.String())
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, name := range []string{"aclperformative", "guardedfield", "goroutineleak", "unboundedsend", "sleepsync"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestRunBadFlagsAndAnalyzers(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-enable", "nope"}, &out, &errOut); code != 2 {
+		t.Errorf("unknown analyzer exit = %d, want 2", code)
+	}
+	if code := run([]string{"-bogus"}, &out, &errOut); code != 2 {
+		t.Errorf("bad flag exit = %d, want 2", code)
+	}
+	if code := run([]string{"/nonexistent-gridlint-dir"}, &out, &errOut); code != 2 {
+		t.Errorf("missing dir exit = %d, want 2", code)
+	}
+}
+
+// TestRepoIsLintClean is the enforcement test: the whole repository
+// must stay free of gridlint diagnostics.
+func TestRepoIsLintClean(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"../../..."}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("gridlint on repo exited %d:\n%s", code, out.String())
+	}
+}

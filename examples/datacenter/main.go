@@ -97,12 +97,20 @@ func run() error {
 	fmt.Printf("live reports at http://%s/site/farm (add ?format=html)\n\n", addr)
 
 	// Let the scheduled goals run a few cycles while the fleet evolves.
+	// A ticker (not a sleep) paces the cycles so a cancelled context
+	// stops the demo immediately.
+	cycleTick := time.NewTicker(200 * time.Millisecond)
+	defer cycleTick.Stop()
 	for cycle := 0; cycle < 5; cycle++ {
 		fleet.Advance(2)
-		time.Sleep(200 * time.Millisecond)
+		select {
+		case <-cycleTick.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	}
 	grid.WaitIdle(15 * time.Second)
-	waitForAlerts(grid, 10*time.Second)
+	waitForAlerts(ctx, grid, 10*time.Second)
 
 	// Summarize what the grid concluded.
 	alerts := grid.Alerts()
@@ -137,12 +145,11 @@ func run() error {
 	return nil
 }
 
-func waitForAlerts(grid *agentgrid.Grid, timeout time.Duration) {
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
-		if len(grid.Alerts()) > 0 {
-			return
-		}
-		time.Sleep(20 * time.Millisecond)
-	}
+// waitForAlerts blocks until any alert arrives (or the timeout
+// elapses) using the interface grid's alert subscription — an
+// event-driven wait, not a polling loop.
+func waitForAlerts(ctx context.Context, grid *agentgrid.Grid, timeout time.Duration) {
+	wctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	grid.Interface().WaitAlert(wctx, nil)
 }

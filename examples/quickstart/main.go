@@ -64,7 +64,7 @@ rule "disk-low" level 2 category disk {
 		return err
 	}
 	grid.WaitIdle(10 * time.Second)
-	waitForAlert(grid, "hot-cpu", 10*time.Second)
+	waitForAlert(ctx, grid, "hot-cpu", 10*time.Second)
 
 	// Print the management report and the alerts.
 	rep, err := grid.Interface().BuildSiteReport("site1", time.Now().UTC())
@@ -84,14 +84,11 @@ rule "disk-low" level 2 category disk {
 	return nil
 }
 
-func waitForAlert(grid *agentgrid.Grid, rule string, timeout time.Duration) {
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
-		for _, a := range grid.Alerts() {
-			if a.Rule == rule {
-				return
-			}
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+// waitForAlert blocks until the named rule has fired (or the timeout
+// elapses) using the interface grid's alert subscription — an
+// event-driven wait, not a polling loop.
+func waitForAlert(ctx context.Context, grid *agentgrid.Grid, rule string, timeout time.Duration) {
+	wctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	grid.Interface().WaitAlert(wctx, func(a agentgrid.Alert) bool { return a.Rule == rule })
 }

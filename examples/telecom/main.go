@@ -99,7 +99,7 @@ func run() error {
 		return err
 	}
 	grid.WaitIdle(15 * time.Second)
-	waitForRule(grid, "backbone-outage", 10*time.Second)
+	waitForRule(ctx, grid, "backbone-outage", 10*time.Second)
 
 	fmt.Println("\nafter the fibre cut:")
 	var isolated, correlated int
@@ -120,14 +120,11 @@ func run() error {
 	return nil
 }
 
-func waitForRule(grid *agentgrid.Grid, rule string, timeout time.Duration) {
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
-		for _, a := range grid.Alerts() {
-			if a.Rule == rule {
-				return
-			}
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+// waitForRule blocks until the named rule has fired (or the timeout
+// elapses) using the interface grid's alert subscription — an
+// event-driven wait, not a polling loop.
+func waitForRule(ctx context.Context, grid *agentgrid.Grid, rule string, timeout time.Duration) {
+	wctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	grid.Interface().WaitAlert(wctx, func(a agentgrid.Alert) bool { return a.Rule == rule })
 }

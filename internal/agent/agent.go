@@ -104,12 +104,12 @@ type Agent struct {
 	errLog      func(acl.AID, error)
 
 	mu       sync.Mutex
-	inbox    chan *acl.Message
-	handlers []handlerEntry
-	goals    map[string]*goalState
-	running  bool
-	stopped  bool
-	runCtx   context.Context
+	inbox    chan *acl.Message     // the channel is its own synchronization; see Deliver
+	handlers []handlerEntry        // guarded by mu
+	goals    map[string]*goalState // guarded by mu
+	running  bool                  // guarded by mu
+	stopped  bool                  // guarded by mu
+	runCtx   context.Context       // guarded by mu
 	wg       sync.WaitGroup
 }
 

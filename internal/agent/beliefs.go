@@ -15,8 +15,8 @@ import (
 // The zero value is ready to use.
 type Beliefs struct {
 	mu    sync.RWMutex
-	facts map[string]any
-	rev   uint64
+	facts map[string]any // guarded by mu
+	rev   uint64         // guarded by mu
 }
 
 // Set records a fact, replacing any previous value.

@@ -81,10 +81,11 @@ type Root struct {
 	cfg RootConfig
 	ini *negotiate.Initiator
 
-	mu      sync.Mutex
-	pending map[string]*pendingTask
-	l3busy  map[string]bool
-	stats   RootStats
+	mu          sync.Mutex
+	pending     map[string]*pendingTask // guarded by mu
+	l3busy      map[string]bool         // guarded by mu
+	stats       RootStats               // guarded by mu
+	idleWaiters []chan struct{}         // guarded by mu
 }
 
 // NewRoot wires broker behaviour onto an agent.
@@ -152,6 +153,45 @@ func (r *Root) Stats() RootStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.stats
+}
+
+// retireLocked removes a task from the pending table, releases its
+// level-3 site slot and wakes idle waiters when the table drains.
+// Caller holds r.mu. Every path that retires a pending task must go
+// through here so WaitIdle cannot miss the transition to empty.
+func (r *Root) retireLocked(id string, task *Task) {
+	delete(r.pending, id)
+	if task != nil && task.Level == 3 {
+		delete(r.l3busy, task.Site)
+	}
+	if len(r.pending) != 0 {
+		return
+	}
+	for _, ch := range r.idleWaiters {
+		close(ch)
+	}
+	r.idleWaiters = nil
+}
+
+// WaitIdle blocks until the root has no in-flight tasks or ctx ends,
+// reporting whether the root went idle. The wait is channel-based —
+// waiters are woken on the exact transition to an empty pending table
+// rather than polling.
+func (r *Root) WaitIdle(ctx context.Context) bool {
+	r.mu.Lock()
+	if len(r.pending) == 0 {
+		r.mu.Unlock()
+		return true
+	}
+	ch := make(chan struct{})
+	r.idleWaiters = append(r.idleWaiters, ch)
+	r.mu.Unlock()
+	select {
+	case <-ch:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // PendingTasks returns the IDs of in-flight tasks, sorted.
@@ -349,10 +389,7 @@ func (r *Root) dispatchNegotiated(ctx context.Context, task *Task, eligible []di
 	if err != nil {
 		r.logErr(fmt.Errorf("analyze: negotiate task %s: %w", task.ID, err))
 		r.mu.Lock()
-		delete(r.pending, task.ID)
-		if task.Level == 3 {
-			delete(r.l3busy, task.Site)
-		}
+		r.retireLocked(task.ID, task)
 		r.stats.Abandoned++
 		r.mu.Unlock()
 		return
@@ -380,10 +417,7 @@ func (r *Root) complete(ctx context.Context, res *Result) {
 	r.mu.Lock()
 	pt, ok := r.pending[res.TaskID]
 	if ok {
-		delete(r.pending, res.TaskID)
-		if pt.task.Level == 3 {
-			delete(r.l3busy, pt.task.Site)
-		}
+		r.retireLocked(res.TaskID, pt.task)
 		r.stats.Completed++
 	}
 	r.mu.Unlock()
@@ -478,10 +512,7 @@ func (r *Root) reassign(ctx context.Context, taskID, failedWorker string) {
 		pt.excluded[failedWorker] = true
 	}
 	if pt.attempts >= r.cfg.MaxAttempts {
-		delete(r.pending, taskID)
-		if pt.task.Level == 3 {
-			delete(r.l3busy, pt.task.Site)
-		}
+		r.retireLocked(taskID, pt.task)
 		r.stats.Abandoned++
 		r.mu.Unlock()
 		r.logErr(fmt.Errorf("analyze: task %s abandoned after %d attempts", taskID, pt.attempts))
@@ -500,10 +531,7 @@ func (r *Root) reassign(ctx context.Context, taskID, failedWorker string) {
 // abandon drops a task that cannot be placed.
 func (r *Root) abandon(task *Task, err error) {
 	r.mu.Lock()
-	delete(r.pending, task.ID)
-	if task.Level == 3 {
-		delete(r.l3busy, task.Site)
-	}
+	r.retireLocked(task.ID, task)
 	r.stats.Abandoned++
 	r.mu.Unlock()
 	r.logErr(err)

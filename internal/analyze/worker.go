@@ -50,8 +50,8 @@ type Worker struct {
 	cfg WorkerConfig
 
 	mu    sync.Mutex
-	busy  int
-	stats WorkerStats
+	busy  int         // guarded by mu
+	stats WorkerStats // guarded by mu
 }
 
 // NewWorker wires analysis behaviour onto an agent: it accepts task

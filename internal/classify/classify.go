@@ -202,7 +202,7 @@ type Classifier struct {
 	cfg Config
 
 	mu    sync.Mutex
-	stats Stats
+	stats Stats // guarded by mu
 }
 
 // New wires classifier behaviour onto an agent: it consumes XML batch

@@ -224,8 +224,8 @@ type Collector struct {
 	cfg Config
 
 	mu    sync.Mutex
-	goals map[string]Goal
-	stats Stats
+	goals map[string]Goal // guarded by mu
+	stats Stats           // guarded by mu
 }
 
 // New wires collector behaviour onto an agent.

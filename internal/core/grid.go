@@ -491,16 +491,13 @@ func (g *Grid) CollectNow(ctx context.Context) error {
 }
 
 // WaitIdle blocks until the processor grid has no in-flight tasks, or
-// the timeout elapses. It reports whether the grid went idle.
+// the timeout elapses. It reports whether the grid went idle. The wait
+// is event-driven: the root wakes waiters on the exact transition to an
+// empty pending-task table instead of polling.
 func (g *Grid) WaitIdle(timeout time.Duration) bool {
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
-		if len(g.root.PendingTasks()) == 0 {
-			return true
-		}
-		time.Sleep(2 * time.Millisecond)
-	}
-	return len(g.root.PendingTasks()) == 0
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	return g.root.WaitIdle(ctx)
 }
 
 // Accessors for inspection, tooling and tests.

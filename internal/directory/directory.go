@@ -141,7 +141,7 @@ type Directory struct {
 	onExpire func(string)
 
 	mu      sync.RWMutex
-	entries map[string]*Registration
+	entries map[string]*Registration // guarded by mu
 }
 
 // New returns a directory whose leases last ttl.

@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// AnalyzerACLPerformative flags raw string literals used where FIPA ACL
+// performatives, protocol names or ontology names belong. The grid's
+// wire protocol is only well-formed when every message carries one of
+// the constants declared in internal/acl (acl.Inform, acl.ProtocolRequest,
+// acl.OntologyGridManagement, ...); a typo'd literal compiles fine but
+// produces messages no handler selector ever matches — the classic
+// silent protocol-misuse failure of distributed manager grids.
+//
+// Heuristic (syntactic, no type information):
+//   - composite-literal entries keyed Performative:, Protocol: or
+//     Ontology: whose value is a string literal;
+//   - conversions Performative("...") / acl.Performative("...");
+//   - comparisons and switch cases matching a .Performative, .Protocol
+//     or .Ontology selector against a non-empty string literal.
+//
+// The internal/acl package itself — where the constants live — is
+// exempt.
+var AnalyzerACLPerformative = &Analyzer{
+	Name: "aclperformative",
+	Doc:  "ACL performatives, protocols and ontologies must use the internal/acl constants, never raw string literals",
+	Run:  runACLPerformative,
+}
+
+// aclFields are the message/selector field names whose values must come
+// from internal/acl constants.
+var aclFields = map[string]bool{
+	"Performative": true,
+	"Protocol":     true,
+	"Ontology":     true,
+}
+
+func runACLPerformative(p *Package) []Diagnostic {
+	if p.Name == "acl" {
+		return nil // the constants' own home
+	}
+	var out []Diagnostic
+	report := func(pos token.Pos, field, lit string) {
+		out = append(out, Diagnostic{
+			Pos:      p.Fset.Position(pos),
+			Analyzer: "aclperformative",
+			Message:  fmt.Sprintf("raw string %s for ACL %s; use the internal/acl constants", lit, strings.ToLower(field)),
+		})
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.KeyValueExpr:
+				key, ok := n.Key.(*ast.Ident)
+				if !ok || !aclFields[key.Name] {
+					return true
+				}
+				if lit, ok := stringLit(n.Value); ok && lit != `""` {
+					report(n.Value.Pos(), key.Name, lit)
+				}
+			case *ast.CallExpr:
+				// Conversion acl.Performative("...") or Performative("...").
+				if len(n.Args) != 1 {
+					return true
+				}
+				name := typeName(n.Fun)
+				if name != "Performative" {
+					return true
+				}
+				if lit, ok := stringLit(n.Args[0]); ok {
+					report(n.Args[0].Pos(), name, lit)
+				}
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				field, litExpr := aclComparison(n.X, n.Y)
+				if field == "" {
+					field, litExpr = aclComparison(n.Y, n.X)
+				}
+				if field == "" {
+					return true
+				}
+				if lit, ok := stringLit(litExpr); ok && lit != `""` {
+					report(litExpr.Pos(), field, lit)
+				}
+			case *ast.SwitchStmt:
+				sel, ok := n.Tag.(*ast.SelectorExpr)
+				if !ok || !aclFields[sel.Sel.Name] {
+					return true
+				}
+				for _, stmt := range n.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if lit, ok := stringLit(e); ok && lit != `""` {
+							report(e.Pos(), sel.Sel.Name, lit)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// aclComparison reports the ACL field name when selExpr is a selector
+// on an ACL field and litSide is a plausible literal side.
+func aclComparison(selExpr, litSide ast.Expr) (string, ast.Expr) {
+	sel, ok := selExpr.(*ast.SelectorExpr)
+	if !ok || !aclFields[sel.Sel.Name] {
+		return "", nil
+	}
+	return sel.Sel.Name, litSide
+}
+
+// stringLit returns the quoted text of a string literal expression.
+func stringLit(e ast.Expr) (string, bool) {
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	if _, err := strconv.Unquote(lit.Value); err != nil {
+		return "", false
+	}
+	return lit.Value, true
+}
+
+// typeName extracts the bare name of a (possibly package-qualified)
+// type expression used as a conversion target.
+func typeName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.ParenExpr:
+		return typeName(e.X)
+	}
+	return ""
+}

@@ -1,0 +1,168 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// AnalyzerGoroutineLeak flags `go func() { ... }()` literals that loop
+// forever consuming channels with no cancellation path. Every
+// long-running worker a container spawns must die when the container
+// shuts down; a receive loop with no ctx.Done/quit-channel case runs
+// until process exit, stranding the goroutine and whatever it holds.
+//
+// Heuristic: inside a goroutine func literal, an infinite `for { ... }`
+// loop that performs a channel receive must contain a select case
+// receiving from a cancellation source — a Done()-style call
+// (ctx.Done()) or a channel whose name says it is a lifecycle signal
+// (done, quit, stop, stopc, stopCh, closing, cancel) — whose body
+// leaves the loop (return or break). Loops shaped `for v := range ch`
+// are accepted: closing the channel is their cancellation path.
+var AnalyzerGoroutineLeak = &Analyzer{
+	Name: "goroutineleak",
+	Doc:  "goroutine channel-receive loops need a cancellation path (ctx.Done / quit channel / range over closable channel)",
+	Run:  runGoroutineLeak,
+}
+
+// cancelNames are identifier spellings accepted as lifecycle channels.
+var cancelNames = map[string]bool{
+	"done": true, "quit": true, "stop": true, "stopc": true,
+	"stopch": true, "closing": true, "closed": true, "cancel": true,
+}
+
+func runGoroutineLeak(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			lit, ok := g.Call.Fun.(*ast.FuncLit)
+			if !ok {
+				return true
+			}
+			ast.Inspect(lit.Body, func(inner ast.Node) bool {
+				loop, ok := inner.(*ast.ForStmt)
+				if !ok || loop.Cond != nil || loop.Init != nil || loop.Post != nil {
+					return true
+				}
+				if !containsReceive(loop.Body) {
+					return true
+				}
+				if hasCancellationCase(loop.Body) {
+					return true
+				}
+				out = append(out, Diagnostic{
+					Pos:      p.Fset.Position(loop.Pos()),
+					Analyzer: "goroutineleak",
+					Message:  "infinite receive loop in goroutine has no cancellation path (no ctx.Done/quit-channel select case)",
+				})
+				return true
+			})
+			return true
+		})
+	}
+	return out
+}
+
+// containsReceive reports whether the block performs any channel
+// receive (<-ch), including as a select communication.
+func containsReceive(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// hasCancellationCase reports whether some select inside the block has
+// a case receiving from a cancellation source whose body escapes the
+// loop.
+func hasCancellationCase(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return !found
+		}
+		for _, clause := range sel.Body.List {
+			cc, ok := clause.(*ast.CommClause)
+			if !ok || cc.Comm == nil {
+				continue
+			}
+			recv := commReceiveExpr(cc.Comm)
+			if recv == nil || !isCancellationSource(recv) {
+				continue
+			}
+			if escapesLoop(cc.Body) {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// commReceiveExpr extracts the channel expression of a receive
+// communication (case <-ch: / case v := <-ch:), nil for sends.
+func commReceiveExpr(comm ast.Stmt) ast.Expr {
+	var e ast.Expr
+	switch s := comm.(type) {
+	case *ast.ExprStmt:
+		e = s.X
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			e = s.Rhs[0]
+		}
+	}
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+		return u.X
+	}
+	return nil
+}
+
+// isCancellationSource recognizes Done()-style calls and
+// lifecycle-named channel identifiers/selectors.
+func isCancellationSource(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+			return true
+		}
+		if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "Done" {
+			return true
+		}
+	case *ast.Ident:
+		return cancelNames[strings.ToLower(e.Name)]
+	case *ast.SelectorExpr:
+		return cancelNames[strings.ToLower(e.Sel.Name)]
+	}
+	return false
+}
+
+// escapesLoop reports whether the case body leaves the enclosing loop:
+// a return or break at its top level (or trivially nested in an if).
+func escapesLoop(stmts []ast.Stmt) bool {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.ReturnStmt:
+			return true
+		case *ast.BranchStmt:
+			if s.Tok == token.BREAK || s.Tok == token.GOTO {
+				return true
+			}
+		case *ast.IfStmt:
+			if escapesLoop(s.Body.List) {
+				return true
+			}
+		}
+	}
+	return false
+}

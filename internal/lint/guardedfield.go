@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strings"
+)
+
+// AnalyzerGuardedField enforces "// guarded by <mu>" annotations on
+// struct fields. A field so annotated may only be touched inside
+// methods of its struct that visibly acquire that mutex (a call to
+// <recv>.<mu>.Lock or <recv>.<mu>.RLock anywhere in the method), or
+// inside methods following the repo convention of a "...Locked" name
+// suffix, which documents that the caller already holds the lock.
+//
+// The check is an intra-function heuristic: it does not trace helper
+// calls or prove the lock is held at the access point, it proves the
+// method participates in the locking discipline at all. That is the
+// bug class that matters here — a method added later that reads the
+// agents map or pending-task table with no locking whatsoever.
+// Construction-time initialization through composite literals is
+// naturally exempt (no selector access is involved).
+var AnalyzerGuardedField = &Analyzer{
+	Name: "guardedfield",
+	Doc:  "fields annotated '// guarded by <mu>' must only be accessed in methods that lock that mutex (or '...Locked' methods)",
+	Run:  runGuardedField,
+}
+
+var guardedRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// guardedFields maps struct name -> field name -> mutex field name.
+type guardedFields map[string]map[string]string
+
+func runGuardedField(p *Package) []Diagnostic {
+	guarded := collectGuarded(p)
+	if len(guarded) == 0 {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.AST.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || len(fn.Recv.List) == 0 || fn.Body == nil {
+				continue
+			}
+			recvType := receiverTypeName(fn.Recv.List[0].Type)
+			fields := guarded[recvType]
+			if len(fields) == 0 {
+				continue
+			}
+			if strings.HasSuffix(fn.Name.Name, "Locked") {
+				continue // documented caller-holds-lock convention
+			}
+			recvName := ""
+			if len(fn.Recv.List[0].Names) > 0 {
+				recvName = fn.Recv.List[0].Names[0].Name
+			}
+			if recvName == "" || recvName == "_" {
+				continue
+			}
+			locked := lockedMutexes(fn.Body, recvName)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				base, ok := sel.X.(*ast.Ident)
+				if !ok || base.Name != recvName {
+					return true
+				}
+				mu, isGuarded := fields[sel.Sel.Name]
+				if !isGuarded || locked[mu] {
+					return true
+				}
+				out = append(out, Diagnostic{
+					Pos:      p.Fset.Position(sel.Sel.Pos()),
+					Analyzer: "guardedfield",
+					Message: fmt.Sprintf("%s.%s is guarded by %s.%s but method %s never locks it",
+						recvName, sel.Sel.Name, recvName, mu, fn.Name.Name),
+				})
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// collectGuarded finds every '// guarded by <mu>' field annotation in
+// the package's struct declarations.
+func collectGuarded(p *Package) guardedFields {
+	out := make(guardedFields)
+	for _, f := range p.Files {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := annotationMutex(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if out[ts.Name.Name] == nil {
+						out[ts.Name.Name] = make(map[string]string)
+					}
+					out[ts.Name.Name][name.Name] = mu
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// annotationMutex extracts the mutex name from a field's doc or line
+// comment, "" when unannotated.
+func annotationMutex(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// lockedMutexes finds every mutex the function body locks through the
+// receiver: calls shaped <recv>.<mu>.Lock() or <recv>.<mu>.RLock().
+func lockedMutexes(body *ast.BlockStmt, recvName string) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		muSel, ok := sel.X.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := muSel.X.(*ast.Ident)
+		if !ok || base.Name != recvName {
+			return true
+		}
+		out[muSel.Sel.Name] = true
+		return true
+	})
+	return out
+}
+
+// receiverTypeName strips pointers and type parameters off a method
+// receiver type expression.
+func receiverTypeName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.StarExpr:
+		return receiverTypeName(e.X)
+	case *ast.Ident:
+		return e.Name
+	case *ast.IndexExpr:
+		return receiverTypeName(e.X)
+	case *ast.IndexListExpr:
+		return receiverTypeName(e.X)
+	case *ast.ParenExpr:
+		return receiverTypeName(e.X)
+	}
+	return ""
+}

@@ -1,0 +1,254 @@
+// Package lint is gridlint's analysis framework: a small, stdlib-only
+// static-analysis harness with project-specific analyzers for the agent
+// grid. The grid is inherently concurrent — containers, the AMS/DF/MTS
+// services, contract-net negotiation and the L1–L3 processor pipeline
+// all run as goroutines exchanging ACL messages — and the analyzers
+// here target the bug classes such systems die from in production:
+// malformed FIPA protocol constants, unguarded shared state, leaked
+// worker goroutines, unbounded channel sends and sleep-based
+// synchronization.
+//
+// The framework is deliberately syntactic (go/ast + go/parser, no type
+// checking) so it runs with zero module dependencies and zero build
+// state; every analyzer documents the heuristic it applies.
+// Diagnostics can be suppressed per line with
+//
+//	//gridlint:ignore <analyzer> <reason>
+//
+// placed on the flagged line or the line directly above it.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding at one source position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in the conventional path:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// File is one parsed source file inside a package.
+type File struct {
+	Path string
+	AST  *ast.File
+}
+
+// Package is one directory's worth of parsed (non-test) Go files,
+// sharing a FileSet.
+type Package struct {
+	Dir   string
+	Name  string
+	Fset  *token.FileSet
+	Files []*File
+}
+
+// Analyzer is one named check run over a package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, -enable/-disable
+	// flags and //gridlint:ignore comments.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run inspects a package and reports findings. The framework owns
+	// suppression and ordering; Run just reports.
+	Run func(p *Package) []Diagnostic
+}
+
+// Analyzers returns every registered analyzer, in stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		AnalyzerACLPerformative,
+		AnalyzerGuardedField,
+		AnalyzerGoroutineLeak,
+		AnalyzerUnboundedSend,
+		AnalyzerSleepSync,
+	}
+}
+
+// skipDirs are directory basenames never descended into.
+var skipDirs = map[string]bool{
+	"testdata": true,
+	"vendor":   true,
+	".git":     true,
+}
+
+// Load walks root recursively and parses every package directory found.
+// Test files (_test.go) are skipped: the analyzers target production
+// behaviour, and tests legitimately use patterns (sleeps, raw strings)
+// the analyzers forbid.
+func Load(root string) ([]*Package, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if path != root && (skipDirs[d.Name()] || strings.HasPrefix(d.Name(), ".") || strings.HasPrefix(d.Name(), "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+// LoadDir parses the single package in dir (non-recursive). It returns
+// (nil, nil) when the directory holds no non-test Go files.
+func LoadDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	pkg := &Package{Dir: dir, Fset: fset}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		pkg.Name = f.Name.Name
+		pkg.Files = append(pkg.Files, &File{Path: path, AST: f})
+	}
+	if len(pkg.Files) == 0 {
+		return nil, nil
+	}
+	return pkg, nil
+}
+
+var ignoreRe = regexp.MustCompile(`^//\s*gridlint:ignore\s+(\S+)`)
+
+// suppressedLines collects, per file, the line numbers covered by a
+// //gridlint:ignore comment for the named analyzer. A comment covers
+// its own line and the following line, so both trailing and standalone
+// placement work.
+func suppressedLines(p *Package, analyzer string) map[string]map[int]bool {
+	out := make(map[string]map[int]bool)
+	for _, f := range p.Files {
+		for _, cg := range f.AST.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil || (m[1] != analyzer && m[1] != "all") {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				if out[pos.Filename] == nil {
+					out[pos.Filename] = make(map[int]bool)
+				}
+				out[pos.Filename][pos.Line] = true
+				out[pos.Filename][pos.Line+1] = true
+			}
+		}
+	}
+	return out
+}
+
+// Run applies the analyzers to every package, filters suppressed
+// findings and returns the remainder sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			diags := a.Run(pkg)
+			if len(diags) == 0 {
+				continue
+			}
+			sup := suppressedLines(pkg, a.Name)
+			for _, d := range diags {
+				if sup[d.Pos.Filename][d.Pos.Line] {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// Select resolves -enable/-disable style comma lists against the
+// registered analyzers. Empty enable means "all".
+func Select(enable, disable string) ([]*Analyzer, error) {
+	all := Analyzers()
+	byName := make(map[string]*Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	picked := all
+	if enable != "" {
+		picked = nil
+		for _, name := range strings.Split(enable, ",") {
+			name = strings.TrimSpace(name)
+			a, ok := byName[name]
+			if !ok {
+				return nil, fmt.Errorf("lint: unknown analyzer %q", name)
+			}
+			picked = append(picked, a)
+		}
+	}
+	if disable != "" {
+		drop := make(map[string]bool)
+		for _, name := range strings.Split(disable, ",") {
+			name = strings.TrimSpace(name)
+			if _, ok := byName[name]; !ok {
+				return nil, fmt.Errorf("lint: unknown analyzer %q", name)
+			}
+			drop[name] = true
+		}
+		kept := picked[:0:len(picked)]
+		for _, a := range picked {
+			if !drop[a.Name] {
+				kept = append(kept, a)
+			}
+		}
+		picked = kept
+	}
+	return picked, nil
+}

@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current analyzer output")
+
+// TestGolden runs every analyzer over its fixture directory and
+// compares the rendered diagnostics against testdata/<name>/golden.txt.
+// Each fixture holds at least one true positive (bad.go) and one clean
+// case (clean.go); the golden file pins exactly what is flagged.
+func TestGolden(t *testing.T) {
+	for _, a := range Analyzers() {
+		t.Run(a.Name, func(t *testing.T) {
+			dir := filepath.Join("testdata", a.Name)
+			pkg, err := LoadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pkg == nil {
+				t.Fatalf("no fixture package in %s", dir)
+			}
+			diags := Run([]*Package{pkg}, []*Analyzer{a})
+			var b strings.Builder
+			for _, d := range diags {
+				b.WriteString(filepath.ToSlash(d.String()))
+				b.WriteByte('\n')
+			}
+			got := b.String()
+			goldenPath := filepath.Join(dir, "golden.txt")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+			if !strings.Contains(got, "bad.go") {
+				t.Errorf("analyzer %s found no true positive in bad.go", a.Name)
+			}
+			if strings.Contains(got, "clean.go") {
+				t.Errorf("analyzer %s flagged the clean fixture", a.Name)
+			}
+		})
+	}
+}
+
+func TestLoadSkipsTestdataAndTests(t *testing.T) {
+	pkgs, err := Load(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("Load(.) found %d packages, want 1 (testdata must be skipped)", len(pkgs))
+	}
+	for _, f := range pkgs[0].Files {
+		if strings.HasSuffix(f.Path, "_test.go") {
+			t.Errorf("test file loaded: %s", f.Path)
+		}
+		if strings.Contains(f.Path, "testdata") {
+			t.Errorf("testdata file loaded: %s", f.Path)
+		}
+	}
+}
+
+func TestSelfClean(t *testing.T) {
+	// The lint package must pass its own analyzers.
+	pkg, err := LoadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run([]*Package{pkg}, Analyzers()); len(diags) != 0 {
+		for _, d := range diags {
+			t.Errorf("self-lint: %s", d)
+		}
+	}
+}
+
+func TestSelect(t *testing.T) {
+	all, err := Select("", "")
+	if err != nil || len(all) != len(Analyzers()) {
+		t.Fatalf("Select all = %d analyzers, err %v", len(all), err)
+	}
+	one, err := Select("sleepsync", "")
+	if err != nil || len(one) != 1 || one[0].Name != "sleepsync" {
+		t.Fatalf("Select enable = %v, err %v", one, err)
+	}
+	rest, err := Select("", "sleepsync, guardedfield")
+	if err != nil || len(rest) != len(Analyzers())-2 {
+		t.Fatalf("Select disable = %d analyzers, err %v", len(rest), err)
+	}
+	for _, a := range rest {
+		if a.Name == "sleepsync" || a.Name == "guardedfield" {
+			t.Errorf("disabled analyzer %s still selected", a.Name)
+		}
+	}
+	if _, err := Select("nope", ""); err == nil {
+		t.Error("unknown enable name accepted")
+	}
+	if _, err := Select("", "nope"); err == nil {
+		t.Error("unknown disable name accepted")
+	}
+}
+
+func TestSuppression(t *testing.T) {
+	dir := t.TempDir()
+	src := `package p
+
+import "time"
+
+func a() {
+	time.Sleep(time.Second) //gridlint:ignore sleepsync trailing comment
+}
+
+func b() {
+	//gridlint:ignore sleepsync comment on the line above
+	time.Sleep(time.Second)
+}
+
+func c() {
+	//gridlint:ignore all blanket suppression
+	time.Sleep(time.Second)
+}
+
+func d() {
+	time.Sleep(time.Second) // unsuppressed
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{pkg}, []*Analyzer{AnalyzerSleepSync})
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1 (only func d): %v", len(diags), diags)
+	}
+	if diags[0].Pos.Line != 20 {
+		t.Errorf("surviving diagnostic at line %d, want 20", diags[0].Pos.Line)
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	pkg, err := LoadDir(filepath.Join("testdata", "sleepsync"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run([]*Package{pkg}, []*Analyzer{AnalyzerSleepSync})
+	if len(diags) == 0 {
+		t.Fatal("no diagnostics")
+	}
+	s := diags[0].String()
+	if !strings.Contains(s, "bad.go:") || !strings.Contains(s, "[sleepsync]") {
+		t.Errorf("String = %q", s)
+	}
+}

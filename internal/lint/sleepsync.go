@@ -1,0 +1,51 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// AnalyzerSleepSync forbids time.Sleep as a synchronization primitive.
+// Sleeping "long enough" for another goroutine or grid to finish is
+// the signature of flaky coordination: it either wastes the whole
+// interval or races under load. Production code waits on a channel, a
+// context or a condition instead.
+//
+// Test files are never analyzed (the loader skips them), and the
+// simulation package — where virtual time advances by design — is
+// exempt. A genuinely intentional pacing sleep elsewhere must carry a
+// //gridlint:ignore sleepsync comment stating why it is not
+// synchronization.
+var AnalyzerSleepSync = &Analyzer{
+	Name: "sleepsync",
+	Doc:  "time.Sleep must not be used for synchronization outside tests and internal/sim",
+	Run:  runSleepSync,
+}
+
+func runSleepSync(p *Package) []Diagnostic {
+	if p.Name == "sim" {
+		return nil // simulated time is the package's whole point
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Sleep" {
+				return true
+			}
+			if pkg, ok := sel.X.(*ast.Ident); !ok || pkg.Name != "time" {
+				return true
+			}
+			out = append(out, Diagnostic{
+				Pos:      p.Fset.Position(call.Pos()),
+				Analyzer: "sleepsync",
+				Message:  "time.Sleep used as synchronization; wait on a channel, context or condition instead",
+			})
+			return true
+		})
+	}
+	return out
+}

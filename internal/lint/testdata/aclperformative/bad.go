@@ -1,0 +1,30 @@
+// Fixture: raw ACL string literals the analyzer must flag.
+package fixture
+
+type Message struct {
+	Performative string
+	Protocol     string
+	Ontology     string
+}
+
+type Performative string
+
+func bad(m Message) {
+	out := Message{
+		Performative: "inform",
+		Protocol:     "fipa-request",
+		Ontology:     "network-management",
+	}
+	_ = Performative("cfp")
+	if m.Performative == "request" {
+		return
+	}
+	if "fipa-subscribe" == m.Protocol {
+		return
+	}
+	switch m.Ontology {
+	case "grid-management":
+		return
+	}
+	_ = out
+}

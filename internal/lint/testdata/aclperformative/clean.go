@@ -1,0 +1,22 @@
+// Fixture: accepted ACL usage — constants and zero checks.
+package fixture
+
+const (
+	inform          = "im-a-constant-decl-not-a-field"
+	protocolRequest = "constants-are-declared-in-internal-acl"
+)
+
+func clean(m Message) {
+	out := Message{
+		Performative: inform,
+		Protocol:     protocolRequest,
+	}
+	if m.Performative == "" { // zero check is not a protocol literal
+		return
+	}
+	if m.Protocol != "" {
+		return
+	}
+	_ = Performative(inform) // conversion from a named constant
+	_ = out
+}

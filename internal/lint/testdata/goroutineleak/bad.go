@@ -1,0 +1,20 @@
+// Fixture: goroutine receive loops with no cancellation path.
+package fixture
+
+func bad(ch chan int, res chan int) {
+	go func() {
+		for {
+			v := <-ch
+			res <- v * 2 //gridlint:ignore unboundedsend fixture targets goroutineleak only
+		}
+	}()
+
+	go func() {
+		for {
+			select {
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}

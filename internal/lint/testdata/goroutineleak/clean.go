@@ -1,0 +1,45 @@
+// Fixture: goroutine loops with proper cancellation paths.
+package fixture
+
+import "context"
+
+func clean(ctx context.Context, ch chan int) {
+	// ctx.Done case.
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+
+	// Quit-channel case.
+	quit := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-quit:
+				return
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+
+	// Range over a channel: close(ch) is the cancellation path.
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+
+	// Not a loop at all.
+	go func() {
+		v := <-ch
+		_ = v
+	}()
+	close(quit)
+}

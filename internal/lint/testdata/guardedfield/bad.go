@@ -1,0 +1,30 @@
+// Fixture: guarded-field accesses without the guarding lock.
+package fixture
+
+import "sync"
+
+type Box struct {
+	mu    sync.Mutex
+	other sync.Mutex
+
+	items map[string]int // guarded by mu
+	// count tracks insertions.
+	// guarded by mu
+	count int
+	loose int // unannotated: never flagged
+}
+
+func (b *Box) Count() int {
+	return b.count
+}
+
+func (b *Box) Add(k string) {
+	b.items[k]++
+	b.count++
+}
+
+func (b *Box) WrongMutex() int {
+	b.other.Lock()
+	defer b.other.Unlock()
+	return b.count
+}

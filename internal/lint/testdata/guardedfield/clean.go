@@ -1,0 +1,26 @@
+// Fixture: accepted guarded-field usage.
+package fixture
+
+func NewBox() *Box {
+	return &Box{items: make(map[string]int)} // composite literal: construction-time init
+}
+
+func (b *Box) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.items)
+}
+
+func (b *Box) Reset() {
+	b.mu.Lock()
+	b.items = make(map[string]int)
+	b.count = 0
+	b.mu.Unlock()
+	_ = b.loose // unannotated field needs no lock
+}
+
+// bumpLocked documents that the caller holds b.mu.
+func (b *Box) bumpLocked(k string) {
+	b.items[k]++
+	b.count++
+}

@@ -1,0 +1,11 @@
+// Fixture: sleep-based synchronization.
+package fixture
+
+import "time"
+
+func bad(ready func() bool) {
+	for !ready() {
+		time.Sleep(10 * time.Millisecond)
+	}
+	time.Sleep(time.Second)
+}

@@ -1,0 +1,21 @@
+// Fixture: accepted waits — channels, timers, contexts, and an
+// explicitly suppressed pacing sleep.
+package fixture
+
+import (
+	"context"
+	"time"
+)
+
+func clean(ctx context.Context, done chan struct{}) {
+	t := time.NewTimer(time.Second)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-done:
+	case <-t.C:
+	}
+
+	//gridlint:ignore sleepsync deliberate demo pacing, not synchronization
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,17 @@
+// Fixture: channel sends that can block forever.
+package fixture
+
+func bad(ch chan int, out chan string) {
+	ch <- 1
+
+	// A single-clause select is no better than a bare send.
+	select {
+	case out <- "x":
+	}
+
+	unbuf := make(chan int)
+	unbuf <- 2
+
+	zero := make(chan int, 0)
+	zero <- 3
+}

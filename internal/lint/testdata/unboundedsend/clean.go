@@ -1,0 +1,31 @@
+// Fixture: bounded channel sends.
+package fixture
+
+import (
+	"context"
+	"time"
+)
+
+func clean(ctx context.Context, ch chan int) {
+	// Provably buffered in this function.
+	buf := make(chan int, 8)
+	buf <- 1
+
+	// Select with a default: drop rather than block.
+	select {
+	case ch <- 1:
+	default:
+	}
+
+	// Select with a cancellation receive.
+	select {
+	case ch <- 2:
+	case <-ctx.Done():
+	}
+
+	// Select with a timeout receive.
+	select {
+	case ch <- 3:
+	case <-time.After(time.Second):
+	}
+}

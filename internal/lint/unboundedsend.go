@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// AnalyzerUnboundedSend flags channel sends that can block forever.
+// Agent behaviours (message handlers, goal actions) run on scheduling
+// goroutines the whole container shares; one send to a full unbuffered
+// channel wedges the MTS and, transitively, every agent behind it.
+//
+// A send is considered bounded when any of these hold:
+//   - it is a case of a select statement that also has a default
+//     clause or a receive case (timeout, ctx.Done) — the behaviour has
+//     an escape hatch;
+//   - the channel is provably buffered within the enclosing function
+//     (a `ch := make(chan T, n)` with nonzero capacity is in scope).
+//
+// Anything else is flagged. Sends that are bounded for reasons the
+// heuristic cannot see (capacity established elsewhere, receiver
+// guaranteed live) should carry a //gridlint:ignore unboundedsend
+// comment explaining why.
+var AnalyzerUnboundedSend = &Analyzer{
+	Name: "unboundedsend",
+	Doc:  "channel sends must sit in a select with default/timeout or target a provably buffered channel",
+	Run:  runUnboundedSend,
+}
+
+func runUnboundedSend(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.AST.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			buffered := bufferedChans(fn.Body)
+			bounded := boundedSelectSends(fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				send, ok := n.(*ast.SendStmt)
+				if !ok {
+					return true
+				}
+				if bounded[send] {
+					return true
+				}
+				if id, ok := send.Chan.(*ast.Ident); ok && buffered[id.Name] {
+					return true
+				}
+				out = append(out, Diagnostic{
+					Pos:      p.Fset.Position(send.Pos()),
+					Analyzer: "unboundedsend",
+					Message:  "potentially blocking channel send: wrap in a select with default/timeout or use a buffered channel",
+				})
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// bufferedChans collects identifiers assigned `make(chan T, n)` with a
+// nonzero capacity anywhere in the function (including nested
+// literals).
+func bufferedChans(body *ast.BlockStmt) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			if !isBufferedMake(rhs) {
+				continue
+			}
+			if id, ok := assign.Lhs[i].(*ast.Ident); ok {
+				out[id.Name] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isBufferedMake matches make(chan T, n) where n is not the literal 0.
+func isBufferedMake(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	fun, ok := call.Fun.(*ast.Ident)
+	if !ok || fun.Name != "make" {
+		return false
+	}
+	if _, ok := call.Args[0].(*ast.ChanType); !ok {
+		return false
+	}
+	if lit, ok := call.Args[1].(*ast.BasicLit); ok && lit.Kind == token.INT && lit.Value == "0" {
+		return false
+	}
+	return true
+}
+
+// boundedSelectSends marks send statements that appear as select cases
+// in a select offering an alternative path (default clause or any
+// receive case).
+func boundedSelectSends(body *ast.BlockStmt) map[*ast.SendStmt]bool {
+	out := make(map[*ast.SendStmt]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasEscape := false
+		var sends []*ast.SendStmt
+		for _, clause := range sel.Body.List {
+			cc, ok := clause.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if cc.Comm == nil { // default clause
+				hasEscape = true
+				continue
+			}
+			if send, ok := cc.Comm.(*ast.SendStmt); ok {
+				sends = append(sends, send)
+				continue
+			}
+			if commReceiveExpr(cc.Comm) != nil {
+				hasEscape = true
+			}
+		}
+		if hasEscape {
+			for _, send := range sends {
+				out[send] = true
+			}
+		}
+		return true
+	})
+	return out
+}

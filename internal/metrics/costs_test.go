@@ -164,3 +164,83 @@ func TestSortedNames(t *testing.T) {
 		}
 	}
 }
+
+func TestCostScaleEdges(t *testing.T) {
+	c := Cost{10, 5, 2}
+	if got := c.Scale(0); got != (Cost{}) {
+		t.Errorf("Scale(0) = %v, want zero cost", got)
+	}
+	if got := c.Scale(1); got != c {
+		t.Errorf("Scale(1) = %v, want %v", got, c)
+	}
+	if got := c.Scale(-1); got != (Cost{-10, -5, -2}) {
+		t.Errorf("Scale(-1) = %v", got)
+	}
+	if got := c.Scale(0.5); got != (Cost{5, 2.5, 1}) {
+		t.Errorf("Scale(0.5) = %v", got)
+	}
+}
+
+func TestCostZeroValue(t *testing.T) {
+	var z Cost
+	if z.Total() != 0 {
+		t.Errorf("zero cost Total = %v", z.Total())
+	}
+	for _, r := range Resources() {
+		if z.Get(r) != 0 {
+			t.Errorf("zero cost Get(%s) = %v", r, z.Get(r))
+		}
+	}
+	c := Cost{1, 2, 3}
+	if got := c.Add(z); got != c {
+		t.Errorf("Add(zero) = %v, want identity", got)
+	}
+}
+
+func TestCostGetPerResource(t *testing.T) {
+	c := Cost{CPU: 7, Network: 8, Disc: 9}
+	if c.Get(CPU) != 7 || c.Get(Network) != 8 || c.Get(Disc) != 9 {
+		t.Fatalf("Get mismatch: %v", c)
+	}
+}
+
+func TestEmptyCustomModel(t *testing.T) {
+	m := NewCustomCostModel(nil)
+	if _, ok := m.Lookup("anything"); ok {
+		t.Fatal("empty model resolved a task")
+	}
+	if names := m.TaskNames(); len(names) != 0 {
+		t.Fatalf("empty model TaskNames = %v", names)
+	}
+	// RenderTable on an empty model is just the header line.
+	out := m.RenderTable()
+	if lines := strings.Split(strings.TrimRight(out, "\n"), "\n"); len(lines) != 1 {
+		t.Fatalf("empty model table = %q", out)
+	}
+}
+
+func TestTaskNamesIsACopy(t *testing.T) {
+	m := NewCostModel()
+	names := m.TaskNames()
+	names[0] = "clobbered"
+	if m.TaskNames()[0] == "clobbered" {
+		t.Fatal("TaskNames exposes internal slice")
+	}
+}
+
+func TestTable1RowMetadata(t *testing.T) {
+	// The cross-kind rows (Storing, Inference AxBxC) are marked Cross;
+	// per-kind rows carry their own kind.
+	for _, row := range Table1() {
+		switch row.Task.Name {
+		case "Storing", "Inference AxBxC":
+			if !row.Task.Cross {
+				t.Errorf("%s not marked Cross", row.Task.Name)
+			}
+		case "Request B", "Parse B", "Inference B":
+			if row.Task.Cross || row.Task.Kind != KindB {
+				t.Errorf("%s metadata wrong: %+v", row.Task.Name, row.Task)
+			}
+		}
+	}
+}

@@ -28,7 +28,7 @@ const (
 // vocabulary of internal/device. Safe for concurrent use.
 type Ontology struct {
 	mu      sync.RWMutex
-	entries map[string]ontEntry // prefix -> entry
+	entries map[string]ontEntry // guarded by mu; prefix -> entry
 }
 
 type ontEntry struct {

@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestOntologyCategories(t *testing.T) {
+	o := NewOntology()
+	cases := map[string]Category{
+		"cpu.util":   CategoryCPU,
+		"mem.free":   CategoryMemory,
+		"disk.free":  CategoryDisk,
+		"proc.count": CategoryProcess,
+		"if.in.3":    CategoryTraffic,
+		"if.out.1":   CategoryTraffic,
+		"if.up.2":    CategoryAvailability,
+		"fan.speed":  CategoryUnknown,
+	}
+	for metric, want := range cases {
+		if got := o.Category(metric); got != want {
+			t.Errorf("Category(%s) = %s, want %s", metric, got, want)
+		}
+	}
+	if o.Known("fan.speed") {
+		t.Error("unknown metric marked known")
+	}
+	if !o.Known("cpu.util") {
+		t.Error("known metric marked unknown")
+	}
+}
+
+func TestOntologyUnits(t *testing.T) {
+	o := NewOntology()
+	if u := o.Unit("cpu.util"); u != "percent" {
+		t.Errorf("Unit(cpu.util) = %q", u)
+	}
+	if u := o.Unit("mystery"); u != "" {
+		t.Errorf("Unit(mystery) = %q", u)
+	}
+}
+
+func TestOntologyLongestPrefixWins(t *testing.T) {
+	o := NewOntology()
+	o.Register("if.in.9", CategoryUnknown, "special")
+	if got := o.Category("if.in.9"); got != CategoryUnknown {
+		t.Fatalf("specific prefix lost: %s", got)
+	}
+	if got := o.Category("if.in.1"); got != CategoryTraffic {
+		t.Fatalf("general prefix broken: %s", got)
+	}
+}
+
+func TestOntologyCategoriesList(t *testing.T) {
+	got := NewOntology().Categories()
+	if len(got) != 6 {
+		t.Fatalf("Categories = %v", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("not sorted/deduped: %v", got)
+		}
+	}
+}
+
+func TestOntologyAnnotate(t *testing.T) {
+	o := NewOntology()
+	r := Record{Site: "s", Device: "d", Metric: "disk.free"}
+	o.Annotate(&r)
+	if r.Unit != "MB" {
+		t.Fatalf("Unit = %q", r.Unit)
+	}
+	r.Unit = "KB" // existing unit untouched
+	o.Annotate(&r)
+	if r.Unit != "KB" {
+		t.Fatal("Annotate overwrote unit")
+	}
+}
+
+func TestOntologyAnnotateUnknownMetric(t *testing.T) {
+	o := NewOntology()
+	r := Record{Site: "s", Device: "d", Metric: "fan.speed"}
+	o.Annotate(&r)
+	if r.Unit != "" {
+		t.Fatalf("unknown metric gained unit %q", r.Unit)
+	}
+}
+
+func TestOntologyZeroValueRegister(t *testing.T) {
+	var o Ontology
+	o.Register("x.", CategoryCPU, "u")
+	if o.Category("x.y") != CategoryCPU {
+		t.Fatal("zero-value ontology unusable")
+	}
+}
+
+func TestOntologyZeroValueLookups(t *testing.T) {
+	// The zero value is empty but must not panic on reads.
+	var o Ontology
+	if got := o.Category("cpu.util"); got != CategoryUnknown {
+		t.Fatalf("empty ontology Category = %s", got)
+	}
+	if u := o.Unit("cpu.util"); u != "" {
+		t.Fatalf("empty ontology Unit = %q", u)
+	}
+	if o.Known("cpu.util") {
+		t.Fatal("empty ontology claims knowledge")
+	}
+	if got := o.Categories(); len(got) != 0 {
+		t.Fatalf("empty ontology Categories = %v", got)
+	}
+}
+
+func TestOntologyRegisterOverride(t *testing.T) {
+	o := NewOntology()
+	o.Register("cpu.", CategoryProcess, "reclassified")
+	if got := o.Category("cpu.util"); got != CategoryProcess {
+		t.Fatalf("re-registration did not override: %s", got)
+	}
+	if u := o.Unit("cpu.util"); u != "reclassified" {
+		t.Fatalf("unit not overridden: %q", u)
+	}
+}
+
+func TestOntologyConcurrentAccess(t *testing.T) {
+	// Registrations and lookups race from many goroutines; run under
+	// -race this verifies the ontology's internal locking.
+	o := NewOntology()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				o.Register(fmt.Sprintf("x%d.%d.", w, i), CategoryDisk, "u")
+				_ = o.Category("cpu.util")
+				_ = o.Unit("mem.free")
+				_ = o.Categories()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := o.Category("x3.99.z"); got != CategoryDisk {
+		t.Fatalf("registration lost: %s", got)
+	}
+}

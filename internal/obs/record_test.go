@@ -45,6 +45,19 @@ func TestRecordValidate(t *testing.T) {
 	}
 }
 
+func TestRecordValidateFirstError(t *testing.T) {
+	// A record missing everything reports the site first — callers rely
+	// on the precedence to build stable error messages.
+	var r Record
+	if err := r.Validate(); !errors.Is(err, ErrNoSite) {
+		t.Fatalf("empty record = %v, want %v", err, ErrNoSite)
+	}
+	r.Site = "s"
+	if err := r.Validate(); !errors.Is(err, ErrNoDevice) {
+		t.Fatalf("site-only record = %v, want %v", err, ErrNoDevice)
+	}
+}
+
 func TestRecordKeyAndString(t *testing.T) {
 	r := sampleRecord()
 	if r.Key() != "site1/web-1/cpu.util" {
@@ -52,6 +65,9 @@ func TestRecordKeyAndString(t *testing.T) {
 	}
 	if s := r.String(); !strings.Contains(s, "site1/web-1/cpu.util") || !strings.Contains(s, "73.5") {
 		t.Fatalf("String = %q", s)
+	}
+	if s := r.String(); !strings.Contains(s, "@12") {
+		t.Fatalf("String missing step: %q", s)
 	}
 }
 
@@ -90,6 +106,34 @@ func TestBatchXMLRoundtrip(t *testing.T) {
 	}
 }
 
+func TestBatchEmptyRecordsRoundtrip(t *testing.T) {
+	// A collector with nothing to report still ships a (valid) empty batch.
+	b := &Batch{Collector: "idle"}
+	data, err := MarshalBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalBatch(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Collector != "idle" || len(got.Records) != 0 {
+		t.Fatalf("empty batch roundtrip = %+v", got)
+	}
+}
+
+func TestBatchOmitsEmptyUnit(t *testing.T) {
+	b := &Batch{Collector: "c", Records: []Record{sampleRecord()}}
+	b.Records[0].Unit = ""
+	data, err := MarshalBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "unit=") {
+		t.Fatalf("empty unit serialized: %s", data)
+	}
+}
+
 func TestBatchValidation(t *testing.T) {
 	b := &Batch{Records: []Record{sampleRecord()}}
 	if _, err := MarshalBatch(b); err == nil {
@@ -105,6 +149,15 @@ func TestBatchValidation(t *testing.T) {
 	}
 	if _, err := UnmarshalBatch([]byte("<batch collector=\"c\"><record/></batch>")); err == nil {
 		t.Fatal("invalid record in XML accepted")
+	}
+}
+
+func TestBatchValidationNamesBadRecord(t *testing.T) {
+	b := &Batch{Collector: "c", Records: []Record{sampleRecord(), sampleRecord()}}
+	b.Records[1].Metric = ""
+	err := b.Validate()
+	if err == nil || !strings.Contains(err.Error(), "record 1") {
+		t.Fatalf("error should name the offending record: %v", err)
 	}
 }
 
@@ -148,85 +201,5 @@ func TestBatchXMLRoundtripProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
-	}
-}
-
-func TestOntologyCategories(t *testing.T) {
-	o := NewOntology()
-	cases := map[string]Category{
-		"cpu.util":   CategoryCPU,
-		"mem.free":   CategoryMemory,
-		"disk.free":  CategoryDisk,
-		"proc.count": CategoryProcess,
-		"if.in.3":    CategoryTraffic,
-		"if.out.1":   CategoryTraffic,
-		"if.up.2":    CategoryAvailability,
-		"fan.speed":  CategoryUnknown,
-	}
-	for metric, want := range cases {
-		if got := o.Category(metric); got != want {
-			t.Errorf("Category(%s) = %s, want %s", metric, got, want)
-		}
-	}
-	if o.Known("fan.speed") {
-		t.Error("unknown metric marked known")
-	}
-	if !o.Known("cpu.util") {
-		t.Error("known metric marked unknown")
-	}
-}
-
-func TestOntologyUnits(t *testing.T) {
-	o := NewOntology()
-	if u := o.Unit("cpu.util"); u != "percent" {
-		t.Errorf("Unit(cpu.util) = %q", u)
-	}
-	if u := o.Unit("mystery"); u != "" {
-		t.Errorf("Unit(mystery) = %q", u)
-	}
-}
-
-func TestOntologyLongestPrefixWins(t *testing.T) {
-	o := NewOntology()
-	o.Register("if.in.9", CategoryUnknown, "special")
-	if got := o.Category("if.in.9"); got != CategoryUnknown {
-		t.Fatalf("specific prefix lost: %s", got)
-	}
-	if got := o.Category("if.in.1"); got != CategoryTraffic {
-		t.Fatalf("general prefix broken: %s", got)
-	}
-}
-
-func TestOntologyCategoriesList(t *testing.T) {
-	got := NewOntology().Categories()
-	if len(got) != 6 {
-		t.Fatalf("Categories = %v", got)
-	}
-	for i := 1; i < len(got); i++ {
-		if got[i-1] >= got[i] {
-			t.Fatalf("not sorted/deduped: %v", got)
-		}
-	}
-}
-
-func TestOntologyAnnotate(t *testing.T) {
-	o := NewOntology()
-	r := Record{Site: "s", Device: "d", Metric: "disk.free"}
-	o.Annotate(&r)
-	if r.Unit != "MB" {
-		t.Fatalf("Unit = %q", r.Unit)
-	}
-	r.Unit = "KB" // existing unit untouched
-	o.Annotate(&r)
-	if r.Unit != "KB" {
-		t.Fatal("Annotate overwrote unit")
-	}
-}
-
-func TestOntologyZeroValueRegister(t *testing.T) {
-	var o Ontology
-	o.Register("x.", CategoryCPU, "u")
-	if o.Category("x.y") != CategoryCPU {
-		t.Fatal("zero-value ontology unusable")
 	}
 }

@@ -59,11 +59,11 @@ type Container struct {
 	cfg Config
 
 	mu      sync.Mutex
-	tr      transport.Transport
-	agents  map[string]*agent.Agent
-	cancels map[string]context.CancelFunc
-	running bool
-	runCtx  context.Context
+	tr      transport.Transport           // guarded by mu
+	agents  map[string]*agent.Agent       // guarded by mu
+	cancels map[string]context.CancelFunc // guarded by mu
+	running bool                          // guarded by mu
+	runCtx  context.Context               // guarded by mu
 	wg      sync.WaitGroup
 
 	loadFn atomic.Pointer[func() float64]

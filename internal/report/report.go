@@ -80,11 +80,11 @@ type Interface struct {
 	cfg Config
 
 	mu     sync.Mutex
-	alerts []rules.Alert
-	seen   map[string]bool // dedup keys of retained alerts
-	subs   []chan rules.Alert
-	prefs  map[string]int // report name -> request count (preference learning)
-	stats  Stats
+	alerts []rules.Alert      // guarded by mu
+	seen   map[string]bool    // guarded by mu; dedup keys of retained alerts
+	subs   []chan rules.Alert // guarded by mu
+	prefs  map[string]int     // guarded by mu; report name -> request count (preference learning)
+	stats  Stats              // guarded by mu
 }
 
 // New wires interface-grid behaviour onto an agent.
@@ -218,6 +218,37 @@ func (ig *Interface) Subscribe(buffer int) chan rules.Alert {
 	ig.subs = append(ig.subs, ch)
 	ig.mu.Unlock()
 	return ch
+}
+
+// WaitAlert blocks until an alert matching pred is retained or
+// arrives, or ctx ends; it returns the matching alert and whether one
+// was found. A nil pred matches any alert. The wait is subscription-
+// based — no polling — and checks the retained history after
+// subscribing so a concurrent alert cannot slip through the gap.
+func (ig *Interface) WaitAlert(ctx context.Context, pred func(rules.Alert) bool) (rules.Alert, bool) {
+	if pred == nil {
+		pred = func(rules.Alert) bool { return true }
+	}
+	sub := ig.Subscribe(64)
+	defer ig.Unsubscribe(sub)
+	for _, a := range ig.Alerts("") {
+		if pred(a) {
+			return a, true
+		}
+	}
+	for {
+		select {
+		case a, ok := <-sub:
+			if !ok {
+				return rules.Alert{}, false
+			}
+			if pred(a) {
+				return a, true
+			}
+		case <-ctx.Done():
+			return rules.Alert{}, false
+		}
+	}
 }
 
 // Unsubscribe removes and closes a subscription channel.

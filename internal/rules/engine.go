@@ -35,7 +35,7 @@ func (a Alert) String() string {
 // agents of the grid can learn new rules"). Safe for concurrent use.
 type RuleBase struct {
 	mu    sync.RWMutex
-	rules map[string]*Rule
+	rules map[string]*Rule // guarded by mu
 }
 
 // RuleBase errors.

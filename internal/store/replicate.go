@@ -74,8 +74,8 @@ func UnmarshalSnapshot(data []byte) (*Snapshot, error) {
 // repaired from a healthy peer.
 type ReplicaSet struct {
 	mu       sync.RWMutex
-	replicas []*Store
-	alive    []bool
+	replicas []*Store // guarded by mu
+	alive    []bool   // guarded by mu
 }
 
 // NewReplicaSet builds a replica set over n fresh stores.
@@ -117,8 +117,8 @@ func (rs *ReplicaSet) Append(r obs.Record) error {
 	return nil
 }
 
-// primary returns the first live replica.
-func (rs *ReplicaSet) primary() (*Store, error) {
+// primaryLocked returns the first live replica. Callers hold rs.mu.
+func (rs *ReplicaSet) primaryLocked() (*Store, error) {
 	for i, st := range rs.replicas {
 		if rs.alive[i] {
 			return st, nil
@@ -131,7 +131,7 @@ func (rs *ReplicaSet) primary() (*Store, error) {
 func (rs *ReplicaSet) Latest(key string) (Point, bool, error) {
 	rs.mu.RLock()
 	defer rs.mu.RUnlock()
-	st, err := rs.primary()
+	st, err := rs.primaryLocked()
 	if err != nil {
 		return Point{}, false, err
 	}
@@ -143,7 +143,7 @@ func (rs *ReplicaSet) Latest(key string) (Point, bool, error) {
 func (rs *ReplicaSet) Window(key string, n int) ([]Point, error) {
 	rs.mu.RLock()
 	defer rs.mu.RUnlock()
-	st, err := rs.primary()
+	st, err := rs.primaryLocked()
 	if err != nil {
 		return nil, err
 	}
@@ -169,7 +169,7 @@ func (rs *ReplicaSet) Repair(i int) error {
 	if i < 0 || i >= len(rs.replicas) {
 		return fmt.Errorf("store: no replica %d", i)
 	}
-	src, err := rs.primary()
+	src, err := rs.primaryLocked()
 	if err != nil || src == rs.replicas[i] {
 		// No healthy peer to copy from (or the replica is itself the
 		// first candidate): revive it with the data it already has.

@@ -67,10 +67,10 @@ type Store struct {
 	maxPoints int
 
 	mu       sync.RWMutex
-	series   map[string]*series
-	byDevice map[string][]string // "site/device" -> sorted keys
-	byMetric map[string][]string // metric -> sorted keys
-	appends  uint64
+	series   map[string]*series  // guarded by mu
+	byDevice map[string][]string // guarded by mu; "site/device" -> sorted keys
+	byMetric map[string][]string // guarded by mu; metric -> sorted keys
+	appends  uint64              // guarded by mu
 }
 
 // Store errors.

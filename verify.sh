@@ -1,0 +1,36 @@
+#!/bin/sh
+# verify.sh — the repo's full verification gate.
+#
+# Runs, in order:
+#   1. go vet            (stdlib static checks)
+#   2. gridlint          (project-specific analyzers, cmd/gridlint)
+#   3. go build          (everything compiles)
+#   4. go test           (unit + integration tests)
+#   5. go test -race     (race-clean verification)
+#
+# Any failure stops the gate with a non-zero exit. Run it before every
+# commit; CI should run exactly this script.
+set -eu
+
+cd "$(dirname "$0")"
+
+step() {
+	printf '== %s\n' "$*"
+}
+
+step "go vet ./..."
+go vet ./...
+
+step "gridlint ./..."
+go run ./cmd/gridlint ./...
+
+step "go build ./..."
+go build ./...
+
+step "go test ./..."
+go test ./...
+
+step "go test -race ./..."
+go test -race ./...
+
+step "verify: OK"
