@@ -1,0 +1,174 @@
+package acl
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// allPerformatives enumerates every supported communicative act, so the
+// round-trip property provably covers each one.
+var allPerformatives = []Performative{
+	Inform, Request, Agree, Refuse, Failure, NotUnderstood, CFP,
+	Propose, AcceptProposal, RejectProposal, Subscribe, Confirm,
+	Cancel, QueryRef,
+}
+
+func TestAllPerformativesEnumerated(t *testing.T) {
+	for _, p := range allPerformatives {
+		if !p.Valid() {
+			t.Fatalf("%q not valid", p)
+		}
+	}
+	// Guard against the production set growing without this test noticing:
+	// an unlisted-but-valid performative can't exist, but a miscount can.
+	if len(allPerformatives) != 14 {
+		t.Fatalf("performative count = %d, want 14", len(allPerformatives))
+	}
+}
+
+// randString draws a short string from a charset that exercises JSON
+// escaping: quotes, backslashes, control characters and multi-byte runes.
+func randString(rng *rand.Rand, minLen int) string {
+	alphabet := []rune(`abcXYZ059 -_./:"\{}[]` + "\n\tüλ網")
+	n := minLen + rng.Intn(12)
+	out := make([]rune, n)
+	for i := range out {
+		out[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return string(out)
+}
+
+func randAID(rng *rand.Rand) AID {
+	var addrs []string
+	for i := rng.Intn(3); i > 0; i-- {
+		addrs = append(addrs, fmt.Sprintf("inproc://n%d", rng.Intn(100)))
+	}
+	return AID{Name: randString(rng, 1) + "@" + randString(rng, 1), Addresses: addrs}
+}
+
+// randMessage builds a valid message with every field randomized. The
+// performative is passed in so callers can guarantee full coverage.
+func randMessage(rng *rand.Rand, p Performative) *Message {
+	m := &Message{
+		Performative: p,
+		Sender:       randAID(rng),
+		Receivers:    []AID{randAID(rng)},
+	}
+	for i := rng.Intn(3); i > 0; i-- {
+		m.Receivers = append(m.Receivers, randAID(rng))
+	}
+	for i := rng.Intn(2); i > 0; i-- {
+		m.ReplyTo = append(m.ReplyTo, randAID(rng))
+	}
+	if rng.Intn(4) > 0 {
+		m.Content = []byte(randString(rng, 1))
+	}
+	if rng.Intn(2) == 0 {
+		m.Language = randString(rng, 1)
+	}
+	if rng.Intn(2) == 0 {
+		m.Encoding = randString(rng, 1)
+	}
+	if rng.Intn(2) == 0 {
+		m.Ontology = randString(rng, 1)
+	}
+	switch rng.Intn(4) {
+	case 0:
+		m.Protocol = ProtocolRequest
+	case 1:
+		m.Protocol = ProtocolContractNet
+	case 2:
+		m.Protocol = ProtocolSubscribe
+	}
+	if rng.Intn(2) == 0 {
+		m.ConversationID = randString(rng, 1)
+	}
+	if rng.Intn(2) == 0 {
+		m.ReplyWith = randString(rng, 1)
+	}
+	if rng.Intn(2) == 0 {
+		m.InReplyTo = randString(rng, 1)
+	}
+	if rng.Intn(2) == 0 {
+		// UTC without monotonic clock, as a decoded time comes back.
+		m.ReplyBy = time.Unix(rng.Int63n(1<<32), rng.Int63n(1e9)).UTC()
+	}
+	return m
+}
+
+// equalMessages compares two messages, treating ReplyBy by instant
+// (time.Time's internal representation is not canonical across a
+// JSON round trip).
+func equalMessages(a, b *Message) bool {
+	if !a.ReplyBy.Equal(b.ReplyBy) {
+		return false
+	}
+	ac, bc := *a, *b
+	ac.ReplyBy, bc.ReplyBy = time.Time{}, time.Time{}
+	return reflect.DeepEqual(ac, bc)
+}
+
+// TestMessageRoundTripProperty checks, over seeded random messages
+// covering every performative and all conversation fields, that
+// Marshal/Unmarshal is lossless and re-encoding is byte-stable.
+func TestMessageRoundTripProperty(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 300; i++ {
+				m := randMessage(rng, allPerformatives[i%len(allPerformatives)])
+				frame, err := Marshal(m)
+				if err != nil {
+					t.Fatalf("marshal %s: %v", m, err)
+				}
+				got, err := Unmarshal(frame)
+				if err != nil {
+					t.Fatalf("unmarshal %s: %v", m, err)
+				}
+				if !equalMessages(m, got) {
+					t.Fatalf("round trip changed message:\n in  %#v\n out %#v", m, got)
+				}
+				again, err := Marshal(got)
+				if err != nil {
+					t.Fatalf("re-marshal: %v", err)
+				}
+				if !bytes.Equal(frame, again) {
+					t.Fatalf("re-encoding not byte-stable for %s", m)
+				}
+			}
+		})
+	}
+}
+
+// TestFrameStreamRoundTrip streams a seeded batch of random messages
+// through WriteFrame/ReadFrame over one buffer and checks order,
+// content and the clean io.EOF at the end.
+func TestFrameStreamRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var in []*Message
+	var buf bytes.Buffer
+	for i := 0; i < 2*len(allPerformatives); i++ {
+		m := randMessage(rng, allPerformatives[i%len(allPerformatives)])
+		in = append(in, m)
+		if err := WriteFrame(&buf, m); err != nil {
+			t.Fatalf("write frame %d: %v", i, err)
+		}
+	}
+	for i, want := range in {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("read frame %d: %v", i, err)
+		}
+		if !equalMessages(want, got) {
+			t.Fatalf("frame %d changed:\n in  %#v\n out %#v", i, want, got)
+		}
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("stream end = %v, want io.EOF", err)
+	}
+}

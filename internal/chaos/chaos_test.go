@@ -1,0 +1,329 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"agentgrid/internal/acl"
+	"agentgrid/internal/agent"
+	"agentgrid/internal/directory"
+	"agentgrid/internal/obs"
+	"agentgrid/internal/platform"
+	"agentgrid/internal/store"
+	"agentgrid/internal/transport"
+)
+
+func chaosMsg(content string) *acl.Message {
+	return &acl.Message{
+		Performative: acl.Inform,
+		Sender:       acl.NewAID("src", "test"),
+		Receivers:    []acl.AID{acl.NewAID("dst", "test")},
+		Content:      []byte(content),
+	}
+}
+
+// orderedInbox records message contents in arrival order.
+type orderedInbox struct {
+	mu  sync.Mutex
+	got []string
+}
+
+func (o *orderedInbox) handle(m *acl.Message) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.got = append(o.got, string(m.Content))
+}
+
+func (o *orderedInbox) contents() []string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]string(nil), o.got...)
+}
+
+func TestAdvanceReleasesHeldMessagesInDueOrder(t *testing.T) {
+	n := transport.NewInProcNetwork()
+	var inbox orderedInbox
+	if _, err := n.Endpoint("inproc://dst", inbox.handle); err != nil {
+		t.Fatal(err)
+	}
+	src, err := n.Endpoint("inproc://src", func(*acl.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := New(Options{Scenario: "reorder", Seed: 1, Network: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	// Per-message delays: "slow" waits 10ms, "fast" 2ms. Sent in order
+	// slow, fast — delivered in order fast, slow.
+	h.SetPlan(transport.PlanFunc(func(_, _ string, m *acl.Message) transport.Decision {
+		if string(m.Content) == "slow" {
+			return transport.Decision{Delay: 10 * time.Millisecond}
+		}
+		return transport.Decision{Delay: 2 * time.Millisecond}
+	}))
+	for _, c := range []string{"slow", "fast"} {
+		if err := src.Send(context.Background(), "inproc://dst", chaosMsg(c)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := inbox.contents(); len(got) != 0 {
+		t.Fatalf("messages delivered before clock advanced: %v", got)
+	}
+	if h.HeldMessages() != 2 {
+		t.Fatalf("held = %d, want 2", h.HeldMessages())
+	}
+
+	h.Advance(5 * time.Millisecond)
+	if got := inbox.contents(); len(got) != 1 || got[0] != "fast" {
+		t.Fatalf("after 5ms got %v, want [fast]", got)
+	}
+	h.Advance(5 * time.Millisecond)
+	if got := inbox.contents(); len(got) != 2 || got[1] != "slow" {
+		t.Fatalf("after 10ms got %v, want [fast slow]", got)
+	}
+	if h.Now() != 10*time.Millisecond {
+		t.Fatalf("clock = %v", h.Now())
+	}
+	if h.HeldMessages() != 0 {
+		t.Fatalf("held = %d after release", h.HeldMessages())
+	}
+	if n := h.Recorder().EventCount(MetricRelease); n != 2 {
+		t.Fatalf("release events = %d", n)
+	}
+}
+
+func TestCrashRestartCycle(t *testing.T) {
+	n := transport.NewInProcNetwork()
+	dir := directory.New(time.Hour)
+	c, err := platform.New(platform.Config{
+		Name: "c1", Platform: "c1",
+		Profile: directory.ResourceProfile{CPUCapacity: 1, NetCapacity: 1, DiscCapacity: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AttachInProc(n, "inproc://c1"); err != nil {
+		t.Fatal(err)
+	}
+	var inbox orderedInbox
+	spawnSink := func() error {
+		a, err := c.SpawnAgent("sink")
+		if err != nil {
+			return err
+		}
+		a.HandleFunc(agent.Selector{}, func(_ context.Context, _ *agent.Agent, m *acl.Message) {
+			inbox.handle(m)
+		})
+		return nil
+	}
+	if err := spawnSink(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := c.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	services := []directory.ServiceDesc{{Type: directory.ServiceCollection}}
+	if err := dir.Register(c.Registration(services)); err != nil {
+		t.Fatal(err)
+	}
+
+	h, err := New(Options{Scenario: "crash", Seed: 2, Network: n, Directory: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if err := h.AddTarget(Target{
+		Container: c, Addr: "inproc://c1", Services: services, Rewire: spawnSink,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Crash("nosuch"); err == nil {
+		t.Fatal("crash of unknown target succeeded")
+	}
+
+	probe, err := n.Endpoint("inproc://probe", func(*acl.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	to := &acl.Message{
+		Performative: acl.Inform,
+		Sender:       acl.NewAID("probe", "probe"),
+		Receivers:    []acl.AID{acl.NewAID("sink", "c1")},
+		Content:      []byte("hello"),
+	}
+	if err := probe.Send(context.Background(), "inproc://c1", to); err != nil {
+		t.Fatal(err)
+	}
+	// Mailbox processing is asynchronous; let the message land before the
+	// crash kills the agent, or it dies unprocessed in the mailbox.
+	deadline := time.After(5 * time.Second)
+	for len(inbox.contents()) < 1 {
+		select {
+		case <-deadline:
+			t.Fatal("first message never processed")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+
+	if err := h.Crash("c1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := dir.Get("c1"); ok {
+		t.Fatal("crashed container still registered")
+	}
+	if len(c.AgentNames()) != 0 {
+		t.Fatalf("agents survived crash: %v", c.AgentNames())
+	}
+	err = probe.Send(context.Background(), "inproc://c1", to.Clone())
+	if !errors.Is(err, transport.ErrUnknownAddr) {
+		t.Fatalf("send to crashed container: %v", err)
+	}
+
+	if err := h.Restart("c1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := dir.Get("c1"); !ok {
+		t.Fatal("restarted container not re-registered")
+	}
+	if err := probe.Send(context.Background(), "inproc://c1", to.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.After(5 * time.Second)
+	for len(inbox.contents()) < 2 {
+		select {
+		case <-deadline:
+			t.Fatalf("restarted agent received %v", inbox.contents())
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	rec := h.Recorder()
+	if rec.EventCount(MetricCrash) != 1 || rec.EventCount(MetricRestart) != 1 {
+		t.Fatalf("crash/restart events = %d/%d",
+			rec.EventCount(MetricCrash), rec.EventCount(MetricRestart))
+	}
+}
+
+func TestScenarioRunsStepsInTimeOrder(t *testing.T) {
+	n := transport.NewInProcNetwork()
+	h, err := New(Options{Scenario: "script", Seed: 3, Network: n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	var order []string
+	note := func(name string) func(*Harness) error {
+		return func(*Harness) error {
+			order = append(order, name)
+			return nil
+		}
+	}
+	err = h.Run(Scenario{Name: "script", Steps: []Step{
+		{At: 20 * time.Millisecond, Name: "late", Do: note("late")},
+		{At: 0, Name: "first", Do: note("first")},
+		{At: 10 * time.Millisecond, Name: "mid", Do: note("mid")},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(order, ",") != "first,mid,late" {
+		t.Fatalf("step order = %v", order)
+	}
+	if h.Now() != 20*time.Millisecond {
+		t.Fatalf("clock after run = %v", h.Now())
+	}
+	// seed echo + 3 steps.
+	if got := h.Recorder().EventCount(MetricStep); got != 4 {
+		t.Fatalf("step events = %d", got)
+	}
+	// Events land in the recorder's store as queryable series.
+	if p, ok := h.Recorder().Store().Latest("script/seed/" + MetricStep); !ok || p.Value != 3 {
+		t.Fatalf("seed event = %+v, %v", p, ok)
+	}
+
+	boom := errors.New("boom")
+	err = h.Run(Scenario{Name: "fails", Steps: []Step{
+		{At: 0, Name: "bad", Do: func(*Harness) error { return boom }},
+	}})
+	if !errors.Is(err, boom) {
+		t.Fatalf("failing step error = %v", err)
+	}
+}
+
+func TestNoDoubleAwardInvariant(t *testing.T) {
+	accept := func(conv, rcv string) TraceEntry {
+		return TraceEntry{Msg: &acl.Message{
+			Performative:   acl.AcceptProposal,
+			ConversationID: conv,
+			Receivers:      []acl.AID{acl.NewAID(rcv, "pg")},
+		}, Verdict: "deliver"}
+	}
+	ok := []TraceEntry{accept("t1", "w1"), accept("t1", "w1"), accept("t2", "w2")}
+	if err := NoDoubleAward(ok); err != nil {
+		t.Fatalf("single-winner trace rejected: %v", err)
+	}
+	bad := []TraceEntry{accept("t1", "w1"), accept("t1", "w2")}
+	if err := NoDoubleAward(bad); err == nil {
+		t.Fatal("double award not detected")
+	}
+}
+
+func TestReplicasConvergedInvariant(t *testing.T) {
+	a, b := store.New(0), store.New(0)
+	rec := obs.Record{Site: "s", Device: "d", Metric: "cpu.util", Value: 1, Step: 1}
+	if err := a.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReplicasConverged(a, b); err != nil {
+		t.Fatalf("equal stores diverged: %v", err)
+	}
+	rec.Step, rec.Value = 2, 9
+	if err := b.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReplicasConverged(a, b); err == nil {
+		t.Fatal("divergence not detected")
+	}
+}
+
+func TestDeliveredBatchesStoredInvariant(t *testing.T) {
+	rec := obs.Record{Site: "s", Device: "d", Metric: "cpu.util", Value: 1, Step: 1}
+	batch := &obs.Batch{Collector: "col", Records: []obs.Record{rec}}
+	content, err := obs.MarshalBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := func(verdict string) TraceEntry {
+		return TraceEntry{To: "inproc://clg", Verdict: verdict, Msg: &acl.Message{
+			Performative: acl.Inform, Language: "xml", Content: content,
+		}}
+	}
+	st := store.New(0)
+	// Dropped batches are exempt even when the store is empty.
+	if err := DeliveredBatchesStored([]TraceEntry{entry("drop")}, "inproc://clg", st); err != nil {
+		t.Fatalf("dropped batch counted: %v", err)
+	}
+	// A delivered batch missing from the store is a lost observation.
+	if err := DeliveredBatchesStored([]TraceEntry{entry("deliver")}, "inproc://clg", st); err == nil {
+		t.Fatal("lost delivered batch not detected")
+	}
+	if err := st.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := DeliveredBatchesStored([]TraceEntry{entry("deliver")}, "inproc://clg", st); err != nil {
+		t.Fatalf("stored batch flagged: %v", err)
+	}
+}

@@ -1,0 +1,234 @@
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"agentgrid/internal/directory"
+	"agentgrid/internal/platform"
+	"agentgrid/internal/transport"
+)
+
+// Target is a container the harness may crash and restart.
+type Target struct {
+	// Container is the live container.
+	Container *platform.Container
+	// Addr is the in-proc address the container re-attaches under.
+	Addr string
+	// Services is the directory registration restored on restart.
+	// Optional: a target with no services skips re-registration.
+	Services []directory.ServiceDesc
+	// Rewire rebuilds the container's agents after a restart — agents
+	// die with the crash, and a restarted process starts fresh ones.
+	// Optional.
+	Rewire func() error
+}
+
+// Options configure a harness.
+type Options struct {
+	// Scenario names the run; it becomes the Site of every recorded
+	// chaos event.
+	Scenario string
+	// Seed is the scenario's randomness seed. The harness echoes it
+	// into the event log so a failing run names the seed that replays
+	// it; fault plans built with transport.Sometimes/Jitter should use
+	// the same value.
+	Seed int64
+	// Network is the in-process network faults are injected into.
+	Network *transport.InProcNetwork
+	// Directory, when set, loses crashed containers and re-learns
+	// restarted ones.
+	Directory *directory.Directory
+}
+
+// Harness drives one chaos scenario: it owns the virtual clock, the
+// network emulator, the crash/restart targets and the fault/recovery
+// event log.
+type Harness struct {
+	opts  Options
+	clock *Clock
+	rec   *Recorder
+	em    *netem
+
+	mu      sync.Mutex
+	targets map[string]*Target // guarded by mu
+}
+
+// New builds a harness over the given network and installs its network
+// emulator (plan wrapper plus delay holder) on it.
+func New(opts Options) (*Harness, error) {
+	if opts.Network == nil {
+		return nil, errors.New("chaos: harness needs a network")
+	}
+	if opts.Scenario == "" {
+		opts.Scenario = "chaos"
+	}
+	clock := &Clock{}
+	rec := newRecorder(opts.Scenario, clock)
+	h := &Harness{
+		opts:    opts,
+		clock:   clock,
+		rec:     rec,
+		em:      newNetem(opts.Network, clock, rec),
+		targets: make(map[string]*Target),
+	}
+	rec.Event(MetricStep, "seed", float64(opts.Seed))
+	return h, nil
+}
+
+// Close uninstalls the harness from the network, healing any plan.
+func (h *Harness) Close() {
+	h.opts.Network.SetPlan(nil)
+	h.opts.Network.SetHolder(nil)
+}
+
+// Seed returns the scenario seed.
+func (h *Harness) Seed() int64 { return h.opts.Seed }
+
+// Now returns the current virtual time.
+func (h *Harness) Now() time.Duration { return h.clock.Now() }
+
+// Recorder returns the fault/recovery event log.
+func (h *Harness) Recorder() *Recorder { return h.rec }
+
+// Trace returns the message trace recorded so far.
+func (h *Harness) Trace() []TraceEntry { return h.rec.Trace() }
+
+// SetPlan installs the scenario fault plan on the network; nil heals.
+func (h *Harness) SetPlan(p transport.FaultPlan) {
+	h.em.setPlan(p)
+	if p == nil {
+		h.rec.Event(MetricHeal, "net", 0)
+	}
+}
+
+// Heal removes the fault plan. Messages already held stay held until
+// the clock advances past their due time.
+func (h *Harness) Heal() { h.SetPlan(nil) }
+
+// HeldMessages returns how many delayed messages await release.
+func (h *Harness) HeldMessages() int { return h.em.heldCount() }
+
+// Advance moves the virtual clock forward by d, releasing every held
+// message that falls due on the way, in due-time order.
+func (h *Harness) Advance(d time.Duration) {
+	target := h.clock.Now() + d
+	h.em.release(target)
+	h.clock.set(target)
+}
+
+// AddTarget registers a container the scenario may crash and restart.
+func (h *Harness) AddTarget(t Target) error {
+	if t.Container == nil {
+		return errors.New("chaos: target needs a container")
+	}
+	if t.Addr == "" {
+		return errors.New("chaos: target needs an address")
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.targets[t.Container.Name()] = &t
+	return nil
+}
+
+// Crash kills every agent in the named target, detaches its transport
+// endpoint and removes it from the directory: the process died. Sends
+// to its address fail with ErrUnknownAddr until Restart.
+func (h *Harness) Crash(name string) error {
+	t, err := h.target(name)
+	if err != nil {
+		return err
+	}
+	for _, local := range t.Container.AgentNames() {
+		if err := t.Container.KillAgent(local); err != nil {
+			return err
+		}
+	}
+	if err := t.Container.Detach(); err != nil {
+		return err
+	}
+	if h.opts.Directory != nil {
+		h.opts.Directory.Deregister(name)
+	}
+	h.rec.Event(MetricCrash, name, 1)
+	return nil
+}
+
+// Restart re-attaches the named target under its address, rebuilds its
+// agents through the Rewire hook and re-registers it with the
+// directory — the crashed process came back and rejoined the grid.
+func (h *Harness) Restart(name string) error {
+	t, err := h.target(name)
+	if err != nil {
+		return err
+	}
+	if err := t.Container.AttachInProc(h.opts.Network, t.Addr); err != nil {
+		return err
+	}
+	if t.Rewire != nil {
+		if err := t.Rewire(); err != nil {
+			return err
+		}
+	}
+	if h.opts.Directory != nil && len(t.Services) > 0 {
+		if err := h.opts.Directory.Register(t.Container.Registration(t.Services)); err != nil {
+			return err
+		}
+	}
+	h.rec.Event(MetricRestart, name, 1)
+	return nil
+}
+
+func (h *Harness) target(name string) (*Target, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	t, ok := h.targets[name]
+	if !ok {
+		return nil, fmt.Errorf("chaos: unknown target %q", name)
+	}
+	return t, nil
+}
+
+// Step is one scheduled action in a scenario script.
+type Step struct {
+	// At is the virtual time the step fires.
+	At time.Duration
+	// Name labels the step in the event log.
+	Name string
+	// Do performs the step. Optional: a nil Do just advances the clock.
+	Do func(h *Harness) error
+}
+
+// Scenario is a scripted fault schedule.
+type Scenario struct {
+	Name  string
+	Steps []Step
+}
+
+// Run advances the clock to each step's time — releasing held messages
+// on the way — and executes it. Steps run in At order; ties keep script
+// order. The first failing step aborts the run.
+func (h *Harness) Run(s Scenario) error {
+	steps := append([]Step(nil), s.Steps...)
+	sort.SliceStable(steps, func(i, j int) bool { return steps[i].At < steps[j].At })
+	for i, st := range steps {
+		if d := st.At - h.clock.Now(); d > 0 {
+			h.Advance(d)
+		}
+		name := st.Name
+		if name == "" {
+			name = fmt.Sprintf("step-%02d", i)
+		}
+		h.rec.Event(MetricStep, name, float64(i))
+		if st.Do == nil {
+			continue
+		}
+		if err := st.Do(h); err != nil {
+			return fmt.Errorf("chaos: scenario %s step %q: %w", s.Name, name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+package chaos
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"time"
+
+	"agentgrid/internal/acl"
+	"agentgrid/internal/analyze"
+	"agentgrid/internal/obs"
+	"agentgrid/internal/store"
+)
+
+// Invariants are grid-level safety checks scenarios assert after (or
+// during) a fault schedule. Each returns nil when the invariant holds
+// and a descriptive error when it does not.
+
+// NoDoubleAward verifies the contract-net never awarded one task to two
+// participants: across the whole trace, accept-proposal messages of one
+// conversation name at most one distinct receiver. Duplicated accepts
+// to the same winner (e.g. under Dup faults) are fine; two winners are
+// not. Dropped accepts still count — the award decision was made even
+// if the wire ate it.
+func NoDoubleAward(trace []TraceEntry) error {
+	winners := make(map[string]string) // conversation id -> receiver name
+	for _, e := range trace {
+		if e.Msg.Performative != acl.AcceptProposal || len(e.Msg.Receivers) == 0 {
+			continue
+		}
+		conv := e.Msg.ConversationID
+		rcv := e.Msg.Receivers[0].Name
+		if prev, ok := winners[conv]; ok && prev != rcv {
+			return fmt.Errorf("chaos: conversation %s awarded to both %s and %s", conv, prev, rcv)
+		}
+		winners[conv] = rcv
+	}
+	return nil
+}
+
+// ReplicasConverged verifies the given stores hold identical contents,
+// byte-for-byte over their snapshots (encoding/json writes map keys in
+// sorted order, so equal contents encode equally).
+func ReplicasConverged(replicas ...*store.Store) error {
+	if len(replicas) < 2 {
+		return nil
+	}
+	base, err := store.MarshalSnapshot(replicas[0].Snapshot())
+	if err != nil {
+		return err
+	}
+	for i, r := range replicas[1:] {
+		got, err := store.MarshalSnapshot(r.Snapshot())
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(base, got) {
+			return fmt.Errorf("chaos: replica %d diverged from replica 0 (%d vs %d bytes)",
+				i+1, len(got), len(base))
+		}
+	}
+	return nil
+}
+
+// DeliveredBatchesStored verifies no acknowledged observation was lost:
+// every record of every batch inform the network actually delivered to
+// classifierAddr has its series present in the store. Dropped and
+// unroutable batches are exempt (the collector saw the send fail and
+// counted a ship error); held batches only count once released.
+func DeliveredBatchesStored(trace []TraceEntry, classifierAddr string, st *store.Store) error {
+	for _, e := range trace {
+		if e.To != classifierAddr || (e.Verdict != "deliver" && e.Verdict != "dup") {
+			continue
+		}
+		if e.Msg.Performative != acl.Inform || e.Msg.Language != "xml" {
+			continue
+		}
+		batch, err := obs.UnmarshalBatch(e.Msg.Content)
+		if err != nil {
+			continue // delivered inform that is not a batch
+		}
+		for _, r := range batch.Records {
+			if _, ok := st.Latest(r.Key()); !ok {
+				return fmt.Errorf("chaos: delivered record %s missing from store (batch from %s)",
+					r.Key(), batch.Collector)
+			}
+		}
+	}
+	return nil
+}
+
+// Idle verifies the processor grid drains its pending-task table within
+// timeout. The wait is event-driven (Root.WaitIdle), not polled.
+func Idle(root *analyze.Root, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if !root.WaitIdle(ctx) {
+		return fmt.Errorf("chaos: root not idle after %v; pending %v", timeout, root.PendingTasks())
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package chaos
+
+import (
+	"sync"
+	"time"
+
+	"agentgrid/internal/acl"
+	"agentgrid/internal/transport"
+)
+
+// netem is the network emulator the harness installs on an
+// InProcNetwork. It wraps the scenario's fault plan, records every
+// verdict in the trace and event log, and — as the network's Holder —
+// captures delayed messages until the virtual clock reaches their due
+// time. Reordering emerges from release order alone: messages release
+// in (due time, sequence) order, so a message jittered 9ms is overtaken
+// by one jittered 2ms that was sent later.
+type netem struct {
+	net   *transport.InProcNetwork
+	clock *Clock
+	rec   *Recorder
+
+	mu   sync.Mutex
+	plan transport.FaultPlan // guarded by mu
+	held []heldMsg           // guarded by mu
+	seq  int                 // guarded by mu
+}
+
+type heldMsg struct {
+	due  time.Duration
+	seq  int
+	from string
+	to   string
+	msg  *acl.Message
+}
+
+func newNetem(n *transport.InProcNetwork, clock *Clock, rec *Recorder) *netem {
+	em := &netem{net: n, clock: clock, rec: rec}
+	n.SetPlan(transport.PlanFunc(em.decide))
+	n.SetHolder(em.hold)
+	return em
+}
+
+// setPlan swaps the scenario fault plan; nil heals the network (the
+// emulator stays installed so the trace keeps recording).
+func (em *netem) setPlan(p transport.FaultPlan) {
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	em.plan = p
+}
+
+// decide consults the scenario plan and records the verdict.
+func (em *netem) decide(from, to string, m *acl.Message) transport.Decision {
+	em.mu.Lock()
+	plan := em.plan
+	em.mu.Unlock()
+	var d transport.Decision
+	if plan != nil {
+		d = plan.Decide(from, to, m)
+	}
+	verdict := "deliver"
+	switch {
+	case d.Drop:
+		verdict = "drop"
+	case d.Delay > 0:
+		verdict = "hold"
+	case d.Dup > 0:
+		verdict = "dup"
+	}
+	// A send to a detached endpoint (crashed container) fails at the
+	// transport no matter what the plan said; record it as unroutable so
+	// delivery invariants do not count it as acknowledged.
+	if verdict != "drop" && !em.net.Lookup(to) {
+		verdict = "unroutable"
+	}
+	em.rec.addTrace(TraceEntry{
+		At: em.clock.Now(), From: from, To: to, Msg: m.Clone(), Verdict: verdict,
+	})
+	switch verdict {
+	case "drop":
+		em.rec.Event(MetricDrop, link(from, to), 1)
+	case "hold":
+		em.rec.Event(MetricDelay, link(from, to), d.Delay.Seconds())
+	case "dup":
+		em.rec.Event(MetricDup, link(from, to), float64(d.Dup))
+	}
+	return d
+}
+
+// hold captures a delayed message for later release.
+func (em *netem) hold(from, to string, m *acl.Message, d transport.Decision) bool {
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	em.seq++
+	em.held = append(em.held, heldMsg{
+		due: em.clock.Now() + d.Delay, seq: em.seq, from: from, to: to, msg: m,
+	})
+	return true
+}
+
+// heldCount returns how many captured messages await release.
+func (em *netem) heldCount() int {
+	em.mu.Lock()
+	defer em.mu.Unlock()
+	return len(em.held)
+}
+
+// release injects every held message due at or before t in (due, seq)
+// order, moving the clock to each message's due time first. A released
+// delivery can trigger new sends whose delays also land before t, so
+// the loop drains until nothing due remains. The lock is not held
+// across Inject: delivery runs receiver handlers synchronously, and
+// those may send (and therefore hold) further messages.
+func (em *netem) release(t time.Duration) {
+	for {
+		em.mu.Lock()
+		best := -1
+		for i, h := range em.held {
+			if h.due > t {
+				continue
+			}
+			if best < 0 || h.due < em.held[best].due ||
+				(h.due == em.held[best].due && h.seq < em.held[best].seq) {
+				best = i
+			}
+		}
+		if best < 0 {
+			em.mu.Unlock()
+			return
+		}
+		h := em.held[best]
+		em.held = append(em.held[:best], em.held[best+1:]...)
+		em.mu.Unlock()
+
+		em.clock.set(h.due)
+		// Inject bypasses the plan so a released message is not
+		// re-faulted. A missing endpoint means the destination crashed
+		// while the message was in flight: it is lost, and recorded so.
+		if err := em.net.Inject(h.to, h.msg); err != nil {
+			em.rec.Event(MetricLost, link(h.from, h.to), float64(h.seq))
+			continue
+		}
+		em.rec.Event(MetricRelease, link(h.from, h.to), float64(h.seq))
+	}
+}
+
+func link(from, to string) string { return from + "->" + to }

@@ -1,0 +1,123 @@
+package chaos
+
+import (
+	"strings"
+	"sync"
+	"time"
+
+	"agentgrid/internal/acl"
+	"agentgrid/internal/obs"
+	"agentgrid/internal/store"
+)
+
+// Metric names of the chaos events recorded through internal/obs.
+// Injected faults use chaos.fault.*, recovery events chaos.recover.*,
+// and scenario bookkeeping chaos.step.
+const (
+	MetricDrop      = "chaos.fault.drop"       // plan dropped a message
+	MetricDelay     = "chaos.fault.delay"      // plan held a message (value: seconds)
+	MetricDup       = "chaos.fault.dup"        // plan duplicated a message (value: extra copies)
+	MetricCrash     = "chaos.fault.crash"      // container crashed
+	MetricStoreFail = "chaos.fault.replica"    // replica marked failed
+	MetricRelease   = "chaos.recover.release"  // held message delivered
+	MetricLost      = "chaos.fault.lost"       // held message had no endpoint at release
+	MetricRestart   = "chaos.recover.restart"  // container restarted
+	MetricHeal      = "chaos.recover.heal"     // fault plan cleared
+	MetricRepair    = "chaos.recover.repair"   // replica repaired
+	MetricStep      = "chaos.step"             // scenario step executed
+)
+
+// TraceEntry is the network emulator's verdict on one message the fault
+// plan inspected. The verdict reflects the plan's decision, not the
+// final delivery outcome (a "deliver" to a detached endpoint still
+// fails with ErrUnknownAddr at the transport).
+type TraceEntry struct {
+	// At is the virtual time of the decision.
+	At time.Duration
+	// From and To are the sender and receiver transport addresses.
+	From, To string
+	// Msg is a clone of the message as the plan saw it.
+	Msg *acl.Message
+	// Verdict is "deliver", "drop", "hold", "dup" or "unroutable"
+	// (the destination endpoint was detached at decision time).
+	Verdict string
+}
+
+// Recorder logs every injected fault and recovery event as an
+// obs.Record — Site is the scenario name, Device the link or container
+// the event hit, Metric a chaos.* name — appending each record to a
+// store so tooling can query chaos history like any other series. It
+// also keeps the full message trace invariant checkers read.
+type Recorder struct {
+	scenario string
+	clock    *Clock
+	st       *store.Store
+
+	mu     sync.Mutex
+	step   int          // guarded by mu
+	events []obs.Record // guarded by mu
+	trace  []TraceEntry // guarded by mu
+}
+
+func newRecorder(scenario string, clock *Clock) *Recorder {
+	return &Recorder{scenario: scenario, clock: clock, st: store.New(0)}
+}
+
+// Event records one chaos event. Device names what the event hit: a
+// link ("from->to") or a container name. Slashes are rewritten so the
+// store key "site/device/metric" stays parseable.
+func (r *Recorder) Event(metric, device string, value float64) {
+	device = strings.ReplaceAll(device, "/", "_")
+	now := r.clock.Now()
+	r.mu.Lock()
+	r.step++
+	rec := obs.Record{
+		Site:   r.scenario,
+		Device: device,
+		Class:  "chaos",
+		Metric: metric,
+		Value:  value,
+		Step:   r.step,
+		// Deterministic timestamp: virtual elapsed time from the epoch.
+		Time: time.Unix(0, 0).UTC().Add(now),
+	}
+	r.events = append(r.events, rec)
+	r.mu.Unlock()
+	r.st.Append(rec)
+}
+
+// Events returns a copy of the event log in record order.
+func (r *Recorder) Events() []obs.Record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]obs.Record(nil), r.events...)
+}
+
+// EventCount returns how many recorded events carry the given metric.
+func (r *Recorder) EventCount(metric string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, e := range r.events {
+		if e.Metric == metric {
+			n++
+		}
+	}
+	return n
+}
+
+// Store returns the store the chaos events are appended to.
+func (r *Recorder) Store() *store.Store { return r.st }
+
+func (r *Recorder) addTrace(e TraceEntry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.trace = append(r.trace, e)
+}
+
+// Trace returns a copy of the message trace in decision order.
+func (r *Recorder) Trace() []TraceEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]TraceEntry(nil), r.trace...)
+}

@@ -1,0 +1,124 @@
+package scenarios
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"agentgrid/internal/chaos"
+	"agentgrid/internal/classify"
+	"agentgrid/internal/core"
+	"agentgrid/internal/directory"
+	"agentgrid/internal/obs"
+	"agentgrid/internal/workload"
+)
+
+// TestScenarioClassifierCrashMidIngest kills the classifier container
+// between two ingest rounds: round 1 lands normally, round 2 ships into
+// the void (collectors count ship errors), then the container restarts
+// — fresh classifier and store-query agents, re-registered with the
+// directory — and round 3 flows end to end again.
+//
+// Invariants: no acknowledged observation is lost (every batch the
+// network delivered is present in the store) and the processor grid
+// drains (WaitIdle).
+func TestScenarioClassifierCrashMidIngest(t *testing.T) {
+	forEachSeed(t, func(t *testing.T, seed int64) {
+		spec := workload.FleetSpec{Site: "site1", Hosts: 2, Seed: seed}
+		r := newRig(t, core.Config{Site: "site1"}, spec, "classifier-crash", seed)
+		g, h := r.g, r.h
+
+		clgC, ok := g.Container("clg")
+		if !ok {
+			t.Fatal("no clg container")
+		}
+		// Restarting the container means restarting its process: the
+		// classifier and store-query agents are rebuilt from scratch
+		// against the surviving store.
+		rewire := func() error {
+			ca, err := clgC.SpawnAgent("classifier")
+			if err != nil {
+				return err
+			}
+			if _, err := classify.New(ca, classify.Config{
+				Store:     g.Store(),
+				Processor: g.Root().Agent().ID(),
+				Ontology:  obs.NewOntology(),
+			}); err != nil {
+				return err
+			}
+			sq, err := clgC.SpawnAgent(core.StoreQueryAgentName)
+			if err != nil {
+				return err
+			}
+			_, err = core.NewStoreQueryServer(sq, g.Store())
+			return err
+		}
+		if err := h.AddTarget(chaos.Target{
+			Container: clgC,
+			Addr:      "inproc://clg",
+			Services:  []directory.ServiceDesc{{Type: directory.ServiceClassification}},
+			Rewire:    rewire,
+		}); err != nil {
+			t.Fatal(err)
+		}
+
+		col := g.Collectors()[0]
+		err := h.Run(chaos.Scenario{Name: "classifier-crash", Steps: []chaos.Step{
+			{At: 0, Name: "ingest-1", Do: func(*chaos.Harness) error {
+				return g.CollectNow(context.Background())
+			}},
+			{At: 10 * time.Millisecond, Name: "settle-1", Do: func(*chaos.Harness) error {
+				// 2 hosts x 4 metrics land before the crash.
+				waitFor(t, 15*time.Second, "round-1 series", func() bool {
+					n, _ := g.Store().Stats()
+					return n == 8
+				})
+				return nil
+			}},
+			{At: 20 * time.Millisecond, Name: "crash-clg", Do: func(h *chaos.Harness) error {
+				return h.Crash("clg")
+			}},
+			{At: 30 * time.Millisecond, Name: "ingest-into-void", Do: func(*chaos.Harness) error {
+				r.fleet.Advance(1)
+				// Shipping fails while the classifier is down; the
+				// collector must notice (ship errors), not lose silently.
+				_ = g.CollectNow(context.Background())
+				waitFor(t, 15*time.Second, "ship errors", func() bool {
+					return col.Stats().ShipErrors > 0
+				})
+				return nil
+			}},
+			{At: 40 * time.Millisecond, Name: "restart-clg", Do: func(h *chaos.Harness) error {
+				return h.Restart("clg")
+			}},
+			{At: 50 * time.Millisecond, Name: "ingest-3", Do: func(*chaos.Harness) error {
+				r.fleet.Advance(1)
+				return g.CollectNow(context.Background())
+			}},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if _, ok := g.Directory().Get("clg"); !ok {
+			t.Fatal("restarted classifier not re-registered")
+		}
+		// Classification is asynchronous: poll the invariant until the
+		// delivered batches finish landing, then pin it.
+		waitFor(t, 15*time.Second, "delivered batches stored", func() bool {
+			return chaos.DeliveredBatchesStored(h.Trace(), "inproc://clg", g.Store()) == nil
+		})
+		if err := chaos.DeliveredBatchesStored(h.Trace(), "inproc://clg", g.Store()); err != nil {
+			t.Fatal(err)
+		}
+		if err := chaos.Idle(g.Root(), 15*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		rec := h.Recorder()
+		if rec.EventCount(chaos.MetricCrash) != 1 || rec.EventCount(chaos.MetricRestart) != 1 {
+			t.Fatalf("crash/restart events = %d/%d",
+				rec.EventCount(chaos.MetricCrash), rec.EventCount(chaos.MetricRestart))
+		}
+	})
+}

@@ -1,0 +1,10 @@
+// Package scenarios is the end-to-end chaos suite: scripted failure
+// scenarios that drive all four sub-grids — collector (CG), classifier
+// (CLG), processor (PG root + workers) and interface (IG) — through the
+// internal/chaos harness under seeded fault schedules. Each scenario
+// runs for several distinct seeds and asserts grid-level invariants
+// (no lost acknowledged observations, replica convergence after repair,
+// no contract-net double award, processor-grid idleness) rather than
+// mere survival. The suite lives entirely in _test files; this package
+// intentionally exports nothing.
+package scenarios

@@ -1,0 +1,88 @@
+package scenarios
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"agentgrid/internal/chaos"
+	"agentgrid/internal/core"
+	"agentgrid/internal/transport"
+	"agentgrid/internal/workload"
+)
+
+// TestScenarioPartitionDuringContractNet cuts the link between the PG
+// root and both workers while analysis tasks are being auctioned. With
+// every cfp failing, the root gets no proposals and abandons the tasks;
+// after the partition heals a fresh ingest round auctions and completes
+// normally.
+//
+// Invariants: the contract-net never awards one conversation to two
+// workers (even across the partition boundary), and the root drains
+// after heal.
+func TestScenarioPartitionDuringContractNet(t *testing.T) {
+	forEachSeed(t, func(t *testing.T, seed int64) {
+		spec := workload.FleetSpec{Site: "site1", Hosts: 2, Seed: seed}
+		cfg := core.Config{
+			Site:        "site1",
+			Negotiated:  true,
+			BidWindow:   500 * time.Millisecond,
+			TaskTimeout: time.Second,
+		}
+		r := newRig(t, cfg, spec, "partition-contractnet", seed)
+		g, h := r.g, r.h
+
+		partition := transport.Partition(
+			[]string{"inproc://pg-root"},
+			[]string{"inproc://pg-1", "inproc://pg-2"},
+		)
+		err := h.Run(chaos.Scenario{Name: "partition-contractnet", Steps: []chaos.Step{
+			{At: 0, Name: "partition", Do: func(h *chaos.Harness) error {
+				h.SetPlan(partition)
+				return nil
+			}},
+			{At: 10 * time.Millisecond, Name: "ingest-partitioned", Do: func(*chaos.Harness) error {
+				if err := g.CollectNow(context.Background()); err != nil {
+					return err
+				}
+				// Every cfp dies on the wire, so the root collects zero
+				// proposals and abandons each task.
+				waitFor(t, 15*time.Second, "abandoned tasks", func() bool {
+					return g.Root().Stats().Abandoned > 0
+				})
+				return nil
+			}},
+			{At: 20 * time.Millisecond, Name: "heal", Do: func(h *chaos.Harness) error {
+				h.Heal()
+				return nil
+			}},
+			{At: 30 * time.Millisecond, Name: "ingest-healed", Do: func(*chaos.Harness) error {
+				r.fleet.Advance(1)
+				if err := g.CollectNow(context.Background()); err != nil {
+					return err
+				}
+				waitFor(t, 15*time.Second, "completed tasks", func() bool {
+					return g.Root().Stats().Completed > 0
+				})
+				return nil
+			}},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if err := chaos.NoDoubleAward(h.Trace()); err != nil {
+			t.Fatal(err)
+		}
+		if err := chaos.Idle(g.Root(), 15*time.Second); err != nil {
+			t.Fatal(err)
+		}
+		rec := h.Recorder()
+		if rec.EventCount(chaos.MetricDrop) == 0 {
+			t.Fatal("partition recorded no dropped messages")
+		}
+		if rec.EventCount(chaos.MetricHeal) != 1 {
+			t.Fatalf("heal events = %d, want 1", rec.EventCount(chaos.MetricHeal))
+		}
+	})
+}

@@ -1,0 +1,218 @@
+package scenarios
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"agentgrid/internal/acl"
+	"agentgrid/internal/agent"
+	"agentgrid/internal/chaos"
+	"agentgrid/internal/classify"
+	"agentgrid/internal/collect"
+	"agentgrid/internal/device"
+	"agentgrid/internal/directory"
+	"agentgrid/internal/obs"
+	"agentgrid/internal/platform"
+	"agentgrid/internal/snmp"
+	"agentgrid/internal/store"
+	"agentgrid/internal/transport"
+	"agentgrid/internal/workload"
+)
+
+// replicaRig is a hand-built CG -> CLG -> PG chain whose classifier
+// sinks into a three-way ReplicaSet instead of the single store
+// core.Grid hardwires. Explicit-address AIDs skip the resolver so the
+// chain needs no directory.
+type replicaRig struct {
+	col        *collect.Collector
+	classifier *classify.Classifier
+	rs         *store.ReplicaSet
+	fleet      *device.Fleet
+	h          *chaos.Harness
+}
+
+func newReplicaRig(t *testing.T, seed int64) *replicaRig {
+	t.Helper()
+	n := transport.NewInProcNetwork()
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+
+	newContainer := func(name string) *platform.Container {
+		c, err := platform.New(platform.Config{
+			Name: name, Platform: name,
+			Profile: directory.ResourceProfile{CPUCapacity: 1, NetCapacity: 1, DiscCapacity: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AttachInProc(n, "inproc://"+name); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Start(ctx); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Stop() })
+		return c
+	}
+
+	// PG stand-in: swallows the classifier's data-present notices.
+	pgC := newContainer("pg")
+	pgA, err := pgC.SpawnAgent("pg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pgA.HandleFunc(agent.Selector{}, func(context.Context, *agent.Agent, *acl.Message) {})
+
+	rs, err := store.NewReplicaSet(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clgC := newContainer("clg")
+	ca, err := clgC.SpawnAgent("classifier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	classifier, err := classify.New(ca, classify.Config{
+		Store:     rs,
+		Processor: acl.NewAID("pg", "pg", "inproc://pg"),
+		Ontology:  obs.NewOntology(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec := workload.FleetSpec{Site: "site1", Hosts: 2, Seed: seed}
+	fleet, err := device.NewFleet(spec.BuildDevices(), "public")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fleet.Close() })
+
+	cgC := newContainer("cg")
+	colA, err := cgC.SpawnAgent("collector")
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := collect.New(colA, collect.Config{
+		Site:       "site1",
+		Classifier: acl.NewAID("classifier", "clg", "inproc://clg"),
+		Iface: &collect.SNMPInterface{
+			Client: snmp.NewClient("public", snmp.WithTimeout(2*time.Second)),
+		},
+		Ontology: obs.NewOntology(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, goal := range workload.Goals(spec, fleet, 1, time.Hour)[0] {
+		if err := col.AddGoal(goal); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	h, err := chaos.New(chaos.Options{
+		Scenario: fmt.Sprintf("replica-repair-seed%d", seed),
+		Seed:     seed,
+		Network:  n,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(h.Close)
+	return &replicaRig{col: col, classifier: classifier, rs: rs, fleet: fleet, h: h}
+}
+
+func (r *replicaRig) collectRound(t *testing.T) error {
+	t.Helper()
+	for _, name := range r.col.Goals() {
+		if err := r.col.CollectNow(context.Background(), name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestScenarioReplicaPrimaryLossAndRepair ingests one round into a
+// three-way replicated store, fails the primary replica, ingests a
+// second round that only the two survivors see, then repairs the dead
+// replica from a survivor's snapshot.
+//
+// Invariant: after repair all three replicas are byte-identical, and
+// every batch the network delivered is readable from a replica that
+// never failed — replication lost nothing.
+func TestScenarioReplicaPrimaryLossAndRepair(t *testing.T) {
+	forEachSeed(t, func(t *testing.T, seed int64) {
+		r := newReplicaRig(t, seed)
+		h, rs := r.h, r.rs
+
+		// Classification is asynchronous; quiesce on the classifier's
+		// batch counter before touching replica membership (2 hosts =
+		// 2 goals = 2 batches per round).
+		settle := func(batches uint64) {
+			waitFor(t, 15*time.Second, fmt.Sprintf("%d batches classified", batches), func() bool {
+				return r.classifier.Stats().Batches >= batches
+			})
+		}
+
+		err := h.Run(chaos.Scenario{Name: "replica-repair", Steps: []chaos.Step{
+			{At: 0, Name: "ingest-1", Do: func(*chaos.Harness) error {
+				if err := r.collectRound(t); err != nil {
+					return err
+				}
+				settle(2)
+				return nil
+			}},
+			{At: 10 * time.Millisecond, Name: "fail-primary", Do: func(h *chaos.Harness) error {
+				if err := rs.Fail(0); err != nil {
+					return err
+				}
+				h.Recorder().Event(chaos.MetricStoreFail, "replica-0", 1)
+				return nil
+			}},
+			{At: 20 * time.Millisecond, Name: "ingest-2", Do: func(*chaos.Harness) error {
+				r.fleet.Advance(1)
+				if err := r.collectRound(t); err != nil {
+					return err
+				}
+				settle(4)
+				return nil
+			}},
+			{At: 30 * time.Millisecond, Name: "repair", Do: func(h *chaos.Harness) error {
+				if err := rs.Repair(0); err != nil {
+					return err
+				}
+				h.Recorder().Event(chaos.MetricRepair, "replica-0", 1)
+				return nil
+			}},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if rs.LiveCount() != 3 {
+			t.Fatalf("live replicas = %d, want 3", rs.LiveCount())
+		}
+		var replicas []*store.Store
+		for i := 0; i < 3; i++ {
+			rep, ok := rs.Replica(i)
+			if !ok {
+				t.Fatalf("no replica %d", i)
+			}
+			replicas = append(replicas, rep)
+		}
+		if err := chaos.ReplicasConverged(replicas...); err != nil {
+			t.Fatal(err)
+		}
+		// Replica 1 never failed, so it must hold every delivered batch.
+		if err := chaos.DeliveredBatchesStored(h.Trace(), "inproc://clg", replicas[1]); err != nil {
+			t.Fatal(err)
+		}
+		rec := h.Recorder()
+		if rec.EventCount(chaos.MetricStoreFail) != 1 || rec.EventCount(chaos.MetricRepair) != 1 {
+			t.Fatalf("fail/repair events = %d/%d",
+				rec.EventCount(chaos.MetricStoreFail), rec.EventCount(chaos.MetricRepair))
+		}
+	})
+}

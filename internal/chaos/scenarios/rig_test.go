@@ -1,0 +1,108 @@
+package scenarios
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"agentgrid/internal/chaos"
+	"agentgrid/internal/core"
+	"agentgrid/internal/device"
+	"agentgrid/internal/workload"
+)
+
+const rigRules = `
+rule "hot-cpu" level 1 category cpu severity critical {
+    when latest(cpu.util) > 95
+    then alert "CPU pegged on {device}"
+}
+rule "low-disk" level 2 category disk {
+    when latest(disk.free) < 10
+    then alert "disk nearly full on {device}"
+}
+`
+
+// seeds are the fault-schedule seeds every scenario replays under. A
+// failing run names its seed in the subtest name; re-running that
+// subtest reproduces the exact schedule.
+var seeds = []int64{1, 2, 3}
+
+func forEachSeed(t *testing.T, fn func(t *testing.T, seed int64)) {
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) { fn(t, seed) })
+	}
+}
+
+// newGrid assembles and starts a management grid with test defaults.
+func newGrid(t *testing.T, cfg core.Config) *core.Grid {
+	t.Helper()
+	if cfg.Rules == "" {
+		cfg.Rules = rigRules
+	}
+	if cfg.HeartbeatEvery == 0 {
+		cfg.HeartbeatEvery = 100 * time.Millisecond
+	}
+	g, err := core.NewGrid(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	if err := g.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { g.Stop() })
+	return g
+}
+
+// rig is a running grid plus a simulated device fleet and a chaos
+// harness over the grid's network and directory. All collection goals
+// land on collector 0 so ship errors and trap-driven collections are
+// observable in one place.
+type rig struct {
+	g     *core.Grid
+	fleet *device.Fleet
+	h     *chaos.Harness
+}
+
+func newRig(t *testing.T, cfg core.Config, spec workload.FleetSpec, scenario string, seed int64) *rig {
+	t.Helper()
+	g := newGrid(t, cfg)
+
+	fleet, err := device.NewFleet(spec.BuildDevices(), "public")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { fleet.Close() })
+	for _, goal := range workload.Goals(spec, fleet, 1, time.Hour)[0] {
+		if err := g.Collectors()[0].AddGoal(goal); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	h, err := chaos.New(chaos.Options{
+		Scenario:  fmt.Sprintf("%s-seed%d", scenario, seed),
+		Seed:      seed,
+		Network:   g.Network(),
+		Directory: g.Directory(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(h.Close)
+	return &rig{g: g, fleet: fleet, h: h}
+}
+
+// waitFor polls cond until it holds or the timeout expires.
+func waitFor(t *testing.T, timeout time.Duration, desc string, cond func() bool) {
+	t.Helper()
+	deadline := time.After(timeout)
+	for !cond() {
+		select {
+		case <-deadline:
+			t.Fatalf("timed out waiting for %s", desc)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+}

@@ -43,6 +43,10 @@ type Config struct {
 	Scheduler string
 	// Negotiated places analysis tasks via contract-net bidding.
 	Negotiated bool
+	// BidWindow bounds contract-net proposal collection when Negotiated
+	// (default 1s). Chaos tests shorten it so partitioned negotiations
+	// fail fast.
+	BidWindow time.Duration
 	// StorePoints bounds per-series history (default store default).
 	StorePoints int
 	// TaskTimeout bounds analysis dispatch (default 10s).
@@ -173,6 +177,7 @@ func NewGrid(cfg Config) (*Grid, error) {
 		Directory:   g.dir,
 		Scheduler:   sched,
 		Negotiated:  cfg.Negotiated,
+		BidWindow:   cfg.BidWindow,
 		Interface:   igAID,
 		TaskTimeout: cfg.TaskTimeout,
 		ErrorLog:    cfg.ErrorLog,
@@ -520,6 +525,22 @@ func (g *Grid) containerAddr(name string) string {
 		}
 	}
 	return ""
+}
+
+// Network returns the grid's in-process message network. The chaos
+// harness installs fault plans on it; in TCP mode (TCPHost set) the
+// network exists but carries no grid traffic.
+func (g *Grid) Network() *transport.InProcNetwork { return g.net }
+
+// Container returns a grid container by name ("clg", "pg-root",
+// "pg-1", "cg-1", "ig", ...).
+func (g *Grid) Container(name string) (*platform.Container, bool) {
+	for _, c := range g.containers {
+		if c.Name() == name {
+			return c, true
+		}
+	}
+	return nil, false
 }
 
 // Directory returns the grid root's directory.

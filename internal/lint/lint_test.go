@@ -87,6 +87,51 @@ func TestSelfClean(t *testing.T) {
 	}
 }
 
+// TestChaosPackagesClean pins the chaos harness to a clean bill from
+// the concurrency analyzers: the packages that inject faults and drive
+// virtual time must themselves be free of real sleeps, leaked
+// goroutines and unbounded sends. The golden file is empty and must
+// stay that way; -update rewrites it so a regression shows up as a
+// golden diff in review.
+func TestChaosPackagesClean(t *testing.T) {
+	analyzers, err := Select("sleepsync, goroutineleak, unboundedsend", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, dir := range []string{"../chaos", "../chaos/scenarios"} {
+		pkg, err := LoadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pkg == nil {
+			t.Fatalf("no package in %s", dir)
+		}
+		for _, d := range Run([]*Package{pkg}, analyzers) {
+			b.WriteString(filepath.ToSlash(d.String()))
+			b.WriteByte('\n')
+		}
+	}
+	got := b.String()
+	goldenPath := filepath.Join("testdata", "chaos", "golden.txt")
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("chaos lint diagnostics changed\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if len(want) != 0 {
+		t.Errorf("golden file is non-empty: the chaos packages must lint clean")
+	}
+}
+
 func TestSelect(t *testing.T) {
 	all, err := Select("", "")
 	if err != nil || len(all) != len(Analyzers()) {

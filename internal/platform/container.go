@@ -278,6 +278,23 @@ func (c *Container) Start(ctx context.Context) error {
 	return nil
 }
 
+// Detach closes the container's transport endpoint and releases it,
+// leaving the container itself running. Sends to the old address fail
+// until the container re-attaches, and a running container spawns new
+// agents immediately — so Detach plus KillAgent models a container
+// crash, and AttachInProc plus SpawnAgent models its restart (the chaos
+// harness drives exactly that cycle).
+func (c *Container) Detach() error {
+	c.mu.Lock()
+	tr := c.tr
+	c.tr = nil
+	c.mu.Unlock()
+	if tr == nil {
+		return ErrNotAttached
+	}
+	return tr.Close()
+}
+
 // Stop terminates all agents and closes the transport.
 func (c *Container) Stop() error {
 	c.mu.Lock()

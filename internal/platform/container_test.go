@@ -406,3 +406,64 @@ func TestInboundUnknownAgentDropped(t *testing.T) {
 		}
 	}
 }
+
+func TestDetachAndReattach(t *testing.T) {
+	n := transport.NewInProcNetwork()
+	c := newTestContainer(t, n, "c1", "site1")
+	startContainer(t, c)
+	other := newTestContainer(t, n, "c2", "site2")
+
+	if c.Addr() != "inproc://c1" {
+		t.Fatalf("addr = %q", c.Addr())
+	}
+	if err := c.Detach(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Addr() != "" {
+		t.Fatalf("addr after detach = %q", c.Addr())
+	}
+	if err := c.Detach(); !errors.Is(err, ErrNotAttached) {
+		t.Fatalf("second detach = %v", err)
+	}
+	// The address is free on the network again.
+	if n.Lookup("inproc://c1") {
+		t.Fatal("endpoint survived detach")
+	}
+	// Sends to the detached container fail at the transport.
+	msg := &acl.Message{
+		Performative: acl.Inform,
+		Receivers:    []acl.AID{acl.NewAID("anyone", "site1", "inproc://c1")},
+	}
+	sender, err := other.SpawnAgent("sender")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sender.Send(context.Background(), msg); !errors.Is(err, transport.ErrUnknownAddr) {
+		t.Fatalf("send to detached = %v", err)
+	}
+
+	// Re-attach under the same address; a running container starts newly
+	// spawned agents immediately, so delivery works again.
+	if err := c.AttachInProc(n, "inproc://c1"); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan *acl.Message, 1)
+	rcv, err := c.SpawnAgent("anyone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcv.HandleFunc(agent.Selector{}, func(_ context.Context, _ *agent.Agent, m *acl.Message) {
+		select {
+		case got <- m:
+		default:
+		}
+	})
+	if err := sender.Send(context.Background(), msg.Clone()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no delivery after re-attach")
+	}
+}

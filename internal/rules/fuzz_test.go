@@ -1,0 +1,58 @@
+package rules
+
+import "testing"
+
+// FuzzParse feeds arbitrary source to the rule-language parser. Beyond
+// not panicking, it checks printing is a fixed point: any rule the
+// parser accepts must render (Rule.String) back into source the parser
+// accepts, producing a rule that renders identically.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`rule "hot-cpu" level 1 category cpu severity critical {
+    when latest(cpu.util) > 95
+    then alert "CPU pegged on {device}"
+}`,
+		`rule "low-disk" priority 3 level 2 category disk {
+    when avg(disk.free, 5) < 10 and not (fact(maintenance))
+    then derive disk_pressure
+}`,
+		`rule "flapping" level 2 {
+    when rate(if.errors, 10) > 0.5 or countabove(cpu.util, 90) >= 3
+    then alert "link flapping"
+}`,
+		`rule "fleet" level 3 {
+    when fleetavg(mem.used) > 80 and trend(mem.used, 5) > 0
+    then alert "grid-wide memory pressure"
+}`,
+		`rule "esc" level 1 {
+    when min(a.b, 2) <= 1e6
+    then alert "quote \" backslash \\ newline \n done"
+}`,
+		`rule "x" level 1 { when latest(m) > 1 then alert "y" }
+rule "z" level 2 { when latest(m) < 1 then derive low }`,
+		"",
+		"rule",
+		"rule \"a\" level 0 { when latest(m) > 1e999 then alert \"inf\" }",
+		"// comment only",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		parsed, err := Parse(src)
+		if err != nil {
+			return
+		}
+		for _, r := range parsed {
+			printed := r.String()
+			again, err := ParseOne(printed)
+			if err != nil {
+				t.Fatalf("printed rule does not re-parse: %v\nsource:\n%s", err, printed)
+			}
+			if got := again.String(); got != printed {
+				t.Fatalf("print/parse not a fixed point:\n first %s\n again %s", printed, got)
+			}
+		}
+	})
+}

@@ -3,6 +3,7 @@ package rules
 import (
 	"fmt"
 	"strconv"
+	"strings"
 )
 
 // Severity of an alert raised by a rule.
@@ -64,9 +65,32 @@ type Rule struct {
 	Then Action
 }
 
+// quoteDSL renders s as a rule-language string literal. The lexer only
+// understands the escapes \" \\ and \n (every other byte is taken
+// literally), so strconv-style %q quoting — which emits \t, \xNN and
+// friends — would produce unparseable source.
+func quoteDSL(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
 // String renders the rule in parseable DSL syntax.
 func (r *Rule) String() string {
-	head := fmt.Sprintf("rule %q priority %d level %d", r.Name, r.Priority, r.Level)
+	head := fmt.Sprintf("rule %s priority %d level %d", quoteDSL(r.Name), r.Priority, r.Level)
 	if r.Category != "" {
 		head += " category " + r.Category
 	}
@@ -74,7 +98,7 @@ func (r *Rule) String() string {
 	var then string
 	switch r.Then.Kind {
 	case ActionAlert:
-		then = fmt.Sprintf("alert %q", r.Then.Message)
+		then = "alert " + quoteDSL(r.Then.Message)
 	case ActionDerive:
 		then = "derive " + r.Then.Fact
 	}

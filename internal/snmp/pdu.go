@@ -333,6 +333,11 @@ func (r *reader) oid() (OID, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Enforce the same cap as appendOID so every decodable OID is also
+	// encodable (the length byte alone would admit up to 255).
+	if int(n) > maxOIDLen {
+		return nil, fmt.Errorf("%w: OID with %d components", ErrPDUTooLarge, n)
+	}
 	oid := make(OID, n)
 	for i := range oid {
 		c, err := r.uint32()

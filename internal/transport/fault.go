@@ -1,0 +1,216 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"agentgrid/internal/acl"
+)
+
+// This file promotes the original drop-only FaultFunc hook into a
+// composable fault-injection plan shared by the in-process and TCP
+// transports. A FaultPlan sees every outbound message and returns a
+// Decision: drop it (optionally with a specific error), delay it,
+// and/or duplicate it. Plans compose with Chain, restrict with When,
+// fire probabilistically with Sometimes (seeded, reproducible), and
+// model bidirectional network partitions with Partition. The legacy
+// FaultFunc veto hook and its DropAll/DropTo helpers remain as thin
+// wrappers so existing call sites keep working.
+
+// Decision is a fault plan's verdict on one outbound message.
+type Decision struct {
+	// Drop discards the message; Send fails with Err (or
+	// ErrFaultInjected when Err is nil).
+	Drop bool
+	// Err overrides the error returned for a dropped message.
+	Err error
+	// Delay holds delivery for the given duration. Only transports with
+	// a Holder installed (see InProcNetwork.SetHolder) can honor it;
+	// without one the message is delivered immediately.
+	Delay time.Duration
+	// Dup delivers this many extra copies of the message.
+	Dup int
+}
+
+// merge folds another decision into d: drop wins (first error kept),
+// delays add, duplicates add.
+func (d Decision) merge(o Decision) Decision {
+	if o.Drop && !d.Drop {
+		d.Drop = true
+		d.Err = o.Err
+	}
+	d.Delay += o.Delay
+	d.Dup += o.Dup
+	return d
+}
+
+// FaultPlan decides the fate of each outbound message. Implementations
+// must be safe for concurrent use: transports consult the plan from
+// every sending goroutine.
+type FaultPlan interface {
+	Decide(from, to string, m *acl.Message) Decision
+}
+
+// PlanFunc adapts a function to the FaultPlan interface.
+type PlanFunc func(from, to string, m *acl.Message) Decision
+
+// Decide implements FaultPlan.
+func (f PlanFunc) Decide(from, to string, m *acl.Message) Decision { return f(from, to, m) }
+
+// Pred selects messages for When by sender address, receiver address
+// and message content.
+type Pred func(from, to string, m *acl.Message) bool
+
+// ---- Primitives ----
+
+// Drop returns a plan that drops every message it sees.
+func Drop() FaultPlan {
+	return PlanFunc(func(string, string, *acl.Message) Decision {
+		return Decision{Drop: true}
+	})
+}
+
+// Delay returns a plan that delays every message by d.
+func Delay(d time.Duration) FaultPlan {
+	return PlanFunc(func(string, string, *acl.Message) Decision {
+		return Decision{Delay: d}
+	})
+}
+
+// Dup returns a plan that delivers extra additional copies of every
+// message.
+func Dup(extra int) FaultPlan {
+	return PlanFunc(func(string, string, *acl.Message) Decision {
+		return Decision{Dup: extra}
+	})
+}
+
+// ---- Combinators ----
+
+// Chain merges the decisions of several plans: any drop wins, delays
+// and duplicate counts add up. Nil plans are skipped.
+func Chain(plans ...FaultPlan) FaultPlan {
+	return PlanFunc(func(from, to string, m *acl.Message) Decision {
+		var d Decision
+		for _, p := range plans {
+			if p == nil {
+				continue
+			}
+			d = d.merge(p.Decide(from, to, m))
+		}
+		return d
+	})
+}
+
+// When applies plan only to messages matching pred; everything else
+// passes untouched.
+func When(pred Pred, plan FaultPlan) FaultPlan {
+	return PlanFunc(func(from, to string, m *acl.Message) Decision {
+		if pred(from, to, m) {
+			return plan.Decide(from, to, m)
+		}
+		return Decision{}
+	})
+}
+
+// seededRand is a mutex-guarded deterministic random source shared by
+// the probabilistic combinators. Given the same seed and the same
+// sequence of Decide calls it reproduces the same faults, which is what
+// makes seeded chaos schedules replayable.
+type seededRand struct {
+	mu sync.Mutex
+	r  *rand.Rand // guarded by mu
+}
+
+func newSeededRand(seed int64) *seededRand {
+	return &seededRand{r: rand.New(rand.NewSource(seed))}
+}
+
+func (s *seededRand) float64() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.Float64()
+}
+
+func (s *seededRand) int63n(n int64) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.r.Int63n(n)
+}
+
+// Sometimes applies plan to each message with probability p, drawn from
+// a deterministic source seeded with seed. The same seed and message
+// arrival order reproduce the same fault sequence.
+func Sometimes(seed int64, p float64, plan FaultPlan) FaultPlan {
+	src := newSeededRand(seed)
+	return PlanFunc(func(from, to string, m *acl.Message) Decision {
+		if src.float64() < p {
+			return plan.Decide(from, to, m)
+		}
+		return Decision{}
+	})
+}
+
+// Jitter delays each message by a uniform random duration in [0, max),
+// drawn from a deterministic source seeded with seed. Combined with a
+// Holder that releases messages in due-time order, jitter reorders
+// traffic: a message delayed 9ms overtakes one delayed 2ms sent later.
+func Jitter(seed int64, max time.Duration) FaultPlan {
+	src := newSeededRand(seed)
+	return PlanFunc(func(string, string, *acl.Message) Decision {
+		if max <= 0 {
+			return Decision{}
+		}
+		return Decision{Delay: time.Duration(src.int63n(int64(max)))}
+	})
+}
+
+// Partition drops all traffic between the two address groups, in both
+// directions — a bidirectional network split. Traffic within a group,
+// or to addresses in neither group, passes.
+func Partition(groupA, groupB []string) FaultPlan {
+	inA := addrSet(groupA)
+	inB := addrSet(groupB)
+	return When(func(from, to string, _ *acl.Message) bool {
+		return (inA[from] && inB[to]) || (inB[from] && inA[to])
+	}, Drop())
+}
+
+// Isolate drops all traffic to or from the given addresses — the
+// single-sided special case of Partition, handy for "this container
+// fell off the network".
+func Isolate(addrs ...string) FaultPlan {
+	in := addrSet(addrs)
+	return When(func(from, to string, _ *acl.Message) bool {
+		return in[from] || in[to]
+	}, Drop())
+}
+
+func addrSet(addrs []string) map[string]bool {
+	s := make(map[string]bool, len(addrs))
+	for _, a := range addrs {
+		s[a] = true
+	}
+	return s
+}
+
+// ---- Legacy FaultFunc compatibility ----
+
+// PlanFromFault adapts the legacy veto-style FaultFunc to a FaultPlan:
+// a non-nil error becomes a drop carrying that error.
+func PlanFromFault(f FaultFunc) FaultPlan {
+	return PlanFunc(func(_, to string, m *acl.Message) Decision {
+		if err := f(to, m); err != nil {
+			return Decision{Drop: true, Err: err}
+		}
+		return Decision{}
+	})
+}
+
+// Holder intercepts messages a plan decided to delay. Returning true
+// takes ownership: the holder must later re-inject the message (see
+// InProcNetwork.Inject). Returning false tells the transport to deliver
+// immediately. The chaos harness installs a holder that releases held
+// messages in virtual-clock order.
+type Holder func(from, to string, m *acl.Message, d Decision) bool

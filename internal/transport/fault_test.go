@@ -1,0 +1,298 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"agentgrid/internal/acl"
+)
+
+func testMsg(from, to string) *acl.Message {
+	return &acl.Message{
+		Performative: acl.Inform,
+		Sender:       acl.NewAID("a", from),
+		Receivers:    []acl.AID{acl.NewAID("b", to)},
+	}
+}
+
+// faultInbox is a thread-safe inbox used as an endpoint handler.
+type faultInbox struct {
+	mu   sync.Mutex
+	msgs []*acl.Message
+}
+
+func (c *faultInbox) handle(m *acl.Message) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.msgs = append(c.msgs, m)
+}
+
+func (c *faultInbox) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.msgs)
+}
+
+func TestChainMergesDecisions(t *testing.T) {
+	p := Chain(Delay(2*time.Millisecond), Dup(1), nil, Delay(3*time.Millisecond))
+	d := p.Decide("a", "b", testMsg("a", "b"))
+	if d.Drop || d.Delay != 5*time.Millisecond || d.Dup != 1 {
+		t.Fatalf("merged decision = %+v", d)
+	}
+	d = Chain(p, Drop()).Decide("a", "b", testMsg("a", "b"))
+	if !d.Drop {
+		t.Fatal("chained drop lost")
+	}
+}
+
+func TestPartitionIsBidirectional(t *testing.T) {
+	p := Partition([]string{"left"}, []string{"right"})
+	cases := []struct {
+		from, to string
+		drop     bool
+	}{
+		{"left", "right", true},
+		{"right", "left", true},
+		{"left", "left", false},
+		{"left", "elsewhere", false},
+		{"elsewhere", "right", false},
+	}
+	for _, c := range cases {
+		d := p.Decide(c.from, c.to, testMsg(c.from, c.to))
+		if d.Drop != c.drop {
+			t.Errorf("Partition %s->%s drop = %v, want %v", c.from, c.to, d.Drop, c.drop)
+		}
+	}
+}
+
+func TestSometimesIsSeedDeterministic(t *testing.T) {
+	run := func(seed int64) []bool {
+		p := Sometimes(seed, 0.3, Drop())
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = p.Decide("a", "b", testMsg("a", "b")).Drop
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at decision %d", i)
+		}
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+	drops := 0
+	for _, v := range a {
+		if v {
+			drops++
+		}
+	}
+	if drops == 0 || drops == len(a) {
+		t.Fatalf("p=0.3 dropped %d/%d", drops, len(a))
+	}
+}
+
+func TestJitterBoundedAndDeterministic(t *testing.T) {
+	max := 10 * time.Millisecond
+	a := Jitter(7, max)
+	b := Jitter(7, max)
+	for i := 0; i < 100; i++ {
+		da := a.Decide("x", "y", testMsg("x", "y")).Delay
+		db := b.Decide("x", "y", testMsg("x", "y")).Delay
+		if da != db {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, da, db)
+		}
+		if da < 0 || da >= max {
+			t.Fatalf("delay %v outside [0,%v)", da, max)
+		}
+	}
+	if d := Jitter(7, 0).Decide("x", "y", testMsg("x", "y")); d.Delay != 0 {
+		t.Fatalf("zero max produced delay %v", d.Delay)
+	}
+}
+
+func TestInProcPlanDropAndError(t *testing.T) {
+	n := NewInProcNetwork()
+	var inbox faultInbox
+	ep, err := n.Endpoint("inproc://dst", inbox.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	src, err := n.Endpoint("inproc://src", func(*acl.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+
+	n.SetPlan(When(func(_, to string, _ *acl.Message) bool { return to == "inproc://dst" }, Drop()))
+	err = src.Send(context.Background(), "inproc://dst", testMsg("src", "dst"))
+	if !errors.Is(err, ErrFaultInjected) {
+		t.Fatalf("dropped send err = %v", err)
+	}
+	if inbox.count() != 0 {
+		t.Fatal("dropped message delivered")
+	}
+
+	custom := errors.New("custom fault")
+	n.SetPlan(PlanFunc(func(string, string, *acl.Message) Decision {
+		return Decision{Drop: true, Err: custom}
+	}))
+	if err := src.Send(context.Background(), "inproc://dst", testMsg("src", "dst")); !errors.Is(err, custom) {
+		t.Fatalf("custom drop err = %v", err)
+	}
+
+	n.SetPlan(nil)
+	if err := src.Send(context.Background(), "inproc://dst", testMsg("src", "dst")); err != nil {
+		t.Fatalf("healed send: %v", err)
+	}
+	if inbox.count() != 1 {
+		t.Fatalf("delivered %d messages after heal", inbox.count())
+	}
+}
+
+func TestInProcDupDeliversExtraCopies(t *testing.T) {
+	n := NewInProcNetwork()
+	var inbox faultInbox
+	if _, err := n.Endpoint("inproc://dst", inbox.handle); err != nil {
+		t.Fatal(err)
+	}
+	src, err := n.Endpoint("inproc://src", func(*acl.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetPlan(Dup(2))
+	if err := src.Send(context.Background(), "inproc://dst", testMsg("src", "dst")); err != nil {
+		t.Fatal(err)
+	}
+	if inbox.count() != 3 {
+		t.Fatalf("dup(2) delivered %d copies, want 3", inbox.count())
+	}
+}
+
+func TestInProcHolderCapturesDelayedAndInjectReleases(t *testing.T) {
+	n := NewInProcNetwork()
+	var inbox faultInbox
+	if _, err := n.Endpoint("inproc://dst", inbox.handle); err != nil {
+		t.Fatal(err)
+	}
+	src, err := n.Endpoint("inproc://src", func(*acl.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var held []*acl.Message
+	var heldTo []string
+	var mu sync.Mutex
+	n.SetHolder(func(from, to string, m *acl.Message, d Decision) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		held = append(held, m)
+		heldTo = append(heldTo, to)
+		return true
+	})
+	n.SetPlan(Delay(5 * time.Millisecond))
+
+	if err := src.Send(context.Background(), "inproc://dst", testMsg("src", "dst")); err != nil {
+		t.Fatal(err)
+	}
+	if inbox.count() != 0 {
+		t.Fatal("delayed message delivered immediately despite holder")
+	}
+	mu.Lock()
+	captured, to := len(held), append([]string(nil), heldTo...)
+	msgs := append([]*acl.Message(nil), held...)
+	mu.Unlock()
+	if captured != 1 {
+		t.Fatalf("holder captured %d messages", captured)
+	}
+	for i, m := range msgs {
+		if err := n.Inject(to[i], m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if inbox.count() != 1 {
+		t.Fatalf("inject delivered %d messages", inbox.count())
+	}
+
+	// Without a holder, delay degrades to immediate delivery.
+	n.SetHolder(nil)
+	if err := src.Send(context.Background(), "inproc://dst", testMsg("src", "dst")); err != nil {
+		t.Fatal(err)
+	}
+	if inbox.count() != 2 {
+		t.Fatal("delay without holder did not deliver immediately")
+	}
+}
+
+func TestInProcSetFaultBackCompat(t *testing.T) {
+	n := NewInProcNetwork()
+	var inbox faultInbox
+	if _, err := n.Endpoint("inproc://dst", inbox.handle); err != nil {
+		t.Fatal(err)
+	}
+	src, err := n.Endpoint("inproc://src", func(*acl.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetFault(DropTo("inproc://dst"))
+	if err := src.Send(context.Background(), "inproc://dst", testMsg("src", "dst")); !errors.Is(err, ErrFaultInjected) {
+		t.Fatalf("DropTo err = %v", err)
+	}
+	n.SetFault(nil)
+	if err := src.Send(context.Background(), "inproc://dst", testMsg("src", "dst")); err != nil {
+		t.Fatal(err)
+	}
+	if inbox.count() != 1 {
+		t.Fatalf("delivered %d", inbox.count())
+	}
+}
+
+func TestTCPPlanDropAndDup(t *testing.T) {
+	var inbox faultInbox
+	dst, err := ListenTCP("127.0.0.1:0", inbox.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+
+	src, err := ListenTCP("127.0.0.1:0", func(*acl.Message) {},
+		WithTCPPlan(Chain(
+			When(func(_, _ string, m *acl.Message) bool { return m.Performative == acl.Request }, Drop()),
+			When(func(_, _ string, m *acl.Message) bool { return m.Performative == acl.Inform }, Dup(1)),
+		)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+
+	req := testMsg("src", "dst")
+	req.Performative = acl.Request
+	if err := src.Send(context.Background(), dst.Addr(), req); !errors.Is(err, ErrFaultInjected) {
+		t.Fatalf("tcp drop err = %v", err)
+	}
+	if err := src.Send(context.Background(), dst.Addr(), testMsg("src", "dst")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for inbox.count() < 2 {
+		select {
+		case <-deadline:
+			t.Fatalf("tcp dup delivered %d copies, want 2", inbox.count())
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+}

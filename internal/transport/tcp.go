@@ -26,9 +26,19 @@ func WithWriteTimeout(d time.Duration) TCPOption {
 	return func(t *tcpTransport) { t.writeTimeout = d }
 }
 
-// WithTCPFault installs a fault-injection hook on outbound sends.
+// WithTCPFault installs a legacy fault-injection hook on outbound
+// sends. It wraps the hook in a FaultPlan; WithTCPFault and WithTCPPlan
+// overwrite each other.
 func WithTCPFault(f FaultFunc) TCPOption {
-	return func(t *tcpTransport) { t.fault = f }
+	return func(t *tcpTransport) { t.plan = PlanFromFault(f) }
+}
+
+// WithTCPPlan installs a fault plan on outbound sends. The TCP
+// transport honors Drop and Dup decisions; Delay degrades to immediate
+// delivery (there is no holder on a real network — wire delay belongs
+// to the in-process network the chaos harness drives).
+func WithTCPPlan(p FaultPlan) TCPOption {
+	return func(t *tcpTransport) { t.plan = p }
 }
 
 // ListenTCP starts a TCP endpoint on addr ("host:port"; use port 0 for an
@@ -62,7 +72,7 @@ func ListenTCP(addr string, h Handler, opts ...TCPOption) (Transport, error) {
 type tcpTransport struct {
 	ln           net.Listener
 	handler      Handler
-	fault        FaultFunc
+	plan         FaultPlan
 	dialTimeout  time.Duration
 	writeTimeout time.Duration
 
@@ -153,15 +163,29 @@ func (t *tcpTransport) Send(ctx context.Context, addr string, m *acl.Message) er
 	if err := m.Validate(); err != nil {
 		return err
 	}
-	if t.fault != nil {
-		if err := t.fault(addr, m); err != nil {
-			return err
+	var d Decision
+	if t.plan != nil {
+		d = t.plan.Decide(t.Addr(), addr, m)
+	}
+	if d.Drop {
+		if d.Err != nil {
+			return d.Err
 		}
+		return ErrFaultInjected
 	}
 	frame, err := acl.Marshal(m)
 	if err != nil {
 		return err
 	}
+	for copies := 0; copies <= d.Dup; copies++ {
+		if err := t.sendFrame(ctx, addr, frame); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *tcpTransport) sendFrame(ctx context.Context, addr string, frame []byte) error {
 	// One reconnect attempt: a pooled connection may have gone stale.
 	for attempt := 0; attempt < 2; attempt++ {
 		sc, err := t.getConn(ctx, addr)

@@ -39,12 +39,16 @@ var (
 
 // FaultFunc inspects an outbound message and may veto it. Returning a
 // non-nil error makes Send fail with that error; the message is dropped.
+// It is the legacy drop-only hook; new code composes a FaultPlan (see
+// fault.go) instead.
 type FaultFunc func(addr string, m *acl.Message) error
 
-// DropAll is a FaultFunc that drops every message (a dead network).
+// DropAll is a FaultFunc that drops every message (a dead network) — the
+// thin backward-compatible wrapper around the Drop plan primitive.
 func DropAll(string, *acl.Message) error { return ErrFaultInjected }
 
-// DropTo returns a FaultFunc that drops only messages for the given addr.
+// DropTo returns a FaultFunc that drops only messages for the given
+// addr — the thin backward-compatible wrapper around When+Drop.
 func DropTo(target string) FaultFunc {
 	return func(addr string, _ *acl.Message) error {
 		if addr == target {
@@ -59,8 +63,9 @@ func DropTo(target string) FaultFunc {
 // its handler synchronously. Safe for concurrent use.
 type InProcNetwork struct {
 	mu        sync.RWMutex
-	endpoints map[string]*inprocEndpoint
-	fault     FaultFunc
+	endpoints map[string]*inprocEndpoint // guarded by mu
+	plan      FaultPlan                  // guarded by mu
+	holder    Holder                     // guarded by mu
 }
 
 // NewInProcNetwork returns an empty in-process network.
@@ -68,12 +73,32 @@ func NewInProcNetwork() *InProcNetwork {
 	return &InProcNetwork{endpoints: make(map[string]*inprocEndpoint)}
 }
 
-// SetFault installs (or clears, with nil) a fault-injection hook applied
-// to every Send on this network.
+// SetFault installs (or clears, with nil) a legacy fault-injection hook
+// applied to every Send on this network. It wraps the hook in a
+// FaultPlan; SetFault and SetPlan overwrite each other.
 func (n *InProcNetwork) SetFault(f FaultFunc) {
+	if f == nil {
+		n.SetPlan(nil)
+		return
+	}
+	n.SetPlan(PlanFromFault(f))
+}
+
+// SetPlan installs (or clears, with nil) the fault plan applied to
+// every Send on this network.
+func (n *InProcNetwork) SetPlan(p FaultPlan) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.fault = f
+	n.plan = p
+}
+
+// SetHolder installs (or clears, with nil) the holder consulted for
+// messages the plan decided to delay. Without a holder, delays degrade
+// to immediate delivery.
+func (n *InProcNetwork) SetHolder(h Holder) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.holder = h
 }
 
 // Endpoint registers a new endpoint under the given address. The address
@@ -105,18 +130,47 @@ func (n *InProcNetwork) send(ctx context.Context, from, to string, m *acl.Messag
 		return err
 	}
 	n.mu.RLock()
-	fault := n.fault
+	plan := n.plan
+	holder := n.holder
 	ep, ok := n.endpoints[to]
 	n.mu.RUnlock()
-	if fault != nil {
-		if err := fault(to, m); err != nil {
-			return err
+	var d Decision
+	if plan != nil {
+		d = plan.Decide(from, to, m)
+	}
+	if d.Drop {
+		if d.Err != nil {
+			return d.Err
 		}
+		return ErrFaultInjected
 	}
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownAddr, to)
 	}
-	// Deliver a clone so sender-side mutation cannot race the receiver.
+	// Deliver 1+Dup clones so sender-side mutation cannot race the
+	// receiver. A positive delay hands each copy to the holder, which
+	// re-injects it later; without a holder the delay degrades to
+	// immediate delivery.
+	for i := 0; i <= d.Dup; i++ {
+		clone := m.Clone()
+		if d.Delay > 0 && holder != nil && holder(from, to, clone, d) {
+			continue
+		}
+		ep.deliver(clone)
+	}
+	return nil
+}
+
+// Inject delivers m directly to the endpoint at addr, bypassing the
+// fault plan and holder. Holders use it to release delayed messages;
+// test harnesses use it to replay captured traffic.
+func (n *InProcNetwork) Inject(to string, m *acl.Message) error {
+	n.mu.RLock()
+	ep, ok := n.endpoints[to]
+	n.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownAddr, to)
+	}
 	ep.deliver(m.Clone())
 	return nil
 }

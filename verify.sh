@@ -7,6 +7,8 @@
 #   3. go build          (everything compiles)
 #   4. go test           (unit + integration tests)
 #   5. go test -race     (race-clean verification)
+#   6. chaos suite       (seeded fault-injection scenarios, -race)
+#   7. fuzz smoke        (5s per wire-facing fuzz target)
 #
 # Any failure stops the gate with a non-zero exit. Run it before every
 # commit; CI should run exactly this script.
@@ -32,5 +34,12 @@ go test ./...
 
 step "go test -race ./..."
 go test -race ./...
+
+step "chaos scenarios (-race, fixed seeds)"
+go test -race -count=1 ./internal/chaos/...
+
+step "fuzz smoke (5s per target)"
+go test -run='^$' -fuzz=FuzzDecodePDU -fuzztime=5s ./internal/snmp
+go test -run='^$' -fuzz=FuzzParse -fuzztime=5s ./internal/rules
 
 step "verify: OK"
