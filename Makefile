@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint chaos fuzz-smoke verify fmt
+.PHONY: all build test race lint chaos trace fuzz-smoke verify fmt
 
 all: build
 
@@ -30,12 +30,20 @@ lint:
 chaos:
 	$(GO) test -race -count=1 ./internal/chaos/...
 
-# Short fuzz smoke over the two wire-facing parsers. Five seconds each
+# Tracing subsystem smoke: the trace package unit tests under the race
+# detector plus the end-to-end assertion that one alert's trace covers
+# all four sub-grids with a critical path and zero dropped spans.
+trace:
+	$(GO) test -race -count=1 ./internal/trace/...
+	$(GO) test -race -count=1 -run TestTraceEndToEnd .
+
+# Short fuzz smoke over the wire-facing parsers. Five seconds each
 # is enough to replay the corpus plus a quick mutation pass; longer
 # sessions run `go test -fuzz=... -fuzztime=10m` by hand.
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzDecodePDU -fuzztime=5s ./internal/snmp
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=5s ./internal/rules
+	$(GO) test -run='^$$' -fuzz=FuzzUnmarshalFrame -fuzztime=5s ./internal/acl
 
 # The full gate: vet + gridlint + build + tests + race detector +
 # chaos scenarios + fuzz smoke.

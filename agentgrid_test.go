@@ -2,10 +2,13 @@ package agentgrid_test
 
 import (
 	"context"
+	"strings"
 	"testing"
 	"time"
 
 	"agentgrid"
+	"agentgrid/internal/device"
+	"agentgrid/internal/trace"
 )
 
 // TestFacadeQuickstart mirrors the package documentation: a downstream
@@ -57,6 +60,114 @@ func TestFacadeQuickstart(t *testing.T) {
 		case <-time.After(5 * time.Millisecond):
 		}
 	}
+}
+
+// TestTraceEndToEnd drives one alert through the whole pipeline and
+// asserts the causal trace that comes out the other side: a single
+// trace covers all four sub-grids (collector, classifier, processor,
+// interface), the span tree reconstructs with a critical path rooted at
+// the SNMP poll, and the collector ring dropped nothing.
+func TestTraceEndToEnd(t *testing.T) {
+	grid, err := agentgrid.NewGrid(agentgrid.Config{
+		Site: "site1",
+		Rules: `rule "hot-cpu" level 1 category cpu severity critical {
+            when latest(cpu.util) > 90
+            then alert "CPU above 90% on {device}"
+        }`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := grid.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer grid.Stop()
+
+	spec := agentgrid.FleetSpec{Site: "site1", Hosts: 1, Seed: 7}
+	fleet, err := agentgrid.NewFleet(spec, "public")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	if err := grid.AddGoals(agentgrid.GoalsFor(spec, fleet, time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+
+	fleet.Stations()[0].Device.InjectFault(device.FaultCPUPegged)
+	fleet.Advance(5)
+	if err := grid.CollectNow(ctx); err != nil {
+		t.Fatal(err)
+	}
+	grid.WaitIdle(15 * time.Second)
+	wctx, wcancel := context.WithTimeout(ctx, 15*time.Second)
+	defer wcancel()
+	if _, ok := grid.Interface().WaitAlert(wctx, func(a agentgrid.Alert) bool {
+		return a.Rule == "hot-cpu"
+	}); !ok {
+		t.Fatal("hot-cpu alert never arrived")
+	}
+
+	tr := grid.Tracer()
+	tr.Flush()
+
+	// Find the trace that reached the interface grid.
+	var spans []trace.Span
+	for _, id := range tr.Store().TraceIDs() {
+		candidate := tr.Store().Spans(id)
+		for _, sp := range candidate {
+			if sp.Name == "report.alert" {
+				spans = candidate
+			}
+		}
+	}
+	if spans == nil {
+		t.Fatal("no trace contains a report.alert span")
+	}
+
+	// One trace, four sub-grids.
+	names := make(map[string]bool)
+	for _, sp := range spans {
+		names[sp.Name] = true
+	}
+	for _, want := range []string{"collect.poll", "collect.ship", "classify.ingest", "report.alert"} {
+		if !names[want] {
+			t.Errorf("trace missing %s span (have %v)", want, keys(names))
+		}
+	}
+	if !names["analyze.l1"] && !names["analyze.l2"] && !names["analyze.l3"] {
+		t.Errorf("trace has no processor-grid analysis span (have %v)", keys(names))
+	}
+
+	// The tree reconstructs and the critical path starts at the poll.
+	roots := trace.BuildTree(spans)
+	if len(roots) == 0 {
+		t.Fatal("span tree did not reconstruct")
+	}
+	path := trace.CriticalPath(roots)
+	if len(path) == 0 {
+		t.Fatal("no critical path")
+	}
+	if path[0].Span.Name != "collect.poll" {
+		t.Errorf("critical path starts at %s, want collect.poll", path[0].Span.Name)
+	}
+	if out := trace.Render(spans); !strings.Contains(out, "critical path:") {
+		t.Errorf("render has no critical path line:\n%s", out)
+	}
+
+	// Nothing was shed on the way.
+	if d := tr.Dropped(); d != 0 {
+		t.Errorf("collector dropped %d spans in a non-chaos run", d)
+	}
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
 }
 
 func TestFacadeParseRules(t *testing.T) {

@@ -19,6 +19,7 @@ import (
 	"agentgrid/internal/sim"
 	"agentgrid/internal/snmp"
 	"agentgrid/internal/store"
+	"agentgrid/internal/trace"
 	"agentgrid/internal/workload"
 )
 
@@ -235,6 +236,47 @@ func BenchmarkStoreWindowQuery(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		st.Window("s/d/m", 64)
 	}
+}
+
+// ---- Tracing micro-benchmarks ----
+
+// BenchmarkSpanStart measures opening, attributing and ending one child
+// span under an existing trace — the per-hop cost every instrumented
+// pipeline stage pays. The span's inline attribute array keeps the
+// steady state allocation-lean (one allocation for the span itself);
+// BENCH_trace.json records the baseline.
+func BenchmarkSpanStart(b *testing.B) {
+	tr := trace.New(trace.Options{ShardCapacity: 1 << 14})
+	root := tr.StartRoot("bench.root")
+	defer root.End()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := root.Child("bench.child")
+		sp.SetAttr("agent", "cg-1")
+		sp.SetAttrInt("batch", 32)
+		sp.End()
+	}
+}
+
+// BenchmarkCollectorContended hammers the collector from every CPU:
+// each goroutine runs its own traces, so spans spread over the
+// lock-striped shards and End() contends only within a stripe. The
+// drop counter is reported so a capacity regression is visible in the
+// benchmark record.
+func BenchmarkCollectorContended(b *testing.B) {
+	tr := trace.New(trace.Options{Shards: 16, ShardCapacity: 1 << 14})
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			sp := tr.StartRoot("bench.contended")
+			sp.SetAttr("agent", "pg-1")
+			sp.End()
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(tr.Dropped()), "dropped-spans")
 }
 
 // BenchmarkLivePipelineCycle measures one full collect→classify→analyze

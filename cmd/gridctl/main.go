@@ -9,6 +9,7 @@
 //	gridctl -grid 127.0.0.1:8080 goals goals.txt       # add goals
 //	gridctl -grid 127.0.0.1:8080 stats
 //	gridctl -grid 127.0.0.1:8080 health
+//	gridctl -grid 127.0.0.1:8080 trace <trace-id|conversation-id> [json]
 package main
 
 import (
@@ -34,7 +35,7 @@ func main() {
 
 func run(grid string, timeout time.Duration, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: gridctl [flags] site|device|alerts|learn|goals|stats|health ...")
+		return fmt.Errorf("usage: gridctl [flags] site|device|alerts|learn|goals|stats|health|trace ...")
 	}
 	cli := &http.Client{Timeout: timeout}
 	base := "http://" + grid
@@ -75,6 +76,15 @@ func run(grid string, timeout time.Duration, args []string) error {
 		return get(cli, base+"/stats")
 	case "health":
 		return get(cli, base+"/healthz")
+	case "trace":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: gridctl trace <trace-id|conversation-id> [json]")
+		}
+		u := base + "/trace/" + url.PathEscape(args[1])
+		if len(args) >= 3 && args[2] == "json" {
+			u += "?format=json"
+		}
+		return get(cli, u)
 	default:
 		return fmt.Errorf("unknown command %q", args[0])
 	}

@@ -13,20 +13,29 @@ import (
 	"agentgrid/internal/report"
 	"agentgrid/internal/rules"
 	"agentgrid/internal/store"
+	"agentgrid/internal/trace"
 )
 
 // startBackend serves a minimal interface grid for the CLI to talk to.
-func startBackend(t *testing.T) string {
+// It returns the server address and the ID of one stored trace.
+func startBackend(t *testing.T) (addr, traceID string) {
 	t.Helper()
 	st := store.New(16)
 	st.Append(obs.Record{Site: "site1", Device: "h1", Metric: "cpu.util",
 		Value: 42, Step: 1, Time: time.Unix(1, 0)})
 	a := agent.New(acl.NewAID("ig", "site1"),
 		func(context.Context, *acl.Message) error { return nil })
+	tr := trace.New(trace.Options{})
+	root := tr.StartRoot("collect.poll")
+	root.SetConversation("conv-1")
+	root.Child("collect.ship").End()
+	root.End()
+	tr.Flush()
 	ig, err := report.New(a, report.Config{
-		Store: st,
-		Rules: ruleSink{},
-		Goals: func(context.Context, string) error { return nil },
+		Store:  st,
+		Rules:  ruleSink{},
+		Goals:  func(context.Context, string) error { return nil },
+		Tracer: tr,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -37,7 +46,7 @@ func startBackend(t *testing.T) string {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { srv.Close() })
-	return srv.Addr()
+	return srv.Addr(), root.Context().TraceID
 }
 
 type ruleSink struct{}
@@ -45,7 +54,7 @@ type ruleSink struct{}
 func (ruleSink) AddSource(string) ([]string, error) { return []string{"r1"}, nil }
 
 func TestGridctlCommands(t *testing.T) {
-	addr := startBackend(t)
+	addr, traceID := startBackend(t)
 	dir := t.TempDir()
 	rulesFile := filepath.Join(dir, "r.dsl")
 	os.WriteFile(rulesFile, []byte(`rule "x" { when latest(m) > 1 then alert "m" }`), 0o644)
@@ -62,6 +71,9 @@ func TestGridctlCommands(t *testing.T) {
 		{"alerts", "critical"},
 		{"learn", rulesFile},
 		{"goals", goalsFile},
+		{"trace", traceID},
+		{"trace", traceID, "json"},
+		{"trace", "conv-1"},
 	}
 	for _, args := range ok {
 		if err := run(addr, 5*time.Second, args); err != nil {
@@ -79,6 +91,8 @@ func TestGridctlCommands(t *testing.T) {
 		{"juggle"},                   // unknown command
 		{"site", "nowhere"},          // 404
 		{"device", "site1", "ghost"}, // 404
+		{"trace"},                    // missing id
+		{"trace", "no-such-trace"},   // 404
 	}
 	for _, args := range bad {
 		if err := run(addr, 5*time.Second, args); err == nil {

@@ -12,6 +12,7 @@ import (
 	"agentgrid"
 	"agentgrid/internal/device"
 	"agentgrid/internal/report"
+	"agentgrid/internal/trace"
 )
 
 func main() {
@@ -81,6 +82,24 @@ rule "disk-low" level 2 category disk {
 	for _, a := range grid.Alerts() {
 		fmt.Printf("  %s\n", a)
 	}
+
+	// Show the causal trace behind the alert: every hop from the SNMP
+	// poll through classification and analysis to the alert landing in
+	// the interface grid, with the critical path marked.
+	tr := grid.Tracer()
+	tr.Flush()
+	for _, id := range tr.Store().TraceIDs() {
+		spans := tr.Store().Spans(id)
+		for _, sp := range spans {
+			if sp.Name == "report.alert" {
+				fmt.Println("Trace of the alert (also: gridctl trace " + id + "):")
+				fmt.Print(trace.Render(spans))
+			}
+		}
+	}
+	st := tr.Stats()
+	fmt.Printf("Tracer: %d traces, %d spans stored, %d dropped\n",
+		st.Traces, st.Spans, st.Dropped)
 	return nil
 }
 

@@ -1,0 +1,76 @@
+package acl
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzUnmarshalFrame feeds arbitrary bytes to the frame decoder. Beyond
+// not panicking, it checks the framing invariants: any input the
+// decoder accepts must survive a Marshal/Unmarshal round trip (the
+// header is derived entirely from the payload, so decode followed by
+// encode must re-frame cleanly), and the declared payload length must
+// match the bytes actually present.
+func FuzzUnmarshalFrame(f *testing.F) {
+	// Valid frames, including one carrying trace context.
+	seeds := []*Message{
+		{Performative: Inform, Sender: NewAID("cg-1", "site1"),
+			Receivers: []AID{NewAID("clg", "site1")}, Content: []byte(`{"x":1}`),
+			Language: "json", Ontology: OntologyGridManagement, ConversationID: "c1"},
+		{Performative: Request, Sender: NewAID("clg", "site1"),
+			Receivers: []AID{NewAID("pg-root", "site1")},
+			Protocol:  ProtocolRequest, ReplyWith: "r1",
+			Trace: &TraceContext{TraceID: "a1b2c3", SpanID: "1", Parent: "2"}},
+		{Performative: CFP, Sender: NewAID("pg-root", "site1"),
+			Receivers: []AID{NewAID("pg-1", "site1")},
+			Protocol:  ProtocolContractNet, ConversationID: "conv-9"},
+	}
+	for _, m := range seeds {
+		data, err := Marshal(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	// Header edge cases: empty, short header, bad magic, truncated
+	// payload, oversized declared length, length/body mismatch.
+	f.Add([]byte{})
+	f.Add([]byte{'A', 'C', 'L'})
+	f.Add([]byte{'A', 'C', 'L', '2', 0, 0, 0, 0})
+	f.Add([]byte{'A', 'C', 'L', '1', 0, 0, 0, 9, '{', '}'})
+	f.Add([]byte{'A', 'C', 'L', '1', 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{'A', 'C', 'L', '1', 0x01, 0x00, 0x00, 0x01})
+	f.Add([]byte{'A', 'C', 'L', '1', 0, 0, 0, 2, '{', '}', '!'})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		// Accepted frames must be internally consistent with the header.
+		if len(data) < 8 || !bytes.Equal(data[:4], wireMagic[:]) {
+			t.Fatalf("decoder accepted a frame with a bad header: % x", data[:min(len(data), 8)])
+		}
+		if n := getUint32(data[4:8]); int(n) != len(data)-8 {
+			t.Fatalf("decoder accepted length mismatch: header %d, payload %d", n, len(data)-8)
+		}
+		// Round trip: a decoded message re-frames and re-decodes.
+		out, err := Marshal(m)
+		if err != nil {
+			t.Fatalf("re-marshal of accepted message failed: %v", err)
+		}
+		m2, err := Unmarshal(out)
+		if err != nil {
+			t.Fatalf("re-unmarshal failed: %v", err)
+		}
+		if m.Performative != m2.Performative || m.ConversationID != m2.ConversationID {
+			t.Fatalf("round trip changed message: %+v != %+v", m, m2)
+		}
+		if (m.Trace == nil) != (m2.Trace == nil) {
+			t.Fatalf("round trip changed trace presence")
+		}
+		if m.Trace != nil && *m.Trace != *m2.Trace {
+			t.Fatalf("round trip changed trace context: %+v != %+v", m.Trace, m2.Trace)
+		}
+	})
+}

@@ -104,6 +104,10 @@ type Message struct {
 	ReplyWith      string    `json:"reply_with,omitempty"`
 	InReplyTo      string    `json:"in_reply_to,omitempty"`
 	ReplyBy        time.Time `json:"reply_by,omitempty"`
+
+	// Trace is the causal-tracing context propagated in-band across
+	// hops. Nil on untraced messages; never interpreted by acl itself.
+	Trace *TraceContext `json:"trace,omitempty"`
 }
 
 // Well-known ontology and protocol names used by the grid.
@@ -163,6 +167,7 @@ func (m *Message) Reply(from AID, p Performative) *Message {
 		Protocol:       m.Protocol,
 		ConversationID: m.ConversationID,
 		InReplyTo:      m.ReplyWith,
+		Trace:          m.Trace.Child(),
 	}
 }
 
@@ -172,6 +177,10 @@ func (m *Message) Clone() *Message {
 	out.Receivers = append([]AID(nil), m.Receivers...)
 	out.ReplyTo = append([]AID(nil), m.ReplyTo...)
 	out.Content = append([]byte(nil), m.Content...)
+	if m.Trace != nil {
+		tc := *m.Trace
+		out.Trace = &tc
+	}
 	return &out
 }
 

@@ -1,0 +1,43 @@
+package acl
+
+// TraceContext is the causal-tracing context a message carries in-band
+// across grid boundaries. IDs are opaque strings minted by
+// internal/trace (hex-encoded 64-bit values); acl only transports them.
+// The envelope lives here rather than in internal/trace so the wire
+// codec, Reply and Clone can propagate it without acl depending on the
+// tracing subsystem.
+type TraceContext struct {
+	// TraceID names the end-to-end trace every span of one causal
+	// chain shares (one SNMP poll and everything it triggers).
+	TraceID string `json:"trace_id,omitempty"`
+	// SpanID names the span that emitted the message. The receiver
+	// parents its own span under it.
+	SpanID string `json:"span_id,omitempty"`
+	// Parent names the emitting span's own parent. Kept so a hop whose
+	// receiver is uninstrumented still reconstructs into the tree.
+	Parent string `json:"parent_id,omitempty"`
+}
+
+// IsZero reports whether the context carries no trace.
+func (tc TraceContext) IsZero() bool { return tc.TraceID == "" }
+
+// ParentSpan returns the span ID a receiver should parent under: the
+// emitting span when known, else that span's own parent.
+func (tc TraceContext) ParentSpan() string {
+	if tc.SpanID != "" {
+		return tc.SpanID
+	}
+	return tc.Parent
+}
+
+// Child derives the context a causally-dependent message should carry
+// when the forwarding stage opens no span of its own: same trace,
+// parented at the emitting span. Instrumented stages overwrite this by
+// stamping their own span onto the message instead. Nil-safe: a nil or
+// traceless receiver yields nil, so untraced replies stay untraced.
+func (tc *TraceContext) Child() *TraceContext {
+	if tc == nil || tc.IsZero() {
+		return nil
+	}
+	return &TraceContext{TraceID: tc.TraceID, Parent: tc.ParentSpan()}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"agentgrid/internal/acl"
+	"agentgrid/internal/trace"
 )
 
 // SendFunc transmits an outbound message on behalf of the agent. The
@@ -92,6 +93,13 @@ func WithErrorLog(f func(agent acl.AID, err error)) Option {
 	return func(a *Agent) { a.errLog = f }
 }
 
+// WithTracer attaches the causal tracer the agent's behaviours record
+// spans into. A nil tracer (the default) makes every span operation a
+// no-op.
+func WithTracer(t *trace.Tracer) Option {
+	return func(a *Agent) { a.tracer = t }
+}
+
 // Agent is a single autonomous agent.
 type Agent struct {
 	id      acl.AID
@@ -102,6 +110,7 @@ type Agent struct {
 
 	mailboxSize int
 	errLog      func(acl.AID, error)
+	tracer      *trace.Tracer
 
 	mu       sync.Mutex
 	inbox    chan *acl.Message     // the channel is its own synchronization; see Deliver
@@ -146,6 +155,10 @@ func (a *Agent) Conversations() *acl.Tracker { return &a.convs }
 
 // NewConversationID mints a conversation identifier unique to this agent.
 func (a *Agent) NewConversationID() string { return a.ids.Next() }
+
+// Tracer returns the agent's causal tracer; nil when untraced. Safe to
+// call through directly: every tracer method no-ops on nil.
+func (a *Agent) Tracer() *trace.Tracer { return a.tracer }
 
 // HandleFunc registers a handler for messages matching sel. Handlers are
 // consulted in registration order; every matching handler runs.
@@ -218,6 +231,16 @@ func (a *Agent) dispatch(ctx context.Context, m *acl.Message) {
 	handlers := make([]handlerEntry, len(a.handlers))
 	copy(handlers, a.handlers)
 	a.mu.Unlock()
+	// One delivery, one span: handlers see the span via ctx, and the
+	// message is re-stamped so replies and spans they open parent under
+	// this hop rather than under the remote sender.
+	if sp := a.tracer.ContinueFromMessage("agent.handle", m); sp != nil {
+		sp.SetAttr("agent", a.id.Name)
+		sp.SetAttr("performative", string(m.Performative))
+		ctx = trace.NewContext(ctx, sp)
+		sp.Stamp(m)
+		defer sp.End()
+	}
 	matched := false
 	for _, e := range handlers {
 		if e.sel.Matches(m) {

@@ -16,6 +16,7 @@ import (
 	"agentgrid/internal/loadbalance"
 	"agentgrid/internal/negotiate"
 	"agentgrid/internal/rules"
+	"agentgrid/internal/trace"
 )
 
 // WorkerAgentName is the local name every analysis worker agent uses;
@@ -219,6 +220,11 @@ func (r *Root) handleInform(ctx context.Context, a *agent.Agent, m *acl.Message)
 		a.Send(ctx, m.Reply(a.ID(), acl.NotUnderstood))
 		return
 	}
+	sp := a.Tracer().ContinueFromMessage("analyze.notice", m)
+	sp.SetAttr("collector", notice.Collector)
+	sp.SetAttrInt("clusters", len(notice.Clusters))
+	ctx = trace.NewContext(ctx, sp)
+	defer sp.End()
 	r.HandleNotice(ctx, notice)
 }
 
@@ -352,7 +358,15 @@ func (r *Root) sendTask(ctx context.Context, task *Task, reg directory.Registrat
 		ConversationID: task.ID,
 		ReplyWith:      taskReplyPrefix + task.ID,
 	}
-	if err := r.a.Send(ctx, msg); err != nil {
+	sp := r.a.Tracer().ChildFromContext(ctx, "analyze.dispatch")
+	sp.SetAttrInt("level", task.Level)
+	sp.SetAttr("worker", reg.Container)
+	sp.SetConversation(task.ID)
+	sp.Stamp(msg)
+	err = r.a.Send(ctx, msg)
+	sp.SetError(err)
+	sp.End()
+	if err != nil {
 		r.logErr(fmt.Errorf("analyze: send task %s to %s: %w", task.ID, reg.Container, err))
 		r.reassign(ctx, task.ID, reg.Container)
 	}
@@ -381,12 +395,18 @@ func (r *Root) dispatchNegotiated(ctx context.Context, task *Task, eligible []di
 	r.stats.Dispatched++
 	r.mu.Unlock()
 
+	sp := r.a.Tracer().ChildFromContext(ctx, "analyze.dispatch")
+	sp.SetAttrInt("level", task.Level)
+	sp.SetConversation(task.ID)
+	ctx = trace.NewContext(ctx, sp)
+	defer sp.End()
 	outcome, err := r.ini.Negotiate(ctx, participants, negotiate.Task{
 		ID:      task.ID,
 		Kind:    fmt.Sprintf("analysis-l%d", task.Level),
 		Payload: content,
 	}, r.cfg.BidWindow)
 	if err != nil {
+		sp.SetError(err)
 		r.logErr(fmt.Errorf("analyze: negotiate task %s: %w", task.ID, err))
 		r.mu.Lock()
 		r.retireLocked(task.ID, task)
@@ -409,6 +429,11 @@ func (r *Root) handleResult(ctx context.Context, m *acl.Message) {
 		r.logErr(fmt.Errorf("analyze: result from %s: %w", m.Sender, err))
 		return
 	}
+	sp := r.a.Tracer().ContinueFromMessage("analyze.complete", m)
+	sp.SetAttr("worker", m.Sender.Name)
+	sp.SetAttrInt("alerts", len(res.Alerts))
+	ctx = trace.NewContext(ctx, sp)
+	defer sp.End()
 	r.complete(ctx, res)
 }
 
@@ -447,7 +472,13 @@ func (r *Root) forwardAlerts(ctx context.Context, alerts []rules.Alert) {
 		Ontology:       acl.OntologyNetworkManagement,
 		ConversationID: r.a.NewConversationID(),
 	}
-	if err := r.a.Send(ctx, msg); err != nil {
+	sp := r.a.Tracer().ChildFromContext(ctx, "analyze.forward")
+	sp.SetAttrInt("alerts", len(alerts))
+	sp.Stamp(msg)
+	err = r.a.Send(ctx, msg)
+	sp.SetError(err)
+	sp.End()
+	if err != nil {
 		r.logErr(fmt.Errorf("analyze: forward alerts: %w", err))
 		return
 	}

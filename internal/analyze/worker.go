@@ -95,9 +95,15 @@ func NewWorker(a *agent.Agent, cfg WorkerConfig) (*Worker, error) {
 			if err != nil {
 				return negotiate.Result{}, err
 			}
+			sp := a.Tracer().ChildFromContext(ctx, levelSpanName(task.Level))
+			sp.SetAttr("agent", a.ID().Name)
+			sp.SetConversation(task.ID)
+			defer sp.End()
 			res := w.Run(task)
+			sp.SetAttrInt("alerts", len(res.Alerts))
 			out, err := EncodeResult(res)
 			if err != nil {
+				sp.SetError(err)
 				return negotiate.Result{}, err
 			}
 			return negotiate.Result{Output: out}, nil
@@ -161,17 +167,38 @@ func (w *Worker) handleTaskRequest(ctx context.Context, a *agent.Agent, m *acl.M
 		a.Send(ctx, m.Reply(a.ID(), acl.NotUnderstood))
 		return
 	}
+	sp := a.Tracer().ContinueFromMessage(levelSpanName(task.Level), m)
+	sp.SetAttr("agent", a.ID().Name)
+	defer sp.End()
 	res := w.Run(task)
+	sp.SetAttrInt("alerts", len(res.Alerts))
 	reply := m.Reply(a.ID(), acl.Inform)
 	reply.Language = "json"
 	reply.Content, err = EncodeResult(res)
 	if err != nil {
+		sp.SetError(err)
 		fail := m.Reply(a.ID(), acl.Failure)
 		fail.Content = []byte(err.Error())
+		sp.Stamp(fail)
 		a.Send(ctx, fail)
 		return
 	}
+	sp.Stamp(reply)
 	a.Send(ctx, reply)
+}
+
+// levelSpanName names an analysis span after its level: analyze.l1,
+// analyze.l2, analyze.l3.
+func levelSpanName(level int) string {
+	switch level {
+	case 1:
+		return "analyze.l1"
+	case 2:
+		return "analyze.l2"
+	case 3:
+		return "analyze.l3"
+	}
+	return "analyze.task"
 }
 
 // Run executes one task synchronously — the multiple-level analyses of

@@ -9,6 +9,7 @@ import (
 
 	"agentgrid/internal/directory"
 	"agentgrid/internal/platform"
+	"agentgrid/internal/trace"
 	"agentgrid/internal/transport"
 )
 
@@ -42,6 +43,10 @@ type Options struct {
 	// Directory, when set, loses crashed containers and re-learns
 	// restarted ones.
 	Directory *directory.Directory
+	// Tracer, when set, stamps injected faults into affected traces: a
+	// message carrying trace context that is dropped, held, duplicated
+	// or lost gains a zero-length chaos.<verdict> annotation span.
+	Tracer *trace.Tracer
 }
 
 // Harness drives one chaos scenario: it owns the virtual clock, the
@@ -72,7 +77,7 @@ func New(opts Options) (*Harness, error) {
 		opts:    opts,
 		clock:   clock,
 		rec:     rec,
-		em:      newNetem(opts.Network, clock, rec),
+		em:      newNetem(opts.Network, clock, rec, opts.Tracer),
 		targets: make(map[string]*Target),
 	}
 	rec.Event(MetricStep, "seed", float64(opts.Seed))

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"agentgrid/internal/acl"
+	"agentgrid/internal/trace"
 	"agentgrid/internal/transport"
 )
 
@@ -16,9 +17,10 @@ import (
 // in (due time, sequence) order, so a message jittered 9ms is overtaken
 // by one jittered 2ms that was sent later.
 type netem struct {
-	net   *transport.InProcNetwork
-	clock *Clock
-	rec   *Recorder
+	net    *transport.InProcNetwork
+	clock  *Clock
+	rec    *Recorder
+	tracer *trace.Tracer // nil when the run is untraced
 
 	mu   sync.Mutex
 	plan transport.FaultPlan // guarded by mu
@@ -34,8 +36,8 @@ type heldMsg struct {
 	msg  *acl.Message
 }
 
-func newNetem(n *transport.InProcNetwork, clock *Clock, rec *Recorder) *netem {
-	em := &netem{net: n, clock: clock, rec: rec}
+func newNetem(n *transport.InProcNetwork, clock *Clock, rec *Recorder, tracer *trace.Tracer) *netem {
+	em := &netem{net: n, clock: clock, rec: rec, tracer: tracer}
 	n.SetPlan(transport.PlanFunc(em.decide))
 	n.SetHolder(em.hold)
 	return em
@@ -76,6 +78,9 @@ func (em *netem) decide(from, to string, m *acl.Message) transport.Decision {
 	em.rec.addTrace(TraceEntry{
 		At: em.clock.Now(), From: from, To: to, Msg: m.Clone(), Verdict: verdict,
 	})
+	if verdict != "deliver" {
+		em.annotate(verdict, from, to, m)
+	}
 	switch verdict {
 	case "drop":
 		em.rec.Event(MetricDrop, link(from, to), 1)
@@ -138,10 +143,27 @@ func (em *netem) release(t time.Duration) {
 		// while the message was in flight: it is lost, and recorded so.
 		if err := em.net.Inject(h.to, h.msg); err != nil {
 			em.rec.Event(MetricLost, link(h.from, h.to), float64(h.seq))
+			em.annotate("lost", h.from, h.to, h.msg)
 			continue
 		}
 		em.rec.Event(MetricRelease, link(h.from, h.to), float64(h.seq))
 	}
+}
+
+// annotate stamps an injected fault into the affected trace: a
+// zero-length chaos.<verdict> span parented under the message's current
+// span, so the span tree shows where the network misbehaved. Untraced
+// messages (or an untraced harness) annotate nothing.
+func (em *netem) annotate(verdict, from, to string, m *acl.Message) {
+	if m.Trace == nil {
+		return
+	}
+	sp := em.tracer.StartSpan("chaos."+verdict, *m.Trace)
+	sp.SetAttr("from", from)
+	sp.SetAttr("to", to)
+	sp.SetAttr("performative", string(m.Performative))
+	sp.SetConversation(m.ConversationID)
+	sp.End()
 }
 
 func link(from, to string) string { return from + "->" + to }

@@ -86,6 +86,7 @@ func newRig(t *testing.T, cfg core.Config, spec workload.FleetSpec, scenario str
 		Seed:      seed,
 		Network:   g.Network(),
 		Directory: g.Directory(),
+		Tracer:    g.Tracer(),
 	})
 	if err != nil {
 		t.Fatal(err)

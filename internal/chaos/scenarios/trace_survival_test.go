@@ -1,0 +1,187 @@
+package scenarios
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"agentgrid/internal/acl"
+	"agentgrid/internal/chaos"
+	"agentgrid/internal/classify"
+	"agentgrid/internal/core"
+	"agentgrid/internal/directory"
+	"agentgrid/internal/obs"
+	"agentgrid/internal/trace"
+	"agentgrid/internal/transport"
+	"agentgrid/internal/workload"
+)
+
+// TestScenarioTraceSurvivesFaults pins the causal-tracing contract
+// under network faults:
+//
+//   - a duplicated collector→classifier delivery keeps one coherent
+//     trace (the duplicate continues the same trace, it does not fork a
+//     new one) and the trace gains a chaos.dup annotation span;
+//   - a classifier crash while a batch is held in flight leaves the
+//     poll round's trace in the store ending before the classifier,
+//     annotated chaos.hold (the delay) and chaos.lost (the in-flight
+//     message died with the container) — the trace tells the operator
+//     where the pipeline died.
+func TestScenarioTraceSurvivesFaults(t *testing.T) {
+	forEachSeed(t, func(t *testing.T, seed int64) {
+		spec := workload.FleetSpec{Site: "site1", Hosts: 2, Seed: seed}
+		r := newRig(t, core.Config{Site: "site1"}, spec, "trace-survival", seed)
+		g, h := r.g, r.h
+
+		clgC, ok := g.Container("clg")
+		if !ok {
+			t.Fatal("no clg container")
+		}
+		rewire := func() error {
+			ca, err := clgC.SpawnAgent("classifier")
+			if err != nil {
+				return err
+			}
+			_, err = classify.New(ca, classify.Config{
+				Store:     g.Store(),
+				Processor: g.Root().Agent().ID(),
+				Ontology:  obs.NewOntology(),
+			})
+			return err
+		}
+		if err := h.AddTarget(chaos.Target{
+			Container: clgC,
+			Addr:      "inproc://clg",
+			Services:  []directory.ServiceDesc{{Type: directory.ServiceClassification}},
+			Rewire:    rewire,
+		}); err != nil {
+			t.Fatal(err)
+		}
+
+		toClassifier := func(_, to string, _ *acl.Message) bool { return to == "inproc://clg" }
+		err := h.Run(chaos.Scenario{Name: "trace-survival", Steps: []chaos.Step{
+			// Round 1: every batch into the classifier is delivered twice.
+			{At: 0, Name: "dup-plan", Do: func(h *chaos.Harness) error {
+				h.SetPlan(transport.When(toClassifier, transport.Dup(1)))
+				return nil
+			}},
+			{At: 5 * time.Millisecond, Name: "ingest-duplicated", Do: func(*chaos.Harness) error {
+				if err := g.CollectNow(context.Background()); err != nil {
+					return err
+				}
+				waitFor(t, 15*time.Second, "round-1 series", func() bool {
+					n, _ := g.Store().Stats()
+					return n == 8
+				})
+				return nil
+			}},
+			// Round 2: batches into the classifier are delayed in flight,
+			// then the classifier dies before they arrive.
+			{At: 20 * time.Millisecond, Name: "delay-plan", Do: func(h *chaos.Harness) error {
+				h.SetPlan(transport.When(toClassifier, transport.Delay(30*time.Millisecond)))
+				return nil
+			}},
+			{At: 25 * time.Millisecond, Name: "ingest-into-flight", Do: func(h *chaos.Harness) error {
+				r.fleet.Advance(1)
+				if err := g.CollectNow(context.Background()); err != nil {
+					return err
+				}
+				if h.HeldMessages() == 0 {
+					t.Fatal("no batch held in flight")
+				}
+				return nil
+			}},
+			{At: 30 * time.Millisecond, Name: "crash-clg", Do: func(h *chaos.Harness) error {
+				h.Heal()
+				return h.Crash("clg")
+			}},
+			// Advancing past the due time releases the held batches into
+			// the crashed container: they are lost, and recorded so.
+			{At: 70 * time.Millisecond, Name: "release-into-void"},
+			{At: 75 * time.Millisecond, Name: "restart-clg", Do: func(h *chaos.Harness) error {
+				return h.Restart("clg")
+			}},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		tr := g.Tracer()
+		tr.Flush()
+
+		// The duplicated round: one trace holds the poll, the ship, the
+		// fault annotation and the (possibly repeated) ingest — the dup
+		// continued the trace instead of forking a fresh one.
+		dupTrace := findTrace(tr, "chaos.dup")
+		if dupTrace == nil {
+			t.Fatal("no trace annotated chaos.dup")
+		}
+		for _, want := range []string{"collect.poll", "collect.ship", "classify.ingest"} {
+			if !hasSpan(dupTrace, want) {
+				t.Errorf("duplicated-delivery trace missing %s span: %v", want, spanNames(dupTrace))
+			}
+		}
+
+		// The crashed round: the trace ends before the classifier and
+		// carries both fault annotations — the delay that put the batch
+		// in flight and the loss when the container died under it.
+		lostTrace := findTrace(tr, "chaos.lost")
+		if lostTrace == nil {
+			t.Fatal("no trace annotated chaos.lost")
+		}
+		for _, want := range []string{"collect.poll", "collect.ship", "chaos.hold"} {
+			if !hasSpan(lostTrace, want) {
+				t.Errorf("crash-round trace missing %s span: %v", want, spanNames(lostTrace))
+			}
+		}
+		if hasSpan(lostTrace, "classify.ingest") {
+			t.Errorf("crash-round trace reached the classifier it crashed: %v", spanNames(lostTrace))
+		}
+
+		// The annotated trees still reconstruct: the annotation spans
+		// parent under real pipeline spans, not off in orphan roots.
+		for _, spans := range [][]trace.Span{dupTrace, lostTrace} {
+			roots := trace.BuildTree(spans)
+			if len(roots) == 0 {
+				t.Fatal("annotated trace does not reconstruct")
+			}
+		}
+
+		rec := h.Recorder()
+		if rec.EventCount(chaos.MetricCrash) != 1 || rec.EventCount(chaos.MetricRestart) != 1 {
+			t.Fatalf("crash/restart events = %d/%d",
+				rec.EventCount(chaos.MetricCrash), rec.EventCount(chaos.MetricRestart))
+		}
+	})
+}
+
+// findTrace returns the spans of the first stored trace containing a
+// span with the given name.
+func findTrace(tr *trace.Tracer, name string) []trace.Span {
+	for _, id := range tr.Store().TraceIDs() {
+		spans := tr.Store().Spans(id)
+		for _, sp := range spans {
+			if sp.Name == name {
+				return spans
+			}
+		}
+	}
+	return nil
+}
+
+func hasSpan(spans []trace.Span, name string) bool {
+	for _, sp := range spans {
+		if sp.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func spanNames(spans []trace.Span) []string {
+	out := make([]string, len(spans))
+	for i, sp := range spans {
+		out[i] = sp.Name
+	}
+	return out
+}

@@ -17,6 +17,7 @@ import (
 	"agentgrid/internal/acl"
 	"agentgrid/internal/agent"
 	"agentgrid/internal/obs"
+	"agentgrid/internal/trace"
 )
 
 // Sink persists classified records. *store.Store and *store.ReplicaSet
@@ -238,8 +239,12 @@ func (c *Classifier) Stats() Stats {
 // handleBatch is the inform handler: parse, classify, store, cluster,
 // notify — the full §3.2 pipeline.
 func (c *Classifier) handleBatch(ctx context.Context, a *agent.Agent, m *acl.Message) {
+	sp := a.Tracer().ContinueFromMessage("classify.ingest", m)
+	ctx = trace.NewContext(ctx, sp)
+	defer sp.End()
 	batch, err := obs.UnmarshalBatch(m.Content)
 	if err != nil {
+		sp.SetError(err)
 		c.mu.Lock()
 		c.stats.ParseErrors++
 		c.mu.Unlock()
@@ -247,7 +252,10 @@ func (c *Classifier) handleBatch(ctx context.Context, a *agent.Agent, m *acl.Mes
 		a.Send(ctx, m.Reply(a.ID(), acl.NotUnderstood))
 		return
 	}
+	sp.SetAttr("collector", batch.Collector)
+	sp.SetAttrInt("batch", len(batch.Records))
 	if err := c.Ingest(ctx, batch); err != nil {
+		sp.SetError(err)
 		c.logErr(err)
 	}
 }
@@ -255,6 +263,8 @@ func (c *Classifier) handleBatch(ctx context.Context, a *agent.Agent, m *acl.Mes
 // Ingest runs the classification pipeline on one parsed batch. Exposed
 // for in-process pipelines and tests.
 func (c *Classifier) Ingest(ctx context.Context, batch *obs.Batch) error {
+	sp := c.a.Tracer().ChildFromContext(ctx, "classify.store")
+	defer sp.End()
 	stored := 0
 	for i := range batch.Records {
 		r := batch.Records[i]
@@ -262,6 +272,7 @@ func (c *Classifier) Ingest(ctx context.Context, batch *obs.Batch) error {
 			c.cfg.Ontology.Annotate(&r)
 		}
 		if err := c.cfg.Store.Append(r); err != nil {
+			sp.SetError(err)
 			c.mu.Lock()
 			c.stats.StoreErrors++
 			c.mu.Unlock()
@@ -269,6 +280,8 @@ func (c *Classifier) Ingest(ctx context.Context, batch *obs.Batch) error {
 		}
 		stored++
 	}
+	sp.SetAttrInt("records", stored)
+	sp.End()
 	c.mu.Lock()
 	c.stats.Batches++
 	c.stats.Records += uint64(stored)
@@ -299,7 +312,13 @@ func (c *Classifier) notify(ctx context.Context, batch *obs.Batch) error {
 		Protocol:       acl.ProtocolRequest,
 		ConversationID: c.a.NewConversationID(),
 	}
+	sp := c.a.Tracer().ChildFromContext(ctx, "classify.notify")
+	sp.SetAttrInt("clusters", len(notice.Clusters))
+	sp.SetConversation(msg.ConversationID)
+	sp.Stamp(msg)
+	defer sp.End()
 	if err := c.a.Send(ctx, msg); err != nil {
+		sp.SetError(err)
 		return fmt.Errorf("classify: notify processor: %w", err)
 	}
 	c.mu.Lock()

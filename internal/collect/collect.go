@@ -22,6 +22,7 @@ import (
 	"agentgrid/internal/obs"
 	"agentgrid/internal/rules"
 	"agentgrid/internal/snmp"
+	"agentgrid/internal/trace"
 )
 
 // Goal describes one recurring collection intention (§3.1: "goals that
@@ -354,11 +355,21 @@ func (c *Collector) collectAndShip(ctx context.Context, goalName string) error {
 	if !ok {
 		return fmt.Errorf("collect: no goal %q", goalName)
 	}
+	// The poll is where a trace is born: everything downstream — ship,
+	// classify, analyze, alerting — descends from this root span.
+	sp := c.a.Tracer().StartRoot("collect.poll")
+	sp.SetAttr("agent", c.a.ID().Name)
+	sp.SetAttr("goal", goalName)
+	sp.SetAttr("device", g.Device)
+	ctx = trace.NewContext(ctx, sp)
+	defer sp.End()
 	records, err := c.cfg.Iface.Collect(ctx, g)
 	if err != nil {
+		sp.SetError(err)
 		c.logErr(err)
 		return err
 	}
+	sp.SetAttrInt("records", len(records))
 	c.mu.Lock()
 	c.stats.Collections++
 	c.stats.Records += uint64(len(records))
@@ -413,7 +424,13 @@ func (c *Collector) ship(ctx context.Context, records []obs.Record) error {
 		Ontology:       acl.OntologyNetworkManagement,
 		ConversationID: c.a.NewConversationID(),
 	}
+	sp := c.a.Tracer().ChildFromContext(ctx, "collect.ship")
+	sp.SetAttrInt("batch", len(records))
+	sp.SetConversation(msg.ConversationID)
+	sp.Stamp(msg)
+	defer sp.End()
 	if err := c.a.Send(ctx, msg); err != nil {
+		sp.SetError(err)
 		c.mu.Lock()
 		c.stats.ShipErrors++
 		c.mu.Unlock()

@@ -100,14 +100,21 @@ func (c *DFClient) send(ctx context.Context, req dfRequest) error {
 	if err != nil {
 		return err
 	}
-	return c.a.Send(ctx, &acl.Message{
+	msg := &acl.Message{
 		Performative:   acl.Request,
 		Receivers:      []acl.AID{c.df},
 		Content:        content,
 		Language:       "json",
 		Ontology:       dfOntology,
 		ConversationID: c.a.NewConversationID(),
-	})
+	}
+	sp := c.a.Tracer().ChildFromContext(ctx, "df."+req.Op)
+	sp.SetAttr("agent", c.a.ID().Name)
+	sp.Stamp(msg)
+	defer sp.End()
+	err = c.a.Send(ctx, msg)
+	sp.SetError(err)
+	return err
 }
 
 // Register announces the container to the DF.

@@ -19,6 +19,7 @@ import (
 	"agentgrid/internal/rules"
 	"agentgrid/internal/snmp"
 	"agentgrid/internal/store"
+	"agentgrid/internal/trace"
 	"agentgrid/internal/transport"
 )
 
@@ -59,6 +60,10 @@ type Config struct {
 	// external worker nodes (cmd/agentgridd -mode worker) can join the
 	// grid.
 	TCPHost string
+	// Trace configures the grid's causal tracer. The zero value traces
+	// everything with default buffers; see trace.Options for sampling
+	// and sizing knobs.
+	Trace trace.Options
 	// ErrorLog receives grid-internal errors. Optional.
 	ErrorLog func(error)
 }
@@ -97,6 +102,7 @@ type Grid struct {
 	net        *transport.InProcNetwork
 	dir        *directory.Directory
 	store      *store.Store
+	tracer     *trace.Tracer
 	containers []*platform.Container
 	collectors []*collect.Collector
 	classifier *classify.Classifier
@@ -113,10 +119,11 @@ type Grid struct {
 func NewGrid(cfg Config) (*Grid, error) {
 	cfg = cfg.withDefaults()
 	g := &Grid{
-		cfg:   cfg,
-		net:   transport.NewInProcNetwork(),
-		dir:   directory.New(3 * cfg.HeartbeatEvery),
-		store: store.New(cfg.StorePoints),
+		cfg:    cfg,
+		net:    transport.NewInProcNetwork(),
+		dir:    directory.New(3 * cfg.HeartbeatEvery),
+		store:  store.New(cfg.StorePoints),
+		tracer: trace.New(cfg.Trace),
 	}
 
 	profile := directory.ResourceProfile{CPUCapacity: 100, NetCapacity: 100, DiscCapacity: 100}
@@ -130,6 +137,7 @@ func NewGrid(cfg Config) (*Grid, error) {
 		c, err := platform.New(platform.Config{
 			Name: name, Platform: name, Profile: profile,
 			Resolver: resolver, ErrorLog: cfg.ErrorLog,
+			Tracer: g.tracer,
 		})
 		if err != nil {
 			return nil, err
@@ -307,6 +315,7 @@ func NewGrid(cfg Config) (*Grid, error) {
 		Rules:     fanoutRuleSink(g.workers),
 		Goals:     g.goalFromSpec,
 		StatsFunc: func() any { return g.Status() },
+		Tracer:    g.tracer,
 		ErrorLog:  cfg.ErrorLog,
 	})
 	if err != nil {
@@ -563,6 +572,9 @@ func (g *Grid) Collectors() []*collect.Collector {
 // Classifier returns the classifier grid agent.
 func (g *Grid) Classifier() *classify.Classifier { return g.classifier }
 
+// Tracer returns the grid's causal tracer.
+func (g *Grid) Tracer() *trace.Tracer { return g.tracer }
+
 // Alerts returns the interface grid's alert history.
 func (g *Grid) Alerts() []rules.Alert { return g.ig.Alerts("") }
 
@@ -577,6 +589,7 @@ type GridStatus struct {
 	Workers          []analyze.WorkerStats `json:"workers"`
 	Collectors       []collect.Stats       `json:"collectors"`
 	Classifier       classify.Stats        `json:"classifier"`
+	Trace            trace.Stats           `json:"trace"`
 }
 
 // Status assembles the current grid-wide snapshot.
@@ -590,6 +603,7 @@ func (g *Grid) Status() GridStatus {
 		StoreAppends:     appends,
 		Root:             g.root.Stats(),
 		Classifier:       g.classifier.Stats(),
+		Trace:            g.tracer.Stats(),
 	}
 	for _, w := range g.workers {
 		st.Workers = append(st.Workers, w.Stats())

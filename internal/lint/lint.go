@@ -78,6 +78,7 @@ func Analyzers() []*Analyzer {
 		AnalyzerGoroutineLeak,
 		AnalyzerUnboundedSend,
 		AnalyzerSleepSync,
+		AnalyzerTraceCtx,
 	}
 }
 

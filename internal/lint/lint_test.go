@@ -87,19 +87,20 @@ func TestSelfClean(t *testing.T) {
 	}
 }
 
-// TestChaosPackagesClean pins the chaos harness to a clean bill from
-// the concurrency analyzers: the packages that inject faults and drive
-// virtual time must themselves be free of real sleeps, leaked
-// goroutines and unbounded sends. The golden file is empty and must
-// stay that way; -update rewrites it so a regression shows up as a
-// golden diff in review.
+// TestChaosPackagesClean pins the chaos harness and the tracing
+// subsystem to a clean bill from the concurrency analyzers: the
+// packages that inject faults, drive virtual time and collect spans
+// from every hot path must themselves be free of real sleeps, leaked
+// goroutines, unbounded sends and trace-context drops. The golden file
+// is empty and must stay that way; -update rewrites it so a regression
+// shows up as a golden diff in review.
 func TestChaosPackagesClean(t *testing.T) {
-	analyzers, err := Select("sleepsync, goroutineleak, unboundedsend", "")
+	analyzers, err := Select("sleepsync, goroutineleak, unboundedsend, tracectx", "")
 	if err != nil {
 		t.Fatal(err)
 	}
 	var b strings.Builder
-	for _, dir := range []string{"../chaos", "../chaos/scenarios"} {
+	for _, dir := range []string{"../chaos", "../chaos/scenarios", "../trace"} {
 		pkg, err := LoadDir(dir)
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,33 @@
+// Fixture: grid-boundary sends that lose inbound trace context.
+package fixture
+
+// A handler receives a traced message and forwards work in a fresh
+// envelope without carrying the trace over: the causal chain breaks at
+// this hop.
+func badHandler(ctx context.Context, a *agent.Agent, m *acl.Message) {
+	out := &acl.Message{
+		Performative: acl.Request,
+		Receivers:    []acl.AID{{Name: "clg"}},
+		Content:      m.Content,
+	}
+	a.Send(ctx, out)
+}
+
+// A context parameter may carry a span; building an untraced message
+// here silently drops it.
+func badFromContext(ctx context.Context, a *agent.Agent) {
+	a.Send(ctx, &acl.Message{
+		Performative: acl.Inform,
+		Receivers:    []acl.AID{{Name: "ig"}},
+	})
+}
+
+// Nested function literals are checked against their own parameters.
+func badNested(a *agent.Agent) {
+	a.HandleFunc(sel, func(ctx context.Context, a *agent.Agent, m *acl.Message) {
+		a.Send(ctx, &acl.Message{
+			Performative: acl.Inform,
+			Receivers:    []acl.AID{m.Sender},
+		})
+	})
+}

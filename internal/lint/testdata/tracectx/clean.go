@@ -1,0 +1,59 @@
+// Fixture: messages that forward trace context (or never had any).
+package fixture
+
+// Stamping a span onto the outbound message forwards the trace.
+func cleanStamp(ctx context.Context, a *agent.Agent, m *acl.Message) {
+	sp := a.Tracer().ContinueFromMessage("fixture.forward", m)
+	out := &acl.Message{
+		Performative: acl.Request,
+		Receivers:    []acl.AID{{Name: "clg"}},
+	}
+	sp.Stamp(out)
+	a.Send(ctx, out)
+}
+
+// Setting the Trace field in the literal forwards the trace.
+func cleanTraceField(ctx context.Context, m *acl.Message) *acl.Message {
+	return &acl.Message{
+		Performative: acl.Inform,
+		Receivers:    []acl.AID{m.Sender},
+		Trace:        m.Trace.Child(),
+	}
+}
+
+// Assigning .Trace after construction forwards the trace.
+func cleanTraceAssign(ctx context.Context, a *agent.Agent, m *acl.Message) {
+	out := &acl.Message{
+		Performative: acl.Inform,
+		Receivers:    []acl.AID{m.Sender},
+	}
+	out.Trace = m.Trace.Child()
+	a.Send(ctx, out)
+}
+
+// Reply propagates trace context internally; no literal, nothing to
+// flag.
+func cleanReply(ctx context.Context, a *agent.Agent, m *acl.Message) {
+	a.Send(ctx, m.Reply(a.ID(), acl.Inform))
+}
+
+// No context or message parameter: there is no inbound trace to lose.
+func cleanNoSource(a *agent.Agent) *acl.Message {
+	return &acl.Message{
+		Performative: acl.Request,
+		Receivers:    []acl.AID{{Name: "df"}},
+	}
+}
+
+// No Receivers: a template or partial envelope, not a send.
+func cleanNoReceivers(ctx context.Context) acl.Message {
+	return acl.Message{Performative: acl.Inform}
+}
+
+// Suppressed: deliberately untraced control-plane noise.
+func cleanSuppressed(ctx context.Context, a *agent.Agent, m *acl.Message) {
+	a.Send(ctx, &acl.Message{ //gridlint:ignore tracectx heartbeat is not part of any pipeline trace
+		Performative: acl.Inform,
+		Receivers:    []acl.AID{m.Sender},
+	})
+}

@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// AnalyzerTraceCtx flags grid-boundary sends that lose causal trace
+// context. A handler that receives a traced message (or a context that
+// may carry a span) and builds a fresh acl.Message without forwarding
+// the trace breaks the causal chain: everything downstream of the hop
+// becomes a new, disconnected trace and gridctl trace shows the
+// pipeline ending early.
+//
+// The heuristic is syntactic. A composite literal `acl.Message{...}`
+// with a Receivers field (i.e. a message built to be sent) is flagged
+// when all of these hold:
+//   - the enclosing function has an inbound trace source — a
+//     context.Context or *acl.Message parameter;
+//   - the literal has no Trace field;
+//   - the enclosing function never calls a .Stamp(...) method and
+//     never assigns a .Trace field (either one shows trace context is
+//     being forwarded on some path).
+//
+// Nested function literals are analyzed independently against their own
+// parameter lists. Package acl itself is exempt: it defines the
+// envelope and legitimately builds untraced messages (Reply propagates
+// trace context internally). Intentionally untraced sends should carry
+// //gridlint:ignore tracectx with a reason.
+var AnalyzerTraceCtx = &Analyzer{
+	Name: "tracectx",
+	Doc:  "messages built in traced handlers must forward inbound trace context (Stamp a span, set Trace, or propagate via Reply)",
+	Run:  runTraceCtx,
+}
+
+func runTraceCtx(p *Package) []Diagnostic {
+	if p.Name == "acl" {
+		return nil
+	}
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			var typ *ast.FuncType
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				typ, body = fn.Type, fn.Body
+			case *ast.FuncLit:
+				typ, body = fn.Type, fn.Body
+			default:
+				return true
+			}
+			if body == nil || !hasTraceSource(typ) || forwardsTrace(body) {
+				return true
+			}
+			for _, lit := range ownMessageLiterals(body) {
+				if hasField(lit, "Trace") || !hasField(lit, "Receivers") {
+					continue
+				}
+				out = append(out, Diagnostic{
+					Pos:      p.Fset.Position(lit.Pos()),
+					Analyzer: "tracectx",
+					Message:  "acl.Message built without forwarding inbound trace context: Stamp a span on it, set Trace, or build it with Reply",
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// hasTraceSource reports whether the function signature includes a
+// context.Context or *acl.Message parameter — something an inbound
+// trace could arrive through.
+func hasTraceSource(typ *ast.FuncType) bool {
+	if typ.Params == nil {
+		return false
+	}
+	for _, field := range typ.Params.List {
+		t := field.Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		if isSelector(t, "context", "Context") || isSelector(t, "acl", "Message") {
+			return true
+		}
+	}
+	return false
+}
+
+// forwardsTrace reports whether the function body (excluding nested
+// function literals, which are analyzed on their own) forwards trace
+// context somewhere: a .Stamp(...) call or a .Trace = assignment.
+func forwardsTrace(body *ast.BlockStmt) bool {
+	found := false
+	inspectOwn(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Stamp" {
+				found = true
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if sel, ok := lhs.(*ast.SelectorExpr); ok && sel.Sel.Name == "Trace" {
+					found = true
+				}
+			}
+		}
+	})
+	return found
+}
+
+// ownMessageLiterals collects acl.Message composite literals in the
+// body, excluding those inside nested function literals.
+func ownMessageLiterals(body *ast.BlockStmt) []*ast.CompositeLit {
+	var out []*ast.CompositeLit
+	inspectOwn(body, func(n ast.Node) {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return
+		}
+		if isSelector(lit.Type, "acl", "Message") {
+			out = append(out, lit)
+		}
+	})
+	return out
+}
+
+// inspectOwn walks the body like ast.Inspect but does not descend into
+// nested function literals.
+func inspectOwn(body *ast.BlockStmt, visit func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}
+
+// hasField reports whether a composite literal sets the named field.
+func hasField(lit *ast.CompositeLit, name string) bool {
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := kv.Key.(*ast.Ident); ok && id.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// isSelector matches a pkg.Name selector expression.
+func isSelector(e ast.Expr, pkg, name string) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == pkg
+}

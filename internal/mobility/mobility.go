@@ -188,7 +188,14 @@ func (m *Manager) Migrate(ctx context.Context, st *State, dest acl.AID, timeout 
 		ConversationID: replyWith,
 		ReplyWith:      replyWith,
 	}
+	sp := m.a.Tracer().ChildFromContext(ctx, "mobility.migrate")
+	sp.SetAttr("agent", st.Name)
+	sp.SetAttr("dest", dest.Name)
+	sp.SetConversation(replyWith)
+	sp.Stamp(msg)
+	defer sp.End()
 	if err := m.a.Send(ctx, msg); err != nil {
+		sp.SetError(err)
 		return fmt.Errorf("mobility: send state: %w", err)
 	}
 

@@ -16,6 +16,7 @@ import (
 
 	"agentgrid/internal/acl"
 	"agentgrid/internal/agent"
+	"agentgrid/internal/trace"
 )
 
 // Task is the content of a call for proposals.
@@ -88,16 +89,24 @@ func RegisterParticipant(a *agent.Agent, p Participant) {
 				a.Send(ctx, reply)
 				return
 			}
+			sp := a.Tracer().ContinueFromMessage("negotiate.bid", m)
+			sp.SetAttr("agent", a.ID().Name)
+			defer sp.End()
 			bid, ok := p.Bid(task)
 			if !ok {
-				a.Send(ctx, m.Reply(a.ID(), acl.Refuse))
+				sp.SetAttr("refused", "true")
+				refusal := m.Reply(a.ID(), acl.Refuse)
+				sp.Stamp(refusal)
+				a.Send(ctx, refusal)
 				return
 			}
+			sp.SetAttr("bid", fmt.Sprintf("%.3g", bid))
 			mu.Lock()
 			pending[m.ConversationID] = task
 			mu.Unlock()
 			reply := m.Reply(a.ID(), acl.Propose)
 			reply.Content, _ = json.Marshal(Proposal{Bid: bid})
+			sp.Stamp(reply)
 			a.Send(ctx, reply)
 		})
 
@@ -111,15 +120,22 @@ func RegisterParticipant(a *agent.Agent, p Participant) {
 				a.Send(ctx, m.Reply(a.ID(), acl.NotUnderstood))
 				return
 			}
+			sp := a.Tracer().ContinueFromMessage("negotiate.execute", m)
+			sp.SetAttr("agent", a.ID().Name)
+			ctx = trace.NewContext(ctx, sp)
+			defer sp.End()
 			res, err := p.Execute(ctx, task)
 			if err != nil {
+				sp.SetError(err)
 				reply := m.Reply(a.ID(), acl.Failure)
 				reply.Content, _ = json.Marshal(Result{Err: err.Error()})
+				sp.Stamp(reply)
 				a.Send(ctx, reply)
 				return
 			}
 			reply := m.Reply(a.ID(), acl.Inform)
 			reply.Content, _ = json.Marshal(res)
+			sp.Stamp(reply)
 			a.Send(ctx, reply)
 		})
 
@@ -197,6 +213,11 @@ func (ini *Initiator) Negotiate(ctx context.Context, participants []acl.AID, tas
 	if err != nil {
 		return nil, fmt.Errorf("negotiate: encode task: %w", err)
 	}
+	sp := ini.a.Tracer().ChildFromContext(ctx, "negotiate")
+	sp.SetAttr("agent", ini.a.ID().Name)
+	sp.SetAttrInt("participants", len(participants))
+	sp.SetConversation(convID)
+	defer sp.End()
 	// The cfp goes to each participant individually so an unreachable
 	// container counts as a refusal instead of aborting the negotiation.
 	reachable := 0
@@ -212,6 +233,7 @@ func (ini *Initiator) Negotiate(ctx context.Context, participants []acl.AID, tas
 			Protocol:       acl.ProtocolContractNet,
 			ConversationID: convID,
 		}
+		sp.Stamp(cfp)
 		if err := ini.a.Send(ctx, cfp); err != nil {
 			refused++
 			continue
@@ -219,7 +241,9 @@ func (ini *Initiator) Negotiate(ctx context.Context, participants []acl.AID, tas
 		reachable++
 	}
 	if reachable == 0 {
-		return nil, fmt.Errorf("%w (task %s, no participant reachable)", ErrNoProposals, task.ID)
+		err := fmt.Errorf("%w (task %s, no participant reachable)", ErrNoProposals, task.ID)
+		sp.SetError(err)
+		return nil, err
 	}
 
 	// Collect proposals until every reachable participant answered or
@@ -253,8 +277,12 @@ collect:
 		}
 	}
 	if len(bids) == 0 {
-		return nil, fmt.Errorf("%w (task %s, %d refusals)", ErrNoProposals, task.ID, refused)
+		err := fmt.Errorf("%w (task %s, %d refusals)", ErrNoProposals, task.ID, refused)
+		sp.SetError(err)
+		return nil, err
 	}
+	sp.SetAttrInt("bids", len(bids))
+	sp.SetAttrInt("refusals", refused)
 
 	// Lowest bid wins; ties break on AID name for determinism.
 	best := bids[0]
@@ -276,10 +304,16 @@ collect:
 			Protocol:       acl.ProtocolContractNet,
 			ConversationID: convID,
 		}
+		sp.Stamp(reject)
 		ini.a.Send(ctx, reject)
 	}
 
-	// Award the winner and wait for its result.
+	// Award the winner and wait for its result. The award is its own
+	// span so the trace separates bid collection from execution time.
+	aw := sp.Child("negotiate.award")
+	aw.SetAttr("winner", best.from.Name)
+	aw.SetConversation(convID)
+	defer aw.End()
 	accept := &acl.Message{
 		Performative:   acl.AcceptProposal,
 		Sender:         ini.a.ID(),
@@ -287,7 +321,9 @@ collect:
 		Protocol:       acl.ProtocolContractNet,
 		ConversationID: convID,
 	}
+	aw.Stamp(accept)
 	if err := ini.a.Send(ctx, accept); err != nil {
+		aw.SetError(err)
 		return nil, fmt.Errorf("negotiate: award: %w", err)
 	}
 	for {
@@ -311,7 +347,9 @@ collect:
 			case acl.Failure:
 				var res Result
 				json.Unmarshal(m.Content, &res)
-				return nil, fmt.Errorf("%w: %s", ErrAwardFailed, res.Err)
+				err := fmt.Errorf("%w: %s", ErrAwardFailed, res.Err)
+				aw.SetError(err)
+				return nil, err
 			}
 			// Late proposals from slow losers are ignored.
 		}

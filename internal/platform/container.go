@@ -17,6 +17,7 @@ import (
 	"agentgrid/internal/acl"
 	"agentgrid/internal/agent"
 	"agentgrid/internal/directory"
+	"agentgrid/internal/trace"
 	"agentgrid/internal/transport"
 )
 
@@ -45,6 +46,9 @@ type Config struct {
 	Resolver Resolver
 	// ErrorLog receives routing and agent errors. Optional.
 	ErrorLog func(error)
+	// Tracer, when set, is handed to every spawned agent and records a
+	// transport.send span for each traced remote hop. Optional.
+	Tracer *trace.Tracer
 }
 
 // Stats counts container message traffic.
@@ -180,6 +184,9 @@ func (c *Container) Registration(services []directory.ServiceDesc) directory.Reg
 // platform name. If the container is running, the agent starts at once.
 func (c *Container) SpawnAgent(local string, opts ...agent.Option) (*agent.Agent, error) {
 	id := acl.NewAID(local, c.cfg.Platform)
+	// The container's tracer is the default; explicit caller options
+	// come later in the slice and may override it.
+	opts = append([]agent.Option{agent.WithTracer(c.cfg.Tracer)}, opts...)
 	a := agent.New(id, c.routeFrom(id), opts...)
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -385,7 +392,16 @@ func (c *Container) routeOne(ctx context.Context, m *acl.Message, rcv acl.AID) e
 	// not re-forward to everyone.
 	out := m.Clone()
 	out.Receivers = []acl.AID{rcv}
-	if err := tr.Send(ctx, addr, out); err != nil {
+	// The hop span is a sibling leaf, not a new parent: the receiver
+	// still parents under the sending stage, so a lost message leaves a
+	// visible transport.send with no continuation.
+	sp := c.cfg.Tracer.ContinueFromMessage("transport.send", out)
+	sp.SetAttr("container", c.cfg.Name)
+	sp.SetAttr("to", addr)
+	err = tr.Send(ctx, addr, out)
+	sp.SetError(err)
+	sp.End()
+	if err != nil {
 		c.dropped.Add(1)
 		return err
 	}

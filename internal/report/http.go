@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"agentgrid/internal/rules"
+	"agentgrid/internal/trace"
 )
 
 // Server exposes the interface grid over HTTP — one of the paper's
@@ -44,6 +45,7 @@ func NewServer(ig *Interface, addr string) (*Server, error) {
 		w.Write([]byte("ok"))
 	})
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /trace/{id}", s.handleTrace)
 	s.http = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go s.http.Serve(ln)
 	return s, nil
@@ -119,6 +121,37 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(body)
+}
+
+// handleTrace serves one trace — looked up by trace ID or conversation
+// ID — as the ASCII span tree with critical path (default) or JSON.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	t := s.ig.cfg.Tracer
+	if t == nil {
+		http.Error(w, "tracing not enabled", http.StatusNotFound)
+		return
+	}
+	id := r.PathValue("id")
+	spans, ok := t.Lookup(id)
+	if !ok {
+		http.Error(w, fmt.Sprintf("no trace or conversation %q", id), http.StatusNotFound)
+		return
+	}
+	if r.URL.Query().Get("format") == "json" {
+		body, err := jsonMarshalIndent(struct {
+			Count int          `json:"count"`
+			Spans []trace.Span `json:"spans"`
+		}{Count: len(spans), Spans: spans})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte(trace.Render(spans)))
 }
 
 func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {

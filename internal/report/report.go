@@ -24,6 +24,7 @@ import (
 	"agentgrid/internal/analyze"
 	"agentgrid/internal/rules"
 	"agentgrid/internal/store"
+	"agentgrid/internal/trace"
 )
 
 // Format selects a report rendering.
@@ -60,6 +61,8 @@ type Config struct {
 	// StatsFunc, when set, supplies a grid-wide status snapshot served
 	// at GET /stats (any JSON-encodable value). Optional.
 	StatsFunc func() any
+	// Tracer, when set, backs the GET /trace/{id} endpoint. Optional.
+	Tracer *trace.Tracer
 	// ErrorLog receives processing errors. Optional.
 	ErrorLog func(error)
 }
@@ -119,11 +122,16 @@ func (ig *Interface) Stats() Stats {
 
 // handleAlerts ingests an alert bundle from the processor grid.
 func (ig *Interface) handleAlerts(_ context.Context, a *agent.Agent, m *acl.Message) {
+	sp := a.Tracer().ContinueFromMessage("report.alert", m)
+	sp.SetAttr("agent", a.ID().Name)
+	defer sp.End()
 	alerts, err := analyze.DecodeAlerts(m.Content)
 	if err != nil {
+		sp.SetError(err)
 		ig.logErr(fmt.Errorf("report: alerts from %s: %w", m.Sender, err))
 		return
 	}
+	sp.SetAttrInt("alerts", len(alerts))
 	ig.AddAlerts(alerts)
 }
 

@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Collector is the lock-striped, bounded buffer ended spans land in.
+// Each shard is a fixed ring: under pressure the oldest span in the
+// shard is overwritten and a drop counted, so a hot pipeline degrades
+// to losing history, never to blocking or growing without bound.
+// Spans shard by trace ID, keeping one trace's spans in one stripe and
+// letting unrelated traces proceed without contending.
+type Collector struct {
+	shards  []cshard
+	mask    uint64
+	dropped atomic.Uint64
+}
+
+type cshard struct {
+	mu    sync.Mutex
+	buf   []Span // guarded by mu; fixed-size ring
+	start int    // guarded by mu
+	n     int    // guarded by mu
+	// pad keeps adjacent shards off one cache line so striping
+	// actually buys parallelism.
+	_ [64]byte
+}
+
+// newCollector builds a collector with shards rounded up to a power of
+// two (the shard index is a mask of the trace ID's low bits).
+func newCollector(shards, capacity int) *Collector {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	c := &Collector{shards: make([]cshard, n), mask: uint64(n - 1)}
+	for i := range c.shards {
+		c.shards[i].buf = make([]Span, capacity)
+	}
+	return c
+}
+
+// Add appends one ended span, overwriting the shard's oldest span (and
+// counting a drop) when the ring is full.
+func (c *Collector) Add(sp Span) {
+	sh := &c.shards[sp.TraceID&c.mask]
+	sh.mu.Lock()
+	if sh.n == len(sh.buf) {
+		sh.buf[sh.start] = sp
+		sh.start = (sh.start + 1) % len(sh.buf)
+		sh.mu.Unlock()
+		c.dropped.Add(1)
+		return
+	}
+	sh.buf[(sh.start+sh.n)%len(sh.buf)] = sp
+	sh.n++
+	sh.mu.Unlock()
+}
+
+// Drain removes and returns every buffered span. Order is per-shard
+// arrival order; the store re-sorts by start time on query.
+func (c *Collector) Drain() []Span {
+	var out []Span
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for j := 0; j < sh.n; j++ {
+			out = append(out, sh.buf[(sh.start+j)%len(sh.buf)])
+		}
+		sh.start, sh.n = 0, 0
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// Len returns how many spans are buffered across all shards.
+func (c *Collector) Len() int {
+	total := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		total += sh.n
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// Dropped returns the cumulative count of spans lost to ring overflow.
+func (c *Collector) Dropped() uint64 { return c.dropped.Load() }

@@ -1,0 +1,235 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Node is one span in a reconstructed trace tree.
+type Node struct {
+	Span     Span
+	Children []*Node
+}
+
+// BuildTree reconstructs the span forest of one trace. Spans whose
+// parent was never collected (dropped under pressure, or emitted by an
+// uninstrumented hop) surface as extra roots rather than vanishing.
+// Roots and children are ordered by start time.
+func BuildTree(spans []Span) []*Node {
+	nodes := make(map[uint64]*Node, len(spans))
+	for _, sp := range spans {
+		nodes[sp.ID] = &Node{Span: sp}
+	}
+	var roots []*Node
+	for _, sp := range spans {
+		n := nodes[sp.ID]
+		if p, ok := nodes[sp.Parent]; ok && sp.Parent != sp.ID {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	sortNodes(roots)
+	for _, n := range nodes {
+		sortNodes(n.Children)
+	}
+	return roots
+}
+
+func sortNodes(ns []*Node) {
+	sort.Slice(ns, func(i, j int) bool {
+		a, b := ns[i].Span, ns[j].Span
+		if a.Start.Equal(b.Start) {
+			return a.ID < b.ID
+		}
+		return a.Start.Before(b.Start)
+	})
+}
+
+// PathStep is one hop of a critical path: the span and how much of the
+// end-to-end latency it contributed itself (its duration minus the
+// on-path child's, clamped at zero for async children that outlive it).
+type PathStep struct {
+	Span         Span
+	Contribution time.Duration
+}
+
+// CriticalPath walks a trace forest from the root whose subtree
+// finishes last, descending at each node into the child whose subtree
+// finishes last — the chain that determined when the trace ended. The
+// step with the largest contribution is the hop that dominated
+// end-to-end latency.
+func CriticalPath(roots []*Node) []PathStep {
+	if len(roots) == 0 {
+		return nil
+	}
+	start := roots[0]
+	for _, r := range roots[1:] {
+		if subtreeFinish(r).After(subtreeFinish(start)) {
+			start = r
+		}
+	}
+	var path []PathStep
+	for n := start; ; {
+		var next *Node
+		for _, c := range n.Children {
+			if next == nil || subtreeFinish(c).After(subtreeFinish(next)) {
+				next = c
+			}
+		}
+		if next == nil {
+			path = append(path, PathStep{Span: n.Span, Contribution: n.Span.Duration()})
+			return path
+		}
+		contrib := n.Span.Duration() - next.Span.Duration()
+		if contrib < 0 {
+			contrib = 0
+		}
+		path = append(path, PathStep{Span: n.Span, Contribution: contrib})
+		n = next
+	}
+}
+
+func subtreeFinish(n *Node) time.Time {
+	t := n.Span.Finish
+	for _, c := range n.Children {
+		if ct := subtreeFinish(c); ct.After(t) {
+			t = ct
+		}
+	}
+	return t
+}
+
+// Render draws the trace as an ASCII span tree with durations,
+// followed by its critical path. Spans on the critical path carry a
+// trailing '*'; failed spans show their error.
+func Render(spans []Span) string {
+	if len(spans) == 0 {
+		return "(no spans)\n"
+	}
+	roots := BuildTree(spans)
+	path := CriticalPath(roots)
+	onPath := make(map[uint64]bool, len(path))
+	for _, st := range path {
+		onPath[st.Span.ID] = true
+	}
+
+	var b strings.Builder
+	first, last := spans[0].Start, spans[0].Finish
+	for _, sp := range spans {
+		if sp.Start.Before(first) {
+			first = sp.Start
+		}
+		if sp.Finish.After(last) {
+			last = sp.Finish
+		}
+	}
+	fmt.Fprintf(&b, "trace %s — %d spans, %s end-to-end\n",
+		formatID(spans[0].TraceID), len(spans), fmtDur(last.Sub(first)))
+	for _, r := range roots {
+		renderNode(&b, r, "", "", onPath)
+	}
+
+	if len(path) > 0 {
+		b.WriteString("critical path: ")
+		var dominant PathStep
+		for i, st := range path {
+			if i > 0 {
+				b.WriteString(" -> ")
+			}
+			b.WriteString(st.Span.Name)
+			if st.Contribution > dominant.Contribution {
+				dominant = st
+			}
+		}
+		fmt.Fprintf(&b, "\ndominant hop: %s (%s self time)\n",
+			dominant.Span.Name, fmtDur(dominant.Contribution))
+	}
+	return b.String()
+}
+
+func renderNode(b *strings.Builder, n *Node, prefix, branch string, onPath map[uint64]bool) {
+	sp := n.Span
+	b.WriteString(prefix + branch + sp.Name)
+	if agent := sp.Attr("agent"); agent != "" {
+		fmt.Fprintf(b, " (%s)", agent)
+	}
+	fmt.Fprintf(b, " %s", fmtDur(sp.Duration()))
+	if sp.Conversation != "" {
+		fmt.Fprintf(b, " conv=%s", sp.Conversation)
+	}
+	for _, a := range spanNoteAttrs(sp) {
+		fmt.Fprintf(b, " %s=%s", a.Key, a.Value)
+	}
+	if sp.Error != "" {
+		fmt.Fprintf(b, " ERROR(%s)", sp.Error)
+	}
+	if onPath[sp.ID] {
+		b.WriteString(" *")
+	}
+	b.WriteByte('\n')
+	childPrefix := prefix
+	switch branch {
+	case "+- ":
+		childPrefix += "|  "
+	case "`- ":
+		childPrefix += "   "
+	}
+	for i, c := range n.Children {
+		cb := "+- "
+		if i == len(n.Children)-1 {
+			cb = "`- "
+		}
+		renderNode(b, c, childPrefix, cb, onPath)
+	}
+}
+
+// spanNoteAttrs picks the attributes worth a line in the tree; the
+// agent attribute is already rendered beside the name.
+func spanNoteAttrs(sp Span) []Attr {
+	var out []Attr
+	for _, a := range sp.Attrs() {
+		if a.Key == "agent" {
+			continue
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// fmtDur rounds a duration for display; sub-microsecond spans (chaos
+// annotations) render as 0s.
+func fmtDur(d time.Duration) string {
+	return d.Round(time.Microsecond).String()
+}
+
+// MarshalJSON exposes a span's attributes and duration alongside its
+// exported fields (the hot-path layout keeps attributes unexported).
+func (s Span) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		TraceID      string        `json:"trace_id"`
+		SpanID       string        `json:"span_id"`
+		ParentID     string        `json:"parent_id,omitempty"`
+		Name         string        `json:"name"`
+		Conversation string        `json:"conversation,omitempty"`
+		Start        time.Time     `json:"start"`
+		Finish       time.Time     `json:"finish"`
+		DurationNS   time.Duration `json:"duration_ns"`
+		Error        string        `json:"error,omitempty"`
+		Attrs        []Attr        `json:"attrs,omitempty"`
+	}{
+		TraceID:      formatID(s.TraceID),
+		SpanID:       formatID(s.ID),
+		ParentID:     formatID(s.Parent),
+		Name:         s.Name,
+		Conversation: s.Conversation,
+		Start:        s.Start,
+		Finish:       s.Finish,
+		DurationNS:   s.Duration(),
+		Error:        s.Error,
+		Attrs:        s.Attrs(),
+	})
+}

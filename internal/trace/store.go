@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+)
+
+// Store is the queryable in-memory span store the collector flushes
+// into. It indexes spans by trace ID and by ACL conversation ID and
+// bounds retention by trace count, evicting the oldest-admitted trace
+// first.
+type Store struct {
+	max int
+
+	mu     sync.Mutex
+	traces map[uint64][]Span   // guarded by mu
+	order  []uint64            // guarded by mu; admission order for eviction
+	byConv map[string][]uint64 // guarded by mu; conversation -> trace IDs
+}
+
+func newStore(maxTraces int) *Store {
+	return &Store{
+		max:    maxTraces,
+		traces: make(map[uint64][]Span),
+		byConv: make(map[string][]uint64),
+	}
+}
+
+// Add ingests drained spans, admitting new traces and evicting the
+// oldest beyond the store's bound.
+func (s *Store) Add(spans []Span) {
+	if len(spans) == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sp := range spans {
+		if _, ok := s.traces[sp.TraceID]; !ok {
+			s.order = append(s.order, sp.TraceID)
+		}
+		s.traces[sp.TraceID] = append(s.traces[sp.TraceID], sp)
+		if sp.Conversation != "" && !containsID(s.byConv[sp.Conversation], sp.TraceID) {
+			s.byConv[sp.Conversation] = append(s.byConv[sp.Conversation], sp.TraceID)
+		}
+	}
+	for len(s.order) > s.max {
+		s.evictOldestLocked()
+	}
+}
+
+func (s *Store) evictOldestLocked() {
+	id := s.order[0]
+	s.order = s.order[1:]
+	for _, sp := range s.traces[id] {
+		if sp.Conversation == "" {
+			continue
+		}
+		ids := s.byConv[sp.Conversation]
+		for i, v := range ids {
+			if v == id {
+				ids = append(ids[:i], ids[i+1:]...)
+				break
+			}
+		}
+		if len(ids) == 0 {
+			delete(s.byConv, sp.Conversation)
+		} else {
+			s.byConv[sp.Conversation] = ids
+		}
+	}
+	delete(s.traces, id)
+}
+
+// Spans returns the stored spans of the given hex trace ID, sorted by
+// start time (ties by span ID, which is mint order).
+func (s *Store) Spans(traceID string) []Span {
+	id := parseID(traceID)
+	s.mu.Lock()
+	spans := append([]Span(nil), s.traces[id]...)
+	s.mu.Unlock()
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].Start.Equal(spans[j].Start) {
+			return spans[i].ID < spans[j].ID
+		}
+		return spans[i].Start.Before(spans[j].Start)
+	})
+	return spans
+}
+
+// ByConversation returns the hex trace IDs that carried the given ACL
+// conversation ID, in admission order.
+func (s *Store) ByConversation(convID string) []string {
+	s.mu.Lock()
+	ids := append([]uint64(nil), s.byConv[convID]...)
+	s.mu.Unlock()
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = formatID(id)
+	}
+	return out
+}
+
+// TraceIDs returns every retained trace ID, oldest first.
+func (s *Store) TraceIDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.order))
+	for i, id := range s.order {
+		out[i] = formatID(id)
+	}
+	return out
+}
+
+// Len returns how many traces and spans the store retains.
+func (s *Store) Len() (traces, spans int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, v := range s.traces {
+		spans += len(v)
+	}
+	return len(s.traces), spans
+}
+
+func containsID(ids []uint64, id uint64) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}

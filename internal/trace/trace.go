@@ -1,0 +1,457 @@
+// Package trace is the grid's causal-tracing subsystem. A trace is the
+// causal closure of one root event (an SNMP poll, a chaos injection):
+// every span opened while handling messages descended from that event
+// shares its trace ID. Context travels in-band on acl.Message envelopes
+// (acl.TraceContext) across transport hops and in context.Context
+// values inside a process, so a span opened three grids downstream
+// still parents into the right tree.
+//
+// The subsystem is pay-for-what-you-use: every constructor returns nil
+// when there is no tracer, no inbound trace, or head-based sampling
+// skipped the trace, and every Span/Tracer method is a no-op on a nil
+// receiver. Instrumentation therefore never branches on "is tracing
+// on" — it just calls through.
+package trace
+
+import (
+	"context"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"agentgrid/internal/acl"
+)
+
+// Attr is one key/value span attribute. Values are strings; numeric
+// attributes go through SetAttrInt so the hot path never touches
+// reflection or interfaces.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// nInlineAttrs is how many attributes a span stores without
+// allocating. Pipeline spans carry 2–5 attributes; the overflow slice
+// exists for outliers, not the common case.
+const nInlineAttrs = 6
+
+// Span is one timed operation inside a trace. A live span is owned by
+// the goroutine that started it: SetAttr/Stamp/End must not race.
+// After End the span's value has been copied into the collector and
+// the handle is dead. All methods are no-ops on a nil receiver.
+type Span struct {
+	TraceID uint64 `json:"trace_id"`
+	ID      uint64 `json:"span_id"`
+	Parent  uint64 `json:"parent_id,omitempty"`
+
+	Name string `json:"name"`
+	// Conversation links the span to an ACL conversation ID so a trace
+	// is findable from a task ID or contract-net conversation.
+	Conversation string    `json:"conversation,omitempty"`
+	Start        time.Time `json:"start"`
+	Finish       time.Time `json:"finish"`
+	Error        string    `json:"error,omitempty"`
+
+	nattrs int
+	attrs  [nInlineAttrs]Attr
+	extra  []Attr
+
+	t     *Tracer
+	ended bool
+}
+
+// Options configure a Tracer. The zero value is usable: 8 shards of
+// 4096 spans, 1024 retained traces, no sampling.
+type Options struct {
+	// Shards is the collector's lock-stripe count, rounded up to a
+	// power of two. Default 8.
+	Shards int
+	// ShardCapacity is each shard's ring size in spans. When a shard
+	// fills, the oldest span is overwritten and a drop counted.
+	// Default 4096.
+	ShardCapacity int
+	// MaxTraces bounds the span store; the oldest trace is evicted
+	// beyond it. Default 1024.
+	MaxTraces int
+	// SampleEvery applies head-based sampling at roots: record every
+	// Nth new root, discard the rest. 0 or 1 records everything.
+	// Continuations of a recorded trace are always recorded, and a
+	// discarded root yields nil so the whole downstream chain costs
+	// nothing.
+	SampleEvery int
+	// Salt perturbs trace-ID generation so two tracers started in the
+	// same process mint distinct IDs. 0 derives one from the wall
+	// clock and a process-wide tracer counter.
+	Salt uint64
+}
+
+// Tracer mints spans and owns the collector and store they land in.
+// All methods are safe for concurrent use and no-ops on nil.
+type Tracer struct {
+	col         *Collector
+	store       *Store
+	salt        uint64
+	ctr         atomic.Uint64
+	roots       atomic.Uint64
+	sampleEvery uint64
+}
+
+// New builds a tracer with its collector and span store.
+func New(o Options) *Tracer {
+	if o.Shards <= 0 {
+		o.Shards = 8
+	}
+	if o.ShardCapacity <= 0 {
+		o.ShardCapacity = 4096
+	}
+	if o.MaxTraces <= 0 {
+		o.MaxTraces = 1024
+	}
+	if o.SampleEvery <= 0 {
+		o.SampleEvery = 1
+	}
+	t := &Tracer{
+		col:         newCollector(o.Shards, o.ShardCapacity),
+		store:       newStore(o.MaxTraces),
+		sampleEvery: uint64(o.SampleEvery),
+	}
+	t.salt = o.Salt
+	if t.salt == 0 {
+		t.salt = mix(uint64(time.Now().UnixNano()) +
+			tracerSeq.Add(1)*0x9e3779b97f4a7c15)
+	}
+	return t
+}
+
+// tracerSeq distinguishes tracers built within one clock tick.
+var tracerSeq atomic.Uint64
+
+// StartRoot opens a new trace with the given root span, subject to
+// head-based sampling: a sampled-out root returns nil and the entire
+// downstream chain stays untraced.
+func (t *Tracer) StartRoot(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	if t.sampleEvery > 1 && (t.roots.Add(1)-1)%t.sampleEvery != 0 {
+		return nil
+	}
+	return t.newSpan(name, t.newTraceID(), 0)
+}
+
+// StartSpan opens a span continuing the given trace context. A zero
+// context yields nil: this constructor never starts a new trace, which
+// is what keeps head-based sampling head-based.
+func (t *Tracer) StartSpan(name string, tc acl.TraceContext) *Span {
+	if t == nil || tc.IsZero() {
+		return nil
+	}
+	return t.newSpan(name, parseID(tc.TraceID), parseID(tc.ParentSpan()))
+}
+
+// ContinueFromMessage opens a span continuing the trace carried by m,
+// recording m's conversation ID on the span. Nil when m carries no
+// trace.
+func (t *Tracer) ContinueFromMessage(name string, m *acl.Message) *Span {
+	if t == nil || m == nil || m.Trace == nil || m.Trace.IsZero() {
+		return nil
+	}
+	sp := t.newSpan(name, parseID(m.Trace.TraceID), parseID(m.Trace.ParentSpan()))
+	sp.Conversation = m.ConversationID
+	return sp
+}
+
+// ChildFromContext opens a child of the span stored in ctx, or nil
+// when ctx carries none.
+func (t *Tracer) ChildFromContext(ctx context.Context, name string) *Span {
+	if t == nil {
+		return nil
+	}
+	return FromContext(ctx).Child(name)
+}
+
+// Flush drains the collector into the span store. Queries go through
+// the store; the tracer's own query helpers flush first.
+func (t *Tracer) Flush() {
+	if t == nil {
+		return
+	}
+	t.store.Add(t.col.Drain())
+}
+
+// Collector returns the tracer's span collector (nil on a nil tracer).
+func (t *Tracer) Collector() *Collector {
+	if t == nil {
+		return nil
+	}
+	return t.col
+}
+
+// Store returns the tracer's span store (nil on a nil tracer).
+func (t *Tracer) Store() *Store {
+	if t == nil {
+		return nil
+	}
+	return t.store
+}
+
+// Dropped returns how many spans the collector has overwritten under
+// pressure since the tracer was built.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.col.Dropped()
+}
+
+// Stats summarise a tracer's buffers for status endpoints.
+type Stats struct {
+	// Buffered is how many spans sit in the collector awaiting Flush.
+	Buffered int `json:"buffered"`
+	// Dropped is the collector's cumulative overwrite count.
+	Dropped uint64 `json:"dropped"`
+	// Traces and Spans count what the store retains.
+	Traces int `json:"traces"`
+	Spans  int `json:"spans"`
+}
+
+// Stats returns a snapshot of the tracer's buffers.
+func (t *Tracer) Stats() Stats {
+	if t == nil {
+		return Stats{}
+	}
+	traces, spans := t.store.Len()
+	return Stats{
+		Buffered: t.col.Len(),
+		Dropped:  t.col.Dropped(),
+		Traces:   traces,
+		Spans:    spans,
+	}
+}
+
+// Spans flushes and returns the stored spans of the given trace ID,
+// sorted by start time. See Store.Spans.
+func (t *Tracer) Spans(traceID string) []Span {
+	if t == nil {
+		return nil
+	}
+	t.Flush()
+	return t.store.Spans(traceID)
+}
+
+// Lookup flushes and resolves id first as a trace ID, then as a
+// conversation ID (returning that conversation's first trace). The
+// boolean reports whether anything matched.
+func (t *Tracer) Lookup(id string) ([]Span, bool) {
+	if t == nil {
+		return nil, false
+	}
+	t.Flush()
+	if sp := t.store.Spans(id); len(sp) > 0 {
+		return sp, true
+	}
+	if ids := t.store.ByConversation(id); len(ids) > 0 {
+		return t.store.Spans(ids[0]), true
+	}
+	return nil, false
+}
+
+func (t *Tracer) newSpan(name string, traceID, parent uint64) *Span {
+	if traceID == 0 {
+		return nil
+	}
+	return &Span{
+		TraceID: traceID,
+		ID:      t.ctr.Add(1),
+		Parent:  parent,
+		Name:    name,
+		Start:   time.Now(),
+		t:       t,
+	}
+}
+
+func (t *Tracer) newTraceID() uint64 {
+	id := mix(t.salt + t.ctr.Add(1)*0x9e3779b97f4a7c15)
+	if id == 0 {
+		id = 1
+	}
+	return id
+}
+
+// Context returns the span's propagation context for stamping onto an
+// outbound message.
+func (s *Span) Context() acl.TraceContext {
+	if s == nil {
+		return acl.TraceContext{}
+	}
+	return acl.TraceContext{
+		TraceID: formatID(s.TraceID),
+		SpanID:  formatID(s.ID),
+		Parent:  formatID(s.Parent),
+	}
+}
+
+// Stamp writes the span's context onto m, replacing any carried trace:
+// downstream receivers parent under this span.
+func (s *Span) Stamp(m *acl.Message) {
+	if s == nil || m == nil {
+		return
+	}
+	tc := s.Context()
+	m.Trace = &tc
+}
+
+// Child opens a sub-span. Nil-safe, so untraced chains stay untraced.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.newSpan(name, s.TraceID, s.ID)
+}
+
+// SetAttr records a string attribute on the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	if s.nattrs < nInlineAttrs {
+		s.attrs[s.nattrs] = Attr{Key: key, Value: value}
+		s.nattrs++
+		return
+	}
+	s.extra = append(s.extra, Attr{Key: key, Value: value})
+}
+
+// SetAttrInt records an integer attribute on the span.
+func (s *Span) SetAttrInt(key string, value int) {
+	s.SetAttr(key, strconv.Itoa(value))
+}
+
+// SetConversation links the span to an ACL conversation ID.
+func (s *Span) SetConversation(id string) {
+	if s == nil {
+		return
+	}
+	s.Conversation = id
+}
+
+// SetError marks the span failed. A nil error is ignored, so callers
+// can pass their return error unconditionally.
+func (s *Span) SetError(err error) {
+	if s == nil || err == nil {
+		return
+	}
+	s.Error = err.Error()
+}
+
+// End closes the span and hands its value to the collector. Idempotent.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.Finish = time.Now()
+	s.t.col.Add(*s)
+}
+
+// Duration returns Finish−Start for an ended span, 0 otherwise.
+func (s *Span) Duration() time.Duration {
+	if s == nil || s.Finish.IsZero() {
+		return 0
+	}
+	return s.Finish.Sub(s.Start)
+}
+
+// Attrs returns the span's attributes in insertion order.
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	out := make([]Attr, 0, s.nattrs+len(s.extra))
+	out = append(out, s.attrs[:s.nattrs]...)
+	return append(out, s.extra...)
+}
+
+// Attr returns the value of the named attribute, or "".
+func (s *Span) Attr(key string) string {
+	if s == nil {
+		return ""
+	}
+	for _, a := range s.attrs[:s.nattrs] {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	for _, a := range s.extra {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+type ctxKey struct{}
+
+// NewContext returns ctx carrying sp, for intra-process propagation
+// down a call chain. A nil span returns ctx unchanged.
+func NewContext(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, sp)
+}
+
+// FromContext returns the span carried by ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(ctxKey{}).(*Span)
+	return sp
+}
+
+// parseID decodes a wire trace/span ID. IDs the grid mints are 64-bit
+// hex; anything else (an operator-supplied correlation ID) is hashed
+// with FNV-1a so foreign IDs still thread through a trace.
+func parseID(s string) uint64 {
+	if s == "" || s == "0" {
+		return 0
+	}
+	if v, err := strconv.ParseUint(s, 16, 64); err == nil {
+		return v
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// formatID encodes an internal ID for the wire. Zero encodes to "" so
+// absent parents stay absent in JSON.
+func formatID(v uint64) string {
+	if v == 0 {
+		return ""
+	}
+	return strconv.FormatUint(v, 16)
+}
+
+// mix is splitmix64's finalizer: a cheap bijective scramble that turns
+// sequential counters into well-distributed IDs (shard selection keys
+// off the low bits).
+func mix(v uint64) uint64 {
+	v ^= v >> 30
+	v *= 0xbf58476d1ce4e5b9
+	v ^= v >> 27
+	v *= 0x94d049bb133111eb
+	v ^= v >> 31
+	return v
+}

@@ -1,0 +1,355 @@
+package trace
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"agentgrid/internal/acl"
+)
+
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	if sp := tr.StartRoot("x"); sp != nil {
+		t.Fatal("nil tracer minted a span")
+	}
+	if sp := tr.ContinueFromMessage("x", &acl.Message{}); sp != nil {
+		t.Fatal("nil tracer continued a span")
+	}
+	if sp := tr.ChildFromContext(context.Background(), "x"); sp != nil {
+		t.Fatal("nil tracer minted a child")
+	}
+	tr.Flush()
+	if d := tr.Dropped(); d != 0 {
+		t.Fatalf("nil tracer dropped %d", d)
+	}
+	if st := tr.Stats(); st != (Stats{}) {
+		t.Fatalf("nil tracer stats = %+v", st)
+	}
+
+	var sp *Span
+	sp.SetAttr("k", "v")
+	sp.SetAttrInt("n", 1)
+	sp.SetConversation("c")
+	sp.SetError(errors.New("boom"))
+	sp.Stamp(&acl.Message{})
+	sp.End()
+	if c := sp.Child("y"); c != nil {
+		t.Fatal("nil span minted a child")
+	}
+	if got := sp.Context(); !got.IsZero() {
+		t.Fatalf("nil span context = %+v", got)
+	}
+	if d := sp.Duration(); d != 0 {
+		t.Fatalf("nil span duration = %v", d)
+	}
+}
+
+func TestPropagationThroughMessage(t *testing.T) {
+	tr := New(Options{})
+	root := tr.StartRoot("collect.poll")
+	if root == nil {
+		t.Fatal("no root span")
+	}
+	root.SetAttr("agent", "cg-1")
+
+	m := &acl.Message{ConversationID: "conv-1"}
+	root.Stamp(m)
+	if m.Trace == nil || m.Trace.TraceID == "" || m.Trace.SpanID == "" {
+		t.Fatalf("stamp left trace incomplete: %+v", m.Trace)
+	}
+
+	// Receiving side: continue from the message, as agent.dispatch does.
+	cont := tr.ContinueFromMessage("agent.handle", m)
+	if cont == nil {
+		t.Fatal("no continuation span")
+	}
+	if cont.TraceID != root.TraceID {
+		t.Fatalf("trace id changed across hop: %x vs %x", cont.TraceID, root.TraceID)
+	}
+	if cont.Parent != root.ID {
+		t.Fatalf("continuation parent = %x, want %x", cont.Parent, root.ID)
+	}
+	if cont.Conversation != "conv-1" {
+		t.Fatalf("conversation not inherited: %q", cont.Conversation)
+	}
+
+	// Intra-process: context.Context carries the span down a call chain.
+	ctx := NewContext(context.Background(), cont)
+	child := tr.ChildFromContext(ctx, "classify.store")
+	if child == nil || child.Parent != cont.ID || child.TraceID != root.TraceID {
+		t.Fatalf("context child misparented: %+v", child)
+	}
+
+	child.End()
+	cont.End()
+	root.End()
+	tr.Flush()
+
+	spans := tr.Store().Spans(formatID(root.TraceID))
+	if len(spans) != 3 {
+		t.Fatalf("stored %d spans, want 3", len(spans))
+	}
+	if got := spans[0].Attr("agent"); got != "cg-1" {
+		t.Fatalf("root attr agent = %q", got)
+	}
+}
+
+func TestReplyKeepsTraceContinuity(t *testing.T) {
+	tr := New(Options{})
+	sp := tr.StartRoot("origin")
+	m := &acl.Message{
+		Performative: acl.Request,
+		Sender:       acl.NewAID("a", "p"),
+		Receivers:    []acl.AID{acl.NewAID("b", "p")},
+		ReplyWith:    "rw-1",
+	}
+	sp.Stamp(m)
+
+	// An uninstrumented responder replies without opening a span; the
+	// reply must still thread into the same trace, parented under the
+	// requester's span.
+	reply := m.Reply(acl.NewAID("b", "p"), acl.Inform)
+	if reply.Trace == nil {
+		t.Fatal("reply dropped the trace")
+	}
+	if reply.Trace.TraceID != m.Trace.TraceID {
+		t.Fatal("reply changed trace id")
+	}
+	if reply.Trace.ParentSpan() != m.Trace.SpanID {
+		t.Fatalf("reply parent = %q, want %q", reply.Trace.ParentSpan(), m.Trace.SpanID)
+	}
+	cont := tr.ContinueFromMessage("handle-reply", reply)
+	if cont == nil || cont.Parent != sp.ID {
+		t.Fatalf("reply continuation misparented: %+v", cont)
+	}
+}
+
+func TestStartSpanNeverStartsTrace(t *testing.T) {
+	tr := New(Options{})
+	if sp := tr.StartSpan("x", acl.TraceContext{}); sp != nil {
+		t.Fatal("StartSpan minted a new trace from a zero context")
+	}
+	if sp := tr.ContinueFromMessage("x", &acl.Message{}); sp != nil {
+		t.Fatal("ContinueFromMessage minted a span from a traceless message")
+	}
+}
+
+func TestSampling(t *testing.T) {
+	tr := New(Options{SampleEvery: 3})
+	kept := 0
+	for i := 0; i < 9; i++ {
+		if sp := tr.StartRoot("poll"); sp != nil {
+			kept++
+			sp.End()
+		}
+	}
+	if kept != 3 {
+		t.Fatalf("kept %d of 9 roots at SampleEvery=3, want 3", kept)
+	}
+}
+
+func TestCollectorDropOldest(t *testing.T) {
+	col := newCollector(1, 4)
+	for i := 0; i < 10; i++ {
+		col.Add(Span{TraceID: 1, ID: uint64(i + 1)})
+	}
+	if got := col.Dropped(); got != 6 {
+		t.Fatalf("dropped = %d, want 6", got)
+	}
+	spans := col.Drain()
+	if len(spans) != 4 {
+		t.Fatalf("drained %d, want 4", len(spans))
+	}
+	// Drop-oldest: the survivors are the last four added.
+	for i, sp := range spans {
+		if want := uint64(7 + i); sp.ID != want {
+			t.Fatalf("survivor %d = span %d, want %d", i, sp.ID, want)
+		}
+	}
+	if col.Len() != 0 {
+		t.Fatal("drain left spans behind")
+	}
+}
+
+func TestStoreEvictionAndConversationIndex(t *testing.T) {
+	st := newStore(2)
+	mk := func(traceID uint64, conv string) Span {
+		return Span{TraceID: traceID, ID: traceID * 10, Conversation: conv}
+	}
+	st.Add([]Span{mk(1, "conv-a")})
+	st.Add([]Span{mk(2, "conv-b")})
+	st.Add([]Span{mk(3, "conv-c")}) // evicts trace 1
+	traces, _ := st.Len()
+	if traces != 2 {
+		t.Fatalf("retained %d traces, want 2", traces)
+	}
+	if got := st.Spans(formatID(1)); len(got) != 0 {
+		t.Fatal("evicted trace still queryable")
+	}
+	if got := st.ByConversation("conv-a"); len(got) != 0 {
+		t.Fatal("evicted trace still in conversation index")
+	}
+	if got := st.ByConversation("conv-c"); len(got) != 1 || got[0] != formatID(3) {
+		t.Fatalf("ByConversation(conv-c) = %v", got)
+	}
+}
+
+func TestLookupByTraceAndConversation(t *testing.T) {
+	tr := New(Options{})
+	sp := tr.StartRoot("collect.poll")
+	sp.SetConversation("cg-1#42")
+	id := formatID(sp.TraceID)
+	sp.End()
+
+	if _, ok := tr.Lookup(id); !ok {
+		t.Fatal("lookup by trace id failed")
+	}
+	spans, ok := tr.Lookup("cg-1#42")
+	if !ok || len(spans) != 1 {
+		t.Fatalf("lookup by conversation = %v, %v", spans, ok)
+	}
+	if _, ok := tr.Lookup("no-such-id"); ok {
+		t.Fatal("lookup invented a trace")
+	}
+}
+
+func TestTreeAndCriticalPath(t *testing.T) {
+	base := time.Unix(0, 0)
+	at := func(ms int) time.Time { return base.Add(time.Duration(ms) * time.Millisecond) }
+	spans := []Span{
+		{TraceID: 9, ID: 1, Name: "collect.poll", Start: at(0), Finish: at(100)},
+		{TraceID: 9, ID: 2, Parent: 1, Name: "collect.ship", Start: at(10), Finish: at(95)},
+		{TraceID: 9, ID: 3, Parent: 2, Name: "classify.ingest", Start: at(20), Finish: at(90)},
+		{TraceID: 9, ID: 4, Parent: 3, Name: "classify.store", Start: at(25), Finish: at(30)},
+		{TraceID: 9, ID: 5, Parent: 3, Name: "analyze.l1", Start: at(35), Finish: at(85)},
+	}
+	roots := BuildTree(spans)
+	if len(roots) != 1 || roots[0].Span.Name != "collect.poll" {
+		t.Fatalf("roots = %+v", roots)
+	}
+	path := CriticalPath(roots)
+	var names []string
+	for _, st := range path {
+		names = append(names, st.Span.Name)
+	}
+	want := "collect.poll -> collect.ship -> classify.ingest -> analyze.l1"
+	if got := strings.Join(names, " -> "); got != want {
+		t.Fatalf("critical path = %s, want %s", got, want)
+	}
+	// classify.ingest self time on the path: 70ms - analyze.l1's 50ms.
+	if path[2].Contribution != 20*time.Millisecond {
+		t.Fatalf("ingest contribution = %v", path[2].Contribution)
+	}
+}
+
+func TestTreeSurvivesMissingParent(t *testing.T) {
+	base := time.Unix(0, 0)
+	spans := []Span{
+		{TraceID: 9, ID: 2, Parent: 99, Name: "orphan", Start: base, Finish: base.Add(time.Millisecond)},
+		{TraceID: 9, ID: 3, Parent: 2, Name: "child", Start: base, Finish: base.Add(time.Millisecond)},
+	}
+	roots := BuildTree(spans)
+	if len(roots) != 1 || roots[0].Span.Name != "orphan" || len(roots[0].Children) != 1 {
+		t.Fatalf("orphan handling broken: %+v", roots)
+	}
+	if CriticalPath(roots) == nil {
+		t.Fatal("no critical path over orphan root")
+	}
+}
+
+func TestRender(t *testing.T) {
+	tr := New(Options{})
+	root := tr.StartRoot("collect.poll")
+	root.SetAttr("agent", "cg-1")
+	child := root.Child("collect.ship")
+	child.SetAttrInt("batch", 12)
+	child.SetError(errors.New("ship failed"))
+	child.End()
+	root.End()
+	tr.Flush()
+
+	out := Render(tr.Store().Spans(formatID(root.TraceID)))
+	for _, want := range []string{
+		"collect.poll (cg-1)", "`- collect.ship", "batch=12",
+		"ERROR(ship failed)", "critical path: collect.poll -> collect.ship",
+		"dominant hop:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if Render(nil) != "(no spans)\n" {
+		t.Error("empty render")
+	}
+}
+
+func TestAttrOverflow(t *testing.T) {
+	tr := New(Options{})
+	sp := tr.StartRoot("x")
+	for i := 0; i < nInlineAttrs+3; i++ {
+		sp.SetAttrInt(fmt.Sprintf("k%d", i), i)
+	}
+	if got := len(sp.Attrs()); got != nInlineAttrs+3 {
+		t.Fatalf("attrs = %d, want %d", got, nInlineAttrs+3)
+	}
+	if sp.Attr(fmt.Sprintf("k%d", nInlineAttrs+1)) == "" {
+		t.Fatal("overflow attr not retrievable")
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := New(Options{Shards: 4, ShardCapacity: 64, MaxTraces: 64})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				sp := tr.StartRoot("worker")
+				sp.SetAttrInt("i", i)
+				c := sp.Child("inner")
+				c.End()
+				sp.End()
+				if i%10 == 0 {
+					tr.Flush()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	tr.Flush()
+	traces, spans := tr.Store().Len()
+	if traces == 0 || spans == 0 {
+		t.Fatalf("nothing stored: %d traces, %d spans", traces, spans)
+	}
+}
+
+func TestParseIDForeignFallback(t *testing.T) {
+	if parseID("deadbeef") != 0xdeadbeef {
+		t.Fatal("hex id mangled")
+	}
+	h := parseID("task:cluster-7")
+	if h == 0 {
+		t.Fatal("foreign id hashed to zero")
+	}
+	if h != parseID("task:cluster-7") {
+		t.Fatal("foreign id hash unstable")
+	}
+}
+
+func TestEndIdempotent(t *testing.T) {
+	tr := New(Options{})
+	sp := tr.StartRoot("x")
+	sp.End()
+	sp.End()
+	tr.Flush()
+	_, spans := tr.Store().Len()
+	if spans != 1 {
+		t.Fatalf("double End stored %d spans", spans)
+	}
+}

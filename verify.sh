@@ -8,7 +8,8 @@
 #   4. go test           (unit + integration tests)
 #   5. go test -race     (race-clean verification)
 #   6. chaos suite       (seeded fault-injection scenarios, -race)
-#   7. fuzz smoke        (5s per wire-facing fuzz target)
+#   7. trace suite       (span collection under -race + end-to-end span tree)
+#   8. fuzz smoke        (5s per wire-facing fuzz target)
 #
 # Any failure stops the gate with a non-zero exit. Run it before every
 # commit; CI should run exactly this script.
@@ -38,8 +39,13 @@ go test -race ./...
 step "chaos scenarios (-race, fixed seeds)"
 go test -race -count=1 ./internal/chaos/...
 
+step "trace subsystem (-race, end-to-end span tree)"
+go test -race -count=1 ./internal/trace/...
+go test -race -count=1 -run TestTraceEndToEnd .
+
 step "fuzz smoke (5s per target)"
 go test -run='^$' -fuzz=FuzzDecodePDU -fuzztime=5s ./internal/snmp
 go test -run='^$' -fuzz=FuzzParse -fuzztime=5s ./internal/rules
+go test -run='^$' -fuzz=FuzzUnmarshalFrame -fuzztime=5s ./internal/acl
 
 step "verify: OK"
