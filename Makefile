@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint chaos trace fuzz-smoke verify fmt
+.PHONY: all build test race lint chaos trace metrics fuzz-smoke verify fmt
 
 all: build
 
@@ -36,6 +36,13 @@ chaos:
 trace:
 	$(GO) test -race -count=1 ./internal/trace/...
 	$(GO) test -race -count=1 -run TestTraceEndToEnd .
+
+# Telemetry subsystem smoke: the metrics registry and instruments
+# under the race detector, plus the Prometheus exposition golden test
+# and the report server's /metrics, /healthz and /readyz endpoints.
+metrics:
+	$(GO) test -race -count=1 ./internal/telemetry/...
+	$(GO) test -race -count=1 -run TestHTTP ./internal/report/
 
 # Short fuzz smoke over the wire-facing parsers. Five seconds each
 # is enough to replay the corpus plus a quick mutation pass; longer

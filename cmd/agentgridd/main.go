@@ -188,6 +188,8 @@ func runGrid(o options) error {
 	fmt.Printf("  alerts    http://%s/alerts\n", addr)
 	fmt.Printf("  learn     POST http://%s/rules\n", addr)
 	fmt.Printf("  goals     POST http://%s/goals\n", addr)
+	fmt.Printf("  metrics   http://%s/metrics (Prometheus; /metrics.json for gridctl top)\n", addr)
+	fmt.Printf("  health    http://%s/healthz  readiness http://%s/readyz\n", addr, addr)
 	if o.tcp {
 		fmt.Printf("  root      %s (worker nodes: -mode worker -root ...)\n", grid.RootAddr())
 		fmt.Printf("  classifier %s\n", grid.ClassifierAddr())

@@ -9,6 +9,9 @@
 //	gridctl -grid 127.0.0.1:8080 goals goals.txt       # add goals
 //	gridctl -grid 127.0.0.1:8080 stats
 //	gridctl -grid 127.0.0.1:8080 health
+//	gridctl -grid 127.0.0.1:8080 ready                 # readiness + per-check detail
+//	gridctl -grid 127.0.0.1:8080 metrics               # Prometheus text exposition
+//	gridctl -grid 127.0.0.1:8080 top -interval 2s      # live per-container rates
 //	gridctl -grid 127.0.0.1:8080 trace <trace-id|conversation-id> [json]
 package main
 
@@ -35,7 +38,7 @@ func main() {
 
 func run(grid string, timeout time.Duration, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: gridctl [flags] site|device|alerts|learn|goals|stats|health|trace ...")
+		return fmt.Errorf("usage: gridctl [flags] site|device|alerts|learn|goals|stats|health|ready|metrics|top|trace ...")
 	}
 	cli := &http.Client{Timeout: timeout}
 	base := "http://" + grid
@@ -76,6 +79,12 @@ func run(grid string, timeout time.Duration, args []string) error {
 		return get(cli, base+"/stats")
 	case "health":
 		return get(cli, base+"/healthz")
+	case "ready":
+		return get(cli, base+"/readyz")
+	case "metrics":
+		return get(cli, base+"/metrics")
+	case "top":
+		return runTop(grid, timeout, args[1:])
 	case "trace":
 		if len(args) < 2 {
 			return fmt.Errorf("usage: gridctl trace <trace-id|conversation-id> [json]")

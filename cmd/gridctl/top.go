@@ -1,0 +1,186 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"time"
+
+	"agentgrid/internal/telemetry"
+)
+
+// runTop implements `gridctl top`: a live ASCII dashboard of per-
+// container throughput. It polls the grid's /metrics.json snapshot and
+// computes rates client-side from consecutive samples, so the server
+// stays a dumb exporter.
+func runTop(grid string, timeout time.Duration, args []string) error {
+	fs := flag.NewFlagSet("top", flag.ContinueOnError)
+	frames := fs.Int("n", 0, "frames to render before exiting (0 = run until interrupted)")
+	interval := fs.Duration("interval", 2*time.Second, "sampling interval")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *interval <= 0 {
+		return fmt.Errorf("top: interval must be positive")
+	}
+	cli := &http.Client{Timeout: timeout}
+	return top(os.Stdout, cli, "http://"+grid, *frames, *interval)
+}
+
+func top(w io.Writer, cli *http.Client, base string, frames int, interval time.Duration) error {
+	prev, err := fetchSnapshot(cli, base)
+	if err != nil {
+		return err
+	}
+	prevAt := time.Now()
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for i := 0; frames <= 0 || i < frames; i++ {
+		<-tick.C
+		cur, err := fetchSnapshot(cli, base)
+		if err != nil {
+			return err
+		}
+		at := time.Now()
+		renderTop(w, prev, cur, at.Sub(prevAt))
+		prev, prevAt = cur, at
+	}
+	return nil
+}
+
+func fetchSnapshot(cli *http.Client, base string) (*telemetry.Snapshot, error) {
+	resp, err := cli.Get(base + "/metrics.json")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", resp.Status, string(body))
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		return nil, fmt.Errorf("top: decode snapshot: %w", err)
+	}
+	return &snap, nil
+}
+
+// qualified returns a metric's fully qualified snapshot name — the
+// registry prefixes every family with its namespace.
+func qualified(snap *telemetry.Snapshot, metric string) string {
+	if snap.Namespace == "" {
+		return metric
+	}
+	return snap.Namespace + "_" + metric
+}
+
+// byContainer sums a metric's series per container label. Histograms
+// contribute their observation count, so rates read as events/s.
+func byContainer(snap *telemetry.Snapshot, metric string) map[string]float64 {
+	out := make(map[string]float64)
+	name := qualified(snap, metric)
+	for _, m := range snap.Metrics {
+		if m.Name != name {
+			continue
+		}
+		for _, s := range m.Series {
+			c := s.Labels["container"]
+			if c == "" {
+				continue
+			}
+			if s.Hist != nil {
+				out[c] += float64(s.Hist.Count)
+			} else {
+				out[c] += s.Value
+			}
+		}
+	}
+	return out
+}
+
+// gridValue sums every series of an unlabeled (grid-level) metric.
+func gridValue(snap *telemetry.Snapshot, metric string) float64 {
+	total := 0.0
+	name := qualified(snap, metric)
+	for _, m := range snap.Metrics {
+		if m.Name != name {
+			continue
+		}
+		for _, s := range m.Series {
+			if s.Hist != nil {
+				total += float64(s.Hist.Count)
+			} else {
+				total += s.Value
+			}
+		}
+	}
+	return total
+}
+
+// topColumns are the per-container rate columns of the dashboard, each
+// computed from one counter (or histogram count) family.
+var topColumns = []struct {
+	header string
+	metric string
+}{
+	{"dlvr/s", "platform_messages_delivered_total"},
+	{"sent/s", "acl_sent_frames_total"},
+	{"recv/s", "acl_received_frames_total"},
+	{"poll/s", "collect_polls_total"},
+	{"rec/s", "classify_records_total"},
+	{"task/s", "analyze_tasks_total"},
+	{"alert/s", "report_alerts_total"},
+}
+
+func renderTop(w io.Writer, prev, cur *telemetry.Snapshot, dt time.Duration) {
+	secs := dt.Seconds()
+	if secs <= 0 {
+		secs = 1
+	}
+	load := byContainer(cur, "platform_load_ratio")
+	depth := byContainer(cur, "agent_mailbox_depth_count")
+	names := make(map[string]bool)
+	for c := range load {
+		names[c] = true
+	}
+	curCols := make([]map[string]float64, len(topColumns))
+	prevCols := make([]map[string]float64, len(topColumns))
+	for i, col := range topColumns {
+		curCols[i] = byContainer(cur, col.metric)
+		prevCols[i] = byContainer(prev, col.metric)
+		for c := range curCols[i] {
+			names[c] = true
+		}
+	}
+	containers := make([]string, 0, len(names))
+	for c := range names {
+		containers = append(containers, c)
+	}
+	sort.Strings(containers)
+
+	fmt.Fprintf(w, "grid %s  containers %d  store %.0f series  directory %.0f entries  spans dropped %.0f\n",
+		cur.Namespace, len(containers),
+		gridValue(cur, "store_series_count"),
+		gridValue(cur, "directory_entries_count"),
+		gridValue(cur, "trace_spans_dropped_total"))
+	fmt.Fprintf(w, "%-10s %6s %6s", "CONTAINER", "load", "mbox")
+	for _, col := range topColumns {
+		fmt.Fprintf(w, " %8s", col.header)
+	}
+	fmt.Fprintln(w)
+	for _, c := range containers {
+		fmt.Fprintf(w, "%-10s %6.2f %6.0f", c, load[c], depth[c])
+		for i := range topColumns {
+			fmt.Fprintf(w, " %8.1f", (curCols[i][c]-prevCols[i][c])/secs)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}

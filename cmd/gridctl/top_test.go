@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"agentgrid/internal/acl"
+	"agentgrid/internal/agent"
+	"agentgrid/internal/report"
+	"agentgrid/internal/store"
+	"agentgrid/internal/telemetry"
+)
+
+func startMetricsBackend(t *testing.T) (addr string, reg *telemetry.Registry) {
+	t.Helper()
+	reg = telemetry.NewRegistry("agentgrid")
+	st := store.New(16)
+	a := agent.New(acl.NewAID("ig", "ig"),
+		func(context.Context, *acl.Message) error { return nil })
+	h := telemetry.NewHealth()
+	h.Register("store", func() error { return nil })
+	ig, err := report.New(a, report.Config{Store: st, Metrics: reg, Health: h})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := report.NewServer(ig, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv.Addr(), reg
+}
+
+func TestGridctlTop(t *testing.T) {
+	addr, reg := startMetricsBackend(t)
+	delivered := reg.Counter("platform_messages_delivered_total", "x", telemetry.Labels{"container": "cg-1"})
+	reg.GaugeFunc("platform_load_ratio", "x", telemetry.Labels{"container": "cg-1"}, func() float64 { return 0.25 })
+	delivered.Add(10)
+
+	var buf bytes.Buffer
+	cli := &http.Client{Timeout: 5 * time.Second}
+	go func() {
+		// Traffic between the two samples gives top a nonzero rate.
+		time.Sleep(20 * time.Millisecond)
+		delivered.Add(100)
+	}()
+	if err := top(&buf, cli, "http://"+addr, 1, 50*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"CONTAINER", "dlvr/s", "cg-1", "0.25"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("top output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGridctlMetricsAndReady(t *testing.T) {
+	addr, reg := startMetricsBackend(t)
+	reg.Counter("demo_things_total", "x", nil).Inc()
+	for _, args := range [][]string{{"metrics"}, {"ready"}, {"health"}, {"top", "-n", "1", "-interval", "10ms"}} {
+		if err := run(addr, 5*time.Second, args); err != nil {
+			t.Errorf("gridctl %v: %v", args, err)
+		}
+	}
+	if err := run(addr, 5*time.Second, []string{"top", "-interval", "0s"}); err == nil {
+		t.Error("top with zero interval should fail")
+	}
+}

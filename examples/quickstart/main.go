@@ -100,6 +100,23 @@ rule "disk-low" level 2 category disk {
 	st := tr.Stats()
 	fmt.Printf("Tracer: %d traces, %d spans stored, %d dropped\n",
 		st.Traces, st.Spans, st.Dropped)
+
+	// Final telemetry snapshot: every nonzero metric family, summed
+	// across containers (full per-series detail lives at /metrics).
+	fmt.Println("Telemetry (nonzero families):")
+	for _, m := range grid.Metrics().Snapshot().Metrics {
+		total := 0.0
+		for _, s := range m.Series {
+			if s.Hist != nil {
+				total += float64(s.Hist.Count)
+			} else {
+				total += s.Value
+			}
+		}
+		if total != 0 {
+			fmt.Printf("  %-48s %g\n", m.Name, total)
+		}
+	}
 	return nil
 }
 

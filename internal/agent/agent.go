@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"agentgrid/internal/acl"
+	"agentgrid/internal/telemetry"
 	"agentgrid/internal/trace"
 )
 
@@ -100,6 +101,13 @@ func WithTracer(t *trace.Tracer) Option {
 	return func(a *Agent) { a.tracer = t }
 }
 
+// WithHandleHistogram records every message dispatch's wall time into
+// h. A nil histogram (the default) costs nothing beyond the EWMA the
+// agent always keeps.
+func WithHandleHistogram(h *telemetry.Histogram) Option {
+	return func(a *Agent) { a.handleHist = h }
+}
+
 // Agent is a single autonomous agent.
 type Agent struct {
 	id      acl.AID
@@ -111,6 +119,8 @@ type Agent struct {
 	mailboxSize int
 	errLog      func(acl.AID, error)
 	tracer      *trace.Tracer
+	handleHist  *telemetry.Histogram
+	handleEWMA  telemetry.EWMA
 
 	mu       sync.Mutex
 	inbox    chan *acl.Message     // the channel is its own synchronization; see Deliver
@@ -186,6 +196,19 @@ func (a *Agent) Deliver(m *acl.Message) error {
 	}
 }
 
+// MailboxDepth returns how many messages are queued awaiting dispatch.
+// Reading channel length is inherently racy but exactly right for
+// telemetry: it is a point-in-time queue depth.
+func (a *Agent) MailboxDepth() int { return len(a.inbox) }
+
+// MailboxCap returns the inbox capacity.
+func (a *Agent) MailboxCap() int { return cap(a.inbox) }
+
+// HandleLatency returns the exponentially weighted moving average of
+// message dispatch wall time, in seconds — zero before the first
+// message. The container folds this into its measured load.
+func (a *Agent) HandleLatency() float64 { return a.handleEWMA.Value() }
+
 // Send transmits a message from this agent, filling in the sender.
 func (a *Agent) Send(ctx context.Context, m *acl.Message) error {
 	if m.Sender.IsZero() {
@@ -227,6 +250,12 @@ func (a *Agent) Run(ctx context.Context) error {
 
 // dispatch runs every matching handler for m.
 func (a *Agent) dispatch(ctx context.Context, m *acl.Message) {
+	start := time.Now()
+	defer func() {
+		d := time.Since(start)
+		a.handleEWMA.Observe(d)
+		a.handleHist.Observe(d)
+	}()
 	a.mu.Lock()
 	handlers := make([]handlerEntry, len(a.handlers))
 	copy(handlers, a.handlers)

@@ -16,6 +16,7 @@ import (
 	"agentgrid/internal/loadbalance"
 	"agentgrid/internal/negotiate"
 	"agentgrid/internal/rules"
+	"agentgrid/internal/telemetry"
 	"agentgrid/internal/trace"
 )
 
@@ -56,6 +57,10 @@ type RootConfig struct {
 	OnResult func(*Result)
 	// ErrorLog receives dispatch errors. Optional.
 	ErrorLog func(error)
+	// Metrics, when set, registers the broker's dispatch counters, an
+	// in-flight task gauge and the contract-net negotiation metrics.
+	// Optional.
+	Metrics *telemetry.Registry
 }
 
 // RootStats counts root activity.
@@ -87,6 +92,13 @@ type Root struct {
 	l3busy      map[string]bool         // guarded by mu
 	stats       RootStats               // guarded by mu
 	idleWaiters []chan struct{}         // guarded by mu
+
+	mNotices    *telemetry.Counter
+	mDispatched *telemetry.Counter
+	mCompleted  *telemetry.Counter
+	mReassigned *telemetry.Counter
+	mAbandoned  *telemetry.Counter
+	mAlertsFwd  *telemetry.Counter
 }
 
 // NewRoot wires broker behaviour onto an agent.
@@ -112,8 +124,28 @@ func NewRoot(a *agent.Agent, cfg RootConfig) (*Root, error) {
 		pending: make(map[string]*pendingTask),
 		l3busy:  make(map[string]bool),
 	}
+	reg := cfg.Metrics
+	l := telemetry.Labels{"container": a.ID().Platform()}
+	r.mNotices = reg.Counter("analyze_notices_total", "cluster notices received from the classifier", l)
+	r.mDispatched = reg.Counter("analyze_tasks_dispatched_total", "analysis tasks dispatched to workers", l)
+	r.mCompleted = reg.Counter("analyze_tasks_completed_total", "analysis tasks completed", l)
+	r.mReassigned = reg.Counter("analyze_tasks_reassigned_total", "analysis tasks reassigned after failure or timeout", l)
+	r.mAbandoned = reg.Counter("analyze_tasks_abandoned_total", "analysis tasks abandoned", l)
+	r.mAlertsFwd = reg.Counter("analyze_alerts_forwarded_total", "alerts forwarded to the interface grid", l)
+	reg.GaugeFunc("analyze_tasks_inflight_count", "analysis tasks currently awaiting a worker result", l, func() float64 {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return float64(len(r.pending))
+	})
 	if cfg.Negotiated {
 		r.ini = negotiate.NewInitiator(a)
+		r.ini.SetMetrics(negotiate.Metrics{
+			CFPs:      reg.Counter("negotiate_cfps_total", "contract-net calls for proposals sent", l),
+			Proposals: reg.Counter("negotiate_proposals_total", "contract-net bids received", l),
+			Refusals:  reg.Counter("negotiate_refusals_total", "contract-net refusals (explicit or unreachable)", l),
+			Awards:    reg.Counter("negotiate_awards_total", "contract-net tasks awarded and completed", l),
+			Rounds:    reg.Histogram("negotiate_round_seconds", "full negotiation round wall time", l),
+		})
 	}
 
 	a.HandleFunc(agent.Selector{
@@ -234,6 +266,7 @@ func (r *Root) handleInform(ctx context.Context, a *agent.Agent, m *acl.Message)
 func (r *Root) HandleNotice(ctx context.Context, notice *classify.Notice) {
 	r.mu.Lock()
 	r.stats.Notices++
+	r.mNotices.Inc()
 	r.mu.Unlock()
 	sites := make(map[string]int) // site -> max step
 	for _, cluster := range notice.Clusters {
@@ -346,6 +379,7 @@ func (r *Root) sendTask(ctx context.Context, task *Task, reg directory.Registrat
 	pt.deadline = time.Now().Add(r.cfg.TaskTimeout)
 	pt.attempts++
 	r.stats.Dispatched++
+	r.mDispatched.Inc()
 	r.mu.Unlock()
 
 	msg := &acl.Message{
@@ -393,6 +427,7 @@ func (r *Root) dispatchNegotiated(ctx context.Context, task *Task, eligible []di
 	pt.attempts++
 	pt.deadline = time.Now().Add(r.cfg.TaskTimeout)
 	r.stats.Dispatched++
+	r.mDispatched.Inc()
 	r.mu.Unlock()
 
 	sp := r.a.Tracer().ChildFromContext(ctx, "analyze.dispatch")
@@ -411,6 +446,7 @@ func (r *Root) dispatchNegotiated(ctx context.Context, task *Task, eligible []di
 		r.mu.Lock()
 		r.retireLocked(task.ID, task)
 		r.stats.Abandoned++
+		r.mAbandoned.Inc()
 		r.mu.Unlock()
 		return
 	}
@@ -444,6 +480,7 @@ func (r *Root) complete(ctx context.Context, res *Result) {
 	if ok {
 		r.retireLocked(res.TaskID, pt.task)
 		r.stats.Completed++
+		r.mCompleted.Inc()
 	}
 	r.mu.Unlock()
 	if !ok {
@@ -484,6 +521,7 @@ func (r *Root) forwardAlerts(ctx context.Context, alerts []rules.Alert) {
 	}
 	r.mu.Lock()
 	r.stats.AlertsForward += uint64(len(alerts))
+	r.mAlertsFwd.Add(uint64(len(alerts)))
 	r.mu.Unlock()
 }
 
@@ -545,11 +583,13 @@ func (r *Root) reassign(ctx context.Context, taskID, failedWorker string) {
 	if pt.attempts >= r.cfg.MaxAttempts {
 		r.retireLocked(taskID, pt.task)
 		r.stats.Abandoned++
+		r.mAbandoned.Inc()
 		r.mu.Unlock()
 		r.logErr(fmt.Errorf("analyze: task %s abandoned after %d attempts", taskID, pt.attempts))
 		return
 	}
 	r.stats.Reassigned++
+	r.mReassigned.Inc()
 	task := pt.task
 	excluded := pt.excluded
 	// Push the deadline so the sweep does not double-fire while the new
@@ -564,6 +604,7 @@ func (r *Root) abandon(task *Task, err error) {
 	r.mu.Lock()
 	r.retireLocked(task.ID, task)
 	r.stats.Abandoned++
+	r.mAbandoned.Inc()
 	r.mu.Unlock()
 	r.logErr(err)
 }

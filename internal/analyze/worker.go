@@ -3,13 +3,16 @@ package analyze
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
+	"time"
 
 	"agentgrid/internal/acl"
 	"agentgrid/internal/agent"
 	"agentgrid/internal/negotiate"
 	"agentgrid/internal/rules"
 	"agentgrid/internal/store"
+	"agentgrid/internal/telemetry"
 )
 
 // StoreReader is the store access a worker needs. *store.Store
@@ -33,8 +36,16 @@ type WorkerConfig struct {
 	// Capacity is how many concurrent tasks the worker is sized for
 	// (load = busy/capacity). Default 4.
 	Capacity int
+	// LoadFunc, when set, contributes an extra load signal to Load —
+	// the hosting container's telemetry-derived load in production, so
+	// contract-net bids reflect measured pressure (mailbox depth,
+	// handle latency), not just the task count. Optional.
+	LoadFunc func() float64
 	// ErrorLog receives evaluation errors. Optional.
 	ErrorLog func(error)
+	// Metrics, when set, registers the worker's task counters and
+	// per-level task latency histograms. Optional.
+	Metrics *telemetry.Registry
 }
 
 // WorkerStats counts worker activity.
@@ -52,6 +63,12 @@ type Worker struct {
 	mu    sync.Mutex
 	busy  int         // guarded by mu
 	stats WorkerStats // guarded by mu
+
+	mTasks    *telemetry.Counter
+	mAlerts   *telemetry.Counter
+	mBids     *telemetry.Counter
+	mRejected *telemetry.Counter
+	mTaskSec  [3]*telemetry.Histogram // indexed by level-1
 }
 
 // NewWorker wires analysis behaviour onto an agent: it accepts task
@@ -68,6 +85,17 @@ func NewWorker(a *agent.Agent, cfg WorkerConfig) (*Worker, error) {
 		cfg.Capacity = 4
 	}
 	w := &Worker{a: a, cfg: cfg}
+	reg := cfg.Metrics
+	l := telemetry.Labels{"container": a.ID().Platform()}
+	w.mTasks = reg.Counter("analyze_tasks_total", "analysis tasks executed", l)
+	w.mAlerts = reg.Counter("analyze_alerts_total", "alerts raised by rule evaluation", l)
+	w.mBids = reg.Counter("analyze_bids_total", "contract-net bids submitted", l)
+	w.mRejected = reg.Counter("analyze_rejected_unknown_total", "task requests that failed to decode", l)
+	for lvl := 1; lvl <= 3; lvl++ {
+		hl := telemetry.Labels{"container": a.ID().Platform(), "level": fmt.Sprintf("l%d", lvl)}
+		w.mTaskSec[lvl-1] = reg.Histogram("analyze_task_seconds", "analysis task execution wall time", hl)
+	}
+	reg.GaugeFunc("analyze_worker_load_ratio", "worker load fraction (busy tasks plus container telemetry)", l, w.Load)
 
 	// Direct dispatch path: request carrying a task.
 	a.HandleFunc(agent.Selector{
@@ -82,6 +110,7 @@ func NewWorker(a *agent.Agent, cfg WorkerConfig) (*Worker, error) {
 	// containers "with knowledge to process it") expressed as price.
 	negotiate.RegisterParticipant(a, negotiate.ParticipantFuncs{
 		BidFunc: func(nt negotiate.Task) (float64, bool) {
+			w.mBids.Inc()
 			bid := w.Load()
 			if task, err := DecodeTask(nt.Payload); err == nil {
 				if cat := task.PrimaryCategory(); cat != "" && !w.knowsCategory(cat) {
@@ -119,11 +148,18 @@ func (w *Worker) Agent() *agent.Agent { return w.a }
 // rules through it).
 func (w *Worker) Rules() *rules.RuleBase { return w.cfg.Rules }
 
-// Load returns the worker's busy fraction in [0,1].
+// Load returns the worker's load fraction in [0,1]: its busy-task
+// fraction, raised by the configured LoadFunc when that measures the
+// hosting container as more pressured than the task count shows.
 func (w *Worker) Load() float64 {
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	l := float64(w.busy) / float64(w.cfg.Capacity)
+	w.mu.Unlock()
+	if w.cfg.LoadFunc != nil {
+		if m := w.cfg.LoadFunc(); m > l {
+			l = m
+		}
+	}
 	if l > 1 {
 		l = 1
 	}
@@ -164,6 +200,7 @@ func (w *Worker) handleTaskRequest(ctx context.Context, a *agent.Agent, m *acl.M
 		w.mu.Lock()
 		w.stats.RejectedUnknown++
 		w.mu.Unlock()
+		w.mRejected.Inc()
 		a.Send(ctx, m.Reply(a.ID(), acl.NotUnderstood))
 		return
 	}
@@ -207,7 +244,12 @@ func (w *Worker) Run(task *Task) *Result {
 	w.mu.Lock()
 	w.busy++
 	w.mu.Unlock()
+	start := time.Now()
 	defer func() {
+		if task.Level >= 1 && task.Level <= 3 {
+			w.mTaskSec[task.Level-1].Observe(time.Since(start))
+		}
+		w.mTasks.Inc()
 		w.mu.Lock()
 		w.busy--
 		w.stats.Tasks++
@@ -227,6 +269,7 @@ func (w *Worker) Run(task *Task) *Result {
 	w.mu.Lock()
 	w.stats.Alerts += uint64(len(alerts))
 	w.mu.Unlock()
+	w.mAlerts.Add(uint64(len(alerts)))
 	return &Result{
 		TaskID:   task.ID,
 		Worker:   w.a.ID().Name,

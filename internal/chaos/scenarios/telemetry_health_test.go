@@ -1,0 +1,121 @@
+package scenarios
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"agentgrid/internal/acl"
+	"agentgrid/internal/agent"
+	"agentgrid/internal/chaos"
+	"agentgrid/internal/core"
+	"agentgrid/internal/workload"
+)
+
+// TestScenarioTelemetryHealthRecovery drives the grid's measured-load
+// and health signals through a full degradation cycle. A wedged agent
+// on pg-1 pushes the container's telemetry-derived load toward 1, and
+// the load reporter makes that visible in the directory without any
+// cooperation from the analysis worker. Detaching the container flips
+// the grid's "containers" health check to unhealthy with the culprit
+// named; re-attaching and clearing the wedge flips it back and the
+// directory's view of the load recovers.
+//
+// Invariants: health degradation names the detached container, and
+// both the health check and the measured load return to their
+// pre-fault state after repair — no operator reset required.
+func TestScenarioTelemetryHealthRecovery(t *testing.T) {
+	forEachSeed(t, func(t *testing.T, seed int64) {
+		spec := workload.FleetSpec{Site: "site1", Hosts: 1, Seed: seed}
+		cfg := core.Config{
+			Site:           "site1",
+			Analyzers:      2,
+			HeartbeatEvery: 100 * time.Millisecond,
+		}
+		r := newRig(t, cfg, spec, "telemetry-health", seed)
+		g, h := r.g, r.h
+
+		c1, ok := g.Container("pg-1")
+		if !ok {
+			t.Fatal("no pg-1 container")
+		}
+		healthy := func() bool {
+			ok, _ := g.Health().Check()
+			return ok
+		}
+		containersDetail := func() string {
+			_, results := g.Health().Check()
+			for _, res := range results {
+				if res.Name == "containers" && !res.Healthy {
+					return res.Detail
+				}
+			}
+			return ""
+		}
+
+		release := make(chan struct{})
+		released := false
+		t.Cleanup(func() {
+			if !released {
+				close(release)
+			}
+		})
+
+		err := h.Run(chaos.Scenario{Name: "telemetry-health", Steps: []chaos.Step{
+			{At: 0, Name: "baseline-healthy", Do: func(*chaos.Harness) error {
+				waitFor(t, 5*time.Second, "all health checks passing", healthy)
+				return nil
+			}},
+			{At: 10 * time.Millisecond, Name: "wedge-pg-1", Do: func(*chaos.Harness) error {
+				wedge, err := c1.SpawnAgent("wedge", agent.WithMailboxSize(4))
+				if err != nil {
+					return err
+				}
+				wedge.HandleFunc(agent.Selector{Performative: acl.Inform}, func(context.Context, *agent.Agent, *acl.Message) {
+					<-release
+				})
+				// The run loop pops one message into the blocked handler,
+				// so keep refilling until the mailbox reads full.
+				waitFor(t, 5*time.Second, "pg-1 telemetry load near 1", func() bool {
+					wedge.Deliver(&acl.Message{Performative: acl.Inform}) // errors once full are the point
+					return c1.TelemetryLoad() >= 0.9
+				})
+				waitFor(t, 5*time.Second, "directory to see pg-1's measured load", func() bool {
+					reg, ok := g.Directory().Get("pg-1")
+					return ok && reg.Load > 0.9
+				})
+				return nil
+			}},
+			{At: 20 * time.Millisecond, Name: "detach-pg-1", Do: func(*chaos.Harness) error {
+				if err := c1.Detach(); err != nil {
+					return err
+				}
+				waitFor(t, 5*time.Second, "health to flip unhealthy", func() bool { return !healthy() })
+				if detail := containersDetail(); !strings.Contains(detail, "pg-1") {
+					t.Fatalf("containers check detail %q does not name pg-1", detail)
+				}
+				return nil
+			}},
+			{At: 30 * time.Millisecond, Name: "repair", Do: func(*chaos.Harness) error {
+				if err := c1.AttachInProc(g.Network(), "inproc://pg-1"); err != nil {
+					return err
+				}
+				close(release)
+				released = true
+				if err := c1.KillAgent("wedge"); err != nil {
+					return err
+				}
+				waitFor(t, 5*time.Second, "health to flip back healthy", healthy)
+				waitFor(t, 5*time.Second, "directory load to recover", func() bool {
+					reg, ok := g.Directory().Get("pg-1")
+					return ok && reg.Load < 0.5
+				})
+				return nil
+			}},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -13,10 +13,12 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"agentgrid/internal/acl"
 	"agentgrid/internal/agent"
 	"agentgrid/internal/obs"
+	"agentgrid/internal/telemetry"
 	"agentgrid/internal/trace"
 )
 
@@ -186,6 +188,10 @@ type Config struct {
 	Strategy Strategy
 	// ErrorLog receives parse/store errors. Optional.
 	ErrorLog func(error)
+	// Metrics, when set, registers the classifier's counters and
+	// ingest latency histogram labeled with the hosting container.
+	// Optional.
+	Metrics *telemetry.Registry
 }
 
 // Stats counts classifier activity.
@@ -204,6 +210,13 @@ type Classifier struct {
 
 	mu    sync.Mutex
 	stats Stats // guarded by mu
+
+	mBatches     *telemetry.Counter
+	mRecords     *telemetry.Counter
+	mParseErrors *telemetry.Counter
+	mStoreErrors *telemetry.Counter
+	mNotices     *telemetry.Counter
+	mIngestSec   *telemetry.Histogram
 }
 
 // New wires classifier behaviour onto an agent: it consumes XML batch
@@ -219,6 +232,14 @@ func New(a *agent.Agent, cfg Config) (*Classifier, error) {
 		cfg.Strategy = DeviceAffinity{}
 	}
 	c := &Classifier{a: a, cfg: cfg}
+	r := cfg.Metrics
+	l := telemetry.Labels{"container": a.ID().Platform()}
+	c.mBatches = r.Counter("classify_batches_total", "record batches ingested", l)
+	c.mRecords = r.Counter("classify_records_total", "records classified and stored", l)
+	c.mParseErrors = r.Counter("classify_errors_parse_total", "batches that failed to parse", l)
+	c.mStoreErrors = r.Counter("classify_errors_store_total", "records that failed to persist", l)
+	c.mNotices = r.Counter("classify_notices_total", "cluster notices sent to the processor root", l)
+	c.mIngestSec = r.Histogram("classify_ingest_seconds", "batch ingest pipeline wall time", l)
 	a.HandleFunc(agent.Selector{
 		Performative: acl.Inform,
 		Ontology:     acl.OntologyNetworkManagement,
@@ -239,6 +260,8 @@ func (c *Classifier) Stats() Stats {
 // handleBatch is the inform handler: parse, classify, store, cluster,
 // notify — the full §3.2 pipeline.
 func (c *Classifier) handleBatch(ctx context.Context, a *agent.Agent, m *acl.Message) {
+	start := time.Now()
+	defer func() { c.mIngestSec.Observe(time.Since(start)) }()
 	sp := a.Tracer().ContinueFromMessage("classify.ingest", m)
 	ctx = trace.NewContext(ctx, sp)
 	defer sp.End()
@@ -248,6 +271,7 @@ func (c *Classifier) handleBatch(ctx context.Context, a *agent.Agent, m *acl.Mes
 		c.mu.Lock()
 		c.stats.ParseErrors++
 		c.mu.Unlock()
+		c.mParseErrors.Inc()
 		c.logErr(fmt.Errorf("classify: batch from %s: %w", m.Sender, err))
 		a.Send(ctx, m.Reply(a.ID(), acl.NotUnderstood))
 		return
@@ -276,6 +300,7 @@ func (c *Classifier) Ingest(ctx context.Context, batch *obs.Batch) error {
 			c.mu.Lock()
 			c.stats.StoreErrors++
 			c.mu.Unlock()
+			c.mStoreErrors.Inc()
 			return fmt.Errorf("classify: store %s: %w", r.Key(), err)
 		}
 		stored++
@@ -286,6 +311,8 @@ func (c *Classifier) Ingest(ctx context.Context, batch *obs.Batch) error {
 	c.stats.Batches++
 	c.stats.Records += uint64(stored)
 	c.mu.Unlock()
+	c.mBatches.Inc()
+	c.mRecords.Add(uint64(stored))
 	if stored == 0 {
 		return nil
 	}
@@ -324,6 +351,7 @@ func (c *Classifier) notify(ctx context.Context, batch *obs.Batch) error {
 	c.mu.Lock()
 	c.stats.Notices++
 	c.mu.Unlock()
+	c.mNotices.Inc()
 	return nil
 }
 

@@ -22,6 +22,7 @@ import (
 	"agentgrid/internal/obs"
 	"agentgrid/internal/rules"
 	"agentgrid/internal/snmp"
+	"agentgrid/internal/telemetry"
 	"agentgrid/internal/trace"
 )
 
@@ -208,6 +209,9 @@ type Config struct {
 	AlertSink func(rules.Alert)
 	// ErrorLog receives collection/ship errors. Optional.
 	ErrorLog func(error)
+	// Metrics, when set, registers the collector's counters and poll
+	// latency histogram labeled with the hosting container. Optional.
+	Metrics *telemetry.Registry
 }
 
 // Stats counts collector activity.
@@ -227,6 +231,13 @@ type Collector struct {
 	mu    sync.Mutex
 	goals map[string]Goal // guarded by mu
 	stats Stats           // guarded by mu
+
+	mPolls       *telemetry.Counter
+	mPollErrors  *telemetry.Counter
+	mRecords     *telemetry.Counter
+	mShipErrors  *telemetry.Counter
+	mLocalAlerts *telemetry.Counter
+	mPollSec     *telemetry.Histogram
 }
 
 // New wires collector behaviour onto an agent.
@@ -241,6 +252,14 @@ func New(a *agent.Agent, cfg Config) (*Collector, error) {
 		return nil, errors.New("collect: config needs a site")
 	}
 	c := &Collector{a: a, cfg: cfg, goals: make(map[string]Goal)}
+	r := cfg.Metrics
+	l := telemetry.Labels{"container": a.ID().Platform()}
+	c.mPolls = r.Counter("collect_polls_total", "device polls completed", l)
+	c.mPollErrors = r.Counter("collect_poll_errors_total", "device polls that failed", l)
+	c.mRecords = r.Counter("collect_records_total", "records collected", l)
+	c.mShipErrors = r.Counter("collect_ship_errors_total", "batches that failed to ship to the classifier", l)
+	c.mLocalAlerts = r.Counter("collect_alerts_local_total", "alerts raised by local level-1 pre-analysis", l)
+	c.mPollSec = r.Histogram("collect_poll_seconds", "full poll cycle wall time", l)
 	// The interface grid can push new goals at runtime via request
 	// messages carrying a goal description.
 	a.HandleFunc(agent.Selector{Performative: acl.Request, Ontology: acl.OntologyGridManagement},
@@ -355,6 +374,8 @@ func (c *Collector) collectAndShip(ctx context.Context, goalName string) error {
 	if !ok {
 		return fmt.Errorf("collect: no goal %q", goalName)
 	}
+	start := time.Now()
+	defer func() { c.mPollSec.Observe(time.Since(start)) }()
 	// The poll is where a trace is born: everything downstream — ship,
 	// classify, analyze, alerting — descends from this root span.
 	sp := c.a.Tracer().StartRoot("collect.poll")
@@ -366,6 +387,7 @@ func (c *Collector) collectAndShip(ctx context.Context, goalName string) error {
 	records, err := c.cfg.Iface.Collect(ctx, g)
 	if err != nil {
 		sp.SetError(err)
+		c.mPollErrors.Inc()
 		c.logErr(err)
 		return err
 	}
@@ -374,6 +396,8 @@ func (c *Collector) collectAndShip(ctx context.Context, goalName string) error {
 	c.stats.Collections++
 	c.stats.Records += uint64(len(records))
 	c.mu.Unlock()
+	c.mPolls.Inc()
+	c.mRecords.Add(uint64(len(records)))
 	if len(records) == 0 {
 		return nil
 	}
@@ -406,6 +430,7 @@ func (c *Collector) preAnalyze(records []obs.Record) {
 	c.mu.Lock()
 	c.stats.LocalAlerts += uint64(len(alerts))
 	c.mu.Unlock()
+	c.mLocalAlerts.Add(uint64(len(alerts)))
 }
 
 // ship sends the batch to the classifier grid in the common XML
@@ -434,6 +459,7 @@ func (c *Collector) ship(ctx context.Context, records []obs.Record) error {
 		c.mu.Lock()
 		c.stats.ShipErrors++
 		c.mu.Unlock()
+		c.mShipErrors.Inc()
 		c.logErr(fmt.Errorf("collect: ship batch: %w", err))
 		return err
 	}

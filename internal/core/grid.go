@@ -19,6 +19,7 @@ import (
 	"agentgrid/internal/rules"
 	"agentgrid/internal/snmp"
 	"agentgrid/internal/store"
+	"agentgrid/internal/telemetry"
 	"agentgrid/internal/trace"
 	"agentgrid/internal/transport"
 )
@@ -103,6 +104,8 @@ type Grid struct {
 	dir        *directory.Directory
 	store      *store.Store
 	tracer     *trace.Tracer
+	metrics    *telemetry.Registry
+	health     *telemetry.Health
 	containers []*platform.Container
 	collectors []*collect.Collector
 	classifier *classify.Classifier
@@ -119,11 +122,13 @@ type Grid struct {
 func NewGrid(cfg Config) (*Grid, error) {
 	cfg = cfg.withDefaults()
 	g := &Grid{
-		cfg:    cfg,
-		net:    transport.NewInProcNetwork(),
-		dir:    directory.New(3 * cfg.HeartbeatEvery),
-		store:  store.New(cfg.StorePoints),
-		tracer: trace.New(cfg.Trace),
+		cfg:     cfg,
+		net:     transport.NewInProcNetwork(),
+		dir:     directory.New(3 * cfg.HeartbeatEvery),
+		store:   store.New(cfg.StorePoints),
+		tracer:  trace.New(cfg.Trace),
+		metrics: telemetry.NewRegistry("agentgrid"),
+		health:  telemetry.NewHealth(),
 	}
 
 	profile := directory.ResourceProfile{CPUCapacity: 100, NetCapacity: 100, DiscCapacity: 100}
@@ -137,13 +142,24 @@ func NewGrid(cfg Config) (*Grid, error) {
 		c, err := platform.New(platform.Config{
 			Name: name, Platform: name, Profile: profile,
 			Resolver: resolver, ErrorLog: cfg.ErrorLog,
-			Tracer: g.tracer,
+			Tracer:  g.tracer,
+			Metrics: g.metrics,
+			// Close the §3.5 loop: each container periodically reports
+			// its telemetry-measured load into the directory, so
+			// contract-net awards react to observed pressure between
+			// heartbeats.
+			LoadReporter:    g.dir.UpdateLoad,
+			LoadReportEvery: cfg.HeartbeatEvery / 2,
 		})
 		if err != nil {
 			return nil, err
 		}
 		if cfg.TCPHost != "" {
-			err = c.AttachTCP(cfg.TCPHost + ":0")
+			wl := telemetry.Labels{"container": name}
+			err = c.AttachTCP(cfg.TCPHost+":0", transport.WithTCPMetrics(transport.WireMetrics{
+				SentBytes: g.metrics.Counter("acl_sent_bytes_total", "ACL frame bytes written to TCP peers", wl),
+				RecvBytes: g.metrics.Counter("acl_received_bytes_total", "ACL frame bytes read from TCP peers", wl),
+			}))
 		} else {
 			err = c.AttachInProc(g.net, "inproc://"+name)
 		}
@@ -189,6 +205,7 @@ func NewGrid(cfg Config) (*Grid, error) {
 		Interface:   igAID,
 		TaskTimeout: cfg.TaskTimeout,
 		ErrorLog:    cfg.ErrorLog,
+		Metrics:     g.metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -202,6 +219,9 @@ func NewGrid(cfg Config) (*Grid, error) {
 		return nil, err
 	}
 	if err := g.register(rootC, directory.ServiceBroker, nil); err != nil {
+		return nil, err
+	}
+	if err := g.heartbeat(rootC, rootAgent, directory.ServiceBroker, nil); err != nil {
 		return nil, err
 	}
 
@@ -222,6 +242,10 @@ func NewGrid(cfg Config) (*Grid, error) {
 		}
 		w, err := analyze.NewWorker(wa, analyze.WorkerConfig{
 			Store: g.store, Rules: rb, ErrorLog: cfg.ErrorLog,
+			Metrics: g.metrics,
+			// The worker's contract-net bid folds in the container's
+			// telemetry-measured load, not just its busy-task count.
+			LoadFunc: wc.TelemetryLoad,
 		})
 		if err != nil {
 			return nil, err
@@ -231,7 +255,7 @@ func NewGrid(cfg Config) (*Grid, error) {
 		if err := g.register(wc, directory.ServiceAnalysis, w.Capabilities()); err != nil {
 			return nil, err
 		}
-		if err := g.heartbeat(wc, wa); err != nil {
+		if err := g.heartbeat(wc, wa, directory.ServiceAnalysis, w.Capabilities()); err != nil {
 			return nil, err
 		}
 	}
@@ -251,11 +275,15 @@ func NewGrid(cfg Config) (*Grid, error) {
 		Processor: rootAID,
 		Ontology:  obs.NewOntology(),
 		ErrorLog:  cfg.ErrorLog,
+		Metrics:   g.metrics,
 	})
 	if err != nil {
 		return nil, err
 	}
 	if err := g.register(clgC, directory.ServiceClassification, nil); err != nil {
+		return nil, err
+	}
+	if err := g.heartbeat(clgC, clgAgent, directory.ServiceClassification, nil); err != nil {
 		return nil, err
 	}
 	// The classifier container also answers remote store queries for
@@ -299,12 +327,16 @@ func NewGrid(cfg Config) (*Grid, error) {
 				g.ig.AddAlerts([]rules.Alert{a})
 			},
 			ErrorLog: cfg.ErrorLog,
+			Metrics:  g.metrics,
 		})
 		if err != nil {
 			return nil, err
 		}
 		g.collectors = append(g.collectors, col)
 		if err := g.register(cgC, directory.ServiceCollection, nil); err != nil {
+			return nil, err
+		}
+		if err := g.heartbeat(cgC, ca, directory.ServiceCollection, nil); err != nil {
 			return nil, err
 		}
 	}
@@ -316,6 +348,8 @@ func NewGrid(cfg Config) (*Grid, error) {
 		Goals:     g.goalFromSpec,
 		StatsFunc: func() any { return g.Status() },
 		Tracer:    g.tracer,
+		Metrics:   g.metrics,
+		Health:    g.health,
 		ErrorLog:  cfg.ErrorLog,
 	})
 	if err != nil {
@@ -324,7 +358,71 @@ func NewGrid(cfg Config) (*Grid, error) {
 	if err := g.register(igC, directory.ServiceInterface, nil); err != nil {
 		return nil, err
 	}
+	if err := g.heartbeat(igC, igAgent, directory.ServiceInterface, nil); err != nil {
+		return nil, err
+	}
+	g.registerGridMetrics()
+	g.registerHealthChecks()
 	return g, nil
+}
+
+// registerGridMetrics publishes shared-subsystem gauges and counters
+// that no single container owns: store, directory and tracer state.
+func (g *Grid) registerGridMetrics() {
+	g.metrics.GaugeFunc("store_series_count", "time series retained by the management data store", nil, func() float64 {
+		series, _ := g.store.Stats()
+		return float64(series)
+	})
+	g.metrics.CounterFunc("store_appends_total", "records appended to the management data store", nil, func() uint64 {
+		_, appends := g.store.Stats()
+		return appends
+	})
+	g.metrics.GaugeFunc("directory_entries_count", "live container registrations in the grid directory", nil, func() float64 {
+		return float64(g.dir.Len())
+	})
+	g.metrics.CounterFunc("trace_spans_dropped_total", "trace spans lost to collector ring overwrite", nil, func() uint64 {
+		return g.tracer.Stats().Dropped
+	})
+}
+
+// registerHealthChecks wires the grid's per-subsystem health checks,
+// served by the report server at /healthz and /readyz.
+func (g *Grid) registerHealthChecks() {
+	g.health.Register("containers", func() error {
+		detached := ""
+		for _, c := range g.containers {
+			if c.Addr() == "" {
+				if detached != "" {
+					detached += ","
+				}
+				detached += c.Name()
+			}
+		}
+		if detached != "" {
+			return fmt.Errorf("detached: %s", detached)
+		}
+		return nil
+	})
+	g.health.Register("analysis", func() error {
+		if len(g.dir.Search(directory.Query{ServiceType: directory.ServiceAnalysis})) == 0 {
+			return errors.New("no live analysis registration in the directory")
+		}
+		return nil
+	})
+	g.health.Register("collectors", func() error {
+		if len(g.dir.Search(directory.Query{ServiceType: directory.ServiceCollection})) == 0 {
+			return errors.New("no live collector registration in the directory")
+		}
+		return nil
+	})
+	g.health.Register("trace", func() error {
+		st := g.tracer.Stats()
+		kept := uint64(st.Spans + st.Buffered)
+		if st.Dropped > 0 && st.Dropped > kept {
+			return fmt.Errorf("dropping spans faster than retaining them (%d dropped, %d kept)", st.Dropped, kept)
+		}
+		return nil
+	})
 }
 
 // register puts a container into the grid directory.
@@ -334,14 +432,21 @@ func (g *Grid) register(c *platform.Container, service string, caps []string) er
 	}}))
 }
 
-// heartbeat keeps an analysis container's lease fresh so the root's
-// failover sweep can distinguish live workers from dead ones.
-func (g *Grid) heartbeat(c *platform.Container, a *agent.Agent) error {
+// heartbeat keeps a container's lease fresh so the root's failover
+// sweep can distinguish live containers from dead ones. The renewed
+// load is the telemetry-measured value (§3.5), and a container whose
+// lease was swept while it was unreachable re-registers itself on the
+// next beat instead of staying lost.
+func (g *Grid) heartbeat(c *platform.Container, a *agent.Agent, service string, caps []string) error {
 	return a.AddGoal(agent.Goal{
 		Name:     "df-heartbeat",
 		Interval: g.cfg.HeartbeatEvery,
 		Action: func(context.Context, *agent.Agent) error {
-			return g.dir.Renew(c.Name(), c.Load())
+			err := g.dir.Renew(c.Name(), c.MeasuredLoad())
+			if errors.Is(err, directory.ErrNotFound) {
+				return g.register(c, service, caps)
+			}
+			return err
 		},
 	})
 }
@@ -574,6 +679,12 @@ func (g *Grid) Classifier() *classify.Classifier { return g.classifier }
 
 // Tracer returns the grid's causal tracer.
 func (g *Grid) Tracer() *trace.Tracer { return g.tracer }
+
+// Metrics returns the grid's telemetry registry.
+func (g *Grid) Metrics() *telemetry.Registry { return g.metrics }
+
+// Health returns the grid's health check set.
+func (g *Grid) Health() *telemetry.Health { return g.health }
 
 // Alerts returns the interface grid's alert history.
 func (g *Grid) Alerts() []rules.Alert { return g.ig.Alerts("") }

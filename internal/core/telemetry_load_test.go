@@ -1,0 +1,93 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"agentgrid/internal/acl"
+	"agentgrid/internal/agent"
+	"agentgrid/internal/classify"
+	"agentgrid/internal/workload"
+)
+
+// TestContractNetAwardsAvoidMeasuredLoad closes the §3.5 loop: a
+// container whose *measured* load is high — its mailboxes are backing
+// up, even though its worker has zero tasks in flight — must lose
+// contract-net auctions to an idle peer.
+func TestContractNetAwardsAvoidMeasuredLoad(t *testing.T) {
+	spec := workload.FleetSpec{Site: "site1", Hosts: 1, Seed: 11}
+	cfg := Config{
+		Site:           "site1",
+		Negotiated:     true,
+		Analyzers:      2,
+		BidWindow:      200 * time.Millisecond,
+		TaskTimeout:    5 * time.Second,
+		HeartbeatEvery: 50 * time.Millisecond,
+	}
+	g, _ := testGrid(t, cfg, spec)
+
+	// Wedge pg-1: a blocked agent with a tiny mailbox drives the
+	// container's telemetry-derived load to 1 while its analysis worker
+	// stays task-idle — only measured load distinguishes the peers.
+	c1, ok := g.Container("pg-1")
+	if !ok {
+		t.Fatal("no pg-1 container")
+	}
+	release := make(chan struct{})
+	t.Cleanup(func() { close(release) })
+	wedge, err := c1.SpawnAgent("wedge", agent.WithMailboxSize(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wedge.HandleFunc(agent.Selector{Performative: acl.Inform}, func(context.Context, *agent.Agent, *acl.Message) {
+		<-release
+	})
+	// Keep topping the mailbox up: the run loop pops one message into
+	// the blocked handler, so refill until the queue reads full.
+	wedgeDeadline := time.Now().Add(5 * time.Second)
+	for c1.TelemetryLoad() < 0.9 {
+		wedge.Deliver(&acl.Message{Performative: acl.Inform}) // errors once full are the point
+		if time.Now().After(wedgeDeadline) {
+			t.Fatalf("wedged TelemetryLoad = %v, want ~1", c1.TelemetryLoad())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The container's load reporter pushes the measured value into the
+	// directory between heartbeats.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		reg, ok := g.Directory().Get("pg-1")
+		if ok && reg.Load > 0.9 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("directory never saw pg-1's measured load; entry %+v", reg)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Auction a batch of analysis tasks; every award must go to pg-2.
+	notice := &classify.Notice{Collector: "test", Clusters: []classify.Cluster{
+		{Key: "site1/h1", Site: "site1", Device: "h1", Categories: []string{"cpu"}, Records: 1, MaxStep: 1},
+		{Key: "site1/h2", Site: "site1", Device: "h2", Categories: []string{"cpu"}, Records: 1, MaxStep: 1},
+	}}
+	g.Root().HandleNotice(context.Background(), notice)
+
+	// 2 clusters × (L1+L2) + 1 site L3 = 5 auctions. Negotiation runs
+	// on its own goroutines, so poll the workers' completed-task counts.
+	const wantTasks = 5
+	ws := g.Workers()
+	taskDeadline := time.Now().Add(15 * time.Second)
+	for ws[1].Stats().Tasks < wantTasks {
+		if time.Now().After(taskDeadline) {
+			t.Fatalf("pg-2 ran %d/%d tasks; pg-1 %d; root stats %+v",
+				ws[1].Stats().Tasks, wantTasks, ws[0].Stats().Tasks, g.Root().Stats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := ws[0].Stats().Tasks; got != 0 {
+		t.Fatalf("wedged pg-1 was awarded %d tasks, want 0", got)
+	}
+}

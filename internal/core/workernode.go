@@ -11,6 +11,7 @@ import (
 	"agentgrid/internal/directory"
 	"agentgrid/internal/platform"
 	"agentgrid/internal/rules"
+	"agentgrid/internal/telemetry"
 	"agentgrid/internal/transport"
 )
 
@@ -43,6 +44,7 @@ type WorkerNode struct {
 	cfg       WorkerNodeConfig
 	container *platform.Container
 	worker    *analyze.Worker
+	metrics   *telemetry.Registry
 	df        *DFClient
 	cancel    context.CancelFunc
 }
@@ -77,14 +79,20 @@ func NewWorkerNode(cfg WorkerNodeConfig) (*WorkerNode, error) {
 		}
 		return "", fmt.Errorf("core: worker node cannot resolve %s", aid.Name)
 	}
+	metrics := telemetry.NewRegistry("agentgrid")
 	c, err := platform.New(platform.Config{
 		Name: cfg.Name, Platform: cfg.Name, Profile: profile,
 		Resolver: resolver, ErrorLog: cfg.ErrorLog,
+		Metrics: metrics,
 	})
 	if err != nil {
 		return nil, err
 	}
-	if err := c.AttachTCP(cfg.ListenHost + ":0"); err != nil {
+	wl := telemetry.Labels{"container": cfg.Name}
+	if err := c.AttachTCP(cfg.ListenHost+":0", transport.WithTCPMetrics(transport.WireMetrics{
+		SentBytes: metrics.Counter("acl_sent_bytes_total", "ACL frame bytes written to TCP peers", wl),
+		RecvBytes: metrics.Counter("acl_received_bytes_total", "ACL frame bytes read from TCP peers", wl),
+	})); err != nil {
 		return nil, err
 	}
 
@@ -112,6 +120,8 @@ func NewWorkerNode(cfg WorkerNodeConfig) (*WorkerNode, error) {
 	}
 	w, err := analyze.NewWorker(wa, analyze.WorkerConfig{
 		Store: storeClient, Rules: rb, ErrorLog: cfg.ErrorLog,
+		Metrics:  metrics,
+		LoadFunc: c.TelemetryLoad,
 	})
 	if err != nil {
 		c.Stop()
@@ -119,7 +129,7 @@ func NewWorkerNode(cfg WorkerNodeConfig) (*WorkerNode, error) {
 	}
 	c.SetLoadFunc(w.Load)
 
-	node := &WorkerNode{cfg: cfg, container: c, worker: w}
+	node := &WorkerNode{cfg: cfg, container: c, worker: w, metrics: metrics}
 	node.df = NewDFClient(wa,
 		acl.NewAID(DFAgentName, "pg-root", cfg.RootAddr),
 		func() directory.Registration {
@@ -174,3 +184,6 @@ func (n *WorkerNode) Addr() string { return n.container.Addr() }
 
 // Worker returns the node's analysis worker for inspection.
 func (n *WorkerNode) Worker() *analyze.Worker { return n.worker }
+
+// Metrics returns the node's own telemetry registry.
+func (n *WorkerNode) Metrics() *telemetry.Registry { return n.metrics }

@@ -203,6 +203,25 @@ func (d *Directory) Renew(container string, load float64) error {
 	return nil
 }
 
+// UpdateLoad refreshes a container's advertised load without touching
+// its lease. Telemetry-driven load reporting calls this between
+// heartbeats: load can change much faster than liveness, and a stale
+// container must not keep its registration alive just by reporting
+// numbers.
+func (d *Directory) UpdateLoad(container string, load float64) error {
+	if load < 0 || load > 1 {
+		return ErrBadLoad
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, ok := d.entries[container]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, container)
+	}
+	e.Load = load
+	return nil
+}
+
 // Deregister removes a container's entry, if present.
 func (d *Directory) Deregister(container string) {
 	d.mu.Lock()

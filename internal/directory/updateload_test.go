@@ -1,0 +1,46 @@
+package directory
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestUpdateLoad(t *testing.T) {
+	now := time.Unix(0, 0)
+	d := New(time.Second, WithClock(func() time.Time { return now }))
+
+	if err := d.Register(analysisReg("pg-1", "cpu")); err != nil {
+		t.Fatal(err)
+	}
+	reg, _ := d.Get("pg-1")
+	expiry := reg.Expiry
+
+	if err := d.UpdateLoad("pg-1", 0.9); err != nil {
+		t.Fatal(err)
+	}
+	reg, _ = d.Get("pg-1")
+	if reg.Load != 0.9 {
+		t.Fatalf("Load = %v, want 0.9", reg.Load)
+	}
+	if !reg.Expiry.Equal(expiry) {
+		t.Fatalf("UpdateLoad moved the lease expiry: %v -> %v", expiry, reg.Expiry)
+	}
+
+	// Renew, by contrast, extends the lease.
+	now = now.Add(500 * time.Millisecond)
+	if err := d.Renew("pg-1", 0.5); err != nil {
+		t.Fatal(err)
+	}
+	reg, _ = d.Get("pg-1")
+	if !reg.Expiry.After(expiry) {
+		t.Fatal("Renew did not extend the lease")
+	}
+
+	if err := d.UpdateLoad("pg-1", 1.5); !errors.Is(err, ErrBadLoad) {
+		t.Fatalf("bad load: got %v, want ErrBadLoad", err)
+	}
+	if err := d.UpdateLoad("ghost", 0.5); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown container: got %v, want ErrNotFound", err)
+	}
+}

@@ -79,6 +79,7 @@ func Analyzers() []*Analyzer {
 		AnalyzerUnboundedSend,
 		AnalyzerSleepSync,
 		AnalyzerTraceCtx,
+		AnalyzerMetricName,
 	}
 }
 

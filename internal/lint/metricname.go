@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// AnalyzerMetricName enforces the telemetry naming convention at lint
+// time instead of at process startup. The registry panics on a bad
+// metric name, but only when the registration actually runs — a metric
+// behind a rarely-taken branch or a new binary can ship a bad name
+// unnoticed. This analyzer checks every string literal passed as the
+// first argument to a Counter/Gauge/Histogram/GaugeFunc/CounterFunc
+// registration call against the same rule the registry applies:
+// lowercase subsystem_name_unit with at least three segments, ending
+// in an approved unit.
+//
+// The rule is mirrored from internal/telemetry's mustName; the two
+// must stay in sync (the registry is the source of truth).
+var AnalyzerMetricName = &Analyzer{
+	Name: "metricname",
+	Doc:  "telemetry metric names must be subsystem_name_unit with an approved unit (total, seconds, bytes, ratio, count)",
+	Run:  runMetricName,
+}
+
+// metricNameRe and metricUnits mirror telemetry.metricNameRe and
+// telemetry.approvedUnits.
+var metricNameRe = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+){2,}$`)
+
+var metricUnits = map[string]bool{
+	"total":   true,
+	"seconds": true,
+	"bytes":   true,
+	"ratio":   true,
+	"count":   true,
+}
+
+// metricRegisterMethods are the registry's registration entry points.
+// The check is syntactic: any method call with one of these names and
+// a string-literal first argument is treated as a metric registration.
+var metricRegisterMethods = map[string]bool{
+	"Counter":     true,
+	"Gauge":       true,
+	"Histogram":   true,
+	"GaugeFunc":   true,
+	"CounterFunc": true,
+}
+
+func runMetricName(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !metricRegisterMethods[sel.Sel.Name] || len(call.Args) == 0 {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if msg := checkMetricName(name); msg != "" {
+				out = append(out, Diagnostic{
+					Pos:      p.Fset.Position(lit.Pos()),
+					Analyzer: "metricname",
+					Message:  msg,
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkMetricName returns a diagnostic message for an invalid metric
+// name, or "" if the name is acceptable.
+func checkMetricName(name string) string {
+	if !metricNameRe.MatchString(name) {
+		return "metric name " + strconv.Quote(name) + " must be lowercase subsystem_name_unit with at least three segments"
+	}
+	unit := name[strings.LastIndexByte(name, '_')+1:]
+	if !metricUnits[unit] {
+		return "metric name " + strconv.Quote(name) + " must end in an approved unit (total, seconds, bytes, ratio, count)"
+	}
+	return ""
+}

@@ -1,0 +1,21 @@
+// Fixture: metric names that break the subsystem_name_unit rule.
+package fixture
+
+type registry struct{}
+
+func (registry) Counter(name, help string, labels map[string]string) *int   { return nil }
+func (registry) Gauge(name, help string, labels map[string]string) *int     { return nil }
+func (registry) Histogram(name, help string, labels map[string]string) *int { return nil }
+func (registry) GaugeFunc(name, help string, labels map[string]string, fn func() float64) {
+}
+func (registry) CounterFunc(name, help string, labels map[string]string, fn func() uint64) {
+}
+
+func bad(reg registry) {
+	reg.Counter("Collect_polls_total", "uppercase", nil)
+	reg.Counter("polls_total", "too few segments", nil)
+	reg.Gauge("platform_load", "missing unit segment", nil)
+	reg.Histogram("analyze_task_duration", "unapproved unit", nil)
+	reg.GaugeFunc("store_series_gauge", "unapproved unit", nil, func() float64 { return 0 })
+	reg.CounterFunc("acl__sent_total", "empty segment", nil, func() uint64 { return 0 })
+}

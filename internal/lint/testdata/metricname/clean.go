@@ -1,0 +1,20 @@
+// Fixture: accepted metric names — three or more snake_case segments
+// ending in an approved unit — plus shapes the analyzer must ignore
+// (non-literal names, unrelated methods with the same arity).
+package fixture
+
+func metricName(i int) string { return "dynamic_name_total" }
+
+type other struct{}
+
+func (other) Counter(n int) {}
+
+func clean(reg registry, o other) {
+	reg.Counter("collect_polls_total", "counter unit", nil)
+	reg.Gauge("platform_load_ratio", "ratio unit", nil)
+	reg.Histogram("analyze_task_seconds", "seconds unit", nil)
+	reg.GaugeFunc("store_series_count", "count unit", nil, func() float64 { return 0 })
+	reg.CounterFunc("acl_sent_bytes_total", "four segments", nil, func() uint64 { return 0 })
+	reg.Counter(metricName(1), "non-literal names are not checked", nil)
+	o.Counter(7)
+}

@@ -16,6 +16,7 @@ import (
 
 	"agentgrid/internal/acl"
 	"agentgrid/internal/agent"
+	"agentgrid/internal/telemetry"
 	"agentgrid/internal/trace"
 )
 
@@ -147,14 +148,29 @@ func RegisterParticipant(a *agent.Agent, p Participant) {
 		})
 }
 
+// Metrics counts contract-net activity from the initiator's side.
+// Every instrument is nil-safe, so a zero Metrics costs nothing.
+type Metrics struct {
+	CFPs      *telemetry.Counter   // calls for proposals sent
+	Proposals *telemetry.Counter   // bids received
+	Refusals  *telemetry.Counter   // refusals (explicit or unreachable)
+	Awards    *telemetry.Counter   // tasks awarded and completed
+	Rounds    *telemetry.Histogram // full negotiation round wall time
+}
+
 // Initiator runs contract-net negotiations from one agent. Register it
 // once per agent; it installs the reply handlers it needs.
 type Initiator struct {
-	a *agent.Agent
+	a       *agent.Agent
+	metrics Metrics
 
 	mu    sync.Mutex
 	waits map[string]chan *acl.Message // conversation id -> reply stream
 }
+
+// SetMetrics installs negotiation counters. Call before the agent
+// starts negotiating.
+func (ini *Initiator) SetMetrics(m Metrics) { ini.metrics = m }
 
 // NewInitiator wires contract-net initiator behaviour into an agent.
 func NewInitiator(a *agent.Agent) *Initiator {
@@ -209,6 +225,8 @@ func (ini *Initiator) Negotiate(ctx context.Context, participants []acl.AID, tas
 		ini.mu.Unlock()
 	}()
 
+	start := time.Now()
+	defer func() { ini.metrics.Rounds.Observe(time.Since(start)) }()
 	payload, err := json.Marshal(task)
 	if err != nil {
 		return nil, fmt.Errorf("negotiate: encode task: %w", err)
@@ -234,6 +252,7 @@ func (ini *Initiator) Negotiate(ctx context.Context, participants []acl.AID, tas
 			ConversationID: convID,
 		}
 		sp.Stamp(cfp)
+		ini.metrics.CFPs.Inc()
 		if err := ini.a.Send(ctx, cfp); err != nil {
 			refused++
 			continue
@@ -276,6 +295,8 @@ collect:
 			}
 		}
 	}
+	ini.metrics.Proposals.Add(uint64(len(bids)))
+	ini.metrics.Refusals.Add(uint64(refused))
 	if len(bids) == 0 {
 		err := fmt.Errorf("%w (task %s, %d refusals)", ErrNoProposals, task.ID, refused)
 		sp.SetError(err)
@@ -337,6 +358,7 @@ collect:
 				if err := json.Unmarshal(m.Content, &res); err != nil {
 					return nil, fmt.Errorf("negotiate: decode result: %w", err)
 				}
+				ini.metrics.Awards.Inc()
 				return &Outcome{
 					Winner:    best.from,
 					Bid:       best.bid,

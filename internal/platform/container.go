@@ -13,10 +13,12 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"agentgrid/internal/acl"
 	"agentgrid/internal/agent"
 	"agentgrid/internal/directory"
+	"agentgrid/internal/telemetry"
 	"agentgrid/internal/trace"
 	"agentgrid/internal/transport"
 )
@@ -49,6 +51,22 @@ type Config struct {
 	// Tracer, when set, is handed to every spawned agent and records a
 	// transport.send span for each traced remote hop. Optional.
 	Tracer *trace.Tracer
+	// Metrics, when set, registers the container's traffic counters, a
+	// mailbox-depth gauge, a measured-load gauge and a handle-latency
+	// histogram shared by every spawned agent, all labeled
+	// {container=Name}. A nil registry costs nothing. Optional.
+	Metrics *telemetry.Registry
+	// LatencyBudget is the agent handle-latency EWMA that counts as
+	// fully loaded when deriving measured load. Zero means 250ms.
+	LatencyBudget time.Duration
+	// LoadReporter, when set, periodically receives the container's
+	// measured load while it runs — the closed loop into the paper's
+	// §3.5 load balancing (directory.UpdateLoad in production).
+	// directory.ErrNotFound returns are ignored so a container whose
+	// lease lapsed does not spam the error log. Optional.
+	LoadReporter func(container string, load float64) error
+	// LoadReportEvery is the reporting interval (default 500ms).
+	LoadReportEvery time.Duration
 }
 
 // Stats counts container message traffic.
@@ -62,19 +80,29 @@ type Stats struct {
 type Container struct {
 	cfg Config
 
-	mu      sync.Mutex
-	tr      transport.Transport           // guarded by mu
-	agents  map[string]*agent.Agent       // guarded by mu
-	cancels map[string]context.CancelFunc // guarded by mu
-	running bool                          // guarded by mu
-	runCtx  context.Context               // guarded by mu
-	wg      sync.WaitGroup
+	mu             sync.Mutex
+	tr             transport.Transport           // guarded by mu
+	agents         map[string]*agent.Agent       // guarded by mu
+	cancels        map[string]context.CancelFunc // guarded by mu
+	running        bool                          // guarded by mu
+	runCtx         context.Context               // guarded by mu
+	reporterCancel context.CancelFunc            // guarded by mu
+	wg             sync.WaitGroup
 
 	loadFn atomic.Pointer[func() float64]
 
 	deliveredLocal atomic.Uint64
 	forwarded      atomic.Uint64
 	dropped        atomic.Uint64
+
+	// Telemetry instruments; all nil-safe no-ops when cfg.Metrics is
+	// nil.
+	mDelivered *telemetry.Counter
+	mForwarded *telemetry.Counter
+	mDropped   *telemetry.Counter
+	mSentFr    *telemetry.Counter
+	mRecvFr    *telemetry.Counter
+	handleHist *telemetry.Histogram
 }
 
 // New creates a container. Attach a transport before starting it.
@@ -85,11 +113,24 @@ func New(cfg Config) (*Container, error) {
 	if cfg.Platform == "" {
 		return nil, errors.New("platform: container needs a platform name")
 	}
-	return &Container{
+	c := &Container{
 		cfg:     cfg,
 		agents:  make(map[string]*agent.Agent),
 		cancels: make(map[string]context.CancelFunc),
-	}, nil
+	}
+	r := cfg.Metrics
+	l := telemetry.Labels{"container": cfg.Name}
+	c.mDelivered = r.Counter("platform_messages_delivered_total", "messages handed to local agents", l)
+	c.mForwarded = r.Counter("platform_messages_forwarded_total", "messages sent to remote containers", l)
+	c.mDropped = r.Counter("platform_messages_dropped_total", "undeliverable messages (full mailbox, no route)", l)
+	c.mSentFr = r.Counter("acl_sent_frames_total", "ACL frames sent over the transport", l)
+	c.mRecvFr = r.Counter("acl_received_frames_total", "ACL frames received from the transport", l)
+	c.handleHist = r.Histogram("agent_handle_seconds", "agent message dispatch wall time", l)
+	r.GaugeFunc("agent_mailbox_depth_count", "messages queued across this container's agent mailboxes", l, func() float64 {
+		return float64(c.MailboxDepth())
+	})
+	r.GaugeFunc("platform_load_ratio", "measured load fraction reported to the directory", l, c.MeasuredLoad)
+	return c, nil
 }
 
 // Name returns the container name.
@@ -168,6 +209,66 @@ func (c *Container) Load() float64 {
 	return 0
 }
 
+// MailboxDepth returns the number of messages queued across every
+// hosted agent's mailbox.
+func (c *Container) MailboxDepth() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	depth := 0
+	for _, a := range c.agents {
+		depth += a.MailboxDepth()
+	}
+	return depth
+}
+
+// TelemetryLoad derives a load fraction in [0,1] from the container's
+// own runtime signals: the fullest agent mailbox and the worst agent
+// handle-latency EWMA measured against LatencyBudget. It deliberately
+// never consults the installed load function, so subsystems may fold
+// TelemetryLoad into their Load without recursing.
+func (c *Container) TelemetryLoad() float64 {
+	var mbox, lat float64
+	c.mu.Lock()
+	for _, a := range c.agents {
+		if capacity := a.MailboxCap(); capacity > 0 {
+			if f := float64(a.MailboxDepth()) / float64(capacity); f > mbox {
+				mbox = f
+			}
+		}
+		if l := a.HandleLatency(); l > lat {
+			lat = l
+		}
+	}
+	c.mu.Unlock()
+	budget := c.cfg.LatencyBudget
+	if budget <= 0 {
+		budget = 250 * time.Millisecond
+	}
+	load := lat / budget.Seconds()
+	if mbox > load {
+		load = mbox
+	}
+	if load > 1 {
+		return 1
+	}
+	return load
+}
+
+// MeasuredLoad is the load fraction the container reports to the
+// directory: the worse of the installed load function (task backlog,
+// §3.5 resource profiles) and the telemetry-derived signal. A
+// container that claims to be idle but whose mailboxes are backing up
+// reads as loaded.
+func (c *Container) MeasuredLoad() float64 {
+	if tl := c.TelemetryLoad(); tl > 0 {
+		if l := c.Load(); l > tl {
+			return l
+		}
+		return tl
+	}
+	return c.Load()
+}
+
 // Registration builds the directory entry this container registers with
 // the grid root (paper Figure 4), listing the given services.
 func (c *Container) Registration(services []directory.ServiceDesc) directory.Registration {
@@ -176,7 +277,7 @@ func (c *Container) Registration(services []directory.ServiceDesc) directory.Reg
 		Addr:      c.Addr(),
 		Profile:   c.cfg.Profile,
 		Services:  services,
-		Load:      c.Load(),
+		Load:      c.MeasuredLoad(),
 	}
 }
 
@@ -184,9 +285,13 @@ func (c *Container) Registration(services []directory.ServiceDesc) directory.Reg
 // platform name. If the container is running, the agent starts at once.
 func (c *Container) SpawnAgent(local string, opts ...agent.Option) (*agent.Agent, error) {
 	id := acl.NewAID(local, c.cfg.Platform)
-	// The container's tracer is the default; explicit caller options
-	// come later in the slice and may override it.
-	opts = append([]agent.Option{agent.WithTracer(c.cfg.Tracer)}, opts...)
+	// The container's tracer and handle histogram are defaults;
+	// explicit caller options come later in the slice and may override
+	// them.
+	opts = append([]agent.Option{
+		agent.WithTracer(c.cfg.Tracer),
+		agent.WithHandleHistogram(c.handleHist),
+	}, opts...)
 	a := agent.New(id, c.routeFrom(id), opts...)
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -282,7 +387,36 @@ func (c *Container) Start(ctx context.Context) error {
 	for local, a := range c.agents {
 		c.startAgentLocked(a, local)
 	}
+	if c.cfg.LoadReporter != nil {
+		rctx, cancel := context.WithCancel(ctx)
+		c.reporterCancel = cancel
+		c.wg.Add(1)
+		go c.reportLoad(rctx)
+	}
 	return nil
+}
+
+// reportLoad pushes the measured load to the configured reporter until
+// ctx is cancelled (by Stop or by the run context).
+func (c *Container) reportLoad(ctx context.Context) {
+	defer c.wg.Done()
+	every := c.cfg.LoadReportEvery
+	if every <= 0 {
+		every = 500 * time.Millisecond
+	}
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			err := c.cfg.LoadReporter(c.cfg.Name, c.MeasuredLoad())
+			if err != nil && !errors.Is(err, directory.ErrNotFound) {
+				c.logErr(fmt.Errorf("load report: %w", err))
+			}
+		}
+	}
 }
 
 // Detach closes the container's transport endpoint and releases it,
@@ -312,6 +446,10 @@ func (c *Container) Stop() error {
 	c.cancels = make(map[string]context.CancelFunc)
 	tr := c.tr
 	c.running = false
+	if c.reporterCancel != nil {
+		cancels = append(cancels, c.reporterCancel)
+		c.reporterCancel = nil
+	}
 	c.mu.Unlock()
 
 	for _, cancel := range cancels {
@@ -368,9 +506,11 @@ func (c *Container) routeOne(ctx context.Context, m *acl.Message, rcv acl.AID) e
 		if ok {
 			if err := a.Deliver(m.Clone()); err != nil {
 				c.dropped.Add(1)
+				c.mDropped.Inc()
 				return err
 			}
 			c.deliveredLocal.Add(1)
+			c.mDelivered.Inc()
 			return nil
 		}
 		// Same platform but a different container: fall through to
@@ -379,6 +519,7 @@ func (c *Container) routeOne(ctx context.Context, m *acl.Message, rcv acl.AID) e
 	addr, err := c.resolve(rcv)
 	if err != nil {
 		c.dropped.Add(1)
+		c.mDropped.Inc()
 		return err
 	}
 	c.mu.Lock()
@@ -386,6 +527,7 @@ func (c *Container) routeOne(ctx context.Context, m *acl.Message, rcv acl.AID) e
 	c.mu.Unlock()
 	if tr == nil {
 		c.dropped.Add(1)
+		c.mDropped.Inc()
 		return ErrNotAttached
 	}
 	// Narrow the receiver list to this hop so the remote container does
@@ -403,9 +545,12 @@ func (c *Container) routeOne(ctx context.Context, m *acl.Message, rcv acl.AID) e
 	sp.End()
 	if err != nil {
 		c.dropped.Add(1)
+		c.mDropped.Inc()
 		return err
 	}
 	c.forwarded.Add(1)
+	c.mForwarded.Inc()
+	c.mSentFr.Inc()
 	return nil
 }
 
@@ -422,6 +567,7 @@ func (c *Container) resolve(rcv acl.AID) (string, error) {
 // handleInbound dispatches a message arriving on the transport to the
 // addressed local agents.
 func (c *Container) handleInbound(m *acl.Message) {
+	c.mRecvFr.Inc()
 	for _, rcv := range m.Receivers {
 		if rcv.Platform() != c.cfg.Platform {
 			continue
@@ -431,15 +577,18 @@ func (c *Container) handleInbound(m *acl.Message) {
 		c.mu.Unlock()
 		if !ok {
 			c.dropped.Add(1)
+			c.mDropped.Inc()
 			c.logErr(fmt.Errorf("%w: inbound for unknown agent %s", ErrNoAgent, rcv.Name))
 			continue
 		}
 		if err := a.Deliver(m.Clone()); err != nil {
 			c.dropped.Add(1)
+			c.mDropped.Inc()
 			c.logErr(fmt.Errorf("deliver to %s: %w", rcv.Name, err))
 			continue
 		}
 		c.deliveredLocal.Add(1)
+		c.mDelivered.Inc()
 	}
 }
 

@@ -2,12 +2,14 @@ package report
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
 	"time"
 
 	"agentgrid/internal/rules"
+	"agentgrid/internal/telemetry"
 	"agentgrid/internal/trace"
 )
 
@@ -18,7 +20,10 @@ import (
 //	GET /device/{site}/{device}                  device report (JSON)
 //	GET /alerts?min=warning                      alert history (JSON)
 //	POST /rules                                  learn rules (DSL body)
-//	GET /healthz                                 liveness
+//	GET /metrics                                 Prometheus text exposition
+//	GET /metrics.json                            telemetry snapshot (JSON)
+//	GET /healthz                                 liveness (health-aware when checks are wired)
+//	GET /readyz                                  readiness: 503 + JSON detail until every check passes
 type Server struct {
 	ig   *Interface
 	http *http.Server
@@ -40,13 +45,18 @@ func NewServer(ig *Interface, addr string) (*Server, error) {
 	mux.HandleFunc("GET /alerts", s.handleAlerts)
 	mux.HandleFunc("POST /rules", s.handleRules)
 	mux.HandleFunc("POST /goals", s.handleGoals)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		w.Write([]byte("ok"))
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /trace/{id}", s.handleTrace)
-	s.http = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	s.http = &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       15 * time.Second,
+		WriteTimeout:      30 * time.Second,
+	}
 	go s.http.Serve(ln)
 	return s, nil
 }
@@ -98,6 +108,78 @@ func (s *Server) handleDevice(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	body, _ := Render(&SiteReport{Site: rep.Site, Devices: []DeviceReport{*rep}}, FormatJSON)
+	w.Write(body)
+}
+
+// handleHealthz is the liveness probe. Without registered checks it
+// reports plain "ok" (the server is up, nothing more is known); with a
+// Health it degrades to 503 listing the failing checks.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	ok, results := s.ig.cfg.Health.Check()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !ok {
+		failing := ""
+		for _, r := range results {
+			if !r.Healthy {
+				if failing != "" {
+					failing += ","
+				}
+				failing += r.Name
+			}
+		}
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "unhealthy: %s\n", failing)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ok"))
+}
+
+// handleReadyz is the readiness probe: 503 with per-check JSON detail
+// until every registered check passes, then 200 with the same detail.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	ready, results := s.ig.cfg.Health.Check()
+	body, err := jsonMarshalIndent(struct {
+		Ready  bool                    `json:"ready"`
+		Checks []telemetry.CheckResult `json:"checks"`
+	}{Ready: ready, Checks: results})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if !ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	w.Write(body)
+}
+
+// handleMetrics serves the registry in Prometheus text exposition
+// format, suitable for scraping or `curl`.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	reg := s.ig.cfg.Metrics
+	if reg == nil {
+		http.Error(w, "telemetry not enabled", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write([]byte(telemetry.RenderText(reg.Snapshot())))
+}
+
+// handleMetricsJSON serves the raw telemetry snapshot as JSON — the
+// machine-readable feed `gridctl top` polls to compute live rates.
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
+	reg := s.ig.cfg.Metrics
+	if reg == nil {
+		http.Error(w, "telemetry not enabled", http.StatusNotFound)
+		return
+	}
+	body, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
 	w.Write(body)
 }
 

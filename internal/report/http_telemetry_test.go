@@ -1,0 +1,94 @@
+package report
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"agentgrid/internal/telemetry"
+)
+
+func TestHTTPMetricsNotEnabled(t *testing.T) {
+	srv, _ := startHTTP(t, nil)
+	base := "http://" + srv.Addr()
+	if code, _ := get(t, base+"/metrics"); code != 404 {
+		t.Fatalf("metrics without registry = %d", code)
+	}
+	if code, _ := get(t, base+"/metrics.json"); code != 404 {
+		t.Fatalf("metrics.json without registry = %d", code)
+	}
+}
+
+func TestHTTPMetricsExposition(t *testing.T) {
+	reg := telemetry.NewRegistry("agentgrid")
+	reg.Counter("demo_requests_total", "demo requests", telemetry.Labels{"container": "ig"}).Add(5)
+	srv, ig := startHTTP(t, func(c *Config) { c.Metrics = reg })
+	ig.AddAlerts(sampleAlerts())
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/metrics")
+	if code != 200 {
+		t.Fatalf("metrics = %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE agentgrid_demo_requests_total counter",
+		`agentgrid_demo_requests_total{container="ig"} 5`,
+		`agentgrid_report_alerts_total{container="site1"} 3`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, base+"/metrics.json")
+	if code != 200 {
+		t.Fatalf("metrics.json = %d", code)
+	}
+	var snap telemetry.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("snapshot decode: %v", err)
+	}
+	if snap.Namespace != "agentgrid" || len(snap.Metrics) == 0 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestHTTPHealthzUnhealthy(t *testing.T) {
+	h := telemetry.NewHealth()
+	h.Register("store", func() error { return nil })
+	h.Register("collectors", func() error { return errors.New("cg-2 not polling") })
+	srv, _ := startHTTP(t, func(c *Config) { c.Health = h })
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/healthz")
+	if code != 503 || !strings.Contains(body, "unhealthy: collectors") {
+		t.Fatalf("healthz = %d %q", code, body)
+	}
+	code, body = get(t, base+"/readyz")
+	if code != 503 {
+		t.Fatalf("readyz = %d", code)
+	}
+	for _, want := range []string{`"ready": false`, `"cg-2 not polling"`, `"name": "store"`} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("readyz missing %q:\n%s", want, body)
+		}
+	}
+
+	// Flip the failing check; both probes recover.
+	h.Register("collectors", func() error { return nil })
+	if code, body := get(t, base+"/healthz"); code != 200 || body != "ok" {
+		t.Fatalf("recovered healthz = %d %q", code, body)
+	}
+	if code, body := get(t, base+"/readyz"); code != 200 || !strings.Contains(body, `"ready": true`) {
+		t.Fatalf("recovered readyz = %d %q", code, body)
+	}
+}
+
+func TestHTTPReadyzNoChecks(t *testing.T) {
+	srv, _ := startHTTP(t, nil)
+	code, body := get(t, "http://"+srv.Addr()+"/readyz")
+	if code != 200 || !strings.Contains(body, `"ready": true`) {
+		t.Fatalf("bare readyz = %d %q", code, body)
+	}
+}

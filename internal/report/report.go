@@ -24,6 +24,7 @@ import (
 	"agentgrid/internal/analyze"
 	"agentgrid/internal/rules"
 	"agentgrid/internal/store"
+	"agentgrid/internal/telemetry"
 	"agentgrid/internal/trace"
 )
 
@@ -63,6 +64,12 @@ type Config struct {
 	StatsFunc func() any
 	// Tracer, when set, backs the GET /trace/{id} endpoint. Optional.
 	Tracer *trace.Tracer
+	// Metrics, when set, registers the interface grid's alert counters
+	// and backs the server's GET /metrics endpoints. Optional.
+	Metrics *telemetry.Registry
+	// Health, when set, backs the server's /healthz and /readyz
+	// endpoints with registered per-subsystem checks. Optional.
+	Health *telemetry.Health
 	// ErrorLog receives processing errors. Optional.
 	ErrorLog func(error)
 }
@@ -88,6 +95,10 @@ type Interface struct {
 	subs   []chan rules.Alert // guarded by mu
 	prefs  map[string]int     // guarded by mu; report name -> request count (preference learning)
 	stats  Stats              // guarded by mu
+
+	mAlerts     *telemetry.Counter
+	mDuplicates *telemetry.Counter
+	mReports    *telemetry.Counter
 }
 
 // New wires interface-grid behaviour onto an agent.
@@ -99,6 +110,11 @@ func New(a *agent.Agent, cfg Config) (*Interface, error) {
 		cfg.MaxAlerts = 1024
 	}
 	ig := &Interface{a: a, cfg: cfg, prefs: make(map[string]int)}
+	r := cfg.Metrics
+	l := telemetry.Labels{"container": a.ID().Platform()}
+	ig.mAlerts = r.Counter("report_alerts_total", "fresh alerts retained by the interface grid", l)
+	ig.mDuplicates = r.Counter("report_alerts_duplicate_total", "alerts suppressed as duplicates", l)
+	ig.mReports = r.Counter("report_reports_total", "management reports built", l)
 	a.HandleFunc(agent.Selector{
 		Performative: acl.Inform,
 		Ontology:     acl.OntologyNetworkManagement,
@@ -154,6 +170,7 @@ func (ig *Interface) AddAlerts(alerts []rules.Alert) {
 		}
 		if ig.seen[key] {
 			ig.stats.Duplicates++
+			ig.mDuplicates.Inc()
 			continue
 		}
 		ig.seen[key] = true
@@ -178,6 +195,7 @@ func (ig *Interface) AddAlerts(alerts []rules.Alert) {
 	ig.stats.AlertBundles++
 	ig.stats.Alerts += uint64(len(fresh))
 	ig.mu.Unlock()
+	ig.mAlerts.Add(uint64(len(fresh)))
 	for _, sub := range subs {
 		for _, alert := range fresh {
 			select {
@@ -385,6 +403,7 @@ func (ig *Interface) BuildDeviceReport(site, device string) (*DeviceReport, erro
 	ig.mu.Lock()
 	ig.stats.Reports++
 	ig.mu.Unlock()
+	ig.mReports.Inc()
 	return rep, nil
 }
 
@@ -423,6 +442,7 @@ func (ig *Interface) BuildSiteReport(site string, now time.Time) (*SiteReport, e
 	ig.mu.Lock()
 	ig.stats.Reports++
 	ig.mu.Unlock()
+	ig.mReports.Inc()
 	return rep, nil
 }
 

@@ -1,0 +1,37 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHotPathAllocFree pins the instrumentation cost contract: the
+// operations that sit on the ACL send/receive and message-handle hot
+// paths must not allocate.
+func TestHotPathAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	c := newCounter()
+	if n := testing.AllocsPerRun(1000, func() { c.Inc(); c.Add(3) }); n != 0 {
+		t.Fatalf("Counter.Inc/Add allocates %v per run", n)
+	}
+	h := newHistogram()
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(42 * time.Microsecond) }); n != 0 {
+		t.Fatalf("Histogram.Observe allocates %v per run", n)
+	}
+	g := newGauge()
+	if n := testing.AllocsPerRun(1000, func() { g.Inc(); g.Dec() }); n != 0 {
+		t.Fatalf("Gauge.Inc/Dec allocates %v per run", n)
+	}
+	var e EWMA
+	if n := testing.AllocsPerRun(1000, func() { e.Observe(time.Millisecond) }); n != 0 {
+		t.Fatalf("EWMA.Observe allocates %v per run", n)
+	}
+	// Nil instruments — the unwired case — are free too.
+	var nc *Counter
+	var nh *Histogram
+	if n := testing.AllocsPerRun(1000, func() { nc.Inc(); nh.Observe(time.Second) }); n != 0 {
+		t.Fatalf("nil instruments allocate %v per run", n)
+	}
+}

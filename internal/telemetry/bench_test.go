@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkCounterContended hammers one counter from every CPU — the
+// ACL-send hot-path shape. The striped shards keep contention off a
+// single cache line.
+func BenchmarkCounterContended(b *testing.B) {
+	c := newCounter()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+	if c.Value() == 0 {
+		b.Fatal("counter never moved")
+	}
+}
+
+// BenchmarkHistogramRecord measures a single-goroutine Observe — the
+// per-message handle-latency record.
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := newHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(time.Duration(i&0xfffff) * time.Nanosecond)
+	}
+}
+
+// BenchmarkSnapshot walks a realistically sized registry: 30 families
+// with a handful of container-labeled series each, a quarter of them
+// histograms — about what a running grid exposes.
+func BenchmarkSnapshot(b *testing.B) {
+	r := NewRegistry("agentgrid")
+	containers := []string{"cg-1", "cg-2", "cg-3", "clg", "pg-root", "pg-1", "pg-2", "ig"}
+	for i := 0; i < 30; i++ {
+		name := fmt.Sprintf("bench_metric%d", i)
+		for _, c := range containers {
+			l := Labels{"container": c}
+			if i%4 == 0 {
+				r.Histogram(name+"_seconds", "bench", l).Observe(time.Millisecond)
+			} else {
+				r.Counter(name+"_total", "bench", l).Add(uint64(i))
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := r.Snapshot(); len(s.Metrics) != 30 {
+			b.Fatalf("families = %d", len(s.Metrics))
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package telemetry
+
+import "sync/atomic"
+
+// counterShard is one stripe of a Counter, padded out to a 64-byte
+// cache line so adjacent shards never false-share.
+type counterShard struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// Counter is a monotonically increasing counter striped across padded
+// per-CPU shards. Inc and Add are lock-free and allocation-free; Value
+// sums the stripes. All methods no-op on a nil receiver.
+type Counter struct {
+	shards []counterShard
+}
+
+func newCounter() *Counter {
+	return &Counter{shards: make([]counterShard, nShards)}
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.shards[stripe()].n.Add(1)
+}
+
+// Add adds delta to the counter.
+func (c *Counter) Add(delta uint64) {
+	if c == nil {
+		return
+	}
+	c.shards[stripe()].n.Add(delta)
+}
+
+// Value returns the current total across all stripes.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	var total uint64
+	for i := range c.shards {
+		total += c.shards[i].n.Load()
+	}
+	return total
+}

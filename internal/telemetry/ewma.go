@@ -1,0 +1,58 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// EWMA is an exponentially weighted moving average of durations,
+// updated lock-free via CAS on the float64 bit pattern. The zero value
+// is ready to use; a zero bit pattern means "no observations yet", so
+// the first Observe seeds the average directly. Methods no-op (or
+// return zero) on a nil receiver.
+//
+// The fixed smoothing factor weights the newest sample at 20%: heavy
+// enough to track a latency regression within a handful of messages,
+// light enough not to whipsaw on one slow dispatch.
+type EWMA struct {
+	bits atomic.Uint64 // float64 bits of the average, in seconds
+}
+
+const ewmaAlpha = 0.2
+
+// Observe folds one duration into the average.
+func (e *EWMA) Observe(d time.Duration) {
+	if e == nil {
+		return
+	}
+	sample := d.Seconds()
+	if sample < 0 {
+		sample = 0
+	}
+	for {
+		old := e.bits.Load()
+		var next float64
+		if old == 0 {
+			next = sample
+		} else {
+			next = (1-ewmaAlpha)*math.Float64frombits(old) + ewmaAlpha*sample
+		}
+		nb := math.Float64bits(next)
+		if nb == 0 {
+			nb = math.Float64bits(math.SmallestNonzeroFloat64) // keep the seeded sentinel distinct
+		}
+		if e.bits.CompareAndSwap(old, nb) {
+			return
+		}
+	}
+}
+
+// Value returns the current average in seconds, zero before the first
+// observation.
+func (e *EWMA) Value() float64 {
+	if e == nil {
+		return 0
+	}
+	return math.Float64frombits(e.bits.Load())
+}

@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// RenderText renders a snapshot in the Prometheus text exposition
+// format (version 0.0.4): # HELP / # TYPE headers, one line per
+// series, histograms expanded to _bucket/_sum/_count. Output order is
+// deterministic — families sorted by name, series by label signature —
+// so the rendering is golden-testable and diffs cleanly between
+// scrapes.
+func RenderText(snap Snapshot) string {
+	var b strings.Builder
+	for _, m := range snap.Metrics {
+		if m.Help != "" {
+			b.WriteString("# HELP ")
+			b.WriteString(m.Name)
+			b.WriteByte(' ')
+			b.WriteString(escapeHelp(m.Help))
+			b.WriteByte('\n')
+		}
+		b.WriteString("# TYPE ")
+		b.WriteString(m.Name)
+		b.WriteByte(' ')
+		b.WriteString(m.Type)
+		b.WriteByte('\n')
+		for _, s := range m.Series {
+			if s.Hist != nil {
+				renderHistogram(&b, m.Name, s)
+				continue
+			}
+			b.WriteString(m.Name)
+			writeLabels(&b, s.Labels, "", 0)
+			b.WriteByte(' ')
+			b.WriteString(formatValue(s.Value))
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func renderHistogram(b *strings.Builder, name string, s SeriesSnapshot) {
+	for _, bk := range s.Hist.Buckets {
+		b.WriteString(name)
+		b.WriteString("_bucket")
+		writeLabels(b, s.Labels, "le", bk.LE)
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatUint(bk.Count, 10))
+		b.WriteByte('\n')
+	}
+	b.WriteString(name)
+	b.WriteString("_bucket")
+	writeLabelsInf(b, s.Labels)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(s.Hist.Count, 10))
+	b.WriteByte('\n')
+	b.WriteString(name)
+	b.WriteString("_sum")
+	writeLabels(b, s.Labels, "", 0)
+	b.WriteByte(' ')
+	b.WriteString(formatValue(s.Hist.Sum))
+	b.WriteByte('\n')
+	b.WriteString(name)
+	b.WriteString("_count")
+	writeLabels(b, s.Labels, "", 0)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(s.Hist.Count, 10))
+	b.WriteByte('\n')
+}
+
+// writeLabels renders {k="v",...} with keys sorted, appending an le
+// bucket bound when leKey is non-empty. Nothing is written when there
+// are no labels at all.
+func writeLabels(b *strings.Builder, labels Labels, leKey string, le float64) {
+	if len(labels) == 0 && leKey == "" {
+		return
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[k]))
+		b.WriteByte('"')
+	}
+	if leKey != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(leKey)
+		b.WriteString(`="`)
+		b.WriteString(formatValue(le))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+func writeLabelsInf(b *strings.Builder, labels Labels) {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(labels[k]))
+		b.WriteByte('"')
+	}
+	if len(keys) > 0 {
+		b.WriteByte(',')
+	}
+	b.WriteString(`le="+Inf"}`)
+}
+
+// formatValue renders a sample value the way Prometheus clients do:
+// shortest round-trippable representation.
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value per the exposition format:
+// backslash, double quote and newline.
+func escapeLabel(v string) string {
+	return labelEscaper.Replace(v)
+}
+
+// escapeHelp escapes help text: backslash and newline (quotes are
+// legal in help).
+func escapeHelp(v string) string {
+	return helpEscaper.Replace(v)
+}
+
+var (
+	labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	helpEscaper  = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+)

@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRenderTextGolden pins the exposition format: stable family and
+// series ordering, HELP/TYPE headers, label escaping and the
+// _bucket/_sum/_count histogram expansion.
+func TestRenderTextGolden(t *testing.T) {
+	r := NewRegistry("agentgrid")
+	r.Counter("collect_polls_total", "device polls completed", Labels{"container": "cg-1"}).Add(3)
+	r.Counter("collect_polls_total", "device polls completed", Labels{"container": "cg-2"}).Add(1)
+	r.Gauge("platform_load_ratio", "measured load", Labels{"container": `we"ird\na`+"\n"+"me`"}).Set(0.75)
+	h := r.Histogram("agent_handle_seconds", "message handle latency", Labels{"container": "pg-1"})
+	h.Observe(500 * time.Nanosecond) // first bucket
+	h.Observe(3 * time.Microsecond)  // le=4.096µs
+	h.Observe(20 * time.Second)      // overflow: only +Inf
+
+	got := RenderText(r.Snapshot())
+
+	wantPrefix := strings.Join([]string{
+		`# HELP agentgrid_agent_handle_seconds message handle latency`,
+		`# TYPE agentgrid_agent_handle_seconds histogram`,
+		`agentgrid_agent_handle_seconds_bucket{container="pg-1",le="1.024e-06"} 1`,
+		`agentgrid_agent_handle_seconds_bucket{container="pg-1",le="2.048e-06"} 1`,
+		`agentgrid_agent_handle_seconds_bucket{container="pg-1",le="4.096e-06"} 2`,
+	}, "\n") + "\n"
+	if !strings.HasPrefix(got, wantPrefix) {
+		t.Fatalf("exposition prefix mismatch:\n got: %q\nwant: %q", got[:min(len(got), len(wantPrefix)+80)], wantPrefix)
+	}
+	for _, line := range []string{
+		`agentgrid_agent_handle_seconds_bucket{container="pg-1",le="+Inf"} 3`,
+		`agentgrid_agent_handle_seconds_sum{container="pg-1"} 20.0000035`,
+		`agentgrid_agent_handle_seconds_count{container="pg-1"} 3`,
+		`# HELP agentgrid_collect_polls_total device polls completed`,
+		`# TYPE agentgrid_collect_polls_total counter`,
+		`agentgrid_collect_polls_total{container="cg-1"} 3`,
+		`agentgrid_collect_polls_total{container="cg-2"} 1`,
+		`# TYPE agentgrid_platform_load_ratio gauge`,
+		`agentgrid_platform_load_ratio{container="we\"ird\\na\nme` + "`" + `"} 0.75`,
+	} {
+		if !strings.Contains(got, line+"\n") {
+			t.Fatalf("exposition missing line %q in:\n%s", line, got)
+		}
+	}
+
+	// Families render in sorted name order.
+	histIdx := strings.Index(got, "agentgrid_agent_handle_seconds")
+	cntIdx := strings.Index(got, "agentgrid_collect_polls_total")
+	gaugeIdx := strings.Index(got, "agentgrid_platform_load_ratio")
+	if !(histIdx < cntIdx && cntIdx < gaugeIdx) {
+		t.Fatalf("families out of order: hist=%d counter=%d gauge=%d", histIdx, cntIdx, gaugeIdx)
+	}
+
+	// Rendering is deterministic.
+	if again := RenderText(r.Snapshot()); again != got {
+		t.Fatal("two renders of the same state differ")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,70 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// gaugeShard is one stripe of a Gauge: a float64 stored as bits,
+// padded to a cache line.
+type gaugeShard struct {
+	bits atomic.Uint64
+	_    [56]byte
+}
+
+// Gauge is a float64 value that can go up and down. Add/Inc/Dec are
+// lock-free CAS loops striped across padded shards; Set collapses the
+// stripes to a single base value. All methods no-op on a nil receiver.
+type Gauge struct {
+	base   atomic.Uint64 // float64 bits
+	shards []gaugeShard
+}
+
+func newGauge() *Gauge {
+	return &Gauge{shards: make([]gaugeShard, nShards)}
+}
+
+// Add adds delta (which may be negative) to the gauge.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	s := &g.shards[stripe()]
+	for {
+		old := s.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if s.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc adds one to the gauge.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one from the gauge.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Set replaces the gauge's value. Concurrent Adds racing a Set may
+// land before or after it; both orders are valid gauge histories.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	for i := range g.shards {
+		g.shards[i].bits.Store(0)
+	}
+	g.base.Store(math.Float64bits(v))
+}
+
+// Value returns the gauge's current value: base plus the stripe sum.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	v := math.Float64frombits(g.base.Load())
+	for i := range g.shards {
+		v += math.Float64frombits(g.shards[i].bits.Load())
+	}
+	return v
+}

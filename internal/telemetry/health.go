@@ -1,0 +1,72 @@
+package telemetry
+
+import "sync"
+
+// CheckResult is one health check's outcome at evaluation time.
+type CheckResult struct {
+	Name    string `json:"name"`
+	Healthy bool   `json:"healthy"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// Health is a set of named component health checks. Subsystems
+// register a func returning nil when healthy (or an error naming
+// what's wrong), and the report server evaluates them on /healthz and
+// /readyz. A nil *Health is valid: Register no-ops and Check reports
+// healthy with no results, so a grid without health wiring serves the
+// pre-telemetry unconditional 200.
+type Health struct {
+	mu     sync.Mutex
+	names  []string                // guarded by mu; registration order
+	checks map[string]func() error // guarded by mu
+}
+
+// NewHealth returns an empty health check set.
+func NewHealth() *Health {
+	return &Health{checks: make(map[string]func() error)}
+}
+
+// Register adds (or replaces) a named check. fn must be safe to call
+// from any goroutine and should return quickly; it is invoked on every
+// health probe.
+func (h *Health) Register(name string, fn func() error) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.checks[name]; !ok {
+		h.names = append(h.names, name)
+	}
+	h.checks[name] = fn
+}
+
+// Check evaluates every registered check in registration order and
+// reports whether all passed. Checks run outside the lock so a slow
+// check cannot block Register.
+func (h *Health) Check() (bool, []CheckResult) {
+	if h == nil {
+		return true, nil
+	}
+	h.mu.Lock()
+	names := make([]string, len(h.names))
+	copy(names, h.names)
+	fns := make([]func() error, 0, len(names))
+	for _, name := range names {
+		fns = append(fns, h.checks[name])
+	}
+	h.mu.Unlock()
+
+	ok := true
+	results := make([]CheckResult, 0, len(names))
+	for i, name := range names {
+		res := CheckResult{Name: name, Healthy: true}
+		if err := fns[i](); err != nil {
+			res.Healthy = false
+			res.Detail = err.Error()
+			ok = false
+		}
+		results = append(results, res)
+	}
+	return ok, results
+}

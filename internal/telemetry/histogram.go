@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram bucket layout: bucket k counts observations whose duration
+// in nanoseconds has bit length minShift+k, i.e. durations up to
+// 2^(minShift+k) ns. The range spans ~1µs to ~17s in powers of two —
+// wide enough for a mailbox dispatch and a full negotiation round —
+// with a final overflow bucket for anything slower.
+const (
+	histMinShift = 10 // first bucket upper bound: 2^10 ns = 1.024µs
+	histMaxShift = 34 // last finite bound: 2^34 ns ≈ 17.2s
+	histBuckets  = histMaxShift - histMinShift + 1
+)
+
+// histBounds are the finite bucket upper bounds in seconds, shared by
+// every histogram (fixed boundaries make snapshots mergeable).
+var histBounds = func() [histBuckets]float64 {
+	var b [histBuckets]float64
+	for i := 0; i < histBuckets; i++ {
+		b[i] = float64(uint64(1)<<(histMinShift+i)) / 1e9
+	}
+	return b
+}()
+
+// Histogram is a log-bucketed latency histogram with fixed power-of-two
+// bucket boundaries. Observe is lock-free and allocation-free: one
+// atomic add into the bucket for the duration's bit length plus one
+// into the nanosecond sum. Snapshots are mergeable because every
+// histogram shares the same bounds. All methods no-op on a nil
+// receiver.
+type Histogram struct {
+	counts [histBuckets + 1]atomic.Uint64 // +1: overflow (> 2^histMaxShift ns)
+	sumNS  atomic.Uint64
+}
+
+func newHistogram() *Histogram { return &Histogram{} }
+
+// Observe records one duration. Negative durations count as zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d)
+	}
+	// ceil(log2(ns)) via Len64(ns-1) so an exact power of two lands in
+	// the bucket whose bound equals it.
+	idx := 0
+	if ns > 1 {
+		idx = bits.Len64(ns-1) - histMinShift
+		if idx < 0 {
+			idx = 0
+		} else if idx > histBuckets {
+			idx = histBuckets
+		}
+	}
+	h.counts[idx].Add(1)
+	h.sumNS.Add(ns)
+}
+
+// Bucket is one cumulative histogram bucket: Count observations were
+// at or below LE seconds. The final bucket has LE = +Inf semantics and
+// is rendered as such; its Count equals the total.
+type Bucket struct {
+	LE    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram with
+// cumulative bucket counts, suitable for merging and for Prometheus
+// rendering (_bucket/_sum/_count).
+type HistogramSnapshot struct {
+	Buckets []Bucket `json:"buckets"` // cumulative; excludes the +Inf bucket
+	Sum     float64  `json:"sum"`     // seconds
+	Count   uint64   `json:"count"`
+}
+
+// Snapshot copies the histogram's current state. Under concurrent
+// Observe the bucket counts and sum are each atomically read but not
+// mutually consistent — the usual scrape-time property.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{Buckets: make([]Bucket, histBuckets)}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.counts[i].Load()
+		s.Buckets[i] = Bucket{LE: histBounds[i], Count: cum}
+	}
+	s.Count = cum + h.counts[histBuckets].Load()
+	s.Sum = float64(h.sumNS.Load()) / 1e9
+	return s
+}
+
+// Merge adds other into s bucket-by-bucket. Both snapshots must come
+// from this package's histograms (identical bounds); mismatched bucket
+// counts merge over the shorter prefix.
+func (s *HistogramSnapshot) Merge(other HistogramSnapshot) {
+	if len(s.Buckets) == 0 {
+		s.Buckets = append(s.Buckets, other.Buckets...)
+	} else {
+		n := len(s.Buckets)
+		if len(other.Buckets) < n {
+			n = len(other.Buckets)
+		}
+		for i := 0; i < n; i++ {
+			s.Buckets[i].Count += other.Buckets[i].Count
+		}
+	}
+	s.Sum += other.Sum
+	s.Count += other.Count
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package telemetry
+
+// raceEnabled gates allocation assertions: the race detector
+// instruments atomics and defeats AllocsPerRun, so alloc-free checks
+// only run in normal builds.
+const raceEnabled = true

@@ -1,0 +1,279 @@
+package telemetry
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// metricNameRe matches subsystem_name_unit: lowercase snake_case with
+// at least three segments. The unit (last segment) is checked against
+// approvedUnits separately so the two rules give distinct panics.
+var metricNameRe = regexp.MustCompile(`^[a-z][a-z0-9]*(_[a-z0-9]+){2,}$`)
+
+// approvedUnits are the allowed trailing name segments. "total" marks
+// counters, "seconds"/"bytes" measured quantities, "ratio" 0..1
+// fractions and "count" instantaneous quantities of discrete things.
+var approvedUnits = map[string]bool{
+	"total":   true,
+	"seconds": true,
+	"bytes":   true,
+	"ratio":   true,
+	"count":   true,
+}
+
+// Registry holds metric families under a common namespace. Instruments
+// are registered once with constant labels and then updated lock-free;
+// the registry itself is only locked at registration and snapshot
+// time. A nil *Registry is valid: every registration method returns a
+// nil instrument (which no-ops) and Snapshot returns an empty
+// snapshot, so wiring telemetry is strictly pay-for-what-you-use.
+type Registry struct {
+	namespace string
+
+	mu       sync.Mutex
+	families map[string]*family // guarded by mu
+	names    []string           // guarded by mu; sorted family names
+}
+
+type family struct {
+	name string // without namespace
+	help string
+	typ  string // "counter", "gauge", "histogram"
+
+	series map[string]*series // keyed by label signature
+	sigs   []string           // sorted signatures
+}
+
+type series struct {
+	labels    Labels
+	counter   *Counter
+	gauge     *Gauge
+	hist      *Histogram
+	gaugeFn   func() float64
+	counterFn func() uint64
+}
+
+// NewRegistry returns a registry whose exposed metric names are all
+// prefixed namespace_.
+func NewRegistry(namespace string) *Registry {
+	if !regexp.MustCompile(`^[a-z][a-z0-9]*$`).MatchString(namespace) {
+		panic(fmt.Sprintf("telemetry: invalid namespace %q", namespace))
+	}
+	return &Registry{namespace: namespace, families: make(map[string]*family)}
+}
+
+// Namespace returns the registry's namespace ("" on nil).
+func (r *Registry) Namespace() string {
+	if r == nil {
+		return ""
+	}
+	return r.namespace
+}
+
+// mustName panics unless name follows subsystem_name_unit with an
+// approved unit. Metric names are compile-time constants in practice,
+// so a bad one is a programming error surfaced at startup.
+func mustName(name string) {
+	if !metricNameRe.MatchString(name) {
+		panic(fmt.Sprintf("telemetry: metric name %q must be lowercase subsystem_name_unit with at least three segments", name))
+	}
+	unit := name[strings.LastIndexByte(name, '_')+1:]
+	if !approvedUnits[unit] {
+		panic(fmt.Sprintf("telemetry: metric name %q must end in an approved unit (total, seconds, bytes, ratio, count)", unit))
+	}
+}
+
+// signature is the canonical sorted label rendering used both as the
+// series key and for stable exposition ordering.
+func signature(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+	}
+	return b.String()
+}
+
+func cloneLabels(labels Labels) Labels {
+	if len(labels) == 0 {
+		return nil
+	}
+	out := make(Labels, len(labels))
+	for k, v := range labels {
+		out[k] = v
+	}
+	return out
+}
+
+// register returns the series for (name, labels), creating family and
+// series as needed, and runs init on it while still holding the
+// registry lock (so concurrent registrations of the same series see a
+// fully built instrument). Re-registering the same name+labels returns
+// the existing series; re-registering a name with a different type
+// panics.
+func (r *Registry) register(name, help, typ string, labels Labels, init func(*series)) *series {
+	mustName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam := r.families[name]
+	if fam == nil {
+		fam = &family{name: name, help: help, typ: typ, series: make(map[string]*series)}
+		r.families[name] = fam
+		r.names = append(r.names, name)
+		sort.Strings(r.names)
+	} else if fam.typ != typ {
+		panic(fmt.Sprintf("telemetry: metric %q already registered as %s, not %s", name, fam.typ, typ))
+	}
+	sig := signature(labels)
+	s := fam.series[sig]
+	if s == nil {
+		s = &series{labels: cloneLabels(labels)}
+		fam.series[sig] = s
+		fam.sigs = append(fam.sigs, sig)
+		sort.Strings(fam.sigs)
+	}
+	init(s)
+	return s
+}
+
+// Counter registers (or fetches) a counter series.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	if r == nil {
+		return nil
+	}
+	s := r.register(name, help, "counter", labels, func(s *series) {
+		if s.counter == nil && s.counterFn == nil {
+			s.counter = newCounter()
+		}
+	})
+	return s.counter
+}
+
+// CounterFunc registers a counter series whose value is read from fn
+// at snapshot time — for totals another subsystem already tracks
+// (store appends, dropped spans). No-op on nil registry.
+func (r *Registry) CounterFunc(name, help string, labels Labels, fn func() uint64) {
+	if r == nil {
+		return
+	}
+	r.register(name, help, "counter", labels, func(s *series) { s.counterFn = fn })
+}
+
+// Gauge registers (or fetches) a gauge series.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	if r == nil {
+		return nil
+	}
+	s := r.register(name, help, "gauge", labels, func(s *series) {
+		if s.gauge == nil && s.gaugeFn == nil {
+			s.gauge = newGauge()
+		}
+	})
+	return s.gauge
+}
+
+// GaugeFunc registers a gauge series read from fn at snapshot time —
+// for instantaneous values owned elsewhere (mailbox depth, measured
+// load). No-op on nil registry.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.register(name, help, "gauge", labels, func(s *series) { s.gaugeFn = fn })
+}
+
+// Histogram registers (or fetches) a histogram series.
+func (r *Registry) Histogram(name, help string, labels Labels) *Histogram {
+	if r == nil {
+		return nil
+	}
+	s := r.register(name, help, "histogram", labels, func(s *series) {
+		if s.hist == nil {
+			s.hist = newHistogram()
+		}
+	})
+	return s.hist
+}
+
+// SeriesSnapshot is one (labels, value) pair inside a metric family.
+// Value carries counter and gauge readings; Hist is set for
+// histograms.
+type SeriesSnapshot struct {
+	Labels Labels             `json:"labels,omitempty"`
+	Value  float64            `json:"value"`
+	Hist   *HistogramSnapshot `json:"hist,omitempty"`
+}
+
+// MetricSnapshot is one metric family: fully qualified name, type,
+// help and every series.
+type MetricSnapshot struct {
+	Name   string           `json:"name"`
+	Type   string           `json:"type"`
+	Help   string           `json:"help,omitempty"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// Snapshot is a point-in-time copy of every registered metric, ordered
+// by name then label signature. It is the payload of the JSON metrics
+// endpoint and the input to RenderText.
+type Snapshot struct {
+	Namespace string           `json:"namespace"`
+	Metrics   []MetricSnapshot `json:"metrics"`
+}
+
+// Snapshot captures every family and series. Callback metrics
+// (GaugeFunc/CounterFunc) are evaluated here, outside any instrument
+// lock but under the registry mutex — callbacks must not register new
+// metrics.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := Snapshot{Namespace: r.namespace, Metrics: make([]MetricSnapshot, 0, len(r.names))}
+	for _, name := range r.names {
+		fam := r.families[name]
+		ms := MetricSnapshot{
+			Name:   r.namespace + "_" + fam.name,
+			Type:   fam.typ,
+			Help:   fam.help,
+			Series: make([]SeriesSnapshot, 0, len(fam.sigs)),
+		}
+		for _, sig := range fam.sigs {
+			s := fam.series[sig]
+			ss := SeriesSnapshot{Labels: s.labels}
+			switch {
+			case s.hist != nil:
+				h := s.hist.Snapshot()
+				ss.Hist = &h
+			case s.counterFn != nil:
+				ss.Value = float64(s.counterFn())
+			case s.gaugeFn != nil:
+				ss.Value = s.gaugeFn()
+			case s.counter != nil:
+				ss.Value = float64(s.counter.Value())
+			case s.gauge != nil:
+				ss.Value = s.gauge.Value()
+			}
+			ms.Series = append(ms.Series, ss)
+		}
+		out.Metrics = append(out.Metrics, ms)
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+// Package telemetry is the grid's dependency-free metrics subsystem:
+// sharded counters and gauges, a log-bucketed latency histogram, and a
+// registry that renders Prometheus text exposition and JSON snapshots.
+//
+// The design goals mirror internal/trace: instrumentation is always-on
+// and pays only for what it uses. Every instrument is nil-safe — a nil
+// *Counter, *Gauge or *Histogram no-ops on every method — so call
+// sites never branch on whether metrics are wired. Hot-path operations
+// (Counter.Inc, Histogram.Observe) are lock-free, allocation-free
+// atomics striped across padded per-CPU shards to avoid cache-line
+// ping-pong under contention.
+//
+// Metric names follow the namespace_subsystem_name_unit convention:
+// the registry prepends its namespace, and registered names must be
+// lowercase snake_case with at least three segments whose last segment
+// is an approved unit (total, seconds, bytes, ratio, count). The
+// metricname gridlint analyzer enforces the same rule statically.
+package telemetry
+
+import (
+	"math/bits"
+	"runtime"
+	"unsafe"
+)
+
+// Labels are constant labels attached to a metric series at
+// registration time. They identify the emitting container or a fixed
+// dimension such as an analysis level — never unbounded values.
+type Labels map[string]string
+
+// nShards is the stripe count for sharded instruments: the next power
+// of two at or above GOMAXPROCS, fixed at package init. Power-of-two
+// lets stripe selection mask instead of mod.
+var nShards = nextPow2(runtime.GOMAXPROCS(0))
+
+func nextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// stripe picks a shard index for the calling goroutine. Goroutine
+// stacks are spread across the address space, so hashing the address
+// of a stack variable distributes concurrent callers across shards
+// without any runtime-internal dependency or allocation. The pointer
+// is converted to uintptr immediately and never stored, so the
+// variable does not escape.
+func stripe() int {
+	var b byte
+	h := uint64(uintptr(unsafe.Pointer(&b)))
+	// splitmix64-style finalizer: stack addresses share high bits, so
+	// mix before masking.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return int(h) & (nShards - 1)
+}

@@ -1,0 +1,316 @@
+package telemetry
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry("test")
+	c := r.Counter("acl_sent_frames_total", "frames sent", Labels{"container": "cg-1"})
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("Value = %d, want 5", got)
+	}
+	// Same name+labels returns the same instrument.
+	if again := r.Counter("acl_sent_frames_total", "frames sent", Labels{"container": "cg-1"}); again != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+	// Different labels is a distinct series.
+	other := r.Counter("acl_sent_frames_total", "frames sent", Labels{"container": "cg-2"})
+	if other == c {
+		t.Fatal("different labels returned the same counter")
+	}
+	if got := other.Value(); got != 0 {
+		t.Fatalf("fresh series Value = %d, want 0", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	c := newCounter()
+	const goroutines, each = 8, 10000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < each; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*each {
+		t.Fatalf("Value = %d, want %d", got, goroutines*each)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	g := newGauge()
+	g.Add(2.5)
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("Value = %v, want 2.5", got)
+	}
+	g.Set(7)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("after Set, Value = %v, want 7", got)
+	}
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("after Set+Add, Value = %v, want 4", got)
+	}
+}
+
+func TestGaugeConcurrent(t *testing.T) {
+	g := newGauge()
+	const goroutines, each = 8, 5000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < each; j++ {
+				g.Inc()
+				g.Dec()
+				g.Add(2)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != goroutines*each*2 {
+		t.Fatalf("Value = %v, want %d", got, goroutines*each*2)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram()
+	h.Observe(500 * time.Nanosecond)  // below the first bound
+	h.Observe(100 * time.Microsecond) // mid-range
+	h.Observe(time.Hour)              // overflow
+	h.Observe(-time.Second)           // clamps to zero
+	s := h.Snapshot()
+	if s.Count != 4 {
+		t.Fatalf("Count = %d, want 4", s.Count)
+	}
+	if s.Buckets[0].Count != 2 {
+		t.Fatalf("first bucket = %d, want 2 (the sub-µs and clamped observations)", s.Buckets[0].Count)
+	}
+	// Cumulative counts never decrease and the last finite bucket
+	// excludes only the overflow observation.
+	last := s.Buckets[len(s.Buckets)-1]
+	if last.Count != 3 {
+		t.Fatalf("last finite bucket = %d, want 3", last.Count)
+	}
+	prev := uint64(0)
+	for i, b := range s.Buckets {
+		if b.Count < prev {
+			t.Fatalf("bucket %d count %d < previous %d: not cumulative", i, b.Count, prev)
+		}
+		prev = b.Count
+	}
+	wantSum := (500*time.Nanosecond + 100*time.Microsecond + time.Hour).Seconds()
+	if diff := s.Sum - wantSum; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("Sum = %v, want %v", s.Sum, wantSum)
+	}
+}
+
+// TestHistogramBucketInvariant pins every observation into the bucket
+// whose bound is the smallest one at or above the duration.
+func TestHistogramBucketInvariant(t *testing.T) {
+	for _, d := range []time.Duration{
+		1, 1023, 1024, 1025, 2048, 1 << 20, (1 << 20) + 1, 1 << 34, (1 << 34) + 1,
+	} {
+		h := newHistogram()
+		h.Observe(d)
+		s := h.Snapshot()
+		sec := d.Seconds()
+		for _, b := range s.Buckets {
+			want := uint64(0)
+			if sec <= b.LE {
+				want = 1
+			}
+			if b.Count != want {
+				t.Fatalf("d=%v: bucket le=%v count=%d, want %d", d, b.LE, b.Count, want)
+			}
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := newHistogram()
+	const goroutines, each = 8, 5000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			for j := 0; j < each; j++ {
+				h.Observe(time.Duration(n+1) * time.Microsecond)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != goroutines*each {
+		t.Fatalf("Count = %d, want %d", got, goroutines*each)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := newHistogram(), newHistogram()
+	a.Observe(time.Millisecond)
+	b.Observe(time.Millisecond)
+	b.Observe(time.Second)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Merge(sb)
+	if sa.Count != 3 {
+		t.Fatalf("merged Count = %d, want 3", sa.Count)
+	}
+	want := (2*time.Millisecond + time.Second).Seconds()
+	if diff := sa.Sum - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("merged Sum = %v, want %v", sa.Sum, want)
+	}
+	for i := range sa.Buckets {
+		if sa.Buckets[i].LE != sb.Buckets[i].LE {
+			t.Fatal("merge changed bucket bounds")
+		}
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	var e EWMA
+	if e.Value() != 0 {
+		t.Fatal("zero EWMA should read 0")
+	}
+	e.Observe(100 * time.Millisecond)
+	if got := e.Value(); got != 0.1 {
+		t.Fatalf("first observation should seed directly: got %v", got)
+	}
+	e.Observe(200 * time.Millisecond)
+	want := 0.8*0.1 + 0.2*0.2
+	if diff := e.Value() - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("Value = %v, want %v", e.Value(), want)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var (
+		r *Registry
+		c *Counter
+		g *Gauge
+		h *Histogram
+		e *EWMA
+		l *Health
+	)
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(time.Second)
+	e.Observe(time.Second)
+	if c.Value() != 0 || g.Value() != 0 || h.Snapshot().Count != 0 || e.Value() != 0 {
+		t.Fatal("nil instruments must read zero")
+	}
+	if r.Counter("a_b_total", "", nil) != nil || r.Gauge("a_b_ratio", "", nil) != nil || r.Histogram("a_b_seconds", "", nil) != nil {
+		t.Fatal("nil registry must hand out nil instruments")
+	}
+	r.GaugeFunc("a_b_count", "", nil, func() float64 { return 1 })
+	r.CounterFunc("a_b_total", "", nil, func() uint64 { return 1 })
+	if len(r.Snapshot().Metrics) != 0 || r.Namespace() != "" {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+	l.Register("x", func() error { return errors.New("boom") })
+	if ok, res := l.Check(); !ok || res != nil {
+		t.Fatal("nil health must report healthy")
+	}
+}
+
+func TestNameValidation(t *testing.T) {
+	r := NewRegistry("test")
+	for _, bad := range []string{
+		"short_total",        // two segments
+		"collect_Polls_total", // uppercase
+		"collect_polls_items", // unapproved unit
+		"collect_polls",       // no unit
+		"_collect_polls_total",
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q should panic", bad)
+				}
+			}()
+			r.Counter(bad, "", nil)
+		}()
+	}
+	// Type conflicts panic too.
+	r.Counter("a_b_total", "", nil)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("type conflict should panic")
+			}
+		}()
+		r.Gauge("a_b_total", "", nil)
+	}()
+}
+
+func TestSnapshotOrderingAndFuncs(t *testing.T) {
+	r := NewRegistry("agentgrid")
+	r.Counter("z_last_total", "", nil)
+	r.Counter("a_first_total", "", nil).Add(2)
+	r.GaugeFunc("m_mid_ratio", "", Labels{"container": "b"}, func() float64 { return 0.5 })
+	r.GaugeFunc("m_mid_ratio", "", Labels{"container": "a"}, func() float64 { return 0.25 })
+	r.CounterFunc("m_fn_total", "", nil, func() uint64 { return 42 })
+
+	s := r.Snapshot()
+	var names []string
+	for _, m := range s.Metrics {
+		names = append(names, m.Name)
+	}
+	want := []string{"agentgrid_a_first_total", "agentgrid_m_fn_total", "agentgrid_m_mid_ratio", "agentgrid_z_last_total"}
+	if len(names) != len(want) {
+		t.Fatalf("got %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("got %v, want %v", names, want)
+		}
+	}
+	mid := s.Metrics[2]
+	if len(mid.Series) != 2 || mid.Series[0].Labels["container"] != "a" || mid.Series[0].Value != 0.25 {
+		t.Fatalf("series ordering/funcs wrong: %+v", mid.Series)
+	}
+	if s.Metrics[1].Series[0].Value != 42 {
+		t.Fatalf("CounterFunc value = %v, want 42", s.Metrics[1].Series[0].Value)
+	}
+}
+
+func TestHealthCheck(t *testing.T) {
+	h := NewHealth()
+	if ok, res := h.Check(); !ok || len(res) != 0 {
+		t.Fatal("empty health must be healthy")
+	}
+	broken := errors.New("store unreachable")
+	h.Register("store", func() error { return broken })
+	h.Register("collect", func() error { return nil })
+	ok, res := h.Check()
+	if ok {
+		t.Fatal("failing check must flip overall health")
+	}
+	if len(res) != 2 || res[0].Name != "store" || res[0].Healthy || res[0].Detail != "store unreachable" {
+		t.Fatalf("unexpected results: %+v", res)
+	}
+	if !res[1].Healthy {
+		t.Fatal("passing check reported unhealthy")
+	}
+	// Replacing a check keeps registration order and heals.
+	h.Register("store", func() error { return nil })
+	if ok, _ := h.Check(); !ok {
+		t.Fatal("replaced check should heal")
+	}
+}

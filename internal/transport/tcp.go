@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"agentgrid/internal/acl"
+	"agentgrid/internal/telemetry"
 )
 
 // TCPOption configures a TCP transport.
@@ -39,6 +40,18 @@ func WithTCPFault(f FaultFunc) TCPOption {
 // to the in-process network the chaos harness drives).
 func WithTCPPlan(p FaultPlan) TCPOption {
 	return func(t *tcpTransport) { t.plan = p }
+}
+
+// WireMetrics counts bytes crossing a TCP transport's wire. The
+// counters are nil-safe, so a zero WireMetrics costs nothing.
+type WireMetrics struct {
+	SentBytes *telemetry.Counter // marshaled frame bytes written
+	RecvBytes *telemetry.Counter // raw bytes read off inbound connections
+}
+
+// WithTCPMetrics installs wire byte counters on the transport.
+func WithTCPMetrics(m WireMetrics) TCPOption {
+	return func(t *tcpTransport) { t.metrics = m }
 }
 
 // ListenTCP starts a TCP endpoint on addr ("host:port"; use port 0 for an
@@ -73,6 +86,7 @@ type tcpTransport struct {
 	ln           net.Listener
 	handler      Handler
 	plan         FaultPlan
+	metrics      WireMetrics
 	dialTimeout  time.Duration
 	writeTimeout time.Duration
 
@@ -137,8 +151,9 @@ func (t *tcpTransport) serveConn(conn net.Conn) {
 		t.mu.Unlock()
 		conn.Close()
 	}()
+	r := &countingReader{r: conn, c: t.metrics.RecvBytes}
 	for {
-		m, err := acl.ReadFrame(conn)
+		m, err := acl.ReadFrame(r)
 		if err != nil {
 			// EOF, deadline or codec error all end the connection; the
 			// peer re-dials as needed.
@@ -181,8 +196,24 @@ func (t *tcpTransport) Send(ctx context.Context, addr string, m *acl.Message) er
 		if err := t.sendFrame(ctx, addr, frame); err != nil {
 			return err
 		}
+		t.metrics.SentBytes.Add(uint64(len(frame)))
 	}
 	return nil
+}
+
+// countingReader counts bytes flowing through an io.Reader into a
+// nil-safe counter.
+type countingReader struct {
+	r io.Reader
+	c *telemetry.Counter
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	if n > 0 {
+		cr.c.Add(uint64(n))
+	}
+	return n, err
 }
 
 func (t *tcpTransport) sendFrame(ctx context.Context, addr string, frame []byte) error {

@@ -9,7 +9,8 @@
 #   5. go test -race     (race-clean verification)
 #   6. chaos suite       (seeded fault-injection scenarios, -race)
 #   7. trace suite       (span collection under -race + end-to-end span tree)
-#   8. fuzz smoke        (5s per wire-facing fuzz target)
+#   8. telemetry suite   (instruments under -race, exposition golden, HTTP endpoints)
+#   9. fuzz smoke        (5s per wire-facing fuzz target)
 #
 # Any failure stops the gate with a non-zero exit. Run it before every
 # commit; CI should run exactly this script.
@@ -42,6 +43,10 @@ go test -race -count=1 ./internal/chaos/...
 step "trace subsystem (-race, end-to-end span tree)"
 go test -race -count=1 ./internal/trace/...
 go test -race -count=1 -run TestTraceEndToEnd .
+
+step "telemetry subsystem (-race, exposition golden + HTTP endpoints)"
+go test -race -count=1 ./internal/telemetry/...
+go test -race -count=1 -run TestHTTP ./internal/report/
 
 step "fuzz smoke (5s per target)"
 go test -run='^$' -fuzz=FuzzDecodePDU -fuzztime=5s ./internal/snmp
