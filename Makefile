@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint chaos trace metrics fuzz-smoke verify fmt
+.PHONY: all build test race lint chaos trace metrics wire fuzz-smoke verify fmt
 
 all: build
 
@@ -43,6 +43,17 @@ trace:
 metrics:
 	$(GO) test -race -count=1 ./internal/telemetry/...
 	$(GO) test -race -count=1 -run TestHTTP ./internal/report/
+
+# Fast wire path smoke: the codec benchmarks with allocation counts
+# (100 iterations is enough to surface an allocation regression on the
+# zero-alloc paths — compare against BENCH_wire.json) plus a short
+# differential fuzz pass proving the binary codec agrees with JSON and
+# rejects hostile frames. Full numbers: see EXPERIMENTS.md.
+wire:
+	$(GO) test -run='^$$' -bench 'MarshalBinary|MarshalJSON|UnmarshalBinary|UnmarshalJSON|ReadFrameReuse|WireRoundTrip' -benchmem -benchtime 100x ./internal/acl
+	$(GO) test -run='^$$' -bench 'NoticeWire|StoreAppendBatch' -benchmem -benchtime 100x ./internal/classify ./internal/store
+	$(GO) test -run='^$$' -fuzz=FuzzCodecEquivalence -fuzztime=5s ./internal/acl
+	$(GO) test -run='^$$' -fuzz=FuzzUnmarshalBinaryFrame -fuzztime=5s ./internal/acl
 
 # Short fuzz smoke over the wire-facing parsers. Five seconds each
 # is enough to replay the corpus plus a quick mutation pass; longer

@@ -1,0 +1,63 @@
+package acl
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// TestWireHotPathAllocFree pins the wire cost contract (the codec-side
+// half of telemetry's TestHotPathAllocFree): steady-state binary
+// encode — both the caller-buffer and the pooled variants — and the
+// raw frame read must not allocate. Decode allocates exactly the
+// returned message, which BenchmarkUnmarshalBinary pins instead.
+func TestWireHotPathAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	m := binarySample()
+
+	// Encode into a caller-owned buffer with spare capacity.
+	buf := make([]byte, 0, 4096)
+	if n := testing.AllocsPerRun(1000, func() {
+		out, err := AppendFrame(buf[:0], m, FormatBinary)
+		if err != nil || len(out) == 0 {
+			t.Fatal("encode failed")
+		}
+	}); n != 0 {
+		t.Fatalf("AppendFrame into reused buffer allocates %v per run", n)
+	}
+
+	// Pooled encode + single write: the sync.Pool round trip is free
+	// once warm.
+	if n := testing.AllocsPerRun(1000, func() {
+		if err := WriteFrameBinary(io.Discard, m); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("WriteFrameBinary allocates %v per run", n)
+	}
+
+	// Raw frame read through a FrameReader reuses one payload buffer.
+	frame, err := MarshalBinary(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := bytes.Repeat(frame, 4)
+	r := bytes.NewReader(stream)
+	fr := NewFrameReader(r)
+	if n := testing.AllocsPerRun(1000, func() {
+		r.Reset(stream)
+		for {
+			_, _, err := fr.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}); n != 0 {
+		t.Fatalf("FrameReader.Next allocates %v per run", n)
+	}
+}

@@ -1,0 +1,146 @@
+package acl
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// benchNotice builds the wire-path benchmark message: the classifier
+// grid's "data present" inform to the processor root (Figure 2), with
+// a notice-shaped JSON content covering four device clusters — the
+// message the grid sends most often under load.
+func benchNotice() *Message {
+	content := []byte(`{"collector":"cg-3@site1","clusters":[` +
+		`{"key":"site1/host-1","site":"site1","device":"host-1","class":"host","categories":["cpu","memory","network"],"records":24,"max_step":480},` +
+		`{"key":"site1/host-2","site":"site1","device":"host-2","class":"host","categories":["cpu","memory"],"records":16,"max_step":480},` +
+		`{"key":"site1/router-1","site":"site1","device":"router-1","class":"router","categories":["network"],"records":32,"max_step":480},` +
+		`{"key":"site1/switch-1","site":"site1","device":"switch-1","class":"switch","categories":["network"],"records":8,"max_step":480}]}`)
+	return &Message{
+		Performative:   Inform,
+		Sender:         NewAID("clg-1", "site1", "tcp://10.0.0.2:7001"),
+		Receivers:      []AID{NewAID("pg-root", "site1", "tcp://10.0.0.3:7001")},
+		Content:        content,
+		Language:       "json",
+		Ontology:       OntologyGridManagement,
+		Protocol:       ProtocolRequest,
+		ConversationID: "clg-1-4242",
+		Trace:          &TraceContext{TraceID: "a1b2c3d4e5f60718", SpanID: "0011223344556677", Parent: "8899aabbccddeeff"},
+	}
+}
+
+// BenchmarkMarshalBinary pins the steady-state binary encode: append
+// into a reused buffer, zero allocations.
+func BenchmarkMarshalBinary(b *testing.B) {
+	m := benchNotice()
+	buf := make([]byte, 0, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := AppendFrame(buf[:0], m, FormatBinary)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = out[:0]
+	}
+}
+
+// BenchmarkMarshalJSON is the ACL1 baseline for the same message.
+func BenchmarkMarshalJSON(b *testing.B) {
+	m := benchNotice()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Marshal(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUnmarshalBinary decodes the binary frame; the allocations
+// are the returned message and its variable-length fields.
+func BenchmarkUnmarshalBinary(b *testing.B) {
+	frame, err := MarshalBinary(benchNotice())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := UnmarshalBinary(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUnmarshalJSON is the ACL1 decode baseline.
+func BenchmarkUnmarshalJSON(b *testing.B) {
+	frame, err := Marshal(benchNotice())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unmarshal(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadFrameReuse pins the pooled frame-read path: raw frames
+// drained through one FrameReader buffer, zero allocations per frame.
+func BenchmarkReadFrameReuse(b *testing.B) {
+	frame, err := MarshalBinary(benchNotice())
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream := bytes.Repeat(frame, 64)
+	r := bytes.NewReader(stream)
+	fr := NewFrameReader(r)
+	b.SetBytes(int64(len(frame)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i += 64 {
+		r.Reset(stream)
+		for {
+			if _, _, err := fr.Next(); err != nil {
+				if err == io.EOF {
+					break
+				}
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkWireRoundTrip compares the full encode+decode round trip of
+// the classifier notice through each codec — the number BENCH_wire.json
+// records. frame-bytes reports the on-wire size per message.
+func BenchmarkWireRoundTrip(b *testing.B) {
+	run := func(b *testing.B, f Format) {
+		m := benchNotice()
+		probe, err := AppendFrame(nil, m, f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf := make([]byte, 0, 4096)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			frame, err := AppendFrame(buf[:0], m, f)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := Unmarshal(frame); err != nil {
+				b.Fatal(err)
+			}
+			buf = frame[:0]
+		}
+		b.ReportMetric(float64(len(probe)), "frame-bytes")
+	}
+	b.Run("json", func(b *testing.B) { run(b, FormatJSON) })
+	b.Run("binary", func(b *testing.B) { run(b, FormatBinary) })
+}

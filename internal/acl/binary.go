@@ -1,0 +1,383 @@
+package acl
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// ACL2 binary wire format. A frame is the same fixed 8-byte header the
+// JSON codec uses (4-byte magic + 4-byte big-endian payload length),
+// but the magic is "ACL2" and the payload is a compact field-ordered
+// binary encoding instead of JSON:
+//
+//	u8   performative code       (table below; 1-based, 0 is invalid)
+//	aid  sender                  (str name, uvarint addr count, addrs)
+//	uv   receiver count, aids
+//	uv   reply-to count, aids
+//	blob content                 (uvarint length + raw bytes)
+//	str  language
+//	str  encoding
+//	str  ontology
+//	str  protocol
+//	str  conversation id
+//	str  reply-with
+//	str  in-reply-to
+//	str  reply-by                (RFC3339Nano, empty for the zero time)
+//	u8   trace flag              (0 none, 1 present)
+//	str  trace id, span id, parent id   (only when the flag is 1)
+//
+// where str/blob are uvarint-length-prefixed byte strings and uv is an
+// unsigned varint. Every length and count is validated against the
+// bytes actually remaining, so a hostile frame cannot drive a large
+// allocation. ReplyBy deliberately uses the same RFC3339Nano rendering
+// encoding/json uses for time.Time, so a message round-trips to the
+// identical value through either codec (FuzzCodecEquivalence pins
+// this).
+//
+// Readers never negotiate a version: ReadFrame, FrameReader and
+// Unmarshal dispatch on the magic of each individual frame, so an ACL1
+// peer and an ACL2 peer interoperate on one connection and captured
+// logs stay replayable regardless of which codec wrote them.
+
+var wireMagicBinary = [4]byte{'A', 'C', 'L', '2'}
+
+// Format identifies which wire codec framed a message.
+type Format byte
+
+// The wire formats a frame can carry.
+const (
+	FormatJSON   Format = 1 // "ACL1": JSON payload
+	FormatBinary Format = 2 // "ACL2": binary payload
+)
+
+// String implements fmt.Stringer.
+func (f Format) String() string {
+	switch f {
+	case FormatJSON:
+		return "ACL1"
+	case FormatBinary:
+		return "ACL2"
+	}
+	return fmt.Sprintf("Format(%d)", byte(f))
+}
+
+// perfCodes maps each performative to its 1-based wire code. The table
+// is append-only: codes are wire format, never renumber them.
+var perfCodes = map[Performative]byte{
+	Inform: 1, Request: 2, Agree: 3, Refuse: 4, Failure: 5,
+	NotUnderstood: 6, CFP: 7, Propose: 8, AcceptProposal: 9,
+	RejectProposal: 10, Subscribe: 11, Confirm: 12, Cancel: 13,
+	QueryRef: 14,
+}
+
+// codePerfs is the decode side of perfCodes, index = code.
+var codePerfs = [...]Performative{
+	0: "", 1: Inform, 2: Request, 3: Agree, 4: Refuse, 5: Failure,
+	6: NotUnderstood, 7: CFP, 8: Propose, 9: AcceptProposal,
+	10: RejectProposal, 11: Subscribe, 12: Confirm, 13: Cancel,
+	14: QueryRef,
+}
+
+// encPool recycles encode buffers for the pooled frame writers. The
+// pooled value is a *[]byte so Put does not allocate. Ownership rule:
+// a buffer belongs to the caller between getEncBuf and putEncBuf and
+// must not be referenced afterwards — the framereuse gridlint check
+// enforces this shape statically.
+var encPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// maxPooledBuf bounds what goes back into the pool: a one-off giant
+// frame must not pin megabytes of capacity forever.
+const maxPooledBuf = 1 << 20
+
+func getEncBuf() *[]byte { return encPool.Get().(*[]byte) }
+
+func putEncBuf(bp *[]byte) {
+	if cap(*bp) > maxPooledBuf {
+		return
+	}
+	*bp = (*bp)[:0]
+	encPool.Put(bp)
+}
+
+// MarshalBinary encodes a message into a self-delimiting ACL2 frame.
+func MarshalBinary(m *Message) ([]byte, error) {
+	return AppendFrame(nil, m, FormatBinary)
+}
+
+// AppendFrame appends a complete frame (header + payload) in the given
+// format to dst and returns the extended slice. Passing a buffer with
+// spare capacity makes the encode allocation-free; dst may be nil.
+func AppendFrame(dst []byte, m *Message, f Format) ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return dst, err
+	}
+	switch f {
+	case FormatJSON:
+		frame, err := Marshal(m)
+		if err != nil {
+			return dst, err
+		}
+		return append(dst, frame...), nil
+	case FormatBinary:
+	default:
+		return dst, fmt.Errorf("acl: unknown wire format %d", byte(f))
+	}
+	base := len(dst)
+	dst = append(dst, wireMagicBinary[:]...)
+	dst = append(dst, 0, 0, 0, 0) // length, patched below
+	dst = appendBinaryPayload(dst, m)
+	n := len(dst) - base - 8
+	if n > MaxFrameSize {
+		return dst[:base], ErrFrameSize
+	}
+	putUint32(dst[base+4:base+8], uint32(n))
+	return dst, nil
+}
+
+func appendBinaryPayload(dst []byte, m *Message) []byte {
+	dst = append(dst, perfCodes[m.Performative])
+	dst = appendAID(dst, m.Sender)
+	dst = binary.AppendUvarint(dst, uint64(len(m.Receivers)))
+	for _, r := range m.Receivers {
+		dst = appendAID(dst, r)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(m.ReplyTo)))
+	for _, r := range m.ReplyTo {
+		dst = appendAID(dst, r)
+	}
+	dst = appendBlob(dst, m.Content)
+	dst = appendString(dst, m.Language)
+	dst = appendString(dst, m.Encoding)
+	dst = appendString(dst, m.Ontology)
+	dst = appendString(dst, m.Protocol)
+	dst = appendString(dst, m.ConversationID)
+	dst = appendString(dst, m.ReplyWith)
+	dst = appendString(dst, m.InReplyTo)
+	if m.ReplyBy.IsZero() {
+		dst = appendString(dst, "")
+	} else {
+		dst = binary.AppendUvarint(dst, uint64(len(time.RFC3339Nano))+8)
+		mark := len(dst)
+		dst = m.ReplyBy.AppendFormat(dst, time.RFC3339Nano)
+		// Patch the provisional length with the rendered size. The
+		// uvarint stays single-width because the estimate and the
+		// rendering both fit well under 128 bytes.
+		dst[mark-1] = byte(len(dst) - mark)
+	}
+	if m.Trace == nil {
+		dst = append(dst, 0)
+	} else {
+		dst = append(dst, 1)
+		dst = appendString(dst, m.Trace.TraceID)
+		dst = appendString(dst, m.Trace.SpanID)
+		dst = appendString(dst, m.Trace.Parent)
+	}
+	return dst
+}
+
+func appendAID(dst []byte, a AID) []byte {
+	dst = appendString(dst, a.Name)
+	dst = binary.AppendUvarint(dst, uint64(len(a.Addresses)))
+	for _, addr := range a.Addresses {
+		dst = appendString(dst, addr)
+	}
+	return dst
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendBlob(dst []byte, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+// WriteFrameBinary writes one ACL2-framed message to w using a pooled
+// encode buffer: steady-state it performs zero allocations and exactly
+// one Write call, so concurrent senders sharing a buffered writer
+// coalesce cleanly.
+func WriteFrameBinary(w io.Writer, m *Message) error {
+	bp := getEncBuf()
+	frame, err := AppendFrame((*bp)[:0], m, FormatBinary)
+	if err != nil {
+		putEncBuf(bp)
+		return err
+	}
+	_, werr := w.Write(frame)
+	*bp = frame
+	putEncBuf(bp)
+	return werr
+}
+
+// UnmarshalBinary decodes an ACL2 frame produced by MarshalBinary.
+func UnmarshalBinary(data []byte) (*Message, error) {
+	if len(data) < 8 {
+		return nil, ErrShortFrame
+	}
+	if string(data[:4]) != string(wireMagicBinary[:]) {
+		return nil, ErrBadMagic
+	}
+	n := getUint32(data[4:8])
+	if n > MaxFrameSize {
+		return nil, ErrFrameSize
+	}
+	if len(data) != int(8+n) {
+		return nil, fmt.Errorf("%w: header says %d payload bytes, have %d", ErrShortFrame, n, len(data)-8)
+	}
+	return unmarshalBinaryPayload(data[8:])
+}
+
+func unmarshalBinaryPayload(payload []byte) (*Message, error) {
+	d := binDecoder{data: payload}
+	var m Message
+	code := d.u8()
+	if int(code) >= len(codePerfs) || code == 0 {
+		if d.err == nil {
+			return nil, fmt.Errorf("%w: binary code %d", ErrBadPerformative, code)
+		}
+		return nil, d.err
+	}
+	m.Performative = codePerfs[code]
+	m.Sender = d.aid()
+	m.Receivers = d.aids()
+	m.ReplyTo = d.aids()
+	m.Content = d.blob()
+	m.Language = d.str()
+	m.Encoding = d.str()
+	m.Ontology = d.str()
+	m.Protocol = d.str()
+	m.ConversationID = d.str()
+	m.ReplyWith = d.str()
+	m.InReplyTo = d.str()
+	if by := d.str(); by != "" && d.err == nil {
+		t, err := time.Parse(time.RFC3339Nano, by)
+		if err != nil {
+			return nil, fmt.Errorf("acl: decode reply-by: %w", err)
+		}
+		m.ReplyBy = t
+	}
+	switch d.u8() {
+	case 0:
+	case 1:
+		m.Trace = &TraceContext{TraceID: d.str(), SpanID: d.str(), Parent: d.str()}
+	default:
+		if d.err == nil {
+			return nil, fmt.Errorf("acl: decode: bad trace flag")
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(d.data) {
+		return nil, fmt.Errorf("%w: %d trailing payload bytes", ErrShortFrame, len(d.data)-d.off)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// binDecoder is a bounds-checked cursor over a binary payload. The
+// first malformation latches err; subsequent reads return zero values.
+type binDecoder struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (d *binDecoder) fail() {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: truncated binary payload at offset %d", ErrShortFrame, d.off)
+	}
+}
+
+func (d *binDecoder) u8() byte {
+	if d.err != nil || d.off >= len(d.data) {
+		d.fail()
+		return 0
+	}
+	b := d.data[d.off]
+	d.off++
+	return b
+}
+
+// length reads a uvarint declaring how many items follow and verifies
+// the remaining bytes can hold them at minSize bytes apiece, so a
+// hostile count can never drive a large allocation. Byte strings pass
+// minSize 1.
+func (d *binDecoder) count(minSize int) int {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data[d.off:])
+	if n <= 0 || v > uint64((len(d.data)-d.off-n)/minSize) {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return int(v)
+}
+
+func (d *binDecoder) length() int { return d.count(1) }
+
+func (d *binDecoder) str() string {
+	n := d.length()
+	if d.err != nil || n == 0 {
+		return ""
+	}
+	s := string(d.data[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+func (d *binDecoder) blob() []byte {
+	n := d.length()
+	if d.err != nil || n == 0 {
+		// Zero-length decodes to nil, matching the JSON codec's
+		// omitempty round trip.
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, d.data[d.off:])
+	d.off += n
+	return out
+}
+
+func (d *binDecoder) aid() AID {
+	var a AID
+	a.Name = d.str()
+	// Every address costs at least its length byte.
+	n := d.count(1)
+	if d.err != nil || n == 0 {
+		return a
+	}
+	a.Addresses = make([]string, n)
+	for i := range a.Addresses {
+		a.Addresses[i] = d.str()
+	}
+	return a
+}
+
+func (d *binDecoder) aids() []AID {
+	// Every AID costs at least a name length byte and an address count
+	// byte.
+	n := d.count(2)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]AID, n)
+	for i := range out {
+		out[i] = d.aid()
+	}
+	return out
+}

@@ -1,0 +1,320 @@
+package acl
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+// binarySample builds a message exercising every encoded field.
+func binarySample() *Message {
+	return &Message{
+		Performative: Inform,
+		Sender:       NewAID("clg-1", "site1", "tcp://10.0.0.1:7001", "tcp://10.0.0.2:7001"),
+		Receivers:    []AID{NewAID("pg-root", "site1", "tcp://10.0.0.3:7001"), NewAID("ig", "site2")},
+		ReplyTo:      []AID{NewAID("clg-standby", "site1")},
+		Content:      []byte(`{"collector":"cg-3@site1","clusters":[{"key":"site1/host-1"}]}`),
+		Language:     "json",
+		Encoding:     "utf-8",
+		Ontology:     OntologyGridManagement,
+		Protocol:     ProtocolRequest,
+
+		ConversationID: "clg-1-42",
+		ReplyWith:      "rw-7",
+		InReplyTo:      "rq-3",
+		ReplyBy:        time.Date(2026, 8, 5, 12, 30, 45, 123456789, time.UTC),
+		Trace:          &TraceContext{TraceID: "a1b2c3d4e5f60718", SpanID: "0011223344556677", Parent: "8899aabbccddeeff"},
+	}
+}
+
+// assertEqualMessages compares every field of two messages, with times
+// compared by instant and rendering rather than struct identity.
+func assertEqualMessages(t *testing.T, ctx string, a, b *Message) {
+	t.Helper()
+	if a.Performative != b.Performative {
+		t.Errorf("%s: performative %q != %q", ctx, a.Performative, b.Performative)
+	}
+	equalAID := func(what string, x, y AID) {
+		t.Helper()
+		if x.Name != y.Name || len(x.Addresses) != len(y.Addresses) {
+			t.Errorf("%s: %s %+v != %+v", ctx, what, x, y)
+			return
+		}
+		for i := range x.Addresses {
+			if x.Addresses[i] != y.Addresses[i] {
+				t.Errorf("%s: %s address %d %q != %q", ctx, what, i, x.Addresses[i], y.Addresses[i])
+			}
+		}
+	}
+	equalAID("sender", a.Sender, b.Sender)
+	if len(a.Receivers) != len(b.Receivers) {
+		t.Fatalf("%s: receiver count %d != %d", ctx, len(a.Receivers), len(b.Receivers))
+	}
+	for i := range a.Receivers {
+		equalAID("receiver", a.Receivers[i], b.Receivers[i])
+	}
+	if len(a.ReplyTo) != len(b.ReplyTo) {
+		t.Fatalf("%s: reply-to count %d != %d", ctx, len(a.ReplyTo), len(b.ReplyTo))
+	}
+	for i := range a.ReplyTo {
+		equalAID("reply-to", a.ReplyTo[i], b.ReplyTo[i])
+	}
+	if !bytes.Equal(a.Content, b.Content) || (a.Content == nil) != (b.Content == nil) {
+		t.Errorf("%s: content %q != %q", ctx, a.Content, b.Content)
+	}
+	if a.Language != b.Language || a.Encoding != b.Encoding || a.Ontology != b.Ontology {
+		t.Errorf("%s: language/encoding/ontology mismatch", ctx)
+	}
+	if a.Protocol != b.Protocol || a.ConversationID != b.ConversationID ||
+		a.ReplyWith != b.ReplyWith || a.InReplyTo != b.InReplyTo {
+		t.Errorf("%s: protocol/conversation metadata mismatch", ctx)
+	}
+	if !a.ReplyBy.Equal(b.ReplyBy) ||
+		a.ReplyBy.Format(time.RFC3339Nano) != b.ReplyBy.Format(time.RFC3339Nano) {
+		t.Errorf("%s: reply-by %v != %v", ctx, a.ReplyBy, b.ReplyBy)
+	}
+	if (a.Trace == nil) != (b.Trace == nil) {
+		t.Fatalf("%s: trace presence mismatch", ctx)
+	}
+	if a.Trace != nil && *a.Trace != *b.Trace {
+		t.Errorf("%s: trace %+v != %+v", ctx, a.Trace, b.Trace)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	m := binarySample()
+	frame, err := MarshalBinary(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(frame[:4], wireMagicBinary[:]) {
+		t.Fatalf("frame magic = %q", frame[:4])
+	}
+	got, err := UnmarshalBinary(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualMessages(t, "binary round trip", m, got)
+
+	// The generic Unmarshal dispatches on the magic.
+	got2, err := Unmarshal(frame)
+	if err != nil {
+		t.Fatalf("Unmarshal dispatch: %v", err)
+	}
+	assertEqualMessages(t, "dispatched round trip", m, got2)
+}
+
+func TestBinaryRoundTripMinimal(t *testing.T) {
+	m := &Message{
+		Performative: Request,
+		Sender:       NewAID("a", "p"),
+		Receivers:    []AID{NewAID("b", "p")},
+	}
+	frame, err := MarshalBinary(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalBinary(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualMessages(t, "minimal round trip", m, got)
+	if got.Content != nil || got.ReplyTo != nil || got.Trace != nil {
+		t.Errorf("empty fields decoded non-nil: %+v", got)
+	}
+	if !got.ReplyBy.IsZero() {
+		t.Errorf("zero reply-by decoded as %v", got.ReplyBy)
+	}
+}
+
+func TestBinaryTraceSurvival(t *testing.T) {
+	// All performatives and a trace context survive the binary trip.
+	for p := range perfCodes {
+		m := binarySample()
+		m.Performative = p
+		frame, err := MarshalBinary(m)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		got, err := UnmarshalBinary(frame)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if got.Performative != p {
+			t.Errorf("performative %q decoded as %q", p, got.Performative)
+		}
+		if got.Trace == nil || *got.Trace != *m.Trace {
+			t.Errorf("%s: trace context did not survive: %+v", p, got.Trace)
+		}
+	}
+}
+
+func TestBinaryJSONEquivalence(t *testing.T) {
+	// The same message decodes identically through both codecs.
+	m := binarySample()
+	jframe, err := Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bframe, err := MarshalBinary(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jm, err := Unmarshal(jframe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bm, err := Unmarshal(bframe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualMessages(t, "json vs binary", jm, bm)
+	if len(bframe) >= len(jframe) {
+		t.Errorf("binary frame (%d bytes) not smaller than JSON (%d bytes)", len(bframe), len(jframe))
+	}
+}
+
+func TestBinaryRejectsHostileFrames(t *testing.T) {
+	valid, err := MarshalBinary(binarySample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":              {},
+		"short header":       valid[:6],
+		"empty payload":      {'A', 'C', 'L', '2', 0, 0, 0, 0},
+		"truncated payload":  valid[:len(valid)-3],
+		"length mismatch":    append(append([]byte{}, valid...), 0xEE),
+		"oversized declared": {'A', 'C', 'L', '2', 0xff, 0xff, 0xff, 0xff},
+		"bad performative":   {'A', 'C', 'L', '2', 0, 0, 0, 1, 0x7f},
+		"hostile aid count": {'A', 'C', 'L', '2', 0, 0, 0, 7,
+			1, 1, 'a', 0, 0xff, 0xff, 0x7f},
+	}
+	for name, data := range cases {
+		if _, err := UnmarshalBinary(data); err == nil {
+			t.Errorf("%s: hostile frame accepted", name)
+		}
+	}
+	// Trailing garbage inside the declared payload length must also be
+	// rejected: re-frame the valid payload with one extra byte counted.
+	padded := append(append([]byte{}, valid...), 0)
+	putUint32(padded[4:8], uint32(len(padded)-8))
+	if _, err := UnmarshalBinary(padded); err == nil {
+		t.Error("payload with trailing bytes accepted")
+	}
+}
+
+func TestAppendFrameReusesBuffer(t *testing.T) {
+	m := binarySample()
+	buf := make([]byte, 0, 4096)
+	first, err := AppendFrame(buf, m, FormatBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &first[0] != &buf[:1][0] {
+		t.Error("AppendFrame reallocated despite spare capacity")
+	}
+	// Both formats produce decodable frames through AppendFrame.
+	jf, err := AppendFrame(nil, m, FormatJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unmarshal(jf); err != nil {
+		t.Fatalf("JSON AppendFrame frame: %v", err)
+	}
+	if _, err := AppendFrame(nil, m, Format(9)); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if FormatJSON.String() != "ACL1" || FormatBinary.String() != "ACL2" {
+		t.Errorf("format names = %s/%s", FormatJSON, FormatBinary)
+	}
+}
+
+func TestWriteFrameBinary(t *testing.T) {
+	var buf bytes.Buffer
+	m := binarySample()
+	for i := 0; i < 3; i++ {
+		if err := WriteFrameBinary(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Invalid messages are rejected before touching the writer.
+	bad := binarySample()
+	bad.Receivers = nil
+	if err := WriteFrameBinary(&buf, bad); !errors.Is(err, ErrNoReceiver) {
+		t.Fatalf("WriteFrameBinary invalid = %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertEqualMessages(t, "written frame", m, got)
+	}
+	if _, err := ReadFrame(&buf); err != io.EOF {
+		t.Fatalf("trailing read = %v, want io.EOF", err)
+	}
+}
+
+func TestFrameReaderMixedFormats(t *testing.T) {
+	// One stream carrying alternating ACL1 and ACL2 frames decodes in
+	// order through a single FrameReader — the mixed-version wire.
+	var buf bytes.Buffer
+	want := make([]*Message, 0, 6)
+	for i := 0; i < 6; i++ {
+		m := binarySample()
+		m.ConversationID = string(rune('a' + i))
+		f := FormatBinary
+		if i%2 == 1 {
+			f = FormatJSON
+		}
+		frame, err := AppendFrame(nil, m, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf.Write(frame)
+		want = append(want, m)
+	}
+	fr := NewFrameReader(&buf)
+	for i, w := range want {
+		got, err := fr.ReadMessage()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		assertEqualMessages(t, "mixed stream", w, got)
+	}
+	if _, err := fr.ReadMessage(); err != io.EOF {
+		t.Fatalf("end of stream = %v, want io.EOF", err)
+	}
+}
+
+func TestFrameReaderNextPayloadReuse(t *testing.T) {
+	var buf bytes.Buffer
+	m := binarySample()
+	for i := 0; i < 2; i++ {
+		if err := WriteFrameBinary(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fr := NewFrameReader(&buf)
+	f1, p1, err := fr.Next()
+	if err != nil || f1 != FormatBinary {
+		t.Fatalf("Next = %v %v", f1, err)
+	}
+	first := append([]byte(nil), p1...)
+	_, p2, err := fr.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1) > 0 && len(p2) > 0 && &p1[0] != &p2[0] {
+		t.Error("FrameReader did not reuse its payload buffer")
+	}
+	if !bytes.Equal(first, p2) {
+		t.Error("reused buffer decoded different payloads for identical frames")
+	}
+	if _, _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("Next at end = %v, want io.EOF", err)
+	}
+}

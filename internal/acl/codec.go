@@ -9,9 +9,12 @@ import (
 )
 
 // Wire format: a fixed 8-byte header (4-byte magic + 4-byte big-endian
-// payload length) followed by the JSON encoding of the Message. The magic
-// guards against cross-protocol connections; the length bound guards
-// against hostile or corrupt frames.
+// payload length) followed by the payload. The magic selects the
+// payload codec — "ACL1" is the JSON encoding of the Message, "ACL2"
+// the binary encoding (see binary.go) — and guards against
+// cross-protocol connections; the length bound guards against hostile
+// or corrupt frames. Readers dispatch per frame, so mixed-version
+// peers share one connection.
 
 var wireMagic = [4]byte{'A', 'C', 'L', '1'}
 
@@ -45,10 +48,14 @@ func Marshal(m *Message) ([]byte, error) {
 	return buf, nil
 }
 
-// Unmarshal decodes a frame produced by Marshal.
+// Unmarshal decodes a frame produced by Marshal or MarshalBinary,
+// dispatching on the frame magic.
 func Unmarshal(data []byte) (*Message, error) {
 	if len(data) < 8 {
 		return nil, ErrShortFrame
+	}
+	if bytes.Equal(data[:4], wireMagicBinary[:]) {
+		return UnmarshalBinary(data)
 	}
 	if !bytes.Equal(data[:4], wireMagic[:]) {
 		return nil, ErrBadMagic
@@ -80,26 +87,73 @@ func WriteFrame(w io.Writer, m *Message) error {
 	return err
 }
 
-// ReadFrame reads one framed message from r. It returns io.EOF when the
-// stream ends cleanly at a frame boundary.
+// ReadFrame reads one framed message from r, dispatching on the frame
+// magic (ACL1 JSON or ACL2 binary). It returns io.EOF when the stream
+// ends cleanly at a frame boundary. Each call allocates a fresh payload
+// buffer; loops that drain a connection should use a FrameReader, which
+// reuses one buffer across frames.
 func ReadFrame(r io.Reader) (*Message, error) {
-	var hdr [8]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	fr := FrameReader{r: r}
+	return fr.ReadMessage()
+}
+
+// FrameReader reads framed messages from a stream through one reusable
+// payload buffer, so the steady-state frame read performs zero
+// allocations beyond the decoded message itself. Not safe for
+// concurrent use; a connection's read loop owns its FrameReader.
+type FrameReader struct {
+	r   io.Reader
+	buf []byte
+	hdr [8]byte // header scratch; a field so it does not escape per call
+}
+
+// NewFrameReader returns a FrameReader over r.
+func NewFrameReader(r io.Reader) *FrameReader { return &FrameReader{r: r} }
+
+// Next reads one frame and returns its format and raw payload bytes.
+// The payload slice aliases the reader's internal buffer and is valid
+// only until the following Next call; callers that keep it must copy.
+// It returns io.EOF when the stream ends cleanly at a frame boundary.
+func (fr *FrameReader) Next() (Format, []byte, error) {
+	hdr := fr.hdr[:]
+	if _, err := io.ReadFull(fr.r, hdr); err != nil {
 		if errors.Is(err, io.EOF) {
-			return nil, io.EOF
+			return 0, nil, io.EOF
 		}
-		return nil, fmt.Errorf("acl: read header: %w", err)
+		return 0, nil, fmt.Errorf("acl: read header: %w", err)
 	}
-	if !bytes.Equal(hdr[:4], wireMagic[:]) {
-		return nil, ErrBadMagic
+	var f Format
+	switch {
+	case bytes.Equal(hdr[:4], wireMagic[:]):
+		f = FormatJSON
+	case bytes.Equal(hdr[:4], wireMagicBinary[:]):
+		f = FormatBinary
+	default:
+		return 0, nil, ErrBadMagic
 	}
 	n := getUint32(hdr[4:8])
 	if n > MaxFrameSize {
-		return nil, ErrFrameSize
+		return 0, nil, ErrFrameSize
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, fmt.Errorf("acl: read payload: %w", err)
+	if uint32(cap(fr.buf)) < n {
+		fr.buf = make([]byte, n)
+	}
+	payload := fr.buf[:n]
+	if _, err := io.ReadFull(fr.r, payload); err != nil {
+		return 0, nil, fmt.Errorf("acl: read payload: %w", err)
+	}
+	return f, payload, nil
+}
+
+// ReadMessage reads and decodes the next message, whichever codec
+// framed it.
+func (fr *FrameReader) ReadMessage() (*Message, error) {
+	f, payload, err := fr.Next()
+	if err != nil {
+		return nil, err
+	}
+	if f == FormatBinary {
+		return unmarshalBinaryPayload(payload)
 	}
 	var m Message
 	if err := json.Unmarshal(payload, &m); err != nil {

@@ -1,0 +1,139 @@
+package acl
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// fuzzSeedMessages are representative grid messages covering every
+// field combination the codecs must agree on.
+func fuzzSeedMessages() []*Message {
+	return []*Message{
+		binarySample(),
+		{Performative: Inform, Sender: NewAID("cg-1", "site1"),
+			Receivers: []AID{NewAID("clg", "site1")}, Content: []byte(`{"x":1}`),
+			Language: "json", Ontology: OntologyGridManagement, ConversationID: "c1"},
+		{Performative: Request, Sender: NewAID("clg", "site1"),
+			Receivers: []AID{NewAID("pg-root", "site1")},
+			Protocol:  ProtocolRequest, ReplyWith: "r1",
+			ReplyBy:   time.Date(2026, 8, 5, 9, 0, 0, 0, time.FixedZone("", -3*3600)),
+			Trace:     &TraceContext{TraceID: "a1b2c3", SpanID: "1", Parent: "2"}},
+		{Performative: CFP, Sender: NewAID("pg-root", "site1"),
+			Receivers: []AID{NewAID("pg-1", "site1"), NewAID("pg-2", "site1")},
+			ReplyTo:   []AID{NewAID("pg-standby", "site1")},
+			Protocol:  ProtocolContractNet, ConversationID: "conv-9"},
+	}
+}
+
+// FuzzCodecEquivalence is the differential target: any frame either
+// decoder accepts must round-trip to the identical message through the
+// JSON codec and through the binary codec, in both directions. A field
+// one codec preserves and the other drops, or a value the codecs
+// normalize differently, fails here.
+func FuzzCodecEquivalence(f *testing.F) {
+	for _, m := range fuzzSeedMessages() {
+		jf, err := Marshal(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(jf)
+		bf, err := MarshalBinary(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(bf)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Unmarshal(data)
+		if err != nil {
+			return
+		}
+		// JSON direction.
+		jframe, err := Marshal(m)
+		if err != nil {
+			t.Fatalf("JSON re-marshal of accepted message failed: %v", err)
+		}
+		jm, err := Unmarshal(jframe)
+		if err != nil {
+			t.Fatalf("JSON round trip failed: %v", err)
+		}
+		// Binary direction.
+		bframe, err := MarshalBinary(m)
+		if err != nil {
+			t.Fatalf("binary re-marshal of accepted message failed: %v", err)
+		}
+		bm, err := Unmarshal(bframe)
+		if err != nil {
+			t.Fatalf("binary round trip failed: %v", err)
+		}
+		fuzzEqualMessages(t, jm, bm)
+		// And vice versa: re-encoding each result through the other
+		// codec converges instead of drifting.
+		jframe2, err := MarshalBinary(jm)
+		if err != nil {
+			t.Fatalf("binary re-marshal of JSON result failed: %v", err)
+		}
+		jm2, err := Unmarshal(jframe2)
+		if err != nil {
+			t.Fatalf("cross round trip failed: %v", err)
+		}
+		fuzzEqualMessages(t, bm, jm2)
+	})
+}
+
+// fuzzEqualMessages is the fatal-on-mismatch variant used inside fuzz
+// bodies.
+func fuzzEqualMessages(t *testing.T, a, b *Message) {
+	t.Helper()
+	assertEqualMessages(t, "codec equivalence", a, b)
+	if t.Failed() {
+		t.FailNow()
+	}
+}
+
+// FuzzUnmarshalBinaryFrame feeds hostile bytes to the binary decoder:
+// truncated fields, oversized declared lengths, bad magic, hostile
+// counts. Beyond not panicking and not over-allocating, any accepted
+// frame must re-frame and re-decode to the same message.
+func FuzzUnmarshalBinaryFrame(f *testing.F) {
+	for _, m := range fuzzSeedMessages() {
+		bf, err := MarshalBinary(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(bf)
+		// Truncations of a valid frame probe every field boundary.
+		f.Add(bf[:len(bf)-1])
+		f.Add(bf[:8+len(bf)/2])
+	}
+	f.Add([]byte{})
+	f.Add([]byte{'A', 'C', 'L', '2'})
+	f.Add([]byte{'A', 'C', 'L', '2', 0, 0, 0, 0})
+	f.Add([]byte{'A', 'C', 'L', '3', 0, 0, 0, 0})
+	f.Add([]byte{'A', 'C', 'L', '2', 0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{'A', 'C', 'L', '2', 0, 0, 0, 1, 1})
+	// Huge declared receiver count with no bytes behind it.
+	f.Add([]byte{'A', 'C', 'L', '2', 0, 0, 0, 9, 1, 1, 'a', 0, 0xff, 0xff, 0xff, 0xff, 0x0f})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := UnmarshalBinary(data)
+		if err != nil {
+			return
+		}
+		if len(data) < 8 || !bytes.Equal(data[:4], wireMagicBinary[:]) {
+			t.Fatalf("binary decoder accepted a frame with a bad header: % x", data[:min(len(data), 8)])
+		}
+		if n := getUint32(data[4:8]); int(n) != len(data)-8 {
+			t.Fatalf("binary decoder accepted length mismatch: header %d, payload %d", n, len(data)-8)
+		}
+		out, err := MarshalBinary(m)
+		if err != nil {
+			t.Fatalf("re-marshal of accepted message failed: %v", err)
+		}
+		m2, err := UnmarshalBinary(out)
+		if err != nil {
+			t.Fatalf("re-unmarshal failed: %v", err)
+		}
+		fuzzEqualMessages(t, m, m2)
+	})
+}

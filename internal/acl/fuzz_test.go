@@ -48,7 +48,7 @@ func FuzzUnmarshalFrame(f *testing.F) {
 			return
 		}
 		// Accepted frames must be internally consistent with the header.
-		if len(data) < 8 || !bytes.Equal(data[:4], wireMagic[:]) {
+		if len(data) < 8 || (!bytes.Equal(data[:4], wireMagic[:]) && !bytes.Equal(data[:4], wireMagicBinary[:])) {
 			t.Fatalf("decoder accepted a frame with a bad header: % x", data[:min(len(data), 8)])
 		}
 		if n := getUint32(data[4:8]); int(n) != len(data)-8 {

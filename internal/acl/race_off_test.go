@@ -1,0 +1,5 @@
+//go:build !race
+
+package acl
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package acl
+
+// raceEnabled gates allocation assertions: the race detector
+// instruments the codec hot path and defeats AllocsPerRun, so
+// alloc-free checks only run in normal builds.
+const raceEnabled = true

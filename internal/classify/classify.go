@@ -28,6 +28,14 @@ type Sink interface {
 	Append(r obs.Record) error
 }
 
+// BatchSink is an optional Sink extension: a sink that can ingest a
+// whole batch under one lock acquisition. *store.Store and
+// *store.ReplicaSet both satisfy it; the classifier uses it when
+// present instead of per-record Appends.
+type BatchSink interface {
+	AppendBatch(b *obs.Batch) error
+}
+
 // Cluster is one meaning-preserving unit of analysis work: by default
 // all records of one device in one batch, so cross-metric rules for a
 // device never straddle a split (§3.2: data must be divided "in such a
@@ -58,11 +66,16 @@ type Notice struct {
 	Clusters []Cluster `json:"clusters"`
 }
 
-// EncodeNotice serializes a notice for ACL content.
+// EncodeNotice serializes a notice for ACL content (JSON form).
 func EncodeNotice(n *Notice) ([]byte, error) { return json.Marshal(n) }
 
-// DecodeNotice parses a notice from ACL content.
+// DecodeNotice parses a notice from ACL content, dispatching on the
+// leading byte: a JSON notice starts with '{', the binary form with its
+// own magic. Consumers therefore accept either encoding transparently.
 func DecodeNotice(data []byte) (*Notice, error) {
+	if len(data) > 0 && data[0] == noticeMagic {
+		return decodeNoticeBinary(data)
+	}
 	var n Notice
 	if err := json.Unmarshal(data, &n); err != nil {
 		return nil, fmt.Errorf("classify: decode notice: %w", err)
@@ -186,6 +199,11 @@ type Config struct {
 	Ontology *obs.Ontology
 	// Strategy clusters batches (default DeviceAffinity).
 	Strategy Strategy
+	// BinaryNotices emits "data present" notices in the compact binary
+	// encoding instead of JSON. DecodeNotice dispatches on the content,
+	// so processors understand either; enable once every consumer in
+	// the grid runs a DecodeNotice that dispatches.
+	BinaryNotices bool
 	// ErrorLog receives parse/store errors. Optional.
 	ErrorLog func(error)
 	// Metrics, when set, registers the classifier's counters and
@@ -289,21 +307,14 @@ func (c *Classifier) handleBatch(ctx context.Context, a *agent.Agent, m *acl.Mes
 func (c *Classifier) Ingest(ctx context.Context, batch *obs.Batch) error {
 	sp := c.a.Tracer().ChildFromContext(ctx, "classify.store")
 	defer sp.End()
-	stored := 0
-	for i := range batch.Records {
-		r := batch.Records[i]
-		if c.cfg.Ontology != nil {
-			c.cfg.Ontology.Annotate(&r)
-		}
-		if err := c.cfg.Store.Append(r); err != nil {
-			sp.SetError(err)
-			c.mu.Lock()
-			c.stats.StoreErrors++
-			c.mu.Unlock()
-			c.mStoreErrors.Inc()
-			return fmt.Errorf("classify: store %s: %w", r.Key(), err)
-		}
-		stored++
+	stored, err := c.storeBatch(batch)
+	if err != nil {
+		sp.SetError(err)
+		c.mu.Lock()
+		c.stats.StoreErrors++
+		c.mu.Unlock()
+		c.mStoreErrors.Inc()
+		return err
 	}
 	sp.SetAttrInt("records", stored)
 	sp.End()
@@ -319,6 +330,39 @@ func (c *Classifier) Ingest(ctx context.Context, batch *obs.Batch) error {
 	return c.notify(ctx, batch)
 }
 
+// storeBatch persists a batch's records, annotated with the ontology,
+// and reports how many were stored. When the sink can take a whole
+// batch it gets one AppendBatch call (one lock acquisition); otherwise
+// it degrades to per-record Appends. Both paths annotate private copies
+// so the caller's batch is never mutated.
+func (c *Classifier) storeBatch(batch *obs.Batch) (int, error) {
+	if bs, ok := c.cfg.Store.(BatchSink); ok {
+		recs := make([]obs.Record, len(batch.Records))
+		copy(recs, batch.Records)
+		if c.cfg.Ontology != nil {
+			for i := range recs {
+				c.cfg.Ontology.Annotate(&recs[i])
+			}
+		}
+		if err := bs.AppendBatch(&obs.Batch{Collector: batch.Collector, Records: recs}); err != nil {
+			return 0, fmt.Errorf("classify: store batch from %s: %w", batch.Collector, err)
+		}
+		return len(recs), nil
+	}
+	stored := 0
+	for i := range batch.Records {
+		r := batch.Records[i]
+		if c.cfg.Ontology != nil {
+			c.cfg.Ontology.Annotate(&r)
+		}
+		if err := c.cfg.Store.Append(r); err != nil {
+			return stored, fmt.Errorf("classify: store %s: %w", r.Key(), err)
+		}
+		stored++
+	}
+	return stored, nil
+}
+
 // notify tells the processor grid root that classified data is waiting
 // (the FIPA ACL message of Figure 2).
 func (c *Classifier) notify(ctx context.Context, batch *obs.Batch) error {
@@ -326,7 +370,11 @@ func (c *Classifier) notify(ctx context.Context, batch *obs.Batch) error {
 		Collector: batch.Collector,
 		Clusters:  c.cfg.Strategy.Cluster(batch.Records, c.cfg.Ontology),
 	}
-	content, err := EncodeNotice(notice)
+	encode, lang := EncodeNotice, "json"
+	if c.cfg.BinaryNotices {
+		encode, lang = EncodeNoticeBinary, "binary"
+	}
+	content, err := encode(notice)
 	if err != nil {
 		return fmt.Errorf("classify: encode notice: %w", err)
 	}
@@ -334,7 +382,7 @@ func (c *Classifier) notify(ctx context.Context, batch *obs.Batch) error {
 		Performative:   acl.Inform,
 		Receivers:      []acl.AID{c.cfg.Processor},
 		Content:        content,
-		Language:       "json",
+		Language:       lang,
 		Ontology:       acl.OntologyGridManagement,
 		Protocol:       acl.ProtocolRequest,
 		ConversationID: c.a.NewConversationID(),

@@ -1,0 +1,188 @@
+package classify
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Binary notice encoding. The JSON notice repeats every field name in
+// every cluster, which dominates the bytes of the grid's most frequent
+// message; the binary form keeps only the values. Layout, all integers
+// varint and all strings uvarint-length-prefixed:
+//
+//	u8      magic 'N' (never '{', so DecodeNotice dispatches on it)
+//	u8      version (1)
+//	string  collector
+//	uvarint cluster count
+//	per cluster:
+//	  string  key, site, device, class
+//	  uvarint category count, then that many strings
+//	  varint  records
+//	  varint  max step
+const (
+	noticeMagic   = 'N'
+	noticeVersion = 1
+)
+
+// ErrNoticeEncoding reports bytes that are neither a JSON nor a binary
+// notice.
+var ErrNoticeEncoding = errors.New("classify: unrecognized notice encoding")
+
+// EncodeNoticeBinary serializes a notice into the compact binary form.
+// DecodeNotice accepts both forms, so producers can switch freely.
+func EncodeNoticeBinary(n *Notice) ([]byte, error) {
+	size := 2 + 5 + len(n.Collector)
+	for i := range n.Clusters {
+		c := &n.Clusters[i]
+		size += len(c.Key) + len(c.Site) + len(c.Device) + len(c.Class) + 30
+		for _, cat := range c.Categories {
+			size += len(cat) + 5
+		}
+	}
+	out := make([]byte, 0, size)
+	out = append(out, noticeMagic, noticeVersion)
+	out = appendNoticeString(out, n.Collector)
+	out = binary.AppendUvarint(out, uint64(len(n.Clusters)))
+	for i := range n.Clusters {
+		c := &n.Clusters[i]
+		out = appendNoticeString(out, c.Key)
+		out = appendNoticeString(out, c.Site)
+		out = appendNoticeString(out, c.Device)
+		out = appendNoticeString(out, c.Class)
+		out = binary.AppendUvarint(out, uint64(len(c.Categories)))
+		for _, cat := range c.Categories {
+			out = appendNoticeString(out, cat)
+		}
+		out = binary.AppendVarint(out, int64(c.Records))
+		out = binary.AppendVarint(out, int64(c.MaxStep))
+	}
+	return out, nil
+}
+
+func appendNoticeString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// decodeNoticeBinary parses the binary form. Counts are checked against
+// the remaining bytes before any allocation sized by them.
+func decodeNoticeBinary(data []byte) (*Notice, error) {
+	if len(data) < 2 || data[0] != noticeMagic {
+		return nil, ErrNoticeEncoding
+	}
+	if data[1] != noticeVersion {
+		return nil, fmt.Errorf("classify: notice version %d not supported", data[1])
+	}
+	d := noticeDecoder{data: data, off: 2}
+	n := &Notice{Collector: d.str()}
+	// A serialized cluster is at least 6 bytes (four empty strings, a
+	// category count and two varints).
+	nc := d.count(6)
+	if nc > 0 {
+		n.Clusters = make([]Cluster, 0, nc)
+	}
+	for i := 0; i < nc; i++ {
+		c := Cluster{
+			Key:    d.str(),
+			Site:   d.str(),
+			Device: d.str(),
+			Class:  d.str(),
+		}
+		ncat := d.count(1)
+		if ncat > 0 {
+			c.Categories = make([]string, 0, ncat)
+		} else if d.err == nil {
+			// JSON round trips an empty Categories slice as [], never
+			// null; match it so both codecs decode identically.
+			c.Categories = []string{}
+		}
+		for j := 0; j < ncat; j++ {
+			c.Categories = append(c.Categories, d.str())
+		}
+		c.Records = int(d.varint())
+		c.MaxStep = int(d.varint())
+		if d.err != nil {
+			return nil, fmt.Errorf("classify: decode notice: %w", d.err)
+		}
+		n.Clusters = append(n.Clusters, c)
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("classify: decode notice: %w", d.err)
+	}
+	if d.off != len(data) {
+		return nil, fmt.Errorf("classify: decode notice: %d trailing bytes", len(data)-d.off)
+	}
+	return n, nil
+}
+
+// noticeDecoder is a bounds-checked cursor with a latched error, the
+// same shape as the ACL binary decoder.
+type noticeDecoder struct {
+	data []byte
+	off  int
+	err  error
+}
+
+var errNoticeTruncated = errors.New("truncated")
+
+func (d *noticeDecoder) fail() {
+	if d.err == nil {
+		d.err = errNoticeTruncated
+	}
+}
+
+func (d *noticeDecoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *noticeDecoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.data[d.off:])
+	if n <= 0 {
+		d.fail()
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// count reads an element count and rejects values that could not fit in
+// the remaining bytes given a minimum encoded size per element, so a
+// hostile count cannot drive a huge allocation.
+func (d *noticeDecoder) count(minSize int) int {
+	v := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if v > uint64(len(d.data)-d.off)/uint64(minSize) {
+		d.fail()
+		return 0
+	}
+	return int(v)
+}
+
+func (d *noticeDecoder) str() string {
+	n := int(d.uvarint())
+	if d.err != nil {
+		return ""
+	}
+	if n < 0 || n > len(d.data)-d.off {
+		d.fail()
+		return ""
+	}
+	s := string(d.data[d.off : d.off+n])
+	d.off += n
+	return s
+}

@@ -1,0 +1,272 @@
+package classify
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"agentgrid/internal/acl"
+	"agentgrid/internal/obs"
+)
+
+// pipelineNotice builds a notice the way the classifier does: through
+// the clustering strategy, so both codecs see production-shaped data.
+func pipelineNotice(t *testing.T) *Notice {
+	t.Helper()
+	batch := testBatch()
+	return &Notice{
+		Collector: batch.Collector,
+		Clusters:  DeviceAffinity{}.Cluster(batch.Records, obs.NewOntology()),
+	}
+}
+
+func TestNoticeBinaryRoundTrip(t *testing.T) {
+	n := pipelineNotice(t)
+	bin, err := EncodeNoticeBinary(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeNotice(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The binary round trip must land exactly where the JSON round
+	// trip does — one truth for consumers regardless of producer.
+	jf, err := EncodeNotice(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaJSON, err := DecodeNotice(jf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, viaJSON) {
+		t.Fatalf("codecs diverge:\nbinary: %+v\njson:   %+v", got, viaJSON)
+	}
+	if len(bin) >= len(jf) {
+		t.Errorf("binary notice (%d bytes) not smaller than JSON (%d bytes)", len(bin), len(jf))
+	}
+}
+
+func TestNoticeBinaryEmptyClusters(t *testing.T) {
+	n := &Notice{Collector: "c@site1"}
+	bin, err := EncodeNoticeBinary(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeNotice(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Collector != "c@site1" || got.Clusters != nil {
+		t.Fatalf("decoded = %+v", got)
+	}
+}
+
+func TestNoticeBinaryRejectsHostile(t *testing.T) {
+	valid, err := EncodeNoticeBinary(pipelineNotice(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":            {},
+		"magic only":       {noticeMagic},
+		"bad version":      {noticeMagic, 99},
+		"truncated":        valid[:len(valid)/2],
+		"trailing bytes":   append(append([]byte{}, valid...), 0),
+		"hostile clusters": {noticeMagic, noticeVersion, 1, 'c', 0xff, 0xff, 0xff, 0xff, 0x0f},
+		"hostile cats": {noticeMagic, noticeVersion, 1, 'c', 1,
+			1, 'k', 0, 0, 0, 0xff, 0xff, 0xff, 0x7f},
+	}
+	for name, data := range cases {
+		if _, err := DecodeNotice(data); err == nil {
+			t.Errorf("%s: hostile notice accepted", name)
+		}
+	}
+}
+
+func TestDecodeNoticeDispatch(t *testing.T) {
+	// A consumer sees JSON from old classifiers and binary from new
+	// ones on the same code path.
+	n := pipelineNotice(t)
+	for _, enc := range []func(*Notice) ([]byte, error){EncodeNotice, EncodeNoticeBinary} {
+		data, err := enc(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeNotice(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Collector != n.Collector || len(got.Clusters) != len(n.Clusters) {
+			t.Fatalf("decoded = %+v", got)
+		}
+	}
+}
+
+func TestBinaryNoticesEndToEnd(t *testing.T) {
+	// A classifier configured for binary notices emits content the
+	// standard DecodeNotice path (which outbox.notices uses) parses.
+	c, _, out := newClassifier(t, func(cfg *Config) { cfg.BinaryNotices = true })
+	if err := c.Ingest(context.Background(), testBatch()); err != nil {
+		t.Fatal(err)
+	}
+	out.mu.Lock()
+	var lang string
+	var content []byte
+	for _, m := range out.msgs {
+		if m.Ontology == acl.OntologyGridManagement {
+			lang, content = m.Language, m.Content
+		}
+	}
+	out.mu.Unlock()
+	if lang != "binary" {
+		t.Fatalf("notice language = %q, want binary", lang)
+	}
+	if len(content) == 0 || content[0] != noticeMagic {
+		t.Fatalf("notice content is not binary: % x", content[:min(len(content), 4)])
+	}
+	notices := out.notices(t)
+	if len(notices) != 1 || len(notices[0].Clusters) != 2 {
+		t.Fatalf("notices = %+v", notices)
+	}
+}
+
+// batchRecorder records which sink methods the classifier uses.
+type batchRecorder struct {
+	appends int
+	batches []*obs.Batch
+}
+
+func (r *batchRecorder) Append(obs.Record) error { r.appends++; return nil }
+func (r *batchRecorder) AppendBatch(b *obs.Batch) error {
+	r.batches = append(r.batches, b)
+	return nil
+}
+
+func TestIngestUsesBatchSink(t *testing.T) {
+	rec := &batchRecorder{}
+	c, _, _ := newClassifier(t, func(cfg *Config) { cfg.Store = rec })
+	batch := testBatch()
+	if err := c.Ingest(context.Background(), batch); err != nil {
+		t.Fatal(err)
+	}
+	if rec.appends != 0 || len(rec.batches) != 1 {
+		t.Fatalf("sink saw %d Appends and %d batches, want 0 and 1", rec.appends, len(rec.batches))
+	}
+	got := rec.batches[0]
+	if len(got.Records) != len(batch.Records) {
+		t.Fatalf("batch sink got %d records", len(got.Records))
+	}
+	// The stored records are annotated copies: the ontology filled in
+	// units, and the caller's batch was not touched.
+	if got.Records[0].Unit == "" {
+		t.Error("batch sink records not annotated")
+	}
+	for i := range batch.Records {
+		if batch.Records[i].Unit != "" {
+			t.Fatalf("caller's record %d mutated: %+v", i, batch.Records[i])
+		}
+	}
+	if stats := c.Stats(); stats.Records != uint64(len(batch.Records)) {
+		t.Fatalf("stats = %+v", stats)
+	}
+}
+
+func TestIngestBatchSinkError(t *testing.T) {
+	c, _, out := newClassifier(t, func(cfg *Config) {
+		cfg.Store = errBatchSink{}
+	})
+	err := c.Ingest(context.Background(), testBatch())
+	if err == nil || !strings.Contains(err.Error(), "store batch") {
+		t.Fatalf("Ingest = %v", err)
+	}
+	if stats := c.Stats(); stats.StoreErrors != 1 || stats.Batches != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if len(out.notices(t)) != 0 {
+		t.Fatal("failed batch still produced a notice")
+	}
+}
+
+var errSinkBoom = errors.New("sink boom")
+
+type errBatchSink struct{}
+
+func (errBatchSink) Append(obs.Record) error      { return errSinkBoom }
+func (errBatchSink) AppendBatch(*obs.Batch) error { return errSinkBoom }
+
+// BenchmarkNoticeWire measures the grid's most frequent message — the
+// classifier's "data present" notice — as a full wire frame: notice
+// encode, ACL envelope, frame encode, frame decode, notice decode.
+// json is the ACL1+JSON-notice baseline; binary is ACL2+binary-notice.
+// frame-bytes reports the on-wire size.
+func BenchmarkNoticeWire(b *testing.B) {
+	// Four device clusters — the representative site-sized notice the
+	// classifier emits per collector batch.
+	mk := func(dev, class, metric string, step int, v float64) obs.Record {
+		return obs.Record{Site: "site1", Device: dev, Class: class, Metric: metric,
+			Value: v, Step: step, Time: time.Unix(int64(step), 0).UTC()}
+	}
+	batch := &obs.Batch{
+		Collector: "cg-3@site1",
+		Records: []obs.Record{
+			mk("host-1", "host", "cpu.util", 480, 90),
+			mk("host-1", "host", "mem.free", 480, 512),
+			mk("host-1", "host", "if.in.1", 480, 1234),
+			mk("host-2", "host", "cpu.util", 480, 20),
+			mk("host-2", "host", "mem.free", 480, 9000),
+			mk("router-1", "router", "if.in.1", 480, 777),
+			mk("router-1", "router", "if.out.1", 480, 778),
+			mk("switch-1", "switch", "if.in.2", 480, 1),
+		},
+	}
+	notice := &Notice{
+		Collector: batch.Collector,
+		Clusters:  DeviceAffinity{}.Cluster(batch.Records, obs.NewOntology()),
+	}
+	run := func(b *testing.B, f acl.Format, enc func(*Notice) ([]byte, error), lang string) {
+		content, err := enc(notice)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := &acl.Message{
+			Performative:   acl.Inform,
+			Sender:         acl.NewAID("clg-1", "site1", "tcp://10.0.0.2:7001"),
+			Receivers:      []acl.AID{acl.NewAID("pg-root", "site1", "tcp://10.0.0.3:7001")},
+			Content:        content,
+			Language:       lang,
+			Ontology:       acl.OntologyGridManagement,
+			Protocol:       acl.ProtocolRequest,
+			ConversationID: "clg-1-4242",
+			Trace:          &acl.TraceContext{TraceID: "a1b2c3d4e5f60718", SpanID: "0011223344556677"},
+		}
+		probe, err := acl.AppendFrame(nil, m, f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf := make([]byte, 0, 4096)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			frame, err := acl.AppendFrame(buf[:0], m, f)
+			if err != nil {
+				b.Fatal(err)
+			}
+			got, err := acl.Unmarshal(frame)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := DecodeNotice(got.Content); err != nil {
+				b.Fatal(err)
+			}
+			buf = frame[:0]
+		}
+		b.ReportMetric(float64(len(probe)), "frame-bytes")
+	}
+	b.Run("json", func(b *testing.B) { run(b, acl.FormatJSON, EncodeNotice, "json") })
+	b.Run("binary", func(b *testing.B) { run(b, acl.FormatBinary, EncodeNoticeBinary, "binary") })
+}

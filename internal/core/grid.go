@@ -157,8 +157,10 @@ func NewGrid(cfg Config) (*Grid, error) {
 		if cfg.TCPHost != "" {
 			wl := telemetry.Labels{"container": name}
 			err = c.AttachTCP(cfg.TCPHost+":0", transport.WithTCPMetrics(transport.WireMetrics{
-				SentBytes: g.metrics.Counter("acl_sent_bytes_total", "ACL frame bytes written to TCP peers", wl),
-				RecvBytes: g.metrics.Counter("acl_received_bytes_total", "ACL frame bytes read from TCP peers", wl),
+				SentBytes:    g.metrics.Counter("acl_sent_bytes_total", "ACL frame bytes written to TCP peers", wl),
+				RecvBytes:    g.metrics.Counter("acl_received_bytes_total", "ACL frame bytes read from TCP peers", wl),
+				AcceptErrors: g.metrics.Counter("acl_accept_errors_total", "transient TCP listener accept failures", wl),
+				DecodeErrors: g.metrics.Counter("acl_decode_errors_total", "inbound TCP connections ended by an undecodable frame", wl),
 			}))
 		} else {
 			err = c.AttachInProc(g.net, "inproc://"+name)

@@ -1,0 +1,248 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+)
+
+// AnalyzerFrameReuse polices the pooled-buffer ownership contract of
+// the wire hot path: a buffer obtained from a sync.Pool (or a
+// get*Buf helper wrapping one) belongs to the caller only between the
+// get and the Put. Using the variable after the Put — or returning it
+// from a function that also Puts it — aliases memory the pool may
+// already have handed to a concurrent sender, which corrupts frames
+// under load and is close to undebuggable after the fact.
+//
+// Heuristics, purely syntactic like the rest of gridlint:
+//   - pool get: `x := p.Get()` (optionally through a type assertion)
+//     where the receiver's name contains "ool", or `x := getFooBuf()`
+//     where the callee matches (?i)^get.*buf.
+//   - put: a call whose function name or method name starts with
+//     Put/put and takes x as an argument. Deferred puts are the
+//     end-of-function idiom and never start the forbidden region.
+//   - rule 1 (use after put): a later statement in the same statement
+//     list mentions x after the statement that put it.
+//   - rule 2 (escape): a return statement mentions x in a function
+//     that also puts x.
+var AnalyzerFrameReuse = &Analyzer{
+	Name: "framereuse",
+	Doc:  "pooled wire buffers must not be used or returned after being Put back in the pool",
+	Run:  runFrameReuse,
+}
+
+var getBufRe = regexp.MustCompile(`(?i)^get.*buf`)
+var putNameRe = regexp.MustCompile(`^(Put|put)`)
+
+func runFrameReuse(p *Package) []Diagnostic {
+	var out []Diagnostic
+	seen := make(map[token.Pos]bool)
+	report := func(pos token.Pos, msg string) {
+		if seen[pos] {
+			return
+		}
+		seen[pos] = true
+		out = append(out, Diagnostic{
+			Pos:      p.Fset.Position(pos),
+			Analyzer: "framereuse",
+			Message:  msg,
+		})
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			}
+			if body == nil {
+				return true
+			}
+			pooled := pooledVars(body)
+			if len(pooled) == 0 {
+				return true
+			}
+			checkFrameReuse(body, pooled, report)
+			return true
+		})
+	}
+	return out
+}
+
+// pooledVars collects names assigned from a pool get inside the body.
+func pooledVars(body *ast.BlockStmt) map[string]bool {
+	pooled := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) == 0 {
+			return true
+		}
+		if !isPoolGet(as.Rhs[0]) {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name != "_" {
+			pooled[id.Name] = true
+		}
+		return true
+	})
+	return pooled
+}
+
+// isPoolGet recognizes `p.Get()` (receiver name containing "ool"),
+// optionally wrapped in a type assertion, and `getFooBuf()` helpers.
+func isPoolGet(e ast.Expr) bool {
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ta.X
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if fun.Sel.Name != "Get" {
+			return false
+		}
+		return strings.Contains(strings.ToLower(exprName(fun.X)), "ool")
+	case *ast.Ident:
+		return getBufRe.MatchString(fun.Name)
+	}
+	return false
+}
+
+// exprName reduces an expression to its trailing identifier name.
+func exprName(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	}
+	return ""
+}
+
+// checkFrameReuse applies both rules to every statement list in body.
+func checkFrameReuse(body *ast.BlockStmt, pooled map[string]bool, report func(token.Pos, string)) {
+	// Rule 2 precondition: which pooled vars does the function put
+	// (ignoring deferred puts)?
+	putVars := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			return false
+		}
+		for name := range pooled {
+			if isPutOf(n, name) {
+				putVars[name] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		// Rule 2: returns that leak a pooled-and-put variable.
+		if ret, ok := n.(*ast.ReturnStmt); ok {
+			for name := range putVars {
+				for _, res := range ret.Results {
+					if usesIdent(res, name) {
+						report(ret.Pos(), "pooled buffer "+name+" returned from a function that also Puts it; the caller would alias recycled memory")
+					}
+				}
+			}
+			return true
+		}
+		// Rule 1: scan each statement list for use-after-put.
+		var list []ast.Stmt
+		switch b := n.(type) {
+		case *ast.BlockStmt:
+			list = b.List
+		case *ast.CaseClause:
+			list = b.Body
+		case *ast.CommClause:
+			list = b.Body
+		default:
+			return true
+		}
+		for name := range pooled {
+			putIdx := -1
+			for i, stmt := range list {
+				if putIdx >= 0 && usesIdent(stmt, name) {
+					report(stmt.Pos(), "pooled buffer "+name+" used after being Put back in the pool")
+					break
+				}
+				if putIdx < 0 && stmtPuts(stmt, name) {
+					putIdx = i
+				}
+			}
+		}
+		return true
+	})
+}
+
+// stmtPuts reports whether the statement performs a non-deferred put
+// of name at its own nesting level. Puts inside nested blocks (an
+// early-return branch like `if err != nil { putEncBuf(bp); return err }`)
+// do not end the outer list's ownership — those lists are scanned on
+// their own.
+func stmtPuts(stmt ast.Stmt, name string) bool {
+	found := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.DeferStmt, *ast.FuncLit:
+			return false
+		case *ast.BlockStmt:
+			if n != stmt {
+				return false
+			}
+		}
+		if isPutOf(n, name) {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// isPutOf reports whether n is a call Put*(…, name, …) / put*(…).
+func isPutOf(n ast.Node, name string) bool {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	callee := ""
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		callee = fun.Name
+	case *ast.SelectorExpr:
+		callee = fun.Sel.Name
+	}
+	if !putNameRe.MatchString(callee) {
+		return false
+	}
+	for _, arg := range call.Args {
+		if id, ok := arg.(*ast.Ident); ok && id.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// usesIdent reports whether the subtree mentions the identifier,
+// ignoring nested function literals (they capture by reference but run
+// on their own schedule; the deferred-put idiom lives there).
+func usesIdent(n ast.Node, name string) bool {
+	found := false
+	ast.Inspect(n, func(in ast.Node) bool {
+		if _, ok := in.(*ast.FuncLit); ok {
+			return false
+		}
+		if id, ok := in.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -80,6 +80,7 @@ func Analyzers() []*Analyzer {
 		AnalyzerSleepSync,
 		AnalyzerTraceCtx,
 		AnalyzerMetricName,
+		AnalyzerFrameReuse,
 	}
 }
 

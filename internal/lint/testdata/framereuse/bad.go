@@ -1,0 +1,37 @@
+// Fixture: pooled wire buffers used or leaked after their Put.
+package fixture
+
+import "sync"
+
+var framePool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+func getEncBuf() *[]byte  { return framePool.Get().(*[]byte) }
+func putEncBuf(b *[]byte) { framePool.Put(b) }
+
+// useAfterPut touches the buffer after handing it back: a concurrent
+// sender may already be writing into the same backing array.
+func useAfterPut() int {
+	bp := framePool.Get().(*[]byte)
+	*bp = append(*bp, 1, 2, 3)
+	framePool.Put(bp)
+	return len(*bp)
+}
+
+// leakOnBranch returns the buffer on one path while pooling it on the
+// other; the caller cannot know who owns the memory.
+func leakOnBranch(keep bool) *[]byte {
+	bp := getEncBuf()
+	if keep {
+		return bp
+	}
+	putEncBuf(bp)
+	return nil
+}
+
+// returnPooled gives the caller an alias to recycled memory.
+func returnPooled() *[]byte {
+	bp := getEncBuf()
+	*bp = append(*bp, 9)
+	putEncBuf(bp)
+	return bp
+}

@@ -1,0 +1,35 @@
+// Fixture: the pooled-buffer ownership idioms the wire path uses.
+package fixture
+
+import "io"
+
+// cleanWrite follows the contract: the Put is the last use of the
+// buffer on every path, including the early-return branch.
+func cleanWrite(w io.Writer) error {
+	bp := getEncBuf()
+	frame := append((*bp)[:0], 'A', 'C', 'L', '2')
+	if len(frame) == 0 {
+		putEncBuf(bp)
+		return nil
+	}
+	_, err := w.Write(frame)
+	*bp = frame
+	putEncBuf(bp)
+	return err
+}
+
+// deferredPut runs at function exit, so every use in the body happens
+// before the buffer goes back to the pool.
+func deferredPut() int {
+	bp := getEncBuf()
+	defer putEncBuf(bp)
+	*bp = append(*bp, 1)
+	return len(*bp)
+}
+
+// noPool is ordinary code with no pooled buffers at all.
+func noPool(data []byte) []byte {
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out
+}

@@ -1,0 +1,103 @@
+package platform
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"agentgrid/internal/acl"
+	"agentgrid/internal/agent"
+	"agentgrid/internal/transport"
+)
+
+// TestMixedWireFormatContainers runs a legacy container that still
+// speaks ACL1 (JSON frames) against an upgraded container on the
+// default ACL2 binary format. Because readers dispatch per frame, the
+// two interoperate with no negotiation — the rolling-upgrade story for
+// a live grid.
+func TestMixedWireFormatContainers(t *testing.T) {
+	legacy, err := New(Config{Name: "c-legacy", Platform: "site1", Profile: testProfile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := legacy.AttachTCP("127.0.0.1:0", transport.WithWireFormat(acl.FormatJSON)); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { legacy.Stop() })
+
+	modern, err := New(Config{Name: "c-modern", Platform: "site2", Profile: testProfile})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := modern.AttachTCP("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { modern.Stop() })
+
+	oldAgent, err := legacy.SpawnAgent("old")
+	if err != nil {
+		t.Fatal(err)
+	}
+	newAgent, err := modern.SpawnAgent("new")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The modern agent answers every request; the legacy agent collects
+	// the answer. Round trip = JSON frame out, binary frame back.
+	atModern := make(chan *acl.Message, 1)
+	atLegacy := make(chan *acl.Message, 1)
+	newAgent.HandleFunc(agent.Selector{Performative: acl.Request}, func(ctx context.Context, a *agent.Agent, m *acl.Message) {
+		atModern <- m
+		reply := m.Reply(a.ID(), acl.Inform)
+		reply.Content = []byte("pong from " + a.ID().Name)
+		reply.Receivers[0].Addresses = []string{legacy.Addr()}
+		if err := a.Send(ctx, reply); err != nil {
+			t.Error(err)
+		}
+	})
+	oldAgent.HandleFunc(agent.Selector{Performative: acl.Inform}, func(_ context.Context, _ *agent.Agent, m *acl.Message) {
+		atLegacy <- m
+	})
+	startContainer(t, legacy)
+	startContainer(t, modern)
+
+	rcv := newAgent.ID()
+	rcv.Addresses = []string{modern.Addr()}
+	err = oldAgent.Send(context.Background(), &acl.Message{
+		Performative:   acl.Request,
+		Receivers:      []acl.AID{rcv},
+		Content:        []byte("ping"),
+		ConversationID: "upgrade-1",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case m := <-atModern:
+		if string(m.Content) != "ping" || m.Sender.Name != oldAgent.ID().Name {
+			t.Fatalf("modern container got %+v", m)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("JSON-framed request never reached the binary container")
+	}
+	select {
+	case m := <-atLegacy:
+		if string(m.Content) != "pong from "+newAgent.ID().Name {
+			t.Fatalf("legacy container got %q", m.Content)
+		}
+		if m.ConversationID != "upgrade-1" {
+			t.Fatalf("conversation id lost across formats: %q", m.ConversationID)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("binary-framed reply never reached the JSON container")
+	}
+
+	if s := legacy.Stats(); s.Forwarded != 1 || s.DeliveredLocal != 1 || s.Dropped != 0 {
+		t.Fatalf("legacy stats = %+v", s)
+	}
+	if s := modern.Stats(); s.Forwarded != 1 || s.DeliveredLocal != 1 || s.Dropped != 0 {
+		t.Fatalf("modern stats = %+v", s)
+	}
+}

@@ -1,0 +1,175 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"agentgrid/internal/obs"
+)
+
+func TestAppendBatchPrefixSemantics(t *testing.T) {
+	// The first invalid record stops the batch with its index in the
+	// error; records before it are stored, records after it are not.
+	s := New(16)
+	b := &obs.Batch{Collector: "c", Records: []obs.Record{
+		rec("h1", "cpu.util", 1, 10),
+		rec("h2", "cpu.util", 1, 20),
+		rec("", "cpu.util", 1, 30),
+		rec("h3", "cpu.util", 1, 40),
+	}}
+	err := s.AppendBatch(b)
+	if !errors.Is(err, obs.ErrNoDevice) {
+		t.Fatalf("AppendBatch = %v, want ErrNoDevice", err)
+	}
+	if !strings.Contains(err.Error(), "record 2") {
+		t.Fatalf("error does not name the failing record: %v", err)
+	}
+	if n, appends := s.Stats(); n != 2 || appends != 2 {
+		t.Fatalf("Stats after partial batch = %d series, %d appends", n, appends)
+	}
+	if _, ok := s.Latest("site1/h3/cpu.util"); ok {
+		t.Fatal("record after the invalid one was stored")
+	}
+}
+
+func TestAppendBatchMatchesAppend(t *testing.T) {
+	// Batched and per-record ingest of the same records leave
+	// identical stores.
+	var records []obs.Record
+	for d := 0; d < 4; d++ {
+		for step := 1; step <= 8; step++ {
+			records = append(records, rec(fmt.Sprintf("h%d", d), "cpu.util", step, float64(step)))
+			records = append(records, rec(fmt.Sprintf("h%d", d), "mem.free", step, float64(100-step)))
+		}
+	}
+	one, batch := New(16), New(16)
+	for _, r := range records {
+		if err := one.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := batch.AppendBatch(&obs.Batch{Collector: "c", Records: records}); err != nil {
+		t.Fatal(err)
+	}
+	n1, a1 := one.Stats()
+	n2, a2 := batch.Stats()
+	if n1 != n2 || a1 != a2 {
+		t.Fatalf("stats diverge: (%d,%d) vs (%d,%d)", n1, a1, n2, a2)
+	}
+	for _, key := range one.Keys() {
+		w1, w2 := one.Window(key, 100), batch.Window(key, 100)
+		if len(w1) != len(w2) {
+			t.Fatalf("%s: %d vs %d points", key, len(w1), len(w2))
+		}
+		for i := range w1 {
+			if w1[i] != w2[i] {
+				t.Fatalf("%s[%d]: %+v vs %+v", key, i, w1[i], w2[i])
+			}
+		}
+	}
+}
+
+func TestReplicaSetAppendBatch(t *testing.T) {
+	rs, err := NewReplicaSet(3, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs.Fail(1)
+	b := &obs.Batch{Collector: "c", Records: []obs.Record{
+		rec("h1", "cpu.util", 1, 10),
+		rec("h2", "cpu.util", 1, 20),
+	}}
+	if err := rs.AppendBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		st, _ := rs.Replica(i)
+		n, _ := st.Stats()
+		want := 2
+		if i == 1 {
+			want = 0 // dead replica missed the batch
+		}
+		if n != want {
+			t.Fatalf("replica %d has %d series, want %d", i, n, want)
+		}
+	}
+	rs.Fail(0)
+	rs.Fail(2)
+	if err := rs.AppendBatch(b); !errors.Is(err, ErrNoReplica) {
+		t.Fatalf("all-dead AppendBatch = %v, want ErrNoReplica", err)
+	}
+}
+
+func TestAppendBatchConcurrent(t *testing.T) {
+	// Concurrent batch writers and readers; meaningful under -race.
+	s := New(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				b := &obs.Batch{Collector: "c", Records: []obs.Record{
+					rec(fmt.Sprintf("h%d", w), "cpu.util", i, float64(i)),
+					rec(fmt.Sprintf("h%d", w), "mem.free", i, float64(i)),
+				}}
+				if err := s.AppendBatch(b); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			s.Keys()
+			s.Stats()
+			s.Window("site1/h0/cpu.util", 8)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if _, appends := s.Stats(); appends != 4*20*2 {
+		t.Fatalf("appends = %d, want %d", appends, 4*20*2)
+	}
+}
+
+// BenchmarkStoreAppendBatch compares per-record ingest (one lock
+// acquisition per record) with batched ingest (one per batch) on a
+// collector-sized batch.
+func BenchmarkStoreAppendBatch(b *testing.B) {
+	records := make([]obs.Record, 0, 128)
+	for d := 0; d < 8; d++ {
+		for step := 1; step <= 16; step++ {
+			records = append(records, rec(fmt.Sprintf("h%d", d), "cpu.util", step, float64(step)))
+		}
+	}
+	batch := &obs.Batch{Collector: "c", Records: records}
+	b.Run("per-record", func(b *testing.B) {
+		s := New(64)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := range batch.Records {
+				if err := s.Append(batch.Records[j]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		s := New(64)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := s.AppendBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

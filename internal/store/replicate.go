@@ -117,6 +117,29 @@ func (rs *ReplicaSet) Append(r obs.Record) error {
 	return nil
 }
 
+// AppendBatch writes a whole batch to every live replica, each taking
+// its write lock once. Mirrors Store.AppendBatch semantics: the first
+// invalid record stops the write, and records before it are stored on
+// every replica that was reached.
+func (rs *ReplicaSet) AppendBatch(b *obs.Batch) error {
+	rs.mu.RLock()
+	defer rs.mu.RUnlock()
+	wrote := false
+	for i, st := range rs.replicas {
+		if !rs.alive[i] {
+			continue
+		}
+		if err := st.AppendBatch(b); err != nil {
+			return err
+		}
+		wrote = true
+	}
+	if !wrote {
+		return ErrNoReplica
+	}
+	return nil
+}
+
 // primaryLocked returns the first live replica. Callers hold rs.mu.
 func (rs *ReplicaSet) primaryLocked() (*Store, error) {
 	for i, st := range rs.replicas {

@@ -100,9 +100,15 @@ func (s *Store) Append(r obs.Record) error {
 	if err := r.Validate(); err != nil {
 		return err
 	}
-	key := r.Key()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.appendLocked(r)
+	return nil
+}
+
+// appendLocked stores one already-validated record. Callers hold s.mu.
+func (s *Store) appendLocked(r obs.Record) {
+	key := r.Key()
 	ser, ok := s.series[key]
 	if !ok {
 		ser = &series{
@@ -118,16 +124,20 @@ func (s *Store) Append(r obs.Record) error {
 	}
 	ser.append(Point{Step: r.Step, Time: r.Time, Value: r.Value})
 	s.appends++
-	return nil
 }
 
-// AppendBatch stores every record of a batch, stopping at the first
-// invalid record.
+// AppendBatch stores every record of a batch under a single lock
+// acquisition, stopping at the first invalid record (records before it
+// are stored). A classifier draining collector batches through here
+// takes the write lock once per batch instead of once per record.
 func (s *Store) AppendBatch(b *obs.Batch) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for i := range b.Records {
-		if err := s.Append(b.Records[i]); err != nil {
+		if err := b.Records[i].Validate(); err != nil {
 			return fmt.Errorf("record %d: %w", i, err)
 		}
+		s.appendLocked(b.Records[i])
 	}
 	return nil
 }

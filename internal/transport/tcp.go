@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
@@ -27,6 +28,21 @@ func WithWriteTimeout(d time.Duration) TCPOption {
 	return func(t *tcpTransport) { t.writeTimeout = d }
 }
 
+// WithFlushWindow enables write coalescing: outbound frames are staged
+// in a per-connection buffer and flushed when the buffer fills, when d
+// elapses after the first staged frame, or when the transport closes.
+// d <= 0 (the default) flushes synchronously after every frame.
+func WithFlushWindow(d time.Duration) TCPOption {
+	return func(t *tcpTransport) { t.flushWindow = d }
+}
+
+// WithWireFormat selects the frame encoding for outbound messages
+// (default acl.FormatBinary). Inbound frames always dispatch on their
+// own magic, so peers on different formats interoperate.
+func WithWireFormat(f acl.Format) TCPOption {
+	return func(t *tcpTransport) { t.format = f }
+}
+
 // WithTCPFault installs a legacy fault-injection hook on outbound
 // sends. It wraps the hook in a FaultPlan; WithTCPFault and WithTCPPlan
 // overwrite each other.
@@ -42,17 +58,24 @@ func WithTCPPlan(p FaultPlan) TCPOption {
 	return func(t *tcpTransport) { t.plan = p }
 }
 
-// WireMetrics counts bytes crossing a TCP transport's wire. The
-// counters are nil-safe, so a zero WireMetrics costs nothing.
+// WireMetrics counts a TCP transport's wire activity. The counters are
+// nil-safe, so a zero WireMetrics costs nothing.
 type WireMetrics struct {
-	SentBytes *telemetry.Counter // marshaled frame bytes written
-	RecvBytes *telemetry.Counter // raw bytes read off inbound connections
+	SentBytes    *telemetry.Counter // marshaled frame bytes written
+	RecvBytes    *telemetry.Counter // raw bytes read off inbound connections
+	AcceptErrors *telemetry.Counter // transient listener accept failures
+	DecodeErrors *telemetry.Counter // inbound connections ended by a bad frame
 }
 
 // WithTCPMetrics installs wire byte counters on the transport.
 func WithTCPMetrics(m WireMetrics) TCPOption {
 	return func(t *tcpTransport) { t.metrics = m }
 }
+
+// coalesceBufSize is the per-connection staging buffer for write
+// coalescing. A full buffer flushes immediately, so the flush window
+// only bounds the latency of a trickle, never the backlog of a burst.
+const coalesceBufSize = 16 << 10
 
 // ListenTCP starts a TCP endpoint on addr ("host:port"; use port 0 for an
 // ephemeral port) and dispatches every inbound frame to h on a dedicated
@@ -72,6 +95,7 @@ func ListenTCP(addr string, h Handler, opts ...TCPOption) (Transport, error) {
 		inbound:      make(map[net.Conn]struct{}),
 		dialTimeout:  5 * time.Second,
 		writeTimeout: 10 * time.Second,
+		format:       acl.FormatBinary,
 		done:         make(chan struct{}),
 	}
 	for _, opt := range opts {
@@ -89,6 +113,8 @@ type tcpTransport struct {
 	metrics      WireMetrics
 	dialTimeout  time.Duration
 	writeTimeout time.Duration
+	flushWindow  time.Duration
+	format       acl.Format
 
 	mu      sync.Mutex
 	conns   map[string]*sendConn
@@ -99,11 +125,17 @@ type tcpTransport struct {
 	done chan struct{}
 }
 
-// sendConn is a pooled outbound connection with a write lock so frames
-// from concurrent senders do not interleave.
+// sendConn is a pooled outbound connection. The write lock keeps frames
+// from concurrent senders from interleaving; the bufio.Writer stages
+// frames for coalesced flushes when the transport has a flush window.
 type sendConn struct {
-	mu   sync.Mutex
-	conn net.Conn
+	t *tcpTransport
+
+	mu    sync.Mutex
+	conn  net.Conn
+	bw    *bufio.Writer
+	timer *time.Timer // pending window flush, nil when none
+	werr  error       // sticky asynchronous flush error
 }
 
 func (t *tcpTransport) Addr() string { return "tcp://" + t.ln.Addr().String() }
@@ -117,8 +149,26 @@ func StripScheme(addr string) string {
 	return addr
 }
 
+// nextAcceptBackoff advances the accept-retry delay: 1ms on the first
+// failure, doubling to a 1s ceiling. A successful accept resets it by
+// passing zero back in.
+func nextAcceptBackoff(cur time.Duration) time.Duration {
+	const (
+		floor   = time.Millisecond
+		ceiling = time.Second
+	)
+	if cur < floor {
+		return floor
+	}
+	if cur >= ceiling/2 {
+		return ceiling
+	}
+	return cur * 2
+}
+
 func (t *tcpTransport) acceptLoop() {
 	defer t.wg.Done()
+	var backoff time.Duration
 	for {
 		conn, err := t.ln.Accept()
 		if err != nil {
@@ -127,9 +177,19 @@ func (t *tcpTransport) acceptLoop() {
 				return
 			default:
 			}
-			// Transient accept error; keep serving.
+			// Transient accept error (fd exhaustion, aborted handshake):
+			// count it and back off instead of hot-spinning the CPU
+			// against a persistently failing listener.
+			t.metrics.AcceptErrors.Add(1)
+			backoff = nextAcceptBackoff(backoff)
+			select {
+			case <-t.done:
+				return
+			case <-time.After(backoff):
+			}
 			continue
 		}
+		backoff = 0
 		t.mu.Lock()
 		if t.closed {
 			t.mu.Unlock()
@@ -152,11 +212,17 @@ func (t *tcpTransport) serveConn(conn net.Conn) {
 		conn.Close()
 	}()
 	r := &countingReader{r: conn, c: t.metrics.RecvBytes}
+	fr := acl.NewFrameReader(r)
 	for {
-		m, err := acl.ReadFrame(r)
+		m, err := fr.ReadMessage()
 		if err != nil {
 			// EOF, deadline or codec error all end the connection; the
-			// peer re-dials as needed.
+			// peer re-dials as needed. Only genuinely bad frames count
+			// as decode errors — clean hangups and our own shutdown
+			// are the normal end of a connection.
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				t.metrics.DecodeErrors.Add(1)
+			}
 			return
 		}
 		select {
@@ -188,17 +254,42 @@ func (t *tcpTransport) Send(ctx context.Context, addr string, m *acl.Message) er
 		}
 		return ErrFaultInjected
 	}
-	frame, err := acl.Marshal(m)
+	bp := getFrameBuf()
+	frame, err := acl.AppendFrame((*bp)[:0], m, t.format)
 	if err != nil {
+		putFrameBuf(bp)
 		return err
 	}
+	var sendErr error
 	for copies := 0; copies <= d.Dup; copies++ {
-		if err := t.sendFrame(ctx, addr, frame); err != nil {
-			return err
+		if sendErr = t.sendFrame(ctx, addr, frame); sendErr != nil {
+			break
 		}
 		t.metrics.SentBytes.Add(uint64(len(frame)))
 	}
-	return nil
+	// writeFrame copies the frame into the connection's staging buffer
+	// (or the kernel) before returning, so the buffer is free here.
+	*bp = frame
+	putFrameBuf(bp)
+	return sendErr
+}
+
+// framePool recycles outbound encode buffers across Sends; the frame is
+// staged into the connection before Send returns, so the buffer's
+// lifetime ends with the call.
+var framePool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+// maxPooledFrame caps what Send returns to the pool, so one huge batch
+// frame does not pin its buffer for the life of the process.
+const maxPooledFrame = 1 << 20
+
+func getFrameBuf() *[]byte { return framePool.Get().(*[]byte) }
+
+func putFrameBuf(bp *[]byte) {
+	if cap(*bp) > maxPooledFrame {
+		return
+	}
+	framePool.Put(bp)
 }
 
 // countingReader counts bytes flowing through an io.Reader into a
@@ -223,7 +314,7 @@ func (t *tcpTransport) sendFrame(ctx context.Context, addr string, frame []byte)
 		if err != nil {
 			return err
 		}
-		if err := t.writeFrame(sc, frame); err != nil {
+		if err := sc.writeFrame(frame); err != nil {
 			t.dropConn(addr, sc)
 			if attempt == 0 {
 				continue
@@ -235,16 +326,77 @@ func (t *tcpTransport) sendFrame(ctx context.Context, addr string, frame []byte)
 	return fmt.Errorf("transport: send to %s failed", addr)
 }
 
-func (t *tcpTransport) writeFrame(sc *sendConn, frame []byte) error {
+// writeFrame stages one frame on the connection. With no flush window
+// the frame is flushed to the kernel before returning; with a window,
+// the first staged frame arms a timer that flushes the batch.
+func (sc *sendConn) writeFrame(frame []byte) error {
 	sc.mu.Lock()
 	defer sc.mu.Unlock()
-	if t.writeTimeout > 0 {
-		if err := sc.conn.SetWriteDeadline(time.Now().Add(t.writeTimeout)); err != nil {
+	if sc.werr != nil {
+		// A previous asynchronous flush failed; surface it so the
+		// caller drops this connection and redials.
+		return sc.werr
+	}
+	if sc.t.writeTimeout > 0 {
+		if err := sc.conn.SetWriteDeadline(time.Now().Add(sc.t.writeTimeout)); err != nil {
 			return err
 		}
 	}
-	_, err := sc.conn.Write(frame)
-	return err
+	if _, err := sc.bw.Write(frame); err != nil {
+		sc.werr = err
+		return err
+	}
+	if sc.t.flushWindow <= 0 {
+		if err := sc.bw.Flush(); err != nil {
+			sc.werr = err
+			return err
+		}
+		return nil
+	}
+	if sc.bw.Buffered() > 0 && sc.timer == nil {
+		sc.timer = time.AfterFunc(sc.t.flushWindow, sc.flushWindowExpired)
+	}
+	return nil
+}
+
+// flushWindowExpired drains the staging buffer when the coalescing
+// window closes. It refreshes the write deadline first: the deadline
+// set when the frame was staged must not fire just because the frame
+// waited out the window.
+func (sc *sendConn) flushWindowExpired() {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	sc.timer = nil
+	sc.flushLocked()
+}
+
+func (sc *sendConn) flushLocked() {
+	if sc.werr != nil || sc.bw.Buffered() == 0 {
+		return
+	}
+	if sc.t.writeTimeout > 0 {
+		if err := sc.conn.SetWriteDeadline(time.Now().Add(sc.t.writeTimeout)); err != nil {
+			sc.werr = err
+			return
+		}
+	}
+	if err := sc.bw.Flush(); err != nil {
+		sc.werr = err
+	}
+}
+
+// shutdown flushes anything still staged and closes the connection.
+// Used on transport Close so a coalescing window never swallows the
+// last frames of a session.
+func (sc *sendConn) shutdown() {
+	sc.mu.Lock()
+	if sc.timer != nil {
+		sc.timer.Stop()
+		sc.timer = nil
+	}
+	sc.flushLocked()
+	sc.mu.Unlock()
+	sc.conn.Close()
 }
 
 func (t *tcpTransport) getConn(ctx context.Context, addr string) (*sendConn, error) {
@@ -264,7 +416,7 @@ func (t *tcpTransport) getConn(ctx context.Context, addr string) (*sendConn, err
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
-	sc := &sendConn{conn: conn}
+	sc := &sendConn{t: t, conn: conn, bw: bufio.NewWriterSize(conn, coalesceBufSize)}
 
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -287,6 +439,14 @@ func (t *tcpTransport) dropConn(addr string, sc *sendConn) {
 		delete(t.conns, addr)
 	}
 	t.mu.Unlock()
+	sc.mu.Lock()
+	if sc.timer != nil {
+		sc.timer.Stop()
+		sc.timer = nil
+	}
+	sc.mu.Unlock()
+	// No flush: the connection failed; staged bytes die with it and the
+	// caller redials.
 	sc.conn.Close()
 }
 
@@ -308,7 +468,7 @@ func (t *tcpTransport) Close() error {
 	close(t.done)
 	err := t.ln.Close()
 	for _, sc := range conns {
-		sc.conn.Close()
+		sc.shutdown()
 	}
 	for _, c := range inbound {
 		c.Close()
@@ -318,11 +478,13 @@ func (t *tcpTransport) Close() error {
 }
 
 // ReadAllFrames drains every frame from r until EOF; it exists for tests
-// and offline tooling that replay captured message logs.
+// and offline tooling that replay captured message logs. Mixed ACL1 and
+// ACL2 streams decode transparently.
 func ReadAllFrames(r io.Reader) ([]*acl.Message, error) {
+	fr := acl.NewFrameReader(r)
 	var out []*acl.Message
 	for {
-		m, err := acl.ReadFrame(r)
+		m, err := fr.ReadMessage()
 		if errors.Is(err, io.EOF) {
 			return out, nil
 		}

@@ -66,6 +66,7 @@ type InProcNetwork struct {
 	endpoints map[string]*inprocEndpoint // guarded by mu
 	plan      FaultPlan                  // guarded by mu
 	holder    Holder                     // guarded by mu
+	wireFid   bool                       // guarded by mu
 }
 
 // NewInProcNetwork returns an empty in-process network.
@@ -101,6 +102,17 @@ func (n *InProcNetwork) SetHolder(h Holder) {
 	n.holder = h
 }
 
+// SetWireFidelity makes the in-process network deliver through the real
+// wire codec — each message is encoded into a pooled binary frame and
+// every delivered copy decoded from it — instead of Clone. Slower than
+// cloning, but single-process grids then exercise exactly the bytes a
+// TCP grid would, so codec regressions surface in in-proc tests too.
+func (n *InProcNetwork) SetWireFidelity(on bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.wireFid = on
+}
+
 // Endpoint registers a new endpoint under the given address. The address
 // must be unique on the network.
 func (n *InProcNetwork) Endpoint(addr string, h Handler) (Transport, error) {
@@ -132,6 +144,7 @@ func (n *InProcNetwork) send(ctx context.Context, from, to string, m *acl.Messag
 	n.mu.RLock()
 	plan := n.plan
 	holder := n.holder
+	wireFid := n.wireFid
 	ep, ok := n.endpoints[to]
 	n.mu.RUnlock()
 	var d Decision
@@ -147,10 +160,14 @@ func (n *InProcNetwork) send(ctx context.Context, from, to string, m *acl.Messag
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownAddr, to)
 	}
-	// Deliver 1+Dup clones so sender-side mutation cannot race the
-	// receiver. A positive delay hands each copy to the holder, which
-	// re-injects it later; without a holder the delay degrades to
-	// immediate delivery.
+	// Deliver 1+Dup private copies so sender-side mutation cannot race
+	// the receiver. A positive delay hands each copy to the holder,
+	// which re-injects it later; without a holder the delay degrades to
+	// immediate delivery. With wire fidelity on, each copy is a decode
+	// of the real binary frame instead of a Clone.
+	if wireFid {
+		return n.sendWire(ep, from, to, m, d, holder)
+	}
 	for i := 0; i <= d.Dup; i++ {
 		clone := m.Clone()
 		if d.Delay > 0 && holder != nil && holder(from, to, clone, d) {
@@ -159,6 +176,32 @@ func (n *InProcNetwork) send(ctx context.Context, from, to string, m *acl.Messag
 		ep.deliver(clone)
 	}
 	return nil
+}
+
+// sendWire is the wire-fidelity delivery path: one pooled binary encode
+// of m, one decode per delivered copy.
+func (n *InProcNetwork) sendWire(ep *inprocEndpoint, from, to string, m *acl.Message, d Decision, holder Holder) error {
+	bp := getFrameBuf()
+	frame, err := acl.AppendFrame((*bp)[:0], m, acl.FormatBinary)
+	if err != nil {
+		putFrameBuf(bp)
+		return err
+	}
+	var deliverErr error
+	for i := 0; i <= d.Dup; i++ {
+		mc, err := acl.Unmarshal(frame)
+		if err != nil {
+			deliverErr = fmt.Errorf("transport: wire fidelity round trip: %w", err)
+			break
+		}
+		if d.Delay > 0 && holder != nil && holder(from, to, mc, d) {
+			continue
+		}
+		ep.deliver(mc)
+	}
+	*bp = frame
+	putFrameBuf(bp)
+	return deliverErr
 }
 
 // Inject delivers m directly to the endpoint at addr, bypassing the

@@ -1,0 +1,326 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"agentgrid/internal/acl"
+	"agentgrid/internal/telemetry"
+)
+
+// dialRaw opens a plain TCP connection to a transport address, for
+// writing hostile bytes a Transport would never produce.
+func dialRaw(addr string) (net.Conn, error) {
+	return net.DialTimeout("tcp", StripScheme(addr), 5*time.Second)
+}
+
+// recv pulls one message off a collector or fails the test.
+func recv(t *testing.T, rx *collector, within time.Duration) *acl.Message {
+	t.Helper()
+	select {
+	case m := <-rx.ch:
+		return m
+	case <-time.After(within):
+		t.Fatal("timed out waiting for message")
+		return nil
+	}
+}
+
+func TestMixedFormatPeersOneListener(t *testing.T) {
+	// An ACL1 (JSON) peer and an ACL2 (binary) peer talk to the same
+	// listener: the frame reader dispatches per frame, so a grid can
+	// roll the binary codec out one container at a time.
+	rx := newCollector()
+	srv := listenLoopback(t, rx.handle)
+	old := listenLoopback(t, func(*acl.Message) {}, WithWireFormat(acl.FormatJSON))
+	new_ := listenLoopback(t, func(*acl.Message) {}, WithWireFormat(acl.FormatBinary))
+
+	for i := 0; i < 4; i++ {
+		m := msgTo(srv.Addr())
+		m.ConversationID = fmt.Sprintf("conv-%d", i)
+		m.Trace = &acl.TraceContext{TraceID: "t1", SpanID: fmt.Sprintf("s%d", i)}
+		cli := old
+		if i%2 == 0 {
+			cli = new_
+		}
+		if err := cli.Send(context.Background(), srv.Addr(), m); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 4; i++ {
+		m := recv(t, rx, 5*time.Second)
+		seen[m.ConversationID] = true
+		if m.Trace == nil || m.Trace.TraceID != "t1" {
+			t.Errorf("trace context lost in transit: %+v", m.Trace)
+		}
+	}
+	if len(seen) != 4 {
+		t.Fatalf("saw %d distinct conversations, want 4", len(seen))
+	}
+
+	// The reverse direction also interoperates: the binary-default
+	// server replies to the JSON peer.
+	oldRx := newCollector()
+	srv2 := listenLoopback(t, oldRx.handle, WithWireFormat(acl.FormatJSON))
+	if err := new_.Send(context.Background(), srv2.Addr(), msgTo(srv2.Addr())); err != nil {
+		t.Fatal(err)
+	}
+	if m := recv(t, oldRx, 5*time.Second); !bytes.Equal(m.Content, []byte("hello")) {
+		t.Fatalf("reply content = %q", m.Content)
+	}
+}
+
+func TestCoalescingDeliversWithinWindow(t *testing.T) {
+	// Frames staged under a flush window arrive once the window closes,
+	// without any further sends.
+	rx := newCollector()
+	srv := listenLoopback(t, rx.handle)
+	cli := listenLoopback(t, func(*acl.Message) {}, WithFlushWindow(20*time.Millisecond))
+
+	for i := 0; i < 3; i++ {
+		if err := cli.Send(context.Background(), srv.Addr(), msgTo(srv.Addr())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		recv(t, rx, 5*time.Second)
+	}
+}
+
+func TestCoalescingDupDelivery(t *testing.T) {
+	// Chaos duplication composes with coalescing: all 1+Dup copies are
+	// staged and all arrive.
+	rx := newCollector()
+	srv := listenLoopback(t, rx.handle)
+	cli := listenLoopback(t, func(*acl.Message) {},
+		WithFlushWindow(10*time.Millisecond),
+		WithTCPPlan(PlanFunc(func(string, string, *acl.Message) Decision {
+			return Decision{Dup: 2}
+		})))
+
+	if err := cli.Send(context.Background(), srv.Addr(), msgTo(srv.Addr())); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if m := recv(t, rx, 5*time.Second); !bytes.Equal(m.Content, []byte("hello")) {
+			t.Fatalf("copy %d content = %q", i, m.Content)
+		}
+	}
+}
+
+func TestCoalescingBufferBoundaryFlush(t *testing.T) {
+	// A full staging buffer flushes immediately — the window bounds
+	// trickle latency, it must not delay a burst. The window here is far
+	// longer than the test timeout, so delivery proves a boundary flush.
+	rx := newCollector()
+	srv := listenLoopback(t, rx.handle)
+	cli := listenLoopback(t, func(*acl.Message) {}, WithFlushWindow(time.Hour))
+
+	big := msgTo(srv.Addr())
+	big.Content = bytes.Repeat([]byte("x"), coalesceBufSize)
+	for i := 0; i < 2; i++ {
+		if err := cli.Send(context.Background(), srv.Addr(), big); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if m := recv(t, rx, 5*time.Second); len(m.Content) != coalesceBufSize {
+			t.Fatalf("content truncated to %d bytes", len(m.Content))
+		}
+	}
+}
+
+func TestCoalescingFlushOnClose(t *testing.T) {
+	// Closing the sender flushes staged frames instead of dropping them.
+	rx := newCollector()
+	srv := listenLoopback(t, rx.handle)
+	cli, err := ListenTCP("127.0.0.1:0", func(*acl.Message) {}, WithFlushWindow(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Send(context.Background(), srv.Addr(), msgTo(srv.Addr())); err != nil {
+		cli.Close()
+		t.Fatal(err)
+	}
+	if err := cli.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recv(t, rx, 5*time.Second)
+}
+
+func TestCoalescingFlushBeforeWriteDeadline(t *testing.T) {
+	// The write deadline set when a frame was staged must not kill the
+	// flush that happens a window later: flush refreshes the deadline.
+	rx := newCollector()
+	srv := listenLoopback(t, rx.handle)
+	cli := listenLoopback(t, func(*acl.Message) {},
+		WithWriteTimeout(50*time.Millisecond),
+		WithFlushWindow(150*time.Millisecond))
+
+	if err := cli.Send(context.Background(), srv.Addr(), msgTo(srv.Addr())); err != nil {
+		t.Fatal(err)
+	}
+	recv(t, rx, 5*time.Second)
+	// The connection is still healthy: a follow-up send works.
+	if err := cli.Send(context.Background(), srv.Addr(), msgTo(srv.Addr())); err != nil {
+		t.Fatalf("send after window flush: %v", err)
+	}
+	recv(t, rx, 5*time.Second)
+}
+
+func TestDecodeErrorCounter(t *testing.T) {
+	reg := telemetry.NewRegistry("test")
+	decodeErrs := reg.Counter("test_decode_errors_total", "decode errors", nil)
+	acceptErrs := reg.Counter("test_accept_errors_total", "accept errors", nil)
+	rx := newCollector()
+	srv := listenLoopback(t, rx.handle, WithTCPMetrics(WireMetrics{
+		DecodeErrors: decodeErrs,
+		AcceptErrors: acceptErrs,
+	}))
+
+	// A clean connect-then-hangup is not a decode error.
+	cli := listenLoopback(t, func(*acl.Message) {})
+	if err := cli.Send(context.Background(), srv.Addr(), msgTo(srv.Addr())); err != nil {
+		t.Fatal(err)
+	}
+	recv(t, rx, 5*time.Second)
+	cli.Close()
+
+	// Garbage on the wire is.
+	raw, err := dialRaw(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw.Write([]byte("GET / HTTP/1.1\r\n\r\n"))
+	raw.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for decodeErrs.Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("decode error never counted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if decodeErrs.Value() != 1 {
+		t.Fatalf("decode errors = %d, want 1", decodeErrs.Value())
+	}
+}
+
+func TestNextAcceptBackoff(t *testing.T) {
+	steps := []time.Duration{0}
+	for i := 0; i < 14; i++ {
+		steps = append(steps, nextAcceptBackoff(steps[len(steps)-1]))
+	}
+	if steps[1] != time.Millisecond {
+		t.Fatalf("first backoff = %v, want 1ms", steps[1])
+	}
+	for i := 2; i < len(steps); i++ {
+		if steps[i] < steps[i-1] {
+			t.Fatalf("backoff shrank: %v after %v", steps[i], steps[i-1])
+		}
+		if steps[i] > time.Second {
+			t.Fatalf("backoff %v exceeds 1s ceiling", steps[i])
+		}
+	}
+	if steps[len(steps)-1] != time.Second {
+		t.Fatalf("backoff never reached ceiling: %v", steps[len(steps)-1])
+	}
+	if nextAcceptBackoff(0) != time.Millisecond {
+		t.Fatal("reset backoff did not restart at the floor")
+	}
+}
+
+func TestInProcWireFidelity(t *testing.T) {
+	n := NewInProcNetwork()
+	n.SetWireFidelity(true)
+	rx := newCollector()
+	if _, err := n.Endpoint("inproc://a", func(*acl.Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	ep, err := n.Endpoint("inproc://b", rx.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ep
+	sender, err := n.Endpoint("inproc://c", func(*acl.Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := msgTo("inproc://b")
+	m.Trace = &acl.TraceContext{TraceID: "wf", SpanID: "1"}
+	if err := sender.Send(context.Background(), "inproc://b", m); err != nil {
+		t.Fatal(err)
+	}
+	got := recv(t, rx, time.Second)
+	if !bytes.Equal(got.Content, m.Content) || got.Trace == nil || got.Trace.TraceID != "wf" {
+		t.Fatalf("wire-fidelity delivery mangled message: %+v", got)
+	}
+	if got == m || (len(got.Content) > 0 && &got.Content[0] == &m.Content[0]) {
+		t.Fatal("wire-fidelity delivery shares memory with the sender's message")
+	}
+
+	// Dup decisions produce independent decoded copies.
+	n.SetPlan(PlanFunc(func(string, string, *acl.Message) Decision { return Decision{Dup: 1} }))
+	if err := sender.Send(context.Background(), "inproc://b", m); err != nil {
+		t.Fatal(err)
+	}
+	c1, c2 := recv(t, rx, time.Second), recv(t, rx, time.Second)
+	if c1 == c2 {
+		t.Fatal("dup copies are the same object")
+	}
+
+	// Messages the codec rejects fail the send rather than delivering
+	// something the wire could never carry.
+	n.SetPlan(nil)
+	huge := msgTo("inproc://b")
+	huge.Content = bytes.Repeat([]byte("y"), acl.MaxFrameSize+1)
+	if err := sender.Send(context.Background(), "inproc://b", huge); err == nil {
+		t.Fatal("oversized message delivered under wire fidelity")
+	}
+}
+
+// BenchmarkTCPSendCoalesced measures the classifier-notice send path
+// over loopback with and without a flush window, including the pooled
+// marshal.
+func BenchmarkTCPSendCoalesced(b *testing.B) {
+	run := func(b *testing.B, opts ...TCPOption) {
+		done := make(chan struct{}, 1)
+		var got int
+		target := 0
+		srv, err := ListenTCP("127.0.0.1:0", func(*acl.Message) {
+			got++
+			if got == target {
+				done <- struct{}{}
+			}
+		}, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		cli, err := ListenTCP("127.0.0.1:0", func(*acl.Message) {}, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cli.Close()
+
+		m := msgTo(srv.Addr())
+		m.Content = bytes.Repeat([]byte(`{"key":"site1/host-1","records":24}`), 8)
+		target = b.N
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := cli.Send(context.Background(), srv.Addr(), m); err != nil {
+				b.Fatal(err)
+			}
+		}
+		<-done
+	}
+	b.Run("sync-flush", func(b *testing.B) { run(b) })
+	b.Run("window-1ms", func(b *testing.B) { run(b, WithFlushWindow(time.Millisecond)) })
+}

@@ -10,7 +10,8 @@
 #   6. chaos suite       (seeded fault-injection scenarios, -race)
 #   7. trace suite       (span collection under -race + end-to-end span tree)
 #   8. telemetry suite   (instruments under -race, exposition golden, HTTP endpoints)
-#   9. fuzz smoke        (5s per wire-facing fuzz target)
+#   9. wire hot path     (codec benches with alloc counts + differential fuzz)
+#  10. fuzz smoke        (5s per wire-facing fuzz target)
 #
 # Any failure stops the gate with a non-zero exit. Run it before every
 # commit; CI should run exactly this script.
@@ -47,6 +48,11 @@ go test -race -count=1 -run TestTraceEndToEnd .
 step "telemetry subsystem (-race, exposition golden + HTTP endpoints)"
 go test -race -count=1 ./internal/telemetry/...
 go test -race -count=1 -run TestHTTP ./internal/report/
+
+step "wire hot path (codec benches + differential fuzz)"
+go test -run='^$' -bench 'MarshalBinary|UnmarshalBinary|ReadFrameReuse' -benchmem -benchtime 100x ./internal/acl
+go test -run='^$' -fuzz=FuzzCodecEquivalence -fuzztime=5s ./internal/acl
+go test -run='^$' -fuzz=FuzzUnmarshalBinaryFrame -fuzztime=5s ./internal/acl
 
 step "fuzz smoke (5s per target)"
 go test -run='^$' -fuzz=FuzzDecodePDU -fuzztime=5s ./internal/snmp
