@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint chaos trace metrics wire fuzz-smoke verify fmt
+.PHONY: all build test race lint lint-typed lint-sarif chaos trace metrics wire fuzz-smoke verify fmt
 
 all: build
 
@@ -22,6 +22,19 @@ race:
 lint:
 	$(GO) vet ./...
 	$(GO) run ./cmd/gridlint ./...
+
+# Type-aware tier: whole-module go/types analysis (lock order,
+# held-lock I/O, view lifetimes, dropped wire-path errors), ratcheted
+# against the checked-in baseline — new findings and stale baseline
+# entries both fail.
+lint-typed:
+	$(GO) run ./cmd/gridlint -typed -baseline=lint.baseline.json ./...
+
+# Both tiers rendered as SARIF 2.1.0 for code-review tooling (GitHub
+# code scanning, SARIF viewers). Emits gridlint.sarif; the exit code
+# still reflects findings, so `make lint-sarif` doubles as a gate.
+lint-sarif:
+	$(GO) run ./cmd/gridlint -typed -baseline=lint.baseline.json -format=sarif ./... > gridlint.sarif
 
 # Deterministic chaos suite: the internal/chaos harness unit tests and
 # the end-to-end grid scenarios, under the race detector. Fault

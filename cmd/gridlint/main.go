@@ -1,23 +1,41 @@
 // Command gridlint is the agent grid's project-specific static
 // analyzer. It enforces the concurrency and FIPA-protocol invariants
-// the grid depends on — constants for ACL performatives, locking
-// discipline on guarded fields, cancellation paths in goroutine loops,
-// bounded channel sends and channel-based (never sleep-based)
-// synchronization.
+// the grid depends on, in two tiers.
+//
+// The syntactic tier (the default) parses one package at a time and
+// checks local discipline: constants for ACL performatives, locking on
+// guarded fields, cancellation paths in goroutine loops, bounded
+// channel sends, channel-based (never sleep-based) synchronization,
+// pooled-buffer reuse.
+//
+// The typed tier (-typed) type-checks the whole module with go/types,
+// resolves every identifier and builds a callgraph, then checks global
+// properties no single file can show: a cycle-free lock acquisition
+// order across packages (lockorder), no blocking I/O or channel sends
+// while holding a mutex (heldlockio), zero-copy views that escape
+// their producer's reuse window (viewlifetime), and silently dropped
+// errors on the wire path (errdrop).
 //
 // Usage:
 //
 //	gridlint [flags] [pattern ...]
 //
 // Patterns are directories; a trailing /... recurses. The default
-// pattern is ./... (the whole module). Exit status is 1 when any
-// diagnostic is reported, 2 on usage or load errors.
+// pattern is ./... (the whole module). The typed tier always loads the
+// module containing the current directory, whatever the patterns.
+// Exit status is 1 when any diagnostic (or baseline drift) is
+// reported, 2 on usage or load errors.
 //
 // Flags:
 //
 //	-list             list analyzers and exit
-//	-enable  a,b,...  run only the named analyzers
-//	-disable a,b,...  skip the named analyzers
+//	-enable  a,b,...  run only the named analyzers (both tiers)
+//	-disable a,b,...  skip the named analyzers (both tiers)
+//	-typed            also run the type-aware tier over the module
+//	-format f         output format: text (default), json, sarif
+//	-baseline FILE    compare findings against a checked-in baseline;
+//	                  new findings AND stale entries fail
+//	-write-baseline   rewrite the -baseline file from current findings
 //
 // Suppress a single finding with a trailing or preceding comment:
 //
@@ -44,7 +62,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	list := fs.Bool("list", false, "list analyzers and exit")
 	enable := fs.String("enable", "", "comma-separated analyzers to run (default all)")
 	disable := fs.String("disable", "", "comma-separated analyzers to skip")
+	typed := fs.Bool("typed", false, "also run the type-aware tier (whole-module go/types analysis)")
+	format := fs.String("format", "text", "output format: text, json, sarif")
+	baselinePath := fs.String("baseline", "", "baseline file for the findings ratchet")
+	writeBaseline := fs.Bool("write-baseline", false, "rewrite the -baseline file from current findings")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(stderr, "gridlint: unknown -format %q (want text, json or sarif)\n", *format)
+		return 2
+	}
+	if *writeBaseline && *baselinePath == "" {
+		fmt.Fprintln(stderr, "gridlint: -write-baseline requires -baseline=FILE")
 		return 2
 	}
 
@@ -53,9 +85,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
+	typedAnalyzers := lint.SelectTyped(*enable, *disable)
 	if *list {
 		for _, a := range analyzers {
 			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		for _, a := range typedAnalyzers {
+			fmt.Fprintf(stdout, "%-16s %s (typed)\n", a.Name, a.Doc)
 		}
 		return 0
 	}
@@ -75,14 +111,69 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	diags := lint.Run(pkgs, analyzers)
-	for _, d := range diags {
-		fmt.Fprintln(stdout, d)
+	if *typed {
+		m, err := lint.LoadTypedModule(".")
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		diags = append(diags, lint.RunTyped(m, typedAnalyzers)...)
+		lint.SortDiagnostics(diags)
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(stderr, "gridlint: %d issue(s)\n", len(diags))
+
+	if *writeBaseline {
+		if err := lint.WriteBaseline(*baselinePath, diags); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		fmt.Fprintf(stderr, "gridlint: wrote %d entr%s to %s\n",
+			len(diags), plural(len(diags), "y", "ies"), *baselinePath)
+		return 0
+	}
+
+	var stale []lint.BaselineEntry
+	if *baselinePath != "" {
+		b, err := lint.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		diags, stale = lint.ApplyBaseline(b, diags)
+	}
+
+	switch *format {
+	case "json":
+		if err := lint.WriteJSON(stdout, diags); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	case "sarif":
+		if err := lint.WriteSARIF(stdout, diags, lint.AllRules()); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	default:
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	for _, e := range stale {
+		fmt.Fprintf(stderr, "gridlint: stale baseline entry (no longer reported): %s [%s] %s\n",
+			e.File, e.Analyzer, e.Message)
+	}
+	if len(diags) > 0 || len(stale) > 0 {
+		fmt.Fprintf(stderr, "gridlint: %d issue(s), %d stale baseline entr%s\n",
+			len(diags), len(stale), plural(len(stale), "y", "ies"))
 		return 1
 	}
 	return 0
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 // loadPattern resolves one command-line pattern: "dir/..." walks

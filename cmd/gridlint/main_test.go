@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -94,5 +95,171 @@ func TestRepoIsLintClean(t *testing.T) {
 	code := run([]string{"../../..."}, &out, &errOut)
 	if code != 0 {
 		t.Fatalf("gridlint on repo exited %d:\n%s", code, out.String())
+	}
+}
+
+func TestRunFormatJSON(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "p.go", dirtySrc)
+	var out, errOut strings.Builder
+	if code := run([]string{"-format", "json", dir}, &out, &errOut); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var diags []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &diags); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if len(diags) == 0 || diags[0].Analyzer != "sleepsync" || diags[0].Line == 0 {
+		t.Errorf("unexpected JSON diagnostics: %+v", diags)
+	}
+}
+
+func TestRunFormatSARIF(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "p.go", dirtySrc)
+	var out, errOut strings.Builder
+	if code := run([]string{"-format", "sarif", dir}, &out, &errOut); code != 1 {
+		t.Fatalf("exit = %d, want 1", code)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &log); err != nil {
+		t.Fatalf("invalid SARIF: %v\n%s", err, out.String())
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 || log.Runs[0].Tool.Driver.Name != "gridlint" {
+		t.Fatalf("bad SARIF envelope: %s", out.String())
+	}
+	if len(log.Runs[0].Results) == 0 {
+		t.Fatal("no SARIF results")
+	}
+	res := log.Runs[0].Results[0]
+	if res.RuleID != "sleepsync" || res.Level != "warning" ||
+		len(res.Locations) != 1 || res.Locations[0].PhysicalLocation.Region.StartLine == 0 {
+		t.Errorf("bad SARIF result: %+v", res)
+	}
+	// Every analyzer of both tiers appears as a rule.
+	ruleIDs := make(map[string]bool)
+	for _, r := range log.Runs[0].Tool.Driver.Rules {
+		ruleIDs[r.ID] = true
+	}
+	for _, want := range []string{"sleepsync", "lockorder", "heldlockio", "viewlifetime", "errdrop"} {
+		if !ruleIDs[want] {
+			t.Errorf("SARIF rules missing %s", want)
+		}
+	}
+}
+
+func TestRunBadFormat(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-format", "xml"}, &out, &errOut); code != 2 {
+		t.Errorf("exit = %d, want 2", code)
+	}
+	if code := run([]string{"-write-baseline"}, &out, &errOut); code != 2 {
+		t.Errorf("-write-baseline without -baseline exit = %d, want 2", code)
+	}
+}
+
+// TestRunBaselineRatchet exercises the full drift contract: accepted
+// findings pass, new findings fail, stale entries fail.
+func TestRunBaselineRatchet(t *testing.T) {
+	dir := t.TempDir()
+	writeFile(t, dir, "p.go", dirtySrc)
+	baseline := filepath.Join(dir, "baseline.json")
+
+	var out, errOut strings.Builder
+	if code := run([]string{"-baseline", baseline, "-write-baseline", dir}, &out, &errOut); code != 0 {
+		t.Fatalf("write-baseline exit = %d: %s", code, errOut.String())
+	}
+
+	// Accepted: same findings, baseline covers them.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-baseline", baseline, dir}, &out, &errOut); code != 0 {
+		t.Fatalf("baselined run exit = %d; out: %s", code, out.String())
+	}
+
+	// New finding on top of the baseline fails.
+	writeFile(t, dir, "q.go", `package p
+
+import "time"
+
+func waitMore() {
+	time.Sleep(time.Minute)
+}
+`)
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-baseline", baseline, dir}, &out, &errOut); code != 1 {
+		t.Fatalf("new-finding exit = %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "q.go") || strings.Contains(out.String(), "p.go:") {
+		t.Errorf("want only the fresh q.go finding, got: %s", out.String())
+	}
+
+	// Fixing everything makes the baseline stale, which also fails.
+	writeFile(t, dir, "p.go", cleanSrc)
+	writeFile(t, dir, "q.go", "package p\n")
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-baseline", baseline, dir}, &out, &errOut); code != 1 {
+		t.Fatalf("stale-entry exit = %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "stale baseline entry") {
+		t.Errorf("missing stale-entry report: %s", errOut.String())
+	}
+}
+
+// TestRepoIsTypedLintClean mirrors the verify.sh lint-typed gate: both
+// tiers over the whole module, checked against the committed baseline.
+func TestRepoIsTypedLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type check; skipped under -short")
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir("../.."); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	var out, errOut strings.Builder
+	code := run([]string{"-typed", "-baseline", "lint.baseline.json", "./..."}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("gridlint -typed on repo exited %d:\n%s%s", code, out.String(), errOut.String())
 	}
 }

@@ -249,7 +249,7 @@ func (r *Root) handleInform(ctx context.Context, a *agent.Agent, m *acl.Message)
 	notice, err := classify.DecodeNotice(m.Content)
 	if err != nil {
 		r.logErr(fmt.Errorf("analyze: notice from %s: %w", m.Sender, err))
-		a.Send(ctx, m.Reply(a.ID(), acl.NotUnderstood))
+		_ = a.Send(ctx, m.Reply(a.ID(), acl.NotUnderstood))
 		return
 	}
 	sp := a.Tracer().ContinueFromMessage("analyze.notice", m)

@@ -201,7 +201,7 @@ func (w *Worker) handleTaskRequest(ctx context.Context, a *agent.Agent, m *acl.M
 		w.stats.RejectedUnknown++
 		w.mu.Unlock()
 		w.mRejected.Inc()
-		a.Send(ctx, m.Reply(a.ID(), acl.NotUnderstood))
+		_ = a.Send(ctx, m.Reply(a.ID(), acl.NotUnderstood))
 		return
 	}
 	sp := a.Tracer().ContinueFromMessage(levelSpanName(task.Level), m)
@@ -217,11 +217,11 @@ func (w *Worker) handleTaskRequest(ctx context.Context, a *agent.Agent, m *acl.M
 		fail := m.Reply(a.ID(), acl.Failure)
 		fail.Content = []byte(err.Error())
 		sp.Stamp(fail)
-		a.Send(ctx, fail)
+		_ = a.Send(ctx, fail)
 		return
 	}
 	sp.Stamp(reply)
-	a.Send(ctx, reply)
+	_ = a.Send(ctx, reply)
 }
 
 // levelSpanName names an analysis span after its level: analyze.l1,

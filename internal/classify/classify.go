@@ -291,7 +291,7 @@ func (c *Classifier) handleBatch(ctx context.Context, a *agent.Agent, m *acl.Mes
 		c.mu.Unlock()
 		c.mParseErrors.Inc()
 		c.logErr(fmt.Errorf("classify: batch from %s: %w", m.Sender, err))
-		a.Send(ctx, m.Reply(a.ID(), acl.NotUnderstood))
+		_ = a.Send(ctx, m.Reply(a.ID(), acl.NotUnderstood))
 		return
 	}
 	sp.SetAttr("collector", batch.Collector)

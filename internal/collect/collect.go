@@ -471,12 +471,12 @@ func (c *Collector) ship(ctx context.Context, records []obs.Record) error {
 func (c *Collector) handleGoalRequest(ctx context.Context, a *agent.Agent, m *acl.Message) {
 	fields := strings.Fields(string(m.Content))
 	if len(fields) < 7 || fields[0] != "goal" {
-		a.Send(ctx, m.Reply(a.ID(), acl.NotUnderstood))
+		_ = a.Send(ctx, m.Reply(a.ID(), acl.NotUnderstood))
 		return
 	}
 	interval, err := time.ParseDuration(fields[6])
 	if err != nil {
-		a.Send(ctx, m.Reply(a.ID(), acl.Refuse))
+		_ = a.Send(ctx, m.Reply(a.ID(), acl.Refuse))
 		return
 	}
 	g := Goal{
@@ -487,10 +487,10 @@ func (c *Collector) handleGoalRequest(ctx context.Context, a *agent.Agent, m *ac
 	if err := c.AddGoal(g); err != nil {
 		reply := m.Reply(a.ID(), acl.Refuse)
 		reply.Content = []byte(err.Error())
-		a.Send(ctx, reply)
+		_ = a.Send(ctx, reply)
 		return
 	}
-	a.Send(ctx, m.Reply(a.ID(), acl.Agree))
+	_ = a.Send(ctx, m.Reply(a.ID(), acl.Agree))
 }
 
 func (c *Collector) logErr(err error) {

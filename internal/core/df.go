@@ -54,7 +54,7 @@ func NewDFServer(a *agent.Agent, dir *directory.Directory) (*DFServer, error) {
 func (s *DFServer) handle(ctx context.Context, a *agent.Agent, m *acl.Message) {
 	var req dfRequest
 	if err := json.Unmarshal(m.Content, &req); err != nil {
-		a.Send(ctx, m.Reply(a.ID(), acl.NotUnderstood))
+		_ = a.Send(ctx, m.Reply(a.ID(), acl.NotUnderstood))
 		return
 	}
 	var err error
@@ -66,16 +66,16 @@ func (s *DFServer) handle(ctx context.Context, a *agent.Agent, m *acl.Message) {
 	case "deregister":
 		s.dir.Deregister(req.Container)
 	default:
-		a.Send(ctx, m.Reply(a.ID(), acl.NotUnderstood))
+		_ = a.Send(ctx, m.Reply(a.ID(), acl.NotUnderstood))
 		return
 	}
 	if err != nil {
 		reply := m.Reply(a.ID(), acl.Refuse)
 		reply.Content = []byte(err.Error())
-		a.Send(ctx, reply)
+		_ = a.Send(ctx, reply)
 		return
 	}
-	a.Send(ctx, m.Reply(a.ID(), acl.Agree))
+	_ = a.Send(ctx, m.Reply(a.ID(), acl.Agree))
 }
 
 // DFClient registers a remote container with the grid root's DF and

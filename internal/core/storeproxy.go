@@ -87,7 +87,7 @@ func (s *StoreQueryServer) handle(ctx context.Context, a *agent.Agent, m *acl.Me
 	}
 	reply.Content, _ = json.Marshal(out)
 	reply.Language = "json"
-	a.Send(ctx, reply)
+	_ = a.Send(ctx, reply)
 }
 
 // StoreQueryClient is an analyze.StoreReader backed by ACL queries to a

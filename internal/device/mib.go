@@ -139,7 +139,7 @@ func NewFleet(devices []*Device, community string) (*Fleet, error) {
 	for _, d := range devices {
 		st, err := StartStation(d, "127.0.0.1:0", community)
 		if err != nil {
-			f.Close()
+			_ = f.Close()
 			return nil, err
 		}
 		f.stations = append(f.stations, st)

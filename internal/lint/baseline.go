@@ -1,0 +1,115 @@
+package lint
+
+// The baseline is the checked-in ratchet for the typed tier: a JSON
+// list of known findings that are accepted for now. A finding matches a
+// baseline entry on (file, analyzer, message) — line numbers are
+// deliberately excluded so unrelated edits above a finding don't count
+// as drift. Two failure directions, both fatal in CI:
+//
+//   - a finding NOT in the baseline: new debt, fix it or justify it;
+//   - a baseline entry with NO matching finding: stale debt, the entry
+//     must be deleted so the ratchet only ever tightens.
+//
+// The intended steady state is an empty baseline — the module's real
+// findings were fixed or carry in-source //gridlint:ignore reasons, and
+// the file exists only to catch drift.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// BaselineEntry identifies one accepted finding.
+type BaselineEntry struct {
+	File     string `json:"file"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+	Reason   string `json:"reason,omitempty"` // why it is accepted, for humans
+}
+
+func (e BaselineEntry) key() string {
+	return filepath.ToSlash(e.File) + "\x00" + e.Analyzer + "\x00" + e.Message
+}
+
+func diagKey(d Diagnostic) string {
+	return filepath.ToSlash(d.Pos.Filename) + "\x00" + d.Analyzer + "\x00" + d.Message
+}
+
+// Baseline is the decoded baseline file.
+type Baseline struct {
+	Entries []BaselineEntry `json:"entries"`
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty
+// baseline, not an error, so a clean repo needs no file at all.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: baseline: %w", err)
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// WriteBaseline writes the current findings as a baseline file,
+// deduplicated and sorted so the output is diff-stable.
+func WriteBaseline(path string, diags []Diagnostic) error {
+	seen := make(map[string]bool, len(diags))
+	var entries []BaselineEntry
+	for _, d := range diags {
+		e := BaselineEntry{
+			File:     filepath.ToSlash(d.Pos.Filename),
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		}
+		if seen[e.key()] {
+			continue
+		}
+		seen[e.key()] = true
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].key() < entries[j].key() })
+	if entries == nil {
+		entries = []BaselineEntry{}
+	}
+	data, err := json.MarshalIndent(Baseline{Entries: entries}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ApplyBaseline splits findings against the baseline: fresh findings
+// not covered by any entry, and stale entries matching no finding. One
+// entry covers any number of identical findings (same file, analyzer
+// and message — e.g. the same dropped call repeated in a file).
+func ApplyBaseline(b *Baseline, diags []Diagnostic) (fresh []Diagnostic, stale []BaselineEntry) {
+	covered := make(map[string]bool, len(b.Entries))
+	used := make(map[string]bool, len(b.Entries))
+	for _, e := range b.Entries {
+		covered[e.key()] = true
+	}
+	for _, d := range diags {
+		k := diagKey(d)
+		if covered[k] {
+			used[k] = true
+			continue
+		}
+		fresh = append(fresh, d)
+	}
+	for _, e := range b.Entries {
+		if !used[e.key()] {
+			stale = append(stale, e)
+		}
+	}
+	return fresh, stale
+}

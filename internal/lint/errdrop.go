@@ -1,0 +1,168 @@
+package lint
+
+// AnalyzerErrDrop flags silently discarded errors on the calls where a
+// dropped error loses data on the wire path: Flush (a bufio flush that
+// fails means frames never left the process), Sync, Send, SendFrame,
+// WriteFrame, and Close on module-defined types (a transport or store
+// Close that fails mid-teardown can strand buffered frames). The check
+// is typed: only calls whose final result actually implements error are
+// candidates, so a Flush() with no results is never flagged.
+//
+// Deliberate discards stay quiet: `_ = bw.Flush()` says the author saw
+// the error and chose to drop it; `defer f.Close()` is conventional
+// teardown; Close on stdlib types (response bodies, listeners in
+// shutdown paths) is outside the module's data-loss surface.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+var AnalyzerErrDrop = &TypedAnalyzer{
+	Name: "errdrop",
+	Doc:  "errors from Flush/Sync/Send/SendFrame/WriteFrame/Close on the wire path must not be silently discarded",
+	Run:  runErrDrop,
+}
+
+// errDropAlways are call names checked on every receiver/package;
+// errDropModuleClose marks the Close special case.
+var errDropAlways = map[string]bool{
+	"Flush":      true,
+	"Sync":       true,
+	"Send":       true,
+	"SendFrame":  true,
+	"WriteFrame": true,
+}
+
+func runErrDrop(m *Module) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range m.Pkgs {
+		c := &errDropChecker{m: m, pkg: pkg}
+		for _, f := range pkg.Files {
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.ExprStmt:
+					out = append(out, c.checkBare(x.X, false)...)
+				case *ast.GoStmt:
+					out = append(out, c.checkBare(x.Call, false)...)
+				case *ast.DeferStmt:
+					out = append(out, c.checkBare(x.Call, true)...)
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+type errDropChecker struct {
+	m   *Module
+	pkg *TypedPackage
+}
+
+// checkBare inspects a statement-position call whose results are all
+// discarded.
+func (c *errDropChecker) checkBare(e ast.Expr, deferred bool) []Diagnostic {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	name, recv := c.calleeName(call)
+	if name == "" {
+		return nil
+	}
+	isClose := name == "Close"
+	if !errDropAlways[name] && !isClose {
+		return nil
+	}
+	if isClose {
+		// defer x.Close() is conventional teardown; Close only matters
+		// non-deferred and on module-defined types, where it can fail
+		// with buffered frames still in flight.
+		if deferred || recv == nil || !c.moduleType(recv) {
+			return nil
+		}
+	}
+	if !c.lastResultIsError(call) {
+		return nil
+	}
+	what := name
+	if recv != nil {
+		what = recvDisplay(recv) + "." + name
+	}
+	verb := "discards its error"
+	if deferred {
+		verb = "discards its error (deferred)"
+	}
+	return []Diagnostic{{
+		Pos:      c.m.Fset.Position(call.Pos()),
+		Analyzer: "errdrop",
+		Message:  fmt.Sprintf("%s %s; on the wire path a dropped error is silent data loss — handle it or discard explicitly with _ =", what, verb),
+	}}
+}
+
+// calleeName resolves the called function's name and, for methods, the
+// receiver type.
+func (c *errDropChecker) calleeName(call *ast.CallExpr) (string, types.Type) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := c.pkg.Info.Uses[fun].(*types.Func); ok {
+			return fn.Name(), nil
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := c.pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			sig, _ := fn.Type().(*types.Signature)
+			if sig != nil && sig.Recv() != nil {
+				return fn.Name(), sig.Recv().Type()
+			}
+			return fn.Name(), nil
+		}
+	}
+	return "", nil
+}
+
+// moduleType reports whether t (or its pointee) is a named type defined
+// in this module — including interfaces like transport.Conn, whose
+// implementations are module-owned.
+func (c *errDropChecker) moduleType(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return c.m.IsModulePackage(named.Obj().Pkg())
+}
+
+// lastResultIsError reports whether the call's final result implements
+// the error interface.
+func (c *errDropChecker) lastResultIsError(call *ast.CallExpr) bool {
+	tv, ok := c.pkg.Info.Types[call.Fun]
+	if !ok {
+		return false
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	return types.Implements(last, errorIface) || types.Identical(last, errorIface)
+}
+
+// recvDisplay renders a receiver type for messages: "pkg.Type".
+func recvDisplay(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return typeDisplay(named)
+	}
+	return t.String()
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)

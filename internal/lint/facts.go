@@ -1,0 +1,880 @@
+package lint
+
+// The facts layer sits between the typed loader (typed.go) and the
+// type-aware analyzers. For every function in the module it extracts a
+// FuncFact: which locks the function acquires (and what was already
+// held at each acquisition), which calls it makes (static calls
+// resolved through go/types, interface calls resolved to every module
+// type implementing the interface), which channel sends and direct
+// blocking-I/O operations it performs, and which goroutines it spawns.
+// A fixed-point pass then propagates two transitive facts over the
+// callgraph: the set of locks a function may acquire (directly or
+// through any callee — this is how a `withLock`-style wrapper's
+// acquisition reaches its callers) and whether it may block on I/O.
+//
+// The held-lock tracking is a linear abstract walk, not a full CFG
+// dataflow: statements are visited in source order, branches run on a
+// copy of the held set and non-terminating branch results are
+// intersected back in, loops run once. That model is exact for the
+// lock/unlock shapes this codebase uses (lock; early-return unlock;
+// unlock — and defer unlock) and documented-approximate for exotic
+// ones. Function literals run inline when immediately invoked, as
+// fresh goroutine-facts when spawned with `go`, and as independent
+// anonymous facts otherwise; deferred calls are walked with an empty
+// held set (they run at exit, after the body's releases).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"runtime"
+	"strings"
+	"sync"
+)
+
+// HeldLock is one lock held at some program point.
+type HeldLock struct {
+	ID   string // canonical lock identity, e.g. "store.Store.mu"
+	Read bool   // held via RLock
+}
+
+// AcquireEvent records one lock acquisition and what was held already.
+type AcquireEvent struct {
+	Lock string
+	Read bool
+	Held []HeldLock
+	Pos  token.Pos
+}
+
+// CallEvent records one resolved call site and the held set at it.
+type CallEvent struct {
+	Callees  []*types.Func // ≥1; >1 when an interface call fans out
+	ViaIface bool
+	Held     []HeldLock
+	Pos      token.Pos
+}
+
+// SendEvent records a channel send that can block (not escaped by a
+// select with a default or receive alternative).
+type SendEvent struct {
+	Held []HeldLock
+	Pos  token.Pos
+}
+
+// IOEvent records a direct blocking operation: network or file I/O, a
+// bufio flush, time.Sleep, a WaitGroup/Cond wait.
+type IOEvent struct {
+	What string
+	Held []HeldLock
+	Pos  token.Pos
+}
+
+// FuncFact is everything the facts layer knows about one function.
+type FuncFact struct {
+	Fn   *types.Func // nil for anonymous (function-literal) facts
+	Pkg  *TypedPackage
+	Name string // display name, e.g. "transport.sendConn.writeFrame"
+
+	Acquires []AcquireEvent
+	Calls    []CallEvent
+	Sends    []SendEvent
+	IO       []IOEvent
+	Spawns   []token.Pos // `go` statements
+
+	// Fixed-point results over the callgraph.
+	TransAcquires map[string]bool // locks possibly acquired, transitively
+	TransIO       bool            // may block on I/O, transitively
+	IOPath        []string        // call chain from here to the direct I/O
+}
+
+// Facts is the module-wide fact table.
+type Facts struct {
+	Mod   *Module
+	Funcs map[*types.Func]*FuncFact
+	Anon  []*FuncFact // function literals: goroutine bodies, stored closures
+}
+
+// Facts builds (once) and returns the module's fact table.
+func (m *Module) Facts() *Facts {
+	m.factsOnce.Do(func() { m.facts = buildFacts(m) })
+	return m.facts
+}
+
+// All iterates every fact, declared and anonymous.
+func (f *Facts) All() []*FuncFact {
+	out := make([]*FuncFact, 0, len(f.Funcs)+len(f.Anon))
+	for _, ff := range f.Funcs {
+		out = append(out, ff)
+	}
+	out = append(out, f.Anon...)
+	return out
+}
+
+// FuncByName finds a fact by display name — a test and debugging hook.
+func (f *Facts) FuncByName(name string) *FuncFact {
+	for _, ff := range f.Funcs {
+		if ff.Name == name {
+			return ff
+		}
+	}
+	return nil
+}
+
+func buildFacts(m *Module) *Facts {
+	f := &Facts{Mod: m, Funcs: make(map[*types.Func]*FuncFact)}
+	fb := &factsBuilder{facts: f, ifaceImpls: make(map[*types.Func][]*types.Func)}
+	fb.collectNamedTypes()
+
+	// Extract per-function events, packages in parallel: each package's
+	// walker only writes its own result slot.
+	type pkgFacts struct {
+		funcs map[*types.Func]*FuncFact
+		anon  []*FuncFact
+	}
+	results := make([]pkgFacts, len(m.Pkgs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, pkg := range m.Pkgs {
+		wg.Add(1)
+		go func(i int, pkg *TypedPackage) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			pf := pkgFacts{funcs: make(map[*types.Func]*FuncFact)}
+			for _, file := range pkg.Files {
+				for _, decl := range file.AST.Decls {
+					fd, ok := decl.(*ast.FuncDecl)
+					if !ok || fd.Body == nil {
+						continue
+					}
+					obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+					if obj == nil {
+						continue
+					}
+					ff := &FuncFact{Fn: obj, Pkg: pkg, Name: funcDisplay(obj)}
+					w := &regionWalker{fb: fb, pkg: pkg, ff: ff, anon: &pf.anon}
+					w.walkStmtList(fd.Body.List)
+					pf.funcs[obj] = ff
+				}
+			}
+			results[i] = pf
+		}(i, pkg)
+	}
+	wg.Wait()
+	for _, pf := range results {
+		for obj, ff := range pf.funcs {
+			f.Funcs[obj] = ff
+		}
+		f.Anon = append(f.Anon, pf.anon...)
+	}
+	f.propagate()
+	return f
+}
+
+// propagate runs the fixed point for TransAcquires and TransIO.
+func (f *Facts) propagate() {
+	all := f.All()
+	for _, ff := range all {
+		ff.TransAcquires = make(map[string]bool, len(ff.Acquires))
+		for _, a := range ff.Acquires {
+			ff.TransAcquires[a.Lock] = true
+		}
+		if len(ff.IO) > 0 {
+			ff.TransIO = true
+			ff.IOPath = []string{ff.IO[0].What}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, ff := range all {
+			for _, ce := range ff.Calls {
+				for _, callee := range ce.Callees {
+					cf := f.Funcs[callee]
+					if cf == nil || cf == ff {
+						continue
+					}
+					for l := range cf.TransAcquires {
+						if !ff.TransAcquires[l] {
+							ff.TransAcquires[l] = true
+							changed = true
+						}
+					}
+					if cf.TransIO && !ff.TransIO {
+						ff.TransIO = true
+						ff.IOPath = append([]string{cf.Name}, cf.IOPath...)
+						if len(ff.IOPath) > 4 {
+							ff.IOPath = ff.IOPath[:4]
+						}
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// IODescription renders the chain from this function to its direct I/O
+// ("net.Conn.Write" or "transport.sendConn.writeFrame → bufio.Writer.Flush").
+func (ff *FuncFact) IODescription() string {
+	if len(ff.IOPath) == 0 {
+		return "blocking I/O"
+	}
+	return strings.Join(ff.IOPath, " → ")
+}
+
+// factsBuilder holds the module-wide state the per-function walkers
+// share read-only: the named-type inventory for interface resolution.
+type factsBuilder struct {
+	facts      *Facts
+	named      []*types.Named
+	implMu     sync.Mutex
+	ifaceImpls map[*types.Func][]*types.Func // interface method -> concrete methods
+}
+
+func (fb *factsBuilder) collectNamedTypes() {
+	for _, pkg := range fb.facts.Mod.Pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if n, ok := tn.Type().(*types.Named); ok {
+				fb.named = append(fb.named, n)
+			}
+		}
+	}
+}
+
+// resolveIface maps one interface method to every concrete method on a
+// module type implementing the interface. Memoized: the named-type scan
+// is O(module types) per distinct interface method.
+func (fb *factsBuilder) resolveIface(iface *types.Interface, method *types.Func) []*types.Func {
+	fb.implMu.Lock()
+	defer fb.implMu.Unlock()
+	if impls, ok := fb.ifaceImpls[method]; ok {
+		return impls
+	}
+	var impls []*types.Func
+	for _, n := range fb.named {
+		if types.IsInterface(n) {
+			continue
+		}
+		var recv types.Type = n
+		if !types.Implements(recv, iface) {
+			recv = types.NewPointer(n)
+			if !types.Implements(recv, iface) {
+				continue
+			}
+		}
+		obj, _, _ := types.LookupFieldOrMethod(recv, true, method.Pkg(), method.Name())
+		if fn, ok := obj.(*types.Func); ok {
+			impls = append(impls, fn)
+		}
+	}
+	fb.ifaceImpls[method] = impls
+	return impls
+}
+
+// walkAnon analyzes a function literal as an independent fact with an
+// empty held set.
+func (fb *factsBuilder) walkAnon(pkg *TypedPackage, name string, body *ast.BlockStmt, anon *[]*FuncFact) {
+	ff := &FuncFact{Pkg: pkg, Name: name}
+	w := &regionWalker{fb: fb, pkg: pkg, ff: ff, anon: anon}
+	w.walkStmtList(body.List)
+	*anon = append(*anon, ff)
+}
+
+// regionWalker performs the linear abstract walk of one function body,
+// tracking the ordered set of held locks.
+type regionWalker struct {
+	fb   *factsBuilder
+	pkg  *TypedPackage
+	ff   *FuncFact
+	held []HeldLock
+	anon *[]*FuncFact
+}
+
+func (w *regionWalker) snapshot() []HeldLock {
+	if len(w.held) == 0 {
+		return nil
+	}
+	out := make([]HeldLock, len(w.held))
+	copy(out, w.held)
+	return out
+}
+
+// intersect keeps only locks present in both sets (by identity+mode),
+// preserving a's order — the merge rule after a branch.
+func intersectHeld(a, b []HeldLock) []HeldLock {
+	var out []HeldLock
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				out = append(out, x)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func (w *regionWalker) walkStmtList(list []ast.Stmt) {
+	for _, s := range list {
+		w.walkStmt(s)
+	}
+}
+
+func (w *regionWalker) walkStmt(s ast.Stmt) {
+	switch x := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		w.walkExpr(x.X)
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.walkExpr(v)
+					}
+				}
+			}
+		}
+	case *ast.LabeledStmt:
+		w.walkStmt(x.Stmt)
+	case *ast.SendStmt:
+		w.walkExpr(x.Chan)
+		w.walkExpr(x.Value)
+		if len(w.held) > 0 {
+			w.ff.Sends = append(w.ff.Sends, SendEvent{Held: w.snapshot(), Pos: x.Pos()})
+		}
+	case *ast.IncDecStmt:
+		w.walkExpr(x.X)
+	case *ast.AssignStmt:
+		for _, e := range x.Rhs {
+			w.walkExpr(e)
+		}
+		for _, e := range x.Lhs {
+			w.walkExpr(e)
+		}
+	case *ast.GoStmt:
+		w.ff.Spawns = append(w.ff.Spawns, x.Pos())
+		for _, a := range x.Call.Args {
+			w.walkExpr(a)
+		}
+		if fl, ok := x.Call.Fun.(*ast.FuncLit); ok {
+			w.fb.walkAnon(w.pkg, w.ff.Name+".go-func", fl.Body, w.anon)
+		}
+	case *ast.DeferStmt:
+		for _, a := range x.Call.Args {
+			w.walkExpr(a)
+		}
+		if name, ok := w.lockMethod(x.Call); ok && (name == "Unlock" || name == "RUnlock") {
+			// Deferred release: the lock stays held to the end of the
+			// function, which is exactly what the held set models.
+			return
+		}
+		if fl, ok := x.Call.Fun.(*ast.FuncLit); ok {
+			w.fb.walkAnon(w.pkg, w.ff.Name+".defer-func", fl.Body, w.anon)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range x.Results {
+			w.walkExpr(e)
+		}
+	case *ast.BranchStmt, *ast.EmptyStmt, *ast.BadStmt:
+	case *ast.BlockStmt:
+		w.walkStmtList(x.List)
+	case *ast.IfStmt:
+		w.walkStmt(x.Init)
+		w.walkExpr(x.Cond)
+		entry := w.snapshot()
+		w.walkStmtList(x.Body.List)
+		thenExit, thenTerm := w.snapshot(), terminates(x.Body.List)
+		var elseExit []HeldLock
+		elseTerm := false
+		hasElse := x.Else != nil
+		if hasElse {
+			w.held = append(w.held[:0], entry...)
+			w.walkStmt(x.Else)
+			elseExit = w.snapshot()
+			if b, ok := x.Else.(*ast.BlockStmt); ok {
+				elseTerm = terminates(b.List)
+			}
+		}
+		// Continue with the intersection of every branch that falls
+		// through; a terminating branch contributes nothing.
+		switch {
+		case thenTerm && hasElse && elseTerm:
+			w.held = entry // unreachable fall-through; keep entry state
+		case thenTerm && hasElse:
+			w.held = elseExit
+		case thenTerm:
+			w.held = entry
+		case hasElse && elseTerm:
+			w.held = thenExit
+		case hasElse:
+			w.held = intersectHeld(thenExit, elseExit)
+		default:
+			w.held = intersectHeld(thenExit, entry)
+		}
+	case *ast.ForStmt:
+		w.walkStmt(x.Init)
+		w.walkExpr(x.Cond)
+		entry := w.snapshot()
+		w.walkStmtList(x.Body.List)
+		w.walkStmt(x.Post)
+		w.held = intersectHeld(w.snapshot(), entry)
+	case *ast.RangeStmt:
+		w.walkExpr(x.X)
+		entry := w.snapshot()
+		w.walkStmtList(x.Body.List)
+		w.held = intersectHeld(w.snapshot(), entry)
+	case *ast.SwitchStmt:
+		w.walkStmt(x.Init)
+		w.walkExpr(x.Tag)
+		w.walkCases(x.Body.List)
+	case *ast.TypeSwitchStmt:
+		w.walkStmt(x.Init)
+		w.walkCases(x.Body.List)
+	case *ast.SelectStmt:
+		w.walkSelect(x)
+	}
+}
+
+// walkCases runs every case body on a copy of the held set and
+// continues with the intersection of the non-terminating exits.
+func (w *regionWalker) walkCases(clauses []ast.Stmt) {
+	entry := w.snapshot()
+	exit := entry
+	for _, c := range clauses {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			w.walkExpr(e)
+		}
+		w.held = append(w.held[:0:0], entry...)
+		w.walkStmtList(cc.Body)
+		if !terminates(cc.Body) {
+			exit = intersectHeld(exit, w.snapshot())
+		}
+	}
+	w.held = exit
+}
+
+// walkSelect walks a select statement. Sends that sit in a select with
+// a default clause or a receive alternative have an escape hatch and
+// are not recorded as blocking sends.
+func (w *regionWalker) walkSelect(sel *ast.SelectStmt) {
+	hasEscape := false
+	for _, clause := range sel.Body.List {
+		cc, ok := clause.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			hasEscape = true
+			continue
+		}
+		if _, ok := cc.Comm.(*ast.SendStmt); !ok {
+			hasEscape = true
+		}
+	}
+	entry := w.snapshot()
+	exit := entry
+	for _, clause := range sel.Body.List {
+		cc, ok := clause.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		w.held = append(w.held[:0:0], entry...)
+		if send, ok := cc.Comm.(*ast.SendStmt); ok {
+			w.walkExpr(send.Chan)
+			w.walkExpr(send.Value)
+			if !hasEscape && len(w.held) > 0 {
+				w.ff.Sends = append(w.ff.Sends, SendEvent{Held: w.snapshot(), Pos: send.Pos()})
+			}
+		} else if cc.Comm != nil {
+			w.walkStmt(cc.Comm)
+		}
+		w.walkStmtList(cc.Body)
+		if !terminates(cc.Body) {
+			exit = intersectHeld(exit, w.snapshot())
+		}
+	}
+	w.held = exit
+}
+
+// terminates reports whether a statement list certainly transfers
+// control away at its end (return, branch, panic, os.Exit, select{}).
+func terminates(list []ast.Stmt) bool {
+	if len(list) == 0 {
+		return false
+	}
+	switch last := list[len(list)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			switch fun := call.Fun.(type) {
+			case *ast.Ident:
+				return fun.Name == "panic"
+			case *ast.SelectorExpr:
+				return fun.Sel.Name == "Exit" || fun.Sel.Name == "Fatal" || fun.Sel.Name == "Fatalf"
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(last.List)
+	}
+	return false
+}
+
+// walkExpr descends an expression, dispatching calls to handleCall and
+// free-standing function literals to independent anonymous facts.
+func (w *regionWalker) walkExpr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			w.handleCall(x)
+			return false
+		case *ast.FuncLit:
+			w.fb.walkAnon(w.pkg, w.ff.Name+".func", x.Body, w.anon)
+			return false
+		}
+		return true
+	})
+}
+
+// lockMethod reports the sync.Mutex/RWMutex/Locker method name a call
+// targets, if any.
+func (w *regionWalker) lockMethod(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", false
+	}
+	obj, _ := w.pkg.Info.Uses[sel.Sel].(*types.Func)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+func (w *regionWalker) handleCall(call *ast.CallExpr) {
+	for _, a := range call.Args {
+		w.walkExpr(a)
+	}
+	// An immediately-invoked function literal runs inline, under
+	// whatever is held right now.
+	if fl, ok := call.Fun.(*ast.FuncLit); ok {
+		w.walkStmtList(fl.Body.List)
+		return
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		w.walkExpr(sel.X)
+	}
+
+	if name, ok := w.lockMethod(call); ok {
+		w.handleLock(call, name)
+		return
+	}
+
+	callee := w.staticCallee(call)
+	if callee == nil {
+		return
+	}
+	if what, ok := classifyIO(callee); ok {
+		w.ff.IO = append(w.ff.IO, IOEvent{What: what, Held: w.snapshot(), Pos: call.Pos()})
+		return
+	}
+	// Interface method call on a module interface: fan out to every
+	// implementing module type.
+	if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if iface, ok := sig.Recv().Type().Underlying().(*types.Interface); ok {
+			if impls := w.fb.resolveIface(iface, callee); len(impls) > 0 {
+				w.ff.Calls = append(w.ff.Calls, CallEvent{Callees: impls, ViaIface: true, Held: w.snapshot(), Pos: call.Pos()})
+			}
+			return
+		}
+	}
+	if w.fb.facts.Mod.IsModulePackage(callee.Pkg()) {
+		w.ff.Calls = append(w.ff.Calls, CallEvent{Callees: []*types.Func{callee}, Held: w.snapshot(), Pos: call.Pos()})
+	}
+}
+
+// staticCallee resolves the called function object, if the call target
+// is a plain function, method value or qualified name.
+func (w *regionWalker) staticCallee(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := w.pkg.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := w.pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+func (w *regionWalker) handleLock(call *ast.CallExpr, method string) {
+	sel := call.Fun.(*ast.SelectorExpr)
+	id := w.lockIdentity(sel)
+	if id == "" {
+		return
+	}
+	switch method {
+	case "Lock", "RLock":
+		read := method == "RLock"
+		w.ff.Acquires = append(w.ff.Acquires, AcquireEvent{Lock: id, Read: read, Held: w.snapshot(), Pos: call.Pos()})
+		w.held = append(w.held, HeldLock{ID: id, Read: read})
+	case "Unlock", "RUnlock":
+		for i := len(w.held) - 1; i >= 0; i-- {
+			if w.held[i].ID == id {
+				w.held = append(w.held[:i], w.held[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// lockIdentity derives the canonical identity of the mutex a
+// Lock/Unlock call targets. Identities are per-declaration, not
+// per-instance: every instance of store.Store shares "store.Store.mu".
+// That is the right granularity for a global acquisition-order graph —
+// two instances of one type locked in both orders is exactly the
+// deadlock the graph must surface.
+func (w *regionWalker) lockIdentity(sel *ast.SelectorExpr) string {
+	info := w.pkg.Info
+	s := info.Selections[sel]
+	if s == nil {
+		return ""
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	if named, ok := recv.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+			// Mutex embedded in a named type: type + embedded field path.
+			name := typeDisplay(named)
+			if idx := s.Index(); len(idx) > 1 {
+				if fld := fieldAt(named, idx[:len(idx)-1]); fld != "" {
+					return name + "." + fld
+				}
+			}
+			return name + ".(embedded)"
+		}
+	}
+	// Plain sync.Mutex/RWMutex (or sync.Locker) value: identity from
+	// the receiver expression.
+	return w.exprIdentity(sel.X)
+}
+
+// exprIdentity reduces a mutex-valued expression to an identity.
+func (w *regionWalker) exprIdentity(e ast.Expr) string {
+	info := w.pkg.Info
+	switch x := e.(type) {
+	case *ast.Ident:
+		obj := info.Uses[x]
+		if obj == nil {
+			obj = info.Defs[x]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Name() + "." + v.Name() // package-level var
+			}
+			return w.ff.Name + "." + v.Name() // function-local var
+		}
+	case *ast.SelectorExpr:
+		if s := info.Selections[x]; s != nil {
+			recv := s.Recv()
+			if p, ok := recv.(*types.Pointer); ok {
+				recv = p.Elem()
+			}
+			if named, ok := recv.(*types.Named); ok {
+				return typeDisplay(named) + "." + x.Sel.Name
+			}
+			return "struct." + x.Sel.Name
+		}
+		if obj, ok := info.Uses[x.Sel].(*types.Var); ok && obj.Pkg() != nil {
+			return obj.Pkg().Name() + "." + obj.Name()
+		}
+	case *ast.ParenExpr:
+		return w.exprIdentity(x.X)
+	case *ast.StarExpr:
+		return w.exprIdentity(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return w.exprIdentity(x.X)
+		}
+	case *ast.IndexExpr:
+		if base := w.exprIdentity(x.X); base != "" {
+			return base + "[]" // one identity per striped-lock array
+		}
+	}
+	return ""
+}
+
+func typeDisplay(n *types.Named) string {
+	obj := n.Obj()
+	if obj.Pkg() != nil {
+		return obj.Pkg().Name() + "." + obj.Name()
+	}
+	return obj.Name()
+}
+
+// fieldAt resolves a selection index path to the final field name.
+func fieldAt(t types.Type, idx []int) string {
+	name := ""
+	for _, i := range idx {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			t = n.Underlying()
+		}
+		st, ok := t.(*types.Struct)
+		if !ok || i >= st.NumFields() {
+			return ""
+		}
+		f := st.Field(i)
+		name = f.Name()
+		t = f.Type()
+	}
+	return name
+}
+
+func funcDisplay(fn *types.Func) string {
+	pkgName := ""
+	if fn.Pkg() != nil {
+		pkgName = fn.Pkg().Name() + "."
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if n, ok := t.(*types.Named); ok {
+			return pkgName + n.Obj().Name() + "." + fn.Name()
+		}
+	}
+	return pkgName + fn.Name()
+}
+
+// renderHeld prints a held set for diagnostics.
+func renderHeld(held []HeldLock) string {
+	parts := make([]string, len(held))
+	for i, h := range held {
+		parts[i] = h.ID
+		if h.Read {
+			parts[i] += " (read)"
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+// classifyIO decides whether a call target is a direct blocking
+// operation: network/file I/O, a bufio flush, a call through an io
+// interface, time.Sleep, a WaitGroup/Cond wait, a subprocess wait.
+// The lists are deliberately explicit — each entry is an operation
+// that can park the goroutine for an unbounded time.
+func classifyIO(fn *types.Func) (string, bool) {
+	if fn.Pkg() == nil {
+		return "", false
+	}
+	path := fn.Pkg().Path()
+	name := fn.Name()
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		recvName := recvTypeName(sig.Recv().Type())
+		key := path + "." + recvName + "." + name
+		if blockingMethods[key] {
+			return shortIOLabel(path, recvName, name), true
+		}
+		return "", false
+	}
+	if blockingFuncs[path+"."+name] {
+		return path + "." + name, true
+	}
+	return "", false
+}
+
+func recvTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+func shortIOLabel(path, recv, name string) string {
+	return path + "." + recv + "." + name
+}
+
+// blockingMethods: "pkgpath.RecvType.Method".
+var blockingMethods = map[string]bool{
+	// net: connection and listener operations.
+	"net.TCPConn.Read": true, "net.TCPConn.Write": true, "net.TCPConn.Close": true, "net.TCPConn.ReadFrom": true,
+	"net.UDPConn.Read": true, "net.UDPConn.Write": true, "net.UDPConn.Close": true,
+	"net.UnixConn.Read": true, "net.UnixConn.Write": true, "net.UnixConn.Close": true,
+	"net.Conn.Read": true, "net.Conn.Write": true, "net.Conn.Close": true,
+	"net.Listener.Accept": true, "net.Listener.Close": true,
+	"net.TCPListener.Accept": true, "net.TCPListener.AcceptTCP": true, "net.TCPListener.Close": true,
+	"net.Dialer.Dial": true, "net.Dialer.DialContext": true,
+	"net.Resolver.LookupHost": true, "net.Resolver.LookupAddr": true,
+	// bufio: every operation that may touch the underlying stream.
+	"bufio.Writer.Flush": true, "bufio.Writer.Write": true, "bufio.Writer.WriteByte": true,
+	"bufio.Writer.WriteRune": true, "bufio.Writer.WriteString": true, "bufio.Writer.ReadFrom": true,
+	"bufio.Reader.Read": true, "bufio.Reader.ReadByte": true, "bufio.Reader.ReadRune": true,
+	"bufio.Reader.ReadString": true, "bufio.Reader.ReadBytes": true, "bufio.Reader.ReadSlice": true,
+	"bufio.Reader.ReadLine": true, "bufio.Reader.Peek": true, "bufio.Reader.Discard": true,
+	"bufio.Reader.WriteTo": true, "bufio.Scanner.Scan": true,
+	// io: calls through the io interfaces — the sink behind the
+	// interface is unknown, so a lock-held call must assume a socket.
+	"io.Reader.Read": true, "io.Writer.Write": true, "io.Closer.Close": true,
+	"io.ReadWriter.Read": true, "io.ReadWriter.Write": true,
+	"io.ReadCloser.Read": true, "io.ReadCloser.Close": true,
+	"io.WriteCloser.Write": true, "io.WriteCloser.Close": true,
+	"io.ReadWriteCloser.Read": true, "io.ReadWriteCloser.Write": true, "io.ReadWriteCloser.Close": true,
+	"io.ReaderFrom.ReadFrom": true, "io.WriterTo.WriteTo": true, "io.StringWriter.WriteString": true,
+	// os: file I/O.
+	"os.File.Read": true, "os.File.ReadAt": true, "os.File.ReadFrom": true,
+	"os.File.Write": true, "os.File.WriteAt": true, "os.File.WriteString": true, "os.File.Sync": true,
+	// net/http: round trips and server lifecycles.
+	"net/http.Client.Do": true, "net/http.Client.Get": true, "net/http.Client.Post": true,
+	"net/http.Client.PostForm": true, "net/http.Client.Head": true,
+	"net/http.Server.ListenAndServe": true, "net/http.Server.ListenAndServeTLS": true,
+	"net/http.Server.Serve": true, "net/http.Server.Shutdown": true, "net/http.Server.Close": true,
+	// os/exec: subprocess lifecycles.
+	"os/exec.Cmd.Run": true, "os/exec.Cmd.Output": true, "os/exec.Cmd.CombinedOutput": true,
+	"os/exec.Cmd.Start": true, "os/exec.Cmd.Wait": true,
+	// sync: unbounded waits.
+	"sync.WaitGroup.Wait": true, "sync.Cond.Wait": true,
+}
+
+// blockingFuncs: "pkgpath.Func".
+var blockingFuncs = map[string]bool{
+	"time.Sleep":      true,
+	"net.Dial":        true,
+	"net.DialTimeout": true, "net.Listen": true, "net.ListenPacket": true,
+	"net.DialTCP": true, "net.DialUDP": true, "net.ListenTCP": true, "net.ListenUDP": true,
+	"net.LookupHost": true, "net.LookupAddr": true, "net.LookupIP": true,
+	"io.Copy": true, "io.CopyN": true, "io.CopyBuffer": true,
+	"io.ReadAll": true, "io.ReadFull": true, "io.ReadAtLeast": true, "io.WriteString": true,
+	"os.ReadFile": true, "os.WriteFile": true,
+	"net/http.Get": true, "net/http.Post": true, "net/http.Head": true, "net/http.PostForm": true,
+	"net/http.ListenAndServe": true, "net/http.ListenAndServeTLS": true, "net/http.Serve": true,
+}

@@ -1,0 +1,208 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func loadFixture(t *testing.T, src string) *Module {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadTypedDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestFactsInterfaceCalls: a call through an interface must fan out to
+// every module implementation, so transitive properties (here: I/O)
+// flow through dynamic dispatch.
+func TestFactsInterfaceCalls(t *testing.T) {
+	m := loadFixture(t, `package p
+
+import "time"
+
+type Worker interface {
+	Work()
+}
+
+type Fast struct{}
+
+func (Fast) Work() {}
+
+type Slow struct{}
+
+func (Slow) Work() { time.Sleep(time.Second) }
+
+func drive(w Worker) {
+	w.Work()
+}
+`)
+	facts := m.Facts()
+	drive := facts.FuncByName("p.drive")
+	if drive == nil {
+		t.Fatal("no fact for p.drive")
+	}
+	var iface *CallEvent
+	for i := range drive.Calls {
+		if drive.Calls[i].ViaIface {
+			iface = &drive.Calls[i]
+		}
+	}
+	if iface == nil {
+		t.Fatalf("no interface call recorded in p.drive: %+v", drive.Calls)
+	}
+	names := make(map[string]bool)
+	for _, c := range iface.Callees {
+		names[funcDisplay(c)] = true
+	}
+	if !names["p.Fast.Work"] || !names["p.Slow.Work"] {
+		t.Errorf("interface call resolved to %v, want both p.Fast.Work and p.Slow.Work", names)
+	}
+	// The blocking implementation must make the caller transitively
+	// blocking; that is what heldlockio keys off.
+	if !drive.TransIO {
+		t.Error("p.drive not marked TransIO despite a blocking implementation")
+	}
+}
+
+// TestFactsWithLockPropagation: a withLock-style wrapper acquires the
+// lock, so callers holding another lock pick up a cross-function
+// acquisition-order edge.
+func TestFactsWithLockPropagation(t *testing.T) {
+	m := loadFixture(t, `package p
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *S) withLock(f func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f()
+}
+
+type T struct {
+	mu sync.Mutex
+	s  *S
+}
+
+func (t *T) bump() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.s.withLock(func() {
+		t.s.n++
+	})
+}
+`)
+	facts := m.Facts()
+	wl := facts.FuncByName("p.S.withLock")
+	if wl == nil {
+		t.Fatal("no fact for p.S.withLock")
+	}
+	if !wl.TransAcquires["p.S.mu"] {
+		t.Errorf("withLock TransAcquires = %v, want p.S.mu", wl.TransAcquires)
+	}
+	bump := facts.FuncByName("p.T.bump")
+	if bump == nil {
+		t.Fatal("no fact for p.T.bump")
+	}
+	if !bump.TransAcquires["p.T.mu"] || !bump.TransAcquires["p.S.mu"] {
+		t.Errorf("bump TransAcquires = %v, want both p.T.mu and p.S.mu", bump.TransAcquires)
+	}
+	var found bool
+	for _, e := range LockOrderEdges(facts) {
+		if e.From == "p.T.mu" && e.To == "p.S.mu" && e.Via != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no call-mediated lock edge p.T.mu -> p.S.mu in %v", LockOrderEdges(facts))
+	}
+}
+
+// TestFactsDeferredUnlockHeld: a deferred Unlock keeps the lock held to
+// the end of the function, so later acquisitions nest under it.
+func TestFactsDeferredUnlockHeld(t *testing.T) {
+	m := loadFixture(t, `package p
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+func nested(a *A, b *B) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+
+func released(a *A, b *B) {
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+}
+`)
+	facts := m.Facts()
+	nested := facts.FuncByName("p.nested")
+	var heldAtB []HeldLock
+	for _, acq := range nested.Acquires {
+		if acq.Lock == "p.B.mu" {
+			heldAtB = acq.Held
+		}
+	}
+	if len(heldAtB) != 1 || heldAtB[0].ID != "p.A.mu" {
+		t.Errorf("nested: held at B.mu acquisition = %v, want [p.A.mu]", heldAtB)
+	}
+	released := facts.FuncByName("p.released")
+	for _, acq := range released.Acquires {
+		if acq.Lock == "p.B.mu" && len(acq.Held) != 0 {
+			t.Errorf("released: B.mu acquired with %v held, want nothing", acq.Held)
+		}
+	}
+}
+
+// TestFactsGoroutineNotHeld: a `go` function literal runs on its own
+// goroutine — the spawner's locks are not held there.
+func TestFactsGoroutineNotHeld(t *testing.T) {
+	m := loadFixture(t, `package p
+
+import (
+	"sync"
+	"time"
+)
+
+type S struct{ mu sync.Mutex }
+
+func spawn(s *S) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		time.Sleep(time.Second)
+	}()
+}
+`)
+	facts := m.Facts()
+	for _, ff := range facts.Anon {
+		for _, ev := range ff.IO {
+			if len(ev.Held) != 0 {
+				t.Errorf("goroutine body inherits held locks %v", ev.Held)
+			}
+		}
+	}
+	// And the typed analyzer built on these facts stays quiet.
+	if diags := RunTyped(m, []*TypedAnalyzer{AnalyzerHeldLockIO}); len(diags) != 0 {
+		t.Errorf("heldlockio flagged goroutine spawn: %v", diags)
+	}
+}

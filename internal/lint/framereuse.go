@@ -232,17 +232,145 @@ func isPutOf(n ast.Node, name string) bool {
 
 // usesIdent reports whether the subtree mentions the identifier,
 // ignoring nested function literals (they capture by reference but run
-// on their own schedule; the deferred-put idiom lives there).
+// on their own schedule; the deferred-put idiom lives there) and
+// shadowed redeclarations: once an inner scope redeclares the name
+// (`name := …`, `var name …`, a range or if/for init clause), later
+// mentions in that scope refer to the new variable, not the pooled
+// buffer, and do not count as uses.
 func usesIdent(n ast.Node, name string) bool {
 	found := false
 	ast.Inspect(n, func(in ast.Node) bool {
-		if _, ok := in.(*ast.FuncLit); ok {
+		if found {
 			return false
 		}
-		if id, ok := in.(*ast.Ident); ok && id.Name == name {
-			found = true
+		switch x := in.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.BlockStmt:
+			scanShadowList(x.List, name, &found)
+			return false
+		case *ast.CaseClause:
+			for _, e := range x.List {
+				if usesIdent(e, name) {
+					found = true
+				}
+			}
+			scanShadowList(x.Body, name, &found)
+			return false
+		case *ast.CommClause:
+			if x.Comm != nil && usesIdent(x.Comm, name) {
+				found = true
+			}
+			scanShadowList(x.Body, name, &found)
+			return false
+		case *ast.RangeStmt:
+			if usesIdent(x.X, name) {
+				found = true
+			} else if !rangeDeclares(x, name) {
+				if x.Key != nil && usesIdent(x.Key, name) {
+					found = true
+				}
+				if x.Value != nil && usesIdent(x.Value, name) {
+					found = true
+				}
+				if !found {
+					scanShadowList(x.Body.List, name, &found)
+				}
+			}
+			return false
+		case *ast.IfStmt:
+			if x.Init != nil && stmtDeclares(x.Init, name) {
+				if usesIdent(x.Init, name) {
+					found = true
+				}
+				return false
+			}
+		case *ast.ForStmt:
+			if x.Init != nil && stmtDeclares(x.Init, name) {
+				if usesIdent(x.Init, name) {
+					found = true
+				}
+				return false
+			}
+		case *ast.Ident:
+			if x.Name == name {
+				found = true
+			}
 		}
 		return !found
 	})
 	return found
+}
+
+// scanShadowList walks a statement list in order; a statement that
+// redeclares name shadows it for the rest of the list (only that
+// statement's right-hand side is still checked as a use).
+func scanShadowList(list []ast.Stmt, name string, found *bool) {
+	for _, stmt := range list {
+		if stmtDeclares(stmt, name) {
+			// The declaring statement's RHS is evaluated in the outer
+			// scope for `:=`, so a self-referential redeclaration like
+			// `buf := append(buf, …)` still counts as a use.
+			if as, ok := stmt.(*ast.AssignStmt); ok {
+				for _, rhs := range as.Rhs {
+					if usesIdent(rhs, name) {
+						*found = true
+					}
+				}
+			}
+			return
+		}
+		if usesIdent(stmt, name) {
+			*found = true
+			return
+		}
+	}
+}
+
+// stmtDeclares reports whether the statement introduces a new variable
+// with the given name at its own level (`name := …` or `var name …`).
+func stmtDeclares(stmt ast.Stmt, name string) bool {
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		if s.Tok != token.DEFINE {
+			return false
+		}
+		for _, lhs := range s.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name == name {
+				return true
+			}
+		}
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			return false
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, id := range vs.Names {
+				if id.Name == name {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// rangeDeclares reports whether the range clause redeclares name as its
+// key or value (`for _, name := range …`).
+func rangeDeclares(r *ast.RangeStmt, name string) bool {
+	if r.Tok != token.DEFINE {
+		return false
+	}
+	if id, ok := r.Key.(*ast.Ident); ok && id.Name == name {
+		return true
+	}
+	if id, ok := r.Value.(*ast.Ident); ok && id.Name == name {
+		return true
+	}
+	return false
 }

@@ -1,0 +1,70 @@
+package lint
+
+// AnalyzerHeldLockIO flags operations that can park a goroutine for an
+// unbounded time while a mutex is held: direct network/file I/O, bufio
+// flushes, calls through io interfaces, time.Sleep, WaitGroup/Cond
+// waits, blocking channel sends, and calls to module functions that may
+// (transitively, via the callgraph — including interface dispatch)
+// reach such an operation. Holding a lock across a blocking operation
+// turns one slow peer into latency for every contender of that lock,
+// and — when the blocked operation needs another lock — into deadlock.
+// This is the hazard class of the grid's hot packages: store ingest,
+// directory routing and the transport's coalesced write path.
+//
+// Intentional designs (a per-connection write lock that exists exactly
+// to serialize the staged writes it covers) are suppressed in place
+// with a reasoned //gridlint:ignore heldlockio comment.
+
+import (
+	"fmt"
+	"go/token"
+)
+
+var AnalyzerHeldLockIO = &TypedAnalyzer{
+	Name: "heldlockio",
+	Doc:  "no network I/O, blocking channel send or blocking call while holding a mutex",
+	Run:  runHeldLockIO,
+}
+
+func runHeldLockIO(m *Module) []Diagnostic {
+	f := m.Facts()
+	var out []Diagnostic
+	seen := make(map[token.Pos]bool)
+	report := func(pos token.Pos, msg string) {
+		if seen[pos] {
+			return
+		}
+		seen[pos] = true
+		out = append(out, Diagnostic{Pos: m.Fset.Position(pos), Analyzer: "heldlockio", Message: msg})
+	}
+	for _, ff := range f.All() {
+		for _, ev := range ff.IO {
+			if len(ev.Held) == 0 {
+				continue
+			}
+			report(ev.Pos, fmt.Sprintf("blocking operation (%s) while holding %s", ev.What, renderHeld(ev.Held)))
+		}
+		for _, ev := range ff.Sends {
+			report(ev.Pos, fmt.Sprintf("blocking channel send while holding %s; a full channel wedges every contender for the lock", renderHeld(ev.Held)))
+		}
+		for _, ce := range ff.Calls {
+			if len(ce.Held) == 0 {
+				continue
+			}
+			for _, callee := range ce.Callees {
+				cf := f.Funcs[callee]
+				if cf == nil || !cf.TransIO {
+					continue
+				}
+				via := ""
+				if ce.ViaIface {
+					via = " (resolved via interface)"
+				}
+				report(ce.Pos, fmt.Sprintf("call to %s%s, which may block (%s), while holding %s",
+					cf.Name, via, cf.IODescription(), renderHeld(ce.Held)))
+				break
+			}
+		}
+	}
+	return out
+}

@@ -8,14 +8,24 @@
 // worker goroutines, unbounded channel sends and sleep-based
 // synchronization.
 //
-// The framework is deliberately syntactic (go/ast + go/parser, no type
-// checking) so it runs with zero module dependencies and zero build
-// state; every analyzer documents the heuristic it applies.
+// The framework has two tiers, both stdlib-only with zero build state.
+// The syntactic tier (this file and the analyzers it registers) is
+// go/ast + go/parser, one package at a time: fast, heuristic, each
+// analyzer documenting the pattern it matches. The typed tier
+// (typed.go, facts.go) loads the whole module through go/types — the
+// standard library is type-checked from GOROOT source via go/importer,
+// so there is still no dependency on module tooling — and checks
+// global properties: a cycle-free lock-acquisition order across
+// packages, no blocking I/O while holding a mutex, zero-copy views
+// kept inside their reuse window, and no silently dropped wire-path
+// errors.
+//
 // Diagnostics can be suppressed per line with
 //
 //	//gridlint:ignore <analyzer> <reason>
 //
-// placed on the flagged line or the line directly above it.
+// placed on the flagged line or the line directly above it; a comment
+// above a multi-line statement covers every line the statement spans.
 package lint
 
 import (
@@ -27,8 +37,10 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Diagnostic is one finding at one source position.
@@ -129,11 +141,16 @@ func Load(root string) ([]*Package, error) {
 // LoadDir parses the single package in dir (non-recursive). It returns
 // (nil, nil) when the directory holds no non-test Go files.
 func LoadDir(dir string) (*Package, error) {
+	return loadDirFset(dir, token.NewFileSet())
+}
+
+// loadDirFset is LoadDir parsing into a caller-owned FileSet, so the
+// typed tier can share one position table across the module.
+func loadDirFset(dir string, fset *token.FileSet) (*Package, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
-	fset := token.NewFileSet()
 	pkg := &Package{Dir: dir, Fset: fset}
 	for _, e := range entries {
 		name := e.Name()
@@ -158,48 +175,107 @@ var ignoreRe = regexp.MustCompile(`^//\s*gridlint:ignore\s+(\S+)`)
 
 // suppressedLines collects, per file, the line numbers covered by a
 // //gridlint:ignore comment for the named analyzer. A comment covers
-// its own line and the following line, so both trailing and standalone
-// placement work.
-func suppressedLines(p *Package, analyzer string) map[string]map[int]bool {
+// its own line and the following line, and when it sits on (or directly
+// above) the first line of a multi-line statement or declaration it
+// covers the whole node — so a suppression above a wrapped call applies
+// to diagnostics anywhere inside that call's span, not just its first
+// line.
+func suppressedLines(fset *token.FileSet, files []*ast.File, analyzer string) map[string]map[int]bool {
 	out := make(map[string]map[int]bool)
-	for _, f := range p.Files {
-		for _, cg := range f.AST.Comments {
+	for _, f := range files {
+		// Lines bearing an ignore comment for this analyzer.
+		ignore := make(map[int]bool)
+		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				m := ignoreRe.FindStringSubmatch(c.Text)
 				if m == nil || (m[1] != analyzer && m[1] != "all") {
 					continue
 				}
-				pos := p.Fset.Position(c.Pos())
-				if out[pos.Filename] == nil {
-					out[pos.Filename] = make(map[int]bool)
-				}
-				out[pos.Filename][pos.Line] = true
-				out[pos.Filename][pos.Line+1] = true
+				ignore[fset.Position(c.Pos()).Line] = true
 			}
+		}
+		if len(ignore) == 0 {
+			continue
+		}
+		lines := make(map[int]bool)
+		for l := range ignore {
+			lines[l] = true
+			lines[l+1] = true
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return false
+			}
+			switch n.(type) {
+			case ast.Stmt, ast.Decl, *ast.Field:
+			default:
+				return true
+			}
+			start := fset.Position(n.Pos()).Line
+			end := fset.Position(n.End()).Line
+			if end > start && (ignore[start] || ignore[start-1]) {
+				for l := start; l <= end; l++ {
+					lines[l] = true
+				}
+			}
+			return true
+		})
+		out[fset.Position(f.Pos()).Filename] = lines
+	}
+	return out
+}
+
+// Run applies the analyzers to every package — packages in parallel,
+// one worker per CPU — filters suppressed findings and returns the
+// remainder sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	results := make([][]Diagnostic, len(pkgs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		go func(i int, pkg *Package) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = runPackage(pkg, analyzers)
+		}(i, pkg)
+	}
+	wg.Wait()
+	var out []Diagnostic
+	for _, r := range results {
+		out = append(out, r...)
+	}
+	SortDiagnostics(out)
+	return out
+}
+
+// runPackage applies the analyzers to one package and filters
+// suppressed findings.
+func runPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	astFiles := make([]*ast.File, len(pkg.Files))
+	for i, f := range pkg.Files {
+		astFiles[i] = f.AST
+	}
+	for _, a := range analyzers {
+		diags := a.Run(pkg)
+		if len(diags) == 0 {
+			continue
+		}
+		sup := suppressedLines(pkg.Fset, astFiles, a.Name)
+		for _, d := range diags {
+			if sup[d.Pos.Filename][d.Pos.Line] {
+				continue
+			}
+			out = append(out, d)
 		}
 	}
 	return out
 }
 
-// Run applies the analyzers to every package, filters suppressed
-// findings and returns the remainder sorted by position.
-func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
-	var out []Diagnostic
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			diags := a.Run(pkg)
-			if len(diags) == 0 {
-				continue
-			}
-			sup := suppressedLines(pkg, a.Name)
-			for _, d := range diags {
-				if sup[d.Pos.Filename][d.Pos.Line] {
-					continue
-				}
-				out = append(out, d)
-			}
-		}
-	}
+// SortDiagnostics orders diagnostics by file, line, column, analyzer.
+func SortDiagnostics(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -213,7 +289,6 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return out
 }
 
 // Select resolves -enable/-disable style comma lists against the
@@ -231,6 +306,9 @@ func Select(enable, disable string) ([]*Analyzer, error) {
 			name = strings.TrimSpace(name)
 			a, ok := byName[name]
 			if !ok {
+				if IsTypedName(name) {
+					continue // belongs to the typed tier; SelectTyped owns it
+				}
 				return nil, fmt.Errorf("lint: unknown analyzer %q", name)
 			}
 			picked = append(picked, a)
@@ -241,6 +319,9 @@ func Select(enable, disable string) ([]*Analyzer, error) {
 		for _, name := range strings.Split(disable, ",") {
 			name = strings.TrimSpace(name)
 			if _, ok := byName[name]; !ok {
+				if IsTypedName(name) {
+					continue
+				}
 				return nil, fmt.Errorf("lint: unknown analyzer %q", name)
 			}
 			drop[name] = true

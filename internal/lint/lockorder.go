@@ -1,0 +1,219 @@
+package lint
+
+// AnalyzerLockOrder builds the global mutex-acquisition-order graph of
+// the whole module and reports every cycle. Nodes are canonical lock
+// identities (facts.go): "store.Store.mu" stands for that field on
+// every instance. Edges come from two sources:
+//
+//   - a direct nested acquisition: locking B while A is held adds A→B;
+//   - a call-mediated acquisition: calling g while A is held, where g
+//     may (transitively) acquire B, also adds A→B — this is how a
+//     cross-package order inversion (directory locked, then a store
+//     method that locks the store) is caught without either package
+//     seeing the other's source.
+//
+// Any cycle — including the length-1 cycle of re-acquiring an identity
+// already held, which is how two instances of one type locked in both
+// orders deadlocks — is a potential deadlock and is reported once per
+// strongly connected component. Read-read self edges (RLock while the
+// same identity is read-held) are not reported.
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+var AnalyzerLockOrder = &TypedAnalyzer{
+	Name: "lockorder",
+	Doc:  "the global mutex acquisition-order graph must be cycle-free; a cycle is a potential deadlock",
+	Run:  runLockOrder,
+}
+
+// LockEdge is one acquisition-order edge: to was (possibly) acquired
+// while from was held.
+type LockEdge struct {
+	From, To string
+	Pos      token.Pos
+	Via      string // callee chain for call-mediated edges, "" for direct
+	ReadRead bool   // both endpoints are read locks (direct edges only)
+}
+
+// LockOrderEdges derives every acquisition-order edge from the module
+// facts. Exported for the facts-layer tests.
+func LockOrderEdges(f *Facts) []LockEdge {
+	var edges []LockEdge
+	for _, ff := range f.All() {
+		for _, ev := range ff.Acquires {
+			for _, h := range ev.Held {
+				edges = append(edges, LockEdge{
+					From: h.ID, To: ev.Lock, Pos: ev.Pos,
+					ReadRead: h.Read && ev.Read,
+				})
+			}
+		}
+		for _, ce := range ff.Calls {
+			if len(ce.Held) == 0 {
+				continue
+			}
+			for _, callee := range ce.Callees {
+				cf := f.Funcs[callee]
+				if cf == nil {
+					continue
+				}
+				for lock := range cf.TransAcquires {
+					for _, h := range ce.Held {
+						edges = append(edges, LockEdge{From: h.ID, To: lock, Pos: ce.Pos, Via: cf.Name})
+					}
+				}
+			}
+		}
+	}
+	return edges
+}
+
+func runLockOrder(m *Module) []Diagnostic {
+	f := m.Facts()
+	// Adjacency with one representative (earliest-position) edge per
+	// directed pair; read-read self edges are benign.
+	adj := make(map[string]map[string]LockEdge)
+	for _, e := range LockOrderEdges(f) {
+		if e.From == e.To && e.ReadRead {
+			continue
+		}
+		row := adj[e.From]
+		if row == nil {
+			row = make(map[string]LockEdge)
+			adj[e.From] = row
+		}
+		if old, ok := row[e.To]; !ok || e.Pos < old.Pos || (e.Pos == old.Pos && e.Via < old.Via) {
+			row[e.To] = e
+		}
+	}
+
+	var out []Diagnostic
+	for _, scc := range stronglyConnected(adj) {
+		inSCC := make(map[string]bool, len(scc))
+		for _, n := range scc {
+			inSCC[n] = true
+		}
+		// Collect the intra-component edges; a single node is a cycle
+		// only if it has a self edge.
+		var cyc []LockEdge
+		for _, from := range scc {
+			for to, e := range adj[from] {
+				if inSCC[to] {
+					cyc = append(cyc, e)
+				}
+			}
+		}
+		if len(scc) == 1 && len(cyc) == 0 {
+			continue
+		}
+		sort.Slice(cyc, func(i, j int) bool {
+			if cyc[i].From != cyc[j].From {
+				return cyc[i].From < cyc[j].From
+			}
+			return cyc[i].To < cyc[j].To
+		})
+		minPos := cyc[0].Pos
+		for _, e := range cyc {
+			if e.Pos < minPos {
+				minPos = e.Pos
+			}
+		}
+		parts := make([]string, len(cyc))
+		for i, e := range cyc {
+			p := m.Fset.Position(e.Pos)
+			loc := fmt.Sprintf("%s:%d", p.Filename, p.Line)
+			if e.Via != "" {
+				parts[i] = fmt.Sprintf("%s → %s (at %s via %s)", e.From, e.To, loc, e.Via)
+			} else {
+				parts[i] = fmt.Sprintf("%s → %s (at %s)", e.From, e.To, loc)
+			}
+		}
+		msg := "lock-order cycle (potential deadlock): " + strings.Join(parts, "; ") +
+			" — acquire these locks in one canonical order"
+		if len(scc) == 1 {
+			msg = "lock " + scc[0] + " may be re-acquired while held: " + strings.Join(parts, "; ") +
+				" — recursive locking (or two instances locked in both orders) deadlocks"
+		}
+		out = append(out, Diagnostic{
+			Pos:      m.Fset.Position(minPos),
+			Analyzer: "lockorder",
+			Message:  msg,
+		})
+	}
+	return out
+}
+
+// stronglyConnected returns Tarjan's strongly connected components of
+// the lock graph, deterministically ordered (nodes visited in sorted
+// order, components sorted by their smallest node).
+func stronglyConnected(adj map[string]map[string]LockEdge) [][]string {
+	nodes := make(map[string]bool)
+	for from, row := range adj {
+		nodes[from] = true
+		for to := range row {
+			nodes[to] = true
+		}
+	}
+	order := make([]string, 0, len(nodes))
+	for n := range nodes {
+		order = append(order, n)
+	}
+	sort.Strings(order)
+
+	index := make(map[string]int, len(nodes))
+	low := make(map[string]int, len(nodes))
+	onStack := make(map[string]bool, len(nodes))
+	var stack []string
+	next := 0
+	var comps [][]string
+
+	var strong func(v string)
+	strong = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		succs := make([]string, 0, len(adj[v]))
+		for to := range adj[v] {
+			succs = append(succs, to)
+		}
+		sort.Strings(succs)
+		for _, w := range succs {
+			if _, seen := index[w]; !seen {
+				strong(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(comp)
+			comps = append(comps, comp)
+		}
+	}
+	for _, n := range order {
+		if _, seen := index[n]; !seen {
+			strong(n)
+		}
+	}
+	sort.Slice(comps, func(i, j int) bool { return comps[i][0] < comps[j][0] })
+	return comps
+}

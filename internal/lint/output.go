@@ -1,0 +1,164 @@
+package lint
+
+// Machine-readable output. Text (Diagnostic.String) stays the terminal
+// default; JSON is the stable interchange form for scripts; SARIF 2.1.0
+// is what code-review tooling (GitHub code scanning, VS Code SARIF
+// viewers) ingests. Both renderings are deterministic for a given
+// diagnostic list, so verify.sh can diff them.
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+)
+
+// Rule describes one analyzer for the output renderers, independent of
+// which tier it lives in.
+type Rule struct {
+	Name string `json:"name"`
+	Doc  string `json:"doc"`
+}
+
+// AllRules returns every analyzer of both tiers as output rules, in
+// registration order (syntactic tier first).
+func AllRules() []Rule {
+	var out []Rule
+	for _, a := range Analyzers() {
+		out = append(out, Rule{Name: a.Name, Doc: a.Doc})
+	}
+	for _, a := range TypedAnalyzers() {
+		out = append(out, Rule{Name: a.Name, Doc: a.Doc})
+	}
+	return out
+}
+
+// jsonDiagnostic is the stable JSON shape of one finding.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON renders diagnostics as a JSON array (never null; an empty
+// run emits []).
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiagnostic{
+			File:     filepath.ToSlash(d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Column:   d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// SARIF 2.1.0, minimal profile: one run, one tool, one result per
+// diagnostic, rule metadata for every analyzer that produced at least
+// one rule entry.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// WriteSARIF renders diagnostics as a SARIF 2.1.0 log. rules should be
+// AllRules() (or the enabled subset); every diagnostic's analyzer is
+// added to the driver rules even if missing from the list, so the log
+// always validates.
+func WriteSARIF(w io.Writer, diags []Diagnostic, rules []Rule) error {
+	haveRule := make(map[string]bool, len(rules))
+	var sr []sarifRule
+	for _, r := range rules {
+		if haveRule[r.Name] {
+			continue
+		}
+		haveRule[r.Name] = true
+		sr = append(sr, sarifRule{ID: r.Name, ShortDescription: sarifMessage{Text: r.Doc}})
+	}
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		if !haveRule[d.Analyzer] {
+			haveRule[d.Analyzer] = true
+			sr = append(sr, sarifRule{ID: d.Analyzer, ShortDescription: sarifMessage{Text: d.Analyzer}})
+		}
+		results = append(results, sarifResult{
+			RuleID:  d.Analyzer,
+			Level:   "warning",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: filepath.ToSlash(d.Pos.Filename)},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "gridlint", Rules: sr}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

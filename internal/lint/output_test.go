@@ -1,0 +1,182 @@
+package lint
+
+import (
+	"encoding/json"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleDiags() []Diagnostic {
+	return []Diagnostic{
+		{
+			Pos:      token.Position{Filename: "internal/transport/tcp.go", Line: 10, Column: 3},
+			Analyzer: "heldlockio",
+			Message:  "blocking operation while holding transport.sendConn.mu",
+		},
+		{
+			Pos:      token.Position{Filename: "internal/store/store.go", Line: 4, Column: 1},
+			Analyzer: "errdrop",
+			Message:  "store.Store.Flush discards its error",
+		},
+	}
+}
+
+func TestWriteJSONEmptyIsArray(t *testing.T) {
+	var b strings.Builder
+	if err := WriteJSON(&b, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(b.String()) != "[]" {
+		t.Errorf("empty run = %q, want []", b.String())
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	var b strings.Builder
+	if err := WriteJSON(&b, sampleDiags()); err != nil {
+		t.Fatal(err)
+	}
+	var got []map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0]["analyzer"] != "heldlockio" || got[0]["line"] != float64(10) {
+		t.Errorf("unexpected JSON: %v", got)
+	}
+}
+
+func TestWriteSARIFDedupesRules(t *testing.T) {
+	var b strings.Builder
+	// A diagnostic whose analyzer is missing from the rule list must
+	// still get a rule entry; duplicates in the list collapse.
+	rules := []Rule{{Name: "heldlockio", Doc: "doc"}, {Name: "heldlockio", Doc: "doc"}}
+	if err := WriteSARIF(&b, sampleDiags(), rules); err != nil {
+		t.Fatal(err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal([]byte(b.String()), &log); err != nil {
+		t.Fatal(err)
+	}
+	ids := make(map[string]int)
+	for _, r := range log.Runs[0].Tool.Driver.Rules {
+		ids[r.ID]++
+	}
+	if ids["heldlockio"] != 1 || ids["errdrop"] != 1 {
+		t.Errorf("rule ids = %v, want exactly one of each", ids)
+	}
+	if len(log.Runs[0].Results) != 2 {
+		t.Errorf("results = %d, want 2", len(log.Runs[0].Results))
+	}
+}
+
+func TestAllRulesCoversBothTiers(t *testing.T) {
+	rules := AllRules()
+	want := len(Analyzers()) + len(TypedAnalyzers())
+	if len(rules) != want {
+		t.Fatalf("AllRules = %d, want %d", len(rules), want)
+	}
+	names := make(map[string]bool)
+	for _, r := range rules {
+		if r.Doc == "" {
+			t.Errorf("rule %s has no doc", r.Name)
+		}
+		names[r.Name] = true
+	}
+	if !names["framereuse"] || !names["viewlifetime"] {
+		t.Errorf("AllRules missing a tier: %v", names)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := WriteBaseline(path, sampleDiags()); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Entries) != 2 {
+		t.Fatalf("entries = %d, want 2", len(b.Entries))
+	}
+	fresh, stale := ApplyBaseline(b, sampleDiags())
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Errorf("round trip: fresh=%v stale=%v", fresh, stale)
+	}
+}
+
+func TestBaselineMissingFileIsEmpty(t *testing.T) {
+	b, err := LoadBaseline(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Entries) != 0 {
+		t.Errorf("missing file yields %d entries", len(b.Entries))
+	}
+}
+
+func TestBaselineIgnoresLineNumbers(t *testing.T) {
+	diags := sampleDiags()
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := WriteBaseline(path, diags); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The same findings on different lines still match: edits above a
+	// finding are not drift.
+	moved := make([]Diagnostic, len(diags))
+	copy(moved, diags)
+	for i := range moved {
+		moved[i].Pos.Line += 100
+	}
+	fresh, stale := ApplyBaseline(b, moved)
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Errorf("line move counted as drift: fresh=%v stale=%v", fresh, stale)
+	}
+}
+
+func TestBaselineDriftBothWays(t *testing.T) {
+	diags := sampleDiags()
+	b := &Baseline{Entries: []BaselineEntry{{
+		File:     diags[0].Pos.Filename,
+		Analyzer: diags[0].Analyzer,
+		Message:  diags[0].Message,
+	}, {
+		File:     "internal/gone/gone.go",
+		Analyzer: "errdrop",
+		Message:  "was fixed long ago",
+	}}}
+	fresh, stale := ApplyBaseline(b, diags)
+	if len(fresh) != 1 || fresh[0].Analyzer != "errdrop" {
+		t.Errorf("fresh = %v, want the uncovered errdrop finding", fresh)
+	}
+	if len(stale) != 1 || stale[0].File != "internal/gone/gone.go" {
+		t.Errorf("stale = %v, want the fixed entry", stale)
+	}
+}
+
+func TestBaselineOneEntryCoversRepeats(t *testing.T) {
+	d := sampleDiags()[0]
+	d2 := d
+	d2.Pos.Line = 99
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := WriteBaseline(path, []Diagnostic{d, d2}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Entries) != 1 {
+		t.Fatalf("entries = %d, want 1 (deduplicated)", len(b.Entries))
+	}
+	fresh, stale := ApplyBaseline(b, []Diagnostic{d, d2})
+	if len(fresh) != 0 || len(stale) != 0 {
+		t.Errorf("repeat coverage: fresh=%v stale=%v", fresh, stale)
+	}
+}

@@ -1,0 +1,34 @@
+package errdrop
+
+// Conn stands in for a transport connection: every staged-write
+// operation reports failure through its error.
+type Conn struct{ failed bool }
+
+func (c *Conn) Flush() error              { return nil }
+func (c *Conn) Sync() error               { return nil }
+func (c *Conn) Close() error              { return nil }
+func (c *Conn) Send(b []byte) error       { return nil }
+func (c *Conn) SendFrame(b []byte) error  { return nil }
+func (c *Conn) WriteFrame(b []byte) error { return nil }
+
+// dropAll silently discards every wire-path error.
+func dropAll(c *Conn, b []byte) {
+	c.Flush()
+	c.Sync()
+	c.Send(b)
+	c.SendFrame(b)
+	c.WriteFrame(b)
+	c.Close()
+}
+
+// dropInGoroutine loses the error on another goroutine, where nobody
+// can ever see it.
+func dropInGoroutine(c *Conn) {
+	go c.Flush()
+}
+
+// dropDeferredFlush defers a flush whose failure means frames never
+// left the process; unlike Close, a deferred Flush is still a drop.
+func dropDeferredFlush(c *Conn) {
+	defer c.Flush()
+}

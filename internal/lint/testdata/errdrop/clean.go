@@ -1,0 +1,35 @@
+package errdrop
+
+import "os"
+
+// handled checks every error; explicit discard says the author chose.
+func handled(c *Conn, b []byte) error {
+	if err := c.Flush(); err != nil {
+		return err
+	}
+	if err := c.Send(b); err != nil {
+		return err
+	}
+	_ = c.Sync() // explicit discard is a decision, not a drop
+	return c.Close()
+}
+
+// deferredClose is conventional teardown and stays quiet.
+func deferredClose(c *Conn) error {
+	defer c.Close()
+	return c.Flush()
+}
+
+// stdlibClose: Close on a non-module type is outside the wire path.
+func stdlibClose(f *os.File) {
+	f.Close()
+}
+
+// NopFlusher has a Flush with no error to drop.
+type NopFlusher struct{}
+
+func (NopFlusher) Flush() {}
+
+func noError(n NopFlusher) {
+	n.Flush()
+}

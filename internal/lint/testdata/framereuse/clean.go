@@ -33,3 +33,27 @@ func noPool(data []byte) []byte {
 	copy(out, data)
 	return out
 }
+
+// shadowAfterPut redeclares the pooled variable's name in inner scopes
+// after the Put. The shadowed variables are fresh declarations, not the
+// recycled buffer — regression fixture for the false positive where any
+// later mention of the name was flagged.
+func shadowAfterPut(parts [][]byte) int {
+	bp := getEncBuf()
+	*bp = append((*bp)[:0], 'A')
+	n := len(*bp)
+	putEncBuf(bp)
+	if n > 0 {
+		bp := make([]byte, n) // shadows; not the pooled buffer
+		n += len(bp)
+	}
+	for _, bp := range parts { // range clause shadows too
+		n += len(bp)
+	}
+	switch n {
+	case 0:
+		var bp []byte // var declaration shadows as well
+		n -= len(bp)
+	}
+	return n
+}

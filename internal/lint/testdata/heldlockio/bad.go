@@ -1,0 +1,43 @@
+package heldlockio
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type S struct {
+	mu   sync.Mutex
+	conn net.Conn
+	ch   chan int
+	last int
+}
+
+// writeHeld does network I/O while holding the struct lock: one slow
+// peer stalls every other goroutine touching S.
+func writeHeld(s *S, b []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := s.conn.Write(b)
+	return err
+}
+
+// sendHeld performs an unconditional channel send under the lock; a
+// full channel parks the goroutine with the lock still held.
+func sendHeld(s *S, v int) {
+	s.mu.Lock()
+	s.ch <- v
+	s.mu.Unlock()
+}
+
+// sleepHeld reaches time.Sleep through a helper call, so only the
+// callgraph shows the block.
+func sleepHeld(s *S) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pause()
+}
+
+func pause() {
+	time.Sleep(10 * time.Millisecond)
+}

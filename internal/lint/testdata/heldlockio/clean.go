@@ -1,0 +1,31 @@
+package heldlockio
+
+// The clean patterns: snapshot under the lock, operate outside it.
+
+func writeAfter(s *S, b []byte) error {
+	s.mu.Lock()
+	conn := s.conn
+	s.mu.Unlock()
+	_, err := conn.Write(b)
+	return err
+}
+
+// A select with a default is a non-blocking send attempt, fine to make
+// with the lock held.
+func trySend(s *S, v int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+func sleepAfter(s *S) {
+	s.mu.Lock()
+	s.last++
+	s.mu.Unlock()
+	pause()
+}

@@ -1,0 +1,59 @@
+package lockorder
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+// inOrder and reversed acquire the same pair in opposite orders: the
+// classic two-lock deadlock.
+func inOrder(a *A, b *B) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+func reversed(a *A, b *B) {
+	b.mu.Lock()
+	a.mu.Lock()
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+type C struct{ mu sync.Mutex }
+
+// transfer locks two instances of one type: any two goroutines calling
+// transfer(x, y) and transfer(y, x) deadlock.
+func transfer(from, to *C) {
+	from.mu.Lock()
+	to.mu.Lock()
+	to.mu.Unlock()
+	from.mu.Unlock()
+}
+
+type X struct{ mu sync.Mutex }
+
+type Y struct{ mu sync.Mutex }
+
+// lockY acquires Y behind a call, so the inversion spans the callgraph:
+// viaCall holds X.mu while lockY takes Y.mu, and direct takes them the
+// other way around.
+func lockY(y *Y) {
+	y.mu.Lock()
+	defer y.mu.Unlock()
+}
+
+func viaCall(x *X, y *Y) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	lockY(y)
+}
+
+func direct(x *X, y *Y) {
+	y.mu.Lock()
+	defer y.mu.Unlock()
+	x.mu.Lock()
+	x.mu.Unlock()
+}

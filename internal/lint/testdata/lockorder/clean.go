@@ -1,0 +1,47 @@
+package lockorder
+
+import "sync"
+
+type D struct{ mu sync.Mutex }
+
+type E struct{ mu sync.Mutex }
+
+// Every path takes D.mu before E.mu — a consistent canonical order is
+// exactly what the analyzer asks for.
+func first(d *D, e *E) {
+	d.mu.Lock()
+	e.mu.Lock()
+	e.mu.Unlock()
+	d.mu.Unlock()
+}
+
+func second(d *D, e *E) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	lockE(e)
+}
+
+func lockE(e *E) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+}
+
+// sequential reacquisition of one lock is not nesting: D.mu is free
+// again before the second Lock.
+func sequential(d *D) {
+	d.mu.Lock()
+	d.mu.Unlock()
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+type F struct{ mu sync.RWMutex }
+
+// Read-read self nesting on an RWMutex is benign and must stay quiet.
+func readers(f1, f2 *F) int {
+	f1.mu.RLock()
+	defer f1.mu.RUnlock()
+	f2.mu.RLock()
+	defer f2.mu.RUnlock()
+	return 0
+}

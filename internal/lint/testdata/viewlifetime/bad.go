@@ -1,0 +1,57 @@
+package viewlifetime
+
+// Reader mimics acl.FrameReader: Next returns a payload aliasing an
+// internal buffer that the following Next overwrites.
+type Reader struct {
+	buf []byte
+}
+
+func (r *Reader) Next() ([]byte, error) {
+	return r.buf, nil
+}
+
+type Holder struct {
+	last []byte
+}
+
+// storeField parks the view in a struct field that outlives the call.
+func storeField(r *Reader, h *Holder) {
+	v, _ := r.Next()
+	h.last = v
+}
+
+// sendView hands the alias to another goroutine via a channel.
+func sendView(r *Reader, ch chan []byte) {
+	v, _ := r.Next()
+	ch <- v
+}
+
+// spawnView captures the alias in a goroutine that runs after the
+// window closes.
+func spawnView(r *Reader) {
+	v, _ := r.Next()
+	go func() {
+		_ = v[0]
+	}()
+}
+
+// returnView leaks the alias to a caller who cannot see the window.
+func returnView(r *Reader) []byte {
+	v, _ := r.Next()
+	return v
+}
+
+// useAfterAdvance touches the view after the producer moved on.
+func useAfterAdvance(r *Reader) byte {
+	v, _ := r.Next()
+	r.Next()
+	return v[0]
+}
+
+// subsliceEscape stores an alias derived from the view; slicing does
+// not copy.
+func subsliceEscape(r *Reader, h *Holder) {
+	v, _ := r.Next()
+	head := v[:2]
+	h.last = head
+}

@@ -1,0 +1,48 @@
+package viewlifetime
+
+// The safe idioms: copy before the window closes, or stay inside it.
+
+type Sink struct {
+	text string
+	data []byte
+}
+
+// copyOut materializes the view with every sanctioned copy.
+func copyOut(r *Reader, s *Sink, dst []byte) {
+	v, _ := r.Next()
+	s.text = string(v)
+	s.data = append(s.data[:0], v...)
+	copy(dst, v)
+}
+
+// synchronous use inside the window: handing the view to a call is
+// fine, the callee runs before the next Next.
+func handleEach(r *Reader) {
+	for i := 0; i < 3; i++ {
+		v, _ := r.Next()
+		process(v)
+	}
+}
+
+func process(b []byte) int {
+	return len(b)
+}
+
+// reassignment re-opens the window; using the fresh view afterwards is
+// the normal decode loop.
+func loopReuse(r *Reader) int {
+	v, _ := r.Next()
+	n := len(v)
+	v, _ = r.Next()
+	return n + len(v)
+}
+
+// peek reads single bytes and lengths; neither aliases the buffer
+// beyond the statement.
+func peek(r *Reader) (byte, int) {
+	v, _ := r.Next()
+	if len(v) == 0 {
+		return 0, 0
+	}
+	return v[0], len(v)
+}

@@ -1,0 +1,340 @@
+package lint
+
+// The type-aware tier. The syntactic tier (lint.go) parses one package
+// at a time and never resolves a name; that caps it at single-file
+// heuristics. This file adds a whole-module loader built on go/types:
+// every package in the module is parsed and type-checked in dependency
+// order, identifiers resolve to objects, and the analyzers in
+// lockorder.go / heldlockio.go / viewlifetime.go / errdrop.go consume
+// per-function facts (facts.go) derived from the typed ASTs.
+//
+// The loader is still stdlib-only: module-internal imports are resolved
+// by recursively type-checking the imported directory, and standard
+// library imports fall through to go/importer's source importer, which
+// type-checks the stdlib from GOROOT source. Cgo is disabled for the
+// stdlib importer (the pure-Go net path type-checks fine), so the whole
+// tier runs with zero module dependencies and no build cache.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// TypedPackage is one type-checked package of the module.
+type TypedPackage struct {
+	Dir   string  // directory on disk
+	Path  string  // import path ("agentgrid/internal/store")
+	Files []*File // parsed non-test sources, sharing the module Fset
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Module is the whole-module result of LoadTypedModule: every package
+// under the module root, type-checked against one FileSet.
+type Module struct {
+	Root string // module root directory
+	Path string // module path from go.mod
+	Fset *token.FileSet
+	Pkgs []*TypedPackage // sorted by import path
+
+	pkgSet map[*types.Package]bool
+
+	factsOnce sync.Once
+	facts     *Facts
+}
+
+// IsModulePackage reports whether p is one of the module's own
+// type-checked packages. Membership is pointer identity, not path
+// prefixing, so fixture modules loaded from arbitrary directories
+// (LoadTypedDir) behave exactly like the real module.
+func (m *Module) IsModulePackage(p *types.Package) bool {
+	return p != nil && m.pkgSet[p]
+}
+
+func (m *Module) indexPkgs() {
+	m.pkgSet = make(map[*types.Package]bool, len(m.Pkgs))
+	for _, tp := range m.Pkgs {
+		m.pkgSet[tp.Types] = true
+	}
+}
+
+// TypedAnalyzer is one named check over the typed module. Unlike the
+// syntactic Analyzer it sees the whole program at once, so it can
+// reason across package boundaries (a lock acquired in store while a
+// directory lock is held, an interface call that lands on a method
+// doing network I/O).
+type TypedAnalyzer struct {
+	Name string
+	Doc  string
+	Run  func(m *Module) []Diagnostic
+}
+
+// TypedAnalyzers returns every registered type-aware analyzer, in
+// stable order.
+func TypedAnalyzers() []*TypedAnalyzer {
+	return []*TypedAnalyzer{
+		AnalyzerLockOrder,
+		AnalyzerHeldLockIO,
+		AnalyzerViewLifetime,
+		AnalyzerErrDrop,
+	}
+}
+
+// SelectTyped resolves -enable/-disable comma lists against the typed
+// analyzers. Empty enable means "all". Names belonging to the syntactic
+// tier are ignored here (Select owns them), so one flag pair can span
+// both tiers.
+func SelectTyped(enable, disable string) []*TypedAnalyzer {
+	all := TypedAnalyzers()
+	byName := make(map[string]*TypedAnalyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	picked := all
+	if enable != "" {
+		picked = nil
+		for _, name := range strings.Split(enable, ",") {
+			if a, ok := byName[strings.TrimSpace(name)]; ok {
+				picked = append(picked, a)
+			}
+		}
+	}
+	if disable != "" {
+		drop := make(map[string]bool)
+		for _, name := range strings.Split(disable, ",") {
+			drop[strings.TrimSpace(name)] = true
+		}
+		kept := picked[:0:len(picked)]
+		for _, a := range picked {
+			if !drop[a.Name] {
+				kept = append(kept, a)
+			}
+		}
+		picked = kept
+	}
+	return picked
+}
+
+// IsTypedName reports whether name belongs to the typed tier (used by
+// the CLI to validate -enable/-disable lists spanning both tiers).
+func IsTypedName(name string) bool {
+	for _, a := range TypedAnalyzers() {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// disableCgo turns cgo off for the stdlib source importer, once per
+// process. go/importer's source importer reads build.Default; with cgo
+// enabled it would try to run cgo on package net. The pure-Go variants
+// type-check identically for our purposes.
+var disableCgo = sync.OnceFunc(func() { build.Default.CgoEnabled = false })
+
+var modulePathRe = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+// LoadTypedModule parses and type-checks every package under root
+// (which must contain go.mod). Test files are skipped, matching the
+// syntactic tier: the analyzers target production behaviour.
+func LoadTypedModule(root string) (*Module, error) {
+	disableCgo()
+	modBytes, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: typed load: %w", err)
+	}
+	m := modulePathRe.FindSubmatch(modBytes)
+	if m == nil {
+		return nil, fmt.Errorf("lint: typed load: no module line in %s", filepath.Join(root, "go.mod"))
+	}
+	modPath := string(m[1])
+
+	pkgs, err := Load(root)
+	if err != nil {
+		return nil, err
+	}
+	mod := &Module{Root: root, Path: modPath, Fset: token.NewFileSet()}
+	ld := &typedLoader{
+		mod:  mod,
+		std:  importer.ForCompiler(mod.Fset, "source", nil),
+		dirs: make(map[string]string, len(pkgs)),
+		done: make(map[string]*TypedPackage),
+	}
+	for _, p := range pkgs {
+		rel, err := filepath.Rel(root, p.Dir)
+		if err != nil {
+			return nil, fmt.Errorf("lint: typed load: %w", err)
+		}
+		ip := modPath
+		if rel != "." {
+			ip = modPath + "/" + filepath.ToSlash(rel)
+		}
+		ld.dirs[ip] = p.Dir
+	}
+	paths := make([]string, 0, len(ld.dirs))
+	for ip := range ld.dirs {
+		paths = append(paths, ip)
+	}
+	sort.Strings(paths)
+	for _, ip := range paths {
+		if _, err := ld.check(ip); err != nil {
+			return nil, err
+		}
+	}
+	for _, ip := range paths {
+		mod.Pkgs = append(mod.Pkgs, ld.done[ip])
+	}
+	mod.indexPkgs()
+	return mod, nil
+}
+
+// LoadTypedDir type-checks the single package in dir against the
+// standard library only — the fixture and unit-test entry point. The
+// returned Module has exactly one package whose import path is the
+// package name.
+func LoadTypedDir(dir string) (*Module, error) {
+	disableCgo()
+	mod := &Module{Root: dir, Fset: token.NewFileSet()}
+	ld := &typedLoader{
+		mod:  mod,
+		std:  importer.ForCompiler(mod.Fset, "source", nil),
+		dirs: map[string]string{},
+		done: make(map[string]*TypedPackage),
+	}
+	tp, err := ld.checkDir(dir, filepath.Base(dir))
+	if err != nil {
+		return nil, err
+	}
+	mod.Path = tp.Types.Name()
+	tp.Path = tp.Types.Name()
+	mod.Pkgs = []*TypedPackage{tp}
+	mod.indexPkgs()
+	return mod, nil
+}
+
+// typedLoader type-checks module packages on demand, memoized by
+// import path, delegating non-module imports to the stdlib source
+// importer.
+type typedLoader struct {
+	mod  *Module
+	std  types.Importer
+	dirs map[string]string // module import path -> directory
+	done map[string]*TypedPackage
+	path []string // in-progress chain, for cycle reporting
+}
+
+// Import implements types.Importer over the two-level scheme.
+func (ld *typedLoader) Import(path string) (*types.Package, error) {
+	if _, ok := ld.dirs[path]; ok {
+		tp, err := ld.check(path)
+		if err != nil {
+			return nil, err
+		}
+		return tp.Types, nil
+	}
+	return ld.std.Import(path)
+}
+
+func (ld *typedLoader) check(ip string) (*TypedPackage, error) {
+	if tp, ok := ld.done[ip]; ok {
+		if tp == nil {
+			return nil, fmt.Errorf("lint: import cycle through %s (%s)", ip, strings.Join(ld.path, " -> "))
+		}
+		return tp, nil
+	}
+	ld.done[ip] = nil // in progress; a re-entrant check is a cycle
+	ld.path = append(ld.path, ip)
+	tp, err := ld.checkDir(ld.dirs[ip], ip)
+	ld.path = ld.path[:len(ld.path)-1]
+	if err != nil {
+		delete(ld.done, ip)
+		return nil, err
+	}
+	tp.Path = ip
+	ld.done[ip] = tp
+	return tp, nil
+}
+
+func (ld *typedLoader) checkDir(dir, ip string) (*TypedPackage, error) {
+	pkg, err := loadDirFset(dir, ld.mod.Fset)
+	if err != nil {
+		return nil, err
+	}
+	if pkg == nil {
+		return nil, fmt.Errorf("lint: no Go package in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: ld}
+	files := make([]*ast.File, len(pkg.Files))
+	for i, f := range pkg.Files {
+		files[i] = f.AST
+	}
+	tpkg, err := conf.Check(ip, ld.mod.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-check %s: %w", ip, err)
+	}
+	return &TypedPackage{Dir: dir, Files: pkg.Files, Types: tpkg, Info: info}, nil
+}
+
+// RunTyped builds the module facts once, applies the typed analyzers —
+// analyzers in parallel, they only read the shared facts — filters
+// //gridlint:ignore suppressions and returns diagnostics sorted by
+// position.
+func RunTyped(m *Module, analyzers []*TypedAnalyzer) []Diagnostic {
+	results := make([][]Diagnostic, len(analyzers))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, a := range analyzers {
+		wg.Add(1)
+		go func(i int, a *TypedAnalyzer) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = a.Run(m)
+		}(i, a)
+	}
+	wg.Wait()
+	var out []Diagnostic
+	for i, a := range analyzers {
+		diags := results[i]
+		if len(diags) == 0 {
+			continue
+		}
+		sup := make(map[string]map[int]bool)
+		for _, pkg := range m.Pkgs {
+			astFiles := make([]*ast.File, len(pkg.Files))
+			for j, f := range pkg.Files {
+				astFiles[j] = f.AST
+			}
+			for file, lines := range suppressedLines(m.Fset, astFiles, a.Name) {
+				sup[file] = lines
+			}
+		}
+		for _, d := range diags {
+			if sup[d.Pos.Filename][d.Pos.Line] {
+				continue
+			}
+			out = append(out, d)
+		}
+	}
+	SortDiagnostics(out)
+	return out
+}

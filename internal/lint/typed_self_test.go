@@ -1,0 +1,48 @@
+package lint
+
+import (
+	"testing"
+)
+
+// TestTypedModuleClean is the in-tree mirror of the verify.sh
+// lint-typed gate: the typed analyzers must report nothing on the
+// module itself (every intentional pattern carries a reasoned
+// //gridlint:ignore). Skipped under -short — it type-checks the whole
+// module plus its stdlib closure from source (~3s).
+func TestTypedModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type check; skipped under -short")
+	}
+	m, err := LoadTypedModule("../..")
+	if err != nil {
+		t.Fatalf("LoadTypedModule: %v", err)
+	}
+	if len(m.Pkgs) < 10 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(m.Pkgs))
+	}
+	diags := RunTyped(m, TypedAnalyzers())
+	for _, d := range diags {
+		t.Errorf("%s", d.String())
+	}
+}
+
+// TestTypedLoaderSharedFset checks the property everything downstream
+// relies on: every package of the module resolves positions through the
+// one module FileSet.
+func TestTypedLoaderSharedFset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type check; skipped under -short")
+	}
+	m, err := LoadTypedModule("../..")
+	if err != nil {
+		t.Fatalf("LoadTypedModule: %v", err)
+	}
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			pos := m.Fset.Position(f.AST.Package)
+			if pos.Filename == "" {
+				t.Fatalf("%s: file position does not resolve through the module FileSet", pkg.Path)
+			}
+		}
+	}
+}

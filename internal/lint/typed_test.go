@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGoldenTyped mirrors TestGolden for the type-aware tier: each
+// typed analyzer has a self-contained fixture package (stdlib imports
+// only, type-checked via LoadTypedDir) with true positives in bad.go,
+// safe idioms in clean.go, and the exact findings pinned in golden.txt.
+func TestGoldenTyped(t *testing.T) {
+	for _, a := range TypedAnalyzers() {
+		t.Run(a.Name, func(t *testing.T) {
+			dir := filepath.Join("testdata", a.Name)
+			m, err := LoadTypedDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			diags := RunTyped(m, []*TypedAnalyzer{a})
+			var b strings.Builder
+			for _, d := range diags {
+				b.WriteString(filepath.ToSlash(d.String()))
+				b.WriteByte('\n')
+			}
+			got := b.String()
+			goldenPath := filepath.Join(dir, "golden.txt")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+			}
+			if !strings.Contains(got, "bad.go") {
+				t.Errorf("analyzer %s found no true positive in bad.go", a.Name)
+			}
+			if strings.Contains(got, "clean.go") {
+				t.Errorf("analyzer %s flagged the clean fixture", a.Name)
+			}
+		})
+	}
+}
+
+// TestTypedSuppression checks that //gridlint:ignore reaches the typed
+// tier, including the multi-line statement case: the comment's line
+// range must cover every line of the suppressed statement.
+func TestTypedSuppression(t *testing.T) {
+	dir := t.TempDir()
+	src := `package p
+
+import (
+	"net"
+	"sync"
+)
+
+type S struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func suppressed(s *S, b []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//gridlint:ignore heldlockio intentional: lock serializes this writer
+	_, err := s.conn.Write(
+		b,
+	)
+	return err
+}
+
+func unsuppressed(s *S, b []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := s.conn.Write(b)
+	return err
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := LoadTypedDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunTyped(m, []*TypedAnalyzer{AnalyzerHeldLockIO})
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want 1 (only unsuppressed): %v", len(diags), diags)
+	}
+	if diags[0].Pos.Line != 26 {
+		t.Errorf("surviving diagnostic at line %d, want 26", diags[0].Pos.Line)
+	}
+}
+
+// TestSelectTyped pins the cross-tier flag semantics: one -enable list
+// names analyzers of both tiers and each Select picks out its own.
+func TestSelectTyped(t *testing.T) {
+	all := SelectTyped("", "")
+	if len(all) != len(TypedAnalyzers()) {
+		t.Fatalf("SelectTyped all = %d", len(all))
+	}
+	one := SelectTyped("lockorder, sleepsync", "")
+	if len(one) != 1 || one[0].Name != "lockorder" {
+		t.Fatalf("SelectTyped enable = %v", one)
+	}
+	rest := SelectTyped("", "lockorder")
+	if len(rest) != len(TypedAnalyzers())-1 {
+		t.Fatalf("SelectTyped disable = %d", len(rest))
+	}
+	// The syntactic Select must tolerate typed names in the same lists.
+	syn, err := Select("lockorder, sleepsync", "")
+	if err != nil || len(syn) != 1 || syn[0].Name != "sleepsync" {
+		t.Fatalf("Select with typed name = %v, err %v", syn, err)
+	}
+	if _, err := Select("", "heldlockio"); err != nil {
+		t.Fatalf("Select disable with typed name: %v", err)
+	}
+	if !IsTypedName("viewlifetime") || IsTypedName("sleepsync") {
+		t.Error("IsTypedName misclassifies")
+	}
+}

@@ -1,0 +1,511 @@
+package lint
+
+// AnalyzerViewLifetime enforces the reuse window of zero-copy views.
+// A view is a []byte that aliases a buffer its producer will overwrite:
+// the payload returned by acl.FrameReader.Next (valid only until the
+// next Next/ReadMessage call), and any value returned by a function
+// whose doc comment carries a //gridlint:view directive — the opt-in
+// for future pooled APIs like the planned UnmarshalBinaryInto.
+//
+// View sources are recognized typed, not by name matching alone: a
+// method on a module type named "Next" or ending in "View" whose
+// results include a []byte, or any function carrying the directive.
+//
+// Inside the function that obtains a view v (aliases of v — `w := v`,
+// `w := v[a:b]` — inherit its obligations), four escapes are flagged:
+//
+//  1. storing v (or a subslice) into a struct field, array/map/slice
+//     element, dereference or package-level variable;
+//  2. sending v on a channel;
+//  3. capturing v in a goroutine (`go func() { … v … }`);
+//  4. returning v.
+//
+// And one overrun: using v after the producer advanced (a later
+// Next/Read*/Reset call on the same receiver) — at that point the
+// bytes may already be the next frame's.
+//
+// Copies are safe and not flagged: string(v), append(dst, v...),
+// copy(dst, v), bytes.Clone(v), and passing v as a plain call argument
+// (synchronous use; the callee is analyzed on its own).
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+var AnalyzerViewLifetime = &TypedAnalyzer{
+	Name: "viewlifetime",
+	Doc:  "zero-copy views over reusable buffers must not escape their reuse window",
+	Run:  runViewLifetime,
+}
+
+func runViewLifetime(m *Module) []Diagnostic {
+	var out []Diagnostic
+	directive := collectViewDirectives(m)
+	for _, pkg := range m.Pkgs {
+		v := &viewChecker{m: m, pkg: pkg, directive: directive}
+		for _, f := range pkg.Files {
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				var body *ast.BlockStmt
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					body = fn.Body
+				case *ast.FuncLit:
+					body = fn.Body
+				}
+				if body == nil {
+					return true
+				}
+				out = append(out, v.checkFunc(body)...)
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// collectViewDirectives finds every function whose doc comment carries
+// //gridlint:view — their []byte results are views by declaration.
+func collectViewDirectives(m *Module) map[*types.Func]bool {
+	out := make(map[*types.Func]bool)
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.AST.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Doc == nil {
+					continue
+				}
+				for _, c := range fd.Doc.List {
+					if strings.HasPrefix(strings.TrimSpace(c.Text), "//gridlint:view") {
+						if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+							out[fn] = true
+						}
+						break
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+type viewInfo struct {
+	src  string     // producer display name, for messages
+	recv *types.Var // receiver variable whose next advance invalidates the view
+	def  token.Pos  // definition position
+}
+
+type viewChecker struct {
+	m         *Module
+	pkg       *TypedPackage
+	directive map[*types.Func]bool
+	views     map[*types.Var]*viewInfo
+}
+
+func (v *viewChecker) checkFunc(body *ast.BlockStmt) []Diagnostic {
+	v.views = make(map[*types.Var]*viewInfo)
+	// Pass 1: collect view variables and their aliases. Aliases may be
+	// declared after the view, so iterate to a fixed point (bounded by
+	// the number of assignments).
+	for {
+		before := len(v.views)
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			v.collectFromAssign(as)
+			return true
+		})
+		if len(v.views) == before {
+			break
+		}
+	}
+	if len(v.views) == 0 {
+		return nil
+	}
+
+	var out []Diagnostic
+	out = append(out, v.checkEscapes(body)...)
+	out = append(out, v.checkWindow(body)...)
+	return out
+}
+
+// collectFromAssign records view definitions (assignment from a view
+// source call) and aliases (assignment from an existing view or its
+// subslice).
+func (v *viewChecker) collectFromAssign(as *ast.AssignStmt) {
+	info := v.pkg.Info
+	// Single-call RHS with multiple results: find which results are
+	// views ([]byte results of a view source).
+	if len(as.Rhs) == 1 {
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+			if src, recv := v.viewSource(call); src != "" {
+				sig := v.callSignature(call)
+				if sig != nil && len(as.Lhs) == sig.Results().Len() {
+					for i := 0; i < sig.Results().Len(); i++ {
+						if !isByteSlice(sig.Results().At(i).Type()) {
+							continue
+						}
+						v.recordView(as.Lhs[i], src, recv, as.Pos())
+					}
+					return
+				}
+				// Single-result view call assigned to one LHS.
+				if len(as.Lhs) == 1 && sig != nil && sig.Results().Len() == 1 && isByteSlice(sig.Results().At(0).Type()) {
+					v.recordView(as.Lhs[0], src, recv, as.Pos())
+					return
+				}
+			}
+		}
+	}
+	// Aliases: lhs := view, lhs := view[a:b].
+	if len(as.Lhs) == len(as.Rhs) {
+		for i, rhs := range as.Rhs {
+			if vi := v.aliasOf(rhs); vi != nil {
+				if id, ok := as.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+					if obj, ok := objOf(info, id).(*types.Var); ok {
+						if _, exists := v.views[obj]; !exists {
+							v.views[obj] = &viewInfo{src: vi.src, recv: vi.recv, def: as.Pos()}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func (v *viewChecker) recordView(lhs ast.Expr, src string, recv *types.Var, pos token.Pos) {
+	id, ok := lhs.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	if obj, ok := objOf(v.pkg.Info, id).(*types.Var); ok {
+		v.views[obj] = &viewInfo{src: src, recv: recv, def: pos}
+	}
+}
+
+// viewSource reports whether the call produces a view, returning the
+// producer name and (when resolvable) the receiver variable.
+func (v *viewChecker) viewSource(call *ast.CallExpr) (string, *types.Var) {
+	info := v.pkg.Info
+	var fn *types.Func
+	var recvVar *types.Var
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ = info.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		fn, _ = info.Uses[fun.Sel].(*types.Func)
+		if id, ok := ast.Unparen(fun.X).(*ast.Ident); ok {
+			recvVar, _ = objOf(info, id).(*types.Var)
+		}
+	}
+	if fn == nil {
+		return "", nil
+	}
+	if v.directive[fn] {
+		return funcDisplay(fn), recvVar
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", nil
+	}
+	// Module method named Next or *View with a []byte result.
+	if !v.m.IsModulePackage(fn.Pkg()) {
+		return "", nil
+	}
+	if fn.Name() != "Next" && !strings.HasSuffix(fn.Name(), "View") {
+		return "", nil
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if isByteSlice(sig.Results().At(i).Type()) {
+			return funcDisplay(fn), recvVar
+		}
+	}
+	return "", nil
+}
+
+func (v *viewChecker) callSignature(call *ast.CallExpr) *types.Signature {
+	tv, ok := v.pkg.Info.Types[call.Fun]
+	if !ok {
+		return nil
+	}
+	sig, _ := tv.Type.(*types.Signature)
+	return sig
+}
+
+// aliasOf reports the view a pure aliasing expression refers to:
+// the view identifier itself, a subslice, or parentheses over either.
+func (v *viewChecker) aliasOf(e ast.Expr) *viewInfo {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj, ok := objOf(v.pkg.Info, x).(*types.Var); ok {
+			return v.views[obj]
+		}
+	case *ast.SliceExpr:
+		return v.aliasOf(x.X)
+	}
+	return nil
+}
+
+// checkEscapes flags stores, sends, goroutine captures and returns.
+func (v *viewChecker) checkEscapes(body *ast.BlockStmt) []Diagnostic {
+	var out []Diagnostic
+	diag := func(pos token.Pos, msg string) {
+		out = append(out, Diagnostic{Pos: v.m.Fset.Position(pos), Analyzer: "viewlifetime", Message: msg})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range x.Rhs {
+				vi := v.unsafeMention(rhs)
+				if vi == nil {
+					continue
+				}
+				if i < len(x.Lhs) && v.escapingLHS(x.Lhs[i]) {
+					diag(x.Pos(), fmt.Sprintf("zero-copy view from %s stored beyond its reuse window; copy it first (string(v), append, bytes.Clone)", vi.src))
+				}
+			}
+		case *ast.SendStmt:
+			if vi := v.unsafeMention(x.Value); vi != nil {
+				diag(x.Pos(), fmt.Sprintf("zero-copy view from %s sent on a channel; the receiver would read a recycled buffer — copy it first", vi.src))
+			}
+		case *ast.GoStmt:
+			if fl, ok := x.Call.Fun.(*ast.FuncLit); ok {
+				if vi := v.capturedView(fl); vi != nil {
+					diag(x.Pos(), fmt.Sprintf("zero-copy view from %s captured by a goroutine; it runs outside the reuse window — copy it first", vi.src))
+				}
+			}
+			for _, arg := range x.Call.Args {
+				if vi := v.unsafeMention(arg); vi != nil {
+					diag(x.Pos(), fmt.Sprintf("zero-copy view from %s passed to a goroutine; it runs outside the reuse window — copy it first", vi.src))
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range x.Results {
+				if vi := v.unsafeMention(res); vi != nil {
+					diag(x.Pos(), fmt.Sprintf("zero-copy view from %s returned; the caller cannot see the reuse window — copy it first", vi.src))
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// escapingLHS reports whether an assignment target outlives the
+// function body: a field, an element, a dereference, or a package-level
+// variable. A plain local identifier is not an escape (it becomes an
+// alias, tracked separately).
+func (v *viewChecker) escapingLHS(lhs ast.Expr) bool {
+	switch x := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.Ident:
+		if obj, ok := objOf(v.pkg.Info, x).(*types.Var); ok {
+			return obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+		}
+	}
+	return false
+}
+
+// unsafeMention reports the view an expression aliases, ignoring
+// copying constructs: string(v) conversions, append(dst, v...) spreads,
+// and view mentions inside ordinary call arguments (synchronous use).
+func (v *viewChecker) unsafeMention(e ast.Expr) *viewInfo {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj, ok := objOf(v.pkg.Info, x).(*types.Var); ok {
+			return v.views[obj]
+		}
+	case *ast.SliceExpr:
+		return v.unsafeMention(x.X)
+	case *ast.CallExpr:
+		if tv, ok := v.pkg.Info.Types[x.Fun]; ok && tv.IsType() {
+			// Conversion: string(v) copies; []byte(v) of a view is the
+			// view itself.
+			if len(x.Args) == 1 {
+				if basic, ok := tv.Type.Underlying().(*types.Basic); ok && basic.Kind() == types.String {
+					return nil
+				}
+				return v.unsafeMention(x.Args[0])
+			}
+			return nil
+		}
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "append" {
+			// append(dst, v...) copies v's bytes; append(dst, v) would
+			// store the alias itself as an element.
+			if x.Ellipsis != token.NoPos {
+				return nil
+			}
+			for _, a := range x.Args[1:] {
+				if vi := v.unsafeMention(a); vi != nil {
+					return vi
+				}
+			}
+			return nil
+		}
+		return nil // plain call argument: synchronous use
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if vi := v.unsafeMention(el); vi != nil {
+				return vi
+			}
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return v.unsafeMention(x.X)
+		}
+	}
+	return nil
+}
+
+// capturedView finds a view identifier referenced inside a function
+// literal (resolved by object, so shadowing cannot fool it).
+func (v *viewChecker) capturedView(fl *ast.FuncLit) *viewInfo {
+	var found *viewInfo
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj, ok := objOf(v.pkg.Info, id).(*types.Var); ok {
+				if vi := v.views[obj]; vi != nil {
+					found = vi
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// checkWindow flags uses of a view after its producer advanced: a
+// later Next/Read*/Reset call on the same receiver overwrites the
+// aliased buffer.
+func (v *viewChecker) checkWindow(body *ast.BlockStmt) []Diagnostic {
+	var out []Diagnostic
+	ast.Inspect(body, func(n ast.Node) bool {
+		var list []ast.Stmt
+		switch b := n.(type) {
+		case *ast.BlockStmt:
+			list = b.List
+		case *ast.CaseClause:
+			list = b.Body
+		case *ast.CommClause:
+			list = b.Body
+		default:
+			return true
+		}
+		// advancedAt[v] = index of the statement that invalidated v.
+		advancedAt := make(map[*types.Var]int)
+		for i, stmt := range list {
+			for obj, idx := range advancedAt {
+				if i > idx && v.mentionsVar(stmt, obj) {
+					vi := v.views[obj]
+					out = append(out, Diagnostic{
+						Pos:      v.m.Fset.Position(stmt.Pos()),
+						Analyzer: "viewlifetime",
+						Message:  fmt.Sprintf("zero-copy view from %s used after the producer advanced (line %d); the buffer may already hold the next frame", vi.src, v.m.Fset.Position(list[idx].Pos()).Line),
+					})
+				}
+			}
+			advancers := v.advancersIn(stmt)
+			for obj, vi := range v.views {
+				// Reassigning the view re-opens its window (typically
+				// the next `payload, err := fr.Next()` of the loop).
+				if v.assignsVar(stmt, obj) {
+					delete(advancedAt, obj)
+					continue
+				}
+				if vi.recv != nil && vi.def < stmt.Pos() && advancers[vi.recv] {
+					if _, done := advancedAt[obj]; !done {
+						advancedAt[obj] = i
+					}
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// advancersIn collects receiver variables on which the statement calls
+// an advancing method (Next, Read*, Reset).
+func (v *viewChecker) advancersIn(stmt ast.Stmt) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		if name != "Next" && name != "Reset" && !strings.HasPrefix(name, "Read") {
+			return true
+		}
+		if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+			if obj, ok := objOf(v.pkg.Info, id).(*types.Var); ok {
+				out[obj] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func (v *viewChecker) mentionsVar(n ast.Node, target *types.Var) bool {
+	found := false
+	ast.Inspect(n, func(in ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := in.(*ast.Ident); ok {
+			if obj, ok := objOf(v.pkg.Info, id).(*types.Var); ok && obj == target {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func (v *viewChecker) assignsVar(stmt ast.Stmt, target *types.Var) bool {
+	as, ok := stmt.(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := lhs.(*ast.Ident); ok {
+			if obj, ok := objOf(v.pkg.Info, id).(*types.Var); ok && obj == target {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+func isByteSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	basic, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && basic.Kind() == types.Byte
+}

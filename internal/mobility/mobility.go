@@ -229,19 +229,19 @@ func (m *Manager) handleArrival(ctx context.Context, a *agent.Agent, msg *acl.Me
 	if err := json.Unmarshal(msg.Content, &st); err != nil {
 		reply := msg.Reply(a.ID(), acl.Refuse)
 		reply.Content = []byte("malformed state")
-		a.Send(ctx, reply)
+		_ = a.Send(ctx, reply)
 		return
 	}
 	if _, err := m.Spawn(&st); err != nil {
 		reply := msg.Reply(a.ID(), acl.Refuse)
 		reply.Content = []byte(err.Error())
-		a.Send(ctx, reply)
+		_ = a.Send(ctx, reply)
 		return
 	}
 	m.mu.Lock()
 	m.arrived++
 	m.mu.Unlock()
-	a.Send(ctx, msg.Reply(a.ID(), acl.Agree))
+	_ = a.Send(ctx, msg.Reply(a.ID(), acl.Agree))
 }
 
 // handleReply routes agree/refuse answers back to waiting migrations.

@@ -87,7 +87,7 @@ func RegisterParticipant(a *agent.Agent, p Participant) {
 			var task Task
 			if err := json.Unmarshal(m.Content, &task); err != nil {
 				reply := m.Reply(a.ID(), acl.NotUnderstood)
-				a.Send(ctx, reply)
+				_ = a.Send(ctx, reply)
 				return
 			}
 			sp := a.Tracer().ContinueFromMessage("negotiate.bid", m)
@@ -98,7 +98,7 @@ func RegisterParticipant(a *agent.Agent, p Participant) {
 				sp.SetAttr("refused", "true")
 				refusal := m.Reply(a.ID(), acl.Refuse)
 				sp.Stamp(refusal)
-				a.Send(ctx, refusal)
+				_ = a.Send(ctx, refusal)
 				return
 			}
 			sp.SetAttr("bid", fmt.Sprintf("%.3g", bid))
@@ -108,7 +108,7 @@ func RegisterParticipant(a *agent.Agent, p Participant) {
 			reply := m.Reply(a.ID(), acl.Propose)
 			reply.Content, _ = json.Marshal(Proposal{Bid: bid})
 			sp.Stamp(reply)
-			a.Send(ctx, reply)
+			_ = a.Send(ctx, reply)
 		})
 
 	a.HandleFunc(agent.Selector{Performative: acl.AcceptProposal, Protocol: acl.ProtocolContractNet},
@@ -118,7 +118,7 @@ func RegisterParticipant(a *agent.Agent, p Participant) {
 			delete(pending, m.ConversationID)
 			mu.Unlock()
 			if !ok {
-				a.Send(ctx, m.Reply(a.ID(), acl.NotUnderstood))
+				_ = a.Send(ctx, m.Reply(a.ID(), acl.NotUnderstood))
 				return
 			}
 			sp := a.Tracer().ContinueFromMessage("negotiate.execute", m)
@@ -131,13 +131,13 @@ func RegisterParticipant(a *agent.Agent, p Participant) {
 				reply := m.Reply(a.ID(), acl.Failure)
 				reply.Content, _ = json.Marshal(Result{Err: err.Error()})
 				sp.Stamp(reply)
-				a.Send(ctx, reply)
+				_ = a.Send(ctx, reply)
 				return
 			}
 			reply := m.Reply(a.ID(), acl.Inform)
 			reply.Content, _ = json.Marshal(res)
 			sp.Stamp(reply)
-			a.Send(ctx, reply)
+			_ = a.Send(ctx, reply)
 		})
 
 	a.HandleFunc(agent.Selector{Performative: acl.RejectProposal, Protocol: acl.ProtocolContractNet},
@@ -326,7 +326,7 @@ collect:
 			ConversationID: convID,
 		}
 		sp.Stamp(reject)
-		ini.a.Send(ctx, reject)
+		_ = ini.a.Send(ctx, reject)
 	}
 
 	// Award the winner and wait for its result. The award is its own

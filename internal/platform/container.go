@@ -161,15 +161,29 @@ func (c *Container) AttachInProc(n *transport.InProcNetwork, addr string) error 
 // ("host:port", port 0 for ephemeral).
 func (c *Container) AttachTCP(addr string, opts ...transport.TCPOption) error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.tr != nil {
+		c.mu.Unlock()
 		return ErrAlreadyBound
 	}
+	c.mu.Unlock()
+
+	// Bind outside the lock: net.Listen can block (slow resolver, port
+	// scan), and c.mu also serializes Addr/Send for every agent in the
+	// container.
 	tr, err := transport.ListenTCP(addr, c.handleInbound, opts...)
 	if err != nil {
 		return err
 	}
+
+	c.mu.Lock()
+	if c.tr != nil {
+		// Lost an attach race; keep the winner.
+		c.mu.Unlock()
+		_ = tr.Close()
+		return ErrAlreadyBound
+	}
 	c.tr = tr
+	c.mu.Unlock()
 	return nil
 }
 

@@ -298,14 +298,14 @@ func (ig *Interface) handleFeedback(ctx context.Context, a *agent.Agent, m *acl.
 	case strings.HasPrefix(content, "learn-rules\n"):
 		src := strings.TrimPrefix(content, "learn-rules\n")
 		if ig.cfg.Rules == nil {
-			a.Send(ctx, m.Reply(a.ID(), acl.Refuse))
+			_ = a.Send(ctx, m.Reply(a.ID(), acl.Refuse))
 			return
 		}
 		added, err := ig.cfg.Rules.AddSource(src)
 		if err != nil {
 			reply := m.Reply(a.ID(), acl.Refuse)
 			reply.Content = []byte(err.Error())
-			a.Send(ctx, reply)
+			_ = a.Send(ctx, reply)
 			return
 		}
 		ig.mu.Lock()
@@ -313,24 +313,24 @@ func (ig *Interface) handleFeedback(ctx context.Context, a *agent.Agent, m *acl.
 		ig.mu.Unlock()
 		reply := m.Reply(a.ID(), acl.Agree)
 		reply.Content = []byte(strings.Join(added, ","))
-		a.Send(ctx, reply)
+		_ = a.Send(ctx, reply)
 	case strings.HasPrefix(content, "goal "):
 		if ig.cfg.Goals == nil {
-			a.Send(ctx, m.Reply(a.ID(), acl.Refuse))
+			_ = a.Send(ctx, m.Reply(a.ID(), acl.Refuse))
 			return
 		}
 		if err := ig.cfg.Goals(ctx, content); err != nil {
 			reply := m.Reply(a.ID(), acl.Refuse)
 			reply.Content = []byte(err.Error())
-			a.Send(ctx, reply)
+			_ = a.Send(ctx, reply)
 			return
 		}
 		ig.mu.Lock()
 		ig.stats.GoalsAdded++
 		ig.mu.Unlock()
-		a.Send(ctx, m.Reply(a.ID(), acl.Agree))
+		_ = a.Send(ctx, m.Reply(a.ID(), acl.Agree))
 	default:
-		a.Send(ctx, m.Reply(a.ID(), acl.NotUnderstood))
+		_ = a.Send(ctx, m.Reply(a.ID(), acl.NotUnderstood))
 	}
 }
 

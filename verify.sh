@@ -3,15 +3,19 @@
 #
 # Runs, in order:
 #   1. go vet            (stdlib static checks)
-#   2. gridlint          (project-specific analyzers, cmd/gridlint)
-#   3. go build          (everything compiles)
-#   4. go test           (unit + integration tests)
-#   5. go test -race     (race-clean verification)
-#   6. chaos suite       (seeded fault-injection scenarios, -race)
-#   7. trace suite       (span collection under -race + end-to-end span tree)
-#   8. telemetry suite   (instruments under -race, exposition golden, HTTP endpoints)
-#   9. wire hot path     (codec benches with alloc counts + differential fuzz)
-#  10. fuzz smoke        (5s per wire-facing fuzz target)
+#   2. gridlint          (syntactic tier, cmd/gridlint)
+#   3. gridlint -typed   (type-aware tier: lock order, held-lock I/O,
+#                         view lifetimes, dropped errors — checked
+#                         against lint.baseline.json; new findings AND
+#                         stale baseline entries both fail)
+#   4. go build          (everything compiles)
+#   5. go test           (unit + integration tests)
+#   6. go test -race     (race-clean verification)
+#   7. chaos suite       (seeded fault-injection scenarios, -race)
+#   8. trace suite       (span collection under -race + end-to-end span tree)
+#   9. telemetry suite   (instruments under -race, exposition golden, HTTP endpoints)
+#  10. wire hot path     (codec benches with alloc counts + differential fuzz)
+#  11. fuzz smoke        (5s per wire-facing fuzz target)
 #
 # Any failure stops the gate with a non-zero exit. Run it before every
 # commit; CI should run exactly this script.
@@ -28,6 +32,9 @@ go vet ./...
 
 step "gridlint ./..."
 go run ./cmd/gridlint ./...
+
+step "gridlint -typed (baseline: lint.baseline.json)"
+go run ./cmd/gridlint -typed -baseline=lint.baseline.json ./...
 
 step "go build ./..."
 go build ./...
