@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-typed lint-sarif chaos trace metrics wire fuzz-smoke verify fmt
+.PHONY: all build test race lint lint-typed lint-sarif chaos trace metrics wire soak fuzz-smoke verify fmt
 
 all: build
 
@@ -67,6 +67,15 @@ wire:
 	$(GO) test -run='^$$' -bench 'NoticeWire|StoreAppendBatch' -benchmem -benchtime 100x ./internal/classify ./internal/store
 	$(GO) test -run='^$$' -fuzz=FuzzCodecEquivalence -fuzztime=5s ./internal/acl
 	$(GO) test -run='^$$' -fuzz=FuzzUnmarshalBinaryFrame -fuzztime=5s ./internal/acl
+	$(GO) test -run='^$$' -fuzz=FuzzUnmarshalBinaryIntoEquivalence -fuzztime=5s ./internal/acl
+
+# Sustained ingest soak: loopback-TCP pipeline at the target rate
+# through the zero-alloc Into decode path, asserting steady-state
+# throughput (>=1M msgs/s), allocs/msg and p99 latency. The canonical
+# 10s run that produced BENCH_soak.json:
+#   go run ./cmd/benchrunner soak -duration=10s -warmup=2s -out=BENCH_soak.json
+soak:
+	$(GO) run ./cmd/benchrunner soak -duration=2s -warmup=1s
 
 # Short fuzz smoke over the wire-facing parsers. Five seconds each
 # is enough to replay the corpus plus a quick mutation pass; longer

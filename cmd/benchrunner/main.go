@@ -11,6 +11,10 @@
 //	benchrunner -exp clustering   # X6: division vs loss of meaning
 //	benchrunner -exp pipeline     # live grid: end-to-end measurement
 //	benchrunner -exp all
+//
+// and the sustained ingest soak (see soak.go):
+//
+//	benchrunner soak -rate 1200000 -duration 10s -out BENCH_soak.json
 package main
 
 import (
@@ -30,6 +34,15 @@ import (
 )
 
 func main() {
+	// Subcommand dispatch before legacy flag parsing: `benchrunner
+	// soak` has its own flag set.
+	if len(os.Args) > 1 && os.Args[1] == "soak" {
+		if err := soakMain(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner soak:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	exp := flag.String("exp", "all", "experiment id (table1|fig6|crossover|scaling|balancers|mobility|replication|clustering|pipeline|all)")
 	flag.Parse()
 	if err := run(*exp); err != nil {

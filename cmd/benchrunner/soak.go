@@ -1,0 +1,361 @@
+// The sustained ingest soak: a loopback-TCP pipeline driven at a target
+// message rate for a configurable duration, asserting the steady state
+// the zero-alloc decode path promises — throughput at or above target,
+// bounded p99 latency, and (near-)zero allocations per message across
+// the whole process. The numbers land in BENCH_soak.json and verify.sh
+// runs a short smoke with asserting thresholds, so a regression on the
+// hot ingest path fails the gate.
+//
+// Topology: N collector connections (pre-encoded ACL2 frame batches,
+// written raw) feed one management-station transport endpoint whose
+// serveConn drains frames through the per-connection scratch Message
+// and FrameReader.ReadMessageInto — exactly the production ingest path.
+// The first frame of every batch carries a send timestamp in its
+// content; the station handler turns those into a latency histogram.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/bits"
+	"net"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"agentgrid/internal/acl"
+	"agentgrid/internal/transport"
+)
+
+type soakConfig struct {
+	rate         int           // target aggregate msgs/s offered by the senders
+	duration     time.Duration // measured steady-state window
+	warmup       time.Duration // ramp before measurement starts
+	conns        int           // collector connections
+	payload      int           // content bytes per message (>= 8 for the timestamp)
+	batch        int           // frames per write
+	out          string        // result JSON path ("" = stdout only)
+	assertRate   float64       // fail below this achieved msgs/s (0 = no assert)
+	assertP99    time.Duration // fail above this p99 latency (0 = no assert)
+	assertAllocs float64       // fail above this allocs/msg (< 0 = no assert)
+}
+
+// soakResult is the BENCH_soak.json shape.
+type soakResult struct {
+	GoMaxProcs    int     `json:"gomaxprocs"`
+	Conns         int     `json:"conns"`
+	Batch         int     `json:"batch"`
+	PayloadBytes  int     `json:"payload_bytes"`
+	FrameBytes    int     `json:"frame_bytes"`
+	TargetRate    int     `json:"target_msgs_per_sec"`
+	WarmupSec     float64 `json:"warmup_sec"`
+	MeasuredSec   float64 `json:"measured_sec"`
+	Messages      uint64  `json:"messages"`
+	AchievedRate  float64 `json:"achieved_msgs_per_sec"`
+	AllocsPerMsg  float64 `json:"allocs_per_msg"`
+	BytesPerMsg   float64 `json:"heap_bytes_per_msg"`
+	P50LatencyUS  float64 `json:"p50_latency_us"`
+	P99LatencyUS  float64 `json:"p99_latency_us"`
+	MaxLatencyUS  float64 `json:"max_latency_us"`
+	LatencySample uint64  `json:"latency_samples"`
+}
+
+func soakMain(args []string) error {
+	fs := flag.NewFlagSet("soak", flag.ExitOnError)
+	cfg := soakConfig{}
+	fs.IntVar(&cfg.rate, "rate", 1_200_000, "target aggregate msgs/s offered")
+	fs.DurationVar(&cfg.duration, "duration", 10*time.Second, "measured steady-state window")
+	fs.DurationVar(&cfg.warmup, "warmup", 2*time.Second, "warmup before measurement")
+	fs.IntVar(&cfg.conns, "conns", 2, "collector connections")
+	fs.IntVar(&cfg.payload, "payload", 64, "content bytes per message (min 8)")
+	fs.IntVar(&cfg.batch, "batch", 256, "frames per coalesced write")
+	fs.StringVar(&cfg.out, "out", "", "write result JSON here (stdout always)")
+	fs.Float64Var(&cfg.assertRate, "assert-rate", 1_000_000, "fail below this achieved msgs/s (0 disables)")
+	fs.DurationVar(&cfg.assertP99, "assert-p99", 50*time.Millisecond, "fail above this p99 latency (0 disables)")
+	fs.Float64Var(&cfg.assertAllocs, "assert-allocs", 0.5, "fail above this allocs/msg (negative disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if cfg.payload < 8 {
+		cfg.payload = 8
+	}
+	if cfg.conns < 1 {
+		cfg.conns = 1
+	}
+	if cfg.batch < 1 {
+		cfg.batch = 1
+	}
+	res, err := runSoak(&cfg)
+	if err != nil {
+		return err
+	}
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	fmt.Printf("%s", blob)
+	if cfg.out != "" {
+		if err := os.WriteFile(cfg.out, blob, 0o644); err != nil {
+			return err
+		}
+	}
+	return soakAssert(&cfg, res)
+}
+
+func soakAssert(cfg *soakConfig, res *soakResult) error {
+	var fails []string
+	if cfg.assertRate > 0 && res.AchievedRate < cfg.assertRate {
+		fails = append(fails, fmt.Sprintf("throughput %.0f msgs/s below floor %.0f", res.AchievedRate, cfg.assertRate))
+	}
+	if cfg.assertP99 > 0 && res.P99LatencyUS > float64(cfg.assertP99.Microseconds()) {
+		fails = append(fails, fmt.Sprintf("p99 latency %.0fus above ceiling %s", res.P99LatencyUS, cfg.assertP99))
+	}
+	if cfg.assertAllocs >= 0 && res.AllocsPerMsg > cfg.assertAllocs {
+		fails = append(fails, fmt.Sprintf("allocs/msg %.3f above ceiling %.3f", res.AllocsPerMsg, cfg.assertAllocs))
+	}
+	if len(fails) > 0 {
+		return fmt.Errorf("soak gate failed: %v", fails)
+	}
+	fmt.Println("soak: OK")
+	return nil
+}
+
+func runSoak(cfg *soakConfig) (*soakResult, error) {
+	epoch := time.Now() // latency reference; timestamps are nanos since epoch
+
+	var received atomic.Uint64
+	var sampling atomic.Bool
+	hist := &latHist{}
+	handler := func(m *acl.Message) {
+		received.Add(1)
+		if len(m.Content) >= 8 {
+			if ts := binary.BigEndian.Uint64(m.Content); ts != 0 && sampling.Load() {
+				hist.observe(time.Since(epoch) - time.Duration(ts))
+			}
+		}
+	}
+
+	station, err := transport.ListenTCP("127.0.0.1:0", handler)
+	if err != nil {
+		return nil, fmt.Errorf("station listen: %w", err)
+	}
+	defer station.Close()
+
+	frame, tsOff, err := soakFrame(cfg.payload)
+	if err != nil {
+		return nil, err
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	sendErrs := make(chan error, cfg.conns)
+	perConn := cfg.rate / cfg.conns
+	for i := 0; i < cfg.conns; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			if err := soakSender(ctx, station.Addr(), frame, tsOff, perConn, cfg.batch, epoch); err != nil {
+				select {
+				case sendErrs <- err:
+				default:
+				}
+			}
+		}(i)
+	}
+
+	soakSleep(ctx, cfg.warmup)
+	var m0 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	rx0 := received.Load()
+	t0 := time.Now()
+	sampling.Store(true)
+
+	soakSleep(ctx, cfg.duration)
+	sampling.Store(false)
+	rx1 := received.Load()
+	t1 := time.Now()
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+
+	cancel()
+	wg.Wait()
+	close(sendErrs)
+	// A sender error during the run invalidates the numbers — except
+	// the expected teardown error when cancel closed the socket under
+	// it, which wg.Wait ordering already excludes (senders only return
+	// write errors while ctx is live).
+	if err := <-sendErrs; err != nil {
+		return nil, fmt.Errorf("sender: %w", err)
+	}
+
+	msgs := rx1 - rx0
+	elapsed := t1.Sub(t0)
+	if msgs == 0 || elapsed <= 0 {
+		return nil, fmt.Errorf("no traffic measured (got %d msgs in %s)", msgs, elapsed)
+	}
+	p50, p99, max, samples := hist.summary()
+	res := &soakResult{
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		Conns:         cfg.conns,
+		Batch:         cfg.batch,
+		PayloadBytes:  cfg.payload,
+		FrameBytes:    len(frame),
+		TargetRate:    cfg.rate,
+		WarmupSec:     cfg.warmup.Seconds(),
+		MeasuredSec:   elapsed.Seconds(),
+		Messages:      msgs,
+		AchievedRate:  float64(msgs) / elapsed.Seconds(),
+		AllocsPerMsg:  float64(m1.Mallocs-m0.Mallocs) / float64(msgs),
+		BytesPerMsg:   float64(m1.TotalAlloc-m0.TotalAlloc) / float64(msgs),
+		P50LatencyUS:  float64(p50.Microseconds()),
+		P99LatencyUS:  float64(p99.Microseconds()),
+		MaxLatencyUS:  float64(max.Microseconds()),
+		LatencySample: samples,
+	}
+	return res, nil
+}
+
+// soakFrame builds the template ACL2 frame a collector connection
+// repeats, returning the offset of the 8-byte timestamp slot inside the
+// content. Header strings are fixed per run, so the station's intern
+// table absorbs them all during warmup.
+func soakFrame(payload int) ([]byte, int, error) {
+	content := make([]byte, payload)
+	marker := [8]byte{0xfe, 0xed, 0xfa, 0xce, 0xca, 0xfe, 0xbe, 0xef}
+	copy(content, marker[:])
+	for i := 8; i < len(content); i++ {
+		content[i] = byte('a' + i%23)
+	}
+	m := &acl.Message{
+		Performative:   acl.Inform,
+		Sender:         acl.NewAID("soak-collector", "site1", "tcp://127.0.0.1:0"),
+		Receivers:      []acl.AID{acl.NewAID("station", "station")},
+		Content:        content,
+		Language:       "binary",
+		Ontology:       acl.OntologyGridManagement,
+		Protocol:       acl.ProtocolRequest,
+		ConversationID: "soak-ingest",
+	}
+	frame, err := acl.AppendFrame(nil, m, acl.FormatBinary)
+	if err != nil {
+		return nil, 0, err
+	}
+	tsOff := bytes.Index(frame, marker[:])
+	if tsOff < 0 {
+		return nil, 0, fmt.Errorf("timestamp marker not found in encoded frame")
+	}
+	// Zero the slot: a zero timestamp means "unsampled" to the handler.
+	clear(frame[tsOff : tsOff+8])
+	return frame, tsOff, nil
+}
+
+// soakSender owns one collector connection: it writes pre-encoded
+// batches at the target rate, stamping the first frame of each batch
+// with the send time. The token budget is recomputed from wall clock,
+// so a sleep overshoot is repaid by writing back-to-back batches.
+func soakSender(ctx context.Context, addr string, frame []byte, tsOff, rate, batch int, epoch time.Time) error {
+	// Transport addresses carry the scheme ("tcp://host:port"); the
+	// raw dialer wants just host:port.
+	conn, err := net.Dial("tcp", strings.TrimPrefix(addr, "tcp://"))
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	buf := bytes.Repeat(frame, batch)
+	start := time.Now()
+	var sent uint64
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		due := uint64(time.Since(start).Seconds() * float64(rate))
+		if sent >= due {
+			// Pacing, not synchronization: the rate loop above is the
+			// control; the sleep only yields the core between batches.
+			//gridlint:ignore sleepsync rate pacing between pre-paid batches
+			time.Sleep(200 * time.Microsecond)
+			continue
+		}
+		binary.BigEndian.PutUint64(buf[tsOff:], uint64(time.Since(epoch)))
+		if _, err := conn.Write(buf); err != nil {
+			if ctx.Err() != nil {
+				return nil // teardown closed the run, not a failure
+			}
+			return err
+		}
+		sent += uint64(batch)
+	}
+}
+
+// soakSleep waits d or until the run is cancelled.
+func soakSleep(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+// latHist is a lock-free log2-bucketed latency histogram: observe files
+// each sample under its duration's bit length, quantiles report the
+// bucket's upper bound. Coarse (factor-of-two) but allocation-free and
+// race-free from concurrent connection handlers.
+type latHist struct {
+	buckets [64]atomic.Uint64
+}
+
+func (h *latHist) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bits.Len64(uint64(d))].Add(1)
+}
+
+func (h *latHist) summary() (p50, p99, max time.Duration, total uint64) {
+	var counts [64]uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0, 0, 0, 0
+	}
+	quantile := func(q float64) time.Duration {
+		target := uint64(q * float64(total))
+		if target == 0 {
+			target = 1
+		}
+		var seen uint64
+		for i, c := range counts {
+			seen += c
+			if seen >= target {
+				return bucketUpper(i)
+			}
+		}
+		return bucketUpper(len(counts) - 1)
+	}
+	for i := len(counts) - 1; i >= 0; i-- {
+		if counts[i] > 0 {
+			max = bucketUpper(i)
+			break
+		}
+	}
+	return quantile(0.50), quantile(0.99), max, total
+}
+
+func bucketUpper(i int) time.Duration {
+	if i >= 63 {
+		return time.Duration(1<<63 - 1)
+	}
+	return time.Duration(uint64(1) << i)
+}

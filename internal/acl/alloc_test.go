@@ -61,3 +61,53 @@ func TestWireHotPathAllocFree(t *testing.T) {
 		t.Fatalf("FrameReader.Next allocates %v per run", n)
 	}
 }
+
+// TestDecodeHotPathAllocFree pins the Into decode contract: with a warm
+// scratch and a warm intern table, decoding the classifier-notice-
+// shaped message — the grid's most frequent frame — allocates nothing,
+// on both the standalone UnmarshalBinaryInto path and the zero-copy
+// FrameReader.ReadMessageInto path. AllocsPerRun's warm-up invocation
+// seeds the intern table and the scratch capacity, so the measured runs
+// are true steady state.
+func TestDecodeHotPathAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race detector instrumentation allocates")
+	}
+	frame, err := MarshalBinary(benchNotice())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var m Message
+	if n := testing.AllocsPerRun(1000, func() {
+		if err := UnmarshalBinaryInto(frame, &m); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Fatalf("UnmarshalBinaryInto allocates %v per run with a warm scratch", n)
+	}
+	if m.Performative != Inform || m.ConversationID != "clg-1-4242" {
+		t.Fatalf("scratch decode corrupted: %+v", m)
+	}
+
+	// The streaming path: frames drained through one FrameReader into
+	// one scratch, content served as views over the reader's buffer.
+	stream := bytes.Repeat(frame, 4)
+	r := bytes.NewReader(stream)
+	fr := NewFrameReader(r)
+	var sm Message
+	if n := testing.AllocsPerRun(1000, func() {
+		r.Reset(stream)
+		for {
+			_, err := fr.ReadMessageInto(&sm)
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}); n != 0 {
+		t.Fatalf("FrameReader.ReadMessageInto allocates %v per run", n)
+	}
+}

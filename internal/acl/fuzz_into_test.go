@@ -1,0 +1,90 @@
+package acl
+
+import (
+	"errors"
+	"testing"
+)
+
+// intoErrClass buckets decode errors so the differential target can
+// require the Into path to fail the same WAY the allocating path does,
+// not merely fail. The two decoders are independent implementations;
+// agreeing on the error class for every hostile input is part of the
+// contract.
+func intoErrClass(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrBadMagic):
+		return "magic"
+	case errors.Is(err, ErrFrameSize):
+		return "size"
+	case errors.Is(err, ErrShortFrame):
+		return "short"
+	case errors.Is(err, ErrBadPerformative):
+		return "performative"
+	case errors.Is(err, ErrNoPerformative),
+		errors.Is(err, ErrNoSender),
+		errors.Is(err, ErrNoReceiver):
+		return "invalid"
+	default:
+		// Reply-by parse failures and bad trace flags land here; both
+		// decoders produce them at the same walk positions.
+		return "malformed"
+	}
+}
+
+// FuzzUnmarshalBinaryIntoEquivalence differentially fuzzes the two
+// binary decoders: for every input — valid, truncated, or hostile —
+// UnmarshalBinaryInto must accept exactly when UnmarshalBinary accepts,
+// produce a deep-equal message when both accept (even when decoding
+// into a scratch already dirty with an unrelated message, which catches
+// stale-field reuse), and fail with the same error class when both
+// reject.
+func FuzzUnmarshalBinaryIntoEquivalence(f *testing.F) {
+	var dirtySeed []byte
+	for _, m := range fuzzSeedMessages() {
+		bf, err := MarshalBinary(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		if dirtySeed == nil {
+			dirtySeed = bf
+		}
+		f.Add(bf)
+		f.Add(bf[:len(bf)-1])
+		f.Add(bf[:8+len(bf)/2])
+	}
+	f.Add([]byte{})
+	f.Add([]byte{'A', 'C', 'L', '2', 0, 0, 0, 0})
+	f.Add([]byte{'A', 'C', 'L', '1', 0, 0, 0, 2, '{', '}'})
+	f.Add([]byte{'A', 'C', 'L', '2', 0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		want, wantErr := UnmarshalBinary(data)
+
+		var fresh Message
+		freshErr := UnmarshalBinaryInto(data, &fresh)
+		if (wantErr == nil) != (freshErr == nil) {
+			t.Fatalf("acceptance disagrees: UnmarshalBinary err=%v, Into err=%v", wantErr, freshErr)
+		}
+		if wantErr != nil {
+			if wc, fc := intoErrClass(wantErr), intoErrClass(freshErr); wc != fc {
+				t.Fatalf("error class disagrees: UnmarshalBinary %q (%v), Into %q (%v)", wc, wantErr, fc, freshErr)
+			}
+			return
+		}
+		fuzzEqualMessages(t, want, &fresh)
+
+		// Decode again into a scratch pre-filled with an unrelated,
+		// fully-populated message: every field must still come out
+		// identical, proving the Into path overwrites rather than
+		// merges.
+		var dirty Message
+		if err := UnmarshalBinaryInto(dirtySeed, &dirty); err != nil {
+			t.Fatalf("seeding dirty scratch: %v", err)
+		}
+		if err := UnmarshalBinaryInto(data, &dirty); err != nil {
+			t.Fatalf("dirty-scratch decode rejected an accepted frame: %v", err)
+		}
+		fuzzEqualMessages(t, want, &dirty)
+	})
+}

@@ -1,0 +1,108 @@
+package acl
+
+import "sync"
+
+// String interning for the decode hot path. The header strings of grid
+// traffic — ontology, protocol, language, site-derived agent names,
+// per-connection conversation ids — draw from a small working set, yet
+// the allocating decoder materializes a fresh copy of each per message.
+// An Intern table deduplicates them: the first decode of a distinct
+// string allocates once, every later decode returns the shared copy for
+// free.
+//
+// The table is bounded with two generations (cur and old, each at most
+// maxPerGen entries). Inserts go to cur; when cur fills, it becomes old
+// and a fresh cur starts, dropping the previous old generation. A
+// lookup that hits old re-inserts the string into cur, so strings that
+// stay hot survive flips indefinitely while a churn of distinct strings
+// (say, hostile conversation ids) can never grow the table past
+// 2×maxPerGen entries of at most maxInternLen bytes each.
+
+// maxInternLen caps the length of strings worth interning. Longer
+// strings are almost certainly unique (payload-sized values, not header
+// vocabulary) and would waste table space, so they are copied instead.
+const maxInternLen = 256
+
+// Intern is a bounded, concurrency-safe string intern table. The zero
+// value is not usable; construct with NewIntern. A nil *Intern is valid
+// and simply copies every string.
+type Intern struct {
+	max int // per-generation entry cap
+
+	mu sync.RWMutex
+	// cur and old are guarded by mu. Values equal their keys; the map
+	// exists so a []byte probe compiles to the no-alloc
+	// map[string(b)] lookup form.
+	cur map[string]string
+	old map[string]string
+}
+
+// NewIntern returns an intern table holding at most maxPerGen entries
+// per generation (two generations are live at once).
+func NewIntern(maxPerGen int) *Intern {
+	if maxPerGen < 1 {
+		maxPerGen = 1
+	}
+	return &Intern{max: maxPerGen, cur: make(map[string]string, maxPerGen)}
+}
+
+// Intern returns a string equal to b that never aliases b's backing
+// array: hits return the table's shared copy, misses allocate a fresh
+// copy and remember it. Empty and oversized inputs are never tabled.
+func (t *Intern) Intern(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if t == nil || len(b) > maxInternLen {
+		return string(b)
+	}
+	t.mu.RLock()
+	s, ok := t.cur[string(b)]
+	var stale bool
+	if !ok {
+		s, ok = t.old[string(b)]
+		stale = ok
+	}
+	t.mu.RUnlock()
+	if ok {
+		if stale {
+			// Promote so the string survives the next generation flip.
+			t.insert(s)
+		}
+		return s
+	}
+	// string(b) here is the single allocation a cold string costs; the
+	// copy also guarantees the interned value cannot alias a reused
+	// frame buffer.
+	s = string(b)
+	t.insert(s)
+	return s
+}
+
+func (t *Intern) insert(s string) {
+	t.mu.Lock()
+	if _, dup := t.cur[s]; !dup {
+		if len(t.cur) >= t.max {
+			t.old = t.cur
+			t.cur = make(map[string]string, t.max)
+		}
+		t.cur[s] = s
+	}
+	t.mu.Unlock()
+}
+
+// Len reports the number of live table entries across both generations
+// (a promoted string present in both counts twice). It exists for the
+// boundedness tests: Len never exceeds 2×maxPerGen.
+func (t *Intern) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.cur) + len(t.old)
+}
+
+// hotStrings is the package-level table the Into decode path routes
+// header strings through. 4096 entries per generation comfortably holds
+// the header vocabulary of a large grid (performatives, ontologies,
+// protocols, agent names, live conversation ids) in under ~2 MiB worst
+// case.
+var hotStrings = NewIntern(4096)

@@ -1,0 +1,240 @@
+package acl
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Zero-alloc decode path. UnmarshalBinary materializes a fresh Message
+// (17 allocs on the classifier-notice shape); the Into variants below
+// decode into a caller-owned Message, reusing its slice capacity
+// element-by-element and routing header strings through the hotStrings
+// intern table, so a warm scratch decodes repeat-vocabulary traffic
+// with zero allocations.
+//
+// Ownership contract:
+//
+//   - The caller owns *m before and after the call. On error the
+//     scratch's contents are unspecified; reuse it freely (every field
+//     is unconditionally reassigned by the next successful decode).
+//   - Header strings (performative is a table constant; language,
+//     encoding, ontology, protocol, conversation/reply ids, AID names
+//     and addresses, trace ids) may be shared with other messages via
+//     the intern table. They are immutable Go strings and never alias
+//     the input buffer.
+//   - UnmarshalBinaryInto copies Content into m's own buffer (reusing
+//     its capacity). FrameReader.ReadMessageInto instead leaves
+//     m.Content aliasing the reader's internal buffer — a zero-copy
+//     view, valid only until the next call on that reader. A Message
+//     filled by ReadMessageInto must not be passed to
+//     UnmarshalBinaryInto later without first setting m.Content = nil,
+//     or the copy path would append into the reader's buffer.
+//
+// The decode walk is deliberately written out again rather than shared
+// with unmarshalBinaryPayload: FuzzUnmarshalBinaryIntoEquivalence
+// compares the two implementations differentially, which only has power
+// while they remain independent.
+
+// UnmarshalBinaryInto decodes an ACL2 frame produced by MarshalBinary
+// into the caller-owned m, overwriting every field. It returns the same
+// errors as UnmarshalBinary on the same inputs. See the ownership
+// contract above; on success m shares no memory with data.
+func UnmarshalBinaryInto(data []byte, m *Message) error {
+	if len(data) < 8 {
+		return ErrShortFrame
+	}
+	if string(data[:4]) != string(wireMagicBinary[:]) {
+		return ErrBadMagic
+	}
+	n := getUint32(data[4:8])
+	if n > MaxFrameSize {
+		return ErrFrameSize
+	}
+	if len(data) != int(8+n) {
+		return fmt.Errorf("%w: header says %d payload bytes, have %d", ErrShortFrame, n, len(data)-8)
+	}
+	return unmarshalBinaryPayloadInto(data[8:], m, false)
+}
+
+// unmarshalBinaryPayloadInto is the Into-path decode walk. With
+// viewContent set, m.Content is pointed at the payload's bytes in place
+// (the FrameReader view path); otherwise the content is copied into
+// m.Content's reused capacity.
+func unmarshalBinaryPayloadInto(payload []byte, m *Message, viewContent bool) error {
+	d := binDecoder{data: payload}
+	code := d.u8()
+	if int(code) >= len(codePerfs) || code == 0 {
+		if d.err == nil {
+			return fmt.Errorf("%w: binary code %d", ErrBadPerformative, code)
+		}
+		return d.err
+	}
+	m.Performative = codePerfs[code]
+	d.aidInto(&m.Sender)
+	m.Receivers = d.aidsInto(m.Receivers)
+	m.ReplyTo = d.aidsInto(m.ReplyTo)
+	if viewContent {
+		m.Content = d.blobView()
+	} else {
+		m.Content = d.blobInto(m.Content)
+	}
+	m.Language = d.internedStr()
+	m.Encoding = d.internedStr()
+	m.Ontology = d.internedStr()
+	m.Protocol = d.internedStr()
+	m.ConversationID = d.internedStr()
+	m.ReplyWith = d.internedStr()
+	m.InReplyTo = d.internedStr()
+	m.ReplyBy = time.Time{}
+	if by := d.strBytes(); len(by) != 0 && d.err == nil {
+		t, err := time.Parse(time.RFC3339Nano, string(by))
+		if err != nil {
+			return fmt.Errorf("acl: decode reply-by: %w", err)
+		}
+		m.ReplyBy = t
+	}
+	switch d.u8() {
+	case 0:
+		m.Trace = nil
+	case 1:
+		if m.Trace == nil {
+			m.Trace = &TraceContext{}
+		}
+		m.Trace.TraceID = d.internedStr()
+		m.Trace.SpanID = d.internedStr()
+		m.Trace.Parent = d.internedStr()
+	default:
+		if d.err == nil {
+			return fmt.Errorf("acl: decode: bad trace flag")
+		}
+	}
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.data) {
+		return fmt.Errorf("%w: %d trailing payload bytes", ErrShortFrame, len(d.data)-d.off)
+	}
+	return m.Validate()
+}
+
+// ReadMessageInto reads and decodes the next frame into the caller's
+// scratch m, whichever codec framed it, and returns the raw payload
+// bytes. For binary frames m.Content is a zero-copy view over the
+// reader's internal buffer — as is the returned payload — valid only
+// until the next call on fr; retaining either past that point requires
+// a copy (append, string conversion, or m.Clone). The typed viewlifetime
+// analyzer enforces this for callers that hold the returned slice.
+//
+//gridlint:view
+func (fr *FrameReader) ReadMessageInto(m *Message) ([]byte, error) {
+	f, payload, err := fr.Next()
+	if err != nil {
+		return nil, err
+	}
+	if f == FormatBinary {
+		if err := unmarshalBinaryPayloadInto(payload, m, true); err != nil {
+			return nil, err
+		}
+		return payload, nil
+	}
+	// JSON decodes merge into existing fields (omitempty keeps stale
+	// values), so the scratch must be zeroed first. The JSON path is
+	// the slow legacy codec; dropping the reused capacity here is fine.
+	*m = Message{}
+	if err := json.Unmarshal(payload, m); err != nil {
+		return nil, fmt.Errorf("acl: decode: %w", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// strBytes reads a length-prefixed string field without copying it out
+// of the payload. The returned slice aliases d.data.
+func (d *binDecoder) strBytes() []byte {
+	n := d.length()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	b := d.data[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// internedStr reads a string field through the intern table: hot
+// vocabulary costs zero allocations after the first sighting.
+func (d *binDecoder) internedStr() string {
+	return hotStrings.Intern(d.strBytes())
+}
+
+// blobInto reads a length-prefixed blob into dst's reused capacity.
+// Zero-length decodes to nil, matching UnmarshalBinary.
+func (d *binDecoder) blobInto(dst []byte) []byte {
+	n := d.length()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	dst = append(dst[:0], d.data[d.off:d.off+n]...)
+	d.off += n
+	return dst
+}
+
+// blobView reads a length-prefixed blob as an aliasing subslice of the
+// payload — no copy. Zero-length decodes to nil.
+func (d *binDecoder) blobView() []byte {
+	n := d.length()
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	b := d.data[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// aidInto decodes an AID into *a, reusing its Addresses capacity.
+func (d *binDecoder) aidInto(a *AID) {
+	a.Name = d.internedStr()
+	n := d.count(1)
+	if d.err != nil || n == 0 {
+		// Keep capacity for the next decode; equality semantics treat
+		// nil and empty alike.
+		if a.Addresses != nil {
+			a.Addresses = a.Addresses[:0]
+		}
+		return
+	}
+	if cap(a.Addresses) >= n {
+		a.Addresses = a.Addresses[:n]
+	} else {
+		a.Addresses = make([]string, n)
+	}
+	for i := range a.Addresses {
+		a.Addresses[i] = d.internedStr()
+	}
+}
+
+// aidsInto decodes an AID list into dst, reusing both the outer slice
+// and each element's Addresses capacity.
+func (d *binDecoder) aidsInto(dst []AID) []AID {
+	n := d.count(2)
+	if d.err != nil || n == 0 {
+		if dst != nil {
+			dst = dst[:0]
+		}
+		return dst
+	}
+	if cap(dst) >= n {
+		// Elements beyond the previous length still carry their old
+		// Addresses backing arrays — exactly the capacity aidInto
+		// wants to reuse.
+		dst = dst[:n]
+	} else {
+		dst = make([]AID, n)
+	}
+	for i := range dst {
+		d.aidInto(&dst[i])
+	}
+	return dst
+}

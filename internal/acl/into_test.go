@@ -1,0 +1,209 @@
+package acl
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestUnmarshalBinaryIntoMatchesUnmarshalBinary decodes every fuzz seed
+// both ways and requires identical results — the deterministic core of
+// the differential fuzz target.
+func TestUnmarshalBinaryIntoMatchesUnmarshalBinary(t *testing.T) {
+	var scratch Message
+	for i, src := range fuzzSeedMessages() {
+		frame, err := MarshalBinary(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := UnmarshalBinary(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// One shared scratch across all seeds: each decode must fully
+		// overwrite the previous message.
+		if err := UnmarshalBinaryInto(frame, &scratch); err != nil {
+			t.Fatalf("seed %d: UnmarshalBinaryInto: %v", i, err)
+		}
+		assertEqualMessages(t, "into equivalence", want, &scratch)
+	}
+}
+
+// TestUnmarshalBinaryIntoOwnership pins the ownership contract: the
+// decoded message shares no memory with the input frame, so the frame
+// buffer can be reused immediately.
+func TestUnmarshalBinaryIntoOwnership(t *testing.T) {
+	frame, err := MarshalBinary(binarySample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Message
+	if err := UnmarshalBinaryInto(frame, &m); err != nil {
+		t.Fatal(err)
+	}
+	sender, conv, content := m.Sender.Name, m.ConversationID, string(m.Content)
+	for i := range frame {
+		frame[i] = 0xee
+	}
+	if m.Sender.Name != sender || m.ConversationID != conv || string(m.Content) != content {
+		t.Fatal("decoded message aliases the input frame")
+	}
+}
+
+// TestUnmarshalBinaryIntoResetsOptionalFields decodes a fully-populated
+// message and then a minimal one into the same scratch: every optional
+// field must come back to its zero value, not linger from the previous
+// decode.
+func TestUnmarshalBinaryIntoResetsOptionalFields(t *testing.T) {
+	full, err := MarshalBinary(binarySample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	minimal := &Message{
+		Performative: Inform,
+		Sender:       AID{Name: "a"},
+		Receivers:    []AID{{Name: "b"}},
+	}
+	minFrame, err := MarshalBinary(minimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Message
+	if err := UnmarshalBinaryInto(full, &m); err != nil {
+		t.Fatal(err)
+	}
+	if err := UnmarshalBinaryInto(minFrame, &m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Content != nil || m.Language != "" || m.Ontology != "" || m.Protocol != "" ||
+		m.ConversationID != "" || m.ReplyWith != "" || m.InReplyTo != "" ||
+		!m.ReplyBy.IsZero() || m.Trace != nil {
+		t.Fatalf("stale fields survived scratch reuse: %+v", m)
+	}
+	if len(m.Receivers) != 1 || m.Receivers[0].Name != "b" || len(m.Receivers[0].Addresses) != 0 {
+		t.Fatalf("receivers not overwritten: %+v", m.Receivers)
+	}
+	if len(m.ReplyTo) != 0 || len(m.Sender.Addresses) != 0 {
+		t.Fatalf("stale slices survived: %+v", m)
+	}
+}
+
+// TestReadMessageIntoStream drains a mixed binary/JSON stream through
+// one scratch, checking each decoded message and that binary content is
+// served as a view over the reader's buffer (invalidated — not
+// corrupted — by the next read).
+func TestReadMessageIntoStream(t *testing.T) {
+	first := binarySample()
+	second := &Message{
+		Performative:   Inform,
+		Sender:         NewAID("cg-1", "site1"),
+		Receivers:      []AID{NewAID("clg", "site1")},
+		Content:        []byte(`{"step":2}`),
+		ConversationID: "conv-json",
+	}
+	var stream bytes.Buffer
+	for _, fm := range []struct {
+		m *Message
+		f Format
+	}{{first, FormatBinary}, {second, FormatJSON}} {
+		frame, err := AppendFrame(nil, fm.m, fm.f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream.Write(frame)
+	}
+
+	fr := NewFrameReader(&stream)
+	var m Message
+	payload, err := fr.ReadMessageInto(&m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(payload) == 0 {
+		t.Fatal("no payload view returned")
+	}
+	want, err := MarshalBinary(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDecoded, err := UnmarshalBinary(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualMessages(t, "stream binary", wantDecoded, &m)
+	content := string(m.Content) // copy before the view expires
+
+	// The JSON frame decodes into the same scratch; stale binary
+	// fields must not leak through omitempty.
+	if _, err := fr.ReadMessageInto(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.ConversationID != "conv-json" || string(m.Content) != `{"step":2}` {
+		t.Fatalf("JSON decode into scratch: %+v", m)
+	}
+	if m.Ontology == first.Ontology && first.Ontology != "" {
+		t.Fatal("stale ontology leaked into JSON decode")
+	}
+	if content != string(first.Content) {
+		t.Fatalf("binary content view was wrong before expiry: %q", content)
+	}
+}
+
+// TestUnmarshalBinaryIntoErrors mirrors the frame-level error cases of
+// UnmarshalBinary.
+func TestUnmarshalBinaryIntoErrors(t *testing.T) {
+	var m Message
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"short", []byte("ACL2")},
+		{"bad magic", append([]byte("ACL3"), 0, 0, 0, 0)},
+		{"oversize", []byte{'A', 'C', 'L', '2', 0xff, 0xff, 0xff, 0xff}},
+		{"length mismatch", []byte{'A', 'C', 'L', '2', 0, 0, 0, 9, 1}},
+		{"bad performative", []byte{'A', 'C', 'L', '2', 0, 0, 0, 1, 0xee}},
+	}
+	for _, tc := range cases {
+		wantErr := func() error { _, err := UnmarshalBinary(tc.data); return err }()
+		gotErr := UnmarshalBinaryInto(tc.data, &m)
+		if wantErr == nil || gotErr == nil {
+			t.Fatalf("%s: expected both decoders to reject (want %v, got %v)", tc.name, wantErr, gotErr)
+		}
+		if intoErrClass(wantErr) != intoErrClass(gotErr) {
+			t.Fatalf("%s: error class mismatch: %v vs %v", tc.name, wantErr, gotErr)
+		}
+	}
+}
+
+// TestUnmarshalBinaryIntoReplyBy exercises the one field with a parse
+// step, both fresh and over a scratch that previously held a time.
+func TestUnmarshalBinaryIntoReplyBy(t *testing.T) {
+	withBy := &Message{
+		Performative: Request,
+		Sender:       AID{Name: "a"},
+		Receivers:    []AID{{Name: "b"}},
+		ReplyBy:      time.Date(2026, 8, 8, 12, 30, 0, 123456789, time.UTC),
+	}
+	frame, err := MarshalBinary(withBy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Message
+	if err := UnmarshalBinaryInto(frame, &m); err != nil {
+		t.Fatal(err)
+	}
+	if !m.ReplyBy.Equal(withBy.ReplyBy) {
+		t.Fatalf("reply-by = %v, want %v", m.ReplyBy, withBy.ReplyBy)
+	}
+	withBy.ReplyBy = time.Time{}
+	bare, err := MarshalBinary(withBy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := UnmarshalBinaryInto(bare, &m); err != nil {
+		t.Fatal(err)
+	}
+	if !m.ReplyBy.IsZero() {
+		t.Fatalf("stale reply-by survived: %v", m.ReplyBy)
+	}
+}

@@ -93,6 +93,11 @@ type Root struct {
 	stats       RootStats               // guarded by mu
 	idleWaiters []chan struct{}         // guarded by mu
 
+	// notice is handleInform's decode scratch. The agent dispatch loop
+	// is single-threaded, so one scratch per root suffices; HandleNotice
+	// copies anything it retains (task categories) out of it.
+	notice classify.Notice
+
 	mNotices    *telemetry.Counter
 	mDispatched *telemetry.Counter
 	mCompleted  *telemetry.Counter
@@ -246,8 +251,8 @@ func (r *Root) handleInform(ctx context.Context, a *agent.Agent, m *acl.Message)
 		r.handleResult(ctx, m)
 		return
 	}
-	notice, err := classify.DecodeNotice(m.Content)
-	if err != nil {
+	notice := &r.notice
+	if err := classify.DecodeNoticeInto(m.Content, notice); err != nil {
 		r.logErr(fmt.Errorf("analyze: notice from %s: %w", m.Sender, err))
 		_ = a.Send(ctx, m.Reply(a.ID(), acl.NotUnderstood))
 		return
@@ -279,13 +284,16 @@ func (r *Root) HandleNotice(ctx context.Context, notice *classify.Notice) {
 			sites[site] = cluster.MaxStep
 		}
 		// Level 1: fresh scan; Level 2: consolidation with history.
+		// Tasks outlive the notice (it may be a reused decode scratch),
+		// so they get their own copy of the category list.
+		categories := append([]string(nil), cluster.Categories...)
 		for _, level := range []int{1, 2} {
 			task := &Task{
 				ID:         r.a.NewConversationID(),
 				Level:      level,
 				Site:       cluster.Site,
 				Device:     cluster.Device,
-				Categories: cluster.Categories,
+				Categories: categories,
 				Step:       cluster.MaxStep,
 			}
 			r.dispatch(ctx, task, nil)

@@ -31,7 +31,10 @@ type Sink interface {
 // BatchSink is an optional Sink extension: a sink that can ingest a
 // whole batch under one lock acquisition. *store.Store and
 // *store.ReplicaSet both satisfy it; the classifier uses it when
-// present instead of per-record Appends.
+// present instead of per-record Appends. The batch is only valid for
+// the duration of the call — the classifier hands sinks a pooled
+// scratch — so an implementation that retains records past the return
+// must copy them (both store sinks do, into their series).
 type BatchSink interface {
 	AppendBatch(b *obs.Batch) error
 }
@@ -335,19 +338,38 @@ func (c *Classifier) Ingest(ctx context.Context, batch *obs.Batch) error {
 // batch it gets one AppendBatch call (one lock acquisition); otherwise
 // it degrades to per-record Appends. Both paths annotate private copies
 // so the caller's batch is never mutated.
+// batchPool recycles the annotated-record scratch storeBatch hands to a
+// BatchSink. maxPooledRecords caps what returns to the pool so one huge
+// batch does not pin its backing array for the life of the process.
+var batchPool = sync.Pool{New: func() any { return new(obs.Batch) }}
+
+const maxPooledRecords = 4096
+
 func (c *Classifier) storeBatch(batch *obs.Batch) (int, error) {
 	if bs, ok := c.cfg.Store.(BatchSink); ok {
-		recs := make([]obs.Record, len(batch.Records))
-		copy(recs, batch.Records)
+		// The annotated copy lives only for the AppendBatch call: every
+		// sink copies records into its series under its own lock and
+		// never retains the slice, so the scratch is pooled across
+		// batches instead of allocated per batch.
+		sb := batchPool.Get().(*obs.Batch)
+		sb.Collector = batch.Collector
+		sb.Records = append(sb.Records[:0], batch.Records...)
 		if c.cfg.Ontology != nil {
-			for i := range recs {
-				c.cfg.Ontology.Annotate(&recs[i])
+			for i := range sb.Records {
+				c.cfg.Ontology.Annotate(&sb.Records[i])
 			}
 		}
-		if err := bs.AppendBatch(&obs.Batch{Collector: batch.Collector, Records: recs}); err != nil {
+		err := bs.AppendBatch(sb)
+		stored := len(sb.Records)
+		sb.Collector = ""
+		if cap(sb.Records) <= maxPooledRecords {
+			sb.Records = sb.Records[:0]
+			batchPool.Put(sb)
+		}
+		if err != nil {
 			return 0, fmt.Errorf("classify: store batch from %s: %w", batch.Collector, err)
 		}
-		return len(recs), nil
+		return stored, nil
 	}
 	stored := 0
 	for i := range batch.Records {

@@ -143,7 +143,12 @@ type batchRecorder struct {
 
 func (r *batchRecorder) Append(obs.Record) error { r.appends++; return nil }
 func (r *batchRecorder) AppendBatch(b *obs.Batch) error {
-	r.batches = append(r.batches, b)
+	// The batch is a pooled scratch valid only for this call; retain a
+	// copy, like the real sinks copy into their series.
+	r.batches = append(r.batches, &obs.Batch{
+		Collector: b.Collector,
+		Records:   append([]obs.Record(nil), b.Records...),
+	})
 	return nil
 }
 

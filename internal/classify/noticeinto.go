@@ -1,0 +1,100 @@
+package classify
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"agentgrid/internal/acl"
+)
+
+// noticeStrings interns the notice header vocabulary — collector names,
+// cluster keys, sites, devices, classes, categories — which draws from
+// the fleet's device inventory and so repeats on every notice.
+var noticeStrings = acl.NewIntern(4096)
+
+// DecodeNoticeInto parses a notice into the caller-owned n, reusing its
+// Clusters and Categories capacity and interning the repeated strings.
+// Every field is overwritten; consumers that retain a cluster's
+// Categories past the call must copy the slice (the analyze root does).
+// Accepts both encodings, like DecodeNotice; the JSON path zeroes the
+// scratch first because json merges into existing fields.
+func DecodeNoticeInto(data []byte, n *Notice) error {
+	if len(data) > 0 && data[0] == noticeMagic {
+		return decodeNoticeBinaryInto(data, n)
+	}
+	*n = Notice{}
+	if err := json.Unmarshal(data, n); err != nil {
+		return fmt.Errorf("classify: decode notice: %w", err)
+	}
+	return nil
+}
+
+// decodeNoticeBinaryInto is the Into twin of decodeNoticeBinary: same
+// wire walk, same error positions, but element-wise reuse of the
+// scratch instead of fresh allocations.
+func decodeNoticeBinaryInto(data []byte, n *Notice) error {
+	// Truncate up front (keeping capacity) so no failure path can leave
+	// phantom clusters from a previous decode in the scratch.
+	n.Clusters = n.Clusters[:0]
+	if len(data) < 2 || data[0] != noticeMagic {
+		return ErrNoticeEncoding
+	}
+	if data[1] != noticeVersion {
+		return fmt.Errorf("classify: notice version %d not supported", data[1])
+	}
+	d := noticeDecoder{data: data, off: 2}
+	n.Collector = noticeStrings.Intern(d.strBytes())
+	nc := d.count(6)
+	if cap(n.Clusters) >= nc {
+		n.Clusters = n.Clusters[:nc]
+	} else {
+		n.Clusters = make([]Cluster, nc)
+	}
+	for i := 0; i < nc; i++ {
+		c := &n.Clusters[i]
+		c.Key = noticeStrings.Intern(d.strBytes())
+		c.Site = noticeStrings.Intern(d.strBytes())
+		c.Device = noticeStrings.Intern(d.strBytes())
+		c.Class = noticeStrings.Intern(d.strBytes())
+		ncat := d.count(1)
+		switch {
+		case cap(c.Categories) >= ncat && c.Categories != nil:
+			c.Categories = c.Categories[:ncat]
+		default:
+			// make, not nil, even for zero categories: the JSON codec
+			// round trips an empty Categories as [], and DecodeNotice
+			// matches it, so the Into path does too.
+			c.Categories = make([]string, ncat)
+		}
+		for j := 0; j < ncat; j++ {
+			c.Categories[j] = noticeStrings.Intern(d.strBytes())
+		}
+		c.Records = int(d.varint())
+		c.MaxStep = int(d.varint())
+		if d.err != nil {
+			n.Clusters = n.Clusters[:0]
+			return fmt.Errorf("classify: decode notice: %w", d.err)
+		}
+	}
+	if d.err != nil {
+		n.Clusters = n.Clusters[:0]
+		return fmt.Errorf("classify: decode notice: %w", d.err)
+	}
+	if d.off != len(data) {
+		n.Clusters = n.Clusters[:0]
+		return fmt.Errorf("classify: decode notice: %d trailing bytes", len(data)-d.off)
+	}
+	return nil
+}
+
+// strBytes reads a length-prefixed string without copying it out of the
+// payload; the result aliases d.data.
+func (d *noticeDecoder) strBytes() []byte {
+	n := d.count(1)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	b := d.data[d.off : d.off+n]
+	d.off += n
+	return b
+}

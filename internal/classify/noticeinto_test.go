@@ -1,0 +1,124 @@
+package classify
+
+import (
+	"testing"
+)
+
+func noticeIntoSamples() []*Notice {
+	return []*Notice{
+		{Collector: "cg-1@site1", Clusters: []Cluster{
+			{Key: "site1/h1", Site: "site1", Device: "h1", Class: "host",
+				Categories: []string{"cpu", "memory"}, Records: 24, MaxStep: 480},
+			{Key: "site1/r1", Site: "site1", Device: "r1", Class: "router",
+				Categories: []string{"network"}, Records: 32, MaxStep: 481},
+		}},
+		{Collector: "cg-2@site2", Clusters: []Cluster{
+			{Key: "shard-0", Categories: []string{}, Records: 7, MaxStep: 9},
+		}},
+		{Collector: "cg-3@site3"},
+	}
+}
+
+// TestDecodeNoticeIntoMatchesDecodeNotice decodes both encodings of
+// every sample through one reused scratch and requires results
+// identical to the allocating decoder — including after the scratch
+// held a larger notice (stale clusters/categories must not survive).
+func TestDecodeNoticeIntoMatchesDecodeNotice(t *testing.T) {
+	var scratch Notice
+	encode := func(n *Notice, binary bool) []byte {
+		t.Helper()
+		var data []byte
+		var err error
+		if binary {
+			data, err = EncodeNoticeBinary(n)
+		} else {
+			data, err = EncodeNotice(n)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	check := func(data []byte) {
+		t.Helper()
+		want, err := DecodeNotice(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := DecodeNoticeInto(data, &scratch); err != nil {
+			t.Fatalf("DecodeNoticeInto: %v", err)
+		}
+		assertNoticesEqual(t, want, &scratch)
+	}
+	// Largest first, then smaller: scratch reuse must shrink cleanly.
+	for _, binary := range []bool{true, false} {
+		for _, n := range noticeIntoSamples() {
+			check(encode(n, binary))
+		}
+		// And back up: growth after shrink.
+		check(encode(noticeIntoSamples()[0], binary))
+	}
+}
+
+func assertNoticesEqual(t *testing.T, want, got *Notice) {
+	t.Helper()
+	if want.Collector != got.Collector {
+		t.Fatalf("collector %q != %q", got.Collector, want.Collector)
+	}
+	if len(want.Clusters) != len(got.Clusters) {
+		t.Fatalf("cluster count %d != %d", len(got.Clusters), len(want.Clusters))
+	}
+	for i := range want.Clusters {
+		w, g := &want.Clusters[i], &got.Clusters[i]
+		if w.Key != g.Key || w.Site != g.Site || w.Device != g.Device || w.Class != g.Class ||
+			w.Records != g.Records || w.MaxStep != g.MaxStep {
+			t.Fatalf("cluster %d: %+v != %+v", i, g, w)
+		}
+		if len(w.Categories) != len(g.Categories) {
+			t.Fatalf("cluster %d categories %v != %v", i, g.Categories, w.Categories)
+		}
+		for j := range w.Categories {
+			if w.Categories[j] != g.Categories[j] {
+				t.Fatalf("cluster %d category %d %q != %q", i, j, g.Categories[j], w.Categories[j])
+			}
+		}
+	}
+}
+
+// TestDecodeNoticeIntoRejects mirrors the error cases: hostile bytes
+// must fail both decoders and leave the scratch with no phantom
+// clusters.
+func TestDecodeNoticeIntoRejects(t *testing.T) {
+	good, err := EncodeNoticeBinary(noticeIntoSamples()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scratch Notice
+	if err := DecodeNoticeInto(good, &scratch); err != nil {
+		t.Fatal(err)
+	}
+	for _, data := range [][]byte{
+		{},
+		{noticeMagic},
+		{noticeMagic, 99},
+		good[:len(good)-1],
+		append(append([]byte{}, good...), 0xff),
+	} {
+		if _, err := DecodeNotice(data); err == nil {
+			t.Fatalf("DecodeNotice accepted % x", data)
+		}
+		if err := DecodeNoticeInto(data, &scratch); err == nil {
+			t.Fatalf("DecodeNoticeInto accepted % x", data)
+		}
+		if len(scratch.Clusters) != 0 {
+			t.Fatalf("failed decode left %d phantom clusters", len(scratch.Clusters))
+		}
+		// The scratch must still be fully usable after a failure.
+		if err := DecodeNoticeInto(good, &scratch); err != nil {
+			t.Fatal(err)
+		}
+		if len(scratch.Clusters) != 2 {
+			t.Fatalf("recovery decode got %d clusters", len(scratch.Clusters))
+		}
+	}
+}

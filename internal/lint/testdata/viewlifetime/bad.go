@@ -55,3 +55,58 @@ func subsliceEscape(r *Reader, h *Holder) {
 	head := v[:2]
 	h.last = head
 }
+
+// Msg mimics acl.Message on the Into decode path; ReadInto mirrors
+// acl.FrameReader.ReadMessageInto.
+type Msg struct {
+	Content []byte
+}
+
+// ReadInto decodes the next frame into m and returns the payload as a
+// zero-copy view over the reader's buffer. The directive makes the
+// result a view source at every caller, and exempts the forwarding
+// return inside this body.
+//
+//gridlint:view
+func (r *Reader) ReadInto(m *Msg) ([]byte, error) {
+	v, _ := r.Next()
+	fill(m, v)
+	return v, nil
+}
+
+// fill receives the payload as a plain argument (synchronous use); the
+// store happens where the slice is an ordinary parameter, exactly like
+// the real decode walk.
+func fill(m *Msg, payload []byte) {
+	m.Content = payload
+}
+
+// Batch mimics obs.Batch: a container a BatchSink retains past the
+// call.
+type Batch struct {
+	Raw []byte
+}
+
+// BatchSink mimics the classify sink interface.
+type BatchSink interface {
+	AppendBatch(b *Batch) error
+}
+
+// ingestEscape parks the directive-produced view in a batch handed to
+// the sink — the classify BatchSink escape shape.
+func ingestEscape(r *Reader, s BatchSink) error {
+	var m Msg
+	view, _ := r.ReadInto(&m)
+	b := &Batch{}
+	b.Raw = view
+	return s.AppendBatch(b)
+}
+
+// directiveUseAfterAdvance reads the view returned by the annotated
+// producer after the next ReadInto recycled the buffer.
+func directiveUseAfterAdvance(r *Reader) byte {
+	var m Msg
+	view, _ := r.ReadInto(&m)
+	r.ReadInto(&m)
+	return view[0]
+}

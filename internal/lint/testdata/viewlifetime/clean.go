@@ -46,3 +46,28 @@ func peek(r *Reader) (byte, int) {
 	}
 	return v[0], len(v)
 }
+
+// ingestCopies consumes the annotated producer correctly: the bytes
+// are appended (copied) into the batch before the sink retains it.
+func ingestCopies(r *Reader, s BatchSink) error {
+	var m Msg
+	view, _ := r.ReadInto(&m)
+	b := &Batch{}
+	b.Raw = append(b.Raw[:0], view...)
+	return s.AppendBatch(b)
+}
+
+// drainInto is the serveConn shape: the scratch is reused each
+// iteration and the view result is discarded; the handler gets the
+// message synchronously.
+func drainInto(r *Reader, n int) int {
+	var m Msg
+	total := 0
+	for i := 0; i < n; i++ {
+		if _, err := r.ReadInto(&m); err != nil {
+			break
+		}
+		total += process(m.Content)
+	}
+	return total
+}

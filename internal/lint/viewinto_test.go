@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestViewEscapeViaBatchSinkFlagged is the regression pin for the Into
+// decode path: a payload view produced by a //gridlint:view-annotated
+// reader (the acl.FrameReader.ReadMessageInto shape) that is parked in
+// a batch handed to a retaining BatchSink — the classify ingest shape —
+// must be flagged, while the copying consumer and the scratch-reuse
+// drain loop must stay clean.
+func TestViewEscapeViaBatchSinkFlagged(t *testing.T) {
+	m, err := LoadTypedDir(filepath.Join("testdata", "viewlifetime"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunTyped(m, []*TypedAnalyzer{AnalyzerViewLifetime})
+
+	var escape, forward bool
+	for _, d := range diags {
+		base := filepath.Base(d.Pos.Filename)
+		if base == "clean.go" {
+			t.Errorf("clean consumer flagged: %s", d.String())
+		}
+		if base != "bad.go" {
+			continue
+		}
+		if strings.Contains(d.Message, "Reader.ReadInto") && strings.Contains(d.Message, "stored beyond its reuse window") {
+			escape = true
+		}
+		// The annotated producer's own forwarding return must NOT be
+		// reported; a "returned" diagnostic naming Reader.Next inside
+		// ReadInto would be that false positive.
+		if strings.Contains(d.Message, "Reader.Next returned") && d.Pos.Line > 80 {
+			forward = true
+		}
+	}
+	if !escape {
+		t.Error("view escaping via the BatchSink was not flagged")
+	}
+	if forward {
+		t.Error("the annotated producer's forwarding return was flagged as an escape")
+	}
+}

@@ -18,7 +18,10 @@ package lint
 //     element, dereference or package-level variable;
 //  2. sending v on a channel;
 //  3. capturing v in a goroutine (`go func() { … v … }`);
-//  4. returning v.
+//  4. returning v — except inside a function that itself carries the
+//     //gridlint:view directive: an annotated producer's contract IS to
+//     forward the view, and its callers are checked in turn because the
+//     directive makes its []byte results view sources there.
 //
 // And one overrun: using v after the producer advanced (a later
 // Next/Read*/Reset call on the same receiver) — at that point the
@@ -50,16 +53,22 @@ func runViewLifetime(m *Module) []Diagnostic {
 		for _, f := range pkg.Files {
 			ast.Inspect(f.AST, func(n ast.Node) bool {
 				var body *ast.BlockStmt
+				producer := false
 				switch fn := n.(type) {
 				case *ast.FuncDecl:
 					body = fn.Body
+					// An annotated producer forwards views by contract;
+					// returns inside it are the contract, not an escape.
+					if tf, ok := pkg.Info.Defs[fn.Name].(*types.Func); ok {
+						producer = directive[tf]
+					}
 				case *ast.FuncLit:
 					body = fn.Body
 				}
 				if body == nil {
 					return true
 				}
-				out = append(out, v.checkFunc(body)...)
+				out = append(out, v.checkFunc(body, producer)...)
 				return true
 			})
 		}
@@ -103,9 +112,13 @@ type viewChecker struct {
 	pkg       *TypedPackage
 	directive map[*types.Func]bool
 	views     map[*types.Var]*viewInfo
+	// producer marks the body of a //gridlint:view-annotated function:
+	// returning a view there is the forwarding contract, not an escape.
+	producer bool
 }
 
-func (v *viewChecker) checkFunc(body *ast.BlockStmt) []Diagnostic {
+func (v *viewChecker) checkFunc(body *ast.BlockStmt, producer bool) []Diagnostic {
+	v.producer = producer
 	v.views = make(map[*types.Var]*viewInfo)
 	// Pass 1: collect view variables and their aliases. Aliases may be
 	// declared after the view, so iterate to a fixed point (bounded by
@@ -285,6 +298,9 @@ func (v *viewChecker) checkEscapes(body *ast.BlockStmt) []Diagnostic {
 				}
 			}
 		case *ast.ReturnStmt:
+			if v.producer {
+				break
+			}
 			for _, res := range x.Results {
 				if vi := v.unsafeMention(res); vi != nil {
 					diag(x.Pos(), fmt.Sprintf("zero-copy view from %s returned; the caller cannot see the reuse window — copy it first", vi.src))

@@ -511,6 +511,17 @@ func (c *Container) Route(ctx context.Context, m *acl.Message) error {
 	return errors.Join(errs...)
 }
 
+// hopEnvelope is the reusable shallow copy routeOne sends through the
+// transport with the receiver list narrowed to one hop. Pooling it
+// removes the per-hop deep Clone from the remote send path; see the
+// safety argument at the use site.
+type hopEnvelope struct {
+	m   acl.Message
+	rcv [1]acl.AID
+}
+
+var hopPool = sync.Pool{New: func() any { return new(hopEnvelope) }}
+
 func (c *Container) routeOne(ctx context.Context, m *acl.Message, rcv acl.AID) error {
 	// Local delivery when the receiver lives in this container.
 	if rcv.Platform() == c.cfg.Platform {
@@ -545,9 +556,16 @@ func (c *Container) routeOne(ctx context.Context, m *acl.Message, rcv acl.AID) e
 		return ErrNotAttached
 	}
 	// Narrow the receiver list to this hop so the remote container does
-	// not re-forward to everyone.
-	out := m.Clone()
-	out.Receivers = []acl.AID{rcv}
+	// not re-forward to everyone. The hop envelope is a pooled shallow
+	// copy, not a Clone: every Transport.Send finishes with the message
+	// before returning (in-proc delivers private copies, TCP encodes
+	// the frame synchronously), and a shallow copy only shares
+	// immutable strings and slices nobody on the send path mutates.
+	hop := hopPool.Get().(*hopEnvelope)
+	hop.m = *m
+	hop.rcv[0] = rcv
+	hop.m.Receivers = hop.rcv[:1]
+	out := &hop.m
 	// The hop span is a sibling leaf, not a new parent: the receiver
 	// still parents under the sending stage, so a lost message leaves a
 	// visible transport.send with no continuation.
@@ -557,6 +575,11 @@ func (c *Container) routeOne(ctx context.Context, m *acl.Message, rcv acl.AID) e
 	err = tr.Send(ctx, addr, out)
 	sp.SetError(err)
 	sp.End()
+	// Drop the references before pooling so a recycled envelope cannot
+	// pin a large content buffer or trace context.
+	hop.m = acl.Message{}
+	hop.rcv[0] = acl.AID{}
+	hopPool.Put(hop)
 	if err != nil {
 		c.dropped.Add(1)
 		c.mDropped.Inc()

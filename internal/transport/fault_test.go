@@ -25,6 +25,7 @@ type faultInbox struct {
 }
 
 func (c *faultInbox) handle(m *acl.Message) {
+	m = m.Clone() // handlers must not retain the delivered scratch
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.msgs = append(c.msgs, m)

@@ -77,6 +77,11 @@ func WithTCPMetrics(m WireMetrics) TCPOption {
 // only bounds the latency of a trickle, never the backlog of a burst.
 const coalesceBufSize = 16 << 10
 
+// recvBufSize is the per-connection read buffer in front of the frame
+// reader. Sized to swallow a whole coalesced write burst from a peer in
+// one syscall.
+const recvBufSize = 64 << 10
+
 // ListenTCP starts a TCP endpoint on addr ("host:port"; use port 0 for an
 // ephemeral port) and dispatches every inbound frame to h on a dedicated
 // goroutine per connection.
@@ -211,11 +216,19 @@ func (t *tcpTransport) serveConn(conn net.Conn) {
 		t.mu.Unlock()
 		conn.Close()
 	}()
+	// Read-side coalescing: without buffering every frame costs two
+	// read syscalls (header + payload); at soak rates the syscalls
+	// dominate the decode. The bufio layer turns a burst of small
+	// frames into one read.
 	r := &countingReader{r: conn, c: t.metrics.RecvBytes}
-	fr := acl.NewFrameReader(r)
+	fr := acl.NewFrameReader(bufio.NewReaderSize(r, recvBufSize))
+	// One scratch message per connection: ReadMessageInto overwrites it
+	// each frame and serves binary content as a view over the frame
+	// reader's buffer. This is what the Handler contract ("must not
+	// retain m past the call unless they clone it") exists for.
+	var scratch acl.Message
 	for {
-		m, err := fr.ReadMessage()
-		if err != nil {
+		if _, err := fr.ReadMessageInto(&scratch); err != nil {
 			// EOF, deadline or codec error all end the connection; the
 			// peer re-dials as needed. Only genuinely bad frames count
 			// as decode errors — clean hangups and our own shutdown
@@ -230,7 +243,7 @@ func (t *tcpTransport) serveConn(conn net.Conn) {
 			return
 		default:
 		}
-		t.handler(m)
+		t.handler(&scratch)
 	}
 }
 

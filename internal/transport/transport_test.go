@@ -29,6 +29,10 @@ func newCollector() *collector {
 }
 
 func (c *collector) handle(m *acl.Message) {
+	// The Handler contract: m is only valid for the duration of the
+	// call (TCP delivers a per-connection scratch), so retaining it
+	// requires a clone.
+	m = m.Clone()
 	c.mu.Lock()
 	c.msgs = append(c.msgs, m)
 	c.mu.Unlock()

@@ -15,7 +15,9 @@
 #   8. trace suite       (span collection under -race + end-to-end span tree)
 #   9. telemetry suite   (instruments under -race, exposition golden, HTTP endpoints)
 #  10. wire hot path     (codec benches with alloc counts + differential fuzz)
-#  11. fuzz smoke        (5s per wire-facing fuzz target)
+#  11. soak smoke        (benchrunner soak, short sustained-rate window with
+#                         asserting thresholds: >=1M msgs/s, allocs/msg, p99)
+#  12. fuzz smoke        (5s per wire-facing fuzz target)
 #
 # Any failure stops the gate with a non-zero exit. Run it before every
 # commit; CI should run exactly this script.
@@ -60,6 +62,10 @@ step "wire hot path (codec benches + differential fuzz)"
 go test -run='^$' -bench 'MarshalBinary|UnmarshalBinary|ReadFrameReuse' -benchmem -benchtime 100x ./internal/acl
 go test -run='^$' -fuzz=FuzzCodecEquivalence -fuzztime=5s ./internal/acl
 go test -run='^$' -fuzz=FuzzUnmarshalBinaryFrame -fuzztime=5s ./internal/acl
+go test -run='^$' -fuzz=FuzzUnmarshalBinaryIntoEquivalence -fuzztime=5s ./internal/acl
+
+step "soak smoke (2s sustained ingest, asserting >=1M msgs/s steady state)"
+go run ./cmd/benchrunner soak -duration=2s -warmup=1s
 
 step "fuzz smoke (5s per target)"
 go test -run='^$' -fuzz=FuzzDecodePDU -fuzztime=5s ./internal/snmp
