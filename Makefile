@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-typed lint-sarif chaos trace metrics wire soak fuzz-smoke verify fmt
+.PHONY: all build test race lint lint-typed lint-sarif chaos trace metrics wire soak topo fuzz-smoke verify fmt
 
 all: build
 
@@ -77,6 +77,13 @@ wire:
 soak:
 	$(GO) run ./cmd/benchrunner soak -duration=2s -warmup=1s
 
+# Topology-as-code suite: spec parser/validator, deploy/status/destroy
+# lifecycle, chaos schedule, HTTP control plane and the equivalence
+# tests against the hand-built examples — all under the race detector.
+topo:
+	$(GO) test -race -count=1 ./internal/topology/...
+	$(GO) test -race -count=1 -run 'TestDetachedServer|TestSetInterface' ./internal/report/
+
 # Short fuzz smoke over the wire-facing parsers. Five seconds each
 # is enough to replay the corpus plus a quick mutation pass; longer
 # sessions run `go test -fuzz=... -fuzztime=10m` by hand.
@@ -84,6 +91,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzDecodePDU -fuzztime=5s ./internal/snmp
 	$(GO) test -run='^$$' -fuzz=FuzzParse -fuzztime=5s ./internal/rules
 	$(GO) test -run='^$$' -fuzz=FuzzUnmarshalFrame -fuzztime=5s ./internal/acl
+	$(GO) test -run='^$$' -fuzz=FuzzParseSpec -fuzztime=5s ./internal/topology
 
 # The full gate: vet + gridlint + build + tests + race detector +
 # chaos scenarios + fuzz smoke.

@@ -12,6 +12,13 @@
 //
 //	agentgridd -mode worker -name remote-1 -root tcp://HOST:PORT \
 //	    -classifier tcp://HOST:PORT -rules rules.dsl
+//
+// With -spec the grid is described declaratively instead: the file is
+// a topology spec (sites, replica counts, rules, an optional chaos
+// schedule) that agentgridd deploys on boot and serves at /topology
+// for gridctl deploy/status/destroy:
+//
+//	agentgridd -spec examples/specs/quickstart.topo -http 127.0.0.1:8080
 package main
 
 import (
@@ -23,7 +30,9 @@ import (
 	"syscall"
 
 	"agentgrid/internal/core"
+	"agentgrid/internal/report"
 	"agentgrid/internal/store"
+	"agentgrid/internal/topology"
 )
 
 func main() {
@@ -44,6 +53,7 @@ func main() {
 		name       = flag.String("name", "worker-1", "container name (worker mode)")
 		rootAddr   = flag.String("root", "", "grid root address tcp://host:port (worker mode)")
 		clgAddr    = flag.String("classifier", "", "classifier address tcp://host:port (worker mode)")
+		specFile   = flag.String("spec", "", "topology spec file: deploy it and serve the /topology lifecycle endpoint")
 	)
 	flag.Parse()
 
@@ -54,6 +64,7 @@ func main() {
 		storeFile:  *storeFile,
 		negotiated: *negotiated, tcp: *tcp,
 		name: *name, rootAddr: *rootAddr, clgAddr: *clgAddr,
+		specFile: *specFile,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "agentgridd:", err)
 		os.Exit(1)
@@ -66,9 +77,16 @@ type options struct {
 	collectors, analyzers                                                 int
 	negotiated, tcp                                                       bool
 	name, rootAddr, clgAddr                                               string
+	specFile                                                              string
 }
 
 func run(mode string, o options) error {
+	if o.specFile != "" {
+		if mode != "grid" {
+			return fmt.Errorf("-spec only makes sense in grid mode, not %q", mode)
+		}
+		return runSpec(o)
+	}
 	switch mode {
 	case "grid":
 		return runGrid(o)
@@ -77,6 +95,49 @@ func run(mode string, o options) error {
 	default:
 		return fmt.Errorf("unknown mode %q", mode)
 	}
+}
+
+// runSpec is topology-as-code mode: deploy the spec file, serve the
+// /topology lifecycle endpoint (plus all grid endpoints) on one
+// listener, and tear the deployment down on shutdown. The listener
+// outlives the deployment — gridctl destroy followed by gridctl
+// deploy cycles the grid without restarting the daemon.
+func runSpec(o options) error {
+	src, err := os.ReadFile(o.specFile)
+	if err != nil {
+		return fmt.Errorf("spec: %w", err)
+	}
+	srv, err := report.NewDetachedServer(o.httpAddr)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	mgr := topology.NewManager(topology.Options{
+		ErrorLog: func(err error) { fmt.Fprintln(os.Stderr, "topology:", err) },
+	})
+	defer mgr.Close()
+	mgr.AttachServer(srv)
+
+	dep, err := mgr.Deploy(string(src))
+	if err != nil {
+		return fmt.Errorf("deploy %s: %w", o.specFile, err)
+	}
+	spec := dep.Spec()
+	addr := srv.Addr()
+	fmt.Printf("agentgridd: topology %s deployed from %s\n", spec.Name, o.specFile)
+	fmt.Printf("  topology  http://%s/topology (json; ?format=text|html — html self-refreshes)\n", addr)
+	fmt.Printf("  lifecycle POST/DELETE http://%s/topology (gridctl deploy|destroy)\n", addr)
+	for _, site := range spec.Sites {
+		fmt.Printf("  reports   http://%s/site/%s\n", addr, site.Name)
+	}
+	fmt.Printf("  alerts    http://%s/alerts\n", addr)
+	fmt.Printf("  health    http://%s/healthz  readiness http://%s/readyz\n", addr, addr)
+	waitForSignal()
+	fmt.Println("agentgridd: destroying topology")
+	if _, err := mgr.Destroy(); err != nil {
+		return err
+	}
+	return nil
 }
 
 func readOptionalFile(path string) (string, error) {

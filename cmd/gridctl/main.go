@@ -13,6 +13,13 @@
 //	gridctl -grid 127.0.0.1:8080 metrics               # Prometheus text exposition
 //	gridctl -grid 127.0.0.1:8080 top -interval 2s      # live per-container rates
 //	gridctl -grid 127.0.0.1:8080 trace <trace-id|conversation-id> [json]
+//
+// Topology lifecycle (against agentgridd -spec, or any server with a
+// topology control plane attached):
+//
+//	gridctl -grid 127.0.0.1:8080 deploy grid.topo      # deploy a spec
+//	gridctl -grid 127.0.0.1:8080 status [json|html]    # census (text default)
+//	gridctl -grid 127.0.0.1:8080 destroy               # ordered teardown
 package main
 
 import (
@@ -38,7 +45,7 @@ func main() {
 
 func run(grid string, timeout time.Duration, args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: gridctl [flags] site|device|alerts|learn|goals|stats|health|ready|metrics|top|trace ...")
+		return fmt.Errorf("usage: gridctl [flags] deploy|status|destroy|site|device|alerts|learn|goals|stats|health|ready|metrics|top|trace ...")
 	}
 	cli := &http.Client{Timeout: timeout}
 	base := "http://" + grid
@@ -75,6 +82,19 @@ func run(grid string, timeout time.Duration, args []string) error {
 			return fmt.Errorf("usage: gridctl goals <goals.txt>")
 		}
 		return postFile(cli, base+"/goals", args[1])
+	case "deploy":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: gridctl deploy <spec.topo>")
+		}
+		return postFile(cli, base+"/topology?format=text", args[1])
+	case "status":
+		format := "text"
+		if len(args) >= 2 {
+			format = args[1]
+		}
+		return get(cli, base+"/topology?format="+url.QueryEscape(format))
+	case "destroy":
+		return del(cli, base+"/topology")
 	case "stats":
 		return get(cli, base+"/stats")
 	case "health":
@@ -101,6 +121,30 @@ func run(grid string, timeout time.Duration, args []string) error {
 
 func get(cli *http.Client, u string) error {
 	resp, err := cli.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	fmt.Print(string(body))
+	if !strings.HasSuffix(string(body), "\n") {
+		fmt.Println()
+	}
+	return nil
+}
+
+func del(cli *http.Client, u string) error {
+	req, err := http.NewRequest(http.MethodDelete, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := cli.Do(req)
 	if err != nil {
 		return err
 	}

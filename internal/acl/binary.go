@@ -6,6 +6,7 @@ import (
 	"io"
 	"sync"
 	"time"
+	"unicode/utf8"
 )
 
 // ACL2 binary wire format. A frame is the same fixed 8-byte header the
@@ -335,9 +336,19 @@ func (d *binDecoder) str() string {
 	if d.err != nil || n == 0 {
 		return ""
 	}
-	s := string(d.data[d.off : d.off+n])
+	b := d.data[d.off : d.off+n]
 	d.off += n
-	return s
+	// String fields are UTF-8 on the wire. The JSON codec cannot
+	// represent anything else (encoding/json substitutes U+FFFD), so
+	// accepting raw bytes here would make the two codecs disagree on
+	// the same message.
+	if !utf8.Valid(b) {
+		if d.err == nil {
+			d.err = fmt.Errorf("%w at offset %d", ErrBadString, d.off-n)
+		}
+		return ""
+	}
+	return string(b)
 }
 
 func (d *binDecoder) blob() []byte {

@@ -27,6 +27,7 @@ var (
 	ErrBadMagic   = errors.New("acl: bad frame magic")
 	ErrFrameSize  = errors.New("acl: frame exceeds maximum size")
 	ErrShortFrame = errors.New("acl: short frame")
+	ErrBadString  = errors.New("acl: string field is not valid UTF-8")
 )
 
 // Marshal encodes a message into a self-delimiting frame.

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"time"
+	"unicode/utf8"
 )
 
 // Zero-alloc decode path. UnmarshalBinary materializes a fresh Message
@@ -160,6 +161,14 @@ func (d *binDecoder) strBytes() []byte {
 	}
 	b := d.data[d.off : d.off+n]
 	d.off += n
+	// Same UTF-8 wire contract as str(): both decode paths must
+	// reject what the JSON codec cannot round-trip.
+	if !utf8.Valid(b) {
+		if d.err == nil {
+			d.err = fmt.Errorf("%w at offset %d", ErrBadString, d.off-n)
+		}
+		return nil
+	}
 	return b
 }
 

@@ -61,6 +61,14 @@ type Config struct {
 	// external worker nodes (cmd/agentgridd -mode worker) can join the
 	// grid.
 	TCPHost string
+	// WireFormat selects the TCP frame encoding: "binary" (ACL2, the
+	// default) or "json" (ACL1). Only meaningful with TCPHost; the
+	// in-process network carries messages without encoding them.
+	WireFormat string
+	// FlushWindow enables per-connection TCP write coalescing: frames
+	// are staged and flushed together after this window (0 = flush
+	// every frame). Only meaningful with TCPHost.
+	FlushWindow time.Duration
 	// Trace configures the grid's causal tracer. The zero value traces
 	// everything with default buffers; see trace.Options for sampling
 	// and sizing knobs.
@@ -156,12 +164,24 @@ func NewGrid(cfg Config) (*Grid, error) {
 		}
 		if cfg.TCPHost != "" {
 			wl := telemetry.Labels{"container": name}
-			err = c.AttachTCP(cfg.TCPHost+":0", transport.WithTCPMetrics(transport.WireMetrics{
+			opts := []transport.TCPOption{transport.WithTCPMetrics(transport.WireMetrics{
 				SentBytes:    g.metrics.Counter("acl_sent_bytes_total", "ACL frame bytes written to TCP peers", wl),
 				RecvBytes:    g.metrics.Counter("acl_received_bytes_total", "ACL frame bytes read from TCP peers", wl),
 				AcceptErrors: g.metrics.Counter("acl_accept_errors_total", "transient TCP listener accept failures", wl),
 				DecodeErrors: g.metrics.Counter("acl_decode_errors_total", "inbound TCP connections ended by an undecodable frame", wl),
-			}))
+			})}
+			switch cfg.WireFormat {
+			case "", "binary":
+				// transport's default is already ACL2 binary.
+			case "json":
+				opts = append(opts, transport.WithWireFormat(acl.FormatJSON))
+			default:
+				return nil, fmt.Errorf("core: unknown wire format %q (binary|json)", cfg.WireFormat)
+			}
+			if cfg.FlushWindow > 0 {
+				opts = append(opts, transport.WithFlushWindow(cfg.FlushWindow))
+			}
+			err = c.AttachTCP(cfg.TCPHost+":0", opts...)
 		} else {
 			err = c.AttachInProc(g.net, "inproc://"+name)
 		}
@@ -647,6 +667,13 @@ func (g *Grid) containerAddr(name string) string {
 // harness installs fault plans on it; in TCP mode (TCPHost set) the
 // network exists but carries no grid traffic.
 func (g *Grid) Network() *transport.InProcNetwork { return g.net }
+
+// Containers returns every container in the grid, in assembly order
+// (ig, pg-root, pg-N..., clg, cg-N...). The topology subsystem builds
+// its per-container census from this.
+func (g *Grid) Containers() []*platform.Container {
+	return append([]*platform.Container(nil), g.containers...)
+}
 
 // Container returns a grid container by name ("clg", "pg-root",
 // "pg-1", "cg-1", "ig", ...).

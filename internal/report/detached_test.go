@@ -1,0 +1,97 @@
+package report
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// A detached server — the topology control plane's listener before any
+// deployment — must answer every grid-backed endpoint with the /readyz
+// not-yet-serving contract: 503 plus a JSON body naming what is
+// missing. Never an empty 200, never a 404.
+func TestDetachedServerNotServingContract(t *testing.T) {
+	srv, err := NewDetachedServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewDetachedServer: %v", err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	jsonPaths := []string{
+		"/site/site1", "/device/site1/host-01", "/alerts", "/readyz",
+		"/metrics", "/metrics.json", "/stats", "/trace/abc", "/topology",
+	}
+	for _, path := range jsonPaths {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("GET %s = %d, want 503", path, resp.StatusCode)
+			continue
+		}
+		if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Errorf("GET %s content type = %q, want JSON", path, ct)
+		}
+		var out struct {
+			Ready bool   `json:"ready"`
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Errorf("GET %s body is not JSON: %v\n%s", path, err, body)
+			continue
+		}
+		if out.Ready || out.Error == "" {
+			t.Errorf("GET %s body = %+v", path, out)
+		}
+	}
+
+	// The liveness probe keeps its plain-text shape but still reports
+	// unhealthy while detached.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), "unhealthy") {
+		t.Errorf("detached /healthz = %d %q", resp.StatusCode, body)
+	}
+}
+
+// SetInterface flips a detached server into a serving one and back.
+func TestSetInterfaceAttachDetach(t *testing.T) {
+	srv, err := NewDetachedServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	get := func(path string) int {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if code := get("/alerts"); code != http.StatusServiceUnavailable {
+		t.Fatalf("detached /alerts = %d", code)
+	}
+	srv.SetInterface(newIG(t, nil))
+	if code := get("/alerts"); code != http.StatusOK {
+		t.Fatalf("attached /alerts = %d", code)
+	}
+	srv.SetInterface(nil)
+	if code := get("/alerts"); code != http.StatusServiceUnavailable {
+		t.Fatalf("re-detached /alerts = %d", code)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 
 	"agentgrid/internal/rules"
@@ -24,8 +25,19 @@ import (
 //	GET /metrics.json                            telemetry snapshot (JSON)
 //	GET /healthz                                 liveness (health-aware when checks are wired)
 //	GET /readyz                                  readiness: 503 + JSON detail until every check passes
+//	GET/POST/DELETE /topology                    topology lifecycle (when a control plane is attached)
+//
+// A server normally fronts one interface grid for its whole life
+// (NewServer). The topology control plane instead starts a detached
+// server (NewDetachedServer) whose interface grid comes and goes with
+// deployments: until one is attached, every grid-backed endpoint
+// answers the /readyz not-yet-serving contract — 503 with a JSON body
+// — never an empty 200 or a 404.
 type Server struct {
-	ig   *Interface
+	mu   sync.RWMutex
+	ig   *Interface   // guarded by mu; nil while detached
+	topo http.Handler // guarded by mu; nil until a control plane attaches
+
 	http *http.Server
 	ln   net.Listener
 	now  func() time.Time
@@ -51,6 +63,7 @@ func NewServer(ig *Interface, addr string) (*Server, error) {
 	mux.HandleFunc("GET /metrics.json", s.handleMetricsJSON)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /trace/{id}", s.handleTrace)
+	mux.HandleFunc("/topology", s.handleTopology)
 	s.http = &http.Server{
 		Handler:           mux,
 		ReadHeaderTimeout: 5 * time.Second,
@@ -59,6 +72,37 @@ func NewServer(ig *Interface, addr string) (*Server, error) {
 	}
 	go s.http.Serve(ln)
 	return s, nil
+}
+
+// NewDetachedServer starts a server with no interface grid attached
+// yet — the topology control plane's listener, up before (and between)
+// deployments. Grid-backed endpoints answer 503 until SetInterface.
+func NewDetachedServer(addr string) (*Server, error) {
+	return NewServer(nil, addr)
+}
+
+// SetInterface attaches (or, with nil, detaches) the interface grid
+// the server fronts. The topology manager calls this as deployments
+// come and go.
+func (s *Server) SetInterface(ig *Interface) {
+	s.mu.Lock()
+	s.ig = ig
+	s.mu.Unlock()
+}
+
+// SetTopologyHandler installs the /topology lifecycle handler. Without
+// one the route answers the same 503 not-serving contract.
+func (s *Server) SetTopologyHandler(h http.Handler) {
+	s.mu.Lock()
+	s.topo = h
+	s.mu.Unlock()
+}
+
+// iface returns the attached interface grid, or nil while detached.
+func (s *Server) iface() *Interface {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ig
 }
 
 // Addr returns the listening address.
@@ -71,13 +115,48 @@ func (s *Server) Close() error {
 	return s.http.Shutdown(ctx)
 }
 
+// WriteNotServing answers an endpoint whose backing subsystem is not
+// there yet: 503 with a JSON body naming what is missing — the same
+// shape /readyz uses, so probes and clients need one contract only.
+func WriteNotServing(w http.ResponseWriter, detail string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	body, err := jsonMarshalIndent(struct {
+		Ready bool   `json:"ready"`
+		Error string `json:"error"`
+	}{Ready: false, Error: detail})
+	if err != nil {
+		return
+	}
+	w.Write(body)
+}
+
+// handleTopology routes the /topology lifecycle endpoint to the
+// attached control plane; without one (no topology manager, or the
+// grid was started outside topology-as-code) it reports not-serving.
+func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	h := s.topo
+	s.mu.RUnlock()
+	if h == nil {
+		WriteNotServing(w, "no topology control plane attached")
+		return
+	}
+	h.ServeHTTP(w, r)
+}
+
 func (s *Server) handleSite(w http.ResponseWriter, r *http.Request) {
+	ig := s.iface()
+	if ig == nil {
+		WriteNotServing(w, "no deployment attached")
+		return
+	}
 	site := r.PathValue("site")
 	format := Format(r.URL.Query().Get("format"))
 	if format == "" {
 		format = FormatText
 	}
-	rep, err := s.ig.BuildSiteReport(site, s.now().UTC())
+	rep, err := ig.BuildSiteReport(site, s.now().UTC())
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
@@ -101,7 +180,12 @@ func (s *Server) handleSite(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDevice(w http.ResponseWriter, r *http.Request) {
-	rep, err := s.ig.BuildDeviceReport(r.PathValue("site"), r.PathValue("device"))
+	ig := s.iface()
+	if ig == nil {
+		WriteNotServing(w, "no deployment attached")
+		return
+	}
+	rep, err := ig.BuildDeviceReport(r.PathValue("site"), r.PathValue("device"))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
@@ -115,7 +199,14 @@ func (s *Server) handleDevice(w http.ResponseWriter, r *http.Request) {
 // reports plain "ok" (the server is up, nothing more is known); with a
 // Health it degrades to 503 listing the failing checks.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	ok, results := s.ig.cfg.Health.Check()
+	ig := s.iface()
+	if ig == nil {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte("unhealthy: no deployment attached\n"))
+		return
+	}
+	ok, results := ig.cfg.Health.Check()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if !ok {
 		failing := ""
@@ -138,7 +229,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // handleReadyz is the readiness probe: 503 with per-check JSON detail
 // until every registered check passes, then 200 with the same detail.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
-	ready, results := s.ig.cfg.Health.Check()
+	ig := s.iface()
+	if ig == nil {
+		WriteNotServing(w, "no deployment attached")
+		return
+	}
+	ready, results := ig.cfg.Health.Check()
 	body, err := jsonMarshalIndent(struct {
 		Ready  bool                    `json:"ready"`
 		Checks []telemetry.CheckResult `json:"checks"`
@@ -157,7 +253,12 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 // handleMetrics serves the registry in Prometheus text exposition
 // format, suitable for scraping or `curl`.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	reg := s.ig.cfg.Metrics
+	ig := s.iface()
+	if ig == nil {
+		WriteNotServing(w, "no deployment attached")
+		return
+	}
+	reg := ig.cfg.Metrics
 	if reg == nil {
 		http.Error(w, "telemetry not enabled", http.StatusNotFound)
 		return
@@ -169,7 +270,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 // handleMetricsJSON serves the raw telemetry snapshot as JSON — the
 // machine-readable feed `gridctl top` polls to compute live rates.
 func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
-	reg := s.ig.cfg.Metrics
+	ig := s.iface()
+	if ig == nil {
+		WriteNotServing(w, "no deployment attached")
+		return
+	}
+	reg := ig.cfg.Metrics
 	if reg == nil {
 		http.Error(w, "telemetry not enabled", http.StatusNotFound)
 		return
@@ -186,15 +292,20 @@ func (s *Server) handleMetricsJSON(w http.ResponseWriter, _ *http.Request) {
 // handleStats serves the interface grid's own counters plus, when
 // wired, the grid-wide snapshot from Config.StatsFunc.
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	s.ig.mu.Lock()
-	igStats := s.ig.stats
-	s.ig.mu.Unlock()
+	ig := s.iface()
+	if ig == nil {
+		WriteNotServing(w, "no deployment attached")
+		return
+	}
+	ig.mu.Lock()
+	igStats := ig.stats
+	ig.mu.Unlock()
 	out := struct {
 		Interface Stats `json:"interface"`
 		Grid      any   `json:"grid,omitempty"`
 	}{Interface: igStats}
-	if s.ig.cfg.StatsFunc != nil {
-		out.Grid = s.ig.cfg.StatsFunc()
+	if ig.cfg.StatsFunc != nil {
+		out.Grid = ig.cfg.StatsFunc()
 	}
 	body, err := jsonMarshalIndent(out)
 	if err != nil {
@@ -208,7 +319,12 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 // handleTrace serves one trace — looked up by trace ID or conversation
 // ID — as the ASCII span tree with critical path (default) or JSON.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
-	t := s.ig.cfg.Tracer
+	ig := s.iface()
+	if ig == nil {
+		WriteNotServing(w, "no deployment attached")
+		return
+	}
+	t := ig.cfg.Tracer
 	if t == nil {
 		http.Error(w, "tracing not enabled", http.StatusNotFound)
 		return
@@ -237,8 +353,13 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleAlerts(w http.ResponseWriter, r *http.Request) {
+	ig := s.iface()
+	if ig == nil {
+		WriteNotServing(w, "no deployment attached")
+		return
+	}
 	min := rules.Severity(r.URL.Query().Get("min"))
-	alerts := s.ig.Alerts(min)
+	alerts := ig.Alerts(min)
 	w.Header().Set("Content-Type", "application/json")
 	body, err := renderAlertsJSON(alerts)
 	if err != nil {
@@ -259,7 +380,12 @@ func renderAlertsJSON(alerts []rules.Alert) ([]byte, error) {
 // handleGoals accepts one goal spec per line in the "goal ..." wire
 // format and forwards each to the grid's goal sink.
 func (s *Server) handleGoals(w http.ResponseWriter, r *http.Request) {
-	if s.ig.cfg.Goals == nil {
+	ig := s.iface()
+	if ig == nil {
+		WriteNotServing(w, "no deployment attached")
+		return
+	}
+	if ig.cfg.Goals == nil {
 		http.Error(w, "goal feedback not wired", http.StatusNotImplemented)
 		return
 	}
@@ -273,15 +399,15 @@ func (s *Server) handleGoals(w http.ResponseWriter, r *http.Request) {
 		if line == "" {
 			continue
 		}
-		if err := s.ig.cfg.Goals(r.Context(), line); err != nil {
+		if err := ig.cfg.Goals(r.Context(), line); err != nil {
 			http.Error(w, fmt.Sprintf("line %q: %v", line, err), http.StatusBadRequest)
 			return
 		}
 		added++
 	}
-	s.ig.mu.Lock()
-	s.ig.stats.GoalsAdded += uint64(added)
-	s.ig.mu.Unlock()
+	ig.mu.Lock()
+	ig.stats.GoalsAdded += uint64(added)
+	ig.mu.Unlock()
 	fmt.Fprintf(w, "added %d goals\n", added)
 }
 
@@ -315,7 +441,12 @@ func readBounded(r *http.Request, limit int) ([]byte, error) {
 }
 
 func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
-	if s.ig.cfg.Rules == nil {
+	ig := s.iface()
+	if ig == nil {
+		WriteNotServing(w, "no deployment attached")
+		return
+	}
+	if ig.cfg.Rules == nil {
 		http.Error(w, "rule learning not wired", http.StatusNotImplemented)
 		return
 	}
@@ -324,13 +455,13 @@ func (s *Server) handleRules(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "rule source too large", http.StatusRequestEntityTooLarge)
 		return
 	}
-	added, err := s.ig.cfg.Rules.AddSource(string(body))
+	added, err := ig.cfg.Rules.AddSource(string(body))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	s.ig.mu.Lock()
-	s.ig.stats.RulesLearned += uint64(len(added))
-	s.ig.mu.Unlock()
+	ig.mu.Lock()
+	ig.stats.RulesLearned += uint64(len(added))
+	ig.mu.Unlock()
 	fmt.Fprintf(w, "learned %d rules\n", len(added))
 }

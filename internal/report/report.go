@@ -191,12 +191,12 @@ func (ig *Interface) AddAlerts(alerts []rules.Alert) {
 			ig.seen[alertKey(a)] = true
 		}
 	}
-	subs := append([]chan rules.Alert(nil), ig.subs...)
 	ig.stats.AlertBundles++
 	ig.stats.Alerts += uint64(len(fresh))
-	ig.mu.Unlock()
-	ig.mAlerts.Add(uint64(len(fresh)))
-	for _, sub := range subs {
+	// Notify while still holding ig.mu: the sends are non-blocking, and
+	// the lock serializes them against Unsubscribe's close() — a send
+	// racing a freshly closed subscription channel would panic.
+	for _, sub := range ig.subs {
 		for _, alert := range fresh {
 			select {
 			case sub <- alert:
@@ -204,6 +204,8 @@ func (ig *Interface) AddAlerts(alerts []rules.Alert) {
 			}
 		}
 	}
+	ig.mu.Unlock()
+	ig.mAlerts.Add(uint64(len(fresh)))
 }
 
 func alertKey(a rules.Alert) string {

@@ -1,0 +1,179 @@
+package topology
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"agentgrid/internal/core"
+	"agentgrid/internal/device"
+	"agentgrid/internal/workload"
+)
+
+// Options tunes a deployment beyond what the spec describes.
+type Options struct {
+	// ErrorLog receives grid-internal and chaos-runner errors.
+	ErrorLog func(error)
+}
+
+// Deployment is a running topology: the grid, one simulated fleet per
+// site, the background drivers (per-site advance tickers, the chaos
+// schedule) and the lifecycle handle the control plane manages.
+type Deployment struct {
+	spec       *Spec
+	grid       *core.Grid
+	fleets     map[string]*device.Fleet
+	deployedAt time.Time
+	errlog     func(error)
+
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	chaos  *chaosRunner
+
+	destroyed   atomic.Bool
+	destroyOnce sync.Once
+	destroyErr  error
+}
+
+// Deploy turns a validated spec into a running grid with its fleets,
+// goals and chaos schedule. The deployment owns its lifetime: Destroy
+// (or nothing short of process exit) tears it down.
+func Deploy(spec *Spec, opts Options) (*Deployment, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	cfg := core.Config{
+		Site:        spec.Sites[0].Name,
+		Collectors:  spec.Grid.Collectors,
+		Analyzers:   spec.Grid.Analyzers,
+		Community:   spec.Grid.Community,
+		Rules:       spec.Rules,
+		LocalRules:  spec.LocalRules,
+		Scheduler:   spec.Grid.Scheduler,
+		Negotiated:  spec.Grid.Negotiated,
+		BidWindow:   spec.Grid.BidWindow,
+		WireFormat:  spec.Grid.Wire,
+		FlushWindow: spec.Grid.FlushWindow,
+		ErrorLog:    opts.ErrorLog,
+	}
+	if spec.Grid.TCP {
+		cfg.TCPHost = "127.0.0.1"
+	}
+	grid, err := core.NewGrid(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("topology: assemble grid: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	d := &Deployment{
+		spec:       spec,
+		grid:       grid,
+		fleets:     make(map[string]*device.Fleet, len(spec.Sites)),
+		deployedAt: time.Now().UTC(),
+		errlog:     opts.ErrorLog,
+		cancel:     cancel,
+	}
+	fail := func(err error) (*Deployment, error) {
+		cancel()
+		for _, f := range d.fleets {
+			_ = f.Close()
+		}
+		_ = grid.Stop()
+		return nil, err
+	}
+	if err := grid.Start(ctx); err != nil {
+		return fail(fmt.Errorf("topology: start grid: %w", err))
+	}
+	for _, site := range spec.Sites {
+		fs := site.FleetSpec()
+		fleet, err := device.NewFleet(fs.BuildDevices(), spec.Grid.Community)
+		if err != nil {
+			return fail(fmt.Errorf("topology: site %s fleet: %w", site.Name, err))
+		}
+		d.fleets[site.Name] = fleet
+		if err := grid.AddGoals(workload.Goals(fs, fleet, 1, site.Poll)[0]); err != nil {
+			return fail(fmt.Errorf("topology: site %s goals: %w", site.Name, err))
+		}
+		if site.AdvanceEvery > 0 {
+			d.wg.Add(1)
+			go d.advanceFleet(ctx, fleet, site.AdvanceEvery)
+		}
+	}
+	if len(spec.Chaos) > 0 {
+		d.chaos = newChaosRunner(d)
+		d.wg.Add(1)
+		go d.chaos.run(ctx)
+	}
+	return d, nil
+}
+
+// advanceFleet steps a site's simulated devices on a fixed period so a
+// deployed spec evolves without an external driver.
+func (d *Deployment) advanceFleet(ctx context.Context, fleet *device.Fleet, every time.Duration) {
+	defer d.wg.Done()
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			fleet.Advance(1)
+		}
+	}
+}
+
+// Grid exposes the running grid for drivers and tests.
+func (d *Deployment) Grid() *core.Grid { return d.grid }
+
+// Spec returns the deployed spec.
+func (d *Deployment) Spec() *Spec { return d.spec }
+
+// Fleet returns a site's simulated device fleet.
+func (d *Deployment) Fleet(site string) (*device.Fleet, bool) {
+	f, ok := d.fleets[site]
+	return f, ok
+}
+
+// Destroyed reports whether Destroy has completed.
+func (d *Deployment) Destroyed() bool { return d.destroyed.Load() }
+
+// Destroy tears the deployment down in order — chaos schedule and
+// fleet drivers first, then the device fleets, then the grid (which
+// stops every container and any grid-owned HTTP frontend). It is
+// idempotent: the teardown runs once and later calls return the same
+// result.
+func (d *Deployment) Destroy() error {
+	d.destroyOnce.Do(func() {
+		// 1. Stop the background drivers so nothing injects faults or
+		//    advances devices into a half-dismantled grid.
+		d.cancel()
+		d.wg.Wait()
+		// 2. Heal any installed network fault plan.
+		if d.chaos != nil {
+			d.chaos.heal()
+		}
+		// 3. Close the simulated fleets (their SNMP endpoints).
+		var firstErr error
+		for _, f := range d.fleets {
+			if err := f.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("topology: close fleet: %w", err)
+			}
+		}
+		// 4. Stop the grid itself.
+		if err := d.grid.Stop(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("topology: stop grid: %w", err)
+		}
+		d.destroyErr = firstErr
+		d.destroyed.Store(true)
+	})
+	return d.destroyErr
+}
+
+// logErr forwards an error to the deployment's error log, if any.
+func (d *Deployment) logErr(err error) {
+	if err != nil && d.errlog != nil {
+		d.errlog(err)
+	}
+}

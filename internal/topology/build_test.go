@@ -1,0 +1,153 @@
+package topology
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+// liftecycleSpec is a small deployable topology driven manually by the
+// test (no advance_every), with a chaos entry that fires at deploy.
+const lifecycleSpec = `
+name: lifecycle
+grid:
+  collectors: 2
+  analyzers: 2
+site s1:
+  hosts: 2
+  seed: 42
+  poll: 1h
+rules: |
+  rule "hot-cpu" level 1 category cpu severity critical {
+      when latest(cpu.util) > 90
+      then alert "CPU above 90% on {device}"
+  }
+chaos:
+  fault peg:
+    after: 0s
+    action: device
+    target: s1/host-01
+    kind: cpu-pegged
+`
+
+// TestDeployLifecycle is the end-to-end pass the ISSUE demands:
+// deploy a spec, check the census, watch the chaos-injected fault turn
+// into an alert, destroy in order, and destroy again idempotently.
+func TestDeployLifecycle(t *testing.T) {
+	spec, err := Load(lifecycleSpec)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	dep, err := Deploy(spec, Options{ErrorLog: func(err error) { t.Log("deploy:", err) }})
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	defer dep.Destroy()
+
+	// Census: exactly the containers the spec enumerates, each carrying
+	// agents, with the sites' device counts.
+	st := dep.Status()
+	if st.State != "running" || st.Name != "lifecycle" || st.Site != "s1" {
+		t.Fatalf("status = %+v", st)
+	}
+	want := spec.ContainerNames()
+	if len(st.Containers) != len(want) {
+		t.Fatalf("containers = %d, want %d", len(st.Containers), len(want))
+	}
+	for i, c := range st.Containers {
+		if c.Name != want[i] {
+			t.Errorf("container[%d] = %q, want %q", i, c.Name, want[i])
+		}
+		if len(c.Agents) == 0 {
+			t.Errorf("container %s has no agents", c.Name)
+		}
+		if c.Addr == "" {
+			t.Errorf("container %s reports no address", c.Name)
+		}
+	}
+	if len(st.Sites) != 1 || st.Sites[0].Devices != 2 {
+		t.Fatalf("sites = %+v", st.Sites)
+	}
+	if !st.Healthy {
+		t.Errorf("deployment should start healthy: %+v", st.Health)
+	}
+
+	// The chaos entry pegged host-01 at deploy; drive the simulation
+	// and a collection cycle, and the rule must fire.
+	waitForFault(t, dep, "peg")
+	fleet, ok := dep.Fleet("s1")
+	if !ok {
+		t.Fatal("no fleet for s1")
+	}
+	fleet.Advance(5)
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := dep.Grid().CollectNow(ctx); err != nil {
+		t.Fatalf("CollectNow: %v", err)
+	}
+	dep.Grid().WaitIdle(10 * time.Second)
+	alert, ok := dep.Grid().Interface().WaitAlert(ctx, nil)
+	if !ok {
+		t.Fatal("no alert from the pegged host")
+	}
+	if alert.Rule != "hot-cpu" || alert.Device != "host-01" {
+		t.Errorf("alert = %+v", alert)
+	}
+	if st := dep.Status(); st.AlertCount == 0 || len(st.Faults) != 1 || st.Faults[0].Name != "peg" {
+		t.Errorf("status should carry alerts and the applied fault: %+v", st)
+	}
+
+	// Ordered teardown, then idempotent repeat.
+	if err := dep.Destroy(); err != nil {
+		t.Fatalf("Destroy: %v", err)
+	}
+	if !dep.Destroyed() {
+		t.Fatal("Destroyed() = false after Destroy")
+	}
+	if err := dep.Destroy(); err != nil {
+		t.Fatalf("second Destroy: %v", err)
+	}
+	st = dep.Status()
+	if st.State != "destroyed" || len(st.Containers) != 0 {
+		t.Fatalf("post-destroy status = %+v", st)
+	}
+}
+
+// waitForFault blocks until the named chaos entry has been applied.
+func waitForFault(t *testing.T, dep *Deployment, name string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, f := range dep.Status().Faults {
+			if f.Name == name {
+				if f.Error != "" {
+					t.Fatalf("chaos %s failed: %s", name, f.Error)
+				}
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("chaos entry %s never applied", name)
+}
+
+func TestDeployRejectsInvalidSpec(t *testing.T) {
+	spec := NewSpec("bad") // no sites
+	if _, err := Deploy(spec, Options{}); err == nil {
+		t.Fatal("Deploy accepted a spec with no sites")
+	}
+}
+
+func TestLoadReportsParseAndValidateTogether(t *testing.T) {
+	// One syntax error (tab) and one semantic error (no sites) in the
+	// same report.
+	_, err := Load("name: x\n\tbroken: 1\n")
+	if err == nil {
+		t.Fatal("expected errors")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "tab") || !strings.Contains(msg, "at least one site") {
+		t.Fatalf("want both stages' findings, got:\n%v", err)
+	}
+}

@@ -1,0 +1,171 @@
+package topology
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"agentgrid/internal/device"
+	"agentgrid/internal/transport"
+)
+
+// chaosRunner applies a spec's fault schedule to a live deployment.
+// Entries fire once, at their offset from deploy time, in offset
+// order. Unlike the test-oriented chaos harness (virtual clock,
+// scenario scripts), the topology runner works in wall-clock time
+// against a deployed grid — the production-shaped "game day" schedule
+// a checked-in spec can reproduce.
+type chaosRunner struct {
+	dep *Deployment
+
+	mu      sync.Mutex
+	drops   map[string]transport.FaultPlan // guarded by mu; active drop plans by fault name
+	applied []AppliedFault                 // guarded by mu
+}
+
+// AppliedFault records one schedule entry that has fired, for status.
+type AppliedFault struct {
+	Name   string    `json:"name"`
+	Action string    `json:"action"`
+	Target string    `json:"target,omitempty"`
+	At     time.Time `json:"at"`
+	Error  string    `json:"error,omitempty"`
+}
+
+func newChaosRunner(d *Deployment) *chaosRunner {
+	return &chaosRunner{dep: d, drops: make(map[string]transport.FaultPlan)}
+}
+
+// run fires the schedule until every entry has been applied or the
+// deployment shuts down.
+func (r *chaosRunner) run(ctx context.Context) {
+	defer r.dep.wg.Done()
+	entries := append([]ChaosEntry(nil), r.dep.spec.Chaos...)
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].After < entries[j].After })
+	start := time.Now()
+	for _, e := range entries {
+		wait := e.After - time.Since(start)
+		if wait > 0 {
+			timer := time.NewTimer(wait)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return
+			case <-timer.C:
+			}
+		}
+		err := r.apply(e)
+		r.record(e, err)
+		r.dep.logErr(err)
+	}
+}
+
+// record notes an applied entry for status output.
+func (r *chaosRunner) record(e ChaosEntry, err error) {
+	af := AppliedFault{Name: e.Name, Action: e.Action, Target: e.Target, At: time.Now().UTC()}
+	if err != nil {
+		af.Error = err.Error()
+	}
+	r.mu.Lock()
+	r.applied = append(r.applied, af)
+	r.mu.Unlock()
+}
+
+// appliedFaults snapshots the fired entries.
+func (r *chaosRunner) appliedFaults() []AppliedFault {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]AppliedFault(nil), r.applied...)
+}
+
+// apply executes one schedule entry against the live deployment.
+func (r *chaosRunner) apply(e ChaosEntry) error {
+	g := r.dep.grid
+	switch e.Action {
+	case ChaosDevice, ChaosClear:
+		site, dev, _ := cutTarget(e.Target)
+		fleet, ok := r.dep.Fleet(site)
+		if !ok {
+			return fmt.Errorf("topology chaos %q: no fleet for site %q", e.Name, site)
+		}
+		st, ok := fleet.Station(dev)
+		if !ok {
+			return fmt.Errorf("topology chaos %q: no device %q at site %q", e.Name, dev, site)
+		}
+		if e.Action == ChaosDevice {
+			st.Device.InjectFault(device.Fault(e.Kind))
+		} else {
+			st.Device.ClearFault(device.Fault(e.Kind))
+		}
+		return nil
+	case ChaosDetach:
+		c, ok := g.Container(e.Target)
+		if !ok {
+			return fmt.Errorf("topology chaos %q: no container %q", e.Name, e.Target)
+		}
+		return c.Detach()
+	case ChaosReattach:
+		c, ok := g.Container(e.Target)
+		if !ok {
+			return fmt.Errorf("topology chaos %q: no container %q", e.Name, e.Target)
+		}
+		// The container's df-heartbeat re-registers it with the
+		// directory on its next beat; nothing more to rewire.
+		return c.AttachInProc(g.Network(), "inproc://"+e.Target)
+	case ChaosDrop:
+		plan := transport.Sometimes(e.Seed, e.Percent/100,
+			transport.Isolate("inproc://"+e.Target))
+		r.mu.Lock()
+		r.drops[e.Name] = plan
+		r.mu.Unlock()
+		r.install()
+		return nil
+	case ChaosHeal:
+		r.heal()
+		return nil
+	}
+	return fmt.Errorf("topology chaos %q: unknown action %q", e.Name, e.Action)
+}
+
+// heal clears every installed network fault plan.
+func (r *chaosRunner) heal() {
+	r.mu.Lock()
+	r.drops = make(map[string]transport.FaultPlan)
+	r.mu.Unlock()
+	r.install()
+}
+
+// install rebuilds the composite plan from the active drops and
+// installs it on the in-process network. The plan is assembled under
+// r.mu but SetPlan runs outside it, so this lock never nests around
+// the network's.
+func (r *chaosRunner) install() {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.drops))
+	for name := range r.drops {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	plans := make([]transport.FaultPlan, 0, len(names))
+	for _, name := range names {
+		plans = append(plans, r.drops[name])
+	}
+	r.mu.Unlock()
+	if len(plans) == 0 {
+		r.dep.grid.Network().SetPlan(nil)
+		return
+	}
+	r.dep.grid.Network().SetPlan(transport.Chain(plans...))
+}
+
+// cutTarget splits "site/device".
+func cutTarget(target string) (site, dev string, ok bool) {
+	for i := 0; i < len(target); i++ {
+		if target[i] == '/' {
+			return target[:i], target[i+1:], true
+		}
+	}
+	return target, "", false
+}

@@ -1,0 +1,144 @@
+package topology
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"agentgrid/internal/core"
+	"agentgrid/internal/device"
+	"agentgrid/internal/rules"
+	"agentgrid/internal/workload"
+)
+
+// The checked-in quickstart spec must behave like the hand-built
+// examples/quickstart program: same container census, and the same
+// hot-cpu alert once the pegged host is collected.
+func TestQuickstartSpecMatchesHandBuiltExample(t *testing.T) {
+	spec, err := Load(readFile(t, "../../examples/specs/quickstart.topo"))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+
+	// The hand-built twin, assembled exactly as the example does it.
+	hand, err := core.NewGrid(core.Config{Site: "site1", Rules: spec.Rules})
+	if err != nil {
+		t.Fatalf("hand grid: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := hand.Start(ctx); err != nil {
+		t.Fatalf("hand start: %v", err)
+	}
+	defer hand.Stop()
+	fs := workload.FleetSpec{Site: "site1", Hosts: 1, Seed: 42}
+	fleet, err := device.NewFleet(fs.BuildDevices(), "public")
+	if err != nil {
+		t.Fatalf("hand fleet: %v", err)
+	}
+	defer fleet.Close()
+	if err := hand.AddGoals(workload.Goals(fs, fleet, 1, time.Second)[0]); err != nil {
+		t.Fatalf("hand goals: %v", err)
+	}
+	fleet.Stations()[0].Device.InjectFault(device.FaultCPUPegged)
+	fleet.Advance(5)
+	if err := hand.CollectNow(ctx); err != nil {
+		t.Fatalf("hand collect: %v", err)
+	}
+	hand.WaitIdle(10 * time.Second)
+	handAlert, ok := hand.Interface().WaitAlert(ctx, func(a rules.Alert) bool { return a.Rule == "hot-cpu" })
+	if !ok {
+		t.Fatal("hand-built grid never raised hot-cpu")
+	}
+
+	// The declarative twin: the spec's chaos entry pegs the same host,
+	// advance_every drives the simulation, the poll goal collects.
+	dep, err := Deploy(spec, Options{ErrorLog: func(err error) { t.Log("deploy:", err) }})
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	defer dep.Destroy()
+	depAlert, ok := dep.Grid().Interface().WaitAlert(ctx, func(a rules.Alert) bool { return a.Rule == "hot-cpu" })
+	if !ok {
+		t.Fatal("deployed spec never raised hot-cpu")
+	}
+
+	// Same census, container for container.
+	handNames := containerNames(hand)
+	depNames := containerNames(dep.Grid())
+	if len(handNames) != len(depNames) {
+		t.Fatalf("census size: hand %v vs spec %v", handNames, depNames)
+	}
+	for i := range handNames {
+		if handNames[i] != depNames[i] {
+			t.Errorf("census[%d]: hand %q vs spec %q", i, handNames[i], depNames[i])
+		}
+	}
+	// Same alert identity.
+	if handAlert.Rule != depAlert.Rule || handAlert.Site != depAlert.Site ||
+		handAlert.Device != depAlert.Device || handAlert.Severity != depAlert.Severity {
+		t.Errorf("alerts diverge: hand %+v vs spec %+v", handAlert, depAlert)
+	}
+}
+
+// The datacenter spec must deploy the example's larger shape — 3
+// collectors, 4 analyzers, a 60-host farm — and its broken servers
+// must surface as critical CPU alerts.
+func TestDatacenterSpecMatchesHandBuiltShape(t *testing.T) {
+	spec, err := Load(readFile(t, "../../examples/specs/datacenter.topo"))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+
+	// The hand-built twin's census can be compared without starting it:
+	// containers are assembled by NewGrid.
+	hand, err := core.NewGrid(core.Config{
+		Site: "farm", Collectors: 3, Analyzers: 4,
+		Rules: spec.Rules, Scheduler: "capability",
+	})
+	if err != nil {
+		t.Fatalf("hand grid: %v", err)
+	}
+	handNames := containerNames(hand)
+
+	dep, err := Deploy(spec, Options{ErrorLog: func(err error) { t.Log("deploy:", err) }})
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	defer dep.Destroy()
+
+	depNames := containerNames(dep.Grid())
+	if len(handNames) != len(depNames) {
+		t.Fatalf("census size: hand %v vs spec %v", handNames, depNames)
+	}
+	for i := range handNames {
+		if handNames[i] != depNames[i] {
+			t.Errorf("census[%d]: hand %q vs spec %q", i, handNames[i], depNames[i])
+		}
+	}
+	fleet, ok := dep.Fleet("farm")
+	if !ok || len(fleet.Stations()) != 60 {
+		t.Fatalf("farm fleet = %v stations", len(fleet.Stations()))
+	}
+
+	// The chaos schedule pegged three servers; the level-1 cpu-critical
+	// rule must fire as the self-advancing fleet is collected.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	alert, ok := dep.Grid().Interface().WaitAlert(ctx, func(a rules.Alert) bool { return a.Rule == "cpu-critical" })
+	if !ok {
+		t.Fatal("deployed datacenter spec never raised cpu-critical")
+	}
+	if alert.Severity != "critical" || alert.Site != "farm" {
+		t.Errorf("alert = %+v", alert)
+	}
+}
+
+// containerNames lists a grid's container census in assembly order.
+func containerNames(g *core.Grid) []string {
+	var out []string
+	for _, c := range g.Containers() {
+		out = append(out, c.Name())
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package topology
+
+import (
+	"os"
+	"testing"
+)
+
+// FuzzParseSpec feeds hostile input through the full parse+validate
+// path. The contract under fuzzing: never panic, never return a nil
+// spec from Parse, and Load either yields a deployable spec or an
+// error — malformed bytes must always land in the error channel.
+func FuzzParseSpec(f *testing.F) {
+	seeds := []string{
+		"",
+		"name: x\nsite s1:\n  hosts: 1\n",
+		"name: x\ngrid:\n  collectors: 3\n  analyzers: 2\nsite s1:\n  hosts: 1\n  poll: 1s\n",
+		"rules: |\n  rule \"r\" level 1 category cpu {\n      when latest(cpu.util) > 90\n      then alert \"x\"\n  }\n",
+		"chaos:\n  fault f:\n    after: 1s\n    action: device\n    target: s1/host-01\n    kind: cpu-pegged\n",
+		"name x\n: :\n\t\tboom\n",
+		"a:\n b:\n  c:\n   d: |\n    e\n",
+		"name: \x00\xff\nsite \xc3\x28:\n  hosts: 99999999999999999999\n",
+		"site s:\nsite s:\nsite s:\n",
+		"grid:\n  collectors: -1\n  wire: |\n    binary\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	for _, path := range []string{
+		"../../examples/specs/quickstart.topo",
+		"../../examples/specs/datacenter.topo",
+	} {
+		if data, err := os.ReadFile(path); err == nil {
+			f.Add(string(data))
+		}
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		spec, _ := Parse(src)
+		if spec == nil {
+			t.Fatal("Parse returned a nil spec")
+		}
+		// Validation must also hold up against whatever Parse produced.
+		_ = spec.Validate()
+		if loaded, err := Load(src); err == nil && loaded == nil {
+			t.Fatal("Load returned nil spec with nil error")
+		}
+	})
+}

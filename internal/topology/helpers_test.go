@@ -1,0 +1,16 @@
+package topology
+
+import (
+	"os"
+	"testing"
+)
+
+// readFile loads a fixture (or checked-in spec) for a test.
+func readFile(t *testing.T, path string) string {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return string(data)
+}

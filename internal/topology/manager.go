@@ -1,0 +1,232 @@
+package topology
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+
+	"agentgrid/internal/report"
+)
+
+// Manager is the control plane's deployment slot: at most one live
+// Deployment, driven either programmatically (agentgridd -spec) or
+// over HTTP (gridctl deploy/status/destroy against the /topology
+// endpoint it serves). Attach it to a report.Server and the same
+// listener carries the grid's reporting endpoints once a deployment
+// is live — and the 503 not-yet-serving contract before that.
+type Manager struct {
+	opts Options
+
+	mu        sync.Mutex
+	dep       *Deployment // guarded by mu
+	deploying bool        // guarded by mu
+
+	srv *report.Server // set once by AttachServer, before serving
+}
+
+// ErrAlreadyDeployed rejects a deploy while one topology is live.
+var ErrAlreadyDeployed = errors.New("topology: a deployment is already running (destroy it first)")
+
+// NewManager returns an empty manager.
+func NewManager(opts Options) *Manager {
+	return &Manager{opts: opts}
+}
+
+// AttachServer registers the manager as the server's /topology
+// handler and wires deployments into the server's interface-grid slot
+// as they come and go.
+func (m *Manager) AttachServer(s *report.Server) {
+	m.srv = s
+	s.SetTopologyHandler(m)
+}
+
+// Deploy parses, validates and deploys spec source. Exactly one
+// deployment may be live; a second Deploy fails with
+// ErrAlreadyDeployed until Destroy.
+func (m *Manager) Deploy(src string) (*Deployment, error) {
+	m.mu.Lock()
+	if m.dep != nil || m.deploying {
+		m.mu.Unlock()
+		return nil, ErrAlreadyDeployed
+	}
+	m.deploying = true
+	m.mu.Unlock()
+
+	// Parse + deploy outside the lock: deployment binds sockets and
+	// starts containers, and status requests must not stall behind it.
+	dep, err := func() (*Deployment, error) {
+		spec, err := Load(src)
+		if err != nil {
+			return nil, err
+		}
+		return Deploy(spec, m.opts)
+	}()
+
+	m.mu.Lock()
+	m.deploying = false
+	if err != nil {
+		m.mu.Unlock()
+		return nil, err
+	}
+	m.dep = dep
+	m.mu.Unlock()
+	if m.srv != nil {
+		m.srv.SetInterface(dep.Grid().Interface())
+	}
+	return dep, nil
+}
+
+// Current returns the live deployment, if any.
+func (m *Manager) Current() (*Deployment, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dep, m.dep != nil
+}
+
+// Status snapshots the live deployment's census.
+func (m *Manager) Status() (*Status, bool) {
+	dep, ok := m.Current()
+	if !ok {
+		return nil, false
+	}
+	return dep.Status(), true
+}
+
+// Destroy tears down the live deployment. With nothing deployed it is
+// a no-op reporting destroyed=false — repeated destroys are safe, the
+// same idempotence the Deployment handle itself guarantees.
+func (m *Manager) Destroy() (bool, error) {
+	m.mu.Lock()
+	dep := m.dep
+	m.dep = nil
+	m.mu.Unlock()
+	if dep == nil {
+		return false, nil
+	}
+	if m.srv != nil {
+		m.srv.SetInterface(nil)
+	}
+	return true, dep.Destroy()
+}
+
+// Close destroys any live deployment (process shutdown path).
+func (m *Manager) Close() error {
+	_, err := m.Destroy()
+	return err
+}
+
+// maxSpecBytes bounds a POSTed spec body.
+const maxSpecBytes = 1 << 20
+
+// ServeHTTP is the /topology lifecycle endpoint:
+//
+//	GET    /topology?format=json|text|html   census (503 + JSON before deploy)
+//	POST   /topology                         deploy the spec in the body
+//	DELETE /topology                         destroy the live deployment
+func (m *Manager) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		m.handleGet(w, r)
+	case http.MethodPost:
+		m.handleDeploy(w, r)
+	case http.MethodDelete:
+		m.handleDestroy(w, r)
+	default:
+		w.Header().Set("Allow", "GET, POST, DELETE")
+		writeJSONError(w, http.StatusMethodNotAllowed, fmt.Sprintf("method %s not allowed", r.Method))
+	}
+}
+
+func (m *Manager) handleGet(w http.ResponseWriter, r *http.Request) {
+	st, ok := m.Status()
+	if !ok {
+		// The /readyz contract: not serving yet is 503 with a JSON
+		// body saying so, never an empty 200 or a 404.
+		report.WriteNotServing(w, "no topology deployed")
+		return
+	}
+	writeStatus(w, r.URL.Query().Get("format"), st)
+}
+
+func (m *Manager) handleDeploy(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxSpecBytes+1))
+	if err != nil {
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(body) > maxSpecBytes {
+		writeJSONError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("spec exceeds %d bytes", maxSpecBytes))
+		return
+	}
+	dep, err := m.Deploy(string(body))
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrAlreadyDeployed) {
+			code = http.StatusConflict
+		}
+		writeJSONError(w, code, err.Error())
+		return
+	}
+	writeStatus(w, r.URL.Query().Get("format"), dep.Status())
+}
+
+func (m *Manager) handleDestroy(w http.ResponseWriter, _ *http.Request) {
+	destroyed, err := m.Destroy()
+	out := struct {
+		Destroyed bool   `json:"destroyed"`
+		Error     string `json:"error,omitempty"`
+	}{Destroyed: destroyed}
+	if err != nil {
+		out.Error = err.Error()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	body, merr := json.MarshalIndent(out, "", "  ")
+	if merr != nil {
+		writeJSONError(w, http.StatusInternalServerError, merr.Error())
+		return
+	}
+	w.Write(body)
+}
+
+// writeStatus renders a census in the requested format (json default).
+func writeStatus(w http.ResponseWriter, format string, st *Status) {
+	switch format {
+	case "", "json":
+		body, err := json.MarshalIndent(st, "", "  ")
+		if err != nil {
+			writeJSONError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, RenderText(st))
+	case "html":
+		body, err := RenderHTML(st)
+		if err != nil {
+			writeJSONError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write(body)
+	default:
+		writeJSONError(w, http.StatusBadRequest, fmt.Sprintf("unknown format %q (json|text|html)", format))
+	}
+}
+
+// writeJSONError writes a JSON error body with the given status.
+func writeJSONError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	body, err := json.Marshal(struct {
+		Error string `json:"error"`
+	}{Error: msg})
+	if err != nil {
+		return
+	}
+	w.Write(body)
+}

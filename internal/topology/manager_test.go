@@ -1,0 +1,198 @@
+package topology
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"agentgrid/internal/report"
+)
+
+// startManager brings up a detached report server with a topology
+// control plane, returning the base URL.
+func startManager(t *testing.T) (*Manager, string) {
+	t.Helper()
+	srv, err := report.NewDetachedServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	mgr := NewManager(Options{ErrorLog: func(err error) { t.Log("manager:", err) }})
+	t.Cleanup(func() { mgr.Close() })
+	mgr.AttachServer(srv)
+	return mgr, "http://" + srv.Addr()
+}
+
+func httpDo(t *testing.T, method, url, body string) (int, string) {
+	t.Helper()
+	var rdr io.Reader
+	if body != "" {
+		rdr = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := &http.Client{Timeout: 30 * time.Second}
+	resp, err := cli.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(data)
+}
+
+// TestTopologyHTTPLifecycle walks the full gridctl conversation:
+// 503 before deploy, POST to deploy, JSON/text/html status, 409 on a
+// second deploy, DELETE to destroy, and 503 again afterwards.
+func TestTopologyHTTPLifecycle(t *testing.T) {
+	_, base := startManager(t)
+	u := base + "/topology"
+
+	// Before any deploy: the /readyz not-yet-serving contract — 503
+	// with a JSON body, never an empty 200 or a 404.
+	code, body := httpDo(t, http.MethodGet, u, "")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("pre-deploy GET = %d, want 503", code)
+	}
+	var notServing struct {
+		Ready bool   `json:"ready"`
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal([]byte(body), &notServing); err != nil {
+		t.Fatalf("pre-deploy body is not JSON: %v\n%s", err, body)
+	}
+	if notServing.Ready || notServing.Error == "" {
+		t.Fatalf("pre-deploy body = %+v", notServing)
+	}
+
+	// Grid endpoints obey the same contract while detached.
+	code, body = httpDo(t, http.MethodGet, base+"/readyz", "")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, `"ready"`) {
+		t.Fatalf("detached /readyz = %d %s", code, body)
+	}
+
+	// Deploy.
+	code, body = httpDo(t, http.MethodPost, u, lifecycleSpec)
+	if code != http.StatusOK {
+		t.Fatalf("deploy = %d: %s", code, body)
+	}
+
+	// JSON status round-trips into the same struct the server built.
+	code, body = httpDo(t, http.MethodGet, u, "")
+	if code != http.StatusOK {
+		t.Fatalf("GET = %d: %s", code, body)
+	}
+	var st Status
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("status JSON: %v", err)
+	}
+	// collectors:2 + analyzers:2 → ig, pg-root, pg-1, pg-2, clg, cg-1, cg-2.
+	if st.Name != "lifecycle" || st.State != "running" || len(st.Containers) != 7 {
+		t.Fatalf("status = %+v", st)
+	}
+
+	// Text and html renderings of the same census.
+	code, body = httpDo(t, http.MethodGet, u+"?format=text", "")
+	if code != http.StatusOK || !strings.Contains(body, "topology lifecycle: running") {
+		t.Fatalf("text status = %d:\n%s", code, body)
+	}
+	code, body = httpDo(t, http.MethodGet, u+"?format=html", "")
+	if code != http.StatusOK || !strings.Contains(body, "<!DOCTYPE html>") {
+		t.Fatalf("html status = %d", code)
+	}
+	code, _ = httpDo(t, http.MethodGet, u+"?format=yaml", "")
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown format = %d, want 400", code)
+	}
+
+	// With a deployment attached, the grid endpoints serve it (200 with
+	// an empty history — not the detached 503).
+	code, _ = httpDo(t, http.MethodGet, base+"/alerts", "")
+	if code != http.StatusOK {
+		t.Fatalf("attached /alerts = %d", code)
+	}
+
+	// A second deploy conflicts until the first is destroyed.
+	code, body = httpDo(t, http.MethodPost, u, lifecycleSpec)
+	if code != http.StatusConflict {
+		t.Fatalf("second deploy = %d: %s", code, body)
+	}
+
+	// An invalid spec is a 400 carrying every finding.
+	_, _ = httpDo(t, http.MethodDelete, u, "")
+	code, body = httpDo(t, http.MethodPost, u, "name: bad\ngrid:\n  collectors: 0\n")
+	if code != http.StatusBadRequest || !strings.Contains(body, "zero replicas") {
+		t.Fatalf("invalid deploy = %d: %s", code, body)
+	}
+
+	// Destroy: deploy again, then DELETE.
+	code, body = httpDo(t, http.MethodPost, u, lifecycleSpec)
+	if code != http.StatusOK {
+		t.Fatalf("redeploy = %d: %s", code, body)
+	}
+	code, body = httpDo(t, http.MethodDelete, u, "")
+	if code != http.StatusOK {
+		t.Fatalf("destroy = %d: %s", code, body)
+	}
+	var out struct {
+		Destroyed bool `json:"destroyed"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil || !out.Destroyed {
+		t.Fatalf("destroy body = %s (err %v)", body, err)
+	}
+
+	// Gone again: 503 on /topology, destroyed=false on a second DELETE.
+	code, _ = httpDo(t, http.MethodGet, u, "")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("post-destroy GET = %d, want 503", code)
+	}
+	code, body = httpDo(t, http.MethodDelete, u, "")
+	if code != http.StatusOK {
+		t.Fatalf("second destroy = %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil || out.Destroyed {
+		t.Fatalf("second destroy body = %s", body)
+	}
+
+	// Unsupported methods advertise what is allowed.
+	code, _ = httpDo(t, http.MethodPut, u, "x")
+	if code != http.StatusMethodNotAllowed {
+		t.Fatalf("PUT = %d, want 405", code)
+	}
+}
+
+// TestManagerDeploySerialized: the deploying flag reserves the slot,
+// so two concurrent deploys cannot both win.
+func TestManagerDeployProgrammatic(t *testing.T) {
+	mgr := NewManager(Options{})
+	defer mgr.Close()
+	dep, err := mgr.Deploy(lifecycleSpec)
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	if _, err := mgr.Deploy(lifecycleSpec); err != ErrAlreadyDeployed {
+		t.Fatalf("second deploy err = %v, want ErrAlreadyDeployed", err)
+	}
+	if cur, ok := mgr.Current(); !ok || cur != dep {
+		t.Fatal("Current should return the live deployment")
+	}
+	destroyed, err := mgr.Destroy()
+	if err != nil || !destroyed {
+		t.Fatalf("Destroy = %v, %v", destroyed, err)
+	}
+	if !dep.Destroyed() {
+		t.Fatal("deployment not destroyed")
+	}
+	destroyed, err = mgr.Destroy()
+	if err != nil || destroyed {
+		t.Fatalf("second Destroy = %v, %v", destroyed, err)
+	}
+}

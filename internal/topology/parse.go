@@ -1,0 +1,403 @@
+package topology
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The spec format is a deliberately small indented subset of
+// "key: value" lines — hand-rolled, no dependencies:
+//
+//	name: quickstart
+//	grid:
+//	  collectors: 3
+//	  analyzers: 2
+//	site site1:
+//	  hosts: 1
+//	  seed: 42
+//	  poll: 1s
+//	rules: |
+//	  rule "hot-cpu" level 1 category cpu severity critical {
+//	      when latest(cpu.util) > 90
+//	      then alert "CPU above 90% on {device}"
+//	  }
+//	chaos:
+//	  fault peg:
+//	    after: 0s
+//	    action: device
+//	    target: site1/host-01
+//	    kind: cpu-pegged
+//
+// Rules: two-part structure only (sections contain keys or deeper
+// sections), indentation is spaces (tabs are an error), full-line `#`
+// comments, and `key: |` starts a literal block holding every deeper
+// line verbatim (dedented to the first content line). The parser never
+// stops at the first problem: it records every syntax error with its
+// line number and keeps going, so a spec with three mistakes reports
+// all three.
+
+// ErrorList collects every problem one pass found. It is the error
+// type Parse, Validate and Load return, so callers can count and
+// enumerate individual findings.
+type ErrorList []error
+
+// Error joins the findings, one per line.
+func (e ErrorList) Error() string {
+	parts := make([]string, len(e))
+	for i, err := range e {
+		parts[i] = err.Error()
+	}
+	return strings.Join(parts, "\n")
+}
+
+// Unwrap exposes the individual errors to errors.Is/As.
+func (e ErrorList) Unwrap() []error { return e }
+
+// errf appends a line-tagged error.
+func (e *ErrorList) errf(line int, format string, args ...any) {
+	*e = append(*e, fmt.Errorf("spec line %d: %s", line, fmt.Sprintf(format, args...)))
+}
+
+// asError returns nil for an empty list, the list otherwise.
+func (e ErrorList) asError() error {
+	if len(e) == 0 {
+		return nil
+	}
+	return e
+}
+
+// node is one parsed "key: value" line; sections carry children,
+// literal blocks carry their dedented text.
+type node struct {
+	key      string
+	value    string // scalar value ("" for sections and literals)
+	lit      string // literal block content (value was "|")
+	isLit    bool
+	line     int
+	indent   int
+	children []*node
+}
+
+// child returns the first child with the key, if any.
+func (n *node) child(key string) (*node, bool) {
+	for _, c := range n.children {
+		if c.key == key {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// parseTree builds the raw section tree, collecting syntax errors.
+func parseTree(src string) (*node, ErrorList) {
+	var errs ErrorList
+	root := &node{indent: -1}
+	stack := []*node{root}
+	lines := strings.Split(src, "\n")
+	for i := 0; i < len(lines); i++ {
+		line := lines[i]
+		lineno := i + 1
+		trimmed := strings.TrimLeft(line, " ")
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		indent := len(line) - len(trimmed)
+		if strings.HasPrefix(trimmed, "\t") || strings.Contains(line[:indent+1], "\t") {
+			errs.errf(lineno, "tab in indentation; use spaces")
+			continue
+		}
+		// Unwind to this line's parent section.
+		for len(stack) > 1 && stack[len(stack)-1].indent >= indent {
+			stack = stack[:len(stack)-1]
+		}
+		parent := stack[len(stack)-1]
+		key, value, ok := strings.Cut(trimmed, ":")
+		if !ok {
+			errs.errf(lineno, "expected 'key: value' or 'key:', got %q", strings.TrimSpace(trimmed))
+			continue
+		}
+		key = strings.TrimSpace(key)
+		value = strings.TrimSpace(value)
+		if key == "" {
+			errs.errf(lineno, "empty key")
+			continue
+		}
+		n := &node{key: key, value: value, line: lineno, indent: indent}
+		parent.children = append(parent.children, n)
+		switch value {
+		case "|":
+			n.value = ""
+			n.isLit = true
+			var block []string
+			j := i + 1
+			for ; j < len(lines); j++ {
+				bl := lines[j]
+				bt := strings.TrimLeft(bl, " ")
+				if bt == "" {
+					block = append(block, "")
+					continue
+				}
+				if len(bl)-len(bt) <= indent {
+					break
+				}
+				block = append(block, bl)
+			}
+			i = j - 1
+			n.lit = dedent(block)
+		case "":
+			stack = append(stack, n)
+		}
+	}
+	return root, errs
+}
+
+// dedent strips the common leading-space prefix set by the first
+// non-blank line, and trailing blank lines.
+func dedent(lines []string) string {
+	for len(lines) > 0 && lines[len(lines)-1] == "" {
+		lines = lines[:len(lines)-1]
+	}
+	cut := -1
+	for _, l := range lines {
+		if l == "" {
+			continue
+		}
+		cut = len(l) - len(strings.TrimLeft(l, " "))
+		break
+	}
+	if cut <= 0 {
+		return strings.Join(lines, "\n")
+	}
+	out := make([]string, len(lines))
+	for i, l := range lines {
+		if len(l) >= cut && strings.TrimSpace(l[:cut]) == "" {
+			out[i] = l[cut:]
+		} else {
+			out[i] = strings.TrimLeft(l, " ")
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+// Parse reads spec source into a Spec, reporting every syntax and
+// structural error it finds (an ErrorList). The returned Spec is the
+// best-effort mapping even when errors are present, so validation can
+// still enumerate further problems.
+func Parse(src string) (*Spec, error) {
+	root, errs := parseTree(src)
+	spec := NewSpec("")
+	for _, n := range root.children {
+		switch {
+		case n.key == "name":
+			spec.Name = scalar(n, &errs)
+		case n.key == "grid":
+			section(n, &errs)
+			parseGrid(n, spec, &errs)
+		case strings.HasPrefix(n.key, "site ") || n.key == "site":
+			name := strings.TrimSpace(strings.TrimPrefix(n.key, "site"))
+			if name == "" {
+				errs.errf(n.line, "site needs a name: 'site <name>:'")
+			}
+			section(n, &errs)
+			spec.Sites = append(spec.Sites, parseSite(n, name, &errs))
+		case n.key == "rules":
+			spec.Rules = literal(n, &errs)
+		case n.key == "local_rules":
+			spec.LocalRules = literal(n, &errs)
+		case n.key == "chaos":
+			section(n, &errs)
+			parseChaos(n, spec, &errs)
+		default:
+			errs.errf(n.line, "unknown key %q", n.key)
+		}
+	}
+	return spec, errs.asError()
+}
+
+// scalar insists the node is a plain "key: value" line.
+func scalar(n *node, errs *ErrorList) string {
+	if len(n.children) > 0 || n.isLit {
+		errs.errf(n.line, "%s: expected a scalar value, got a section", n.key)
+		return ""
+	}
+	if n.value == "" {
+		errs.errf(n.line, "%s: missing value", n.key)
+	}
+	return n.value
+}
+
+// section insists the node is a "key:" header with children.
+func section(n *node, errs *ErrorList) {
+	if n.value != "" {
+		errs.errf(n.line, "%s: expected a section ('%s:' with indented lines), got value %q", n.key, n.key, n.value)
+	}
+}
+
+// literal insists the node is a "key: |" block.
+func literal(n *node, errs *ErrorList) string {
+	if !n.isLit {
+		errs.errf(n.line, "%s: expected a literal block ('%s: |')", n.key, n.key)
+		return ""
+	}
+	return n.lit
+}
+
+func parseGrid(n *node, spec *Spec, errs *ErrorList) {
+	for _, c := range n.children {
+		switch c.key {
+		case "collectors":
+			spec.Grid.Collectors = intVal(c, errs)
+		case "analyzers":
+			spec.Grid.Analyzers = intVal(c, errs)
+		case "classifiers":
+			spec.Grid.Classifiers = intVal(c, errs)
+		case "reporters":
+			spec.Grid.Reporters = intVal(c, errs)
+		case "scheduler":
+			spec.Grid.Scheduler = scalar(c, errs)
+		case "negotiated":
+			spec.Grid.Negotiated = boolVal(c, errs)
+		case "bid_window":
+			spec.Grid.BidWindow = durVal(c, errs)
+		case "wire":
+			spec.Grid.Wire = scalar(c, errs)
+		case "flush_window":
+			spec.Grid.FlushWindow = durVal(c, errs)
+		case "community":
+			spec.Grid.Community = scalar(c, errs)
+		case "tcp":
+			spec.Grid.TCP = boolVal(c, errs)
+		default:
+			errs.errf(c.line, "unknown grid key %q", c.key)
+		}
+	}
+}
+
+func parseSite(n *node, name string, errs *ErrorList) SiteSpec {
+	site := newSite(name)
+	for _, c := range n.children {
+		switch c.key {
+		case "hosts":
+			site.Hosts = intVal(c, errs)
+		case "routers":
+			site.Routers = intVal(c, errs)
+		case "switches":
+			site.Switches = intVal(c, errs)
+		case "router_ifs":
+			site.RouterIfs = intVal(c, errs)
+		case "switch_ports":
+			site.SwitchPorts = intVal(c, errs)
+		case "seed":
+			site.Seed = int64(intVal(c, errs))
+		case "poll":
+			site.Poll = durVal(c, errs)
+		case "advance_every":
+			site.AdvanceEvery = durVal(c, errs)
+		default:
+			errs.errf(c.line, "unknown site key %q", c.key)
+		}
+	}
+	return site
+}
+
+func parseChaos(n *node, spec *Spec, errs *ErrorList) {
+	for _, c := range n.children {
+		name := strings.TrimSpace(strings.TrimPrefix(c.key, "fault"))
+		if !strings.HasPrefix(c.key, "fault ") {
+			errs.errf(c.line, "chaos entries are 'fault <name>:' sections, got %q", c.key)
+			continue
+		}
+		section(c, errs)
+		entry := ChaosEntry{Name: name}
+		for _, f := range c.children {
+			switch f.key {
+			case "after":
+				entry.After = durVal(f, errs)
+			case "action":
+				entry.Action = scalar(f, errs)
+			case "target":
+				entry.Target = scalar(f, errs)
+			case "kind":
+				entry.Kind = scalar(f, errs)
+			case "percent":
+				entry.Percent = floatVal(f, errs)
+			case "seed":
+				entry.Seed = int64(intVal(f, errs))
+			default:
+				errs.errf(f.line, "unknown fault key %q", f.key)
+			}
+		}
+		spec.Chaos = append(spec.Chaos, entry)
+	}
+}
+
+func intVal(n *node, errs *ErrorList) int {
+	s := scalar(n, errs)
+	if s == "" {
+		return 0
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		errs.errf(n.line, "%s: not an integer: %q", n.key, s)
+		return 0
+	}
+	return v
+}
+
+func boolVal(n *node, errs *ErrorList) bool {
+	s := scalar(n, errs)
+	switch s {
+	case "true", "yes", "on":
+		return true
+	case "false", "no", "off", "":
+		return false
+	}
+	errs.errf(n.line, "%s: not a boolean: %q", n.key, s)
+	return false
+}
+
+func durVal(n *node, errs *ErrorList) time.Duration {
+	s := scalar(n, errs)
+	if s == "" {
+		return 0
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		errs.errf(n.line, "%s: not a duration: %q", n.key, s)
+		return 0
+	}
+	return d
+}
+
+func floatVal(n *node, errs *ErrorList) float64 {
+	s := scalar(n, errs)
+	if s == "" {
+		return 0
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		errs.errf(n.line, "%s: not a number: %q", n.key, s)
+		return 0
+	}
+	return v
+}
+
+// Load parses and validates spec source in one pass, reporting every
+// problem from both stages together. On success the returned spec has
+// defaults applied and is ready to Deploy.
+func Load(src string) (*Spec, error) {
+	spec, perr := Parse(src)
+	var errs ErrorList
+	if perr != nil {
+		errs = append(errs, perr.(ErrorList)...)
+	}
+	if verr := spec.Validate(); verr != nil {
+		errs = append(errs, verr.(ErrorList)...)
+	}
+	if err := errs.asError(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}

@@ -1,0 +1,240 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseFullSpec(t *testing.T) {
+	spec, err := Parse(`
+# full-surface spec
+name: everything
+
+grid:
+  collectors: 4
+  analyzers: 3
+  classifiers: 1
+  reporters: 1
+  scheduler: least-loaded
+  negotiated: true
+  bid_window: 250ms
+  wire: json
+  flush_window: 2ms
+  community: private
+  tcp: false
+
+site east:
+  hosts: 2
+  routers: 1
+  switches: 1
+  router_ifs: 4
+  switch_ports: 8
+  seed: 7
+  poll: 500ms
+  advance_every: 100ms
+
+site west:
+  hosts: 1
+  seed: 9
+
+rules: |
+  rule "hot-cpu" level 1 category cpu severity critical {
+      when latest(cpu.util) > 90
+      then alert "CPU above 90% on {device}"
+  }
+
+local_rules: |
+  rule "edge" level 1 category cpu {
+      when latest(cpu.util) > 99
+      then alert "edge {device}"
+  }
+
+chaos:
+  fault peg:
+    after: 1s
+    action: device
+    target: east/host-01
+    kind: cpu-pegged
+  fault lossy:
+    after: 2s
+    action: drop
+    target: cg-1
+    percent: 25
+    seed: 3
+`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if spec.Name != "everything" {
+		t.Errorf("name = %q", spec.Name)
+	}
+	g := spec.Grid
+	if g.Collectors != 4 || g.Analyzers != 3 || g.Classifiers != 1 || g.Reporters != 1 {
+		t.Errorf("replicas = %+v", g)
+	}
+	if g.Scheduler != "least-loaded" || !g.Negotiated || g.BidWindow != 250*time.Millisecond {
+		t.Errorf("scheduling = %+v", g)
+	}
+	if g.Wire != "json" || g.FlushWindow != 2*time.Millisecond || g.Community != "private" || g.TCP {
+		t.Errorf("wire = %+v", g)
+	}
+	if len(spec.Sites) != 2 {
+		t.Fatalf("sites = %d", len(spec.Sites))
+	}
+	east := spec.Sites[0]
+	if east.Name != "east" || east.Hosts != 2 || east.Routers != 1 || east.Switches != 1 {
+		t.Errorf("east = %+v", east)
+	}
+	if east.RouterIfs != 4 || east.SwitchPorts != 8 || east.Seed != 7 ||
+		east.Poll != 500*time.Millisecond || east.AdvanceEvery != 100*time.Millisecond {
+		t.Errorf("east detail = %+v", east)
+	}
+	if spec.Sites[1].Name != "west" || spec.Sites[1].Poll != time.Second {
+		t.Errorf("west should keep the default poll: %+v", spec.Sites[1])
+	}
+	if !strings.Contains(spec.Rules, `rule "hot-cpu"`) || !strings.Contains(spec.Rules, "    when latest") {
+		t.Errorf("rules literal lost structure:\n%s", spec.Rules)
+	}
+	if !strings.Contains(spec.LocalRules, `rule "edge"`) {
+		t.Errorf("local_rules = %q", spec.LocalRules)
+	}
+	if len(spec.Chaos) != 2 {
+		t.Fatalf("chaos = %+v", spec.Chaos)
+	}
+	peg := spec.Chaos[0]
+	if peg.Name != "peg" || peg.After != time.Second || peg.Action != ChaosDevice ||
+		peg.Target != "east/host-01" || peg.Kind != "cpu-pegged" {
+		t.Errorf("peg = %+v", peg)
+	}
+	lossy := spec.Chaos[1]
+	if lossy.Name != "lossy" || lossy.Action != ChaosDrop || lossy.Percent != 25 || lossy.Seed != 3 {
+		t.Errorf("lossy = %+v", lossy)
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	spec, err := Parse("name: tiny\nsite s1:\n  hosts: 1\n")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	g := spec.Grid
+	if g.Collectors != 3 || g.Analyzers != 2 || g.Classifiers != 1 || g.Reporters != 1 {
+		t.Errorf("default replicas = %+v", g)
+	}
+	if g.Scheduler != "capability" || g.Community != "public" || g.Wire != "binary" {
+		t.Errorf("default knobs = %+v", g)
+	}
+	if spec.Sites[0].Poll != time.Second {
+		t.Errorf("default poll = %v", spec.Sites[0].Poll)
+	}
+}
+
+// An explicit zero must survive parsing so validation can flag it —
+// defaults only fill keys the spec never mentions.
+func TestParseExplicitZeroSurvives(t *testing.T) {
+	spec, err := Parse("name: z\ngrid:\n  collectors: 0\nsite s1:\n  hosts: 1\n")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if spec.Grid.Collectors != 0 {
+		t.Fatalf("explicit collectors: 0 was re-defaulted to %d", spec.Grid.Collectors)
+	}
+	if err := spec.Validate(); err == nil || !strings.Contains(err.Error(), "zero replicas") {
+		t.Fatalf("Validate should flag zero replicas, got %v", err)
+	}
+}
+
+// The parser reports every mistake in one pass, not just the first.
+func TestParseCollectsAllErrors(t *testing.T) {
+	_, err := Parse(`name: broken
+grid:
+  collectors: many
+  nonsense: 1
+site s1:
+  hosts: 1
+bogus-line-without-colon
+rules: not-a-literal
+`)
+	if err == nil {
+		t.Fatal("expected errors")
+	}
+	list, ok := err.(ErrorList)
+	if !ok {
+		t.Fatalf("want ErrorList, got %T", err)
+	}
+	if len(list) < 4 {
+		t.Fatalf("want at least 4 distinct errors, got %d:\n%v", len(list), err)
+	}
+	for _, want := range []string{
+		"not an integer", "unknown grid key", "expected 'key: value'", "expected a literal block",
+	} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("missing %q in:\n%v", want, err)
+		}
+	}
+	// Errors carry their line numbers.
+	if !strings.Contains(err.Error(), "spec line 3") {
+		t.Errorf("errors should be line-tagged:\n%v", err)
+	}
+}
+
+func TestParseRejectsTabs(t *testing.T) {
+	_, err := Parse("name: t\ngrid:\n\tcollectors: 1\n")
+	if err == nil || !strings.Contains(err.Error(), "tab") {
+		t.Fatalf("want tab error, got %v", err)
+	}
+}
+
+func TestParseUnknownTopLevelKey(t *testing.T) {
+	_, err := Parse("name: t\nflavor: vanilla\nsite s1:\n  hosts: 1\n")
+	if err == nil || !strings.Contains(err.Error(), `unknown key "flavor"`) {
+		t.Fatalf("want unknown-key error, got %v", err)
+	}
+}
+
+func TestParseChaosShape(t *testing.T) {
+	_, err := Parse(`name: c
+site s1:
+  hosts: 1
+chaos:
+  notafault: 1
+  fault ok:
+    after: 1s
+    action: heal
+    bogus: 2
+`)
+	if err == nil {
+		t.Fatal("expected errors")
+	}
+	for _, want := range []string{"chaos entries are 'fault <name>:'", `unknown fault key "bogus"`} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("missing %q in:\n%v", want, err)
+		}
+	}
+}
+
+// The checked-in example specs must parse, validate and carry the
+// shapes their hand-built example twins use.
+func TestParseExampleSpecs(t *testing.T) {
+	for _, tc := range []struct {
+		file             string
+		name, site       string
+		hosts, analyzers int
+	}{
+		{"../../examples/specs/quickstart.topo", "quickstart", "site1", 1, 2},
+		{"../../examples/specs/datacenter.topo", "datacenter", "farm", 60, 4},
+	} {
+		spec, err := Load(readFile(t, tc.file))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.file, err)
+		}
+		if spec.Name != tc.name || spec.Sites[0].Name != tc.site ||
+			spec.Sites[0].Hosts != tc.hosts || spec.Grid.Analyzers != tc.analyzers {
+			t.Errorf("%s parsed to %+v", tc.file, spec)
+		}
+		if spec.Rules == "" {
+			t.Errorf("%s: no rules", tc.file)
+		}
+	}
+}

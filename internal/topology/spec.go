@@ -1,0 +1,209 @@
+// Package topology is the grid's declarative control plane: a
+// stdlib-only spec format describing a whole management-grid deployment
+// — sites, simulated device fleets, container replica counts, wire
+// settings and an optional chaos schedule — plus the lifecycle to make
+// it real: parse, validate (all errors enumerated), deploy onto the
+// existing core/platform APIs, inspect via Status, and tear down with
+// an ordered idempotent Destroy.
+//
+// Every experiment that used to be a bespoke example main.go becomes a
+// checked-in .topo file under examples/specs/, deployed with
+// `gridctl deploy` against `agentgridd -spec` and watched live at
+// GET /topology (JSON, text, or the html/template view).
+package topology
+
+import (
+	"fmt"
+	"time"
+
+	"agentgrid/internal/device"
+	"agentgrid/internal/workload"
+)
+
+// Spec is one validated topology: a single management grid (the
+// paper's Figure 2) monitoring one or more sites of simulated devices.
+type Spec struct {
+	// Name identifies the deployment in status output.
+	Name string `json:"name"`
+	// Grid holds the container-replica and wire settings.
+	Grid GridSpec `json:"grid"`
+	// Sites are the managed domains, in spec order. The first site
+	// names the grid's administrative domain.
+	Sites []SiteSpec `json:"sites"`
+	// Rules is rule-DSL source loaded into every analysis worker.
+	Rules string `json:"rules,omitempty"`
+	// LocalRules is rule-DSL source for collector-side pre-analysis.
+	LocalRules string `json:"local_rules,omitempty"`
+	// Chaos is the optional fault schedule applied after deploy.
+	Chaos []ChaosEntry `json:"chaos,omitempty"`
+}
+
+// GridSpec sets the management grid's shape: replica counts per
+// container role and the wire-path knobs from the fast-path PRs.
+type GridSpec struct {
+	// Collectors is the collector-container replica count.
+	Collectors int `json:"collectors"`
+	// Analyzers is the processor (analysis worker) replica count.
+	Analyzers int `json:"analyzers"`
+	// Classifiers is the classifier replica count. The classifier is
+	// not yet sharded (see ROADMAP); exactly 1 is valid today, and the
+	// validator says so rather than silently ignoring the number.
+	Classifiers int `json:"classifiers"`
+	// Reporters is the interface-grid replica count (exactly 1 today).
+	Reporters int `json:"reporters"`
+	// Scheduler is the loadbalance strategy ("capability" default).
+	Scheduler string `json:"scheduler,omitempty"`
+	// Negotiated places analysis via contract-net bidding.
+	Negotiated bool `json:"negotiated,omitempty"`
+	// BidWindow bounds contract-net proposal collection.
+	BidWindow time.Duration `json:"bid_window,omitempty"`
+	// Wire selects the TCP frame encoding: "binary" (default) or
+	// "json". Only meaningful with TCP: true.
+	Wire string `json:"wire,omitempty"`
+	// FlushWindow enables TCP write coalescing (0 = flush per frame).
+	FlushWindow time.Duration `json:"flush_window,omitempty"`
+	// Community is the SNMP community used for collection.
+	Community string `json:"community,omitempty"`
+	// TCP binds containers on loopback TCP instead of the in-process
+	// network, so external worker nodes can join.
+	TCP bool `json:"tcp,omitempty"`
+}
+
+// SiteSpec describes one managed domain: a deterministic simulated
+// device fleet and how it is polled.
+type SiteSpec struct {
+	// Name is the administrative domain name.
+	Name string `json:"name"`
+	// Hosts, Routers, Switches count device kinds.
+	Hosts    int `json:"hosts"`
+	Routers  int `json:"routers,omitempty"`
+	Switches int `json:"switches,omitempty"`
+	// RouterIfs is interfaces per router (device default when 0).
+	RouterIfs int `json:"router_ifs,omitempty"`
+	// SwitchPorts is ports per switch (device default when 0).
+	SwitchPorts int `json:"switch_ports,omitempty"`
+	// Seed derives per-device simulation seeds.
+	Seed int64 `json:"seed"`
+	// Poll is the collection interval for every device goal.
+	Poll time.Duration `json:"poll"`
+	// AdvanceEvery, when positive, advances the site's simulated
+	// devices one step on this period, so a deployed spec evolves on
+	// its own. Zero means the fleet only moves when driven explicitly
+	// (tests, benchmarks).
+	AdvanceEvery time.Duration `json:"advance_every,omitempty"`
+}
+
+// FleetSpec converts the site to the workload package's fleet spec.
+func (s SiteSpec) FleetSpec() workload.FleetSpec {
+	return workload.FleetSpec{
+		Site: s.Name, Hosts: s.Hosts, Routers: s.Routers,
+		Switches: s.Switches, RouterIfs: s.RouterIfs,
+		SwitchPorts: s.SwitchPorts, Seed: s.Seed,
+	}
+}
+
+// DeviceNames lists the device names the site's fleet will carry, in
+// fleet order — the namespace chaos device targets resolve against.
+func (s SiteSpec) DeviceNames() []string {
+	var out []string
+	for i := 0; i < s.Hosts; i++ {
+		out = append(out, fmt.Sprintf("host-%02d", i+1))
+	}
+	for i := 0; i < s.Routers; i++ {
+		out = append(out, fmt.Sprintf("router-%02d", i+1))
+	}
+	for i := 0; i < s.Switches; i++ {
+		out = append(out, fmt.Sprintf("switch-%02d", i+1))
+	}
+	return out
+}
+
+// Chaos actions understood by the deploy-time fault runner.
+const (
+	// ChaosDevice injects a device fault (Kind is a device.Fault).
+	ChaosDevice = "device"
+	// ChaosClear clears a previously injected device fault.
+	ChaosClear = "clear"
+	// ChaosDetach takes a container off the message network.
+	ChaosDetach = "detach"
+	// ChaosReattach puts a detached container back on the network;
+	// its heartbeat re-registers it with the directory.
+	ChaosReattach = "reattach"
+	// ChaosDrop installs probabilistic loss on all traffic to or from
+	// a container (Percent, seeded by the entry's Seed).
+	ChaosDrop = "drop"
+	// ChaosHeal clears every installed network fault plan.
+	ChaosHeal = "heal"
+)
+
+// ChaosEntry is one scheduled fault: at After past deploy, apply
+// Action to Target.
+type ChaosEntry struct {
+	// Name labels the entry in errors and status output.
+	Name string `json:"name"`
+	// After is the delay from deploy to application.
+	After time.Duration `json:"after"`
+	// Action is one of the Chaos* constants.
+	Action string `json:"action"`
+	// Target is "site/device" for device and clear actions, a
+	// container name (cg-1, clg, pg-root, pg-1, ig) for detach,
+	// reattach and drop, and empty for heal.
+	Target string `json:"target,omitempty"`
+	// Kind is the device fault for device/clear actions
+	// (cpu-pegged, disk-full, mem-leak, link-down, proc-storm).
+	Kind string `json:"kind,omitempty"`
+	// Percent is the loss probability for drop, in (0, 100].
+	Percent float64 `json:"percent,omitempty"`
+	// Seed seeds the drop action's probabilistic plan.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// deviceFaults are the injectable device failure modes, by spec name.
+var deviceFaults = map[string]device.Fault{
+	string(device.FaultCPUPegged): device.FaultCPUPegged,
+	string(device.FaultDiskFull):  device.FaultDiskFull,
+	string(device.FaultMemLeak):   device.FaultMemLeak,
+	string(device.FaultLinkDown):  device.FaultLinkDown,
+	string(device.FaultProcStorm): device.FaultProcStorm,
+}
+
+// NewSpec returns a named spec with every grid default filled in —
+// the same defaults the hand-built examples rely on (core.Config's
+// withDefaults), so a minimal spec behaves identically. Parse starts
+// from these defaults; explicit keys overwrite them, which is how an
+// explicit `collectors: 0` stays observable as a validation error
+// instead of being silently re-defaulted.
+func NewSpec(name string) *Spec {
+	return &Spec{
+		Name: name,
+		Grid: GridSpec{
+			Collectors:  3,
+			Analyzers:   2,
+			Classifiers: 1,
+			Reporters:   1,
+			Scheduler:   "capability",
+			Community:   "public",
+			Wire:        "binary",
+		},
+	}
+}
+
+// newSite returns a site with per-site defaults applied.
+func newSite(name string) SiteSpec {
+	return SiteSpec{Name: name, Poll: time.Second}
+}
+
+// ContainerNames enumerates the container names the spec deploys, in
+// grid assembly order — the namespace chaos container targets resolve
+// against, and the census Status reports.
+func (s *Spec) ContainerNames() []string {
+	out := []string{"ig", "pg-root"}
+	for i := 0; i < s.Grid.Analyzers; i++ {
+		out = append(out, fmt.Sprintf("pg-%d", i+1))
+	}
+	out = append(out, "clg")
+	for i := 0; i < s.Grid.Collectors; i++ {
+		out = append(out, fmt.Sprintf("cg-%d", i+1))
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"agentgrid/internal/rules"
+	"agentgrid/internal/telemetry"
+)
+
+// Status is the deployment's census: what is running, how loaded it
+// measures itself (the PR 4 telemetry-derived load), whether it is
+// healthy, and what it has concluded. Served as JSON and text at
+// GET /topology and rendered by the html/template live view.
+type Status struct {
+	Name       string    `json:"name"`
+	State      string    `json:"state"` // "running" | "destroyed"
+	Site       string    `json:"site"`
+	DeployedAt time.Time `json:"deployed_at"`
+
+	Containers []ContainerStatus `json:"containers,omitempty"`
+	Sites      []SiteStatus      `json:"sites,omitempty"`
+
+	Healthy bool                    `json:"healthy"`
+	Health  []telemetry.CheckResult `json:"health,omitempty"`
+
+	StoreSeries      int    `json:"store_series"`
+	StoreAppends     uint64 `json:"store_appends"`
+	DirectoryEntries int    `json:"directory_entries"`
+
+	AlertCount int           `json:"alert_count"`
+	Alerts     []rules.Alert `json:"alerts,omitempty"` // most recent first, capped
+
+	Faults []AppliedFault `json:"faults,omitempty"` // chaos entries already fired
+}
+
+// ContainerStatus is one container's census row.
+type ContainerStatus struct {
+	Name         string   `json:"name"`
+	Role         string   `json:"role"`
+	Addr         string   `json:"addr"` // empty while detached
+	Agents       []string `json:"agents"`
+	MeasuredLoad float64  `json:"measured_load"`
+	MailboxDepth int      `json:"mailbox_depth"`
+}
+
+// SiteStatus is one managed domain's census row.
+type SiteStatus struct {
+	Name     string        `json:"name"`
+	Devices  int           `json:"devices"`
+	Poll     time.Duration `json:"poll"`
+	Step     int           `json:"step"` // simulation step of the site's first device
+	Advanced bool          `json:"self_advancing"`
+}
+
+// statusAlertCap bounds the alert stream embedded in a status snapshot.
+const statusAlertCap = 8
+
+// roleOf maps a container name to its sub-grid role.
+func roleOf(name string) string {
+	switch {
+	case name == "ig":
+		return "interface"
+	case name == "pg-root":
+		return "processor-root"
+	case strings.HasPrefix(name, "pg-"):
+		return "processor"
+	case name == "clg":
+		return "classifier"
+	case strings.HasPrefix(name, "cg-"):
+		return "collector"
+	}
+	return "container"
+}
+
+// Status assembles the deployment's current census. It stays callable
+// after Destroy, reporting State "destroyed" with the identity fields
+// only.
+func (d *Deployment) Status() *Status {
+	st := &Status{
+		Name:       d.spec.Name,
+		State:      "running",
+		Site:       d.spec.Sites[0].Name,
+		DeployedAt: d.deployedAt,
+	}
+	if d.destroyed.Load() {
+		st.State = "destroyed"
+		return st
+	}
+	g := d.grid
+	for _, c := range g.Containers() {
+		agents := c.AgentNames()
+		sort.Strings(agents)
+		st.Containers = append(st.Containers, ContainerStatus{
+			Name:         c.Name(),
+			Role:         roleOf(c.Name()),
+			Addr:         c.Addr(),
+			Agents:       agents,
+			MeasuredLoad: c.MeasuredLoad(),
+			MailboxDepth: c.MailboxDepth(),
+		})
+	}
+	for _, site := range d.spec.Sites {
+		ss := SiteStatus{
+			Name: site.Name, Poll: site.Poll,
+			Advanced: site.AdvanceEvery > 0,
+		}
+		if fleet, ok := d.fleets[site.Name]; ok {
+			stations := fleet.Stations()
+			ss.Devices = len(stations)
+			if len(stations) > 0 {
+				ss.Step = stations[0].Device.Step()
+			}
+		}
+		st.Sites = append(st.Sites, ss)
+	}
+	st.Healthy, st.Health = g.Health().Check()
+	st.StoreSeries, st.StoreAppends = g.Store().Stats()
+	st.DirectoryEntries = g.Directory().Len()
+	alerts := g.Alerts()
+	st.AlertCount = len(alerts)
+	// Most recent first, capped: the status payload is a view, not the
+	// full history (GET /alerts serves that).
+	for i := len(alerts) - 1; i >= 0 && len(st.Alerts) < statusAlertCap; i-- {
+		st.Alerts = append(st.Alerts, alerts[i])
+	}
+	if d.chaos != nil {
+		st.Faults = d.chaos.appliedFaults()
+	}
+	return st
+}
+
+// RenderText renders a status snapshot as the aligned text block
+// `gridctl status` prints (and GET /topology?format=text serves).
+func RenderText(st *Status) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "topology %s: %s\n", st.Name, st.State)
+	fmt.Fprintf(&b, "deployed: %s\n", st.DeployedAt.Format(time.RFC3339))
+	if st.State != "running" {
+		return b.String()
+	}
+	health := "degraded"
+	if st.Healthy {
+		health = "ok"
+	}
+	var checks []string
+	for _, c := range st.Health {
+		mark := c.Name
+		if !c.Healthy {
+			mark += "!"
+		}
+		checks = append(checks, mark)
+	}
+	fmt.Fprintf(&b, "health: %s (%s)\n", health, strings.Join(checks, ", "))
+	fmt.Fprintf(&b, "store: %d series, %d appends · directory: %d entries\n",
+		st.StoreSeries, st.StoreAppends, st.DirectoryEntries)
+
+	b.WriteString("containers:\n")
+	fmt.Fprintf(&b, "  %-10s %-16s %-22s %7s %6s %8s\n",
+		"NAME", "ROLE", "ADDR", "AGENTS", "LOAD", "MAILBOX")
+	for _, c := range st.Containers {
+		addr := c.Addr
+		if addr == "" {
+			addr = "(detached)"
+		}
+		fmt.Fprintf(&b, "  %-10s %-16s %-22s %7d %6.2f %8d\n",
+			c.Name, c.Role, addr, len(c.Agents), c.MeasuredLoad, c.MailboxDepth)
+	}
+
+	b.WriteString("sites:\n")
+	for _, s := range st.Sites {
+		drive := "driven externally"
+		if s.Advanced {
+			drive = "self-advancing"
+		}
+		fmt.Fprintf(&b, "  %-10s %3d devices · poll %s · step %d · %s\n",
+			s.Name, s.Devices, s.Poll, s.Step, drive)
+	}
+
+	fmt.Fprintf(&b, "alerts: %d total\n", st.AlertCount)
+	for _, a := range st.Alerts {
+		fmt.Fprintf(&b, "  %s\n", a)
+	}
+	if len(st.Faults) > 0 {
+		b.WriteString("chaos applied:\n")
+		for _, f := range st.Faults {
+			line := fmt.Sprintf("  %s: %s %s", f.Name, f.Action, f.Target)
+			if f.Error != "" {
+				line += " (error: " + f.Error + ")"
+			}
+			b.WriteString(strings.TrimRight(line, " ") + "\n")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,126 @@
+package topology
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"agentgrid/internal/rules"
+	"agentgrid/internal/telemetry"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// statusFixture is a fully-populated, deterministic status snapshot —
+// every field the text renderer touches, with fixed values.
+func statusFixture() *Status {
+	return &Status{
+		Name:       "fixture",
+		State:      "running",
+		Site:       "site1",
+		DeployedAt: time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC),
+		Containers: []ContainerStatus{
+			{Name: "ig", Role: "interface", Addr: "inproc://ig", Agents: []string{"df-heartbeat", "report"}, MeasuredLoad: 0.12, MailboxDepth: 0},
+			{Name: "pg-root", Role: "processor-root", Addr: "inproc://pg-root", Agents: []string{"df-heartbeat", "root"}, MeasuredLoad: 0.50, MailboxDepth: 2},
+			{Name: "pg-1", Role: "processor", Addr: "", Agents: []string{"analyzer"}, MeasuredLoad: 1.25, MailboxDepth: 7},
+			{Name: "clg", Role: "classifier", Addr: "inproc://clg", Agents: []string{"classifier"}, MeasuredLoad: 0.05, MailboxDepth: 0},
+			{Name: "cg-1", Role: "collector", Addr: "inproc://cg-1", Agents: []string{"collector", "df-heartbeat"}, MeasuredLoad: 0.33, MailboxDepth: 1},
+		},
+		Sites: []SiteStatus{
+			{Name: "site1", Devices: 2, Poll: time.Second, Step: 5, Advanced: true},
+			{Name: "site2", Devices: 60, Poll: 150 * time.Millisecond, Step: 0, Advanced: false},
+		},
+		Healthy: false,
+		Health: []telemetry.CheckResult{
+			{Name: "store", Healthy: true},
+			{Name: "directory", Healthy: false, Detail: "1 stale entry"},
+		},
+		StoreSeries:      12,
+		StoreAppends:     340,
+		DirectoryEntries: 7,
+		AlertCount:       2,
+		Alerts: []rules.Alert{
+			{Rule: "hot-cpu", Severity: "critical", Level: 1, Site: "site1", Device: "host-01", Message: "CPU above 90% on host-01"},
+			{Rule: "disk-low", Severity: "warning", Level: 2, Site: "site1", Device: "host-02", Message: "under 1GB free on host-02"},
+		},
+		Faults: []AppliedFault{
+			{Name: "peg", Action: "device", Target: "site1/host-01", At: time.Date(2026, 8, 1, 12, 0, 1, 0, time.UTC)},
+			{Name: "lossy", Action: "drop", Target: "cg-1", At: time.Date(2026, 8, 1, 12, 0, 2, 0, time.UTC), Error: "boom"},
+		},
+	}
+}
+
+// TestRenderTextGolden pins the exact text block `gridctl status`
+// prints. Regenerate deliberately with:
+//
+//	go test ./internal/topology -run TestRenderTextGolden -update
+func TestRenderTextGolden(t *testing.T) {
+	got := RenderText(statusFixture())
+	const golden = "testdata/status_golden.txt"
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := readFile(t, golden)
+	if got != want {
+		t.Errorf("RenderText drifted from golden (run with -update to accept):\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestRenderTextDestroyed(t *testing.T) {
+	st := &Status{Name: "gone", State: "destroyed", DeployedAt: time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC)}
+	got := RenderText(st)
+	want := "topology gone: destroyed\ndeployed: 2026-08-01T12:00:00Z\n"
+	if got != want {
+		t.Errorf("got:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+// TestStatusJSONRoundTrip pins the GET /topology payload: a status
+// snapshot survives marshal/unmarshal without loss.
+func TestStatusJSONRoundTrip(t *testing.T) {
+	st := statusFixture()
+	data, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Status
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(st, &back) {
+		t.Errorf("round trip lost data:\nbefore: %+v\nafter:  %+v", st, &back)
+	}
+	// Field names are part of the HTTP contract.
+	for _, key := range []string{
+		`"name"`, `"state"`, `"deployed_at"`, `"containers"`, `"measured_load"`,
+		`"mailbox_depth"`, `"sites"`, `"healthy"`, `"store_series"`,
+		`"directory_entries"`, `"alert_count"`, `"faults"`,
+	} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("JSON payload missing %s", key)
+		}
+	}
+}
+
+// TestRenderHTML sanity-checks the live view over the same fixture.
+func TestRenderHTML(t *testing.T) {
+	body, err := RenderHTML(statusFixture())
+	if err != nil {
+		t.Fatalf("RenderHTML: %v", err)
+	}
+	html := string(body)
+	for _, want := range []string{
+		"<!DOCTYPE html>", "fixture", "pg-root", "host-01", "detached",
+		"http-equiv=\"refresh\"", "chaos applied",
+	} {
+		if !strings.Contains(html, want) {
+			t.Errorf("view missing %q", want)
+		}
+	}
+}

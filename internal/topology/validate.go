@@ -1,0 +1,175 @@
+package topology
+
+import (
+	"fmt"
+	"strings"
+)
+
+// validSchedulers mirrors loadbalance.New's accepted strategy names.
+var validSchedulers = map[string]bool{
+	"round-robin": true, "random": true, "least-loaded": true, "capability": true,
+}
+
+// Sanity ceilings. A spec is a hand-written description of a
+// simulated deployment; counts past these are typos (or hostile
+// input), and validation must refuse them before DeviceNames or
+// ContainerNames would try to materialize billions of entries.
+const (
+	maxReplicas       = 256
+	maxDevicesPerSite = 4096
+)
+
+// Validate checks the spec's semantics and returns every problem found
+// — an ErrorList, never just the first mistake. A nil return means the
+// spec is deployable.
+func (s *Spec) Validate() error {
+	var errs ErrorList
+	addf := func(format string, args ...any) {
+		errs = append(errs, fmt.Errorf("spec: %s", fmt.Sprintf(format, args...)))
+	}
+
+	if s.Name == "" {
+		addf("name is required")
+	} else if strings.ContainsAny(s.Name, " \t/") {
+		addf("name %q must not contain spaces or '/'", s.Name)
+	}
+
+	// Replica counts: zero (or negative) replicas of any role cannot
+	// form a grid; classifier and interface replication are explicitly
+	// not supported yet, and the validator says so rather than
+	// deploying something that ignores the number.
+	if s.Grid.Collectors <= 0 {
+		addf("grid.collectors: zero replicas (need at least 1 collector)")
+	} else if s.Grid.Collectors > maxReplicas {
+		addf("grid.collectors: %d replicas exceeds the %d ceiling", s.Grid.Collectors, maxReplicas)
+	}
+	if s.Grid.Analyzers <= 0 {
+		addf("grid.analyzers: zero replicas (need at least 1 analysis worker)")
+	} else if s.Grid.Analyzers > maxReplicas {
+		addf("grid.analyzers: %d replicas exceeds the %d ceiling", s.Grid.Analyzers, maxReplicas)
+	}
+	switch {
+	case s.Grid.Classifiers <= 0:
+		addf("grid.classifiers: zero replicas (need exactly 1 classifier)")
+	case s.Grid.Classifiers > 1:
+		addf("grid.classifiers: %d replicas; classifier sharding is not implemented yet (must be 1)", s.Grid.Classifiers)
+	}
+	switch {
+	case s.Grid.Reporters <= 0:
+		addf("grid.reporters: zero replicas (need exactly 1 interface grid)")
+	case s.Grid.Reporters > 1:
+		addf("grid.reporters: %d replicas; interface replication is not implemented yet (must be 1)", s.Grid.Reporters)
+	}
+	if !validSchedulers[s.Grid.Scheduler] {
+		addf("grid.scheduler: unknown strategy %q (round-robin|random|least-loaded|capability)", s.Grid.Scheduler)
+	}
+	if s.Grid.Wire != "binary" && s.Grid.Wire != "json" {
+		addf("grid.wire: unknown format %q (binary|json)", s.Grid.Wire)
+	}
+	if s.Grid.BidWindow < 0 {
+		addf("grid.bid_window: must not be negative")
+	}
+	if s.Grid.FlushWindow < 0 {
+		addf("grid.flush_window: must not be negative")
+	}
+
+	if len(s.Sites) == 0 {
+		addf("at least one site is required")
+	}
+	seenSites := map[string]bool{}
+	devices := map[string]bool{} // "site/device" -> exists
+	for _, site := range s.Sites {
+		if site.Name == "" {
+			addf("site with empty name")
+			continue
+		}
+		if strings.ContainsAny(site.Name, " \t/") {
+			addf("site %q: name must not contain spaces or '/'", site.Name)
+		}
+		if seenSites[site.Name] {
+			addf("duplicate site %q", site.Name)
+		}
+		seenSites[site.Name] = true
+		if site.Hosts < 0 || site.Routers < 0 || site.Switches < 0 {
+			addf("site %q: negative device count", site.Name)
+		}
+		total := site.Hosts + site.Routers + site.Switches
+		if total <= 0 {
+			addf("site %q: no devices (hosts+routers+switches must be at least 1)", site.Name)
+		}
+		if site.Hosts > maxDevicesPerSite || site.Routers > maxDevicesPerSite ||
+			site.Switches > maxDevicesPerSite || total > maxDevicesPerSite {
+			addf("site %q: %d devices exceeds the %d ceiling", site.Name, total, maxDevicesPerSite)
+			continue // do not materialize the device namespace
+		}
+		if site.Poll <= 0 {
+			addf("site %q: poll must be positive", site.Name)
+		}
+		if site.AdvanceEvery < 0 {
+			addf("site %q: advance_every must not be negative", site.Name)
+		}
+		for _, d := range site.DeviceNames() {
+			devices[site.Name+"/"+d] = true
+		}
+	}
+
+	containers := map[string]bool{}
+	containerList := "(none: replica counts invalid)"
+	if s.Grid.Collectors <= maxReplicas && s.Grid.Analyzers <= maxReplicas {
+		names := s.ContainerNames()
+		for _, c := range names {
+			containers[c] = true
+		}
+		containerList = strings.Join(names, ",")
+	}
+	seenFaults := map[string]bool{}
+	for _, f := range s.Chaos {
+		label := f.Name
+		if label == "" {
+			addf("chaos fault with empty name")
+			label = "?"
+		}
+		if seenFaults[label] {
+			addf("duplicate chaos fault %q", label)
+		}
+		seenFaults[label] = true
+		if f.After < 0 {
+			addf("chaos fault %q: after must not be negative", label)
+		}
+		switch f.Action {
+		case ChaosDevice, ChaosClear:
+			site, dev, ok := strings.Cut(f.Target, "/")
+			if !ok || site == "" || dev == "" {
+				addf("chaos fault %q: target must be 'site/device', got %q", label, f.Target)
+			} else if !devices[f.Target] {
+				addf("chaos fault %q: dangling target %q (no such device in any site)", label, f.Target)
+			}
+			if _, ok := deviceFaults[f.Kind]; !ok {
+				addf("chaos fault %q: unknown device fault kind %q (cpu-pegged|disk-full|mem-leak|link-down|proc-storm)", label, f.Kind)
+			}
+		case ChaosDetach, ChaosReattach, ChaosDrop:
+			if !containers[f.Target] {
+				addf("chaos fault %q: dangling target %q (no such container; this spec deploys %s)",
+					label, f.Target, containerList)
+			}
+			if s.Grid.TCP {
+				addf("chaos fault %q: network faults (%s) need the in-process transport; remove 'tcp: true'", label, f.Action)
+			}
+			if f.Action == ChaosDrop && (f.Percent <= 0 || f.Percent > 100) {
+				addf("chaos fault %q: drop percent must be in (0, 100], got %g", label, f.Percent)
+			}
+		case ChaosHeal:
+			if f.Target != "" {
+				addf("chaos fault %q: heal takes no target", label)
+			}
+			if s.Grid.TCP {
+				addf("chaos fault %q: network faults (heal) need the in-process transport; remove 'tcp: true'", label)
+			}
+		case "":
+			addf("chaos fault %q: action is required (device|clear|detach|reattach|drop|heal)", label)
+		default:
+			addf("chaos fault %q: unknown action %q (device|clear|detach|reattach|drop|heal)", label, f.Action)
+		}
+	}
+	return errs.asError()
+}

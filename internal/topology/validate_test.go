@@ -1,0 +1,142 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// validSpec returns a spec that passes validation; tests break one
+// thing at a time from here.
+func validSpec() *Spec {
+	spec := NewSpec("ok")
+	site := newSite("s1")
+	site.Hosts = 2
+	spec.Sites = []SiteSpec{site}
+	return spec
+}
+
+func TestValidateAccepts(t *testing.T) {
+	if err := validSpec().Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+}
+
+// The acceptance bar: a spec with three independent mistakes reports
+// all three in one pass.
+func TestValidateEnumeratesAllMistakes(t *testing.T) {
+	spec, perr := Parse(`name: broken
+grid:
+  collectors: 0
+site s1:
+  hosts: 1
+site s1:
+  hosts: 2
+chaos:
+  fault peg:
+    after: 0s
+    action: device
+    target: s1/host-99
+    kind: cpu-pegged
+`)
+	if perr != nil {
+		t.Fatalf("parse should succeed (mistakes are semantic): %v", perr)
+	}
+	err := spec.Validate()
+	if err == nil {
+		t.Fatal("expected errors")
+	}
+	list, ok := err.(ErrorList)
+	if !ok {
+		t.Fatalf("want ErrorList, got %T", err)
+	}
+	if len(list) < 3 {
+		t.Fatalf("want all 3 mistakes reported, got %d:\n%v", len(list), err)
+	}
+	for _, want := range []string{
+		"zero replicas",       // collectors: 0
+		`duplicate site "s1"`, // site s1 twice
+		"dangling target",     // host-99 does not exist
+	} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("missing %q in:\n%v", want, err)
+		}
+	}
+}
+
+func TestValidateSingleMistakes(t *testing.T) {
+	cases := []struct {
+		name  string
+		mutat func(*Spec)
+		want  string
+	}{
+		{"empty name", func(s *Spec) { s.Name = "" }, "name is required"},
+		{"name with slash", func(s *Spec) { s.Name = "a/b" }, "must not contain"},
+		{"zero analyzers", func(s *Spec) { s.Grid.Analyzers = 0 }, "grid.analyzers: zero replicas"},
+		{"absurd collectors", func(s *Spec) { s.Grid.Collectors = 1 << 30 }, "exceeds the 256 ceiling"},
+		{"absurd hosts", func(s *Spec) { s.Sites[0].Hosts = 1 << 30 }, "exceeds the 4096 ceiling"},
+		{"classifier sharding", func(s *Spec) { s.Grid.Classifiers = 2 }, "not implemented yet"},
+		{"reporter replication", func(s *Spec) { s.Grid.Reporters = 3 }, "not implemented yet"},
+		{"bad scheduler", func(s *Spec) { s.Grid.Scheduler = "lottery" }, "unknown strategy"},
+		{"bad wire", func(s *Spec) { s.Grid.Wire = "xml" }, "unknown format"},
+		{"negative bid window", func(s *Spec) { s.Grid.BidWindow = -time.Second }, "bid_window"},
+		{"no sites", func(s *Spec) { s.Sites = nil }, "at least one site"},
+		{"empty site", func(s *Spec) { s.Sites[0].Hosts = 0 }, "no devices"},
+		{"negative devices", func(s *Spec) { s.Sites[0].Routers = -1 }, "negative device count"},
+		{"zero poll", func(s *Spec) { s.Sites[0].Poll = 0 }, "poll must be positive"},
+		{"chaos empty action", func(s *Spec) {
+			s.Chaos = []ChaosEntry{{Name: "x"}}
+		}, "action is required"},
+		{"chaos unknown action", func(s *Spec) {
+			s.Chaos = []ChaosEntry{{Name: "x", Action: "explode"}}
+		}, "unknown action"},
+		{"chaos bad device kind", func(s *Spec) {
+			s.Chaos = []ChaosEntry{{Name: "x", Action: ChaosDevice, Target: "s1/host-01", Kind: "gremlins"}}
+		}, "unknown device fault kind"},
+		{"chaos malformed target", func(s *Spec) {
+			s.Chaos = []ChaosEntry{{Name: "x", Action: ChaosDevice, Target: "host-01", Kind: "cpu-pegged"}}
+		}, "must be 'site/device'"},
+		{"chaos dangling container", func(s *Spec) {
+			s.Chaos = []ChaosEntry{{Name: "x", Action: ChaosDetach, Target: "cg-99"}}
+		}, "dangling target"},
+		{"chaos drop percent", func(s *Spec) {
+			s.Chaos = []ChaosEntry{{Name: "x", Action: ChaosDrop, Target: "cg-1", Percent: 0}}
+		}, "percent must be in"},
+		{"chaos network fault over tcp", func(s *Spec) {
+			s.Grid.TCP = true
+			s.Chaos = []ChaosEntry{{Name: "x", Action: ChaosDrop, Target: "cg-1", Percent: 10}}
+		}, "in-process transport"},
+		{"chaos heal with target", func(s *Spec) {
+			s.Chaos = []ChaosEntry{{Name: "x", Action: ChaosHeal, Target: "cg-1"}}
+		}, "heal takes no target"},
+		{"chaos duplicate names", func(s *Spec) {
+			s.Chaos = []ChaosEntry{
+				{Name: "x", Action: ChaosHeal},
+				{Name: "x", Action: ChaosHeal},
+			}
+		}, "duplicate chaos fault"},
+		{"chaos negative after", func(s *Spec) {
+			s.Chaos = []ChaosEntry{{Name: "x", Action: ChaosHeal, After: -time.Second}}
+		}, "after must not be negative"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := validSpec()
+			tc.mutat(spec)
+			err := spec.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+// Dangling-target errors for container actions name what would exist.
+func TestValidateDanglingContainerListsNames(t *testing.T) {
+	spec := validSpec()
+	spec.Chaos = []ChaosEntry{{Name: "x", Action: ChaosDetach, Target: "pg-9"}}
+	err := spec.Validate()
+	if err == nil || !strings.Contains(err.Error(), "ig,pg-root,pg-1,pg-2,clg,cg-1,cg-2,cg-3") {
+		t.Fatalf("error should enumerate deployable containers, got %v", err)
+	}
+}

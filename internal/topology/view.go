@@ -1,0 +1,102 @@
+package topology
+
+import (
+	"bytes"
+	"html/template"
+)
+
+// The live topology view: one self-refreshing html/template page over
+// the status snapshot — containers with measured load, site fleets,
+// health checks and the alert stream. Deliberately dependency-free
+// (no scripts beyond the meta refresh) so it renders anywhere.
+var viewTmpl = template.Must(template.New("topology").Funcs(template.FuncMap{
+	// loadWidth scales a measured load (0..1+) to a bar width in px,
+	// capped so a pathological value cannot blow up the layout.
+	"loadWidth": func(load float64) float64 {
+		if load < 0 {
+			return 0
+		}
+		if load > 1.5 {
+			load = 1.5
+		}
+		return load * 80
+	},
+}).Parse(`<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<meta http-equiv="refresh" content="2">
+<title>topology: {{.Name}}</title>
+<style>
+body { font-family: ui-monospace, Menlo, Consolas, monospace; margin: 2em; background: #fbfbf9; color: #222; }
+h1 { font-size: 1.2em; } h2 { font-size: 1em; margin-top: 1.4em; }
+table { border-collapse: collapse; }
+th, td { text-align: left; padding: 0.25em 0.9em 0.25em 0; border-bottom: 1px solid #ddd; }
+.ok { color: #1a7f37; } .bad { color: #b42318; }
+.load { display: inline-block; height: 0.7em; background: #4a7dbd; vertical-align: baseline; }
+.muted { color: #888; }
+</style>
+</head>
+<body>
+<h1>topology <strong>{{.Name}}</strong> — {{.State}}{{if .Healthy}} <span class="ok">healthy</span>{{else}} <span class="bad">degraded</span>{{end}}</h1>
+<p class="muted">site {{.Site}} · deployed {{.DeployedAt.Format "2006-01-02T15:04:05Z07:00"}} · store {{.StoreSeries}} series / {{.StoreAppends}} appends · directory {{.DirectoryEntries}} entries</p>
+
+<h2>containers</h2>
+<table>
+<tr><th>name</th><th>role</th><th>addr</th><th>agents</th><th>measured load</th><th>mailbox</th></tr>
+{{range .Containers}}
+<tr>
+<td>{{.Name}}</td>
+<td>{{.Role}}</td>
+<td>{{if .Addr}}{{.Addr}}{{else}}<span class="bad">detached</span>{{end}}</td>
+<td>{{len .Agents}}</td>
+<td><span class="load" style="width: {{printf "%.0f" (loadWidth .MeasuredLoad)}}px"></span> {{printf "%.2f" .MeasuredLoad}}</td>
+<td>{{.MailboxDepth}}</td>
+</tr>
+{{end}}
+</table>
+
+<h2>sites</h2>
+<table>
+<tr><th>site</th><th>devices</th><th>poll</th><th>sim step</th><th>drive</th></tr>
+{{range .Sites}}
+<tr><td>{{.Name}}</td><td>{{.Devices}}</td><td>{{.Poll}}</td><td>{{.Step}}</td><td>{{if .Advanced}}self-advancing{{else}}external{{end}}</td></tr>
+{{end}}
+</table>
+
+<h2>health</h2>
+<table>
+{{range .Health}}
+<tr><td>{{.Name}}</td><td>{{if .Healthy}}<span class="ok">ok</span>{{else}}<span class="bad">{{.Detail}}</span>{{end}}</td></tr>
+{{end}}
+</table>
+
+<h2>alerts <span class="muted">({{.AlertCount}} total, newest first)</span></h2>
+<table>
+{{range .Alerts}}
+<tr><td>[{{.Severity}}]</td><td>L{{.Level}}</td><td>{{.Site}}{{if .Device}}/{{.Device}}{{end}}</td><td>{{.Rule}}</td><td>{{.Message}}</td></tr>
+{{else}}
+<tr><td class="muted">none yet</td></tr>
+{{end}}
+</table>
+
+{{if .Faults}}
+<h2>chaos applied</h2>
+<table>
+{{range .Faults}}
+<tr><td>{{.Name}}</td><td>{{.Action}}</td><td>{{.Target}}</td><td>{{.At.Format "15:04:05"}}</td><td class="bad">{{.Error}}</td></tr>
+{{end}}
+</table>
+{{end}}
+</body>
+</html>
+`))
+
+// RenderHTML renders the live view for a status snapshot.
+func RenderHTML(st *Status) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := viewTmpl.Execute(&buf, st); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}

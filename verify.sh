@@ -17,7 +17,9 @@
 #  10. wire hot path     (codec benches with alloc counts + differential fuzz)
 #  11. soak smoke        (benchrunner soak, short sustained-rate window with
 #                         asserting thresholds: >=1M msgs/s, allocs/msg, p99)
-#  12. fuzz smoke        (5s per wire-facing fuzz target)
+#  12. topology suite   (spec parse/validate/deploy lifecycle + HTTP
+#                         control plane + example equivalence, -race)
+#  13. fuzz smoke        (5s per wire-facing fuzz target)
 #
 # Any failure stops the gate with a non-zero exit. Run it before every
 # commit; CI should run exactly this script.
@@ -67,9 +69,14 @@ go test -run='^$' -fuzz=FuzzUnmarshalBinaryIntoEquivalence -fuzztime=5s ./intern
 step "soak smoke (2s sustained ingest, asserting >=1M msgs/s steady state)"
 go run ./cmd/benchrunner soak -duration=2s -warmup=1s
 
+step "topology suite (-race, spec lifecycle + control plane)"
+go test -race -count=1 ./internal/topology/...
+go test -race -count=1 -run 'TestDetachedServer|TestSetInterface' ./internal/report/
+
 step "fuzz smoke (5s per target)"
 go test -run='^$' -fuzz=FuzzDecodePDU -fuzztime=5s ./internal/snmp
 go test -run='^$' -fuzz=FuzzParse -fuzztime=5s ./internal/rules
 go test -run='^$' -fuzz=FuzzUnmarshalFrame -fuzztime=5s ./internal/acl
+go test -run='^$' -fuzz=FuzzParseSpec -fuzztime=5s ./internal/topology
 
 step "verify: OK"
