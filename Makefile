@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-typed lint-sarif chaos trace metrics wire soak topo fuzz-smoke verify fmt
+.PHONY: all build test race lint lint-typed lint-sarif chaos trace metrics wire soak flight topo fuzz-smoke verify fmt
 
 all: build
 
@@ -76,6 +76,18 @@ wire:
 #   go run ./cmd/benchrunner soak -duration=10s -warmup=2s -out=BENCH_soak.json
 soak:
 	$(GO) run ./cmd/benchrunner soak -duration=2s -warmup=1s
+
+# Flight-recorder overhead gate: the flight package unit tests under
+# the race detector, then the same sustained soak twice — a control
+# run, and a run with the recorder journaling every inbound frame and
+# the ingest histogram retaining trace exemplars — asserting the
+# instrumented run holds >=95% of the control's throughput at ~0
+# allocs/msg. The canonical 10s run that produced BENCH_flight.json:
+#   go run ./cmd/benchrunner soak -flight -duration=10s -warmup=2s -baseline=BENCH_soak.json -out=BENCH_flight.json
+flight:
+	$(GO) test -race -count=1 ./internal/flight/
+	$(GO) run ./cmd/benchrunner soak -duration=2s -warmup=1s -out=/tmp/soak_control.json
+	$(GO) run ./cmd/benchrunner soak -flight -duration=2s -warmup=1s -baseline=/tmp/soak_control.json
 
 # Topology-as-code suite: spec parser/validator, deploy/status/destroy
 # lifecycle, chaos schedule, HTTP control plane and the equivalence

@@ -31,6 +31,8 @@ import (
 	"time"
 
 	"agentgrid/internal/acl"
+	"agentgrid/internal/flight"
+	"agentgrid/internal/telemetry"
 	"agentgrid/internal/transport"
 )
 
@@ -45,6 +47,9 @@ type soakConfig struct {
 	assertRate   float64       // fail below this achieved msgs/s (0 = no assert)
 	assertP99    time.Duration // fail above this p99 latency (0 = no assert)
 	assertAllocs float64       // fail above this allocs/msg (< 0 = no assert)
+	flight       bool          // journal every frame + observe exemplars on ingest
+	baseline     string        // baseline result JSON for the overhead ratio
+	assertRatio  float64       // fail below this fraction of baseline rate (0 = no assert)
 }
 
 // soakResult is the BENCH_soak.json shape.
@@ -65,6 +70,17 @@ type soakResult struct {
 	P99LatencyUS  float64 `json:"p99_latency_us"`
 	MaxLatencyUS  float64 `json:"max_latency_us"`
 	LatencySample uint64  `json:"latency_samples"`
+
+	// Flight-mode extras (BENCH_flight.json): the same soak with the
+	// flight recorder journaling every inbound frame and the ingest
+	// histogram retaining trace exemplars — the observability tax,
+	// measured. RateRatio compares against the -baseline run.
+	FlightEnabled     bool    `json:"flight_enabled,omitempty"`
+	FlightEvents      uint64  `json:"flight_events,omitempty"`
+	FlightOverwritten uint64  `json:"flight_overwritten,omitempty"`
+	ExemplarTrace     string  `json:"exemplar_trace,omitempty"`
+	BaselineRate      float64 `json:"baseline_msgs_per_sec,omitempty"`
+	RateRatio         float64 `json:"rate_ratio_vs_baseline,omitempty"`
 }
 
 func soakMain(args []string) error {
@@ -80,6 +96,9 @@ func soakMain(args []string) error {
 	fs.Float64Var(&cfg.assertRate, "assert-rate", 1_000_000, "fail below this achieved msgs/s (0 disables)")
 	fs.DurationVar(&cfg.assertP99, "assert-p99", 50*time.Millisecond, "fail above this p99 latency (0 disables)")
 	fs.Float64Var(&cfg.assertAllocs, "assert-allocs", 0.5, "fail above this allocs/msg (negative disables)")
+	fs.BoolVar(&cfg.flight, "flight", false, "enable the flight recorder + exemplar histogram on the ingest path")
+	fs.StringVar(&cfg.baseline, "baseline", "", "baseline soak result JSON (e.g. BENCH_soak.json) to compute the overhead ratio against")
+	fs.Float64Var(&cfg.assertRatio, "assert-ratio", 0.95, "fail below this fraction of baseline throughput (needs -baseline; 0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -95,6 +114,11 @@ func soakMain(args []string) error {
 	res, err := runSoak(&cfg)
 	if err != nil {
 		return err
+	}
+	if cfg.baseline != "" {
+		if err := soakCompare(&cfg, res); err != nil {
+			return err
+		}
 	}
 	blob, err := json.MarshalIndent(res, "", "  ")
 	if err != nil {
@@ -121,10 +145,47 @@ func soakAssert(cfg *soakConfig, res *soakResult) error {
 	if cfg.assertAllocs >= 0 && res.AllocsPerMsg > cfg.assertAllocs {
 		fails = append(fails, fmt.Sprintf("allocs/msg %.3f above ceiling %.3f", res.AllocsPerMsg, cfg.assertAllocs))
 	}
+	if res.FlightEnabled {
+		// Flight mode without journaled frames means the recorder never
+		// saw the ingest path — a wiring bug, not a fast run.
+		if res.FlightEvents < res.Messages {
+			fails = append(fails, fmt.Sprintf("flight journaled %d events for %d messages", res.FlightEvents, res.Messages))
+		}
+		if res.ExemplarTrace == "" {
+			fails = append(fails, "ingest histogram retained no exemplar")
+		}
+	}
+	if cfg.assertRatio > 0 && res.BaselineRate > 0 && res.RateRatio < cfg.assertRatio {
+		fails = append(fails, fmt.Sprintf("throughput ratio %.3f of baseline %.0f msgs/s below floor %.2f",
+			res.RateRatio, res.BaselineRate, cfg.assertRatio))
+	}
 	if len(fails) > 0 {
 		return fmt.Errorf("soak gate failed: %v", fails)
 	}
 	fmt.Println("soak: OK")
+	return nil
+}
+
+// soakCompare loads the baseline run (a prior soakResult JSON, e.g.
+// BENCH_soak.json) and records this run's throughput as a fraction of
+// it. The 5%-overhead gate for the flight recorder rides on this:
+//
+//	benchrunner soak -out BENCH_soak.json
+//	benchrunner soak -flight -baseline BENCH_soak.json -out BENCH_flight.json
+func soakCompare(cfg *soakConfig, res *soakResult) error {
+	blob, err := os.ReadFile(cfg.baseline)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base soakResult
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", cfg.baseline, err)
+	}
+	if base.AchievedRate <= 0 {
+		return fmt.Errorf("baseline %s: no achieved rate", cfg.baseline)
+	}
+	res.BaselineRate = base.AchievedRate
+	res.RateRatio = res.AchievedRate / base.AchievedRate
 	return nil
 }
 
@@ -143,7 +204,37 @@ func runSoak(cfg *soakConfig) (*soakResult, error) {
 		}
 	}
 
-	station, err := transport.ListenTCP("127.0.0.1:0", handler)
+	// Flight mode swaps in an instrumented handler instead of branching
+	// inside the baseline one, so the control run pays nothing. The
+	// transport journals every inbound frame (WithTCPFlight) and the
+	// handler observes every message into an exemplar-retaining
+	// histogram — the message ordinal stands in for the trace ID a
+	// production frame would carry, so the exemplar store cost is real.
+	var rec *flight.Recorder
+	var ingestHist *telemetry.Histogram
+	var opts []transport.TCPOption
+	if cfg.flight {
+		rec = flight.New(flight.Options{})
+		defer rec.Close()
+		ingestHist = telemetry.NewRegistry("soak").
+			Histogram("soak_ingest_seconds", "soak ingest latency with trace exemplars", nil)
+		opts = append(opts, transport.WithTCPFlight(rec))
+		handler = func(m *acl.Message) {
+			n := received.Add(1)
+			var lat time.Duration
+			if len(m.Content) >= 8 {
+				if ts := binary.BigEndian.Uint64(m.Content); ts != 0 {
+					lat = time.Since(epoch) - time.Duration(ts)
+					if sampling.Load() {
+						hist.observe(lat)
+					}
+				}
+			}
+			ingestHist.ObserveTrace(lat, n)
+		}
+	}
+
+	station, err := transport.ListenTCP("127.0.0.1:0", handler, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("station listen: %w", err)
 	}
@@ -220,6 +311,17 @@ func runSoak(cfg *soakConfig) (*soakResult, error) {
 		P99LatencyUS:  float64(p99.Microseconds()),
 		MaxLatencyUS:  float64(max.Microseconds()),
 		LatencySample: samples,
+	}
+	if rec != nil {
+		st := rec.Stats()
+		res.FlightEnabled = true
+		res.FlightEvents = st.Emitted
+		res.FlightOverwritten = st.Overwritten
+		// The deepest populated bucket's exemplar: the breadcrumb an
+		// operator would chase for the slowest class of message.
+		if exs := ingestHist.Snapshot().Exemplars; len(exs) > 0 {
+			res.ExemplarTrace = exs[len(exs)-1].TraceID
+		}
 	}
 	return res, nil
 }

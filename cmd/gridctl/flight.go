@@ -1,0 +1,132 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// runFlight implements `gridctl flight`, the operator's view of the
+// grid's always-on flight recorder:
+//
+//	gridctl flight                   stats + recent events (text)
+//	gridctl flight json              same, machine-readable
+//	gridctl flight dump 3            one retained dump
+//	gridctl flight dump 3 json      ... as JSON
+//	gridctl flight trigger [reason]  snapshot the ring now
+//
+// A trace= field in the output feeds straight into `gridctl trace`.
+func runFlight(cli *http.Client, base string, args []string) error {
+	u := base + "/debug/flight"
+	if len(args) == 0 {
+		return get(cli, u)
+	}
+	switch args[0] {
+	case "json":
+		return get(cli, u+"?format=json")
+	case "dump":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: gridctl flight dump <seq> [json]")
+		}
+		if _, err := strconv.ParseUint(args[1], 10, 64); err != nil {
+			return fmt.Errorf("flight: bad dump sequence %q", args[1])
+		}
+		q := u + "?dump=" + url.QueryEscape(args[1])
+		if len(args) >= 3 && args[2] == "json" {
+			q += "&format=json"
+		}
+		return get(cli, q)
+	case "trigger":
+		reason := "manual: gridctl"
+		if len(args) >= 2 {
+			reason = strings.Join(args[1:], " ")
+		}
+		resp, err := cli.Post(u+"?reason="+url.QueryEscape(reason), "", nil)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+		}
+		fmt.Print(string(body))
+		if !strings.HasSuffix(string(body), "\n") {
+			fmt.Println()
+		}
+		return nil
+	default:
+		return fmt.Errorf("usage: gridctl flight [json|dump <seq> [json]|trigger [reason]]")
+	}
+}
+
+// runProfile implements `gridctl profile`: an on-demand pprof capture
+// from the grid's /debug/profile endpoint.
+//
+//	gridctl profile                  5s CPU profile -> cpu.pprof
+//	gridctl profile mutex 10         10s mutex profile -> mutex.pprof
+//	gridctl profile heap my.pprof    heap snapshot -> my.pprof
+//	gridctl profile goroutine -      goroutine dump (debug text) -> stdout
+//
+// Sampling kinds (cpu, mutex, block) take a window in seconds; the
+// snapshot kinds return immediately. An out path of "-" streams the
+// debug=1 text rendering to stdout instead of saving a binary profile.
+func runProfile(cli *http.Client, base string, timeout time.Duration, args []string) error {
+	kind := "cpu"
+	if len(args) >= 1 {
+		kind = args[0]
+	}
+	seconds := 5
+	out := kind + ".pprof"
+	rest := args
+	if len(rest) >= 1 {
+		rest = rest[1:]
+	}
+	for _, a := range rest {
+		if n, err := strconv.Atoi(a); err == nil {
+			seconds = n
+			continue
+		}
+		out = a
+	}
+	u := fmt.Sprintf("%s/debug/profile?kind=%s&seconds=%d", base, url.QueryEscape(kind), seconds)
+	if out == "-" {
+		return get(cli, u+"&debug=1")
+	}
+	// The capture window can exceed the caller's default timeout; give
+	// the request room for the window plus overhead.
+	window := time.Duration(seconds)*time.Second + 10*time.Second
+	if window > timeout {
+		cli = &http.Client{Timeout: window}
+	}
+	resp, err := cli.Get(u)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	n, err := io.Copy(f, resp.Body)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s profile (%d bytes) to %s\n", kind, n, out)
+	return nil
+}

@@ -12,7 +12,10 @@
 //	gridctl -grid 127.0.0.1:8080 ready                 # readiness + per-check detail
 //	gridctl -grid 127.0.0.1:8080 metrics               # Prometheus text exposition
 //	gridctl -grid 127.0.0.1:8080 top -interval 2s      # live per-container rates
+//	gridctl -grid 127.0.0.1:8080 top -json -once       # one machine-readable sample
 //	gridctl -grid 127.0.0.1:8080 trace <trace-id|conversation-id> [json]
+//	gridctl -grid 127.0.0.1:8080 flight [json|dump <seq>|trigger [reason]]
+//	gridctl -grid 127.0.0.1:8080 profile [kind] [seconds] [out.pprof]
 //
 // Topology lifecycle (against agentgridd -spec, or any server with a
 // topology control plane attached):
@@ -114,6 +117,10 @@ func run(grid string, timeout time.Duration, args []string) error {
 			u += "?format=json"
 		}
 		return get(cli, u)
+	case "flight":
+		return runFlight(cli, base, args[1:])
+	case "profile":
+		return runProfile(cli, base, timeout, args[1:])
 	default:
 		return fmt.Errorf("unknown command %q", args[0])
 	}

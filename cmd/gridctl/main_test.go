@@ -9,6 +9,7 @@ import (
 
 	"agentgrid/internal/acl"
 	"agentgrid/internal/agent"
+	"agentgrid/internal/flight"
 	"agentgrid/internal/obs"
 	"agentgrid/internal/report"
 	"agentgrid/internal/rules"
@@ -31,11 +32,15 @@ func startBackend(t *testing.T) (addr, traceID string) {
 	root.Child("collect.ship").End()
 	root.End()
 	tr.Flush()
+	rec := flight.New(flight.Options{})
+	t.Cleanup(rec.Close)
+	rec.Emit("collect.poll", flight.Event{Container: "cg-1", Conversation: "conv-1"})
 	ig, err := report.New(a, report.Config{
 		Store:  st,
 		Rules:  ruleSink{},
 		Goals:  func(context.Context, string) error { return nil },
 		Tracer: tr,
+		Flight: rec,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -74,6 +79,13 @@ func TestGridctlCommands(t *testing.T) {
 		{"trace", traceID},
 		{"trace", traceID, "json"},
 		{"trace", "conv-1"},
+		{"flight"},
+		{"flight", "json"},
+		{"flight", "trigger", "test", "reason"},
+		{"flight", "dump", "1"},
+		{"flight", "dump", "1", "json"},
+		{"profile", "goroutine", "-"},
+		{"profile", "heap", filepath.Join(dir, "heap.pprof")},
 	}
 	for _, args := range ok {
 		if err := run(addr, 5*time.Second, args); err != nil {
@@ -93,6 +105,10 @@ func TestGridctlCommands(t *testing.T) {
 		{"device", "site1", "ghost"}, // 404
 		{"trace"},                    // missing id
 		{"trace", "no-such-trace"},   // 404
+		{"flight", "dump"},           // missing sequence
+		{"flight", "dump", "x"},      // non-numeric sequence
+		{"flight", "dump", "99"},     // no such dump
+		{"flight", "juggle"},         // unknown subcommand
 	}
 	for _, args := range bad {
 		if err := run(addr, 5*time.Second, args); err == nil {

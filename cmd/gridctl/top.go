@@ -16,37 +16,59 @@ import (
 // runTop implements `gridctl top`: a live ASCII dashboard of per-
 // container throughput. It polls the grid's /metrics.json snapshot and
 // computes rates client-side from consecutive samples, so the server
-// stays a dumb exporter.
+// stays a dumb exporter. With -once it takes a single sample and
+// reports cumulative totals instead of rates; with -json each frame is
+// one machine-readable JSON document (NDJSON when looping).
 func runTop(grid string, timeout time.Duration, args []string) error {
 	fs := flag.NewFlagSet("top", flag.ContinueOnError)
 	frames := fs.Int("n", 0, "frames to render before exiting (0 = run until interrupted)")
 	interval := fs.Duration("interval", 2*time.Second, "sampling interval")
+	asJSON := fs.Bool("json", false, "emit frames as JSON documents instead of the ASCII table")
+	once := fs.Bool("once", false, "take one sample and exit; values are cumulative totals, not rates")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *interval <= 0 {
+	if !*once && *interval <= 0 {
 		return fmt.Errorf("top: interval must be positive")
 	}
 	cli := &http.Client{Timeout: timeout}
-	return top(os.Stdout, cli, "http://"+grid, *frames, *interval)
+	return top(os.Stdout, cli, "http://"+grid, topOptions{
+		Frames: *frames, Interval: *interval, JSON: *asJSON, Once: *once,
+	})
 }
 
-func top(w io.Writer, cli *http.Client, base string, frames int, interval time.Duration) error {
+type topOptions struct {
+	Frames   int
+	Interval time.Duration
+	JSON     bool
+	Once     bool
+}
+
+func top(w io.Writer, cli *http.Client, base string, o topOptions) error {
+	if o.Once {
+		cur, err := fetchSnapshot(cli, base)
+		if err != nil {
+			return err
+		}
+		return emitFrame(w, buildFrame(nil, cur, 0), o.JSON)
+	}
 	prev, err := fetchSnapshot(cli, base)
 	if err != nil {
 		return err
 	}
 	prevAt := time.Now()
-	tick := time.NewTicker(interval)
+	tick := time.NewTicker(o.Interval)
 	defer tick.Stop()
-	for i := 0; frames <= 0 || i < frames; i++ {
+	for i := 0; o.Frames <= 0 || i < o.Frames; i++ {
 		<-tick.C
 		cur, err := fetchSnapshot(cli, base)
 		if err != nil {
 			return err
 		}
 		at := time.Now()
-		renderTop(w, prev, cur, at.Sub(prevAt))
+		if err := emitFrame(w, buildFrame(prev, cur, at.Sub(prevAt)), o.JSON); err != nil {
+			return err
+		}
 		prev, prevAt = cur, at
 	}
 	return nil
@@ -124,26 +146,47 @@ func gridValue(snap *telemetry.Snapshot, metric string) float64 {
 	return total
 }
 
-// topColumns are the per-container rate columns of the dashboard, each
-// computed from one counter (or histogram count) family.
+// topColumns are the per-container columns of the dashboard, each
+// computed from one counter (or histogram count) family. In rate mode
+// the value is the delta per second; in -once mode the running total.
 var topColumns = []struct {
 	header string
+	field  string
 	metric string
 }{
-	{"dlvr/s", "platform_messages_delivered_total"},
-	{"sent/s", "acl_sent_frames_total"},
-	{"recv/s", "acl_received_frames_total"},
-	{"poll/s", "collect_polls_total"},
-	{"rec/s", "classify_records_total"},
-	{"task/s", "analyze_tasks_total"},
-	{"alert/s", "report_alerts_total"},
+	{"dlvr/s", "delivered", "platform_messages_delivered_total"},
+	{"sent/s", "sent", "acl_sent_frames_total"},
+	{"recv/s", "received", "acl_received_frames_total"},
+	{"poll/s", "polls", "collect_polls_total"},
+	{"rec/s", "records", "classify_records_total"},
+	{"task/s", "tasks", "analyze_tasks_total"},
+	{"alert/s", "alerts", "report_alerts_total"},
 }
 
-func renderTop(w io.Writer, prev, cur *telemetry.Snapshot, dt time.Duration) {
+// topRow is one container's dashboard line.
+type topRow struct {
+	Container string             `json:"container"`
+	Load      float64            `json:"load"`
+	Mailbox   float64            `json:"mailbox"`
+	Values    map[string]float64 `json:"values"`
+}
+
+// topFrame is one dashboard sample, the unit both renderings share.
+type topFrame struct {
+	Namespace        string   `json:"namespace"`
+	At               string   `json:"at"`
+	IntervalSeconds  float64  `json:"interval_seconds"` // 0 = -once totals, not rates
+	StoreSeries      float64  `json:"store_series"`
+	DirectoryEntries float64  `json:"directory_entries"`
+	SpansDropped     float64  `json:"spans_dropped"`
+	Containers       []topRow `json:"containers"`
+}
+
+// buildFrame computes one frame. A nil prev (or zero dt) reports raw
+// cumulative totals; otherwise each column is a per-second rate.
+func buildFrame(prev, cur *telemetry.Snapshot, dt time.Duration) topFrame {
 	secs := dt.Seconds()
-	if secs <= 0 {
-		secs = 1
-	}
+	rates := prev != nil && secs > 0
 	load := byContainer(cur, "platform_load_ratio")
 	depth := byContainer(cur, "agent_mailbox_depth_count")
 	names := make(map[string]bool)
@@ -154,7 +197,9 @@ func renderTop(w io.Writer, prev, cur *telemetry.Snapshot, dt time.Duration) {
 	prevCols := make([]map[string]float64, len(topColumns))
 	for i, col := range topColumns {
 		curCols[i] = byContainer(cur, col.metric)
-		prevCols[i] = byContainer(prev, col.metric)
+		if rates {
+			prevCols[i] = byContainer(prev, col.metric)
+		}
 		for c := range curCols[i] {
 			names[c] = true
 		}
@@ -165,20 +210,57 @@ func renderTop(w io.Writer, prev, cur *telemetry.Snapshot, dt time.Duration) {
 	}
 	sort.Strings(containers)
 
+	f := topFrame{
+		Namespace:        cur.Namespace,
+		At:               time.Now().UTC().Format(time.RFC3339),
+		StoreSeries:      gridValue(cur, "store_series_count"),
+		DirectoryEntries: gridValue(cur, "directory_entries_count"),
+		SpansDropped:     gridValue(cur, "trace_spans_dropped_total"),
+	}
+	if rates {
+		f.IntervalSeconds = secs
+	}
+	for _, c := range containers {
+		row := topRow{Container: c, Load: load[c], Mailbox: depth[c], Values: make(map[string]float64)}
+		for i, col := range topColumns {
+			v := curCols[i][c]
+			if rates {
+				v = (v - prevCols[i][c]) / secs
+			}
+			row.Values[col.field] = v
+		}
+		f.Containers = append(f.Containers, row)
+	}
+	return f
+}
+
+// emitFrame writes one frame as JSON or as the ASCII table.
+func emitFrame(w io.Writer, f topFrame, asJSON bool) error {
+	if asJSON {
+		enc := json.NewEncoder(w)
+		return enc.Encode(f)
+	}
+	renderFrame(w, f)
+	return nil
+}
+
+func renderFrame(w io.Writer, f topFrame) {
 	fmt.Fprintf(w, "grid %s  containers %d  store %.0f series  directory %.0f entries  spans dropped %.0f\n",
-		cur.Namespace, len(containers),
-		gridValue(cur, "store_series_count"),
-		gridValue(cur, "directory_entries_count"),
-		gridValue(cur, "trace_spans_dropped_total"))
+		f.Namespace, len(f.Containers), f.StoreSeries, f.DirectoryEntries, f.SpansDropped)
 	fmt.Fprintf(w, "%-10s %6s %6s", "CONTAINER", "load", "mbox")
 	for _, col := range topColumns {
-		fmt.Fprintf(w, " %8s", col.header)
+		header := col.header
+		if f.IntervalSeconds == 0 {
+			// Totals, not rates: drop the /s suffix.
+			header = col.field
+		}
+		fmt.Fprintf(w, " %8s", header)
 	}
 	fmt.Fprintln(w)
-	for _, c := range containers {
-		fmt.Fprintf(w, "%-10s %6.2f %6.0f", c, load[c], depth[c])
-		for i := range topColumns {
-			fmt.Fprintf(w, " %8.1f", (curCols[i][c]-prevCols[i][c])/secs)
+	for _, row := range f.Containers {
+		fmt.Fprintf(w, "%-10s %6.2f %6.0f", row.Container, row.Load, row.Mailbox)
+		for _, col := range topColumns {
+			fmt.Fprintf(w, " %8.1f", row.Values[col.field])
 		}
 		fmt.Fprintln(w)
 	}

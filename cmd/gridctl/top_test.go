@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"net/http"
 	"strings"
 	"testing"
@@ -48,7 +49,7 @@ func TestGridctlTop(t *testing.T) {
 		time.Sleep(20 * time.Millisecond)
 		delivered.Add(100)
 	}()
-	if err := top(&buf, cli, "http://"+addr, 1, 50*time.Millisecond); err != nil {
+	if err := top(&buf, cli, "http://"+addr, topOptions{Frames: 1, Interval: 50 * time.Millisecond}); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -56,6 +57,37 @@ func TestGridctlTop(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("top output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestGridctlTopOnceJSON(t *testing.T) {
+	addr, reg := startMetricsBackend(t)
+	reg.Counter("platform_messages_delivered_total", "x", telemetry.Labels{"container": "cg-1"}).Add(42)
+	reg.GaugeFunc("platform_load_ratio", "x", telemetry.Labels{"container": "cg-1"}, func() float64 { return 0.5 })
+
+	var buf bytes.Buffer
+	cli := &http.Client{Timeout: 5 * time.Second}
+	if err := top(&buf, cli, "http://"+addr, topOptions{Once: true, JSON: true}); err != nil {
+		t.Fatal(err)
+	}
+	var frame topFrame
+	if err := json.Unmarshal(buf.Bytes(), &frame); err != nil {
+		t.Fatalf("one-shot output is not one JSON document: %v\n%s", err, buf.String())
+	}
+	if frame.IntervalSeconds != 0 {
+		t.Fatalf("once frame interval = %v, want 0 (totals mode)", frame.IntervalSeconds)
+	}
+	var cg *topRow
+	for i := range frame.Containers {
+		if frame.Containers[i].Container == "cg-1" {
+			cg = &frame.Containers[i]
+		}
+	}
+	if cg == nil {
+		t.Fatalf("frame missing cg-1: %+v", frame)
+	}
+	if cg.Load != 0.5 || cg.Values["delivered"] != 42 {
+		t.Fatalf("cg-1 row = %+v, want load 0.5 delivered 42", *cg)
 	}
 }
 

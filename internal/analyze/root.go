@@ -13,6 +13,7 @@ import (
 	"agentgrid/internal/agent"
 	"agentgrid/internal/classify"
 	"agentgrid/internal/directory"
+	"agentgrid/internal/flight"
 	"agentgrid/internal/loadbalance"
 	"agentgrid/internal/negotiate"
 	"agentgrid/internal/rules"
@@ -61,6 +62,9 @@ type RootConfig struct {
 	// in-flight task gauge and the contract-net negotiation metrics.
 	// Optional.
 	Metrics *telemetry.Registry
+	// Flight, when set, journals notice, dispatch and completion events
+	// to the flight recorder. Optional.
+	Flight *flight.Recorder
 }
 
 // RootStats counts root activity.
@@ -104,6 +108,10 @@ type Root struct {
 	mReassigned *telemetry.Counter
 	mAbandoned  *telemetry.Counter
 	mAlertsFwd  *telemetry.Counter
+
+	fNotice   *flight.Journal
+	fDispatch *flight.Journal
+	fComplete *flight.Journal
 }
 
 // NewRoot wires broker behaviour onto an agent.
@@ -129,6 +137,9 @@ func NewRoot(a *agent.Agent, cfg RootConfig) (*Root, error) {
 		pending: make(map[string]*pendingTask),
 		l3busy:  make(map[string]bool),
 	}
+	r.fNotice = cfg.Flight.Journal("analyze.notice")
+	r.fDispatch = cfg.Flight.Journal("analyze.dispatch")
+	r.fComplete = cfg.Flight.Journal("analyze.complete")
 	reg := cfg.Metrics
 	l := telemetry.Labels{"container": a.ID().Platform()}
 	r.mNotices = reg.Counter("analyze_notices_total", "cluster notices received from the classifier", l)
@@ -151,6 +162,9 @@ func NewRoot(a *agent.Agent, cfg RootConfig) (*Root, error) {
 			Awards:    reg.Counter("negotiate_awards_total", "contract-net tasks awarded and completed", l),
 			Rounds:    reg.Histogram("negotiate_round_seconds", "full negotiation round wall time", l),
 		})
+		if cfg.Flight != nil {
+			r.ini.SetFlight(cfg.Flight)
+		}
 	}
 
 	a.HandleFunc(agent.Selector{
@@ -261,7 +275,19 @@ func (r *Root) handleInform(ctx context.Context, a *agent.Agent, m *acl.Message)
 	sp.SetAttr("collector", notice.Collector)
 	sp.SetAttrInt("clusters", len(notice.Clusters))
 	ctx = trace.NewContext(ctx, sp)
-	defer sp.End()
+	start := time.Now()
+	defer func() {
+		sp.End()
+		if r.fNotice != nil {
+			r.fNotice.Emit(flight.Event{
+				Container:    a.ID().Platform(),
+				Conversation: m.ConversationID,
+				TraceID:      sp.TID(),
+				Dur:          time.Since(start),
+				Size:         len(notice.Clusters),
+			})
+		}
+	}()
 	r.HandleNotice(ctx, notice)
 }
 
@@ -408,10 +434,29 @@ func (r *Root) sendTask(ctx context.Context, task *Task, reg directory.Registrat
 	err = r.a.Send(ctx, msg)
 	sp.SetError(err)
 	sp.End()
+	r.journalDispatch(task, sp.TID(), err)
 	if err != nil {
 		r.logErr(fmt.Errorf("analyze: send task %s to %s: %w", task.ID, reg.Container, err))
 		r.reassign(ctx, task.ID, reg.Container)
 	}
+}
+
+// journalDispatch records one dispatch attempt in the flight recorder.
+func (r *Root) journalDispatch(task *Task, tid uint64, err error) {
+	if r.fDispatch == nil {
+		return
+	}
+	e := flight.Event{
+		Container:    r.a.ID().Platform(),
+		Conversation: task.ID,
+		TraceID:      tid,
+		Size:         task.Level,
+	}
+	if err != nil {
+		e.Outcome = flight.OutcomeError
+		e.Err = err.Error()
+	}
+	r.fDispatch.Emit(e)
 }
 
 // dispatchNegotiated places the task via contract-net. Runs on its own
@@ -448,6 +493,7 @@ func (r *Root) dispatchNegotiated(ctx context.Context, task *Task, eligible []di
 		Kind:    fmt.Sprintf("analysis-l%d", task.Level),
 		Payload: content,
 	}, r.cfg.BidWindow)
+	r.journalDispatch(task, sp.TID(), err)
 	if err != nil {
 		sp.SetError(err)
 		r.logErr(fmt.Errorf("analyze: negotiate task %s: %w", task.ID, err))
@@ -493,6 +539,14 @@ func (r *Root) complete(ctx context.Context, res *Result) {
 	r.mu.Unlock()
 	if !ok {
 		return // duplicate or late result
+	}
+	if r.fComplete != nil {
+		r.fComplete.Emit(flight.Event{
+			Container:    r.a.ID().Platform(),
+			Conversation: res.TaskID,
+			TraceID:      trace.FromContext(ctx).TID(),
+			Size:         len(res.Alerts),
+		})
 	}
 	if r.cfg.OnResult != nil {
 		r.cfg.OnResult(res)

@@ -9,6 +9,7 @@ import (
 
 	"agentgrid/internal/acl"
 	"agentgrid/internal/agent"
+	"agentgrid/internal/flight"
 	"agentgrid/internal/negotiate"
 	"agentgrid/internal/rules"
 	"agentgrid/internal/store"
@@ -46,6 +47,9 @@ type WorkerConfig struct {
 	// Metrics, when set, registers the worker's task counters and
 	// per-level task latency histograms. Optional.
 	Metrics *telemetry.Registry
+	// Flight, when set, journals one wide event per task execution to
+	// the flight recorder. Optional.
+	Flight *flight.Recorder
 }
 
 // WorkerStats counts worker activity.
@@ -69,6 +73,7 @@ type Worker struct {
 	mBids     *telemetry.Counter
 	mRejected *telemetry.Counter
 	mTaskSec  [3]*telemetry.Histogram // indexed by level-1
+	fTask     [3]*flight.Journal      // indexed by level-1
 }
 
 // NewWorker wires analysis behaviour onto an agent: it accepts task
@@ -94,6 +99,7 @@ func NewWorker(a *agent.Agent, cfg WorkerConfig) (*Worker, error) {
 	for lvl := 1; lvl <= 3; lvl++ {
 		hl := telemetry.Labels{"container": a.ID().Platform(), "level": fmt.Sprintf("l%d", lvl)}
 		w.mTaskSec[lvl-1] = reg.Histogram("analyze_task_seconds", "analysis task execution wall time", hl)
+		w.fTask[lvl-1] = cfg.Flight.Journal(levelSpanName(lvl))
 	}
 	reg.GaugeFunc("analyze_worker_load_ratio", "worker load fraction (busy tasks plus container telemetry)", l, w.Load)
 
@@ -128,7 +134,7 @@ func NewWorker(a *agent.Agent, cfg WorkerConfig) (*Worker, error) {
 			sp.SetAttr("agent", a.ID().Name)
 			sp.SetConversation(task.ID)
 			defer sp.End()
-			res := w.Run(task)
+			res := w.run(task, sp.TID())
 			sp.SetAttrInt("alerts", len(res.Alerts))
 			out, err := EncodeResult(res)
 			if err != nil {
@@ -207,7 +213,7 @@ func (w *Worker) handleTaskRequest(ctx context.Context, a *agent.Agent, m *acl.M
 	sp := a.Tracer().ContinueFromMessage(levelSpanName(task.Level), m)
 	sp.SetAttr("agent", a.ID().Name)
 	defer sp.End()
-	res := w.Run(task)
+	res := w.run(task, sp.TID())
 	sp.SetAttrInt("alerts", len(res.Alerts))
 	reply := m.Reply(a.ID(), acl.Inform)
 	reply.Language = "json"
@@ -240,14 +246,29 @@ func levelSpanName(level int) string {
 
 // Run executes one task synchronously — the multiple-level analyses of
 // §3.3. Exposed for in-process pipelines, negotiation and benchmarks.
-func (w *Worker) Run(task *Task) *Result {
+func (w *Worker) Run(task *Task) *Result { return w.run(task, 0) }
+
+// run is Run with the caller's trace identity attached, so the task
+// latency histogram keeps an exemplar and the flight journal links the
+// event back to the span tree.
+func (w *Worker) run(task *Task, tid uint64) (result *Result) {
 	w.mu.Lock()
 	w.busy++
 	w.mu.Unlock()
 	start := time.Now()
 	defer func() {
+		d := time.Since(start)
 		if task.Level >= 1 && task.Level <= 3 {
-			w.mTaskSec[task.Level-1].Observe(time.Since(start))
+			w.mTaskSec[task.Level-1].ObserveTrace(d, tid)
+			if j := w.fTask[task.Level-1]; j != nil {
+				j.Emit(flight.Event{
+					Container:    w.a.ID().Platform(),
+					Conversation: task.ID,
+					TraceID:      tid,
+					Dur:          d,
+					Size:         len(result.Alerts),
+				})
+			}
 		}
 		w.mTasks.Inc()
 		w.mu.Lock()

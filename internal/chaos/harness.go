@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"agentgrid/internal/directory"
+	"agentgrid/internal/flight"
 	"agentgrid/internal/platform"
 	"agentgrid/internal/trace"
 	"agentgrid/internal/transport"
@@ -47,6 +48,10 @@ type Options struct {
 	// message carrying trace context that is dropped, held, duplicated
 	// or lost gains a zero-length chaos.<verdict> annotation span.
 	Tracer *trace.Tracer
+	// Flight, when set, journals every injected fault as a chaos.fault
+	// event and auto-dumps the recorder when a fault plan is installed
+	// or a target crashes, preserving the pre-fault tail for triage.
+	Flight *flight.Recorder
 }
 
 // Harness drives one chaos scenario: it owns the virtual clock, the
@@ -77,7 +82,7 @@ func New(opts Options) (*Harness, error) {
 		opts:    opts,
 		clock:   clock,
 		rec:     rec,
-		em:      newNetem(opts.Network, clock, rec, opts.Tracer),
+		em:      newNetem(opts.Network, clock, rec, opts.Tracer, opts.Flight),
 		targets: make(map[string]*Target),
 	}
 	rec.Event(MetricStep, "seed", float64(opts.Seed))
@@ -107,7 +112,11 @@ func (h *Harness) SetPlan(p transport.FaultPlan) {
 	h.em.setPlan(p)
 	if p == nil {
 		h.rec.Event(MetricHeal, "net", 0)
+		return
 	}
+	// Snapshot the healthy baseline the moment faults start, so triage
+	// can diff pre-fault behaviour against what the plan does next.
+	h.opts.Flight.Trigger("chaos: fault plan installed (" + h.opts.Scenario + ")")
 }
 
 // Heal removes the fault plan. Messages already held stay held until
@@ -159,6 +168,7 @@ func (h *Harness) Crash(name string) error {
 		h.opts.Directory.Deregister(name)
 	}
 	h.rec.Event(MetricCrash, name, 1)
+	h.opts.Flight.Trigger("chaos: crash " + name)
 	return nil
 }
 

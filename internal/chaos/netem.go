@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"agentgrid/internal/acl"
+	"agentgrid/internal/flight"
 	"agentgrid/internal/trace"
 	"agentgrid/internal/transport"
 )
@@ -20,7 +21,8 @@ type netem struct {
 	net    *transport.InProcNetwork
 	clock  *Clock
 	rec    *Recorder
-	tracer *trace.Tracer // nil when the run is untraced
+	tracer *trace.Tracer   // nil when the run is untraced
+	flight *flight.Journal // nil when the run has no flight recorder
 
 	mu   sync.Mutex
 	plan transport.FaultPlan // guarded by mu
@@ -36,8 +38,8 @@ type heldMsg struct {
 	msg  *acl.Message
 }
 
-func newNetem(n *transport.InProcNetwork, clock *Clock, rec *Recorder, tracer *trace.Tracer) *netem {
-	em := &netem{net: n, clock: clock, rec: rec, tracer: tracer}
+func newNetem(n *transport.InProcNetwork, clock *Clock, rec *Recorder, tracer *trace.Tracer, fr *flight.Recorder) *netem {
+	em := &netem{net: n, clock: clock, rec: rec, tracer: tracer, flight: fr.Journal("chaos.fault")}
 	n.SetPlan(transport.PlanFunc(em.decide))
 	n.SetHolder(em.hold)
 	return em
@@ -80,6 +82,7 @@ func (em *netem) decide(from, to string, m *acl.Message) transport.Decision {
 	})
 	if verdict != "deliver" {
 		em.annotate(verdict, from, to, m)
+		em.journal(verdict, from, to, m)
 	}
 	switch verdict {
 	case "drop":
@@ -144,6 +147,7 @@ func (em *netem) release(t time.Duration) {
 		if err := em.net.Inject(h.to, h.msg); err != nil {
 			em.rec.Event(MetricLost, link(h.from, h.to), float64(h.seq))
 			em.annotate("lost", h.from, h.to, h.msg)
+			em.journal("lost", h.from, h.to, h.msg)
 			continue
 		}
 		em.rec.Event(MetricRelease, link(h.from, h.to), float64(h.seq))
@@ -164,6 +168,28 @@ func (em *netem) annotate(verdict, from, to string, m *acl.Message) {
 	sp.SetAttr("performative", string(m.Performative))
 	sp.SetConversation(m.ConversationID)
 	sp.End()
+}
+
+// journal records the fault as a wide event in the flight recorder so a
+// post-incident dump shows exactly which messages were faulted and how.
+func (em *netem) journal(verdict, from, to string, m *acl.Message) {
+	if em.flight == nil {
+		return
+	}
+	e := flight.Event{
+		Container:    link(from, to),
+		Conversation: m.ConversationID,
+		Size:         len(m.Content),
+		Err:          verdict,
+	}
+	if m.Trace != nil {
+		e.TraceID = flight.ParseTraceID(m.Trace.TraceID)
+	}
+	switch verdict {
+	case "drop", "lost", "unroutable":
+		e.Outcome = flight.OutcomeDrop
+	}
+	em.flight.Emit(e)
 }
 
 func link(from, to string) string { return from + "->" + to }

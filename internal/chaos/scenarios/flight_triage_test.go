@@ -1,0 +1,183 @@
+package scenarios
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"agentgrid/internal/acl"
+	"agentgrid/internal/chaos"
+	"agentgrid/internal/core"
+	"agentgrid/internal/device"
+	"agentgrid/internal/telemetry"
+	"agentgrid/internal/trace"
+	"agentgrid/internal/transport"
+	"agentgrid/internal/workload"
+)
+
+// TestScenarioFlightTriageLoop closes the loop the flight recorder
+// exists for: a chaos fault fires mid-pipeline, the recorder auto-dumps
+// the wide-event ring, the telemetry histograms retain trace exemplars
+// for the work that ran under the fault, and the exemplar's trace ID
+// resolves to a complete span tree — the exact sequence an operator
+// walks (flight dump → hot bucket → exemplar → span tree) when paged.
+//
+// Invariants: installing a fault plan snapshots the ring unprompted; a
+// later snapshot carries the journaled chaos.fault events; the ingest
+// histogram's hottest exemplar-bearing bucket names a trace the tracer
+// still holds; and that trace reconstructs with no orphaned spans.
+func TestScenarioFlightTriageLoop(t *testing.T) {
+	forEachSeed(t, func(t *testing.T, seed int64) {
+		spec := workload.FleetSpec{Site: "site1", Hosts: 3, Seed: seed}
+		r := newRig(t, core.Config{Site: "site1"}, spec, "flight-triage", seed)
+		g, h := r.g, r.h
+
+		// Peg two devices so the rules pipeline has alerts to raise once
+		// collection rounds run.
+		for i := 0; i < 2; i++ {
+			r.fleet.Stations()[i].Device.InjectFault(device.FaultCPUPegged)
+		}
+
+		// 30% of batch informs headed for the classifier die on the wire.
+		lossy := transport.When(func(_, to string, m *acl.Message) bool {
+			return to == "inproc://clg" && m.Language == "xml"
+		}, transport.Sometimes(seed, 0.30, transport.Drop()))
+
+		err := h.Run(chaos.Scenario{Name: "flight-triage", Steps: []chaos.Step{
+			{At: 0, Name: "inject-loss", Do: func(h *chaos.Harness) error {
+				h.SetPlan(lossy) // must auto-dump the ring
+				return nil
+			}},
+			{At: 10 * time.Millisecond, Name: "collect-under-loss", Do: func(h *chaos.Harness) error {
+				waitFor(t, 30*time.Second, "wire losses observed", func() bool {
+					r.fleet.Advance(1)
+					_ = g.CollectNow(context.Background())
+					return h.Recorder().EventCount(chaos.MetricDrop) > 0
+				})
+				return nil
+			}},
+			{At: 20 * time.Millisecond, Name: "escalate", Do: func(h *chaos.Harness) error {
+				// Re-arming the plan snapshots the ring again — this dump
+				// carries the first fault's wake.
+				h.SetPlan(lossy)
+				return nil
+			}},
+			{At: 30 * time.Millisecond, Name: "heal-clean-round", Do: func(h *chaos.Harness) error {
+				h.Heal()
+				r.fleet.Advance(1)
+				return g.CollectNow(context.Background())
+			}},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitFor(t, 30*time.Second, "alerts raised", func() bool {
+			r.fleet.Advance(1)
+			_ = g.CollectNow(context.Background())
+			return len(g.Alerts()) > 0
+		})
+		if err := chaos.Idle(g.Root(), 15*time.Second); err != nil {
+			t.Fatal(err)
+		}
+
+		// 1. The fault injections snapshot the ring without being asked.
+		dumps := g.Flight().Dumps()
+		if len(dumps) < 2 {
+			t.Fatalf("fault plans produced %d flight dumps, want >= 2", len(dumps))
+		}
+		planDumps := 0
+		faultEventDumped := false
+		for _, d := range dumps {
+			if strings.Contains(d.Reason, "chaos: fault plan installed") {
+				planDumps++
+			}
+			for _, e := range d.Events {
+				if e.Name == "chaos.fault" {
+					faultEventDumped = true
+					break
+				}
+			}
+		}
+		if planDumps < 2 {
+			t.Fatalf("%d of %d dumps were plan-install auto-dumps, want >= 2: %+v", planDumps, len(dumps), dumps)
+		}
+		if !faultEventDumped {
+			t.Fatal("no retained dump carries a journaled chaos.fault event")
+		}
+
+		// 2. The journal saw the pipeline, not just the faults.
+		stages := g.Flight().Stats().Stages
+		for _, want := range []string{"collect.poll", "classify.ingest", "chaos.fault"} {
+			if stages[want].Events == 0 {
+				t.Fatalf("stage %q never journaled; stages: %+v", want, stages)
+			}
+		}
+
+		// 3. The ingest histogram's hottest exemplar-bearing bucket
+		// resolves to a span tree with no orphans — the operator's jump
+		// from metric to trace works end to end.
+		ex := hottestExemplar(t, g.Metrics().Snapshot(), "agentgrid_classify_ingest_seconds")
+		spans, ok := g.Tracer().Lookup(ex.TraceID)
+		if !ok {
+			t.Fatalf("exemplar trace %s not retained by the tracer", ex.TraceID)
+		}
+		roots := trace.BuildTree(spans)
+		if len(roots) == 0 {
+			t.Fatalf("exemplar trace %s built an empty tree from %d spans", ex.TraceID, len(spans))
+		}
+		for _, root := range roots {
+			if root.Span.Parent != 0 {
+				t.Fatalf("span %q orphaned in exemplar trace %s (parent %x missing)",
+					root.Span.Name, ex.TraceID, root.Span.Parent)
+			}
+		}
+		if rendered := trace.Render(spans); !strings.Contains(rendered, "classify.ingest") {
+			t.Fatalf("rendered exemplar trace misses the ingest span:\n%s", rendered)
+		}
+	})
+}
+
+// hottestExemplar returns the exemplar of the highest-count bucket (per
+// bucket, not cumulative) among the metric's exemplar-bearing buckets.
+func hottestExemplar(t *testing.T, snap telemetry.Snapshot, metric string) telemetry.Exemplar {
+	t.Helper()
+	var best telemetry.Exemplar
+	bestCount := uint64(0)
+	found := false
+	for _, m := range snap.Metrics {
+		if m.Name != metric {
+			continue
+		}
+		for _, s := range m.Series {
+			if s.Hist == nil {
+				continue
+			}
+			for _, ex := range s.Hist.Exemplars {
+				n := bucketCount(s.Hist, ex.LE)
+				if !found || n > bestCount {
+					best, bestCount, found = ex, n, true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("metric %s retained no exemplars", metric)
+	}
+	return best
+}
+
+// bucketCount converts the snapshot's cumulative counts back to the
+// per-bucket count for the bucket with upper bound le (le < 0 means the
+// +Inf overflow bucket).
+func bucketCount(h *telemetry.HistogramSnapshot, le float64) uint64 {
+	var prev uint64
+	for _, b := range h.Buckets {
+		if b.LE == le {
+			return b.Count - prev
+		}
+		prev = b.Count
+	}
+	// Overflow bucket: total minus the last finite cumulative count.
+	return h.Count - prev
+}

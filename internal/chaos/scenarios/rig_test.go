@@ -87,6 +87,7 @@ func newRig(t *testing.T, cfg core.Config, spec workload.FleetSpec, scenario str
 		Network:   g.Network(),
 		Directory: g.Directory(),
 		Tracer:    g.Tracer(),
+		Flight:    g.Flight(),
 	})
 	if err != nil {
 		t.Fatal(err)

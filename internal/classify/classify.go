@@ -17,6 +17,7 @@ import (
 
 	"agentgrid/internal/acl"
 	"agentgrid/internal/agent"
+	"agentgrid/internal/flight"
 	"agentgrid/internal/obs"
 	"agentgrid/internal/telemetry"
 	"agentgrid/internal/trace"
@@ -213,6 +214,9 @@ type Config struct {
 	// ingest latency histogram labeled with the hosting container.
 	// Optional.
 	Metrics *telemetry.Registry
+	// Flight, when set, journals every batch ingest (duration, record
+	// count, outcome, trace link) under classify.ingest. Optional.
+	Flight *flight.Recorder
 }
 
 // Stats counts classifier activity.
@@ -238,6 +242,8 @@ type Classifier struct {
 	mStoreErrors *telemetry.Counter
 	mNotices     *telemetry.Counter
 	mIngestSec   *telemetry.Histogram
+
+	fIngest *flight.Journal
 }
 
 // New wires classifier behaviour onto an agent: it consumes XML batch
@@ -261,6 +267,7 @@ func New(a *agent.Agent, cfg Config) (*Classifier, error) {
 	c.mStoreErrors = r.Counter("classify_errors_store_total", "records that failed to persist", l)
 	c.mNotices = r.Counter("classify_notices_total", "cluster notices sent to the processor root", l)
 	c.mIngestSec = r.Histogram("classify_ingest_seconds", "batch ingest pipeline wall time", l)
+	c.fIngest = cfg.Flight.Journal("classify.ingest")
 	a.HandleFunc(agent.Selector{
 		Performative: acl.Inform,
 		Ontology:     acl.OntologyNetworkManagement,
@@ -282,12 +289,37 @@ func (c *Classifier) Stats() Stats {
 // notify — the full §3.2 pipeline.
 func (c *Classifier) handleBatch(ctx context.Context, a *agent.Agent, m *acl.Message) {
 	start := time.Now()
-	defer func() { c.mIngestSec.Observe(time.Since(start)) }()
 	sp := a.Tracer().ContinueFromMessage("classify.ingest", m)
+	var (
+		records int
+		evErr   error
+	)
+	defer func() {
+		d := time.Since(start)
+		// The trace-linked observation is what puts an exemplar in the
+		// ingest histogram's hot bucket: p99 bucket → trace ID → span
+		// tree.
+		c.mIngestSec.ObserveTrace(d, sp.TID())
+		if c.fIngest != nil {
+			e := flight.Event{
+				Container:    a.ID().Platform(),
+				Conversation: m.ConversationID,
+				TraceID:      sp.TID(),
+				Dur:          d,
+				Size:         records,
+			}
+			if evErr != nil {
+				e.Outcome = flight.OutcomeError
+				e.Err = evErr.Error()
+			}
+			c.fIngest.Emit(e)
+		}
+	}()
 	ctx = trace.NewContext(ctx, sp)
 	defer sp.End()
 	batch, err := obs.UnmarshalBatch(m.Content)
 	if err != nil {
+		evErr = err
 		sp.SetError(err)
 		c.mu.Lock()
 		c.stats.ParseErrors++
@@ -297,9 +329,11 @@ func (c *Classifier) handleBatch(ctx context.Context, a *agent.Agent, m *acl.Mes
 		_ = a.Send(ctx, m.Reply(a.ID(), acl.NotUnderstood))
 		return
 	}
+	records = len(batch.Records)
 	sp.SetAttr("collector", batch.Collector)
-	sp.SetAttrInt("batch", len(batch.Records))
+	sp.SetAttrInt("batch", records)
 	if err := c.Ingest(ctx, batch); err != nil {
+		evErr = err
 		sp.SetError(err)
 		c.logErr(err)
 	}

@@ -19,6 +19,7 @@ import (
 	"agentgrid/internal/acl"
 	"agentgrid/internal/agent"
 	"agentgrid/internal/device"
+	"agentgrid/internal/flight"
 	"agentgrid/internal/obs"
 	"agentgrid/internal/rules"
 	"agentgrid/internal/snmp"
@@ -212,6 +213,9 @@ type Config struct {
 	// Metrics, when set, registers the collector's counters and poll
 	// latency histogram labeled with the hosting container. Optional.
 	Metrics *telemetry.Registry
+	// Flight, when set, journals poll cycles (collect.poll) and batch
+	// shipments (collect.ship) with their trace links. Optional.
+	Flight *flight.Recorder
 }
 
 // Stats counts collector activity.
@@ -238,6 +242,9 @@ type Collector struct {
 	mShipErrors  *telemetry.Counter
 	mLocalAlerts *telemetry.Counter
 	mPollSec     *telemetry.Histogram
+
+	fPoll *flight.Journal
+	fShip *flight.Journal
 }
 
 // New wires collector behaviour onto an agent.
@@ -260,6 +267,8 @@ func New(a *agent.Agent, cfg Config) (*Collector, error) {
 	c.mShipErrors = r.Counter("collect_ship_errors_total", "batches that failed to ship to the classifier", l)
 	c.mLocalAlerts = r.Counter("collect_alerts_local_total", "alerts raised by local level-1 pre-analysis", l)
 	c.mPollSec = r.Histogram("collect_poll_seconds", "full poll cycle wall time", l)
+	c.fPoll = cfg.Flight.Journal("collect.poll")
+	c.fShip = cfg.Flight.Journal("collect.ship")
 	// The interface grid can push new goals at runtime via request
 	// messages carrying a goal description.
 	a.HandleFunc(agent.Selector{Performative: acl.Request, Ontology: acl.OntologyGridManagement},
@@ -375,10 +384,30 @@ func (c *Collector) collectAndShip(ctx context.Context, goalName string) error {
 		return fmt.Errorf("collect: no goal %q", goalName)
 	}
 	start := time.Now()
-	defer func() { c.mPollSec.Observe(time.Since(start)) }()
 	// The poll is where a trace is born: everything downstream — ship,
 	// classify, analyze, alerting — descends from this root span.
 	sp := c.a.Tracer().StartRoot("collect.poll")
+	var (
+		polled  int
+		pollErr error
+	)
+	defer func() {
+		d := time.Since(start)
+		c.mPollSec.ObserveTrace(d, sp.TID())
+		if c.fPoll != nil {
+			e := flight.Event{
+				Container: c.a.ID().Platform(),
+				TraceID:   sp.TID(),
+				Dur:       d,
+				Size:      polled,
+			}
+			if pollErr != nil {
+				e.Outcome = flight.OutcomeError
+				e.Err = pollErr.Error()
+			}
+			c.fPoll.Emit(e)
+		}
+	}()
 	sp.SetAttr("agent", c.a.ID().Name)
 	sp.SetAttr("goal", goalName)
 	sp.SetAttr("device", g.Device)
@@ -386,11 +415,13 @@ func (c *Collector) collectAndShip(ctx context.Context, goalName string) error {
 	defer sp.End()
 	records, err := c.cfg.Iface.Collect(ctx, g)
 	if err != nil {
+		pollErr = err
 		sp.SetError(err)
 		c.mPollErrors.Inc()
 		c.logErr(err)
 		return err
 	}
+	polled = len(records)
 	sp.SetAttrInt("records", len(records))
 	c.mu.Lock()
 	c.stats.Collections++
@@ -460,8 +491,26 @@ func (c *Collector) ship(ctx context.Context, records []obs.Record) error {
 		c.stats.ShipErrors++
 		c.mu.Unlock()
 		c.mShipErrors.Inc()
+		if c.fShip != nil {
+			c.fShip.Emit(flight.Event{
+				Container:    c.a.ID().Platform(),
+				Conversation: msg.ConversationID,
+				TraceID:      sp.TID(),
+				Size:         len(content),
+				Outcome:      flight.OutcomeError,
+				Err:          err.Error(),
+			})
+		}
 		c.logErr(fmt.Errorf("collect: ship batch: %w", err))
 		return err
+	}
+	if c.fShip != nil {
+		c.fShip.Emit(flight.Event{
+			Container:    c.a.ID().Platform(),
+			Conversation: msg.ConversationID,
+			TraceID:      sp.TID(),
+			Size:         len(content),
+		})
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"agentgrid/internal/acl"
@@ -12,6 +13,7 @@ import (
 	"agentgrid/internal/classify"
 	"agentgrid/internal/collect"
 	"agentgrid/internal/directory"
+	"agentgrid/internal/flight"
 	"agentgrid/internal/loadbalance"
 	"agentgrid/internal/obs"
 	"agentgrid/internal/platform"
@@ -73,6 +75,12 @@ type Config struct {
 	// everything with default buffers; see trace.Options for sampling
 	// and sizing knobs.
 	Trace trace.Options
+	// Flight configures the grid's always-on flight recorder. The zero
+	// value records with default ring sizing; see flight.Options.
+	Flight flight.Options
+	// ProfileEvery is the continuous profiler's sampling period
+	// (default 5s). Negative disables the profiler goroutine.
+	ProfileEvery time.Duration
 	// ErrorLog receives grid-internal errors. Optional.
 	ErrorLog func(error)
 }
@@ -114,6 +122,8 @@ type Grid struct {
 	tracer     *trace.Tracer
 	metrics    *telemetry.Registry
 	health     *telemetry.Health
+	flight     *flight.Recorder
+	profiler   *flight.Profiler
 	containers []*platform.Container
 	collectors []*collect.Collector
 	classifier *classify.Classifier
@@ -137,7 +147,15 @@ func NewGrid(cfg Config) (*Grid, error) {
 		tracer:  trace.New(cfg.Trace),
 		metrics: telemetry.NewRegistry("agentgrid"),
 		health:  telemetry.NewHealth(),
+		flight:  flight.New(cfg.Flight),
 	}
+	// A health degradation is exactly the moment the pre-incident tail
+	// matters: snapshot the ring before it scrolls away.
+	g.health.SetTransitionHook(func(healthy bool, failing []string) {
+		if !healthy {
+			g.flight.Trigger("health: degraded (" + strings.Join(failing, ",") + ")")
+		}
+	})
 
 	profile := directory.ResourceProfile{CPUCapacity: 100, NetCapacity: 100, DiscCapacity: 100}
 	resolver := func(aid acl.AID) (string, error) {
@@ -152,6 +170,7 @@ func NewGrid(cfg Config) (*Grid, error) {
 			Resolver: resolver, ErrorLog: cfg.ErrorLog,
 			Tracer:  g.tracer,
 			Metrics: g.metrics,
+			Flight:  g.flight,
 			// Close the §3.5 loop: each container periodically reports
 			// its telemetry-measured load into the directory, so
 			// contract-net awards react to observed pressure between
@@ -169,7 +188,7 @@ func NewGrid(cfg Config) (*Grid, error) {
 				RecvBytes:    g.metrics.Counter("acl_received_bytes_total", "ACL frame bytes read from TCP peers", wl),
 				AcceptErrors: g.metrics.Counter("acl_accept_errors_total", "transient TCP listener accept failures", wl),
 				DecodeErrors: g.metrics.Counter("acl_decode_errors_total", "inbound TCP connections ended by an undecodable frame", wl),
-			})}
+			}), transport.WithTCPFlight(g.flight)}
 			switch cfg.WireFormat {
 			case "", "binary":
 				// transport's default is already ACL2 binary.
@@ -228,6 +247,7 @@ func NewGrid(cfg Config) (*Grid, error) {
 		TaskTimeout: cfg.TaskTimeout,
 		ErrorLog:    cfg.ErrorLog,
 		Metrics:     g.metrics,
+		Flight:      g.flight,
 	})
 	if err != nil {
 		return nil, err
@@ -265,6 +285,7 @@ func NewGrid(cfg Config) (*Grid, error) {
 		w, err := analyze.NewWorker(wa, analyze.WorkerConfig{
 			Store: g.store, Rules: rb, ErrorLog: cfg.ErrorLog,
 			Metrics: g.metrics,
+			Flight:  g.flight,
 			// The worker's contract-net bid folds in the container's
 			// telemetry-measured load, not just its busy-task count.
 			LoadFunc: wc.TelemetryLoad,
@@ -298,6 +319,7 @@ func NewGrid(cfg Config) (*Grid, error) {
 		Ontology:  obs.NewOntology(),
 		ErrorLog:  cfg.ErrorLog,
 		Metrics:   g.metrics,
+		Flight:    g.flight,
 	})
 	if err != nil {
 		return nil, err
@@ -350,6 +372,7 @@ func NewGrid(cfg Config) (*Grid, error) {
 			},
 			ErrorLog: cfg.ErrorLog,
 			Metrics:  g.metrics,
+			Flight:   g.flight,
 		})
 		if err != nil {
 			return nil, err
@@ -372,6 +395,7 @@ func NewGrid(cfg Config) (*Grid, error) {
 		Tracer:    g.tracer,
 		Metrics:   g.metrics,
 		Health:    g.health,
+		Flight:    g.flight,
 		ErrorLog:  cfg.ErrorLog,
 	})
 	if err != nil {
@@ -385,6 +409,14 @@ func NewGrid(cfg Config) (*Grid, error) {
 	}
 	g.registerGridMetrics()
 	g.registerHealthChecks()
+	if cfg.ProfileEvery >= 0 {
+		g.profiler = flight.StartProfiler(flight.ProfilerOptions{
+			Recorder: g.flight,
+			Registry: g.metrics,
+			Health:   g.health,
+			Every:    cfg.ProfileEvery,
+		})
+	}
 	return g, nil
 }
 
@@ -574,6 +606,8 @@ func (g *Grid) Stop() error {
 			firstErr = err
 		}
 	}
+	g.profiler.Close()
+	g.flight.Close()
 	g.started = false
 	return firstErr
 }
@@ -714,6 +748,13 @@ func (g *Grid) Metrics() *telemetry.Registry { return g.metrics }
 
 // Health returns the grid's health check set.
 func (g *Grid) Health() *telemetry.Health { return g.health }
+
+// Flight returns the grid's always-on flight recorder.
+func (g *Grid) Flight() *flight.Recorder { return g.flight }
+
+// Profiler returns the grid's continuous runtime profiler (nil when
+// disabled with a negative ProfileEvery).
+func (g *Grid) Profiler() *flight.Profiler { return g.profiler }
 
 // Alerts returns the interface grid's alert history.
 func (g *Grid) Alerts() []rules.Alert { return g.ig.Alerts("") }

@@ -1,0 +1,60 @@
+package flight
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEmit measures the steady-state journaling cost — the number
+// that must stay well under the soak gate's per-message budget, since
+// the transport serve loop pays it once per frame.
+func BenchmarkEmit(b *testing.B) {
+	r := New(Options{})
+	defer r.Close()
+	ev := Event{Container: "root", Conversation: "conv-1", TraceID: 42, Size: 186}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Emit("transport.serve", ev)
+	}
+}
+
+// BenchmarkEmitTimed includes a duration so the stage-attribution
+// busy-time add is on the measured path.
+func BenchmarkEmitTimed(b *testing.B) {
+	r := New(Options{})
+	defer r.Close()
+	ev := Event{Container: "analyzer", Dur: 250 * time.Microsecond}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Emit("analyze.task", ev)
+	}
+}
+
+// BenchmarkJournalEmit is the pre-resolved hot-path variant the
+// transport serve loop uses — the per-frame cost at the soak gate.
+func BenchmarkJournalEmit(b *testing.B) {
+	r := New(Options{})
+	defer r.Close()
+	j := r.Journal("transport.serve")
+	ev := Event{Container: "root", Conversation: "conv-1", TraceID: 42, Size: 186}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j.Emit(ev)
+	}
+}
+
+// BenchmarkEmitParallel exercises shard striping under contention.
+func BenchmarkEmitParallel(b *testing.B) {
+	r := New(Options{})
+	defer r.Close()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		ev := Event{Container: "root", Size: 186}
+		for pb.Next() {
+			r.Emit("transport.serve", ev)
+		}
+	})
+}

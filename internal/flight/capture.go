@@ -1,0 +1,102 @@
+package flight
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/pprof"
+	"sync/atomic"
+	"time"
+)
+
+// On-demand profile capture for the report server's /debug/profile
+// endpoint. CPU, mutex and block profiles cost while armed, so capture
+// is bounded: one CPU capture at a time, windows capped at
+// MaxCaptureWindow, and mutex/block profiling is enabled only for the
+// duration of the capture then restored.
+
+// MaxCaptureWindow caps the sampling window of windowed captures
+// (cpu, mutex, block) so a stray query cannot leave profiling armed.
+const MaxCaptureWindow = 30 * time.Second
+
+// cpuBusy serializes CPU captures: runtime/pprof supports only one
+// CPU profile at a time process-wide. A busy flag (rather than a
+// mutex) lets a second request fail fast instead of queueing behind a
+// 30s window.
+var cpuBusy atomic.Bool
+
+// clampWindow bounds d to (0, MaxCaptureWindow], defaulting to 5s.
+func clampWindow(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 5 * time.Second
+	}
+	if d > MaxCaptureWindow {
+		return MaxCaptureWindow
+	}
+	return d
+}
+
+// CaptureCPU writes a CPU profile of the next d (clamped) to w. At
+// most one capture runs at a time; concurrent requests fail fast.
+func CaptureCPU(w io.Writer, d time.Duration) error {
+	if !cpuBusy.CompareAndSwap(false, true) {
+		return fmt.Errorf("flight: a cpu capture is already running")
+	}
+	defer cpuBusy.Store(false)
+	if err := pprof.StartCPUProfile(w); err != nil {
+		return err
+	}
+	//gridlint:ignore sleepsync the sleep IS the sampling window, not a wait
+	time.Sleep(clampWindow(d))
+	pprof.StopCPUProfile()
+	return nil
+}
+
+// CaptureMutex arms mutex profiling for d (clamped), writes the
+// resulting profile to w, and restores the previous fraction.
+func CaptureMutex(w io.Writer, d time.Duration, debug int) error {
+	prev := runtime.SetMutexProfileFraction(5)
+	//gridlint:ignore sleepsync the sleep IS the sampling window, not a wait
+	time.Sleep(clampWindow(d))
+	err := writeLookup(w, "mutex", debug)
+	runtime.SetMutexProfileFraction(prev)
+	return err
+}
+
+// CaptureBlock arms block profiling for d (clamped), writes the
+// resulting profile to w, and disarms it.
+func CaptureBlock(w io.Writer, d time.Duration, debug int) error {
+	runtime.SetBlockProfileRate(10_000) // one sample per 10µs blocked
+	//gridlint:ignore sleepsync the sleep IS the sampling window, not a wait
+	time.Sleep(clampWindow(d))
+	err := writeLookup(w, "block", debug)
+	runtime.SetBlockProfileRate(0)
+	return err
+}
+
+// CaptureProfile dispatches a named capture. Windowed kinds (cpu,
+// mutex, block) sample for d; snapshot kinds (heap, allocs, goroutine,
+// threadcreate) ignore it. debug selects pprof's text rendering for
+// snapshot and mutex/block kinds; the cpu kind is always binary.
+func CaptureProfile(w io.Writer, kind string, d time.Duration, debug int) error {
+	switch kind {
+	case "cpu":
+		return CaptureCPU(w, d)
+	case "mutex":
+		return CaptureMutex(w, d, debug)
+	case "block":
+		return CaptureBlock(w, d, debug)
+	case "heap", "allocs", "goroutine", "threadcreate":
+		return writeLookup(w, kind, debug)
+	default:
+		return fmt.Errorf("flight: unknown profile %q (want cpu|heap|allocs|goroutine|threadcreate|mutex|block)", kind)
+	}
+}
+
+func writeLookup(w io.Writer, name string, debug int) error {
+	p := pprof.Lookup(name)
+	if p == nil {
+		return fmt.Errorf("flight: no %q profile", name)
+	}
+	return p.WriteTo(w, debug)
+}

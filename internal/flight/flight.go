@@ -1,0 +1,594 @@
+// Package flight is the grid's always-on flight recorder: a
+// lock-striped, drop-oldest ring journal of structured wide events
+// emitted from every pipeline stage, cheap enough to leave enabled at
+// the soak gate's sustained rate. When something goes wrong — a chaos
+// fault fires, a health check flips unhealthy, an agent goroutine
+// panics — the recorder snapshots its recent history into a bounded
+// dump list so the operator can replay the seconds leading up to the
+// incident instead of reconstructing them from logs.
+//
+// Emit is the hot-path entry point and follows the PR 7 steady-state
+// discipline: no allocation, no time.Now() (timestamps come from a
+// coarse clock advanced by a background ticker), one atomic sequence
+// fetch, one short shard critical section copying the event by value
+// into the ring. Strings stored in events must be stable — constant
+// stage names and the interned header strings the ACL Into decode path
+// guarantees never alias a frame buffer.
+//
+// Every method is nil-safe: a nil *Recorder is a no-op recorder, so
+// stages wire the journal with plain field assignment and zero
+// conditionals, the same contract trace and telemetry follow.
+package flight
+
+import (
+	"fmt"
+	"io"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Outcome classifies how the unit of work an event describes ended.
+type Outcome uint8
+
+const (
+	// OutcomeOK is the steady-state outcome.
+	OutcomeOK Outcome = iota
+	// OutcomeError marks a failed unit of work (decode error, send
+	// failure, handler error); Err carries the detail.
+	OutcomeError
+	// OutcomeDrop marks work that was deliberately shed (chaos drop
+	// verdicts, full mailboxes, unroutable destinations).
+	OutcomeDrop
+)
+
+// String returns the wire spelling used in JSON and text renderings.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeError:
+		return "error"
+	case OutcomeDrop:
+		return "drop"
+	default:
+		return "ok"
+	}
+}
+
+// MarshalJSON renders the outcome as its string spelling.
+func (o Outcome) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + o.String() + `"`), nil
+}
+
+// Event is one wide structured record of a unit of pipeline work. The
+// struct is copied by value into the ring; it must stay flat (no
+// pointers into caller-owned buffers) so retaining it is safe and the
+// copy is a handful of word moves.
+type Event struct {
+	// Seq is the recorder-global emission sequence number, assigned by
+	// Emit. Later Seq means later emission.
+	Seq uint64 `json:"seq"`
+	// At is the coarse wall-clock timestamp in unix nanoseconds,
+	// assigned by Emit when zero.
+	At int64 `json:"at"`
+	// Name is the stage event name ("transport.serve",
+	// "classify.ingest", ...), lowercase dot-separated — enforced by
+	// the eventname gridlint analyzer at the Emit call site.
+	Name string `json:"name"`
+	// Container is the emitting container's platform name, when known.
+	Container string `json:"container,omitempty"`
+	// Conversation is the ACL conversation ID the work belonged to.
+	Conversation string `json:"conversation,omitempty"`
+	// TraceID links the event to the trace subsystem's span tree; zero
+	// when the work carried no trace context.
+	TraceID uint64 `json:"-"`
+	// Dur is how long the unit of work took, when the stage timed it.
+	Dur time.Duration `json:"dur_ns,omitempty"`
+	// Outcome classifies the result.
+	Outcome Outcome `json:"outcome"`
+	// Size is a stage-relevant byte or item count (frame bytes,
+	// notices in a batch, alerts raised).
+	Size int `json:"size,omitempty"`
+	// Err is the error detail for non-OK outcomes.
+	Err string `json:"err,omitempty"`
+}
+
+// eventJSON mirrors Event for encoding with the trace ID in the hex
+// spelling gridctl trace accepts as input.
+type eventJSON struct {
+	Seq          uint64        `json:"seq"`
+	At           int64         `json:"at"`
+	Name         string        `json:"name"`
+	Container    string        `json:"container,omitempty"`
+	Conversation string        `json:"conversation,omitempty"`
+	TraceID      string        `json:"trace_id,omitempty"`
+	Dur          time.Duration `json:"dur_ns,omitempty"`
+	Outcome      Outcome       `json:"outcome"`
+	Size         int           `json:"size,omitempty"`
+	Err          string        `json:"err,omitempty"`
+}
+
+// MarshalJSON renders the event with trace_id as the zero-padded hex
+// string the trace subsystem's lookup accepts.
+func (e Event) MarshalJSON() ([]byte, error) {
+	j := eventJSON{
+		Seq:          e.Seq,
+		At:           e.At,
+		Name:         e.Name,
+		Container:    e.Container,
+		Conversation: e.Conversation,
+		Dur:          e.Dur,
+		Outcome:      e.Outcome,
+		Size:         e.Size,
+		Err:          e.Err,
+	}
+	if e.TraceID != 0 {
+		j.TraceID = fmt.Sprintf("%016x", e.TraceID)
+	}
+	return marshalJSON(j)
+}
+
+// Options configures a Recorder. The zero value picks defaults sized
+// for one grid process: 8 shards of 1024 events (~850KB of history at
+// 1M msgs/s is most of a second of transport events) and the last 8
+// dumps retained.
+type Options struct {
+	// Shards is the stripe count, rounded up to a power of two.
+	Shards int
+	// ShardCapacity is the ring size per shard, in events.
+	ShardCapacity int
+	// MaxDumps bounds the retained dump list; older dumps are evicted.
+	MaxDumps int
+	// CrashLog receives a text rendering of the triggered dump when
+	// CapturePanic fires, so the recording survives the process.
+	// Defaults to io.Discard when nil; grids wire os.Stderr.
+	CrashLog io.Writer
+	// CoarseTick is the coarse-clock resolution. Defaults to 1ms.
+	CoarseTick time.Duration
+}
+
+const (
+	defaultShards    = 8
+	defaultShardCap  = 1024
+	defaultMaxDumps  = 8
+	defaultTick      = time.Millisecond
+	maxEventErrBytes = 256
+)
+
+type shard struct {
+	mu    sync.Mutex
+	buf   []Event // guarded by mu; fixed-size power-of-two ring
+	cmask int     // len(buf)-1; ring indices wrap with & not %
+	start int     // guarded by mu
+	n     int     // guarded by mu
+	// pad keeps adjacent shards off one cache line so striping
+	// actually buys parallelism.
+	_ [64]byte
+}
+
+// stageStat is the per-stage attribution cell: lock-free counters the
+// continuous profiler exposes as flight_stage_* metrics.
+type stageStat struct {
+	events atomic.Uint64
+	errs   atomic.Uint64
+	drops  atomic.Uint64
+	busyNS atomic.Uint64
+}
+
+// StageStats is a point-in-time copy of one stage's attribution.
+type StageStats struct {
+	Events uint64        `json:"events"`
+	Errors uint64        `json:"errors"`
+	Drops  uint64        `json:"drops"`
+	Busy   time.Duration `json:"busy_ns"`
+}
+
+// Dump is one triggered snapshot of the recorder's recent history.
+type Dump struct {
+	Seq    uint64  `json:"seq"`
+	Reason string  `json:"reason"`
+	At     int64   `json:"at"`
+	Events []Event `json:"events"`
+}
+
+// Stats summarizes the recorder's lifetime activity.
+type Stats struct {
+	Emitted     uint64                `json:"emitted"`
+	Overwritten uint64                `json:"overwritten"`
+	Dumps       uint64                `json:"dumps"`
+	Buffered    int                   `json:"buffered"`
+	Stages      map[string]StageStats `json:"stages"`
+}
+
+// Recorder is the flight recorder. All methods are safe for concurrent
+// use and no-ops on a nil receiver.
+type Recorder struct {
+	shards      []shard
+	mask        uint64
+	seq         atomic.Uint64
+	overwritten atomic.Uint64
+	coarse      atomic.Int64
+
+	// stages is a copy-on-write map: Emit reads it lock-free; misses
+	// take stageMu, copy, and swap. Stage-name cardinality is small
+	// and fixed (one entry per instrumented call site), so the copy
+	// path runs a handful of times per process.
+	stages  atomic.Pointer[map[string]*stageStat]
+	stageMu sync.Mutex
+
+	dumpMu   sync.Mutex
+	dumps    []Dump
+	dumpSeq  uint64
+	maxDumps int
+	crashLog io.Writer
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// New builds and starts a recorder. The background coarse-clock
+// goroutine runs until Close.
+func New(o Options) *Recorder {
+	if o.Shards <= 0 {
+		o.Shards = defaultShards
+	}
+	if o.ShardCapacity <= 0 {
+		o.ShardCapacity = defaultShardCap
+	}
+	if o.MaxDumps <= 0 {
+		o.MaxDumps = defaultMaxDumps
+	}
+	if o.CrashLog == nil {
+		o.CrashLog = io.Discard
+	}
+	if o.CoarseTick <= 0 {
+		o.CoarseTick = defaultTick
+	}
+	n := 1
+	for n < o.Shards {
+		n <<= 1
+	}
+	cap := 1
+	for cap < o.ShardCapacity {
+		cap <<= 1
+	}
+	r := &Recorder{
+		shards:   make([]shard, n),
+		mask:     uint64(n - 1),
+		maxDumps: o.MaxDumps,
+		crashLog: o.CrashLog,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for i := range r.shards {
+		r.shards[i].buf = make([]Event, cap)
+		r.shards[i].cmask = cap - 1
+	}
+	empty := make(map[string]*stageStat)
+	r.stages.Store(&empty)
+	r.coarse.Store(time.Now().UnixNano())
+	go r.tick(o.CoarseTick)
+	return r
+}
+
+// tick advances the coarse clock until Close.
+func (r *Recorder) tick(every time.Duration) {
+	defer close(r.done)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case now := <-t.C:
+			r.coarse.Store(now.UnixNano())
+		}
+	}
+}
+
+// Close stops the coarse-clock goroutine. The recorder remains usable
+// (Emit falls back to the last stored timestamp), so Close ordering
+// against late emitters is not a concern.
+func (r *Recorder) Close() {
+	if r == nil {
+		return
+	}
+	r.stopOnce.Do(func() { close(r.stop) })
+	<-r.done
+}
+
+// Now returns the recorder's coarse wall-clock reading in unix
+// nanoseconds.
+func (r *Recorder) Now() int64 {
+	if r == nil {
+		return time.Now().UnixNano()
+	}
+	return r.coarse.Load()
+}
+
+// stage returns the attribution cell for name, creating it on first
+// use via copy-on-write so the steady-state read is one atomic load
+// and one map lookup.
+func (r *Recorder) stage(name string) *stageStat {
+	m := r.stages.Load()
+	if st, ok := (*m)[name]; ok {
+		return st
+	}
+	r.stageMu.Lock()
+	defer r.stageMu.Unlock()
+	m = r.stages.Load()
+	if st, ok := (*m)[name]; ok {
+		return st
+	}
+	next := make(map[string]*stageStat, len(*m)+1)
+	for k, v := range *m {
+		next[k] = v
+	}
+	st := &stageStat{}
+	next[name] = st
+	r.stages.Store(&next)
+	return st
+}
+
+// Emit journals one event under name. The event is copied by value
+// into a ring shard chosen by sequence number (round-robin, spreading
+// contention); when the shard is full the oldest event is overwritten
+// and counted. Zero-allocation at steady state. Per-message hot paths
+// should resolve a Journal once and emit through it instead, skipping
+// the per-call stage lookup.
+func (r *Recorder) Emit(name string, e Event) {
+	if r == nil {
+		return
+	}
+	r.emit(r.stage(name), name, e)
+}
+
+func (r *Recorder) emit(st *stageStat, name string, e Event) {
+	e.Name = name
+	e.Seq = r.seq.Add(1)
+	if e.At == 0 {
+		e.At = r.coarse.Load()
+	}
+	st.events.Add(1)
+	if e.Outcome == OutcomeError {
+		st.errs.Add(1)
+	} else if e.Outcome == OutcomeDrop {
+		st.drops.Add(1)
+	}
+	if e.Dur > 0 {
+		st.busyNS.Add(uint64(e.Dur))
+	}
+	sh := &r.shards[e.Seq&r.mask]
+	sh.mu.Lock()
+	if sh.n == len(sh.buf) {
+		sh.buf[sh.start] = e
+		sh.start = (sh.start + 1) & sh.cmask
+		sh.mu.Unlock()
+		r.overwritten.Add(1)
+		return
+	}
+	sh.buf[(sh.start+sh.n)&sh.cmask] = e
+	sh.n++
+	sh.mu.Unlock()
+}
+
+// Journal is a pre-resolved emitter bound to one stage name, for
+// per-message hot paths (transport serve loop, platform routing): the
+// stage-attribution cell is looked up once at construction, so each
+// Emit is just the sequence fetch, counters, and the ring append. A
+// nil Journal is a no-op, preserving the package's wiring contract.
+type Journal struct {
+	r    *Recorder
+	name string
+	st   *stageStat
+}
+
+// Journal resolves the emitter for name. The name must follow the same
+// lowercase dot-separated rule as Emit's — the eventname analyzer
+// checks this call site too. Returns nil on a nil recorder.
+func (r *Recorder) Journal(name string) *Journal {
+	if r == nil {
+		return nil
+	}
+	return &Journal{r: r, name: name, st: r.stage(name)}
+}
+
+// Emit journals one event under the journal's stage name.
+func (j *Journal) Emit(e Event) {
+	if j == nil {
+		return
+	}
+	j.r.emit(j.st, j.name, e)
+}
+
+// Events copies out every buffered event, oldest first (by emission
+// sequence). The returned slice is the caller's.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	var out []Event
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		for j := 0; j < sh.n; j++ {
+			out = append(out, sh.buf[(sh.start+j)%len(sh.buf)])
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Buffered returns how many events the rings currently hold.
+func (r *Recorder) Buffered() int {
+	if r == nil {
+		return 0
+	}
+	total := 0
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		total += sh.n
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// Trigger snapshots the recorder's buffered history into a new dump
+// and retains it in the bounded dump list (oldest evicted). It returns
+// the dump for callers that persist or assert on it.
+func (r *Recorder) Trigger(reason string) Dump {
+	if r == nil {
+		return Dump{}
+	}
+	d := Dump{Reason: reason, At: r.Now(), Events: r.Events()}
+	r.dumpMu.Lock()
+	r.dumpSeq++
+	d.Seq = r.dumpSeq
+	r.dumps = append(r.dumps, d)
+	if len(r.dumps) > r.maxDumps {
+		// Shift rather than re-slice so evicted dumps free their
+		// event slices.
+		copy(r.dumps, r.dumps[1:])
+		r.dumps[len(r.dumps)-1] = Dump{}
+		r.dumps = r.dumps[:len(r.dumps)-1]
+	}
+	r.dumpMu.Unlock()
+	return d
+}
+
+// Dumps returns the retained dumps, oldest first.
+func (r *Recorder) Dumps() []Dump {
+	if r == nil {
+		return nil
+	}
+	r.dumpMu.Lock()
+	out := make([]Dump, len(r.dumps))
+	copy(out, r.dumps)
+	r.dumpMu.Unlock()
+	return out
+}
+
+// Dump returns the retained dump with the given sequence number.
+func (r *Recorder) Dump(seq uint64) (Dump, bool) {
+	if r == nil {
+		return Dump{}, false
+	}
+	r.dumpMu.Lock()
+	defer r.dumpMu.Unlock()
+	for _, d := range r.dumps {
+		if d.Seq == seq {
+			return d, true
+		}
+	}
+	return Dump{}, false
+}
+
+// Stats summarizes lifetime activity including per-stage attribution.
+func (r *Recorder) Stats() Stats {
+	if r == nil {
+		return Stats{}
+	}
+	s := Stats{
+		Emitted:     r.seq.Load(),
+		Overwritten: r.overwritten.Load(),
+		Buffered:    r.Buffered(),
+		Stages:      r.StageStats(),
+	}
+	r.dumpMu.Lock()
+	s.Dumps = r.dumpSeq
+	r.dumpMu.Unlock()
+	return s
+}
+
+// StageStats copies out the per-stage attribution cells.
+func (r *Recorder) StageStats() map[string]StageStats {
+	if r == nil {
+		return nil
+	}
+	m := r.stages.Load()
+	out := make(map[string]StageStats, len(*m))
+	for name, st := range *m {
+		out[name] = StageStats{
+			Events: st.events.Load(),
+			Errors: st.errs.Load(),
+			Drops:  st.drops.Load(),
+			Busy:   time.Duration(st.busyNS.Load()),
+		}
+	}
+	return out
+}
+
+// StageNames returns the stages seen so far, sorted. The profiler uses
+// it to register per-stage metrics outside any registry callback.
+func (r *Recorder) StageNames() []string {
+	if r == nil {
+		return nil
+	}
+	m := r.stages.Load()
+	names := make([]string, 0, len(*m))
+	for name := range *m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// stageCell exposes the live attribution cell for the profiler's
+// CounterFunc/GaugeFunc callbacks; nil when the stage is unknown.
+func (r *Recorder) stageCell(name string) *stageStat {
+	if r == nil {
+		return nil
+	}
+	m := r.stages.Load()
+	return (*m)[name]
+}
+
+// ParseTraceID decodes the 16-digit lowercase-hex trace ID spelling
+// the trace subsystem stamps onto messages (and Event.MarshalJSON
+// emits). Malformed or differently-sized input returns 0 — an
+// untraced event, never a wrong link. Allocation-free.
+func ParseTraceID(s string) uint64 {
+	if len(s) != 16 {
+		return 0
+	}
+	var id uint64
+	for i := 0; i < 16; i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9':
+			id = id<<4 | uint64(c-'0')
+		case c >= 'a' && c <= 'f':
+			id = id<<4 | uint64(c-'a'+10)
+		default:
+			return 0
+		}
+	}
+	return id
+}
+
+// CapturePanic is deferred around stage goroutines: on panic it
+// journals the failure, triggers a dump, writes the dump to the crash
+// log so the recording survives the dying process, and re-panics with
+// the original value (semantics are unchanged — the process still
+// crashes; it just tells you what it was doing first).
+func (r *Recorder) CapturePanic(where string) {
+	v := recover()
+	if v == nil {
+		return
+	}
+	if r != nil {
+		errText := fmt.Sprintf("panic: %v", v)
+		if len(errText) > maxEventErrBytes {
+			errText = errText[:maxEventErrBytes]
+		}
+		r.Emit("panic.captured", Event{Container: where, Outcome: OutcomeError, Err: errText})
+		d := r.Trigger("panic in " + where + ": " + errText)
+		fmt.Fprintf(r.crashLog, "flight: panic in %s: %v\n%s", where, v, debug.Stack())
+		WriteDumpText(r.crashLog, d)
+	}
+	panic(v)
+}

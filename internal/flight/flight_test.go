@@ -1,0 +1,341 @@
+package flight
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"agentgrid/internal/telemetry"
+)
+
+func newTestRecorder(t *testing.T, o Options) *Recorder {
+	t.Helper()
+	r := New(o)
+	t.Cleanup(r.Close)
+	return r
+}
+
+func TestEmitOrderAndFields(t *testing.T) {
+	r := newTestRecorder(t, Options{Shards: 2, ShardCapacity: 8})
+	r.Emit("collect.poll", Event{Container: "collector-1", Dur: 5 * time.Millisecond})
+	r.Emit("classify.ingest", Event{Container: "classifier", Conversation: "conv-1", TraceID: 0xabc, Size: 42})
+	r.Emit("transport.serve", Event{Outcome: OutcomeError, Err: "short frame"})
+
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("got %d events, want 3", len(evs))
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("events out of order: seq %d then %d", evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+	if evs[0].Name != "collect.poll" || evs[0].Container != "collector-1" {
+		t.Fatalf("first event mangled: %+v", evs[0])
+	}
+	if evs[0].At == 0 {
+		t.Fatal("Emit did not stamp At from the coarse clock")
+	}
+	if evs[1].TraceID != 0xabc || evs[1].Conversation != "conv-1" || evs[1].Size != 42 {
+		t.Fatalf("second event mangled: %+v", evs[1])
+	}
+	if evs[2].Outcome != OutcomeError || evs[2].Err != "short frame" {
+		t.Fatalf("third event mangled: %+v", evs[2])
+	}
+}
+
+func TestRingWraparoundDropsOldest(t *testing.T) {
+	r := newTestRecorder(t, Options{Shards: 1, ShardCapacity: 4})
+	for i := 0; i < 10; i++ {
+		r.Emit("analyze.task", Event{Size: i})
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("buffered %d events, want ring capacity 4", len(evs))
+	}
+	// Oldest six were overwritten; survivors are the newest four in order.
+	for i, e := range evs {
+		if e.Size != 6+i {
+			t.Fatalf("event %d has Size %d, want %d (drop-oldest violated)", i, e.Size, 6+i)
+		}
+	}
+	if got := r.Stats().Overwritten; got != 6 {
+		t.Fatalf("Overwritten = %d, want 6", got)
+	}
+}
+
+func TestTriggerDumpBounding(t *testing.T) {
+	r := newTestRecorder(t, Options{Shards: 1, ShardCapacity: 8, MaxDumps: 2})
+	r.Emit("report.alert", Event{})
+	d1 := r.Trigger("first")
+	r.Trigger("second")
+	d3 := r.Trigger("third")
+
+	dumps := r.Dumps()
+	if len(dumps) != 2 {
+		t.Fatalf("retained %d dumps, want 2", len(dumps))
+	}
+	if dumps[0].Reason != "second" || dumps[1].Reason != "third" {
+		t.Fatalf("wrong dumps retained: %q, %q", dumps[0].Reason, dumps[1].Reason)
+	}
+	if d1.Seq != 1 || d3.Seq != 3 {
+		t.Fatalf("dump seqs = %d, %d; want 1, 3", d1.Seq, d3.Seq)
+	}
+	if len(d3.Events) != 1 {
+		t.Fatalf("dump carried %d events, want 1", len(d3.Events))
+	}
+	if _, ok := r.Dump(1); ok {
+		t.Fatal("evicted dump still retrievable")
+	}
+	if got, ok := r.Dump(3); !ok || got.Reason != "third" {
+		t.Fatalf("Dump(3) = %+v, %v", got, ok)
+	}
+}
+
+func TestStageAttribution(t *testing.T) {
+	r := newTestRecorder(t, Options{})
+	r.Emit("classify.ingest", Event{Dur: 10 * time.Millisecond})
+	r.Emit("classify.ingest", Event{Outcome: OutcomeError, Err: "boom"})
+	r.Emit("platform.route", Event{Outcome: OutcomeDrop})
+
+	st := r.StageStats()
+	ci := st["classify.ingest"]
+	if ci.Events != 2 || ci.Errors != 1 || ci.Busy != 10*time.Millisecond {
+		t.Fatalf("classify.ingest stats = %+v", ci)
+	}
+	if pr := st["platform.route"]; pr.Drops != 1 {
+		t.Fatalf("platform.route stats = %+v", pr)
+	}
+	names := r.StageNames()
+	if len(names) != 2 || names[0] != "classify.ingest" || names[1] != "platform.route" {
+		t.Fatalf("StageNames = %v", names)
+	}
+}
+
+func TestCapturePanicDumpsAndRepanics(t *testing.T) {
+	var crash bytes.Buffer
+	r := newTestRecorder(t, Options{CrashLog: &crash})
+	r.Emit("analyze.dispatch", Event{Conversation: "conv-9"})
+
+	var repanicked any
+	func() {
+		defer func() { repanicked = recover() }()
+		func() {
+			defer r.CapturePanic("analyzer-l2")
+			panic("worker exploded")
+		}()
+	}()
+	if repanicked != "worker exploded" {
+		t.Fatalf("CapturePanic swallowed the panic: got %v", repanicked)
+	}
+	dumps := r.Dumps()
+	if len(dumps) != 1 || !strings.Contains(dumps[0].Reason, "analyzer-l2") {
+		t.Fatalf("no panic dump retained: %+v", dumps)
+	}
+	out := crash.String()
+	if !strings.Contains(out, "panic in analyzer-l2") || !strings.Contains(out, "conv=conv-9") {
+		t.Fatalf("crash log missing dump context:\n%s", out)
+	}
+	if !strings.Contains(out, "goroutine") {
+		t.Fatalf("crash log missing stack trace:\n%s", out)
+	}
+}
+
+func TestCapturePanicNoPanicIsNoop(t *testing.T) {
+	r := newTestRecorder(t, Options{})
+	func() {
+		defer r.CapturePanic("quiet")
+	}()
+	if len(r.Dumps()) != 0 {
+		t.Fatal("CapturePanic dumped without a panic")
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Emit("transport.serve", Event{})
+	r.Trigger("nothing")
+	r.Close()
+	if r.Events() != nil || r.Dumps() != nil || r.StageNames() != nil {
+		t.Fatal("nil recorder returned non-nil data")
+	}
+	if s := r.Stats(); s.Emitted != 0 {
+		t.Fatalf("nil recorder stats = %+v", s)
+	}
+	// A nil recorder must still re-panic.
+	var repanicked any
+	func() {
+		defer func() { repanicked = recover() }()
+		func() {
+			defer r.CapturePanic("nil")
+			panic("still fatal")
+		}()
+	}()
+	if repanicked != "still fatal" {
+		t.Fatal("nil CapturePanic swallowed the panic")
+	}
+}
+
+func TestEventJSONHexTraceID(t *testing.T) {
+	e := Event{Seq: 7, Name: "classify.ingest", TraceID: 0xdeadbeef, Outcome: OutcomeError, Err: "x"}
+	b, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	if !strings.Contains(s, `"trace_id":"00000000deadbeef"`) {
+		t.Fatalf("trace_id not hex-rendered: %s", s)
+	}
+	if !strings.Contains(s, `"outcome":"error"`) {
+		t.Fatalf("outcome not string-rendered: %s", s)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if _, ok := back["trace_id"]; !ok {
+		t.Fatalf("trace_id missing: %s", s)
+	}
+}
+
+func TestConcurrentEmitSnapshotTrigger(t *testing.T) {
+	r := newTestRecorder(t, Options{Shards: 4, ShardCapacity: 64})
+	const goroutines, per = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Emit("transport.serve", Event{Size: g})
+				if i%100 == 0 {
+					r.Events()
+					r.Trigger("probe")
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := r.Stats()
+	if s.Emitted != goroutines*per {
+		t.Fatalf("Emitted = %d, want %d", s.Emitted, goroutines*per)
+	}
+	if s.Stages["transport.serve"].Events != goroutines*per {
+		t.Fatalf("stage events = %d, want %d", s.Stages["transport.serve"].Events, goroutines*per)
+	}
+	if got := len(r.Dumps()); got > defaultMaxDumps {
+		t.Fatalf("dump list unbounded: %d", got)
+	}
+}
+
+func TestProfilerFeedsRegistry(t *testing.T) {
+	rec := newTestRecorder(t, Options{})
+	rec.Emit("classify.ingest", Event{Dur: time.Millisecond})
+	reg := telemetry.NewRegistry("agentgrid")
+	p := StartProfiler(ProfilerOptions{Recorder: rec, Registry: reg, Every: time.Hour})
+	t.Cleanup(p.Close)
+	p.Sample()
+
+	snap := reg.Snapshot()
+	byName := map[string]telemetry.MetricSnapshot{}
+	for _, m := range snap.Metrics {
+		byName[m.Name] = m
+	}
+	g, ok := byName["agentgrid_flight_runtime_goroutines_count"]
+	if !ok || len(g.Series) == 0 || g.Series[0].Value < 1 {
+		t.Fatalf("goroutine gauge missing or zero: %+v", g)
+	}
+	if _, ok := byName["agentgrid_flight_runtime_heap_bytes"]; !ok {
+		t.Fatal("heap gauge not registered")
+	}
+	ev, ok := byName["agentgrid_flight_stage_events_total"]
+	if !ok {
+		t.Fatal("per-stage counter not registered")
+	}
+	found := false
+	for _, s := range ev.Series {
+		if s.Labels["stage"] == "classify.ingest" && s.Value == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("classify.ingest stage series wrong: %+v", ev.Series)
+	}
+	busy, ok := byName["agentgrid_flight_stage_busy_seconds"]
+	if !ok || len(busy.Series) == 0 || busy.Series[0].Value <= 0 {
+		t.Fatalf("stage busy gauge missing: %+v", busy)
+	}
+}
+
+func TestProfilerNilSafe(t *testing.T) {
+	var p *Profiler
+	p.Sample()
+	p.Close()
+	if q := StartProfiler(ProfilerOptions{}); q != nil {
+		t.Fatal("StartProfiler without registry should return nil")
+	}
+}
+
+func TestCaptureProfileKinds(t *testing.T) {
+	var buf bytes.Buffer
+	if err := CaptureProfile(&buf, "goroutine", 0, 1); err != nil {
+		t.Fatalf("goroutine capture: %v", err)
+	}
+	if !strings.Contains(buf.String(), "goroutine profile") {
+		t.Fatalf("goroutine profile text missing header:\n%.200s", buf.String())
+	}
+	buf.Reset()
+	if err := CaptureProfile(&buf, "heap", 0, 0); err != nil {
+		t.Fatalf("heap capture: %v", err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("heap capture wrote nothing")
+	}
+	if err := CaptureProfile(&buf, "nope", 0, 0); err == nil {
+		t.Fatal("unknown profile kind accepted")
+	}
+	buf.Reset()
+	if err := CaptureCPU(&buf, time.Millisecond); err != nil {
+		t.Fatalf("cpu capture: %v", err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("cpu capture wrote nothing")
+	}
+}
+
+func TestWriteTextRenderings(t *testing.T) {
+	var b bytes.Buffer
+	WriteEventsText(&b, []Event{
+		{At: time.Now().UnixNano(), Name: "transport.serve", Container: "root", Size: 186, Dur: 12 * time.Microsecond, TraceID: 0xc0ffee, Conversation: "c1"},
+		{At: time.Now().UnixNano(), Name: "chaos.fault", Outcome: OutcomeDrop},
+	})
+	out := b.String()
+	for _, want := range []string{"transport.serve", "186B", "trace=0000000000c0ffee", "conv=c1", "chaos.fault", "drop"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("events text missing %q:\n%s", want, out)
+		}
+	}
+	b.Reset()
+	WriteStatsText(&b, Stats{Emitted: 2, Stages: map[string]StageStats{
+		"collect.poll": {Events: 2, Busy: time.Second},
+	}})
+	if !strings.Contains(b.String(), "collect.poll") || !strings.Contains(b.String(), "STAGE") {
+		t.Fatalf("stats text malformed:\n%s", b.String())
+	}
+}
+
+func TestEmitAllocFree(t *testing.T) {
+	r := newTestRecorder(t, Options{Shards: 2, ShardCapacity: 256})
+	ev := Event{Container: "root", Conversation: "conv", TraceID: 1, Dur: time.Microsecond, Size: 128}
+	// Warm the stage cell so steady state is measured.
+	r.Emit("transport.serve", ev)
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Emit("transport.serve", ev)
+	})
+	if allocs != 0 {
+		t.Fatalf("Emit allocates %.1f/op at steady state, want 0", allocs)
+	}
+}

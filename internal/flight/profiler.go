@@ -1,0 +1,210 @@
+package flight
+
+import (
+	"runtime/metrics"
+	"sync"
+	"time"
+
+	"agentgrid/internal/telemetry"
+)
+
+// runtimeSamples are the runtime/metrics series the continuous
+// profiler feeds into the telemetry registry. Unknown names (older
+// runtimes) read as KindBad and are skipped, so the list degrades
+// instead of panicking across Go versions.
+var runtimeSamples = []struct {
+	name   string // runtime/metrics name
+	metric string // telemetry gauge name
+	help   string
+}{
+	{"/sched/goroutines:goroutines", "flight_runtime_goroutines_count", "Live goroutines."},
+	{"/memory/classes/heap/objects:bytes", "flight_runtime_heap_bytes", "Bytes of live heap objects."},
+	{"/memory/classes/total:bytes", "flight_runtime_memory_bytes", "Total bytes of memory mapped by the runtime."},
+	{"/gc/cycles/total:gc-cycles", "flight_runtime_gc_cycles_count", "Completed GC cycles."},
+}
+
+// runtimeHistSamples are Float64Histogram-kind runtime series exposed
+// as p99 gauges (distribution since process start).
+var runtimeHistSamples = []struct {
+	name   string
+	metric string
+	help   string
+}{
+	{"/sched/latencies:seconds", "flight_runtime_sched_latency_seconds", "p99 goroutine scheduling latency since start."},
+	{"/sched/pauses/total/gc:seconds", "flight_runtime_gc_pause_seconds", "p99 GC stop-the-world pause since start."},
+}
+
+// ProfilerOptions configures the continuous profiler.
+type ProfilerOptions struct {
+	// Recorder supplies per-stage attribution; its stage counters are
+	// exposed as flight_stage_* metrics as stages appear. Optional.
+	Recorder *Recorder
+	// Registry receives the sampled runtime and stage metrics.
+	Registry *telemetry.Registry
+	// Health, when set, is checked every sample tick so a
+	// healthy→unhealthy transition fires its hook (and therefore a
+	// flight dump) even when nothing polls the HTTP endpoints.
+	Health *telemetry.Health
+	// Every is the sample interval. Defaults to 5s.
+	Every time.Duration
+}
+
+// Profiler continuously samples runtime/metrics into the telemetry
+// registry and mirrors the recorder's per-stage attribution as
+// flight_stage_* series. It is the always-on half of the profiling
+// story; on-demand pprof capture lives in capture.go.
+type Profiler struct {
+	rec      *Recorder
+	reg      *telemetry.Registry
+	health   *telemetry.Health
+	every    time.Duration
+	gauges   map[string]*telemetry.Gauge
+	histBuf  []metrics.Sample
+	scalars  []metrics.Sample
+	known    map[string]bool // stages already given metrics
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// StartProfiler builds and starts a profiler; Close stops it. Returns
+// nil (a no-op profiler) when no registry is supplied.
+func StartProfiler(o ProfilerOptions) *Profiler {
+	if o.Registry == nil {
+		return nil
+	}
+	if o.Every <= 0 {
+		o.Every = 5 * time.Second
+	}
+	p := &Profiler{
+		rec:    o.Recorder,
+		reg:    o.Registry,
+		health: o.Health,
+		every:  o.Every,
+		gauges: make(map[string]*telemetry.Gauge),
+		known:  make(map[string]bool),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	for _, rs := range runtimeSamples {
+		p.scalars = append(p.scalars, metrics.Sample{Name: rs.name})
+		p.gauges[rs.metric] = o.Registry.Gauge(rs.metric, rs.help, nil)
+	}
+	for _, rh := range runtimeHistSamples {
+		p.histBuf = append(p.histBuf, metrics.Sample{Name: rh.name})
+		p.gauges[rh.metric] = o.Registry.Gauge(rh.metric, rh.help, nil)
+	}
+	p.sample()
+	go p.run()
+	return p
+}
+
+// Close stops the sampling goroutine. Nil-safe.
+func (p *Profiler) Close() {
+	if p == nil {
+		return
+	}
+	p.stopOnce.Do(func() { close(p.stop) })
+	<-p.done
+}
+
+func (p *Profiler) run() {
+	defer close(p.done)
+	t := time.NewTicker(p.every)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			p.sample()
+		}
+	}
+}
+
+// Sample takes one sample pass synchronously — tests and the /debug
+// handlers use it to avoid waiting a tick. Nil-safe.
+func (p *Profiler) Sample() {
+	if p == nil {
+		return
+	}
+	p.sample()
+}
+
+func (p *Profiler) sample() {
+	metrics.Read(p.scalars)
+	for i, s := range p.scalars {
+		g := p.gauges[runtimeSamples[i].metric]
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			g.Set(float64(s.Value.Uint64()))
+		case metrics.KindFloat64:
+			g.Set(s.Value.Float64())
+		}
+	}
+	metrics.Read(p.histBuf)
+	for i, s := range p.histBuf {
+		if s.Value.Kind() != metrics.KindFloat64Histogram {
+			continue
+		}
+		p.gauges[runtimeHistSamples[i].metric].Set(histP99(s.Value.Float64Histogram()))
+	}
+	p.exportStages()
+	if p.health != nil {
+		// Evaluating outside any registry lock; the health hook may
+		// Trigger a flight dump.
+		p.health.Check()
+	}
+}
+
+// exportStages registers flight_stage_* callback series for stages
+// that appeared since the last tick. Registration happens here — on
+// the profiler goroutine, never inside a registry snapshot callback —
+// honoring the registry's "callbacks must not register" rule.
+func (p *Profiler) exportStages() {
+	for _, name := range p.rec.StageNames() {
+		if p.known[name] {
+			continue
+		}
+		p.known[name] = true
+		st := p.rec.stageCell(name)
+		if st == nil {
+			continue
+		}
+		labels := telemetry.Labels{"stage": name}
+		p.reg.CounterFunc("flight_stage_events_total", "Flight events journaled per stage.", labels,
+			func() uint64 { return st.events.Load() })
+		p.reg.CounterFunc("flight_stage_errors_total", "Flight error-outcome events per stage.", labels,
+			func() uint64 { return st.errs.Load() })
+		p.reg.GaugeFunc("flight_stage_busy_seconds", "Cumulative timed work attributed to the stage.", labels,
+			func() float64 { return float64(st.busyNS.Load()) / 1e9 })
+	}
+}
+
+// histP99 returns the 99th-percentile upper bound of a runtime
+// Float64Histogram (cumulative over the process lifetime).
+func histP99(h *metrics.Float64Histogram) float64 {
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(float64(total) * 0.99)
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			// Buckets[i+1] is the upper bound of Counts[i]; the last
+			// bucket's bound can be +Inf — fall back to its lower
+			// bound so the gauge stays finite.
+			ub := h.Buckets[i+1]
+			if ub > 1e18 || ub != ub { // +Inf or NaN
+				ub = h.Buckets[i]
+			}
+			return ub
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}

@@ -1,0 +1,69 @@
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// marshalJSON keeps the encoding/json dependency out of the hot-path
+// file; Event.MarshalJSON routes through it.
+func marshalJSON(v any) ([]byte, error) { return json.Marshal(v) }
+
+// WriteEventsText renders events one per line in a fixed-width layout
+// meant for terminals and crash logs:
+//
+//	15:04:05.000  transport.serve      classifier-1  ok     186B  12µs  conv=trap-4 trace=00c0ffee00c0ffee
+func WriteEventsText(w io.Writer, events []Event) {
+	for _, e := range events {
+		ts := time.Unix(0, e.At).Format("15:04:05.000")
+		fmt.Fprintf(w, "%s  %-22s %-16s %-5s", ts, e.Name, e.Container, e.Outcome)
+		if e.Size > 0 {
+			fmt.Fprintf(w, " %6dB", e.Size)
+		} else {
+			fmt.Fprintf(w, "        ")
+		}
+		if e.Dur > 0 {
+			fmt.Fprintf(w, " %10s", e.Dur.Round(time.Microsecond))
+		}
+		if e.Conversation != "" {
+			fmt.Fprintf(w, " conv=%s", e.Conversation)
+		}
+		if e.TraceID != 0 {
+			fmt.Fprintf(w, " trace=%016x", e.TraceID)
+		}
+		if e.Err != "" {
+			fmt.Fprintf(w, " err=%q", e.Err)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteDumpText renders one dump: a header line then its events.
+func WriteDumpText(w io.Writer, d Dump) {
+	fmt.Fprintf(w, "-- flight dump #%d at %s: %s (%d events)\n",
+		d.Seq, time.Unix(0, d.At).Format(time.RFC3339Nano), d.Reason, len(d.Events))
+	WriteEventsText(w, d.Events)
+}
+
+// WriteStatsText renders recorder stats with the per-stage attribution
+// table sorted by stage name.
+func WriteStatsText(w io.Writer, s Stats) {
+	fmt.Fprintf(w, "emitted=%d buffered=%d overwritten=%d dumps=%d\n",
+		s.Emitted, s.Buffered, s.Overwritten, s.Dumps)
+	names := make([]string, 0, len(s.Stages))
+	for name := range s.Stages {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) > 0 {
+		fmt.Fprintf(w, "%-22s %12s %8s %8s %14s\n", "STAGE", "EVENTS", "ERRORS", "DROPS", "BUSY")
+	}
+	for _, name := range names {
+		st := s.Stages[name]
+		fmt.Fprintf(w, "%-22s %12d %8d %8d %14s\n",
+			name, st.Events, st.Errors, st.Drops, st.Busy.Round(time.Microsecond))
+	}
+}

@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+)
+
+// AnalyzerEventName enforces the flight-recorder stage naming
+// convention at lint time, the way metricname does for telemetry. A
+// flight event's Name is the triage key — gridctl flight groups the
+// journal by it and the per-stage stats table is keyed on it — so a
+// misspelled or ad-hoc name fragments the very view the recorder
+// exists to provide, and nothing at runtime would complain. This
+// analyzer checks every string literal passed as the first argument to
+// an Emit or Journal method call against the stage-name rule:
+// lowercase dot-separated with at least two segments
+// ("transport.serve", "analyze.l1", "chaos.fault").
+//
+// The check is syntactic, mirroring metricname: any method call named
+// Emit or Journal whose first argument is a string literal is treated
+// as a flight call site. Journal.Emit(Event{...}) passes a composite
+// literal and is therefore never matched; dynamic names are trusted.
+var AnalyzerEventName = &Analyzer{
+	Name: "eventname",
+	Doc:  "flight recorder stage names must be lowercase dot-separated with at least two segments (e.g. transport.serve)",
+	Run:  runEventName,
+}
+
+// eventNameRe is the stage-name rule: a lowercase alphanumeric first
+// segment, then one or more dot-separated lowercase segments that may
+// use underscores ("analyze.l1", "health.check_failed").
+var eventNameRe = regexp.MustCompile(`^[a-z][a-z0-9]*(\.[a-z0-9_]+)+$`)
+
+// eventEmitMethods are the flight recorder's name-bearing entry
+// points: Recorder.Emit(name, Event) and Recorder.Journal(name).
+var eventEmitMethods = map[string]bool{
+	"Emit":    true,
+	"Journal": true,
+}
+
+func runEventName(p *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !eventEmitMethods[sel.Sel.Name] || len(call.Args) == 0 {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if !eventNameRe.MatchString(name) {
+				out = append(out, Diagnostic{
+					Pos:      p.Fset.Position(lit.Pos()),
+					Analyzer: "eventname",
+					Message: "flight event name " + strconv.Quote(name) +
+						" must be lowercase dot-separated with at least two segments (e.g. transport.serve)",
+				})
+			}
+			return true
+		})
+	}
+	return out
+}

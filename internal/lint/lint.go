@@ -92,6 +92,7 @@ func Analyzers() []*Analyzer {
 		AnalyzerSleepSync,
 		AnalyzerTraceCtx,
 		AnalyzerMetricName,
+		AnalyzerEventName,
 		AnalyzerFrameReuse,
 	}
 }

@@ -1,0 +1,19 @@
+// Fixture: flight stage names that break the lowercase dot-separated
+// rule.
+package fixture
+
+type event struct{}
+
+type recorder struct{}
+
+func (recorder) Emit(name string, e event) {}
+func (recorder) Journal(name string) *int  { return nil }
+
+func bad(rec recorder) {
+	rec.Emit("Transport.Serve", event{})
+	rec.Emit("collect", event{})
+	rec.Emit("analyze..task", event{})
+	rec.Emit("report.Alert", event{})
+	_ = rec.Journal("classify ingest")
+	_ = rec.Journal("1transport.serve")
+}

@@ -1,0 +1,21 @@
+// Fixture: accepted stage names — lowercase dot-separated, two or more
+// segments — plus shapes the analyzer must ignore (non-literal names,
+// the Event-only Journal.Emit form, unrelated Emit methods without a
+// string first argument).
+package fixture
+
+func stageName() string { return "dynamic.name" }
+
+type journal struct{}
+
+func (journal) Emit(e event) {}
+
+func clean(rec recorder, j journal) {
+	rec.Emit("transport.serve", event{})
+	rec.Emit("analyze.l1", event{})
+	rec.Emit("health.check_failed", event{})
+	rec.Emit("chaos.fault", event{})
+	_ = rec.Journal("collect.poll")
+	rec.Emit(stageName(), event{})
+	j.Emit(event{})
+}

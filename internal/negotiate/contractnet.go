@@ -16,6 +16,7 @@ import (
 
 	"agentgrid/internal/acl"
 	"agentgrid/internal/agent"
+	"agentgrid/internal/flight"
 	"agentgrid/internal/telemetry"
 	"agentgrid/internal/trace"
 )
@@ -163,6 +164,7 @@ type Metrics struct {
 type Initiator struct {
 	a       *agent.Agent
 	metrics Metrics
+	flight  *flight.Journal
 
 	mu    sync.Mutex
 	waits map[string]chan *acl.Message // conversation id -> reply stream
@@ -171,6 +173,10 @@ type Initiator struct {
 // SetMetrics installs negotiation counters. Call before the agent
 // starts negotiating.
 func (ini *Initiator) SetMetrics(m Metrics) { ini.metrics = m }
+
+// SetFlight journals one negotiate.round event per negotiation to the
+// flight recorder. Call before the agent starts negotiating.
+func (ini *Initiator) SetFlight(r *flight.Recorder) { ini.flight = r.Journal("negotiate.round") }
 
 // NewInitiator wires contract-net initiator behaviour into an agent.
 func NewInitiator(a *agent.Agent) *Initiator {
@@ -210,7 +216,7 @@ type Outcome struct {
 // Negotiate announces the task to the participants, waits up to
 // bidWindow for proposals, awards the lowest bid and waits for the
 // result. It must be called from outside the agent's handler goroutine.
-func (ini *Initiator) Negotiate(ctx context.Context, participants []acl.AID, task Task, bidWindow time.Duration) (*Outcome, error) {
+func (ini *Initiator) Negotiate(ctx context.Context, participants []acl.AID, task Task, bidWindow time.Duration) (out *Outcome, retErr error) {
 	if len(participants) == 0 {
 		return nil, ErrNoParticipants
 	}
@@ -226,12 +232,32 @@ func (ini *Initiator) Negotiate(ctx context.Context, participants []acl.AID, tas
 	}()
 
 	start := time.Now()
-	defer func() { ini.metrics.Rounds.Observe(time.Since(start)) }()
+	var sp *trace.Span
+	defer func() {
+		d := time.Since(start)
+		ini.metrics.Rounds.ObserveTrace(d, sp.TID())
+		if ini.flight != nil {
+			e := flight.Event{
+				Container:    ini.a.ID().Platform(),
+				Conversation: convID,
+				TraceID:      sp.TID(),
+				Dur:          d,
+			}
+			if retErr != nil {
+				e.Outcome = flight.OutcomeError
+				e.Err = retErr.Error()
+			}
+			if out != nil {
+				e.Size = out.Proposals
+			}
+			ini.flight.Emit(e)
+		}
+	}()
 	payload, err := json.Marshal(task)
 	if err != nil {
 		return nil, fmt.Errorf("negotiate: encode task: %w", err)
 	}
-	sp := ini.a.Tracer().ChildFromContext(ctx, "negotiate")
+	sp = ini.a.Tracer().ChildFromContext(ctx, "negotiate")
 	sp.SetAttr("agent", ini.a.ID().Name)
 	sp.SetAttrInt("participants", len(participants))
 	sp.SetConversation(convID)

@@ -18,6 +18,7 @@ import (
 	"agentgrid/internal/acl"
 	"agentgrid/internal/agent"
 	"agentgrid/internal/directory"
+	"agentgrid/internal/flight"
 	"agentgrid/internal/telemetry"
 	"agentgrid/internal/trace"
 	"agentgrid/internal/transport"
@@ -67,6 +68,10 @@ type Config struct {
 	LoadReporter func(container string, load float64) error
 	// LoadReportEvery is the reporting interval (default 500ms).
 	LoadReportEvery time.Duration
+	// Flight, when set, journals routing outcomes under platform.route
+	// and guards every agent goroutine with panic capture (the panic
+	// still propagates after the recorder dumps). Optional.
+	Flight *flight.Recorder
 }
 
 // Stats counts container message traffic.
@@ -103,6 +108,9 @@ type Container struct {
 	mSentFr    *telemetry.Counter
 	mRecvFr    *telemetry.Counter
 	handleHist *telemetry.Histogram
+
+	// fRoute journals per-message routing outcomes; nil journals no-op.
+	fRoute *flight.Journal
 }
 
 // New creates a container. Attach a transport before starting it.
@@ -130,6 +138,7 @@ func New(cfg Config) (*Container, error) {
 		return float64(c.MailboxDepth())
 	})
 	r.GaugeFunc("platform_load_ratio", "measured load fraction reported to the directory", l, c.MeasuredLoad)
+	c.fRoute = cfg.Flight.Journal("platform.route")
 	return c, nil
 }
 
@@ -342,6 +351,9 @@ func (c *Container) startAgentLocked(a *agent.Agent, local string) {
 	c.wg.Add(1)
 	go func() {
 		defer c.wg.Done()
+		// Dump the flight recorder before an agent panic takes the
+		// process down; the panic itself still propagates.
+		defer c.cfg.Flight.CapturePanic(c.cfg.Name + "/" + local)
 		if err := a.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
 			c.logErr(fmt.Errorf("agent %s: %w", local, err))
 		}
@@ -522,6 +534,25 @@ type hopEnvelope struct {
 
 var hopPool = sync.Pool{New: func() any { return new(hopEnvelope) }}
 
+// journalRoute records one routing outcome in the flight recorder.
+func (c *Container) journalRoute(m *acl.Message, outcome flight.Outcome, err error) {
+	if c.fRoute == nil {
+		return
+	}
+	e := flight.Event{
+		Container:    c.cfg.Name,
+		Conversation: m.ConversationID,
+		Outcome:      outcome,
+	}
+	if m.Trace != nil {
+		e.TraceID = flight.ParseTraceID(m.Trace.TraceID)
+	}
+	if err != nil {
+		e.Err = err.Error()
+	}
+	c.fRoute.Emit(e)
+}
+
 func (c *Container) routeOne(ctx context.Context, m *acl.Message, rcv acl.AID) error {
 	// Local delivery when the receiver lives in this container.
 	if rcv.Platform() == c.cfg.Platform {
@@ -532,10 +563,12 @@ func (c *Container) routeOne(ctx context.Context, m *acl.Message, rcv acl.AID) e
 			if err := a.Deliver(m.Clone()); err != nil {
 				c.dropped.Add(1)
 				c.mDropped.Inc()
+				c.journalRoute(m, flight.OutcomeDrop, err)
 				return err
 			}
 			c.deliveredLocal.Add(1)
 			c.mDelivered.Inc()
+			c.journalRoute(m, flight.OutcomeOK, nil)
 			return nil
 		}
 		// Same platform but a different container: fall through to
@@ -545,6 +578,7 @@ func (c *Container) routeOne(ctx context.Context, m *acl.Message, rcv acl.AID) e
 	if err != nil {
 		c.dropped.Add(1)
 		c.mDropped.Inc()
+		c.journalRoute(m, flight.OutcomeDrop, err)
 		return err
 	}
 	c.mu.Lock()
@@ -553,6 +587,7 @@ func (c *Container) routeOne(ctx context.Context, m *acl.Message, rcv acl.AID) e
 	if tr == nil {
 		c.dropped.Add(1)
 		c.mDropped.Inc()
+		c.journalRoute(m, flight.OutcomeDrop, ErrNotAttached)
 		return ErrNotAttached
 	}
 	// Narrow the receiver list to this hop so the remote container does
@@ -583,11 +618,13 @@ func (c *Container) routeOne(ctx context.Context, m *acl.Message, rcv acl.AID) e
 	if err != nil {
 		c.dropped.Add(1)
 		c.mDropped.Inc()
+		c.journalRoute(m, flight.OutcomeError, err)
 		return err
 	}
 	c.forwarded.Add(1)
 	c.mForwarded.Inc()
 	c.mSentFr.Inc()
+	c.journalRoute(m, flight.OutcomeOK, nil)
 	return nil
 }
 

@@ -1,0 +1,167 @@
+package report
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"agentgrid/internal/flight"
+)
+
+// Debug endpoints: the flight recorder and the on-demand profiler.
+//
+//	GET  /debug/flight                 stats + recent events (text)
+//	GET  /debug/flight?format=json     stats + events + dump index (JSON)
+//	GET  /debug/flight?n=50            bound the event tail
+//	GET  /debug/flight?dump=3          one retained dump (text or JSON)
+//	POST /debug/flight                 trigger a dump, return it (JSON)
+//	GET  /debug/profile?kind=cpu&seconds=5   pprof capture (binary)
+//	GET  /debug/profile?kind=heap&debug=1    pprof lookup (text)
+//
+// Both honor the detached-server contract: 503 + JSON detail until an
+// interface grid with a flight recorder is attached.
+
+// flightRecorder returns the attached grid's flight recorder, writing
+// the not-serving/not-enabled answer itself when there is none.
+func (s *Server) flightRecorder(w http.ResponseWriter) *flight.Recorder {
+	ig := s.iface()
+	if ig == nil {
+		WriteNotServing(w, "no deployment attached")
+		return nil
+	}
+	if ig.cfg.Flight == nil {
+		http.Error(w, "flight recorder not enabled", http.StatusNotFound)
+		return nil
+	}
+	return ig.cfg.Flight
+}
+
+// handleFlight serves the flight recorder's ring and dump list.
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	rec := s.flightRecorder(w)
+	if rec == nil {
+		return
+	}
+	q := r.URL.Query()
+	asJSON := q.Get("format") == "json"
+
+	if r.Method == http.MethodPost {
+		reason := q.Get("reason")
+		if reason == "" {
+			reason = "manual: http"
+		}
+		d := rec.Trigger(reason)
+		writeJSON(w, d)
+		return
+	}
+
+	if ds := q.Get("dump"); ds != "" {
+		seq, err := strconv.ParseUint(ds, 10, 64)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad dump sequence %q", ds), http.StatusBadRequest)
+			return
+		}
+		d, ok := rec.Dump(seq)
+		if !ok {
+			http.Error(w, fmt.Sprintf("no retained dump #%d", seq), http.StatusNotFound)
+			return
+		}
+		if asJSON {
+			writeJSON(w, d)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		flight.WriteDumpText(w, d)
+		return
+	}
+
+	events := rec.Events()
+	if ns := q.Get("n"); ns != "" {
+		if n, err := strconv.Atoi(ns); err == nil && n >= 0 && n < len(events) {
+			events = events[len(events)-n:]
+		}
+	}
+	if asJSON {
+		dumps := rec.Dumps()
+		index := make([]struct {
+			Seq    uint64 `json:"seq"`
+			Reason string `json:"reason"`
+			Events int    `json:"events"`
+		}, len(dumps))
+		for i, d := range dumps {
+			index[i].Seq, index[i].Reason, index[i].Events = d.Seq, d.Reason, len(d.Events)
+		}
+		writeJSON(w, struct {
+			Stats  flight.Stats   `json:"stats"`
+			Events []flight.Event `json:"events"`
+			Dumps  any            `json:"dumps"`
+		}{Stats: rec.Stats(), Events: events, Dumps: index})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	flight.WriteStatsText(w, rec.Stats())
+	fmt.Fprintf(w, "\nlast %d events:\n", len(events))
+	flight.WriteEventsText(w, events)
+	if dumps := rec.Dumps(); len(dumps) > 0 {
+		fmt.Fprintf(w, "\nretained dumps (fetch with ?dump=<seq>):\n")
+		for _, d := range dumps {
+			fmt.Fprintf(w, "  #%d %s (%d events)\n", d.Seq, d.Reason, len(d.Events))
+		}
+	}
+}
+
+// handleProfile serves an on-demand pprof capture. CPU, mutex and block
+// kinds sample for ?seconds (default 5, clamped to 20 so the capture
+// finishes inside the server's write timeout); the snapshot kinds
+// (heap, allocs, goroutine, threadcreate) return immediately.
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	rec := s.flightRecorder(w)
+	if rec == nil {
+		return
+	}
+	q := r.URL.Query()
+	kind := q.Get("kind")
+	if kind == "" {
+		kind = "cpu"
+	}
+	seconds := 5
+	if ss := q.Get("seconds"); ss != "" {
+		n, err := strconv.Atoi(ss)
+		if err != nil || n < 1 {
+			http.Error(w, fmt.Sprintf("bad seconds %q", ss), http.StatusBadRequest)
+			return
+		}
+		seconds = n
+	}
+	if seconds > 20 {
+		seconds = 20
+	}
+	debug := 0
+	if ds := q.Get("debug"); ds != "" {
+		if n, err := strconv.Atoi(ds); err == nil {
+			debug = n
+		}
+	}
+	if debug > 0 {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	} else {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Disposition", fmt.Sprintf(`attachment; filename="%s.pprof"`, kind))
+	}
+	if err := flight.CaptureProfile(w, kind, time.Duration(seconds)*time.Second, debug); err != nil {
+		// Headers may already be out; report what we can.
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
+}
+
+// writeJSON renders v with the package's stable JSON settings.
+func writeJSON(w http.ResponseWriter, v any) {
+	body, err := jsonMarshalIndent(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}

@@ -1,0 +1,143 @@
+package report
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+
+	"agentgrid/internal/flight"
+	"agentgrid/internal/telemetry"
+	"agentgrid/internal/trace"
+)
+
+// TestEndpointHeaders pins the response-header contract for every
+// GET endpoint: an explicit Content-Type and Cache-Control: no-store
+// (everything the server serves is a live snapshot).
+func TestEndpointHeaders(t *testing.T) {
+	reg := telemetry.NewRegistry("agentgrid")
+	h := telemetry.NewHealth()
+	h.Register("store", func() error { return nil })
+	tr := trace.New(trace.Options{})
+	sp := tr.StartRoot("test.root")
+	sp.End()
+	tr.Flush()
+	traceID := fmt.Sprintf("%016x", sp.TID())
+	rec := flight.New(flight.Options{})
+	defer rec.Close()
+	rec.Emit("test.stage", flight.Event{Container: "ig"})
+
+	srv, ig := startHTTP(t, func(c *Config) {
+		c.Metrics = reg
+		c.Health = h
+		c.Tracer = tr
+		c.Flight = rec
+	})
+	ig.AddAlerts(sampleAlerts())
+	base := "http://" + srv.Addr()
+
+	cases := []struct {
+		path     string
+		wantCode int
+		wantType string
+	}{
+		{"/metrics", 200, "text/plain; version=0.0.4; charset=utf-8"},
+		{"/metrics.json", 200, "application/json"},
+		{"/alerts", 200, "application/json"},
+		{"/stats", 200, "application/json"},
+		{"/healthz", 200, "text/plain; charset=utf-8"},
+		{"/readyz", 200, "application/json"},
+		{"/trace/" + traceID, 200, "text/plain; charset=utf-8"},
+		{"/trace/" + traceID + "?format=json", 200, "application/json"},
+		{"/topology", 503, "application/json"},
+		{"/debug/flight", 200, "text/plain; charset=utf-8"},
+		{"/debug/flight?format=json", 200, "application/json"},
+		{"/debug/profile?kind=heap", 200, "application/octet-stream"},
+		{"/debug/profile?kind=goroutine&debug=1", 200, "text/plain; charset=utf-8"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.path, func(t *testing.T) {
+			resp, err := http.Get(base + tc.path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tc.wantCode {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tc.wantCode)
+			}
+			if got := resp.Header.Get("Content-Type"); got != tc.wantType {
+				t.Fatalf("Content-Type = %q, want %q", got, tc.wantType)
+			}
+			if got := resp.Header.Get("Cache-Control"); got != "no-store" {
+				t.Fatalf("Cache-Control = %q, want %q", got, "no-store")
+			}
+		})
+	}
+}
+
+// TestDebugFlightEndpoint exercises the flight debug surface end to
+// end: text tail, JSON snapshot, manual dump trigger, dump fetch.
+func TestDebugFlightEndpoint(t *testing.T) {
+	rec := flight.New(flight.Options{})
+	defer rec.Close()
+	j := rec.Journal("classify.ingest")
+	for i := 0; i < 5; i++ {
+		j.Emit(flight.Event{Container: "clg", Conversation: fmt.Sprintf("conv-%d", i), Size: 10 + i})
+	}
+	srv, _ := startHTTP(t, func(c *Config) { c.Flight = rec })
+	base := "http://" + srv.Addr()
+
+	code, body := get(t, base+"/debug/flight")
+	if code != 200 {
+		t.Fatalf("debug/flight = %d", code)
+	}
+	for _, want := range []string{"classify.ingest", "emitted=5", "conv=conv-4"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("text view missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get(t, base+"/debug/flight?format=json&n=2")
+	if code != 200 || !strings.Contains(body, `"conv-4"`) || strings.Contains(body, `"conv-2"`) {
+		t.Fatalf("json tail = %d %s", code, body)
+	}
+
+	// Trigger a dump over HTTP, then fetch it by sequence.
+	resp, err := http.Post(base+"/debug/flight?reason=test-trigger", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("trigger = %d", resp.StatusCode)
+	}
+	code, body = get(t, base+"/debug/flight?dump=1")
+	if code != 200 || !strings.Contains(body, "test-trigger") {
+		t.Fatalf("dump fetch = %d %s", code, body)
+	}
+	if code, _ := get(t, base+"/debug/flight?dump=99"); code != 404 {
+		t.Fatalf("missing dump = %d, want 404", code)
+	}
+}
+
+// TestDebugEndpointsDetached pins the not-serving contract: a detached
+// server answers 503 with the JSON ready/error shape, not 404.
+func TestDebugEndpointsDetached(t *testing.T) {
+	srv, err := NewDetachedServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+	for _, path := range []string{"/debug/flight", "/debug/profile"} {
+		code, body := get(t, base+path)
+		if code != 503 || !strings.Contains(body, `"ready": false`) {
+			t.Fatalf("%s detached = %d %q", path, code, body)
+		}
+	}
+	// Attached but with no flight recorder: 404, not 503.
+	srv2, _ := startHTTP(t, nil)
+	if code, _ := get(t, "http://"+srv2.Addr()+"/debug/flight"); code != 404 {
+		t.Fatalf("no-recorder debug/flight = %d, want 404", code)
+	}
+}

@@ -64,14 +64,26 @@ func NewServer(ig *Interface, addr string) (*Server, error) {
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /trace/{id}", s.handleTrace)
 	mux.HandleFunc("/topology", s.handleTopology)
+	mux.HandleFunc("/debug/flight", s.handleFlight)
+	mux.HandleFunc("GET /debug/profile", s.handleProfile)
 	s.http = &http.Server{
-		Handler:           mux,
+		Handler:           noStore(mux),
 		ReadHeaderTimeout: 5 * time.Second,
 		ReadTimeout:       15 * time.Second,
 		WriteTimeout:      30 * time.Second,
 	}
 	go s.http.Serve(ln)
 	return s, nil
+}
+
+// noStore marks every response uncacheable. Everything the server
+// serves is a live snapshot — a cached /metrics or /readyz is a stale
+// lie — so the header is set once here instead of per-handler.
+func noStore(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Cache-Control", "no-store")
+		next.ServeHTTP(w, r)
+	})
 }
 
 // NewDetachedServer starts a server with no interface grid attached

@@ -22,6 +22,7 @@ import (
 	"agentgrid/internal/acl"
 	"agentgrid/internal/agent"
 	"agentgrid/internal/analyze"
+	"agentgrid/internal/flight"
 	"agentgrid/internal/rules"
 	"agentgrid/internal/store"
 	"agentgrid/internal/telemetry"
@@ -70,6 +71,9 @@ type Config struct {
 	// Health, when set, backs the server's /healthz and /readyz
 	// endpoints with registered per-subsystem checks. Optional.
 	Health *telemetry.Health
+	// Flight, when set, journals alert ingestion events and backs the
+	// server's /debug/flight and /debug/profile endpoints. Optional.
+	Flight *flight.Recorder
 	// ErrorLog receives processing errors. Optional.
 	ErrorLog func(error)
 }
@@ -99,6 +103,7 @@ type Interface struct {
 	mAlerts     *telemetry.Counter
 	mDuplicates *telemetry.Counter
 	mReports    *telemetry.Counter
+	fAlert      *flight.Journal
 }
 
 // New wires interface-grid behaviour onto an agent.
@@ -115,6 +120,7 @@ func New(a *agent.Agent, cfg Config) (*Interface, error) {
 	ig.mAlerts = r.Counter("report_alerts_total", "fresh alerts retained by the interface grid", l)
 	ig.mDuplicates = r.Counter("report_alerts_duplicate_total", "alerts suppressed as duplicates", l)
 	ig.mReports = r.Counter("report_reports_total", "management reports built", l)
+	ig.fAlert = cfg.Flight.Journal("report.alert")
 	a.HandleFunc(agent.Selector{
 		Performative: acl.Inform,
 		Ontology:     acl.OntologyNetworkManagement,
@@ -145,9 +151,26 @@ func (ig *Interface) handleAlerts(_ context.Context, a *agent.Agent, m *acl.Mess
 	if err != nil {
 		sp.SetError(err)
 		ig.logErr(fmt.Errorf("report: alerts from %s: %w", m.Sender, err))
+		if ig.fAlert != nil {
+			ig.fAlert.Emit(flight.Event{
+				Container:    a.ID().Platform(),
+				Conversation: m.ConversationID,
+				TraceID:      sp.TID(),
+				Outcome:      flight.OutcomeError,
+				Err:          err.Error(),
+			})
+		}
 		return
 	}
 	sp.SetAttrInt("alerts", len(alerts))
+	if ig.fAlert != nil {
+		ig.fAlert.Emit(flight.Event{
+			Container:    a.ID().Platform(),
+			Conversation: m.ConversationID,
+			TraceID:      sp.TID(),
+			Size:         len(alerts),
+		})
+	}
 	ig.AddAlerts(alerts)
 }
 

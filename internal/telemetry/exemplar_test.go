@@ -1,0 +1,203 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestObserveTraceRetainsExemplar(t *testing.T) {
+	h := newHistogram()
+	h.ObserveTrace(3*time.Microsecond, 0xabcdef) // bucket for 2^12ns bound
+	h.ObserveTrace(2*time.Millisecond, 0x123456)
+	h.Observe(time.Second) // no exemplar
+
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("Count = %d, want 3", s.Count)
+	}
+	if len(s.Exemplars) != 2 {
+		t.Fatalf("got %d exemplars, want 2: %+v", len(s.Exemplars), s.Exemplars)
+	}
+	if s.Exemplars[0].TraceID != "0000000000abcdef" {
+		t.Fatalf("exemplar 0 trace = %q", s.Exemplars[0].TraceID)
+	}
+	if s.Exemplars[0].LE >= s.Exemplars[1].LE {
+		t.Fatalf("exemplars not in bucket order: %+v", s.Exemplars)
+	}
+	// The exemplar's bucket bound must cover the observation that set it.
+	if le := s.Exemplars[1].LE; le < 0.002 || le > 0.005 {
+		t.Fatalf("2ms exemplar landed at le=%v", le)
+	}
+}
+
+func TestObserveTraceZeroIDDegradesToObserve(t *testing.T) {
+	h := newHistogram()
+	h.ObserveTrace(time.Millisecond, 0)
+	s := h.Snapshot()
+	if s.Count != 1 || len(s.Exemplars) != 0 {
+		t.Fatalf("zero trace ID left exemplars: %+v", s.Exemplars)
+	}
+}
+
+func TestObserveTraceOverflowBucket(t *testing.T) {
+	h := newHistogram()
+	h.ObserveTrace(30*time.Second, 0xff) // past histMaxShift ≈ 17.2s
+	s := h.Snapshot()
+	if len(s.Exemplars) != 1 || s.Exemplars[0].LE >= 0 {
+		t.Fatalf("overflow exemplar should carry LE<0: %+v", s.Exemplars)
+	}
+}
+
+func TestObserveTraceLastWriteWins(t *testing.T) {
+	h := newHistogram()
+	h.ObserveTrace(time.Millisecond, 0xaaa)
+	h.ObserveTrace(time.Millisecond, 0xbbb)
+	s := h.Snapshot()
+	if len(s.Exemplars) != 1 || s.Exemplars[0].TraceID != "0000000000000bbb" {
+		t.Fatalf("exemplar = %+v, want latest 0xbbb", s.Exemplars)
+	}
+}
+
+func TestNilHistogramObserveTrace(t *testing.T) {
+	var h *Histogram
+	h.ObserveTrace(time.Millisecond, 1) // must not panic
+	if s := h.Snapshot(); s.Count != 0 {
+		t.Fatalf("nil histogram snapshot = %+v", s)
+	}
+}
+
+func TestSnapshotMergeKeepsExemplars(t *testing.T) {
+	a, b := newHistogram(), newHistogram()
+	a.ObserveTrace(time.Millisecond, 0x1)
+	b.ObserveTrace(time.Millisecond, 0x2) // same bucket: a's wins
+	b.ObserveTrace(time.Second, 0x3)      // new bucket: adopted
+
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Merge(sb)
+	if sa.Count != 3 {
+		t.Fatalf("merged count = %d, want 3", sa.Count)
+	}
+	if len(sa.Exemplars) != 2 {
+		t.Fatalf("merged exemplars = %+v", sa.Exemplars)
+	}
+	byLE := map[float64]string{}
+	for _, ex := range sa.Exemplars {
+		byLE[ex.LE] = ex.TraceID
+	}
+	for _, id := range byLE {
+		if id == "0000000000000002" {
+			t.Fatalf("merge overwrote receiver's exemplar: %+v", sa.Exemplars)
+		}
+	}
+}
+
+// TestConcurrentSnapshotMerge hammers a pair of histograms with
+// ObserveTrace while snapshotting and merging them — the race-detector
+// companion for the aggregation path the report server runs at scrape
+// time while the pipeline keeps observing.
+func TestConcurrentSnapshotMerge(t *testing.T) {
+	hists := []*Histogram{newHistogram(), newHistogram(), newHistogram()}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g, h := range hists {
+		wg.Add(1)
+		go func(h *Histogram, g int) {
+			defer wg.Done()
+			d := time.Duration(g+1) * time.Microsecond
+			for i := uint64(1); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.ObserveTrace(d, i)
+				h.Observe(d * 1000)
+			}
+		}(h, g)
+	}
+
+	for round := 0; round < 200; round++ {
+		var merged HistogramSnapshot
+		for _, h := range hists {
+			merged.Merge(h.Snapshot())
+		}
+		// Cumulative bucket counts must be monotone within a snapshot
+		// even while observations land concurrently.
+		for i := 1; i < len(merged.Buckets); i++ {
+			if merged.Buckets[i].Count < merged.Buckets[i-1].Count {
+				t.Fatalf("round %d: cumulative counts regressed at bucket %d: %+v",
+					round, i, merged.Buckets[i-1:i+1])
+			}
+		}
+		if merged.Count > 0 && len(merged.Exemplars) == 0 {
+			t.Fatalf("round %d: observations recorded but no exemplars surfaced", round)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestHealthTransitionHook(t *testing.T) {
+	h := NewHealth()
+	var healthy bool = true
+	h.Register("store", func() error {
+		if healthy {
+			return nil
+		}
+		return errFailing
+	})
+
+	var calls []bool
+	var lastFailing []string
+	h.SetTransitionHook(func(ok bool, failing []string) {
+		calls = append(calls, ok)
+		lastFailing = failing
+	})
+
+	h.Check() // healthy, no transition: presumed healthy at start
+	if len(calls) != 0 {
+		t.Fatalf("hook fired on initial healthy check: %v", calls)
+	}
+	healthy = false
+	h.Check() // healthy → unhealthy
+	if len(calls) != 1 || calls[0] != false {
+		t.Fatalf("hook calls after degradation: %v", calls)
+	}
+	if len(lastFailing) != 1 || lastFailing[0] != "store" {
+		t.Fatalf("failing names = %v", lastFailing)
+	}
+	h.Check() // still unhealthy: no refire
+	if len(calls) != 1 {
+		t.Fatalf("hook refired without a transition: %v", calls)
+	}
+	healthy = true
+	h.Check() // recovery
+	if len(calls) != 2 || calls[1] != true {
+		t.Fatalf("hook calls after recovery: %v", calls)
+	}
+	if len(lastFailing) != 0 {
+		t.Fatalf("recovery reported failing checks: %v", lastFailing)
+	}
+}
+
+func TestHealthFirstCheckUnhealthyFires(t *testing.T) {
+	h := NewHealth()
+	h.Register("dead", func() error { return errFailing })
+	fired := 0
+	h.SetTransitionHook(func(ok bool, _ []string) {
+		if !ok {
+			fired++
+		}
+	})
+	h.Check()
+	if fired != 1 {
+		t.Fatalf("first unhealthy check fired %d times, want 1", fired)
+	}
+}
+
+var errFailing = errorString("check failing")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

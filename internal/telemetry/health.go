@@ -19,6 +19,10 @@ type Health struct {
 	mu     sync.Mutex
 	names  []string                // guarded by mu; registration order
 	checks map[string]func() error // guarded by mu
+
+	hook        func(healthy bool, failing []string) // guarded by mu
+	prevKnown   bool                                 // guarded by mu
+	prevHealthy bool                                 // guarded by mu
 }
 
 // NewHealth returns an empty health check set.
@@ -41,6 +45,22 @@ func (h *Health) Register(name string, fn func() error) {
 	h.checks[name] = fn
 }
 
+// SetTransitionHook installs fn, invoked from Check whenever the
+// overall health state changes (and on the first Check if it comes up
+// unhealthy — a grid is presumed healthy until proven otherwise).
+// failing lists the names of failing checks; empty on recovery. The
+// hook runs outside the lock, on the Check caller's goroutine, so it
+// may do real work (the grid wires a flight-recorder dump here) but
+// must not call back into Check.
+func (h *Health) SetTransitionHook(fn func(healthy bool, failing []string)) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.hook = fn
+	h.mu.Unlock()
+}
+
 // Check evaluates every registered check in registration order and
 // reports whether all passed. Checks run outside the lock so a slow
 // check cannot block Register.
@@ -59,14 +79,25 @@ func (h *Health) Check() (bool, []CheckResult) {
 
 	ok := true
 	results := make([]CheckResult, 0, len(names))
+	var failing []string
 	for i, name := range names {
 		res := CheckResult{Name: name, Healthy: true}
 		if err := fns[i](); err != nil {
 			res.Healthy = false
 			res.Detail = err.Error()
 			ok = false
+			failing = append(failing, name)
 		}
 		results = append(results, res)
+	}
+
+	h.mu.Lock()
+	hook := h.hook
+	fire := (h.prevKnown && ok != h.prevHealthy) || (!h.prevKnown && !ok)
+	h.prevKnown, h.prevHealthy = true, ok
+	h.mu.Unlock()
+	if fire && hook != nil {
+		hook(ok, failing)
 	}
 	return ok, results
 }

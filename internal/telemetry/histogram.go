@@ -36,9 +36,30 @@ var histBounds = func() [histBuckets]float64 {
 type Histogram struct {
 	counts [histBuckets + 1]atomic.Uint64 // +1: overflow (> 2^histMaxShift ns)
 	sumNS  atomic.Uint64
+	// exemplars holds the most recent nonzero trace ID observed into
+	// each bucket (ObserveTrace), linking a hot bucket to a span tree.
+	// Last-write-wins racing is fine: any exemplar from the bucket is
+	// a valid representative.
+	exemplars [histBuckets + 1]atomic.Uint64
 }
 
 func newHistogram() *Histogram { return &Histogram{} }
+
+// bucketIdx maps a nanosecond duration to its bucket: ceil(log2(ns))
+// via Len64(ns-1) so an exact power of two lands in the bucket whose
+// bound equals it.
+func bucketIdx(ns uint64) int {
+	idx := 0
+	if ns > 1 {
+		idx = bits.Len64(ns-1) - histMinShift
+		if idx < 0 {
+			idx = 0
+		} else if idx > histBuckets {
+			idx = histBuckets
+		}
+	}
+	return idx
+}
 
 // Observe records one duration. Negative durations count as zero.
 func (h *Histogram) Observe(d time.Duration) {
@@ -49,19 +70,30 @@ func (h *Histogram) Observe(d time.Duration) {
 	if d > 0 {
 		ns = uint64(d)
 	}
-	// ceil(log2(ns)) via Len64(ns-1) so an exact power of two lands in
-	// the bucket whose bound equals it.
-	idx := 0
-	if ns > 1 {
-		idx = bits.Len64(ns-1) - histMinShift
-		if idx < 0 {
-			idx = 0
-		} else if idx > histBuckets {
-			idx = histBuckets
-		}
-	}
+	idx := bucketIdx(ns)
 	h.counts[idx].Add(1)
 	h.sumNS.Add(ns)
+}
+
+// ObserveTrace records one duration and, when traceID is nonzero,
+// retains it as the bucket's exemplar — the breadcrumb that lets an
+// operator jump from a hot latency bucket to the trace subsystem's
+// span tree for a request that landed there. Same cost profile as
+// Observe plus one atomic store; zero traceID degrades to Observe.
+func (h *Histogram) ObserveTrace(d time.Duration, traceID uint64) {
+	if h == nil {
+		return
+	}
+	ns := uint64(0)
+	if d > 0 {
+		ns = uint64(d)
+	}
+	idx := bucketIdx(ns)
+	h.counts[idx].Add(1)
+	h.sumNS.Add(ns)
+	if traceID != 0 {
+		h.exemplars[idx].Store(traceID)
+	}
 }
 
 // Bucket is one cumulative histogram bucket: Count observations were
@@ -72,13 +104,25 @@ type Bucket struct {
 	Count uint64  `json:"count"`
 }
 
+// Exemplar links one histogram bucket to a trace: TraceID is the
+// zero-padded hex spelling `gridctl trace` accepts. LE is the bucket's
+// upper bound in seconds; LE < 0 marks the +Inf overflow bucket.
+type Exemplar struct {
+	LE      float64 `json:"le"`
+	TraceID string  `json:"trace_id"`
+}
+
 // HistogramSnapshot is a point-in-time copy of a histogram with
 // cumulative bucket counts, suitable for merging and for Prometheus
-// rendering (_bucket/_sum/_count).
+// rendering (_bucket/_sum/_count). Exemplars lists the buckets that
+// retained a trace ID; text exposition ignores them (the 0.0.4 format
+// has no exemplar syntax) but the JSON endpoint and gridctl carry
+// them through.
 type HistogramSnapshot struct {
-	Buckets []Bucket `json:"buckets"` // cumulative; excludes the +Inf bucket
-	Sum     float64  `json:"sum"`     // seconds
-	Count   uint64   `json:"count"`
+	Buckets   []Bucket   `json:"buckets"` // cumulative; excludes the +Inf bucket
+	Sum       float64    `json:"sum"`     // seconds
+	Count     uint64     `json:"count"`
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
 }
 
 // Snapshot copies the histogram's current state. Under concurrent
@@ -96,7 +140,30 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 	s.Count = cum + h.counts[histBuckets].Load()
 	s.Sum = float64(h.sumNS.Load()) / 1e9
+	for i := 0; i <= histBuckets; i++ {
+		id := h.exemplars[i].Load()
+		if id == 0 {
+			continue
+		}
+		le := -1.0 // +Inf overflow bucket
+		if i < histBuckets {
+			le = histBounds[i]
+		}
+		s.Exemplars = append(s.Exemplars, Exemplar{LE: le, TraceID: formatTraceID(id)})
+	}
 	return s
+}
+
+// formatTraceID renders a trace ID in the 16-digit hex spelling the
+// trace subsystem's parseID accepts.
+func formatTraceID(id uint64) string {
+	const hexdig = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hexdig[id&0xf]
+		id >>= 4
+	}
+	return string(b[:])
 }
 
 // Merge adds other into s bucket-by-bucket. Both snapshots must come
@@ -116,4 +183,17 @@ func (s *HistogramSnapshot) Merge(other HistogramSnapshot) {
 	}
 	s.Sum += other.Sum
 	s.Count += other.Count
+	// Keep one exemplar per bucket; s's own win so a merge is stable.
+	for _, ex := range other.Exemplars {
+		seen := false
+		for _, have := range s.Exemplars {
+			if have.LE == ex.LE {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			s.Exemplars = append(s.Exemplars, ex)
+		}
+	}
 }

@@ -62,7 +62,9 @@ func (r *chaosRunner) run(ctx context.Context) {
 	}
 }
 
-// record notes an applied entry for status output.
+// record notes an applied entry for status output and snapshots the
+// flight recorder: the ring's pre-fault tail is the triage baseline,
+// captured before the fault's fallout scrolls it away.
 func (r *chaosRunner) record(e ChaosEntry, err error) {
 	af := AppliedFault{Name: e.Name, Action: e.Action, Target: e.Target, At: time.Now().UTC()}
 	if err != nil {
@@ -71,6 +73,9 @@ func (r *chaosRunner) record(e ChaosEntry, err error) {
 	r.mu.Lock()
 	r.applied = append(r.applied, af)
 	r.mu.Unlock()
+	if err == nil && e.Action != ChaosHeal && e.Action != ChaosClear {
+		r.dep.grid.Flight().Trigger(fmt.Sprintf("chaos: %s (%s %s)", e.Name, e.Action, e.Target))
+	}
 }
 
 // appliedFaults snapshots the fired entries.

@@ -278,6 +278,16 @@ func (t *Tracer) newTraceID() uint64 {
 	return id
 }
 
+// TID returns the span's trace ID, zero for a nil (unsampled) span —
+// the nil-safe accessor stages pass to telemetry exemplars and flight
+// events without branching on sampling.
+func (s *Span) TID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.TraceID
+}
+
 // Context returns the span's propagation context for stamping onto an
 // outbound message.
 func (s *Span) Context() acl.TraceContext {

@@ -353,3 +353,104 @@ func TestEndIdempotent(t *testing.T) {
 		t.Fatalf("double End stored %d spans", spans)
 	}
 }
+
+// TestStoreEvictionUnderRingWraparound drives the whole pipeline —
+// tracer, a deliberately tiny collector ring, the bounded store —
+// hard enough that the ring wraps (dropping whole early traces) while
+// the store evicts admitted ones. The invariants that must hold
+// through both kinds of loss: the store never exceeds its bound, the
+// conversation index never points at an evicted trace, and every
+// retained trace remains queryable by ID and by conversation.
+func TestStoreEvictionUnderRingWraparound(t *testing.T) {
+	tr := New(Options{Shards: 1, ShardCapacity: 8, MaxTraces: 4})
+	const rounds = 32
+	for i := 0; i < rounds; i++ {
+		sp := tr.StartRoot("collect.poll")
+		sp.SetConversation(fmt.Sprintf("conv-%d", i))
+		sp.Child("collect.ship").End()
+		sp.End()
+		// Flush only every 7th root: at two spans per round the 8-span
+		// ring wraps between drains, so early traces in each batch are
+		// partially or wholly dropped while later ones land intact.
+		if i%7 == 6 {
+			tr.Flush()
+		}
+	}
+	tr.Flush()
+	if tr.Dropped() == 0 {
+		t.Fatal("ring never wrapped; shrink the shard capacity")
+	}
+
+	st := tr.Store()
+	traces, spans := st.Len()
+	if traces > 4 {
+		t.Fatalf("store retains %d traces, bound is 4", traces)
+	}
+	if traces == 0 || spans == 0 {
+		t.Fatalf("store empty after %d rounds (traces=%d spans=%d)", rounds, traces, spans)
+	}
+	ids := st.TraceIDs()
+	if len(ids) != traces {
+		t.Fatalf("TraceIDs() = %d entries, Len says %d", len(ids), traces)
+	}
+	for _, id := range ids {
+		if len(st.Spans(id)) == 0 {
+			t.Fatalf("retained trace %s has no queryable spans", id)
+		}
+	}
+	// Every early conversation must be gone from the index: with 32
+	// rounds and a bound of 4, conversations 0..27 cannot survive.
+	for i := 0; i < rounds-4; i++ {
+		if got := st.ByConversation(fmt.Sprintf("conv-%d", i)); len(got) != 0 {
+			t.Fatalf("evicted conv-%d still indexed: %v", i, got)
+		}
+	}
+	// Each surviving conversation resolves back to its retained trace.
+	live := 0
+	for i := rounds - 4; i < rounds; i++ {
+		for _, id := range st.ByConversation(fmt.Sprintf("conv-%d", i)) {
+			live++
+			if len(st.Spans(id)) == 0 {
+				t.Fatalf("conv-%d resolves to empty trace %s", i, id)
+			}
+		}
+	}
+	if live == 0 {
+		t.Fatal("no surviving conversation resolves to a trace")
+	}
+}
+
+// TestStoreReadmitsEvictedTrace pins the late-span behaviour: a span
+// arriving for an already-evicted trace re-admits the trace at the
+// tail of the eviction order, with a consistent conversation index —
+// the case a wrapped ring produces when a trace's spans straddle two
+// drains.
+func TestStoreReadmitsEvictedTrace(t *testing.T) {
+	st := newStore(2)
+	st.Add([]Span{{TraceID: 1, ID: 10, Conversation: "conv-a"}})
+	st.Add([]Span{{TraceID: 2, ID: 20}})
+	st.Add([]Span{{TraceID: 3, ID: 30}}) // evicts trace 1
+	if got := st.ByConversation("conv-a"); len(got) != 0 {
+		t.Fatalf("evicted conversation still indexed: %v", got)
+	}
+	// The straggler from the wrapped ring arrives after eviction.
+	st.Add([]Span{{TraceID: 1, ID: 11, Conversation: "conv-a"}}) // evicts trace 2
+	traces, _ := st.Len()
+	if traces != 2 {
+		t.Fatalf("retained %d traces, want 2", traces)
+	}
+	ids := st.TraceIDs()
+	if len(ids) != 2 || ids[1] != formatID(1) {
+		t.Fatalf("re-admitted trace not at tail of admission order: %v", ids)
+	}
+	if got := st.Spans(formatID(2)); len(got) != 0 {
+		t.Fatal("trace 2 should have been evicted by the re-admission")
+	}
+	got := st.Spans(formatID(1))
+	if len(got) != 1 || got[0].ID != 11 {
+		t.Fatalf("re-admitted trace spans = %+v, want just the straggler", got)
+	}
+	if conv := st.ByConversation("conv-a"); len(conv) != 1 || conv[0] != formatID(1) {
+		t.Fatalf("ByConversation(conv-a) = %v after re-admission", conv)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"agentgrid/internal/acl"
+	"agentgrid/internal/flight"
 	"agentgrid/internal/telemetry"
 )
 
@@ -72,6 +73,15 @@ func WithTCPMetrics(m WireMetrics) TCPOption {
 	return func(t *tcpTransport) { t.metrics = m }
 }
 
+// WithTCPFlight journals every inbound frame (and decode failure) to
+// the flight recorder under the transport.serve stage. The journal is
+// resolved once here so the per-frame cost in the serve loop is the
+// recorder's ring append alone. A nil recorder leaves the transport
+// unjournaled.
+func WithTCPFlight(r *flight.Recorder) TCPOption {
+	return func(t *tcpTransport) { t.flight = r.Journal("transport.serve") }
+}
+
 // coalesceBufSize is the per-connection staging buffer for write
 // coalescing. A full buffer flushes immediately, so the flush window
 // only bounds the latency of a trickle, never the backlog of a burst.
@@ -116,6 +126,7 @@ type tcpTransport struct {
 	handler      Handler
 	plan         FaultPlan
 	metrics      WireMetrics
+	flight       *flight.Journal
 	dialTimeout  time.Duration
 	writeTimeout time.Duration
 	flushWindow  time.Duration
@@ -228,15 +239,28 @@ func (t *tcpTransport) serveConn(conn net.Conn) {
 	// retain m past the call unless they clone it") exists for.
 	var scratch acl.Message
 	for {
-		if _, err := fr.ReadMessageInto(&scratch); err != nil {
+		payload, err := fr.ReadMessageInto(&scratch)
+		if err != nil {
 			// EOF, deadline or codec error all end the connection; the
 			// peer re-dials as needed. Only genuinely bad frames count
 			// as decode errors — clean hangups and our own shutdown
 			// are the normal end of a connection.
 			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
 				t.metrics.DecodeErrors.Add(1)
+				t.flight.Emit(flight.Event{Outcome: flight.OutcomeError, Err: err.Error()})
 			}
 			return
+		}
+		if t.flight != nil {
+			// Conversation ID and trace ID are interned/derived, never
+			// views into the frame buffer, so the journal may retain
+			// them past this iteration. Only len(payload) is read from
+			// the view.
+			t.flight.Emit(flight.Event{
+				Conversation: scratch.ConversationID,
+				TraceID:      traceIDOf(&scratch),
+				Size:         len(payload),
+			})
 		}
 		select {
 		case <-t.done:
@@ -245,6 +269,15 @@ func (t *tcpTransport) serveConn(conn net.Conn) {
 		}
 		t.handler(&scratch)
 	}
+}
+
+// traceIDOf extracts the numeric trace ID from a decoded message's
+// trace context; zero when the message is untraced.
+func traceIDOf(m *acl.Message) uint64 {
+	if m.Trace == nil {
+		return 0
+	}
+	return flight.ParseTraceID(m.Trace.TraceID)
 }
 
 func (t *tcpTransport) Send(ctx context.Context, addr string, m *acl.Message) error {

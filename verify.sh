@@ -17,9 +17,12 @@
 #  10. wire hot path     (codec benches with alloc counts + differential fuzz)
 #  11. soak smoke        (benchrunner soak, short sustained-rate window with
 #                         asserting thresholds: >=1M msgs/s, allocs/msg, p99)
-#  12. topology suite   (spec parse/validate/deploy lifecycle + HTTP
+#  12. flight overhead   (same soak with the flight recorder journaling
+#                         every frame + exemplar histogram: must hold
+#                         >=95% of the control run's throughput)
+#  13. topology suite   (spec parse/validate/deploy lifecycle + HTTP
 #                         control plane + example equivalence, -race)
-#  13. fuzz smoke        (5s per wire-facing fuzz target)
+#  14. fuzz smoke        (5s per wire-facing fuzz target)
 #
 # Any failure stops the gate with a non-zero exit. Run it before every
 # commit; CI should run exactly this script.
@@ -67,7 +70,12 @@ go test -run='^$' -fuzz=FuzzUnmarshalBinaryFrame -fuzztime=5s ./internal/acl
 go test -run='^$' -fuzz=FuzzUnmarshalBinaryIntoEquivalence -fuzztime=5s ./internal/acl
 
 step "soak smoke (2s sustained ingest, asserting >=1M msgs/s steady state)"
-go run ./cmd/benchrunner soak -duration=2s -warmup=1s
+soak_control="$(mktemp)"
+trap 'rm -f "$soak_control"' EXIT
+go run ./cmd/benchrunner soak -duration=2s -warmup=1s -out "$soak_control"
+
+step "flight overhead soak (recorder + exemplars on, >=95% of control throughput)"
+go run ./cmd/benchrunner soak -flight -duration=2s -warmup=1s -baseline "$soak_control"
 
 step "topology suite (-race, spec lifecycle + control plane)"
 go test -race -count=1 ./internal/topology/...
