@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race lint lint-typed lint-sarif chaos trace metrics wire soak flight topo fuzz-smoke verify fmt
+.PHONY: all build test race lint lint-typed lint-sarif chaos trace metrics wire soak shard flight topo fuzz-smoke verify fmt
 
 all: build
 
@@ -76,6 +76,16 @@ wire:
 #   go run ./cmd/benchrunner soak -duration=10s -warmup=2s -out=BENCH_soak.json
 soak:
 	$(GO) run ./cmd/benchrunner soak -duration=2s -warmup=1s
+
+# Store shard sweep: concurrent ingest (16 writers) against the striped
+# store while analyzer-style readers loop federated full-store scans,
+# crossed over shard counts x classifier partitions x series sizes.
+# Asserts the sharded store's peak-contention cell sustains >=2x the
+# 1-shard ingest rate. The canonical 2s run that produced
+# BENCH_shard.json:
+#   go run ./cmd/benchrunner shard -duration=2s -out=BENCH_shard.json
+shard:
+	$(GO) run ./cmd/benchrunner shard -duration=500ms -warmup=200ms
 
 # Flight-recorder overhead gate: the flight package unit tests under
 # the race detector, then the same sustained soak twice — a control

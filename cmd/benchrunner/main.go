@@ -15,6 +15,10 @@
 // and the sustained ingest soak (see soak.go):
 //
 //	benchrunner soak -rate 1200000 -duration 10s -out BENCH_soak.json
+//
+// and the store shard sweep (see shard.go):
+//
+//	benchrunner shard -duration 2s -out BENCH_shard.json
 package main
 
 import (
@@ -39,6 +43,13 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "soak" {
 		if err := soakMain(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "benchrunner soak:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "shard" {
+		if err := shardMain(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrunner shard:", err)
 			os.Exit(1)
 		}
 		return

@@ -1,0 +1,292 @@
+// The shard sweep: concurrent ingest against the striped store under a
+// mixed workload — 16 writer goroutines appending single-device batches
+// flat out while analyzer-style readers loop full-store scans
+// (SeriesForMetric + Keys) through the federation. This is the workload
+// the single-mutex store collapses under: one reader holding the global
+// RLock during a 100k-series scan stalls every writer, while the
+// sharded store pins the scan to one stripe at a time and ingest keeps
+// flowing on the other fifteen.
+//
+// The sweep crosses shard counts × classifier partitions × preloaded
+// series sizes, lands in BENCH_shard.json, and verify.sh asserts the
+// N-shard configuration sustains at least twice the 1-shard ingest rate
+// at 16 writers in the peak-contention cell of the sweep.
+//
+//	benchrunner shard -duration 2s -out BENCH_shard.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"agentgrid/internal/obs"
+	"agentgrid/internal/store"
+)
+
+// shardMetricsPerDevice fixes the series-per-device fanout; series
+// targets divide by it to get the device population.
+const shardMetricsPerDevice = 16
+
+// shardMaxPoints bounds each ring so a 100k-series preload stays in the
+// hundreds of megabytes instead of the default 4096-point gigabytes.
+const shardMaxPoints = 64
+
+type shardConfig struct {
+	duration      time.Duration // measured window per cell
+	warmup        time.Duration // ramp before measurement per cell
+	writers       int           // concurrent ingest goroutines
+	readers       int           // concurrent full-scan goroutines
+	batch         int           // records per AppendBatch (one device each)
+	out           string        // result JSON path ("" = stdout only)
+	assertScaling float64       // fail below this sharded/1-shard ratio (0 = no assert)
+}
+
+// shardRun is one sweep cell.
+type shardRun struct {
+	Shards      int     `json:"shards"`
+	Partitions  int     `json:"partitions"`
+	Series      int     `json:"series"`
+	MeasuredSec float64 `json:"measured_sec"`
+	Records     uint64  `json:"records"`
+	RecsPerSec  float64 `json:"recs_per_sec"`
+	ReadScans   uint64  `json:"read_scans"`
+}
+
+// shardScaling summarizes one series size: the sharded and partitioned
+// ingest rates as multiples of the single-mutex baseline.
+type shardScaling struct {
+	Series             int     `json:"series"`
+	BaselineRate       float64 `json:"baseline_recs_per_sec"`    // 1 shard, 1 partition
+	ShardedRate        float64 `json:"sharded_recs_per_sec"`     // N shards, 1 partition
+	Speedup            float64 `json:"speedup"`                  // sharded / baseline
+	PartitionedRate    float64 `json:"partitioned_recs_per_sec"` // N shards, 4 partitions
+	PartitionedSpeedup float64 `json:"partitioned_speedup"`
+}
+
+// shardResult is the BENCH_shard.json shape. PeakSpeedup is the gate:
+// the best sharded-vs-1-shard ingest ratio across series sizes — the
+// cell where the single-mutex convoy actually bites. (On a 1-core box
+// the largest population is CPU-bound by the reader's lock-free sort,
+// so not every cell can show lock-contention scaling.)
+type shardResult struct {
+	GoMaxProcs  int            `json:"gomaxprocs"`
+	Writers     int            `json:"writers"`
+	Readers     int            `json:"readers"`
+	Batch       int            `json:"batch"`
+	MaxPoints   int            `json:"max_points"`
+	Runs        []shardRun     `json:"runs"`
+	Scaling     []shardScaling `json:"scaling"`
+	PeakSpeedup float64        `json:"peak_speedup"`
+	PeakSeries  int            `json:"peak_speedup_series"`
+}
+
+func shardMain(args []string) error {
+	fs := flag.NewFlagSet("shard", flag.ExitOnError)
+	cfg := shardConfig{}
+	fs.DurationVar(&cfg.duration, "duration", 2*time.Second, "measured window per sweep cell")
+	fs.DurationVar(&cfg.warmup, "warmup", 300*time.Millisecond, "warmup before measurement per cell")
+	fs.IntVar(&cfg.writers, "writers", 16, "concurrent writer goroutines")
+	fs.IntVar(&cfg.readers, "readers", 2, "concurrent analyzer-scan goroutines")
+	fs.IntVar(&cfg.batch, "batch", 8, "records per appended batch")
+	fs.StringVar(&cfg.out, "out", "", "write result JSON here (stdout always)")
+	fs.Float64Var(&cfg.assertScaling, "assert-scaling", 2.0, "fail below this sharded-vs-1-shard ingest ratio (0 disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if cfg.writers < 1 {
+		cfg.writers = 1
+	}
+	if cfg.readers < 0 {
+		cfg.readers = 0
+	}
+	if cfg.batch < 1 {
+		cfg.batch = 1
+	}
+
+	res := &shardResult{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Writers:    cfg.writers,
+		Readers:    cfg.readers,
+		Batch:      cfg.batch,
+		MaxPoints:  shardMaxPoints,
+	}
+	type cell struct{ shards, partitions int }
+	cells := []cell{{1, 1}, {1, 4}, {store.DefaultShards, 1}, {store.DefaultShards, 4}}
+	for _, series := range []int{10_000, 100_000} {
+		rates := map[cell]float64{}
+		for _, c := range cells {
+			run, err := runShardCell(&cfg, c.shards, c.partitions, series)
+			if err != nil {
+				return fmt.Errorf("shards=%d partitions=%d series=%d: %w",
+					c.shards, c.partitions, series, err)
+			}
+			rates[c] = run.RecsPerSec
+			res.Runs = append(res.Runs, *run)
+			fmt.Fprintf(os.Stderr, "shard: shards=%-3d partitions=%d series=%-6d  %12.0f recs/s  (%d scans)\n",
+				c.shards, c.partitions, series, run.RecsPerSec, run.ReadScans)
+		}
+		base := rates[cell{1, 1}]
+		sharded := rates[cell{store.DefaultShards, 1}]
+		parted := rates[cell{store.DefaultShards, 4}]
+		sc := shardScaling{
+			Series:          series,
+			BaselineRate:    base,
+			ShardedRate:     sharded,
+			PartitionedRate: parted,
+		}
+		if base > 0 {
+			sc.Speedup = sharded / base
+			sc.PartitionedSpeedup = parted / base
+		}
+		res.Scaling = append(res.Scaling, sc)
+		if sc.Speedup > res.PeakSpeedup {
+			res.PeakSpeedup = sc.Speedup
+			res.PeakSeries = series
+		}
+	}
+
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	fmt.Printf("%s", blob)
+	if cfg.out != "" {
+		if err := os.WriteFile(cfg.out, blob, 0o644); err != nil {
+			return err
+		}
+	}
+	return shardAssert(&cfg, res)
+}
+
+func shardAssert(cfg *shardConfig, res *shardResult) error {
+	if cfg.assertScaling <= 0 {
+		return nil
+	}
+	if res.PeakSpeedup < cfg.assertScaling {
+		return fmt.Errorf(
+			"shard gate failed: %d-shard ingest peaks at %.2fx the 1-shard rate under %d writers (floor %.2fx)",
+			store.DefaultShards, res.PeakSpeedup, res.Writers, cfg.assertScaling)
+	}
+	fmt.Fprintf(os.Stderr, "shard: OK (%.1fx at %d series)\n", res.PeakSpeedup, res.PeakSeries)
+	return nil
+}
+
+// runShardCell measures one sweep cell: preload the series population,
+// then run writers+readers for warmup+duration and report the measured
+// ingest rate.
+func runShardCell(cfg *shardConfig, shards, partitions, seriesTarget int) (*shardRun, error) {
+	devices := seriesTarget / shardMetricsPerDevice
+	if devices < cfg.writers {
+		devices = cfg.writers
+	}
+	parts := make([]*store.Store, partitions)
+	for i := range parts {
+		parts[i] = store.NewSharded(shardMaxPoints, shards)
+	}
+	fed := store.NewFederation(parts)
+
+	const site = "bench"
+	metrics := make([]string, shardMetricsPerDevice)
+	for m := range metrics {
+		metrics[m] = fmt.Sprintf("metric.m%02d", m)
+	}
+	// Preload every series and pin each device to its owning partition —
+	// the same FNV mapping the collector router uses.
+	names := make([]string, devices)
+	owner := make([]*store.Store, devices)
+	pre := &obs.Batch{Collector: "bench", Records: make([]obs.Record, shardMetricsPerDevice)}
+	for d := 0; d < devices; d++ {
+		names[d] = fmt.Sprintf("dev-%05d", d)
+		owner[d] = parts[store.PartitionIndex(site, names[d], partitions)]
+		for m, metric := range metrics {
+			pre.Records[m] = obs.Record{Site: site, Device: names[d], Metric: metric, Value: 1}
+		}
+		if err := owner[d].AppendBatch(pre); err != nil {
+			return nil, fmt.Errorf("preload %s: %w", names[d], err)
+		}
+	}
+
+	var stop atomic.Bool
+	var written atomic.Uint64
+	var scans atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			b := &obs.Batch{Collector: "bench", Records: make([]obs.Record, cfg.batch)}
+			step := 0
+			for d := w; !stop.Load(); d += cfg.writers {
+				if d >= devices {
+					d = w
+				}
+				for i := range b.Records {
+					b.Records[i] = obs.Record{
+						Site: site, Device: names[d],
+						Metric: metrics[(step+i)%len(metrics)],
+						Value:  float64(step), Step: step,
+					}
+				}
+				if err := owner[d].AppendBatch(b); err != nil {
+					return
+				}
+				written.Add(uint64(cfg.batch))
+				step++
+			}
+		}(w)
+	}
+	for r := 0; r < cfg.readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// The L3 analyzer's fleet scan: the metric index plus the
+			// full key census, the federation reads grid-wide rules
+			// open with. Their lock-held portions (index copy, key-set
+			// snapshot) are what convoy with 16 writers on a
+			// single-mutex store; sharded, each snapshot pins one
+			// stripe at a time and ingest flows on the other fifteen.
+			for !stop.Load() {
+				_ = fed.SeriesForMetric(metrics[3])
+				_ = fed.Keys()
+				scans.Add(1)
+			}
+		}()
+	}
+
+	// Fixed wall-clock sampling windows, not synchronization: the
+	// workers free-run and the counters are snapshotted at the window
+	// edges.
+	//gridlint:ignore sleepsync fixed warmup window before sampling
+	time.Sleep(cfg.warmup)
+	w0 := written.Load()
+	s0 := scans.Load()
+	t0 := time.Now()
+	//gridlint:ignore sleepsync fixed measurement window
+	time.Sleep(cfg.duration)
+	w1 := written.Load()
+	s1 := scans.Load()
+	elapsed := time.Since(t0)
+	stop.Store(true)
+	wg.Wait()
+
+	recs := w1 - w0
+	if recs == 0 || elapsed <= 0 {
+		return nil, fmt.Errorf("no ingest measured (%d recs in %s)", recs, elapsed)
+	}
+	return &shardRun{
+		Shards:      shards,
+		Partitions:  partitions,
+		Series:      devices * shardMetricsPerDevice,
+		MeasuredSec: elapsed.Seconds(),
+		Records:     recs,
+		RecsPerSec:  float64(recs) / elapsed.Seconds(),
+		ReadScans:   s1 - s0,
+	}, nil
+}

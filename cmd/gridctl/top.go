@@ -163,6 +163,56 @@ var topColumns = []struct {
 	{"alert/s", "alerts", "report_alerts_total"},
 }
 
+// shardBalance summarizes the store's per-stripe series census — the
+// placement-skew view of the sharded store. Skew is the fullest
+// stripe's series count over the mean (1.0 = perfectly even hashing).
+type shardBalance struct {
+	Partitions int     `json:"partitions"`
+	Shards     int     `json:"shards"` // lock stripes per partition
+	Min        float64 `json:"min_series"`
+	Max        float64 `json:"max_series"`
+	Mean       float64 `json:"mean_series"`
+	Skew       float64 `json:"skew"`
+}
+
+// buildShardBalance folds the store_shard_series_count gauge family
+// into the balance line. Nil when the grid exports no stripe gauges.
+func buildShardBalance(snap *telemetry.Snapshot) *shardBalance {
+	name := qualified(snap, "store_shard_series_count")
+	parts := make(map[string]bool)
+	stripes := make(map[string]bool)
+	var values []float64
+	for _, m := range snap.Metrics {
+		if m.Name != name {
+			continue
+		}
+		for _, s := range m.Series {
+			parts[s.Labels["partition"]] = true
+			stripes[s.Labels["shard"]] = true
+			values = append(values, s.Value)
+		}
+	}
+	if len(values) == 0 {
+		return nil
+	}
+	b := &shardBalance{Partitions: len(parts), Shards: len(stripes), Min: values[0], Max: values[0]}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+		if v < b.Min {
+			b.Min = v
+		}
+		if v > b.Max {
+			b.Max = v
+		}
+	}
+	b.Mean = sum / float64(len(values))
+	if b.Mean > 0 {
+		b.Skew = b.Max / b.Mean
+	}
+	return b
+}
+
 // topRow is one container's dashboard line.
 type topRow struct {
 	Container string             `json:"container"`
@@ -179,7 +229,12 @@ type topFrame struct {
 	StoreSeries      float64  `json:"store_series"`
 	DirectoryEntries float64  `json:"directory_entries"`
 	SpansDropped     float64  `json:"spans_dropped"`
-	Containers       []topRow `json:"containers"`
+
+	// ShardBalance is present when the grid exports per-stripe store
+	// gauges (store_shard_series_count).
+	ShardBalance *shardBalance `json:"shard_balance,omitempty"`
+
+	Containers []topRow `json:"containers"`
 }
 
 // buildFrame computes one frame. A nil prev (or zero dt) reports raw
@@ -216,6 +271,7 @@ func buildFrame(prev, cur *telemetry.Snapshot, dt time.Duration) topFrame {
 		StoreSeries:      gridValue(cur, "store_series_count"),
 		DirectoryEntries: gridValue(cur, "directory_entries_count"),
 		SpansDropped:     gridValue(cur, "trace_spans_dropped_total"),
+		ShardBalance:     buildShardBalance(cur),
 	}
 	if rates {
 		f.IntervalSeconds = secs
@@ -247,6 +303,10 @@ func emitFrame(w io.Writer, f topFrame, asJSON bool) error {
 func renderFrame(w io.Writer, f topFrame) {
 	fmt.Fprintf(w, "grid %s  containers %d  store %.0f series  directory %.0f entries  spans dropped %.0f\n",
 		f.Namespace, len(f.Containers), f.StoreSeries, f.DirectoryEntries, f.SpansDropped)
+	if b := f.ShardBalance; b != nil {
+		fmt.Fprintf(w, "shards %d stripes x %d partitions  series/stripe min %.0f mean %.1f max %.0f  skew %.2f\n",
+			b.Shards, b.Partitions, b.Min, b.Mean, b.Max, b.Skew)
+	}
 	fmt.Fprintf(w, "%-10s %6s %6s", "CONTAINER", "load", "mbox")
 	for _, col := range topColumns {
 		header := col.header

@@ -91,6 +91,50 @@ func TestGridctlTopOnceJSON(t *testing.T) {
 	}
 }
 
+// A grid exporting per-stripe store gauges gets the shard-balance line
+// (and the JSON frames the structured summary).
+func TestGridctlTopShardBalance(t *testing.T) {
+	addr, reg := startMetricsBackend(t)
+	reg.GaugeFunc("platform_load_ratio", "x", telemetry.Labels{"container": "clg-1"}, func() float64 { return 0.1 })
+	for p := 0; p < 2; p++ {
+		for s := 0; s < 4; s++ {
+			v := float64(10 + p + s*2) // fullest stripe: p=1 s=3 -> 17
+			reg.GaugeFunc("store_shard_series_count", "x",
+				telemetry.Labels{"partition": string(rune('0' + p)), "shard": string(rune('0' + s))},
+				func() float64 { return v })
+		}
+	}
+
+	var buf bytes.Buffer
+	cli := &http.Client{Timeout: 5 * time.Second}
+	if err := top(&buf, cli, "http://"+addr, topOptions{Once: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "shards 4 stripes x 2 partitions") {
+		t.Fatalf("top output missing shard-balance line:\n%s", out)
+	}
+
+	buf.Reset()
+	if err := top(&buf, cli, "http://"+addr, topOptions{Once: true, JSON: true}); err != nil {
+		t.Fatal(err)
+	}
+	var frame topFrame
+	if err := json.Unmarshal(buf.Bytes(), &frame); err != nil {
+		t.Fatal(err)
+	}
+	b := frame.ShardBalance
+	if b == nil {
+		t.Fatalf("frame has no shard balance: %s", buf.String())
+	}
+	if b.Partitions != 2 || b.Shards != 4 || b.Min != 10 || b.Max != 17 {
+		t.Fatalf("shard balance = %+v", *b)
+	}
+	if b.Mean <= 0 || b.Skew != b.Max/b.Mean {
+		t.Fatalf("shard balance skew = %+v", *b)
+	}
+}
+
 func TestGridctlMetricsAndReady(t *testing.T) {
 	addr, reg := startMetricsBackend(t)
 	reg.Counter("demo_things_total", "x", nil).Inc()

@@ -1,0 +1,174 @@
+package scenarios
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"agentgrid/internal/chaos"
+	"agentgrid/internal/classify"
+	"agentgrid/internal/core"
+	"agentgrid/internal/directory"
+	"agentgrid/internal/obs"
+	"agentgrid/internal/store"
+	"agentgrid/internal/workload"
+)
+
+// TestScenarioPartitionCrashKeepsOtherDomainsFlowing kills one
+// classifier partition of a four-way partitioned grid mid-ingest. The
+// management domains owned by the other partitions must never stall:
+// their ingest keeps landing on their own partition stores, and even
+// the crashed partition's devices keep flowing — the collector router
+// skips the unhealthy partition and dispatches to the next healthy one,
+// so no batch ships into the void and no ship errors accrue. After a
+// restart the owner takes its domain back.
+func TestScenarioPartitionCrashKeepsOtherDomainsFlowing(t *testing.T) {
+	forEachSeed(t, func(t *testing.T, seed int64) {
+		const hosts = 8 // host-01..08 spread 2 per partition (FNV site-hash)
+		const parts = 4
+		const metricsPerHost = 4
+		spec := workload.FleetSpec{Site: "site1", Hosts: hosts, Seed: seed}
+		r := newRig(t, core.Config{Site: "site1", Classifiers: parts}, spec, "partition-crash", seed)
+		g, h := r.g, r.h
+
+		// Ownership is the published hash mapping; pick host-01's
+		// partition as the victim and register it as a crash target.
+		victim := store.PartitionIndex("site1", "host-01", parts)
+		victimName := fmt.Sprintf("clg-%d", victim+1)
+		victimC, ok := g.Container(victimName)
+		if !ok {
+			t.Fatalf("no %s container", victimName)
+		}
+		rewire := func() error {
+			ca, err := victimC.SpawnAgent("classifier")
+			if err != nil {
+				return err
+			}
+			if _, err := classify.New(ca, classify.Config{
+				Store:     g.Stores()[victim],
+				Processor: g.Root().Agent().ID(),
+				Ontology:  obs.NewOntology(),
+			}); err != nil {
+				return err
+			}
+			sq, err := victimC.SpawnAgent(core.StoreQueryAgentName)
+			if err != nil {
+				return err
+			}
+			_, err = core.NewStoreQueryServer(sq, g.Stores()[victim])
+			return err
+		}
+		if err := h.AddTarget(chaos.Target{
+			Container: victimC,
+			Addr:      "inproc://" + victimName,
+			Services:  []directory.ServiceDesc{{Type: directory.ServiceClassification}},
+			Rewire:    rewire,
+		}); err != nil {
+			t.Fatal(err)
+		}
+
+		stores := g.Stores()
+		appendsOf := func(i int) uint64 {
+			_, a := stores[i].Stats()
+			return a
+		}
+		fedAppends := func() uint64 {
+			_, a := g.Federation().Stats()
+			return a
+		}
+		col := g.Collectors()[0]
+
+		var afterCrash [parts]uint64
+		err := h.Run(chaos.Scenario{Name: "partition-crash", Steps: []chaos.Step{
+			{At: 0, Name: "ingest-1", Do: func(*chaos.Harness) error {
+				return g.CollectNow(context.Background())
+			}},
+			{At: 10 * time.Millisecond, Name: "settle-1", Do: func(*chaos.Harness) error {
+				// Round 1 lands every domain on its owning partition.
+				waitFor(t, 15*time.Second, "round-1 ingest", func() bool {
+					return fedAppends() == hosts*metricsPerHost
+				})
+				for i := 0; i < parts; i++ {
+					if appendsOf(i) == 0 {
+						return fmt.Errorf("partition %d took no round-1 ingest", i)
+					}
+				}
+				return nil
+			}},
+			{At: 20 * time.Millisecond, Name: "crash-victim", Do: func(h *chaos.Harness) error {
+				return h.Crash(victimName)
+			}},
+			{At: 30 * time.Millisecond, Name: "ingest-around-crash", Do: func(*chaos.Harness) error {
+				for i := 0; i < parts; i++ {
+					afterCrash[i] = appendsOf(i)
+				}
+				r.fleet.Advance(1)
+				if err := g.CollectNow(context.Background()); err != nil {
+					return err
+				}
+				// Every record of round 2 lands despite the dead
+				// partition: the router detours its domain to the next
+				// healthy classifier.
+				waitFor(t, 15*time.Second, "round-2 ingest", func() bool {
+					return fedAppends() == 2*hosts*metricsPerHost
+				})
+				return nil
+			}},
+			{At: 40 * time.Millisecond, Name: "restart-victim", Do: func(h *chaos.Harness) error {
+				return h.Restart(victimName)
+			}},
+			{At: 50 * time.Millisecond, Name: "ingest-3", Do: func(*chaos.Harness) error {
+				r.fleet.Advance(1)
+				return g.CollectNow(context.Background())
+			}},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// The dead partition took nothing while down; every healthy
+		// partition kept ingesting its own domain (and the detoured one
+		// absorbed the victim's devices on top).
+		if got := afterCrash[victim]; appendsOf(victim) < got {
+			t.Fatalf("victim partition appends went backwards: %d -> %d", got, appendsOf(victim))
+		}
+		healthyGrew := 0
+		for i := 0; i < parts; i++ {
+			if i != victim && appendsOf(i) > afterCrash[i] {
+				healthyGrew++
+			}
+		}
+		if healthyGrew != parts-1 {
+			t.Fatalf("only %d of %d healthy partitions ingested during the crash", healthyGrew, parts-1)
+		}
+		// No batch shipped into the void: the router never dispatched to
+		// the dead partition.
+		if errs := col.Stats().ShipErrors; errs != 0 {
+			t.Fatalf("collector logged %d ship errors; rerouting should avoid the dead partition", errs)
+		}
+
+		// Round 3, after restart: the owner takes its domain back.
+		waitFor(t, 15*time.Second, "round-3 ingest", func() bool {
+			return fedAppends() == 3*hosts*metricsPerHost
+		})
+		waitFor(t, 15*time.Second, "victim back in rotation", func() bool {
+			return appendsOf(victim) > afterCrash[victim]
+		})
+		if _, ok := g.Directory().Get(victimName); !ok {
+			t.Fatal("restarted partition not re-registered")
+		}
+		gs := g.Status()
+		if len(gs.Partitions) != parts {
+			t.Fatalf("status has %d partitions, want %d", len(gs.Partitions), parts)
+		}
+		for _, p := range gs.Partitions {
+			if !p.Healthy {
+				t.Fatalf("partition %d still unhealthy after restart", p.Partition)
+			}
+		}
+		if err := chaos.Idle(g.Root(), 15*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -40,6 +40,13 @@ type BatchSink interface {
 	AppendBatch(b *obs.Batch) error
 }
 
+// shardIndexer is an optional Sink extension: a lock-striped sink that
+// can name the stripe owning a device. The classifier uses it to tag
+// ingest flight events with the shard the batch landed on.
+type shardIndexer interface {
+	ShardIndex(site, device string) int
+}
+
 // Cluster is one meaning-preserving unit of analysis work: by default
 // all records of one device in one batch, so cross-metric rules for a
 // device never straddle a split (§3.2: data must be divided "in such a
@@ -292,6 +299,7 @@ func (c *Classifier) handleBatch(ctx context.Context, a *agent.Agent, m *acl.Mes
 	sp := a.Tracer().ContinueFromMessage("classify.ingest", m)
 	var (
 		records int
+		shard   = -1
 		evErr   error
 	)
 	defer func() {
@@ -308,6 +316,7 @@ func (c *Classifier) handleBatch(ctx context.Context, a *agent.Agent, m *acl.Mes
 				Dur:          d,
 				Size:         records,
 			}
+			e.TagShard(shard)
 			if evErr != nil {
 				e.Outcome = flight.OutcomeError
 				e.Err = evErr.Error()
@@ -330,6 +339,13 @@ func (c *Classifier) handleBatch(ctx context.Context, a *agent.Agent, m *acl.Mes
 		return
 	}
 	records = len(batch.Records)
+	// A collector batch carries one device, so one stripe owns it; tag
+	// the flight event with it when the sink is lock-striped.
+	if records > 0 {
+		if si, ok := c.cfg.Store.(shardIndexer); ok {
+			shard = si.ShardIndex(batch.Records[0].Site, batch.Records[0].Device)
+		}
+	}
 	sp.SetAttr("collector", batch.Collector)
 	sp.SetAttrInt("batch", records)
 	if err := c.Ingest(ctx, batch); err != nil {

@@ -198,6 +198,10 @@ type Config struct {
 	Site string
 	// Classifier is where batches go.
 	Classifier acl.AID
+	// Route, when set, picks the classifier partition owning a batch's
+	// device (partitioned classifier grids route by management domain).
+	// A false return falls back to Classifier.
+	Route func(site, device string) (acl.AID, bool)
 	// Iface is the collection mechanism.
 	Iface Interface
 	// Ontology annotates records with units. Optional.
@@ -472,9 +476,16 @@ func (c *Collector) ship(ctx context.Context, records []obs.Record) error {
 	if err != nil {
 		return err
 	}
+	// A goal collects one device, so the batch has one owning partition.
+	receiver := c.cfg.Classifier
+	if c.cfg.Route != nil && len(records) > 0 {
+		if aid, ok := c.cfg.Route(records[0].Site, records[0].Device); ok {
+			receiver = aid
+		}
+	}
 	msg := &acl.Message{
 		Performative:   acl.Inform,
-		Receivers:      []acl.AID{c.cfg.Classifier},
+		Receivers:      []acl.AID{receiver},
 		Content:        content,
 		Language:       "xml",
 		Ontology:       acl.OntologyNetworkManagement,

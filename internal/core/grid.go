@@ -35,6 +35,16 @@ type Config struct {
 	Collectors int
 	// Analyzers is the analysis-container count (default 2).
 	Analyzers int
+	// Classifiers is the classifier-partition count (default 1). With
+	// N > 1 the grid deploys N classifier containers, each owning the
+	// site/device-hash partition of the device space and its own store
+	// partition; collectors route batches to the owning partition and
+	// analysis reads through a federated view.
+	Classifiers int
+	// StoreShards is each store partition's lock-stripe count (default
+	// store.DefaultShards, rounded to a power of two, capped at
+	// store.MaxShards).
+	StoreShards int
 	// Community is the SNMP community used for collection.
 	Community string
 	// Rules is DSL source loaded into every analysis worker.
@@ -95,6 +105,9 @@ func (c Config) withDefaults() Config {
 	if c.Analyzers <= 0 {
 		c.Analyzers = 2
 	}
+	if c.Classifiers <= 0 {
+		c.Classifiers = 1
+	}
 	if c.Community == "" {
 		c.Community = "public"
 	}
@@ -116,21 +129,23 @@ func (c Config) withDefaults() Config {
 type Grid struct {
 	cfg Config
 
-	net        *transport.InProcNetwork
-	dir        *directory.Directory
-	store      *store.Store
-	tracer     *trace.Tracer
-	metrics    *telemetry.Registry
-	health     *telemetry.Health
-	flight     *flight.Recorder
-	profiler   *flight.Profiler
-	containers []*platform.Container
-	collectors []*collect.Collector
-	classifier *classify.Classifier
-	root       *analyze.Root
-	workers    []*analyze.Worker
-	ig         *report.Interface
-	http       *report.Server
+	net         *transport.InProcNetwork
+	dir         *directory.Directory
+	stores      []*store.Store // one partition store per classifier
+	fed         *store.Federation
+	tracer      *trace.Tracer
+	metrics     *telemetry.Registry
+	health      *telemetry.Health
+	flight      *flight.Recorder
+	profiler    *flight.Profiler
+	containers  []*platform.Container
+	collectors  []*collect.Collector
+	classifiers []*classify.Classifier
+	router      *partitionRouter
+	root        *analyze.Root
+	workers     []*analyze.Worker
+	ig          *report.Interface
+	http        *report.Server
 
 	cancel  context.CancelFunc
 	started bool
@@ -143,12 +158,18 @@ func NewGrid(cfg Config) (*Grid, error) {
 		cfg:     cfg,
 		net:     transport.NewInProcNetwork(),
 		dir:     directory.New(3 * cfg.HeartbeatEvery),
-		store:   store.New(cfg.StorePoints),
 		tracer:  trace.New(cfg.Trace),
 		metrics: telemetry.NewRegistry("agentgrid"),
 		health:  telemetry.NewHealth(),
 		flight:  flight.New(cfg.Flight),
 	}
+	// One store partition per classifier; the federation is the grid's
+	// cross-partition read view. A single-partition federation delegates
+	// straight through, so the unsharded grid pays nothing.
+	for i := 0; i < cfg.Classifiers; i++ {
+		g.stores = append(g.stores, store.NewSharded(cfg.StorePoints, cfg.StoreShards))
+	}
+	g.fed = store.NewFederation(g.stores)
 	// A health degradation is exactly the moment the pre-incident tail
 	// matters: snapshot the ring before it scrolls away.
 	g.health.SetTransitionHook(func(healthy bool, failing []string) {
@@ -283,7 +304,7 @@ func NewGrid(cfg Config) (*Grid, error) {
 			}
 		}
 		w, err := analyze.NewWorker(wa, analyze.WorkerConfig{
-			Store: g.store, Rules: rb, ErrorLog: cfg.ErrorLog,
+			Store: g.fed, Rules: rb, ErrorLog: cfg.ErrorLog,
 			Metrics: g.metrics,
 			Flight:  g.flight,
 			// The worker's contract-net bid folds in the container's
@@ -304,41 +325,52 @@ func NewGrid(cfg Config) (*Grid, error) {
 	}
 
 	// ---- Classifier grid (CLG) ----
-	clgC, err := newContainer("clg")
-	if err != nil {
-		return nil, err
-	}
-	clgAgent, err := clgC.SpawnAgent("classifier")
-	if err != nil {
-		return nil, err
-	}
+	// One container per partition, each owning its partition store. A
+	// single-classifier grid keeps the historical "clg" container name.
 	rootAID := rootAgent.ID()
-	g.classifier, err = classify.New(clgAgent, classify.Config{
-		Store:     g.store,
-		Processor: rootAID,
-		Ontology:  obs.NewOntology(),
-		ErrorLog:  cfg.ErrorLog,
-		Metrics:   g.metrics,
-		Flight:    g.flight,
-	})
-	if err != nil {
-		return nil, err
+	clgAIDs := make([]acl.AID, cfg.Classifiers)
+	clgNames := make([]string, cfg.Classifiers)
+	for i := 0; i < cfg.Classifiers; i++ {
+		name := classifierContainerName(i, cfg.Classifiers)
+		clgC, err := newContainer(name)
+		if err != nil {
+			return nil, err
+		}
+		clgAgent, err := clgC.SpawnAgent("classifier")
+		if err != nil {
+			return nil, err
+		}
+		cl, err := classify.New(clgAgent, classify.Config{
+			Store:     g.stores[i],
+			Processor: rootAID,
+			Ontology:  obs.NewOntology(),
+			ErrorLog:  cfg.ErrorLog,
+			Metrics:   g.metrics,
+			Flight:    g.flight,
+		})
+		if err != nil {
+			return nil, err
+		}
+		g.classifiers = append(g.classifiers, cl)
+		if err := g.register(clgC, directory.ServiceClassification, nil); err != nil {
+			return nil, err
+		}
+		if err := g.heartbeat(clgC, clgAgent, directory.ServiceClassification, nil); err != nil {
+			return nil, err
+		}
+		// Each classifier container also answers remote store queries
+		// for worker nodes on other machines, over its own partition.
+		sqAgent, err := clgC.SpawnAgent(StoreQueryAgentName)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := NewStoreQueryServer(sqAgent, g.stores[i]); err != nil {
+			return nil, err
+		}
+		clgAIDs[i] = clgAgent.ID()
+		clgNames[i] = name
 	}
-	if err := g.register(clgC, directory.ServiceClassification, nil); err != nil {
-		return nil, err
-	}
-	if err := g.heartbeat(clgC, clgAgent, directory.ServiceClassification, nil); err != nil {
-		return nil, err
-	}
-	// The classifier container also answers remote store queries for
-	// worker nodes on other machines.
-	sqAgent, err := clgC.SpawnAgent(StoreQueryAgentName)
-	if err != nil {
-		return nil, err
-	}
-	if _, err := NewStoreQueryServer(sqAgent, g.store); err != nil {
-		return nil, err
-	}
+	g.router = &partitionRouter{g: g, names: clgNames, aids: clgAIDs}
 
 	// ---- Collector grid (CG) ----
 	var localRules *rules.RuleBase
@@ -348,7 +380,12 @@ func NewGrid(cfg Config) (*Grid, error) {
 			return nil, fmt.Errorf("core: local rules: %w", err)
 		}
 	}
-	classifierAID := clgAgent.ID()
+	// With one partition every batch goes to clg directly; with more,
+	// the router picks the owning (or next healthy) partition per batch.
+	var route func(site, device string) (acl.AID, bool)
+	if cfg.Classifiers > 1 {
+		route = g.router.Route
+	}
 	for i := 0; i < cfg.Collectors; i++ {
 		cgC, err := newContainer(fmt.Sprintf("cg-%d", i+1))
 		if err != nil {
@@ -360,7 +397,8 @@ func NewGrid(cfg Config) (*Grid, error) {
 		}
 		col, err := collect.New(ca, collect.Config{
 			Site:       cfg.Site,
-			Classifier: classifierAID,
+			Classifier: clgAIDs[0],
+			Route:      route,
 			Iface: &collect.SNMPInterface{
 				Client: snmp.NewClient(cfg.Community, snmp.WithTimeout(2*time.Second)),
 			},
@@ -388,7 +426,7 @@ func NewGrid(cfg Config) (*Grid, error) {
 
 	// The IG wires last: it needs the workers for rule learning.
 	g.ig, err = report.New(igAgent, report.Config{
-		Store:     g.store,
+		Store:     g.fed,
 		Rules:     fanoutRuleSink(g.workers),
 		Goals:     g.goalFromSpec,
 		StatsFunc: func() any { return g.Status() },
@@ -424,13 +462,28 @@ func NewGrid(cfg Config) (*Grid, error) {
 // that no single container owns: store, directory and tracer state.
 func (g *Grid) registerGridMetrics() {
 	g.metrics.GaugeFunc("store_series_count", "time series retained by the management data store", nil, func() float64 {
-		series, _ := g.store.Stats()
+		series, _ := g.fed.Stats()
 		return float64(series)
 	})
 	g.metrics.CounterFunc("store_appends_total", "records appended to the management data store", nil, func() uint64 {
-		_, appends := g.store.Stats()
+		_, appends := g.fed.Stats()
 		return appends
 	})
+	// Per-stripe census gauges make placement skew visible: gridctl top
+	// folds these into its shard-balance line.
+	for pi, st := range g.stores {
+		partition := fmt.Sprintf("%d", pi)
+		for si := 0; si < st.ShardCount(); si++ {
+			st, si := st, si
+			l := telemetry.Labels{"partition": partition, "shard": fmt.Sprintf("%d", si)}
+			g.metrics.GaugeFunc("store_shard_series_count", "time series on one store lock stripe", l, func() float64 {
+				return float64(st.ShardStat(si).Series)
+			})
+			g.metrics.CounterFunc("store_shard_appends_total", "records appended to one store lock stripe", l, func() uint64 {
+				return st.ShardStat(si).Appends
+			})
+		}
+	}
 	g.metrics.GaugeFunc("directory_entries_count", "live container registrations in the grid directory", nil, func() float64 {
 		return float64(g.dir.Len())
 	})
@@ -677,16 +730,27 @@ func (g *Grid) WaitIdle(timeout time.Duration) bool {
 
 // Accessors for inspection, tooling and tests.
 
-// Store returns the grid's management data store.
-func (g *Grid) Store() *store.Store { return g.store }
+// Store returns the grid's first store partition — the whole store in
+// the default single-classifier layout.
+func (g *Grid) Store() *store.Store { return g.stores[0] }
+
+// Stores returns every store partition, indexed by classifier
+// partition.
+func (g *Grid) Stores() []*store.Store { return append([]*store.Store(nil), g.stores...) }
+
+// Federation returns the grid's cross-partition read view.
+func (g *Grid) Federation() *store.Federation { return g.fed }
 
 // RootAddr returns the pg-root container's transport address — the
 // endpoint external worker nodes dial to join the grid.
 func (g *Grid) RootAddr() string { return g.containerAddr("pg-root") }
 
-// ClassifierAddr returns the classifier container's transport address,
-// which hosts the store-query service remote workers read from.
-func (g *Grid) ClassifierAddr() string { return g.containerAddr("clg") }
+// ClassifierAddr returns the first classifier container's transport
+// address, which hosts the store-query service remote workers read
+// from.
+func (g *Grid) ClassifierAddr() string {
+	return g.containerAddr(classifierContainerName(0, g.cfg.Classifiers))
+}
 
 func (g *Grid) containerAddr(name string) string {
 	for _, c := range g.containers {
@@ -703,8 +767,8 @@ func (g *Grid) containerAddr(name string) string {
 func (g *Grid) Network() *transport.InProcNetwork { return g.net }
 
 // Containers returns every container in the grid, in assembly order
-// (ig, pg-root, pg-N..., clg, cg-N...). The topology subsystem builds
-// its per-container census from this.
+// (ig, pg-root, pg-N..., clg or clg-1..clg-N, cg-N...). The topology
+// subsystem builds its per-container census from this.
 func (g *Grid) Containers() []*platform.Container {
 	return append([]*platform.Container(nil), g.containers...)
 }
@@ -737,8 +801,13 @@ func (g *Grid) Collectors() []*collect.Collector {
 	return append([]*collect.Collector(nil), g.collectors...)
 }
 
-// Classifier returns the classifier grid agent.
-func (g *Grid) Classifier() *classify.Classifier { return g.classifier }
+// Classifier returns the first classifier-grid agent.
+func (g *Grid) Classifier() *classify.Classifier { return g.classifiers[0] }
+
+// Classifiers returns every classifier partition agent.
+func (g *Grid) Classifiers() []*classify.Classifier {
+	return append([]*classify.Classifier(nil), g.classifiers...)
+}
 
 // Tracer returns the grid's causal tracer.
 func (g *Grid) Tracer() *trace.Tracer { return g.tracer }
@@ -769,13 +838,28 @@ type GridStatus struct {
 	Root             analyze.RootStats     `json:"root"`
 	Workers          []analyze.WorkerStats `json:"workers"`
 	Collectors       []collect.Stats       `json:"collectors"`
-	Classifier       classify.Stats        `json:"classifier"`
-	Trace            trace.Stats           `json:"trace"`
+	// Classifier aggregates every partition's counters.
+	Classifier classify.Stats `json:"classifier"`
+	// Partitions is the classifier partition map: index i owns every
+	// device with store.PartitionIndex(site, device, len) == i. The
+	// published mapping is what external routers must agree with.
+	Partitions []PartitionStatus `json:"partitions"`
+	Trace      trace.Stats       `json:"trace"`
+}
+
+// PartitionStatus is one classifier partition's census row.
+type PartitionStatus struct {
+	Partition  int            `json:"partition"`
+	Container  string         `json:"container"`
+	Series     int            `json:"series"`
+	Appends    uint64         `json:"appends"`
+	Healthy    bool           `json:"healthy"`
+	Classifier classify.Stats `json:"classifier"`
 }
 
 // Status assembles the current grid-wide snapshot.
 func (g *Grid) Status() GridStatus {
-	series, appends := g.store.Stats()
+	series, appends := g.fed.Stats()
 	st := GridStatus{
 		Site:             g.cfg.Site,
 		Containers:       len(g.containers),
@@ -783,8 +867,24 @@ func (g *Grid) Status() GridStatus {
 		StoreSeries:      series,
 		StoreAppends:     appends,
 		Root:             g.root.Stats(),
-		Classifier:       g.classifier.Stats(),
 		Trace:            g.tracer.Stats(),
+	}
+	for i, cl := range g.classifiers {
+		cs := cl.Stats()
+		st.Classifier.Batches += cs.Batches
+		st.Classifier.Records += cs.Records
+		st.Classifier.ParseErrors += cs.ParseErrors
+		st.Classifier.StoreErrors += cs.StoreErrors
+		st.Classifier.Notices += cs.Notices
+		ps, pa := g.stores[i].Stats()
+		st.Partitions = append(st.Partitions, PartitionStatus{
+			Partition:  i,
+			Container:  g.router.names[i],
+			Series:     ps,
+			Appends:    pa,
+			Healthy:    g.router.healthy(i),
+			Classifier: cs,
+		})
 	}
 	for _, w := range g.workers {
 		st.Workers = append(st.Workers, w.Stats())

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"fmt"
+
+	"agentgrid/internal/acl"
+	"agentgrid/internal/store"
+)
+
+// classifierContainerName names classifier partition i of n. A
+// single-classifier grid keeps the historical "clg" name so existing
+// tooling, chaos targets and specs keep resolving.
+func classifierContainerName(i, n int) string {
+	if n == 1 {
+		return "clg"
+	}
+	return fmt.Sprintf("clg-%d", i+1)
+}
+
+// partitionRouter maps a device to the classifier partition owning its
+// management domain and skips unhealthy partitions, so one classifier
+// crash never stalls ingest of other domains. Ownership is the same
+// FNV-1a site/device hash the store's stripes and the federation use.
+type partitionRouter struct {
+	g     *Grid
+	names []string  // classifier container names, by partition
+	aids  []acl.AID // classifier agent AIDs, by partition
+}
+
+// Route returns the dispatch target for a device's batches: the owning
+// partition when it is healthy, otherwise the next healthy partition in
+// ring order (its store will hold the records until the owner returns —
+// ingest keeps flowing). When every partition looks unhealthy the owner
+// is returned anyway so the send surfaces the delivery error.
+func (r *partitionRouter) Route(site, device string) (acl.AID, bool) {
+	n := len(r.aids)
+	owner := store.PartitionIndex(site, device, n)
+	for k := 0; k < n; k++ {
+		i := (owner + k) % n
+		if r.healthy(i) {
+			return r.aids[i], true
+		}
+	}
+	return r.aids[owner], true
+}
+
+// healthy reports whether partition i can take traffic: its directory
+// lease is live (crashes deregister; missed heartbeats sweep) and its
+// container is still attached to a transport.
+func (r *partitionRouter) healthy(i int) bool {
+	if _, ok := r.g.dir.Get(r.names[i]); !ok {
+		return false
+	}
+	c, ok := r.g.Container(r.names[i])
+	return ok && c.Addr() != ""
+}

@@ -90,9 +90,24 @@ type Event struct {
 	// Size is a stage-relevant byte or item count (frame bytes,
 	// notices in a batch, alerts raised).
 	Size int `json:"size,omitempty"`
+	// Shard tags store-ingest events with the lock stripe that received
+	// the work, stored 1-based so the zero value means "not a sharded
+	// stage". Set it with TagShard; read it with ShardIndex.
+	Shard int `json:"-"`
 	// Err is the error detail for non-OK outcomes.
 	Err string `json:"err,omitempty"`
 }
+
+// TagShard marks the event as landing on store stripe idx (0-based).
+func (e *Event) TagShard(idx int) {
+	if idx >= 0 {
+		e.Shard = idx + 1
+	}
+}
+
+// ShardIndex returns the 0-based stripe index and whether the event was
+// tagged with one.
+func (e Event) ShardIndex() (int, bool) { return e.Shard - 1, e.Shard > 0 }
 
 // eventJSON mirrors Event for encoding with the trace ID in the hex
 // spelling gridctl trace accepts as input.
@@ -106,6 +121,7 @@ type eventJSON struct {
 	Dur          time.Duration `json:"dur_ns,omitempty"`
 	Outcome      Outcome       `json:"outcome"`
 	Size         int           `json:"size,omitempty"`
+	Shard        *int          `json:"shard,omitempty"`
 	Err          string        `json:"err,omitempty"`
 }
 
@@ -125,6 +141,9 @@ func (e Event) MarshalJSON() ([]byte, error) {
 	}
 	if e.TraceID != 0 {
 		j.TraceID = fmt.Sprintf("%016x", e.TraceID)
+	}
+	if idx, ok := e.ShardIndex(); ok {
+		j.Shard = &idx
 	}
 	return marshalJSON(j)
 }

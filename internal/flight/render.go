@@ -28,6 +28,9 @@ func WriteEventsText(w io.Writer, events []Event) {
 		if e.Dur > 0 {
 			fmt.Fprintf(w, " %10s", e.Dur.Round(time.Microsecond))
 		}
+		if idx, ok := e.ShardIndex(); ok {
+			fmt.Fprintf(w, " shard=%d", idx)
+		}
 		if e.Conversation != "" {
 			fmt.Fprintf(w, " conv=%s", e.Conversation)
 		}

@@ -438,11 +438,11 @@ func (ig *Interface) BuildSiteReport(site string, now time.Time) (*SiteReport, e
 	rep := &SiteReport{Site: site, Time: now}
 	// Devices are discoverable via the store's device index; the reader
 	// interface exposes SeriesForDevice only, so walk via alerts +
-	// series-for-metric is insufficient — require the full store for
-	// site reports.
-	full, ok := ig.cfg.Store.(*store.Store)
+	// series-for-metric is insufficient — require a device-indexed
+	// store (*store.Store and *store.Federation both qualify).
+	full, ok := ig.cfg.Store.(interface{ Devices() []string })
 	if !ok {
-		return nil, errors.New("report: site reports need the full store")
+		return nil, errors.New("report: site reports need a device-indexed store")
 	}
 	prefix := site + "/"
 	for _, dev := range full.Devices() {

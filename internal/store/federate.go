@@ -1,0 +1,110 @@
+package store
+
+// Federation is a read-side view over the per-partition stores of a
+// partitioned classifier grid. Device-scoped queries (Latest, Window,
+// Range, SeriesForDevice) route to the partition owning the device;
+// cross-domain queries (Keys, Devices, SeriesForMetric, Stats) fan out
+// across every partition and merge — the federated query path the L3
+// analyzer runs its grid-wide correlations over.
+//
+// A Federation holds no locks of its own: each partition store is
+// internally synchronized, so federated reads are as concurrent as the
+// partitions themselves.
+type Federation struct {
+	parts []*Store
+}
+
+// PartitionIndex maps a device to its owning partition out of n — the
+// same FNV-1a("site/device") digest the store's lock stripes use, so
+// the collector router, the classifier partitions, and the federation
+// all agree on ownership.
+func PartitionIndex(site, device string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(deviceHash(site, device) % uint32(n))
+}
+
+// NewFederation builds a federated view over partition stores. The
+// slice order must match the partition numbering used for routing.
+func NewFederation(parts []*Store) *Federation {
+	return &Federation{parts: parts}
+}
+
+// Partitions returns the number of member stores.
+func (f *Federation) Partitions() int { return len(f.parts) }
+
+// Partition returns member i for tooling and tests.
+func (f *Federation) Partition(i int) (*Store, bool) {
+	if i < 0 || i >= len(f.parts) {
+		return nil, false
+	}
+	return f.parts[i], true
+}
+
+func (f *Federation) partForKey(key string) *Store {
+	if len(f.parts) == 1 {
+		return f.parts[0]
+	}
+	h := fnv1aString(uint32(fnvOffset32), key[:keyDevicePrefix(key)])
+	return f.parts[h%uint32(len(f.parts))]
+}
+
+// Latest reads from the partition owning the series' device.
+func (f *Federation) Latest(key string) (Point, bool) {
+	return f.partForKey(key).Latest(key)
+}
+
+// Window reads from the partition owning the series' device.
+func (f *Federation) Window(key string, n int) []Point {
+	return f.partForKey(key).Window(key, n)
+}
+
+// Range reads from the partition owning the series' device.
+func (f *Federation) Range(key string, fromStep, toStep int) []Point {
+	return f.partForKey(key).Range(key, fromStep, toStep)
+}
+
+// SeriesForDevice routes to the partition owning the device.
+func (f *Federation) SeriesForDevice(site, device string) []string {
+	return f.parts[PartitionIndex(site, device, len(f.parts))].SeriesForDevice(site, device)
+}
+
+// SeriesForMetric fans the query across every partition and merges the
+// sorted results — partitions are disjoint by device, so the merge
+// needs no deduplication.
+func (f *Federation) SeriesForMetric(metric string) []string {
+	lists := make([][]string, len(f.parts))
+	for i, p := range f.parts {
+		lists[i] = p.SeriesForMetric(metric)
+	}
+	return mergeSorted(lists)
+}
+
+// Keys lists every series key across all partitions, sorted.
+func (f *Federation) Keys() []string {
+	lists := make([][]string, len(f.parts))
+	for i, p := range f.parts {
+		lists[i] = p.Keys()
+	}
+	return mergeSorted(lists)
+}
+
+// Devices lists every "site/device" across all partitions, sorted.
+func (f *Federation) Devices() []string {
+	lists := make([][]string, len(f.parts))
+	for i, p := range f.parts {
+		lists[i] = p.Devices()
+	}
+	return mergeSorted(lists)
+}
+
+// Stats sums series and append counts over all partitions.
+func (f *Federation) Stats() (seriesCount int, appends uint64) {
+	for _, p := range f.parts {
+		s, a := p.Stats()
+		seriesCount += s
+		appends += a
+	}
+	return seriesCount, appends
+}

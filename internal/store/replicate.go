@@ -16,13 +16,19 @@ type Snapshot struct {
 	Series    map[string][]Point `json:"series"`
 }
 
-// Snapshot captures the store's full contents.
+// Snapshot captures the store's contents, one shard at a time. Each
+// shard is internally consistent; the snapshot is not atomic across
+// shards (writes racing a snapshot may land in an already-copied or a
+// not-yet-copied shard). Replica repair tolerates this: the replica
+// set's own lock excludes writers during Repair.
 func (s *Store) Snapshot() *Snapshot {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	snap := &Snapshot{MaxPoints: s.maxPoints, Series: make(map[string][]Point, len(s.series))}
-	for key, ser := range s.series {
-		snap.Series[key] = ser.points()
+	snap := &Snapshot{MaxPoints: s.maxPoints, Series: make(map[string][]Point)}
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		for key, ser := range sh.series {
+			snap.Series[key] = ser.points()
+		}
+		sh.mu.RUnlock()
 	}
 	return snap
 }
@@ -32,11 +38,13 @@ func (s *Store) Restore(snap *Snapshot) error {
 	if snap == nil {
 		return errors.New("store: nil snapshot")
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.series = make(map[string]*series, len(snap.Series))
-	s.byDevice = make(map[string][]string)
-	s.byMetric = make(map[string][]string)
+	// Validate and bucket by owning shard outside any lock, so a
+	// malformed key fails the restore before any shard is cleared.
+	type restored struct {
+		ser *series
+		key string
+	}
+	buckets := make([][]restored, len(s.shards))
 	for key, pts := range snap.Series {
 		site, dev, metric, err := ParseKey(key)
 		if err != nil {
@@ -46,10 +54,21 @@ func (s *Store) Restore(snap *Snapshot) error {
 		for _, p := range pts {
 			ser.append(p)
 		}
-		s.series[key] = ser
-		devKey := site + "/" + dev
-		s.byDevice[devKey] = insertSorted(s.byDevice[devKey], key)
-		s.byMetric[metric] = insertSorted(s.byMetric[metric], key)
+		idx := s.ShardIndex(site, dev)
+		buckets[idx] = append(buckets[idx], restored{ser: ser, key: key})
+	}
+	for i, sh := range s.shards {
+		sh.mu.Lock()
+		sh.series = make(map[string]*series, len(buckets[i]))
+		sh.byDevice = make(map[string][]string)
+		sh.byMetric = make(map[string][]string)
+		for _, r := range buckets[i] {
+			sh.series[r.key] = r.ser
+			devKey := r.ser.site + "/" + r.ser.device
+			sh.byDevice[devKey] = insertSorted(sh.byDevice[devKey], r.key)
+			sh.byMetric[r.ser.metric] = insertSorted(sh.byMetric[r.ser.metric], r.key)
+		}
+		sh.mu.Unlock()
 	}
 	return nil
 }
@@ -199,8 +218,9 @@ func (rs *ReplicaSet) Repair(i int) error {
 		rs.alive[i] = true
 		return nil
 	}
-	// Fresh store avoids carrying stale points written before failure.
-	st := New(rs.replicas[i].maxPoints)
+	// Fresh store avoids carrying stale points written before failure;
+	// keep the replica's stripe count so repair preserves its geometry.
+	st := NewSharded(rs.replicas[i].maxPoints, len(rs.replicas[i].shards))
 	if err := st.Restore(src.Snapshot()); err != nil {
 		return err
 	}

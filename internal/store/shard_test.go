@@ -1,0 +1,218 @@
+package store
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"agentgrid/internal/obs"
+)
+
+func TestNormalizeShards(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{0, DefaultShards}, {-3, DefaultShards},
+		{1, 1}, {2, 2}, {3, 4}, {5, 8}, {16, 16}, {17, 32},
+		{256, 256}, {257, MaxShards}, {1 << 20, MaxShards},
+	}
+	for _, c := range cases {
+		if got := NewSharded(4, c.in).ShardCount(); got != c.want {
+			t.Errorf("NewSharded(_, %d).ShardCount() = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+// Every series of a device lands on the device's shard: co-location is
+// what lets SeriesForDevice and single-device batches touch one stripe.
+func TestDeviceSeriesColocate(t *testing.T) {
+	s := NewSharded(8, 16)
+	for d := 0; d < 50; d++ {
+		dev := fmt.Sprintf("h%02d", d)
+		want := s.ShardIndex("site1", dev)
+		for m := 0; m < 4; m++ {
+			if err := s.Append(rec(dev, fmt.Sprintf("m%d", m), 1, 1)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, key := range s.SeriesForDevice("site1", dev) {
+			site, device, _, err := ParseKey(key)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := s.ShardIndex(site, device); got != want {
+				t.Fatalf("series %s on shard %d, device owns %d", key, got, want)
+			}
+		}
+	}
+	// The stripes together hold exactly the global census.
+	total := 0
+	for _, st := range s.ShardStats() {
+		total += st.Series
+	}
+	if n, _ := s.Stats(); n != total || n != 200 {
+		t.Fatalf("stripe census %d != Stats %d (want 200)", total, n)
+	}
+}
+
+// Property: every cross-shard merged query on a 16-shard store (and on
+// a 4-partition federation over 16-shard stores) answers exactly like
+// the single-mutex 1-shard oracle fed the same records.
+func TestShardedQueriesMatchOracleProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		oracle := NewSharded(8, 1)
+		sharded := NewSharded(8, 16)
+		parts := make([]*Store, 4)
+		for i := range parts {
+			parts[i] = NewSharded(8, 16)
+		}
+		fed := NewFederation(parts)
+
+		devices := make([]string, 1+r.Intn(20))
+		for i := range devices {
+			devices[i] = fmt.Sprintf("dev-%02d", r.Intn(30))
+		}
+		metrics := []string{"cpu.util", "mem.free", "if.in.1"}
+		n := 1 + r.Intn(300)
+		for i := 0; i < n; i++ {
+			rc := rec(devices[r.Intn(len(devices))], metrics[r.Intn(len(metrics))], i, r.Float64())
+			if oracle.Append(rc) != nil || sharded.Append(rc) != nil {
+				return false
+			}
+			if parts[PartitionIndex(rc.Site, rc.Device, 4)].Append(rc) != nil {
+				return false
+			}
+		}
+
+		same := func(a, b []string) bool {
+			return len(a) == len(b) && (len(a) == 0 || reflect.DeepEqual(a, b))
+		}
+		if !same(oracle.Keys(), sharded.Keys()) || !same(oracle.Keys(), fed.Keys()) {
+			return false
+		}
+		if !same(oracle.Devices(), sharded.Devices()) || !same(oracle.Devices(), fed.Devices()) {
+			return false
+		}
+		for _, m := range metrics {
+			if !same(oracle.SeriesForMetric(m), sharded.SeriesForMetric(m)) ||
+				!same(oracle.SeriesForMetric(m), fed.SeriesForMetric(m)) {
+				return false
+			}
+		}
+		for _, dev := range devices {
+			if !same(oracle.SeriesForDevice("site1", dev), sharded.SeriesForDevice("site1", dev)) ||
+				!same(oracle.SeriesForDevice("site1", dev), fed.SeriesForDevice("site1", dev)) {
+				return false
+			}
+		}
+		for _, key := range oracle.Keys() {
+			op, ook := oracle.Latest(key)
+			sp, sok := sharded.Latest(key)
+			fp, fok := fed.Latest(key)
+			if ook != sok || ook != fok || op != sp || op != fp {
+				return false
+			}
+			if !reflect.DeepEqual(oracle.Window(key, 5), sharded.Window(key, 5)) ||
+				!reflect.DeepEqual(oracle.Window(key, 5), fed.Window(key, 5)) {
+				return false
+			}
+			if !reflect.DeepEqual(oracle.Range(key, 10, 200), sharded.Range(key, 10, 200)) ||
+				!reflect.DeepEqual(oracle.Range(key, 10, 200), fed.Range(key, 10, 200)) {
+				return false
+			}
+		}
+		os1, oa := oracle.Stats()
+		ss, sa := sharded.Stats()
+		fs, fa := fed.Stats()
+		return os1 == ss && os1 == fs && oa == sa && oa == fa
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A multi-device batch is split per stripe with one lock acquisition
+// per touched shard; the stored result is indistinguishable from
+// per-record appends.
+func TestAppendBatchSpansShards(t *testing.T) {
+	s := NewSharded(16, 16)
+	b := &obs.Batch{Collector: "c"}
+	for d := 0; d < 40; d++ {
+		b.Records = append(b.Records, rec(fmt.Sprintf("h%02d", d), "cpu.util", 1, float64(d)))
+	}
+	if err := s.AppendBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	if n, appends := s.Stats(); n != 40 || appends != 40 {
+		t.Fatalf("Stats = %d series, %d appends", n, appends)
+	}
+	for d := 0; d < 40; d++ {
+		key := fmt.Sprintf("site1/h%02d/cpu.util", d)
+		if p, ok := s.Latest(key); !ok || p.Value != float64(d) {
+			t.Fatalf("Latest(%s) = %+v, %v", key, p, ok)
+		}
+	}
+	// An invalid record mid-batch stores the prefix and reports the
+	// offending index — same contract as the single-mutex store.
+	bad := &obs.Batch{Collector: "c", Records: []obs.Record{
+		rec("x1", "m", 1, 1), {Metric: "m"}, rec("x2", "m", 1, 1),
+	}}
+	if err := s.AppendBatch(bad); err == nil {
+		t.Fatal("invalid batch accepted")
+	}
+	if _, ok := s.Latest("site1/x1/m"); !ok {
+		t.Fatal("valid prefix not stored")
+	}
+	if _, ok := s.Latest("site1/x2/m"); ok {
+		t.Fatal("record after invalid one stored")
+	}
+}
+
+// Concurrent writers spread over the stripes plus cross-shard readers:
+// the -race gate for the per-shard locking, and the census must add up.
+func TestConcurrentShardedAppends(t *testing.T) {
+	s := NewSharded(64, 16)
+	const writers, perWriter = 16, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			dev := fmt.Sprintf("h%02d", w)
+			b := &obs.Batch{Collector: "c", Records: make([]obs.Record, 2)}
+			for i := 0; i < perWriter; i++ {
+				b.Records[0] = rec(dev, "cpu.util", i, float64(i))
+				b.Records[1] = rec(dev, "mem.free", i, float64(i))
+				if err := s.AppendBatch(b); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			s.Keys()
+			s.SeriesForMetric("cpu.util")
+			s.Devices()
+			s.ShardStats()
+		}
+	}()
+	wg.Wait()
+	<-done
+	n, appends := s.Stats()
+	if n != writers*2 || appends != writers*perWriter*2 {
+		t.Fatalf("Stats = %d series, %d appends", n, appends)
+	}
+	var stripeAppends uint64
+	for _, st := range s.ShardStats() {
+		stripeAppends += st.Appends
+	}
+	if stripeAppends != appends {
+		t.Fatalf("stripe appends %d != total %d", stripeAppends, appends)
+	}
+}

@@ -5,6 +5,14 @@
 // window queries and aggregations for the multi-level analyses, and
 // synchronous replication across peers for the paper's future-work item
 // on storage and replication.
+//
+// The store is lock-striped: series are distributed over a power-of-two
+// number of shards by an FNV-1a hash of "site/device", so every series
+// of one device co-locates on one shard and writers for different
+// devices take different locks. Device-scoped reads (Latest, Window,
+// Range, SeriesForDevice) touch exactly one shard; global reads (Keys,
+// Devices, SeriesForMetric, Stats) merge the shards' sorted index
+// slices with a k-way merge.
 package store
 
 import (
@@ -48,9 +56,36 @@ func (s *series) append(p Point) {
 
 // points returns the series oldest-first.
 func (s *series) points() []Point {
-	out := make([]Point, s.count)
+	return s.tail(s.count)
+}
+
+// tail copies the most recent n points, oldest first. Copying only the
+// requested suffix keeps the time under the shard lock proportional to
+// the window asked for, not the 4096-point ring backing it.
+func (s *series) tail(n int) []Point {
+	if n > s.count {
+		n = s.count
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]Point, n)
+	first := s.start + s.count - n
+	for i := 0; i < n; i++ {
+		out[i] = s.buf[(first+i)%len(s.buf)]
+	}
+	return out
+}
+
+// stepRange copies the points with fromStep <= Step <= toStep, oldest
+// first — only matching points are copied while the lock is held.
+func (s *series) stepRange(fromStep, toStep int) []Point {
+	var out []Point
 	for i := 0; i < s.count; i++ {
-		out[i] = s.buf[(s.start+i)%len(s.buf)]
+		p := s.buf[(s.start+i)%len(s.buf)]
+		if p.Step >= fromStep && p.Step <= toStep {
+			out = append(out, p)
+		}
 	}
 	return out
 }
@@ -62,15 +97,25 @@ func (s *series) latest() (Point, bool) {
 	return s.buf[(s.start+s.count-1)%len(s.buf)], true
 }
 
-// Store is one storage node. Safe for concurrent use.
-type Store struct {
-	maxPoints int
-
+// shard is one lock stripe: a private mutex over its own series map and
+// secondary indexes. A device's series never straddle shards.
+type shard struct {
 	mu       sync.RWMutex
 	series   map[string]*series  // guarded by mu
 	byDevice map[string][]string // guarded by mu; "site/device" -> sorted keys
 	byMetric map[string][]string // guarded by mu; metric -> sorted keys
 	appends  uint64              // guarded by mu
+
+	// pad spaces shards apart so neighbouring stripes' mutexes do not
+	// share a cache line under concurrent writers.
+	_ [64]byte
+}
+
+// Store is one storage node. Safe for concurrent use.
+type Store struct {
+	maxPoints int
+	shards    []*shard
+	mask      uint32 // len(shards)-1; shard count is a power of two
 }
 
 // Store errors.
@@ -81,18 +126,109 @@ var (
 // DefaultMaxPoints bounds each series when no explicit cap is given.
 const DefaultMaxPoints = 4096
 
+// DefaultShards is the lock-stripe count when no explicit count is
+// given. MaxShards bounds explicit counts (cross-shard reads carry a
+// per-shard cost, and thousands of stripes is a configuration mistake).
+const (
+	DefaultShards = 16
+	MaxShards     = 256
+)
+
 // New returns a store keeping at most maxPoints observations per series
-// (0 means DefaultMaxPoints).
+// (0 means DefaultMaxPoints), striped over DefaultShards shards.
 func New(maxPoints int) *Store {
+	return NewSharded(maxPoints, 0)
+}
+
+// NewSharded returns a store with an explicit shard count, rounded up
+// to the next power of two and clamped to [1, MaxShards]. Zero means
+// DefaultShards. A 1-shard store behaves exactly like the historical
+// single-mutex store — the oracle the sharding tests compare against.
+func NewSharded(maxPoints, shards int) *Store {
 	if maxPoints <= 0 {
 		maxPoints = DefaultMaxPoints
 	}
-	return &Store{
-		maxPoints: maxPoints,
-		series:    make(map[string]*series),
-		byDevice:  make(map[string][]string),
-		byMetric:  make(map[string][]string),
+	n := normalizeShards(shards)
+	s := &Store{maxPoints: maxPoints, shards: make([]*shard, n), mask: uint32(n - 1)}
+	for i := range s.shards {
+		s.shards[i] = &shard{
+			series:   make(map[string]*series),
+			byDevice: make(map[string][]string),
+			byMetric: make(map[string][]string),
+		}
 	}
+	return s
+}
+
+// normalizeShards applies the default, the ceiling and the power-of-two
+// rounding.
+func normalizeShards(n int) int {
+	if n <= 0 {
+		n = DefaultShards
+	}
+	if n > MaxShards {
+		n = MaxShards
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// FNV-1a, the stripe hash. Hashing site and device separately (with the
+// '/' joiner folded in) avoids concatenating on the hot path while
+// producing the same digest as hashing "site/device".
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+func fnv1aString(h uint32, s string) uint32 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= fnvPrime32
+	}
+	return h
+}
+
+// deviceHash hashes "site/device" with FNV-1a.
+func deviceHash(site, device string) uint32 {
+	h := fnv1aString(uint32(fnvOffset32), site)
+	h ^= uint32('/')
+	h *= fnvPrime32
+	return fnv1aString(h, device)
+}
+
+// keyDevicePrefix returns the length of the "site/device" prefix of a
+// series key (the whole key when it has fewer than two separators).
+func keyDevicePrefix(key string) int {
+	seen := 0
+	for i := 0; i < len(key); i++ {
+		if key[i] == '/' {
+			seen++
+			if seen == 2 {
+				return i
+			}
+		}
+	}
+	return len(key)
+}
+
+// ShardCount returns the number of lock stripes.
+func (s *Store) ShardCount() int { return len(s.shards) }
+
+// ShardIndex returns the stripe owning a device's series.
+func (s *Store) ShardIndex(site, device string) int {
+	return int(deviceHash(site, device) & s.mask)
+}
+
+func (s *Store) shardFor(site, device string) *shard {
+	return s.shards[deviceHash(site, device)&s.mask]
+}
+
+func (s *Store) shardForKey(key string) *shard {
+	return s.shards[fnv1aString(uint32(fnvOffset32), key[:keyDevicePrefix(key)])&s.mask]
 }
 
 // Append stores one record.
@@ -100,46 +236,71 @@ func (s *Store) Append(r obs.Record) error {
 	if err := r.Validate(); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.appendLocked(r)
+	sh := s.shardFor(r.Site, r.Device)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.appendLocked(r, s.maxPoints)
 	return nil
 }
 
-// appendLocked stores one already-validated record. Callers hold s.mu.
-func (s *Store) appendLocked(r obs.Record) {
+// appendLocked stores one already-validated record. Callers hold sh.mu.
+func (sh *shard) appendLocked(r obs.Record, maxPoints int) {
 	key := r.Key()
-	ser, ok := s.series[key]
+	ser, ok := sh.series[key]
 	if !ok {
 		ser = &series{
 			site:   r.Site,
 			device: r.Device,
 			metric: r.Metric,
-			buf:    make([]Point, s.maxPoints),
+			buf:    make([]Point, maxPoints),
 		}
-		s.series[key] = ser
+		sh.series[key] = ser
 		devKey := r.Site + "/" + r.Device
-		s.byDevice[devKey] = insertSorted(s.byDevice[devKey], key)
-		s.byMetric[r.Metric] = insertSorted(s.byMetric[r.Metric], key)
+		sh.byDevice[devKey] = insertSorted(sh.byDevice[devKey], key)
+		sh.byMetric[r.Metric] = insertSorted(sh.byMetric[r.Metric], key)
 	}
 	ser.append(Point{Step: r.Step, Time: r.Time, Value: r.Value})
-	s.appends++
+	sh.appends++
 }
 
-// AppendBatch stores every record of a batch under a single lock
-// acquisition, stopping at the first invalid record (records before it
-// are stored). A classifier draining collector batches through here
-// takes the write lock once per batch instead of once per record.
+// AppendBatch stores every record of a batch, stopping at the first
+// invalid record (records before it are stored). The batch is split per
+// stripe: each touched shard's lock is taken exactly once, covering all
+// of the batch's records that hash to it, so a classifier draining a
+// single-device collector batch still pays one lock acquisition.
 func (s *Store) AppendBatch(b *obs.Batch) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	// Validate the storable prefix first so the per-shard passes below
+	// need no error handling inside the locks.
+	n := len(b.Records)
+	var invalid error
 	for i := range b.Records {
 		if err := b.Records[i].Validate(); err != nil {
-			return fmt.Errorf("record %d: %w", i, err)
+			invalid = fmt.Errorf("record %d: %w", i, err)
+			n = i
+			break
 		}
-		s.appendLocked(b.Records[i])
 	}
-	return nil
+	// One pass per touched shard: for each not-yet-visited stripe, lock
+	// it once and store every prefix record it owns. The visited set is
+	// a stack bitmap (MaxShards bits), so the common single-device batch
+	// does one scan under one lock with zero extra allocation.
+	var visited [MaxShards / 64]uint64
+	for i := 0; i < n; i++ {
+		idx := s.ShardIndex(b.Records[i].Site, b.Records[i].Device)
+		if visited[idx/64]&(1<<(idx%64)) != 0 {
+			continue
+		}
+		visited[idx/64] |= 1 << (idx % 64)
+		sh := s.shards[idx]
+		sh.mu.Lock()
+		for j := i; j < n; j++ {
+			if s.ShardIndex(b.Records[j].Site, b.Records[j].Device) == idx {
+				sh.appendLocked(b.Records[j], s.maxPoints)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return invalid
 }
 
 func insertSorted(list []string, key string) []string {
@@ -155,9 +316,10 @@ func insertSorted(list []string, key string) []string {
 
 // Latest returns the most recent point of a series.
 func (s *Store) Latest(key string) (Point, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	ser, ok := s.series[key]
+	sh := s.shardForKey(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	ser, ok := sh.series[key]
 	if !ok {
 		return Point{}, false
 	}
@@ -165,81 +327,158 @@ func (s *Store) Latest(key string) (Point, bool) {
 }
 
 // Window returns the most recent n points of a series, oldest first.
+// Only the requested tail is copied under the shard lock.
 func (s *Store) Window(key string, n int) []Point {
-	s.mu.RLock()
-	ser, ok := s.series[key]
-	var pts []Point
-	if ok {
-		pts = ser.points()
+	sh := s.shardForKey(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	ser, ok := sh.series[key]
+	if !ok {
+		return nil
 	}
-	s.mu.RUnlock()
-	if len(pts) > n {
-		pts = pts[len(pts)-n:]
-	}
-	return pts
+	return ser.tail(n)
 }
 
-// Range returns the points with fromStep <= Step <= toStep, oldest first.
+// Range returns the points with fromStep <= Step <= toStep, oldest
+// first. Only matching points are copied under the shard lock.
 func (s *Store) Range(key string, fromStep, toStep int) []Point {
-	s.mu.RLock()
-	ser, ok := s.series[key]
-	var pts []Point
-	if ok {
-		pts = ser.points()
+	sh := s.shardForKey(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	ser, ok := sh.series[key]
+	if !ok {
+		return nil
 	}
-	s.mu.RUnlock()
-	out := pts[:0]
-	for _, p := range pts {
-		if p.Step >= fromStep && p.Step <= toStep {
-			out = append(out, p)
-		}
-	}
-	return out
+	return ser.stepRange(fromStep, toStep)
 }
 
-// Keys lists all series keys, sorted.
+// Keys lists all series keys, sorted — a k-way merge of the shards'
+// key sets.
 func (s *Store) Keys() []string {
-	s.mu.RLock()
-	out := make([]string, 0, len(s.series))
-	for k := range s.series {
-		out = append(out, k)
+	lists := make([][]string, 0, len(s.shards))
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		keys := make([]string, 0, len(sh.series))
+		for k := range sh.series {
+			keys = append(keys, k)
+		}
+		sh.mu.RUnlock()
+		sort.Strings(keys)
+		lists = append(lists, keys)
 	}
-	s.mu.RUnlock()
-	sort.Strings(out)
-	return out
+	return mergeSorted(lists)
 }
 
-// SeriesForDevice returns the series keys of one device, sorted.
+// SeriesForDevice returns the series keys of one device, sorted. A
+// device's series co-locate, so this reads exactly one shard.
 func (s *Store) SeriesForDevice(site, device string) []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return append([]string(nil), s.byDevice[site+"/"+device]...)
+	sh := s.shardFor(site, device)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return append([]string(nil), sh.byDevice[site+"/"+device]...)
 }
 
-// SeriesForMetric returns the series keys carrying a metric, sorted.
+// SeriesForMetric returns the series keys carrying a metric, sorted —
+// a k-way merge of the shards' (already sorted) metric indexes.
 func (s *Store) SeriesForMetric(metric string) []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return append([]string(nil), s.byMetric[metric]...)
+	lists := make([][]string, 0, len(s.shards))
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		if keys := sh.byMetric[metric]; len(keys) > 0 {
+			lists = append(lists, append([]string(nil), keys...))
+		}
+		sh.mu.RUnlock()
+	}
+	return mergeSorted(lists)
 }
 
 // Devices lists "site/device" identifiers present in the store, sorted.
 func (s *Store) Devices() []string {
-	s.mu.RLock()
-	out := make([]string, 0, len(s.byDevice))
-	for k := range s.byDevice {
-		out = append(out, k)
+	lists := make([][]string, 0, len(s.shards))
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		devs := make([]string, 0, len(sh.byDevice))
+		for k := range sh.byDevice {
+			devs = append(devs, k)
+		}
+		sh.mu.RUnlock()
+		sort.Strings(devs)
+		lists = append(lists, devs)
 	}
-	s.mu.RUnlock()
-	sort.Strings(out)
+	return mergeSorted(lists)
+}
+
+// mergeSorted k-way merges sorted string slices into one sorted slice.
+// The inputs are disjoint (shards partition the key space), so no
+// deduplication is needed. Nil when every input is empty.
+func mergeSorted(lists [][]string) []string {
+	// Drop empties; the common cases are zero or one non-empty list.
+	live := lists[:0]
+	total := 0
+	for _, l := range lists {
+		if len(l) > 0 {
+			live = append(live, l)
+			total += len(l)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	out := make([]string, 0, total)
+	heads := make([]int, len(live))
+	for len(out) < total {
+		best := -1
+		for i, l := range live {
+			if heads[i] >= len(l) {
+				continue
+			}
+			if best < 0 || l[heads[i]] < live[best][heads[best]] {
+				best = i
+			}
+		}
+		out = append(out, live[best][heads[best]])
+		heads[best]++
+	}
 	return out
 }
 
-// Stats returns (series count, total appends).
+// Stats returns (series count, total appends), summed over shards.
 func (s *Store) Stats() (seriesCount int, appends uint64) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.series), s.appends
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		seriesCount += len(sh.series)
+		appends += sh.appends
+		sh.mu.RUnlock()
+	}
+	return seriesCount, appends
+}
+
+// ShardStat is one stripe's census row.
+type ShardStat struct {
+	Series  int    `json:"series"`
+	Appends uint64 `json:"appends"`
+}
+
+// ShardStats returns the per-stripe census, indexed by shard. The
+// per-shard telemetry gauges and the gridctl top balance line read
+// skew from this.
+func (s *Store) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(s.shards))
+	for i := range s.shards {
+		out[i] = s.ShardStat(i)
+	}
+	return out
+}
+
+// ShardStat returns one stripe's census row, locking only that stripe.
+func (s *Store) ShardStat(i int) ShardStat {
+	sh := s.shards[i]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return ShardStat{Series: len(sh.series), Appends: sh.appends}
 }
 
 // ParseKey splits a series key into site, device and metric.

@@ -48,6 +48,8 @@ func Deploy(spec *Spec, opts Options) (*Deployment, error) {
 		Site:        spec.Sites[0].Name,
 		Collectors:  spec.Grid.Collectors,
 		Analyzers:   spec.Grid.Analyzers,
+		Classifiers: spec.Grid.Classifiers,
+		StoreShards: spec.Grid.StoreShards,
 		Community:   spec.Grid.Community,
 		Rules:       spec.Rules,
 		LocalRules:  spec.LocalRules,

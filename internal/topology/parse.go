@@ -255,6 +255,8 @@ func parseGrid(n *node, spec *Spec, errs *ErrorList) {
 			spec.Grid.Classifiers = intVal(c, errs)
 		case "reporters":
 			spec.Grid.Reporters = intVal(c, errs)
+		case "store_shards":
+			spec.Grid.StoreShards = intVal(c, errs)
 		case "scheduler":
 			spec.Grid.Scheduler = scalar(c, errs)
 		case "negotiated":

@@ -1,0 +1,102 @@
+package topology
+
+import (
+	"testing"
+	"time"
+
+	"agentgrid/internal/store"
+)
+
+// The checked-in sharded spec must deploy four classifier partitions
+// (clg-1..clg-4) with routed ingest: every partition store receives
+// exactly the devices the site-hash mapping assigns to it.
+func TestShardedSpecDeploysClassifierPartitions(t *testing.T) {
+	spec, err := Load(readFile(t, "../../examples/specs/sharded.topo"))
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if spec.Grid.Classifiers != 4 || spec.Grid.StoreShards != 32 {
+		t.Fatalf("spec shape = %d classifiers, %d shards", spec.Grid.Classifiers, spec.Grid.StoreShards)
+	}
+
+	// The spec's census names the partitioned classifiers.
+	want := map[string]bool{"clg-1": true, "clg-2": true, "clg-3": true, "clg-4": true}
+	for _, name := range spec.ContainerNames() {
+		delete(want, name)
+	}
+	if len(want) != 0 {
+		t.Fatalf("ContainerNames missing %v (got %v)", want, spec.ContainerNames())
+	}
+
+	dep, err := Deploy(spec, Options{ErrorLog: func(err error) { t.Log("deploy:", err) }})
+	if err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	defer dep.Destroy()
+	g := dep.Grid()
+
+	stores := g.Stores()
+	if len(stores) != 4 {
+		t.Fatalf("Stores() = %d partitions, want 4", len(stores))
+	}
+	for i, st := range stores {
+		if st.ShardCount() != 32 {
+			t.Fatalf("partition %d has %d shards, want 32", i, st.ShardCount())
+		}
+	}
+
+	// The grid census carries every partition container as a classifier.
+	status := dep.Status()
+	classifiers := 0
+	for _, c := range status.Containers {
+		if c.Role == "classifier" {
+			classifiers++
+		}
+	}
+	if classifiers != 4 {
+		t.Fatalf("census has %d classifier containers, want 4", classifiers)
+	}
+
+	// Routed ingest: wait until the self-advancing fleet lands records,
+	// then check placement agrees with the published hash mapping.
+	deadline := time.After(30 * time.Second)
+	for {
+		if _, appends := g.Federation().Stats(); appends > 0 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("no records ingested across any partition")
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	misplaced := 0
+	for i, st := range stores {
+		for _, dev := range st.Devices() {
+			site, device, _, err := store.ParseKey(dev + "/x")
+			if err != nil {
+				t.Fatalf("device key %q: %v", dev, err)
+			}
+			if store.PartitionIndex(site, device, 4) != i {
+				misplaced++
+				t.Errorf("device %s stored on partition %d, owner is %d",
+					dev, i, store.PartitionIndex(site, device, 4))
+			}
+		}
+	}
+	if misplaced != 0 {
+		t.Fatalf("%d devices on the wrong partition", misplaced)
+	}
+
+	// The core status publishes the partition map with per-partition
+	// census and health.
+	gs := g.Status()
+	if len(gs.Partitions) != 4 {
+		t.Fatalf("status has %d partitions, want 4", len(gs.Partitions))
+	}
+	for i, p := range gs.Partitions {
+		if p.Partition != i || p.Container != []string{"clg-1", "clg-2", "clg-3", "clg-4"}[i] {
+			t.Errorf("partition row %d = %+v", i, p)
+		}
+	}
+}

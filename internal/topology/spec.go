@@ -45,12 +45,15 @@ type GridSpec struct {
 	Collectors int `json:"collectors"`
 	// Analyzers is the processor (analysis worker) replica count.
 	Analyzers int `json:"analyzers"`
-	// Classifiers is the classifier replica count. The classifier is
-	// not yet sharded (see ROADMAP); exactly 1 is valid today, and the
-	// validator says so rather than silently ignoring the number.
+	// Classifiers is the classifier partition count. With N > 1 the
+	// grid deploys N classifier containers (clg-1..clg-N), each owning
+	// the site/device-hash partition of the device space.
 	Classifiers int `json:"classifiers"`
 	// Reporters is the interface-grid replica count (exactly 1 today).
 	Reporters int `json:"reporters"`
+	// StoreShards is each store partition's lock-stripe count (0 means
+	// the store default, rounded to a power of two).
+	StoreShards int `json:"store_shards,omitempty"`
 	// Scheduler is the loadbalance strategy ("capability" default).
 	Scheduler string `json:"scheduler,omitempty"`
 	// Negotiated places analysis via contract-net bidding.
@@ -146,7 +149,7 @@ type ChaosEntry struct {
 	// Action is one of the Chaos* constants.
 	Action string `json:"action"`
 	// Target is "site/device" for device and clear actions, a
-	// container name (cg-1, clg, pg-root, pg-1, ig) for detach,
+	// container name (cg-1, clg, clg-2, pg-root, pg-1, ig) for detach,
 	// reattach and drop, and empty for heal.
 	Target string `json:"target,omitempty"`
 	// Kind is the device fault for device/clear actions
@@ -201,7 +204,15 @@ func (s *Spec) ContainerNames() []string {
 	for i := 0; i < s.Grid.Analyzers; i++ {
 		out = append(out, fmt.Sprintf("pg-%d", i+1))
 	}
-	out = append(out, "clg")
+	// A single classifier keeps the historical "clg" name; partitioned
+	// grids number them clg-1..clg-N (matching core's naming).
+	if s.Grid.Classifiers <= 1 {
+		out = append(out, "clg")
+	} else {
+		for i := 0; i < s.Grid.Classifiers; i++ {
+			out = append(out, fmt.Sprintf("clg-%d", i+1))
+		}
+	}
 	for i := 0; i < s.Grid.Collectors; i++ {
 		out = append(out, fmt.Sprintf("cg-%d", i+1))
 	}

@@ -67,7 +67,7 @@ func roleOf(name string) string {
 		return "processor-root"
 	case strings.HasPrefix(name, "pg-"):
 		return "processor"
-	case name == "clg":
+	case name == "clg", strings.HasPrefix(name, "clg-"):
 		return "classifier"
 	case strings.HasPrefix(name, "cg-"):
 		return "collector"
@@ -117,7 +117,7 @@ func (d *Deployment) Status() *Status {
 		st.Sites = append(st.Sites, ss)
 	}
 	st.Healthy, st.Health = g.Health().Check()
-	st.StoreSeries, st.StoreAppends = g.Store().Stats()
+	st.StoreSeries, st.StoreAppends = g.Federation().Stats()
 	st.DirectoryEntries = g.Directory().Len()
 	alerts := g.Alerts()
 	st.AlertCount = len(alerts)

@@ -17,6 +17,9 @@ var validSchedulers = map[string]bool{
 const (
 	maxReplicas       = 256
 	maxDevicesPerSite = 4096
+	// maxStoreShards mirrors store.MaxShards; a bigger value would be
+	// silently clamped, so validation refuses it loudly instead.
+	maxStoreShards = 256
 )
 
 // Validate checks the spec's semantics and returns every problem found
@@ -35,9 +38,9 @@ func (s *Spec) Validate() error {
 	}
 
 	// Replica counts: zero (or negative) replicas of any role cannot
-	// form a grid; classifier and interface replication are explicitly
-	// not supported yet, and the validator says so rather than
-	// deploying something that ignores the number.
+	// form a grid; interface replication is explicitly not supported
+	// yet, and the validator says so rather than deploying something
+	// that ignores the number.
 	if s.Grid.Collectors <= 0 {
 		addf("grid.collectors: zero replicas (need at least 1 collector)")
 	} else if s.Grid.Collectors > maxReplicas {
@@ -48,11 +51,15 @@ func (s *Spec) Validate() error {
 	} else if s.Grid.Analyzers > maxReplicas {
 		addf("grid.analyzers: %d replicas exceeds the %d ceiling", s.Grid.Analyzers, maxReplicas)
 	}
-	switch {
-	case s.Grid.Classifiers <= 0:
-		addf("grid.classifiers: zero replicas (need exactly 1 classifier)")
-	case s.Grid.Classifiers > 1:
-		addf("grid.classifiers: %d replicas; classifier sharding is not implemented yet (must be 1)", s.Grid.Classifiers)
+	if s.Grid.Classifiers <= 0 {
+		addf("grid.classifiers: zero partitions (need at least 1 classifier)")
+	} else if s.Grid.Classifiers > maxReplicas {
+		addf("grid.classifiers: %d partitions exceeds the %d ceiling", s.Grid.Classifiers, maxReplicas)
+	}
+	if s.Grid.StoreShards < 0 {
+		addf("grid.store_shards: must not be negative (0 means the store default)")
+	} else if s.Grid.StoreShards > maxStoreShards {
+		addf("grid.store_shards: %d shards exceeds the %d ceiling", s.Grid.StoreShards, maxStoreShards)
 	}
 	switch {
 	case s.Grid.Reporters <= 0:
@@ -115,7 +122,8 @@ func (s *Spec) Validate() error {
 
 	containers := map[string]bool{}
 	containerList := "(none: replica counts invalid)"
-	if s.Grid.Collectors <= maxReplicas && s.Grid.Analyzers <= maxReplicas {
+	if s.Grid.Collectors <= maxReplicas && s.Grid.Analyzers <= maxReplicas &&
+		s.Grid.Classifiers <= maxReplicas {
 		names := s.ContainerNames()
 		for _, c := range names {
 			containers[c] = true

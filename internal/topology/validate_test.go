@@ -75,7 +75,10 @@ func TestValidateSingleMistakes(t *testing.T) {
 		{"zero analyzers", func(s *Spec) { s.Grid.Analyzers = 0 }, "grid.analyzers: zero replicas"},
 		{"absurd collectors", func(s *Spec) { s.Grid.Collectors = 1 << 30 }, "exceeds the 256 ceiling"},
 		{"absurd hosts", func(s *Spec) { s.Sites[0].Hosts = 1 << 30 }, "exceeds the 4096 ceiling"},
-		{"classifier sharding", func(s *Spec) { s.Grid.Classifiers = 2 }, "not implemented yet"},
+		{"zero classifiers", func(s *Spec) { s.Grid.Classifiers = 0 }, "grid.classifiers: zero partitions"},
+		{"absurd classifiers", func(s *Spec) { s.Grid.Classifiers = 1 << 20 }, "exceeds the 256 ceiling"},
+		{"negative store shards", func(s *Spec) { s.Grid.StoreShards = -1 }, "store_shards"},
+		{"absurd store shards", func(s *Spec) { s.Grid.StoreShards = 1 << 20 }, "exceeds the 256 ceiling"},
 		{"reporter replication", func(s *Spec) { s.Grid.Reporters = 3 }, "not implemented yet"},
 		{"bad scheduler", func(s *Spec) { s.Grid.Scheduler = "lottery" }, "unknown strategy"},
 		{"bad wire", func(s *Spec) { s.Grid.Wire = "xml" }, "unknown format"},

@@ -20,9 +20,13 @@
 #  12. flight overhead   (same soak with the flight recorder journaling
 #                         every frame + exemplar histogram: must hold
 #                         >=95% of the control run's throughput)
-#  13. topology suite   (spec parse/validate/deploy lifecycle + HTTP
+#  13. shard sweep       (16-writer ingest vs analyzer scans across shard
+#                         counts and classifier partitions: the sharded
+#                         store must sustain >=2x the 1-shard rate in
+#                         the peak-contention cell)
+#  14. topology suite   (spec parse/validate/deploy lifecycle + HTTP
 #                         control plane + example equivalence, -race)
-#  14. fuzz smoke        (5s per wire-facing fuzz target)
+#  15. fuzz smoke        (5s per wire-facing fuzz target)
 #
 # Any failure stops the gate with a non-zero exit. Run it before every
 # commit; CI should run exactly this script.
@@ -76,6 +80,9 @@ go run ./cmd/benchrunner soak -duration=2s -warmup=1s -out "$soak_control"
 
 step "flight overhead soak (recorder + exemplars on, >=95% of control throughput)"
 go run ./cmd/benchrunner soak -flight -duration=2s -warmup=1s -baseline "$soak_control"
+
+step "shard sweep (16-writer ingest vs analyzer scans, >=2x 1-shard rate)"
+go run ./cmd/benchrunner shard -duration=500ms -warmup=200ms -assert-scaling=2 >/dev/null
 
 step "topology suite (-race, spec lifecycle + control plane)"
 go test -race -count=1 ./internal/topology/...
